@@ -1,0 +1,9 @@
+//! # uplan-bench — the reproduction harness
+//!
+//! One function per table/figure of the paper's evaluation; the `repro`
+//! binary dispatches to them, and EXPERIMENTS.md records paper-vs-measured
+//! for each. See DESIGN.md's per-experiment index for the mapping.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,48 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro all            # everything (default budgets)
+//! repro table1..table7 # individual tables
+//! repro fig1..fig4     # individual figures
+//! repro listing1|listing3|q11|effort|ablation
+//! ```
+
+use uplan_bench as experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let run = |name: &str| {
+        println!("\n================ {name} ================");
+        let output = match name {
+            "table1" => experiments::table1(),
+            "table2" => experiments::table2(),
+            "table3" => experiments::table3(),
+            "table4" => experiments::table4(),
+            "table5" => experiments::table5(400, 250),
+            "table6" => experiments::table6(2),
+            "table7" => experiments::table7(),
+            "fig1" => experiments::fig1(),
+            "fig2" => experiments::fig2(),
+            "fig3" => experiments::fig3(),
+            "fig4" => experiments::fig4(2),
+            "listing1" => experiments::listing1(),
+            "listing3" => experiments::listing3(),
+            "q11" => experiments::q11(4),
+            "effort" => experiments::effort(),
+            "ablation" => experiments::ablation(250),
+            other => format!("unknown experiment {other:?}"),
+        };
+        println!("{output}");
+    };
+    if which == "all" {
+        for name in [
+            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig1",
+            "fig2", "fig3", "fig4", "listing1", "listing3", "q11", "effort", "ablation",
+        ] {
+            run(name);
+        }
+    } else {
+        run(which);
+    }
+}

@@ -1,0 +1,176 @@
+//! MongoDB converter: `explain()` JSON → unified plans.
+
+use uplan_core::formats::json::{self, JsonValue};
+use uplan_core::registry::Dbms;
+use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
+
+use crate::util::json_value;
+
+/// Converts `explain()` output (the `queryPlanner.winningPlan` vine).
+pub fn from_json(input: &str) -> Result<UnifiedPlan> {
+    let doc = json::parse(input)?;
+    let registry = crate::registry();
+    let planner = doc
+        .get("queryPlanner")
+        .ok_or_else(|| Error::Semantic("missing \"queryPlanner\"".into()))?;
+    let winning = planner
+        .get("winningPlan")
+        .ok_or_else(|| Error::Semantic("missing \"winningPlan\"".into()))?;
+    let mut plan = UnifiedPlan::with_root(stage_node(winning, registry)?);
+
+    // Plan-associated properties: queryPlanner scalars + executionStats.
+    for (key, value) in planner.as_object().into_iter().flatten() {
+        if matches!(key.as_str(), "winningPlan" | "rejectedPlans") {
+            continue;
+        }
+        let resolved = registry.resolve_property_or_generic(Dbms::MongoDb, key);
+        plan.properties.push(Property {
+            category: resolved.category,
+            identifier: resolved.unified,
+            value: json_value(value),
+        });
+    }
+    if let Some(stats) = doc.get("executionStats") {
+        for (key, value) in stats.as_object().into_iter().flatten() {
+            let resolved = registry.resolve_property_or_generic(Dbms::MongoDb, key);
+            plan.properties.push(Property {
+                category: resolved.category,
+                identifier: resolved.unified,
+                value: json_value(value),
+            });
+        }
+    }
+    Ok(plan)
+}
+
+fn stage_node(
+    stage: &JsonValue,
+    registry: &uplan_core::registry::Registry,
+) -> Result<PlanNode> {
+    let name = stage
+        .get("stage")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| Error::Semantic("stage without \"stage\" member".into()))?;
+    let resolved = registry.resolve_operation_or_generic(Dbms::MongoDb, name);
+    let mut node = PlanNode::new(uplan_core::Operation {
+        category: resolved.category,
+        identifier: resolved.unified,
+    });
+    for (key, value) in stage.as_object().into_iter().flatten() {
+        match key.as_str() {
+            "stage" => {}
+            "inputStage" => node.children.push(stage_node(value, registry)?),
+            "inputStages" => {
+                for child in value.as_array().into_iter().flatten() {
+                    node.children.push(stage_node(child, registry)?);
+                }
+            }
+            other => {
+                let resolved = registry.resolve_property_or_generic(Dbms::MongoDb, other);
+                node.properties.push(Property {
+                    category: resolved.category,
+                    identifier: resolved.unified,
+                    value: json_value(value),
+                });
+            }
+        }
+    }
+    Ok(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidoc::{Condition, DocStore, FilterOp, Request};
+    use uplan_core::OperationCategory;
+
+    fn store() -> DocStore {
+        let mut store = DocStore::new();
+        let c = store.collection_mut("lineitem");
+        for i in 0..20i64 {
+            c.insert(json::object([
+                ("_id", JsonValue::Int(i)),
+                ("qty", JsonValue::Int(i % 5)),
+                ("flag", JsonValue::from(if i % 2 == 0 { "A" } else { "B" })),
+            ]));
+        }
+        store
+    }
+
+    #[test]
+    fn collscan_projection_shape() {
+        // The paper's Table VI MongoDB row: producer + projector = 2 ops.
+        let store = store();
+        let request = Request {
+            collection: "lineitem".into(),
+            filter: vec![],
+            projection: Some(vec!["flag".into(), "qty".into()]),
+            sort: None,
+            limit: None,
+            group: Some(minidoc::GroupSpec {
+                key: Some("flag".into()),
+                accumulators: vec![("total".into(), minidoc::Accumulator::Sum("qty".into()))],
+            }),
+        };
+        let (_, doc_plan) = store.find(&request);
+        let unified = from_json(&dialects::mongodb::to_json(&doc_plan)).unwrap();
+        assert_eq!(unified.operation_count(), 2);
+        let counts = uplan_core::stats::CategoryCounts::of(&unified);
+        assert_eq!(counts.get(&OperationCategory::Producer), 1);
+        assert_eq!(counts.get(&OperationCategory::Projector), 1);
+        // optimizedPipeline surfaces as a plan property.
+        assert!(unified.plan_property("optimizedPipeline").is_some());
+    }
+
+    #[test]
+    fn ixscan_fetch_vine() {
+        let mut store = store();
+        store.collection_mut("lineitem").create_index("flag");
+        let request = Request {
+            collection: "lineitem".into(),
+            filter: vec![Condition {
+                field: "flag".into(),
+                op: FilterOp::Eq,
+                value: JsonValue::from("A"),
+            }],
+            ..Request::default()
+        };
+        let (_, doc_plan) = store.find(&request);
+        let unified = from_json(&dialects::mongodb::to_json(&doc_plan)).unwrap();
+        let root = unified.root.as_ref().unwrap();
+        assert_eq!(root.operation.identifier, "Document_Fetch");
+        assert_eq!(root.children[0].operation.identifier, "Index_Scan");
+        // Execution stats become plan properties with study categories.
+        let actual = unified.plan_property("actual_rows").unwrap();
+        assert_eq!(actual.category, uplan_core::PropertyCategory::Cardinality);
+    }
+
+    #[test]
+    fn idhack_single_op() {
+        let mut store = store();
+        store.collection_mut("lineitem").create_index("_id");
+        let request = Request {
+            collection: "lineitem".into(),
+            filter: vec![Condition {
+                field: "_id".into(),
+                op: FilterOp::Eq,
+                value: JsonValue::Int(3),
+            }],
+            ..Request::default()
+        };
+        let (_, doc_plan) = store.find(&request);
+        let unified = from_json(&dialects::mongodb::to_json(&doc_plan)).unwrap();
+        assert_eq!(unified.operation_count(), 1, "YCSB point-read shape");
+        assert_eq!(
+            unified.root.as_ref().unwrap().operation.identifier,
+            "Index_Seek"
+        );
+    }
+
+    #[test]
+    fn rejects_non_explain_json() {
+        assert!(from_json("{}").is_err());
+        assert!(from_json("{\"queryPlanner\": {}}").is_err());
+        assert!(from_json("{\"queryPlanner\": {\"winningPlan\": {}}}").is_err());
+    }
+}

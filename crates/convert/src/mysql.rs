@@ -1,0 +1,323 @@
+//! MySQL converter: `FORMAT=JSON` and the classic table → unified plans.
+
+use uplan_core::formats::json::{self, JsonValue};
+use uplan_core::registry::Dbms;
+use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
+
+use crate::util::{json_value, parse_value};
+
+/// Converts `EXPLAIN FORMAT=JSON` output.
+pub fn from_json(input: &str) -> Result<UnifiedPlan> {
+    let doc = json::parse(input)?;
+    let block = doc
+        .get("query_block")
+        .ok_or_else(|| Error::Semantic("missing \"query_block\"".into()))?;
+    let registry = crate::registry();
+    let mut children = block_children(block, registry)?;
+    let root = match children.len() {
+        0 => return Err(Error::Semantic("empty query block".into())),
+        1 => children.remove(0),
+        // Multiple top-level members (e.g. main table + subqueries): stitch
+        // under the first.
+        _ => {
+            let mut first = children.remove(0);
+            first.children.extend(children);
+            first
+        }
+    };
+    Ok(UnifiedPlan::with_root(root))
+}
+
+/// Converts the members of a `query_block`-like object into plan nodes.
+fn block_children(
+    obj: &JsonValue,
+    registry: &uplan_core::registry::Registry,
+) -> Result<Vec<PlanNode>> {
+    let mut out = Vec::new();
+    for (key, value) in obj.as_object().into_iter().flatten() {
+        match key.as_str() {
+            "ordering_operation" | "grouping_operation" | "duplicates_removal" => {
+                let resolved = registry.resolve_operation_or_generic(Dbms::MySql, key);
+                let mut node = PlanNode::new(uplan_core::Operation {
+                    category: resolved.category,
+                    identifier: resolved.unified,
+                });
+                attach_scalars(&mut node, value, registry);
+                node.children = block_children(value, registry)?;
+                out.push(node);
+            }
+            "nested_loop" => {
+                // A vine of table accesses: join operations binarize it.
+                let tables = value
+                    .as_array()
+                    .ok_or_else(|| Error::Semantic("nested_loop must be an array".into()))?;
+                let mut nodes = Vec::new();
+                for t in tables {
+                    let table_obj = t
+                        .get("table")
+                        .ok_or_else(|| Error::Semantic("nested_loop item without table".into()))?;
+                    nodes.push(table_node(table_obj, registry)?);
+                }
+                let resolved = registry.resolve_operation_or_generic(Dbms::MySql, "Nested loop join");
+                let mut iter = nodes.into_iter();
+                let first = iter
+                    .next()
+                    .ok_or_else(|| Error::Semantic("empty nested_loop".into()))?;
+                let joined = iter.fold(first, |left, right| {
+                    let mut join = PlanNode::new(uplan_core::Operation {
+                        category: resolved.category.clone(),
+                        identifier: resolved.unified.clone(),
+                    });
+                    join.children.push(left);
+                    join.children.push(right);
+                    join
+                });
+                out.push(joined);
+            }
+            "table" => out.push(table_node(value, registry)?),
+            "union_result" => {
+                let resolved = registry.resolve_operation_or_generic(Dbms::MySql, key);
+                let mut node = PlanNode::new(uplan_core::Operation {
+                    category: resolved.category,
+                    identifier: resolved.unified,
+                });
+                for spec in value
+                    .get("query_specifications")
+                    .and_then(JsonValue::as_array)
+                    .into_iter()
+                    .flatten()
+                {
+                    if let Some(inner) = spec.get("query_block") {
+                        node.children.extend(block_children(inner, registry)?);
+                    }
+                }
+                out.push(node);
+            }
+            key if key.starts_with("subquery") => {
+                if let Some(inner) = value.get("query_block") {
+                    out.extend(block_children(inner, registry)?);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Adds an object's scalar members as properties of a node.
+fn attach_scalars(
+    node: &mut PlanNode,
+    obj: &JsonValue,
+    registry: &uplan_core::registry::Registry,
+) {
+    for (key, value) in obj.as_object().into_iter().flatten() {
+        let is_scalar = !matches!(value, JsonValue::Object(_) | JsonValue::Array(_));
+        if is_scalar {
+            let resolved = registry.resolve_property_or_generic(Dbms::MySql, key);
+            node.properties.push(Property {
+                category: resolved.category,
+                identifier: resolved.unified,
+                value: json_value(value),
+            });
+        }
+    }
+}
+
+fn table_node(
+    obj: &JsonValue,
+    registry: &uplan_core::registry::Registry,
+) -> Result<PlanNode> {
+    let access = obj
+        .get("access_type")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("ALL");
+    let resolved = registry.resolve_operation_or_generic(Dbms::MySql, access);
+    let mut node = PlanNode::new(uplan_core::Operation {
+        category: resolved.category,
+        identifier: resolved.unified,
+    });
+    for (key, value) in obj.as_object().into_iter().flatten() {
+        match (key.as_str(), value) {
+            ("access_type", _) => {}
+            ("cost_info", JsonValue::Object(costs)) => {
+                for (ck, cv) in costs {
+                    let resolved = registry.resolve_property_or_generic(Dbms::MySql, ck);
+                    node.properties.push(Property {
+                        category: resolved.category,
+                        identifier: resolved.unified,
+                        value: json_value(cv),
+                    });
+                }
+            }
+            (k, v) => {
+                let resolved = registry.resolve_property_or_generic(Dbms::MySql, k);
+                node.properties.push(Property {
+                    category: resolved.category,
+                    identifier: resolved.unified,
+                    value: json_value(v),
+                });
+            }
+        }
+    }
+    Ok(node)
+}
+
+/// Converts the classic table format (rows become a left-deep chain).
+pub fn from_table(input: &str) -> Result<UnifiedPlan> {
+    let registry = crate::registry();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for line in input.lines() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        rows.push(
+            trimmed
+                .trim_matches('|')
+                .split('|')
+                .map(|c| c.trim().to_owned())
+                .collect(),
+        );
+    }
+    if rows.len() < 2 {
+        return Err(Error::Semantic("no MySQL table rows found".into()));
+    }
+    let header = rows[0].clone();
+    let col = |name: &str| header.iter().position(|h| h == name);
+    let type_col = col("type").ok_or_else(|| Error::Semantic("missing type column".into()))?;
+
+    let mut nodes: Vec<PlanNode> = Vec::new();
+    for cells in &rows[1..] {
+        let access = cells.get(type_col).map(String::as_str).unwrap_or("ALL");
+        let resolved = registry.resolve_operation_or_generic(Dbms::MySql, access);
+        let mut node = PlanNode::new(uplan_core::Operation {
+            category: resolved.category,
+            identifier: resolved.unified,
+        });
+        for (i, cell) in cells.iter().enumerate() {
+            if i == type_col || cell.is_empty() || cell == "NULL" {
+                continue;
+            }
+            let key = match header.get(i).map(String::as_str) {
+                Some("table") => "table_name",
+                Some("key") => "key",
+                Some(other) => other,
+                None => continue,
+            };
+            let resolved = registry.resolve_property_or_generic(Dbms::MySql, key);
+            node.properties.push(Property {
+                category: resolved.category,
+                identifier: resolved.unified,
+                value: parse_value(cell),
+            });
+        }
+        nodes.push(node);
+    }
+    // Chain: each subsequent access is the inner side of the previous.
+    let mut iter = nodes.into_iter().rev();
+    let mut root = iter
+        .next()
+        .ok_or_else(|| Error::Semantic("empty MySQL plan".into()))?;
+    for mut node in iter {
+        node.children.push(root);
+        root = node;
+    }
+    Ok(UnifiedPlan::with_root(root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::profile::EngineProfile;
+    use minidb::Database;
+    use uplan_core::OperationCategory;
+
+    fn db() -> Database {
+        let mut db = Database::new(EngineProfile::MySql);
+        db.execute("CREATE TABLE t0 (c0 INT, c1 INT)").unwrap();
+        db.execute("CREATE TABLE t1 (c0 INT PRIMARY KEY)").unwrap();
+        for i in 0..30 {
+            db.execute(&format!("INSERT INTO t0 VALUES ({i}, {})", i % 3)).unwrap();
+        }
+        for i in 0..10 {
+            db.execute(&format!("INSERT INTO t1 VALUES ({i})")).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn json_group_order_join_pipeline() {
+        let mut db = db();
+        let plan = db
+            .explain(
+                "SELECT t0.c0, COUNT(*) FROM t0 JOIN t1 ON t0.c0 = t1.c0 \
+                 GROUP BY t0.c0 ORDER BY t0.c0",
+            )
+            .unwrap();
+        let text = dialects::mysql::to_json(&plan);
+        let unified = from_json(&text).unwrap();
+        let root = unified.root.as_ref().unwrap();
+        assert_eq!(root.operation.identifier, "Sort");
+        assert_eq!(root.operation.category, OperationCategory::Combinator);
+        let grouping = &root.children[0];
+        assert_eq!(grouping.operation.category, OperationCategory::Folder);
+        let join = &grouping.children[0];
+        assert_eq!(join.operation.category, OperationCategory::Join);
+        assert_eq!(join.children.len(), 2);
+        // Producers under the join.
+        let counts = uplan_core::stats::CategoryCounts::of(&unified);
+        assert_eq!(counts.get(&OperationCategory::Producer), 2);
+        // MySQL shows no projector ops (paper Table VI row).
+        assert_eq!(counts.get(&OperationCategory::Projector), 0);
+    }
+
+    #[test]
+    fn table_format_chains_accesses() {
+        let mut db = db();
+        let plan = db
+            .explain("SELECT t0.c0 FROM t0 JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c1 < 2")
+            .unwrap();
+        let text = dialects::mysql::to_table(&plan);
+        let unified = from_table(&text).unwrap();
+        assert_eq!(unified.operation_count(), 2);
+        let root = unified.root.as_ref().unwrap();
+        assert!(root.property("name_object").is_some(), "{root:?}");
+    }
+
+    #[test]
+    fn fig2_simple_table() {
+        // Paper Fig. 2's MySQL box: one SIMPLE row for t0.
+        let text = "\
++----+-------------+-------+------+------+------+-------------+
+| id | select_type | table | type | key  | rows | Extra       |
++----+-------------+-------+------+------+------+-------------+
+|  1 | SIMPLE      | t0    | ALL  | NULL | 5    | Using where |
++----+-------------+-------+------+------+------+-------------+
+";
+        let unified = from_table(text).unwrap();
+        assert_eq!(unified.operation_count(), 1);
+        let root = unified.root.unwrap();
+        assert_eq!(root.operation.identifier, "Full_Table_Scan");
+        assert_eq!(root.operation.category, OperationCategory::Producer);
+    }
+
+    #[test]
+    fn union_and_subqueries() {
+        let mut db = db();
+        let plan = db
+            .explain("SELECT c0 FROM t0 WHERE c0 > (SELECT COUNT(*) FROM t1)")
+            .unwrap();
+        let text = dialects::mysql::to_json(&plan);
+        let unified = from_json(&text).unwrap();
+        // Main scan + subquery scan.
+        let counts = uplan_core::stats::CategoryCounts::of(&unified);
+        assert!(counts.get(&OperationCategory::Producer) >= 2, "{unified:#?}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_json("{}").is_err());
+        assert!(from_json("[1]").is_err());
+        assert!(from_table("").is_err());
+    }
+}

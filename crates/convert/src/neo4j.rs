@@ -1,0 +1,205 @@
+//! Neo4j converter: the operator table (paper Fig. 1) → unified plans.
+//!
+//! "Each line in the table represents an operation and associated
+//! properties, and the content outside the table is plan-associated
+//! properties" — exactly how this converter splits its input.
+
+use uplan_core::registry::Dbms;
+use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
+
+use crate::util::parse_value;
+
+/// Converts the rendered operator table.
+pub fn from_table(input: &str) -> Result<UnifiedPlan> {
+    let registry = crate::registry();
+    let mut plan = UnifiedPlan::new();
+    let mut header: Option<Vec<String>> = None;
+    let mut operators: Vec<PlanNode> = Vec::new();
+
+    for line in input.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('+') && trimmed.ends_with('+') && trimmed.chars().all(|c| matches!(c, '+' | '-')) {
+            continue;
+        }
+        if trimmed.starts_with('|') {
+            let cells: Vec<String> = trimmed
+                .trim_matches('|')
+                .split('|')
+                .map(|c| c.trim().to_owned())
+                .collect();
+            match &header {
+                None => header = Some(cells),
+                Some(columns) => {
+                    let name = cells
+                        .first()
+                        .map(|c| c.trim_start_matches('+').trim())
+                        .filter(|c| !c.is_empty())
+                        .ok_or_else(|| Error::Semantic("operator row without name".into()))?;
+                    let resolved = registry.resolve_operation_or_generic(Dbms::Neo4j, name);
+                    let mut node = PlanNode::new(uplan_core::Operation {
+                        category: resolved.category,
+                        identifier: resolved.unified,
+                    });
+                    for (i, cell) in cells.iter().enumerate().skip(1) {
+                        if cell.is_empty() {
+                            continue;
+                        }
+                        let key = columns.get(i).map(String::as_str).unwrap_or("Details");
+                        // Table-column headers map to the catalogued
+                        // property names.
+                        let key = match key {
+                            "Estimated Rows" => "EstimatedRows",
+                            "DB Hits" => "DbHits",
+                            other => other,
+                        };
+                        let resolved = registry.resolve_property_or_generic(Dbms::Neo4j, key);
+                        node.properties.push(Property {
+                            category: resolved.category,
+                            identifier: resolved.unified,
+                            value: parse_value(cell),
+                        });
+                    }
+                    operators.push(node);
+                }
+            }
+            continue;
+        }
+        // Header/footer text outside the table → plan properties.
+        if let Some((key, value)) = trimmed.split_once(':') {
+            for piece in std::iter::once((key, value)) {
+                let (k, v) = piece;
+                push_plan_props(&mut plan, k, v, registry);
+            }
+            // The footer packs two metrics into one line.
+            if let Some((_, mem)) = trimmed.split_once(", total allocated memory:") {
+                push_plan_props(&mut plan, "total allocated memory", mem, registry);
+            }
+        } else if let Some((key, value)) = trimmed.split_once(' ') {
+            push_plan_props(&mut plan, key, value, registry);
+        }
+    }
+
+    if operators.is_empty() {
+        return Err(Error::Semantic("no Neo4j operator rows found".into()));
+    }
+    // The table is a pipeline: first row (ProduceResults) is the root.
+    let mut iter = operators.into_iter().rev();
+    let mut root = iter.next().expect("non-empty");
+    for mut node in iter {
+        node.children.push(root);
+        root = node;
+    }
+    plan.root = Some(root);
+    Ok(plan)
+}
+
+fn push_plan_props(
+    plan: &mut UnifiedPlan,
+    key: &str,
+    value: &str,
+    registry: &uplan_core::registry::Registry,
+) {
+    let key = key.trim();
+    let value = value
+        .trim()
+        .split(',')
+        .next()
+        .unwrap_or("")
+        .trim();
+    if key.is_empty() || value.is_empty() {
+        return;
+    }
+    // Header lines: `Planner COST`, `Runtime version 5.6`.
+    let (key, value) = match key {
+        "Runtime version" | "Planner version" => (key, value),
+        _ => (key, value),
+    };
+    let resolved = registry.resolve_property_or_generic(Dbms::Neo4j, key);
+    plan.properties.push(Property {
+        category: resolved.category,
+        identifier: resolved.unified,
+        value: parse_value(value),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uplan_core::OperationCategory;
+
+    /// Paper Fig. 1 (structure-faithful rendering).
+    const FIG1: &str = "\
+Planner COST
+Runtime PIPELINED
+Runtime version 5.10
+
++--------------------------------------------+----------------+------+---------+
+| Operator                                   | Estimated Rows | Rows | DB Hits |
++--------------------------------------------+----------------+------+---------+
+| +ProduceResults                            | 8              | 8    | 0       |
+| +UndirectedRelationshipIndexContainsScan   | 8              | 8    | 5       |
++--------------------------------------------+----------------+------+---------+
+
+Total database accesses: 5, total allocated memory: 184
+";
+
+    #[test]
+    fn fig1_conversion() {
+        let plan = from_table(FIG1).unwrap();
+        let root = plan.root.as_ref().unwrap();
+        assert_eq!(root.operation.identifier, "Produce_Results");
+        assert_eq!(root.operation.category, OperationCategory::Executor);
+        let scan = &root.children[0];
+        // The paper: "the operation UndirectedRelationshipIndexContainsScan
+        // belongs to Join".
+        assert_eq!(scan.operation.category, OperationCategory::Join);
+        assert_eq!(plan.operation_count(), 2);
+        // Estimated rows classified Cardinality.
+        let est = root.property("rows").unwrap();
+        assert_eq!(est.category, uplan_core::PropertyCategory::Cardinality);
+        assert_eq!(est.value, uplan_core::Value::Int(8));
+    }
+
+    #[test]
+    fn header_footer_become_plan_properties() {
+        let plan = from_table(FIG1).unwrap();
+        assert!(plan.plan_property("Planner").is_some());
+        let accesses = plan.plan_property("Total_database_accesses").unwrap();
+        assert_eq!(accesses.value, uplan_core::Value::Int(5));
+        let memory = plan.plan_property("total_allocated_memory").unwrap();
+        assert_eq!(memory.value, uplan_core::Value::Int(184));
+    }
+
+    #[test]
+    fn round_trip_with_minigraph() {
+        use minigraph::{GraphStore, PatternQuery, PropPredicate, PropValue};
+        let mut g = GraphStore::new();
+        let a = g.add_node(&["P"], vec![]);
+        let b = g.add_node(&["P"], vec![]);
+        for i in 0..4 {
+            g.add_rel(
+                a,
+                b,
+                "R",
+                vec![("title", PropValue::Str(format!("t{i} developer")))],
+            );
+        }
+        let (_, graph_plan) = g.run(&PatternQuery {
+            rel_type: Some("R".into()),
+            undirected: true,
+            rel_predicates: vec![PropPredicate::EndsWith("title".into(), "developer".into())],
+            ..PatternQuery::default()
+        });
+        let text = dialects::neo4j::to_table(&graph_plan);
+        let unified = from_table(&text).unwrap();
+        let counts = uplan_core::stats::CategoryCounts::of(&unified);
+        assert!(counts.get(&OperationCategory::Join) >= 1, "{text}");
+        assert!(counts.get(&OperationCategory::Executor) >= 1, "{text}");
+    }
+
+    #[test]
+    fn rejects_tableless_input() {
+        assert!(from_table("").is_err());
+        assert!(from_table("Planner COST\n").is_err());
+    }
+}

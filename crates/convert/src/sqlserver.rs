@@ -1,0 +1,180 @@
+//! SQL Server converter: XML showplan → unified plans.
+
+use uplan_core::formats::xml::{self, XmlElement};
+use uplan_core::registry::Dbms;
+use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
+
+use crate::util::parse_value;
+
+/// Converts a `<ShowPlanXML>` document.
+pub fn from_xml(input: &str) -> Result<UnifiedPlan> {
+    let doc = xml::parse(input)?;
+    if !doc.name.ends_with("ShowPlanXML") {
+        return Err(Error::Semantic(format!(
+            "expected <ShowPlanXML>, found <{}>",
+            doc.name
+        )));
+    }
+    let registry = crate::registry();
+    let mut plan = UnifiedPlan::new();
+
+    // Find the first RelOp under QueryPlan, collecting plan-level attrs.
+    let mut rel_roots: Vec<PlanNode> = Vec::new();
+    visit_query_plans(&doc, registry, &mut plan, &mut rel_roots)?;
+    match rel_roots.len() {
+        0 => Err(Error::Semantic("no <RelOp> elements found".into())),
+        1 => {
+            plan.root = Some(rel_roots.remove(0));
+            Ok(plan)
+        }
+        _ => {
+            // Main plan + subplans: attach the rest under the first.
+            let mut root = rel_roots.remove(0);
+            root.children.extend(rel_roots);
+            plan.root = Some(root);
+            Ok(plan)
+        }
+    }
+}
+
+fn visit_query_plans(
+    el: &XmlElement,
+    registry: &uplan_core::registry::Registry,
+    plan: &mut UnifiedPlan,
+    roots: &mut Vec<PlanNode>,
+) -> Result<()> {
+    if el.name == "QueryPlan" {
+        for (key, value) in &el.attributes {
+            let resolved = registry.resolve_property_or_generic(Dbms::SqlServer, key);
+            plan.properties.push(Property {
+                category: resolved.category,
+                identifier: resolved.unified,
+                value: parse_value(value),
+            });
+        }
+        for child in el.children_named("RelOp") {
+            roots.push(rel_op_node(child, registry)?);
+        }
+        return Ok(());
+    }
+    for child in &el.children {
+        visit_query_plans(child, registry, plan, roots)?;
+    }
+    Ok(())
+}
+
+fn rel_op_node(
+    el: &XmlElement,
+    registry: &uplan_core::registry::Registry,
+) -> Result<PlanNode> {
+    let physical = el
+        .attr("PhysicalOp")
+        .ok_or_else(|| Error::Semantic("<RelOp> missing PhysicalOp".into()))?;
+    let resolved = registry.resolve_operation_or_generic(Dbms::SqlServer, physical);
+    let mut node = PlanNode::new(uplan_core::Operation {
+        category: resolved.category,
+        identifier: resolved.unified,
+    });
+    for (key, value) in &el.attributes {
+        if key == "PhysicalOp" {
+            continue;
+        }
+        let resolved = registry.resolve_property_or_generic(Dbms::SqlServer, key);
+        node.properties.push(Property {
+            category: resolved.category,
+            identifier: resolved.unified,
+            value: parse_value(value),
+        });
+    }
+    for child in &el.children {
+        if child.name == "RelOp" {
+            node.children.push(rel_op_node(child, registry)?);
+        } else {
+            // Child elements (Predicate, OutputList, Object, ...) become
+            // properties; Object carries its table in an attribute.
+            let value = if child.name == "Object" {
+                child.attr("Table").unwrap_or("").to_owned()
+            } else {
+                child.text.clone()
+            };
+            if !value.is_empty() {
+                let resolved =
+                    registry.resolve_property_or_generic(Dbms::SqlServer, &child.name);
+                node.properties.push(Property {
+                    category: resolved.category,
+                    identifier: resolved.unified,
+                    value: parse_value(&value),
+                });
+            }
+        }
+    }
+    Ok(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::profile::EngineProfile;
+    use minidb::Database;
+    use uplan_core::OperationCategory;
+
+    fn plan_xml(sql: &str) -> String {
+        let mut db = Database::new(EngineProfile::Postgres);
+        db.execute("CREATE TABLE t (x INT PRIMARY KEY, y INT)").unwrap();
+        for i in 0..30 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 3)).unwrap();
+        }
+        let plan = db.explain(sql).unwrap();
+        dialects::sqlserver::to_xml(&plan)
+    }
+
+    #[test]
+    fn showplan_conversion() {
+        let text = plan_xml("SELECT y, COUNT(*) FROM t WHERE x < 20 GROUP BY y");
+        let plan = from_xml(&text).unwrap();
+        assert!(plan.operation_count() >= 2, "{text}");
+        let counts = uplan_core::stats::CategoryCounts::of(&plan);
+        assert!(counts.get(&OperationCategory::Producer) >= 1);
+        assert!(counts.get(&OperationCategory::Folder) >= 1);
+        // The paper's Section IV-A naming example: SQL Server "Table Scan"
+        // (or seek) maps into the unified scan names.
+        let mut scan_names = Vec::new();
+        plan.walk(&mut |n| {
+            if n.operation.category == OperationCategory::Producer {
+                scan_names.push(n.operation.identifier.clone());
+            }
+        });
+        assert!(
+            scan_names
+                .iter()
+                .all(|n| n.contains("Scan") || n.contains("Seek")),
+            "{scan_names:?}"
+        );
+    }
+
+    #[test]
+    fn estimate_rows_classified_cardinality() {
+        let text = plan_xml("SELECT x FROM t WHERE x = 3");
+        let plan = from_xml(&text).unwrap();
+        let root = plan.root.as_ref().unwrap();
+        let find = |node: &uplan_core::PlanNode, key: &str| {
+            node.property(key).map(|p| p.category.clone())
+        };
+        let mut checked = false;
+        plan.walk(&mut |n| {
+            if let Some(cat) = find(n, "rows") {
+                assert_eq!(cat, uplan_core::PropertyCategory::Cardinality);
+                checked = true;
+            }
+        });
+        assert!(checked, "{root:?}");
+        assert!(plan.plan_property("planning_time_ms").is_some());
+    }
+
+    #[test]
+    fn rejects_foreign_xml() {
+        assert!(from_xml("<Other/>").is_err());
+        assert!(from_xml("not xml").is_err());
+        assert!(from_xml("<ShowPlanXML></ShowPlanXML>").is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! TiDB converter: the `EXPLAIN` table → unified plans.
+//!
+//! Handles the two TiDB-isms the paper calls out: random numeric operator
+//! suffixes (`TableReader_7` and `TableReader_12` are the same operation —
+//! mishandling this was the bug in the original QPG implementation) and the
+//! `Filter` key being a property rather than an operation.
+
+use uplan_core::registry::Dbms;
+use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
+
+use crate::util::parse_value;
+
+/// Converts the `id | estRows | [actRows |] task | access object |
+/// operator info` table.
+pub fn from_table(input: &str) -> Result<UnifiedPlan> {
+    let registry = crate::registry();
+    // Collect cell rows (skip rules).
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for line in input.lines() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<String> = trimmed
+            .trim_matches('|')
+            .split('|')
+            .map(|c| c.trim_end().to_owned())
+            .collect();
+        rows.push(cells);
+    }
+    if rows.len() < 2 {
+        return Err(Error::Semantic("no TiDB table rows found".into()));
+    }
+    let header: Vec<String> = rows[0].iter().map(|h| h.trim().to_owned()).collect();
+    let col = |name: &str| header.iter().position(|h| h == name);
+    let id_col = col("id").ok_or_else(|| Error::Semantic("missing id column".into()))?;
+    let est_col = col("estRows");
+    let act_col = col("actRows");
+    let task_col = col("task");
+    let access_col = col("access object");
+    let info_col = col("operator info");
+
+    // Parse each body row into (depth, node).
+    let mut parsed: Vec<(usize, PlanNode)> = Vec::new();
+    for cells in &rows[1..] {
+        let raw_id = cells
+            .get(id_col)
+            .ok_or_else(|| Error::Semantic("short row".into()))?;
+        let id_text = raw_id.trim_start_matches(' ');
+        let leading_spaces = raw_id.len() - id_text.len();
+        let has_connector = id_text.starts_with("└─") || id_text.starts_with("├─");
+        let depth = leading_spaces / 2 + usize::from(has_connector);
+        let name = id_text
+            .trim_start_matches("└─")
+            .trim_start_matches("├─")
+            .trim();
+        let resolved = registry.resolve_operation_or_generic(Dbms::TiDb, name);
+        let mut node = PlanNode::new(uplan_core::Operation {
+            category: resolved.category,
+            identifier: resolved.unified,
+        });
+        let mut push = |col: Option<usize>, key: &str| {
+            if let Some(c) = col {
+                if let Some(text) = cells.get(c) {
+                    let text = text.trim();
+                    if !text.is_empty() {
+                        let resolved = registry.resolve_property_or_generic(Dbms::TiDb, key);
+                        node.properties.push(Property {
+                            category: resolved.category,
+                            identifier: resolved.unified,
+                            value: parse_value(text),
+                        });
+                    }
+                }
+            }
+        };
+        push(est_col, "estRows");
+        push(act_col, "actRows");
+        push(task_col, "taskType");
+        push(access_col, "access object");
+        push(info_col, "operator info");
+        parsed.push((depth, node));
+    }
+
+    // Rebuild the tree from depths.
+    let mut plan = UnifiedPlan::new();
+    let mut stack: Vec<(usize, PlanNode)> = Vec::new();
+    for (depth, node) in parsed {
+        while stack.last().is_some_and(|(d, _)| *d >= depth) {
+            let (_, done) = stack.pop().expect("non-empty");
+            match stack.last_mut() {
+                Some((_, parent)) => parent.children.push(done),
+                None => plan.root = Some(done),
+            }
+        }
+        stack.push((depth, node));
+    }
+    while let Some((_, done)) = stack.pop() {
+        match stack.last_mut() {
+            Some((_, parent)) => parent.children.push(done),
+            None => plan.root = Some(done),
+        }
+    }
+    if plan.root.is_none() {
+        return Err(Error::Semantic("empty TiDB plan".into()));
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uplan_core::fingerprint::fingerprint;
+    use uplan_core::OperationCategory;
+
+    /// Paper Fig. 2's TiDB plan, as the real CLI prints it.
+    const FIG2: &str = "\
++---------------------------+---------+-----------+---------------+--------------------------------+
+| id                        | estRows | task      | access object | operator info                  |
++---------------------------+---------+-----------+---------------+--------------------------------+
+| TableReader_7             | 5.00    | root      |               | data:Selection_6               |
+| └─Selection_6             | 5.00    | cop[tikv] |               | lt(test.t0.c0, 5)              |
+|   └─TableFullScan_5       | 100.00  | cop[tikv] | table:t0      | keep order:false               |
++---------------------------+---------+-----------+---------------+--------------------------------+
+";
+
+    #[test]
+    fn fig2_conversion() {
+        let plan = from_table(FIG2).unwrap();
+        let root = plan.root.as_ref().unwrap();
+        // Fig. 2: "TiDB's plan is converted into two operations [...]
+        // Executor->Collect [receiving] data from other nodes" plus the
+        // producer; our conversion keeps Selection as a third (Executor) op.
+        assert_eq!(root.operation.identifier, "Collect");
+        assert_eq!(root.operation.category, OperationCategory::Executor);
+        let selection = &root.children[0];
+        assert_eq!(selection.operation.identifier, "Selection");
+        let scan = &selection.children[0];
+        assert_eq!(scan.operation.identifier, "Full_Table_Scan");
+        assert_eq!(scan.operation.category, OperationCategory::Producer);
+        assert_eq!(
+            scan.property("name_object").unwrap().value,
+            uplan_core::Value::Str("table:t0".into())
+        );
+        assert_eq!(
+            root.property("task_type").unwrap().value,
+            uplan_core::Value::Str("root".into())
+        );
+    }
+
+    #[test]
+    fn random_suffixes_do_not_affect_fingerprints() {
+        // The original QPG parser bug: different suffixes, same plan.
+        let renumbered = FIG2
+            .replace("TableReader_7", "TableReader_9")
+            .replace("Selection_6 ", "Selection_12")
+            .replace("TableFullScan_5 ", "TableFullScan_31");
+        let a = from_table(FIG2).unwrap();
+        let b = from_table(&renumbered).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn round_trip_with_dialect_emitter() {
+        use minidb::profile::EngineProfile;
+        use minidb::Database;
+        let mut db = Database::new(EngineProfile::TiDb);
+        db.execute("CREATE TABLE t (x INT, y INT)").unwrap();
+        db.execute("CREATE INDEX ix ON t(y)").unwrap();
+        for i in 0..40 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 4)).unwrap();
+        }
+        let plan = db.explain("SELECT x FROM t WHERE y = 2 AND x < 30").unwrap();
+        let text = dialects::tidb::to_table(&plan, 3);
+        let unified = from_table(&text).unwrap();
+        // IndexLookUp expands to index + rowid scans: two producers.
+        let counts = uplan_core::stats::CategoryCounts::of(&unified);
+        assert!(
+            counts.get(&OperationCategory::Producer) >= 2,
+            "{text}\n{unified:#?}"
+        );
+    }
+
+    #[test]
+    fn rejects_non_tables() {
+        assert!(from_table("").is_err());
+        assert!(from_table("nothing tabular").is_err());
+        assert!(from_table("| id |\n").is_err());
+    }
+}

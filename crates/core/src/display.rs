@@ -1,0 +1,335 @@
+//! The human-readable display format (paper Listing 4 / Fig. 2 style).
+//!
+//! The paper shows unified plans to humans as an indented tree:
+//!
+//! ```text
+//! Combinator->Sort
+//!   Folder->Aggregate
+//!     Join->Hash Join
+//!       Producer->Full Table
+//!         name object: partsupp
+//! ```
+//!
+//! [`to_display`] produces exactly this — identifiers with `_` rendered as
+//! spaces and property categories elided — and is intentionally *lossy*, like
+//! the paper's listing, which "ignores properties for brevity".
+//!
+//! [`to_display_verbose`] keeps categories (`Configuration->name_object:
+//! partsupp`) and is parseable back with [`from_display`], giving a second,
+//! indentation-based round-trip format alongside [`crate::text`].
+
+use crate::error::{Error, Result};
+use crate::model::{Operation, OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan};
+use crate::value::Value;
+
+const INDENT: &str = "  ";
+
+/// Options controlling display rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayOptions {
+    /// Render property categories (`Configuration->x: v` instead of `x: v`).
+    pub show_property_categories: bool,
+    /// Render properties at all (paper Listing 4 shows only `name object`).
+    pub show_properties: bool,
+    /// Replace `_` with ` ` in identifiers for readability.
+    pub spaces_in_identifiers: bool,
+}
+
+impl Default for DisplayOptions {
+    fn default() -> Self {
+        DisplayOptions {
+            show_property_categories: false,
+            show_properties: true,
+            spaces_in_identifiers: true,
+        }
+    }
+}
+
+/// Paper-style display text (lossy: property categories elided).
+pub fn to_display(plan: &UnifiedPlan) -> String {
+    render(plan, DisplayOptions::default())
+}
+
+/// Category-preserving display text; parseable with [`from_display`].
+pub fn to_display_verbose(plan: &UnifiedPlan) -> String {
+    render(
+        plan,
+        DisplayOptions {
+            show_property_categories: true,
+            show_properties: true,
+            spaces_in_identifiers: false,
+        },
+    )
+}
+
+/// Renders a plan with explicit [`DisplayOptions`].
+pub fn render(plan: &UnifiedPlan, opts: DisplayOptions) -> String {
+    let mut out = String::new();
+    if let Some(root) = &plan.root {
+        render_node(&mut out, root, 0, opts);
+    }
+    for p in &plan.properties {
+        if opts.show_properties {
+            out.push_str("plan: ");
+            render_property(&mut out, p, opts);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn display_ident(ident: &str, opts: DisplayOptions) -> String {
+    if opts.spaces_in_identifiers {
+        ident.replace('_', " ")
+    } else {
+        ident.to_owned()
+    }
+}
+
+fn render_node(out: &mut String, node: &PlanNode, depth: usize, opts: DisplayOptions) {
+    for _ in 0..depth {
+        out.push_str(INDENT);
+    }
+    out.push_str(node.operation.category.name());
+    out.push_str("->");
+    out.push_str(&display_ident(&node.operation.identifier, opts));
+    out.push('\n');
+    if opts.show_properties {
+        for p in &node.properties {
+            for _ in 0..=depth {
+                out.push_str(INDENT);
+            }
+            render_property(out, p, opts);
+            out.push('\n');
+        }
+    }
+    for child in &node.children {
+        render_node(out, child, depth + 1, opts);
+    }
+}
+
+fn render_property(out: &mut String, p: &Property, opts: DisplayOptions) {
+    if opts.show_property_categories {
+        out.push_str(p.category.name());
+        out.push_str("->");
+        out.push_str(&p.identifier);
+    } else {
+        out.push_str(&display_ident(&p.identifier, opts));
+    }
+    out.push_str(": ");
+    match &p.value {
+        Value::Str(s) => out.push_str(&crate::value::Value::Str(s.clone()).render()),
+        v => out.push_str(&v.render()),
+    }
+}
+
+/// Parses the verbose display format produced by [`to_display_verbose`].
+///
+/// Structure is recovered from indentation: an operation line at indent *d*
+/// becomes a child of the nearest operation line above it at indent *d−1*;
+/// property lines bind to the operation line directly above them; `plan:`
+/// lines carry plan-associated properties.
+pub fn from_display(input: &str) -> Result<UnifiedPlan> {
+    let mut plan = UnifiedPlan::new();
+    // Stack of (depth, node) for the path to the most recent node.
+    let mut stack: Vec<(usize, PlanNode)> = Vec::new();
+
+    fn fold_into_parent(stack: &mut Vec<(usize, PlanNode)>, plan: &mut UnifiedPlan) {
+        let (_, node) = stack.pop().expect("caller checks non-empty");
+        if let Some((_, parent)) = stack.last_mut() {
+            parent.children.push(node);
+        } else {
+            if plan.root.is_some() {
+                // A second root would make the plan a forest.
+                plan.root = plan.root.take(); // keep first; unreachable via our serializer
+            }
+            plan.root = Some(node);
+        }
+    }
+
+    for (lineno, raw) in input.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let trimmed_start = raw.trim_start();
+        let indent_chars = raw.len() - trimmed_start.len();
+        let depth = indent_chars / INDENT.len();
+        let line = trimmed_start.trim_end();
+
+        if let Some(rest) = line.strip_prefix("plan: ") {
+            plan.properties.push(parse_property_line(rest, lineno)?);
+            continue;
+        }
+
+        // `Category->Identifier` (operation) vs `Category->ident: value` (property).
+        let Some(arrow) = line.find("->") else {
+            return Err(Error::parse(lineno, format!("unrecognized display line {line:?}")));
+        };
+        let before = &line[..arrow];
+        let after = &line[arrow + 2..];
+        let is_property = after.contains(": ") || after.ends_with(':');
+
+        if is_property {
+            let prop = parse_property_line(line, lineno)?;
+            let Some((_, node)) = stack.last_mut() else {
+                return Err(Error::parse(lineno, "property line before any operation"));
+            };
+            node.properties.push(prop);
+        } else {
+            let category = OperationCategory::parse(before.trim())?;
+            let ident = after.trim();
+            // Verbose output keeps identifiers as grammar keywords; only
+            // lossy (spaced) renderings need canonicalization.
+            let operation = Operation::from_keyword(category.clone(), ident)
+                .unwrap_or_else(|_| Operation::new(category, ident));
+            // Close nodes deeper or equal to this depth.
+            while stack.last().is_some_and(|(d, _)| *d >= depth) {
+                fold_into_parent(&mut stack, &mut plan);
+            }
+            stack.push((depth, PlanNode::new(operation)));
+        }
+    }
+    while !stack.is_empty() {
+        fold_into_parent(&mut stack, &mut plan);
+    }
+    Ok(plan)
+}
+
+fn parse_property_line(line: &str, lineno: usize) -> Result<Property> {
+    let arrow = line
+        .find("->")
+        .ok_or_else(|| Error::parse(lineno, "property line missing '->'"))?;
+    let category = PropertyCategory::parse(line[..arrow].trim())?;
+    let rest = &line[arrow + 2..];
+    let colon = rest
+        .find(':')
+        .ok_or_else(|| Error::parse(lineno, "property line missing ':'"))?;
+    let identifier = rest[..colon].trim().to_owned();
+    crate::keyword::validate(&identifier)?;
+    let value_text = rest[colon + 1..].trim();
+    let value = parse_display_value(value_text, lineno)?;
+    Ok(Property {
+        category,
+        identifier,
+        value,
+    })
+}
+
+fn parse_display_value(text: &str, lineno: usize) -> Result<Value> {
+    if text == "null" {
+        return Ok(Value::Null);
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('"') {
+        // Reuse the strict-format string lexer by parsing a one-property plan.
+        let probe = format!("Configuration->x: {text}");
+        let plan = crate::text::from_text(&probe)
+            .map_err(|e| Error::parse(lineno, format!("bad string value: {e}")))?;
+        return Ok(plan.properties.into_iter().next().expect("one property").value);
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(Error::parse(lineno, format!("unrecognized value {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PlanNode, Property, UnifiedPlan};
+
+    fn listing4_fragment() -> UnifiedPlan {
+        // PostgreSQL side of paper Listing 4 (trimmed).
+        let scan = |table: &str| {
+            PlanNode::producer("Full_Table_Scan")
+                .with_property(Property::configuration("name_object", table))
+        };
+        let hash = |child: PlanNode| PlanNode::executor("Hash_Row").with_child(child);
+        let join1 = PlanNode::join("Hash_Join")
+            .with_child(scan("partsupp"))
+            .with_child(hash(scan("supplier")));
+        let join2 = PlanNode::join("Hash_Join")
+            .with_child(join1)
+            .with_child(hash(scan("nation")));
+        let agg = PlanNode::folder("Aggregate").with_child(join2);
+        UnifiedPlan::with_root(PlanNode::combinator("Sort").with_child(agg))
+    }
+
+    #[test]
+    fn display_matches_listing4_shape() {
+        let text = to_display(&listing4_fragment());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "Combinator->Sort");
+        assert_eq!(lines[1], "  Folder->Aggregate");
+        assert_eq!(lines[2], "    Join->Hash Join");
+        assert_eq!(lines[3], "      Join->Hash Join");
+        assert_eq!(lines[4], "        Producer->Full Table Scan");
+        assert_eq!(lines[5], "          name object: \"partsupp\"");
+    }
+
+    #[test]
+    fn verbose_display_round_trips() {
+        let plan = listing4_fragment();
+        let text = to_display_verbose(&plan);
+        assert_eq!(from_display(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn verbose_round_trips_plan_properties() {
+        let plan = UnifiedPlan::with_root(PlanNode::producer("Scan"))
+            .with_plan_property(Property::status("planning_time_ms", 0.124))
+            .with_plan_property(Property::cardinality("total_rows", 7));
+        assert_eq!(from_display(&to_display_verbose(&plan)).unwrap(), plan);
+    }
+
+    #[test]
+    fn verbose_round_trips_value_kinds() {
+        let node = PlanNode::producer("Scan")
+            .with_property(Property::configuration("a", "x y"))
+            .with_property(Property::cardinality("b", -2))
+            .with_property(Property::cost("c", 1.25))
+            .with_property(Property::status("d", true))
+            .with_property(Property::status("e", Value::Null));
+        let plan = UnifiedPlan::with_root(node);
+        assert_eq!(from_display(&to_display_verbose(&plan)).unwrap(), plan);
+    }
+
+    #[test]
+    fn properties_only_plan_displays_and_parses() {
+        let plan = UnifiedPlan::properties_only(vec![Property::cardinality("series", 3)]);
+        let verbose = to_display_verbose(&plan);
+        assert!(verbose.starts_with("plan: "));
+        assert_eq!(from_display(&verbose).unwrap(), plan);
+    }
+
+    #[test]
+    fn property_lines_without_operation_error() {
+        assert!(from_display("Cardinality->rows: 5").is_err());
+    }
+
+    #[test]
+    fn garbage_lines_error() {
+        assert!(from_display("not a plan line").is_err());
+    }
+
+    #[test]
+    fn hide_properties_option() {
+        let text = render(
+            &listing4_fragment(),
+            DisplayOptions {
+                show_properties: false,
+                ..DisplayOptions::default()
+            },
+        );
+        assert!(!text.contains("name object"));
+        assert!(text.contains("Producer->Full Table Scan"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared across the unified-representation crate.
+
+use std::fmt;
+
+/// Convenience alias used throughout `uplan-core`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building, parsing or serializing unified plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An identifier violated the `keyword` production of the grammar
+    /// (paper Listing 2, line 11): `letter ( letter | digit | '_' )*`.
+    InvalidKeyword(String),
+    /// A category name was not recognised and extension categories were not
+    /// permitted by the caller.
+    UnknownCategory(String),
+    /// A parse error in one of the serialized formats, with a byte offset
+    /// into the input and a human-readable message.
+    Parse { offset: usize, message: String },
+    /// The input ended before a complete plan was read.
+    UnexpectedEof(String),
+    /// A converter received input that is structurally valid but cannot be
+    /// interpreted as a query plan of the claimed dialect.
+    Semantic(String),
+}
+
+impl Error {
+    /// Construct a [`Error::Parse`] with the given position and message.
+    pub fn parse(offset: usize, message: impl Into<String>) -> Self {
+        Error::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidKeyword(kw) => write!(
+                f,
+                "invalid keyword {kw:?}: must match letter (letter | digit | '_')*"
+            ),
+            Error::UnknownCategory(name) => write!(f, "unknown category {name:?}"),
+            Error::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            Error::UnexpectedEof(what) => write!(f, "unexpected end of input while reading {what}"),
+            Error::Semantic(msg) => write!(f, "semantic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            Error::InvalidKeyword("9x".into()).to_string(),
+            "invalid keyword \"9x\": must match letter (letter | digit | '_')*"
+        );
+        assert_eq!(
+            Error::parse(12, "expected '}'").to_string(),
+            "parse error at byte 12: expected '}'"
+        );
+        assert_eq!(
+            Error::UnexpectedEof("tree".into()).to_string(),
+            "unexpected end of input while reading tree"
+        );
+        assert_eq!(
+            Error::UnknownCategory("Mapper".into()).to_string(),
+            "unknown category \"Mapper\""
+        );
+        assert_eq!(
+            Error::Semantic("no root".into()).to_string(),
+            "semantic error: no root"
+        );
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::parse(1, "x"), Error::parse(1, "x"));
+        assert_ne!(Error::parse(1, "x"), Error::parse(2, "x"));
+    }
+}

@@ -1,0 +1,376 @@
+//! Structural plan fingerprinting — the plan-identity primitive of QPG.
+//!
+//! Query Plan Guidance (paper Section V, A.1) mutates the database state
+//! whenever no *new* query plan has been observed for a while. "Evaluating
+//! whether a query plan is structurally different from another requires
+//! ignoring unstable information, such as random identifiers and the
+//! estimated cost in query plans"; the paper also reports a bug in the
+//! original QPG implementation where TiDB's random operator identifiers
+//! (`TableReader_7`) were not excluded, making every plan look new.
+//!
+//! [`fingerprint`] therefore hashes only the *stable* skeleton of a plan:
+//! operation categories and identifiers, tree shape, and — optionally —
+//! Configuration-property identifiers. Cardinality, Cost and Status values
+//! never participate; numeric suffixes on operation identifiers are stripped.
+
+use std::hash::{Hash, Hasher};
+
+use crate::model::{PlanNode, PropertyCategory, UnifiedPlan};
+
+/// What a fingerprint takes into account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FingerprintOptions {
+    /// Strip trailing `_<digits>` from operation identifiers (TiDB-style
+    /// random identifiers). Disabling this models the parser bug the paper
+    /// found in the original QPG implementation.
+    pub strip_numeric_suffixes: bool,
+    /// Include Configuration-property *identifiers* (not values): two scans
+    /// that differ in having a `filter` are structurally different plans.
+    pub include_configuration_keys: bool,
+    /// Include Configuration-property *values* as well; off by default
+    /// because literals inside predicates are unstable across generated
+    /// queries.
+    pub include_configuration_values: bool,
+}
+
+impl Default for FingerprintOptions {
+    fn default() -> Self {
+        FingerprintOptions {
+            strip_numeric_suffixes: true,
+            include_configuration_keys: true,
+            include_configuration_values: false,
+        }
+    }
+}
+
+/// A 64-bit structural fingerprint of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Fingerprints a plan with default options.
+pub fn fingerprint(plan: &UnifiedPlan) -> Fingerprint {
+    fingerprint_with(plan, FingerprintOptions::default())
+}
+
+/// Fingerprints a plan with explicit options.
+pub fn fingerprint_with(plan: &UnifiedPlan, opts: FingerprintOptions) -> Fingerprint {
+    let mut hasher = Fnv1a::new();
+    if let Some(root) = &plan.root {
+        hash_node(root, opts, &mut hasher);
+    }
+    // Plan-associated properties: only Configuration participates; the
+    // Status properties (planning time etc.) are unstable by definition.
+    if opts.include_configuration_keys {
+        let mut keys: Vec<&str> = plan
+            .properties
+            .iter()
+            .filter(|p| p.category == PropertyCategory::Configuration)
+            .map(|p| p.identifier.as_str())
+            .collect();
+        keys.sort_unstable();
+        for key in keys {
+            "plan_prop".hash(&mut hasher);
+            key.hash(&mut hasher);
+        }
+    }
+    Fingerprint(hasher.finish())
+}
+
+/// The stable form of an operation identifier: trailing `_<digits>` removed.
+///
+/// ```
+/// assert_eq!(uplan_core::fingerprint::stable_identifier("TableReader_7"), "TableReader");
+/// assert_eq!(uplan_core::fingerprint::stable_identifier("Sort"), "Sort");
+/// assert_eq!(uplan_core::fingerprint::stable_identifier("Top_N"), "Top_N");
+/// ```
+pub fn stable_identifier(identifier: &str) -> &str {
+    match identifier.rfind('_') {
+        Some(idx)
+            if idx > 0
+                && idx + 1 < identifier.len()
+                && identifier[idx + 1..].bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            &identifier[..idx]
+        }
+        _ => identifier,
+    }
+}
+
+fn hash_node(node: &PlanNode, opts: FingerprintOptions, hasher: &mut Fnv1a) {
+    "node".hash(hasher);
+    node.operation.category.name().hash(hasher);
+    let ident = if opts.strip_numeric_suffixes {
+        stable_identifier(&node.operation.identifier)
+    } else {
+        &node.operation.identifier
+    };
+    ident.hash(hasher);
+
+    if opts.include_configuration_keys {
+        let mut keys: Vec<(&str, Option<String>)> = node
+            .properties
+            .iter()
+            .filter(|p| p.category == PropertyCategory::Configuration)
+            .map(|p| {
+                let value = opts
+                    .include_configuration_values
+                    .then(|| p.value.render());
+                (p.identifier.as_str(), value)
+            })
+            .collect();
+        keys.sort_unstable();
+        for (key, value) in keys {
+            "prop".hash(hasher);
+            key.hash(hasher);
+            if let Some(v) = value {
+                v.hash(hasher);
+            }
+        }
+    }
+
+    node.children.len().hash(hasher);
+    for child in &node.children {
+        hash_node(child, opts, hasher);
+    }
+    "end".hash(hasher);
+}
+
+/// FNV-1a, a tiny stable hasher: fingerprints must not change across Rust
+/// releases or processes (QPG persists seen-plan sets between runs), so the
+/// std `DefaultHasher` — documented as unstable across releases — is not
+/// suitable.
+struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// A growable set of observed plan fingerprints (QPG's novelty detector).
+#[derive(Debug, Default, Clone)]
+pub struct PlanSet {
+    seen: std::collections::HashSet<Fingerprint>,
+    options: FingerprintOptions,
+}
+
+impl PlanSet {
+    /// Empty set with default fingerprint options.
+    pub fn new() -> Self {
+        PlanSet {
+            seen: Default::default(),
+            options: FingerprintOptions::default(),
+        }
+    }
+
+    /// Empty set with explicit fingerprint options.
+    pub fn with_options(options: FingerprintOptions) -> Self {
+        PlanSet {
+            seen: Default::default(),
+            options,
+        }
+    }
+
+    /// Records a plan; returns `true` if it was structurally new.
+    pub fn observe(&mut self, plan: &UnifiedPlan) -> bool {
+        self.seen.insert(fingerprint_with(plan, self.options))
+    }
+
+    /// Whether a structurally equal plan has been recorded.
+    pub fn contains(&self, plan: &UnifiedPlan) -> bool {
+        self.seen.contains(&fingerprint_with(plan, self.options))
+    }
+
+    /// Number of distinct plans observed.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// `true` if no plans have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PlanNode, Property, UnifiedPlan};
+
+    fn tidb_like(reader_id: u32, rows: i64) -> UnifiedPlan {
+        let scan = PlanNode::producer(format!("TableFullScan_{}", reader_id + 1))
+            .with_property(Property::cardinality("rows", rows))
+            .with_property(Property::cost("cost", rows as f64 * 0.5));
+        let root = PlanNode::executor(format!("TableReader_{reader_id}"))
+            .with_property(Property::status("task_type", "root"))
+            .with_child(scan);
+        UnifiedPlan::with_root(root)
+    }
+
+    #[test]
+    fn random_identifiers_do_not_change_fingerprints() {
+        // The original QPG TiDB parser bug: `TableReader_7` vs `TableReader_12`.
+        assert_eq!(fingerprint(&tidb_like(7, 10)), fingerprint(&tidb_like(12, 10)));
+    }
+
+    #[test]
+    fn cardinality_cost_status_values_are_ignored() {
+        assert_eq!(fingerprint(&tidb_like(7, 10)), fingerprint(&tidb_like(7, 99999)));
+    }
+
+    #[test]
+    fn structure_changes_fingerprints() {
+        let one = tidb_like(7, 10);
+        let mut two = tidb_like(7, 10);
+        two.root
+            .as_mut()
+            .unwrap()
+            .children
+            .push(PlanNode::producer("TableFullScan_9"));
+        assert_ne!(fingerprint(&one), fingerprint(&two));
+    }
+
+    #[test]
+    fn operation_identity_changes_fingerprints() {
+        let scan = UnifiedPlan::with_root(PlanNode::producer("Full_Table_Scan"));
+        let idx = UnifiedPlan::with_root(PlanNode::producer("Index_Scan"));
+        assert_ne!(fingerprint(&scan), fingerprint(&idx));
+
+        let as_join = UnifiedPlan::with_root(PlanNode::join("Full_Table_Scan"));
+        assert_ne!(fingerprint(&scan), fingerprint(&as_join));
+    }
+
+    #[test]
+    fn configuration_keys_matter_but_values_do_not_by_default() {
+        let with_filter = |lit: &str| {
+            UnifiedPlan::with_root(
+                PlanNode::producer("Full_Table_Scan")
+                    .with_property(Property::configuration("filter", format!("c0 < {lit}"))),
+            )
+        };
+        let without = UnifiedPlan::with_root(PlanNode::producer("Full_Table_Scan"));
+        assert_eq!(fingerprint(&with_filter("5")), fingerprint(&with_filter("900")));
+        assert_ne!(fingerprint(&with_filter("5")), fingerprint(&without));
+    }
+
+    #[test]
+    fn configuration_values_can_be_opted_in() {
+        let opts = FingerprintOptions {
+            include_configuration_values: true,
+            ..FingerprintOptions::default()
+        };
+        let make = |lit: &str| {
+            UnifiedPlan::with_root(
+                PlanNode::producer("Full_Table_Scan")
+                    .with_property(Property::configuration("filter", format!("c0 < {lit}"))),
+            )
+        };
+        assert_ne!(
+            fingerprint_with(&make("5"), opts),
+            fingerprint_with(&make("900"), opts)
+        );
+    }
+
+    #[test]
+    fn buggy_options_model_the_qpg_parser_bug() {
+        let opts = FingerprintOptions {
+            strip_numeric_suffixes: false,
+            ..FingerprintOptions::default()
+        };
+        // Without suffix stripping, the same logical plan looks new each time.
+        assert_ne!(
+            fingerprint_with(&tidb_like(7, 10), opts),
+            fingerprint_with(&tidb_like(12, 10), opts)
+        );
+    }
+
+    #[test]
+    fn sibling_order_is_significant() {
+        // Hash-join build/probe sides are not interchangeable.
+        let left_right = UnifiedPlan::with_root(
+            PlanNode::join("Hash_Join")
+                .with_child(PlanNode::producer("Full_Table_Scan"))
+                .with_child(PlanNode::producer("Index_Scan")),
+        );
+        let right_left = UnifiedPlan::with_root(
+            PlanNode::join("Hash_Join")
+                .with_child(PlanNode::producer("Index_Scan"))
+                .with_child(PlanNode::producer("Full_Table_Scan")),
+        );
+        assert_ne!(fingerprint(&left_right), fingerprint(&right_left));
+    }
+
+    #[test]
+    fn nesting_is_unambiguous() {
+        // (a (b c)) vs ((a b) c)-style shape confusion must not collide.
+        let nested = UnifiedPlan::with_root(
+            PlanNode::executor("Gather").with_child(
+                PlanNode::executor("Gather").with_child(PlanNode::producer("Full_Table_Scan")),
+            ),
+        );
+        let flat = UnifiedPlan::with_root(
+            PlanNode::executor("Gather")
+                .with_child(PlanNode::executor("Gather"))
+                .with_child(PlanNode::producer("Full_Table_Scan")),
+        );
+        assert_ne!(fingerprint(&nested), fingerprint(&flat));
+    }
+
+    #[test]
+    fn stable_identifier_edge_cases() {
+        assert_eq!(stable_identifier("TableReader_7"), "TableReader");
+        assert_eq!(stable_identifier("a_1_2"), "a_1");
+        assert_eq!(stable_identifier("x_"), "x_");
+        assert_eq!(stable_identifier("_9"), "_9"); // nothing before the suffix
+        assert_eq!(stable_identifier("plain"), "plain");
+    }
+
+    #[test]
+    fn plan_set_tracks_novelty() {
+        let mut set = PlanSet::new();
+        assert!(set.is_empty());
+        assert!(set.observe(&tidb_like(7, 10)));
+        assert!(!set.observe(&tidb_like(12, 10)));
+        assert!(set.contains(&tidb_like(1, 3)));
+        assert_eq!(set.len(), 1);
+
+        let mut strict = PlanSet::with_options(FingerprintOptions {
+            strip_numeric_suffixes: false,
+            ..FingerprintOptions::default()
+        });
+        assert!(strict.observe(&tidb_like(7, 10)));
+        assert!(strict.observe(&tidb_like(12, 10)));
+        assert_eq!(strict.len(), 2);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_runs() {
+        // Regression pin: if this changes, persisted QPG state breaks.
+        let fp = fingerprint(&tidb_like(7, 10));
+        assert_eq!(fp, fingerprint(&tidb_like(7, 10)));
+        assert_eq!(fp.to_string().len(), 16);
+    }
+}

@@ -1,0 +1,618 @@
+//! A small, dependency-free JSON document model, parser and writer.
+//!
+//! JSON is "the most widely supported structural format" among the studied
+//! DBMSs (paper Table III), and the converters must *parse* native JSON
+//! explain output, so a full round-trip implementation is required. Object
+//! member order is preserved (`Vec<(String, JsonValue)>`), which keeps
+//! serialized plans stable and diffable.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number that lexed as an integer.
+    Int(i64),
+    /// A number with a fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; member order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer accessor (floats with integral values are *not* coerced).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor, widening integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object accessor.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no insignificant whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => out.push_str(&i.to_string()),
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    out.push_str(&format!("{f:?}"));
+                } else {
+                    // JSON has no NaN/Infinity; emit null like most encoders.
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_json_string(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_json_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+/// Convenience constructor for an object from pairs.
+pub fn object(pairs: impl IntoIterator<Item = (impl Into<String>, JsonValue)>) -> JsonValue {
+    JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(i: i64) -> Self {
+        JsonValue::Int(i)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(i: usize) -> Self {
+        JsonValue::Int(i as i64)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(f: f64) -> Self {
+        JsonValue::Float(f)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parses a JSON document.
+pub fn parse(input: &str) -> Result<JsonValue> {
+    let mut p = JsonParser {
+        input: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(Error::parse(p.pos, "trailing characters after JSON document"));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Nesting bound: real explain plans nest a few dozen levels at most; the
+/// bound turns stack exhaustion on adversarial input into a parse error.
+const MAX_DEPTH: usize = 512;
+
+impl<'a> JsonParser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue> {
+        if self.depth > MAX_DEPTH {
+            return Err(Error::parse(self.pos, "JSON nested too deeply"));
+        }
+        match self.input.get(self.pos) {
+            None => Err(Error::UnexpectedEof("JSON value".to_owned())),
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(&other) => Err(Error::parse(
+                self.pos,
+                format!("unexpected character {:?} in JSON", other as char),
+            )),
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: JsonValue) -> Result<JsonValue> {
+        if self.input[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(self.pos, format!("expected '{literal}'")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue> {
+        self.pos += 1; // '{'
+        self.depth += 1;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.input.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if self.input.get(self.pos) != Some(&b':') {
+                return Err(Error::parse(self.pos, "expected ':' in object"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.input.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue> {
+        self.pos += 1; // '['
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.input.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.input.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        if self.input.get(self.pos) != Some(&b'"') {
+            return Err(Error::parse(self.pos, "expected '\"'"));
+        }
+        let start = self.pos;
+        self.pos += 1;
+        let mut s = String::new();
+        loop {
+            let Some(&b) = self.input.get(self.pos) else {
+                return Err(Error::parse(start, "unterminated JSON string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(&esc) = self.input.get(self.pos) else {
+                        return Err(Error::parse(self.pos, "unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            if (0xD800..=0xDBFF).contains(&cp) {
+                                // Surrogate pair.
+                                if self.input.get(self.pos) == Some(&b'\\')
+                                    && self.input.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(Error::parse(self.pos, "invalid low surrogate"));
+                                    }
+                                    let combined =
+                                        0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    s.push(
+                                        char::from_u32(combined)
+                                            .ok_or_else(|| Error::parse(self.pos, "bad surrogate pair"))?,
+                                    );
+                                } else {
+                                    return Err(Error::parse(self.pos, "lone high surrogate"));
+                                }
+                            } else {
+                                s.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| Error::parse(self.pos, "invalid code point"))?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(Error::parse(
+                                self.pos - 1,
+                                format!("unknown escape '\\{}'", other as char),
+                            ))
+                        }
+                    }
+                }
+                other if other < 0x20 => {
+                    return Err(Error::parse(self.pos - 1, "raw control character in string"))
+                }
+                other => {
+                    if other < 0x80 {
+                        s.push(other as char);
+                    } else {
+                        let seq_start = self.pos - 1;
+                        let mut end = self.pos;
+                        while end < self.input.len() && self.input[end] & 0xC0 == 0x80 {
+                            end += 1;
+                        }
+                        let chunk = std::str::from_utf8(&self.input[seq_start..end])
+                            .map_err(|_| Error::parse(seq_start, "invalid UTF-8"))?;
+                        s.push_str(chunk);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.input.len() {
+            return Err(Error::UnexpectedEof("\\u escape".to_owned()));
+        }
+        let hex = std::str::from_utf8(&self.input[self.pos..self.pos + 4])
+            .map_err(|_| Error::parse(self.pos, "bad \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| Error::parse(self.pos, "bad \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue> {
+        let start = self.pos;
+        if self.input.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while self.input.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.input.get(self.pos) == Some(&b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.input.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.input.get(self.pos), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.input.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.input.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("number bytes are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|e| Error::parse(start, format!("bad number: {e}")))
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(JsonValue::Int(i)),
+                // Overflowing integers fall back to floats, as in most parsers.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(JsonValue::Float)
+                    .map_err(|e| Error::parse(start, format!("bad number: {e}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("42").unwrap(), JsonValue::Int(42));
+        assert_eq!(parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(parse("2.5").unwrap(), JsonValue::Float(2.5));
+        assert_eq!(parse("1e3").unwrap(), JsonValue::Float(1000.0));
+        assert_eq!(parse("\"hi\"").unwrap(), JsonValue::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_structures_preserving_order() {
+        let v = parse(r#"{"b": 1, "a": [2, {"c": null}]}"#).unwrap();
+        let members = v.as_object().unwrap();
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn get_returns_none_on_miss_and_non_objects() {
+        let v = parse(r#"{"a": 1}"#).unwrap();
+        assert!(v.get("b").is_none());
+        assert!(JsonValue::Int(1).get("a").is_none());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = JsonValue::Str("a\"b\\c\nd\te\u{8}\u{c}\u{1}é😀".into());
+        let text = original.to_compact();
+        assert_eq!(parse(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            JsonValue::Str("😀".into())
+        );
+        assert!(parse("\"\\ud83d\"").is_err());
+        assert!(parse("\"\\ud83dx\"").is_err());
+    }
+
+    #[test]
+    fn compact_and_pretty_agree() {
+        let v = parse(r#"{"plan": {"ops": [1, 2.5, true, null], "name": "scan"}}"#).unwrap();
+        assert_eq!(parse(&v.to_pretty()).unwrap(), v);
+        assert_eq!(parse(&v.to_compact()).unwrap(), v);
+        assert!(v.to_pretty().contains('\n'));
+        assert!(!v.to_compact().contains('\n'));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "}", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01x", "\"unterminated",
+            "{\"a\":1} extra", "[1 2]", "\"\\q\"", "{a:1}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let mut doc = String::new();
+        for _ in 0..600 {
+            doc.push('[');
+        }
+        for _ in 0..600 {
+            doc.push(']');
+        }
+        assert!(parse(&doc).is_err());
+    }
+
+    #[test]
+    fn raw_control_characters_rejected() {
+        assert!(parse("\"a\u{1}b\"").is_err());
+    }
+
+    #[test]
+    fn integer_overflow_falls_back_to_float() {
+        let v = parse("99999999999999999999999999").unwrap();
+        assert!(matches!(v, JsonValue::Float(_)));
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).to_compact(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("[]").unwrap().to_pretty(), "[]");
+        assert_eq!(parse("{}").unwrap().to_pretty(), "{}");
+    }
+
+    #[test]
+    fn object_helper_builds_objects() {
+        let v = object([("a", JsonValue::Int(1)), ("b", JsonValue::from("x"))]);
+        assert_eq!(v.get("a").unwrap().as_int(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+    }
+}

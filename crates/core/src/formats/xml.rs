@@ -1,0 +1,434 @@
+//! A small XML element model, writer and parser.
+//!
+//! XML appears in the study because SQL Server's canonical plan format is the
+//! XML *showplan* and PostgreSQL offers `EXPLAIN (FORMAT XML)` (paper Table
+//! III). The subset implemented here — elements, attributes, text content,
+//! the five predefined entities, and self-closing tags — covers both; there
+//! is no support for processing instructions beyond skipping the `<?xml?>`
+//! prolog, nor DTDs, namespaces-as-semantics, or CDATA.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XmlElement {
+    /// Tag name (kept verbatim, including any namespace prefix).
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlElement>,
+    /// Concatenated text content directly inside this element.
+    pub text: String,
+}
+
+impl XmlElement {
+    /// Creates an element with no attributes, children or text.
+    pub fn new(name: impl Into<String>) -> Self {
+        XmlElement {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+            text: String::new(),
+        }
+    }
+
+    /// Builder-style attribute attachment.
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((key.into(), value.into()));
+        self
+    }
+
+    /// Builder-style child attachment.
+    pub fn with_child(mut self, child: XmlElement) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Builder-style text content.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.text = text.into();
+        self
+    }
+
+    /// First attribute value with the given name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&XmlElement> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Serializes with indentation and an XML prolog.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&indent);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(out, v, true);
+            out.push('"');
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        if !self.text.is_empty() {
+            escape_into(out, &self.text, false);
+        }
+        if !self.children.is_empty() {
+            out.push('\n');
+            for child in &self.children {
+                child.write(out, depth + 1);
+            }
+            out.push_str(&indent);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+impl fmt::Display for XmlElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        f.write_str(&out)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str, in_attribute: bool) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attribute => out.push_str("&quot;"),
+            '\'' if in_attribute => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parses an XML document into its root element.
+pub fn parse(input: &str) -> Result<XmlElement> {
+    let mut p = XmlParser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if p.pos != p.input.len() {
+        return Err(Error::parse(p.pos, "trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.input.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, the `<?xml?>` prolog and comments.
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with(b"<?") {
+                let end = self.find(b"?>", "processing instruction")?;
+                self.pos = end + 2;
+            } else if self.input[self.pos..].starts_with(b"<!--") {
+                let end = self.find(b"-->", "comment")?;
+                self.pos = end + 3;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn find(&self, needle: &[u8], what: &str) -> Result<usize> {
+        self.input[self.pos..]
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .map(|i| self.pos + i)
+            .ok_or_else(|| Error::UnexpectedEof(what.to_owned()))
+    }
+
+    fn parse_element(&mut self) -> Result<XmlElement> {
+        if self.input.get(self.pos) != Some(&b'<') {
+            return Err(Error::parse(self.pos, "expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut element = XmlElement::new(name);
+
+        loop {
+            self.skip_ws();
+            match self.input.get(self.pos) {
+                Some(b'/') => {
+                    if self.input.get(self.pos + 1) != Some(&b'>') {
+                        return Err(Error::parse(self.pos, "expected '/>'"));
+                    }
+                    self.pos += 2;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    if self.input.get(self.pos) != Some(&b'=') {
+                        return Err(Error::parse(self.pos, "expected '=' after attribute name"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    element.attributes.push((key, value));
+                }
+                None => return Err(Error::UnexpectedEof("element tag".to_owned())),
+            }
+        }
+
+        // Content: text, children, comments, then the closing tag.
+        loop {
+            if self.input[self.pos..].starts_with(b"<!--") {
+                let end = self.find(b"-->", "comment")?;
+                self.pos = end + 3;
+            } else if self.input[self.pos..].starts_with(b"</") {
+                self.pos += 2;
+                let closing = self.parse_name()?;
+                if closing != element.name {
+                    return Err(Error::parse(
+                        self.pos,
+                        format!("mismatched closing tag </{closing}> for <{}>", element.name),
+                    ));
+                }
+                self.skip_ws();
+                if self.input.get(self.pos) != Some(&b'>') {
+                    return Err(Error::parse(self.pos, "expected '>' in closing tag"));
+                }
+                self.pos += 1;
+                element.text = element.text.trim().to_owned();
+                return Ok(element);
+            } else if self.input.get(self.pos) == Some(&b'<') {
+                element.children.push(self.parse_element()?);
+            } else if self.pos < self.input.len() {
+                let start = self.pos;
+                while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| Error::parse(start, "invalid UTF-8 in text"))?;
+                element.text.push_str(&unescape(raw, start)?);
+            } else {
+                return Err(Error::UnexpectedEof(format!("closing tag for <{}>", element.name)));
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        // XML names must not start with a digit, '-' or '.'.
+        if self
+            .input
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_alphabetic() || b == b'_' || b == b':')
+        {
+            self.pos += 1;
+            while self.input.get(self.pos).is_some_and(|&b| {
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':')
+            }) {
+                self.pos += 1;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::parse(start, "expected an XML name"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("name bytes are ASCII")
+            .to_owned())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String> {
+        let quote = match self.input.get(self.pos) {
+            Some(&q @ (b'"' | b'\'')) => q,
+            _ => return Err(Error::parse(self.pos, "expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while self.input.get(self.pos).is_some_and(|&b| b != quote) {
+            self.pos += 1;
+        }
+        if self.pos >= self.input.len() {
+            return Err(Error::UnexpectedEof("attribute value".to_owned()));
+        }
+        let raw = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| Error::parse(start, "invalid UTF-8 in attribute"))?;
+        self.pos += 1;
+        unescape(raw, start)
+    }
+}
+
+fn unescape(s: &str, offset: usize) -> Result<String> {
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| Error::parse(offset, "unterminated entity"))?;
+        let entity = &rest[1..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            e if e.starts_with("#x") || e.starts_with("#X") => {
+                let cp = u32::from_str_radix(&e[2..], 16)
+                    .map_err(|_| Error::parse(offset, "bad character reference"))?;
+                out.push(char::from_u32(cp).ok_or_else(|| Error::parse(offset, "bad code point"))?);
+            }
+            e if e.starts_with('#') => {
+                let cp: u32 = e[1..]
+                    .parse()
+                    .map_err(|_| Error::parse(offset, "bad character reference"))?;
+                out.push(char::from_u32(cp).ok_or_else(|| Error::parse(offset, "bad code point"))?);
+            }
+            other => return Err(Error::parse(offset, format!("unknown entity &{other};"))),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_serializes() {
+        let el = XmlElement::new("RelOp")
+            .with_attr("PhysicalOp", "Hash Match")
+            .with_attr("EstimateRows", "42")
+            .with_child(XmlElement::new("OutputList"))
+            .with_child(XmlElement::new("Predicate").with_text("c0 < 5"));
+        let doc = el.to_document();
+        assert!(doc.starts_with("<?xml"));
+        assert!(doc.contains("PhysicalOp=\"Hash Match\""));
+        assert!(doc.contains("<OutputList/>"));
+        assert!(doc.contains("<Predicate>c0 &lt; 5</Predicate>"));
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let el = XmlElement::new("ShowPlanXML")
+            .with_attr("Version", "1.6")
+            .with_child(
+                XmlElement::new("RelOp")
+                    .with_attr("PhysicalOp", "Clustered Index Seek")
+                    .with_attr("Filter", "a < \"b\" & 'c'")
+                    .with_child(XmlElement::new("Leaf").with_text("x > y")),
+            );
+        let parsed = parse(&el.to_document()).unwrap();
+        assert_eq!(parsed, el);
+    }
+
+    #[test]
+    fn accessors() {
+        let el = XmlElement::new("a")
+            .with_attr("k", "v")
+            .with_child(XmlElement::new("b"))
+            .with_child(XmlElement::new("c"))
+            .with_child(XmlElement::new("b"));
+        assert_eq!(el.attr("k"), Some("v"));
+        assert_eq!(el.attr("missing"), None);
+        assert_eq!(el.child("c").unwrap().name, "c");
+        assert!(el.child("zzz").is_none());
+        assert_eq!(el.children_named("b").count(), 2);
+    }
+
+    #[test]
+    fn parses_prolog_comments_and_entities() {
+        let doc = r#"<?xml version="1.0"?>
+            <!-- a comment -->
+            <root attr="&amp;&lt;&gt;&quot;&apos;&#65;&#x42;">
+              <!-- inner comment -->
+              text &amp; more
+            </root>"#;
+        let el = parse(doc).unwrap();
+        assert_eq!(el.attr("attr"), Some("&<>\"'AB"));
+        assert_eq!(el.text, "text & more");
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let el = parse("<a k='v'/>").unwrap();
+        assert_eq!(el.attr("k"), Some("v"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a",
+            "<a k=v/>",
+            "<a k=\"v/>",
+            "<a/><b/>",
+            "<a>&unknown;</a>",
+            "<a>&amp</a>",
+            "<1a/>",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn namespaced_names_are_kept_verbatim() {
+        let el = parse("<shp:ShowPlanXML xmlns:shp=\"urn:x\"/>").unwrap();
+        assert_eq!(el.name, "shp:ShowPlanXML");
+        assert_eq!(el.attr("xmlns:shp"), Some("urn:x"));
+    }
+}

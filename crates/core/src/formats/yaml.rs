@@ -1,0 +1,196 @@
+//! A YAML writer over the JSON document model.
+//!
+//! PostgreSQL supports `EXPLAIN (FORMAT YAML)` and is the only studied DBMS
+//! to offer YAML (paper Table III). Plans only ever need to be *written* as
+//! YAML here (conversion sources use text/table/JSON/XML), so this module is
+//! emit-only; it produces a conservative block-style subset that common YAML
+//! parsers accept.
+
+use super::json::JsonValue;
+
+/// Serializes a JSON document as block-style YAML with a `---` header.
+pub fn to_yaml(value: &JsonValue) -> String {
+    let mut out = String::from("---\n");
+    write_value(&mut out, value, 0, false);
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+fn write_value(out: &mut String, value: &JsonValue, depth: usize, inline: bool) {
+    match value {
+        JsonValue::Null => out.push_str("~"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Int(i) => out.push_str(&i.to_string()),
+        JsonValue::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push('~');
+            }
+        }
+        JsonValue::Str(s) => write_scalar_string(out, s),
+        JsonValue::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            if inline {
+                out.push('\n');
+            }
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 || inline {
+                    indent(out, depth);
+                }
+                out.push_str("- ");
+                match item {
+                    // Block-style convention: the first member of an object
+                    // item shares the `- ` line; the rest align under it.
+                    JsonValue::Object(members) if !members.is_empty() => {
+                        write_members(out, members, depth + 1, true);
+                    }
+                    _ => write_value(out, item, depth + 1, true),
+                }
+                if !out.ends_with('\n') {
+                    out.push('\n');
+                }
+            }
+        }
+        JsonValue::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            if inline {
+                out.push('\n');
+                indent(out, depth);
+            }
+            write_members(out, members, depth, false);
+        }
+    }
+}
+
+/// Writes object members in block style. With `first_inline`, the first
+/// member continues the current line (after a `- ` marker) and subsequent
+/// members are indented to align with it.
+fn write_members(out: &mut String, members: &[(String, JsonValue)], depth: usize, first_inline: bool) {
+    for (i, (k, v)) in members.iter().enumerate() {
+        if i > 0 {
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            indent(out, depth);
+        }
+        let _ = first_inline; // first member always continues the current line
+        write_scalar_string(out, k);
+        out.push(':');
+        match v {
+            JsonValue::Array(items) if !items.is_empty() => {
+                write_value(out, v, depth + 1, true);
+            }
+            JsonValue::Object(fields) if !fields.is_empty() => {
+                out.push('\n');
+                indent(out, depth + 1);
+                write_members(out, fields, depth + 1, false);
+            }
+            _ => {
+                out.push(' ');
+                write_value(out, v, depth + 1, false);
+            }
+        }
+        if i + 1 < members.len() && !out.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Quotes strings that YAML would otherwise reinterpret (numbers, booleans,
+/// null-likes, structural characters, leading/trailing space).
+fn write_scalar_string(out: &mut String, s: &str) {
+    let needs_quotes = s.is_empty()
+        || s.parse::<f64>().is_ok()
+        || matches!(
+            s,
+            "true" | "false" | "null" | "~" | "yes" | "no" | "on" | "off" | "True" | "False"
+                | "Null" | "Yes" | "No" | "On" | "Off"
+        )
+        || s.starts_with(|c: char| c.is_whitespace() || "-?#&*!|>'\"%@`[]{},:".contains(c))
+        || s.ends_with(char::is_whitespace)
+        || s.contains(": ")
+        || s.contains(" #")
+        || s.contains(['\n', '\t', '"', '\\']);
+    if needs_quotes {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    } else {
+        out.push_str(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::json::{object, JsonValue};
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_yaml(&JsonValue::Null), "---\n~\n");
+        assert_eq!(to_yaml(&JsonValue::Bool(true)), "---\ntrue\n");
+        assert_eq!(to_yaml(&JsonValue::Int(-3)), "---\n-3\n");
+        assert_eq!(to_yaml(&JsonValue::Float(2.5)), "---\n2.5\n");
+        assert_eq!(to_yaml(&JsonValue::from("Seq Scan")), "---\nSeq Scan\n");
+    }
+
+    #[test]
+    fn quoting_rules() {
+        assert_eq!(to_yaml(&JsonValue::from("42")), "---\n\"42\"\n");
+        assert_eq!(to_yaml(&JsonValue::from("true")), "---\n\"true\"\n");
+        assert_eq!(to_yaml(&JsonValue::from("- item")), "---\n\"- item\"\n");
+        assert_eq!(to_yaml(&JsonValue::from("a: b")), "---\n\"a: b\"\n");
+        assert_eq!(to_yaml(&JsonValue::from("")), "---\n\"\"\n");
+        assert_eq!(to_yaml(&JsonValue::from("line\nbreak")), "---\n\"line\\nbreak\"\n");
+    }
+
+    #[test]
+    fn nested_structure_shape() {
+        let doc = object([
+            ("Node Type", JsonValue::from("Hash Join")),
+            ("Total Cost", JsonValue::Float(62998.82)),
+            (
+                "Plans",
+                JsonValue::Array(vec![
+                    object([("Node Type", JsonValue::from("Seq Scan"))]),
+                    object([("Node Type", JsonValue::from("Hash"))]),
+                ]),
+            ),
+            ("Empty", JsonValue::Array(vec![])),
+            ("Nothing", JsonValue::Object(vec![])),
+        ]);
+        let yaml = to_yaml(&doc);
+        let expected = "---\nNode Type: Hash Join\nTotal Cost: 62998.82\nPlans:\n  - \
+                        Node Type: Seq Scan\n  - Node Type: Hash\nEmpty: []\nNothing: {}\n";
+        assert_eq!(yaml, expected);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_yaml(&JsonValue::Float(f64::NAN)), "---\n~\n");
+    }
+}

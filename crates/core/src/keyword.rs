@@ -1,0 +1,114 @@
+//! The `keyword` production of the unified grammar.
+//!
+//! Paper Listing 2, line 11: `keyword ::= letter ( letter | digit | '_' )*`.
+//! Keywords name operations and properties in the unified representation; the
+//! paper's extensibility argument (Section IV-B) rests on new operations and
+//! properties being *only* new keywords, so validation lives in one place.
+
+use crate::error::{Error, Result};
+
+/// Returns `true` if `s` matches `letter ( letter | digit | '_' )*`.
+pub fn is_keyword(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Validates `s` as a keyword, returning it unchanged on success.
+pub fn validate(s: &str) -> Result<&str> {
+    if is_keyword(s) {
+        Ok(s)
+    } else {
+        Err(Error::InvalidKeyword(s.to_owned()))
+    }
+}
+
+/// Canonicalizes an arbitrary DBMS-native name into a keyword.
+///
+/// Native operation names contain spaces, punctuation and leading digits
+/// (`"Seq Scan"`, `"COMPOUND QUERY"`, `"$group"`); converters map them to
+/// unified names, but unknown names must still be representable (forward
+/// compatibility), so they are mechanically folded: every non-keyword
+/// character becomes `_`, runs collapse, and a leading digit gets an `op_`
+/// prefix.
+///
+/// ```
+/// assert_eq!(uplan_core::keyword::canonicalize("Seq Scan"), "Seq_Scan");
+/// assert_eq!(uplan_core::keyword::canonicalize("$group"), "group");
+/// assert_eq!(uplan_core::keyword::canonicalize("2phase"), "op_2phase");
+/// ```
+pub fn canonicalize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut last_was_sep = false;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+            last_was_sep = false;
+        } else if c == '_' {
+            out.push('_');
+            last_was_sep = false;
+        } else if !out.is_empty() && !last_was_sep {
+            out.push('_');
+            last_was_sep = true;
+        } else {
+            // Leading separators and separator runs are dropped.
+            last_was_sep = out.is_empty();
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    if out.is_empty() {
+        return "unnamed".to_owned();
+    }
+    if out.as_bytes()[0].is_ascii_digit() {
+        out.insert_str(0, "op_");
+    }
+    debug_assert!(is_keyword(&out), "canonicalize produced non-keyword {out:?}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_grammar_conformant_keywords() {
+        for kw in ["a", "Full_Table_Scan", "rows", "x9", "A_1_b"] {
+            assert!(is_keyword(kw), "{kw} should be a keyword");
+            assert_eq!(validate(kw), Ok(kw));
+        }
+    }
+
+    #[test]
+    fn rejects_non_keywords() {
+        for bad in ["", "9a", "_x", "a b", "a-b", "café", "a.b", " a"] {
+            assert!(!is_keyword(bad), "{bad:?} should not be a keyword");
+            assert_eq!(validate(bad), Err(Error::InvalidKeyword(bad.to_owned())));
+        }
+    }
+
+    #[test]
+    fn canonicalize_folds_native_names() {
+        assert_eq!(canonicalize("Seq Scan"), "Seq_Scan");
+        assert_eq!(canonicalize("Bitmap Heap Scan"), "Bitmap_Heap_Scan");
+        assert_eq!(canonicalize("COMPOUND QUERY"), "COMPOUND_QUERY");
+        assert_eq!(canonicalize("$group"), "group");
+        assert_eq!(canonicalize("USE TEMP B-TREE FOR GROUP BY"), "USE_TEMP_B_TREE_FOR_GROUP_BY");
+        assert_eq!(canonicalize("2phase"), "op_2phase");
+        assert_eq!(canonicalize("   "), "unnamed");
+        assert_eq!(canonicalize(""), "unnamed");
+        assert_eq!(canonicalize("a--b"), "a_b");
+        assert_eq!(canonicalize("trailing "), "trailing");
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_on_keywords() {
+        for kw in ["Full_Table_Scan", "rows", "x9"] {
+            assert_eq!(canonicalize(kw), kw);
+        }
+    }
+}

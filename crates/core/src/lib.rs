@@ -1,0 +1,61 @@
+//! # uplan-core — the unified query plan representation
+//!
+//! This crate implements the unified query plan representation proposed in
+//! *"Towards a Unified Query Plan Representation"* (Ba & Rigger, ICDE 2025).
+//!
+//! The paper's exploratory case study of nine widely-used DBMSs found that all
+//! query plan representations are built from three conceptual components:
+//!
+//! * **operations** — concrete steps executed by the DBMS, classified into
+//!   seven categories grounded in relational algebra
+//!   ([`OperationCategory`]);
+//! * **properties** — operation- or plan-associated information, classified
+//!   into four categories ([`PropertyCategory`]);
+//! * **formats** — the serializations a DBMS offers (text, table, JSON, XML,
+//!   YAML, graph), modelled by [`registry::FormatSupport`] and the writers in
+//!   [`formats`], [`text`] and [`display`].
+//!
+//! The unified representation itself (paper Listing 2, in EBNF) is
+//! [`UnifiedPlan`]: an optional tree of [`PlanNode`]s — each an [`Operation`]
+//! plus zero or more [`Property`]s — together with plan-associated properties.
+//!
+//! ```
+//! use uplan_core::{PlanNode, Property, PropertyCategory, UnifiedPlan};
+//! use uplan_core::unified_names as names;
+//!
+//! // Build the unified plan of Fig. 2: a TiDB `SELECT * FROM t0 WHERE c0 < 5`.
+//! let scan = PlanNode::producer(names::FULL_TABLE_SCAN)
+//!     .with_property(Property::configuration("name_object", "t0"))
+//!     .with_property(Property::cardinality("rows", 5));
+//! let root = PlanNode::executor(names::COLLECT).with_child(scan);
+//! let plan = UnifiedPlan::with_root(root);
+//!
+//! // Round-trip through the strict EBNF text format of paper Listing 2.
+//! let serialized = uplan_core::text::to_text(&plan);
+//! let reparsed = uplan_core::text::from_text(&serialized).unwrap();
+//! assert_eq!(plan, reparsed);
+//! ```
+//!
+//! The [`registry`] module carries the study data of the paper's Section III:
+//! per-DBMS catalogs of operations and properties (count-exact to Table II),
+//! the format-support matrix (Table III) and the third-party visualization
+//! tool survey (Table IV). [`fingerprint`] and [`stats`] provide the plan
+//! processing that the paper's applications (QPG/CERT testing, visualization,
+//! cross-DBMS benchmarking) are built on.
+
+pub mod display;
+pub mod error;
+pub mod fingerprint;
+pub mod formats;
+pub mod keyword;
+pub mod model;
+pub mod registry;
+pub mod stats;
+pub mod ted;
+pub mod text;
+pub mod unified_names;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use model::{Operation, OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan};
+pub use value::Value;

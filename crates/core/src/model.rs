@@ -1,0 +1,566 @@
+//! The unified query plan data model (paper Listing 2).
+//!
+//! ```text
+//! plan      ::= ( tree )? properties
+//! tree      ::= node ( '--children-->' '{' tree (',' tree)* '}' )?
+//! node      ::= operation properties
+//! operation ::= 'Operation' ':' operation_category '->' operation_identifier
+//! property  ::= property_category '->' property_identifier ':' value
+//! ```
+//!
+//! Categories are closed enums over the seven operation categories and four
+//! property categories the study identified, with an `Extension` escape hatch
+//! realizing the forward-compatibility story of Section IV-B: applications
+//! built against this crate keep working when new categories appear, because
+//! unknown categories parse into `Extension` rather than failing.
+
+use std::fmt;
+
+use crate::error::Result;
+use crate::keyword;
+use crate::value::Value;
+
+/// The seven operation categories of the study (paper Table II, left side),
+/// grounded in relational algebra, plus an extension point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OperationCategory {
+    /// Retrieves data from storage or returns constants (σ); leaf nodes.
+    Producer,
+    /// Changes the permutation/combination of tuples (∪, ∩, −): sort, union.
+    Combinator,
+    /// Generates new tuples by recombining attributes (⋈, ×).
+    Join,
+    /// Derives new tuples from a set of tuples (γ): aggregation, grouping.
+    Folder,
+    /// Removes attributes from all tuples (Π).
+    Projector,
+    /// DBMS-internal operations with no relational-algebra counterpart:
+    /// gather/exchange, hashing, caching.
+    Executor,
+    /// Operations with no output: DDL/DML side effects (UPDATE, CREATE).
+    Consumer,
+    /// Forward-compatible extension category (must be a valid keyword).
+    Extension(String),
+}
+
+impl OperationCategory {
+    /// All seven canonical categories in Table II column order.
+    pub const CANONICAL: [OperationCategory; 7] = [
+        OperationCategory::Producer,
+        OperationCategory::Combinator,
+        OperationCategory::Join,
+        OperationCategory::Folder,
+        OperationCategory::Projector,
+        OperationCategory::Executor,
+        OperationCategory::Consumer,
+    ];
+
+    /// The grammar spelling of the category.
+    pub fn name(&self) -> &str {
+        match self {
+            OperationCategory::Producer => "Producer",
+            OperationCategory::Combinator => "Combinator",
+            OperationCategory::Join => "Join",
+            OperationCategory::Folder => "Folder",
+            OperationCategory::Projector => "Projector",
+            OperationCategory::Executor => "Executor",
+            OperationCategory::Consumer => "Consumer",
+            OperationCategory::Extension(name) => name,
+        }
+    }
+
+    /// Parses a category name; unknown keywords become [`Extension`]
+    /// (forward compatibility), non-keywords are rejected.
+    ///
+    /// [`Extension`]: OperationCategory::Extension
+    pub fn parse(name: &str) -> Result<Self> {
+        Ok(match name {
+            "Producer" => OperationCategory::Producer,
+            "Combinator" => OperationCategory::Combinator,
+            "Join" => OperationCategory::Join,
+            "Folder" => OperationCategory::Folder,
+            "Projector" => OperationCategory::Projector,
+            "Executor" => OperationCategory::Executor,
+            "Consumer" => OperationCategory::Consumer,
+            other => OperationCategory::Extension(keyword::validate(other)?.to_owned()),
+        })
+    }
+
+    /// `true` for the seven categories of the published grammar.
+    pub fn is_canonical(&self) -> bool {
+        !matches!(self, OperationCategory::Extension(_))
+    }
+
+    /// Index into Table II column order; extensions sort after `Consumer`.
+    pub fn column_index(&self) -> usize {
+        match self {
+            OperationCategory::Producer => 0,
+            OperationCategory::Combinator => 1,
+            OperationCategory::Join => 2,
+            OperationCategory::Folder => 3,
+            OperationCategory::Projector => 4,
+            OperationCategory::Executor => 5,
+            OperationCategory::Consumer => 6,
+            OperationCategory::Extension(_) => 7,
+        }
+    }
+}
+
+impl fmt::Display for OperationCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The four property categories of the study (paper Table II, right side),
+/// plus an extension point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PropertyCategory {
+    /// Numeric estimated data sizes (rows, width).
+    Cardinality,
+    /// Numeric estimated resource consumption (cost).
+    Cost,
+    /// Operation parameters decided by the query (filter, sort key, index
+    /// condition).
+    Configuration,
+    /// Runtime status decided by the environment (workers, task type,
+    /// planning time).
+    Status,
+    /// Forward-compatible extension category (must be a valid keyword).
+    Extension(String),
+}
+
+impl PropertyCategory {
+    /// All four canonical categories in Table II column order.
+    pub const CANONICAL: [PropertyCategory; 4] = [
+        PropertyCategory::Cardinality,
+        PropertyCategory::Cost,
+        PropertyCategory::Configuration,
+        PropertyCategory::Status,
+    ];
+
+    /// The grammar spelling of the category.
+    pub fn name(&self) -> &str {
+        match self {
+            PropertyCategory::Cardinality => "Cardinality",
+            PropertyCategory::Cost => "Cost",
+            PropertyCategory::Configuration => "Configuration",
+            PropertyCategory::Status => "Status",
+            PropertyCategory::Extension(name) => name,
+        }
+    }
+
+    /// Parses a category name; unknown keywords become [`Extension`]
+    /// (forward compatibility), non-keywords are rejected.
+    ///
+    /// [`Extension`]: PropertyCategory::Extension
+    pub fn parse(name: &str) -> Result<Self> {
+        Ok(match name {
+            "Cardinality" => PropertyCategory::Cardinality,
+            "Cost" => PropertyCategory::Cost,
+            "Configuration" => PropertyCategory::Configuration,
+            "Status" => PropertyCategory::Status,
+            other => PropertyCategory::Extension(keyword::validate(other)?.to_owned()),
+        })
+    }
+
+    /// `true` for the four categories of the published grammar.
+    pub fn is_canonical(&self) -> bool {
+        !matches!(self, PropertyCategory::Extension(_))
+    }
+
+    /// Index into Table II column order; extensions sort after `Status`.
+    pub fn column_index(&self) -> usize {
+        match self {
+            PropertyCategory::Cardinality => 0,
+            PropertyCategory::Cost => 1,
+            PropertyCategory::Configuration => 2,
+            PropertyCategory::Status => 3,
+            PropertyCategory::Extension(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for PropertyCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// `operation ::= 'Operation' ':' operation_category '->' operation_identifier`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Operation {
+    /// The operation's category.
+    pub category: OperationCategory,
+    /// The unified operation identifier (a grammar keyword, e.g.
+    /// `Full_Table_Scan`).
+    pub identifier: String,
+}
+
+impl Operation {
+    /// Creates an operation, canonicalizing the identifier into a keyword.
+    pub fn new(category: OperationCategory, identifier: impl AsRef<str>) -> Self {
+        Operation {
+            category,
+            identifier: keyword::canonicalize(identifier.as_ref()),
+        }
+    }
+
+    /// Creates an operation from an identifier that must already be a
+    /// keyword; errors otherwise. Used by parsers, which must not silently
+    /// rewrite input.
+    pub fn from_keyword(category: OperationCategory, identifier: &str) -> Result<Self> {
+        Ok(Operation {
+            category,
+            identifier: keyword::validate(identifier)?.to_owned(),
+        })
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.category, self.identifier)
+    }
+}
+
+/// `property ::= property_category '->' property_identifier ':' value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Property {
+    /// The property's category.
+    pub category: PropertyCategory,
+    /// The unified property identifier (a grammar keyword, e.g. `rows`).
+    pub identifier: String,
+    /// The property's value.
+    pub value: Value,
+}
+
+impl Property {
+    /// Creates a property, canonicalizing the identifier into a keyword.
+    pub fn new(
+        category: PropertyCategory,
+        identifier: impl AsRef<str>,
+        value: impl Into<Value>,
+    ) -> Self {
+        Property {
+            category,
+            identifier: keyword::canonicalize(identifier.as_ref()),
+            value: value.into(),
+        }
+    }
+
+    /// Shorthand for a [`PropertyCategory::Cardinality`] property.
+    pub fn cardinality(identifier: impl AsRef<str>, value: impl Into<Value>) -> Self {
+        Property::new(PropertyCategory::Cardinality, identifier, value)
+    }
+
+    /// Shorthand for a [`PropertyCategory::Cost`] property.
+    pub fn cost(identifier: impl AsRef<str>, value: impl Into<Value>) -> Self {
+        Property::new(PropertyCategory::Cost, identifier, value)
+    }
+
+    /// Shorthand for a [`PropertyCategory::Configuration`] property.
+    pub fn configuration(identifier: impl AsRef<str>, value: impl Into<Value>) -> Self {
+        Property::new(PropertyCategory::Configuration, identifier, value)
+    }
+
+    /// Shorthand for a [`PropertyCategory::Status`] property.
+    pub fn status(identifier: impl AsRef<str>, value: impl Into<Value>) -> Self {
+        Property::new(PropertyCategory::Status, identifier, value)
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}: {}", self.category, self.identifier, self.value.render())
+    }
+}
+
+/// `node ::= operation properties`, plus the `--children-->` edges of `tree`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    /// The operation executed at this node.
+    pub operation: Operation,
+    /// Operation-associated properties (order-preserving).
+    pub properties: Vec<Property>,
+    /// Child subtrees; data flows child → parent as in the studied DBMSs.
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    /// Creates a leaf node for the given operation.
+    pub fn new(operation: Operation) -> Self {
+        PlanNode {
+            operation,
+            properties: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Leaf constructor for a [`OperationCategory::Producer`] operation.
+    pub fn producer(identifier: impl AsRef<str>) -> Self {
+        PlanNode::new(Operation::new(OperationCategory::Producer, identifier))
+    }
+
+    /// Leaf constructor for a [`OperationCategory::Combinator`] operation.
+    pub fn combinator(identifier: impl AsRef<str>) -> Self {
+        PlanNode::new(Operation::new(OperationCategory::Combinator, identifier))
+    }
+
+    /// Leaf constructor for a [`OperationCategory::Join`] operation.
+    pub fn join(identifier: impl AsRef<str>) -> Self {
+        PlanNode::new(Operation::new(OperationCategory::Join, identifier))
+    }
+
+    /// Leaf constructor for a [`OperationCategory::Folder`] operation.
+    pub fn folder(identifier: impl AsRef<str>) -> Self {
+        PlanNode::new(Operation::new(OperationCategory::Folder, identifier))
+    }
+
+    /// Leaf constructor for a [`OperationCategory::Projector`] operation.
+    pub fn projector(identifier: impl AsRef<str>) -> Self {
+        PlanNode::new(Operation::new(OperationCategory::Projector, identifier))
+    }
+
+    /// Leaf constructor for a [`OperationCategory::Executor`] operation.
+    pub fn executor(identifier: impl AsRef<str>) -> Self {
+        PlanNode::new(Operation::new(OperationCategory::Executor, identifier))
+    }
+
+    /// Leaf constructor for a [`OperationCategory::Consumer`] operation.
+    pub fn consumer(identifier: impl AsRef<str>) -> Self {
+        PlanNode::new(Operation::new(OperationCategory::Consumer, identifier))
+    }
+
+    /// Builder-style property attachment.
+    pub fn with_property(mut self, property: Property) -> Self {
+        self.properties.push(property);
+        self
+    }
+
+    /// Builder-style child attachment.
+    pub fn with_child(mut self, child: PlanNode) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Builder-style attachment of several children.
+    pub fn with_children(mut self, children: impl IntoIterator<Item = PlanNode>) -> Self {
+        self.children.extend(children);
+        self
+    }
+
+    /// First property with the given identifier, if any.
+    pub fn property(&self, identifier: &str) -> Option<&Property> {
+        self.properties.iter().find(|p| p.identifier == identifier)
+    }
+
+    /// All properties of a category.
+    pub fn properties_in(
+        &self,
+        category: &PropertyCategory,
+    ) -> impl Iterator<Item = &Property> + '_ {
+        let category = category.clone();
+        self.properties.iter().filter(move |p| p.category == category)
+    }
+
+    /// Pre-order depth-first traversal over `self` and all descendants.
+    pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a PlanNode)) {
+        visit(self);
+        for child in &self.children {
+            child.walk(visit);
+        }
+    }
+
+    /// Number of nodes in the subtree rooted here.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::node_count).sum::<usize>()
+    }
+
+    /// Height of the subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::depth).max().unwrap_or(0)
+    }
+}
+
+/// `plan ::= ( tree )? properties` — a unified query plan.
+///
+/// The tree is optional because some representations (InfluxDB, paper
+/// Section III-D) consist of plan-associated properties only.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UnifiedPlan {
+    /// The root of the operation tree, if the representation has one.
+    pub root: Option<PlanNode>,
+    /// Plan-associated properties (e.g. `Planning Time`).
+    pub properties: Vec<Property>,
+}
+
+impl UnifiedPlan {
+    /// An empty plan (no tree, no properties).
+    pub fn new() -> Self {
+        UnifiedPlan::default()
+    }
+
+    /// A plan with the given root tree and no plan-associated properties.
+    pub fn with_root(root: PlanNode) -> Self {
+        UnifiedPlan {
+            root: Some(root),
+            properties: Vec::new(),
+        }
+    }
+
+    /// A tree-less plan carrying only plan-associated properties
+    /// (the InfluxDB case).
+    pub fn properties_only(properties: Vec<Property>) -> Self {
+        UnifiedPlan {
+            root: None,
+            properties,
+        }
+    }
+
+    /// Builder-style plan-associated property attachment.
+    pub fn with_plan_property(mut self, property: Property) -> Self {
+        self.properties.push(property);
+        self
+    }
+
+    /// Pre-order traversal over all nodes of the tree (if any).
+    pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a PlanNode)) {
+        if let Some(root) = &self.root {
+            root.walk(visit);
+        }
+    }
+
+    /// Total number of operations in the plan.
+    pub fn operation_count(&self) -> usize {
+        self.root.as_ref().map_or(0, PlanNode::node_count)
+    }
+
+    /// All nodes in pre-order, collected.
+    pub fn nodes(&self) -> Vec<&PlanNode> {
+        let mut out = Vec::new();
+        self.walk(&mut |n| out.push(n));
+        out
+    }
+
+    /// First plan-associated property with the given identifier.
+    pub fn plan_property(&self, identifier: &str) -> Option<&Property> {
+        self.properties.iter().find(|p| p.identifier == identifier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> UnifiedPlan {
+        let scan_t0 = PlanNode::producer("Full Table Scan")
+            .with_property(Property::configuration("name_object", "t0"))
+            .with_property(Property::cardinality("rows", 1000));
+        let scan_t1 = PlanNode::producer("Full Table Scan")
+            .with_property(Property::configuration("name_object", "t1"));
+        let join = PlanNode::join("Hash Join")
+            .with_property(Property::configuration("join_cond", "t0.c0 = t1.c0"))
+            .with_children([scan_t0, scan_t1]);
+        UnifiedPlan::with_root(join)
+            .with_plan_property(Property::status("planning_time_ms", 0.124))
+    }
+
+    #[test]
+    fn category_names_round_trip() {
+        for cat in OperationCategory::CANONICAL {
+            assert_eq!(OperationCategory::parse(cat.name()).unwrap(), cat);
+            assert!(cat.is_canonical());
+        }
+        for cat in PropertyCategory::CANONICAL {
+            assert_eq!(PropertyCategory::parse(cat.name()).unwrap(), cat);
+            assert!(cat.is_canonical());
+        }
+    }
+
+    #[test]
+    fn unknown_categories_become_extensions() {
+        let op = OperationCategory::parse("Mapper").unwrap();
+        assert_eq!(op, OperationCategory::Extension("Mapper".into()));
+        assert!(!op.is_canonical());
+        assert_eq!(op.name(), "Mapper");
+        assert_eq!(op.column_index(), 7);
+
+        let prop = PropertyCategory::parse("Provenance").unwrap();
+        assert_eq!(prop, PropertyCategory::Extension("Provenance".into()));
+        assert_eq!(prop.column_index(), 4);
+    }
+
+    #[test]
+    fn invalid_category_keywords_are_rejected() {
+        assert!(OperationCategory::parse("9bad").is_err());
+        assert!(PropertyCategory::parse("has space").is_err());
+    }
+
+    #[test]
+    fn operation_canonicalizes_identifier() {
+        let op = Operation::new(OperationCategory::Producer, "Seq Scan");
+        assert_eq!(op.identifier, "Seq_Scan");
+        assert_eq!(op.to_string(), "Producer->Seq_Scan");
+    }
+
+    #[test]
+    fn operation_from_keyword_rejects_spaces() {
+        assert!(Operation::from_keyword(OperationCategory::Producer, "Seq Scan").is_err());
+        assert!(Operation::from_keyword(OperationCategory::Producer, "Seq_Scan").is_ok());
+    }
+
+    #[test]
+    fn property_constructors_set_categories() {
+        assert_eq!(Property::cardinality("rows", 5).category, PropertyCategory::Cardinality);
+        assert_eq!(Property::cost("cost", 1.5).category, PropertyCategory::Cost);
+        assert_eq!(
+            Property::configuration("filter", "c0 < 5").category,
+            PropertyCategory::Configuration
+        );
+        assert_eq!(Property::status("workers", 2).category, PropertyCategory::Status);
+    }
+
+    #[test]
+    fn property_display_matches_grammar() {
+        let p = Property::cardinality("rows", 1050);
+        assert_eq!(p.to_string(), "Cardinality->rows: 1050");
+        let q = Property::configuration("group_key", "t1.c0");
+        assert_eq!(q.to_string(), "Configuration->group_key: \"t1.c0\"");
+    }
+
+    #[test]
+    fn walk_visits_preorder() {
+        let plan = sample_plan();
+        let mut names = Vec::new();
+        plan.walk(&mut |n| names.push(n.operation.identifier.clone()));
+        assert_eq!(names, ["Hash_Join", "Full_Table_Scan", "Full_Table_Scan"]);
+    }
+
+    #[test]
+    fn node_counting_and_depth() {
+        let plan = sample_plan();
+        assert_eq!(plan.operation_count(), 3);
+        assert_eq!(plan.root.as_ref().unwrap().depth(), 2);
+        assert_eq!(plan.nodes().len(), 3);
+        assert_eq!(UnifiedPlan::new().operation_count(), 0);
+    }
+
+    #[test]
+    fn property_lookup() {
+        let plan = sample_plan();
+        let root = plan.root.as_ref().unwrap();
+        assert!(root.property("join_cond").is_some());
+        assert!(root.property("missing").is_none());
+        assert_eq!(root.properties_in(&PropertyCategory::Configuration).count(), 1);
+        assert!(plan.plan_property("planning_time_ms").is_some());
+        assert!(plan.plan_property("absent").is_none());
+    }
+
+    #[test]
+    fn properties_only_plan_has_no_tree() {
+        let plan = UnifiedPlan::properties_only(vec![Property::cardinality("series", 5)]);
+        assert!(plan.root.is_none());
+        assert_eq!(plan.operation_count(), 0);
+        assert_eq!(plan.properties.len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! InfluxDB 2.7.0 catalog — Table II row: ops 0/0/0/0/0/0/0 = 0,
+//! props 5/0/0/1 = 6.
+//!
+//! The study's outlier: "InfluxDB's query plan representation includes only
+//! a list of plan-associated properties" — its `EXPLAIN` reports iterator
+//! statistics without naming operations, because "operations are disregarded
+//! in query plans due to the limited set of operations supported by the
+//! single-tuple time-series data". The unified representation covers this
+//! via `plan ::= (tree)? properties` with no tree.
+
+use crate::registry::catalogs::{NO_OPS, NO_PROPS};
+use crate::registry::{Dbms, DbmsCatalog};
+
+pub(super) static CATALOG: DbmsCatalog = DbmsCatalog {
+    dbms: Dbms::InfluxDb,
+    ops: NO_OPS,
+    props: props! {
+        Cardinality {
+            "NUMBER OF SHARDS",
+            "NUMBER OF SERIES",
+            "CACHED VALUES",
+            "NUMBER OF FILES",
+            "NUMBER OF BLOCKS",
+        }
+        Status {
+            "SIZE OF BLOCKS",
+        }
+    },
+    op_aliases: NO_OPS,
+    prop_aliases: NO_PROPS,
+};

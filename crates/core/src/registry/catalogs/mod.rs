@@ -1,0 +1,72 @@
+//! Per-DBMS operation/property catalogs (the raw data behind paper Table II).
+//!
+//! Each submodule lists one DBMS's catalogued operations (`OPS`), properties
+//! (`PROPS`) and uncounted spelling aliases. Per-category counts are pinned
+//! to Table II by tests in [`crate::registry`]. Names are taken from the
+//! paper text and the systems' public documentation wherever recoverable;
+//! remaining entries are documented best-effort reconstructions (the exact
+//! raw lists live in the paper's supplementary material, which is not part
+//! of this reproduction).
+
+use super::{Dbms, DbmsCatalog, OpSpec, PropSpec};
+
+// These macros keep the catalog files declarative. `ops!` / `props!` expand
+// category-grouped entry lists into static spec slices; an entry is either
+// `"Native Name"` (unified name = canonicalized native name) or
+// `"Native Name" => names::UNIFIED` (explicit unified mapping).
+macro_rules! ops {
+    ($( $cat:ident { $( $native:literal $(=> $unified:path)? ),* $(,)? } )*) => {
+        &[ $($(
+            $crate::registry::OpSpec {
+                native: $native,
+                category: $crate::registry::OperationCategory2::$cat,
+                unified: ops!(@unify $($unified)?),
+            },
+        )*)* ]
+    };
+    (@unify) => { None };
+    (@unify $unified:path) => { Some($unified) };
+}
+
+macro_rules! props {
+    ($( $cat:ident { $( $native:literal $(=> $unified:path)? ),* $(,)? } )*) => {
+        &[ $($(
+            $crate::registry::PropSpec {
+                native: $native,
+                category: $crate::registry::PropertyCategory2::$cat,
+                unified: props!(@unify $($unified)?),
+            },
+        )*)* ]
+    };
+    (@unify) => { None };
+    (@unify $unified:path) => { Some($unified) };
+}
+
+mod influxdb;
+mod mongodb;
+mod mysql;
+mod neo4j;
+mod postgres;
+mod sparksql;
+mod sqlite;
+mod sqlserver;
+mod tidb;
+
+/// The study catalog of a DBMS.
+pub fn catalog(dbms: Dbms) -> &'static DbmsCatalog {
+    match dbms {
+        Dbms::InfluxDb => &influxdb::CATALOG,
+        Dbms::MongoDb => &mongodb::CATALOG,
+        Dbms::MySql => &mysql::CATALOG,
+        Dbms::Neo4j => &neo4j::CATALOG,
+        Dbms::PostgreSql => &postgres::CATALOG,
+        Dbms::SqlServer => &sqlserver::CATALOG,
+        Dbms::Sqlite => &sqlite::CATALOG,
+        Dbms::SparkSql => &sparksql::CATALOG,
+        Dbms::TiDb => &tidb::CATALOG,
+    }
+}
+
+/// Empty spec slices for catalogs without aliases.
+pub(crate) const NO_OPS: &[OpSpec] = &[];
+pub(crate) const NO_PROPS: &[PropSpec] = &[];

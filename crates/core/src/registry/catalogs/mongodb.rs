@@ -1,0 +1,140 @@
+//! MongoDB 6.0.5 catalog — Table II row: ops 14/9/0/5/3/10/3 = 44,
+//! props 16/5/18/12 = 51.
+//!
+//! Operations are the `explain()` stage names of the classic execution
+//! engine plus aggregation-pipeline stages classified by effect. The study
+//! notes MongoDB "has no Join operations, because it includes only a single
+//! document tuple for querying".
+
+use crate::registry::catalogs::NO_OPS;
+use crate::registry::{Dbms, DbmsCatalog};
+use crate::unified_names as names;
+
+pub(super) static CATALOG: DbmsCatalog = DbmsCatalog {
+    dbms: Dbms::MongoDb,
+    ops: ops! {
+        Producer {
+            "COLLSCAN" => names::FULL_TABLE_SCAN,
+            "IXSCAN" => names::INDEX_SCAN,
+            "FETCH" => names::DOCUMENT_FETCH,
+            "IDHACK" => names::INDEX_SEEK,
+            "DISTINCT_SCAN" => names::INDEX_ONLY_SCAN,
+            "TEXT_MATCH",
+            "GEO_NEAR_2D",
+            "GEO_NEAR_2DSPHERE",
+            "COUNT_SCAN",
+            "RECORD_STORE_FAST_COUNT",
+            "EOF" => names::CONSTANT_SCAN,
+            "VIRTUAL_SCAN",
+            "SAMPLE_FROM_RANDOM_CURSOR",
+            "QUEUED_DATA" => names::CONSTANT_SCAN,
+        }
+        Combinator {
+            "SORT" => names::SORT,
+            "SORT_SIMPLE" => names::SORT,
+            "LIMIT" => names::LIMIT,
+            "SKIP" => names::OFFSET,
+            "OR" => names::UNION,
+            "AND_HASH" => names::INTERSECT,
+            "AND_SORTED" => names::INTERSECT,
+            "MERGE_SORT" => names::MERGE_APPEND,
+            "SORT_KEY_GENERATOR",
+        }
+        Folder {
+            "GROUP" => names::GROUP_STAGE,
+            "UNWIND" => names::UNWIND,
+            "COUNT" => names::AGGREGATE,
+            "BUCKET_AUTO",
+            "FACET",
+        }
+        Projector {
+            "PROJECTION_SIMPLE" => names::PROJECT,
+            "PROJECTION_COVERED" => names::PROJECT,
+            "PROJECTION_DEFAULT" => names::PROJECT,
+        }
+        Executor {
+            "CACHED_PLAN",
+            "MULTI_PLAN",
+            "SUBPLAN",
+            "SHARDING_FILTER",
+            "SHARD_MERGE" => names::GATHER,
+            "SINGLE_SHARD" => names::GATHER,
+            "EXCHANGE" => names::SHUFFLE,
+            "TRIAL",
+            "RETURN_KEY",
+            "SPOOL" => names::MATERIALIZE,
+        }
+        Consumer {
+            "UPDATE" => names::UPDATE,
+            "DELETE" => names::DELETE,
+            "BATCHED_DELETE" => names::DELETE,
+        }
+    },
+    props: props! {
+        Cardinality {
+            "nReturned" => names::props::ACTUAL_ROWS,
+            "totalDocsExamined",
+            "totalKeysExamined",
+            "docsExamined",
+            "keysExamined",
+            "nCounted",
+            "nSkipped",
+            "dupsTested",
+            "dupsDropped",
+            "seeks",
+            "invalidates",
+            "needTime",
+            "needYield",
+            "advanced",
+            "works",
+            "restoreState",
+        }
+        Cost {
+            "executionTimeMillis" => names::props::EXECUTION_TIME_MS,
+            "executionTimeMillisEstimate",
+            "memUsage",
+            "memLimit",
+            "totalChildMillis",
+        }
+        Configuration {
+            "indexName" => names::props::NAME_INDEX,
+            "keyPattern",
+            "indexBounds" => names::props::INDEX_COND,
+            "direction",
+            "filter" => names::props::FILTER,
+            "sortPattern" => names::props::SORT_KEY,
+            "projection",
+            "collation",
+            "isMultiKey",
+            "multiKeyPaths",
+            "isUnique",
+            "isSparse",
+            "isPartial",
+            "indexVersion",
+            "hint",
+            "queryHash",
+            "planCacheKey",
+            "namespace" => names::props::NAME_OBJECT,
+        }
+        Status {
+            "stage",
+            "executionSuccess",
+            "serverInfo",
+            "serverParameters",
+            "winningPlan",
+            "rejectedPlans",
+            "plannerVersion",
+            "optimizedPipeline",
+            "fromMultiPlanner",
+            "replanned",
+            "replanReason",
+            "shardName",
+        }
+    },
+    op_aliases: NO_OPS,
+    prop_aliases: props! {
+        Status {
+            "isEOF",
+        }
+    },
+};

@@ -1,0 +1,137 @@
+//! MySQL 8.0.32 catalog — Table II row: ops 15/3/2/1/0/2/0 = 23,
+//! props 3/6/3/10 = 22.
+//!
+//! The study identifies MySQL's operations from the `EXPLAIN FORMAT=TREE`
+//! iterator names; the catalogued properties are the `FORMAT=JSON` members
+//! plus the classic table-format columns. Aliases map the table-format
+//! access-type spellings (`ALL`, `ref`, `range`, ...) onto the tree names.
+
+use crate::registry::{Dbms, DbmsCatalog};
+use crate::unified_names as names;
+
+pub(super) static CATALOG: DbmsCatalog = DbmsCatalog {
+    dbms: Dbms::MySql,
+    ops: ops! {
+        Producer {
+            "Table scan" => names::FULL_TABLE_SCAN,
+            "Index scan" => names::INDEX_SCAN,
+            "Index lookup" => names::INDEX_SCAN,
+            "Single-row index lookup" => names::INDEX_SEEK,
+            "Index range scan" => names::INDEX_SCAN,
+            "Covering index scan" => names::INDEX_ONLY_SCAN,
+            "Covering index lookup" => names::INDEX_ONLY_SCAN,
+            "Covering index range scan" => names::INDEX_ONLY_SCAN,
+            "Full-text index search",
+            "Constant row" => names::CONSTANT_SCAN,
+            "Zero rows" => names::CONSTANT_SCAN,
+            "Rows fetched before execution" => names::CONSTANT_SCAN,
+            "Index merge",
+            "Unique index lookup" => names::INDEX_SEEK,
+            "Group index skip scan",
+        }
+        Combinator {
+            "Sort" => names::SORT,
+            "Limit/Offset" => names::LIMIT,
+            "Union all" => names::APPEND,
+        }
+        Join {
+            "Nested loop join" => names::NESTED_LOOP_JOIN,
+            "Hash join" => names::HASH_JOIN,
+        }
+        Folder {
+            "Aggregate" => names::AGGREGATE,
+        }
+        Executor {
+            "Materialize" => names::MATERIALIZE,
+            "Stream results" => names::PASS_THROUGH,
+        }
+    },
+    props: props! {
+        Cardinality {
+            "rows_examined_per_scan",
+            "rows_produced_per_join" => names::props::ROWS,
+            "filtered",
+        }
+        Cost {
+            "query_cost" => names::props::TOTAL_COST,
+            "read_cost",
+            "eval_cost",
+            "prefix_cost",
+            "sort_cost",
+            "data_read_per_join",
+        }
+        Configuration {
+            "key" => names::props::NAME_INDEX,
+            "used_key_parts",
+            "ref",
+        }
+        Status {
+            "select_type",
+            "table_name" => names::props::NAME_OBJECT,
+            "partitions",
+            "possible_keys",
+            "key_length",
+            "using_filesort",
+            "using_temporary_table",
+            "using_index",
+            "backward_index_scan",
+            "message",
+        }
+    },
+    op_aliases: ops! {
+        Producer {
+            // Classic table-format access types (the `type` column).
+            "ALL" => names::FULL_TABLE_SCAN,
+            "index" => names::INDEX_SCAN,
+            "range" => names::INDEX_SCAN,
+            "ref" => names::INDEX_SCAN,
+            "eq_ref" => names::INDEX_SEEK,
+            "const" => names::CONSTANT_SCAN,
+            "system" => names::CONSTANT_SCAN,
+            "fulltext",
+            "ref_or_null" => names::INDEX_SCAN,
+            "unique_subquery" => names::SUBQUERY_SCAN,
+            "index_subquery" => names::SUBQUERY_SCAN,
+        }
+        Join {
+            "Inner hash join" => names::HASH_JOIN,
+            "Left hash join" => names::HASH_JOIN,
+            "Nested loop inner join" => names::NESTED_LOOP_JOIN,
+            "Nested loop left join" => names::NESTED_LOOP_JOIN,
+            "Nested loop antijoin" => names::ANTI_JOIN,
+            "Nested loop semijoin" => names::SEMI_JOIN,
+        }
+        Folder {
+            "Aggregate using temporary table" => names::HASH_AGGREGATE,
+            "Group aggregate" => names::GROUP_AGGREGATE,
+        }
+        Combinator {
+            "Limit" => names::LIMIT,
+            "Deduplicate" => names::DISTINCT,
+        }
+        Executor {
+            "Filter" => names::SELECTION,
+            "Temporary table" => names::MATERIALIZE,
+        }
+        Combinator {
+            // FORMAT=JSON block keys double as operation spellings.
+            "ordering_operation" => names::SORT,
+            "union_result" => names::APPEND,
+            "duplicates_removal" => names::DISTINCT,
+        }
+        Folder {
+            "grouping_operation" => names::AGGREGATE,
+        }
+    },
+    prop_aliases: props! {
+        Cardinality {
+            "rows" => names::props::ROWS,
+        }
+        Configuration {
+            "attached_condition" => names::props::FILTER,
+        }
+        Status {
+            "Extra",
+        }
+    },
+};

@@ -1,0 +1,228 @@
+//! PostgreSQL 14.7 catalog — Table II row: ops 18/8/3/3/0/9/1 = 42,
+//! props 8/17/42/40 = 107.
+//!
+//! Operation names are the `EXPLAIN` node types of `src/backend/commands/
+//! explain.c`; the study notes PostgreSQL "includes many fine-grained
+//! properties", which is why its Configuration/Status columns dominate
+//! Table II. Aliases cover the aggregate-strategy spellings (`HashAggregate`
+//! etc.) that EXPLAIN prints for the catalogued `Aggregate` node.
+
+use crate::registry::{Dbms, DbmsCatalog};
+use crate::unified_names as names;
+
+pub(super) static CATALOG: DbmsCatalog = DbmsCatalog {
+    dbms: Dbms::PostgreSql,
+    ops: ops! {
+        Producer {
+            "Seq Scan" => names::FULL_TABLE_SCAN,
+            "Index Scan" => names::INDEX_SCAN,
+            "Index Only Scan" => names::INDEX_ONLY_SCAN,
+            "Bitmap Index Scan" => names::BITMAP_INDEX_SCAN,
+            "Bitmap Heap Scan" => names::BITMAP_HEAP_SCAN,
+            "Tid Scan" => names::ID_SCAN,
+            "Tid Range Scan",
+            "Subquery Scan" => names::SUBQUERY_SCAN,
+            "Function Scan" => names::FUNCTION_SCAN,
+            "Table Function Scan",
+            "Values Scan" => names::CONSTANT_SCAN,
+            "CTE Scan" => names::CTE_SCAN,
+            "Named Tuplestore Scan",
+            "WorkTable Scan",
+            "Foreign Scan",
+            "Custom Scan",
+            "Sample Scan",
+            "Result",
+        }
+        Combinator {
+            "Sort" => names::SORT,
+            "Incremental Sort",
+            "Limit" => names::LIMIT,
+            "Append" => names::APPEND,
+            "Merge Append" => names::MERGE_APPEND,
+            "Recursive Union",
+            "Unique" => names::DISTINCT,
+            "SetOp",
+        }
+        Join {
+            "Nested Loop" => names::NESTED_LOOP_JOIN,
+            "Merge Join" => names::MERGE_JOIN,
+            "Hash Join" => names::HASH_JOIN,
+        }
+        Folder {
+            "Aggregate" => names::AGGREGATE,
+            "Group" => names::GROUP_AGGREGATE,
+            "WindowAgg" => names::WINDOW,
+        }
+        Executor {
+            "Gather" => names::GATHER,
+            "Gather Merge" => names::GATHER_MERGE,
+            "Hash" => names::HASH_ROW,
+            "Materialize" => names::MATERIALIZE,
+            "Memoize" => names::MEMOIZE,
+            "BitmapAnd",
+            "BitmapOr",
+            "ProjectSet",
+            "LockRows",
+        }
+        Consumer {
+            "ModifyTable",
+        }
+    },
+    props: props! {
+        Cardinality {
+            "Plan Rows" => names::props::ROWS,
+            "Plan Width" => names::props::WIDTH,
+            "Actual Rows" => names::props::ACTUAL_ROWS,
+            "Actual Loops",
+            "Rows Removed by Filter",
+            "Rows Removed by Join Filter",
+            "Heap Fetches",
+            "Exact Heap Blocks",
+        }
+        Cost {
+            "Startup Cost" => names::props::STARTUP_COST,
+            "Total Cost" => names::props::TOTAL_COST,
+            "Actual Startup Time",
+            "Actual Total Time" => names::props::ACTUAL_TIME_MS,
+            "Shared Hit Blocks",
+            "Shared Read Blocks",
+            "Shared Dirtied Blocks",
+            "Shared Written Blocks",
+            "Local Hit Blocks",
+            "Local Read Blocks",
+            "Local Dirtied Blocks",
+            "Local Written Blocks",
+            "Temp Read Blocks",
+            "Temp Written Blocks",
+            "I/O Read Time",
+            "I/O Write Time",
+            "Peak Memory Usage",
+        }
+        Configuration {
+            "Filter" => names::props::FILTER,
+            "Index Cond" => names::props::INDEX_COND,
+            "Recheck Cond",
+            "Join Filter",
+            "Hash Cond" => names::props::JOIN_COND,
+            "Merge Cond",
+            "Sort Key" => names::props::SORT_KEY,
+            "Presorted Key",
+            "Group Key" => names::props::GROUP_KEY,
+            "Grouping Sets",
+            "Output" => names::props::OUTPUT,
+            "Schema",
+            "Alias",
+            "Relation Name" => names::props::NAME_OBJECT,
+            "Index Name" => names::props::NAME_INDEX,
+            "CTE Name",
+            "Function Name",
+            "Table Function Name",
+            "Tuplestore Name",
+            "Subplan Name",
+            "Strategy",
+            "Partial Mode",
+            "Parent Relationship",
+            "Scan Direction",
+            "Join Type",
+            "Inner Unique",
+            "Command",
+            "Operation",
+            "TID Cond",
+            "Order By",
+            "Single Copy",
+            "Async Capable",
+            "Parallel Aware",
+            "Cache Key",
+            "Cache Mode",
+            "Conflict Resolution",
+            "Conflict Arbiter Indexes",
+            "Target Tables",
+            "Repeatable",
+            "Sampling Method",
+            "Custom Plan Provider",
+            "One-Time Filter",
+        }
+        Status {
+            "Planning Time" => names::props::PLANNING_TIME_MS,
+            "Execution Time" => names::props::EXECUTION_TIME_MS,
+            "Workers Planned" => names::props::WORKERS_PLANNED,
+            "Workers Launched",
+            "Worker Number",
+            "Sort Method",
+            "Sort Space Used",
+            "Sort Space Type",
+            "Hash Batches",
+            "Hash Buckets",
+            "Original Hash Batches",
+            "Original Hash Buckets",
+            "Heap Blocks",
+            "Lossy Heap Blocks",
+            "Cache Hits",
+            "Cache Misses",
+            "Cache Evictions",
+            "Cache Overflows",
+            "Full-sort Groups",
+            "Pre-sorted Groups",
+            "Triggers",
+            "Trigger Name",
+            "Trigger Time",
+            "Trigger Calls",
+            "JIT Functions",
+            "JIT Generation Time",
+            "JIT Inlining",
+            "JIT Inlining Time",
+            "JIT Optimization",
+            "JIT Optimization Time",
+            "JIT Emission Time",
+            "WAL Records",
+            "WAL FPI",
+            "WAL Bytes",
+            "Settings",
+            "Query Identifier",
+            "Conflicting Tuples",
+            "Tuples Inserted",
+            "Planned Partitions",
+            "Disabled Nodes",
+        }
+    },
+    op_aliases: ops! {
+        Folder {
+            // EXPLAIN prints the Aggregate node's strategy as part of the
+            // name; these spellings resolve to the catalogued node.
+            "HashAggregate" => names::HASH_AGGREGATE,
+            "GroupAggregate" => names::GROUP_AGGREGATE,
+            "MixedAggregate" => names::AGGREGATE,
+            "Partial HashAggregate" => names::HASH_AGGREGATE,
+            "Partial GroupAggregate" => names::GROUP_AGGREGATE,
+            "Finalize Aggregate" => names::AGGREGATE,
+            "Partial Aggregate" => names::AGGREGATE,
+        }
+        Producer {
+            "Parallel Seq Scan" => names::FULL_TABLE_SCAN,
+            "Parallel Index Scan" => names::INDEX_SCAN,
+            "Parallel Index Only Scan" => names::INDEX_ONLY_SCAN,
+            "Parallel Bitmap Heap Scan" => names::BITMAP_HEAP_SCAN,
+        }
+        Consumer {
+            // ModifyTable is printed by its operation in text format.
+            "Insert" => names::INSERT,
+            "Update" => names::UPDATE,
+            "Delete" => names::DELETE,
+        }
+        Combinator {
+            "HashSetOp" => names::EXCEPT,
+            "SetOp Intersect" => names::INTERSECT,
+            "SetOp Except" => names::EXCEPT,
+        }
+    },
+    prop_aliases: props! {
+        Cardinality {
+            // Text-format spellings of the JSON property names.
+            "rows" => names::props::ROWS,
+            "width" => names::props::WIDTH,
+        }
+        Cost {
+            "cost" => names::props::TOTAL_COST,
+        }
+    },
+};

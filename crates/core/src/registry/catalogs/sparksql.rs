@@ -1,0 +1,150 @@
+//! SparkSQL 3.3.2 catalog — Table II row: ops 7/1/2/6/0/43/18 = 77,
+//! props 11/11/0/0 = 22.
+//!
+//! SparkSQL's physical operators come from the `SparkPlan` class hierarchy.
+//! The study highlights its Executor column: "SparkSQL has significantly
+//! more operations, 43, in the Executor category than others, because it
+//! defines multiple operations to interact with other components, such as
+//! the Python library pandas" — visible below in the `*InPandas` /
+//! `*EvalPython` family. Properties are SQL metrics; the study found no
+//! Configuration/Status properties in plan output (Table II: 0/0).
+
+use crate::registry::catalogs::NO_PROPS;
+use crate::registry::{Dbms, DbmsCatalog};
+use crate::unified_names as names;
+
+pub(super) static CATALOG: DbmsCatalog = DbmsCatalog {
+    dbms: Dbms::SparkSql,
+    ops: ops! {
+        Producer {
+            "FileScan" => names::FULL_TABLE_SCAN,
+            "BatchScan" => names::FULL_TABLE_SCAN,
+            "Range" => names::FUNCTION_SCAN,
+            "LocalTableScan" => names::CONSTANT_SCAN,
+            "InMemoryTableScan",
+            "RowDataSourceScan",
+            "HiveTableScan",
+        }
+        Combinator {
+            "Sort" => names::SORT,
+        }
+        Join {
+            "SortMergeJoin" => names::MERGE_JOIN,
+            "BroadcastHashJoin" => names::HASH_JOIN,
+        }
+        Folder {
+            "HashAggregate" => names::HASH_AGGREGATE,
+            "SortAggregate" => names::STREAM_AGGREGATE,
+            "ObjectHashAggregate" => names::HASH_AGGREGATE,
+            "Window" => names::WINDOW,
+            "WindowGroupLimit",
+            "Generate" => names::UNWIND,
+        }
+        Executor {
+            "Project" => names::PROJECT,
+            "Filter" => names::SELECTION,
+            "Exchange" => names::SHUFFLE,
+            "BroadcastExchange" => names::EXCHANGE_SEND,
+            "ShuffleQueryStage",
+            "BroadcastQueryStage",
+            "AQEShuffleRead",
+            "CustomShuffleReader",
+            "WholeStageCodegen" => names::PASS_THROUGH,
+            "InputAdapter",
+            "ColumnarToRow",
+            "RowToColumnar",
+            "ReusedExchange",
+            "ReusedSubquery",
+            "Subquery",
+            "SubqueryBroadcast",
+            "AdaptiveSparkPlan",
+            "CollectLimit" => names::LIMIT,
+            "LocalLimit",
+            "GlobalLimit",
+            "TakeOrderedAndProject" => names::TOP_N,
+            "Coalesce",
+            "Repartition",
+            "RepartitionByExpression",
+            "Sample",
+            "Expand",
+            "ArrowEvalPython",
+            "BatchEvalPython",
+            "MapInPandas",
+            "FlatMapGroupsInPandas",
+            "FlatMapCoGroupsInPandas",
+            "AggregateInPandas",
+            "WindowInPandas",
+            "MapPartitions",
+            "MapElements",
+            "AppendColumns",
+            "MapGroups",
+            "CoGroup",
+            "SerializeFromObject",
+            "DeserializeToObject",
+            "EventTimeWatermark",
+            "ScriptTransformation",
+            "CollectMetrics",
+        }
+        Consumer {
+            "InsertIntoHadoopFsRelationCommand" => names::INSERT,
+            "InsertIntoHiveTable" => names::INSERT,
+            "SetCatalogAndNamespace" => names::SET_VARIABLE,
+            "CreateTable" => names::DDL,
+            "CreateTableAsSelect" => names::DDL,
+            "ReplaceTableAsSelect",
+            "DropTable" => names::DDL,
+            "AlterTable" => names::DDL,
+            "RenameTable",
+            "CreateNamespace",
+            "DropNamespace",
+            "SetNamespaceProperties",
+            "RefreshTable",
+            "CacheTable",
+            "UncacheTable",
+            "TruncateTable",
+            "AppendData",
+            "OverwriteByExpression",
+        }
+    },
+    props: props! {
+        Cardinality {
+            "number of output rows" => names::props::ROWS,
+            "number of files read",
+            "number of partitions read",
+            "rowCount",
+            "sizeInBytes" => names::props::WIDTH,
+            "number of input batches",
+            "number of output batches",
+            "shuffle records written",
+            "records read",
+            "shuffle records read",
+            "records written",
+        }
+        Cost {
+            "scan time",
+            "metadata time",
+            "shuffle bytes written",
+            "shuffle write time",
+            "fetch wait time",
+            "remote bytes read",
+            "local bytes read",
+            "spill size",
+            "peak memory",
+            "aggregate time",
+            "sort time",
+        }
+    },
+    op_aliases: ops! {
+        Join {
+            // Non-default join strategies print distinct names but were
+            // catalogued under the two primary physical joins.
+            "ShuffledHashJoin" => names::HASH_JOIN,
+            "BroadcastNestedLoopJoin" => names::NESTED_LOOP_JOIN,
+            "CartesianProduct" => names::CARTESIAN_PRODUCT,
+        }
+        Combinator {
+            "Union" => names::APPEND,
+        }
+    },
+    prop_aliases: NO_PROPS,
+};

@@ -1,0 +1,59 @@
+//! SQLite 3.41.2 catalog — Table II row: ops 3/6/3/0/0/5/0 = 17,
+//! props 0/0/3/0 = 3.
+//!
+//! `EXPLAIN QUERY PLAN` emits free-form strings assembled in `where.c` /
+//! `select.c`; the study notes SQLite "defines operations as strings that
+//! are passed to the query plan generation process", has no Folder
+//! operations (grouping shows up as `USE TEMP B-TREE FOR GROUP BY`, an
+//! Executor step), and omits Cardinality/Cost properties entirely because
+//! its planner uses simple heuristics.
+
+use crate::registry::catalogs::NO_PROPS;
+use crate::registry::{Dbms, DbmsCatalog};
+use crate::unified_names as names;
+
+pub(super) static CATALOG: DbmsCatalog = DbmsCatalog {
+    dbms: Dbms::Sqlite,
+    ops: ops! {
+        Producer {
+            "SCAN" => names::FULL_TABLE_SCAN,
+            "SEARCH" => names::INDEX_SCAN,
+            "SCALAR SUBQUERY" => names::SUBQUERY_SCAN,
+        }
+        Combinator {
+            "COMPOUND QUERY" => names::APPEND,
+            "LEFT-MOST SUBQUERY",
+            "UNION USING TEMP B-TREE" => names::UNION,
+            "UNION ALL" => names::APPEND,
+            "INTERSECT USING TEMP B-TREE" => names::INTERSECT,
+            "EXCEPT USING TEMP B-TREE" => names::EXCEPT,
+        }
+        Join {
+            "JOIN" => names::NESTED_LOOP_JOIN,
+            "BLOOM FILTER ON" => names::HASH_JOIN,
+            "RIGHT-JOIN" => names::NESTED_LOOP_JOIN,
+        }
+        Executor {
+            "USE TEMP B-TREE FOR GROUP BY",
+            "USE TEMP B-TREE FOR ORDER BY",
+            "USE TEMP B-TREE FOR DISTINCT",
+            "CO-ROUTINE" => names::PASS_THROUGH,
+            "MATERIALIZE" => names::MATERIALIZE,
+        }
+    },
+    props: props! {
+        Configuration {
+            "USING INDEX" => names::props::NAME_INDEX,
+            "USING COVERING INDEX" => names::props::INDEX_COND,
+            "USING INTEGER PRIMARY KEY",
+        }
+    },
+    op_aliases: ops! {
+        Producer {
+            // Automatic (query-time) indexes appear inside SEARCH lines.
+            "SEARCH USING AUTOMATIC COVERING INDEX" => names::INDEX_ONLY_SCAN,
+            "SCAN CONSTANT ROW" => names::CONSTANT_SCAN,
+        }
+    },
+    prop_aliases: NO_PROPS,
+};

@@ -1,0 +1,130 @@
+//! SQL Server 16.0.4015.1 catalog — Table II row: ops 15/3/3/3/0/16/19 = 59,
+//! props 4/4/7/3 = 18.
+//!
+//! SQL Server is the one studied system whose source is closed; the study
+//! relied on its (unusually complete) operator documentation. Operation
+//! names follow the showplan physical operators; properties are showplan XML
+//! attributes. The large Consumer column reflects the per-structure DML
+//! operators (`Table Insert`, `Clustered Index Update`, ...).
+
+use crate::registry::catalogs::NO_OPS;
+use crate::registry::{Dbms, DbmsCatalog};
+use crate::unified_names as names;
+
+pub(super) static CATALOG: DbmsCatalog = DbmsCatalog {
+    dbms: Dbms::SqlServer,
+    ops: ops! {
+        Producer {
+            "Table Scan" => names::FULL_TABLE_SCAN,
+            "Clustered Index Scan" => names::FULL_TABLE_SCAN,
+            "Clustered Index Seek" => names::INDEX_SEEK,
+            "Index Scan" => names::INDEX_SCAN,
+            "Index Seek" => names::INDEX_SEEK,
+            "RID Lookup" => names::ID_SCAN,
+            "Key Lookup" => names::ID_SCAN,
+            "Columnstore Index Scan",
+            "Constant Scan" => names::CONSTANT_SCAN,
+            "Remote Query",
+            "Remote Scan",
+            "Table-valued Function" => names::FUNCTION_SCAN,
+            "Deleted Scan",
+            "Inserted Scan",
+            "Log Row Scan",
+        }
+        Combinator {
+            "Sort" => names::SORT,
+            "Top" => names::TOP_N,
+            "Concatenation" => names::APPEND,
+        }
+        Join {
+            "Nested Loops" => names::NESTED_LOOP_JOIN,
+            "Merge Join" => names::MERGE_JOIN,
+            "Hash Match" => names::HASH_JOIN,
+        }
+        Folder {
+            "Stream Aggregate" => names::STREAM_AGGREGATE,
+            "Window Aggregate" => names::WINDOW,
+            "Partial Aggregate" => names::AGGREGATE,
+        }
+        Executor {
+            "Compute Scalar",
+            "Filter" => names::SELECTION,
+            "Gather Streams" => names::GATHER,
+            "Distribute Streams" => names::EXCHANGE_SEND,
+            "Repartition Streams" => names::SHUFFLE,
+            "Bitmap",
+            "Table Spool" => names::MATERIALIZE,
+            "Index Spool",
+            "Row Count Spool",
+            "Window Spool",
+            "Lazy Spool",
+            "Sequence Project",
+            "Segment",
+            "Assert",
+            "Merge Interval",
+            "Split",
+        }
+        Consumer {
+            "Table Insert" => names::INSERT,
+            "Table Update" => names::UPDATE,
+            "Table Delete" => names::DELETE,
+            "Table Merge",
+            "Clustered Index Insert" => names::INSERT,
+            "Clustered Index Update" => names::UPDATE,
+            "Clustered Index Delete" => names::DELETE,
+            "Clustered Index Merge",
+            "Index Insert",
+            "Index Update",
+            "Index Delete",
+            "Online Index Insert",
+            "Remote Insert",
+            "Remote Update",
+            "Remote Delete",
+            "Collapse",
+            "Sequence",
+            "Print",
+            "Declare",
+        }
+    },
+    props: props! {
+        Cardinality {
+            "EstimateRows" => names::props::ROWS,
+            "ActualRows" => names::props::ACTUAL_ROWS,
+            "EstimatedRowsRead",
+            "TableCardinality",
+        }
+        Cost {
+            "EstimatedTotalSubtreeCost" => names::props::TOTAL_COST,
+            "EstimateIO",
+            "EstimateCPU",
+            "EstimatedOperatorCost",
+        }
+        Configuration {
+            "PhysicalOp",
+            "LogicalOp",
+            "OutputList" => names::props::OUTPUT,
+            "SeekPredicates" => names::props::INDEX_COND,
+            "Predicate" => names::props::FILTER,
+            "Object" => names::props::NAME_OBJECT,
+            "OrderBy" => names::props::SORT_KEY,
+        }
+        Status {
+            "Parallel",
+            "ActualExecutionMode",
+            "DegreeOfParallelism",
+        }
+    },
+    op_aliases: NO_OPS,
+    prop_aliases: props! {
+        Cardinality {
+            "AvgRowSize" => names::props::WIDTH,
+        }
+        Configuration {
+            "GroupBy" => names::props::GROUP_KEY,
+            "TopExpression",
+        }
+        Status {
+            "CompileTime" => names::props::PLANNING_TIME_MS,
+        }
+    },
+};

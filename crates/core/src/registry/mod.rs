@@ -1,0 +1,864 @@
+//! The study data of paper Section III, as a queryable registry.
+//!
+//! The case study catalogued, for each of nine DBMSs, every operation and
+//! property appearing in its query plan representation, classified them into
+//! the seven operation categories and four property categories, and mapped
+//! recurring names onto unified names. This module carries that data:
+//!
+//! * [`Dbms`] / [`DbmsInfo`] — the studied systems (Table I);
+//! * [`catalogs`] — per-DBMS operation/property catalogs whose per-category
+//!   counts reproduce Table II exactly (the paper's supplementary material
+//!   has the raw lists; where a native name is not recoverable from the
+//!   paper text, a documented best-effort reconstruction is used — counts,
+//!   categories, and all names referenced in the paper body are faithful);
+//! * [`FormatSupport`] — the officially supported formats (Table III);
+//! * [`viz_tools`] — the third-party visualization tool survey (Table IV);
+//! * [`Registry`] — a runtime lookup/extension structure realizing the
+//!   extensibility design of Section IV-B (operations and properties can be
+//!   added or removed at runtime without touching the representation).
+
+pub mod catalogs;
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::model::{OperationCategory, PropertyCategory};
+
+/// The nine studied DBMSs (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dbms {
+    /// InfluxDB 2.7.0 — time-series.
+    InfluxDb,
+    /// MongoDB 6.0.5 — document.
+    MongoDb,
+    /// MySQL 8.0.32 — relational.
+    MySql,
+    /// Neo4j 5.6.0 — graph.
+    Neo4j,
+    /// PostgreSQL 14.7 — relational.
+    PostgreSql,
+    /// SQL Server 16.0.4015.1 — relational.
+    SqlServer,
+    /// SQLite 3.41.2 — relational (embedded).
+    Sqlite,
+    /// SparkSQL 3.3.2 — relational (analytics engine).
+    SparkSql,
+    /// TiDB 6.5.1 — relational (distributed).
+    TiDb,
+}
+
+impl Dbms {
+    /// All studied DBMSs in Table I order.
+    pub const ALL: [Dbms; 9] = [
+        Dbms::InfluxDb,
+        Dbms::MongoDb,
+        Dbms::MySql,
+        Dbms::Neo4j,
+        Dbms::PostgreSql,
+        Dbms::SqlServer,
+        Dbms::Sqlite,
+        Dbms::SparkSql,
+        Dbms::TiDb,
+    ];
+
+    /// Table I metadata for this DBMS.
+    pub fn info(self) -> &'static DbmsInfo {
+        match self {
+            Dbms::InfluxDb => &DbmsInfo {
+                dbms: Dbms::InfluxDb,
+                name: "InfluxDB",
+                version: "2.7.0",
+                data_model: DataModel::TimeSeries,
+                release_year: 2013,
+                rank: 28,
+            },
+            Dbms::MongoDb => &DbmsInfo {
+                dbms: Dbms::MongoDb,
+                name: "MongoDB",
+                version: "6.0.5",
+                data_model: DataModel::Document,
+                release_year: 2009,
+                rank: 5,
+            },
+            Dbms::MySql => &DbmsInfo {
+                dbms: Dbms::MySql,
+                name: "MySQL",
+                version: "8.0.32",
+                data_model: DataModel::Relational,
+                release_year: 1995,
+                rank: 2,
+            },
+            Dbms::Neo4j => &DbmsInfo {
+                dbms: Dbms::Neo4j,
+                name: "Neo4j",
+                version: "5.6.0",
+                data_model: DataModel::Graph,
+                release_year: 2007,
+                rank: 21,
+            },
+            Dbms::PostgreSql => &DbmsInfo {
+                dbms: Dbms::PostgreSql,
+                name: "PostgreSQL",
+                version: "14.7",
+                data_model: DataModel::Relational,
+                release_year: 1989,
+                rank: 4,
+            },
+            Dbms::SqlServer => &DbmsInfo {
+                dbms: Dbms::SqlServer,
+                name: "SQL Server",
+                version: "16.0.4015.1",
+                data_model: DataModel::Relational,
+                release_year: 1989,
+                rank: 3,
+            },
+            Dbms::Sqlite => &DbmsInfo {
+                dbms: Dbms::Sqlite,
+                name: "SQLite",
+                version: "3.41.2",
+                data_model: DataModel::Relational,
+                release_year: 1990,
+                rank: 10,
+            },
+            Dbms::SparkSql => &DbmsInfo {
+                dbms: Dbms::SparkSql,
+                name: "SparkSQL",
+                version: "3.3.2",
+                data_model: DataModel::Relational,
+                release_year: 2014,
+                rank: 33,
+            },
+            Dbms::TiDb => &DbmsInfo {
+                dbms: Dbms::TiDb,
+                name: "TiDB",
+                version: "6.5.1",
+                data_model: DataModel::Relational,
+                release_year: 2016,
+                rank: 79,
+            },
+        }
+    }
+
+    /// Display name ("PostgreSQL", "SQL Server", ...).
+    pub fn name(self) -> &'static str {
+        self.info().name
+    }
+
+    /// The operation/property catalog of this DBMS (the Section III study).
+    pub fn catalog(self) -> &'static DbmsCatalog {
+        catalogs::catalog(self)
+    }
+
+    /// Officially supported plan formats (paper Table III).
+    pub fn formats(self) -> FormatSupport {
+        match self {
+            Dbms::InfluxDb => FormatSupport::TEXT,
+            Dbms::MongoDb => FormatSupport::GRAPH.union(FormatSupport::JSON),
+            Dbms::MySql => FormatSupport::GRAPH
+                .union(FormatSupport::TABLE)
+                .union(FormatSupport::JSON),
+            Dbms::Neo4j => FormatSupport::GRAPH
+                .union(FormatSupport::TEXT)
+                .union(FormatSupport::JSON),
+            Dbms::PostgreSql => FormatSupport::GRAPH
+                .union(FormatSupport::TEXT)
+                .union(FormatSupport::JSON)
+                .union(FormatSupport::XML)
+                .union(FormatSupport::YAML),
+            Dbms::SqlServer => FormatSupport::GRAPH
+                .union(FormatSupport::TEXT)
+                .union(FormatSupport::TABLE)
+                .union(FormatSupport::XML),
+            Dbms::Sqlite => FormatSupport::TEXT,
+            Dbms::SparkSql => FormatSupport::GRAPH.union(FormatSupport::TEXT),
+            Dbms::TiDb => FormatSupport::TEXT
+                .union(FormatSupport::TABLE)
+                .union(FormatSupport::JSON),
+        }
+    }
+}
+
+impl fmt::Display for Dbms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The data models represented in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataModel {
+    /// Tables of tuples (Codd).
+    Relational,
+    /// JSON-like documents.
+    Document,
+    /// Property graphs.
+    Graph,
+    /// Timestamped series.
+    TimeSeries,
+}
+
+impl DataModel {
+    /// Table I spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataModel::Relational => "Relational",
+            DataModel::Document => "Document",
+            DataModel::Graph => "Graph",
+            DataModel::TimeSeries => "Time-series",
+        }
+    }
+}
+
+/// One row of paper Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbmsInfo {
+    /// Which DBMS this is.
+    pub dbms: Dbms,
+    /// Display name.
+    pub name: &'static str,
+    /// The studied version.
+    pub version: &'static str,
+    /// Data model.
+    pub data_model: DataModel,
+    /// Initial release year.
+    pub release_year: u16,
+    /// db-engines.com popularity rank (as of the study, August 2024).
+    pub rank: u16,
+}
+
+/// Serialized-plan format support (paper Table III), as a small bitset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FormatSupport(u8);
+
+impl FormatSupport {
+    /// Graphical rendering in an official IDE (natural category).
+    pub const GRAPH: FormatSupport = FormatSupport(1 << 0);
+    /// Plain-text rendering (natural category).
+    pub const TEXT: FormatSupport = FormatSupport(1 << 1);
+    /// Tabular rendering (natural category).
+    pub const TABLE: FormatSupport = FormatSupport(1 << 2);
+    /// JSON (structured category).
+    pub const JSON: FormatSupport = FormatSupport(1 << 3);
+    /// XML (structured category).
+    pub const XML: FormatSupport = FormatSupport(1 << 4);
+    /// YAML (structured category).
+    pub const YAML: FormatSupport = FormatSupport(1 << 5);
+
+    /// All format flags in Table III column order, with names.
+    pub const ALL: [(FormatSupport, &'static str); 6] = [
+        (FormatSupport::GRAPH, "Graph"),
+        (FormatSupport::TEXT, "Text"),
+        (FormatSupport::TABLE, "Table"),
+        (FormatSupport::JSON, "JSON"),
+        (FormatSupport::XML, "XML"),
+        (FormatSupport::YAML, "YAML"),
+    ];
+
+    /// Set union.
+    pub const fn union(self, other: FormatSupport) -> FormatSupport {
+        FormatSupport(self.0 | other.0)
+    }
+
+    /// Whether every flag of `other` is supported.
+    pub const fn contains(self, other: FormatSupport) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Number of supported formats.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Number of supported *natural*-category formats (graph, text, table).
+    pub fn natural_count(self) -> u32 {
+        (self.0 & 0b000111).count_ones()
+    }
+
+    /// Number of supported *structured*-category formats (JSON, XML, YAML).
+    pub fn structured_count(self) -> u32 {
+        (self.0 & 0b111000).count_ones()
+    }
+}
+
+/// A catalogued operation: native name, category, optional unified mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct OpSpec {
+    /// The DBMS-specific operation name, as serialized.
+    pub native: &'static str,
+    /// Category per the study's classification.
+    pub category: OperationCategory2,
+    /// Unified name; `None` means "canonicalize the native name".
+    pub unified: Option<&'static str>,
+}
+
+/// A catalogued property: native name, category, optional unified mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct PropSpec {
+    /// The DBMS-specific property key, as serialized.
+    pub native: &'static str,
+    /// Category per the study's classification.
+    pub category: PropertyCategory2,
+    /// Unified name; `None` means "canonicalize the native name".
+    pub unified: Option<&'static str>,
+}
+
+/// `OperationCategory` restricted to the seven canonical categories, `Copy`
+/// so catalogs can live in statics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum OperationCategory2 {
+    Producer,
+    Combinator,
+    Join,
+    Folder,
+    Projector,
+    Executor,
+    Consumer,
+}
+
+impl OperationCategory2 {
+    /// Widens into the open category enum.
+    pub fn widen(self) -> OperationCategory {
+        match self {
+            OperationCategory2::Producer => OperationCategory::Producer,
+            OperationCategory2::Combinator => OperationCategory::Combinator,
+            OperationCategory2::Join => OperationCategory::Join,
+            OperationCategory2::Folder => OperationCategory::Folder,
+            OperationCategory2::Projector => OperationCategory::Projector,
+            OperationCategory2::Executor => OperationCategory::Executor,
+            OperationCategory2::Consumer => OperationCategory::Consumer,
+        }
+    }
+}
+
+/// `PropertyCategory` restricted to the four canonical categories, `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum PropertyCategory2 {
+    Cardinality,
+    Cost,
+    Configuration,
+    Status,
+}
+
+impl PropertyCategory2 {
+    /// Widens into the open category enum.
+    pub fn widen(self) -> PropertyCategory {
+        match self {
+            PropertyCategory2::Cardinality => PropertyCategory::Cardinality,
+            PropertyCategory2::Cost => PropertyCategory::Cost,
+            PropertyCategory2::Configuration => PropertyCategory::Configuration,
+            PropertyCategory2::Status => PropertyCategory::Status,
+        }
+    }
+}
+
+/// A DBMS's complete catalog: counted entries plus uncounted aliases.
+///
+/// *Aliases* map additional native spellings (e.g. PostgreSQL's
+/// `HashAggregate` vs the catalogued `Aggregate` node, MySQL's tree-format
+/// names vs the catalogued JSON access types) onto the same classification
+/// without inflating the Table II census.
+#[derive(Debug)]
+pub struct DbmsCatalog {
+    /// Which DBMS this catalog describes.
+    pub dbms: Dbms,
+    /// Counted operations (Table II, left).
+    pub ops: &'static [OpSpec],
+    /// Counted properties (Table II, right).
+    pub props: &'static [PropSpec],
+    /// Uncounted operation spelling aliases.
+    pub op_aliases: &'static [OpSpec],
+    /// Uncounted property spelling aliases.
+    pub prop_aliases: &'static [PropSpec],
+}
+
+impl DbmsCatalog {
+    /// Operations per category, Table II column order
+    /// `[Prod, Comb, Join, Folder, Proj, Exec, Cons]`.
+    pub fn op_counts(&self) -> [usize; 7] {
+        let mut counts = [0usize; 7];
+        for op in self.ops {
+            counts[op.category.widen().column_index()] += 1;
+        }
+        counts
+    }
+
+    /// Properties per category, Table II column order
+    /// `[Cardinality, Cost, Configuration, Status]`.
+    pub fn prop_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for prop in self.props {
+            counts[prop.category.widen().column_index()] += 1;
+        }
+        counts
+    }
+}
+
+/// Resolution result for a native operation name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedOp {
+    /// Category per the study.
+    pub category: OperationCategory,
+    /// Unified identifier (a grammar keyword).
+    pub unified: String,
+}
+
+/// Resolution result for a native property key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedProp {
+    /// Category per the study.
+    pub category: PropertyCategory,
+    /// Unified identifier (a grammar keyword).
+    pub unified: String,
+}
+
+/// Runtime registry: study catalogs plus runtime extensions.
+///
+/// Lookups are by *normalized* native name (case-insensitive, whitespace
+/// and punctuation folded), so converters can feed serialized spellings
+/// (`"Seq Scan"`, `"SEARCH"`, `"TableFullScan_5"`) directly.
+#[derive(Debug, Default)]
+pub struct Registry {
+    ops: HashMap<(Dbms, String), ResolvedOp>,
+    props: HashMap<(Dbms, String), ResolvedProp>,
+}
+
+impl Registry {
+    /// An empty registry (no catalogs loaded).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// A registry pre-loaded with the study catalogs of all nine DBMSs.
+    pub fn with_study_catalogs() -> Self {
+        let mut registry = Registry::new();
+        for dbms in Dbms::ALL {
+            registry.load_catalog(dbms.catalog());
+        }
+        registry
+    }
+
+    /// Loads one DBMS catalog (counted entries and aliases).
+    pub fn load_catalog(&mut self, catalog: &DbmsCatalog) {
+        for op in catalog.ops.iter().chain(catalog.op_aliases) {
+            self.add_operation(catalog.dbms, op.native, op.category.widen(), op.unified);
+        }
+        for prop in catalog.props.iter().chain(catalog.prop_aliases) {
+            self.add_property(catalog.dbms, prop.native, prop.category.widen(), prop.unified);
+        }
+    }
+
+    /// Registers (or re-registers) an operation mapping at runtime — the
+    /// extensibility mechanism of Section IV-B ("adding the keyword LLM Join
+    /// for the new operation").
+    pub fn add_operation(
+        &mut self,
+        dbms: Dbms,
+        native: &str,
+        category: OperationCategory,
+        unified: Option<&str>,
+    ) {
+        let unified = unified
+            .map(|u| crate::keyword::canonicalize(u))
+            .unwrap_or_else(|| crate::keyword::canonicalize(native));
+        self.ops.insert(
+            (dbms, normalize(native)),
+            ResolvedOp { category, unified },
+        );
+    }
+
+    /// Registers (or re-registers) a property mapping at runtime.
+    pub fn add_property(
+        &mut self,
+        dbms: Dbms,
+        native: &str,
+        category: PropertyCategory,
+        unified: Option<&str>,
+    ) {
+        let unified = unified
+            .map(|u| crate::keyword::canonicalize(u))
+            .unwrap_or_else(|| crate::keyword::canonicalize(native));
+        self.props.insert(
+            (dbms, normalize(native)),
+            ResolvedProp { category, unified },
+        );
+    }
+
+    /// Removes an operation mapping (the deprecation direction of the
+    /// paper's extensibility example).
+    pub fn remove_operation(&mut self, dbms: Dbms, native: &str) -> bool {
+        self.ops.remove(&(dbms, normalize(native))).is_some()
+    }
+
+    /// Removes a property mapping.
+    pub fn remove_property(&mut self, dbms: Dbms, native: &str) -> bool {
+        self.props.remove(&(dbms, normalize(native))).is_some()
+    }
+
+    /// Resolves a native operation name. Numeric suffixes (`TableReader_7`)
+    /// are stripped before lookup.
+    pub fn resolve_operation(&self, dbms: Dbms, native: &str) -> Option<&ResolvedOp> {
+        let stripped = crate::fingerprint::stable_identifier(native);
+        self.ops
+            .get(&(dbms, normalize(stripped)))
+            .or_else(|| self.ops.get(&(dbms, normalize(native))))
+    }
+
+    /// Resolves a native property key.
+    pub fn resolve_property(&self, dbms: Dbms, native: &str) -> Option<&ResolvedProp> {
+        self.props.get(&(dbms, normalize(native)))
+    }
+
+    /// Resolves an operation, falling back to [`OperationCategory::Executor`]
+    /// with a canonicalized name for unknown operations — the generic
+    /// handling the paper prescribes for forward compatibility.
+    pub fn resolve_operation_or_generic(&self, dbms: Dbms, native: &str) -> ResolvedOp {
+        self.resolve_operation(dbms, native).cloned().unwrap_or_else(|| ResolvedOp {
+            category: OperationCategory::Executor,
+            unified: crate::keyword::canonicalize(crate::fingerprint::stable_identifier(native)),
+        })
+    }
+
+    /// Resolves a property, falling back to
+    /// [`PropertyCategory::Configuration`] with a canonicalized name.
+    pub fn resolve_property_or_generic(&self, dbms: Dbms, native: &str) -> ResolvedProp {
+        self.resolve_property(dbms, native).cloned().unwrap_or_else(|| ResolvedProp {
+            category: PropertyCategory::Configuration,
+            unified: crate::keyword::canonicalize(native),
+        })
+    }
+
+    /// Number of registered operation mappings (including aliases).
+    pub fn operation_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of registered property mappings (including aliases).
+    pub fn property_count(&self) -> usize {
+        self.props.len()
+    }
+}
+
+/// Case/punctuation-insensitive key for native names.
+fn normalize(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// One row of paper Table IV (third-party visualization tools).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VizTool {
+    /// Tool name.
+    pub name: &'static str,
+    /// Supported DBMSs.
+    pub dbmss: &'static [Dbms],
+    /// License class.
+    pub license: License,
+}
+
+/// License classes of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum License {
+    /// Open-source.
+    OpenSource,
+    /// Commercial.
+    Commercial,
+}
+
+impl License {
+    /// Table IV spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            License::OpenSource => "Open-source",
+            License::Commercial => "Commercial",
+        }
+    }
+}
+
+/// The surveyed visualization tools (paper Table IV).
+pub fn viz_tools() -> &'static [VizTool] {
+    const TOOLS: &[VizTool] = &[
+        VizTool {
+            name: "Postgres Explain Visualizer 2",
+            dbmss: &[Dbms::PostgreSql],
+            license: License::OpenSource,
+        },
+        VizTool {
+            name: "pgmustard",
+            dbmss: &[Dbms::PostgreSql],
+            license: License::Commercial,
+        },
+        VizTool {
+            name: "pganalyze",
+            dbmss: &[Dbms::PostgreSql],
+            license: License::Commercial,
+        },
+        VizTool {
+            name: "ApexSQL",
+            dbmss: &[Dbms::SqlServer],
+            license: License::Commercial,
+        },
+        VizTool {
+            name: "Plan Explorer",
+            dbmss: &[Dbms::SqlServer],
+            license: License::Commercial,
+        },
+        VizTool {
+            name: "Azure Data Studio",
+            dbmss: &[Dbms::SqlServer],
+            license: License::Commercial,
+        },
+        VizTool {
+            name: "Dbvisualizer",
+            dbmss: &[Dbms::MySql, Dbms::PostgreSql, Dbms::SqlServer],
+            license: License::Commercial,
+        },
+    ];
+    TOOLS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table II, left: operations per category per DBMS.
+    const TABLE2_OPS: [(Dbms, [usize; 7]); 9] = [
+        (Dbms::InfluxDb, [0, 0, 0, 0, 0, 0, 0]),
+        (Dbms::MongoDb, [14, 9, 0, 5, 3, 10, 3]),
+        (Dbms::MySql, [15, 3, 2, 1, 0, 2, 0]),
+        (Dbms::Neo4j, [18, 11, 43, 6, 3, 17, 13]),
+        (Dbms::PostgreSql, [18, 8, 3, 3, 0, 9, 1]),
+        (Dbms::SqlServer, [15, 3, 3, 3, 0, 16, 19]),
+        (Dbms::Sqlite, [3, 6, 3, 0, 0, 5, 0]),
+        (Dbms::SparkSql, [7, 1, 2, 6, 0, 43, 18]),
+        (Dbms::TiDb, [19, 6, 7, 5, 1, 13, 5]),
+    ];
+
+    /// Paper Table II, right: properties per category per DBMS.
+    const TABLE2_PROPS: [(Dbms, [usize; 4]); 9] = [
+        (Dbms::InfluxDb, [5, 0, 0, 1]),
+        (Dbms::MongoDb, [16, 5, 18, 12]),
+        (Dbms::MySql, [3, 6, 3, 10]),
+        (Dbms::Neo4j, [3, 3, 12, 7]),
+        (Dbms::PostgreSql, [8, 17, 42, 40]),
+        (Dbms::SqlServer, [4, 4, 7, 3]),
+        (Dbms::Sqlite, [0, 0, 3, 0]),
+        (Dbms::SparkSql, [11, 11, 0, 0]),
+        (Dbms::TiDb, [2, 5, 4, 1]),
+    ];
+
+    #[test]
+    fn operation_counts_match_table2() {
+        for (dbms, expected) in TABLE2_OPS {
+            assert_eq!(
+                dbms.catalog().op_counts(),
+                expected,
+                "{dbms} operation counts diverge from Table II"
+            );
+        }
+    }
+
+    #[test]
+    fn property_counts_match_table2() {
+        for (dbms, expected) in TABLE2_PROPS {
+            assert_eq!(
+                dbms.catalog().prop_counts(),
+                expected,
+                "{dbms} property counts diverge from Table II"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_sums_and_averages_match() {
+        let op_total: usize = TABLE2_OPS.iter().flat_map(|(_, c)| c.iter()).sum();
+        // Paper: "On average, every DBMS defines 48 operations in query plans."
+        assert_eq!(op_total, 429);
+        assert_eq!((op_total as f64 / 9.0).round() as i64, 48);
+
+        let prop_total: usize = TABLE2_PROPS.iter().flat_map(|(_, c)| c.iter()).sum();
+        // Paper: "On average, every DBMS defines 30 properties."
+        assert_eq!(prop_total, 266);
+        assert_eq!((prop_total as f64 / 9.0).round() as i64, 30);
+    }
+
+    #[test]
+    fn native_names_are_unique_within_each_dbms() {
+        for dbms in Dbms::ALL {
+            let catalog = dbms.catalog();
+            let mut seen = std::collections::HashSet::new();
+            for op in catalog.ops.iter().chain(catalog.op_aliases) {
+                assert!(
+                    seen.insert(normalize(op.native)),
+                    "{dbms}: duplicate operation {:?}",
+                    op.native
+                );
+            }
+            let mut seen = std::collections::HashSet::new();
+            for prop in catalog.props.iter().chain(catalog.prop_aliases) {
+                assert!(
+                    seen.insert(normalize(prop.native)),
+                    "{dbms}: duplicate property {:?}",
+                    prop.native
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table1_metadata() {
+        assert_eq!(Dbms::MySql.info().rank, 2);
+        assert_eq!(Dbms::TiDb.info().rank, 79);
+        assert_eq!(Dbms::PostgreSql.info().release_year, 1989);
+        assert_eq!(Dbms::InfluxDb.info().data_model, DataModel::TimeSeries);
+        assert_eq!(Dbms::MongoDb.info().data_model, DataModel::Document);
+        assert_eq!(Dbms::Neo4j.info().data_model, DataModel::Graph);
+        assert_eq!(Dbms::ALL.len(), 9);
+        let relational = Dbms::ALL
+            .iter()
+            .filter(|d| d.info().data_model == DataModel::Relational)
+            .count();
+        assert_eq!(relational, 6);
+    }
+
+    #[test]
+    fn table3_format_matrix() {
+        // Spot-checks against the paper's Table III.
+        assert_eq!(Dbms::InfluxDb.formats().count(), 1);
+        assert_eq!(Dbms::PostgreSql.formats().count(), 5);
+        assert!(Dbms::PostgreSql.formats().contains(FormatSupport::YAML));
+        assert!(Dbms::SqlServer.formats().contains(FormatSupport::XML));
+        assert!(!Dbms::Sqlite.formats().contains(FormatSupport::JSON));
+        // The five A.2/A.3 DBMSs all support JSON (paper Section V).
+        for dbms in [Dbms::MongoDb, Dbms::MySql, Dbms::Neo4j, Dbms::PostgreSql, Dbms::TiDb] {
+            assert!(dbms.formats().contains(FormatSupport::JSON), "{dbms} must support JSON");
+        }
+        // "DBMSs support more formats in the natural category rather than
+        // the structured category."
+        let natural: u32 = Dbms::ALL.iter().map(|d| d.formats().natural_count()).sum();
+        let structured: u32 = Dbms::ALL.iter().map(|d| d.formats().structured_count()).sum();
+        assert!(natural > structured, "natural {natural} vs structured {structured}");
+        // "None of the formats is supported by all DBMSs."
+        for (flag, name) in FormatSupport::ALL {
+            assert!(
+                !Dbms::ALL.iter().all(|d| d.formats().contains(flag)),
+                "{name} should not be universal"
+            );
+        }
+    }
+
+    #[test]
+    fn table4_viz_tools() {
+        let tools = viz_tools();
+        assert_eq!(tools.len(), 7);
+        let commercial = tools.iter().filter(|t| t.license == License::Commercial).count();
+        assert_eq!(commercial, 6, "six of the seven tools are commercial");
+        assert!(tools
+            .iter()
+            .any(|t| t.name == "Dbvisualizer" && t.dbmss.len() == 3));
+    }
+
+    #[test]
+    fn registry_resolves_papers_scan_mapping() {
+        // Section IV-A: Seq Scan (PG), Table Scan (SQL Server) and
+        // TableFullScan (TiDB) all map to Full Table Scan.
+        let registry = Registry::with_study_catalogs();
+        for (dbms, native) in [
+            (Dbms::PostgreSql, "Seq Scan"),
+            (Dbms::SqlServer, "Table Scan"),
+            (Dbms::TiDb, "TableFullScan"),
+        ] {
+            let resolved = registry.resolve_operation(dbms, native).unwrap_or_else(|| {
+                panic!("{dbms}: {native} must resolve");
+            });
+            assert_eq!(resolved.unified, "Full_Table_Scan", "{dbms} {native}");
+            assert_eq!(resolved.category, OperationCategory::Producer);
+        }
+    }
+
+    #[test]
+    fn registry_strips_random_identifiers() {
+        let registry = Registry::with_study_catalogs();
+        let resolved = registry.resolve_operation(Dbms::TiDb, "TableFullScan_5").unwrap();
+        assert_eq!(resolved.unified, "Full_Table_Scan");
+    }
+
+    #[test]
+    fn registry_lookup_is_case_and_punctuation_insensitive() {
+        let registry = Registry::with_study_catalogs();
+        assert!(registry.resolve_operation(Dbms::PostgreSql, "seq scan").is_some());
+        assert!(registry.resolve_operation(Dbms::PostgreSql, "Seq_Scan").is_some());
+        assert!(registry.resolve_operation(Dbms::PostgreSql, "SEQ SCAN").is_some());
+    }
+
+    #[test]
+    fn registry_is_per_dbms() {
+        let registry = Registry::with_study_catalogs();
+        // SQLite's SEARCH must not leak into PostgreSQL's namespace.
+        assert!(registry.resolve_operation(Dbms::Sqlite, "SEARCH").is_some());
+        assert!(registry.resolve_operation(Dbms::PostgreSql, "SEARCH").is_none());
+    }
+
+    #[test]
+    fn generic_fallbacks_follow_forward_compatibility() {
+        let registry = Registry::with_study_catalogs();
+        let op = registry.resolve_operation_or_generic(Dbms::PostgreSql, "Quantum Scan_3");
+        assert_eq!(op.category, OperationCategory::Executor);
+        assert_eq!(op.unified, "Quantum_Scan");
+        let prop = registry.resolve_property_or_generic(Dbms::PostgreSql, "Warp Factor");
+        assert_eq!(prop.category, PropertyCategory::Configuration);
+        assert_eq!(prop.unified, "Warp_Factor");
+    }
+
+    #[test]
+    fn llm_join_extensibility_example() {
+        // Section IV-B: PostgreSQL adds an LLM-based join; UPlan developers
+        // add the keyword, existing applications keep working; deprecation
+        // removes the keyword again.
+        let mut registry = Registry::with_study_catalogs();
+        assert!(registry.resolve_operation(Dbms::PostgreSql, "LLM Join").is_none());
+        registry.add_operation(Dbms::PostgreSql, "LLM Join", OperationCategory::Join, None);
+        let resolved = registry.resolve_operation(Dbms::PostgreSql, "LLM Join").unwrap();
+        assert_eq!(resolved.unified, "LLM_Join");
+        assert_eq!(resolved.category, OperationCategory::Join);
+        assert!(registry.remove_operation(Dbms::PostgreSql, "LLM Join"));
+        assert!(registry.resolve_operation(Dbms::PostgreSql, "LLM Join").is_none());
+        assert!(!registry.remove_operation(Dbms::PostgreSql, "LLM Join"));
+    }
+
+    #[test]
+    fn runtime_property_extension() {
+        let mut registry = Registry::new();
+        registry.add_property(
+            Dbms::InfluxDb,
+            "NUMBER OF SERIES",
+            PropertyCategory::Cardinality,
+            Some("number_of_series"),
+        );
+        let resolved = registry.resolve_property(Dbms::InfluxDb, "number of series").unwrap();
+        assert_eq!(resolved.unified, "number_of_series");
+        assert!(registry.remove_property(Dbms::InfluxDb, "NUMBER OF SERIES"));
+    }
+
+    #[test]
+    fn all_catalog_unified_names_are_keywords() {
+        let registry = Registry::with_study_catalogs();
+        assert!(registry.operation_count() >= 429);
+        assert!(registry.property_count() >= 266);
+        for dbms in Dbms::ALL {
+            let catalog = dbms.catalog();
+            for op in catalog.ops.iter().chain(catalog.op_aliases) {
+                let resolved = registry.resolve_operation(dbms, op.native).unwrap();
+                assert!(
+                    crate::keyword::is_keyword(&resolved.unified),
+                    "{dbms} {}: unified name {:?} is not a keyword",
+                    op.native,
+                    resolved.unified
+                );
+            }
+        }
+    }
+}

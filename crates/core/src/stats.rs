@@ -1,0 +1,222 @@
+//! Plan statistics — the measurement layer of the benchmarking application.
+//!
+//! Application A.3 of the paper compares DBMSs by "collect\[ing\] metrics on
+//! the number of operations in DBMSs' query plan representations": per-plan
+//! operation counts by category (Tables VI and VII) and the cross-DBMS
+//! variance of Producer counts per query (Fig. 4).
+
+use std::collections::BTreeMap;
+
+use crate::model::{OperationCategory, UnifiedPlan};
+
+/// Operation counts of one plan, bucketed by category.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CategoryCounts {
+    counts: BTreeMap<OperationCategory, usize>,
+}
+
+impl CategoryCounts {
+    /// Counts the operations of a plan.
+    pub fn of(plan: &UnifiedPlan) -> Self {
+        let mut counts = BTreeMap::new();
+        plan.walk(&mut |node| {
+            *counts.entry(node.operation.category.clone()).or_insert(0) += 1;
+        });
+        CategoryCounts { counts }
+    }
+
+    /// Count for one category.
+    pub fn get(&self, category: &OperationCategory) -> usize {
+        self.counts.get(category).copied().unwrap_or(0)
+    }
+
+    /// Total operations across categories.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Iterates over non-zero categories.
+    pub fn iter(&self) -> impl Iterator<Item = (&OperationCategory, usize)> {
+        self.counts.iter().map(|(c, n)| (c, *n))
+    }
+}
+
+/// Averaged per-category operation counts over a set of plans — one row of
+/// paper Table VI/VII.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AverageCounts {
+    /// Number of plans aggregated.
+    pub plans: usize,
+    sums: BTreeMap<OperationCategory, usize>,
+}
+
+impl AverageCounts {
+    /// Aggregates plans into per-category averages.
+    pub fn of<'a>(plans: impl IntoIterator<Item = &'a UnifiedPlan>) -> Self {
+        let mut sums: BTreeMap<OperationCategory, usize> = BTreeMap::new();
+        let mut n = 0;
+        for plan in plans {
+            n += 1;
+            for (cat, count) in CategoryCounts::of(plan).iter() {
+                *sums.entry(cat.clone()).or_insert(0) += count;
+            }
+        }
+        AverageCounts { plans: n, sums }
+    }
+
+    /// Average count for one category (0.0 when no plans were aggregated).
+    pub fn average(&self, category: &OperationCategory) -> f64 {
+        if self.plans == 0 {
+            return 0.0;
+        }
+        self.sums.get(category).copied().unwrap_or(0) as f64 / self.plans as f64
+    }
+
+    /// Average total operations per plan.
+    pub fn average_total(&self) -> f64 {
+        if self.plans == 0 {
+            return 0.0;
+        }
+        self.sums.values().sum::<usize>() as f64 / self.plans as f64
+    }
+
+    /// Table VI row: `[Prod, Comb, Join, Folder, Proj, Exec]` followed by the
+    /// sum, matching the paper's column order (Consumer omitted — "we did
+    /// not encounter any such operations" in the benchmark workloads).
+    pub fn table_row(&self) -> [f64; 7] {
+        let mut row = [0.0; 7];
+        for (i, cat) in [
+            OperationCategory::Producer,
+            OperationCategory::Combinator,
+            OperationCategory::Join,
+            OperationCategory::Folder,
+            OperationCategory::Projector,
+            OperationCategory::Executor,
+        ]
+        .iter()
+        .enumerate()
+        {
+            row[i] = self.average(cat);
+        }
+        row[6] = self.average_total();
+        row
+    }
+}
+
+/// Population variance of a sample of counts — Fig. 4's y-axis is "the
+/// variance of the number of Producer operations for each query [...]
+/// across five DBMSs".
+pub fn variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n
+}
+
+/// Per-query Producer-count variance across DBMSs (Fig. 4).
+///
+/// `plans_by_dbms[d][q]` is the plan of query `q` on DBMS `d`; all DBMSs
+/// must supply the same number of queries. Returns one variance per query.
+pub fn producer_variance_per_query(plans_by_dbms: &[Vec<UnifiedPlan>]) -> Vec<f64> {
+    let Some(first) = plans_by_dbms.first() else {
+        return Vec::new();
+    };
+    let queries = first.len();
+    debug_assert!(
+        plans_by_dbms.iter().all(|plans| plans.len() == queries),
+        "all DBMSs must supply one plan per query"
+    );
+    (0..queries)
+        .map(|q| {
+            let counts: Vec<f64> = plans_by_dbms
+                .iter()
+                .map(|plans| {
+                    CategoryCounts::of(&plans[q]).get(&OperationCategory::Producer) as f64
+                })
+                .collect();
+            variance(&counts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PlanNode;
+
+    fn plan_with(producers: usize, joins: usize) -> UnifiedPlan {
+        let mut node = PlanNode::join("Hash_Join");
+        for _ in 0..producers {
+            node = node.with_child(PlanNode::producer("Full_Table_Scan"));
+        }
+        for _ in 1..joins {
+            node = PlanNode::join("Hash_Join").with_child(node);
+        }
+        UnifiedPlan::with_root(node)
+    }
+
+    #[test]
+    fn category_counts() {
+        let plan = plan_with(3, 2);
+        let counts = CategoryCounts::of(&plan);
+        assert_eq!(counts.get(&OperationCategory::Producer), 3);
+        assert_eq!(counts.get(&OperationCategory::Join), 2);
+        assert_eq!(counts.get(&OperationCategory::Folder), 0);
+        assert_eq!(counts.total(), 5);
+        assert_eq!(counts.iter().count(), 2);
+    }
+
+    #[test]
+    fn empty_plan_counts_zero() {
+        let counts = CategoryCounts::of(&UnifiedPlan::new());
+        assert_eq!(counts.total(), 0);
+    }
+
+    #[test]
+    fn averages() {
+        let plans = [plan_with(2, 1), plan_with(4, 3)];
+        let avg = AverageCounts::of(plans.iter());
+        assert_eq!(avg.plans, 2);
+        assert_eq!(avg.average(&OperationCategory::Producer), 3.0);
+        assert_eq!(avg.average(&OperationCategory::Join), 2.0);
+        assert_eq!(avg.average_total(), 5.0);
+        let row = avg.table_row();
+        assert_eq!(row[0], 3.0);
+        assert_eq!(row[2], 2.0);
+        assert_eq!(row[6], 5.0);
+    }
+
+    #[test]
+    fn averages_of_nothing() {
+        let avg = AverageCounts::of(std::iter::empty());
+        assert_eq!(avg.plans, 0);
+        assert_eq!(avg.average_total(), 0.0);
+        assert_eq!(avg.average(&OperationCategory::Producer), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // Paper example for TPC-H query 2: MySQL 10, TiDB 12, PostgreSQL 9,
+        // Neo4j 1 (plus, say, MongoDB 1): high variance.
+        let values = [10.0, 12.0, 9.0, 1.0, 1.0];
+        let mean = 33.0 / 5.0;
+        let expected: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 5.0;
+        assert!((variance(&values) - expected).abs() < 1e-12);
+        assert!(variance(&values) > 5.0, "paper calls >5 'significant'");
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn producer_variance_per_query_shapes() {
+        let dbms_a = vec![plan_with(1, 1), plan_with(6, 1)];
+        let dbms_b = vec![plan_with(1, 1), plan_with(3, 1)];
+        let variances = producer_variance_per_query(&[dbms_a, dbms_b]);
+        assert_eq!(variances.len(), 2);
+        assert_eq!(variances[0], 0.0);
+        assert!((variances[1] - 2.25).abs() < 1e-12); // mean 4.5, diffs ±1.5
+        assert!(producer_variance_per_query(&[]).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Tree edit distance between unified plans.
+//!
+//! The paper's discussion (Section VI, *Additional use cases*) proposes
+//! "similarity on tree structures" as a metric for comparing different
+//! DBMSs' query plans through the unified representation. This module
+//! implements the classic Zhang–Shasha ordered tree edit distance with unit
+//! costs, where two nodes match when their operation category and stable
+//! identifier agree, plus a normalized similarity on top.
+
+use crate::fingerprint::stable_identifier;
+use crate::model::{PlanNode, UnifiedPlan};
+
+/// A node label for edit-distance purposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Label {
+    category: String,
+    identifier: String,
+}
+
+/// Post-order flattening of a tree with leftmost-leaf-descendant indices —
+/// the standard Zhang–Shasha preprocessing.
+struct Flat {
+    labels: Vec<Label>,
+    /// `lld[i]` = post-order index of the leftmost leaf descendant of node `i`.
+    lld: Vec<usize>,
+    /// Post-order indices of keyroots (nodes with a left sibling, plus root).
+    keyroots: Vec<usize>,
+}
+
+fn flatten(root: &PlanNode) -> Flat {
+    let mut labels = Vec::new();
+    let mut lld = Vec::new();
+
+    fn walk(node: &PlanNode, labels: &mut Vec<Label>, lld: &mut Vec<usize>) -> usize {
+        let mut leftmost = None;
+        for child in &node.children {
+            let child_index = walk(child, labels, lld);
+            leftmost.get_or_insert(lld[child_index]);
+        }
+        let index = labels.len();
+        labels.push(Label {
+            category: node.operation.category.name().to_owned(),
+            identifier: stable_identifier(&node.operation.identifier).to_owned(),
+        });
+        lld.push(leftmost.unwrap_or(index));
+        index
+    }
+    walk(root, &mut labels, &mut lld);
+
+    // Keyroots: for each distinct lld value, the highest post-order index.
+    let mut keyroots = Vec::new();
+    for i in 0..labels.len() {
+        let is_keyroot = !(i + 1..labels.len()).any(|j| lld[j] == lld[i]);
+        if is_keyroot {
+            keyroots.push(i);
+        }
+    }
+    Flat {
+        labels,
+        lld,
+        keyroots,
+    }
+}
+
+/// Zhang–Shasha tree edit distance with unit insert/delete/rename costs.
+///
+/// Empty plans (no tree) are treated as empty trees: the distance between an
+/// empty and a non-empty plan is the node count of the latter.
+pub fn tree_edit_distance(a: &UnifiedPlan, b: &UnifiedPlan) -> usize {
+    match (&a.root, &b.root) {
+        (None, None) => 0,
+        (Some(root), None) => root.node_count(),
+        (None, Some(root)) => root.node_count(),
+        (Some(ra), Some(rb)) => zhang_shasha(&flatten(ra), &flatten(rb)),
+    }
+}
+
+fn zhang_shasha(a: &Flat, b: &Flat) -> usize {
+    let (n, m) = (a.labels.len(), b.labels.len());
+    let mut td = vec![vec![0usize; m]; n];
+
+    for &i in &a.keyroots {
+        for &j in &b.keyroots {
+            tree_dist(a, b, i, j, &mut td);
+        }
+    }
+    td[n - 1][m - 1]
+}
+
+fn tree_dist(a: &Flat, b: &Flat, i: usize, j: usize, td: &mut [Vec<usize>]) {
+    let ali = a.lld[i];
+    let blj = b.lld[j];
+    let rows = i - ali + 2;
+    let cols = j - blj + 2;
+    // Forest distance matrix, indexed from (ali-1, blj-1) conceptually.
+    let mut fd = vec![vec![0usize; cols]; rows];
+    for (r, row) in fd.iter_mut().enumerate().skip(1) {
+        row[0] = r;
+    }
+    for c in 1..cols {
+        fd[0][c] = c;
+    }
+    for r in 1..rows {
+        for c in 1..cols {
+            let ai = ali + r - 1;
+            let bj = blj + c - 1;
+            if a.lld[ai] == ali && b.lld[bj] == blj {
+                // Both forests are whole trees rooted at ai/bj.
+                let rename = usize::from(a.labels[ai] != b.labels[bj]);
+                fd[r][c] = (fd[r - 1][c] + 1)
+                    .min(fd[r][c - 1] + 1)
+                    .min(fd[r - 1][c - 1] + rename);
+                td[ai][bj] = fd[r][c];
+            } else {
+                let prev_r = a.lld[ai] - ali; // forest without subtree at ai
+                let prev_c = b.lld[bj] - blj;
+                fd[r][c] = (fd[r - 1][c] + 1)
+                    .min(fd[r][c - 1] + 1)
+                    .min(fd[prev_r][prev_c] + td[ai][bj]);
+            }
+        }
+    }
+}
+
+/// Normalized similarity in `[0, 1]`: `1 − ted / (|a| + |b|)`.
+///
+/// The sum (not the max) bounds the distance: renames can make two
+/// same-size trees cost more than their size (delete + insert both sides),
+/// so `max` would not keep the ratio below 1. Two empty plans are fully
+/// similar.
+pub fn similarity(a: &UnifiedPlan, b: &UnifiedPlan) -> f64 {
+    let size_a = a.operation_count();
+    let size_b = b.operation_count();
+    if size_a + size_b == 0 {
+        return 1.0;
+    }
+    1.0 - tree_edit_distance(a, b) as f64 / (size_a + size_b) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PlanNode;
+
+    fn leaf(name: &str) -> PlanNode {
+        PlanNode::producer(name)
+    }
+
+    fn join(children: Vec<PlanNode>) -> PlanNode {
+        PlanNode::join("Hash_Join").with_children(children)
+    }
+
+    #[test]
+    fn identical_plans_have_zero_distance() {
+        let plan = UnifiedPlan::with_root(join(vec![leaf("A"), leaf("B")]));
+        assert_eq!(tree_edit_distance(&plan, &plan.clone()), 0);
+        assert_eq!(similarity(&plan, &plan.clone()), 1.0);
+    }
+
+    #[test]
+    fn single_rename_costs_one() {
+        let a = UnifiedPlan::with_root(join(vec![leaf("A"), leaf("B")]));
+        let b = UnifiedPlan::with_root(join(vec![leaf("A"), leaf("C")]));
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn category_participates_in_labels() {
+        let a = UnifiedPlan::with_root(PlanNode::producer("Scan"));
+        let b = UnifiedPlan::with_root(PlanNode::executor("Scan"));
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn insertion_costs_one() {
+        let a = UnifiedPlan::with_root(join(vec![leaf("A")]));
+        let b = UnifiedPlan::with_root(join(vec![leaf("A"), leaf("B")]));
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn wrapper_insertion_costs_one() {
+        // PG plan vs the same plan under a Gather node.
+        let a = UnifiedPlan::with_root(join(vec![leaf("A"), leaf("B")]));
+        let b = UnifiedPlan::with_root(
+            PlanNode::executor("Gather").with_child(join(vec![leaf("A"), leaf("B")])),
+        );
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn empty_plan_distances() {
+        let empty = UnifiedPlan::new();
+        let three = UnifiedPlan::with_root(join(vec![leaf("A"), leaf("B")]));
+        assert_eq!(tree_edit_distance(&empty, &empty.clone()), 0);
+        assert_eq!(tree_edit_distance(&empty, &three), 3);
+        assert_eq!(tree_edit_distance(&three, &empty), 3);
+        assert_eq!(similarity(&empty, &empty.clone()), 1.0);
+        assert_eq!(similarity(&empty, &three), 0.0);
+        assert!(similarity(&three, &three.clone()) == 1.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = UnifiedPlan::with_root(join(vec![
+            leaf("A"),
+            PlanNode::executor("Hash_Row").with_child(leaf("B")),
+        ]));
+        let b = UnifiedPlan::with_root(join(vec![leaf("B"), leaf("C"), leaf("A")]));
+        assert_eq!(tree_edit_distance(&a, &b), tree_edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let a = UnifiedPlan::with_root(join(vec![leaf("A"), leaf("B")]));
+        let b = UnifiedPlan::with_root(join(vec![leaf("A"), leaf("C")]));
+        let c = UnifiedPlan::with_root(PlanNode::folder("Agg").with_child(join(vec![leaf("C")])));
+        let ab = tree_edit_distance(&a, &b);
+        let bc = tree_edit_distance(&b, &c);
+        let ac = tree_edit_distance(&a, &c);
+        assert!(ac <= ab + bc, "{ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn stable_identifiers_are_used() {
+        let a = UnifiedPlan::with_root(PlanNode::executor("TableReader_7").with_child(leaf("A")));
+        let b = UnifiedPlan::with_root(PlanNode::executor("TableReader_12").with_child(leaf("A")));
+        assert_eq!(tree_edit_distance(&a, &b), 0);
+    }
+
+    #[test]
+    fn known_distance_on_paper_like_plans() {
+        // PG-style:   Sort -> Agg -> Join(scan, Hash(scan))
+        // TiDB-style: Project -> Sort -> Agg -> Join(scan, scan)
+        let pg = UnifiedPlan::with_root(
+            PlanNode::combinator("Sort").with_child(
+                PlanNode::folder("Aggregate").with_child(join(vec![
+                    leaf("Full_Table_Scan"),
+                    PlanNode::executor("Hash_Row").with_child(leaf("Full_Table_Scan")),
+                ])),
+            ),
+        );
+        let tidb = UnifiedPlan::with_root(
+            PlanNode::projector("Project").with_child(
+                PlanNode::combinator("Sort").with_child(
+                    PlanNode::folder("Aggregate")
+                        .with_child(join(vec![leaf("Full_Table_Scan"), leaf("Full_Table_Scan")])),
+                ),
+            ),
+        );
+        // Delete Hash_Row, insert Project.
+        assert_eq!(tree_edit_distance(&pg, &tidb), 2);
+        let sim = similarity(&pg, &tidb);
+        assert!(sim > 0.6 && sim < 1.0, "similarity {sim}");
+    }
+}

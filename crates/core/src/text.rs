@@ -1,0 +1,624 @@
+//! The strict text format of the unified representation (paper Listing 2).
+//!
+//! Concrete syntax, directly following the EBNF:
+//!
+//! ```text
+//! plan      ::= ( tree )? properties
+//! tree      ::= node ( '--children-->' '{' tree (',' tree)* '}' )?
+//! node      ::= operation ( ',' property )*
+//! operation ::= 'Operation' ':' operation_category '->' operation_identifier
+//! property  ::= property_category '->' property_identifier ':' value
+//! ```
+//!
+//! Two concretizations the EBNF leaves open are fixed here so that the format
+//! round-trips:
+//!
+//! 1. node properties are *comma-chained* onto their operation, so a node's
+//!    property list ends at the first non-comma token;
+//! 2. plan-associated properties follow the root tree *without* a leading
+//!    comma (they are juxtaposed, as in the `plan` production) and are
+//!    themselves comma-chained.
+//!
+//! All whitespace (including newlines) between tokens is insignificant; the
+//! serializer emits newlines and indentation purely for readability.
+//!
+//! Inside a `{ ... }` children block, a `,` may be followed either by another
+//! property of the preceding node or by a sibling tree; the two are
+//! distinguished by two-token lookahead (`Operation` `:` starts a tree,
+//! `keyword` `->` starts a property), making the grammar LL(2).
+
+use std::fmt::Write as _;
+
+use crate::error::{Error, Result};
+use crate::model::{Operation, OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan};
+use crate::value::Value;
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+/// Serializes a plan into the strict text format.
+pub fn to_text(plan: &UnifiedPlan) -> String {
+    let mut out = String::new();
+    if let Some(root) = &plan.root {
+        write_tree(&mut out, root, 0);
+    }
+    if !plan.properties.is_empty() {
+        if plan.root.is_some() {
+            out.push('\n');
+        }
+        let rendered: Vec<String> = plan.properties.iter().map(render_property).collect();
+        out.push_str(&rendered.join(", "));
+    }
+    out
+}
+
+fn render_property(p: &Property) -> String {
+    format!("{}->{}: {}", p.category.name(), p.identifier, p.value.render())
+}
+
+fn write_tree(out: &mut String, node: &PlanNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let _ = write!(
+        out,
+        "{indent}Operation: {}->{}",
+        node.operation.category.name(),
+        node.operation.identifier
+    );
+    for p in &node.properties {
+        let _ = write!(out, ", {}", render_property(p));
+    }
+    if !node.children.is_empty() {
+        out.push_str(" --children--> {\n");
+        for (i, child) in node.children.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            write_tree(out, child, depth + 1);
+        }
+        let _ = write!(out, "\n{indent}}}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Keyword(String),
+    Colon,
+    Comma,
+    Arrow,         // ->
+    ChildrenArrow, // --children-->
+    LBrace,
+    RBrace,
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Null,
+}
+
+struct Lexer<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<(usize, Token)>> {
+        self.skip_ws();
+        if self.pos >= self.input.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let b = self.input[self.pos];
+        let token = match b {
+            b':' => {
+                self.pos += 1;
+                Token::Colon
+            }
+            b',' => {
+                self.pos += 1;
+                Token::Comma
+            }
+            b'{' => {
+                self.pos += 1;
+                Token::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Token::RBrace
+            }
+            b'-' => self.lex_dash(start)?,
+            b'"' => self.lex_string(start)?,
+            b'0'..=b'9' => self.lex_number(start)?,
+            c if c.is_ascii_alphabetic() => self.lex_word(),
+            other => {
+                return Err(Error::parse(
+                    start,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        };
+        Ok(Some((start, token)))
+    }
+
+    /// `-` begins `->`, `--children-->` or a negative number.
+    fn lex_dash(&mut self, start: usize) -> Result<Token> {
+        let rest = &self.input[self.pos..];
+        const CHILDREN: &[u8] = b"--children-->";
+        if rest.starts_with(CHILDREN) {
+            self.pos += CHILDREN.len();
+            return Ok(Token::ChildrenArrow);
+        }
+        if rest.starts_with(b"->") {
+            self.pos += 2;
+            return Ok(Token::Arrow);
+        }
+        if rest.len() > 1 && rest[1].is_ascii_digit() {
+            self.pos += 1; // consume '-'
+            let digits_start = self.pos;
+            return match self.lex_number(digits_start)? {
+                Token::Int(i) => Ok(Token::Int(-i)),
+                Token::Float(f) => Ok(Token::Float(-f)),
+                _ => unreachable!("lex_number returns numbers"),
+            };
+        }
+        Err(Error::parse(start, "expected '->', '--children-->' or a number"))
+    }
+
+    fn lex_string(&mut self, start: usize) -> Result<Token> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            let Some(&b) = self.input.get(self.pos) else {
+                return Err(Error::parse(start, "unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(Token::Str(s)),
+                b'\\' => {
+                    let Some(&esc) = self.input.get(self.pos) else {
+                        return Err(Error::parse(start, "unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'u' => {
+                            // \u{XXXX}
+                            if self.input.get(self.pos) != Some(&b'{') {
+                                return Err(Error::parse(self.pos, "expected '{' after \\u"));
+                            }
+                            self.pos += 1;
+                            let hex_start = self.pos;
+                            while self.input.get(self.pos).is_some_and(u8::is_ascii_hexdigit) {
+                                self.pos += 1;
+                            }
+                            let hex = std::str::from_utf8(&self.input[hex_start..self.pos])
+                                .expect("hex digits are ASCII");
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::parse(hex_start, "bad unicode escape"))?;
+                            if self.input.get(self.pos) != Some(&b'}') {
+                                return Err(Error::parse(self.pos, "expected '}' closing \\u"));
+                            }
+                            self.pos += 1;
+                            s.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::parse(hex_start, "invalid code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::parse(
+                                self.pos - 1,
+                                format!("unknown escape '\\{}'", other as char),
+                            ))
+                        }
+                    }
+                }
+                other => {
+                    // Re-decode UTF-8 multibyte sequences.
+                    if other < 0x80 {
+                        s.push(other as char);
+                    } else {
+                        let seq_start = self.pos - 1;
+                        let mut end = self.pos;
+                        while end < self.input.len() && self.input[end] & 0xC0 == 0x80 {
+                            end += 1;
+                        }
+                        let chunk = std::str::from_utf8(&self.input[seq_start..end])
+                            .map_err(|_| Error::parse(seq_start, "invalid UTF-8 in string"))?;
+                        s.push_str(chunk);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<Token> {
+        let mut is_float = false;
+        while let Some(&b) = self.input.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !is_float
+                    && self.input.get(self.pos + 1).is_some_and(u8::is_ascii_digit) =>
+                {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E'
+                    if self
+                        .input
+                        .get(self.pos + 1)
+                        .is_some_and(|&c| c.is_ascii_digit() || c == b'+' || c == b'-') =>
+                {
+                    is_float = true;
+                    self.pos += 2;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("number bytes are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|e| Error::parse(start, format!("bad float: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|e| Error::parse(start, format!("bad integer: {e}")))
+        }
+    }
+
+    fn lex_word(&mut self) -> Token {
+        let start = self.pos;
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        let word = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("keyword bytes are ASCII")
+            .to_owned();
+        match word.as_str() {
+            "true" => Token::Bool(true),
+            "false" => Token::Bool(false),
+            "null" => Token::Null,
+            _ => Token::Keyword(word),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    cursor: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self> {
+        let mut lexer = Lexer::new(input);
+        let mut tokens = Vec::new();
+        while let Some(tok) = lexer.next_token()? {
+            tokens.push(tok);
+        }
+        Ok(Parser { tokens, cursor: 0 })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.cursor).map(|(_, t)| t)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.cursor + 1).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.cursor).map_or(usize::MAX, |(o, _)| *o)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let tok = self.tokens.get(self.cursor).map(|(_, t)| t.clone());
+        if tok.is_some() {
+            self.cursor += 1;
+        }
+        tok
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<()> {
+        match self.advance() {
+            Some(ref t) if t == expected => Ok(()),
+            Some(t) => Err(Error::parse(
+                self.tokens[self.cursor - 1].0,
+                format!("expected {what}, found {t:?}"),
+            )),
+            None => Err(Error::UnexpectedEof(what.to_owned())),
+        }
+    }
+
+    fn expect_keyword(&mut self, what: &str) -> Result<String> {
+        match self.advance() {
+            Some(Token::Keyword(k)) => Ok(k),
+            Some(t) => Err(Error::parse(
+                self.tokens[self.cursor - 1].0,
+                format!("expected {what}, found {t:?}"),
+            )),
+            None => Err(Error::UnexpectedEof(what.to_owned())),
+        }
+    }
+
+    /// `true` if the cursor is at `Operation` `:` (i.e. the start of a tree).
+    fn at_tree_start(&self) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(k)) if k == "Operation")
+            && matches!(self.peek2(), Some(Token::Colon))
+    }
+
+    /// `true` if the cursor is at `keyword` `->` (i.e. the start of a property).
+    fn at_property_start(&self) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(_))) && matches!(self.peek2(), Some(Token::Arrow))
+    }
+
+    fn parse_plan(&mut self) -> Result<UnifiedPlan> {
+        let root = if self.at_tree_start() {
+            Some(self.parse_tree()?)
+        } else {
+            None
+        };
+        let mut properties = Vec::new();
+        if self.at_property_start() {
+            properties.push(self.parse_property()?);
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.advance();
+                properties.push(self.parse_property()?);
+            }
+        }
+        if let Some(t) = self.peek() {
+            return Err(Error::parse(
+                self.offset(),
+                format!("trailing input after plan: {t:?}"),
+            ));
+        }
+        Ok(UnifiedPlan { root, properties })
+    }
+
+    fn parse_tree(&mut self) -> Result<PlanNode> {
+        // operation ::= 'Operation' ':' category '->' identifier
+        let kw = self.expect_keyword("'Operation'")?;
+        if kw != "Operation" {
+            return Err(Error::parse(self.offset(), "expected 'Operation'"));
+        }
+        self.expect(&Token::Colon, "':' after 'Operation'")?;
+        let category = OperationCategory::parse(&self.expect_keyword("operation category")?)?;
+        self.expect(&Token::Arrow, "'->' after operation category")?;
+        let identifier = self.expect_keyword("operation identifier")?;
+        let operation = Operation::from_keyword(category, &identifier)?;
+        let mut node = PlanNode::new(operation);
+
+        // Node properties: comma-chained; a comma followed by a tree start
+        // inside a children block belongs to the sibling list, so stop there.
+        while matches!(self.peek(), Some(Token::Comma)) {
+            let save = self.cursor;
+            self.advance();
+            if self.at_property_start() {
+                node.properties.push(self.parse_property()?);
+            } else {
+                self.cursor = save;
+                break;
+            }
+        }
+
+        if matches!(self.peek(), Some(Token::ChildrenArrow)) {
+            self.advance();
+            self.expect(&Token::LBrace, "'{' after '--children-->'")?;
+            node.children.push(self.parse_tree()?);
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.advance();
+                node.children.push(self.parse_tree()?);
+            }
+            self.expect(&Token::RBrace, "'}' closing children")?;
+        }
+        Ok(node)
+    }
+
+    fn parse_property(&mut self) -> Result<Property> {
+        let category = PropertyCategory::parse(&self.expect_keyword("property category")?)?;
+        self.expect(&Token::Arrow, "'->' after property category")?;
+        let identifier = self.expect_keyword("property identifier")?;
+        self.expect(&Token::Colon, "':' before property value")?;
+        let value = self.parse_value()?;
+        Ok(Property {
+            category,
+            identifier,
+            value,
+        })
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.advance() {
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Int(i)) => Ok(Value::Int(i)),
+            Some(Token::Float(f)) => Ok(Value::Float(f)),
+            Some(Token::Bool(b)) => Ok(Value::Bool(b)),
+            Some(Token::Null) => Ok(Value::Null),
+            Some(t) => Err(Error::parse(
+                self.tokens[self.cursor - 1].0,
+                format!("expected a value, found {t:?}"),
+            )),
+            None => Err(Error::UnexpectedEof("value".to_owned())),
+        }
+    }
+}
+
+/// Parses the strict text format into a [`UnifiedPlan`].
+pub fn from_text(input: &str) -> Result<UnifiedPlan> {
+    Parser::new(input)?.parse_plan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PlanNode, Property, UnifiedPlan};
+
+    fn fig2_plan() -> UnifiedPlan {
+        let scan = PlanNode::producer("Full_Table_Scan")
+            .with_property(Property::configuration("name_object", "t0"))
+            .with_property(Property::cardinality("rows", 5));
+        let root = PlanNode::executor("Collect").with_child(scan);
+        UnifiedPlan::with_root(root).with_plan_property(Property::status("task_type", "root"))
+    }
+
+    #[test]
+    fn serialize_shape_matches_grammar() {
+        let text = to_text(&fig2_plan());
+        assert!(text.starts_with("Operation: Executor->Collect --children--> {"));
+        assert!(text.contains("Operation: Producer->Full_Table_Scan, Configuration->name_object: \"t0\", Cardinality->rows: 5"));
+        assert!(text.ends_with("Status->task_type: \"root\""));
+    }
+
+    #[test]
+    fn round_trip_tree_and_plan_properties() {
+        let plan = fig2_plan();
+        let text = to_text(&plan);
+        assert_eq!(from_text(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn round_trip_childless_root_with_plan_properties() {
+        let plan = UnifiedPlan::with_root(
+            PlanNode::producer("Full_Table_Scan").with_property(Property::cardinality("rows", 1)),
+        )
+        .with_plan_property(Property::status("planning_time_ms", 3));
+        let text = to_text(&plan);
+        assert_eq!(from_text(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn round_trip_properties_only_plan() {
+        // The InfluxDB case: `plan ::= (tree)? properties` without a tree.
+        let plan = UnifiedPlan::properties_only(vec![
+            Property::cardinality("total_series", 5),
+            Property::status("queryOk", true),
+        ]);
+        let text = to_text(&plan);
+        assert!(!text.contains("Operation"));
+        assert_eq!(from_text(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn round_trip_multi_child_tree() {
+        let plan = UnifiedPlan::with_root(
+            PlanNode::join("Hash_Join")
+                .with_property(Property::configuration("cond", "a = b"))
+                .with_child(PlanNode::producer("Full_Table_Scan"))
+                .with_child(
+                    PlanNode::executor("Hash_Row").with_child(PlanNode::producer("Index_Scan")),
+                ),
+        );
+        assert_eq!(from_text(&to_text(&plan)).unwrap(), plan);
+    }
+
+    #[test]
+    fn parses_whitespace_insensitively() {
+        let input = "Operation:Executor->Collect--children-->{Operation:Producer->Scan,Cardinality->rows:5}";
+        let plan = from_text(input).unwrap();
+        assert_eq!(plan.operation_count(), 2);
+        assert_eq!(
+            plan.root.unwrap().children[0].property("rows").unwrap().value,
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn value_literals_parse() {
+        let plan = from_text(
+            "Cardinality->a: -3, Cost->b: 2.5, Configuration->c: true, Status->d: null, Configuration->e: \"x\\\"y\"",
+        )
+        .unwrap();
+        let vals: Vec<&Value> = plan.properties.iter().map(|p| &p.value).collect();
+        assert_eq!(
+            vals,
+            [
+                &Value::Int(-3),
+                &Value::Float(2.5),
+                &Value::Bool(true),
+                &Value::Null,
+                &Value::Str("x\"y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn extension_categories_parse_forward_compatibly() {
+        // Section IV-B: an application must accept input from a newer version
+        // of the representation that defines additional categories.
+        let plan = from_text("Operation: Mapper->LLM_Join --children--> { Operation: Producer->Full_Table_Scan }").unwrap();
+        let root = plan.root.unwrap();
+        assert_eq!(root.operation.category.name(), "Mapper");
+        assert!(!root.operation.category.is_canonical());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        // A missing ':' after 'Operation' makes the whole input unparseable
+        // as a tree, so it surfaces as trailing input at offset 0.
+        assert!(matches!(
+            from_text("Operation Producer->X"),
+            Err(Error::Parse { .. })
+        ));
+        assert!(matches!(from_text("Cardinality->rows:"), Err(Error::UnexpectedEof(_))));
+        assert!(from_text("Operation: Producer->Scan }").is_err());
+        assert!(from_text("Operation: Producer->Scan --children--> {").is_err());
+        assert!(from_text("%").is_err());
+    }
+
+    #[test]
+    fn unicode_strings_round_trip() {
+        let plan = UnifiedPlan::properties_only(vec![Property::configuration(
+            "filter",
+            "name = 'café' AND x < \u{1F600}",
+        )]);
+        assert_eq!(from_text(&to_text(&plan)).unwrap(), plan);
+    }
+
+    #[test]
+    fn escaped_control_characters_round_trip() {
+        let plan = UnifiedPlan::properties_only(vec![Property::configuration(
+            "raw",
+            "line1\nline2\ttab\r\u{1}",
+        )]);
+        assert_eq!(from_text(&to_text(&plan)).unwrap(), plan);
+    }
+
+    #[test]
+    fn deep_tree_round_trips() {
+        let mut node = PlanNode::producer("Full_Table_Scan");
+        for i in 0..64 {
+            node = PlanNode::executor(format!("Wrapper_{i}")).with_child(node);
+        }
+        let plan = UnifiedPlan::with_root(node);
+        assert_eq!(from_text(&to_text(&plan)).unwrap(), plan);
+    }
+}

@@ -1,0 +1,278 @@
+//! The unified naming convention (paper Section IV-A).
+//!
+//! "We use a unified naming convention to denote operations and properties
+//! [...] we mapped DBMS-specific names of operations and properties to
+//! unified names. For example, we mapped the operation name *Seq Scan* in
+//! PostgreSQL, *Table Scan* in SQL Server, and *TableFullScan* in TiDB to
+//! *Full Table Scan*."
+//!
+//! This module is the canonical vocabulary: every unified operation name the
+//! registry maps to is a constant here, so converters, tests and the
+//! benchmarking application (which compares plans *across* DBMSs and
+//! therefore needs agreeing names) share one spelling.
+
+/// Unified operation identifiers (grammar keywords).
+macro_rules! unified {
+    ($($(#[$doc:meta])* $name:ident = $value:literal;)*) => {
+        $( $(#[$doc])* pub const $name: &str = $value; )*
+
+        /// Every unified operation name, for exhaustiveness checks.
+        pub const ALL_OPERATIONS: &[&str] = &[$($value),*];
+    };
+}
+
+unified! {
+    // -- Producer ---------------------------------------------------------
+    /// Scan of an entire table/collection (PG `Seq Scan`, SQL Server
+    /// `Table Scan`, TiDB `TableFullScan`, SQLite `SCAN`, Mongo `COLLSCAN`).
+    FULL_TABLE_SCAN = "Full_Table_Scan";
+    /// Index-driven row retrieval (PG `Index Scan`, MySQL `ref`/`range`
+    /// access, SQLite `SEARCH ... USING INDEX`).
+    INDEX_SCAN = "Index_Scan";
+    /// Index-only retrieval without visiting the base table.
+    INDEX_ONLY_SCAN = "Index_only_Scan";
+    /// Point/range seek in a clustered index (SQL Server) or primary key.
+    INDEX_SEEK = "Index_Seek";
+    /// Bitmap-driven heap retrieval (PG `Bitmap Heap Scan`).
+    BITMAP_HEAP_SCAN = "Bitmap_Heap_Scan";
+    /// Bitmap construction from an index (PG `Bitmap Index Scan`).
+    BITMAP_INDEX_SCAN = "Bitmap_Index_Scan";
+    /// Row retrieval by row identifier (TiDB `TableRowIDScan`, SQLite rowid).
+    ID_SCAN = "Id_Scan";
+    /// Constant/VALUES row source.
+    CONSTANT_SCAN = "Constant_Scan";
+    /// Scan of a function's result (PG `Function Scan`).
+    FUNCTION_SCAN = "Function_Scan";
+    /// Scan of a subquery's materialized output.
+    SUBQUERY_SCAN = "Subquery_Scan";
+    /// Scan of a common-table-expression result.
+    CTE_SCAN = "CTE_Scan";
+    /// Graph: scan of all nodes (Neo4j `AllNodesScan`).
+    ALL_NODES_SCAN = "All_Nodes_Scan";
+    /// Graph: scan of nodes with a label (Neo4j `NodeByLabelScan`).
+    NODE_BY_LABEL_SCAN = "Node_By_Label_Scan";
+    /// Graph: index seek on node properties (Neo4j `NodeIndexSeek`).
+    NODE_INDEX_SEEK = "Node_Index_Seek";
+    /// Document: fetch documents for index keys (Mongo `FETCH`).
+    DOCUMENT_FETCH = "Document_Fetch";
+
+    // -- Combinator -------------------------------------------------------
+    /// Explicit sort (PG `Sort`, SQLite `USE TEMP B-TREE`).
+    SORT = "Sort";
+    /// Bounded sort (`Top-N`), e.g. TiDB `TopN`, Neo4j `Top`.
+    TOP_N = "Top_N";
+    /// Concatenation of child outputs (PG `Append`, SQLite `COMPOUND QUERY`).
+    APPEND = "Append";
+    /// Set union with duplicate elimination.
+    UNION = "Union";
+    /// Set intersection.
+    INTERSECT = "Intersect";
+    /// Set difference.
+    EXCEPT = "Except";
+    /// Duplicate elimination (`Distinct`, Mongo dedup stages).
+    DISTINCT = "Distinct";
+    /// Row-count limiting.
+    LIMIT = "Limit";
+    /// Row skipping.
+    OFFSET = "Offset";
+    /// Merge of pre-sorted inputs (PG `Merge Append`).
+    MERGE_APPEND = "Merge_Append";
+
+    // -- Join -------------------------------------------------------------
+    /// Hash join.
+    HASH_JOIN = "Hash_Join";
+    /// Merge/sort-merge join; the paper's Listing 1 calls PG's node
+    /// `Set Join` over sorted inputs.
+    MERGE_JOIN = "Merge_Join";
+    /// Nested-loop join.
+    NESTED_LOOP_JOIN = "Nested_Loop_Join";
+    /// Index-driven lookup join (TiDB `IndexJoin`, MySQL index lookups).
+    INDEX_JOIN = "Index_Join";
+    /// Index-driven hash lookup join (TiDB `IndexHashJoin`).
+    INDEX_HASH_JOIN = "Index_Hash_Join";
+    /// Cartesian product.
+    CARTESIAN_PRODUCT = "Cartesian_Product";
+    /// Semi join (EXISTS / IN).
+    SEMI_JOIN = "Semi_Join";
+    /// Anti join (NOT EXISTS / NOT IN).
+    ANTI_JOIN = "Anti_Join";
+    /// Graph: traversal of relationships (Neo4j `Expand(All)`); edge
+    /// operations belong to Join per the paper's classification.
+    EXPAND = "Expand";
+    /// Graph: relationship-index scan (paper Fig. 1).
+    RELATIONSHIP_INDEX_SCAN = "Relationship_Index_Scan";
+    /// Graph: optional traversal (Neo4j `OptionalExpand`).
+    OPTIONAL_EXPAND = "Optional_Expand";
+
+    // -- Folder -----------------------------------------------------------
+    /// Hash-based aggregation (PG `HashAggregate`, TiDB `HashAgg`).
+    HASH_AGGREGATE = "Hash_Aggregate";
+    /// Ordered/grouped aggregation (PG `Group`/`GroupAggregate`).
+    GROUP_AGGREGATE = "Group_Aggregate";
+    /// Plain (ungrouped) aggregation.
+    AGGREGATE = "Aggregate";
+    /// Stream aggregation over sorted input (TiDB `StreamAgg`).
+    STREAM_AGGREGATE = "Stream_Aggregate";
+    /// Window function evaluation.
+    WINDOW = "Window";
+    /// Document: `$group` pipeline stage.
+    GROUP_STAGE = "Group_Stage";
+    /// Document: `$unwind` pipeline stage (derives tuples from arrays).
+    UNWIND = "Unwind";
+
+    // -- Projector --------------------------------------------------------
+    /// Attribute removal / column projection (TiDB `Projection`,
+    /// Neo4j `Projection`, Mongo `PROJECTION_SIMPLE`).
+    PROJECT = "Project";
+
+    // -- Executor ---------------------------------------------------------
+    /// Parallel-worker merge (PG `Gather`; Listing 1 shows `Gather Set`).
+    GATHER = "Gather";
+    /// Order-preserving parallel merge (PG `Gather Merge`).
+    GATHER_MERGE = "Gather_Merge";
+    /// Hash-table build side of a hash join (PG `Hash`; paper Listing 4
+    /// renders it `Executor->Hash Row`).
+    HASH_ROW = "Hash_Row";
+    /// Result caching (PG `Memoize`/`MEMORIZE`).
+    MEMOIZE = "Memoize";
+    /// Materialization of an intermediate result.
+    MATERIALIZE = "Materialize";
+    /// Distributed root that receives data from storage/compute nodes
+    /// (TiDB `TableReader`/`IndexReader`; Fig. 2 `Executor->Collect`).
+    COLLECT = "Collect";
+    /// Distributed collect preserving order (TiDB `IndexLookUp` order side).
+    COLLECT_ORDER = "Collect_Order";
+    /// Distributed data exchange: send side (TiDB `ExchangeSender`).
+    EXCHANGE_SEND = "Exchange_Send";
+    /// Distributed data exchange: receive side (TiDB `ExchangeReceiver`).
+    EXCHANGE_RECEIVE = "Exchange_Receive";
+    /// Distributed shuffle (TiDB `Shuffle`, Spark `Exchange`).
+    SHUFFLE = "Shuffle";
+    /// Graph/doc: final result delivery (Neo4j `ProduceResults`).
+    PRODUCE_RESULTS = "Produce_Results";
+    /// Generic row-forwarding wrapper (MySQL table-format `SIMPLE` rows,
+    /// Spark `WholeStageCodegen`).
+    PASS_THROUGH = "Pass_Through";
+    /// Filter evaluated as its own step (TiDB `Selection`; note the paper
+    /// deems TiDB's *Filter key* a property, but `Selection_N` plan rows are
+    /// operations).
+    SELECTION = "Selection";
+
+    // -- Consumer ---------------------------------------------------------
+    /// Row insertion.
+    INSERT = "Insert";
+    /// Row update.
+    UPDATE = "Update";
+    /// Row deletion.
+    DELETE = "Delete";
+    /// DDL / catalog mutation.
+    DDL = "DDL";
+    /// System-variable mutation (Spark `SetCatalogAndNamespace`).
+    SET_VARIABLE = "Set_Variable";
+}
+
+/// Unified property identifiers shared across converters.
+pub mod props {
+    /// Estimated row count (Cardinality).
+    pub const ROWS: &str = "rows";
+    /// Actual row count from EXPLAIN ANALYZE (Cardinality).
+    pub const ACTUAL_ROWS: &str = "actual_rows";
+    /// Estimated row width in bytes (Cardinality).
+    pub const WIDTH: &str = "width";
+    /// Cost to produce the first row (Cost).
+    pub const STARTUP_COST: &str = "startup_cost";
+    /// Cost to produce all rows (Cost).
+    pub const TOTAL_COST: &str = "total_cost";
+    /// Actual execution time in milliseconds (Status).
+    pub const ACTUAL_TIME_MS: &str = "actual_time_ms";
+    /// The scanned/modified object's name (Configuration).
+    pub const NAME_OBJECT: &str = "name_object";
+    /// The index used (Configuration).
+    pub const NAME_INDEX: &str = "name_index";
+    /// Filter predicate (Configuration).
+    pub const FILTER: &str = "filter";
+    /// Join condition (Configuration).
+    pub const JOIN_COND: &str = "join_cond";
+    /// Index access condition (Configuration).
+    pub const INDEX_COND: &str = "index_cond";
+    /// Grouping keys (Configuration).
+    pub const GROUP_KEY: &str = "group_key";
+    /// Sort keys (Configuration).
+    pub const SORT_KEY: &str = "sort_key";
+    /// Output column list (Configuration).
+    pub const OUTPUT: &str = "output";
+    /// Planned parallel workers (Status).
+    pub const WORKERS_PLANNED: &str = "workers_planned";
+    /// Distributed task placement (Status; TiDB `taskType`).
+    pub const TASK_TYPE: &str = "task_type";
+    /// Plan-associated planning time in ms (Status).
+    pub const PLANNING_TIME_MS: &str = "planning_time_ms";
+    /// Plan-associated execution time in ms (Status).
+    pub const EXECUTION_TIME_MS: &str = "execution_time_ms";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyword::is_keyword;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn all_unified_operation_names_are_keywords() {
+        for name in ALL_OPERATIONS {
+            assert!(is_keyword(name), "{name} violates the keyword production");
+        }
+    }
+
+    #[test]
+    fn unified_operation_names_are_unique() {
+        let set: BTreeSet<&str> = ALL_OPERATIONS.iter().copied().collect();
+        assert_eq!(set.len(), ALL_OPERATIONS.len());
+    }
+
+    #[test]
+    fn property_names_are_keywords() {
+        for name in [
+            props::ROWS,
+            props::ACTUAL_ROWS,
+            props::WIDTH,
+            props::STARTUP_COST,
+            props::TOTAL_COST,
+            props::ACTUAL_TIME_MS,
+            props::NAME_OBJECT,
+            props::NAME_INDEX,
+            props::FILTER,
+            props::JOIN_COND,
+            props::INDEX_COND,
+            props::GROUP_KEY,
+            props::SORT_KEY,
+            props::OUTPUT,
+            props::WORKERS_PLANNED,
+            props::TASK_TYPE,
+            props::PLANNING_TIME_MS,
+            props::EXECUTION_TIME_MS,
+        ] {
+            assert!(is_keyword(name), "{name} violates the keyword production");
+        }
+    }
+
+    #[test]
+    fn vocabulary_covers_papers_running_examples() {
+        // Names that appear verbatim in the paper's figures/listings.
+        for needed in [
+            FULL_TABLE_SCAN,
+            COLLECT,
+            HASH_JOIN,
+            HASH_ROW,
+            SORT,
+            AGGREGATE,
+            PROJECT,
+            ID_SCAN,
+            INDEX_ONLY_SCAN,
+            INDEX_HASH_JOIN,
+            COLLECT_ORDER,
+        ] {
+            assert!(ALL_OPERATIONS.contains(&needed));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Property values of the unified representation.
+//!
+//! Paper Listing 2, line 12: `value ::= string | number | boolean | 'null'`.
+//! The grammar's `number` is an integer; real query plans additionally carry
+//! fractional costs (`cost=62998.82`), so [`Value::Float`] is provided as a
+//! documented, forward-compatible extension (Section IV-B allows widening
+//! value definitions without breaking existing applications).
+
+use std::fmt;
+
+/// A property value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The literal `null`.
+    Null,
+    /// `true` or `false`.
+    Bool(bool),
+    /// Integral number (`number ::= '-'? digit+`).
+    Int(i64),
+    /// Fractional number — grammar extension for cost/time values.
+    Float(f64),
+    /// A string. Unlike the paper's simplified `string` production, any
+    /// Unicode content is allowed; serializers escape as needed.
+    Str(String),
+}
+
+impl Value {
+    /// String accessor; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer accessor; `None` for non-integers.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor that widens integers to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Boolean accessor; `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `true` iff the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A stable textual form used by fingerprinting and the text format.
+    ///
+    /// Floats are rendered with `{:?}` (shortest round-trip form) so equal
+    /// values always produce equal text.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "null".to_owned(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{f:?}"),
+            Value::Str(s) => format!("\"{}\"", escape(s)),
+        }
+    }
+}
+
+/// Escapes a string for the text grammar: backslash-escapes `"` and `\`,
+/// and encodes control characters as `\n`, `\t`, `\r` or `\u{XXXX}`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if c.is_control() => {
+                out.push_str(&format!("\\u{{{:04x}}}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            other => write!(f, "{}", other.render()),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(i: u64) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Int(3).as_str(), None);
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Float(2.5).as_int(), None);
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn render_is_grammar_shaped() {
+        assert_eq!(Value::Null.render(), "null");
+        assert_eq!(Value::Bool(true).render(), "true");
+        assert_eq!(Value::Int(-7).render(), "-7");
+        assert_eq!(Value::Float(62998.82).render(), "62998.82");
+        assert_eq!(Value::Str("t1.c0".into()).render(), "\"t1.c0\"");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+        assert_eq!(escape("\u{1}"), "\\u{0001}");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn from_impls_cover_common_types() {
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(5u64), Value::Int(5));
+        assert_eq!(Value::from(5usize), Value::Int(5));
+        assert_eq!(Value::from(5i32), Value::Int(5));
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+        assert_eq!(Value::from(false), Value::Bool(false));
+    }
+
+    #[test]
+    fn display_unquotes_strings() {
+        assert_eq!(Value::Str("abc".into()).to_string(), "abc");
+        assert_eq!(Value::Int(4).to_string(), "4");
+    }
+}

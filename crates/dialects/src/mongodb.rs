@@ -1,0 +1,102 @@
+//! MongoDB `explain()` serialization.
+//!
+//! `minidoc` already builds the canonical `queryPlanner.winningPlan`
+//! document ([`minidoc::DocPlan::to_explain_json`]); this module provides
+//! the string rendering plus the pipeline-command echo that real shells
+//! print alongside it.
+
+use minidoc::{DocPlan, Request};
+use uplan_core::formats::json::JsonValue;
+
+/// Serializes a plan as `explain()` JSON text.
+pub fn to_json(plan: &DocPlan) -> String {
+    plan.to_explain_json().to_pretty()
+}
+
+/// The shell command echo for a request (`db.orders.find({...})`).
+pub fn command_echo(request: &Request) -> String {
+    let filter = JsonValue::Object(
+        request
+            .filter
+            .iter()
+            .map(|c| {
+                (
+                    c.field.clone(),
+                    JsonValue::Object(vec![(c.op.mql().to_owned(), c.value.clone())]),
+                )
+            })
+            .collect(),
+    );
+    let mut call = format!("db.{}.find({})", request.collection, filter.to_compact());
+    if let Some(fields) = &request.projection {
+        let projection = JsonValue::Object(
+            fields
+                .iter()
+                .map(|f| (f.clone(), JsonValue::Int(1)))
+                .collect(),
+        );
+        call.push_str(&format!(".projection({})", projection.to_compact()));
+    }
+    if let Some((field, desc)) = &request.sort {
+        call.push_str(&format!(
+            ".sort({{\"{field}\": {}}})",
+            if *desc { -1 } else { 1 }
+        ));
+    }
+    if let Some(n) = request.limit {
+        call.push_str(&format!(".limit({n})"));
+    }
+    call.push_str(".explain()");
+    call
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidoc::{Condition, DocStore, FilterOp};
+    use uplan_core::formats::json::{self, JsonValue};
+
+    #[test]
+    fn json_text_parses() {
+        let mut store = DocStore::new();
+        store.collection_mut("c").insert(json::object([(
+            "x",
+            JsonValue::Int(1),
+        )]));
+        let request = Request {
+            collection: "c".into(),
+            filter: vec![Condition {
+                field: "x".into(),
+                op: FilterOp::Eq,
+                value: JsonValue::Int(1),
+            }],
+            ..Request::default()
+        };
+        let (_, plan) = store.find(&request);
+        let text = to_json(&plan);
+        let doc = json::parse(&text).unwrap();
+        assert!(doc.get("queryPlanner").is_some());
+    }
+
+    #[test]
+    fn command_echo_shape() {
+        let request = Request {
+            collection: "orders".into(),
+            filter: vec![Condition {
+                field: "status".into(),
+                op: FilterOp::Eq,
+                value: JsonValue::from("A"),
+            }],
+            projection: Some(vec!["total".into()]),
+            sort: Some(("total".into(), true)),
+            limit: Some(5),
+            group: None,
+        };
+        let echo = command_echo(&request);
+        assert!(echo.starts_with("db.orders.find("), "{echo}");
+        assert!(echo.contains("$eq"), "{echo}");
+        assert!(echo.contains(".sort({\"total\": -1})"), "{echo}");
+        assert!(echo.contains(".limit(5)"), "{echo}");
+        assert!(echo.ends_with(".explain()"), "{echo}");
+    }
+}

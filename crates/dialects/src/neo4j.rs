@@ -1,0 +1,123 @@
+//! Neo4j plan-table serialization (paper Fig. 1).
+//!
+//! Renders a [`minigraph::GraphPlan`] the way Neo4j Browser prints it: a
+//! `Planner`/`Runtime` header, an ASCII operator table with `+`-prefixed
+//! operator names, and the `Total database accesses` footer.
+
+use minigraph::GraphPlan;
+
+/// Serializes the operator table text.
+pub fn to_table(plan: &GraphPlan) -> String {
+    let executed = plan.operators.iter().any(|o| o.rows.is_some());
+    let mut header = vec!["Operator", "Details", "Estimated Rows"];
+    if executed {
+        header.push("Rows");
+        header.push("DB Hits");
+    }
+
+    let mut body: Vec<Vec<String>> = Vec::new();
+    for op in &plan.operators {
+        let mut row = vec![
+            format!("+{}", op.name),
+            op.details.clone(),
+            format!("{:.0}", op.estimated_rows),
+        ];
+        if executed {
+            row.push(op.rows.map_or(String::new(), |r| r.to_string()));
+            row.push(op.db_hits.map_or(String::new(), |h| h.to_string()));
+        }
+        body.push(row);
+    }
+
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in &body {
+        for c in 0..cols {
+            widths[c] = widths[c].max(row[c].chars().count());
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("Planner {}\n", plan.planner));
+    out.push_str(&format!("Runtime {}\n", plan.runtime));
+    out.push_str(&format!("Runtime version {}\n\n", plan.runtime_version));
+    let rule = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    rule(&mut out);
+    out.push('|');
+    for (h, w) in header.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |", w = w));
+    }
+    out.push('\n');
+    rule(&mut out);
+    for row in &body {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            let pad = w - cell.chars().count();
+            out.push_str(&format!(" {cell}{} |", " ".repeat(pad)));
+        }
+        out.push('\n');
+    }
+    rule(&mut out);
+    out.push_str(&format!(
+        "\nTotal database accesses: {}, total allocated memory: {}\n",
+        plan.total_db_hits, plan.memory_bytes
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minigraph::{GraphStore, PatternQuery, PropPredicate, PropValue};
+
+    #[test]
+    fn fig1_table_shape() {
+        let mut g = GraphStore::new();
+        let a = g.add_node(&["P"], vec![]);
+        let b = g.add_node(&["P"], vec![]);
+        for i in 0..8 {
+            g.add_rel(
+                a,
+                b,
+                "WORKS_AS",
+                vec![(
+                    "title",
+                    PropValue::Str(if i < 4 { "developer".into() } else { "boss".into() }),
+                )],
+            );
+        }
+        let (_, plan) = g.run(&PatternQuery {
+            rel_type: Some("WORKS_AS".into()),
+            undirected: true,
+            rel_predicates: vec![PropPredicate::EndsWith("title".into(), "developer".into())],
+            ..PatternQuery::default()
+        });
+        let text = to_table(&plan);
+        assert!(text.starts_with("Planner COST"), "{text}");
+        assert!(text.contains("Runtime version"), "{text}");
+        assert!(text.contains("+ProduceResults"), "{text}");
+        assert!(text.contains("UndirectedRelationshipIndexContainsScan"), "{text}");
+        assert!(text.contains("Total database accesses:"), "{text}");
+        assert!(text.contains("total allocated memory:"), "{text}");
+    }
+
+    #[test]
+    fn explain_omits_actual_columns() {
+        let mut g = GraphStore::new();
+        g.add_node(&["N"], vec![]);
+        let plan = g.explain(&PatternQuery {
+            src_label: Some("N".into()),
+            ..PatternQuery::default()
+        });
+        let text = to_table(&plan);
+        assert!(text.contains("Estimated Rows"), "{text}");
+        assert!(!text.contains("DB Hits"), "{text}");
+    }
+}

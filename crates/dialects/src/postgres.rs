@@ -1,0 +1,531 @@
+//! PostgreSQL `EXPLAIN` serialization (text and `FORMAT JSON`).
+//!
+//! Reproduces the shapes of paper Listing 1: operations with
+//! `(cost=.. rows=.. width=..)` suffixes, properties on follow-up indented
+//! lines (`Filter:`, `Hash Cond:`, `Group Key:`, `Sort Key:`), hash-join
+//! build sides under explicit `Hash` nodes, parallel scans under `Gather`
+//! with `Workers Planned`, projections invisible, and plan-level
+//! `Planning Time` / `Execution Time` footers.
+
+use minidb::physical::{AggStrategy, ExplainedPlan, IndexAccess, PhysNode, PhysOp};
+use minidb::sql::ast::SetOpKind;
+use uplan_core::formats::json::{object, JsonValue};
+
+/// A dialect-ready node: PostgreSQL operation name, properties, children.
+#[derive(Debug, Clone)]
+pub struct PgNode {
+    /// Node type as EXPLAIN prints it.
+    pub node_type: String,
+    /// `(property, value)` pairs in print order.
+    pub properties: Vec<(String, String)>,
+    /// Estimated rows.
+    pub rows: f64,
+    /// Startup/total cost.
+    pub cost: (f64, f64),
+    /// Actual rows (ANALYZE).
+    pub actual: Option<(u64, f64)>,
+    /// Children.
+    pub children: Vec<PgNode>,
+    /// `Parent Relationship` of each child (JSON format only).
+    pub parent_relationship: &'static str,
+}
+
+/// Expands a generic plan into the PostgreSQL node tree.
+pub fn expand(plan: &ExplainedPlan) -> PgNode {
+    let mut root = expand_node(&plan.root, "Outer");
+    for (i, sub) in plan.subplans.iter().enumerate() {
+        let mut sub_node = expand_node(sub, "SubPlan");
+        sub_node
+            .properties
+            .push(("Subplan Name".to_owned(), format!("SubPlan {}", i + 1)));
+        root.children.push(sub_node);
+    }
+    root
+}
+
+fn expand_node(node: &PhysNode, parent_relationship: &'static str) -> PgNode {
+    let mut out = PgNode {
+        node_type: String::new(),
+        properties: Vec::new(),
+        rows: node.est_rows,
+        cost: (node.est_startup_cost, node.est_total_cost),
+        actual: node.actual.map(|a| (a.rows, a.time_ms)),
+        children: Vec::new(),
+        parent_relationship,
+    };
+    match &node.op {
+        PhysOp::SeqScan {
+            table,
+            alias,
+            filter,
+            parallel,
+        } => {
+            if *parallel {
+                // Gather + Parallel Seq Scan (paper Listing 1 lines 15–24).
+                out.node_type = "Gather".to_owned();
+                out.properties
+                    .push(("Workers Planned".to_owned(), "2".to_owned()));
+                let mut scan = PgNode {
+                    node_type: "Parallel Seq Scan".to_owned(),
+                    properties: vec![
+                        ("Relation Name".to_owned(), table.clone()),
+                        ("Alias".to_owned(), alias.clone()),
+                    ],
+                    rows: node.est_rows / 2.0,
+                    cost: (0.0, node.est_total_cost / 2.0),
+                    actual: node.actual.map(|a| (a.rows, a.time_ms)),
+                    children: Vec::new(),
+                    parent_relationship: "Outer",
+                };
+                if let Some(f) = filter {
+                    scan.properties.push(("Filter".to_owned(), f.to_string()));
+                }
+                out.children.push(scan);
+            } else {
+                out.node_type = "Seq Scan".to_owned();
+                out.properties
+                    .push(("Relation Name".to_owned(), table.clone()));
+                out.properties.push(("Alias".to_owned(), alias.clone()));
+                if let Some(f) = filter {
+                    out.properties.push(("Filter".to_owned(), f.to_string()));
+                }
+            }
+        }
+        PhysOp::IndexScan {
+            table,
+            alias,
+            index,
+            access,
+            filter,
+            index_only,
+            ..
+        } => {
+            out.node_type = if *index_only {
+                "Index Only Scan".to_owned()
+            } else {
+                "Index Scan".to_owned()
+            };
+            out.properties.push(("Index Name".to_owned(), index.clone()));
+            out.properties
+                .push(("Relation Name".to_owned(), table.clone()));
+            out.properties.push(("Alias".to_owned(), alias.clone()));
+            if let Some(cond) = render_access(access) {
+                out.properties.push(("Index Cond".to_owned(), cond));
+            }
+            if let Some(f) = filter {
+                out.properties.push(("Filter".to_owned(), f.to_string()));
+            }
+        }
+        PhysOp::Filter { predicate } => {
+            // PostgreSQL attaches filters to nodes; merge into the child.
+            let mut child = expand_node(&node.children[0], parent_relationship);
+            child
+                .properties
+                .push(("Filter".to_owned(), predicate.to_string()));
+            child.rows = node.est_rows;
+            if let Some(a) = node.actual {
+                child.actual = Some((a.rows, a.time_ms));
+            }
+            return child;
+        }
+        PhysOp::Project { .. } => {
+            // Projections are not explicit PostgreSQL plan nodes.
+            let mut child = expand_node(&node.children[0], parent_relationship);
+            child.parent_relationship = parent_relationship;
+            return child;
+        }
+        PhysOp::HashJoin { keys, residual, .. } => {
+            out.node_type = "Hash Join".to_owned();
+            out.properties.push((
+                "Hash Cond".to_owned(),
+                keys.iter()
+                    .map(|(a, b)| format!("(probe.c{a} = build.c{b})"))
+                    .collect::<Vec<_>>()
+                    .join(" AND "),
+            ));
+            if let Some(r) = residual {
+                out.properties
+                    .push(("Join Filter".to_owned(), r.to_string()));
+            }
+            out.children.push(expand_node(&node.children[0], "Outer"));
+            // The build side sits under an explicit Hash node
+            // (paper Listing 4's `Executor->Hash Row`).
+            let build = expand_node(&node.children[1], "Outer");
+            let hash = PgNode {
+                node_type: "Hash".to_owned(),
+                properties: Vec::new(),
+                rows: build.rows,
+                cost: build.cost,
+                actual: build.actual,
+                children: vec![build],
+                parent_relationship: "Inner",
+            };
+            out.children.push(hash);
+        }
+        PhysOp::NestedLoopJoin { on, .. } => {
+            out.node_type = "Nested Loop".to_owned();
+            if let Some(p) = on {
+                out.properties
+                    .push(("Join Filter".to_owned(), p.to_string()));
+            }
+            out.children.push(expand_node(&node.children[0], "Outer"));
+            out.children.push(expand_node(&node.children[1], "Inner"));
+        }
+        PhysOp::MergeJoin { residual, .. } => {
+            out.node_type = "Merge Join".to_owned();
+            if let Some(r) = residual {
+                out.properties
+                    .push(("Join Filter".to_owned(), r.to_string()));
+            }
+            out.children.push(expand_node(&node.children[0], "Outer"));
+            out.children.push(expand_node(&node.children[1], "Inner"));
+        }
+        PhysOp::Aggregate {
+            strategy,
+            group_by,
+            having,
+            ..
+        } => {
+            out.node_type = match strategy {
+                AggStrategy::Hash => "HashAggregate".to_owned(),
+                AggStrategy::Sorted => "GroupAggregate".to_owned(),
+                AggStrategy::Plain => "Aggregate".to_owned(),
+            };
+            if !group_by.is_empty() {
+                out.properties.push((
+                    "Group Key".to_owned(),
+                    group_by
+                        .iter()
+                        .map(|g| g.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ));
+            }
+            if let Some(h) = having {
+                out.properties.push(("Filter".to_owned(), h.to_string()));
+            }
+            out.children.push(expand_node(&node.children[0], "Outer"));
+        }
+        PhysOp::Sort { keys } => {
+            out.node_type = "Sort".to_owned();
+            out.properties.push((
+                "Sort Key".to_owned(),
+                keys.iter()
+                    .map(|(k, desc)| {
+                        if *desc {
+                            format!("{k} DESC")
+                        } else {
+                            k.to_string()
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ));
+            out.children.push(expand_node(&node.children[0], "Outer"));
+        }
+        PhysOp::TopN {
+            keys,
+            limit,
+            offset,
+        } => {
+            // PostgreSQL renders Top-N as Limit over Sort.
+            out.node_type = "Limit".to_owned();
+            if *offset > 0 {
+                out.properties
+                    .push(("Offset".to_owned(), offset.to_string()));
+            }
+            let mut sort = PgNode {
+                node_type: "Sort".to_owned(),
+                properties: vec![(
+                    "Sort Key".to_owned(),
+                    keys.iter()
+                        .map(|(k, d)| if *d { format!("{k} DESC") } else { k.to_string() })
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                )],
+                rows: node.est_rows,
+                cost: (node.est_startup_cost, node.est_total_cost),
+                actual: node.actual.map(|a| (a.rows, a.time_ms)),
+                children: Vec::new(),
+                parent_relationship: "Outer",
+            };
+            sort.children.push(expand_node(&node.children[0], "Outer"));
+            out.children.push(sort);
+            let _ = limit;
+        }
+        PhysOp::Limit { offset, .. } => {
+            out.node_type = "Limit".to_owned();
+            if *offset > 0 {
+                out.properties
+                    .push(("Offset".to_owned(), offset.to_string()));
+            }
+            out.children.push(expand_node(&node.children[0], "Outer"));
+        }
+        PhysOp::Distinct => {
+            // UNION dedup shows as HashAggregate over Append (Listing 1).
+            out.node_type = "HashAggregate".to_owned();
+            out.properties
+                .push(("Group Key".to_owned(), "all columns".to_owned()));
+            out.children.push(expand_node(&node.children[0], "Outer"));
+        }
+        PhysOp::SetOp { op, .. } => {
+            out.node_type = match op {
+                SetOpKind::Intersect => "SetOp Intersect".to_owned(),
+                SetOpKind::Except => "SetOp Except".to_owned(),
+                SetOpKind::Union => "SetOp".to_owned(),
+            };
+            out.children.push(expand_node(&node.children[0], "Outer"));
+            out.children.push(expand_node(&node.children[1], "Inner"));
+        }
+        PhysOp::Append => {
+            out.node_type = "Append".to_owned();
+            for child in &node.children {
+                out.children.push(expand_node(child, "Member"));
+            }
+        }
+        PhysOp::Empty => {
+            out.node_type = "Result".to_owned();
+        }
+    }
+    out
+}
+
+fn render_access(access: &IndexAccess) -> Option<String> {
+    match access {
+        IndexAccess::Eq(e) => Some(format!("(key = {e})")),
+        IndexAccess::Range { low, high } => {
+            let mut parts = Vec::new();
+            if let Some(l) = low {
+                parts.push(format!("(key >= {l})"));
+            }
+            if let Some(h) = high {
+                parts.push(format!("(key <= {h})"));
+            }
+            if parts.is_empty() {
+                None
+            } else {
+                Some(parts.join(" AND "))
+            }
+        }
+        IndexAccess::Full => None,
+    }
+}
+
+/// Serializes as `EXPLAIN` text.
+pub fn to_text(plan: &ExplainedPlan) -> String {
+    let expanded = expand(plan);
+    let mut out = String::new();
+    write_text(&expanded, 0, true, &mut out);
+    out.push_str(&format!("Planning Time: {:.3} ms\n", plan.planning_time_ms));
+    if let Some(t) = plan.execution_time_ms {
+        out.push_str(&format!("Execution Time: {t:.3} ms\n"));
+    }
+    out
+}
+
+fn write_text(node: &PgNode, depth: usize, is_root: bool, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let arrow = if is_root { "" } else { "->  " };
+    let mut head = format!("{indent}{arrow}{}", node.node_type);
+    // Scans include their relation inline, like real EXPLAIN text.
+    let relation = node
+        .properties
+        .iter()
+        .find(|(k, _)| k == "Relation Name")
+        .map(|(_, v)| v.clone());
+    let index = node
+        .properties
+        .iter()
+        .find(|(k, _)| k == "Index Name")
+        .map(|(_, v)| v.clone());
+    if let Some(idx) = &index {
+        head.push_str(&format!(" using {idx}"));
+    }
+    if let Some(rel) = &relation {
+        head.push_str(&format!(" on {rel}"));
+    }
+    head.push_str(&format!(
+        "  (cost={:.2}..{:.2} rows={:.0} width=8)",
+        node.cost.0,
+        node.cost.1,
+        node.rows.max(0.0)
+    ));
+    if let Some((rows, time)) = node.actual {
+        head.push_str(&format!(
+            " (actual time=0.000..{time:.3} rows={rows} loops=1)"
+        ));
+    }
+    out.push_str(&head);
+    out.push('\n');
+    for (key, value) in &node.properties {
+        if matches!(key.as_str(), "Relation Name" | "Alias" | "Index Name") {
+            continue;
+        }
+        out.push_str(&format!("{indent}      {key}: {value}\n"));
+    }
+    for child in &node.children {
+        write_text(child, depth + 1, false, out);
+    }
+}
+
+/// Serializes as `EXPLAIN (FORMAT JSON)`.
+pub fn to_json(plan: &ExplainedPlan) -> String {
+    let expanded = expand(plan);
+    let mut doc = vec![("Plan".to_owned(), node_json(&expanded))];
+    doc.push((
+        "Planning Time".to_owned(),
+        JsonValue::Float(plan.planning_time_ms),
+    ));
+    if let Some(t) = plan.execution_time_ms {
+        doc.push(("Execution Time".to_owned(), JsonValue::Float(t)));
+    }
+    JsonValue::Array(vec![JsonValue::Object(doc)]).to_pretty()
+}
+
+fn node_json(node: &PgNode) -> JsonValue {
+    let mut members: Vec<(String, JsonValue)> = vec![
+        ("Node Type".to_owned(), JsonValue::from(node.node_type.as_str())),
+        (
+            "Parent Relationship".to_owned(),
+            JsonValue::from(node.parent_relationship),
+        ),
+        ("Startup Cost".to_owned(), JsonValue::Float(node.cost.0)),
+        ("Total Cost".to_owned(), JsonValue::Float(node.cost.1)),
+        ("Plan Rows".to_owned(), JsonValue::Int(node.rows.max(0.0) as i64)),
+        ("Plan Width".to_owned(), JsonValue::Int(8)),
+    ];
+    for (key, value) in &node.properties {
+        members.push((key.clone(), JsonValue::from(value.as_str())));
+    }
+    if let Some((rows, time)) = node.actual {
+        members.push(("Actual Rows".to_owned(), JsonValue::Int(rows as i64)));
+        members.push(("Actual Total Time".to_owned(), JsonValue::Float(time)));
+    }
+    if !node.children.is_empty() {
+        members.push((
+            "Plans".to_owned(),
+            JsonValue::Array(node.children.iter().map(node_json).collect()),
+        ));
+    }
+    JsonValue::Object(members)
+}
+
+/// Convenience: an `object` for tests.
+pub fn test_document() -> JsonValue {
+    object([("ok", JsonValue::Bool(true))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::profile::EngineProfile;
+    use minidb::Database;
+
+    fn listing1_db() -> Database {
+        let mut db = Database::new(EngineProfile::Postgres);
+        db.execute("CREATE TABLE t0 (c0 INT)").unwrap();
+        db.execute("CREATE TABLE t1 (c0 INT)").unwrap();
+        db.execute("CREATE TABLE t2 (c0 INT PRIMARY KEY)").unwrap();
+        for i in 0..200 {
+            db.execute(&format!("INSERT INTO t0 VALUES ({i})")).unwrap();
+        }
+        for i in 0..50 {
+            db.execute(&format!("INSERT INTO t1 VALUES ({})", i % 10)).unwrap();
+        }
+        for i in 0..100 {
+            db.execute(&format!("INSERT INTO t2 VALUES ({i})")).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn listing1_text_shape() {
+        let mut db = listing1_db();
+        let plan = db
+            .explain(
+                "SELECT t1.c0 FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c0 < 100 \
+                 GROUP BY t1.c0 UNION SELECT c0 FROM t2 WHERE c0 < 10",
+            )
+            .unwrap();
+        let text = to_text(&plan);
+        assert!(text.contains("Append"), "{text}");
+        assert!(text.contains("Hash Join"), "{text}");
+        assert!(text.contains("Seq Scan on t0"), "{text}");
+        assert!(text.contains("Filter:"), "{text}");
+        assert!(text.contains("Group Key:"), "{text}");
+        assert!(text.contains("Planning Time:"), "{text}");
+        // The UNION dedup appears as an aggregate over Append.
+        assert!(text.contains("HashAggregate"), "{text}");
+    }
+
+    #[test]
+    fn hash_builds_get_hash_nodes() {
+        let mut db = listing1_db();
+        let plan = db
+            .explain("SELECT t1.c0 FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0")
+            .unwrap();
+        let text = to_text(&plan);
+        let hash_line = text.lines().find(|l| l.trim_start().starts_with("->  Hash "));
+        assert!(hash_line.is_some(), "{text}");
+    }
+
+    #[test]
+    fn parallel_scan_gets_gather() {
+        let mut db = Database::new(EngineProfile::Postgres);
+        db.execute("CREATE TABLE big (x INT)").unwrap();
+        for chunk in 0..200 {
+            let values: Vec<String> = (0..100).map(|i| format!("({})", chunk * 100 + i)).collect();
+            db.execute(&format!("INSERT INTO big VALUES {}", values.join(","))).unwrap();
+        }
+        let plan = db.explain("SELECT x FROM big WHERE x < 3").unwrap();
+        let text = to_text(&plan);
+        assert!(text.contains("Gather"), "{text}");
+        assert!(text.contains("Parallel Seq Scan on big"), "{text}");
+        assert!(text.contains("Workers Planned: 2"), "{text}");
+    }
+
+    #[test]
+    fn index_scan_rendering() {
+        let mut db = listing1_db();
+        let plan = db.explain("SELECT c0 FROM t2 WHERE c0 = 5").unwrap();
+        let text = to_text(&plan);
+        assert!(text.contains("using t2_pkey on t2"), "{text}");
+        assert!(text.contains("Index Cond"), "{text}");
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let mut db = listing1_db();
+        let plan = db
+            .explain("SELECT t1.c0 FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c0 < 100")
+            .unwrap();
+        let text = to_json(&plan);
+        let doc = uplan_core::formats::json::parse(&text).unwrap();
+        let plan_obj = doc.as_array().unwrap()[0].get("Plan").unwrap();
+        assert!(plan_obj.get("Node Type").is_some());
+        assert!(plan_obj.get("Plans").is_some());
+    }
+
+    #[test]
+    fn subplans_are_attached() {
+        let mut db = listing1_db();
+        let plan = db
+            .explain("SELECT c0 FROM t0 WHERE c0 > (SELECT COUNT(*) FROM t1)")
+            .unwrap();
+        assert_eq!(plan.subplans.len(), 1);
+        let text = to_text(&plan);
+        assert!(text.contains("Subplan Name: SubPlan 1"), "{text}");
+        // Producer census: t0 scan + t1 scan.
+        let scans = text.matches("Seq Scan").count() + text.matches("Index Only Scan").count();
+        assert!(scans >= 2, "{text}");
+    }
+
+    #[test]
+    fn analyze_appends_actuals() {
+        let mut db = listing1_db();
+        let (plan, _) = db.explain_analyze("SELECT c0 FROM t2 WHERE c0 < 10").unwrap();
+        let text = to_text(&plan);
+        assert!(text.contains("actual time="), "{text}");
+        assert!(text.contains("Execution Time:"), "{text}");
+    }
+}

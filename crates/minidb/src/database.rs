@@ -1,0 +1,757 @@
+//! The engine façade: statement execution, EXPLAIN, statistics upkeep,
+//! fault arming.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::datum::{DataType, Datum, Row};
+use crate::exec::{self, ExecCtx};
+use crate::faults::{BugId, FaultLog, FaultSet};
+use crate::logical::Binder;
+use crate::physical::ExplainedPlan;
+use crate::planner::{self, PlannerCtx};
+use crate::profile::EngineProfile;
+use crate::schema::{Catalog, Column, IndexDef, TableSchema};
+use crate::sql::ast::{Query, Statement};
+use crate::sql::parse_statement;
+use crate::stats::TableStats;
+use crate::storage::{RowId, Table};
+use crate::{Error, Result};
+
+/// Rows and column labels returned by a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column labels.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Multiset comparison (order-insensitive), as the TLP oracle needs.
+    pub fn same_multiset(&self, other: &QueryResult) -> bool {
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut a = self.rows.clone();
+        let mut b = other.rows.clone();
+        let cmp = |x: &Row, y: &Row| {
+            for (dx, dy) in x.iter().zip(y) {
+                let o = dx.total_cmp(dy);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            x.len().cmp(&y.len())
+        };
+        a.sort_by(cmp);
+        b.sort_by(cmp);
+        a == b
+    }
+}
+
+/// An in-memory database instance with one engine profile.
+#[derive(Debug)]
+pub struct Database {
+    profile: EngineProfile,
+    catalog: Catalog,
+    tables: HashMap<String, Table>,
+    stats: HashMap<String, TableStats>,
+    dirty: HashSet<String>,
+    faults: FaultSet,
+    fault_log: FaultLog,
+    recently_updated: HashMap<String, HashSet<RowId>>,
+}
+
+impl Database {
+    /// An empty database for a profile.
+    pub fn new(profile: EngineProfile) -> Database {
+        Database {
+            profile,
+            catalog: Catalog::new(),
+            tables: HashMap::new(),
+            stats: HashMap::new(),
+            dirty: HashSet::new(),
+            faults: FaultSet::none(),
+            fault_log: FaultLog::new(),
+            recently_updated: HashMap::new(),
+        }
+    }
+
+    /// The engine profile.
+    pub fn profile(&self) -> EngineProfile {
+        self.profile
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Arms a fault (ignored if it targets another profile).
+    pub fn arm_fault(&mut self, id: BugId) {
+        if id.info().profile == self.profile {
+            self.faults.arm(id);
+        }
+    }
+
+    /// Arms every fault for this profile (Table V campaign setup).
+    pub fn arm_all_faults(&mut self) {
+        self.faults = FaultSet::all_for(self.profile);
+    }
+
+    /// Disarms everything.
+    pub fn clear_faults(&mut self) {
+        self.faults = FaultSet::none();
+    }
+
+    /// Drains the fault-firing log (campaign accounting).
+    pub fn take_fault_log(&mut self) -> Vec<BugId> {
+        let fired: Vec<BugId> = self.fault_log.fired().collect();
+        self.fault_log.clear();
+        fired
+    }
+
+    /// Number of live rows in a table (0 if unknown).
+    pub fn row_count(&self, table: &str) -> usize {
+        self.tables.get(table).map_or(0, |t| t.heap.len())
+    }
+
+    /// Executes one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let statement = parse_statement(sql)?;
+        self.execute_statement(statement)
+    }
+
+    /// Executes a parsed statement.
+    pub fn execute_statement(&mut self, statement: Statement) -> Result<QueryResult> {
+        match statement {
+            Statement::CreateTable { name, columns } => {
+                let schema = TableSchema {
+                    name: name.clone(),
+                    columns: columns
+                        .into_iter()
+                        .map(|(name, data_type, primary_key)| Column {
+                            name,
+                            data_type,
+                            primary_key,
+                        })
+                        .collect(),
+                };
+                self.catalog.create_table(schema)?;
+                let mut table = Table::new();
+                for def in self.catalog.indexes_on(&name) {
+                    table.add_index(def.clone());
+                }
+                self.tables.insert(name.clone(), table);
+                self.dirty.insert(name);
+                Ok(empty_result())
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            } => {
+                let schema = self
+                    .catalog
+                    .table(&table)
+                    .ok_or_else(|| Error::Catalog(format!("unknown table {table:?}")))?;
+                let key_columns = columns
+                    .iter()
+                    .map(|c| {
+                        schema
+                            .column_index(c)
+                            .ok_or_else(|| Error::Catalog(format!("unknown column {c:?}")))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let def = IndexDef {
+                    name,
+                    table: table.clone(),
+                    key_columns,
+                    unique,
+                    is_primary: false,
+                };
+                self.catalog.create_index(def.clone())?;
+                self.tables
+                    .get_mut(&table)
+                    .expect("table storage exists")
+                    .add_index(def);
+                // A fresh index sees all current rows.
+                self.recently_updated.remove(&table);
+                Ok(empty_result())
+            }
+            Statement::DropTable { name } => {
+                self.catalog.drop_table(&name)?;
+                self.tables.remove(&name);
+                self.stats.remove(&name);
+                self.dirty.remove(&name);
+                self.recently_updated.remove(&name);
+                Ok(empty_result())
+            }
+            Statement::Analyze { table } => {
+                match table {
+                    Some(t) => {
+                        self.refresh_stats(&t)?;
+                        self.recently_updated.remove(&t);
+                    }
+                    None => {
+                        let names: Vec<String> =
+                            self.catalog.tables().map(|s| s.name.clone()).collect();
+                        for t in names {
+                            self.refresh_stats(&t)?;
+                            self.recently_updated.remove(&t);
+                        }
+                    }
+                }
+                Ok(empty_result())
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.insert(&table, columns, rows),
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            } => self.update(&table, sets, filter),
+            Statement::Delete { table, filter } => self.delete(&table, filter),
+            Statement::Query(query) => self.run_query(&query),
+            Statement::Explain { analyze, query } => {
+                // EXPLAIN output is returned as one text column per line of
+                // the generic rendering; use `explain_query` for the
+                // structured plan.
+                let mut plan = self.plan_query(&query)?;
+                if analyze {
+                    self.execute_plan(&mut plan)?;
+                }
+                let text = generic_render(&plan);
+                Ok(QueryResult {
+                    columns: vec!["QUERY PLAN".into()],
+                    rows: text
+                        .lines()
+                        .map(|l| vec![Datum::Str(l.to_owned())])
+                        .collect(),
+                })
+            }
+        }
+    }
+
+    /// Plans a query without executing it.
+    pub fn explain(&mut self, sql: &str) -> Result<ExplainedPlan> {
+        match parse_statement(sql)? {
+            Statement::Query(q) | Statement::Explain { query: q, .. } => self.plan_query(&q),
+            _ => Err(Error::Binding("EXPLAIN needs a query".into())),
+        }
+    }
+
+    /// Plans and executes a query, returning the plan with actuals filled.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<(ExplainedPlan, QueryResult)> {
+        match parse_statement(sql)? {
+            Statement::Query(q) | Statement::Explain { query: q, .. } => {
+                let mut plan = self.plan_query(&q)?;
+                let rows = self.execute_plan(&mut plan)?;
+                let columns = plan.output.clone();
+                Ok((plan, QueryResult { columns, rows }))
+            }
+            _ => Err(Error::Binding("EXPLAIN ANALYZE needs a query".into())),
+        }
+    }
+
+    /// Plans a parsed query.
+    pub fn plan_query(&mut self, query: &Query) -> Result<ExplainedPlan> {
+        self.ensure_stats()?;
+        let binder = Binder::new(&self.catalog, self.profile.dedup_subqueries());
+        let bound = binder.bind_query(query)?;
+        let stats = &self.stats;
+        let stats_of = move |t: &str| stats.get(t);
+        let ctx = PlannerCtx {
+            catalog: &self.catalog,
+            stats_of: &stats_of,
+            profile: self.profile,
+            faults: &self.faults,
+        };
+        planner::plan(&bound, &ctx)
+    }
+
+    /// Executes a planned query, filling actuals.
+    pub fn execute_plan(&mut self, plan: &mut ExplainedPlan) -> Result<Vec<Row>> {
+        exec::set_shared_spec(plan.shared_subagg.clone());
+        let mut ctx = ExecCtx {
+            tables: &self.tables,
+            profile: self.profile,
+            faults: &self.faults,
+            recently_updated: &self.recently_updated,
+            fault_log: &mut self.fault_log,
+            subquery_values: Vec::new(),
+        };
+        let rows = exec::execute(plan, &mut ctx);
+        exec::set_shared_spec(None);
+        rows
+    }
+
+    /// Plans and executes a parsed query.
+    pub fn run_query(&mut self, query: &Query) -> Result<QueryResult> {
+        let mut plan = self.plan_query(query)?;
+        let rows = self.execute_plan(&mut plan)?;
+        Ok(QueryResult {
+            columns: plan.output,
+            rows,
+        })
+    }
+
+    fn insert(
+        &mut self,
+        table: &str,
+        columns: Option<Vec<String>>,
+        value_rows: Vec<Vec<crate::sql::ast::Expr>>,
+    ) -> Result<QueryResult> {
+        let schema = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| Error::Catalog(format!("unknown table {table:?}")))?
+            .clone();
+        // Map provided values to column positions.
+        let positions: Vec<usize> = match &columns {
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    schema
+                        .column_index(c)
+                        .ok_or_else(|| Error::Binding(format!("unknown column {c:?}")))
+                })
+                .collect::<Result<_>>()?,
+            None => (0..schema.columns.len()).collect(),
+        };
+        let mut inserted = 0usize;
+        for exprs in value_rows {
+            if exprs.len() != positions.len() {
+                return Err(Error::Binding(format!(
+                    "INSERT expects {} values, got {}",
+                    positions.len(),
+                    exprs.len()
+                )));
+            }
+            let mut row: Row = vec![Datum::Null; schema.columns.len()];
+            for (expr, &pos) in exprs.iter().zip(&positions) {
+                let mut binder = Binder::new(&self.catalog, false);
+                let scope = crate::logical::Scope { columns: vec![] };
+                let bound = binder.bind_expr(expr, &scope)?;
+                let mut value = bound.eval(&vec![], &[])?;
+                // Int literals widen into FLOAT columns.
+                if schema.columns[pos].data_type == DataType::Float {
+                    if let Datum::Int(i) = value {
+                        value = Datum::Float(i as f64);
+                    }
+                }
+                row[pos] = value;
+            }
+            self.tables
+                .get_mut(table)
+                .expect("table storage exists")
+                .insert(row);
+            inserted += 1;
+        }
+        self.dirty.insert(table.to_owned());
+        Ok(QueryResult {
+            columns: vec!["inserted".into()],
+            rows: vec![vec![Datum::Int(inserted as i64)]],
+        })
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        sets: Vec<(String, crate::sql::ast::Expr)>,
+        filter: Option<crate::sql::ast::Expr>,
+    ) -> Result<QueryResult> {
+        let schema = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| Error::Catalog(format!("unknown table {table:?}")))?
+            .clone();
+        let scope = crate::logical::Scope {
+            columns: schema
+                .columns
+                .iter()
+                .map(|c| crate::logical::ColMeta {
+                    qualifier: Some(schema.name.clone()),
+                    name: c.name.clone(),
+                })
+                .collect(),
+        };
+        let mut binder = Binder::new(&self.catalog, false);
+        let bound_filter = filter.map(|f| binder.bind_expr(&f, &scope)).transpose()?;
+        let bound_sets: Vec<(usize, crate::expr::BoundExpr)> = sets
+            .iter()
+            .map(|(name, e)| {
+                let pos = schema
+                    .column_index(name)
+                    .ok_or_else(|| Error::Binding(format!("unknown column {name:?}")))?;
+                Ok((pos, binder.bind_expr(e, &scope)?))
+            })
+            .collect::<Result<_>>()?;
+
+        let storage = self.tables.get_mut(table).expect("table storage exists");
+        let targets: Vec<(RowId, Row)> = storage
+            .heap
+            .scan()
+            .map(|(id, r)| (id, r.clone()))
+            .collect();
+        let mut updated = 0usize;
+        for (id, row) in targets {
+            let hit = match &bound_filter {
+                Some(f) => f.eval_predicate(&row, &[])?,
+                None => true,
+            };
+            if !hit {
+                continue;
+            }
+            let mut new_row = row.clone();
+            for (pos, e) in &bound_sets {
+                new_row[*pos] = e.eval(&row, &[])?;
+            }
+            storage.update(id, new_row);
+            self.recently_updated
+                .entry(table.to_owned())
+                .or_default()
+                .insert(id);
+            updated += 1;
+        }
+        self.dirty.insert(table.to_owned());
+        Ok(QueryResult {
+            columns: vec!["updated".into()],
+            rows: vec![vec![Datum::Int(updated as i64)]],
+        })
+    }
+
+    fn delete(
+        &mut self,
+        table: &str,
+        filter: Option<crate::sql::ast::Expr>,
+    ) -> Result<QueryResult> {
+        let schema = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| Error::Catalog(format!("unknown table {table:?}")))?
+            .clone();
+        let scope = crate::logical::Scope {
+            columns: schema
+                .columns
+                .iter()
+                .map(|c| crate::logical::ColMeta {
+                    qualifier: Some(schema.name.clone()),
+                    name: c.name.clone(),
+                })
+                .collect(),
+        };
+        let mut binder = Binder::new(&self.catalog, false);
+        let bound_filter = filter.map(|f| binder.bind_expr(&f, &scope)).transpose()?;
+        let storage = self.tables.get_mut(table).expect("table storage exists");
+        let targets: Vec<(RowId, Row)> = storage
+            .heap
+            .scan()
+            .map(|(id, r)| (id, r.clone()))
+            .collect();
+        let mut deleted = 0usize;
+        for (id, row) in targets {
+            let hit = match &bound_filter {
+                Some(f) => f.eval_predicate(&row, &[])?,
+                None => true,
+            };
+            if hit {
+                storage.delete(id);
+                deleted += 1;
+            }
+        }
+        self.dirty.insert(table.to_owned());
+        Ok(QueryResult {
+            columns: vec!["deleted".into()],
+            rows: vec![vec![Datum::Int(deleted as i64)]],
+        })
+    }
+
+    fn refresh_stats(&mut self, table: &str) -> Result<()> {
+        let storage = self
+            .tables
+            .get(table)
+            .ok_or_else(|| Error::Catalog(format!("unknown table {table:?}")))?;
+        let column_count = self
+            .catalog
+            .table(table)
+            .map(|s| s.columns.len())
+            .unwrap_or(0);
+        self.stats
+            .insert(table.to_owned(), TableStats::compute(&storage.heap, column_count));
+        self.dirty.remove(table);
+        Ok(())
+    }
+
+    fn ensure_stats(&mut self) -> Result<()> {
+        let dirty: Vec<String> = self.dirty.iter().cloned().collect();
+        for table in dirty {
+            if self.tables.contains_key(&table) {
+                self.refresh_stats(&table)?;
+            } else {
+                self.dirty.remove(&table);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn empty_result() -> QueryResult {
+    QueryResult {
+        columns: vec![],
+        rows: vec![],
+    }
+}
+
+/// Engine-generic plan rendering (dialect renderings live in `dialects`).
+pub fn generic_render(plan: &ExplainedPlan) -> String {
+    fn walk(node: &crate::physical::PhysNode, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let actual = match &node.actual {
+            Some(a) => format!(" (actual rows={} time={:.3}ms)", a.rows, a.time_ms),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{indent}{} (rows={:.0} cost={:.2}..{:.2}){}\n",
+            node.op.name(),
+            node.est_rows,
+            node.est_startup_cost,
+            node.est_total_cost,
+            actual
+        ));
+        for child in &node.children {
+            walk(child, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    walk(&plan.root, 0, &mut out);
+    for (i, sub) in plan.subplans.iter().enumerate() {
+        out.push_str(&format!("SubPlan {i}\n"));
+        walk(sub, 1, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new(EngineProfile::Postgres);
+        db.execute("CREATE TABLE t0 (c0 INT, c1 INT)").unwrap();
+        db.execute("INSERT INTO t0 VALUES (1, 10), (2, 20), (3, NULL), (4, 40)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select() {
+        let mut db = db();
+        let r = db.execute("SELECT c0 FROM t0 WHERE c0 < 3").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.columns, vec!["c0"]);
+    }
+
+    #[test]
+    fn where_null_semantics() {
+        let mut db = db();
+        // c1 < 25 excludes the NULL row.
+        let r = db.execute("SELECT c0 FROM t0 WHERE c1 < 25").unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut db = db();
+        let r = db.execute("UPDATE t0 SET c1 = 99 WHERE c0 = 1").unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int(1));
+        let r = db.execute("SELECT c1 FROM t0 WHERE c0 = 1").unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int(99));
+        let r = db.execute("DELETE FROM t0 WHERE c0 > 2").unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int(2));
+        assert_eq!(db.row_count("t0"), 2);
+    }
+
+    #[test]
+    fn join_and_aggregate() {
+        let mut db = db();
+        db.execute("CREATE TABLE t1 (c0 INT)").unwrap();
+        db.execute("INSERT INTO t1 VALUES (1), (2), (2)").unwrap();
+        let r = db
+            .execute("SELECT t0.c0, COUNT(*) FROM t0 JOIN t1 ON t0.c0 = t1.c0 GROUP BY t0.c0 ORDER BY t0.c0")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[1], vec![Datum::Int(2), Datum::Int(2)]);
+    }
+
+    #[test]
+    fn union_behaviour() {
+        let mut db = db();
+        let r = db
+            .execute("SELECT c0 FROM t0 WHERE c0 <= 2 UNION SELECT c0 FROM t0 WHERE c0 <= 2")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2, "UNION dedups");
+        let r = db
+            .execute("SELECT c0 FROM t0 WHERE c0 <= 2 UNION ALL SELECT c0 FROM t0 WHERE c0 <= 2")
+            .unwrap();
+        assert_eq!(r.rows.len(), 4, "UNION ALL keeps duplicates");
+    }
+
+    #[test]
+    fn order_limit() {
+        let mut db = db();
+        let r = db.execute("SELECT c0 FROM t0 ORDER BY c0 DESC LIMIT 2").unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Int(4)], vec![Datum::Int(3)]]);
+        let r = db
+            .execute("SELECT c0 FROM t0 ORDER BY c0 LIMIT 2 OFFSET 1")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Int(2)], vec![Datum::Int(3)]]);
+    }
+
+    #[test]
+    fn explain_returns_plan_rows() {
+        let mut db = db();
+        let r = db.execute("EXPLAIN SELECT * FROM t0 WHERE c0 < 3").unwrap();
+        assert_eq!(r.columns, vec!["QUERY PLAN"]);
+        assert!(!r.rows.is_empty());
+        let text: Vec<String> = r.rows.iter().map(|r| r[0].to_string()).collect();
+        assert!(text.iter().any(|l| l.contains("Scan")), "{text:?}");
+    }
+
+    #[test]
+    fn explain_analyze_fills_actuals() {
+        let mut db = db();
+        let (plan, result) = db.explain_analyze("SELECT c0 FROM t0 WHERE c0 < 3").unwrap();
+        assert_eq!(result.rows.len(), 2);
+        assert!(plan.execution_time_ms.is_some());
+        let mut saw_actual = false;
+        plan.root.walk(&mut |n| {
+            if n.actual.is_some() {
+                saw_actual = true;
+            }
+        });
+        assert!(saw_actual);
+    }
+
+    #[test]
+    fn index_changes_the_plan() {
+        let mut db = db();
+        let scan_name = |plan: &crate::physical::ExplainedPlan| {
+            let mut name = String::new();
+            plan.root.walk(&mut |n| {
+                if n.op.scanned_table().is_some() {
+                    name = n.op.name().to_owned();
+                }
+            });
+            name
+        };
+        let before = db.explain("SELECT * FROM t0 WHERE c0 = 2").unwrap();
+        assert_eq!(scan_name(&before), "Seq Scan");
+        db.execute("CREATE INDEX i0 ON t0(c0)").unwrap();
+        let after = db.explain("SELECT * FROM t0 WHERE c0 = 2").unwrap();
+        assert!(scan_name(&after).contains("Index"), "{:?}", scan_name(&after));
+        // Same results either way.
+        let r = db.execute("SELECT * FROM t0 WHERE c0 = 2").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn scalar_subquery() {
+        let mut db = db();
+        let r = db
+            .execute("SELECT c0 FROM t0 WHERE c0 > (SELECT COUNT(*) FROM t0 WHERE c0 < 3)")
+            .unwrap();
+        // COUNT = 2; rows with c0 > 2: {3, 4}.
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn same_multiset_comparison() {
+        let a = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Datum::Int(1)], vec![Datum::Int(2)]],
+        };
+        let b = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Datum::Int(2)], vec![Datum::Int(1)]],
+        };
+        assert!(a.same_multiset(&b));
+        let c = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Datum::Int(2)], vec![Datum::Int(2)]],
+        };
+        assert!(!a.same_multiset(&c));
+        let d = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Datum::Int(1)]],
+        };
+        assert!(!a.same_multiset(&d));
+    }
+
+    #[test]
+    fn analyze_refreshes_stats() {
+        let mut db = db();
+        db.execute("ANALYZE").unwrap();
+        db.execute("ANALYZE t0").unwrap();
+        assert!(db.execute("ANALYZE zzz").is_err());
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut db = db();
+        db.execute("DROP TABLE t0").unwrap();
+        assert!(db.execute("SELECT * FROM t0").is_err());
+    }
+
+    #[test]
+    fn distinct_and_empty_tables() {
+        let mut db = db();
+        db.execute("CREATE TABLE e (x INT)").unwrap();
+        let r = db.execute("SELECT DISTINCT x FROM e").unwrap();
+        assert!(r.rows.is_empty());
+        db.execute("INSERT INTO t0 VALUES (1, 10)").unwrap();
+        let r = db.execute("SELECT DISTINCT c0 FROM t0").unwrap();
+        assert_eq!(r.rows.len(), 4);
+    }
+
+    #[test]
+    fn count_sum_on_empty_input() {
+        let mut db = db();
+        db.execute("CREATE TABLE e (x INT)").unwrap();
+        let r = db.execute("SELECT COUNT(*), SUM(x) FROM e").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Datum::Int(0));
+        assert!(r.rows[0][1].is_null(), "SUM over nothing is NULL");
+    }
+
+    #[test]
+    fn listing3_fault_changes_results_only_with_index() {
+        // Paper Listing 3, modelled by fault mysql-113302.
+        let mut db = Database::new(EngineProfile::MySql);
+        db.execute("CREATE TABLE t0(c0 INT, c1 INT)").unwrap();
+        db.execute("INSERT INTO t0(c1, c0) VALUES(0, 1)").unwrap();
+        db.arm_fault(BugId::Mysql113302);
+
+        let q = "SELECT * FROM t0 WHERE t0.c1 IN (GREATEST(0.1, 0.2))";
+        let r = db.execute(q).unwrap();
+        assert!(r.rows.is_empty(), "without the index the result is empty");
+
+        db.execute("CREATE INDEX i0 ON t0(c1)").unwrap();
+        let r = db.execute(q).unwrap();
+        assert_eq!(r.rows.len(), 1, "with the index the fault returns {{1|0}}");
+        assert_eq!(db.take_fault_log(), vec![BugId::Mysql113302]);
+    }
+
+    #[test]
+    fn faults_of_other_profiles_do_not_arm() {
+        let mut db = Database::new(EngineProfile::Postgres);
+        db.arm_fault(BugId::Mysql113302);
+        db.arm_all_faults();
+        db.clear_faults();
+        assert!(db.take_fault_log().is_empty());
+    }
+}

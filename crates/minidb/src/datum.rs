@@ -1,0 +1,294 @@
+//! Runtime values and column types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types of the SQL subset.
+///
+/// `Date` values are stored as ISO-8601 strings (`"1994-01-01"`), which
+/// compare correctly under lexicographic order — the property TPC-H's range
+/// predicates need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+    /// ISO-8601 date, stored as text.
+    Date,
+}
+
+impl DataType {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+            DataType::Date => "DATE",
+        }
+    }
+}
+
+/// A runtime value. `Null` is SQL NULL and participates in three-valued
+/// logic through [`Datum::sql_eq`] / [`Datum::sql_cmp`].
+#[derive(Debug, Clone)]
+pub enum Datum {
+    /// SQL NULL.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// Text value (also carries dates).
+    Str(String),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Datum {
+    /// `true` iff NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Numeric view, widening integers; `None` for non-numerics and NULL.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(i) => Some(*i as f64),
+            Datum::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view; `None` otherwise.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean view; `None` otherwise.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Datum::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Text view; `None` otherwise.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL equality under three-valued logic: `None` when either side is
+    /// NULL, otherwise the comparison result. Ints and floats compare
+    /// numerically across types.
+    pub fn sql_eq(&self, other: &Datum) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// SQL ordering under three-valued logic: `None` when either side is
+    /// NULL or the types are incomparable.
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        match (self, other) {
+            (Datum::Null, _) | (_, Datum::Null) => None,
+            (Datum::Int(a), Datum::Int(b)) => Some(a.cmp(b)),
+            (Datum::Float(a), Datum::Float(b)) => a.partial_cmp(b),
+            (Datum::Int(a), Datum::Float(b)) => (*a as f64).partial_cmp(b),
+            (Datum::Float(a), Datum::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Datum::Str(a), Datum::Str(b)) => Some(a.cmp(b)),
+            (Datum::Bool(a), Datum::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total order for sorting and B-tree keys: NULLs first, then booleans,
+    /// numerics (cross-type), text. Distinct types order by type rank.
+    pub fn total_cmp(&self, other: &Datum) -> Ordering {
+        fn rank(d: &Datum) -> u8 {
+            match d {
+                Datum::Null => 0,
+                Datum::Bool(_) => 1,
+                Datum::Int(_) | Datum::Float(_) => 2,
+                Datum::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Datum::Null, Datum::Null) => Ordering::Equal,
+            (Datum::Bool(a), Datum::Bool(b)) => a.cmp(b),
+            (Datum::Int(a), Datum::Int(b)) => a.cmp(b),
+            (Datum::Str(a), Datum::Str(b)) => a.cmp(b),
+            (Datum::Float(a), Datum::Float(b)) => a.total_cmp(b),
+            (Datum::Int(a), Datum::Float(b)) => (*a as f64).total_cmp(b),
+            (Datum::Float(a), Datum::Int(b)) => a.total_cmp(&(*b as f64)),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// Grouping equality: NULL == NULL (SQL GROUP BY semantics), otherwise
+    /// [`Datum::total_cmp`] equality.
+    pub fn group_eq(&self, other: &Datum) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// A hashable key for grouping/hash joins (NULL groups together).
+    pub fn group_key(&self) -> DatumKey {
+        DatumKey(self.clone())
+    }
+
+    /// Literal rendering used by plan serializations.
+    pub fn render(&self) -> String {
+        match self {
+            Datum::Null => "NULL".to_owned(),
+            Datum::Int(i) => i.to_string(),
+            Datum::Float(f) => format!("{f:?}"),
+            Datum::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Datum::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Str(s) => write!(f, "{s}"),
+            other => write!(f, "{}", other.render()),
+        }
+    }
+}
+
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Datum {}
+
+/// Wrapper giving [`Datum`] the `Ord`/`Hash` impls of its total order, for
+/// use as a B-tree or hash key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatumKey(pub Datum);
+
+impl Eq for DatumKey {}
+
+impl PartialOrd for DatumKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DatumKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for DatumKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match &self.0 {
+            Datum::Null => 0u8.hash(state),
+            Datum::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and floats must hash alike when they compare alike.
+            Datum::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Datum::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Datum::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+/// A table row.
+pub type Row = Vec<Datum>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_comparisons_are_three_valued() {
+        assert_eq!(Datum::Null.sql_eq(&Datum::Int(1)), None);
+        assert_eq!(Datum::Int(1).sql_eq(&Datum::Null), None);
+        assert_eq!(Datum::Int(1).sql_eq(&Datum::Int(1)), Some(true));
+        assert_eq!(Datum::Int(1).sql_eq(&Datum::Float(1.0)), Some(true));
+        assert_eq!(Datum::Int(1).sql_eq(&Datum::Float(1.5)), Some(false));
+        assert_eq!(Datum::Str("a".into()).sql_cmp(&Datum::Str("b".into())), Some(Ordering::Less));
+        assert_eq!(Datum::Str("a".into()).sql_cmp(&Datum::Int(1)), None);
+    }
+
+    #[test]
+    fn total_order_is_total() {
+        let values = [
+            Datum::Null,
+            Datum::Bool(false),
+            Datum::Bool(true),
+            Datum::Int(-5),
+            Datum::Float(0.5),
+            Datum::Int(1),
+            Datum::Str("a".into()),
+        ];
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                let cmp = a.total_cmp(b);
+                match i.cmp(&j) {
+                    Ordering::Less => assert_eq!(cmp, Ordering::Less, "{a:?} vs {b:?}"),
+                    Ordering::Equal => assert_eq!(cmp, Ordering::Equal),
+                    Ordering::Greater => assert_eq!(cmp, Ordering::Greater),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_semantics_unify_nulls() {
+        assert!(Datum::Null.group_eq(&Datum::Null));
+        assert!(!Datum::Null.group_eq(&Datum::Int(0)));
+        assert!(Datum::Int(2).group_eq(&Datum::Float(2.0)));
+    }
+
+    #[test]
+    fn keys_hash_consistently_with_equality() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Datum::Int(2).group_key());
+        assert!(set.contains(&Datum::Float(2.0).group_key()));
+        set.insert(Datum::Null.group_key());
+        assert!(set.contains(&Datum::Null.group_key()));
+    }
+
+    #[test]
+    fn render_quotes_strings() {
+        assert_eq!(Datum::Str("o'brien".into()).render(), "'o''brien'");
+        assert_eq!(Datum::Null.render(), "NULL");
+        assert_eq!(Datum::Float(1.5).render(), "1.5");
+        assert_eq!(Datum::Bool(true).render(), "TRUE");
+    }
+
+    #[test]
+    fn date_strings_compare_chronologically() {
+        let early = Datum::Str("1994-01-01".into());
+        let late = Datum::Str("1995-12-31".into());
+        assert_eq!(early.sql_cmp(&late), Some(Ordering::Less));
+    }
+}

@@ -1,0 +1,956 @@
+//! The volcano-style executor.
+//!
+//! Each operator materializes its output and records actual rows and wall
+//! time into its [`PhysNode`] — the actuals are what `EXPLAIN ANALYZE`
+//! serializes and what the paper's q11 analysis (per-operator execution
+//! times) and the CERT oracle (estimate vs. actual) consume.
+//!
+//! This is also where the *logic* faults of the Table V catalog live; each
+//! fault fires only on its gating plan feature and is recorded in the
+//! [`FaultLog`] for campaign accounting (the testing oracles never read the
+//! log — they detect bugs from results alone).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::datum::{Datum, DatumKey, Row};
+use crate::expr::{AggFunc, BoundExpr};
+use crate::faults::{BugId, FaultLog, FaultSet};
+use crate::physical::{Actual, AggStrategy, ExplainedPlan, IndexAccess, PhysNode, PhysOp};
+use crate::profile::EngineProfile;
+use crate::sql::ast::{JoinKind, SetOpKind};
+use crate::storage::{RowId, Table};
+use crate::{Error, Result};
+
+/// Execution context.
+pub struct ExecCtx<'a> {
+    /// Tables by name.
+    pub tables: &'a HashMap<String, Table>,
+    /// Engine profile (fault gating).
+    pub profile: EngineProfile,
+    /// Armed faults.
+    pub faults: &'a FaultSet,
+    /// Rows updated since their table's indexes were last rebuilt
+    /// (feeds the TiDB stale-index fault).
+    pub recently_updated: &'a HashMap<String, std::collections::HashSet<RowId>>,
+    /// Fault firings (campaign accounting only).
+    pub fault_log: &'a mut FaultLog,
+    /// Scalar subquery results by slot.
+    pub subquery_values: Vec<Datum>,
+}
+
+/// Executes a planned statement, filling actuals into the plan.
+pub fn execute(plan: &mut ExplainedPlan, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let start = Instant::now();
+    // Subplans first: each produces one scalar.
+    let mut slots = Vec::with_capacity(plan.subplans.len());
+    for sub in &mut plan.subplans {
+        let rows = exec_node(sub, ctx)?;
+        let value = rows
+            .first()
+            .and_then(|r| r.first().cloned())
+            .unwrap_or(Datum::Null);
+        slots.push(value);
+    }
+    ctx.subquery_values = slots;
+    let rows = exec_node(&mut plan.root, ctx)?;
+    plan.execution_time_ms = Some(start.elapsed().as_secs_f64() * 1e3);
+    Ok(rows)
+}
+
+fn exec_node(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let start = Instant::now();
+    let rows = match &node.op {
+        PhysOp::SeqScan { .. } => exec_seq_scan(node, ctx)?,
+        PhysOp::IndexScan { .. } => {
+            // Parameterized index scans only run inside a nested loop.
+            exec_index_scan(node, ctx, None)?
+        }
+        PhysOp::Filter { .. } => exec_filter(node, ctx)?,
+        PhysOp::Project { .. } => exec_project(node, ctx)?,
+        PhysOp::HashJoin { .. } => exec_hash_join(node, ctx)?,
+        PhysOp::NestedLoopJoin { .. } => exec_nested_loop(node, ctx)?,
+        PhysOp::MergeJoin { .. } => exec_merge_join(node, ctx)?,
+        PhysOp::Aggregate { .. } => exec_aggregate(node, ctx)?,
+        PhysOp::Sort { .. } => exec_sort(node, ctx)?,
+        PhysOp::TopN { .. } => exec_topn(node, ctx)?,
+        PhysOp::Limit { .. } => exec_limit(node, ctx)?,
+        PhysOp::Distinct => exec_distinct(node, ctx)?,
+        PhysOp::SetOp { .. } => exec_setop(node, ctx)?,
+        PhysOp::Append => exec_append(node, ctx)?,
+        PhysOp::Empty => vec![vec![]],
+    };
+    node.actual = Some(Actual {
+        rows: rows.len() as u64,
+        time_ms: start.elapsed().as_secs_f64() * 1e3,
+    });
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+fn exec_seq_scan(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let PhysOp::SeqScan { table, filter, .. } = &node.op else {
+        unreachable!()
+    };
+    let storage = lookup_table(ctx, table)?;
+    let mut out = Vec::new();
+    let subq = ctx.subquery_values.clone();
+    for (_, row) in storage.heap.scan() {
+        match filter {
+            Some(f) => {
+                if f.eval_predicate(row, &subq)? {
+                    out.push(row.clone());
+                }
+            }
+            None => out.push(row.clone()),
+        }
+    }
+    Ok(out)
+}
+
+/// Executes an index scan. `outer_row` parameterizes `Eq(Column)` accesses
+/// inside index nested-loop joins.
+fn exec_index_scan(
+    node: &mut PhysNode,
+    ctx: &mut ExecCtx<'_>,
+    outer_row: Option<&Row>,
+) -> Result<Vec<Row>> {
+    let PhysOp::IndexScan {
+        table,
+        index,
+        access,
+        filter,
+        automatic,
+        ..
+    } = &node.op
+    else {
+        unreachable!()
+    };
+    let storage = lookup_table(ctx, table)?;
+    let subq = ctx.subquery_values.clone();
+
+    // Resolve the probe values.
+    let empty_row: Row = vec![];
+    let probe_row = outer_row.unwrap_or(&empty_row);
+
+    // Automatic indexes (SQLite) have no materialized index; emulate by
+    // scanning the heap with the equality applied.
+    let key_col = if *automatic {
+        None
+    } else {
+        storage
+            .index(index)
+            .map(|i| i.def.key_columns[0])
+    };
+
+    let mut row_ids: Vec<RowId> = match (key_col, access) {
+        (Some(_), IndexAccess::Eq(expr)) => {
+            let mut key = expr.eval(probe_row, &subq)?;
+            // Fault mysql-113302 (Listing 3): fractional probe values are
+            // truncated to integers before the index lookup.
+            if ctx.faults.is_armed(BugId::Mysql113302) && ctx.profile == EngineProfile::MySql {
+                if let Datum::Float(f) = &key {
+                    if f.fract() != 0.0 {
+                        ctx.fault_log.record(BugId::Mysql113302);
+                        key = Datum::Int(*f as i64);
+                    }
+                }
+            }
+            if key.is_null() {
+                Vec::new()
+            } else {
+                let idx = storage.index(index).expect("index exists");
+                let mut ids = idx.lookup_eq(&key);
+                // Fault tidb-51490: duplicate row ids collapse to one.
+                if ctx.faults.is_armed(BugId::Tidb51490)
+                    && ctx.profile == EngineProfile::TiDb
+                    && ids.len() > 1
+                {
+                    ctx.fault_log.record(BugId::Tidb51490);
+                    ids.truncate(1);
+                }
+                ids
+            }
+        }
+        (Some(_), IndexAccess::Range { low, high }) => {
+            let mut lo = match low {
+                Some(e) => Some(e.eval(probe_row, &subq)?),
+                None => None,
+            };
+            let hi = match high {
+                Some(e) => Some(e.eval(probe_row, &subq)?),
+                None => None,
+            };
+            // Fault mysql-113304: negative lower bounds skip the boundary.
+            if ctx.faults.is_armed(BugId::Mysql113304) && ctx.profile == EngineProfile::MySql {
+                if let Some(Datum::Int(v)) = &lo {
+                    if *v < 0 {
+                        ctx.fault_log.record(BugId::Mysql113304);
+                        lo = Some(Datum::Int(v + 1));
+                    }
+                }
+            }
+            let idx = storage.index(index).expect("index exists");
+            idx.lookup_range(lo.as_ref(), hi.as_ref())
+        }
+        (Some(_), IndexAccess::Full) => storage.index(index).expect("index exists").scan_all(),
+        (None, _) => {
+            // Automatic covering index: emulate with a filtered heap scan.
+            let mut ids = Vec::new();
+            if let IndexAccess::Eq(expr) = access {
+                let key = expr.eval(probe_row, &subq)?;
+                if !key.is_null() {
+                    // The automatic index's key column is unknown here; the
+                    // planner guarantees the `on` predicate still checks the
+                    // equality, so return all candidates.
+                    let _ = key;
+                }
+            }
+            for (id, _) in storage.heap.scan() {
+                ids.push(id);
+            }
+            ids
+        }
+    };
+
+    // Fault tidb-49131: rows updated since the index was built are missed.
+    if ctx.faults.is_armed(BugId::Tidb49131) && ctx.profile == EngineProfile::TiDb {
+        if let Some(stale) = ctx.recently_updated.get(table) {
+            if !stale.is_empty() {
+                let before = row_ids.len();
+                row_ids.retain(|id| !stale.contains(id));
+                if row_ids.len() != before {
+                    ctx.fault_log.record(BugId::Tidb49131);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for id in row_ids {
+        let Some(row) = storage.heap.get(id) else {
+            continue;
+        };
+        match filter {
+            Some(f) => {
+                // Fault mysql-113317: IS NULL inside a residual filter at an
+                // index scan evaluates to FALSE.
+                let keep = if ctx.faults.is_armed(BugId::Mysql113317)
+                    && ctx.profile == EngineProfile::MySql
+                    && contains_is_null(f)
+                {
+                    let broken = rewrite_is_null_false(f.clone());
+                    let correct = f.eval_predicate(row, &subq)?;
+                    let buggy = broken.eval_predicate(row, &subq)?;
+                    if correct != buggy {
+                        ctx.fault_log.record(BugId::Mysql113317);
+                    }
+                    buggy
+                } else {
+                    f.eval_predicate(row, &subq)?
+                };
+                if keep {
+                    out.push(row.clone());
+                }
+            }
+            None => out.push(row.clone()),
+        }
+    }
+    Ok(out)
+}
+
+fn lookup_table<'a>(ctx: &ExecCtx<'a>, table: &str) -> Result<&'a Table> {
+    ctx.tables
+        .get(table)
+        .ok_or_else(|| Error::Execution(format!("missing table {table:?}")))
+}
+
+fn contains_is_null(e: &BoundExpr) -> bool {
+    let mut found = false;
+    e.visit(&mut |x| {
+        if matches!(x, BoundExpr::IsNull(_)) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn rewrite_is_null_false(e: BoundExpr) -> BoundExpr {
+    match e {
+        BoundExpr::IsNull(_) => BoundExpr::Literal(Datum::Bool(false)),
+        BoundExpr::Binary { op, left, right } => BoundExpr::Binary {
+            op,
+            left: Box::new(rewrite_is_null_false(*left)),
+            right: Box::new(rewrite_is_null_false(*right)),
+        },
+        BoundExpr::Not(inner) => BoundExpr::Not(Box::new(rewrite_is_null_false(*inner))),
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filters / projections
+// ---------------------------------------------------------------------------
+
+fn exec_filter(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let PhysOp::Filter { predicate } = node.op.clone() else {
+        unreachable!()
+    };
+    let input = exec_node(&mut node.children[0], ctx)?;
+    let subq = ctx.subquery_values.clone();
+
+    // Fault tidb-49107: IS NULL inside a pushed Selection evaluates FALSE.
+    let tidb_null_bug = ctx.faults.is_armed(BugId::Tidb49107)
+        && ctx.profile == EngineProfile::TiDb
+        && contains_is_null(&predicate);
+    // Fault tidb-49108: a top-level NOT whose operand is NULL keeps the row.
+    let tidb_not_bug = ctx.faults.is_armed(BugId::Tidb49108)
+        && ctx.profile == EngineProfile::TiDb
+        && matches!(predicate, BoundExpr::Not(_));
+
+    let broken = tidb_null_bug.then(|| rewrite_is_null_false(predicate.clone()));
+
+    let mut out = Vec::new();
+    for row in input {
+        let keep = if let Some(b) = &broken {
+            let correct = predicate.eval_predicate(&row, &subq)?;
+            let buggy = b.eval_predicate(&row, &subq)?;
+            if correct != buggy {
+                ctx.fault_log.record(BugId::Tidb49107);
+            }
+            buggy
+        } else if tidb_not_bug {
+            let BoundExpr::Not(inner) = &predicate else {
+                unreachable!()
+            };
+            let value = inner.eval(&row, &subq)?;
+            if value.is_null() {
+                ctx.fault_log.record(BugId::Tidb49108);
+                true
+            } else {
+                predicate.eval_predicate(&row, &subq)?
+            }
+        } else {
+            predicate.eval_predicate(&row, &subq)?
+        };
+        if keep {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+fn exec_project(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let PhysOp::Project { exprs, .. } = node.op.clone() else {
+        unreachable!()
+    };
+    let input = exec_node(&mut node.children[0], ctx)?;
+    let subq = ctx.subquery_values.clone();
+    let mut out = Vec::with_capacity(input.len());
+    for row in input {
+        let mut projected = Vec::with_capacity(exprs.len());
+        for e in &exprs {
+            projected.push(e.eval(&row, &subq)?);
+        }
+        out.push(projected);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+fn exec_hash_join(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let PhysOp::HashJoin {
+        kind,
+        keys,
+        residual,
+    } = node.op.clone()
+    else {
+        unreachable!()
+    };
+    let mut children = std::mem::take(&mut node.children);
+    let probe_rows = exec_node(&mut children[0], ctx)?;
+    let build_rows = exec_node(&mut children[1], ctx)?;
+    node.children = children;
+    let subq = ctx.subquery_values.clone();
+
+    let null_match_bug =
+        ctx.faults.is_armed(BugId::Mysql114204) && ctx.profile == EngineProfile::MySql;
+    let dup_drop_bug =
+        ctx.faults.is_armed(BugId::Tidb51523) && ctx.profile == EngineProfile::TiDb;
+
+    // Build.
+    let mut table: HashMap<Vec<DatumKey>, Vec<&Row>> = HashMap::new();
+    for row in &build_rows {
+        let key: Vec<DatumKey> = keys.iter().map(|(_, b)| row[*b].group_key()).collect();
+        let has_null = key.iter().any(|k| k.0.is_null());
+        if has_null && !null_match_bug {
+            continue; // NULL keys never join
+        }
+        table.entry(key).or_default().push(row);
+    }
+    if dup_drop_bug {
+        for bucket in table.values_mut() {
+            if bucket.len() > 1 {
+                ctx.fault_log.record(BugId::Tidb51523);
+                bucket.pop();
+            }
+        }
+    }
+
+    // Probe.
+    let mut out = Vec::new();
+    for probe in &probe_rows {
+        let key: Vec<DatumKey> = keys.iter().map(|(a, _)| probe[*a].group_key()).collect();
+        let has_null = key.iter().any(|k| k.0.is_null());
+        let matches = if has_null && !null_match_bug {
+            None
+        } else {
+            if has_null && null_match_bug {
+                ctx.fault_log.record(BugId::Mysql114204);
+            }
+            table.get(&key)
+        };
+        let mut matched = false;
+        if let Some(bucket) = matches {
+            for build in bucket {
+                let mut combined = probe.clone();
+                combined.extend((*build).clone());
+                let keep = match &residual {
+                    Some(r) => r.eval_predicate(&combined, &subq)?,
+                    None => true,
+                };
+                if keep {
+                    matched = true;
+                    out.push(combined);
+                }
+            }
+        }
+        if !matched && kind == JoinKind::Left {
+            let width = build_rows
+                .first()
+                .map(Vec::len)
+                .unwrap_or_else(|| inner_width(&node.children[1], ctx));
+            let mut combined = probe.clone();
+            combined.extend(std::iter::repeat(Datum::Null).take(width));
+            out.push(combined);
+        }
+    }
+    Ok(out)
+}
+
+fn exec_nested_loop(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let PhysOp::NestedLoopJoin { kind, on } = node.op.clone() else {
+        unreachable!()
+    };
+    let mut children = std::mem::take(&mut node.children);
+    let outer_rows = exec_node(&mut children[0], ctx)?;
+    let subq = ctx.subquery_values.clone();
+
+    // Parameterized inner (index nested-loop join)?
+    let parameterized = matches!(
+        &children[1].op,
+        PhysOp::IndexScan {
+            access: IndexAccess::Eq(BoundExpr::Column { .. }),
+            ..
+        }
+    );
+
+    let mut out = Vec::new();
+    if parameterized {
+        let dup_miss_bug =
+            ctx.faults.is_armed(BugId::Tidb49109) && ctx.profile == EngineProfile::TiDb;
+        let mut seen_keys: std::collections::HashSet<Vec<DatumKey>> =
+            std::collections::HashSet::new();
+        let key_col = match &children[1].op {
+            PhysOp::IndexScan {
+                access: IndexAccess::Eq(BoundExpr::Column { index, .. }),
+                ..
+            } => *index,
+            _ => unreachable!(),
+        };
+        let mut inner_total = 0u64;
+        let inner_start = Instant::now();
+        for outer in &outer_rows {
+            // Fault tidb-49109: repeated outer keys get no matches.
+            if dup_miss_bug {
+                let key = vec![outer[key_col].group_key()];
+                if !key[0].0.is_null() && !seen_keys.insert(key) {
+                    ctx.fault_log.record(BugId::Tidb49109);
+                    if kind == JoinKind::Left {
+                        let width = inner_width(&children[1], ctx);
+                        let mut combined = outer.clone();
+                        combined.extend(std::iter::repeat(Datum::Null).take(width));
+                        out.push(combined);
+                    }
+                    continue;
+                }
+            }
+            let inner_rows = exec_index_scan(&mut children[1], ctx, Some(outer))?;
+            inner_total += inner_rows.len() as u64;
+            let mut matched = false;
+            for inner in inner_rows {
+                let mut combined = outer.clone();
+                combined.extend(inner);
+                let keep = match &on {
+                    Some(p) => p.eval_predicate(&combined, &subq)?,
+                    None => true,
+                };
+                if keep {
+                    matched = true;
+                    out.push(combined);
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let width = inner_width(&children[1], ctx);
+                let mut combined = outer.clone();
+                combined.extend(std::iter::repeat(Datum::Null).take(width));
+                out.push(combined);
+            }
+        }
+        children[1].actual = Some(Actual {
+            rows: inner_total,
+            time_ms: inner_start.elapsed().as_secs_f64() * 1e3,
+        });
+    } else {
+        let inner_rows = exec_node(&mut children[1], ctx)?;
+        for outer in &outer_rows {
+            let mut matched = false;
+            for inner in &inner_rows {
+                let mut combined = outer.clone();
+                combined.extend(inner.clone());
+                let keep = match &on {
+                    Some(p) => p.eval_predicate(&combined, &subq)?,
+                    None => true,
+                };
+                if keep {
+                    matched = true;
+                    out.push(combined);
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let width = inner_rows.first().map_or(0, Vec::len);
+                let mut combined = outer.clone();
+                combined.extend(std::iter::repeat(Datum::Null).take(width));
+                out.push(combined);
+            }
+        }
+    }
+    node.children = children;
+    Ok(out)
+}
+
+fn inner_width(node: &PhysNode, ctx: &ExecCtx<'_>) -> usize {
+    match &node.op {
+        PhysOp::IndexScan { table, .. } | PhysOp::SeqScan { table, .. } => ctx
+            .tables
+            .get(table)
+            .and_then(|t| t.heap.scan().next().map(|(_, r)| r.len()))
+            .unwrap_or(0),
+        _ => 0,
+    }
+}
+
+fn exec_merge_join(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let PhysOp::MergeJoin {
+        kind,
+        key,
+        residual,
+    } = node.op.clone()
+    else {
+        unreachable!()
+    };
+    let mut children = std::mem::take(&mut node.children);
+    let mut left = exec_node(&mut children[0], ctx)?;
+    let mut right = exec_node(&mut children[1], ctx)?;
+    node.children = children;
+    let subq = ctx.subquery_values.clone();
+    left.sort_by(|a, b| a[key.0].total_cmp(&b[key.0]));
+    right.sort_by(|a, b| a[key.1].total_cmp(&b[key.1]));
+
+    let mut out = Vec::new();
+    let right_width = right.first().map_or(0, Vec::len);
+    let mut r_start = 0usize;
+    for l_row in &left {
+        let lk = &l_row[key.0];
+        if lk.is_null() {
+            if kind == JoinKind::Left {
+                let mut combined = l_row.clone();
+                combined.extend(std::iter::repeat(Datum::Null).take(right_width));
+                out.push(combined);
+            }
+            continue;
+        }
+        // Advance the right cursor.
+        while r_start < right.len()
+            && right[r_start][key.1]
+                .sql_cmp(lk)
+                .is_some_and(|o| o == std::cmp::Ordering::Less)
+        {
+            r_start += 1;
+        }
+        while r_start < right.len() && right[r_start][key.1].is_null() {
+            r_start += 1;
+        }
+        let mut matched = false;
+        let mut r = r_start;
+        while r < right.len() && right[r][key.1].sql_eq(lk) == Some(true) {
+            let mut combined = l_row.clone();
+            combined.extend(right[r].clone());
+            let keep = match &residual {
+                Some(p) => p.eval_predicate(&combined, &subq)?,
+                None => true,
+            };
+            if keep {
+                matched = true;
+                out.push(combined);
+            }
+            r += 1;
+        }
+        if !matched && kind == JoinKind::Left {
+            let mut combined = l_row.clone();
+            combined.extend(std::iter::repeat(Datum::Null).take(right_width));
+            out.push(combined);
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+struct AggState {
+    count: u64,
+    sum_int: i64,
+    sum_float: f64,
+    saw_float: bool,
+    min: Option<Datum>,
+    max: Option<Datum>,
+}
+
+impl AggState {
+    fn new() -> AggState {
+        AggState {
+            count: 0,
+            sum_int: 0,
+            sum_float: 0.0,
+            saw_float: false,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn update(&mut self, value: &Datum) {
+        if value.is_null() {
+            return;
+        }
+        self.count += 1;
+        match value {
+            Datum::Int(i) => self.sum_int = self.sum_int.wrapping_add(*i),
+            Datum::Float(f) => {
+                self.sum_float += f;
+                self.saw_float = true;
+            }
+            _ => {}
+        }
+        let replace_min = self
+            .min
+            .as_ref()
+            .map_or(true, |m| value.sql_cmp(m) == Some(std::cmp::Ordering::Less));
+        if replace_min {
+            self.min = Some(value.clone());
+        }
+        let replace_max = self
+            .max
+            .as_ref()
+            .map_or(true, |m| value.sql_cmp(m) == Some(std::cmp::Ordering::Greater));
+        if replace_max {
+            self.max = Some(value.clone());
+        }
+    }
+
+    fn finish(&self, func: AggFunc, sum_zero_bug: bool) -> Datum {
+        match func {
+            AggFunc::Count => Datum::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    if sum_zero_bug {
+                        Datum::Int(0)
+                    } else {
+                        Datum::Null
+                    }
+                } else if self.saw_float {
+                    Datum::Float(self.sum_float + self.sum_int as f64)
+                } else {
+                    Datum::Int(self.sum_int)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Float((self.sum_float + self.sum_int as f64) / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Datum::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Datum::Null),
+        }
+    }
+}
+
+fn exec_aggregate(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let PhysOp::Aggregate {
+        group_by,
+        aggs,
+        having,
+        shared_subplan,
+        strategy,
+    } = node.op.clone()
+    else {
+        unreachable!()
+    };
+    let input = exec_node(&mut node.children[0], ctx)?;
+    let subq_before = ctx.subquery_values.clone();
+
+    // TiDB shared sub-aggregation (paper Listing 4): compute the statement's
+    // scalar subquery from this aggregate's own input, before HAVING runs.
+    if shared_subplan {
+        if let Some(spec) = SHARED_SPEC.with(|s| s.borrow().clone()) {
+            let mut states: Vec<AggState> = spec.aggs.iter().map(|_| AggState::new()).collect();
+            for row in &input {
+                for (i, agg) in spec.aggs.iter().enumerate() {
+                    let value = match &agg.arg {
+                        Some(a) => a.eval(row, &subq_before)?,
+                        None => Datum::Int(1),
+                    };
+                    states[i].update(&value);
+                }
+            }
+            let sub_row: Row = spec
+                .aggs
+                .iter()
+                .enumerate()
+                .map(|(i, agg)| states[i].finish(agg.func, false))
+                .collect();
+            let scalar = spec.project.eval(&sub_row, &subq_before)?;
+            while ctx.subquery_values.len() <= spec.slot {
+                ctx.subquery_values.push(Datum::Null);
+            }
+            ctx.subquery_values[spec.slot] = scalar;
+        }
+    }
+    let subq = ctx.subquery_values.clone();
+
+    let sum_zero_bug = ctx.faults.is_armed(BugId::Tidb49110)
+        && ctx.profile == EngineProfile::TiDb
+        && group_by.is_empty()
+        && strategy == AggStrategy::Plain
+        && input.is_empty()
+        && aggs.iter().any(|a| a.func == AggFunc::Sum);
+    if sum_zero_bug {
+        ctx.fault_log.record(BugId::Tidb49110);
+    }
+
+    // Group.
+    let mut order: Vec<Vec<DatumKey>> = Vec::new();
+    let mut groups: HashMap<Vec<DatumKey>, (Row, Vec<AggState>)> = HashMap::new();
+    if group_by.is_empty() {
+        groups.insert(
+            vec![],
+            (vec![], aggs.iter().map(|_| AggState::new()).collect()),
+        );
+        order.push(vec![]);
+    }
+    for row in &input {
+        let mut key_vals = Vec::with_capacity(group_by.len());
+        for g in &group_by {
+            key_vals.push(g.eval(row, &subq)?);
+        }
+        let key: Vec<DatumKey> = key_vals.iter().map(Datum::group_key).collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (key_vals.clone(), aggs.iter().map(|_| AggState::new()).collect())
+        });
+        for (i, agg) in aggs.iter().enumerate() {
+            let value = match &agg.arg {
+                Some(a) => a.eval(row, &subq)?,
+                None => Datum::Int(1),
+            };
+            entry.1[i].update(&value);
+        }
+    }
+
+    // Emit in first-seen order; evaluate HAVING over [groups..., aggs...].
+    let mut out = Vec::new();
+    for key in order {
+        let (group_vals, states) = groups.remove(&key).expect("group recorded");
+        let mut row: Row = group_vals;
+        for (i, agg) in aggs.iter().enumerate() {
+            row.push(states[i].finish(agg.func, sum_zero_bug));
+        }
+        let keep = match &having {
+            Some(h) => h.eval_predicate(&row, &subq)?,
+            None => true,
+        };
+        if keep {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+thread_local! {
+    /// Shared sub-aggregate spec for the currently executing statement.
+    static SHARED_SPEC: std::cell::RefCell<Option<crate::physical::SharedSubAgg>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Installs the shared sub-aggregate spec for this thread's next execution.
+pub fn set_shared_spec(spec: Option<crate::physical::SharedSubAgg>) {
+    SHARED_SPEC.with(|s| *s.borrow_mut() = spec);
+}
+
+// ---------------------------------------------------------------------------
+// Ordering / limiting / set ops
+// ---------------------------------------------------------------------------
+
+fn sort_rows(rows: &mut [Row], keys: &[(BoundExpr, bool)], subq: &[Datum]) -> Result<()> {
+    // Pre-compute key vectors to keep the comparator infallible.
+    let mut keyed: Vec<(Vec<Datum>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows.iter() {
+        let mut kv = Vec::with_capacity(keys.len());
+        for (e, _) in keys {
+            kv.push(e.eval(row, subq)?);
+        }
+        keyed.push((kv, row.clone()));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, (_, desc)) in keys.iter().enumerate() {
+            let ord = ka[i].total_cmp(&kb[i]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    for (slot, (_, row)) in rows.iter_mut().zip(keyed) {
+        *slot = row;
+    }
+    Ok(())
+}
+
+fn exec_sort(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let PhysOp::Sort { keys } = node.op.clone() else {
+        unreachable!()
+    };
+    let mut input = exec_node(&mut node.children[0], ctx)?;
+    let subq = ctx.subquery_values.clone();
+    sort_rows(&mut input, &keys, &subq)?;
+    Ok(input)
+}
+
+fn exec_topn(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let PhysOp::TopN {
+        keys,
+        limit,
+        offset,
+    } = node.op.clone()
+    else {
+        unreachable!()
+    };
+    let mut input = exec_node(&mut node.children[0], ctx)?;
+    let subq = ctx.subquery_values.clone();
+    sort_rows(&mut input, &keys, &subq)?;
+    Ok(input
+        .into_iter()
+        .skip(offset as usize)
+        .take(limit as usize)
+        .collect())
+}
+
+fn exec_limit(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let PhysOp::Limit { limit, offset } = node.op else {
+        unreachable!()
+    };
+    let input = exec_node(&mut node.children[0], ctx)?;
+    Ok(input
+        .into_iter()
+        .skip(offset as usize)
+        .take(limit.map_or(usize::MAX, |n| n as usize))
+        .collect())
+}
+
+fn exec_distinct(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let input = exec_node(&mut node.children[0], ctx)?;
+    // Fault mysql-114217: the group whose first column is NULL vanishes.
+    let drop_null_bug =
+        ctx.faults.is_armed(BugId::Mysql114217) && ctx.profile == EngineProfile::MySql;
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for row in input {
+        if drop_null_bug && row.first().is_some_and(Datum::is_null) {
+            ctx.fault_log.record(BugId::Mysql114217);
+            continue;
+        }
+        let key: Vec<DatumKey> = row.iter().map(Datum::group_key).collect();
+        if seen.insert(key) {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+fn exec_append(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let mut children = std::mem::take(&mut node.children);
+    let mut out = Vec::new();
+    for child in &mut children {
+        out.extend(exec_node(child, ctx)?);
+    }
+    node.children = children;
+    // Fault mysql-114218: UNION ALL deduplicates.
+    if ctx.faults.is_armed(BugId::Mysql114218) && ctx.profile == EngineProfile::MySql {
+        let mut seen = std::collections::HashSet::new();
+        let before = out.len();
+        out.retain(|row| seen.insert(row.iter().map(Datum::group_key).collect::<Vec<_>>()));
+        if out.len() != before {
+            ctx.fault_log.record(BugId::Mysql114218);
+        }
+    }
+    Ok(out)
+}
+
+fn exec_setop(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>> {
+    let PhysOp::SetOp { op, .. } = node.op else {
+        unreachable!()
+    };
+    let mut children = std::mem::take(&mut node.children);
+    let left = exec_node(&mut children[0], ctx)?;
+    let right = exec_node(&mut children[1], ctx)?;
+    node.children = children;
+    let right_keys: std::collections::HashSet<Vec<DatumKey>> = right
+        .iter()
+        .map(|r| r.iter().map(Datum::group_key).collect())
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for row in left {
+        let key: Vec<DatumKey> = row.iter().map(Datum::group_key).collect();
+        let in_right = right_keys.contains(&key);
+        let keep = match op {
+            SetOpKind::Intersect => in_right,
+            SetOpKind::Except => !in_right,
+            SetOpKind::Union => true,
+        };
+        if keep && seen.insert(key) {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}

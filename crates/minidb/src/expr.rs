@@ -1,0 +1,849 @@
+//! Expressions: parsed form, bound (column-resolved) form, and evaluation
+//! under SQL three-valued logic.
+//!
+//! Three-valued logic matters doubly here: it is both engine semantics and
+//! the foundation of the TLP oracle (Rigger & Su), which partitions any
+//! predicate `p` into `p`, `NOT p` and `p IS NULL` — exactly the three truth
+//! values — and which `uplan-testing` re-implements on top of this engine.
+
+use std::fmt;
+
+use crate::datum::{Datum, Row};
+use crate::{Error, Result};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND` (Kleene)
+    And,
+    /// `OR` (Kleene)
+    Or,
+}
+
+impl BinOp {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+
+    /// `true` for comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+/// Scalar functions of the SQL subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// Greatest of the arguments (NULL if any argument is NULL, as MySQL).
+    Greatest,
+    /// Least of the arguments.
+    Least,
+    /// Absolute value.
+    Abs,
+    /// First non-NULL argument.
+    Coalesce,
+    /// String length.
+    Length,
+    /// Uppercase.
+    Upper,
+    /// Lowercase.
+    Lower,
+}
+
+impl Func {
+    /// Parses a function name.
+    pub fn from_name(name: &str) -> Option<Func> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "GREATEST" => Func::Greatest,
+            "LEAST" => Func::Least,
+            "ABS" => Func::Abs,
+            "COALESCE" => Func::Coalesce,
+            "LENGTH" => Func::Length,
+            "UPPER" => Func::Upper,
+            "LOWER" => Func::Lower,
+            _ => return None,
+        })
+    }
+
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            Func::Greatest => "GREATEST",
+            Func::Least => "LEAST",
+            Func::Abs => "ABS",
+            Func::Coalesce => "COALESCE",
+            Func::Length => "LENGTH",
+            Func::Upper => "UPPER",
+            Func::Lower => "LOWER",
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(expr)`.
+    Count,
+    /// `SUM`.
+    Sum,
+    /// `AVG`.
+    Avg,
+    /// `MIN`.
+    Min,
+    /// `MAX`.
+    Max,
+}
+
+impl AggFunc {
+    /// Parses an aggregate name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// A bound expression: column references resolved to positions in the
+/// operator's input row; scalar subqueries resolved to slot ids filled in by
+/// the executor before the main plan runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Input column at `index`; `name` is kept for plan serialization.
+    Column {
+        /// Position in the input row.
+        index: usize,
+        /// Qualified display name (`t0.c0`).
+        name: String,
+    },
+    /// A literal.
+    Literal(Datum),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// `NOT expr` (Kleene negation).
+    Not(Box<BoundExpr>),
+    /// `-expr`.
+    Neg(Box<BoundExpr>),
+    /// `expr IS NULL` (never NULL itself).
+    IsNull(Box<BoundExpr>),
+    /// `expr IS NOT NULL`.
+    IsNotNull(Box<BoundExpr>),
+    /// `expr IN (e1, e2, ...)` with SQL NULL semantics.
+    InList {
+        /// Probe expression.
+        expr: Box<BoundExpr>,
+        /// Candidate list.
+        list: Vec<BoundExpr>,
+    },
+    /// `expr BETWEEN low AND high`.
+    Between {
+        /// Probe expression.
+        expr: Box<BoundExpr>,
+        /// Lower bound (inclusive).
+        low: Box<BoundExpr>,
+        /// Upper bound (inclusive).
+        high: Box<BoundExpr>,
+    },
+    /// `expr LIKE pattern` (`%` and `_` wildcards).
+    Like {
+        /// Probe expression.
+        expr: Box<BoundExpr>,
+        /// Pattern literal.
+        pattern: String,
+        /// Negated (`NOT LIKE`).
+        negated: bool,
+    },
+    /// Scalar function call.
+    Call {
+        /// The function.
+        func: Func,
+        /// Arguments.
+        args: Vec<BoundExpr>,
+    },
+    /// Uncorrelated scalar subquery, evaluated once per statement into a
+    /// slot; see `exec`.
+    Subquery {
+        /// Slot index into the statement's subquery results.
+        slot: usize,
+    },
+}
+
+impl BoundExpr {
+    /// Evaluates under three-valued logic. `subquery_values[slot]` must hold
+    /// the pre-computed scalar results of all subqueries in the statement.
+    pub fn eval(&self, row: &Row, subquery_values: &[Datum]) -> Result<Datum> {
+        Ok(match self {
+            BoundExpr::Column { index, .. } => row
+                .get(*index)
+                .cloned()
+                .ok_or_else(|| Error::Execution(format!("column index {index} out of range")))?,
+            BoundExpr::Literal(d) => d.clone(),
+            BoundExpr::Binary { op, left, right } => {
+                let l = left.eval(row, subquery_values)?;
+                // Kleene short-circuiting for AND/OR.
+                match op {
+                    BinOp::And => {
+                        if l.as_bool() == Some(false) {
+                            return Ok(Datum::Bool(false));
+                        }
+                        let r = right.eval(row, subquery_values)?;
+                        return Ok(match (to_bool3(&l), to_bool3(&r)) {
+                            (Some(true), Some(true)) => Datum::Bool(true),
+                            (Some(false), _) | (_, Some(false)) => Datum::Bool(false),
+                            _ => Datum::Null,
+                        });
+                    }
+                    BinOp::Or => {
+                        if l.as_bool() == Some(true) {
+                            return Ok(Datum::Bool(true));
+                        }
+                        let r = right.eval(row, subquery_values)?;
+                        return Ok(match (to_bool3(&l), to_bool3(&r)) {
+                            (Some(false), Some(false)) => Datum::Bool(false),
+                            (Some(true), _) | (_, Some(true)) => Datum::Bool(true),
+                            _ => Datum::Null,
+                        });
+                    }
+                    _ => {}
+                }
+                let r = right.eval(row, subquery_values)?;
+                if op.is_comparison() {
+                    return Ok(match l.sql_cmp(&r) {
+                        None => Datum::Null,
+                        Some(ord) => Datum::Bool(match op {
+                            BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                            BinOp::Ne => ord != std::cmp::Ordering::Equal,
+                            BinOp::Lt => ord == std::cmp::Ordering::Less,
+                            BinOp::Le => ord != std::cmp::Ordering::Greater,
+                            BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                            BinOp::Ge => ord != std::cmp::Ordering::Less,
+                            _ => unreachable!("checked is_comparison"),
+                        }),
+                    });
+                }
+                arithmetic(*op, &l, &r)?
+            }
+            BoundExpr::Not(inner) => match to_bool3(&inner.eval(row, subquery_values)?) {
+                Some(b) => Datum::Bool(!b),
+                None => Datum::Null,
+            },
+            BoundExpr::Neg(inner) => match inner.eval(row, subquery_values)? {
+                Datum::Null => Datum::Null,
+                Datum::Int(i) => Datum::Int(-i),
+                Datum::Float(f) => Datum::Float(-f),
+                other => {
+                    return Err(Error::Execution(format!("cannot negate {}", other.render())))
+                }
+            },
+            BoundExpr::IsNull(inner) => Datum::Bool(inner.eval(row, subquery_values)?.is_null()),
+            BoundExpr::IsNotNull(inner) => {
+                Datum::Bool(!inner.eval(row, subquery_values)?.is_null())
+            }
+            BoundExpr::InList { expr, list } => {
+                let probe = expr.eval(row, subquery_values)?;
+                if probe.is_null() {
+                    return Ok(Datum::Null);
+                }
+                let mut saw_null = false;
+                for candidate in list {
+                    match probe.sql_eq(&candidate.eval(row, subquery_values)?) {
+                        Some(true) => return Ok(Datum::Bool(true)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Datum::Null
+                } else {
+                    Datum::Bool(false)
+                }
+            }
+            BoundExpr::Between { expr, low, high } => {
+                let v = expr.eval(row, subquery_values)?;
+                let lo = low.eval(row, subquery_values)?;
+                let hi = high.eval(row, subquery_values)?;
+                match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                    (Some(a), Some(b)) => Datum::Bool(
+                        a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater,
+                    ),
+                    _ => Datum::Null,
+                }
+            }
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => match expr.eval(row, subquery_values)? {
+                Datum::Null => Datum::Null,
+                Datum::Str(s) => {
+                    let hit = like_match(&s, pattern);
+                    Datum::Bool(hit != *negated)
+                }
+                other => {
+                    return Err(Error::Execution(format!(
+                        "LIKE needs text, got {}",
+                        other.render()
+                    )))
+                }
+            },
+            BoundExpr::Call { func, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(a.eval(row, subquery_values)?);
+                }
+                eval_func(*func, &values)?
+            }
+            BoundExpr::Subquery { slot } => subquery_values
+                .get(*slot)
+                .cloned()
+                .ok_or_else(|| Error::Execution(format!("subquery slot {slot} missing")))?,
+        })
+    }
+
+    /// Evaluates as a WHERE predicate: `true` iff the result is TRUE
+    /// (NULL and FALSE both exclude the row).
+    pub fn eval_predicate(&self, row: &Row, subquery_values: &[Datum]) -> Result<bool> {
+        Ok(self.eval(row, subquery_values)?.as_bool() == Some(true))
+    }
+
+    /// All column indices referenced by this expression.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let BoundExpr::Column { index, .. } = e {
+                out.push(*index);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Pre-order traversal.
+    pub fn visit(&self, f: &mut dyn FnMut(&BoundExpr)) {
+        f(self);
+        match self {
+            BoundExpr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            BoundExpr::Not(e) | BoundExpr::Neg(e) | BoundExpr::IsNull(e) | BoundExpr::IsNotNull(e) => {
+                e.visit(f)
+            }
+            BoundExpr::InList { expr, list } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+            BoundExpr::Between { expr, low, high } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            BoundExpr::Like { expr, .. } => expr.visit(f),
+            BoundExpr::Call { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            BoundExpr::Column { .. } | BoundExpr::Literal(_) | BoundExpr::Subquery { .. } => {}
+        }
+    }
+
+    /// Rewrites column indices through `map` (old index → new index), used
+    /// when predicates move across projections/joins.
+    pub fn remap_columns(&mut self, map: &dyn Fn(usize) -> usize) {
+        match self {
+            BoundExpr::Column { index, .. } => *index = map(*index),
+            BoundExpr::Binary { left, right, .. } => {
+                left.remap_columns(map);
+                right.remap_columns(map);
+            }
+            BoundExpr::Not(e) | BoundExpr::Neg(e) | BoundExpr::IsNull(e) | BoundExpr::IsNotNull(e) => {
+                e.remap_columns(map)
+            }
+            BoundExpr::InList { expr, list } => {
+                expr.remap_columns(map);
+                for e in list {
+                    e.remap_columns(map);
+                }
+            }
+            BoundExpr::Between { expr, low, high } => {
+                expr.remap_columns(map);
+                low.remap_columns(map);
+                high.remap_columns(map);
+            }
+            BoundExpr::Like { expr, .. } => expr.remap_columns(map),
+            BoundExpr::Call { args, .. } => {
+                for a in args {
+                    a.remap_columns(map);
+                }
+            }
+            BoundExpr::Literal(_) | BoundExpr::Subquery { .. } => {}
+        }
+    }
+}
+
+fn to_bool3(d: &Datum) -> Option<bool> {
+    match d {
+        Datum::Null => None,
+        Datum::Bool(b) => Some(*b),
+        // Numerics coerce: non-zero is true (MySQL-flavored leniency).
+        Datum::Int(i) => Some(*i != 0),
+        Datum::Float(f) => Some(*f != 0.0),
+        Datum::Str(_) => Some(false),
+    }
+}
+
+fn arithmetic(op: BinOp, l: &Datum, r: &Datum) -> Result<Datum> {
+    if l.is_null() || r.is_null() {
+        return Ok(Datum::Null);
+    }
+    // Integer arithmetic stays integral except for division by zero → NULL.
+    if let (Some(a), Some(b)) = (l.as_int(), r.as_int()) {
+        return Ok(match op {
+            BinOp::Add => Datum::Int(a.wrapping_add(b)),
+            BinOp::Sub => Datum::Int(a.wrapping_sub(b)),
+            BinOp::Mul => Datum::Int(a.wrapping_mul(b)),
+            BinOp::Div => {
+                if b == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Int(a.wrapping_div(b))
+                }
+            }
+            BinOp::Mod => {
+                if b == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Int(a.wrapping_rem(b))
+                }
+            }
+            other => return Err(Error::Execution(format!("{} is not arithmetic", other.sql()))),
+        });
+    }
+    let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+        return Err(Error::Execution(format!(
+            "arithmetic on non-numeric values {} and {}",
+            l.render(),
+            r.render()
+        )));
+    };
+    Ok(match op {
+        BinOp::Add => Datum::Float(a + b),
+        BinOp::Sub => Datum::Float(a - b),
+        BinOp::Mul => Datum::Float(a * b),
+        BinOp::Div => {
+            if b == 0.0 {
+                Datum::Null
+            } else {
+                Datum::Float(a / b)
+            }
+        }
+        BinOp::Mod => {
+            if b == 0.0 {
+                Datum::Null
+            } else {
+                Datum::Float(a % b)
+            }
+        }
+        other => return Err(Error::Execution(format!("{} is not arithmetic", other.sql()))),
+    })
+}
+
+fn eval_func(func: Func, args: &[Datum]) -> Result<Datum> {
+    match func {
+        Func::Greatest | Func::Least => {
+            if args.is_empty() {
+                return Err(Error::Execution(format!("{} needs arguments", func.sql())));
+            }
+            if args.iter().any(Datum::is_null) {
+                return Ok(Datum::Null);
+            }
+            let mut best = args[0].clone();
+            for a in &args[1..] {
+                let keep_new = match a.sql_cmp(&best) {
+                    Some(std::cmp::Ordering::Greater) => func == Func::Greatest,
+                    Some(std::cmp::Ordering::Less) => func == Func::Least,
+                    _ => false,
+                };
+                if keep_new {
+                    best = a.clone();
+                }
+            }
+            Ok(best)
+        }
+        Func::Abs => match args {
+            [Datum::Null] => Ok(Datum::Null),
+            [Datum::Int(i)] => Ok(Datum::Int(i.wrapping_abs())),
+            [Datum::Float(f)] => Ok(Datum::Float(f.abs())),
+            _ => Err(Error::Execution("ABS needs one numeric argument".into())),
+        },
+        Func::Coalesce => Ok(args.iter().find(|a| !a.is_null()).cloned().unwrap_or(Datum::Null)),
+        Func::Length => match args {
+            [Datum::Null] => Ok(Datum::Null),
+            [Datum::Str(s)] => Ok(Datum::Int(s.chars().count() as i64)),
+            _ => Err(Error::Execution("LENGTH needs one text argument".into())),
+        },
+        Func::Upper => match args {
+            [Datum::Null] => Ok(Datum::Null),
+            [Datum::Str(s)] => Ok(Datum::Str(s.to_uppercase())),
+            _ => Err(Error::Execution("UPPER needs one text argument".into())),
+        },
+        Func::Lower => match args {
+            [Datum::Null] => Ok(Datum::Null),
+            [Datum::Str(s)] => Ok(Datum::Str(s.to_lowercase())),
+            _ => Err(Error::Execution("LOWER needs one text argument".into())),
+        },
+    }
+}
+
+/// SQL LIKE matching with `%` (any run) and `_` (any char), case-sensitive.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => s.is_empty(),
+            Some(('%', rest)) => {
+                (0..=s.len()).any(|skip| rec(&s[skip..], rest))
+            }
+            Some(('_', rest)) => !s.is_empty() && rec(&s[1..], rest),
+            Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+impl fmt::Display for BoundExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundExpr::Column { name, .. } => write!(f, "{name}"),
+            BoundExpr::Literal(d) => write!(f, "{}", d.render()),
+            BoundExpr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.sql())
+            }
+            BoundExpr::Not(e) => write!(f, "(NOT {e})"),
+            BoundExpr::Neg(e) => write!(f, "(-{e})"),
+            BoundExpr::IsNull(e) => write!(f, "({e} IS NULL)"),
+            BoundExpr::IsNotNull(e) => write!(f, "({e} IS NOT NULL)"),
+            BoundExpr::InList { expr, list } => {
+                write!(f, "({expr} IN (")?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            BoundExpr::Between { expr, low, high } => {
+                write!(f, "({expr} BETWEEN {low} AND {high})")
+            }
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}LIKE '{pattern}')",
+                if *negated { "NOT " } else { "" }
+            ),
+            BoundExpr::Call { func, args } => {
+                write!(f, "{}(", func.sql())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            BoundExpr::Subquery { slot } => write!(f, "(SubPlan {slot})"),
+        }
+    }
+}
+
+/// Helpers for building bound expressions in tests and workloads.
+pub mod build {
+    use super::*;
+
+    /// Column reference.
+    pub fn col(index: usize, name: &str) -> BoundExpr {
+        BoundExpr::Column {
+            index,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Integer literal.
+    pub fn int(v: i64) -> BoundExpr {
+        BoundExpr::Literal(Datum::Int(v))
+    }
+
+    /// Float literal.
+    pub fn float(v: f64) -> BoundExpr {
+        BoundExpr::Literal(Datum::Float(v))
+    }
+
+    /// String literal.
+    pub fn string(v: &str) -> BoundExpr {
+        BoundExpr::Literal(Datum::Str(v.to_owned()))
+    }
+
+    /// NULL literal.
+    pub fn null() -> BoundExpr {
+        BoundExpr::Literal(Datum::Null)
+    }
+
+    /// Binary operation.
+    pub fn bin(op: BinOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    fn eval(e: &BoundExpr) -> Datum {
+        e.eval(&vec![], &[]).unwrap()
+    }
+
+    #[test]
+    fn comparisons_three_valued() {
+        assert_eq!(eval(&bin(BinOp::Lt, int(1), int(2))), Datum::Bool(true));
+        assert_eq!(eval(&bin(BinOp::Lt, int(2), int(1))), Datum::Bool(false));
+        assert_eq!(eval(&bin(BinOp::Lt, null(), int(1))), Datum::Null);
+        assert_eq!(eval(&bin(BinOp::Ge, int(2), int(2))), Datum::Bool(true));
+        assert_eq!(eval(&bin(BinOp::Ne, int(2), int(3))), Datum::Bool(true));
+        assert_eq!(eval(&bin(BinOp::Le, float(1.5), int(2))), Datum::Bool(true));
+    }
+
+    #[test]
+    fn kleene_and_or() {
+        let t = || BoundExpr::Literal(Datum::Bool(true));
+        let f = || BoundExpr::Literal(Datum::Bool(false));
+        let n = null;
+        assert_eq!(eval(&bin(BinOp::And, t(), n())), Datum::Null);
+        assert_eq!(eval(&bin(BinOp::And, f(), n())), Datum::Bool(false));
+        assert_eq!(eval(&bin(BinOp::And, n(), f())), Datum::Bool(false));
+        assert_eq!(eval(&bin(BinOp::Or, t(), n())), Datum::Bool(true));
+        assert_eq!(eval(&bin(BinOp::Or, n(), t())), Datum::Bool(true));
+        assert_eq!(eval(&bin(BinOp::Or, f(), n())), Datum::Null);
+        assert_eq!(eval(&BoundExpr::Not(Box::new(n()))), Datum::Null);
+        assert_eq!(eval(&BoundExpr::Not(Box::new(t()))), Datum::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic_rules() {
+        assert_eq!(eval(&bin(BinOp::Add, int(2), int(3))), Datum::Int(5));
+        assert_eq!(eval(&bin(BinOp::Div, int(7), int(2))), Datum::Int(3));
+        assert_eq!(eval(&bin(BinOp::Div, int(7), int(0))), Datum::Null);
+        assert_eq!(eval(&bin(BinOp::Mod, int(7), int(0))), Datum::Null);
+        assert_eq!(eval(&bin(BinOp::Mul, float(1.5), int(2))), Datum::Float(3.0));
+        assert_eq!(eval(&bin(BinOp::Add, null(), int(1))), Datum::Null);
+        assert!(bin(BinOp::Add, string("a"), int(1)).eval(&vec![], &[]).is_err());
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        // 1 IN (2, NULL) is NULL, not FALSE.
+        let e = BoundExpr::InList {
+            expr: Box::new(int(1)),
+            list: vec![int(2), null()],
+        };
+        assert_eq!(eval(&e), Datum::Null);
+        let e = BoundExpr::InList {
+            expr: Box::new(int(2)),
+            list: vec![int(2), null()],
+        };
+        assert_eq!(eval(&e), Datum::Bool(true));
+        let e = BoundExpr::InList {
+            expr: Box::new(null()),
+            list: vec![int(2)],
+        };
+        assert_eq!(eval(&e), Datum::Null);
+        let e = BoundExpr::InList {
+            expr: Box::new(int(1)),
+            list: vec![int(2), int(3)],
+        };
+        assert_eq!(eval(&e), Datum::Bool(false));
+    }
+
+    #[test]
+    fn between_and_like() {
+        let e = BoundExpr::Between {
+            expr: Box::new(int(5)),
+            low: Box::new(int(1)),
+            high: Box::new(int(5)),
+        };
+        assert_eq!(eval(&e), Datum::Bool(true));
+        let e = BoundExpr::Between {
+            expr: Box::new(null()),
+            low: Box::new(int(1)),
+            high: Box::new(int(5)),
+        };
+        assert_eq!(eval(&e), Datum::Null);
+
+        assert!(like_match("PROMO BURNISHED", "PROMO%"));
+        assert!(like_match("large brass thing", "%brass%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(!like_match("abc", "abcd"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn functions() {
+        let greatest = BoundExpr::Call {
+            func: Func::Greatest,
+            args: vec![float(0.1), float(0.2)],
+        };
+        assert_eq!(eval(&greatest), Datum::Float(0.2));
+        let least = BoundExpr::Call {
+            func: Func::Least,
+            args: vec![int(3), int(1), int(2)],
+        };
+        assert_eq!(eval(&least), Datum::Int(1));
+        let coalesce = BoundExpr::Call {
+            func: Func::Coalesce,
+            args: vec![null(), int(7)],
+        };
+        assert_eq!(eval(&coalesce), Datum::Int(7));
+        let abs = BoundExpr::Call {
+            func: Func::Abs,
+            args: vec![int(-4)],
+        };
+        assert_eq!(eval(&abs), Datum::Int(4));
+        let length = BoundExpr::Call {
+            func: Func::Length,
+            args: vec![string("abc")],
+        };
+        assert_eq!(eval(&length), Datum::Int(3));
+        let with_null = BoundExpr::Call {
+            func: Func::Greatest,
+            args: vec![int(1), null()],
+        };
+        assert_eq!(eval(&with_null), Datum::Null);
+    }
+
+    #[test]
+    fn predicate_excludes_null_and_false() {
+        let tautology = bin(BinOp::Eq, int(1), int(1));
+        assert!(tautology.eval_predicate(&vec![], &[]).unwrap());
+        let null_pred = bin(BinOp::Eq, null(), int(1));
+        assert!(!null_pred.eval_predicate(&vec![], &[]).unwrap());
+    }
+
+    #[test]
+    fn columns_and_remap() {
+        let mut e = bin(
+            BinOp::And,
+            bin(BinOp::Lt, col(2, "a.x"), int(5)),
+            bin(BinOp::Eq, col(0, "b.y"), col(2, "a.x")),
+        );
+        assert_eq!(e.columns(), vec![0, 2]);
+        e.remap_columns(&|i| i + 10);
+        assert_eq!(e.columns(), vec![10, 12]);
+        assert_eq!(
+            e.eval(
+                &{
+                    let mut row = vec![Datum::Null; 13];
+                    row[12] = Datum::Int(3);
+                    row[10] = Datum::Int(3);
+                    row
+                },
+                &[]
+            )
+            .unwrap(),
+            Datum::Bool(true)
+        );
+    }
+
+    #[test]
+    fn display_is_sql_like() {
+        let e = bin(BinOp::Lt, col(0, "t0.c0"), int(5));
+        assert_eq!(e.to_string(), "(t0.c0 < 5)");
+        let like = BoundExpr::Like {
+            expr: Box::new(col(0, "p.name")),
+            pattern: "%brass%".into(),
+            negated: true,
+        };
+        assert_eq!(like.to_string(), "(p.name NOT LIKE '%brass%')");
+    }
+
+    #[test]
+    fn subquery_slots() {
+        let e = BoundExpr::Subquery { slot: 0 };
+        assert_eq!(e.eval(&vec![], &[Datum::Int(42)]).unwrap(), Datum::Int(42));
+        assert!(e.eval(&vec![], &[]).is_err());
+        assert_eq!(e.to_string(), "(SubPlan 0)");
+    }
+}

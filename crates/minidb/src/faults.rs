@@ -1,0 +1,474 @@
+//! The injected-fault catalog standing in for paper Table V.
+//!
+//! The paper's QPG/CERT campaign found 17 previously-unknown bugs in real
+//! MySQL, PostgreSQL and TiDB builds. Those bugs are fixed upstream and
+//! cannot be re-found; what *can* be reproduced is the campaign itself. Each
+//! entry below is a seeded fault with the same distribution across engines,
+//! detecting oracle, and severity as the paper's table, and each is **gated
+//! on a plan feature** (an index access path, a join algorithm, an
+//! aggregation strategy, ...), so a testing method only hits it when its
+//! generated queries exercise that plan shape — the property that makes
+//! plan-guided generation (QPG) outperform blind generation, which the
+//! ablation bench measures.
+//!
+//! Fault identifiers reuse the paper's bug ids. `mysql-113302` is modelled
+//! on Listing 3 verbatim: an indexed lookup coerces a fractional probe value
+//! to an integer, so `c1 IN (GREATEST(0.1, 0.2))` wrongly matches `c1 = 0`
+//! once an index exists.
+
+use std::collections::BTreeSet;
+
+use crate::profile::EngineProfile;
+
+/// Which testing method detects a fault (paper Table V "Found by").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Oracle {
+    /// Logic bug: wrong results, detected by QPG-generated queries + TLP.
+    Qpg,
+    /// Performance bug: estimate anomaly, detected by CERT.
+    Cert,
+}
+
+/// Paper Table V severities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Critical.
+    Critical,
+    /// Serious.
+    Serious,
+    /// Major.
+    Major,
+    /// Moderate.
+    Moderate,
+    /// Minor.
+    Minor,
+    /// Performance.
+    Performance,
+}
+
+impl Severity {
+    /// Table V spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Critical => "Critical",
+            Severity::Serious => "Serious",
+            Severity::Major => "Major",
+            Severity::Moderate => "Moderate",
+            Severity::Minor => "Minor",
+            Severity::Performance => "Performance",
+        }
+    }
+}
+
+/// Paper Table V statuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BugStatus {
+    /// Confirmed by developers.
+    Confirmed,
+    /// Fixed.
+    Fixed,
+    /// Awaiting response.
+    Pending,
+}
+
+impl BugStatus {
+    /// Table V spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            BugStatus::Confirmed => "Confirmed",
+            BugStatus::Fixed => "Fixed",
+            BugStatus::Pending => "Pending",
+        }
+    }
+}
+
+/// The 17 injectable faults (paper Table V rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum BugId {
+    Mysql113302,
+    Mysql113304,
+    Mysql113317,
+    Mysql114204,
+    Mysql114217,
+    Mysql114218,
+    Mysql114237,
+    PostgresEmail,
+    Tidb49107,
+    Tidb49108,
+    Tidb49109,
+    Tidb49110,
+    Tidb49131,
+    Tidb51490,
+    Tidb51523,
+    Tidb51524,
+    Tidb51525,
+}
+
+/// Metadata of one Table V row.
+#[derive(Debug, Clone, Copy)]
+pub struct BugInfo {
+    /// Fault id.
+    pub id: BugId,
+    /// Affected engine profile.
+    pub profile: EngineProfile,
+    /// Detecting method.
+    pub oracle: Oracle,
+    /// Upstream tracker id as reported in the paper.
+    pub tracker_id: &'static str,
+    /// Paper-reported status.
+    pub status: BugStatus,
+    /// Paper-reported severity.
+    pub severity: Severity,
+    /// The plan feature that gates the fault.
+    pub gating_feature: &'static str,
+}
+
+impl BugId {
+    /// All 17 faults in Table V order.
+    pub const ALL: [BugId; 17] = [
+        BugId::Mysql113302,
+        BugId::Mysql113304,
+        BugId::Mysql113317,
+        BugId::Mysql114204,
+        BugId::Mysql114217,
+        BugId::Mysql114218,
+        BugId::Mysql114237,
+        BugId::PostgresEmail,
+        BugId::Tidb49107,
+        BugId::Tidb49108,
+        BugId::Tidb49109,
+        BugId::Tidb49110,
+        BugId::Tidb49131,
+        BugId::Tidb51490,
+        BugId::Tidb51523,
+        BugId::Tidb51524,
+        BugId::Tidb51525,
+    ];
+
+    /// Table V metadata.
+    pub fn info(self) -> BugInfo {
+        use BugId::*;
+        use EngineProfile as P;
+        match self {
+            Mysql113302 => BugInfo {
+                id: self,
+                profile: P::MySql,
+                oracle: Oracle::Qpg,
+                tracker_id: "113302",
+                status: BugStatus::Confirmed,
+                severity: Severity::Critical,
+                gating_feature: "index equality lookup with fractional probe value",
+            },
+            Mysql113304 => BugInfo {
+                id: self,
+                profile: P::MySql,
+                oracle: Oracle::Qpg,
+                tracker_id: "113304",
+                status: BugStatus::Confirmed,
+                severity: Severity::Critical,
+                gating_feature: "index range scan with negative lower bound",
+            },
+            Mysql113317 => BugInfo {
+                id: self,
+                profile: P::MySql,
+                oracle: Oracle::Qpg,
+                tracker_id: "113317",
+                status: BugStatus::Confirmed,
+                severity: Severity::Critical,
+                gating_feature: "IS NULL filter evaluated at an index scan",
+            },
+            Mysql114204 => BugInfo {
+                id: self,
+                profile: P::MySql,
+                oracle: Oracle::Qpg,
+                tracker_id: "114204",
+                status: BugStatus::Confirmed,
+                severity: Severity::Serious,
+                gating_feature: "hash join matching NULL keys",
+            },
+            Mysql114217 => BugInfo {
+                id: self,
+                profile: P::MySql,
+                oracle: Oracle::Qpg,
+                tracker_id: "114217",
+                status: BugStatus::Confirmed,
+                severity: Severity::Serious,
+                gating_feature: "DISTINCT dropping a NULL-first group",
+            },
+            Mysql114218 => BugInfo {
+                id: self,
+                profile: P::MySql,
+                oracle: Oracle::Qpg,
+                tracker_id: "114218",
+                status: BugStatus::Confirmed,
+                severity: Severity::Serious,
+                gating_feature: "UNION ALL deduplicating rows",
+            },
+            Mysql114237 => BugInfo {
+                id: self,
+                profile: P::MySql,
+                oracle: Oracle::Cert,
+                tracker_id: "114237",
+                status: BugStatus::Confirmed,
+                severity: Severity::Performance,
+                gating_feature: "conjunction selectivity not combined",
+            },
+            PostgresEmail => BugInfo {
+                id: self,
+                profile: P::Postgres,
+                oracle: Oracle::Cert,
+                tracker_id: "Email",
+                status: BugStatus::Pending,
+                severity: Severity::Performance,
+                gating_feature: "range estimate ignores added conjunct",
+            },
+            Tidb49107 => BugInfo {
+                id: self,
+                profile: P::TiDb,
+                oracle: Oracle::Qpg,
+                tracker_id: "49107",
+                status: BugStatus::Fixed,
+                severity: Severity::Major,
+                gating_feature: "Selection pushdown dropping NULL-filter rows",
+            },
+            Tidb49108 => BugInfo {
+                id: self,
+                profile: P::TiDb,
+                oracle: Oracle::Qpg,
+                tracker_id: "49108",
+                status: BugStatus::Confirmed,
+                severity: Severity::Major,
+                gating_feature: "NOT predicate inverted at pushed Selection",
+            },
+            Tidb49109 => BugInfo {
+                id: self,
+                profile: P::TiDb,
+                oracle: Oracle::Qpg,
+                tracker_id: "49109",
+                status: BugStatus::Fixed,
+                severity: Severity::Major,
+                gating_feature: "index join missing duplicate outer keys",
+            },
+            Tidb49110 => BugInfo {
+                id: self,
+                profile: P::TiDb,
+                oracle: Oracle::Qpg,
+                tracker_id: "49110",
+                status: BugStatus::Confirmed,
+                severity: Severity::Major,
+                gating_feature: "stream aggregation over empty groups",
+            },
+            Tidb49131 => BugInfo {
+                id: self,
+                profile: P::TiDb,
+                oracle: Oracle::Qpg,
+                tracker_id: "49131",
+                status: BugStatus::Confirmed,
+                severity: Severity::Major,
+                gating_feature: "point get reading a stale index after UPDATE",
+            },
+            Tidb51490 => BugInfo {
+                id: self,
+                profile: P::TiDb,
+                oracle: Oracle::Qpg,
+                tracker_id: "51490",
+                status: BugStatus::Confirmed,
+                severity: Severity::Moderate,
+                gating_feature: "index lookup dropping duplicate row ids",
+            },
+            Tidb51523 => BugInfo {
+                id: self,
+                profile: P::TiDb,
+                oracle: Oracle::Qpg,
+                tracker_id: "51523",
+                status: BugStatus::Confirmed,
+                severity: Severity::Moderate,
+                gating_feature: "merge join skipping the last duplicate group",
+            },
+            Tidb51524 => BugInfo {
+                id: self,
+                profile: P::TiDb,
+                oracle: Oracle::Cert,
+                tracker_id: "51524",
+                status: BugStatus::Confirmed,
+                severity: Severity::Minor,
+                gating_feature: "aggregate output estimate exceeds input estimate",
+            },
+            Tidb51525 => BugInfo {
+                id: self,
+                profile: P::TiDb,
+                oracle: Oracle::Cert,
+                tracker_id: "51525",
+                status: BugStatus::Confirmed,
+                severity: Severity::Minor,
+                gating_feature: "index-only scan estimate ignores residual filter",
+            },
+        }
+    }
+}
+
+/// The set of armed faults in a database instance.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSet {
+    armed: BTreeSet<BugId>,
+}
+
+impl FaultSet {
+    /// No faults armed.
+    pub fn none() -> FaultSet {
+        FaultSet::default()
+    }
+
+    /// All faults affecting `profile` armed (the Table V campaign setup).
+    pub fn all_for(profile: EngineProfile) -> FaultSet {
+        let mut set = FaultSet::none();
+        for id in BugId::ALL {
+            if id.info().profile == profile {
+                set.arm(id);
+            }
+        }
+        set
+    }
+
+    /// Arms one fault.
+    pub fn arm(&mut self, id: BugId) {
+        self.armed.insert(id);
+    }
+
+    /// Disarms one fault.
+    pub fn disarm(&mut self, id: BugId) {
+        self.armed.remove(&id);
+    }
+
+    /// Whether a fault is armed.
+    pub fn is_armed(&self, id: BugId) -> bool {
+        self.armed.contains(&id)
+    }
+
+    /// Armed faults in id order.
+    pub fn armed(&self) -> impl Iterator<Item = BugId> + '_ {
+        self.armed.iter().copied()
+    }
+
+    /// Number of armed faults.
+    pub fn len(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// `true` when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.armed.is_empty()
+    }
+}
+
+/// Records which faults actually fired during execution. The engine exposes
+/// this **for campaign accounting only** (deduplicating Table V rows); the
+/// testing oracles never read it — they detect bugs from results and
+/// estimates alone, as the real methods must.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLog {
+    fired: BTreeSet<BugId>,
+}
+
+impl FaultLog {
+    /// Empty log.
+    pub fn new() -> FaultLog {
+        FaultLog::default()
+    }
+
+    /// Records a firing.
+    pub fn record(&mut self, id: BugId) {
+        self.fired.insert(id);
+    }
+
+    /// Faults that fired, in id order.
+    pub fn fired(&self) -> impl Iterator<Item = BugId> + '_ {
+        self.fired.iter().copied()
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.fired.clear();
+    }
+
+    /// Whether anything fired.
+    pub fn is_empty(&self) -> bool {
+        self.fired.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_distribution_matches_the_paper() {
+        // 7 MySQL (6 QPG + 1 CERT), 1 PostgreSQL (CERT), 9 TiDB (7 QPG + 2 CERT).
+        let mysql: Vec<_> = BugId::ALL
+            .iter()
+            .filter(|b| b.info().profile == EngineProfile::MySql)
+            .collect();
+        assert_eq!(mysql.len(), 7);
+        assert_eq!(mysql.iter().filter(|b| b.info().oracle == Oracle::Cert).count(), 1);
+
+        let pg: Vec<_> = BugId::ALL
+            .iter()
+            .filter(|b| b.info().profile == EngineProfile::Postgres)
+            .collect();
+        assert_eq!(pg.len(), 1);
+        assert_eq!(pg[0].info().oracle, Oracle::Cert);
+        assert_eq!(pg[0].info().status, BugStatus::Pending);
+
+        let tidb: Vec<_> = BugId::ALL
+            .iter()
+            .filter(|b| b.info().profile == EngineProfile::TiDb)
+            .collect();
+        assert_eq!(tidb.len(), 9);
+        assert_eq!(tidb.iter().filter(|b| b.info().oracle == Oracle::Cert).count(), 2);
+
+        // "Developers confirmed 16 of the 17 bugs and fixed two bugs."
+        let fixed = BugId::ALL.iter().filter(|b| b.info().status == BugStatus::Fixed).count();
+        assert_eq!(fixed, 2);
+        let pending = BugId::ALL.iter().filter(|b| b.info().status == BugStatus::Pending).count();
+        assert_eq!(pending, 1);
+
+        // "11 of 17 bugs are Critical, Serious, or Major."
+        let high = BugId::ALL
+            .iter()
+            .filter(|b| {
+                matches!(
+                    b.info().severity,
+                    Severity::Critical | Severity::Serious | Severity::Major
+                )
+            })
+            .count();
+        assert_eq!(high, 11);
+    }
+
+    #[test]
+    fn fault_set_operations() {
+        let mut set = FaultSet::none();
+        assert!(set.is_empty());
+        set.arm(BugId::Mysql113302);
+        assert!(set.is_armed(BugId::Mysql113302));
+        assert!(!set.is_armed(BugId::Tidb49107));
+        set.disarm(BugId::Mysql113302);
+        assert!(set.is_empty());
+
+        let mysql_all = FaultSet::all_for(EngineProfile::MySql);
+        assert_eq!(mysql_all.len(), 7);
+        assert_eq!(FaultSet::all_for(EngineProfile::Sqlite).len(), 0);
+    }
+
+    #[test]
+    fn fault_log_dedups() {
+        let mut log = FaultLog::new();
+        assert!(log.is_empty());
+        log.record(BugId::Tidb49107);
+        log.record(BugId::Tidb49107);
+        assert_eq!(log.fired().count(), 1);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

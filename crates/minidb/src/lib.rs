@@ -1,0 +1,82 @@
+//! # minidb — the relational engine substrate
+//!
+//! The paper evaluates UPlan against real installations of MySQL, PostgreSQL,
+//! TiDB and SQLite. What those systems contribute to the evaluation is
+//! precisely three observables:
+//!
+//! 1. **serialized query plans** (operator trees with estimates),
+//! 2. **query results** (consumed by the TLP correctness oracle), and
+//! 3. **cardinality estimates vs. actuals** (consumed by CERT).
+//!
+//! `minidb` reproduces those observables with an in-memory relational engine:
+//! a SQL subset ([`sql`]), a catalog and row store ([`schema`], [`storage`]),
+//! per-column statistics with equi-depth histograms ([`stats`]), a cost-based
+//! physical planner with per-DBMS **engine profiles** ([`planner`],
+//! [`profile`]) and a volcano-style executor that records per-operator
+//! actual rows and times ([`exec`]).
+//!
+//! [`faults`] carries the injected bug catalog that stands in for the 17
+//! previously-unknown bugs of paper Table V: each fault is gated on a
+//! specific plan feature, so a testing method only observes it if its
+//! generated queries exercise that feature — which is exactly the property
+//! Query Plan Guidance exploits.
+//!
+//! ```
+//! use minidb::{Database, profile::EngineProfile};
+//!
+//! let mut db = Database::new(EngineProfile::Postgres);
+//! db.execute("CREATE TABLE t0 (c0 INT)").unwrap();
+//! db.execute("INSERT INTO t0 VALUES (1), (2), (3)").unwrap();
+//! let result = db.execute("SELECT c0 FROM t0 WHERE c0 < 3").unwrap();
+//! assert_eq!(result.rows.len(), 2);
+//! let plan = db.explain("SELECT c0 FROM t0 WHERE c0 < 3").unwrap();
+//! assert_eq!(plan.root.op.name(), "Projection");
+//! assert!(plan.root.children[0].op.name().contains("Scan"));
+//! ```
+
+pub mod database;
+pub mod datum;
+pub mod exec;
+pub mod expr;
+pub mod faults;
+pub mod logical;
+pub mod physical;
+pub mod planner;
+pub mod profile;
+pub mod schema;
+pub mod sql;
+pub mod stats;
+pub mod storage;
+
+pub use database::{Database, QueryResult};
+pub use datum::{DataType, Datum};
+pub use physical::{ExplainedPlan, PhysNode};
+
+/// Engine error type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// SQL lexing/parsing failure.
+    Parse(String),
+    /// Name resolution / typing failure.
+    Binding(String),
+    /// Catalog conflicts (duplicate table, unknown index, ...).
+    Catalog(String),
+    /// Runtime evaluation failure.
+    Execution(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Binding(m) => write!(f, "binding error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, Error>;

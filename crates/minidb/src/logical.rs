@@ -1,0 +1,1044 @@
+//! Logical plans and the binder (name resolution, aggregate extraction,
+//! scalar-subquery registration).
+
+use std::collections::HashMap;
+
+use crate::datum::Datum;
+use crate::expr::{AggFunc, BoundExpr, Func};
+use crate::schema::Catalog;
+use crate::sql::ast::{Expr, JoinKind, Query, Select, SelectItem, SetExpr, SetOpKind, TableRef};
+use crate::{Error, Result};
+
+/// Output-column metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColMeta {
+    /// Table alias qualifying the column, if any.
+    pub qualifier: Option<String>,
+    /// Column (or projection alias) name.
+    pub name: String,
+}
+
+impl ColMeta {
+    /// Qualified display name (`t0.c0`).
+    pub fn display(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A logical plan node with its output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Logical {
+    /// The operator.
+    pub node: LNode,
+    /// Output columns.
+    pub schema: Vec<ColMeta>,
+}
+
+/// One aggregate computation of an [`LNode::Aggregate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument; `None` for `COUNT(*)`.
+    pub arg: Option<BoundExpr>,
+    /// `DISTINCT` inside the aggregate is unsupported; kept for clarity.
+    pub display: String,
+}
+
+/// Logical operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LNode {
+    /// Base-table scan.
+    Scan {
+        /// Catalog table name.
+        table: String,
+        /// Binding alias.
+        alias: String,
+    },
+    /// Row filter.
+    Filter {
+        /// Input.
+        input: Box<Logical>,
+        /// Predicate over the input schema.
+        predicate: BoundExpr,
+    },
+    /// Projection.
+    Project {
+        /// Input.
+        input: Box<Logical>,
+        /// Output expressions over the input schema.
+        exprs: Vec<BoundExpr>,
+    },
+    /// Join of two inputs; the condition ranges over the concatenated
+    /// schemas.
+    Join {
+        /// Left input.
+        left: Box<Logical>,
+        /// Right input.
+        right: Box<Logical>,
+        /// Join kind.
+        kind: JoinKind,
+        /// Condition (`None` = cross).
+        on: Option<BoundExpr>,
+    },
+    /// Grouped aggregation; output schema = group columns then aggregates.
+    Aggregate {
+        /// Input.
+        input: Box<Logical>,
+        /// Group-by expressions over the input schema.
+        group_by: Vec<BoundExpr>,
+        /// Aggregates over the input schema.
+        aggs: Vec<AggExpr>,
+        /// Post-grouping filter over the *output* schema.
+        having: Option<BoundExpr>,
+        /// TiDB-style shared-subplan flag: the statement's subquery slots
+        /// are computed from this aggregation's own input (see planner).
+        shared_subplan: bool,
+    },
+    /// Sort.
+    Sort {
+        /// Input.
+        input: Box<Logical>,
+        /// `(key, descending)` pairs over the input schema.
+        keys: Vec<(BoundExpr, bool)>,
+    },
+    /// Limit/offset.
+    Limit {
+        /// Input.
+        input: Box<Logical>,
+        /// Max rows.
+        limit: Option<u64>,
+        /// Skipped rows.
+        offset: u64,
+    },
+    /// Duplicate elimination over whole rows.
+    Distinct {
+        /// Input.
+        input: Box<Logical>,
+    },
+    /// Set operation.
+    SetOp {
+        /// Which operation.
+        op: SetOpKind,
+        /// Bag semantics.
+        all: bool,
+        /// Left input.
+        left: Box<Logical>,
+        /// Right input.
+        right: Box<Logical>,
+    },
+    /// One empty row (for `SELECT 1`).
+    Empty,
+}
+
+/// A bound statement ready for physical planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundQuery {
+    /// The main plan.
+    pub plan: Logical,
+    /// Uncorrelated scalar subqueries, indexed by slot.
+    pub subqueries: Vec<Logical>,
+    /// `true` when subquery slots were deduplicated against the main block
+    /// (TiDB shared-aggregation optimization; see paper Listing 4).
+    pub shared_subquery: bool,
+}
+
+/// The binder.
+pub struct Binder<'a> {
+    catalog: &'a Catalog,
+    /// Deduplicate textually identical scalar subqueries into one slot.
+    dedup_subqueries: bool,
+    subqueries: Vec<Logical>,
+    subquery_slots: HashMap<String, usize>,
+    subquery_sources: Vec<String>,
+}
+
+impl<'a> Binder<'a> {
+    /// A binder over the catalog. `dedup_subqueries` enables the TiDB-style
+    /// sharing of identical scalar subqueries.
+    pub fn new(catalog: &'a Catalog, dedup_subqueries: bool) -> Self {
+        Binder {
+            catalog,
+            dedup_subqueries,
+            subqueries: Vec::new(),
+            subquery_slots: HashMap::new(),
+            subquery_sources: Vec::new(),
+        }
+    }
+
+    /// Binds a query to a logical plan.
+    pub fn bind_query(mut self, query: &Query) -> Result<BoundQuery> {
+        let plan = self.bind_query_inner(query)?;
+        // Shared-subquery detection: with dedup on, if some subquery's FROM
+        // matches the outer FROM (same tables and filter), mark the main
+        // aggregate to compute it in-pass (paper Listing 4's 3-scan plan).
+        let shared = self.dedup_subqueries && !self.subqueries.is_empty();
+        Ok(BoundQuery {
+            plan,
+            subqueries: self.subqueries,
+            shared_subquery: shared,
+        })
+    }
+
+    fn bind_query_inner(&mut self, query: &Query) -> Result<Logical> {
+        let mut plan = self.bind_set_expr(&query.body)?;
+        if !query.order_by.is_empty() {
+            let keys = query
+                .order_by
+                .iter()
+                .map(|(e, desc)| Ok((self.bind_output_expr(e, &plan)?, *desc)))
+                .collect::<Result<Vec<_>>>()?;
+            let schema = plan.schema.clone();
+            plan = Logical {
+                node: LNode::Sort {
+                    input: Box::new(plan),
+                    keys,
+                },
+                schema,
+            };
+        }
+        if query.limit.is_some() || query.offset.is_some() {
+            let schema = plan.schema.clone();
+            plan = Logical {
+                node: LNode::Limit {
+                    input: Box::new(plan),
+                    limit: query.limit,
+                    offset: query.offset.unwrap_or(0),
+                },
+                schema,
+            };
+        }
+        Ok(plan)
+    }
+
+    /// Binds an ORDER BY key against a plan's output: by alias, by column
+    /// name, by 1-based position, or (fallback) any expression over the
+    /// output columns.
+    fn bind_output_expr(&mut self, e: &Expr, plan: &Logical) -> Result<BoundExpr> {
+        if let Expr::Literal(Datum::Int(position)) = e {
+            let idx = (*position as usize)
+                .checked_sub(1)
+                .filter(|&i| i < plan.schema.len())
+                .ok_or_else(|| {
+                    Error::Binding(format!("ORDER BY position {position} out of range"))
+                })?;
+            return Ok(BoundExpr::Column {
+                index: idx,
+                name: plan.schema[idx].display(),
+            });
+        }
+        let scope = Scope::from_schema(&plan.schema);
+        match self.bind_expr(e, &scope) {
+            Ok(bound) => Ok(bound),
+            // `ORDER BY t0.c0` after a projection that renamed the column
+            // to plain `c0`: retry unqualified, as real engines do.
+            Err(err) => {
+                if let Expr::Column {
+                    qualifier: Some(_),
+                    name,
+                } = e
+                {
+                    let retry = Expr::Column {
+                        qualifier: None,
+                        name: name.clone(),
+                    };
+                    if let Ok(bound) = self.bind_expr(&retry, &scope) {
+                        return Ok(bound);
+                    }
+                }
+                Err(err)
+            }
+        }
+    }
+
+    fn bind_set_expr(&mut self, body: &SetExpr) -> Result<Logical> {
+        match body {
+            SetExpr::Select(select) => self.bind_select(select),
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let l = self.bind_set_expr(left)?;
+                let r = self.bind_set_expr(right)?;
+                if l.schema.len() != r.schema.len() {
+                    return Err(Error::Binding(format!(
+                        "{} inputs have {} vs {} columns",
+                        op.sql(),
+                        l.schema.len(),
+                        r.schema.len()
+                    )));
+                }
+                let schema = l.schema.clone();
+                Ok(Logical {
+                    node: LNode::SetOp {
+                        op: *op,
+                        all: *all,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
+                    schema,
+                })
+            }
+        }
+    }
+
+    fn bind_select(&mut self, select: &Select) -> Result<Logical> {
+        // FROM
+        let mut plan = match &select.from {
+            Some(table_ref) => self.bind_table_ref(table_ref)?,
+            None => Logical {
+                node: LNode::Empty,
+                schema: vec![],
+            },
+        };
+        let scope = Scope::from_schema(&plan.schema);
+
+        // WHERE
+        if let Some(filter) = &select.filter {
+            if filter.contains_aggregate() {
+                return Err(Error::Binding("aggregates are not allowed in WHERE".into()));
+            }
+            let predicate = self.bind_expr(filter, &scope)?;
+            let schema = plan.schema.clone();
+            plan = Logical {
+                node: LNode::Filter {
+                    input: Box::new(plan),
+                    predicate,
+                },
+                schema,
+            };
+        }
+
+        let is_aggregate = !select.group_by.is_empty()
+            || select
+                .projection
+                .iter()
+                .any(|item| matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+            || select.having.is_some();
+
+        if is_aggregate {
+            self.bind_aggregate_select(select, plan, &scope)
+        } else {
+            // Plain projection.
+            let (exprs, names) = self.bind_projection(&select.projection, &scope)?;
+            let schema: Vec<ColMeta> = names
+                .into_iter()
+                .map(|name| ColMeta {
+                    qualifier: None,
+                    name,
+                })
+                .collect();
+            let mut out = Logical {
+                node: LNode::Project {
+                    input: Box::new(plan),
+                    exprs,
+                },
+                schema,
+            };
+            if select.distinct {
+                let schema = out.schema.clone();
+                out = Logical {
+                    node: LNode::Distinct {
+                        input: Box::new(out),
+                    },
+                    schema,
+                };
+            }
+            Ok(out)
+        }
+    }
+
+    fn bind_projection(
+        &mut self,
+        projection: &[SelectItem],
+        scope: &Scope,
+    ) -> Result<(Vec<BoundExpr>, Vec<String>)> {
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        for item in projection {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, meta) in scope.columns.iter().enumerate() {
+                        exprs.push(BoundExpr::Column {
+                            index: i,
+                            name: meta.display(),
+                        });
+                        names.push(meta.name.clone());
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bound = self.bind_expr(expr, scope)?;
+                    names.push(alias.clone().unwrap_or_else(|| display_name(expr, &bound)));
+                    exprs.push(bound);
+                }
+            }
+        }
+        if exprs.is_empty() {
+            return Err(Error::Binding("empty projection".into()));
+        }
+        Ok((exprs, names))
+    }
+
+    fn bind_aggregate_select(
+        &mut self,
+        select: &Select,
+        input: Logical,
+        scope: &Scope,
+    ) -> Result<Logical> {
+        // Bind group-by expressions over the input scope.
+        let group_bound: Vec<BoundExpr> = select
+            .group_by
+            .iter()
+            .map(|e| self.bind_expr(e, scope))
+            .collect::<Result<_>>()?;
+
+        // Collect aggregate calls from projection and HAVING.
+        let mut agg_registry: Vec<(AggFunc, Option<Expr>, String)> = Vec::new();
+        for item in &select.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect_aggregates(expr, &mut agg_registry)?;
+            }
+        }
+        if let Some(having) = &select.having {
+            collect_aggregates(having, &mut agg_registry)?;
+        }
+        if agg_registry.is_empty() && select.group_by.is_empty() {
+            return Err(Error::Binding("HAVING without aggregates or GROUP BY".into()));
+        }
+
+        let aggs: Vec<AggExpr> = agg_registry
+            .iter()
+            .map(|(func, arg, display)| {
+                Ok(AggExpr {
+                    func: *func,
+                    arg: arg.as_ref().map(|a| self.bind_expr(a, scope)).transpose()?,
+                    display: display.clone(),
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        // Aggregate output scope: group columns then aggregates.
+        let mut agg_schema: Vec<ColMeta> = Vec::new();
+        for (i, g) in select.group_by.iter().enumerate() {
+            agg_schema.push(ColMeta {
+                qualifier: None,
+                name: match g {
+                    Expr::Column { name, .. } => name.clone(),
+                    _ => format!("group_{i}"),
+                },
+            });
+        }
+        for agg in &aggs {
+            agg_schema.push(ColMeta {
+                qualifier: None,
+                name: agg.display.clone(),
+            });
+        }
+
+        // HAVING over the aggregate output.
+        let having = select
+            .having
+            .as_ref()
+            .map(|h| self.bind_post_agg(h, &select.group_by, &agg_registry, scope))
+            .transpose()?;
+
+        let plan = Logical {
+            node: LNode::Aggregate {
+                input: Box::new(input),
+                group_by: group_bound,
+                aggs,
+                having,
+                shared_subplan: false,
+            },
+            schema: agg_schema.clone(),
+        };
+
+        // Final projection over the aggregate output.
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        for item in &select.projection {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(Error::Binding("SELECT * is invalid with GROUP BY".into()))
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bound = self.bind_post_agg(expr, &select.group_by, &agg_registry, scope)?;
+                    names.push(alias.clone().unwrap_or_else(|| display_name(expr, &bound)));
+                    exprs.push(bound);
+                }
+            }
+        }
+        let schema: Vec<ColMeta> = names
+            .into_iter()
+            .map(|name| ColMeta {
+                qualifier: None,
+                name,
+            })
+            .collect();
+        let mut out = Logical {
+            node: LNode::Project {
+                input: Box::new(plan),
+                exprs,
+            },
+            schema,
+        };
+        if select.distinct {
+            let schema = out.schema.clone();
+            out = Logical {
+                node: LNode::Distinct {
+                    input: Box::new(out),
+                },
+                schema,
+            };
+        }
+        Ok(out)
+    }
+
+    /// Binds an expression over the *output* of an Aggregate node: group-by
+    /// expressions and aggregate calls become column references.
+    fn bind_post_agg(
+        &mut self,
+        expr: &Expr,
+        group_by: &[Expr],
+        aggs: &[(AggFunc, Option<Expr>, String)],
+        base_scope: &Scope,
+    ) -> Result<BoundExpr> {
+        // Textual match against a group-by expression.
+        if let Some(idx) = group_by.iter().position(|g| g == expr) {
+            let name = match expr {
+                Expr::Column { name, .. } => name.clone(),
+                _ => format!("group_{idx}"),
+            };
+            return Ok(BoundExpr::Column { index: idx, name });
+        }
+        // An aggregate call.
+        if let Expr::Call { name, args, wildcard } = expr {
+            if let Some(func) = AggFunc::from_name(name) {
+                let arg = if *wildcard { None } else { args.first().cloned() };
+                let idx = aggs
+                    .iter()
+                    .position(|(f, a, _)| *f == func && *a == arg)
+                    .ok_or_else(|| Error::Binding(format!("unregistered aggregate {name}")))?;
+                return Ok(BoundExpr::Column {
+                    index: group_by.len() + idx,
+                    name: aggs[idx].2.clone(),
+                });
+            }
+        }
+        // Recurse structurally.
+        match expr {
+            Expr::Literal(d) => Ok(BoundExpr::Literal(d.clone())),
+            Expr::Binary { op, left, right } => Ok(BoundExpr::Binary {
+                op: *op,
+                left: Box::new(self.bind_post_agg(left, group_by, aggs, base_scope)?),
+                right: Box::new(self.bind_post_agg(right, group_by, aggs, base_scope)?),
+            }),
+            Expr::Not(e) => Ok(BoundExpr::Not(Box::new(
+                self.bind_post_agg(e, group_by, aggs, base_scope)?,
+            ))),
+            Expr::Neg(e) => Ok(BoundExpr::Neg(Box::new(
+                self.bind_post_agg(e, group_by, aggs, base_scope)?,
+            ))),
+            Expr::IsNull(e) => Ok(BoundExpr::IsNull(Box::new(
+                self.bind_post_agg(e, group_by, aggs, base_scope)?,
+            ))),
+            Expr::IsNotNull(e) => Ok(BoundExpr::IsNotNull(Box::new(
+                self.bind_post_agg(e, group_by, aggs, base_scope)?,
+            ))),
+            Expr::InList { expr, list } => Ok(BoundExpr::InList {
+                expr: Box::new(self.bind_post_agg(expr, group_by, aggs, base_scope)?),
+                list: list
+                    .iter()
+                    .map(|e| self.bind_post_agg(e, group_by, aggs, base_scope))
+                    .collect::<Result<_>>()?,
+            }),
+            Expr::Between { expr, low, high } => Ok(BoundExpr::Between {
+                expr: Box::new(self.bind_post_agg(expr, group_by, aggs, base_scope)?),
+                low: Box::new(self.bind_post_agg(low, group_by, aggs, base_scope)?),
+                high: Box::new(self.bind_post_agg(high, group_by, aggs, base_scope)?),
+            }),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Ok(BoundExpr::Like {
+                expr: Box::new(self.bind_post_agg(expr, group_by, aggs, base_scope)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            }),
+            Expr::Call { name, args, .. } => {
+                let func = Func::from_name(name)
+                    .ok_or_else(|| Error::Binding(format!("unknown function {name:?}")))?;
+                Ok(BoundExpr::Call {
+                    func,
+                    args: args
+                        .iter()
+                        .map(|a| self.bind_post_agg(a, group_by, aggs, base_scope))
+                        .collect::<Result<_>>()?,
+                })
+            }
+            Expr::Subquery(q) => self.bind_subquery(q),
+            Expr::Column { .. } => Err(Error::Binding(format!(
+                "column {expr:?} must appear in GROUP BY or inside an aggregate"
+            ))),
+        }
+    }
+
+    fn bind_table_ref(&mut self, table_ref: &TableRef) -> Result<Logical> {
+        match table_ref {
+            TableRef::Table { name, alias } => {
+                let schema = self
+                    .catalog
+                    .table(name)
+                    .ok_or_else(|| Error::Binding(format!("unknown table {name:?}")))?;
+                let alias = alias.clone().unwrap_or_else(|| name.clone());
+                let cols: Vec<ColMeta> = schema
+                    .columns
+                    .iter()
+                    .map(|c| ColMeta {
+                        qualifier: Some(alias.clone()),
+                        name: c.name.clone(),
+                    })
+                    .collect();
+                Ok(Logical {
+                    node: LNode::Scan {
+                        table: schema.name.clone(),
+                        alias,
+                    },
+                    schema: cols,
+                })
+            }
+            TableRef::Join {
+                left,
+                right,
+                on,
+                kind,
+            } => {
+                let l = self.bind_table_ref(left)?;
+                let r = self.bind_table_ref(right)?;
+                let mut schema = l.schema.clone();
+                schema.extend(r.schema.clone());
+                let scope = Scope::from_schema(&schema);
+                let on_bound = on.as_ref().map(|e| self.bind_expr(e, &scope)).transpose()?;
+                Ok(Logical {
+                    node: LNode::Join {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        kind: *kind,
+                        on: on_bound,
+                    },
+                    schema,
+                })
+            }
+            TableRef::Subquery { query, alias } => {
+                let inner = self.bind_query_inner(query)?;
+                let schema: Vec<ColMeta> = inner
+                    .schema
+                    .iter()
+                    .map(|c| ColMeta {
+                        qualifier: Some(alias.clone()),
+                        name: c.name.clone(),
+                    })
+                    .collect();
+                Ok(Logical {
+                    node: inner.node,
+                    schema,
+                })
+            }
+        }
+    }
+
+    fn bind_subquery(&mut self, query: &Query) -> Result<BoundExpr> {
+        let key = format!("{query:?}");
+        if self.dedup_subqueries {
+            if let Some(&slot) = self.subquery_slots.get(&key) {
+                return Ok(BoundExpr::Subquery { slot });
+            }
+        }
+        let plan = {
+            // Subqueries get their own binder so their subqueries nest.
+            let sub = Binder::new(self.catalog, self.dedup_subqueries);
+            let bound = sub.bind_query(query)?;
+            if !bound.subqueries.is_empty() {
+                return Err(Error::Binding("nested scalar subqueries are unsupported".into()));
+            }
+            bound.plan
+        };
+        if plan.schema.len() != 1 {
+            return Err(Error::Binding(format!(
+                "scalar subquery must return one column, got {}",
+                plan.schema.len()
+            )));
+        }
+        let slot = self.subqueries.len();
+        self.subqueries.push(plan);
+        self.subquery_slots.insert(key.clone(), slot);
+        self.subquery_sources.push(key);
+        Ok(BoundExpr::Subquery { slot })
+    }
+
+    /// Binds a scalar expression against a scope.
+    pub fn bind_expr(&mut self, expr: &Expr, scope: &Scope) -> Result<BoundExpr> {
+        Ok(match expr {
+            Expr::Column { qualifier, name } => {
+                let (index, meta) = scope.resolve(qualifier.as_deref(), name)?;
+                BoundExpr::Column {
+                    index,
+                    name: meta.display(),
+                }
+            }
+            Expr::Literal(d) => BoundExpr::Literal(d.clone()),
+            Expr::Binary { op, left, right } => BoundExpr::Binary {
+                op: *op,
+                left: Box::new(self.bind_expr(left, scope)?),
+                right: Box::new(self.bind_expr(right, scope)?),
+            },
+            Expr::Not(e) => BoundExpr::Not(Box::new(self.bind_expr(e, scope)?)),
+            Expr::Neg(e) => BoundExpr::Neg(Box::new(self.bind_expr(e, scope)?)),
+            Expr::IsNull(e) => BoundExpr::IsNull(Box::new(self.bind_expr(e, scope)?)),
+            Expr::IsNotNull(e) => BoundExpr::IsNotNull(Box::new(self.bind_expr(e, scope)?)),
+            Expr::InList { expr, list } => BoundExpr::InList {
+                expr: Box::new(self.bind_expr(expr, scope)?),
+                list: list
+                    .iter()
+                    .map(|e| self.bind_expr(e, scope))
+                    .collect::<Result<_>>()?,
+            },
+            Expr::Between { expr, low, high } => BoundExpr::Between {
+                expr: Box::new(self.bind_expr(expr, scope)?),
+                low: Box::new(self.bind_expr(low, scope)?),
+                high: Box::new(self.bind_expr(high, scope)?),
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BoundExpr::Like {
+                expr: Box::new(self.bind_expr(expr, scope)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::Call { name, args, wildcard } => {
+                if AggFunc::from_name(name).is_some() {
+                    return Err(Error::Binding(format!(
+                        "aggregate {name} is not allowed in this context"
+                    )));
+                }
+                if *wildcard {
+                    return Err(Error::Binding(format!("{name}(*) is not a function call")));
+                }
+                let func = Func::from_name(name)
+                    .ok_or_else(|| Error::Binding(format!("unknown function {name:?}")))?;
+                BoundExpr::Call {
+                    func,
+                    args: args
+                        .iter()
+                        .map(|a| self.bind_expr(a, scope))
+                        .collect::<Result<_>>()?,
+                }
+            }
+            Expr::Subquery(q) => self.bind_subquery(q)?,
+        })
+    }
+}
+
+/// A name-resolution scope.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// Visible columns in row order.
+    pub columns: Vec<ColMeta>,
+}
+
+impl Scope {
+    /// Scope over a schema.
+    pub fn from_schema(schema: &[ColMeta]) -> Scope {
+        Scope {
+            columns: schema.to_vec(),
+        }
+    }
+
+    /// Resolves `[qualifier.]name` to a column index.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<(usize, &ColMeta)> {
+        let mut matches = self.columns.iter().enumerate().filter(|(_, c)| {
+            c.name == name
+                && match qualifier {
+                    Some(q) => c.qualifier.as_deref() == Some(q),
+                    None => true,
+                }
+        });
+        let first = matches.next();
+        let second = matches.next();
+        match (first, second) {
+            (Some((i, meta)), None) => Ok((i, meta)),
+            (Some(_), Some(_)) => Err(Error::Binding(format!("ambiguous column {name:?}"))),
+            (None, _) => Err(Error::Binding(match qualifier {
+                Some(q) => format!("unknown column {q}.{name}"),
+                None => format!("unknown column {name:?}"),
+            })),
+        }
+    }
+}
+
+/// A display name for an unaliased projection expression.
+fn display_name(expr: &Expr, bound: &BoundExpr) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Call { name, .. } => name.to_ascii_lowercase(),
+        _ => bound.to_string(),
+    }
+}
+
+/// Registers every aggregate call in `expr` (deduplicated).
+fn collect_aggregates(
+    expr: &Expr,
+    registry: &mut Vec<(AggFunc, Option<Expr>, String)>,
+) -> Result<()> {
+    match expr {
+        Expr::Call { name, args, wildcard } => {
+            if let Some(func) = AggFunc::from_name(name) {
+                if args.iter().any(Expr::contains_aggregate) {
+                    return Err(Error::Binding("nested aggregates are invalid".into()));
+                }
+                let arg = if *wildcard { None } else { args.first().cloned() };
+                if !registry.iter().any(|(f, a, _)| *f == func && *a == arg) {
+                    let display = match (&arg, wildcard) {
+                        (_, true) | (None, _) => format!("{}(*)", func.sql().to_lowercase()),
+                        (Some(a), _) => format!("{}({:?})", func.sql().to_lowercase(), a)
+                            .chars()
+                            .take(48)
+                            .collect(),
+                    };
+                    let display = keywordish(&display, registry.len());
+                    registry.push((func, arg, display));
+                }
+                return Ok(());
+            }
+            for a in args {
+                collect_aggregates(a, registry)?;
+            }
+            Ok(())
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_aggregates(left, registry)?;
+            collect_aggregates(right, registry)
+        }
+        Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e) | Expr::IsNotNull(e) => {
+            collect_aggregates(e, registry)
+        }
+        Expr::InList { expr, list } => {
+            collect_aggregates(expr, registry)?;
+            for e in list {
+                collect_aggregates(e, registry)?;
+            }
+            Ok(())
+        }
+        Expr::Between { expr, low, high } => {
+            collect_aggregates(expr, registry)?;
+            collect_aggregates(low, registry)?;
+            collect_aggregates(high, registry)
+        }
+        Expr::Like { expr, .. } => collect_aggregates(expr, registry),
+        // Subqueries are bound separately; their aggregates are their own.
+        Expr::Column { .. } | Expr::Literal(_) | Expr::Subquery(_) => Ok(()),
+    }
+}
+
+/// Agg output column name: short, unique, readable.
+fn keywordish(display: &str, ordinal: usize) -> String {
+    let head: String = display
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if head.is_empty() {
+        format!("agg_{ordinal}")
+    } else {
+        format!("{head}_{ordinal}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datum::DataType;
+    use crate::schema::{Column, TableSchema};
+    use crate::sql::parse_statement;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (table, cols) in [("t0", vec!["c0", "c1"]), ("t1", vec!["c0"]), ("t2", vec!["c0"])] {
+            c.create_table(TableSchema {
+                name: table.into(),
+                columns: cols
+                    .into_iter()
+                    .map(|n| Column {
+                        name: n.into(),
+                        data_type: DataType::Int,
+                        primary_key: false,
+                    })
+                    .collect(),
+            })
+            .unwrap();
+        }
+        c
+    }
+
+    fn bind(sql: &str) -> Result<BoundQuery> {
+        let cat = catalog();
+        let crate::sql::ast::Statement::Query(q) = parse_statement(sql)? else {
+            panic!("not a query");
+        };
+        Binder::new(&cat, false).bind_query(&q)
+    }
+
+    #[test]
+    fn binds_simple_select() {
+        let bound = bind("SELECT c0 FROM t0 WHERE c0 < 5").unwrap();
+        let LNode::Project { input, exprs } = &bound.plan.node else {
+            panic!()
+        };
+        assert_eq!(exprs.len(), 1);
+        assert!(matches!(input.node, LNode::Filter { .. }));
+        assert_eq!(bound.plan.schema[0].name, "c0");
+    }
+
+    #[test]
+    fn wildcard_expands_in_order() {
+        let bound = bind("SELECT * FROM t0").unwrap();
+        assert_eq!(bound.plan.schema.len(), 2);
+        assert_eq!(bound.plan.schema[0].name, "c0");
+        assert_eq!(bound.plan.schema[1].name, "c1");
+    }
+
+    #[test]
+    fn join_concatenates_schemas() {
+        let bound = bind("SELECT t0.c0, t1.c0 FROM t0 JOIN t1 ON t0.c0 = t1.c0").unwrap();
+        let LNode::Project { input, .. } = &bound.plan.node else {
+            panic!()
+        };
+        let LNode::Join { on, .. } = &input.node else {
+            panic!()
+        };
+        let on = on.as_ref().unwrap();
+        assert_eq!(on.to_string(), "(t0.c0 = t1.c0)");
+    }
+
+    #[test]
+    fn ambiguity_and_unknowns_are_errors() {
+        assert!(bind("SELECT c0 FROM t0 JOIN t1 ON t0.c0 = t1.c0").is_err());
+        assert!(bind("SELECT zzz FROM t0").is_err());
+        assert!(bind("SELECT t9.c0 FROM t0").is_err());
+        assert!(bind("SELECT c0 FROM missing").is_err());
+    }
+
+    #[test]
+    fn aliases_rename_qualifiers() {
+        let bound = bind("SELECT a.c0 FROM t0 AS a").unwrap();
+        assert!(bound.plan.schema[0].name == "c0");
+        assert!(bind("SELECT t0.c0 FROM t0 AS a").is_err(), "old name hidden");
+    }
+
+    #[test]
+    fn aggregate_binding() {
+        let bound = bind("SELECT c0, SUM(c1) FROM t0 GROUP BY c0 HAVING SUM(c1) > 5").unwrap();
+        let LNode::Project { input, .. } = &bound.plan.node else {
+            panic!()
+        };
+        let LNode::Aggregate {
+            group_by,
+            aggs,
+            having,
+            ..
+        } = &input.node
+        else {
+            panic!()
+        };
+        assert_eq!(group_by.len(), 1);
+        assert_eq!(aggs.len(), 1, "SUM(c1) deduplicated between SELECT and HAVING");
+        assert!(having.is_some());
+    }
+
+    #[test]
+    fn ungrouped_column_is_rejected() {
+        assert!(bind("SELECT c1 FROM t0 GROUP BY c0").is_err());
+        assert!(bind("SELECT c0, COUNT(*) FROM t0").is_err());
+    }
+
+    #[test]
+    fn count_star_without_group() {
+        let bound = bind("SELECT COUNT(*) FROM t0").unwrap();
+        let LNode::Project { input, .. } = &bound.plan.node else {
+            panic!()
+        };
+        assert!(matches!(input.node, LNode::Aggregate { .. }));
+    }
+
+    #[test]
+    fn scalar_subqueries_get_slots() {
+        let bound =
+            bind("SELECT c0 FROM t0 WHERE c1 > (SELECT COUNT(*) FROM t1)").unwrap();
+        assert_eq!(bound.subqueries.len(), 1);
+        assert!(!bound.shared_subquery);
+    }
+
+    #[test]
+    fn subquery_dedup_is_profile_driven() {
+        let cat = catalog();
+        let sql = "SELECT c0, SUM(c1) FROM t0 GROUP BY c0 \
+                   HAVING SUM(c1) > (SELECT COUNT(*) FROM t1) AND SUM(c1) < (SELECT COUNT(*) FROM t1)";
+        let crate::sql::ast::Statement::Query(q) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let plain = Binder::new(&cat, false).bind_query(&q).unwrap();
+        assert_eq!(plain.subqueries.len(), 2, "each occurrence planned separately");
+        let dedup = Binder::new(&cat, true).bind_query(&q).unwrap();
+        assert_eq!(dedup.subqueries.len(), 1, "identical subqueries share a slot");
+        assert!(dedup.shared_subquery);
+    }
+
+    #[test]
+    fn multi_column_scalar_subquery_rejected() {
+        assert!(bind("SELECT c0 FROM t0 WHERE c1 > (SELECT c0, c0 FROM t1)").is_err());
+    }
+
+    #[test]
+    fn set_ops_require_same_arity() {
+        assert!(bind("SELECT c0 FROM t0 UNION SELECT c0 FROM t2").is_ok());
+        assert!(bind("SELECT c0, c1 FROM t0 UNION SELECT c0 FROM t2").is_err());
+    }
+
+    #[test]
+    fn order_by_position_and_alias() {
+        let bound = bind("SELECT c0 AS k FROM t0 ORDER BY 1 DESC").unwrap();
+        let LNode::Sort { keys, .. } = &bound.plan.node else {
+            panic!()
+        };
+        assert!(keys[0].1);
+        assert!(bind("SELECT c0 AS k FROM t0 ORDER BY k").is_ok());
+        assert!(bind("SELECT c0 FROM t0 ORDER BY 99").is_err());
+    }
+
+    #[test]
+    fn derived_tables_re_qualify() {
+        let bound = bind("SELECT s.c0 FROM (SELECT c0 FROM t0) AS s").unwrap();
+        assert_eq!(bound.plan.schema[0].name, "c0");
+    }
+
+    #[test]
+    fn where_aggregates_rejected() {
+        assert!(bind("SELECT c0 FROM t0 WHERE SUM(c1) > 5").is_err());
+    }
+
+    #[test]
+    fn select_without_from() {
+        let bound = bind("SELECT 1 + 1").unwrap();
+        let LNode::Project { input, .. } = &bound.plan.node else {
+            panic!()
+        };
+        assert!(matches!(input.node, LNode::Empty));
+    }
+}

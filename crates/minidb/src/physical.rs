@@ -1,0 +1,384 @@
+//! Physical plans: executable operator trees with estimates and actuals.
+//!
+//! The physical representation is engine-generic; the per-DBMS *rendering*
+//! of these operators (PostgreSQL's `Hash` build nodes, TiDB's
+//! `TableReader`/`IndexLookUp` wrappers, SQLite's `SEARCH ... USING INDEX`
+//! lines) lives in the `dialects` crate, which serializes an
+//! [`ExplainedPlan`] the way the corresponding real system would.
+
+use crate::expr::{AggFunc, BoundExpr};
+
+use crate::profile::EngineProfile;
+use crate::sql::ast::{JoinKind, SetOpKind};
+
+/// Aggregation strategies (display-relevant; execution is hash-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggStrategy {
+    /// Hash aggregation (PG `HashAggregate`, TiDB `HashAgg`).
+    Hash,
+    /// Aggregation over sorted input (PG `GroupAggregate`, TiDB `StreamAgg`).
+    Sorted,
+    /// Ungrouped single-row aggregation (PG `Aggregate`).
+    Plain,
+}
+
+/// One aggregate computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysAgg {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument over the input row; `None` for `COUNT(*)`.
+    pub arg: Option<BoundExpr>,
+    /// Output column label.
+    pub label: String,
+}
+
+/// How an index access selects rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexAccess {
+    /// Equality on the leading key column.
+    Eq(BoundExpr),
+    /// Range on the leading key column `(low, high)`; both optional.
+    Range {
+        /// Inclusive lower bound.
+        low: Option<BoundExpr>,
+        /// Inclusive upper bound.
+        high: Option<BoundExpr>,
+    },
+    /// Full index sweep (index-only scans without a condition).
+    Full,
+}
+
+/// Physical operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysOp {
+    /// Full table scan with an optional pushed-down filter.
+    SeqScan {
+        /// Catalog table.
+        table: String,
+        /// Binding alias.
+        alias: String,
+        /// Residual filter evaluated at the scan.
+        filter: Option<BoundExpr>,
+        /// PostgreSQL-style parallel scan (rendered under Gather).
+        parallel: bool,
+    },
+    /// Index-driven scan (covers TiDB `IndexLookUp`, PG `Index Scan`,
+    /// SQLite `SEARCH`).
+    IndexScan {
+        /// Catalog table.
+        table: String,
+        /// Binding alias.
+        alias: String,
+        /// Index name.
+        index: String,
+        /// Access condition.
+        access: IndexAccess,
+        /// Residual filter on fetched rows.
+        filter: Option<BoundExpr>,
+        /// `true` when only indexed columns are needed (index-only scan);
+        /// row fetch is skipped in dialect rendering.
+        index_only: bool,
+        /// `true` when the index was fabricated at plan time (SQLite's
+        /// automatic covering index).
+        automatic: bool,
+    },
+    /// Standalone filter (TiDB `Selection`; also post-join residuals).
+    Filter {
+        /// Predicate over the child's output.
+        predicate: BoundExpr,
+    },
+    /// Projection.
+    Project {
+        /// Output expressions over the child's output.
+        exprs: Vec<BoundExpr>,
+        /// Output labels.
+        labels: Vec<String>,
+    },
+    /// Hash join; children are `[probe, build]`.
+    HashJoin {
+        /// Join kind (Inner/Left).
+        kind: JoinKind,
+        /// Equi-key pairs `(probe column, build column)`.
+        keys: Vec<(usize, usize)>,
+        /// Residual predicate over the concatenated row.
+        residual: Option<BoundExpr>,
+    },
+    /// Nested-loop join; children are `[outer, inner]`.
+    NestedLoopJoin {
+        /// Join kind (Inner/Left/Cross).
+        kind: JoinKind,
+        /// Condition over the concatenated row.
+        on: Option<BoundExpr>,
+    },
+    /// Sort-merge join on one equi-key pair; children `[left, right]`.
+    MergeJoin {
+        /// Join kind.
+        kind: JoinKind,
+        /// `(left column, right column)`.
+        key: (usize, usize),
+        /// Residual predicate.
+        residual: Option<BoundExpr>,
+    },
+    /// Grouped aggregation.
+    Aggregate {
+        /// Strategy for display.
+        strategy: AggStrategy,
+        /// Group-by expressions over the child's output.
+        group_by: Vec<BoundExpr>,
+        /// Aggregates.
+        aggs: Vec<PhysAgg>,
+        /// Post-grouping filter over `[group..., agg...]`.
+        having: Option<BoundExpr>,
+        /// TiDB shared-subplan evaluation (paper Listing 4): the statement's
+        /// single subquery slot is computed from this node's input.
+        shared_subplan: bool,
+    },
+    /// Full sort.
+    Sort {
+        /// `(key, descending)` pairs.
+        keys: Vec<(BoundExpr, bool)>,
+    },
+    /// Bounded sort (TiDB `TopN`, SQL Server `Top`).
+    TopN {
+        /// Sort keys.
+        keys: Vec<(BoundExpr, bool)>,
+        /// Bound.
+        limit: u64,
+        /// Offset skipped after sorting.
+        offset: u64,
+    },
+    /// Limit/offset without sorting.
+    Limit {
+        /// Max rows (`None` = offset only).
+        limit: Option<u64>,
+        /// Skipped rows.
+        offset: u64,
+    },
+    /// Hash-based duplicate elimination.
+    Distinct,
+    /// Set operation over two children.
+    SetOp {
+        /// Which operation.
+        op: SetOpKind,
+        /// Bag semantics.
+        all: bool,
+    },
+    /// Bag concatenation of all children (UNION ALL spine).
+    Append,
+    /// One empty row.
+    Empty,
+}
+
+impl PhysOp {
+    /// Generic operator name (dialect-independent; used in tests and the
+    /// default textual rendering).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysOp::SeqScan { parallel: true, .. } => "Parallel Seq Scan",
+            PhysOp::SeqScan { .. } => "Seq Scan",
+            PhysOp::IndexScan { index_only: true, .. } => "Index Only Scan",
+            PhysOp::IndexScan { .. } => "Index Scan",
+            PhysOp::Filter { .. } => "Filter",
+            PhysOp::Project { .. } => "Projection",
+            PhysOp::HashJoin { .. } => "Hash Join",
+            PhysOp::NestedLoopJoin { .. } => "Nested Loop",
+            PhysOp::MergeJoin { .. } => "Merge Join",
+            PhysOp::Aggregate { strategy, .. } => match strategy {
+                AggStrategy::Hash => "HashAggregate",
+                AggStrategy::Sorted => "GroupAggregate",
+                AggStrategy::Plain => "Aggregate",
+            },
+            PhysOp::Sort { .. } => "Sort",
+            PhysOp::TopN { .. } => "TopN",
+            PhysOp::Limit { .. } => "Limit",
+            PhysOp::Distinct => "Distinct",
+            PhysOp::SetOp { op, .. } => match op {
+                SetOpKind::Union => "Union",
+                SetOpKind::Intersect => "Intersect",
+                SetOpKind::Except => "Except",
+            },
+            PhysOp::Append => "Append",
+            PhysOp::Empty => "Result",
+        }
+    }
+
+    /// The table scanned by this operator, if it is a scan.
+    pub fn scanned_table(&self) -> Option<&str> {
+        match self {
+            PhysOp::SeqScan { table, .. } | PhysOp::IndexScan { table, .. } => Some(table),
+            _ => None,
+        }
+    }
+}
+
+/// Actual execution statistics, filled by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Actual {
+    /// Rows produced.
+    pub rows: u64,
+    /// Wall-clock milliseconds spent in this operator's subtree.
+    pub time_ms: f64,
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysNode {
+    /// The operator.
+    pub op: PhysOp,
+    /// Inputs.
+    pub children: Vec<PhysNode>,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Estimated cost to first row.
+    pub est_startup_cost: f64,
+    /// Estimated total cost.
+    pub est_total_cost: f64,
+    /// Actuals after `EXPLAIN ANALYZE` / execution.
+    pub actual: Option<Actual>,
+}
+
+impl PhysNode {
+    /// A node with estimates to be filled by the planner.
+    pub fn new(op: PhysOp, children: Vec<PhysNode>) -> PhysNode {
+        PhysNode {
+            op,
+            children,
+            est_rows: 1.0,
+            est_startup_cost: 0.0,
+            est_total_cost: 0.0,
+            actual: None,
+        }
+    }
+
+    /// Nodes in the subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(PhysNode::node_count).sum::<usize>()
+    }
+
+    /// Pre-order traversal.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a PhysNode)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+
+    /// Number of scan operators (Producer census for a plan).
+    pub fn scan_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |node| {
+            if node.op.scanned_table().is_some() {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+/// Shared sub-aggregate spec for the TiDB q11-style optimization: the
+/// statement's scalar subquery aggregates the same input as the main
+/// Aggregate, so it is computed in the same pass instead of via separate
+/// scans (paper Listing 4's three-scan plan).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedSubAgg {
+    /// Aggregates over the shared input.
+    pub aggs: Vec<PhysAgg>,
+    /// Projection over the sub-aggregate outputs producing the scalar.
+    pub project: BoundExpr,
+    /// Subquery slot receiving the scalar.
+    pub slot: usize,
+}
+
+/// A fully planned statement: the main tree, its scalar-subquery plans, and
+/// plan-level metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainedPlan {
+    /// The main operator tree.
+    pub root: PhysNode,
+    /// Scalar-subquery plans by slot; executed before the main tree.
+    pub subplans: Vec<PhysNode>,
+    /// Shared sub-aggregate evaluated inside the main Aggregate
+    /// (mutually exclusive with `subplans`).
+    pub shared_subagg: Option<SharedSubAgg>,
+    /// The profile that planned this.
+    pub profile: EngineProfile,
+    /// Planning wall-clock time in milliseconds.
+    pub planning_time_ms: f64,
+    /// Execution wall-clock time (EXPLAIN ANALYZE only).
+    pub execution_time_ms: Option<f64>,
+    /// Output column labels.
+    pub output: Vec<String>,
+}
+
+impl ExplainedPlan {
+    /// Total operators including subplans.
+    pub fn operator_count(&self) -> usize {
+        self.root.node_count() + self.subplans.iter().map(PhysNode::node_count).sum::<usize>()
+    }
+
+    /// Estimated rows of the root (what CERT reads).
+    pub fn estimated_rows(&self) -> f64 {
+        self.root.est_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(table: &str) -> PhysNode {
+        PhysNode::new(
+            PhysOp::SeqScan {
+                table: table.into(),
+                alias: table.into(),
+                filter: None,
+                parallel: false,
+            },
+            vec![],
+        )
+    }
+
+    #[test]
+    fn names_and_counts() {
+        let join = PhysNode::new(
+            PhysOp::HashJoin {
+                kind: JoinKind::Inner,
+                keys: vec![(0, 0)],
+                residual: None,
+            },
+            vec![scan("a"), scan("b")],
+        );
+        assert_eq!(join.op.name(), "Hash Join");
+        assert_eq!(join.node_count(), 3);
+        assert_eq!(join.scan_count(), 2);
+        assert_eq!(scan("a").op.scanned_table(), Some("a"));
+        let mut names = Vec::new();
+        join.walk(&mut |node| names.push(node.op.name()));
+        assert_eq!(names, ["Hash Join", "Seq Scan", "Seq Scan"]);
+    }
+
+    #[test]
+    fn parallel_scan_renders_differently() {
+        let mut node = scan("a");
+        if let PhysOp::SeqScan { parallel, .. } = &mut node.op {
+            *parallel = true;
+        }
+        assert_eq!(node.op.name(), "Parallel Seq Scan");
+    }
+
+    #[test]
+    fn explained_plan_counts_subplans() {
+        let plan = ExplainedPlan {
+            root: scan("a"),
+            subplans: vec![scan("b"), scan("c")],
+            shared_subagg: None,
+            profile: EngineProfile::Postgres,
+            planning_time_ms: 0.1,
+            execution_time_ms: None,
+            output: vec!["c0".into()],
+        };
+        assert_eq!(plan.operator_count(), 3);
+        assert_eq!(plan.estimated_rows(), 1.0);
+    }
+}

@@ -1,0 +1,1139 @@
+//! The cost-based physical planner.
+//!
+//! Translates bound logical plans into [`PhysNode`] trees, making the
+//! profile-specific choices the paper's study observed in real plans:
+//! access paths (seq scan / index scan / index-only scan), join algorithms
+//! (hash vs. index nested-loop vs. plain nested-loop with SQLite's automatic
+//! indexes), PostgreSQL parallel scans, TiDB standalone `Selection`
+//! operators, and TiDB's shared evaluation of scalar subqueries over the
+//! same input (the paper's q11 three-scan plan, Listing 4).
+
+use std::time::Instant;
+
+use crate::expr::{BinOp, BoundExpr};
+use crate::faults::{BugId, FaultSet};
+use crate::logical::{BoundQuery, Logical, LNode};
+use crate::physical::{
+    AggStrategy, ExplainedPlan, IndexAccess, PhysAgg, PhysNode, PhysOp, SharedSubAgg,
+};
+use crate::profile::EngineProfile;
+use crate::schema::Catalog;
+use crate::sql::ast::{JoinKind, SetOpKind};
+use crate::stats::{self, TableStats};
+use crate::{Error, Result};
+
+
+/// Planner inputs.
+pub struct PlannerCtx<'a> {
+    /// The catalog (for index lookup).
+    pub catalog: &'a Catalog,
+    /// Per-table statistics.
+    pub stats_of: &'a dyn Fn(&str) -> Option<&'a TableStats>,
+    /// Engine profile.
+    pub profile: EngineProfile,
+    /// Armed faults (estimator faults act here).
+    pub faults: &'a FaultSet,
+}
+
+/// Plans a bound query.
+pub fn plan(bound: &BoundQuery, ctx: &PlannerCtx<'_>) -> Result<ExplainedPlan> {
+    let start = Instant::now();
+    let pushed = push_filters(bound.plan.clone());
+
+    // TiDB shared-subquery detection (paper Listing 4): the single deduped
+    // subquery aggregates the same input as the main aggregate.
+    let mut shared: Option<SharedSubAgg> = None;
+    if bound.shared_subquery && bound.subqueries.len() == 1 {
+        shared = detect_shared_subagg(&pushed, &bound.subqueries[0]);
+    }
+
+    let mut planned = plan_node(&pushed, ctx, shared.as_ref())?;
+
+    // Peephole: Limit over Sort becomes TopN for TiDB-style engines.
+    if ctx.profile == EngineProfile::TiDb {
+        planned.node = fuse_topn(planned.node);
+    }
+
+    let subplans = if shared.is_some() {
+        Vec::new()
+    } else {
+        bound
+            .subqueries
+            .iter()
+            .map(|sub| {
+                let pushed = push_filters(sub.clone());
+                Ok(plan_node(&pushed, ctx, None)?.node)
+            })
+            .collect::<Result<Vec<_>>>()?
+    };
+
+    let output = pushed.schema.iter().map(|c| c.name.clone()).collect();
+    Ok(ExplainedPlan {
+        root: planned.node,
+        subplans,
+        shared_subagg: shared,
+        profile: ctx.profile,
+        planning_time_ms: start.elapsed().as_secs_f64() * 1e3,
+        execution_time_ms: None,
+        output,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Filter pushdown (logical rewrite)
+// ---------------------------------------------------------------------------
+
+/// Splits a predicate into its top-level conjuncts.
+pub fn conjuncts(expr: BoundExpr) -> Vec<BoundExpr> {
+    match expr {
+        BoundExpr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            let mut out = conjuncts(*left);
+            out.extend(conjuncts(*right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Rebuilds a conjunction.
+pub fn conjoin(mut parts: Vec<BoundExpr>) -> Option<BoundExpr> {
+    let first = parts.pop()?;
+    Some(parts.into_iter().fold(first, |acc, p| BoundExpr::Binary {
+        op: BinOp::And,
+        left: Box::new(p),
+        right: Box::new(acc),
+    }))
+}
+
+/// Pushes filters down through joins toward scans.
+fn push_filters(plan: Logical) -> Logical {
+    let schema = plan.schema.clone();
+    let node = match plan.node {
+        LNode::Filter { input, predicate } => {
+            let input = push_filters(*input);
+            return push_predicate(input, predicate);
+        }
+        LNode::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            let left = push_filters(*left);
+            let right = push_filters(*right);
+            // Inner-join ON conjuncts referencing one side can sink.
+            if kind == JoinKind::Inner {
+                if let Some(on_expr) = on {
+                    let left_width = left.schema.len();
+                    let mut keep = Vec::new();
+                    let mut left_parts = Vec::new();
+                    let mut right_parts = Vec::new();
+                    for part in conjuncts(on_expr) {
+                        let cols = part.columns();
+                        if !cols.is_empty() && cols.iter().all(|&c| c < left_width) {
+                            left_parts.push(part);
+                        } else if !cols.is_empty() && cols.iter().all(|&c| c >= left_width) {
+                            let mut moved = part;
+                            moved.remap_columns(&|c| c - left_width);
+                            right_parts.push(moved);
+                        } else {
+                            keep.push(part);
+                        }
+                    }
+                    let left = apply_filter(left, left_parts);
+                    let right = apply_filter(right, right_parts);
+                    let schema = plan.schema;
+                    return Logical {
+                        node: LNode::Join {
+                            left: Box::new(left),
+                            right: Box::new(right),
+                            kind,
+                            on: conjoin(keep),
+                        },
+                        schema,
+                    };
+                }
+            }
+            LNode::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            }
+        }
+        LNode::Project { input, exprs } => LNode::Project {
+            input: Box::new(push_filters(*input)),
+            exprs,
+        },
+        LNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+            having,
+            shared_subplan,
+        } => LNode::Aggregate {
+            input: Box::new(push_filters(*input)),
+            group_by,
+            aggs,
+            having,
+            shared_subplan,
+        },
+        LNode::Sort { input, keys } => LNode::Sort {
+            input: Box::new(push_filters(*input)),
+            keys,
+        },
+        LNode::Limit {
+            input,
+            limit,
+            offset,
+        } => LNode::Limit {
+            input: Box::new(push_filters(*input)),
+            limit,
+            offset,
+        },
+        LNode::Distinct { input } => LNode::Distinct {
+            input: Box::new(push_filters(*input)),
+        },
+        LNode::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => LNode::SetOp {
+            op,
+            all,
+            left: Box::new(push_filters(*left)),
+            right: Box::new(push_filters(*right)),
+        },
+        leaf @ (LNode::Scan { .. } | LNode::Empty) => leaf,
+    };
+    Logical { node, schema }
+}
+
+/// Pushes one predicate into a subtree as far as it goes.
+fn push_predicate(plan: Logical, predicate: BoundExpr) -> Logical {
+    match plan.node {
+        // Comma-syntax cross joins with a connecting WHERE become inner joins.
+        LNode::Join {
+            left,
+            right,
+            kind: kind @ (JoinKind::Inner | JoinKind::Cross),
+            on,
+        } => {
+            let _ = kind;
+            let left_width = left.schema.len();
+            let mut keep = Vec::new();
+            let mut left_parts = Vec::new();
+            let mut right_parts = Vec::new();
+            for part in conjuncts(predicate) {
+                let cols = part.columns();
+                if !cols.is_empty() && cols.iter().all(|&c| c < left_width) {
+                    left_parts.push(part);
+                } else if !cols.is_empty() && cols.iter().all(|&c| c >= left_width) {
+                    let mut moved = part;
+                    moved.remap_columns(&|c| c - left_width);
+                    right_parts.push(moved);
+                } else {
+                    keep.push(part);
+                }
+            }
+            let new_left = apply_filter(push_filters(*left), left_parts);
+            let new_right = apply_filter(push_filters(*right), right_parts);
+            let on = match (on, conjoin(keep)) {
+                (Some(a), Some(b)) => Some(BoundExpr::Binary {
+                    op: BinOp::And,
+                    left: Box::new(a),
+                    right: Box::new(b),
+                }),
+                (Some(a), None) => Some(a),
+                (None, b) => b,
+            };
+            let schema = plan.schema;
+            Logical {
+                node: LNode::Join {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                    kind: JoinKind::Inner,
+                    on,
+                },
+                schema,
+            }
+        }
+        // Merge adjacent filters.
+        LNode::Filter {
+            input,
+            predicate: inner,
+        } => {
+            let merged = BoundExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(predicate),
+                right: Box::new(inner),
+            };
+            push_predicate(*input, merged)
+        }
+        node => {
+            let schema = plan.schema.clone();
+            Logical {
+                node: LNode::Filter {
+                    input: Box::new(Logical { node, schema }),
+                    predicate,
+                },
+                schema: plan.schema,
+            }
+        }
+    }
+}
+
+fn apply_filter(plan: Logical, parts: Vec<BoundExpr>) -> Logical {
+    match conjoin(parts) {
+        Some(predicate) => {
+            let schema = plan.schema.clone();
+            push_predicate(Logical { node: plan.node, schema: plan.schema }, predicate)
+                .with_schema(schema)
+        }
+        None => plan,
+    }
+}
+
+impl Logical {
+    fn with_schema(mut self, schema: Vec<crate::logical::ColMeta>) -> Logical {
+        self.schema = schema;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-subquery detection (TiDB q11 optimization)
+// ---------------------------------------------------------------------------
+
+fn detect_shared_subagg(main: &Logical, sub: &Logical) -> Option<SharedSubAgg> {
+    // The subquery must be Project(Aggregate(input)) with an ungrouped
+    // aggregate whose input equals the main block's aggregate input.
+    let main_agg_input = find_aggregate_input(main)?;
+    let (sub_project, sub_agg) = match &sub.node {
+        LNode::Project { input, exprs } => match &input.node {
+            LNode::Aggregate {
+                input: agg_input,
+                group_by,
+                aggs,
+                having: None,
+                ..
+            } if group_by.is_empty() => (exprs.first()?.clone(), (agg_input, aggs)),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let (sub_input, sub_aggs) = sub_agg;
+    let sub_pushed = push_filters((**sub_input).clone());
+    if sub_pushed.node != main_agg_input.node {
+        return None;
+    }
+    Some(SharedSubAgg {
+        aggs: sub_aggs
+            .iter()
+            .map(|a| PhysAgg {
+                func: a.func,
+                arg: a.arg.clone(),
+                label: a.display.clone(),
+            })
+            .collect(),
+        project: sub_project,
+        slot: 0,
+    })
+}
+
+fn find_aggregate_input(plan: &Logical) -> Option<Logical> {
+    match &plan.node {
+        LNode::Aggregate { input, .. } => Some((**input).clone()),
+        LNode::Project { input, .. }
+        | LNode::Sort { input, .. }
+        | LNode::Limit { input, .. }
+        | LNode::Distinct { input } => find_aggregate_input(input),
+        LNode::Filter { input, .. } => find_aggregate_input(input),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Physical planning
+// ---------------------------------------------------------------------------
+
+/// Column provenance: which base-table column a plan column carries.
+type Prov = Vec<Option<(String, usize)>>;
+
+struct Planned {
+    node: PhysNode,
+    prov: Prov,
+}
+
+fn plan_node(
+    plan: &Logical,
+    ctx: &PlannerCtx<'_>,
+    shared: Option<&SharedSubAgg>,
+) -> Result<Planned> {
+    match &plan.node {
+        LNode::Scan { table, alias } => plan_scan(table, alias, None, ctx),
+        LNode::Filter { input, predicate } => {
+            if let LNode::Scan { table, alias } = &input.node {
+                return plan_scan(table, alias, Some(predicate.clone()), ctx);
+            }
+            let child = plan_node(input, ctx, shared)?;
+            let sel = selectivity_of(predicate, &child.prov, ctx);
+            let est = (child.node.est_rows * sel).max(0.0);
+            let cost = child.node.est_total_cost
+                + child.node.est_rows * ctx.profile.cpu_tuple_cost();
+            let prov = child.prov.clone();
+            let mut node = PhysNode::new(
+                PhysOp::Filter {
+                    predicate: predicate.clone(),
+                },
+                vec![child.node],
+            );
+            node.est_rows = est;
+            node.est_total_cost = cost;
+            Ok(Planned { node, prov })
+        }
+        LNode::Project { input, exprs } => {
+            let child = plan_node(input, ctx, shared)?;
+            let prov: Prov = exprs
+                .iter()
+                .map(|e| match e {
+                    BoundExpr::Column { index, .. } => child.prov.get(*index).cloned().flatten(),
+                    _ => None,
+                })
+                .collect();
+            let labels = plan.schema.iter().map(|c| c.name.clone()).collect();
+            let est = child.node.est_rows;
+            let cost = child.node.est_total_cost
+                + child.node.est_rows * ctx.profile.cpu_tuple_cost();
+            let mut node = PhysNode::new(
+                PhysOp::Project {
+                    exprs: exprs.clone(),
+                    labels,
+                },
+                vec![child.node],
+            );
+            node.est_rows = est;
+            node.est_total_cost = cost;
+            Ok(Planned { node, prov })
+        }
+        LNode::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => plan_join(left, right, *kind, on.as_ref(), ctx, shared),
+        LNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+            having,
+            ..
+        } => {
+            let child = plan_node(input, ctx, shared)?;
+            let phys_aggs: Vec<PhysAgg> = aggs
+                .iter()
+                .map(|a| PhysAgg {
+                    func: a.func,
+                    arg: a.arg.clone(),
+                    label: a.display.clone(),
+                })
+                .collect();
+            let strategy = if group_by.is_empty() {
+                AggStrategy::Plain
+            } else if matches!(child.node.op, PhysOp::IndexScan { .. } | PhysOp::Sort { .. }) {
+                AggStrategy::Sorted
+            } else {
+                AggStrategy::Hash
+            };
+            // Group count estimate: product of per-column NDVs, capped.
+            let mut groups = 1.0;
+            for g in group_by {
+                let ndv = match g {
+                    BoundExpr::Column { index, .. } => child
+                        .prov
+                        .get(*index)
+                        .and_then(|p| p.as_ref())
+                        .and_then(|(t, c)| {
+                            (ctx.stats_of)(t).map(|s| s.columns[*c].n_distinct as f64)
+                        })
+                        .unwrap_or(10.0),
+                    _ => 10.0,
+                };
+                groups *= ndv.max(1.0);
+            }
+            let mut est = if group_by.is_empty() {
+                1.0
+            } else {
+                groups.min(child.node.est_rows.max(1.0))
+            };
+            if ctx.faults.is_armed(BugId::Tidb51524)
+                && ctx.profile == EngineProfile::TiDb
+                && !group_by.is_empty()
+            {
+                // Injected CERT fault: grouped output estimated *larger*
+                // than the input.
+                est = child.node.est_rows * 1.2 + 10.0;
+            }
+            if having.is_some() {
+                est *= 0.5;
+            }
+            let cost = child.node.est_total_cost
+                + child.node.est_rows * ctx.profile.cpu_tuple_cost() * 2.0;
+            let prov = vec![None; plan.schema.len()];
+            let mut node = PhysNode::new(
+                PhysOp::Aggregate {
+                    strategy,
+                    group_by: group_by.clone(),
+                    aggs: phys_aggs,
+                    having: having.clone(),
+                    shared_subplan: shared.is_some(),
+                },
+                vec![child.node],
+            );
+            node.est_rows = est;
+            node.est_startup_cost = cost;
+            node.est_total_cost = cost;
+            Ok(Planned { node, prov })
+        }
+        LNode::Sort { input, keys } => {
+            let child = plan_node(input, ctx, shared)?;
+            let est = child.node.est_rows;
+            let n = est.max(2.0);
+            let cost = child.node.est_total_cost + n * n.log2() * ctx.profile.cpu_tuple_cost();
+            let prov = child.prov.clone();
+            let mut node = PhysNode::new(PhysOp::Sort { keys: keys.clone() }, vec![child.node]);
+            node.est_rows = est;
+            node.est_startup_cost = cost;
+            node.est_total_cost = cost;
+            Ok(Planned { node, prov })
+        }
+        LNode::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let child = plan_node(input, ctx, shared)?;
+            let est = match limit {
+                Some(n) => (*n as f64).min(child.node.est_rows),
+                None => (child.node.est_rows - *offset as f64).max(0.0),
+            };
+            let cost = child.node.est_total_cost;
+            let prov = child.prov.clone();
+            let mut node = PhysNode::new(
+                PhysOp::Limit {
+                    limit: *limit,
+                    offset: *offset,
+                },
+                vec![child.node],
+            );
+            node.est_rows = est;
+            node.est_total_cost = cost;
+            Ok(Planned { node, prov })
+        }
+        LNode::Distinct { input } => {
+            let child = plan_node(input, ctx, shared)?;
+            let est = (child.node.est_rows * 0.7).max(1.0);
+            let cost = child.node.est_total_cost
+                + child.node.est_rows * ctx.profile.cpu_tuple_cost();
+            let prov = child.prov.clone();
+            let mut node = PhysNode::new(PhysOp::Distinct, vec![child.node]);
+            node.est_rows = est;
+            node.est_total_cost = cost;
+            Ok(Planned { node, prov })
+        }
+        LNode::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
+            let l = plan_node(left, ctx, shared)?;
+            let r = plan_node(right, ctx, shared)?;
+            let prov = vec![None; plan.schema.len()];
+            let (est, make_distinct) = match (op, all) {
+                (SetOpKind::Union, true) => (l.node.est_rows + r.node.est_rows, false),
+                (SetOpKind::Union, false) => ((l.node.est_rows + r.node.est_rows) * 0.8, true),
+                (SetOpKind::Intersect, _) => (l.node.est_rows.min(r.node.est_rows) * 0.5, false),
+                (SetOpKind::Except, _) => (l.node.est_rows * 0.5, false),
+            };
+            let cost = l.node.est_total_cost
+                + r.node.est_total_cost
+                + (l.node.est_rows + r.node.est_rows) * ctx.profile.cpu_tuple_cost();
+            let mut node = if *op == SetOpKind::Union {
+                let mut append = PhysNode::new(PhysOp::Append, vec![l.node, r.node]);
+                append.est_rows = est;
+                append.est_total_cost = cost;
+                if make_distinct {
+                    let mut d = PhysNode::new(PhysOp::Distinct, vec![append]);
+                    d.est_rows = est;
+                    d.est_total_cost = cost;
+                    d
+                } else {
+                    append
+                }
+            } else {
+                PhysNode::new(PhysOp::SetOp { op: *op, all: *all }, vec![l.node, r.node])
+            };
+            node.est_rows = est;
+            node.est_total_cost = cost;
+            Ok(Planned { node, prov })
+        }
+        LNode::Empty => {
+            let mut node = PhysNode::new(PhysOp::Empty, vec![]);
+            node.est_rows = 1.0;
+            Ok(Planned {
+                node,
+                prov: vec![],
+            })
+        }
+    }
+}
+
+/// Access-path selection for a (possibly filtered) base-table scan.
+fn plan_scan(
+    table: &str,
+    alias: &str,
+    filter: Option<BoundExpr>,
+    ctx: &PlannerCtx<'_>,
+) -> Result<Planned> {
+    let schema = ctx
+        .catalog
+        .table(table)
+        .ok_or_else(|| Error::Binding(format!("unknown table {table:?}")))?;
+    let prov: Prov = (0..schema.columns.len())
+        .map(|c| Some((table.to_owned(), c)))
+        .collect();
+    let table_rows = (ctx.stats_of)(table).map_or(100.0, |s| s.row_count as f64);
+
+    // Try to peel one index-usable conjunct off the filter.
+    let mut best: Option<(usize, IndexAccess, String, Vec<BoundExpr>)> = None;
+    if let Some(filter_expr) = &filter {
+        let parts = conjuncts(filter_expr.clone());
+        for (i, part) in parts.iter().enumerate() {
+            if let Some((col, access, recheck)) = index_access_of(part) {
+                if let Some(index) = ctx.catalog.index_on_column(table, col) {
+                    // Strict bounds stay in the residual: the range access
+                    // over-approximates them.
+                    let rest: Vec<BoundExpr> = parts
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i || recheck)
+                        .map(|(_, p)| p.clone())
+                        .collect();
+                    // Prefer equality over range; first match wins otherwise.
+                    let better = match &best {
+                        None => true,
+                        Some((_, IndexAccess::Eq(_), _, _)) => false,
+                        Some(_) => matches!(access, IndexAccess::Eq(_)),
+                    };
+                    if better {
+                        best = Some((col, access, index.name.clone(), rest));
+                    }
+                }
+            }
+        }
+    }
+
+    let stats_fn = |c: usize| {
+        (ctx.stats_of)(table).and_then(|s| s.columns.get(c).cloned())
+    };
+    let inflate = estimator_fault(ctx);
+
+    if let Some((col, access, index, rest)) = best {
+        let access_sel = match &access {
+            IndexAccess::Eq(BoundExpr::Literal(v)) => {
+                stats_fn(col).map_or(stats::defaults::EQ, |s| s.eq_selectivity(v))
+            }
+            IndexAccess::Eq(_) => stats::defaults::EQ,
+            IndexAccess::Range { low, high } => {
+                let lo = match low {
+                    Some(BoundExpr::Literal(v)) => Some(v.clone()),
+                    _ => None,
+                };
+                let hi = match high {
+                    Some(BoundExpr::Literal(v)) => Some(v.clone()),
+                    _ => None,
+                };
+                stats_fn(col).map_or(stats::defaults::RANGE, |s| {
+                    s.range_selectivity(lo.as_ref(), hi.as_ref())
+                })
+            }
+            IndexAccess::Full => 1.0,
+        };
+        let residual = conjoin(rest);
+        let residual_sel = residual
+            .as_ref()
+            .map_or(1.0, |r| stats::selectivity(r, &stats_fn, inflate));
+        // Injected CERT fault (TiDB 51525): index scans with residual
+        // filters drop the residual's selectivity and over-correct, so the
+        // restricted query's estimate *exceeds* the unrestricted one.
+        let effective_residual_sel = if ctx.faults.is_armed(BugId::Tidb51525)
+            && ctx.profile == EngineProfile::TiDb
+            && residual.is_some()
+        {
+            1.25
+        } else {
+            residual_sel
+        };
+        let index_only = residual.is_none()
+            && ctx
+                .catalog
+                .indexes_on(table)
+                .iter()
+                .find(|i| i.name == index)
+                .is_some_and(|i| i.key_columns == vec![col]);
+        let est = (table_rows * access_sel * effective_residual_sel).max(0.0);
+        let matched = (table_rows * access_sel).max(1.0);
+        let cost = matched.log2().max(1.0) * ctx.profile.cpu_tuple_cost()
+            + matched
+                * if index_only {
+                    ctx.profile.cpu_tuple_cost()
+                } else {
+                    ctx.profile.random_page_cost() * 0.01
+                };
+        let mut node = PhysNode::new(
+            PhysOp::IndexScan {
+                table: table.to_owned(),
+                alias: alias.to_owned(),
+                index,
+                access,
+                filter: residual,
+                index_only,
+                automatic: false,
+            },
+            vec![],
+        );
+        node.est_rows = est;
+        node.est_total_cost = cost;
+        return Ok(Planned { node, prov });
+    }
+
+    let sel = filter
+        .as_ref()
+        .map_or(1.0, |f| stats::selectivity(f, &stats_fn, inflate));
+    let est = table_rows * sel;
+    let parallel = ctx
+        .profile
+        .parallel_seq_scan_threshold()
+        .is_some_and(|t| table_rows >= t);
+    let cost = table_rows * (ctx.profile.seq_page_cost() * 0.01 + ctx.profile.cpu_tuple_cost());
+    let mut node = PhysNode::new(
+        PhysOp::SeqScan {
+            table: table.to_owned(),
+            alias: alias.to_owned(),
+            filter,
+            parallel,
+        },
+        vec![],
+    );
+    node.est_rows = est;
+    node.est_total_cost = cost;
+    Ok(Planned { node, prov })
+}
+
+fn estimator_fault(ctx: &PlannerCtx<'_>) -> bool {
+    (ctx.faults.is_armed(BugId::Mysql114237) && ctx.profile == EngineProfile::MySql)
+        || (ctx.faults.is_armed(BugId::PostgresEmail) && ctx.profile == EngineProfile::Postgres)
+}
+
+/// Extracts `(column, index access, needs_recheck)` from an index-usable
+/// conjunct. Strict comparisons (`<`, `>`) need a residual recheck because
+/// the B-tree range API is bound-inclusive.
+fn index_access_of(expr: &BoundExpr) -> Option<(usize, IndexAccess, bool)> {
+    match expr {
+        BoundExpr::Binary { op, left, right } => {
+            let (col, lit, flipped) = match (left.as_ref(), right.as_ref()) {
+                (BoundExpr::Column { index, .. }, lit @ BoundExpr::Literal(_)) => {
+                    (*index, lit.clone(), false)
+                }
+                (lit @ BoundExpr::Literal(_), BoundExpr::Column { index, .. }) => {
+                    (*index, lit.clone(), true)
+                }
+                _ => return None,
+            };
+            let strict = matches!(op, BinOp::Lt | BinOp::Gt);
+            let access = match (op, flipped) {
+                (BinOp::Eq, _) => IndexAccess::Eq(lit),
+                (BinOp::Lt | BinOp::Le, false) | (BinOp::Gt | BinOp::Ge, true) => {
+                    IndexAccess::Range {
+                        low: None,
+                        high: Some(lit),
+                    }
+                }
+                (BinOp::Gt | BinOp::Ge, false) | (BinOp::Lt | BinOp::Le, true) => {
+                    IndexAccess::Range {
+                        low: Some(lit),
+                        high: None,
+                    }
+                }
+                _ => return None,
+            };
+            Some((col, access, strict))
+        }
+        BoundExpr::Between { expr, low, high } => {
+            let BoundExpr::Column { index, .. } = expr.as_ref() else {
+                return None;
+            };
+            if !matches!(low.as_ref(), BoundExpr::Literal(_))
+                || !matches!(high.as_ref(), BoundExpr::Literal(_))
+            {
+                return None;
+            }
+            Some((
+                *index,
+                IndexAccess::Range {
+                    low: Some((**low).clone()),
+                    high: Some((**high).clone()),
+                },
+                false,
+            ))
+        }
+        // Single-element IN behaves like equality (the Listing 3 shape).
+        BoundExpr::InList { expr, list } if list.len() == 1 => {
+            let BoundExpr::Column { index, .. } = expr.as_ref() else {
+                return None;
+            };
+            Some((*index, IndexAccess::Eq(list[0].clone()), false))
+        }
+        _ => None,
+    }
+}
+
+fn plan_join(
+    left: &Logical,
+    right: &Logical,
+    kind: JoinKind,
+    on: Option<&BoundExpr>,
+    ctx: &PlannerCtx<'_>,
+    shared: Option<&SharedSubAgg>,
+) -> Result<Planned> {
+    let l = plan_node(left, ctx, shared)?;
+    let left_width = left.schema.len();
+
+    // Split the condition into equi pairs and residual.
+    let mut equi: Vec<(usize, usize)> = Vec::new();
+    let mut residual_parts = Vec::new();
+    if let Some(on_expr) = on {
+        for part in conjuncts(on_expr.clone()) {
+            if let BoundExpr::Binary {
+                op: BinOp::Eq,
+                left: a,
+                right: b,
+            } = &part
+            {
+                if let (
+                    BoundExpr::Column { index: ia, .. },
+                    BoundExpr::Column { index: ib, .. },
+                ) = (a.as_ref(), b.as_ref())
+                {
+                    let (lo, hi) = if ia < ib { (*ia, *ib) } else { (*ib, *ia) };
+                    if lo < left_width && hi >= left_width {
+                        equi.push((lo, hi - left_width));
+                        continue;
+                    }
+                }
+            }
+            residual_parts.push(part);
+        }
+    }
+    let residual = conjoin(residual_parts);
+
+    // Index nested-loop: inner side is a scan with an index on its equi key.
+    let index_join = ctx.profile.prefers_index_join()
+        && kind != JoinKind::Cross
+        && !equi.is_empty()
+        && matches!(right.node, LNode::Scan { .. } | LNode::Filter { .. });
+    if index_join {
+        if let Some(inner) = try_index_inner(right, &equi, ctx)? {
+            let est = join_estimate(&l, &inner, &equi, residual.as_ref(), ctx);
+            let cost =
+                l.node.est_total_cost + l.node.est_rows * ctx.profile.random_page_cost() * 0.02;
+            let on_expr = rebuild_join_on(&equi, left_width, on, residual.clone());
+            let mut prov = l.prov.clone();
+            prov.extend(inner.prov.clone());
+            let mut node = PhysNode::new(
+                PhysOp::NestedLoopJoin { kind, on: on_expr },
+                vec![l.node, inner.node],
+            );
+            node.est_rows = est;
+            node.est_total_cost = cost;
+            return Ok(Planned { node, prov });
+        }
+    }
+
+    let r = plan_node(right, ctx, shared)?;
+    let est = join_estimate(&l, &r, &equi, residual.as_ref(), ctx);
+    let mut prov = l.prov.clone();
+    prov.extend(r.prov.clone());
+
+    if ctx.profile.hash_join_capable() && !equi.is_empty() && kind != JoinKind::Cross {
+        let cost = l.node.est_total_cost
+            + r.node.est_total_cost
+            + (l.node.est_rows + r.node.est_rows) * ctx.profile.cpu_tuple_cost() * 1.5;
+        let keys: Vec<(usize, usize)> = equi.clone();
+        let mut node = PhysNode::new(
+            PhysOp::HashJoin {
+                kind,
+                keys,
+                residual,
+            },
+            vec![l.node, r.node],
+        );
+        node.est_rows = est;
+        node.est_startup_cost = node.children[1].est_total_cost;
+        node.est_total_cost = cost;
+        return Ok(Planned { node, prov });
+    }
+
+    // Fall back to a nested loop (possibly with an automatic index for
+    // SQLite-style engines).
+    let mut inner_node = r.node;
+    if ctx.profile.builds_automatic_indexes() && !equi.is_empty() {
+        if let PhysOp::SeqScan {
+            table,
+            alias,
+            filter,
+            ..
+        } = &inner_node.op
+        {
+            let (_, inner_col) = equi[0];
+            let est_rows = inner_node.est_rows;
+            let mut auto = PhysNode::new(
+                PhysOp::IndexScan {
+                    table: table.clone(),
+                    alias: alias.clone(),
+                    index: format!("auto_{table}_{inner_col}"),
+                    access: IndexAccess::Eq(BoundExpr::Column {
+                        index: equi[0].0,
+                        name: "outer".into(),
+                    }),
+                    filter: filter.clone(),
+                    index_only: true,
+                    automatic: true,
+                },
+                vec![],
+            );
+            auto.est_rows = est_rows;
+            auto.est_total_cost = inner_node.est_total_cost;
+            inner_node = auto;
+        }
+    }
+    let on_expr = rebuild_join_on(&equi, left_width, on, residual);
+    let cost = l.node.est_total_cost
+        + l.node.est_rows.max(1.0) * inner_node.est_total_cost.max(0.01);
+    let mut node = PhysNode::new(PhysOp::NestedLoopJoin { kind, on: on_expr }, vec![l.node, inner_node]);
+    node.est_rows = est;
+    node.est_total_cost = cost;
+    Ok(Planned { node, prov })
+}
+
+/// Plans the inner side of an index nested-loop join as an index scan keyed
+/// by the outer column (children order: `[outer, inner]`; the inner
+/// `IndexScan`'s `Eq` expression references the *outer* row).
+fn try_index_inner(
+    right: &Logical,
+    equi: &[(usize, usize)],
+    ctx: &PlannerCtx<'_>,
+) -> Result<Option<Planned>> {
+    let (scan_table, scan_alias, filter) = match &right.node {
+        LNode::Scan { table, alias } => (table, alias, None),
+        LNode::Filter { input, predicate } => match &input.node {
+            LNode::Scan { table, alias } => (table, alias, Some(predicate.clone())),
+            _ => return Ok(None),
+        },
+        _ => return Ok(None),
+    };
+    let (outer_col, inner_col) = equi[0];
+    let Some(index) = ctx.catalog.index_on_column(scan_table, inner_col) else {
+        return Ok(None);
+    };
+    let schema = ctx
+        .catalog
+        .table(scan_table)
+        .ok_or_else(|| Error::Binding(format!("unknown table {scan_table:?}")))?;
+    let prov: Prov = (0..schema.columns.len())
+        .map(|c| Some((scan_table.clone(), c)))
+        .collect();
+    let table_rows = (ctx.stats_of)(scan_table).map_or(100.0, |s| s.row_count as f64);
+    let ndv = (ctx.stats_of)(scan_table)
+        .map(|s| s.columns[inner_col].n_distinct.max(1) as f64)
+        .unwrap_or(10.0);
+    let index_only = filter.is_none() && index.key_columns == vec![inner_col];
+    let mut node = PhysNode::new(
+        PhysOp::IndexScan {
+            table: scan_table.clone(),
+            alias: scan_alias.clone(),
+            index: index.name.clone(),
+            access: IndexAccess::Eq(BoundExpr::Column {
+                index: outer_col,
+                name: "outer_key".into(),
+            }),
+            filter,
+            index_only,
+            automatic: false,
+        },
+        vec![],
+    );
+    node.est_rows = (table_rows / ndv).max(1.0);
+    node.est_total_cost = node.est_rows * ctx.profile.random_page_cost() * 0.01;
+    Ok(Some(Planned { node, prov }))
+}
+
+fn rebuild_join_on(
+    equi: &[(usize, usize)],
+    left_width: usize,
+    original: Option<&BoundExpr>,
+    residual: Option<BoundExpr>,
+) -> Option<BoundExpr> {
+    if original.is_some() {
+        let mut parts: Vec<BoundExpr> = equi
+            .iter()
+            .map(|(a, b)| BoundExpr::Binary {
+                op: BinOp::Eq,
+                left: Box::new(BoundExpr::Column {
+                    index: *a,
+                    name: format!("left_{a}"),
+                }),
+                right: Box::new(BoundExpr::Column {
+                    index: b + left_width,
+                    name: format!("right_{b}"),
+                }),
+            })
+            .collect();
+        if let Some(r) = residual {
+            parts.push(r);
+        }
+        conjoin(parts)
+    } else {
+        residual
+    }
+}
+
+fn join_estimate(
+    l: &Planned,
+    r: &Planned,
+    equi: &[(usize, usize)],
+    residual: Option<&BoundExpr>,
+    ctx: &PlannerCtx<'_>,
+) -> f64 {
+    let mut est = l.node.est_rows.max(0.0) * r.node.est_rows.max(0.0);
+    for (lc, rc) in equi {
+        let ndv_l = l
+            .prov
+            .get(*lc)
+            .and_then(|p| p.as_ref())
+            .and_then(|(t, c)| (ctx.stats_of)(t).map(|s| s.columns[*c].n_distinct as f64));
+        let ndv_r = r
+            .prov
+            .get(*rc)
+            .and_then(|p| p.as_ref())
+            .and_then(|(t, c)| (ctx.stats_of)(t).map(|s| s.columns[*c].n_distinct as f64));
+        let ndv = ndv_l.unwrap_or(10.0).max(ndv_r.unwrap_or(10.0)).max(1.0);
+        est /= ndv;
+    }
+    if residual.is_some() {
+        est *= stats::defaults::RANGE;
+    }
+    est.max(0.0)
+}
+
+/// Fuses `Limit(Sort)` into `TopN` (TiDB rendering).
+fn fuse_topn(mut node: PhysNode) -> PhysNode {
+    node.children = node.children.into_iter().map(fuse_topn).collect();
+    if let PhysOp::Limit {
+        limit: Some(n),
+        offset,
+    } = &node.op
+    {
+        if node.children.len() == 1 {
+            if let PhysOp::Sort { keys } = &node.children[0].op {
+                let keys = keys.clone();
+                let (n, offset) = (*n, *offset);
+                let child = node.children.remove(0);
+                let inner = child.children.into_iter().next().expect("sort has input");
+                let mut fused = PhysNode::new(
+                    PhysOp::TopN {
+                        keys,
+                        limit: n,
+                        offset,
+                    },
+                    vec![inner],
+                );
+                fused.est_rows = (n as f64).min(child.est_rows);
+                fused.est_total_cost = child.est_total_cost;
+                return fused;
+            }
+        }
+    }
+    node
+}
+
+fn selectivity_of(predicate: &BoundExpr, prov: &Prov, ctx: &PlannerCtx<'_>) -> f64 {
+    let stats_fn = |c: usize| {
+        prov.get(c)
+            .and_then(|p| p.as_ref())
+            .and_then(|(t, col)| (ctx.stats_of)(t).and_then(|s| s.columns.get(*col).cloned()))
+    };
+    stats::selectivity(predicate, &stats_fn, estimator_fault(ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::build::*;
+
+    #[test]
+    fn conjunct_split_and_rebuild() {
+        let e = bin(
+            BinOp::And,
+            bin(BinOp::Lt, col(0, "a"), int(5)),
+            bin(
+                BinOp::And,
+                bin(BinOp::Gt, col(1, "b"), int(1)),
+                bin(BinOp::Eq, col(2, "c"), int(0)),
+            ),
+        );
+        let parts = conjuncts(e);
+        assert_eq!(parts.len(), 3);
+        let rebuilt = conjoin(parts.clone()).unwrap();
+        assert_eq!(conjuncts(rebuilt).len(), 3);
+        assert!(conjoin(vec![]).is_none());
+    }
+
+    #[test]
+    fn index_access_extraction() {
+        let (c, a, recheck) = index_access_of(&bin(BinOp::Eq, col(1, "x"), int(5))).unwrap();
+        assert_eq!(c, 1);
+        assert!(matches!(a, IndexAccess::Eq(_)));
+        assert!(!recheck);
+
+        let (_, a, recheck) = index_access_of(&bin(BinOp::Lt, col(0, "x"), int(5))).unwrap();
+        assert!(matches!(a, IndexAccess::Range { low: None, high: Some(_) }));
+        assert!(recheck, "strict bounds need a residual recheck");
+
+        let (_, _, recheck) = index_access_of(&bin(BinOp::Le, col(0, "x"), int(5))).unwrap();
+        assert!(!recheck);
+
+        // Flipped literal side: 5 > x  ≡  x < 5.
+        let (_, a, recheck) = index_access_of(&bin(BinOp::Gt, int(5), col(0, "x"))).unwrap();
+        assert!(matches!(a, IndexAccess::Range { low: None, high: Some(_) }));
+        assert!(recheck);
+
+        // Single-element IN (the Listing 3 shape).
+        let in1 = BoundExpr::InList {
+            expr: Box::new(col(0, "c1")),
+            list: vec![float(0.2)],
+        };
+        let (_, a, recheck) = index_access_of(&in1).unwrap();
+        assert!(matches!(a, IndexAccess::Eq(_)));
+        assert!(!recheck, "equality probes stay exact (the Listing 3 gate)");
+
+        assert!(index_access_of(&bin(BinOp::Eq, col(0, "x"), col(1, "y"))).is_none());
+        assert!(index_access_of(&BoundExpr::IsNull(Box::new(col(0, "x")))).is_none());
+    }
+}

@@ -1,0 +1,269 @@
+//! Catalog: table schemas and index definitions.
+
+use crate::datum::DataType;
+use crate::{Error, Result};
+use std::collections::BTreeMap;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (lowercased on creation).
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+    /// Declared PRIMARY KEY (implies an index and uniqueness).
+    pub primary_key: bool,
+}
+
+/// A table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (lowercased).
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Position of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// The primary-key column index, if declared.
+    pub fn primary_key(&self) -> Option<usize> {
+        self.columns.iter().position(|c| c.primary_key)
+    }
+}
+
+/// An index definition over one or more columns of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name (lowercased).
+    pub name: String,
+    /// Indexed table.
+    pub table: String,
+    /// Indexed column positions, in key order.
+    pub key_columns: Vec<usize>,
+    /// Uniqueness (primary-key indexes are unique).
+    pub unique: bool,
+    /// `true` for the implicitly created primary-key index.
+    pub is_primary: bool,
+}
+
+/// The catalog: schemas and indexes by name.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableSchema>,
+    indexes: BTreeMap<String, IndexDef>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(Error::Catalog(format!("table {:?} already exists", schema.name)));
+        }
+        if schema.columns.is_empty() {
+            return Err(Error::Catalog("tables need at least one column".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &schema.columns {
+            if !seen.insert(&c.name) {
+                return Err(Error::Catalog(format!("duplicate column {:?}", c.name)));
+            }
+        }
+        // PRIMARY KEY implies an index.
+        if let Some(pk) = schema.primary_key() {
+            let index = IndexDef {
+                name: format!("{}_pkey", schema.name),
+                table: schema.name.clone(),
+                key_columns: vec![pk],
+                unique: true,
+                is_primary: true,
+            };
+            self.indexes.insert(index.name.clone(), index);
+        }
+        self.tables.insert(schema.name.clone(), schema);
+        Ok(())
+    }
+
+    /// Drops a table and its indexes.
+    pub fn drop_table(&mut self, name: &str) -> Result<TableSchema> {
+        let lower = name.to_ascii_lowercase();
+        let schema = self
+            .tables
+            .remove(&lower)
+            .ok_or_else(|| Error::Catalog(format!("unknown table {name:?}")))?;
+        self.indexes.retain(|_, idx| idx.table != lower);
+        Ok(schema)
+    }
+
+    /// Registers a secondary index.
+    pub fn create_index(&mut self, index: IndexDef) -> Result<()> {
+        if self.indexes.contains_key(&index.name) {
+            return Err(Error::Catalog(format!("index {:?} already exists", index.name)));
+        }
+        if !self.tables.contains_key(&index.table) {
+            return Err(Error::Catalog(format!("unknown table {:?}", index.table)));
+        }
+        self.indexes.insert(index.name.clone(), index);
+        Ok(())
+    }
+
+    /// Looks up a table schema.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// All table schemas in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.values()
+    }
+
+    /// All indexes on a table.
+    pub fn indexes_on(&self, table: &str) -> Vec<&IndexDef> {
+        let lower = table.to_ascii_lowercase();
+        self.indexes.values().filter(|i| i.table == lower).collect()
+    }
+
+    /// An index whose leading key column is `column`, preferring unique ones.
+    pub fn index_on_column(&self, table: &str, column: usize) -> Option<&IndexDef> {
+        let mut best: Option<&IndexDef> = None;
+        for idx in self.indexes_on(table) {
+            if idx.key_columns.first() == Some(&column) {
+                match best {
+                    Some(b) if b.unique || !idx.unique => {}
+                    _ => best = Some(idx),
+                }
+            }
+        }
+        best
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of indexes (including primary-key indexes).
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> TableSchema {
+        TableSchema {
+            name: "t0".into(),
+            columns: vec![
+                Column {
+                    name: "c0".into(),
+                    data_type: DataType::Int,
+                    primary_key: true,
+                },
+                Column {
+                    name: "c1".into(),
+                    data_type: DataType::Text,
+                    primary_key: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn create_table_registers_pkey_index() {
+        let mut catalog = Catalog::new();
+        catalog.create_table(t0()).unwrap();
+        assert_eq!(catalog.table_count(), 1);
+        assert_eq!(catalog.index_count(), 1);
+        let indexes = catalog.indexes_on("t0");
+        assert_eq!(indexes.len(), 1);
+        assert_eq!(indexes[0].name, "t0_pkey");
+        assert!(indexes[0].unique && indexes[0].is_primary);
+    }
+
+    #[test]
+    fn duplicate_tables_and_columns_rejected() {
+        let mut catalog = Catalog::new();
+        catalog.create_table(t0()).unwrap();
+        assert!(catalog.create_table(t0()).is_err());
+        let dup = TableSchema {
+            name: "bad".into(),
+            columns: vec![
+                Column { name: "x".into(), data_type: DataType::Int, primary_key: false },
+                Column { name: "x".into(), data_type: DataType::Int, primary_key: false },
+            ],
+        };
+        assert!(catalog.create_table(dup).is_err());
+        let empty = TableSchema { name: "e".into(), columns: vec![] };
+        assert!(catalog.create_table(empty).is_err());
+    }
+
+    #[test]
+    fn secondary_indexes() {
+        let mut catalog = Catalog::new();
+        catalog.create_table(t0()).unwrap();
+        catalog
+            .create_index(IndexDef {
+                name: "i0".into(),
+                table: "t0".into(),
+                key_columns: vec![1],
+                unique: false,
+                is_primary: false,
+            })
+            .unwrap();
+        assert_eq!(catalog.indexes_on("t0").len(), 2);
+        let idx = catalog.index_on_column("t0", 1).unwrap();
+        assert_eq!(idx.name, "i0");
+        // Unique index preferred over non-unique on the same column.
+        let pk = catalog.index_on_column("t0", 0).unwrap();
+        assert!(pk.unique);
+        assert!(catalog.index_on_column("t0", 9).is_none());
+        assert!(catalog
+            .create_index(IndexDef {
+                name: "i0".into(),
+                table: "t0".into(),
+                key_columns: vec![0],
+                unique: false,
+                is_primary: false,
+            })
+            .is_err());
+        assert!(catalog
+            .create_index(IndexDef {
+                name: "i1".into(),
+                table: "zzz".into(),
+                key_columns: vec![0],
+                unique: false,
+                is_primary: false,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn drop_table_removes_indexes() {
+        let mut catalog = Catalog::new();
+        catalog.create_table(t0()).unwrap();
+        catalog.drop_table("T0").unwrap();
+        assert_eq!(catalog.table_count(), 0);
+        assert_eq!(catalog.index_count(), 0);
+        assert!(catalog.drop_table("t0").is_err());
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let schema = t0();
+        assert_eq!(schema.column_index("C1"), Some(1));
+        assert_eq!(schema.column_index("missing"), None);
+        assert_eq!(schema.primary_key(), Some(0));
+    }
+}

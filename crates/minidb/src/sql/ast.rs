@@ -1,0 +1,358 @@
+//! The SQL abstract syntax tree.
+
+use crate::datum::{DataType, Datum};
+use crate::expr::BinOp;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type [PRIMARY KEY], ...)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// `(name, type, primary_key)` triples.
+        columns: Vec<(String, DataType, bool)>,
+    },
+    /// `CREATE [UNIQUE] INDEX name ON table (col, ...)`
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Key column names.
+        columns: Vec<String>,
+        /// Uniqueness.
+        unique: bool,
+    },
+    /// `DROP TABLE name`
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `ANALYZE [table]` — refresh statistics.
+    Analyze {
+        /// Specific table, or all when `None`.
+        table: Option<String>,
+    },
+    /// `INSERT INTO t [(cols)] VALUES (...), ...`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Value rows.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `UPDATE t SET c = e, ... [WHERE p]`
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Expr)>,
+        /// Row filter.
+        filter: Option<Expr>,
+    },
+    /// `DELETE FROM t [WHERE p]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row filter.
+        filter: Option<Expr>,
+    },
+    /// A query.
+    Query(Query),
+    /// `EXPLAIN [ANALYZE] query`
+    Explain {
+        /// Execute and collect actuals.
+        analyze: bool,
+        /// The explained query.
+        query: Query,
+    },
+}
+
+/// A query: set-expression body plus ordering and limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Body (`SELECT` or set operation).
+    pub body: SetExpr,
+    /// `ORDER BY` keys, `(expr, descending)`.
+    pub order_by: Vec<(Expr, bool)>,
+    /// `LIMIT n`.
+    pub limit: Option<u64>,
+    /// `OFFSET n`.
+    pub offset: Option<u64>,
+}
+
+/// Set-expression: a plain select or a set operation over two bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// A `SELECT` block.
+    Select(Box<Select>),
+    /// `left (UNION|INTERSECT|EXCEPT) [ALL] right`.
+    SetOp {
+        /// Which set operation.
+        op: SetOpKind,
+        /// Bag semantics (`ALL`).
+        all: bool,
+        /// Left input.
+        left: Box<SetExpr>,
+        /// Right input.
+        right: Box<SetExpr>,
+    },
+}
+
+/// Set operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    /// `UNION`
+    Union,
+    /// `INTERSECT`
+    Intersect,
+    /// `EXCEPT`
+    Except,
+}
+
+impl SetOpKind {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            SetOpKind::Union => "UNION",
+            SetOpKind::Intersect => "INTERSECT",
+            SetOpKind::Except => "EXCEPT",
+        }
+    }
+}
+
+/// One `SELECT` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `DISTINCT`.
+    pub distinct: bool,
+    /// Projection items.
+    pub projection: Vec<SelectItem>,
+    /// `FROM` content; empty for `SELECT 1`.
+    pub from: Option<TableRef>,
+    /// `WHERE`.
+    pub filter: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING`.
+    pub having: Option<Expr>,
+}
+
+/// A projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+}
+
+/// Table references with joins.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// `name [AS alias]`
+    Table {
+        /// Table name.
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// `left [INNER|LEFT] JOIN right ON cond` (or comma → `Cross`).
+    Join {
+        /// Left input.
+        left: Box<TableRef>,
+        /// Right input.
+        right: Box<TableRef>,
+        /// Join condition; `None` for cross joins.
+        on: Option<Expr>,
+        /// Join kind.
+        kind: JoinKind,
+    },
+    /// `(query) AS alias`
+    Subquery {
+        /// The derived-table query.
+        query: Box<Query>,
+        /// Mandatory alias.
+        alias: String,
+    },
+}
+
+/// Join kinds of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `INNER JOIN` / `JOIN`.
+    Inner,
+    /// `LEFT [OUTER] JOIN`.
+    Left,
+    /// Comma or `CROSS JOIN`.
+    Cross,
+}
+
+/// A parsed (unbound) expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `[qualifier.]name`
+    Column {
+        /// Table name or alias, if qualified.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal value.
+    Literal(Datum),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `NOT e`
+    Not(Box<Expr>),
+    /// `-e`
+    Neg(Box<Expr>),
+    /// `e IS NULL`
+    IsNull(Box<Expr>),
+    /// `e IS NOT NULL`
+    IsNotNull(Box<Expr>),
+    /// `e IN (e1, ...)`
+    InList {
+        /// Probe.
+        expr: Box<Expr>,
+        /// Candidates.
+        list: Vec<Expr>,
+    },
+    /// `e BETWEEN lo AND hi`
+    Between {
+        /// Probe.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+    },
+    /// `e [NOT] LIKE 'pattern'`
+    Like {
+        /// Probe.
+        expr: Box<Expr>,
+        /// Pattern.
+        pattern: String,
+        /// Negated.
+        negated: bool,
+    },
+    /// Function or aggregate call; `COUNT(*)` sets `wildcard`.
+    Call {
+        /// Function name (unresolved).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// `COUNT(*)`.
+        wildcard: bool,
+    },
+    /// `(SELECT ...)` — uncorrelated scalar subquery.
+    Subquery(Box<Query>),
+}
+
+impl Expr {
+    /// Column shorthand.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Qualified column shorthand.
+    pub fn qcol(qualifier: &str, name: &str) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.to_owned()),
+            name: name.to_owned(),
+        }
+    }
+
+    /// Integer literal shorthand.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Datum::Int(v))
+    }
+
+    /// Binary-op shorthand.
+    pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// `true` if the expression contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Call { name, args, .. } => {
+                crate::expr::AggFunc::from_name(name).is_some()
+                    || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e) | Expr::IsNotNull(e) => {
+                e.contains_aggregate()
+            }
+            Expr::InList { expr, list } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between { expr, low, high } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::Like { expr, .. } => expr.contains_aggregate(),
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Subquery(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Call {
+            name: "SUM".into(),
+            args: vec![Expr::col("x")],
+            wildcard: false,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::bin(BinOp::Gt, agg, Expr::int(5));
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+        let func = Expr::Call {
+            name: "ABS".into(),
+            args: vec![Expr::col("x")],
+            wildcard: false,
+        };
+        assert!(!func.contains_aggregate());
+        // A subquery's aggregates do not make the outer expression aggregated.
+        let sub = Expr::Subquery(Box::new(Query {
+            body: SetExpr::Select(Box::new(Select {
+                distinct: false,
+                projection: vec![],
+                from: None,
+                filter: None,
+                group_by: vec![],
+                having: None,
+            })),
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        }));
+        assert!(!sub.contains_aggregate());
+    }
+}

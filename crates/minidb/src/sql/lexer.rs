@@ -1,0 +1,232 @@
+//! SQL tokenizer.
+
+use crate::{Error, Result};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original spelling preserved).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// One of `( ) , . * + - / % = < > <= >= <> !=` and `;`.
+    Symbol(&'static str),
+}
+
+impl Token {
+    /// Keyword test (case-insensitive); identifiers double as keywords.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => pos += 1,
+            b'-' if bytes.get(pos + 1) == Some(&b'-') => {
+                // Line comment.
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'\'' => {
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        None => return Err(Error::Parse("unterminated string literal".into())),
+                        Some(b'\'') if bytes.get(pos + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            pos += 2;
+                        }
+                        Some(b'\'') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(&c) if c < 0x80 => {
+                            s.push(c as char);
+                            pos += 1;
+                        }
+                        Some(_) => {
+                            // Multi-byte UTF-8.
+                            let start = pos;
+                            pos += 1;
+                            while pos < bytes.len() && bytes[pos] & 0xC0 == 0x80 {
+                                pos += 1;
+                            }
+                            s.push_str(
+                                std::str::from_utf8(&bytes[start..pos])
+                                    .map_err(|_| Error::Parse("invalid UTF-8".into()))?,
+                            );
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = pos;
+                let mut is_float = false;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_digit()
+                        || (bytes[pos] == b'.'
+                            && !is_float
+                            && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit)))
+                {
+                    if bytes[pos] == b'.' {
+                        is_float = true;
+                    }
+                    pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).expect("digits are ASCII");
+                if is_float {
+                    tokens.push(Token::Float(
+                        text.parse()
+                            .map_err(|e| Error::Parse(format!("bad float {text:?}: {e}")))?,
+                    ));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|e| {
+                        Error::Parse(format!("bad integer {text:?}: {e}"))
+                    })?));
+                }
+            }
+            b'.' if bytes.get(pos + 1).is_some_and(u8::is_ascii_digit) => {
+                let start = pos;
+                pos += 1;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).expect("digits are ASCII");
+                tokens.push(Token::Float(text.parse().map_err(|e| {
+                    Error::Parse(format!("bad float {text:?}: {e}"))
+                })?));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                tokens.push(Token::Word(
+                    std::str::from_utf8(&bytes[start..pos])
+                        .expect("identifier bytes are ASCII")
+                        .to_owned(),
+                ));
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol("<="));
+                    pos += 2;
+                } else if bytes.get(pos + 1) == Some(&b'>') {
+                    tokens.push(Token::Symbol("<>"));
+                    pos += 2;
+                } else {
+                    tokens.push(Token::Symbol("<"));
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(">="));
+                    pos += 2;
+                } else {
+                    tokens.push(Token::Symbol(">"));
+                    pos += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol("<>"));
+                    pos += 2;
+                } else {
+                    return Err(Error::Parse("unexpected '!'".into()));
+                }
+            }
+            b'(' | b')' | b',' | b'.' | b'*' | b'+' | b'-' | b'/' | b'%' | b'=' | b';' => {
+                let symbol = match b {
+                    b'(' => "(",
+                    b')' => ")",
+                    b',' => ",",
+                    b'.' => ".",
+                    b'*' => "*",
+                    b'+' => "+",
+                    b'-' => "-",
+                    b'/' => "/",
+                    b'%' => "%",
+                    b'=' => "=",
+                    _ => ";",
+                };
+                tokens.push(Token::Symbol(symbol));
+                pos += 1;
+            }
+            other => {
+                return Err(Error::Parse(format!(
+                    "unexpected character {:?} at byte {pos}",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_query() {
+        let tokens = tokenize("SELECT t0.c0 FROM t0 WHERE c0 <= 1.5 -- comment\nAND x <> 'o''k'")
+            .unwrap();
+        assert!(tokens.contains(&Token::Symbol("<=")));
+        assert!(tokens.contains(&Token::Float(1.5)));
+        assert!(tokens.contains(&Token::Str("o'k".into())));
+        assert!(tokens.iter().any(|t| t.is_kw("select")));
+        assert!(tokens.iter().any(|t| t.is_kw("AND")));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(tokenize("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(tokenize("0.25").unwrap(), vec![Token::Float(0.25)]);
+        assert_eq!(tokenize(".5").unwrap(), vec![Token::Float(0.5)]);
+        // `1.` does not consume the dot (it could be `tuple.column`).
+        assert_eq!(
+            tokenize("1.c0").unwrap(),
+            vec![
+                Token::Int(1),
+                Token::Symbol("."),
+                Token::Word("c0".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn not_equals_spellings() {
+        assert_eq!(tokenize("a != b").unwrap()[1], Token::Symbol("<>"));
+        assert_eq!(tokenize("a <> b").unwrap()[1], Token::Symbol("<>"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let tokens = tokenize("SELECT 'café'").unwrap();
+        assert_eq!(tokens[1], Token::Str("café".into()));
+    }
+}

@@ -1,0 +1,15 @@
+//! The SQL front-end: lexer, AST and recursive-descent parser.
+//!
+//! The subset covers what the paper's evaluation needs: DDL (`CREATE TABLE`,
+//! `CREATE INDEX`, `DROP TABLE`, `ANALYZE`), DML (`INSERT`, `UPDATE`,
+//! `DELETE`), and queries with joins, grouping, `HAVING` with uncorrelated
+//! scalar subqueries (TPC-H q11), set operations, `ORDER BY` and `LIMIT`,
+//! plus the `EXPLAIN` / `EXPLAIN ANALYZE` prefixes that expose serialized
+//! plans.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use parser::parse_statement;

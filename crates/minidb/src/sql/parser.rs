@@ -1,0 +1,904 @@
+//! Recursive-descent SQL parser.
+
+use crate::datum::{DataType, Datum};
+use crate::expr::BinOp;
+use crate::sql::ast::*;
+use crate::sql::lexer::{tokenize, Token};
+use crate::{Error, Result};
+
+/// Parses one SQL statement (a trailing `;` is tolerated).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let statement = parser.statement()?;
+    parser.eat_symbol(";");
+    if parser.pos < parser.tokens.len() {
+        return Err(Error::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            &parser.tokens[parser.pos..]
+        )));
+    }
+    Ok(statement)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_symbol(&mut self, symbol: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == symbol) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, symbol: &str) -> Result<()> {
+        if self.eat_symbol(symbol) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected '{symbol}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w.to_ascii_lowercase()),
+            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // -- statements --------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(t) if t.is_kw("CREATE") => self.create(),
+            Some(t) if t.is_kw("DROP") => self.drop(),
+            Some(t) if t.is_kw("INSERT") => self.insert(),
+            Some(t) if t.is_kw("UPDATE") => self.update(),
+            Some(t) if t.is_kw("DELETE") => self.delete(),
+            Some(t) if t.is_kw("ANALYZE") => {
+                self.pos += 1;
+                let table = match self.peek() {
+                    Some(Token::Word(_)) => Some(self.identifier()?),
+                    _ => None,
+                };
+                Ok(Statement::Analyze { table })
+            }
+            Some(t) if t.is_kw("EXPLAIN") => {
+                self.pos += 1;
+                let analyze = self.eat_kw("ANALYZE");
+                // Tolerate a PostgreSQL-style options list: EXPLAIN (...).
+                if self.eat_symbol("(") {
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match self.next() {
+                            Some(Token::Symbol("(")) => depth += 1,
+                            Some(Token::Symbol(")")) => depth -= 1,
+                            Some(_) => {}
+                            None => return Err(Error::Parse("unterminated EXPLAIN options".into())),
+                        }
+                    }
+                }
+                Ok(Statement::Explain {
+                    analyze,
+                    query: self.query()?,
+                })
+            }
+            Some(t) if t.is_kw("SELECT") || matches!(t, Token::Symbol("(")) => {
+                Ok(Statement::Query(self.query()?))
+            }
+            other => Err(Error::Parse(format!("unexpected start of statement: {other:?}"))),
+        }
+    }
+
+    fn create(&mut self) -> Result<Statement> {
+        self.expect_kw("CREATE")?;
+        if self.eat_kw("TABLE") {
+            let name = self.identifier()?;
+            self.expect_symbol("(")?;
+            let mut columns = Vec::new();
+            loop {
+                let col = self.identifier()?;
+                let data_type = self.data_type()?;
+                let mut pk = false;
+                if self.eat_kw("PRIMARY") {
+                    self.expect_kw("KEY")?;
+                    pk = true;
+                }
+                // Tolerate NOT NULL / NULL noise.
+                if self.eat_kw("NOT") {
+                    self.expect_kw("NULL")?;
+                } else {
+                    let _ = self.eat_kw("NULL");
+                }
+                columns.push((col, data_type, pk));
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            Ok(Statement::CreateTable { name, columns })
+        } else {
+            let unique = self.eat_kw("UNIQUE");
+            self.expect_kw("INDEX")?;
+            let name = self.identifier()?;
+            self.expect_kw("ON")?;
+            let table = self.identifier()?;
+            self.expect_symbol("(")?;
+            let mut columns = vec![self.identifier()?];
+            while self.eat_symbol(",") {
+                columns.push(self.identifier()?);
+            }
+            self.expect_symbol(")")?;
+            Ok(Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            })
+        }
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let word = self.identifier()?;
+        let dt = match word.as_str() {
+            "int" | "integer" | "bigint" | "smallint" => DataType::Int,
+            "float" | "real" | "double" | "decimal" | "numeric" => DataType::Float,
+            "text" | "varchar" | "char" | "string" => DataType::Text,
+            "bool" | "boolean" => DataType::Bool,
+            "date" => DataType::Date,
+            other => return Err(Error::Parse(format!("unknown type {other:?}"))),
+        };
+        // VARCHAR(n) / DECIMAL(p, s) width specs are parsed and ignored.
+        if self.eat_symbol("(") {
+            while !self.eat_symbol(")") {
+                if self.next().is_none() {
+                    return Err(Error::Parse("unterminated type parameters".into()));
+                }
+            }
+        }
+        Ok(dt)
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.identifier()?;
+        let mut columns = None;
+        if matches!(self.peek(), Some(Token::Symbol("("))) && !self.peek2().is_some_and(|t| t.is_kw("SELECT")) {
+            // Could be a column list or VALUES-less form; column list only.
+            self.expect_symbol("(")?;
+            let mut cols = vec![self.identifier()?];
+            while self.eat_symbol(",") {
+                cols.push(self.identifier()?);
+            }
+            self.expect_symbol(")")?;
+            columns = Some(cols);
+        }
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol("(")?;
+            let mut row = vec![self.expr()?];
+            while self.eat_symbol(",") {
+                row.push(self.expr()?);
+            }
+            self.expect_symbol(")")?;
+            rows.push(row);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_kw("UPDATE")?;
+        let table = self.identifier()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            self.expect_symbol("=")?;
+            sets.push((col, self.expr()?));
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            filter,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.identifier()?;
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, filter })
+    }
+
+    fn drop(&mut self) -> Result<Statement> {
+        self.expect_kw("DROP")?;
+        self.expect_kw("TABLE")?;
+        let name = self.identifier()?;
+        Ok(Statement::DropTable { name })
+    }
+
+    // -- queries ------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query> {
+        let body = self.set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    let _ = self.eat_kw("ASC");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        if self.eat_kw("LIMIT") {
+            limit = Some(self.unsigned()?);
+        }
+        if self.eat_kw("OFFSET") {
+            offset = Some(self.unsigned()?);
+        }
+        Ok(Query {
+            body,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn unsigned(&mut self) -> Result<u64> {
+        match self.next() {
+            Some(Token::Int(i)) if i >= 0 => Ok(i as u64),
+            other => Err(Error::Parse(format!("expected non-negative integer, found {other:?}"))),
+        }
+    }
+
+    fn set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = self.set_primary()?;
+        loop {
+            let op = if self.peek().is_some_and(|t| t.is_kw("UNION")) {
+                SetOpKind::Union
+            } else if self.peek().is_some_and(|t| t.is_kw("INTERSECT")) {
+                SetOpKind::Intersect
+            } else if self.peek().is_some_and(|t| t.is_kw("EXCEPT")) {
+                SetOpKind::Except
+            } else {
+                break;
+            };
+            self.pos += 1;
+            let all = self.eat_kw("ALL");
+            let right = self.set_primary()?;
+            left = SetExpr::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn set_primary(&mut self) -> Result<SetExpr> {
+        if self.eat_symbol("(") {
+            let inner = self.set_expr()?;
+            self.expect_symbol(")")?;
+            return Ok(inner);
+        }
+        Ok(SetExpr::Select(Box::new(self.select()?)))
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut projection = vec![self.select_item()?];
+        while self.eat_symbol(",") {
+            projection.push(self.select_item()?);
+        }
+        let from = if self.eat_kw("FROM") {
+            Some(self.table_ref()?)
+        } else {
+            None
+        };
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_symbol(",") {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            filter,
+            group_by,
+            having,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol("*") {
+            return Ok(SelectItem::Wildcard);
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.identifier()?)
+        } else {
+            match self.peek() {
+                // Bare alias (not a keyword that continues the query).
+                Some(Token::Word(w))
+                    if !is_reserved(w) =>
+                {
+                    Some(self.identifier()?)
+                }
+                _ => None,
+            }
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.table_factor()?;
+        loop {
+            if self.eat_symbol(",") {
+                let right = self.table_factor()?;
+                left = TableRef::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    on: None,
+                    kind: JoinKind::Cross,
+                };
+            } else if self.peek().is_some_and(|t| {
+                t.is_kw("JOIN") || t.is_kw("INNER") || t.is_kw("LEFT") || t.is_kw("CROSS")
+            }) {
+                let kind = if self.eat_kw("LEFT") {
+                    let _ = self.eat_kw("OUTER");
+                    JoinKind::Left
+                } else if self.eat_kw("CROSS") {
+                    JoinKind::Cross
+                } else {
+                    let _ = self.eat_kw("INNER");
+                    JoinKind::Inner
+                };
+                self.expect_kw("JOIN")?;
+                let right = self.table_factor()?;
+                let on = if kind != JoinKind::Cross {
+                    self.expect_kw("ON")?;
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                left = TableRef::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    on,
+                    kind,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn table_factor(&mut self) -> Result<TableRef> {
+        if self.eat_symbol("(") {
+            // Derived table.
+            let query = self.query()?;
+            self.expect_symbol(")")?;
+            let _ = self.eat_kw("AS");
+            let alias = self.identifier()?;
+            return Ok(TableRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.identifier()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.identifier()?)
+        } else {
+            match self.peek() {
+                Some(Token::Word(w)) if !is_reserved(w) => Some(self.identifier()?),
+                _ => None,
+            }
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::bin(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::bin(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(if negated {
+                Expr::IsNotNull(Box::new(left))
+            } else {
+                Expr::IsNull(Box::new(left))
+            });
+        }
+        // [NOT] IN / BETWEEN / LIKE
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("IN") {
+            self.expect_symbol("(")?;
+            if self.peek().is_some_and(|t| t.is_kw("SELECT")) {
+                return Err(Error::Parse("IN (SELECT ...) is not supported; use scalar comparisons".into()));
+            }
+            let mut list = vec![self.expr()?];
+            while self.eat_symbol(",") {
+                list.push(self.expr()?);
+            }
+            self.expect_symbol(")")?;
+            let in_expr = Expr::InList {
+                expr: Box::new(left),
+                list,
+            };
+            return Ok(if negated { Expr::Not(Box::new(in_expr)) } else { in_expr });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            let between = Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+            };
+            return Ok(if negated { Expr::Not(Box::new(between)) } else { between });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = match self.next() {
+                Some(Token::Str(s)) => s,
+                other => return Err(Error::Parse(format!("LIKE needs a string pattern, found {other:?}"))),
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if negated {
+            return Err(Error::Parse("dangling NOT".into()));
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol("=")) => Some(BinOp::Eq),
+            Some(Token::Symbol("<>")) => Some(BinOp::Ne),
+            Some(Token::Symbol("<")) => Some(BinOp::Lt),
+            Some(Token::Symbol("<=")) => Some(BinOp::Le),
+            Some(Token::Symbol(">")) => Some(BinOp::Gt),
+            Some(Token::Symbol(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::bin(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol("+")) => BinOp::Add,
+                Some(Token::Symbol("-")) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol("*")) => BinOp::Mul,
+                Some(Token::Symbol("/")) => BinOp::Div,
+                Some(Token::Symbol("%")) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_symbol("+") {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Expr::Literal(Datum::Int(i))),
+            Some(Token::Float(f)) => Ok(Expr::Literal(Datum::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Datum::Str(s))),
+            Some(Token::Symbol("(")) => {
+                if self.peek().is_some_and(|t| t.is_kw("SELECT")) {
+                    let query = self.query()?;
+                    self.expect_symbol(")")?;
+                    return Ok(Expr::Subquery(Box::new(query)));
+                }
+                let inner = self.expr()?;
+                self.expect_symbol(")")?;
+                Ok(inner)
+            }
+            Some(Token::Word(w)) => {
+                if is_reserved(&w) {
+                    return Err(Error::Parse(format!(
+                        "reserved word {w:?} cannot start an expression"
+                    )));
+                }
+                if w.eq_ignore_ascii_case("NULL") {
+                    return Ok(Expr::Literal(Datum::Null));
+                }
+                if w.eq_ignore_ascii_case("TRUE") {
+                    return Ok(Expr::Literal(Datum::Bool(true)));
+                }
+                if w.eq_ignore_ascii_case("FALSE") {
+                    return Ok(Expr::Literal(Datum::Bool(false)));
+                }
+                // Function call.
+                if matches!(self.peek(), Some(Token::Symbol("("))) {
+                    self.pos += 1;
+                    if self.eat_symbol("*") {
+                        self.expect_symbol(")")?;
+                        return Ok(Expr::Call {
+                            name: w,
+                            args: vec![],
+                            wildcard: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(")") {
+                        args.push(self.expr()?);
+                        while self.eat_symbol(",") {
+                            args.push(self.expr()?);
+                        }
+                        self.expect_symbol(")")?;
+                    }
+                    return Ok(Expr::Call {
+                        name: w,
+                        args,
+                        wildcard: false,
+                    });
+                }
+                // Qualified column.
+                if self.eat_symbol(".") {
+                    let name = self.identifier()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(w.to_ascii_lowercase()),
+                        name,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name: w.to_ascii_lowercase(),
+                })
+            }
+            other => Err(Error::Parse(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+}
+
+/// Keywords that terminate an implicit alias position.
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "select", "from", "where", "group", "having", "order", "limit", "offset", "union",
+        "intersect", "except", "join", "inner", "left", "right", "cross", "on", "as", "and",
+        "or", "not", "asc", "desc", "values", "set", "by", "all", "distinct",
+    ];
+    RESERVED.contains(&word.to_ascii_lowercase().as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ddl() {
+        let s = parse_statement("CREATE TABLE t2 (c0 INT PRIMARY KEY, c1 VARCHAR(10) NOT NULL)")
+            .unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "t2");
+                assert_eq!(columns.len(), 2);
+                assert!(columns[0].2);
+                assert_eq!(columns[1].1, DataType::Text);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("CREATE UNIQUE INDEX i0 ON t0(c1)").unwrap(),
+            Statement::CreateIndex { unique: true, .. }
+        ));
+        assert!(matches!(
+            parse_statement("DROP TABLE t0").unwrap(),
+            Statement::DropTable { .. }
+        ));
+        assert!(matches!(
+            parse_statement("ANALYZE t0").unwrap(),
+            Statement::Analyze { table: Some(_) }
+        ));
+    }
+
+    #[test]
+    fn parses_insert_update_delete() {
+        let s = parse_statement("INSERT INTO t0(c1, c0) VALUES(0, 1), (2, NULL)").unwrap();
+        match s {
+            Statement::Insert { columns, rows, .. } => {
+                assert_eq!(columns.unwrap(), vec!["c1", "c0"]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][1], Expr::Literal(Datum::Null));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("UPDATE t0 SET c0 = c0 + 1 WHERE c0 < 5").unwrap(),
+            Statement::Update { .. }
+        ));
+        assert!(matches!(
+            parse_statement("DELETE FROM t0").unwrap(),
+            Statement::Delete { filter: None, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_the_papers_listing1_query() {
+        let sql = "SELECT t1.c0 FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c0 < 100 \
+                   GROUP BY t1.c0 UNION SELECT c0 FROM t2 WHERE c0 < 10";
+        let Statement::Query(q) = parse_statement(sql).unwrap() else {
+            panic!("expected query");
+        };
+        let SetExpr::SetOp { op, all, .. } = &q.body else {
+            panic!("expected set op");
+        };
+        assert_eq!(*op, SetOpKind::Union);
+        assert!(!all);
+    }
+
+    #[test]
+    fn parses_the_papers_listing3_query() {
+        let sql = "SELECT * FROM t0 WHERE t0.c1 IN (GREATEST(0.1, 0.2))";
+        let Statement::Query(q) = parse_statement(sql).unwrap() else {
+            panic!("expected query");
+        };
+        let SetExpr::Select(select) = &q.body else {
+            panic!()
+        };
+        assert!(matches!(select.projection[0], SelectItem::Wildcard));
+        assert!(matches!(select.filter, Some(Expr::InList { .. })));
+    }
+
+    #[test]
+    fn parses_explain_variants() {
+        assert!(matches!(
+            parse_statement("EXPLAIN SELECT * FROM t0").unwrap(),
+            Statement::Explain { analyze: false, .. }
+        ));
+        assert!(matches!(
+            parse_statement("EXPLAIN ANALYZE SELECT * FROM t0").unwrap(),
+            Statement::Explain { analyze: true, .. }
+        ));
+        assert!(matches!(
+            parse_statement("EXPLAIN (SUMMARY TRUE) SELECT * FROM t0").unwrap(),
+            Statement::Explain { analyze: false, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_group_having_subquery() {
+        let sql = "SELECT c0, SUM(c1) s FROM t0 GROUP BY c0 \
+                   HAVING SUM(c1) > (SELECT SUM(c1) * 0.0001 FROM t0) ORDER BY s DESC LIMIT 10";
+        let Statement::Query(q) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].1, "DESC");
+        let SetExpr::Select(select) = &q.body else {
+            panic!()
+        };
+        assert!(select.having.as_ref().unwrap().contains_aggregate());
+    }
+
+    #[test]
+    fn parses_joins_and_aliases() {
+        let sql = "SELECT a.x FROM t0 AS a, t1 b LEFT JOIN t2 ON b.y = t2.y CROSS JOIN t3";
+        let Statement::Query(q) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let SetExpr::Select(select) = &q.body else {
+            panic!()
+        };
+        // ((t0 a , t1 b) LEFT JOIN t2) CROSS JOIN t3
+        let TableRef::Join { kind, on, .. } = select.from.as_ref().unwrap() else {
+            panic!()
+        };
+        assert_eq!(*kind, JoinKind::Cross);
+        assert!(on.is_none());
+    }
+
+    #[test]
+    fn parses_derived_tables() {
+        let sql = "SELECT s.x FROM (SELECT c0 AS x FROM t0) AS s WHERE s.x > 1";
+        let Statement::Query(q) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let SetExpr::Select(select) = &q.body else {
+            panic!()
+        };
+        assert!(matches!(
+            select.from,
+            Some(TableRef::Subquery { .. })
+        ));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let Statement::Query(q) = parse_statement("SELECT 1 + 2 * 3").unwrap() else {
+            panic!()
+        };
+        let SetExpr::Select(select) = &q.body else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &select.projection[0] else {
+            panic!()
+        };
+        // + at the top, * nested.
+        let Expr::Binary { op: BinOp::Add, right, .. } = expr else {
+            panic!("{expr:?}")
+        };
+        assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn not_between_like() {
+        let sql = "SELECT * FROM t WHERE a NOT BETWEEN 1 AND 2 AND b NOT LIKE 'x%' AND NOT c = 1";
+        assert!(parse_statement(sql).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_sql() {
+        for bad in [
+            "SELECT",
+            "SELECT FROM t",
+            "CREATE TABLE t",
+            "INSERT INTO t VALUES",
+            "SELECT * FROM t WHERE a IN (SELECT b FROM u)",
+            "SELECT * FROM t extra garbage (",
+            "UPDATE t SET",
+            "SELECT * FROM (SELECT 1)",
+        ] {
+            assert!(parse_statement(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn tolerates_trailing_semicolon() {
+        assert!(parse_statement("SELECT 1;").is_ok());
+    }
+}

@@ -1,0 +1,419 @@
+//! Table statistics and selectivity estimation.
+//!
+//! The estimates flowing out of this module are what CERT (paper A.1)
+//! audits: the planner derives each operator's estimated cardinality from
+//! per-column statistics — row counts, null fractions, distinct counts,
+//! min/max, and equi-depth histograms — mirroring the histogram lineage the
+//! paper cites (Ioannidis). CERT's oracle is *monotonicity*: a query made
+//! strictly more restrictive must not get a larger estimate.
+
+use crate::datum::{Datum, Row};
+use crate::expr::{BinOp, BoundExpr};
+use crate::storage::Heap;
+
+/// Number of histogram buckets (PostgreSQL's default statistics target is
+/// 100; a smaller resolution is plenty at our table sizes).
+const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Default selectivities for predicates the estimator cannot resolve,
+/// matching PostgreSQL's `DEFAULT_*_SEL` spirit.
+pub mod defaults {
+    /// Equality against an unknown value.
+    pub const EQ: f64 = 0.005;
+    /// Inequality/range against an unknown value.
+    pub const RANGE: f64 = 1.0 / 3.0;
+    /// LIKE pattern.
+    pub const LIKE: f64 = 0.1;
+}
+
+/// Statistics for one column.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    /// Fraction of NULLs.
+    pub null_frac: f64,
+    /// Number of distinct non-null values.
+    pub n_distinct: usize,
+    /// Minimum non-null value.
+    pub min: Option<Datum>,
+    /// Maximum non-null value.
+    pub max: Option<Datum>,
+    /// Equi-depth histogram bucket boundaries (ascending, non-null), with
+    /// `boundaries[0]` = min and `boundaries[last]` = max.
+    pub histogram: Vec<Datum>,
+}
+
+impl ColumnStats {
+    /// Computes stats over the column values.
+    pub fn compute(values: &[&Datum]) -> ColumnStats {
+        let total = values.len();
+        if total == 0 {
+            return ColumnStats::default();
+        }
+        let mut non_null: Vec<&Datum> = values.iter().copied().filter(|d| !d.is_null()).collect();
+        let null_frac = (total - non_null.len()) as f64 / total as f64;
+        non_null.sort_by(|a, b| a.total_cmp(b));
+        let mut n_distinct = 0;
+        for (i, v) in non_null.iter().enumerate() {
+            if i == 0 || !v.group_eq(non_null[i - 1]) {
+                n_distinct += 1;
+            }
+        }
+        let min = non_null.first().map(|d| (*d).clone());
+        let max = non_null.last().map(|d| (*d).clone());
+        let mut histogram = Vec::new();
+        if !non_null.is_empty() {
+            let buckets = HISTOGRAM_BUCKETS.min(non_null.len());
+            for b in 0..=buckets {
+                let idx = (b * (non_null.len() - 1)) / buckets.max(1);
+                histogram.push(non_null[idx].clone());
+            }
+        }
+        ColumnStats {
+            null_frac,
+            n_distinct,
+            min,
+            max,
+            histogram,
+        }
+    }
+
+    /// Selectivity of `col = value`.
+    pub fn eq_selectivity(&self, value: &Datum) -> f64 {
+        if value.is_null() {
+            return 0.0; // `= NULL` never matches
+        }
+        if self.n_distinct == 0 {
+            return 0.0;
+        }
+        // Outside the observed domain → tiny.
+        if let (Some(min), Some(max)) = (&self.min, &self.max) {
+            let below = value.sql_cmp(min) == Some(std::cmp::Ordering::Less);
+            let above = value.sql_cmp(max) == Some(std::cmp::Ordering::Greater);
+            if below || above {
+                return 0.0;
+            }
+        }
+        (1.0 - self.null_frac) / self.n_distinct as f64
+    }
+
+    /// Selectivity of a range predicate over the histogram. Open bounds are
+    /// `None`; boundaries are inclusive on both ends (BETWEEN semantics; the
+    /// off-by-one of strict bounds is below histogram resolution).
+    pub fn range_selectivity(&self, low: Option<&Datum>, high: Option<&Datum>) -> f64 {
+        if self.histogram.len() < 2 {
+            return defaults::RANGE;
+        }
+        let frac_below = |v: &Datum| -> f64 {
+            // Fraction of non-null values strictly below v.
+            let n = self.histogram.len() - 1;
+            let mut covered = 0.0;
+            for w in self.histogram.windows(2) {
+                let (lo, hi) = (&w[0], &w[1]);
+                if v.sql_cmp(lo) != Some(std::cmp::Ordering::Greater) {
+                    break;
+                }
+                if v.sql_cmp(hi) == Some(std::cmp::Ordering::Greater) {
+                    covered += 1.0;
+                } else {
+                    // Linear interpolation within the bucket where possible.
+                    covered += match (lo.as_f64(), hi.as_f64(), v.as_f64()) {
+                        (Some(a), Some(b), Some(x)) if b > a => ((x - a) / (b - a)).clamp(0.0, 1.0),
+                        _ => 0.5,
+                    };
+                    break;
+                }
+            }
+            covered / n as f64
+        };
+        let lo_frac = low.map_or(0.0, |v| frac_below(v));
+        let hi_frac = high.map_or(1.0, |v| {
+            // Inclusive high bound: everything below, plus one distinct value.
+            let mut f = frac_below(v);
+            if self.n_distinct > 0 {
+                f += 1.0 / self.n_distinct as f64;
+            }
+            f.min(1.0)
+        });
+        ((hi_frac - lo_frac).max(0.0) * (1.0 - self.null_frac)).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// Live row count at ANALYZE time.
+    pub row_count: usize,
+    /// Per-column statistics.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Computes statistics over the heap.
+    pub fn compute(heap: &Heap, column_count: usize) -> TableStats {
+        let rows: Vec<&Row> = heap.scan().map(|(_, r)| r).collect();
+        let mut columns = Vec::with_capacity(column_count);
+        for c in 0..column_count {
+            let values: Vec<&Datum> = rows.iter().map(|r| &r[c]).collect();
+            columns.push(ColumnStats::compute(&values));
+        }
+        TableStats {
+            row_count: rows.len(),
+            columns,
+        }
+    }
+}
+
+/// Estimates the selectivity of a bound predicate, resolving column indices
+/// to per-column stats through `stats_of`. Conjunctions multiply
+/// (independence assumption), disjunctions use inclusion–exclusion.
+///
+/// `fault_inflate_conjuncts` models the CERT-class estimator bugs of paper
+/// Table V: when set, conjunctions take the *maximum* instead of the product
+/// (so adding a predicate can fail to shrink — or can grow — the estimate).
+pub fn selectivity(
+    expr: &BoundExpr,
+    stats_of: &dyn Fn(usize) -> Option<ColumnStats>,
+    fault_inflate_conjuncts: bool,
+) -> f64 {
+    match expr {
+        BoundExpr::Binary { op, left, right } => match op {
+            BinOp::And => {
+                let l = selectivity(left, stats_of, fault_inflate_conjuncts);
+                let r = selectivity(right, stats_of, fault_inflate_conjuncts);
+                if fault_inflate_conjuncts {
+                    // Injected fault: the optimizer "forgets" to combine
+                    // conjunct selectivities.
+                    l.max(r).min(1.0)
+                } else {
+                    l * r
+                }
+            }
+            BinOp::Or => {
+                let l = selectivity(left, stats_of, fault_inflate_conjuncts);
+                let r = selectivity(right, stats_of, fault_inflate_conjuncts);
+                (l + r - l * r).clamp(0.0, 1.0)
+            }
+            BinOp::Eq => column_vs_literal(left, right)
+                .map(|(col, lit)| {
+                    stats_of(col).map_or(defaults::EQ, |s| s.eq_selectivity(&lit))
+                })
+                .unwrap_or(defaults::EQ),
+            BinOp::Ne => 1.0
+                - column_vs_literal(left, right)
+                    .map(|(col, lit)| {
+                        stats_of(col).map_or(defaults::EQ, |s| s.eq_selectivity(&lit))
+                    })
+                    .unwrap_or(defaults::EQ),
+            BinOp::Lt | BinOp::Le => range_sel(left, right, stats_of, false),
+            BinOp::Gt | BinOp::Ge => range_sel(left, right, stats_of, true),
+            _ => defaults::RANGE,
+        },
+        BoundExpr::Not(inner) => {
+            (1.0 - selectivity(inner, stats_of, fault_inflate_conjuncts)).clamp(0.0, 1.0)
+        }
+        BoundExpr::IsNull(inner) => single_column(inner)
+            .and_then(|c| stats_of(c))
+            .map_or(defaults::EQ, |s| s.null_frac),
+        BoundExpr::IsNotNull(inner) => single_column(inner)
+            .and_then(|c| stats_of(c))
+            .map_or(1.0 - defaults::EQ, |s| 1.0 - s.null_frac),
+        BoundExpr::InList { expr, list } => {
+            let per_item = column_of(expr)
+                .and_then(|c| stats_of(c))
+                .map_or(defaults::EQ, |s| {
+                    if s.n_distinct == 0 {
+                        0.0
+                    } else {
+                        (1.0 - s.null_frac) / s.n_distinct as f64
+                    }
+                });
+            (per_item * list.len() as f64).min(1.0)
+        }
+        BoundExpr::Between { expr, low, high } => {
+            if let (Some(col), BoundExpr::Literal(lo), BoundExpr::Literal(hi)) =
+                (column_of(expr), low.as_ref(), high.as_ref())
+            {
+                stats_of(col)
+                    .map_or(defaults::RANGE, |s| s.range_selectivity(Some(lo), Some(hi)))
+            } else {
+                defaults::RANGE
+            }
+        }
+        BoundExpr::Like { negated, .. } => {
+            if *negated {
+                1.0 - defaults::LIKE
+            } else {
+                defaults::LIKE
+            }
+        }
+        BoundExpr::Literal(Datum::Bool(true)) => 1.0,
+        BoundExpr::Literal(Datum::Bool(false)) | BoundExpr::Literal(Datum::Null) => 0.0,
+        _ => defaults::RANGE,
+    }
+}
+
+fn range_sel(
+    left: &BoundExpr,
+    right: &BoundExpr,
+    stats_of: &dyn Fn(usize) -> Option<ColumnStats>,
+    greater: bool,
+) -> f64 {
+    if let Some((col, lit)) = column_vs_literal(left, right) {
+        // `col > x` when the literal is on the right; flipped when the
+        // column is on the right (`x > col` ≡ `col < x`).
+        let column_on_left = column_of(left).is_some();
+        let effective_greater = greater == column_on_left;
+        return stats_of(col).map_or(defaults::RANGE, |s| {
+            if effective_greater {
+                s.range_selectivity(Some(&lit), None)
+            } else {
+                s.range_selectivity(None, Some(&lit))
+            }
+        });
+    }
+    defaults::RANGE
+}
+
+fn column_of(e: &BoundExpr) -> Option<usize> {
+    match e {
+        BoundExpr::Column { index, .. } => Some(*index),
+        _ => None,
+    }
+}
+
+fn single_column(e: &BoundExpr) -> Option<usize> {
+    column_of(e)
+}
+
+/// Extracts `(column, literal)` from `col ⊗ lit` or `lit ⊗ col`.
+fn column_vs_literal(left: &BoundExpr, right: &BoundExpr) -> Option<(usize, Datum)> {
+    match (left, right) {
+        (BoundExpr::Column { index, .. }, BoundExpr::Literal(d)) => Some((*index, d.clone())),
+        (BoundExpr::Literal(d), BoundExpr::Column { index, .. }) => Some((*index, d.clone())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::build::*;
+
+    fn int_stats(values: &[i64], nulls: usize) -> ColumnStats {
+        let mut owned: Vec<Datum> = values.iter().map(|&v| Datum::Int(v)).collect();
+        owned.extend(std::iter::repeat(Datum::Null).take(nulls));
+        let refs: Vec<&Datum> = owned.iter().collect();
+        ColumnStats::compute(&refs)
+    }
+
+    #[test]
+    fn computes_basic_stats() {
+        let stats = int_stats(&[1, 2, 2, 3, 4], 5);
+        assert_eq!(stats.n_distinct, 4);
+        assert!((stats.null_frac - 0.5).abs() < 1e-9);
+        assert_eq!(stats.min, Some(Datum::Int(1)));
+        assert_eq!(stats.max, Some(Datum::Int(4)));
+        assert!(stats.histogram.len() >= 2);
+    }
+
+    #[test]
+    fn empty_column_stats() {
+        let stats = ColumnStats::compute(&[]);
+        assert_eq!(stats.n_distinct, 0);
+        assert_eq!(stats.eq_selectivity(&Datum::Int(1)), 0.0);
+        assert_eq!(stats.range_selectivity(None, None), defaults::RANGE);
+    }
+
+    #[test]
+    fn eq_selectivity_uses_ndv() {
+        let stats = int_stats(&[1, 2, 3, 4], 0);
+        assert!((stats.eq_selectivity(&Datum::Int(2)) - 0.25).abs() < 1e-9);
+        assert_eq!(stats.eq_selectivity(&Datum::Int(99)), 0.0, "out of range");
+        assert_eq!(stats.eq_selectivity(&Datum::Null), 0.0);
+    }
+
+    #[test]
+    fn range_selectivity_tracks_histogram() {
+        let values: Vec<i64> = (0..1000).collect();
+        let stats = int_stats(&values, 0);
+        let half = stats.range_selectivity(None, Some(&Datum::Int(499)));
+        assert!((half - 0.5).abs() < 0.05, "got {half}");
+        let none = stats.range_selectivity(Some(&Datum::Int(2000)), None);
+        assert!(none < 0.01);
+        let all = stats.range_selectivity(None, None);
+        assert!((all - 1.0).abs() < 1e-9);
+        let quarter = stats.range_selectivity(Some(&Datum::Int(250)), Some(&Datum::Int(499)));
+        assert!((quarter - 0.25).abs() < 0.05, "got {quarter}");
+    }
+
+    #[test]
+    fn predicate_selectivity_composition() {
+        let values: Vec<i64> = (0..100).collect();
+        let stats = int_stats(&values, 0);
+        let stats_of = |_c: usize| Some(stats.clone());
+
+        let lt50 = bin(BinOp::Lt, col(0, "c0"), int(50));
+        let s = selectivity(&lt50, &stats_of, false);
+        assert!((s - 0.5).abs() < 0.1, "got {s}");
+
+        let conj = bin(BinOp::And, lt50.clone(), bin(BinOp::Lt, col(0, "c0"), int(25)));
+        let s_conj = selectivity(&conj, &stats_of, false);
+        assert!(s_conj < s, "conjunction must shrink: {s_conj} vs {s}");
+
+        // The injected CERT fault makes conjunctions non-shrinking.
+        let s_fault = selectivity(&conj, &stats_of, true);
+        assert!(s_fault >= s_conj);
+        assert!((s_fault - 0.5).abs() < 0.11);
+
+        let disj = bin(BinOp::Or, lt50.clone(), bin(BinOp::Gt, col(0, "c0"), int(74)));
+        let s_disj = selectivity(&disj, &stats_of, false);
+        assert!(s_disj > s, "disjunction must grow");
+
+        let not = BoundExpr::Not(Box::new(lt50));
+        assert!((selectivity(&not, &stats_of, false) - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn null_predicates_use_null_frac() {
+        let stats = int_stats(&[1, 2], 2);
+        let stats_of = |_c: usize| Some(stats.clone());
+        let is_null = BoundExpr::IsNull(Box::new(col(0, "c0")));
+        assert!((selectivity(&is_null, &stats_of, false) - 0.5).abs() < 1e-9);
+        let not_null = BoundExpr::IsNotNull(Box::new(col(0, "c0")));
+        assert!((selectivity(&not_null, &stats_of, false) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_list_scales_with_length() {
+        let values: Vec<i64> = (0..10).collect();
+        let stats = int_stats(&values, 0);
+        let stats_of = |_c: usize| Some(stats.clone());
+        let in3 = BoundExpr::InList {
+            expr: Box::new(col(0, "c0")),
+            list: vec![int(1), int(2), int(3)],
+        };
+        assert!((selectivity(&in3, &stats_of, false) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flipped_comparisons() {
+        let values: Vec<i64> = (0..100).collect();
+        let stats = int_stats(&values, 0);
+        let stats_of = |_c: usize| Some(stats.clone());
+        // 25 > c0  ≡  c0 < 25
+        let flipped = bin(BinOp::Gt, int(25), col(0, "c0"));
+        let s = selectivity(&flipped, &stats_of, false);
+        assert!((s - 0.25).abs() < 0.1, "got {s}");
+    }
+
+    #[test]
+    fn table_stats_compute() {
+        let mut heap = Heap::new();
+        heap.insert(vec![Datum::Int(1), Datum::Str("a".into())]);
+        heap.insert(vec![Datum::Int(2), Datum::Null]);
+        let stats = TableStats::compute(&heap, 2);
+        assert_eq!(stats.row_count, 2);
+        assert_eq!(stats.columns.len(), 2);
+        assert!((stats.columns[1].null_frac - 0.5).abs() < 1e-9);
+    }
+}

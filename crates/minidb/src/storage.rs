@@ -1,0 +1,346 @@
+//! Row storage and B-tree indexes.
+//!
+//! Tables are append-only vectors of rows with tombstones (DELETE marks rows
+//! dead rather than compacting, so row ids — the engine's TIDs — stay
+//! stable, which both secondary indexes and TiDB-style `TableRowIDScan`
+//! plans rely on). Indexes are `BTreeMap`s from datum keys to posting lists.
+
+use std::collections::BTreeMap;
+
+use crate::datum::{Datum, DatumKey, Row};
+use crate::schema::IndexDef;
+
+/// Stable row identifier within a table.
+pub type RowId = usize;
+
+/// A heap of rows plus live-ness flags.
+#[derive(Debug, Default, Clone)]
+pub struct Heap {
+    rows: Vec<Row>,
+    live: Vec<bool>,
+    live_count: usize,
+}
+
+impl Heap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Appends a row, returning its id.
+    pub fn insert(&mut self, row: Row) -> RowId {
+        let id = self.rows.len();
+        self.rows.push(row);
+        self.live.push(true);
+        self.live_count += 1;
+        id
+    }
+
+    /// Marks a row dead; returns whether it was live.
+    pub fn delete(&mut self, id: RowId) -> bool {
+        if self.live.get(id).copied().unwrap_or(false) {
+            self.live[id] = false;
+            self.live_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// In-place update; returns whether the row was live.
+    pub fn update(&mut self, id: RowId, row: Row) -> bool {
+        if self.live.get(id).copied().unwrap_or(false) {
+            self.rows[id] = row;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The row at `id`, if live.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        if self.live.get(id).copied().unwrap_or(false) {
+            Some(&self.rows[id])
+        } else {
+            None
+        }
+    }
+
+    /// Iterates live `(id, row)` pairs in id order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| self.live[*id])
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// `true` when no live rows remain.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+}
+
+/// A secondary (or primary) B-tree index: key → row ids.
+#[derive(Debug, Clone)]
+pub struct BTreeIndex {
+    /// The definition this index materializes.
+    pub def: IndexDef,
+    map: BTreeMap<Vec<DatumKey>, Vec<RowId>>,
+}
+
+impl BTreeIndex {
+    /// Builds an index over the current heap contents.
+    pub fn build(def: IndexDef, heap: &Heap) -> Self {
+        let mut index = BTreeIndex {
+            def,
+            map: BTreeMap::new(),
+        };
+        let ids: Vec<(RowId, Row)> = heap.scan().map(|(id, r)| (id, r.clone())).collect();
+        for (id, row) in ids {
+            index.insert_row(id, &row);
+        }
+        index
+    }
+
+    fn key_of(&self, row: &Row) -> Vec<DatumKey> {
+        self.def
+            .key_columns
+            .iter()
+            .map(|&c| row[c].group_key())
+            .collect()
+    }
+
+    /// Indexes one row.
+    pub fn insert_row(&mut self, id: RowId, row: &Row) {
+        self.map.entry(self.key_of(row)).or_default().push(id);
+    }
+
+    /// Removes one row.
+    pub fn delete_row(&mut self, id: RowId, row: &Row) {
+        if let Some(ids) = self.map.get_mut(&self.key_of(row)) {
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                self.map.remove(&self.key_of(row));
+            }
+        }
+    }
+
+    /// Row ids whose leading key column equals `key`.
+    pub fn lookup_eq(&self, key: &Datum) -> Vec<RowId> {
+        let low = vec![key.group_key()];
+        let mut out = Vec::new();
+        for (k, ids) in self.map.range(low.clone()..) {
+            if k.first() != Some(&key.group_key()) {
+                break;
+            }
+            out.extend_from_slice(ids);
+        }
+        let _ = low;
+        out
+    }
+
+    /// Row ids whose leading key column lies in `[low, high]`; open bounds
+    /// are `None`. NULL keys never match a range (SQL comparison semantics).
+    pub fn lookup_range(&self, low: Option<&Datum>, high: Option<&Datum>) -> Vec<RowId> {
+        let mut out = Vec::new();
+        for (k, ids) in &self.map {
+            let Some(first) = k.first() else { continue };
+            if first.0.is_null() {
+                continue;
+            }
+            if let Some(lo) = low {
+                if first.0.sql_cmp(lo).map_or(true, |o| o == std::cmp::Ordering::Less) {
+                    continue;
+                }
+            }
+            if let Some(hi) = high {
+                if first.0.sql_cmp(hi).map_or(true, |o| o == std::cmp::Ordering::Greater) {
+                    break;
+                }
+            }
+            out.extend_from_slice(ids);
+        }
+        out
+    }
+
+    /// All row ids in key order (index-only scans).
+    pub fn scan_all(&self) -> Vec<RowId> {
+        self.map.values().flatten().copied().collect()
+    }
+
+    /// Distinct key count.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A table: heap plus its indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Live rows.
+    pub heap: Heap,
+    /// Materialized indexes in creation order.
+    pub indexes: Vec<BTreeIndex>,
+}
+
+impl Table {
+    /// An empty table with no indexes.
+    pub fn new() -> Self {
+        Table {
+            heap: Heap::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Inserts a row, maintaining all indexes.
+    pub fn insert(&mut self, row: Row) -> RowId {
+        let id = self.heap.insert(row.clone());
+        for index in &mut self.indexes {
+            index.insert_row(id, &row);
+        }
+        id
+    }
+
+    /// Deletes a row by id, maintaining all indexes.
+    pub fn delete(&mut self, id: RowId) -> bool {
+        let Some(row) = self.heap.get(id).cloned() else {
+            return false;
+        };
+        for index in &mut self.indexes {
+            index.delete_row(id, &row);
+        }
+        self.heap.delete(id)
+    }
+
+    /// Updates a row by id, maintaining all indexes.
+    pub fn update(&mut self, id: RowId, new_row: Row) -> bool {
+        let Some(old) = self.heap.get(id).cloned() else {
+            return false;
+        };
+        for index in &mut self.indexes {
+            index.delete_row(id, &old);
+            index.insert_row(id, &new_row);
+        }
+        self.heap.update(id, new_row)
+    }
+
+    /// Adds (and builds) an index.
+    pub fn add_index(&mut self, def: IndexDef) {
+        self.indexes.push(BTreeIndex::build(def, &self.heap));
+    }
+
+    /// The index with the given name.
+    pub fn index(&self, name: &str) -> Option<&BTreeIndex> {
+        let lower = name.to_ascii_lowercase();
+        self.indexes.iter().find(|i| i.def.name == lower)
+    }
+}
+
+impl Default for Table {
+    fn default() -> Self {
+        Table::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_def(cols: Vec<usize>) -> IndexDef {
+        IndexDef {
+            name: "i0".into(),
+            table: "t".into(),
+            key_columns: cols,
+            unique: false,
+            is_primary: false,
+        }
+    }
+
+    #[test]
+    fn heap_insert_delete_update() {
+        let mut heap = Heap::new();
+        let a = heap.insert(vec![Datum::Int(1)]);
+        let b = heap.insert(vec![Datum::Int(2)]);
+        assert_eq!(heap.len(), 2);
+        assert!(heap.delete(a));
+        assert!(!heap.delete(a), "double delete is a no-op");
+        assert_eq!(heap.len(), 1);
+        assert!(heap.get(a).is_none());
+        assert!(heap.update(b, vec![Datum::Int(9)]));
+        assert_eq!(heap.get(b).unwrap()[0], Datum::Int(9));
+        assert_eq!(heap.scan().count(), 1);
+        assert!(!heap.is_empty());
+    }
+
+    #[test]
+    fn index_equality_lookup() {
+        let mut table = Table::new();
+        table.add_index(index_def(vec![0]));
+        table.insert(vec![Datum::Int(5), Datum::Str("a".into())]);
+        table.insert(vec![Datum::Int(5), Datum::Str("b".into())]);
+        table.insert(vec![Datum::Int(7), Datum::Str("c".into())]);
+        let index = &table.indexes[0];
+        assert_eq!(index.lookup_eq(&Datum::Int(5)).len(), 2);
+        assert_eq!(index.lookup_eq(&Datum::Int(7)).len(), 1);
+        assert_eq!(index.lookup_eq(&Datum::Int(9)).len(), 0);
+        assert_eq!(index.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn index_range_lookup_skips_nulls() {
+        let mut table = Table::new();
+        table.add_index(index_def(vec![0]));
+        for v in [Datum::Null, Datum::Int(1), Datum::Int(3), Datum::Int(5)] {
+            table.insert(vec![v]);
+        }
+        let index = &table.indexes[0];
+        let ids = index.lookup_range(Some(&Datum::Int(2)), Some(&Datum::Int(5)));
+        assert_eq!(ids.len(), 2);
+        let all = index.lookup_range(None, None);
+        assert_eq!(all.len(), 3, "NULL keys are not returned by ranges");
+        let below = index.lookup_range(None, Some(&Datum::Int(1)));
+        assert_eq!(below.len(), 1);
+    }
+
+    #[test]
+    fn index_maintained_across_mutations() {
+        let mut table = Table::new();
+        table.add_index(index_def(vec![0]));
+        let id = table.insert(vec![Datum::Int(1)]);
+        table.insert(vec![Datum::Int(2)]);
+        assert!(table.update(id, vec![Datum::Int(10)]));
+        assert!(table.indexes[0].lookup_eq(&Datum::Int(1)).is_empty());
+        assert_eq!(table.indexes[0].lookup_eq(&Datum::Int(10)).len(), 1);
+        assert!(table.delete(id));
+        assert!(table.indexes[0].lookup_eq(&Datum::Int(10)).is_empty());
+        assert!(!table.delete(id));
+        assert!(!table.update(id, vec![Datum::Int(3)]));
+    }
+
+    #[test]
+    fn index_built_over_existing_rows() {
+        let mut table = Table::new();
+        table.insert(vec![Datum::Int(4)]);
+        table.insert(vec![Datum::Int(4)]);
+        table.add_index(index_def(vec![0]));
+        assert_eq!(table.indexes[0].lookup_eq(&Datum::Int(4)).len(), 2);
+        assert!(table.index("i0").is_some());
+        assert!(table.index("nope").is_none());
+    }
+
+    #[test]
+    fn composite_keys_group_by_leading_column() {
+        let mut table = Table::new();
+        table.add_index(index_def(vec![0, 1]));
+        table.insert(vec![Datum::Int(1), Datum::Int(10)]);
+        table.insert(vec![Datum::Int(1), Datum::Int(20)]);
+        table.insert(vec![Datum::Int(2), Datum::Int(10)]);
+        assert_eq!(table.indexes[0].lookup_eq(&Datum::Int(1)).len(), 2);
+        assert_eq!(table.indexes[0].scan_all().len(), 3);
+    }
+}

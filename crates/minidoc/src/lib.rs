@@ -1,0 +1,753 @@
+//! # minidoc — the document-store substrate (MongoDB-like)
+//!
+//! The paper's evaluation touches MongoDB in three places: the study of its
+//! plan representation (stage trees inside `queryPlanner.winningPlan` JSON),
+//! the A.2 visualization of TPC-H q1, and the A.3 operation census over
+//! TPC-H (queries 1, 3 and 4 rewritten in MQL against a single denormalized
+//! collection) and YCSB. What those need from MongoDB is its *planner
+//! behaviour*:
+//!
+//! * a single collection per query (the document model "lacks support for
+//!   combining data from multiple documents" — zero Join operations in
+//!   Table II);
+//! * `COLLSCAN` vs `IXSCAN`+`FETCH` vs `IDHACK` access stages;
+//! * `PROJECTION_SIMPLE`, `SORT`, `LIMIT` stages above them;
+//! * aggregation pipelines whose `$group` work does **not** appear in the
+//!   winning plan (real `explain` reports only the `$cursor` stage's plan),
+//!   which is why the paper's Table VI row for MongoDB is `1 producer +
+//!   1 projector = 2.00`.
+//!
+//! Documents are [`JsonValue`]s, reusing the JSON document model of
+//! `uplan-core`.
+
+use std::collections::{BTreeMap, HashMap};
+
+use uplan_core::formats::json::{self, JsonValue};
+
+/// Comparison operators of the query filter (a subset of MQL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterOp {
+    /// `$eq`
+    Eq,
+    /// `$lt`
+    Lt,
+    /// `$lte`
+    Lte,
+    /// `$gt`
+    Gt,
+    /// `$gte`
+    Gte,
+}
+
+impl FilterOp {
+    /// MQL spelling.
+    pub fn mql(self) -> &'static str {
+        match self {
+            FilterOp::Eq => "$eq",
+            FilterOp::Lt => "$lt",
+            FilterOp::Lte => "$lte",
+            FilterOp::Gt => "$gt",
+            FilterOp::Gte => "$gte",
+        }
+    }
+}
+
+/// One filter condition on a field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Field name (dotted paths are not needed by the workloads).
+    pub field: String,
+    /// Operator.
+    pub op: FilterOp,
+    /// Comparison value.
+    pub value: JsonValue,
+}
+
+/// Aggregation spec (`$group`-lite): one group key and named accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSpec {
+    /// Group-by field; `None` groups everything.
+    pub key: Option<String>,
+    /// `(output name, accumulator)` pairs.
+    pub accumulators: Vec<(String, Accumulator)>,
+}
+
+/// Accumulators of the `$group` subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Accumulator {
+    /// `$sum: "$field"`
+    Sum(String),
+    /// `$avg: "$field"`
+    Avg(String),
+    /// `$sum: 1`
+    Count,
+}
+
+/// A find/aggregate request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Request {
+    /// Target collection.
+    pub collection: String,
+    /// Conjunctive filter.
+    pub filter: Vec<Condition>,
+    /// Projected fields (`None` = whole documents).
+    pub projection: Option<Vec<String>>,
+    /// Sort `(field, descending)`.
+    pub sort: Option<(String, bool)>,
+    /// Row limit.
+    pub limit: Option<usize>,
+    /// `$group` stage (turns the request into an aggregation).
+    pub group: Option<GroupSpec>,
+}
+
+/// A collection: documents plus single-field indexes.
+#[derive(Debug, Default)]
+pub struct Collection {
+    docs: Vec<JsonValue>,
+    /// Field → sorted index (value → doc positions).
+    indexes: HashMap<String, BTreeMap<IndexKey, Vec<usize>>>,
+}
+
+/// Total-ordered wrapper for JSON scalars used as index keys.
+#[derive(Debug, Clone, PartialEq)]
+struct IndexKey(JsonValue);
+
+impl Eq for IndexKey {}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        json_cmp(&self.0, &other.0)
+    }
+}
+
+/// Total order over JSON values (null < bool < number < string); arrays and
+/// objects order after scalars by rendered text.
+pub fn json_cmp(a: &JsonValue, b: &JsonValue) -> std::cmp::Ordering {
+    fn rank(v: &JsonValue) -> u8 {
+        match v {
+            JsonValue::Null => 0,
+            JsonValue::Bool(_) => 1,
+            JsonValue::Int(_) | JsonValue::Float(_) => 2,
+            JsonValue::Str(_) => 3,
+            JsonValue::Array(_) => 4,
+            JsonValue::Object(_) => 5,
+        }
+    }
+    match (a, b) {
+        (JsonValue::Bool(x), JsonValue::Bool(y)) => x.cmp(y),
+        (JsonValue::Str(x), JsonValue::Str(y)) => x.cmp(y),
+        (x, y) if rank(x) == 2 && rank(y) == 2 => {
+            let fx = x.as_f64().expect("numeric");
+            let fy = y.as_f64().expect("numeric");
+            fx.total_cmp(&fy)
+        }
+        (x, y) if rank(x) == rank(y) && rank(x) >= 4 => x.to_compact().cmp(&y.to_compact()),
+        (x, y) => rank(x).cmp(&rank(y)),
+    }
+}
+
+impl Collection {
+    /// Inserts a document.
+    pub fn insert(&mut self, doc: JsonValue) {
+        let pos = self.docs.len();
+        for (field, index) in &mut self.indexes {
+            let key = doc.get(field).cloned().unwrap_or(JsonValue::Null);
+            index.entry(IndexKey(key)).or_default().push(pos);
+        }
+        self.docs.push(doc);
+    }
+
+    /// Creates a single-field index.
+    pub fn create_index(&mut self, field: &str) {
+        let mut index: BTreeMap<IndexKey, Vec<usize>> = BTreeMap::new();
+        for (pos, doc) in self.docs.iter().enumerate() {
+            let key = doc.get(field).cloned().unwrap_or(JsonValue::Null);
+            index.entry(IndexKey(key)).or_default().push(pos);
+        }
+        self.indexes.insert(field.to_owned(), index);
+    }
+
+    /// Whether a field is indexed.
+    pub fn has_index(&self, field: &str) -> bool {
+        self.indexes.contains_key(field)
+    }
+
+    /// Document count.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// One stage of the winning plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Stage name (`COLLSCAN`, `IXSCAN`, `FETCH`, `PROJECTION_SIMPLE`,
+    /// `SORT`, `LIMIT`, `IDHACK`).
+    pub name: String,
+    /// Stage-specific properties.
+    pub properties: Vec<(String, JsonValue)>,
+    /// Input stage (MongoDB plans are vines, not trees).
+    pub input: Option<Box<Stage>>,
+}
+
+impl Stage {
+    fn leaf(name: &str) -> Stage {
+        Stage {
+            name: name.to_owned(),
+            properties: Vec::new(),
+            input: None,
+        }
+    }
+
+    fn with(mut self, key: &str, value: JsonValue) -> Stage {
+        self.properties.push((key.to_owned(), value));
+        self
+    }
+
+    fn over(self, input: Stage) -> Stage {
+        Stage {
+            input: Some(Box::new(input)),
+            ..self
+        }
+    }
+
+    /// Number of stages in the vine.
+    pub fn stage_count(&self) -> usize {
+        1 + self.input.as_deref().map_or(0, Stage::stage_count)
+    }
+}
+
+/// A planned (and optionally executed) request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocPlan {
+    /// The winning plan's top stage.
+    pub winning: Stage,
+    /// Namespace (`db.collection`).
+    pub namespace: String,
+    /// Whether the request was an aggregation whose pipeline is optimized
+    /// away from the winning plan (the `$group` invisibility).
+    pub optimized_pipeline: bool,
+    /// `executionStats.nReturned` when executed.
+    pub n_returned: Option<usize>,
+    /// `executionStats.totalDocsExamined` when executed.
+    pub docs_examined: Option<usize>,
+}
+
+impl DocPlan {
+    /// Serializes as `explain()` JSON (the shape the converter parses).
+    pub fn to_explain_json(&self) -> JsonValue {
+        fn stage_json(stage: &Stage) -> JsonValue {
+            let mut members: Vec<(String, JsonValue)> =
+                vec![("stage".to_owned(), JsonValue::from(stage.name.as_str()))];
+            members.extend(stage.properties.iter().cloned());
+            if let Some(input) = &stage.input {
+                members.push(("inputStage".to_owned(), stage_json(input)));
+            }
+            JsonValue::Object(members)
+        }
+        let mut planner: Vec<(String, JsonValue)> = vec![
+            ("namespace".to_owned(), JsonValue::from(self.namespace.as_str())),
+            ("plannerVersion".to_owned(), JsonValue::Int(1)),
+        ];
+        if self.optimized_pipeline {
+            planner.push(("optimizedPipeline".to_owned(), JsonValue::Bool(true)));
+        }
+        planner.push(("winningPlan".to_owned(), stage_json(&self.winning)));
+        planner.push(("rejectedPlans".to_owned(), JsonValue::Array(vec![])));
+        let mut doc: Vec<(String, JsonValue)> =
+            vec![("queryPlanner".to_owned(), JsonValue::Object(planner))];
+        if let (Some(n), Some(d)) = (self.n_returned, self.docs_examined) {
+            doc.push((
+                "executionStats".to_owned(),
+                json::object([
+                    ("executionSuccess", JsonValue::Bool(true)),
+                    ("nReturned", JsonValue::Int(n as i64)),
+                    ("totalDocsExamined", JsonValue::Int(d as i64)),
+                ]),
+            ));
+        }
+        doc.push((
+            "serverInfo".to_owned(),
+            json::object([("version", JsonValue::from("6.0.5-minidoc"))]),
+        ));
+        JsonValue::Object(doc)
+    }
+}
+
+/// The document store.
+#[derive(Debug, Default)]
+pub struct DocStore {
+    collections: HashMap<String, Collection>,
+}
+
+impl DocStore {
+    /// An empty store.
+    pub fn new() -> DocStore {
+        DocStore::default()
+    }
+
+    /// The named collection, created on first use.
+    pub fn collection_mut(&mut self, name: &str) -> &mut Collection {
+        self.collections.entry(name.to_owned()).or_default()
+    }
+
+    /// The named collection, if present.
+    pub fn collection(&self, name: &str) -> Option<&Collection> {
+        self.collections.get(name)
+    }
+
+    /// Plans a request without executing it.
+    pub fn explain(&self, request: &Request) -> DocPlan {
+        self.plan(request, None)
+    }
+
+    /// Executes a request, returning result documents and the executed plan.
+    pub fn find(&self, request: &Request) -> (Vec<JsonValue>, DocPlan) {
+        let Some(collection) = self.collections.get(&request.collection) else {
+            let plan = self.plan(request, Some((0, 0)));
+            return (Vec::new(), plan);
+        };
+
+        // Access path.
+        let indexed = request
+            .filter
+            .iter()
+            .find(|c| collection.has_index(&c.field) && c.op == FilterOp::Eq);
+        let candidates: Vec<usize> = match indexed {
+            Some(cond) => collection
+                .indexes
+                .get(&cond.field)
+                .and_then(|idx| idx.get(&IndexKey(cond.value.clone())))
+                .cloned()
+                .unwrap_or_default(),
+            None => (0..collection.docs.len()).collect(),
+        };
+        let docs_examined = candidates.len();
+
+        let mut out: Vec<JsonValue> = candidates
+            .into_iter()
+            .map(|pos| collection.docs[pos].clone())
+            .filter(|doc| {
+                request.filter.iter().all(|cond| {
+                    let value = doc.get(&cond.field).cloned().unwrap_or(JsonValue::Null);
+                    let ord = json_cmp(&value, &cond.value);
+                    match cond.op {
+                        FilterOp::Eq => ord == std::cmp::Ordering::Equal,
+                        FilterOp::Lt => ord == std::cmp::Ordering::Less,
+                        FilterOp::Lte => ord != std::cmp::Ordering::Greater,
+                        FilterOp::Gt => ord == std::cmp::Ordering::Greater,
+                        FilterOp::Gte => ord != std::cmp::Ordering::Less,
+                    }
+                })
+            })
+            .collect();
+
+        // $group.
+        if let Some(group) = &request.group {
+            out = run_group(&out, group);
+        }
+
+        // Sort.
+        if let Some((field, desc)) = &request.sort {
+            out.sort_by(|a, b| {
+                let va = a.get(field).cloned().unwrap_or(JsonValue::Null);
+                let vb = b.get(field).cloned().unwrap_or(JsonValue::Null);
+                let ord = json_cmp(&va, &vb);
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+
+        // Limit.
+        if let Some(n) = request.limit {
+            out.truncate(n);
+        }
+
+        // Projection.
+        if let Some(fields) = &request.projection {
+            out = out
+                .into_iter()
+                .map(|doc| {
+                    JsonValue::Object(
+                        fields
+                            .iter()
+                            .map(|f| (f.clone(), doc.get(f).cloned().unwrap_or(JsonValue::Null)))
+                            .collect(),
+                    )
+                })
+                .collect();
+        }
+
+        let plan = self.plan(request, Some((out.len(), docs_examined)));
+        (out, plan)
+    }
+
+    /// Builds the winning plan the way `explain()` reports it.
+    fn plan(&self, request: &Request, executed: Option<(usize, usize)>) -> DocPlan {
+        let collection = self.collections.get(&request.collection);
+        let indexed = request.filter.iter().find(|c| {
+            collection.is_some_and(|col| col.has_index(&c.field)) && c.op == FilterOp::Eq
+        });
+
+        let residual: Vec<&Condition> = request
+            .filter
+            .iter()
+            .filter(|c| indexed.map_or(true, |i| !std::ptr::eq(*c, i)))
+            .collect();
+        let filter_json = |conds: &[&Condition]| -> JsonValue {
+            JsonValue::Object(
+                conds
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.field.clone(),
+                            json::object([(c.op.mql(), c.value.clone())]),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        // Access stage: IDHACK for _id equality, IXSCAN+FETCH for other
+        // indexed fields, COLLSCAN otherwise.
+        let mut stage = match indexed {
+            Some(cond) if cond.field == "_id" => Stage::leaf("IDHACK")
+                .with("namespace", JsonValue::from(format!("db.{}", request.collection))),
+            Some(cond) => {
+                let ixscan = Stage::leaf("IXSCAN")
+                    .with("indexName", JsonValue::from(format!("{}_1", cond.field)))
+                    .with(
+                        "keyPattern",
+                        json::object([(cond.field.as_str(), JsonValue::Int(1))]),
+                    )
+                    .with("direction", JsonValue::from("forward"));
+                let mut fetch = Stage::leaf("FETCH");
+                if !residual.is_empty() {
+                    fetch = fetch.with("filter", filter_json(&residual));
+                }
+                fetch.over(ixscan)
+            }
+            None => {
+                let mut scan =
+                    Stage::leaf("COLLSCAN").with("direction", JsonValue::from("forward"));
+                if !request.filter.is_empty() {
+                    let all: Vec<&Condition> = request.filter.iter().collect();
+                    scan = scan.with("filter", filter_json(&all));
+                }
+                scan
+            }
+        };
+
+        // SORT / LIMIT / PROJECTION stages ($group never appears).
+        if let Some((field, desc)) = &request.sort {
+            stage = Stage::leaf("SORT")
+                .with(
+                    "sortPattern",
+                    json::object([(field.as_str(), JsonValue::Int(if *desc { -1 } else { 1 }))]),
+                )
+                .over(stage);
+        }
+        if let Some(n) = request.limit {
+            stage = Stage::leaf("LIMIT")
+                .with("limitAmount", JsonValue::Int(n as i64))
+                .over(stage);
+        }
+        if let Some(fields) = &request.projection {
+            stage = Stage::leaf("PROJECTION_SIMPLE")
+                .with(
+                    "transformBy",
+                    JsonValue::Object(
+                        fields.iter().map(|f| (f.clone(), JsonValue::Int(1))).collect(),
+                    ),
+                )
+                .over(stage);
+        }
+
+        DocPlan {
+            winning: stage,
+            namespace: format!("db.{}", request.collection),
+            optimized_pipeline: request.group.is_some(),
+            n_returned: executed.map(|(n, _)| n),
+            docs_examined: executed.map(|(_, d)| d),
+        }
+    }
+}
+
+fn run_group(docs: &[JsonValue], group: &GroupSpec) -> Vec<JsonValue> {
+    let mut order: Vec<JsonValue> = Vec::new();
+    let mut buckets: HashMap<String, Vec<&JsonValue>> = HashMap::new();
+    for doc in docs {
+        let key_value = match &group.key {
+            Some(field) => doc.get(field).cloned().unwrap_or(JsonValue::Null),
+            None => JsonValue::Null,
+        };
+        let key_text = key_value.to_compact();
+        if !buckets.contains_key(&key_text) {
+            order.push(key_value);
+        }
+        buckets.entry(key_text).or_default().push(doc);
+    }
+    order.sort_by(json_cmp);
+    order
+        .iter()
+        .map(|key_value| {
+            let members = &buckets[&key_value.to_compact()];
+            let mut fields: Vec<(String, JsonValue)> =
+                vec![("_id".to_owned(), key_value.clone())];
+            for (name, acc) in &group.accumulators {
+                let value = match acc {
+                    Accumulator::Count => JsonValue::Int(members.len() as i64),
+                    Accumulator::Sum(field) => JsonValue::Float(
+                        members
+                            .iter()
+                            .filter_map(|d| d.get(field).and_then(JsonValue::as_f64))
+                            .sum(),
+                    ),
+                    Accumulator::Avg(field) => {
+                        let values: Vec<f64> = members
+                            .iter()
+                            .filter_map(|d| d.get(field).and_then(JsonValue::as_f64))
+                            .collect();
+                        if values.is_empty() {
+                            JsonValue::Null
+                        } else {
+                            JsonValue::Float(values.iter().sum::<f64>() / values.len() as f64)
+                        }
+                    }
+                };
+                fields.push((name.clone(), value));
+            }
+            JsonValue::Object(fields)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> DocStore {
+        let mut store = DocStore::new();
+        let collection = store.collection_mut("orders");
+        for i in 0..10i64 {
+            collection.insert(json::object([
+                ("_id", JsonValue::Int(i)),
+                ("status", JsonValue::from(if i % 2 == 0 { "A" } else { "B" })),
+                ("amount", JsonValue::Float(i as f64 * 10.0)),
+            ]));
+        }
+        store
+    }
+
+    fn find_req(filter: Vec<Condition>) -> Request {
+        Request {
+            collection: "orders".into(),
+            filter,
+            ..Request::default()
+        }
+    }
+
+    #[test]
+    fn collscan_returns_matching_documents() {
+        let store = store();
+        let (docs, plan) = store.find(&find_req(vec![Condition {
+            field: "status".into(),
+            op: FilterOp::Eq,
+            value: JsonValue::from("A"),
+        }]));
+        assert_eq!(docs.len(), 5);
+        assert_eq!(plan.winning.name, "COLLSCAN");
+        assert_eq!(plan.n_returned, Some(5));
+        assert_eq!(plan.docs_examined, Some(10));
+    }
+
+    #[test]
+    fn index_switches_to_ixscan_fetch() {
+        let mut store = store();
+        store.collection_mut("orders").create_index("status");
+        let (docs, plan) = store.find(&find_req(vec![Condition {
+            field: "status".into(),
+            op: FilterOp::Eq,
+            value: JsonValue::from("A"),
+        }]));
+        assert_eq!(docs.len(), 5);
+        assert_eq!(plan.winning.name, "FETCH");
+        assert_eq!(plan.winning.input.as_ref().unwrap().name, "IXSCAN");
+        assert_eq!(plan.docs_examined, Some(5), "index narrows the fetch");
+    }
+
+    #[test]
+    fn id_equality_uses_idhack() {
+        let mut store = store();
+        store.collection_mut("orders").create_index("_id");
+        let (docs, plan) = store.find(&find_req(vec![Condition {
+            field: "_id".into(),
+            op: FilterOp::Eq,
+            value: JsonValue::Int(3),
+        }]));
+        assert_eq!(docs.len(), 1);
+        assert_eq!(plan.winning.name, "IDHACK");
+        assert_eq!(plan.winning.stage_count(), 1, "YCSB-style single-op plan");
+    }
+
+    #[test]
+    fn sort_limit_projection_stack() {
+        let store = store();
+        let request = Request {
+            collection: "orders".into(),
+            filter: vec![],
+            projection: Some(vec!["amount".into()]),
+            sort: Some(("amount".into(), true)),
+            limit: Some(3),
+            group: None,
+        };
+        let (docs, plan) = store.find(&request);
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[0].get("amount").unwrap().as_f64(), Some(90.0));
+        let names: Vec<&str> = {
+            let mut v = Vec::new();
+            let mut cur = Some(&plan.winning);
+            while let Some(s) = cur {
+                v.push(s.name.as_str());
+                cur = s.input.as_deref();
+            }
+            v
+        };
+        assert_eq!(names, ["PROJECTION_SIMPLE", "LIMIT", "SORT", "COLLSCAN"]);
+    }
+
+    #[test]
+    fn group_runs_but_stays_out_of_the_plan() {
+        let store = store();
+        let request = Request {
+            collection: "orders".into(),
+            filter: vec![],
+            projection: Some(vec!["_id".into(), "total".into()]),
+            sort: None,
+            limit: None,
+            group: Some(GroupSpec {
+                key: Some("status".into()),
+                accumulators: vec![
+                    ("total".into(), Accumulator::Sum("amount".into())),
+                    ("n".into(), Accumulator::Count),
+                ],
+            }),
+        };
+        let (docs, plan) = store.find(&request);
+        assert_eq!(docs.len(), 2, "two status groups");
+        assert!(plan.optimized_pipeline);
+        // Paper Table VI: the MongoDB plan census sees producer + projector.
+        assert_eq!(plan.winning.stage_count(), 2);
+        assert_eq!(plan.winning.name, "PROJECTION_SIMPLE");
+        assert_eq!(plan.winning.input.as_ref().unwrap().name, "COLLSCAN");
+    }
+
+    #[test]
+    fn group_accumulators() {
+        let docs = vec![
+            json::object([("k", JsonValue::from("a")), ("v", JsonValue::Int(2))]),
+            json::object([("k", JsonValue::from("a")), ("v", JsonValue::Int(4))]),
+            json::object([("k", JsonValue::from("b")), ("v", JsonValue::Int(10))]),
+        ];
+        let out = run_group(
+            &docs,
+            &GroupSpec {
+                key: Some("k".into()),
+                accumulators: vec![
+                    ("sum".into(), Accumulator::Sum("v".into())),
+                    ("avg".into(), Accumulator::Avg("v".into())),
+                    ("n".into(), Accumulator::Count),
+                ],
+            },
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("_id").unwrap().as_str(), Some("a"));
+        assert_eq!(out[0].get("sum").unwrap().as_f64(), Some(6.0));
+        assert_eq!(out[0].get("avg").unwrap().as_f64(), Some(3.0));
+        assert_eq!(out[1].get("n").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn explain_json_shape() {
+        let mut store = store();
+        store.collection_mut("orders").create_index("status");
+        let (_, plan) = store.find(&find_req(vec![Condition {
+            field: "status".into(),
+            op: FilterOp::Eq,
+            value: JsonValue::from("A"),
+        }]));
+        let doc = plan.to_explain_json();
+        let planner = doc.get("queryPlanner").unwrap();
+        assert_eq!(
+            planner.get("winningPlan").unwrap().get("stage").unwrap().as_str(),
+            Some("FETCH")
+        );
+        assert!(planner
+            .get("namespace")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("orders"));
+        assert!(doc.get("executionStats").is_some());
+        // Round-trips through the JSON parser.
+        let text = doc.to_pretty();
+        assert_eq!(json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn missing_collection_is_empty() {
+        let store = DocStore::new();
+        let (docs, plan) = store.find(&find_req(vec![]));
+        assert!(docs.is_empty());
+        assert_eq!(plan.n_returned, Some(0));
+    }
+
+    #[test]
+    fn range_filters() {
+        let store = store();
+        let (docs, _) = store.find(&find_req(vec![Condition {
+            field: "amount".into(),
+            op: FilterOp::Gte,
+            value: JsonValue::Float(50.0),
+        }]));
+        assert_eq!(docs.len(), 5);
+        let (docs, _) = store.find(&find_req(vec![Condition {
+            field: "amount".into(),
+            op: FilterOp::Lt,
+            value: JsonValue::Float(20.0),
+        }]));
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn collection_bookkeeping() {
+        let mut store = DocStore::new();
+        assert!(store.collection("x").is_none());
+        store.collection_mut("x").insert(JsonValue::Object(vec![]));
+        assert_eq!(store.collection("x").unwrap().len(), 1);
+        assert!(!store.collection("x").unwrap().is_empty());
+        assert!(!store.collection("x").unwrap().has_index("f"));
+    }
+
+    #[test]
+    fn json_cmp_total_order() {
+        use std::cmp::Ordering;
+        assert_eq!(json_cmp(&JsonValue::Null, &JsonValue::Bool(false)), Ordering::Less);
+        assert_eq!(json_cmp(&JsonValue::Int(2), &JsonValue::Float(2.0)), Ordering::Equal);
+        assert_eq!(json_cmp(&JsonValue::Int(3), &JsonValue::from("a")), Ordering::Less);
+        assert_eq!(json_cmp(&JsonValue::from("a"), &JsonValue::from("b")), Ordering::Less);
+    }
+}

@@ -1,0 +1,763 @@
+//! # minigraph — the property-graph substrate (Neo4j-like)
+//!
+//! Supplies the graph-model side of the paper's evaluation: operator-table
+//! plans like Fig. 1, the Table VI/VII operation census over TPC-H (queries
+//! rewritten in Cypher, nodes = rows, edges = foreign keys) and WDBench.
+//!
+//! The planner reproduces the Neo4j idioms the study classified:
+//! relationship-driven access (classified **Join** — "a broader range of
+//! operations can be performed on the edges"), `Expand(All)` traversals
+//! (also Join), node scans (`AllNodesScan`/`NodeByLabelScan`, Producer),
+//! `Filter` and `ProduceResults` (Executor), `EagerAggregation` (Folder),
+//! `Projection` (Projector) and `Sort`/`Top`/`Limit` (Combinator).
+
+use std::collections::HashMap;
+
+/// A property value on nodes/relationships.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropValue {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+impl PropValue {
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            PropValue::Int(i) => Some(*i as f64),
+            PropValue::Float(f) => Some(*f),
+            PropValue::Str(_) => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PropValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Labels.
+    pub labels: Vec<String>,
+    /// Properties.
+    pub props: HashMap<String, PropValue>,
+}
+
+/// A relationship.
+#[derive(Debug, Clone)]
+pub struct Relationship {
+    /// Source node id.
+    pub src: usize,
+    /// Destination node id.
+    pub dst: usize,
+    /// Relationship type.
+    pub rel_type: String,
+    /// Properties.
+    pub props: HashMap<String, PropValue>,
+}
+
+/// Predicates over properties.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropPredicate {
+    /// `prop = value`
+    Eq(String, PropValue),
+    /// `prop < value` (numeric)
+    Lt(String, f64),
+    /// `prop > value` (numeric)
+    Gt(String, f64),
+    /// `prop ENDS WITH suffix` (the paper's Fig. 1 example)
+    EndsWith(String, String),
+    /// `prop CONTAINS text`
+    Contains(String, String),
+}
+
+impl PropPredicate {
+    fn matches(&self, props: &HashMap<String, PropValue>) -> bool {
+        match self {
+            PropPredicate::Eq(key, value) => props.get(key) == Some(value),
+            PropPredicate::Lt(key, bound) => {
+                props.get(key).and_then(PropValue::as_f64).is_some_and(|v| v < *bound)
+            }
+            PropPredicate::Gt(key, bound) => {
+                props.get(key).and_then(PropValue::as_f64).is_some_and(|v| v > *bound)
+            }
+            PropPredicate::EndsWith(key, suffix) => props
+                .get(key)
+                .and_then(PropValue::as_str)
+                .is_some_and(|s| s.ends_with(suffix)),
+            PropPredicate::Contains(key, text) => props
+                .get(key)
+                .and_then(PropValue::as_str)
+                .is_some_and(|s| s.contains(text)),
+        }
+    }
+
+    /// Cypher-ish rendering for plan Details columns.
+    pub fn render(&self, var: &str) -> String {
+        match self {
+            PropPredicate::Eq(k, PropValue::Str(s)) => format!("{var}.{k} = '{s}'"),
+            PropPredicate::Eq(k, PropValue::Int(i)) => format!("{var}.{k} = {i}"),
+            PropPredicate::Eq(k, PropValue::Float(f)) => format!("{var}.{k} = {f}"),
+            PropPredicate::Lt(k, b) => format!("{var}.{k} < {b}"),
+            PropPredicate::Gt(k, b) => format!("{var}.{k} > {b}"),
+            PropPredicate::EndsWith(k, s) => format!("{var}.{k} ENDS WITH '{s}'"),
+            PropPredicate::Contains(k, s) => format!("{var}.{k} CONTAINS '{s}'"),
+        }
+    }
+}
+
+/// Aggregations in `RETURN`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphAgg {
+    /// `count(*)`
+    Count,
+    /// `sum(var.prop)`
+    Sum(String),
+    /// `avg(var.prop)`
+    Avg(String),
+}
+
+/// A Cypher-lite pattern query:
+/// `MATCH (a:Label)[-[r:TYPE]->(b:Label)] WHERE ... RETURN ...`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PatternQuery {
+    /// Label constraint on the source node.
+    pub src_label: Option<String>,
+    /// Relationship type; `None` = node-only pattern.
+    pub rel_type: Option<String>,
+    /// Whether the relationship is traversed undirected.
+    pub undirected: bool,
+    /// Label constraint on the destination node.
+    pub dst_label: Option<String>,
+    /// Predicates on the source node (`a.prop ...`).
+    pub src_predicates: Vec<PropPredicate>,
+    /// Predicates on the relationship (`r.prop ...`).
+    pub rel_predicates: Vec<PropPredicate>,
+    /// Returned node property names (projected), from the source node.
+    pub return_props: Vec<String>,
+    /// Aggregations (grouped by `group_by` if set).
+    pub aggregates: Vec<GraphAgg>,
+    /// Group-by property on the source node.
+    pub group_by: Option<String>,
+    /// Sort by the first returned column, descending if true.
+    pub order_desc: Option<bool>,
+    /// Row limit.
+    pub limit: Option<usize>,
+}
+
+/// One operator row of the plan table (paper Fig. 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operator {
+    /// Operator name (`+`-prefixed in the rendered table).
+    pub name: String,
+    /// Details column (identifiers/expressions).
+    pub details: String,
+    /// Estimated rows.
+    pub estimated_rows: f64,
+    /// Actual rows (after execution).
+    pub rows: Option<u64>,
+    /// Database accesses.
+    pub db_hits: Option<u64>,
+}
+
+/// A Neo4j-style plan: a linear operator pipeline plus header/footer
+/// metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphPlan {
+    /// Operators, root first (`ProduceResults` on top, scans at the bottom).
+    pub operators: Vec<Operator>,
+    /// Planner name (Fig. 1: `COST`).
+    pub planner: String,
+    /// Runtime name.
+    pub runtime: String,
+    /// Runtime version.
+    pub runtime_version: String,
+    /// Total database accesses (footer).
+    pub total_db_hits: u64,
+    /// Total allocated memory in bytes (footer).
+    pub memory_bytes: u64,
+}
+
+/// The graph store.
+#[derive(Debug, Default)]
+pub struct GraphStore {
+    nodes: Vec<Node>,
+    rels: Vec<Relationship>,
+    /// (label, property) pairs with an index.
+    indexes: Vec<(String, String)>,
+}
+
+impl GraphStore {
+    /// An empty graph.
+    pub fn new() -> GraphStore {
+        GraphStore::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, labels: &[&str], props: Vec<(&str, PropValue)>) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+            props: props.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        });
+        id
+    }
+
+    /// Adds a relationship.
+    pub fn add_rel(&mut self, src: usize, dst: usize, rel_type: &str, props: Vec<(&str, PropValue)>) {
+        self.rels.push(Relationship {
+            src,
+            dst,
+            rel_type: rel_type.to_owned(),
+            props: props.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        });
+    }
+
+    /// Declares a node index on `(label, property)`.
+    pub fn create_index(&mut self, label: &str, property: &str) {
+        self.indexes.push((label.to_owned(), property.to_owned()));
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Relationship count.
+    pub fn rel_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    fn has_index(&self, label: Option<&str>, predicates: &[PropPredicate]) -> Option<String> {
+        let label = label?;
+        for (l, p) in &self.indexes {
+            if l == label
+                && predicates
+                    .iter()
+                    .any(|pred| matches!(pred, PropPredicate::Eq(key, _) if key == p))
+            {
+                return Some(p.clone());
+            }
+        }
+        None
+    }
+
+    /// Plans and executes a pattern query; returns result rows (rendered as
+    /// strings) and the executed plan with actuals.
+    pub fn run(&self, query: &PatternQuery) -> (Vec<Vec<String>>, GraphPlan) {
+        let mut operators: Vec<Operator> = Vec::new();
+        let mut db_hits: u64 = 0;
+
+        // ---- access + traversal -------------------------------------------
+        // (src node id, optional rel index) bindings.
+        let mut bindings: Vec<(usize, Option<usize>)>;
+
+        if let Some(rel_type) = &query.rel_type {
+            // Relationship-driven access (Join category — the Neo4j idiom
+            // that keeps paper Table VI's Producer column at 0.39).
+            let matching: Vec<usize> = self
+                .rels
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| &r.rel_type == rel_type)
+                .map(|(i, _)| i)
+                .collect();
+            db_hits += self.rels.len() as u64;
+            let contains_pred = query
+                .rel_predicates
+                .iter()
+                .find(|p| matches!(p, PropPredicate::Contains(..) | PropPredicate::EndsWith(..)));
+            let scan_name = if contains_pred.is_some() {
+                if query.undirected {
+                    "UndirectedRelationshipIndexContainsScan"
+                } else {
+                    "DirectedRelationshipIndexContainsScan"
+                }
+            } else if query.undirected {
+                "UndirectedRelationshipTypeScan"
+            } else {
+                "DirectedRelationshipTypeScan"
+            };
+            let mut kept = Vec::new();
+            for i in matching {
+                let rel = &self.rels[i];
+                if query.rel_predicates.iter().all(|p| p.matches(&rel.props)) {
+                    kept.push((rel.src, Some(i)));
+                    if query.undirected {
+                        kept.push((rel.dst, Some(i)));
+                    }
+                }
+            }
+            operators.push(Operator {
+                name: scan_name.to_owned(),
+                details: format!("()-[r:{rel_type}]->()"),
+                estimated_rows: (self.rels.len() as f64 / 2.0).max(1.0),
+                rows: Some(kept.len() as u64),
+                db_hits: Some(self.rels.len() as u64),
+            });
+
+            // Label filters on endpoints become Filter or Expand steps.
+            if query.dst_label.is_some() || query.src_label.is_some() {
+                let before = kept.len();
+                kept.retain(|(src, rel)| {
+                    let src_ok = query
+                        .src_label
+                        .as_ref()
+                        .map_or(true, |l| self.nodes[*src].labels.iter().any(|x| x == l));
+                    let dst_ok = match (&query.dst_label, rel) {
+                        (Some(l), Some(r)) => {
+                            self.nodes[self.rels[*r].dst].labels.iter().any(|x| x == l)
+                        }
+                        _ => true,
+                    };
+                    src_ok && dst_ok
+                });
+                db_hits += before as u64;
+                operators.push(Operator {
+                    name: "Expand(All)".to_owned(),
+                    details: "(a)-[r]->(b)".to_owned(),
+                    estimated_rows: (kept.len() as f64).max(1.0),
+                    rows: Some(kept.len() as u64),
+                    db_hits: Some(before as u64),
+                });
+            }
+            bindings = kept;
+        } else {
+            // Node-driven access.
+            let indexed = self.has_index(query.src_label.as_deref(), &query.src_predicates);
+            let candidates: Vec<usize> = (0..self.nodes.len())
+                .filter(|&i| {
+                    query
+                        .src_label
+                        .as_ref()
+                        .map_or(true, |l| self.nodes[i].labels.iter().any(|x| x == l))
+                })
+                .collect();
+            db_hits += self.nodes.len() as u64;
+            let (name, details) = match (&indexed, &query.src_label) {
+                (Some(prop), Some(label)) => (
+                    "NodeIndexSeek".to_owned(),
+                    format!("a:{label}({prop})"),
+                ),
+                (None, Some(label)) => ("NodeByLabelScan".to_owned(), format!("a:{label}")),
+                (None, None) | (Some(_), None) => ("AllNodesScan".to_owned(), "a".to_owned()),
+            };
+            operators.push(Operator {
+                name,
+                details,
+                estimated_rows: (candidates.len() as f64).max(1.0),
+                rows: Some(candidates.len() as u64),
+                db_hits: Some(self.nodes.len() as u64),
+            });
+            bindings = candidates.into_iter().map(|i| (i, None)).collect();
+        }
+
+        // ---- node predicates (Filter, Executor category) ------------------
+        if !query.src_predicates.is_empty() {
+            let before = bindings.len();
+            bindings.retain(|(src, _)| {
+                query
+                    .src_predicates
+                    .iter()
+                    .all(|p| p.matches(&self.nodes[*src].props))
+            });
+            db_hits += before as u64;
+            operators.push(Operator {
+                name: "Filter".to_owned(),
+                details: query
+                    .src_predicates
+                    .iter()
+                    .map(|p| p.render("a"))
+                    .collect::<Vec<_>>()
+                    .join(" AND "),
+                estimated_rows: (bindings.len() as f64).max(1.0),
+                rows: Some(bindings.len() as u64),
+                db_hits: Some(before as u64),
+            });
+        }
+
+        // ---- aggregation / projection --------------------------------------
+        let mut rows: Vec<Vec<String>>;
+        if !query.aggregates.is_empty() {
+            let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+            for (src, _) in &bindings {
+                let key = match &query.group_by {
+                    Some(prop) => self.nodes[*src]
+                        .props
+                        .get(prop)
+                        .map(|v| format!("{v:?}"))
+                        .unwrap_or_else(|| "<null>".to_owned()),
+                    None => String::new(),
+                };
+                match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, members)) => members.push(*src),
+                    None => groups.push((key, vec![*src])),
+                }
+            }
+            if groups.is_empty() && query.group_by.is_none() {
+                groups.push((String::new(), vec![]));
+            }
+            rows = groups
+                .iter()
+                .map(|(key, members)| {
+                    let mut row = Vec::new();
+                    if query.group_by.is_some() {
+                        row.push(key.clone());
+                    }
+                    for agg in &query.aggregates {
+                        let value = match agg {
+                            GraphAgg::Count => members.len() as f64,
+                            GraphAgg::Sum(prop) => members
+                                .iter()
+                                .filter_map(|&i| {
+                                    self.nodes[i].props.get(prop).and_then(PropValue::as_f64)
+                                })
+                                .sum(),
+                            GraphAgg::Avg(prop) => {
+                                let vs: Vec<f64> = members
+                                    .iter()
+                                    .filter_map(|&i| {
+                                        self.nodes[i].props.get(prop).and_then(PropValue::as_f64)
+                                    })
+                                    .collect();
+                                if vs.is_empty() {
+                                    0.0
+                                } else {
+                                    vs.iter().sum::<f64>() / vs.len() as f64
+                                }
+                            }
+                        };
+                        row.push(format!("{value}"));
+                    }
+                    row
+                })
+                .collect();
+            operators.push(Operator {
+                name: "EagerAggregation".to_owned(),
+                details: query.group_by.clone().unwrap_or_else(|| "count(*)".to_owned()),
+                estimated_rows: (rows.len() as f64).max(1.0),
+                rows: Some(rows.len() as u64),
+                db_hits: Some(0),
+            });
+        } else if !query.return_props.is_empty() {
+            rows = bindings
+                .iter()
+                .map(|(src, _)| {
+                    query
+                        .return_props
+                        .iter()
+                        .map(|p| {
+                            self.nodes[*src]
+                                .props
+                                .get(p)
+                                .map(|v| match v {
+                                    PropValue::Int(i) => i.to_string(),
+                                    PropValue::Float(f) => f.to_string(),
+                                    PropValue::Str(s) => s.clone(),
+                                })
+                                .unwrap_or_default()
+                        })
+                        .collect()
+                })
+                .collect();
+            operators.push(Operator {
+                name: "Projection".to_owned(),
+                details: query
+                    .return_props
+                    .iter()
+                    .map(|p| format!("a.{p}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                estimated_rows: (rows.len() as f64).max(1.0),
+                rows: Some(rows.len() as u64),
+                db_hits: Some(rows.len() as u64),
+            });
+            db_hits += rows.len() as u64;
+        } else {
+            // Return the matched entities themselves.
+            rows = bindings
+                .iter()
+                .map(|(src, rel)| match rel {
+                    Some(r) => vec![format!("rel#{r}")],
+                    None => vec![format!("node#{src}")],
+                })
+                .collect();
+        }
+
+        // ---- ordering / limiting -------------------------------------------
+        if let Some(desc) = query.order_desc {
+            rows.sort();
+            if desc {
+                rows.reverse();
+            }
+            let (name, bound) = match query.limit {
+                Some(n) => ("Top", Some(n)),
+                None => ("Sort", None),
+            };
+            operators.push(Operator {
+                name: name.to_owned(),
+                details: bound.map_or("order".to_owned(), |n| format!("order LIMIT {n}")),
+                estimated_rows: (rows.len() as f64).max(1.0),
+                rows: Some(rows.len() as u64),
+                db_hits: Some(0),
+            });
+        }
+        if let Some(n) = query.limit {
+            rows.truncate(n);
+            if query.order_desc.is_none() {
+                operators.push(Operator {
+                    name: "Limit".to_owned(),
+                    details: n.to_string(),
+                    estimated_rows: n as f64,
+                    rows: Some(rows.len() as u64),
+                    db_hits: Some(0),
+                });
+            }
+        }
+
+        // ---- results -------------------------------------------------------
+        operators.push(Operator {
+            name: "ProduceResults".to_owned(),
+            details: "*".to_owned(),
+            estimated_rows: (rows.len() as f64).max(1.0),
+            rows: Some(rows.len() as u64),
+            db_hits: Some(0),
+        });
+        operators.reverse(); // root (ProduceResults) first, like Neo4j tables
+
+        let plan = GraphPlan {
+            operators,
+            planner: "COST".to_owned(),
+            runtime: "PIPELINED".to_owned(),
+            runtime_version: "5.6".to_owned(),
+            total_db_hits: db_hits,
+            memory_bytes: 184 + 8 * rows.len() as u64,
+        };
+        (rows, plan)
+    }
+
+    /// Plans without executing (estimates only).
+    pub fn explain(&self, query: &PatternQuery) -> GraphPlan {
+        let (_, mut plan) = self.run(query);
+        for op in &mut plan.operators {
+            op.rows = None;
+            op.db_hits = None;
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 1 graph: relationships whose `title` ends with
+    /// "developer".
+    fn fig1_graph() -> GraphStore {
+        let mut g = GraphStore::new();
+        let people: Vec<usize> = (0..10)
+            .map(|i| {
+                g.add_node(
+                    &["Person"],
+                    vec![("name", PropValue::Str(format!("p{i}")))],
+                )
+            })
+            .collect();
+        for i in 0..8 {
+            let title = if i < 4 { "senior developer" } else { "manager" };
+            g.add_rel(
+                people[i],
+                people[i + 1],
+                "WORKS_AS",
+                vec![("title", PropValue::Str(title.to_owned()))],
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn fig1_relationship_contains_scan() {
+        let g = fig1_graph();
+        let query = PatternQuery {
+            rel_type: Some("WORKS_AS".into()),
+            undirected: true,
+            rel_predicates: vec![PropPredicate::EndsWith(
+                "title".into(),
+                "developer".into(),
+            )],
+            ..PatternQuery::default()
+        };
+        let (rows, plan) = g.run(&query);
+        assert_eq!(rows.len(), 8, "4 matching rels, undirected = both endpoints");
+        let names: Vec<&str> = plan.operators.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names[0], "ProduceResults");
+        assert!(names.contains(&"UndirectedRelationshipIndexContainsScan"));
+        assert_eq!(plan.planner, "COST");
+        assert!(plan.total_db_hits > 0);
+    }
+
+    #[test]
+    fn node_scans_choose_label_and_index() {
+        let mut g = fig1_graph();
+        let all = PatternQuery::default();
+        let (_, plan) = g.run(&all);
+        assert!(plan.operators.iter().any(|o| o.name == "AllNodesScan"));
+
+        let labeled = PatternQuery {
+            src_label: Some("Person".into()),
+            ..PatternQuery::default()
+        };
+        let (rows, plan) = g.run(&labeled);
+        assert_eq!(rows.len(), 10);
+        assert!(plan.operators.iter().any(|o| o.name == "NodeByLabelScan"));
+
+        g.create_index("Person", "name");
+        let seek = PatternQuery {
+            src_label: Some("Person".into()),
+            src_predicates: vec![PropPredicate::Eq(
+                "name".into(),
+                PropValue::Str("p3".into()),
+            )],
+            ..PatternQuery::default()
+        };
+        let (rows, plan) = g.run(&seek);
+        assert_eq!(rows.len(), 1);
+        assert!(plan.operators.iter().any(|o| o.name == "NodeIndexSeek"));
+    }
+
+    #[test]
+    fn aggregation_and_projection_operators() {
+        let mut g = GraphStore::new();
+        for i in 0..6 {
+            g.add_node(
+                &["Order"],
+                vec![
+                    ("status", PropValue::Str(if i % 2 == 0 { "A" } else { "B" }.into())),
+                    ("total", PropValue::Float(i as f64)),
+                ],
+            );
+        }
+        let agg = PatternQuery {
+            src_label: Some("Order".into()),
+            aggregates: vec![GraphAgg::Count, GraphAgg::Sum("total".into())],
+            group_by: Some("status".into()),
+            ..PatternQuery::default()
+        };
+        let (rows, plan) = g.run(&agg);
+        assert_eq!(rows.len(), 2);
+        assert!(plan.operators.iter().any(|o| o.name == "EagerAggregation"));
+
+        let project = PatternQuery {
+            src_label: Some("Order".into()),
+            return_props: vec!["status".into()],
+            ..PatternQuery::default()
+        };
+        let (rows, plan) = g.run(&project);
+        assert_eq!(rows.len(), 6);
+        assert!(plan.operators.iter().any(|o| o.name == "Projection"));
+    }
+
+    #[test]
+    fn filters_order_and_limit() {
+        let mut g = GraphStore::new();
+        for i in 0..10 {
+            g.add_node(&["N"], vec![("v", PropValue::Int(i))]);
+        }
+        let query = PatternQuery {
+            src_label: Some("N".into()),
+            src_predicates: vec![PropPredicate::Gt("v".into(), 3.0)],
+            return_props: vec!["v".into()],
+            order_desc: Some(true),
+            limit: Some(2),
+            ..PatternQuery::default()
+        };
+        let (rows, plan) = g.run(&query);
+        assert_eq!(rows, vec![vec!["9".to_string()], vec!["8".to_string()]]);
+        let names: Vec<&str> = plan.operators.iter().map(|o| o.name.as_str()).collect();
+        assert!(names.contains(&"Filter"));
+        assert!(names.contains(&"Top"), "{names:?}");
+    }
+
+    #[test]
+    fn directed_vs_undirected_type_scans() {
+        let mut g = GraphStore::new();
+        let a = g.add_node(&["X"], vec![]);
+        let b = g.add_node(&["X"], vec![]);
+        g.add_rel(a, b, "KNOWS", vec![]);
+        let directed = PatternQuery {
+            rel_type: Some("KNOWS".into()),
+            ..PatternQuery::default()
+        };
+        let (rows, plan) = g.run(&directed);
+        assert_eq!(rows.len(), 1);
+        assert!(plan
+            .operators
+            .iter()
+            .any(|o| o.name == "DirectedRelationshipTypeScan"));
+        let undirected = PatternQuery {
+            rel_type: Some("KNOWS".into()),
+            undirected: true,
+            ..PatternQuery::default()
+        };
+        let (rows, _) = g.run(&undirected);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn explain_strips_actuals() {
+        let g = fig1_graph();
+        let plan = g.explain(&PatternQuery {
+            src_label: Some("Person".into()),
+            ..PatternQuery::default()
+        });
+        assert!(plan.operators.iter().all(|o| o.rows.is_none()));
+        assert!(plan.operators.iter().all(|o| o.db_hits.is_none()));
+    }
+
+    #[test]
+    fn predicates() {
+        let props: HashMap<String, PropValue> = [
+            ("title".to_owned(), PropValue::Str("lead developer".into())),
+            ("grade".to_owned(), PropValue::Int(7)),
+        ]
+        .into();
+        assert!(PropPredicate::EndsWith("title".into(), "developer".into()).matches(&props));
+        assert!(PropPredicate::Contains("title".into(), "dev".into()).matches(&props));
+        assert!(PropPredicate::Gt("grade".into(), 5.0).matches(&props));
+        assert!(!PropPredicate::Lt("grade".into(), 5.0).matches(&props));
+        assert!(
+            PropPredicate::Eq("grade".into(), PropValue::Int(7)).matches(&props)
+        );
+        assert!(!PropPredicate::Eq("missing".into(), PropValue::Int(1)).matches(&props));
+        assert_eq!(
+            PropPredicate::EndsWith("t".into(), "x".into()).render("r"),
+            "r.t ENDS WITH 'x'"
+        );
+    }
+
+    #[test]
+    fn counts() {
+        let g = fig1_graph();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.rel_count(), 8);
+    }
+
+    #[test]
+    fn empty_aggregate_returns_zero_row() {
+        let g = GraphStore::new();
+        let (rows, _) = g.run(&PatternQuery {
+            aggregates: vec![GraphAgg::Count],
+            ..PatternQuery::default()
+        });
+        assert_eq!(rows, vec![vec!["0".to_string()]]);
+    }
+}

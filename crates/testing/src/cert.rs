@@ -1,0 +1,192 @@
+//! Cardinality Estimation Restriction Testing, DBMS-agnostic (paper A.1).
+//!
+//! CERT's oracle (Ba & Rigger, ICSE'24): making a query strictly more
+//! restrictive must not *increase* its estimated cardinality. The estimate
+//! is read from the **unified plan** (`Cardinality->rows` at the root),
+//! which is the paper's point — one extraction routine for every engine,
+//! instead of per-DBMS EXPLAIN scraping.
+
+use minidb::faults::BugId;
+use minidb::Database;
+
+use crate::generator::Generator;
+use crate::pipeline::PlanPipeline;
+
+/// A CERT finding: a restriction that grew the estimate.
+#[derive(Debug, Clone)]
+pub struct CertFailure {
+    /// The base query.
+    pub base_query: String,
+    /// The restricted query.
+    pub restricted_query: String,
+    /// Base estimate.
+    pub base_estimate: f64,
+    /// Restricted estimate (larger — the bug).
+    pub restricted_estimate: f64,
+}
+
+/// CERT configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CertConfig {
+    /// Query pairs to examine.
+    pub queries: usize,
+    /// Relative tolerance before flagging (estimates are noisy).
+    pub tolerance: f64,
+}
+
+impl Default for CertConfig {
+    fn default() -> Self {
+        CertConfig {
+            queries: 200,
+            tolerance: 0.05,
+        }
+    }
+}
+
+/// CERT outcome.
+#[derive(Debug)]
+pub struct CertOutcome {
+    /// Monotonicity violations.
+    pub failures: Vec<CertFailure>,
+    /// Faults that fired (campaign accounting).
+    pub fired: Vec<BugId>,
+    /// Pairs examined.
+    pub examined: usize,
+}
+
+/// Runs CERT against a prepared database.
+pub fn run(db: &mut Database, generator: &mut Generator, config: CertConfig) -> CertOutcome {
+    let mut pipeline = PlanPipeline::new();
+    let mut failures = Vec::new();
+    let mut fired = std::collections::BTreeSet::new();
+    let mut examined = 0usize;
+
+    for i in 0..config.queries {
+        let query = generator.query();
+        // Restriction 1: add a conjunct.
+        let extra = generator.predicate(&aliases_of(&query.from));
+        let restricted_sql = format!("{} AND ({extra})", query.sql);
+        check_pair(
+            db,
+            &mut pipeline,
+            &query.sql,
+            &restricted_sql,
+            config.tolerance,
+            &mut failures,
+        );
+        examined += 1;
+
+        // Restriction 2 (every few queries): grouping can only shrink output.
+        if i % 5 == 0 && !query.has_join {
+            let table = query.from.clone();
+            let base = format!("SELECT c0 FROM {table} WHERE {}", query.predicate);
+            let grouped = format!(
+                "SELECT c0, COUNT(*) FROM {table} WHERE {} GROUP BY c0",
+                query.predicate
+            );
+            check_pair(db, &mut pipeline, &base, &grouped, config.tolerance, &mut failures);
+            examined += 1;
+        }
+        fired.extend(db.take_fault_log());
+    }
+    CertOutcome {
+        failures,
+        fired: fired.into_iter().collect(),
+        examined,
+    }
+}
+
+fn aliases_of(from: &str) -> Vec<&str> {
+    from.split(" JOIN ")
+        .map(|part| part.split_whitespace().next().unwrap_or_default())
+        .collect()
+}
+
+fn check_pair(
+    db: &mut Database,
+    pipeline: &mut PlanPipeline,
+    base_sql: &str,
+    restricted_sql: &str,
+    tolerance: f64,
+    failures: &mut Vec<CertFailure>,
+) {
+    let (Ok(base_plan), Ok(restricted_plan)) = (
+        pipeline.unified_plan(db, base_sql),
+        pipeline.unified_plan(db, restricted_sql),
+    ) else {
+        return;
+    };
+    let (Some(base), Some(restricted)) = (
+        PlanPipeline::estimated_rows(&base_plan),
+        PlanPipeline::estimated_rows(&restricted_plan),
+    ) else {
+        return;
+    };
+    if restricted > base * (1.0 + tolerance) + 1.0 {
+        failures.push(CertFailure {
+            base_query: base_sql.to_owned(),
+            restricted_query: restricted_sql.to_owned(),
+            base_estimate: base,
+            restricted_estimate: restricted,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::profile::EngineProfile;
+
+    fn prepared(profile: EngineProfile, seed: u64) -> (Database, Generator) {
+        let mut db = Database::new(profile);
+        let mut generator = Generator::new(seed);
+        generator.create_schema(&mut db, 2);
+        (db, generator)
+    }
+
+    #[test]
+    fn healthy_estimators_are_monotonic() {
+        for profile in [EngineProfile::Postgres, EngineProfile::MySql, EngineProfile::TiDb] {
+            let (mut db, mut generator) = prepared(profile, 31);
+            let outcome = run(
+                &mut db,
+                &mut generator,
+                CertConfig {
+                    queries: 80,
+                    ..CertConfig::default()
+                },
+            );
+            assert!(
+                outcome.failures.is_empty(),
+                "{profile}: {:?}",
+                outcome.failures.first()
+            );
+        }
+    }
+
+    #[test]
+    fn cert_catches_conjunction_fault() {
+        let (mut db, mut generator) = prepared(EngineProfile::MySql, 37);
+        db.arm_fault(BugId::Mysql114237);
+        let outcome = run(&mut db, &mut generator, CertConfig::default());
+        assert!(!outcome.failures.is_empty());
+        let f = &outcome.failures[0];
+        assert!(f.restricted_estimate > f.base_estimate);
+    }
+
+    #[test]
+    fn cert_catches_postgres_range_fault() {
+        let (mut db, mut generator) = prepared(EngineProfile::Postgres, 41);
+        db.arm_fault(BugId::PostgresEmail);
+        let outcome = run(&mut db, &mut generator, CertConfig::default());
+        assert!(!outcome.failures.is_empty());
+    }
+
+    #[test]
+    fn cert_catches_tidb_aggregate_fault() {
+        let (mut db, mut generator) = prepared(EngineProfile::TiDb, 43);
+        db.arm_fault(BugId::Tidb51524);
+        let outcome = run(&mut db, &mut generator, CertConfig::default());
+        assert!(!outcome.failures.is_empty());
+    }
+}

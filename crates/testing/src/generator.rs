@@ -1,0 +1,245 @@
+//! SQLancer-style random schema/data/query generation.
+//!
+//! Replaces the paper's use of SQLancer as the test-case generator: random
+//! schemas, random rows (with NULLs), random predicates covering the plan
+//! features the fault catalog gates on (index equality with fractional
+//! probes à la Listing 3, negative range bounds, IS NULL residuals, joins
+//! with duplicate and NULL keys), and random *database mutations* — the
+//! state-change lever QPG pulls when plan novelty stalls.
+
+use minidb::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic generator over a database instance.
+pub struct Generator {
+    rng: StdRng,
+    /// Tables created so far (t0, t1, ...).
+    pub tables: Vec<String>,
+    index_counter: usize,
+}
+
+/// A generated query plus the pieces oracles need.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// Complete SELECT statement.
+    pub sql: String,
+    /// The FROM clause (tables, optionally with a join).
+    pub from: String,
+    /// The WHERE predicate (TLP partitions this).
+    pub predicate: String,
+    /// Whether the FROM contains a join.
+    pub has_join: bool,
+}
+
+impl Generator {
+    /// A generator with a fixed seed.
+    pub fn new(seed: u64) -> Generator {
+        Generator {
+            rng: StdRng::seed_from_u64(seed),
+            tables: Vec::new(),
+            index_counter: 0,
+        }
+    }
+
+    /// Creates `n` small tables with two INT columns and NULL-y data.
+    pub fn create_schema(&mut self, db: &mut Database, n: usize) {
+        for t in 0..n {
+            let table = format!("t{t}");
+            db.execute(&format!("CREATE TABLE {table} (c0 INT, c1 INT)"))
+                .expect("schema creation");
+            self.tables.push(table.clone());
+            let rows = 20 + self.rng.gen_range(0..30);
+            for _ in 0..rows {
+                let c0 = self.literal_int();
+                let c1 = self.literal_int();
+                db.execute(&format!("INSERT INTO {table} VALUES ({c0}, {c1})"))
+                    .expect("insert");
+            }
+            db.execute(&format!("ANALYZE {table}")).expect("analyze");
+        }
+    }
+
+    fn literal_int(&mut self) -> String {
+        match self.rng.gen_range(0..10) {
+            0 => "NULL".to_owned(),
+            1 => format!("{}", -self.rng.gen_range(1..20)),
+            _ => format!("{}", self.rng.gen_range(0..10)),
+        }
+    }
+
+    /// A random scalar predicate over columns of `alias`.
+    pub fn predicate(&mut self, aliases: &[&str]) -> String {
+        let depth = self.rng.gen_range(0..2);
+        self.predicate_at(aliases, depth)
+    }
+
+    fn predicate_at(&mut self, aliases: &[&str], depth: usize) -> String {
+        if depth > 0 && self.rng.gen_bool(0.5) {
+            let op = if self.rng.gen_bool(0.5) { "AND" } else { "OR" };
+            let left = self.predicate_at(aliases, depth - 1);
+            let right = self.predicate_at(aliases, depth - 1);
+            return format!("({left} {op} {right})");
+        }
+        let alias = aliases[self.rng.gen_range(0..aliases.len())];
+        let column = format!("{alias}.c{}", self.rng.gen_range(0..2));
+        match self.rng.gen_range(0..8) {
+            // Listing 3's shape: fractional probe behind GREATEST.
+            0 => format!(
+                "{column} IN (GREATEST(0.{}, 0.{}))",
+                self.rng.gen_range(1..5),
+                self.rng.gen_range(5..9)
+            ),
+            // Negative lower bound (fault mysql-113304's gate).
+            1 => format!("{column} > -{}", self.rng.gen_range(1..15)),
+            2 => format!("{column} IS NULL"),
+            3 => format!("{column} IS NOT NULL"),
+            4 => format!("{column} = {}", self.rng.gen_range(0..10)),
+            5 => format!(
+                "{column} BETWEEN {} AND {}",
+                self.rng.gen_range(0..5),
+                self.rng.gen_range(5..12)
+            ),
+            6 => format!("NOT ({column} < {})", self.rng.gen_range(0..10)),
+            _ => format!("{column} < {}", self.rng.gen_range(0..12)),
+        }
+    }
+
+    /// A random SELECT over one or two tables.
+    pub fn query(&mut self) -> GeneratedQuery {
+        let joined = self.tables.len() >= 2 && self.rng.gen_bool(0.5);
+        if joined {
+            let a = self.rng.gen_range(0..self.tables.len());
+            let mut b = self.rng.gen_range(0..self.tables.len());
+            if a == b {
+                b = (b + 1) % self.tables.len();
+            }
+            let (ta, tb) = (self.tables[a].clone(), self.tables[b].clone());
+            let from = format!("{ta} JOIN {tb} ON {ta}.c0 = {tb}.c0");
+            let predicate = self.predicate(&[&ta, &tb]);
+            GeneratedQuery {
+                sql: format!("SELECT * FROM {from} WHERE {predicate}"),
+                from,
+                predicate,
+                has_join: true,
+            }
+        } else {
+            let t = self.tables[self.rng.gen_range(0..self.tables.len())].clone();
+            let predicate = self.predicate(&[&t]);
+            GeneratedQuery {
+                sql: format!("SELECT * FROM {t} WHERE {predicate}"),
+                from: t,
+                predicate,
+                has_join: false,
+            }
+        }
+    }
+
+    /// Applies one random state mutation — QPG's lever for new plans.
+    /// Returns a description of what changed.
+    pub fn mutate(&mut self, db: &mut Database) -> String {
+        let t = self.tables[self.rng.gen_range(0..self.tables.len())].clone();
+        match self.rng.gen_range(0..5) {
+            0 => {
+                let column = self.rng.gen_range(0..2);
+                let name = format!("gi{}", self.index_counter);
+                self.index_counter += 1;
+                match db.execute(&format!("CREATE INDEX {name} ON {t}(c{column})")) {
+                    Ok(_) => format!("CREATE INDEX {name} ON {t}(c{column})"),
+                    Err(_) => format!("index on {t} already present"),
+                }
+            }
+            1 => {
+                let rows = self.rng.gen_range(1..6);
+                for _ in 0..rows {
+                    let c0 = self.literal_int();
+                    let c1 = self.literal_int();
+                    let _ = db.execute(&format!("INSERT INTO {t} VALUES ({c0}, {c1})"));
+                }
+                format!("INSERT {rows} rows into {t}")
+            }
+            2 => {
+                let set = self.rng.gen_range(0..10);
+                let hit = self.rng.gen_range(0..10);
+                let _ = db.execute(&format!("UPDATE {t} SET c1 = {set} WHERE c0 = {hit}"));
+                format!("UPDATE {t}")
+            }
+            3 => {
+                let hit = self.rng.gen_range(0..10);
+                let _ = db.execute(&format!("DELETE FROM {t} WHERE c1 = {hit}"));
+                format!("DELETE from {t}")
+            }
+            _ => {
+                let _ = db.execute(&format!("ANALYZE {t}"));
+                format!("ANALYZE {t}")
+            }
+        }
+    }
+
+    /// Random integer in `[lo, hi)` (exposed for the harness).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::profile::EngineProfile;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let queries = |seed| {
+            let mut db = Database::new(EngineProfile::Postgres);
+            let mut g = Generator::new(seed);
+            g.create_schema(&mut db, 2);
+            (0..10).map(|_| g.query().sql).collect::<Vec<_>>()
+        };
+        assert_eq!(queries(7), queries(7));
+        assert_ne!(queries(7), queries(8));
+    }
+
+    #[test]
+    fn generated_queries_parse_and_run() {
+        let mut db = Database::new(EngineProfile::Postgres);
+        let mut g = Generator::new(42);
+        g.create_schema(&mut db, 3);
+        for _ in 0..50 {
+            let q = g.query();
+            db.execute(&q.sql)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.sql));
+        }
+    }
+
+    #[test]
+    fn mutations_apply() {
+        let mut db = Database::new(EngineProfile::MySql);
+        let mut g = Generator::new(1);
+        g.create_schema(&mut db, 2);
+        for _ in 0..20 {
+            let what = g.mutate(&mut db);
+            assert!(!what.is_empty());
+        }
+        // Queries still run after arbitrary mutations.
+        for _ in 0..10 {
+            let q = g.query();
+            db.execute(&q.sql).unwrap();
+        }
+    }
+
+    #[test]
+    fn predicates_cover_fault_gates() {
+        let mut g = Generator::new(3);
+        g.tables.push("t0".into());
+        let mut saw_greatest = false;
+        let mut saw_negative = false;
+        let mut saw_is_null = false;
+        for _ in 0..200 {
+            let p = g.predicate(&["t0"]);
+            saw_greatest |= p.contains("GREATEST");
+            saw_negative |= p.contains("> -");
+            saw_is_null |= p.contains("IS NULL");
+        }
+        assert!(saw_greatest && saw_negative && saw_is_null);
+    }
+}

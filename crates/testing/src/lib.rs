@@ -1,0 +1,30 @@
+//! # uplan-testing — QPG, CERT and TLP on unified plans (paper A.1)
+//!
+//! The paper's headline application: re-implementing Query Plan Guidance
+//! (QPG, ICSE'23) and Cardinality Estimation Restriction Testing (CERT,
+//! ICSE'24) **DBMS-agnostically**, by processing unified plans instead of
+//! engine-specific EXPLAIN output. The pipeline per engine is exactly
+//! paper Fig. 2:
+//!
+//! ```text
+//! queries → engine → raw serialized plan → converter → unified plan → QPG/CERT
+//! ```
+//!
+//! * [`pipeline`] — the raw-plan → unified-plan step for each engine profile;
+//! * [`generator`] — SQLancer-style random schema/data/query generation;
+//! * [`oracles`] — the correctness oracles: Ternary Logic Partitioning,
+//!   a NoREC-style unoptimized-rewrite check for joins, and small
+//!   aggregate/distinct/union checks;
+//! * [`qpg`] — plan-fingerprint-guided generation with database mutation;
+//! * [`cert`] — estimated-cardinality monotonicity checking;
+//! * [`harness`] — the Table V campaign: all faults armed, both methods,
+//!   three engines, deduplicated findings.
+
+pub mod cert;
+pub mod generator;
+pub mod harness;
+pub mod oracles;
+pub mod pipeline;
+pub mod qpg;
+
+pub use harness::{run_campaign, CampaignConfig, CampaignReport, Finding};

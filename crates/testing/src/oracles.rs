@@ -1,0 +1,259 @@
+//! Correctness oracles: Ternary Logic Partitioning and companions.
+//!
+//! TLP (Rigger & Su, OOPSLA'20 — the oracle the paper's QPG campaign used)
+//! partitions any predicate `p` into its three truth values: a query `Q`
+//! must return exactly the bag union of `Q WHERE p`, `Q WHERE NOT p` and
+//! `Q WHERE p IS NULL`. The base query runs without a WHERE clause, so it
+//! takes the plain scan path; the partitions take (potentially buggy)
+//! filtered/indexed paths — any disagreement is a genuine wrong-result bug.
+//!
+//! The companion oracles cover plan features TLP's shape cannot reach:
+//! a NoREC-style *unoptimized rewrite* check for join results, an
+//! empty-input aggregate check, and DISTINCT / UNION ALL bag checks.
+
+use minidb::{Database, QueryResult};
+
+/// A wrong-result finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleFailure {
+    /// Which oracle fired.
+    pub oracle: &'static str,
+    /// The offending query.
+    pub query: String,
+    /// Human-readable discrepancy.
+    pub detail: String,
+}
+
+/// TLP over `SELECT * FROM {from} WHERE {predicate}`.
+///
+/// Returns a failure if the three partitions don't reassemble the base bag.
+pub fn tlp(db: &mut Database, from: &str, predicate: &str) -> Option<OracleFailure> {
+    let base = db.execute(&format!("SELECT * FROM {from}")).ok()?;
+    let p = db
+        .execute(&format!("SELECT * FROM {from} WHERE {predicate}"))
+        .ok()?;
+    let not_p = db
+        .execute(&format!("SELECT * FROM {from} WHERE NOT ({predicate})"))
+        .ok()?;
+    let null_p = db
+        .execute(&format!("SELECT * FROM {from} WHERE ({predicate}) IS NULL"))
+        .ok()?;
+    let mut union = p.rows.clone();
+    union.extend(not_p.rows.clone());
+    union.extend(null_p.rows.clone());
+    let combined = QueryResult {
+        columns: base.columns.clone(),
+        rows: union,
+    };
+    if combined.same_multiset(&base) {
+        None
+    } else {
+        Some(OracleFailure {
+            oracle: "TLP",
+            query: format!("SELECT * FROM {from} WHERE {predicate}"),
+            detail: format!(
+                "base {} rows vs partitions {}+{}+{} rows",
+                base.rows.len(),
+                p.rows.len(),
+                not_p.rows.len(),
+                null_p.rows.len()
+            ),
+        })
+    }
+}
+
+/// NoREC-style join check: the optimized join must agree with the
+/// unoptimizable cross-product + client-side condition evaluation.
+///
+/// `left`/`right` are table names; the join condition is `left.c0 =
+/// right.c0` (the generator's shape). The reference result is computed from
+/// two plain scans, so no join-algorithm fault can affect it.
+pub fn join_norec(db: &mut Database, left: &str, right: &str) -> Option<OracleFailure> {
+    let sql = format!("SELECT * FROM {left} JOIN {right} ON {left}.c0 = {right}.c0");
+    let optimized = db.execute(&sql).ok()?;
+    let a = db.execute(&format!("SELECT * FROM {left}")).ok()?;
+    let b = db.execute(&format!("SELECT * FROM {right}")).ok()?;
+    // Reference: nested loops in the oracle itself.
+    let mut reference = Vec::new();
+    for ra in &a.rows {
+        for rb in &b.rows {
+            if ra[0].sql_eq(&rb[0]) == Some(true) {
+                let mut row = ra.clone();
+                row.extend(rb.clone());
+                reference.push(row);
+            }
+        }
+    }
+    let reference = QueryResult {
+        columns: optimized.columns.clone(),
+        rows: reference,
+    };
+    if reference.same_multiset(&optimized) {
+        None
+    } else {
+        Some(OracleFailure {
+            oracle: "NoREC-join",
+            query: sql,
+            detail: format!(
+                "optimized join returned {} rows, reference {}",
+                optimized.rows.len(),
+                reference.rows.len()
+            ),
+        })
+    }
+}
+
+/// Empty-input aggregate check: `SUM` over zero rows is NULL, never 0.
+pub fn empty_sum(db: &mut Database, table: &str) -> Option<OracleFailure> {
+    let sql = format!("SELECT SUM(c0) FROM {table} WHERE c0 < c0");
+    let result = db.execute(&sql).ok()?;
+    let value = result.rows.first()?.first()?;
+    if value.is_null() {
+        None
+    } else {
+        Some(OracleFailure {
+            oracle: "empty-SUM",
+            query: sql,
+            detail: format!("SUM over empty input returned {}", value.render()),
+        })
+    }
+}
+
+/// DISTINCT check against client-side deduplication.
+pub fn distinct_check(db: &mut Database, table: &str) -> Option<OracleFailure> {
+    let sql = format!("SELECT DISTINCT c0 FROM {table}");
+    let distinct = db.execute(&sql).ok()?;
+    let all = db.execute(&format!("SELECT c0 FROM {table}")).ok()?;
+    let mut seen = std::collections::HashSet::new();
+    let mut reference = Vec::new();
+    for row in &all.rows {
+        let key: Vec<minidb::datum::DatumKey> =
+            row.iter().map(|d| d.group_key()).collect();
+        if seen.insert(key) {
+            reference.push(row.clone());
+        }
+    }
+    let reference = QueryResult {
+        columns: distinct.columns.clone(),
+        rows: reference,
+    };
+    if reference.same_multiset(&distinct) {
+        None
+    } else {
+        Some(OracleFailure {
+            oracle: "DISTINCT",
+            query: sql,
+            detail: format!(
+                "DISTINCT returned {} rows, reference {}",
+                distinct.rows.len(),
+                reference.rows.len()
+            ),
+        })
+    }
+}
+
+/// UNION ALL check: `|Q UNION ALL Q| = 2·|Q|`.
+pub fn union_all_check(
+    db: &mut Database,
+    table: &str,
+    predicate: &str,
+) -> Option<OracleFailure> {
+    let single = db
+        .execute(&format!("SELECT c0 FROM {table} WHERE {predicate}"))
+        .ok()?;
+    let sql = format!(
+        "SELECT c0 FROM {table} WHERE {predicate} UNION ALL SELECT c0 FROM {table} WHERE {predicate}"
+    );
+    let doubled = db.execute(&sql).ok()?;
+    if doubled.rows.len() == 2 * single.rows.len() {
+        None
+    } else {
+        Some(OracleFailure {
+            oracle: "UNION-ALL",
+            query: sql,
+            detail: format!(
+                "expected {} rows, got {}",
+                2 * single.rows.len(),
+                doubled.rows.len()
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::faults::BugId;
+    use minidb::profile::EngineProfile;
+
+    fn mysql_db() -> Database {
+        let mut db = Database::new(EngineProfile::MySql);
+        db.execute("CREATE TABLE t0 (c0 INT, c1 INT)").unwrap();
+        db.execute("INSERT INTO t0 VALUES (0, 1), (1, NULL), (2, 3), (NULL, 4)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn tlp_passes_on_a_healthy_engine() {
+        let mut db = mysql_db();
+        assert!(tlp(&mut db, "t0", "t0.c0 < 2").is_none());
+        assert!(tlp(&mut db, "t0", "t0.c1 IS NULL").is_none());
+        assert!(tlp(&mut db, "t0", "t0.c0 IN (GREATEST(0.1, 0.2))").is_none());
+    }
+
+    #[test]
+    fn tlp_catches_the_listing3_fault() {
+        // Paper Listing 3 end to end: the fault needs the index to fire.
+        let mut db = mysql_db();
+        db.arm_fault(BugId::Mysql113302);
+        db.execute("CREATE INDEX i0 ON t0(c1)").unwrap();
+        db.execute("INSERT INTO t0(c1, c0) VALUES(0, 1)").unwrap();
+        let failure = tlp(&mut db, "t0", "t0.c1 IN (GREATEST(0.1, 0.2))");
+        assert!(failure.is_some(), "TLP must catch the indexed lookup bug");
+        assert_eq!(failure.unwrap().oracle, "TLP");
+        assert_eq!(db.take_fault_log(), vec![BugId::Mysql113302]);
+    }
+
+    #[test]
+    fn tlp_catches_is_null_index_fault() {
+        let mut db = mysql_db();
+        db.arm_fault(BugId::Mysql113317);
+        db.execute("CREATE INDEX i0 ON t0(c0)").unwrap();
+        let failure = tlp(&mut db, "t0", "t0.c0 = 1 AND t0.c1 IS NULL");
+        assert!(failure.is_some());
+    }
+
+    #[test]
+    fn join_norec_catches_null_key_matching() {
+        let mut db = mysql_db();
+        db.execute("CREATE TABLE t1 (c0 INT, c1 INT)").unwrap();
+        db.execute("INSERT INTO t1 VALUES (NULL, 7), (2, 8)").unwrap();
+        assert!(join_norec(&mut db, "t0", "t1").is_none(), "healthy first");
+        db.arm_fault(BugId::Mysql114204);
+        let failure = join_norec(&mut db, "t0", "t1");
+        assert!(failure.is_some(), "NULL keys must not join");
+    }
+
+    #[test]
+    fn empty_sum_catches_zero_instead_of_null() {
+        let mut db = Database::new(EngineProfile::TiDb);
+        db.execute("CREATE TABLE t0 (c0 INT)").unwrap();
+        db.execute("INSERT INTO t0 VALUES (1)").unwrap();
+        assert!(empty_sum(&mut db, "t0").is_none());
+        db.arm_fault(BugId::Tidb49110);
+        assert!(empty_sum(&mut db, "t0").is_some());
+    }
+
+    #[test]
+    fn distinct_and_union_checks() {
+        let mut db = mysql_db();
+        assert!(distinct_check(&mut db, "t0").is_none());
+        assert!(union_all_check(&mut db, "t0", "c0 < 2").is_none());
+        db.arm_fault(BugId::Mysql114217);
+        assert!(distinct_check(&mut db, "t0").is_some(), "NULL group dropped");
+        db.clear_faults();
+        db.arm_fault(BugId::Mysql114218);
+        assert!(union_all_check(&mut db, "t0", "c0 < 2").is_some());
+    }
+}

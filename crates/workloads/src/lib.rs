@@ -1,0 +1,18 @@
+//! # uplan-workloads — TPC-H-lite, YCSB-lite and WDBench-lite (paper A.3)
+//!
+//! The benchmarking application compares unified plans across DBMSs over
+//! three workloads. These are *lite* editions: same table/collection/graph
+//! structure and the same per-query table-reference shapes (which determine
+//! the operation census of Tables VI/VII and the Fig. 4 variance), at
+//! laptop-friendly scale.
+//!
+//! * [`tpch`] — the 8 TPC-H tables, a scale-factor data generator, the 22
+//!   queries in this workspace's SQL subset, MQL rewrites of q1/q3/q4 for
+//!   the document engine, and Cypher-ish rewrites of q1–14, 16–19 for the
+//!   graph engine — mirroring the paper's benchmark setup;
+//! * [`ycsb`] — point-read/update workload for the document engine;
+//! * [`wdbench`] — graph pattern queries for the graph engine.
+
+pub mod tpch;
+pub mod wdbench;
+pub mod ycsb;

@@ -1,0 +1,87 @@
+//! WDBench-lite: the Wikidata-style graph query benchmark the paper ran
+//! against Neo4j for Table VII.
+//!
+//! WDBench consists of basic graph patterns (single/multiple triple
+//! patterns); the paper's census found relationship-driven plans with *no*
+//! Combinator or Folder operations — matching its note that the benchmark
+//! "mainly consider\[s\] input diversity instead of internal execution
+//! diversity".
+
+use minigraph::{GraphStore, PatternQuery, PropPredicate, PropValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PROPERTIES: [&str; 4] = ["P31", "P279", "P106", "P361"];
+
+/// Loads a Wikidata-ish entity graph.
+pub fn load(graph: &mut GraphStore, entities: usize, statements: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes: Vec<usize> = (0..entities)
+        .map(|i| {
+            graph.add_node(
+                &["Entity"],
+                vec![
+                    ("qid", PropValue::Str(format!("Q{i}"))),
+                    ("label", PropValue::Str(format!("entity {i} item"))),
+                ],
+            )
+        })
+        .collect();
+    for _ in 0..statements {
+        let s = nodes[rng.gen_range(0..nodes.len())];
+        let o = nodes[rng.gen_range(0..nodes.len())];
+        let p = PROPERTIES[rng.gen_range(0..PROPERTIES.len())];
+        graph.add_rel(s, o, p, vec![("rank", PropValue::Int(rng.gen_range(0..3)))]);
+    }
+}
+
+/// Generates `count` basic-graph-pattern queries.
+pub fn queries(count: usize, seed: u64) -> Vec<PatternQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut q = PatternQuery {
+                rel_type: Some(PROPERTIES[rng.gen_range(0..PROPERTIES.len())].to_owned()),
+                undirected: rng.gen_bool(0.3),
+                ..PatternQuery::default()
+            };
+            if rng.gen_bool(0.4) {
+                q.rel_predicates.push(PropPredicate::Eq(
+                    "rank".into(),
+                    PropValue::Int(rng.gen_range(0..3)),
+                ));
+            }
+            if rng.gen_bool(0.3) {
+                q.dst_label = Some("Entity".into());
+            }
+            if rng.gen_bool(0.25) {
+                q.limit = Some(rng.gen_range(1..100));
+            }
+            q
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_run_and_avoid_folder_combinator() {
+        let mut graph = GraphStore::new();
+        load(&mut graph, 50, 300, 5);
+        for query in queries(30, 6) {
+            let (_, plan) = graph.run(&query);
+            for op in &plan.operators {
+                assert_ne!(op.name, "EagerAggregation", "no Folder ops in WDBench");
+                assert_ne!(op.name, "Sort", "no Combinator sorts in WDBench");
+                assert_ne!(op.name, "Union");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(queries(5, 9), queries(5, 9));
+    }
+}

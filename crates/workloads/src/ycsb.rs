@@ -1,0 +1,65 @@
+//! YCSB-lite: the cloud-serving point-read/update workload the paper ran
+//! against MongoDB for Table VII.
+//!
+//! YCSB "mainly consider\[s\] input diversity instead of internal execution
+//! diversity": its read operations are `_id` point lookups, whose plans are
+//! single `IDHACK` operations — one Producer, nothing else, which is exactly
+//! the Table VII MongoDB row (1.00 / 0 / ... / 1.00).
+
+use minidoc::{Condition, DocStore, FilterOp, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uplan_core::formats::json::{object, JsonValue};
+
+/// Loads the `usertable` collection with `records` documents.
+pub fn load(store: &mut DocStore, records: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let collection = store.collection_mut("usertable");
+    for i in 0..records {
+        collection.insert(object([
+            ("_id", JsonValue::Int(i as i64)),
+            ("field0", JsonValue::Int(rng.gen_range(0..1000))),
+            ("field1", JsonValue::from(format!("value{}", rng.gen_range(0..100)))),
+        ]));
+    }
+    collection.create_index("_id");
+}
+
+/// Generates the read requests of a workload-B-like mix (reads dominate;
+/// updates don't expose query plans and are not part of the census).
+pub fn read_requests(count: usize, records: usize, seed: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| Request {
+            collection: "usertable".into(),
+            filter: vec![Condition {
+                field: "_id".into(),
+                op: FilterOp::Eq,
+                value: JsonValue::Int(rng.gen_range(0..records as i64)),
+            }],
+            ..Request::default()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_reads_are_single_op_plans() {
+        let mut store = DocStore::new();
+        load(&mut store, 100, 1);
+        for request in read_requests(20, 100, 2) {
+            let (docs, plan) = store.find(&request);
+            assert_eq!(docs.len(), 1);
+            assert_eq!(plan.winning.stage_count(), 1, "Table VII: one producer");
+            assert_eq!(plan.winning.name, "IDHACK");
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        assert_eq!(read_requests(5, 10, 3), read_requests(5, 10, 3));
+    }
+}

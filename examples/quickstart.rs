@@ -1,0 +1,41 @@
+//! Quickstart: the paper's Fig. 2 pipeline in a dozen lines.
+//!
+//! Run a query on three emulated engines, serialize each native plan the
+//! way the real DBMS would, convert every one into the unified
+//! representation, and process them with a single implementation.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use minidb::profile::EngineProfile;
+use minidb::Database;
+use uplan::convert::{convert, Source};
+use uplan::core::fingerprint::fingerprint;
+
+fn main() {
+    for profile in [EngineProfile::Postgres, EngineProfile::MySql, EngineProfile::TiDb] {
+        // An engine with a small table.
+        let mut db = Database::new(profile);
+        db.execute("CREATE TABLE t0 (c0 INT)").unwrap();
+        for i in 0..100 {
+            db.execute(&format!("INSERT INTO t0 VALUES ({i})")).unwrap();
+        }
+
+        // The engine-specific part: EXPLAIN in the engine's native format.
+        let plan = db.explain("SELECT * FROM t0 WHERE c0 < 5").unwrap();
+        let (source, raw) = match profile {
+            EngineProfile::Postgres => (Source::PostgresText, dialects::postgres::to_text(&plan)),
+            EngineProfile::MySql => (Source::MySqlTable, dialects::mysql::to_table(&plan)),
+            _ => (Source::TidbTable, dialects::tidb::to_table(&plan, 4)),
+        };
+        println!("---- {profile}: raw serialized plan ----\n{raw}");
+
+        // The DBMS-agnostic part: one converter call, then any processing.
+        let unified = convert(source, &raw).unwrap();
+        println!("---- {profile}: unified plan ----");
+        print!("{}", uplan::core::display::to_display(&unified));
+        println!("strict grammar form: {}", uplan::core::text::to_text(&unified));
+        println!("fingerprint: {}\n", fingerprint(&unified));
+    }
+}

@@ -1,0 +1,225 @@
+//! Cross-crate integration tests: the full paper pipeline, end to end.
+
+use minidb::profile::EngineProfile;
+use minidb::Database;
+use uplan::convert::{convert, Source};
+use uplan::core::fingerprint::fingerprint;
+use uplan::core::stats::CategoryCounts;
+use uplan::core::OperationCategory;
+use uplan::workloads::tpch;
+
+/// Fig. 2, end to end: one query, three engines, three raw formats, one
+/// unified representation, one fingerprint-based consumer.
+#[test]
+fn fig2_pipeline_end_to_end() {
+    let mut unified = Vec::new();
+    for profile in [EngineProfile::Postgres, EngineProfile::MySql, EngineProfile::TiDb] {
+        let mut db = Database::new(profile);
+        db.execute("CREATE TABLE t0 (c0 INT)").unwrap();
+        for i in 0..50 {
+            db.execute(&format!("INSERT INTO t0 VALUES ({i})")).unwrap();
+        }
+        let plan = db.explain("SELECT * FROM t0 WHERE c0 < 5").unwrap();
+        let (source, raw) = match profile {
+            EngineProfile::Postgres => (Source::PostgresText, dialects::postgres::to_text(&plan)),
+            EngineProfile::MySql => (Source::MySqlTable, dialects::mysql::to_table(&plan)),
+            _ => (Source::TidbTable, dialects::tidb::to_table(&plan, 4)),
+        };
+        unified.push(convert(source, &raw).unwrap());
+    }
+    // Every engine's plan contains a Full_Table_Scan producer on t0.
+    for plan in &unified {
+        let mut scan_found = false;
+        plan.walk(&mut |n| {
+            if n.operation.identifier == "Full_Table_Scan"
+                && n.operation.category == OperationCategory::Producer
+            {
+                scan_found = true;
+            }
+        });
+        assert!(scan_found, "{plan:#?}");
+    }
+    // TiDB's plan additionally carries the distributed Collect executor
+    // (the paper's Fig. 2 walkthrough).
+    let mut has_collect = false;
+    unified[2].walk(&mut |n| {
+        if n.operation.identifier == "Collect" {
+            has_collect = true;
+        }
+    });
+    assert!(has_collect);
+}
+
+/// Every unified plan produced by the full TPC-H pipeline survives a
+/// round-trip through the strict grammar and the JSON schema.
+#[test]
+fn tpch_unified_plans_round_trip_all_formats() {
+    let mut db = tpch::relational(EngineProfile::Postgres, 1);
+    for (name, sql) in tpch::queries() {
+        let plan = db.explain(&sql).unwrap();
+        let unified =
+            convert(Source::PostgresText, &dialects::postgres::to_text(&plan)).unwrap();
+        let text = uplan::core::text::to_text(&unified);
+        assert_eq!(
+            uplan::core::text::from_text(&text).unwrap(),
+            unified,
+            "{name}: strict text round-trip"
+        );
+        let json = uplan::core::formats::unified::to_json(&unified);
+        assert_eq!(
+            uplan::core::formats::unified::from_json(&json).unwrap(),
+            unified,
+            "{name}: JSON round-trip"
+        );
+        let xml = uplan::core::formats::unified::to_xml(&unified);
+        assert_eq!(
+            uplan::core::formats::unified::from_xml(&xml).unwrap(),
+            unified,
+            "{name}: XML round-trip"
+        );
+        let verbose = uplan::core::display::to_display_verbose(&unified);
+        assert_eq!(
+            uplan::core::display::from_display(&verbose).unwrap(),
+            unified,
+            "{name}: display round-trip"
+        );
+    }
+}
+
+/// The four relational profiles agree on results for every TPC-H query
+/// (differential check across engine profiles).
+#[test]
+fn tpch_results_agree_across_profiles() {
+    let mut reference = tpch::relational(EngineProfile::Postgres, 1);
+    let mut others: Vec<Database> = [EngineProfile::MySql, EngineProfile::TiDb, EngineProfile::Sqlite]
+        .into_iter()
+        .map(|p| tpch::relational(p, 1))
+        .collect();
+    for (name, sql) in tpch::queries() {
+        let expected = reference.execute(&sql).unwrap();
+        for other in &mut others {
+            let got = other.execute(&sql).unwrap();
+            assert!(
+                expected.same_multiset(&got),
+                "{name}: {} vs {} rows on {}",
+                expected.rows.len(),
+                got.rows.len(),
+                other.profile()
+            );
+        }
+    }
+}
+
+/// Fingerprints are insensitive to engine-side noise (estimates change with
+/// statistics, TiDB ids change per statement) but sensitive to structure.
+#[test]
+fn fingerprints_are_stable_and_structural() {
+    let mut db = Database::new(EngineProfile::TiDb);
+    db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+    for i in 0..40 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 4)).unwrap();
+    }
+    let plan_of = |db: &mut Database, seed: u32, sql: &str| {
+        let plan = db.explain(sql).unwrap();
+        convert(Source::TidbTable, &dialects::tidb::to_table(&plan, seed)).unwrap()
+    };
+    let a = plan_of(&mut db, 1, "SELECT a FROM t WHERE a < 10");
+    // More data → different estimates; different id seed → different suffixes.
+    for i in 40..80 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 4)).unwrap();
+    }
+    let b = plan_of(&mut db, 50, "SELECT a FROM t WHERE a < 10");
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    // An index changes the plan structure → new fingerprint.
+    db.execute("CREATE INDEX ia ON t(a)").unwrap();
+    let c = plan_of(&mut db, 99, "SELECT a FROM t WHERE a < 10");
+    assert_ne!(fingerprint(&a), fingerprint(&c));
+}
+
+/// The A.3 census machinery agrees with hand-counted plans.
+#[test]
+fn census_counts_are_consistent_with_plans() {
+    let mut db = tpch::relational(EngineProfile::Postgres, 1);
+    let q3 = &tpch::queries()[2].1;
+    let plan = db.explain(q3).unwrap();
+    let unified = convert(Source::PostgresText, &dialects::postgres::to_text(&plan)).unwrap();
+    let counts = CategoryCounts::of(&unified);
+    // q3 references customer, orders, lineitem once each.
+    assert_eq!(counts.get(&OperationCategory::Producer), 3, "{unified:#?}");
+    assert!(counts.get(&OperationCategory::Join) >= 2);
+    assert!(counts.get(&OperationCategory::Folder) >= 1);
+}
+
+/// Forward compatibility (paper §IV-B): an extended plan with an unknown
+/// category and the LLM Join operation is still parseable and processable
+/// by every consumer in the workspace.
+#[test]
+fn llm_join_extension_flows_through_consumers() {
+    let input = "Operation: Join->LLM_Join, Configuration->model: \"gpt-codex\" --children--> {\
+                 Operation: Producer->Full_Table_Scan, Configuration->name_object: \"docs\" ,\
+                 Operation: Mapper->Embedding_Scan }";
+    let plan = uplan::core::text::from_text(input).unwrap();
+    // stats
+    let counts = CategoryCounts::of(&plan);
+    assert_eq!(counts.get(&OperationCategory::Join), 1);
+    assert_eq!(
+        counts.get(&OperationCategory::Extension("Mapper".into())),
+        1
+    );
+    // fingerprinting
+    let _ = fingerprint(&plan);
+    // visualization (generic handling of unknown categories)
+    let html = uplan::viz::html::render(&[("extended", &plan)]);
+    assert!(html.contains("LLM Join"));
+    // serialization back out
+    let text = uplan::core::text::to_text(&plan);
+    assert_eq!(uplan::core::text::from_text(&text).unwrap(), plan);
+}
+
+/// All nine studied dialects convert through the single `convert` entry.
+#[test]
+fn all_nine_dialects_convert() {
+    // Relational profiles cover PG text/JSON, MySQL JSON/table, TiDB table,
+    // SQLite EQP, SparkSQL text, SQL Server XML.
+    let mut db = tpch::relational(EngineProfile::Postgres, 1);
+    let q4 = &tpch::queries()[3].1;
+    let plan = db.explain(q4).unwrap();
+    let cases: Vec<(Source, String)> = vec![
+        (Source::PostgresText, dialects::postgres::to_text(&plan)),
+        (Source::PostgresJson, dialects::postgres::to_json(&plan)),
+        (Source::MySqlJson, dialects::mysql::to_json(&plan)),
+        (Source::MySqlTable, dialects::mysql::to_table(&plan)),
+        (Source::TidbTable, dialects::tidb::to_table(&plan, 2)),
+        (Source::SqliteEqp, dialects::sqlite::to_text(&plan)),
+        (Source::SparkText, dialects::sparksql::to_text(&plan)),
+        (Source::SqlServerXml, dialects::sqlserver::to_xml(&plan)),
+        (
+            Source::InfluxText,
+            dialects::influxdb::to_text(&dialects::influxdb::InfluxStats::synthetic(2, 8)),
+        ),
+    ];
+    for (source, raw) in &cases {
+        let unified = convert(*source, raw)
+            .unwrap_or_else(|e| panic!("{source:?}: {e}\n{raw}"));
+        if *source == Source::InfluxText {
+            assert!(unified.root.is_none());
+        } else {
+            assert!(unified.operation_count() >= 1, "{source:?}");
+        }
+    }
+    // MongoDB + Neo4j from their engines.
+    let mut store = minidoc::DocStore::new();
+    tpch::load_document(&mut store, 1, 1);
+    let (_, doc_plan) = store.find(&tpch::mongo_queries()[0].1);
+    assert!(convert(Source::MongoJson, &dialects::mongodb::to_json(&doc_plan))
+        .unwrap()
+        .operation_count()
+        >= 1);
+    let mut graph = minigraph::GraphStore::new();
+    tpch::load_graph(&mut graph, 1, 1);
+    let (_, graph_plan) = graph.run(&tpch::graph_queries()[0].1);
+    assert!(convert(Source::Neo4jTable, &dialects::neo4j::to_table(&graph_plan))
+        .unwrap()
+        .operation_count()
+        >= 1);
+}

@@ -1,0 +1,206 @@
+//! Property-based tests on the unified representation's invariants.
+
+use proptest::prelude::*;
+use uplan::core::fingerprint::fingerprint;
+use uplan::core::{OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks equality-based round-trip checks.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 _.<>=()'%-]{0,24}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_op_category() -> impl Strategy<Value = OperationCategory> {
+    prop_oneof![
+        Just(OperationCategory::Producer),
+        Just(OperationCategory::Combinator),
+        Just(OperationCategory::Join),
+        Just(OperationCategory::Folder),
+        Just(OperationCategory::Projector),
+        Just(OperationCategory::Executor),
+        Just(OperationCategory::Consumer),
+        // Extension categories must not collide with canonical spellings,
+        // or parsing canonicalizes them and round-trip equality fails.
+        "[A-Z][a-zA-Z0-9_]{0,8}"
+            .prop_filter("not a canonical category", |s| {
+                OperationCategory::CANONICAL.iter().all(|c| c.name() != s)
+            })
+            .prop_map(OperationCategory::Extension),
+    ]
+}
+
+fn arb_prop_category() -> impl Strategy<Value = PropertyCategory> {
+    prop_oneof![
+        Just(PropertyCategory::Cardinality),
+        Just(PropertyCategory::Cost),
+        Just(PropertyCategory::Configuration),
+        Just(PropertyCategory::Status),
+    ]
+}
+
+fn arb_property() -> impl Strategy<Value = Property> {
+    (arb_prop_category(), "[a-z][a-z0-9_]{0,12}", arb_value()).prop_map(
+        |(category, identifier, value)| Property {
+            category,
+            identifier,
+            value,
+        },
+    )
+}
+
+fn arb_node() -> impl Strategy<Value = PlanNode> {
+    let leaf = (
+        arb_op_category(),
+        "[A-Z][a-zA-Z0-9_]{0,16}",
+        prop::collection::vec(arb_property(), 0..4),
+    )
+        .prop_map(|(category, identifier, properties)| PlanNode {
+            operation: uplan::core::Operation {
+                category,
+                identifier,
+            },
+            properties,
+            children: Vec::new(),
+        });
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        (
+            arb_op_category(),
+            "[A-Z][a-zA-Z0-9_]{0,16}",
+            prop::collection::vec(arb_property(), 0..4),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(category, identifier, properties, children)| PlanNode {
+                operation: uplan::core::Operation {
+                    category,
+                    identifier,
+                },
+                properties,
+                children,
+            })
+    })
+}
+
+fn arb_plan() -> impl Strategy<Value = UnifiedPlan> {
+    (
+        prop::option::of(arb_node()),
+        prop::collection::vec(arb_property(), 0..4),
+    )
+        .prop_map(|(root, properties)| UnifiedPlan { root, properties })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The strict grammar round-trips every representable plan.
+    #[test]
+    fn strict_text_round_trips(plan in arb_plan()) {
+        let text = uplan::core::text::to_text(&plan);
+        let parsed = uplan::core::text::from_text(&text).unwrap();
+        prop_assert_eq!(parsed, plan);
+    }
+
+    /// The unified JSON schema round-trips every representable plan.
+    #[test]
+    fn json_round_trips(plan in arb_plan()) {
+        let json = uplan::core::formats::unified::to_json(&plan);
+        let parsed = uplan::core::formats::unified::from_json(&json).unwrap();
+        prop_assert_eq!(parsed, plan);
+    }
+
+    /// The XML schema round-trips every representable plan.
+    #[test]
+    fn xml_round_trips(plan in arb_plan()) {
+        let xml = uplan::core::formats::unified::to_xml(&plan);
+        let parsed = uplan::core::formats::unified::from_xml(&xml).unwrap();
+        prop_assert_eq!(parsed, plan);
+    }
+
+    /// The verbose display format round-trips every representable plan.
+    #[test]
+    fn display_round_trips(plan in arb_plan()) {
+        let text = uplan::core::display::to_display_verbose(&plan);
+        let parsed = uplan::core::display::from_display(&text).unwrap();
+        prop_assert_eq!(parsed, plan);
+    }
+
+    /// Fingerprints are a function of structure: serialization and
+    /// re-parsing never change them, and Cost/Cardinality/Status values
+    /// never affect them.
+    #[test]
+    fn fingerprints_survive_round_trips_and_ignore_volatile_values(
+        plan in arb_plan(),
+        noise in any::<i64>(),
+    ) {
+        let original = fingerprint(&plan);
+        let text = uplan::core::text::to_text(&plan);
+        let reparsed = uplan::core::text::from_text(&text).unwrap();
+        prop_assert_eq!(fingerprint(&reparsed), original);
+
+        // Perturb every volatile property value.
+        let mut noisy = plan.clone();
+        fn perturb(node: &mut PlanNode, noise: i64) {
+            for p in &mut node.properties {
+                if matches!(
+                    p.category,
+                    PropertyCategory::Cardinality | PropertyCategory::Cost | PropertyCategory::Status
+                ) {
+                    p.value = Value::Int(noise);
+                }
+            }
+            for child in &mut node.children {
+                perturb(child, noise);
+            }
+        }
+        if let Some(root) = &mut noisy.root {
+            perturb(root, noise);
+        }
+        prop_assert_eq!(fingerprint(&noisy), original);
+    }
+
+    /// Tree edit distance is a metric-ish similarity: identity ⇒ 0,
+    /// symmetric, and bounded by the larger plan size.
+    #[test]
+    fn tree_edit_distance_properties(a in arb_plan(), b in arb_plan()) {
+        let d_aa = uplan::core::ted::tree_edit_distance(&a, &a.clone());
+        prop_assert_eq!(d_aa, 0);
+        let d_ab = uplan::core::ted::tree_edit_distance(&a, &b);
+        let d_ba = uplan::core::ted::tree_edit_distance(&b, &a);
+        prop_assert_eq!(d_ab, d_ba);
+        prop_assert!(d_ab <= a.operation_count() + b.operation_count());
+        let s = uplan::core::ted::similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    /// Category census totals always equal the node count.
+    #[test]
+    fn census_total_equals_node_count(plan in arb_plan()) {
+        let counts = uplan::core::stats::CategoryCounts::of(&plan);
+        prop_assert_eq!(counts.total(), plan.operation_count());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random (but valid) predicates never break the TLP invariant on a
+    /// healthy engine — the oracle itself is sound.
+    #[test]
+    fn tlp_holds_on_healthy_engines(seed in 0u64..500) {
+        use minidb::profile::EngineProfile;
+        use minidb::Database;
+        use uplan::testing::generator::Generator;
+        let mut db = Database::new(EngineProfile::Postgres);
+        let mut generator = Generator::new(seed);
+        generator.create_schema(&mut db, 1);
+        for _ in 0..3 {
+            let q = generator.query();
+            let failure = uplan::testing::oracles::tlp(&mut db, &q.from, &q.predicate);
+            prop_assert!(failure.is_none(), "{:?}", failure);
+        }
+    }
+}
