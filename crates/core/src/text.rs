@@ -170,13 +170,11 @@ impl<'a> Lexer<'a> {
             return Ok(Token::Arrow);
         }
         if rest.len() > 1 && rest[1].is_ascii_digit() {
-            self.pos += 1; // consume '-'
-            let digits_start = self.pos;
-            return match self.lex_number(digits_start)? {
-                Token::Int(i) => Ok(Token::Int(-i)),
-                Token::Float(f) => Ok(Token::Float(-f)),
-                _ => unreachable!("lex_number returns numbers"),
-            };
+            // Consume the '-' and let the number parser see the signed text:
+            // parsing "-9223372036854775808" directly (instead of negating a
+            // parsed magnitude) keeps i64::MIN representable.
+            self.pos += 1;
+            return self.lex_number(start);
         }
         Err(Error::parse(start, "expected '->', '--children-->' or a number"))
     }

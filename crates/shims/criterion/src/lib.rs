@@ -1,0 +1,324 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of criterion's API its benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: a warm-up phase estimates the iteration rate, then a
+//! fixed number of samples (each a timed batch of iterations) is collected;
+//! the reported statistic is the median of per-sample means, with min/max as
+//! the spread. Results are kept in the [`Criterion`] value so callers (the
+//! `uplan-bench` snapshot subcommand) can export machine-readable numbers.
+//!
+//! Two environment variables tune the run without recompiling:
+//! `UPLAN_BENCH_QUICK=1` shrinks warm-up/sample budgets (CI smoke mode), and
+//! `UPLAN_BENCH_FILTER=substr` runs only matching benchmark names.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (criterion's is a re-export too).
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted and ignored: every batch
+/// size maps to per-sample batching here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// One benchmark's collected statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Fastest per-sample mean.
+    pub min_ns: f64,
+    /// Median of per-sample means (the headline number).
+    pub median_ns: f64,
+    /// Slowest per-sample mean.
+    pub max_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("UPLAN_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+        if quick {
+            Criterion::quick()
+        } else {
+            Criterion {
+                warm_up: Duration::from_millis(300),
+                measurement: Duration::from_secs(2),
+                samples: 30,
+                filter: env_filter(),
+                results: Vec::new(),
+            }
+        }
+    }
+}
+
+fn env_filter() -> Option<String> {
+    std::env::var("UPLAN_BENCH_FILTER").ok().filter(|f| !f.is_empty())
+}
+
+impl Criterion {
+    /// Fresh driver with default (env-tunable) settings.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Fresh driver with quick-mode budgets (CI smoke / snapshot runs) —
+    /// the programmatic equivalent of `UPLAN_BENCH_QUICK=1`, without
+    /// mutating process-wide environment state.
+    pub fn quick() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(60),
+            measurement: Duration::from_millis(240),
+            samples: 12,
+            filter: env_filter(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the measurement budget (criterion-compatible builder).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Overrides the warm-up budget (criterion-compatible builder).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Overrides the sample count (criterion-compatible builder).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.samples,
+            sample_means: Vec::new(),
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let mut means = bencher.sample_means;
+        if means.is_empty() {
+            means.push(0.0);
+        }
+        means.sort_by(|a, b| a.total_cmp(b));
+        let result = BenchResult {
+            name: name.to_owned(),
+            min_ns: means[0],
+            median_ns: means[means.len() / 2],
+            max_ns: means[means.len() - 1],
+            iterations: bencher.iterations,
+        };
+        println!(
+            "{:<44} time:   [{} {} {}]",
+            result.name,
+            format_ns(result.min_ns),
+            format_ns(result.median_ns),
+            format_ns(result.max_ns),
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// All results collected so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Consumes the driver, returning its results.
+    pub fn into_results(self) -> Vec<BenchResult> {
+        self.results
+    }
+
+    /// Prints the trailing summary line criterion emits.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks complete", self.results.len());
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+/// Per-benchmark measurement state (subset of `criterion::Bencher`).
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    sample_means: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures a routine; the measured time covers every call.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: estimate iterations/second.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let rate = warm_iters as f64 / start.elapsed().as_secs_f64();
+        let per_sample =
+            ((rate * self.measurement.as_secs_f64() / self.samples as f64) as u64).max(1);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            self.sample_means.push(elapsed / per_sample as f64);
+            self.iterations += per_sample;
+        }
+    }
+
+    /// Measures a routine with untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up: estimate iterations/second of the routine alone.
+        let mut warm_iters = 0u64;
+        let mut spent = Duration::ZERO;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            warm_iters += 1;
+        }
+        let rate = warm_iters as f64 / spent.as_secs_f64().max(1e-9);
+        let per_sample =
+            ((rate * self.measurement.as_secs_f64() / self.samples as f64) as u64).max(1) as usize;
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            self.sample_means.push(elapsed / per_sample as f64);
+            self.iterations += per_sample as u64;
+        }
+    }
+
+    /// `iter_batched` variant passing the input by reference.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(move || setup(), move |mut input| routine(&mut input), size);
+    }
+}
+
+/// Declares a benchmark group runner (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() -> $crate::Criterion {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion
+        }
+    };
+}
+
+/// Declares the bench `main` (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( let c = $group(); c.final_summary(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_plausible_numbers() {
+        std::env::set_var("UPLAN_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut x = 0u64;
+                for i in 0..100 {
+                    x = x.wrapping_add(black_box(i));
+                }
+                x
+            })
+        });
+        let r = &c.results()[0];
+        assert_eq!(r.name, "spin");
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        std::env::set_var("UPLAN_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(c.results()[0].median_ns > 0.0);
+    }
+}
