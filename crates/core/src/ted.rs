@@ -48,13 +48,18 @@ fn flatten(root: &PlanNode) -> Flat {
     walk(root, &mut labels, &mut lld);
 
     // Keyroots: for each distinct lld value, the highest post-order index.
+    // One reverse pass suffices: the first time an lld value is seen walking
+    // right-to-left *is* its highest index (O(n), replacing an O(n²) scan).
     let mut keyroots = Vec::new();
-    for i in 0..labels.len() {
-        let is_keyroot = !(i + 1..labels.len()).any(|j| lld[j] == lld[i]);
-        if is_keyroot {
+    let mut seen = vec![false; labels.len()];
+    for i in (0..labels.len()).rev() {
+        if !seen[lld[i]] {
+            seen[lld[i]] = true;
             keyroots.push(i);
         }
     }
+    // The DP fills small subtrees first, so keyroots must ascend.
+    keyroots.reverse();
     Flat {
         labels,
         lld,
