@@ -1,54 +1,10 @@
 //! Conversion/parsing throughput: dialect serialization, converter, unified
 //! text/JSON round-trips, fingerprinting, tree edit distance.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use minidb::profile::EngineProfile;
-use uplan_convert::{convert, Source};
-use uplan_workloads::tpch;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_conversion(c: &mut Criterion) {
-    let mut db = tpch::relational(EngineProfile::Postgres, 1);
-    let q5 = &tpch::queries()[4].1;
-    let plan = db.explain(q5).expect("plan");
-    let pg_text = dialects::postgres::to_text(&plan);
-    let pg_json = dialects::postgres::to_json(&plan);
-    let mut tidb = tpch::relational(EngineProfile::TiDb, 1);
-    let tidb_plan = tidb.explain(q5).expect("plan");
-    let tidb_table = dialects::tidb::to_table(&tidb_plan, 3);
-
-    c.bench_function("convert/postgres_text_q5", |b| {
-        b.iter(|| convert(Source::PostgresText, &pg_text).unwrap())
-    });
-    c.bench_function("convert/postgres_json_q5", |b| {
-        b.iter(|| convert(Source::PostgresJson, &pg_json).unwrap())
-    });
-    c.bench_function("convert/tidb_table_q5", |b| {
-        b.iter(|| convert(Source::TidbTable, &tidb_table).unwrap())
-    });
-
-    let unified = convert(Source::PostgresText, &pg_text).unwrap();
-    let text = uplan_core::text::to_text(&unified);
-    c.bench_function("unified/text_serialize", |b| {
-        b.iter(|| uplan_core::text::to_text(&unified))
-    });
-    c.bench_function("unified/text_parse", |b| {
-        b.iter(|| uplan_core::text::from_text(&text).unwrap())
-    });
-    let json = uplan_core::formats::unified::to_json(&unified);
-    c.bench_function("unified/json_parse", |b| {
-        b.iter(|| uplan_core::formats::unified::from_json(&json).unwrap())
-    });
-    c.bench_function("unified/fingerprint", |b| {
-        b.iter(|| uplan_core::fingerprint::fingerprint(&unified))
-    });
-    let other = convert(Source::TidbTable, &tidb_table).unwrap();
-    c.bench_function("unified/tree_edit_distance", |b| {
-        b.iter_batched(
-            || (unified.clone(), other.clone()),
-            |(a, b)| uplan_core::ted::tree_edit_distance(&a, &b),
-            BatchSize::SmallInput,
-        )
-    });
+    uplan_bench::microbench::conversion(c);
 }
 
 criterion_group!(benches, bench_conversion);

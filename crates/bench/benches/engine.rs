@@ -2,35 +2,9 @@
 //! profile (the substrate cost behind Tables VI and the q11 analysis).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use minidb::profile::EngineProfile;
-use uplan_workloads::tpch;
 
 fn bench_engine(c: &mut Criterion) {
-    for profile in [EngineProfile::Postgres, EngineProfile::TiDb] {
-        let mut db = tpch::relational(profile, 1);
-        let q1 = tpch::queries()[0].1.clone();
-        let q11 = tpch::queries()[10].1.clone();
-        c.bench_function(&format!("plan/{profile}/q1"), |b| {
-            b.iter(|| db.explain(&q1).unwrap())
-        });
-        c.bench_function(&format!("plan/{profile}/q11"), |b| {
-            b.iter(|| db.explain(&q11).unwrap())
-        });
-        c.bench_function(&format!("exec/{profile}/q1"), |b| {
-            b.iter(|| db.execute(&q1).unwrap())
-        });
-    }
-    // Ablation: q11 with vs without the TiDB shared-subquery optimization
-    // (PostgreSQL profile = separate subplans, TiDB = shared).
-    let q11 = tpch::queries()[10].1.clone();
-    let mut pg = tpch::relational(EngineProfile::Postgres, 2);
-    let mut tidb = tpch::relational(EngineProfile::TiDb, 2);
-    c.bench_function("ablation/q11_six_scans_postgres", |b| {
-        b.iter(|| pg.execute(&q11).unwrap())
-    });
-    c.bench_function("ablation/q11_three_scans_tidb", |b| {
-        b.iter(|| tidb.execute(&q11).unwrap())
-    });
+    uplan_bench::microbench::engine(c);
 }
 
 criterion_group!(benches, bench_engine);

@@ -1,0 +1,12 @@
+//! End-to-end QPG throughput (plans/sec through `testing::qpg`'s observation
+//! loop on a TPC-H workload) — the headline number for plan-core
+//! optimizations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_qpg(c: &mut Criterion) {
+    uplan_bench::microbench::qpg_throughput(c);
+}
+
+criterion_group!(benches, bench_qpg);
+criterion_main!(benches);

@@ -2,23 +2,9 @@
 //! convert → fingerprint) and the oracles.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use minidb::profile::EngineProfile;
-use minidb::Database;
-use uplan_testing::generator::Generator;
-use uplan_testing::pipeline::PlanPipeline;
 
 fn bench_testing(c: &mut Criterion) {
-    let mut db = Database::new(EngineProfile::TiDb);
-    let mut generator = Generator::new(77);
-    generator.create_schema(&mut db, 2);
-    let mut pipeline = PlanPipeline::new();
-    let query = generator.query();
-    c.bench_function("qpg/unified_pipeline", |b| {
-        b.iter(|| pipeline.unified_plan(&mut db, &query.sql).unwrap())
-    });
-    c.bench_function("oracle/tlp", |b| {
-        b.iter(|| uplan_testing::oracles::tlp(&mut db, &query.from, &query.predicate))
-    });
+    uplan_bench::microbench::testing(c);
 }
 
 criterion_group!(benches, bench_testing);

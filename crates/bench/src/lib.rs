@@ -3,7 +3,14 @@
 //! One function per table/figure of the paper's evaluation; the `repro`
 //! binary dispatches to them, and EXPERIMENTS.md records paper-vs-measured
 //! for each. See DESIGN.md's per-experiment index for the mapping.
+//!
+//! [`microbench`] holds the hot-path benchmark bodies shared by the
+//! `cargo bench` harnesses and the [`snapshot`] subcommand
+//! (`cargo run -p uplan-bench -- snapshot`), which writes machine-readable
+//! numbers for cross-PR performance tracking.
 
 pub mod experiments;
+pub mod microbench;
+pub mod snapshot;
 
 pub use experiments::*;

@@ -5,6 +5,9 @@
 //! repro table1..table7 # individual tables
 //! repro fig1..fig4     # individual figures
 //! repro listing1|listing3|q11|effort|ablation
+//! repro snapshot [path]   # quick hot-path microbench run → JSON (default
+//!                         # BENCH_snapshot.json; pass BENCH_baseline.json
+//!                         # explicitly only to re-baseline deliberately)
 //! ```
 
 use uplan_bench as experiments;
@@ -12,6 +15,17 @@ use uplan_bench as experiments;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
+    if which == "snapshot" {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_snapshot.json");
+        match experiments::snapshot::run(path) {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => {
+                eprintln!("snapshot failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let run = |name: &str| {
         println!("\n================ {name} ================");
         let output = match name {

@@ -1,0 +1,154 @@
+//! Shared microbenchmark bodies.
+//!
+//! Each function drives one benchmark group against a [`Criterion`] driver.
+//! They are used from two places with the same code path:
+//!
+//! * the `cargo bench` harnesses under `benches/` (full measurement budget);
+//! * the `repro snapshot` subcommand, which runs them in quick mode
+//!   (`UPLAN_BENCH_QUICK=1`) and writes the machine-readable
+//!   `BENCH_baseline.json` used to track the performance trajectory
+//!   across PRs.
+
+use criterion::{BatchSize, Criterion};
+use minidb::profile::EngineProfile;
+use minidb::Database;
+use uplan_convert::{convert, Source};
+use uplan_core::fingerprint::PlanSet;
+use uplan_testing::generator::Generator;
+use uplan_testing::pipeline::PlanPipeline;
+use uplan_workloads::tpch;
+
+/// Conversion/parsing throughput: dialect serialization, converter, unified
+/// text/JSON round-trips, fingerprinting, tree edit distance.
+pub fn conversion(c: &mut Criterion) {
+    let mut db = tpch::relational(EngineProfile::Postgres, 1);
+    let q5 = &tpch::queries()[4].1;
+    let plan = db.explain(q5).expect("plan");
+    let pg_text = dialects::postgres::to_text(&plan);
+    let pg_json = dialects::postgres::to_json(&plan);
+    let mut tidb = tpch::relational(EngineProfile::TiDb, 1);
+    let tidb_plan = tidb.explain(q5).expect("plan");
+    let tidb_table = dialects::tidb::to_table(&tidb_plan, 3);
+
+    c.bench_function("convert/postgres_text_q5", |b| {
+        b.iter(|| convert(Source::PostgresText, &pg_text).unwrap())
+    });
+    c.bench_function("convert/postgres_json_q5", |b| {
+        b.iter(|| convert(Source::PostgresJson, &pg_json).unwrap())
+    });
+    c.bench_function("convert/tidb_table_q5", |b| {
+        b.iter(|| convert(Source::TidbTable, &tidb_table).unwrap())
+    });
+
+    let unified = convert(Source::PostgresText, &pg_text).unwrap();
+    let text = uplan_core::text::to_text(&unified);
+    c.bench_function("unified/text_serialize", |b| {
+        b.iter(|| uplan_core::text::to_text(&unified))
+    });
+    c.bench_function("unified/text_parse", |b| {
+        b.iter(|| uplan_core::text::from_text(&text).unwrap())
+    });
+    let json = uplan_core::formats::unified::to_json(&unified);
+    c.bench_function("unified/json_parse", |b| {
+        b.iter(|| uplan_core::formats::unified::from_json(&json).unwrap())
+    });
+    c.bench_function("unified/fingerprint", |b| {
+        b.iter(|| uplan_core::fingerprint::fingerprint(&unified))
+    });
+    let other = convert(Source::TidbTable, &tidb_table).unwrap();
+    c.bench_function("unified/tree_edit_distance", |b| {
+        b.iter_batched(
+            || (unified.clone(), other.clone()),
+            |(a, b)| uplan_core::ted::tree_edit_distance(&a, &b),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Testing-method throughput: the unified QPG pipeline (plan → serialize →
+/// convert → fingerprint) and the oracles.
+pub fn testing(c: &mut Criterion) {
+    let mut db = Database::new(EngineProfile::TiDb);
+    let mut generator = Generator::new(77);
+    generator.create_schema(&mut db, 2);
+    let mut pipeline = PlanPipeline::new();
+    let query = generator.query();
+    c.bench_function("qpg/unified_pipeline", |b| {
+        b.iter(|| pipeline.unified_plan(&mut db, &query.sql).unwrap())
+    });
+    c.bench_function("oracle/tlp", |b| {
+        b.iter(|| uplan_testing::oracles::tlp(&mut db, &query.from, &query.predicate))
+    });
+}
+
+/// End-to-end QPG throughput on a TPC-H workload — the number the plan-core
+/// optimizations are ultimately supposed to move.
+///
+/// One iteration runs the full QPG observation loop over all 22 TPC-H-lite
+/// queries on a TiDB-profile engine: plan, serialize natively (fresh random
+/// operator suffixes per statement), convert to a unified plan, fingerprint,
+/// and test set membership. Plans/sec = 22 / (reported seconds).
+pub fn qpg_throughput(c: &mut Criterion) {
+    let mut db = tpch::relational(EngineProfile::TiDb, 1);
+    let queries = tpch::queries();
+    let mut pipeline = PlanPipeline::new();
+    let mut plans = PlanSet::new();
+    c.bench_function("qpg/tpch_observe_22_queries", |b| {
+        b.iter(|| {
+            let mut novel = 0usize;
+            for (_, sql) in &queries {
+                let plan = pipeline.unified_plan(&mut db, sql).expect("tpch plan");
+                if plans.observe(&plan) {
+                    novel += 1;
+                }
+            }
+            novel
+        })
+    });
+
+    // The same loop with tree-edit-distance comparison against the previous
+    // plan — the "similarity on tree structures" use case of Section VI.
+    let unified: Vec<_> = queries
+        .iter()
+        .map(|(_, sql)| pipeline.unified_plan(&mut db, sql).expect("tpch plan"))
+        .collect();
+    c.bench_function("qpg/tpch_pairwise_ted", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for pair in unified.windows(2) {
+                total += uplan_core::ted::tree_edit_distance(&pair[0], &pair[1]);
+            }
+            total
+        })
+    });
+}
+
+/// Engine throughput: planning and execution of TPC-H-lite queries per
+/// profile (the substrate cost behind Table VI and the q11 analysis).
+pub fn engine(c: &mut Criterion) {
+    for profile in [EngineProfile::Postgres, EngineProfile::TiDb] {
+        let mut db = tpch::relational(profile, 1);
+        let q1 = tpch::queries()[0].1.clone();
+        let q11 = tpch::queries()[10].1.clone();
+        c.bench_function(&format!("plan/{profile}/q1"), |b| {
+            b.iter(|| db.explain(&q1).unwrap())
+        });
+        c.bench_function(&format!("plan/{profile}/q11"), |b| {
+            b.iter(|| db.explain(&q11).unwrap())
+        });
+        c.bench_function(&format!("exec/{profile}/q1"), |b| {
+            b.iter(|| db.execute(&q1).unwrap())
+        });
+    }
+    // Ablation: q11 with vs without the TiDB shared-subquery optimization
+    // (PostgreSQL profile = separate subplans, TiDB = shared).
+    let q11 = tpch::queries()[10].1.clone();
+    let mut pg = tpch::relational(EngineProfile::Postgres, 2);
+    let mut tidb = tpch::relational(EngineProfile::TiDb, 2);
+    c.bench_function("ablation/q11_six_scans_postgres", |b| {
+        b.iter(|| pg.execute(&q11).unwrap())
+    });
+    c.bench_function("ablation/q11_three_scans_tidb", |b| {
+        b.iter(|| tidb.execute(&q11).unwrap())
+    });
+}

@@ -1,0 +1,101 @@
+//! Machine-readable performance snapshots (`repro snapshot [path]`).
+//!
+//! Runs the conversion / fingerprint / TED / QPG microbenchmarks in quick
+//! mode and writes their numbers as JSON, so every PR leaves a perf
+//! trajectory behind. The committed `BENCH_baseline.json` at the repository
+//! root is the pre-optimization baseline this PR's work is measured
+//! against; future PRs append fresh snapshots and compare.
+
+use criterion::{BenchResult, Criterion};
+use uplan_core::formats::json::JsonValue;
+
+/// Snapshot schema version.
+pub const SNAPSHOT_VERSION: i64 = 1;
+
+/// Runs the hot-path benchmark groups in quick mode, returning the results.
+pub fn collect() -> Vec<BenchResult> {
+    // Quick mode: ~300 ms per benchmark instead of seconds. The medians are
+    // noisier than a full `cargo bench` run but stable enough for the
+    // order-of-magnitude trajectory the snapshot records.
+    let mut criterion = Criterion::quick();
+    crate::microbench::conversion(&mut criterion);
+    crate::microbench::testing(&mut criterion);
+    crate::microbench::qpg_throughput(&mut criterion);
+    criterion.into_results()
+}
+
+/// Renders results as the snapshot JSON document.
+pub fn to_json(results: &[BenchResult]) -> String {
+    let benches: Vec<(String, JsonValue)> = results
+        .iter()
+        .map(|r| {
+            (
+                r.name.clone(),
+                JsonValue::Object(vec![
+                    ("median_ns".to_owned(), JsonValue::Float(r.median_ns)),
+                    ("min_ns".to_owned(), JsonValue::Float(r.min_ns)),
+                    ("max_ns".to_owned(), JsonValue::Float(r.max_ns)),
+                    (
+                        "iterations".to_owned(),
+                        JsonValue::Int(r.iterations as i64),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    let doc = JsonValue::Object(vec![
+        (
+            "snapshot_version".to_owned(),
+            JsonValue::Int(SNAPSHOT_VERSION),
+        ),
+        ("mode".to_owned(), JsonValue::Str("quick".to_owned())),
+        (
+            "unix_time_s".to_owned(),
+            JsonValue::Int(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs() as i64)
+                    .unwrap_or(0),
+            ),
+        ),
+        ("benches".to_owned(), JsonValue::Object(benches)),
+    ]);
+    doc.to_pretty()
+}
+
+/// Runs the snapshot and writes it to `path`.
+pub fn run(path: &str) -> std::io::Result<String> {
+    let results = collect();
+    let json = to_json(&results);
+    std::fs::write(path, &json)?;
+    Ok(format!(
+        "wrote {} benchmark medians to {path}",
+        results.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_shape() {
+        let results = vec![BenchResult {
+            name: "unified/fingerprint".to_owned(),
+            min_ns: 10.0,
+            median_ns: 12.5,
+            max_ns: 20.0,
+            iterations: 1000,
+        }];
+        let json = to_json(&results);
+        let doc = uplan_core::formats::json::parse(&json).unwrap();
+        assert_eq!(doc.get("snapshot_version").unwrap().as_int(), Some(1));
+        let entry = doc
+            .get("benches")
+            .unwrap()
+            .get("unified/fingerprint")
+            .unwrap();
+        assert_eq!(entry.get("median_ns").unwrap().as_f64(), Some(12.5));
+        assert_eq!(entry.get("iterations").unwrap().as_int(), Some(1000));
+    }
+}

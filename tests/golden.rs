@@ -1,0 +1,170 @@
+//! Golden-value regression tests for the plan-identity hot paths.
+//!
+//! These pin exact [`fingerprint`] outputs and [`tree_edit_distance`] values
+//! for a fixed set of TPC-H-lite plans across every converter the pipeline
+//! uses, so that refactors of the fingerprint/TED/conversion internals (e.g.
+//! the identifier-interning migration) are provably behavior-preserving:
+//! any change to these numbers breaks persisted QPG state and must be
+//! deliberate.
+//!
+//! The inputs are deterministic: TPC-H-lite at scale 1 is generated from a
+//! fixed seed, the engines plan deterministically, and the TiDB dialect's
+//! random operator suffixes are derived from the fixed counter passed to
+//! `to_table` — precisely the noise `fingerprint` must neutralize.
+//!
+//! To regenerate after an *intentional* change:
+//! `cargo test --test golden -- --ignored --nocapture print_golden_values`
+
+use minidb::profile::EngineProfile;
+use uplan::convert::{convert, Source};
+use uplan::core::fingerprint::fingerprint;
+use uplan::core::ted::tree_edit_distance;
+use uplan::core::UnifiedPlan;
+use uplan::workloads::tpch;
+
+/// The TPC-H-lite queries pinned here (1-based ids; a spread of shapes:
+/// aggregation, join pipelines, subqueries).
+const QUERIES: [usize; 4] = [1, 3, 5, 11];
+
+/// One unified plan per (query, converter) pair, in a fixed order.
+fn fixture_plans() -> Vec<(String, UnifiedPlan)> {
+    let queries = tpch::queries();
+    let mut pg = tpch::relational(EngineProfile::Postgres, 1);
+    let mut tidb = tpch::relational(EngineProfile::TiDb, 1);
+    let mut mysql = tpch::relational(EngineProfile::MySql, 1);
+    let mut sqlite = tpch::relational(EngineProfile::Sqlite, 1);
+
+    let mut plans = Vec::new();
+    for &qid in &QUERIES {
+        let (name, sql) = &queries[qid - 1];
+        let native = pg.explain(sql).expect("pg plan");
+        plans.push((
+            format!("{name}/postgres_text"),
+            convert(Source::PostgresText, &dialects::postgres::to_text(&native)).unwrap(),
+        ));
+        plans.push((
+            format!("{name}/postgres_json"),
+            convert(Source::PostgresJson, &dialects::postgres::to_json(&native)).unwrap(),
+        ));
+        let native = tidb.explain(sql).expect("tidb plan");
+        plans.push((
+            format!("{name}/tidb_table"),
+            convert(Source::TidbTable, &dialects::tidb::to_table(&native, 7)).unwrap(),
+        ));
+        let native = mysql.explain(sql).expect("mysql plan");
+        plans.push((
+            format!("{name}/mysql_json"),
+            convert(Source::MySqlJson, &dialects::mysql::to_json(&native)).unwrap(),
+        ));
+        plans.push((
+            format!("{name}/mysql_table"),
+            convert(Source::MySqlTable, &dialects::mysql::to_table(&native)).unwrap(),
+        ));
+        let native = sqlite.explain(sql).expect("sqlite plan");
+        plans.push((
+            format!("{name}/sqlite_eqp"),
+            convert(Source::SqliteEqp, &dialects::sqlite::to_text(&native)).unwrap(),
+        ));
+    }
+    plans
+}
+
+/// Expected `fingerprint()` of every fixture plan, in `fixture_plans` order.
+/// Regenerate with `print_golden_values` (see module docs).
+const GOLDEN_FINGERPRINTS: [(&str, u64); 24] = [
+    ("q1/postgres_text", 0x000cfde00f0e573c),
+    ("q1/postgres_json", 0xf64a501491a6606f),
+    ("q1/tidb_table", 0x73389afc6c1e8e7b),
+    ("q1/mysql_json", 0xa99fa010a47b1330),
+    ("q1/mysql_table", 0x97c05b451bd32ed4),
+    ("q1/sqlite_eqp", 0xd3c4b153572b3e13),
+    ("q3/postgres_text", 0x0349aedae91d4b34),
+    ("q3/postgres_json", 0x17862ec08667c389),
+    ("q3/tidb_table", 0xad3a6c10f862ea74),
+    ("q3/mysql_json", 0xdb66ebe027db7f3d),
+    ("q3/mysql_table", 0x1cfa2963fea04272),
+    ("q3/sqlite_eqp", 0x6c26397aa1445353),
+    ("q5/postgres_text", 0xbc393732d998ca8d),
+    ("q5/postgres_json", 0x5fb59e46b8ea1421),
+    ("q5/tidb_table", 0x62863faf8a243ffd),
+    ("q5/mysql_json", 0x4eae5137153d58ff),
+    ("q5/mysql_table", 0xe55f0e27e6570d87),
+    ("q5/sqlite_eqp", 0x91db9cb1a4dcd15e),
+    ("q11/postgres_text", 0x28e13a129a0b71a3),
+    ("q11/postgres_json", 0x297a831fd052a043),
+    ("q11/tidb_table", 0xc4ff194e5baf3e80),
+    ("q11/mysql_json", 0xaed670b9e00d034a),
+    ("q11/mysql_table", 0xc80f6e6067d33e98),
+    ("q11/sqlite_eqp", 0xf20a1f64793e4847),
+];
+
+/// Expected `tree_edit_distance` between consecutive fixture plans (pair i
+/// is plans\[i\] vs plans\[i+1\]). Regenerate with `print_golden_values`.
+const GOLDEN_TED: [usize; 23] = [
+    0, 3, 4, 2, 2, 10, 0, 12, 13, 6, 4, 18, 0, 19, 20, 12, 10, 18, 0, 16, 15, 13, 10,
+];
+
+#[test]
+fn fingerprints_match_golden_values() {
+    let plans = fixture_plans();
+    assert_eq!(plans.len(), GOLDEN_FINGERPRINTS.len());
+    for ((label, plan), (expected_label, expected)) in plans.iter().zip(GOLDEN_FINGERPRINTS) {
+        assert_eq!(label, expected_label, "fixture order changed");
+        assert_eq!(
+            fingerprint(plan).0,
+            expected,
+            "{label}: fingerprint diverged from golden value — this breaks \
+             persisted QPG plan sets; regenerate goldens only if intentional"
+        );
+    }
+}
+
+#[test]
+fn tree_edit_distances_match_golden_values() {
+    let plans = fixture_plans();
+    assert_eq!(plans.len(), GOLDEN_TED.len() + 1);
+    for (i, pair) in plans.windows(2).enumerate() {
+        let (la, a) = &pair[0];
+        let (lb, b) = &pair[1];
+        assert_eq!(
+            tree_edit_distance(a, b),
+            GOLDEN_TED[i],
+            "ted({la}, {lb}) diverged from golden value"
+        );
+        // The metric axioms hold on every golden pair.
+        assert_eq!(tree_edit_distance(a, b), tree_edit_distance(b, a));
+        assert_eq!(tree_edit_distance(a, &a.clone()), 0);
+    }
+}
+
+#[test]
+fn fingerprints_are_insensitive_to_tidb_suffix_counters() {
+    // Same plan serialized with different suffix counters must fingerprint
+    // identically (the QPG parser bug the paper reports, pinned forever).
+    let queries = tpch::queries();
+    let mut tidb = tpch::relational(EngineProfile::TiDb, 1);
+    let (_, sql) = &queries[2];
+    let native = tidb.explain(sql).expect("tidb plan");
+    let a = convert(Source::TidbTable, &dialects::tidb::to_table(&native, 7)).unwrap();
+    let b = convert(Source::TidbTable, &dialects::tidb::to_table(&native, 104729)).unwrap();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+/// Prints current values in the exact source shape of the golden tables.
+#[test]
+#[ignore = "generator for the golden tables above; run with --ignored --nocapture"]
+fn print_golden_values() {
+    let plans = fixture_plans();
+    println!("const GOLDEN_FINGERPRINTS: [(&str, u64); {}] = [", plans.len());
+    for (label, plan) in &plans {
+        println!("    (\"{label}\", 0x{:016x}),", fingerprint(plan).0);
+    }
+    println!("];");
+    println!("const GOLDEN_TED: [usize; {}] = [", plans.len() - 1);
+    let teds: Vec<String> = plans
+        .windows(2)
+        .map(|p| tree_edit_distance(&p[0].1, &p[1].1).to_string())
+        .collect();
+    println!("    {},", teds.join(", "));
+    println!("];");
+}
