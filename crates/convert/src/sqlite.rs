@@ -213,7 +213,7 @@ mod tests {
         let plan = from_eqp(text).unwrap();
         let mut names = Vec::new();
         plan.walk(&mut |n| names.push(n.operation.identifier.clone()));
-        assert!(names.contains(&"Subquery_Scan".to_owned()), "{names:?}");
+        assert!(names.iter().any(|n| *n == "Subquery_Scan"), "{names:?}");
     }
 
     #[test]

@@ -147,7 +147,7 @@ mod tests {
         assert!(
             scan_names
                 .iter()
-                .all(|n| n.contains("Scan") || n.contains("Seek")),
+                .all(|n| n.as_str().contains("Scan") || n.as_str().contains("Seek")),
             "{scan_names:?}"
         );
     }

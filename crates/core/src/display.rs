@@ -20,6 +20,7 @@
 
 use crate::error::{Error, Result};
 use crate::model::{Operation, OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan};
+use crate::symbol::Symbol;
 use crate::value::Value;
 
 const INDENT: &str = "  ";
@@ -92,7 +93,7 @@ fn render_node(out: &mut String, node: &PlanNode, depth: usize, opts: DisplayOpt
     }
     out.push_str(node.operation.category.name());
     out.push_str("->");
-    out.push_str(&display_ident(&node.operation.identifier, opts));
+    out.push_str(&display_ident(node.operation.identifier.as_str(), opts));
     out.push('\n');
     if opts.show_properties {
         for p in &node.properties {
@@ -112,9 +113,9 @@ fn render_property(out: &mut String, p: &Property, opts: DisplayOptions) {
     if opts.show_property_categories {
         out.push_str(p.category.name());
         out.push_str("->");
-        out.push_str(&p.identifier);
+        out.push_str(p.identifier.as_str());
     } else {
-        out.push_str(&display_ident(&p.identifier, opts));
+        out.push_str(&display_ident(p.identifier.as_str(), opts));
     }
     out.push_str(": ");
     match &p.value {
@@ -180,7 +181,7 @@ pub fn from_display(input: &str) -> Result<UnifiedPlan> {
             let ident = after.trim();
             // Verbose output keeps identifiers as grammar keywords; only
             // lossy (spaced) renderings need canonicalization.
-            let operation = Operation::from_keyword(category.clone(), ident)
+            let operation = Operation::from_keyword(category, ident)
                 .unwrap_or_else(|_| Operation::new(category, ident));
             // Close nodes deeper or equal to this depth.
             while stack.last().is_some_and(|(d, _)| *d >= depth) {
@@ -204,8 +205,7 @@ fn parse_property_line(line: &str, lineno: usize) -> Result<Property> {
     let colon = rest
         .find(':')
         .ok_or_else(|| Error::parse(lineno, "property line missing ':'"))?;
-    let identifier = rest[..colon].trim().to_owned();
-    crate::keyword::validate(&identifier)?;
+    let identifier = Symbol::intern(crate::keyword::validate(rest[..colon].trim())?);
     let value_text = rest[colon + 1..].trim();
     let value = parse_display_value(value_text, lineno)?;
     Ok(Property {

@@ -12,10 +12,29 @@
 //! operation categories and identifiers, tree shape, and — optionally —
 //! Configuration-property identifiers. Cardinality, Cost and Status values
 //! never participate; numeric suffixes on operation identifiers are stripped.
-
-use std::hash::{Hash, Hasher};
+//!
+//! ## Scheme (v2) and stability
+//!
+//! Fingerprints must not change across Rust releases, platforms or
+//! processes (QPG persists seen-plan sets between runs), so nothing here
+//! depends on `DefaultHasher`, pointer values or symbol table order. Every
+//! identifier's FNV-1a *content hash* is memoized by the interner at intern
+//! time ([`crate::Symbol`]); a fingerprint sequentially mixes those
+//! pre-computed 64-bit hashes (plus structural tags and child counts)
+//! through a fixed 64-bit permutation-multiply mixer. The hot path touches
+//! no identifier bytes and allocates nothing per node.
+//!
+//! v2 replaced v1's byte-stream FNV over identifier strings in the
+//! intern-and-borrow migration: hashing memoized symbol hashes instead of
+//! re-walking strings is what makes fingerprinting O(1) per node. The
+//! change invalidated v1 plan sets once; `tests/golden.rs` pins the v2
+//! values.
 
 use crate::model::{PlanNode, PropertyCategory, UnifiedPlan};
+use crate::symbol::SymbolTable;
+
+/// Version of the fingerprint scheme (bump invalidates persisted sets).
+pub const FINGERPRINT_SCHEME_VERSION: u32 = 2;
 
 /// What a fingerprint takes into account.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,27 +78,108 @@ pub fn fingerprint(plan: &UnifiedPlan) -> Fingerprint {
 }
 
 /// Fingerprints a plan with explicit options.
+///
+/// With default options this allocates nothing per node: identifiers are
+/// interned [`crate::Symbol`]s whose stable (suffix-stripped) forms were
+/// memoized at intern time, the symbol table's read lock is taken once for
+/// the whole plan, and per-node Configuration keys are sorted in a stack
+/// buffer. (Opting into `include_configuration_values` renders values,
+/// which allocates.)
 pub fn fingerprint_with(plan: &UnifiedPlan, opts: FingerprintOptions) -> Fingerprint {
-    let mut hasher = Fnv1a::new();
+    let table = SymbolTable::read();
+    let mut state = SEED;
     if let Some(root) = &plan.root {
-        hash_node(root, opts, &mut hasher);
+        state = hash_node(root, opts, &table, state);
     }
     // Plan-associated properties: only Configuration participates; the
     // Status properties (planning time etc.) are unstable by definition.
     if opts.include_configuration_keys {
-        let mut keys: Vec<&str> = plan
-            .properties
-            .iter()
-            .filter(|p| p.category == PropertyCategory::Configuration)
-            .map(|p| p.identifier.as_str())
-            .collect();
-        keys.sort_unstable();
-        for key in keys {
-            "plan_prop".hash(&mut hasher);
-            key.hash(&mut hasher);
+        let mut keys = KeyBuf::new();
+        for p in &plan.properties {
+            if p.category == PropertyCategory::Configuration {
+                keys.push((table.str(p.identifier), p.identifier, None));
+            }
+        }
+        for (_, key, _) in keys.sorted() {
+            state = mix(state, TAG_PLAN_PROP);
+            state = mix(state, table.content_hash(*key));
         }
     }
-    Fingerprint(hasher.finish())
+    Fingerprint(state)
+}
+
+/// Seed of the mixer chain (the FNV-1a offset basis, kept for tradition).
+const SEED: u64 = crate::symbol::FNV_OFFSET;
+
+// Structural tags keeping the mix sequence prefix-free: a node's children
+// block is bracketed by its child count and an end tag, so reshaping a tree
+// without changing its node multiset still changes the fingerprint.
+const TAG_NODE: u64 = 0x6e6f_6465;
+const TAG_PROP: u64 = 0x70_726f_70;
+const TAG_PLAN_PROP: u64 = 0x706c_616e;
+const TAG_END: u64 = 0x656e_64;
+
+/// Order-sensitive 64-bit mixer (murmur-style xorshift-multiply). Pure
+/// integer arithmetic — identical on every platform and process.
+#[inline]
+fn mix(state: u64, x: u64) -> u64 {
+    let mut z = state.rotate_left(23) ^ x;
+    z = z.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z ^ (z >> 33)
+}
+
+// For opt-in Configuration *values*, which have no interned symbol to
+// borrow a memoized hash from.
+use crate::symbol::fnv1a;
+
+/// Sort buffer for a node's Configuration keys: inline for the common case
+/// (real plan nodes carry a handful of properties), heap only beyond that.
+/// Entries are `(spelling, symbol, rendered value)`; sorting is by spelling
+/// (and value) so the canonical key order is interning-order-independent.
+struct KeyBuf<'a> {
+    inline: [(&'a str, crate::Symbol, Option<String>); 8],
+    len: usize,
+    spill: Vec<(&'a str, crate::Symbol, Option<String>)>,
+}
+
+impl<'a> KeyBuf<'a> {
+    /// Inline slots start as a dummy entry, overwritten before use.
+    fn new() -> KeyBuf<'a> {
+        KeyBuf {
+            inline: std::array::from_fn(|_| ("", crate::Symbol::CAT_PRODUCER, None)),
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, entry: (&'a str, crate::Symbol, Option<String>)) {
+        if self.len < self.inline.len() {
+            self.inline[self.len] = entry;
+            self.len += 1;
+        } else {
+            self.spill.push(entry);
+        }
+    }
+
+    fn sorted(&mut self) -> &[(&'a str, crate::Symbol, Option<String>)] {
+        let by_key_then_value = |a: &(&str, crate::Symbol, Option<String>),
+                                 b: &(&str, crate::Symbol, Option<String>)| {
+            (a.0, &a.2).cmp(&(b.0, &b.2))
+        };
+        if self.spill.is_empty() {
+            let slice = &mut self.inline[..self.len];
+            slice.sort_unstable_by(by_key_then_value);
+            &self.inline[..self.len]
+        } else {
+            for entry in &mut self.inline[..self.len] {
+                let moved = std::mem::replace(entry, ("", crate::Symbol::CAT_PRODUCER, None));
+                self.spill.push(moved);
+            }
+            self.len = 0;
+            self.spill.sort_unstable_by(by_key_then_value);
+            &self.spill
+        }
+    }
 }
 
 /// The stable form of an operation identifier: trailing `_<digits>` removed.
@@ -102,72 +202,44 @@ pub fn stable_identifier(identifier: &str) -> &str {
     }
 }
 
-fn hash_node(node: &PlanNode, opts: FingerprintOptions, hasher: &mut Fnv1a) {
-    "node".hash(hasher);
-    node.operation.category.name().hash(hasher);
+fn hash_node(
+    node: &PlanNode,
+    opts: FingerprintOptions,
+    table: &SymbolTable,
+    mut state: u64,
+) -> u64 {
+    state = mix(state, TAG_NODE);
+    state = mix(state, table.content_hash(node.operation.category.name_symbol()));
     let ident = if opts.strip_numeric_suffixes {
-        stable_identifier(&node.operation.identifier)
+        // Memoized at intern time — no per-node suffix scan.
+        table.stable(node.operation.identifier)
     } else {
-        &node.operation.identifier
+        node.operation.identifier
     };
-    ident.hash(hasher);
+    state = mix(state, table.content_hash(ident));
 
     if opts.include_configuration_keys {
-        let mut keys: Vec<(&str, Option<String>)> = node
-            .properties
-            .iter()
-            .filter(|p| p.category == PropertyCategory::Configuration)
-            .map(|p| {
-                let value = opts
-                    .include_configuration_values
-                    .then(|| p.value.render());
-                (p.identifier.as_str(), value)
-            })
-            .collect();
-        keys.sort_unstable();
-        for (key, value) in keys {
-            "prop".hash(hasher);
-            key.hash(hasher);
+        let mut keys = KeyBuf::new();
+        for p in &node.properties {
+            if p.category == PropertyCategory::Configuration {
+                let value = opts.include_configuration_values.then(|| p.value.render());
+                keys.push((table.str(p.identifier), p.identifier, value));
+            }
+        }
+        for (_, key, value) in keys.sorted() {
+            state = mix(state, TAG_PROP);
+            state = mix(state, table.content_hash(*key));
             if let Some(v) = value {
-                v.hash(hasher);
+                state = mix(state, fnv1a(v.as_bytes()));
             }
         }
     }
 
-    node.children.len().hash(hasher);
+    state = mix(state, node.children.len() as u64);
     for child in &node.children {
-        hash_node(child, opts, hasher);
+        state = hash_node(child, opts, table, state);
     }
-    "end".hash(hasher);
-}
-
-/// FNV-1a, a tiny stable hasher: fingerprints must not change across Rust
-/// releases or processes (QPG persists seen-plan sets between runs), so the
-/// std `DefaultHasher` — documented as unstable across releases — is not
-/// suitable.
-struct Fnv1a {
-    state: u64,
-}
-
-impl Fnv1a {
-    fn new() -> Self {
-        Fnv1a {
-            state: 0xcbf2_9ce4_8422_2325,
-        }
-    }
-}
-
-impl Hasher for Fnv1a {
-    fn finish(&self) -> u64 {
-        self.state
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= u64::from(b);
-            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
+    mix(state, TAG_END)
 }
 
 /// A growable set of observed plan fingerprints (QPG's novelty detector).

@@ -161,7 +161,7 @@ fn properties_from_json(props: &JsonValue) -> Result<Vec<Property>> {
                 .ok_or_else(|| Error::Semantic("property missing \"value\"".into()))?;
             Ok(Property {
                 category: PropertyCategory::parse(category)?,
-                identifier: crate::keyword::validate(identifier)?.to_owned(),
+                identifier: crate::Symbol::intern(crate::keyword::validate(identifier)?),
                 value: json_to_value(value)?,
             })
         })
@@ -205,7 +205,7 @@ pub fn to_xml_element(plan: &UnifiedPlan) -> XmlElement {
 fn node_to_xml(node: &PlanNode) -> XmlElement {
     let mut el = XmlElement::new("Node")
         .with_attr("category", node.operation.category.name())
-        .with_attr("identifier", node.operation.identifier.clone());
+        .with_attr("identifier", node.operation.identifier.as_str());
     for p in &node.properties {
         el = el.with_child(property_to_xml(p));
     }
@@ -227,7 +227,7 @@ fn property_to_xml(p: &Property) -> XmlElement {
     };
     XmlElement::new("Property")
         .with_attr("category", p.category.name())
-        .with_attr("identifier", p.identifier.clone())
+        .with_attr("identifier", p.identifier.as_str())
         .with_attr("type", type_name)
         .with_attr("value", text)
 }
@@ -308,7 +308,7 @@ fn property_from_xml(el: &XmlElement) -> Result<Property> {
     };
     Ok(Property {
         category: PropertyCategory::parse(category)?,
-        identifier: crate::keyword::validate(identifier)?.to_owned(),
+        identifier: crate::Symbol::intern(crate::keyword::validate(identifier)?),
         value,
     })
 }

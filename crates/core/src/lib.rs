@@ -42,6 +42,35 @@
 //! tool survey (Table IV). [`fingerprint`] and [`stats`] provide the plan
 //! processing that the paper's applications (QPG/CERT testing, visualization,
 //! cross-DBMS benchmarking) are built on.
+//!
+//! ## The `Symbol` layer and the hot-path performance contract
+//!
+//! Identifiers come from a *closed* vocabulary — the unified names the nine
+//! catalogs map to, plus runtime registrations — so [`Operation::identifier`]
+//! and [`Property::identifier`] are interned [`Symbol`]s (`u32` indices into
+//! a process-wide, thread-safe table; see [`symbol`]) rather than owned
+//! `String`s. The interner is pre-seeded from the category names, the
+//! [`unified_names`] vocabulary, and every catalogued unified identifier, and
+//! it memoizes per symbol both the *stable* (suffix-stripped) form and an
+//! FNV-1a content hash.
+//!
+//! This buys the plan-identity hot paths an explicit performance contract:
+//!
+//! * **`fingerprint` / `tree_edit_distance` / registry resolution do not
+//!   allocate per node.** Fingerprinting mixes memoized 64-bit symbol
+//!   hashes; TED compares labels by packed-`u32`-pair equality over flat DP
+//!   tables; the registry probes native names by streaming normalization.
+//! * **Plan construction through converters interns nothing in steady
+//!   state** — every catalogued name resolves to a pre-seeded symbol, and
+//!   symbol equality (`node.operation.identifier == "Hash_Join"` via
+//!   `PartialEq<&str>`, or symbol-to-symbol as `u32`) never walks bytes.
+//! * Symbol *indices* are process-local; anything persisted (fingerprints)
+//!   is built from content hashes and is stable across processes, platforms
+//!   and releases (`tests/golden.rs` pins the values).
+//!
+//! Code that renders or parses text still touches `&str` — use
+//! [`Symbol::as_str`] (single read-lock) or batch through
+//! [`symbol::SymbolTable`] on hot paths.
 
 pub mod display;
 pub mod error;
@@ -51,6 +80,7 @@ pub mod keyword;
 pub mod model;
 pub mod registry;
 pub mod stats;
+pub mod symbol;
 pub mod ted;
 pub mod text;
 pub mod unified_names;
@@ -58,4 +88,5 @@ pub mod value;
 
 pub use error::{Error, Result};
 pub use model::{Operation, OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan};
+pub use symbol::Symbol;
 pub use value::Value;

@@ -18,11 +18,12 @@ use std::fmt;
 
 use crate::error::Result;
 use crate::keyword;
+use crate::symbol::Symbol;
 use crate::value::Value;
 
 /// The seven operation categories of the study (paper Table II, left side),
 /// grounded in relational algebra, plus an extension point.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OperationCategory {
     /// Retrieves data from storage or returns constants (σ); leaf nodes.
     Producer,
@@ -40,7 +41,7 @@ pub enum OperationCategory {
     /// Operations with no output: DDL/DML side effects (UPDATE, CREATE).
     Consumer,
     /// Forward-compatible extension category (must be a valid keyword).
-    Extension(String),
+    Extension(Symbol),
 }
 
 impl OperationCategory {
@@ -56,7 +57,7 @@ impl OperationCategory {
     ];
 
     /// The grammar spelling of the category.
-    pub fn name(&self) -> &str {
+    pub fn name(&self) -> &'static str {
         match self {
             OperationCategory::Producer => "Producer",
             OperationCategory::Combinator => "Combinator",
@@ -65,9 +66,25 @@ impl OperationCategory {
             OperationCategory::Projector => "Projector",
             OperationCategory::Executor => "Executor",
             OperationCategory::Consumer => "Consumer",
-            OperationCategory::Extension(name) => name,
+            OperationCategory::Extension(name) => name.as_str(),
         }
     }
+
+    /// The category name as an interned symbol (no lock for canonical
+    /// categories: their symbols are pre-seeded constants).
+    pub fn name_symbol(&self) -> Symbol {
+        match self {
+            OperationCategory::Producer => Symbol::CAT_PRODUCER,
+            OperationCategory::Combinator => Symbol::CAT_COMBINATOR,
+            OperationCategory::Join => Symbol::CAT_JOIN,
+            OperationCategory::Folder => Symbol::CAT_FOLDER,
+            OperationCategory::Projector => Symbol::CAT_PROJECTOR,
+            OperationCategory::Executor => Symbol::CAT_EXECUTOR,
+            OperationCategory::Consumer => Symbol::CAT_CONSUMER,
+            OperationCategory::Extension(name) => *name,
+        }
+    }
+
 
     /// Parses a category name; unknown keywords become [`Extension`]
     /// (forward compatibility), non-keywords are rejected.
@@ -82,7 +99,7 @@ impl OperationCategory {
             "Projector" => OperationCategory::Projector,
             "Executor" => OperationCategory::Executor,
             "Consumer" => OperationCategory::Consumer,
-            other => OperationCategory::Extension(keyword::validate(other)?.to_owned()),
+            other => OperationCategory::Extension(Symbol::intern(keyword::validate(other)?)),
         })
     }
 
@@ -114,7 +131,7 @@ impl fmt::Display for OperationCategory {
 
 /// The four property categories of the study (paper Table II, right side),
 /// plus an extension point.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PropertyCategory {
     /// Numeric estimated data sizes (rows, width).
     Cardinality,
@@ -127,7 +144,7 @@ pub enum PropertyCategory {
     /// planning time).
     Status,
     /// Forward-compatible extension category (must be a valid keyword).
-    Extension(String),
+    Extension(Symbol),
 }
 
 impl PropertyCategory {
@@ -140,15 +157,28 @@ impl PropertyCategory {
     ];
 
     /// The grammar spelling of the category.
-    pub fn name(&self) -> &str {
+    pub fn name(&self) -> &'static str {
         match self {
             PropertyCategory::Cardinality => "Cardinality",
             PropertyCategory::Cost => "Cost",
             PropertyCategory::Configuration => "Configuration",
             PropertyCategory::Status => "Status",
-            PropertyCategory::Extension(name) => name,
+            PropertyCategory::Extension(name) => name.as_str(),
         }
     }
+
+    /// The category name as an interned symbol (no lock for canonical
+    /// categories: their symbols are pre-seeded constants).
+    pub fn name_symbol(&self) -> Symbol {
+        match self {
+            PropertyCategory::Cardinality => Symbol::CAT_CARDINALITY,
+            PropertyCategory::Cost => Symbol::CAT_COST,
+            PropertyCategory::Configuration => Symbol::CAT_CONFIGURATION,
+            PropertyCategory::Status => Symbol::CAT_STATUS,
+            PropertyCategory::Extension(name) => *name,
+        }
+    }
+
 
     /// Parses a category name; unknown keywords become [`Extension`]
     /// (forward compatibility), non-keywords are rejected.
@@ -160,7 +190,7 @@ impl PropertyCategory {
             "Cost" => PropertyCategory::Cost,
             "Configuration" => PropertyCategory::Configuration,
             "Status" => PropertyCategory::Status,
-            other => PropertyCategory::Extension(keyword::validate(other)?.to_owned()),
+            other => PropertyCategory::Extension(Symbol::intern(keyword::validate(other)?)),
         })
     }
 
@@ -188,21 +218,22 @@ impl fmt::Display for PropertyCategory {
 }
 
 /// `operation ::= 'Operation' ':' operation_category '->' operation_identifier`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Operation {
     /// The operation's category.
     pub category: OperationCategory,
-    /// The unified operation identifier (a grammar keyword, e.g.
+    /// The unified operation identifier (an interned grammar keyword, e.g.
     /// `Full_Table_Scan`).
-    pub identifier: String,
+    pub identifier: Symbol,
 }
 
 impl Operation {
     /// Creates an operation, canonicalizing the identifier into a keyword.
+    /// Already-canonical identifiers intern without allocating.
     pub fn new(category: OperationCategory, identifier: impl AsRef<str>) -> Self {
         Operation {
             category,
-            identifier: keyword::canonicalize(identifier.as_ref()),
+            identifier: Symbol::intern_canonical(identifier.as_ref()),
         }
     }
 
@@ -212,7 +243,7 @@ impl Operation {
     pub fn from_keyword(category: OperationCategory, identifier: &str) -> Result<Self> {
         Ok(Operation {
             category,
-            identifier: keyword::validate(identifier)?.to_owned(),
+            identifier: Symbol::intern(keyword::validate(identifier)?),
         })
     }
 }
@@ -228,14 +259,16 @@ impl fmt::Display for Operation {
 pub struct Property {
     /// The property's category.
     pub category: PropertyCategory,
-    /// The unified property identifier (a grammar keyword, e.g. `rows`).
-    pub identifier: String,
+    /// The unified property identifier (an interned grammar keyword, e.g.
+    /// `rows`).
+    pub identifier: Symbol,
     /// The property's value.
     pub value: Value,
 }
 
 impl Property {
     /// Creates a property, canonicalizing the identifier into a keyword.
+    /// Already-canonical identifiers intern without allocating.
     pub fn new(
         category: PropertyCategory,
         identifier: impl AsRef<str>,
@@ -243,7 +276,7 @@ impl Property {
     ) -> Self {
         Property {
             category,
-            identifier: keyword::canonicalize(identifier.as_ref()),
+            identifier: Symbol::intern_canonical(identifier.as_ref()),
             value: value.into(),
         }
     }
@@ -350,8 +383,12 @@ impl PlanNode {
     }
 
     /// First property with the given identifier, if any.
+    ///
+    /// An identifier that was never interned cannot name any stored
+    /// property, so the miss path is a single hash probe.
     pub fn property(&self, identifier: &str) -> Option<&Property> {
-        self.properties.iter().find(|p| p.identifier == identifier)
+        let symbol = Symbol::get(identifier)?;
+        self.properties.iter().find(|p| p.identifier == symbol)
     }
 
     /// All properties of a category.
@@ -359,7 +396,7 @@ impl PlanNode {
         &self,
         category: &PropertyCategory,
     ) -> impl Iterator<Item = &Property> + '_ {
-        let category = category.clone();
+        let category = *category;
         self.properties.iter().filter(move |p| p.category == category)
     }
 
@@ -444,7 +481,8 @@ impl UnifiedPlan {
 
     /// First plan-associated property with the given identifier.
     pub fn plan_property(&self, identifier: &str) -> Option<&Property> {
-        self.properties.iter().find(|p| p.identifier == identifier)
+        let symbol = Symbol::get(identifier)?;
+        self.properties.iter().find(|p| p.identifier == symbol)
     }
 }
 

@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::model::{OperationCategory, PropertyCategory};
+use crate::symbol::Symbol;
 
 /// The nine studied DBMSs (paper Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -396,32 +397,35 @@ impl DbmsCatalog {
 }
 
 /// Resolution result for a native operation name.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResolvedOp {
     /// Category per the study.
     pub category: OperationCategory,
-    /// Unified identifier (a grammar keyword).
-    pub unified: String,
+    /// Unified identifier (an interned grammar keyword).
+    pub unified: Symbol,
 }
 
 /// Resolution result for a native property key.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResolvedProp {
     /// Category per the study.
     pub category: PropertyCategory,
-    /// Unified identifier (a grammar keyword).
-    pub unified: String,
+    /// Unified identifier (an interned grammar keyword).
+    pub unified: Symbol,
 }
 
 /// Runtime registry: study catalogs plus runtime extensions.
 ///
 /// Lookups are by *normalized* native name (case-insensitive, whitespace
 /// and punctuation folded), so converters can feed serialized spellings
-/// (`"Seq Scan"`, `"SEARCH"`, `"TableFullScan_5"`) directly.
+/// (`"Seq Scan"`, `"SEARCH"`, `"TableFullScan_5"`) directly. The lookup
+/// path hashes and compares the normalized characters *on the fly* (see
+/// [`NormMap`]) — resolving a native name during conversion allocates
+/// nothing.
 #[derive(Debug, Default)]
 pub struct Registry {
-    ops: HashMap<(Dbms, String), ResolvedOp>,
-    props: HashMap<(Dbms, String), ResolvedProp>,
+    ops: NormMap<ResolvedOp>,
+    props: NormMap<ResolvedProp>,
 }
 
 impl Registry {
@@ -459,13 +463,8 @@ impl Registry {
         category: OperationCategory,
         unified: Option<&str>,
     ) {
-        let unified = unified
-            .map(|u| crate::keyword::canonicalize(u))
-            .unwrap_or_else(|| crate::keyword::canonicalize(native));
-        self.ops.insert(
-            (dbms, normalize(native)),
-            ResolvedOp { category, unified },
-        );
+        let unified = Symbol::intern_canonical(unified.unwrap_or(native));
+        self.ops.insert(dbms, native, ResolvedOp { category, unified });
     }
 
     /// Registers (or re-registers) a property mapping at runtime.
@@ -476,24 +475,19 @@ impl Registry {
         category: PropertyCategory,
         unified: Option<&str>,
     ) {
-        let unified = unified
-            .map(|u| crate::keyword::canonicalize(u))
-            .unwrap_or_else(|| crate::keyword::canonicalize(native));
-        self.props.insert(
-            (dbms, normalize(native)),
-            ResolvedProp { category, unified },
-        );
+        let unified = Symbol::intern_canonical(unified.unwrap_or(native));
+        self.props.insert(dbms, native, ResolvedProp { category, unified });
     }
 
     /// Removes an operation mapping (the deprecation direction of the
     /// paper's extensibility example).
     pub fn remove_operation(&mut self, dbms: Dbms, native: &str) -> bool {
-        self.ops.remove(&(dbms, normalize(native))).is_some()
+        self.ops.remove(dbms, native)
     }
 
     /// Removes a property mapping.
     pub fn remove_property(&mut self, dbms: Dbms, native: &str) -> bool {
-        self.props.remove(&(dbms, normalize(native))).is_some()
+        self.props.remove(dbms, native)
     }
 
     /// Resolves a native operation name. Numeric suffixes (`TableReader_7`)
@@ -501,31 +495,31 @@ impl Registry {
     pub fn resolve_operation(&self, dbms: Dbms, native: &str) -> Option<&ResolvedOp> {
         let stripped = crate::fingerprint::stable_identifier(native);
         self.ops
-            .get(&(dbms, normalize(stripped)))
-            .or_else(|| self.ops.get(&(dbms, normalize(native))))
+            .get(dbms, stripped)
+            .or_else(|| self.ops.get(dbms, native))
     }
 
     /// Resolves a native property key.
     pub fn resolve_property(&self, dbms: Dbms, native: &str) -> Option<&ResolvedProp> {
-        self.props.get(&(dbms, normalize(native)))
+        self.props.get(dbms, native)
     }
 
     /// Resolves an operation, falling back to [`OperationCategory::Executor`]
     /// with a canonicalized name for unknown operations — the generic
     /// handling the paper prescribes for forward compatibility.
     pub fn resolve_operation_or_generic(&self, dbms: Dbms, native: &str) -> ResolvedOp {
-        self.resolve_operation(dbms, native).cloned().unwrap_or_else(|| ResolvedOp {
+        self.resolve_operation(dbms, native).copied().unwrap_or_else(|| ResolvedOp {
             category: OperationCategory::Executor,
-            unified: crate::keyword::canonicalize(crate::fingerprint::stable_identifier(native)),
+            unified: Symbol::intern_canonical(crate::fingerprint::stable_identifier(native)),
         })
     }
 
     /// Resolves a property, falling back to
     /// [`PropertyCategory::Configuration`] with a canonicalized name.
     pub fn resolve_property_or_generic(&self, dbms: Dbms, native: &str) -> ResolvedProp {
-        self.resolve_property(dbms, native).cloned().unwrap_or_else(|| ResolvedProp {
+        self.resolve_property(dbms, native).copied().unwrap_or_else(|| ResolvedProp {
             category: PropertyCategory::Configuration,
-            unified: crate::keyword::canonicalize(native),
+            unified: Symbol::intern_canonical(native),
         })
     }
 
@@ -540,12 +534,95 @@ impl Registry {
     }
 }
 
-/// Case/punctuation-insensitive key for native names.
+/// The normalized character stream of a native name: ASCII-alphanumeric
+/// characters only, lowercased. Both hashing and equality run over this
+/// stream directly, so lookups never materialize the normalized string.
+fn normalized_chars(name: &str) -> impl Iterator<Item = u8> + '_ {
+    name.bytes()
+        .filter(u8::is_ascii_alphanumeric)
+        .map(|b| b.to_ascii_lowercase())
+}
+
+/// Case/punctuation-insensitive key for native names (insert path only).
 fn normalize(name: &str) -> String {
-    name.chars()
-        .filter(|c| c.is_ascii_alphanumeric())
-        .map(|c| c.to_ascii_lowercase())
-        .collect()
+    normalized_chars(name).map(char::from).collect()
+}
+
+/// FNV-1a over the DBMS discriminant and the normalized character stream.
+fn norm_hash(dbms: Dbms, name: &str) -> u64 {
+    let mut h = crate::symbol::FNV_OFFSET;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(crate::symbol::FNV_PRIME);
+    };
+    eat(dbms as u8);
+    for b in normalized_chars(name) {
+        eat(b);
+    }
+    h
+}
+
+/// A hash map keyed by `(Dbms, normalized native name)` whose **lookup path
+/// allocates nothing**: probes hash the raw input's normalized character
+/// stream and confirm candidates by streaming comparison against the stored
+/// normalized key. Collisions land in small per-hash buckets.
+#[derive(Debug)]
+struct NormMap<V> {
+    buckets: HashMap<u64, Vec<(Dbms, Box<str>, V)>>,
+    len: usize,
+}
+
+impl<V> Default for NormMap<V> {
+    fn default() -> Self {
+        NormMap {
+            buckets: HashMap::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> NormMap<V> {
+    fn insert(&mut self, dbms: Dbms, native: &str, value: V) {
+        let hash = norm_hash(dbms, native);
+        let normalized = normalize(native);
+        let bucket = self.buckets.entry(hash).or_default();
+        if let Some(slot) = bucket
+            .iter_mut()
+            .find(|(d, k, _)| *d == dbms && **k == *normalized)
+        {
+            slot.2 = value;
+        } else {
+            bucket.push((dbms, normalized.into_boxed_str(), value));
+            self.len += 1;
+        }
+    }
+
+    fn get(&self, dbms: Dbms, native: &str) -> Option<&V> {
+        let bucket = self.buckets.get(&norm_hash(dbms, native))?;
+        bucket
+            .iter()
+            .find(|(d, k, _)| *d == dbms && normalized_chars(native).eq(k.bytes()))
+            .map(|(_, _, v)| v)
+    }
+
+    fn remove(&mut self, dbms: Dbms, native: &str) -> bool {
+        let hash = norm_hash(dbms, native);
+        let Some(bucket) = self.buckets.get_mut(&hash) else {
+            return false;
+        };
+        let before = bucket.len();
+        bucket.retain(|(d, k, _)| !(*d == dbms && normalized_chars(native).eq(k.bytes())));
+        let removed = before - bucket.len();
+        if bucket.is_empty() {
+            self.buckets.remove(&hash);
+        }
+        self.len -= removed;
+        removed > 0
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
 }
 
 /// One row of paper Table IV (third-party visualization tools).
@@ -853,7 +930,7 @@ mod tests {
             for op in catalog.ops.iter().chain(catalog.op_aliases) {
                 let resolved = registry.resolve_operation(dbms, op.native).unwrap();
                 assert!(
-                    crate::keyword::is_keyword(&resolved.unified),
+                    crate::keyword::is_keyword(resolved.unified.as_str()),
                     "{dbms} {}: unified name {:?} is not a keyword",
                     op.native,
                     resolved.unified

@@ -20,7 +20,7 @@ impl CategoryCounts {
     pub fn of(plan: &UnifiedPlan) -> Self {
         let mut counts = BTreeMap::new();
         plan.walk(&mut |node| {
-            *counts.entry(node.operation.category.clone()).or_insert(0) += 1;
+            *counts.entry(node.operation.category).or_insert(0) += 1;
         });
         CategoryCounts { counts }
     }
@@ -58,7 +58,7 @@ impl AverageCounts {
         for plan in plans {
             n += 1;
             for (cat, count) in CategoryCounts::of(plan).iter() {
-                *sums.entry(cat.clone()).or_insert(0) += count;
+                *sums.entry(*cat).or_insert(0) += count;
             }
         }
         AverageCounts { plans: n, sums }

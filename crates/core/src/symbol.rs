@@ -1,0 +1,534 @@
+//! Interned identifier symbols — the allocation-free backbone of the plan
+//! core.
+//!
+//! Every operation and property identifier in the unified representation is
+//! a grammar keyword drawn from a *closed* vocabulary: the unified names of
+//! the nine studied DBMS catalogs, plus whatever a deployment registers at
+//! runtime. Storing them as owned `String`s made every plan construction,
+//! [`fingerprint`](crate::fingerprint), and
+//! [`tree_edit_distance`](crate::ted) call allocate per node — the inner
+//! loop of a QPG campaign that fingerprints millions of plans.
+//!
+//! [`Symbol`] replaces those `String`s with a `#[repr(transparent)]` `u32`
+//! index into a process-wide, thread-safe interner. Interning happens once
+//! per distinct spelling; every later lookup is a hash probe, equality is a
+//! `u32` compare, and [`Symbol::as_str`] returns the leaked `&'static str`
+//! without copying. The interner also memoizes, per symbol, its *stable*
+//! form (trailing `_<digits>` stripped — TiDB's random operator suffixes),
+//! so the fingerprint/TED hot paths never re-scan identifier bytes.
+//!
+//! The interner is pre-seeded with the category names of the grammar, every
+//! unified operation/property name in [`crate::unified_names`], and the
+//! canonicalized unified identifier of every catalog entry of the nine
+//! studied DBMSs — so steady-state plan construction through the registry
+//! never takes the write lock.
+//!
+//! Seeding order is part of the crate's internal contract: the seven
+//! operation category names occupy indices `0..=6` and the four property
+//! category names `7..=10`, which lets
+//! [`OperationCategory`](crate::OperationCategory) map between enum variants
+//! and symbols without string comparisons.
+//!
+//! Tradeoff: interned spellings are never freed (each distinct one leaks a
+//! `'static` copy). That is exactly right for the catalog-shaped
+//! vocabulary the representation assumes, and wrong for hostile input —
+//! parsers in this crate therefore intern only spellings that reach
+//! identifier/category positions, never raw lexical garbage.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock, RwLockReadGuard};
+
+/// An interned identifier: a `u32` index into the process-wide symbol table.
+///
+/// `Symbol` is `Copy`, compares and hashes as a `u32`, and orders by its
+/// string spelling (so sorted collections behave exactly as they did when
+/// identifiers were `String`s).
+#[repr(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Entry {
+    text: &'static str,
+    /// Index of the suffix-stripped form (`TableReader_7` → `TableReader`);
+    /// equals the entry's own index when nothing is stripped.
+    stable: u32,
+    /// FNV-1a of `text`'s bytes, memoized at intern time. Process- and
+    /// platform-independent, so fingerprints built from it stay stable
+    /// across runs even though symbol *indices* do not.
+    fnv: u64,
+}
+
+/// FNV-1a offset basis — the crate's single definition. Fingerprint
+/// stability across processes depends on every FNV user (the memoized
+/// content hashes here, `fingerprint`'s value hashing, the registry's
+/// normalized-name hashing) sharing these constants.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (see [`FNV_OFFSET`]).
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a `BuildHasher` for the spelling map: identifiers are short ASCII
+/// keywords, where FNV beats SipHash several-fold and DoS resistance is not
+/// a concern (the vocabulary is catalog-controlled).
+#[derive(Default, Clone)]
+struct FnvBuildHasher;
+
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+struct Interner {
+    map: HashMap<&'static str, u32, FnvBuildHasher>,
+    entries: Vec<Entry>,
+}
+
+impl Interner {
+    fn intern(&mut self, text: &str) -> u32 {
+        if let Some(&idx) = self.map.get(text) {
+            return idx;
+        }
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        self.insert_static(leaked)
+    }
+
+    fn intern_static(&mut self, text: &'static str) -> u32 {
+        if let Some(&idx) = self.map.get(text) {
+            return idx;
+        }
+        self.insert_static(text)
+    }
+
+    fn insert_static(&mut self, text: &'static str) -> u32 {
+        let idx = u32::try_from(self.entries.len()).expect("symbol table overflow");
+        self.map.insert(text, idx);
+        // Reserve the slot before computing the stable form: the stripped
+        // spelling may itself need interning, and may even equal `text`.
+        self.entries.push(Entry {
+            text,
+            stable: idx,
+            fnv: fnv1a(text.as_bytes()),
+        });
+        let stripped = crate::fingerprint::stable_identifier(text);
+        if stripped != text {
+            let stable = self.intern(stripped);
+            self.entries[idx as usize].stable = stable;
+        }
+        idx
+    }
+}
+
+/// FNV-1a over a byte slice (the per-symbol content hash; also reused by
+/// [`crate::fingerprint`] for opt-in property values).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut state = FNV_OFFSET;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+
+fn interner() -> &'static RwLock<Interner> {
+    INTERNER.get_or_init(|| {
+        let mut interner = Interner {
+            map: HashMap::with_capacity_and_hasher(1024, FnvBuildHasher),
+            entries: Vec::with_capacity(1024),
+        };
+        // Contract: operation categories at 0..=6, property categories at
+        // 7..=10, the 'Operation' grammar marker at 11 (see the constants
+        // below and `seeding_contract_holds` in the tests).
+        for name in [
+            "Producer",
+            "Combinator",
+            "Join",
+            "Folder",
+            "Projector",
+            "Executor",
+            "Consumer",
+            "Cardinality",
+            "Cost",
+            "Configuration",
+            "Status",
+            "Operation",
+        ] {
+            interner.intern_static(name);
+        }
+        for name in crate::unified_names::ALL_OPERATIONS {
+            interner.intern_static(name);
+        }
+        for name in [
+            crate::unified_names::props::ROWS,
+            crate::unified_names::props::ACTUAL_ROWS,
+            crate::unified_names::props::WIDTH,
+            crate::unified_names::props::STARTUP_COST,
+            crate::unified_names::props::TOTAL_COST,
+            crate::unified_names::props::ACTUAL_TIME_MS,
+            crate::unified_names::props::NAME_OBJECT,
+            crate::unified_names::props::NAME_INDEX,
+            crate::unified_names::props::FILTER,
+            crate::unified_names::props::JOIN_COND,
+            crate::unified_names::props::INDEX_COND,
+            crate::unified_names::props::GROUP_KEY,
+            crate::unified_names::props::SORT_KEY,
+            crate::unified_names::props::OUTPUT,
+            crate::unified_names::props::WORKERS_PLANNED,
+            crate::unified_names::props::TASK_TYPE,
+            crate::unified_names::props::PLANNING_TIME_MS,
+            crate::unified_names::props::EXECUTION_TIME_MS,
+        ] {
+            interner.intern_static(name);
+        }
+        // Every unified identifier of the nine studied catalogs, so registry
+        // resolution never interns at plan-conversion time.
+        for dbms in crate::registry::Dbms::ALL {
+            let catalog = dbms.catalog();
+            for op in catalog.ops.iter().chain(catalog.op_aliases) {
+                let unified = op.unified.unwrap_or(op.native);
+                interner.intern(&crate::keyword::canonicalize(unified));
+            }
+            for prop in catalog.props.iter().chain(catalog.prop_aliases) {
+                let unified = prop.unified.unwrap_or(prop.native);
+                interner.intern(&crate::keyword::canonicalize(unified));
+            }
+        }
+        RwLock::new(interner)
+    })
+}
+
+impl Symbol {
+    pub(crate) const CAT_PRODUCER: Symbol = Symbol(0);
+    pub(crate) const CAT_COMBINATOR: Symbol = Symbol(1);
+    pub(crate) const CAT_JOIN: Symbol = Symbol(2);
+    pub(crate) const CAT_FOLDER: Symbol = Symbol(3);
+    pub(crate) const CAT_PROJECTOR: Symbol = Symbol(4);
+    pub(crate) const CAT_EXECUTOR: Symbol = Symbol(5);
+    pub(crate) const CAT_CONSUMER: Symbol = Symbol(6);
+    pub(crate) const CAT_CARDINALITY: Symbol = Symbol(7);
+    pub(crate) const CAT_COST: Symbol = Symbol(8);
+    pub(crate) const CAT_CONFIGURATION: Symbol = Symbol(9);
+    pub(crate) const CAT_STATUS: Symbol = Symbol(10);
+
+    /// Interns a string, returning its symbol. O(1) hash probe when the
+    /// spelling is already known; takes the write lock (and leaks one copy
+    /// of the spelling) only the first time it is seen.
+    pub fn intern(text: &str) -> Symbol {
+        if let Some(sym) = Symbol::get(text) {
+            return sym;
+        }
+        Symbol(interner().write().expect("symbol table poisoned").intern(text))
+    }
+
+
+    /// Interns a name after keyword canonicalization, skipping the
+    /// canonicalization allocation when `text` is already in canonical form.
+    ///
+    /// The fast path must accept exactly the fixed points of
+    /// [`crate::keyword::canonicalize`]: a keyword-shaped string with a
+    /// trailing `_` is a valid keyword but *not* canonical (canonicalize
+    /// strips it), so it takes the slow path.
+    pub fn intern_canonical(text: &str) -> Symbol {
+        if crate::keyword::is_keyword(text) && !text.ends_with('_') {
+            Symbol::intern(text)
+        } else {
+            Symbol::intern(&crate::keyword::canonicalize(text))
+        }
+    }
+
+    /// Looks a spelling up without interning it.
+    pub fn get(text: &str) -> Option<Symbol> {
+        SymbolTable::read().get(text)
+    }
+
+    /// The symbol's spelling.
+    pub fn as_str(self) -> &'static str {
+        SymbolTable::read().str(self)
+    }
+
+    /// The memoized stable form: trailing `_<digits>` stripped (TiDB-style
+    /// random operator identifiers), `self` when nothing strips.
+    pub fn stable(self) -> Symbol {
+        SymbolTable::read().stable(self)
+    }
+
+    /// The raw table index (stable within a process, not across processes).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Number of interned symbols (diagnostics / tests).
+    pub fn count() -> usize {
+        interner().read().expect("symbol table poisoned").entries.len()
+    }
+}
+
+/// A read guard over the symbol table.
+///
+/// Hot paths that resolve many symbols ([`crate::fingerprint`],
+/// [`crate::ted`]) take the guard once and resolve through it, instead of
+/// re-acquiring the read lock per symbol. Do not intern while holding one.
+pub struct SymbolTable {
+    guard: RwLockReadGuard<'static, Interner>,
+}
+
+impl SymbolTable {
+    /// Acquires the table for batched reads.
+    pub fn read() -> SymbolTable {
+        SymbolTable {
+            guard: interner().read().expect("symbol table poisoned"),
+        }
+    }
+
+    /// The spelling of `sym`.
+    pub fn str(&self, sym: Symbol) -> &'static str {
+        self.guard.entries[sym.0 as usize].text
+    }
+
+    /// The memoized suffix-stripped form of `sym`.
+    pub fn stable(&self, sym: Symbol) -> Symbol {
+        Symbol(self.guard.entries[sym.0 as usize].stable)
+    }
+
+    /// The memoized FNV-1a content hash of `sym`'s spelling.
+    pub fn content_hash(&self, sym: Symbol) -> u64 {
+        self.guard.entries[sym.0 as usize].fnv
+    }
+
+    /// Looks a spelling up through this guard (no extra lock acquisition).
+    pub fn get(&self, text: &str) -> Option<Symbol> {
+        self.guard.map.get(text).map(|&idx| Symbol(idx))
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Symbols order by spelling, not by table index, so sorted collections
+/// behave exactly as they did when identifiers were `String`s regardless of
+/// interning order.
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        let table = SymbolTable::read();
+        table.str(*self).cmp(table.str(*other))
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for String {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_contract_holds() {
+        assert_eq!(Symbol::intern("Producer"), Symbol::CAT_PRODUCER);
+        assert_eq!(Symbol::intern("Combinator"), Symbol::CAT_COMBINATOR);
+        assert_eq!(Symbol::intern("Join"), Symbol::CAT_JOIN);
+        assert_eq!(Symbol::intern("Folder"), Symbol::CAT_FOLDER);
+        assert_eq!(Symbol::intern("Projector"), Symbol::CAT_PROJECTOR);
+        assert_eq!(Symbol::intern("Executor"), Symbol::CAT_EXECUTOR);
+        assert_eq!(Symbol::intern("Consumer"), Symbol::CAT_CONSUMER);
+        assert_eq!(Symbol::intern("Cardinality"), Symbol::CAT_CARDINALITY);
+        assert_eq!(Symbol::intern("Cost"), Symbol::CAT_COST);
+        assert_eq!(Symbol::intern("Configuration"), Symbol::CAT_CONFIGURATION);
+        assert_eq!(Symbol::intern("Status"), Symbol::CAT_STATUS);
+        assert_eq!(Symbol::intern("Operation").index(), 11);
+    }
+
+    #[test]
+    fn intern_round_trips_and_is_idempotent() {
+        let a = Symbol::intern("Full_Table_Scan");
+        assert_eq!(a.as_str(), "Full_Table_Scan");
+        // Same index ⇒ no new entry was created; avoids global-count
+        // assertions, which are racy under the parallel test runner.
+        assert_eq!(Symbol::intern("Full_Table_Scan").index(), a.index());
+        assert_eq!(Symbol::get("Full_Table_Scan"), Some(a));
+    }
+
+    #[test]
+    fn unknown_spellings_are_absent_until_interned() {
+        assert_eq!(Symbol::get("surely_never_seeded_xyzzy_1"), None);
+        let s = Symbol::intern("surely_never_seeded_xyzzy_1");
+        assert_eq!(Symbol::get("surely_never_seeded_xyzzy_1"), Some(s));
+    }
+
+    #[test]
+    fn stable_forms_are_memoized() {
+        let raw = Symbol::intern("TableReader_7");
+        assert_eq!(raw.stable().as_str(), "TableReader");
+        assert_eq!(raw.stable(), Symbol::intern("TableReader"));
+        // Nothing to strip: stable is the symbol itself.
+        let plain = Symbol::intern("Sort");
+        assert_eq!(plain.stable(), plain);
+        // Single strip only, exactly like `stable_identifier`.
+        let multi = Symbol::intern("a_1_2");
+        assert_eq!(multi.stable().as_str(), "a_1");
+    }
+
+    #[test]
+    fn intern_canonical_agrees_with_canonicalize() {
+        // Keyword-shaped but non-canonical spellings (trailing underscores
+        // are valid keywords that canonicalize strips) must take the slow
+        // path, or the same name would intern to two different symbols
+        // depending on the call site.
+        for raw in ["Sort_", "Sort__", "Seq Scan", "Sort", "a_1"] {
+            assert_eq!(
+                Symbol::intern_canonical(raw),
+                Symbol::intern(&crate::keyword::canonicalize(raw)),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn catalogs_are_pre_seeded() {
+        // The paper's flagship mapping and some per-DBMS spellings resolve
+        // without interning (Symbol::get never inserts).
+        for name in ["Full_Table_Scan", "Hash_Join", "Collect", "rows", "total_cost"] {
+            assert!(Symbol::get(name).is_some(), "{name} must be pre-seeded");
+        }
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Interning order deliberately disagrees with string order here.
+        let z = Symbol::intern("zzz_order_probe");
+        let a = Symbol::intern("aaa_order_probe");
+        assert!(a < z);
+        assert!(z > a);
+        let mut v = [z, a];
+        v.sort();
+        assert_eq!(v[0], a);
+    }
+
+    #[test]
+    fn equality_with_strings() {
+        let s = Symbol::intern("Hash_Join");
+        assert_eq!(s, "Hash_Join");
+        assert_eq!("Hash_Join", s);
+        assert_eq!(s, "Hash_Join".to_owned());
+        assert_ne!(s, "Merge_Join");
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Symbol::intern("Index_Scan");
+        assert_eq!(s.to_string(), "Index_Scan");
+        assert_eq!(format!("{s:?}"), "\"Index_Scan\"");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|i| Symbol::intern(&format!("concurrent_{}", (t + i) % 50)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Same spelling → same symbol across threads.
+        for i in 0..50 {
+            let name = format!("concurrent_{i}");
+            let sym = Symbol::get(&name).unwrap();
+            for run in &all {
+                for s in run {
+                    if s.as_str() == name {
+                        assert_eq!(*s, sym);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -6,55 +6,62 @@
 //! implements the classic Zhang–Shasha ordered tree edit distance with unit
 //! costs, where two nodes match when their operation category and stable
 //! identifier agree, plus a normalized similarity on top.
+//!
+//! Hot-path representation: node labels are `(category symbol, stable
+//! identifier symbol)` pairs packed into one `u64` each — label equality is
+//! an integer compare, flattening a tree allocates three flat vectors and
+//! zero per-node strings (stable forms are memoized by the interner), and
+//! the dynamic program runs over two reused single-`Vec` tables instead of
+//! per-keyroot-pair nested allocations.
 
-use crate::fingerprint::stable_identifier;
 use crate::model::{PlanNode, UnifiedPlan};
-
-/// A node label for edit-distance purposes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Label {
-    category: String,
-    identifier: String,
-}
+use crate::symbol::SymbolTable;
 
 /// Post-order flattening of a tree with leftmost-leaf-descendant indices —
 /// the standard Zhang–Shasha preprocessing.
 struct Flat {
-    labels: Vec<Label>,
+    /// `(category name symbol) << 32 | (stable identifier symbol)`.
+    labels: Vec<u64>,
     /// `lld[i]` = post-order index of the leftmost leaf descendant of node `i`.
-    lld: Vec<usize>,
-    /// Post-order indices of keyroots (nodes with a left sibling, plus root).
-    keyroots: Vec<usize>,
+    lld: Vec<u32>,
+    /// Post-order indices of keyroots (nodes with a left sibling, plus root),
+    /// ascending.
+    keyroots: Vec<u32>,
 }
 
-fn flatten(root: &PlanNode) -> Flat {
+fn flatten(root: &PlanNode, table: &SymbolTable) -> Flat {
     let mut labels = Vec::new();
     let mut lld = Vec::new();
 
-    fn walk(node: &PlanNode, labels: &mut Vec<Label>, lld: &mut Vec<usize>) -> usize {
+    fn walk(
+        node: &PlanNode,
+        table: &SymbolTable,
+        labels: &mut Vec<u64>,
+        lld: &mut Vec<u32>,
+    ) -> u32 {
         let mut leftmost = None;
         for child in &node.children {
-            let child_index = walk(child, labels, lld);
-            leftmost.get_or_insert(lld[child_index]);
+            let child_index = walk(child, table, labels, lld);
+            leftmost.get_or_insert(lld[child_index as usize]);
         }
-        let index = labels.len();
-        labels.push(Label {
-            category: node.operation.category.name().to_owned(),
-            identifier: stable_identifier(&node.operation.identifier).to_owned(),
-        });
+        let index = labels.len() as u32;
+        let category = node.operation.category.name_symbol().index();
+        let stable = table.stable(node.operation.identifier).index();
+        labels.push(u64::from(category) << 32 | u64::from(stable));
         lld.push(leftmost.unwrap_or(index));
         index
     }
-    walk(root, &mut labels, &mut lld);
+    walk(root, table, &mut labels, &mut lld);
 
     // Keyroots: for each distinct lld value, the highest post-order index.
     // One reverse pass suffices: the first time an lld value is seen walking
     // right-to-left *is* its highest index (O(n), replacing an O(n²) scan).
     let mut keyroots = Vec::new();
     let mut seen = vec![false; labels.len()];
-    for i in (0..labels.len()).rev() {
-        if !seen[lld[i]] {
-            seen[lld[i]] = true;
+    for i in (0..labels.len() as u32).rev() {
+        let lld_i = lld[i as usize] as usize;
+        if !seen[lld_i] {
+            seen[lld_i] = true;
             keyroots.push(i);
         }
     }
@@ -76,53 +83,68 @@ pub fn tree_edit_distance(a: &UnifiedPlan, b: &UnifiedPlan) -> usize {
         (None, None) => 0,
         (Some(root), None) => root.node_count(),
         (None, Some(root)) => root.node_count(),
-        (Some(ra), Some(rb)) => zhang_shasha(&flatten(ra), &flatten(rb)),
+        (Some(ra), Some(rb)) => {
+            let table = SymbolTable::read();
+            zhang_shasha(&flatten(ra, &table), &flatten(rb, &table))
+        }
     }
 }
 
 fn zhang_shasha(a: &Flat, b: &Flat) -> usize {
     let (n, m) = (a.labels.len(), b.labels.len());
-    let mut td = vec![vec![0usize; m]; n];
+    // Flat n×m tree-distance table plus one reusable forest-distance scratch
+    // sized for the worst keyroot pair — two allocations for the whole run.
+    let mut td = vec![0u32; n * m];
+    let mut fd = vec![0u32; (n + 1) * (m + 1)];
 
     for &i in &a.keyroots {
         for &j in &b.keyroots {
-            tree_dist(a, b, i, j, &mut td);
+            tree_dist(a, b, i as usize, j as usize, &mut td, &mut fd);
         }
     }
-    td[n - 1][m - 1]
+    td[(n - 1) * m + (m - 1)] as usize
 }
 
-fn tree_dist(a: &Flat, b: &Flat, i: usize, j: usize, td: &mut [Vec<usize>]) {
-    let ali = a.lld[i];
-    let blj = b.lld[j];
+fn tree_dist(a: &Flat, b: &Flat, i: usize, j: usize, td: &mut [u32], fd: &mut [u32]) {
+    let m = b.labels.len();
+    let ali = a.lld[i] as usize;
+    let blj = b.lld[j] as usize;
     let rows = i - ali + 2;
     let cols = j - blj + 2;
-    // Forest distance matrix, indexed from (ali-1, blj-1) conceptually.
-    let mut fd = vec![vec![0usize; cols]; rows];
-    for (r, row) in fd.iter_mut().enumerate().skip(1) {
-        row[0] = r;
+    // Forest distance matrix (row stride `cols`), indexed from
+    // (ali-1, blj-1) conceptually.
+    fd[0] = 0;
+    for r in 1..rows {
+        fd[r * cols] = r as u32;
     }
     for c in 1..cols {
-        fd[0][c] = c;
+        fd[c] = c as u32;
     }
     for r in 1..rows {
+        let ai = ali + r - 1;
+        let a_lld = a.lld[ai] as usize;
+        let whole_a = a_lld == ali;
+        let label_a = a.labels[ai];
+        let td_row = ai * m;
         for c in 1..cols {
-            let ai = ali + r - 1;
             let bj = blj + c - 1;
-            if a.lld[ai] == ali && b.lld[bj] == blj {
+            let cell = r * cols + c;
+            let up = fd[cell - cols] + 1;
+            let left = fd[cell - 1] + 1;
+            let value = if whole_a && b.lld[bj] as usize == blj {
                 // Both forests are whole trees rooted at ai/bj.
-                let rename = usize::from(a.labels[ai] != b.labels[bj]);
-                fd[r][c] = (fd[r - 1][c] + 1)
-                    .min(fd[r][c - 1] + 1)
-                    .min(fd[r - 1][c - 1] + rename);
-                td[ai][bj] = fd[r][c];
+                let rename = u32::from(label_a != b.labels[bj]);
+                let diag = fd[cell - cols - 1] + rename;
+                let best = up.min(left).min(diag);
+                td[td_row + bj] = best;
+                best
             } else {
-                let prev_r = a.lld[ai] - ali; // forest without subtree at ai
-                let prev_c = b.lld[bj] - blj;
-                fd[r][c] = (fd[r - 1][c] + 1)
-                    .min(fd[r][c - 1] + 1)
-                    .min(fd[prev_r][prev_c] + td[ai][bj]);
-            }
+                let prev_r = a_lld - ali; // forest without subtree at ai
+                let prev_c = b.lld[bj] as usize - blj;
+                let diag = fd[prev_r * cols + prev_c] + td[td_row + bj];
+                up.min(left).min(diag)
+            };
+            fd[cell] = value;
         }
     }
 }

@@ -27,10 +27,10 @@
 //! distinguished by two-token lookahead (`Operation` `:` starts a tree,
 //! `keyword` `->` starts a property), making the grammar LL(2).
 
-use std::fmt::Write as _;
 
 use crate::error::{Error, Result};
 use crate::model::{Operation, OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan};
+use crate::symbol::Symbol;
 use crate::value::Value;
 
 // ---------------------------------------------------------------------------
@@ -39,34 +39,49 @@ use crate::value::Value;
 
 /// Serializes a plan into the strict text format.
 pub fn to_text(plan: &UnifiedPlan) -> String {
+    // One symbol-table read guard for the whole plan: identifier spellings
+    // are resolved through it instead of locking per node/property.
+    let table = crate::symbol::SymbolTable::read();
     let mut out = String::new();
     if let Some(root) = &plan.root {
-        write_tree(&mut out, root, 0);
+        write_tree(&mut out, root, 0, &table);
     }
     if !plan.properties.is_empty() {
         if plan.root.is_some() {
             out.push('\n');
         }
-        let rendered: Vec<String> = plan.properties.iter().map(render_property).collect();
-        out.push_str(&rendered.join(", "));
+        for (i, p) in plan.properties.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_property(&mut out, p, &table);
+        }
     }
     out
 }
 
-fn render_property(p: &Property) -> String {
-    format!("{}->{}: {}", p.category.name(), p.identifier, p.value.render())
+fn write_property(out: &mut String, p: &Property, table: &crate::symbol::SymbolTable) {
+    // Resolve the category through the held guard too: `name()` on an
+    // Extension category would re-acquire the symbol lock, and a nested
+    // read on std's RwLock can deadlock against a queued writer.
+    out.push_str(table.str(p.category.name_symbol()));
+    out.push_str("->");
+    out.push_str(table.str(p.identifier));
+    out.push_str(": ");
+    out.push_str(&p.value.render());
 }
 
-fn write_tree(out: &mut String, node: &PlanNode, depth: usize) {
-    let indent = "  ".repeat(depth);
-    let _ = write!(
-        out,
-        "{indent}Operation: {}->{}",
-        node.operation.category.name(),
-        node.operation.identifier
-    );
+fn write_tree(out: &mut String, node: &PlanNode, depth: usize, table: &crate::symbol::SymbolTable) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str("Operation: ");
+    out.push_str(table.str(node.operation.category.name_symbol()));
+    out.push_str("->");
+    out.push_str(table.str(node.operation.identifier));
     for p in &node.properties {
-        let _ = write!(out, ", {}", render_property(p));
+        out.push_str(", ");
+        write_property(out, p, table);
     }
     if !node.children.is_empty() {
         out.push_str(" --children--> {\n");
@@ -74,9 +89,13 @@ fn write_tree(out: &mut String, node: &PlanNode, depth: usize) {
             if i > 0 {
                 out.push_str(",\n");
             }
-            write_tree(out, child, depth + 1);
+            write_tree(out, child, depth + 1, table);
         }
-        let _ = write!(out, "\n{indent}}}");
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push('}');
     }
 }
 
@@ -85,8 +104,15 @@ fn write_tree(out: &mut String, node: &PlanNode, depth: usize) {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
-enum Token {
-    Keyword(String),
+enum Token<'a> {
+    /// Keywords borrow their span of the input — no per-token allocation.
+    /// Interning happens only when the parser *uses* a keyword as an
+    /// identifier or extension category, so input rejected at the lexical
+    /// or structural level never grows the process-wide symbol table.
+    /// (Keywords that do reach identifier positions intern even if the
+    /// document later fails to parse — the documented interner tradeoff:
+    /// the vocabulary is assumed catalog-shaped, not adversarial.)
+    Keyword(&'a str),
     Colon,
     Comma,
     Arrow,         // ->
@@ -119,7 +145,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn next_token(&mut self) -> Result<Option<(usize, Token)>> {
+    fn next_token(&mut self) -> Result<Option<(usize, Token<'a>)>> {
         self.skip_ws();
         if self.pos >= self.input.len() {
             return Ok(None);
@@ -158,7 +184,7 @@ impl<'a> Lexer<'a> {
     }
 
     /// `-` begins `->`, `--children-->` or a negative number.
-    fn lex_dash(&mut self, start: usize) -> Result<Token> {
+    fn lex_dash(&mut self, start: usize) -> Result<Token<'a>> {
         let rest = &self.input[self.pos..];
         const CHILDREN: &[u8] = b"--children-->";
         if rest.starts_with(CHILDREN) {
@@ -179,7 +205,7 @@ impl<'a> Lexer<'a> {
         Err(Error::parse(start, "expected '->', '--children-->' or a number"))
     }
 
-    fn lex_string(&mut self, start: usize) -> Result<Token> {
+    fn lex_string(&mut self, start: usize) -> Result<Token<'a>> {
         self.pos += 1; // opening quote
         let mut s = String::new();
         loop {
@@ -251,7 +277,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_number(&mut self, start: usize) -> Result<Token> {
+    fn lex_number(&mut self, start: usize) -> Result<Token<'a>> {
         let mut is_float = false;
         while let Some(&b) = self.input.get(self.pos) {
             match b {
@@ -286,7 +312,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_word(&mut self) -> Token {
+    fn lex_word(&mut self) -> Token<'a> {
         let start = self.pos;
         while self
             .input
@@ -296,9 +322,8 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
         }
         let word = std::str::from_utf8(&self.input[start..self.pos])
-            .expect("keyword bytes are ASCII")
-            .to_owned();
-        match word.as_str() {
+            .expect("keyword bytes are ASCII");
+        match word {
             "true" => Token::Bool(true),
             "false" => Token::Bool(false),
             "null" => Token::Null,
@@ -311,13 +336,13 @@ impl<'a> Lexer<'a> {
 // Parser
 // ---------------------------------------------------------------------------
 
-struct Parser {
-    tokens: Vec<(usize, Token)>,
+struct Parser<'a> {
+    tokens: Vec<(usize, Token<'a>)>,
     cursor: usize,
 }
 
-impl Parser {
-    fn new(input: &str) -> Result<Self> {
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Result<Self> {
         let mut lexer = Lexer::new(input);
         let mut tokens = Vec::new();
         while let Some(tok) = lexer.next_token()? {
@@ -326,11 +351,11 @@ impl Parser {
         Ok(Parser { tokens, cursor: 0 })
     }
 
-    fn peek(&self) -> Option<&Token> {
+    fn peek(&self) -> Option<&Token<'a>> {
         self.tokens.get(self.cursor).map(|(_, t)| t)
     }
 
-    fn peek2(&self) -> Option<&Token> {
+    fn peek2(&self) -> Option<&Token<'a>> {
         self.tokens.get(self.cursor + 1).map(|(_, t)| t)
     }
 
@@ -338,7 +363,7 @@ impl Parser {
         self.tokens.get(self.cursor).map_or(usize::MAX, |(o, _)| *o)
     }
 
-    fn advance(&mut self) -> Option<Token> {
+    fn advance(&mut self) -> Option<Token<'a>> {
         let tok = self.tokens.get(self.cursor).map(|(_, t)| t.clone());
         if tok.is_some() {
             self.cursor += 1;
@@ -346,7 +371,7 @@ impl Parser {
         tok
     }
 
-    fn expect(&mut self, expected: &Token, what: &str) -> Result<()> {
+    fn expect(&mut self, expected: &Token<'a>, what: &str) -> Result<()> {
         match self.advance() {
             Some(ref t) if t == expected => Ok(()),
             Some(t) => Err(Error::parse(
@@ -357,7 +382,7 @@ impl Parser {
         }
     }
 
-    fn expect_keyword(&mut self, what: &str) -> Result<String> {
+    fn expect_keyword(&mut self, what: &str) -> Result<&'a str> {
         match self.advance() {
             Some(Token::Keyword(k)) => Ok(k),
             Some(t) => Err(Error::parse(
@@ -370,7 +395,7 @@ impl Parser {
 
     /// `true` if the cursor is at `Operation` `:` (i.e. the start of a tree).
     fn at_tree_start(&self) -> bool {
-        matches!(self.peek(), Some(Token::Keyword(k)) if k == "Operation")
+        matches!(self.peek(), Some(Token::Keyword(k)) if *k == "Operation")
             && matches!(self.peek2(), Some(Token::Colon))
     }
 
@@ -409,11 +434,15 @@ impl Parser {
             return Err(Error::parse(self.offset(), "expected 'Operation'"));
         }
         self.expect(&Token::Colon, "':' after 'Operation'")?;
-        let category = OperationCategory::parse(&self.expect_keyword("operation category")?)?;
+        // The lexer guarantees keyword shape, so identifiers intern without
+        // a validation pass or `to_owned` — a hash probe on the hit path.
+        let category = OperationCategory::parse(self.expect_keyword("operation category")?)?;
         self.expect(&Token::Arrow, "'->' after operation category")?;
-        let identifier = self.expect_keyword("operation identifier")?;
-        let operation = Operation::from_keyword(category, &identifier)?;
-        let mut node = PlanNode::new(operation);
+        let identifier = Symbol::intern(self.expect_keyword("operation identifier")?);
+        let mut node = PlanNode::new(Operation {
+            category,
+            identifier,
+        });
 
         // Node properties: comma-chained; a comma followed by a tree start
         // inside a children block belongs to the sibling list, so stop there.
@@ -442,9 +471,9 @@ impl Parser {
     }
 
     fn parse_property(&mut self) -> Result<Property> {
-        let category = PropertyCategory::parse(&self.expect_keyword("property category")?)?;
+        let category = PropertyCategory::parse(self.expect_keyword("property category")?)?;
         self.expect(&Token::Arrow, "'->' after property category")?;
-        let identifier = self.expect_keyword("property identifier")?;
+        let identifier = Symbol::intern(self.expect_keyword("property identifier")?);
         self.expect(&Token::Colon, "':' before property value")?;
         let value = self.parse_value()?;
         Ok(Property {
@@ -576,6 +605,18 @@ mod tests {
         let root = plan.root.unwrap();
         assert_eq!(root.operation.category.name(), "Mapper");
         assert!(!root.operation.category.is_canonical());
+    }
+
+    #[test]
+    fn structurally_rejected_words_are_not_interned() {
+        // The lexer borrows keyword spans; interning happens only for
+        // keywords the parser consumes as identifiers or categories.
+        // Asserting on the specific spellings (not a global count delta)
+        // keeps this robust under the parallel test runner, where other
+        // tests intern concurrently.
+        assert!(from_text("zzqx_unique_garbage_word another_zzqx_word ???").is_err());
+        assert_eq!(crate::symbol::Symbol::get("zzqx_unique_garbage_word"), None);
+        assert_eq!(crate::symbol::Symbol::get("another_zzqx_word"), None);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod ascii {
         let label = format!(
             "{}\u{2192}{}",
             n.operation.category.name(),
-            n.operation.identifier.replace('_', " ")
+            n.operation.identifier.as_str().replace('_', " ")
         );
         let props: Vec<String> = n
             .properties
@@ -86,7 +86,7 @@ pub mod dot {
         let mut label = format!(
             "{}\\n{}",
             n.operation.category.name(),
-            n.operation.identifier.replace('_', " ")
+            n.operation.identifier.as_str().replace('_', " ")
         );
         if let Some(rows) = n.property("rows") {
             label.push_str(&format!("\\nrows={}", rows.value));
@@ -161,7 +161,7 @@ pub mod svg {
         let label = format!(
             "{}\u{2192}{}",
             n.operation.category.name(),
-            n.operation.identifier.replace('_', " ")
+            n.operation.identifier.as_str().replace('_', " ")
         );
         let detail = n
             .property("name_object")
@@ -214,7 +214,7 @@ pub mod html {
         let category = n.operation.category.name();
         out.push_str(&format!(
             "<div class=\"node\"><span class=\"cat cat-{category}\">{category}\u{2192}{}</span>",
-            n.operation.identifier.replace('_', " ")
+            n.operation.identifier.as_str().replace('_', " ")
         ));
         for p in n.properties.iter().take(4) {
             out.push_str(&format!(

@@ -69,33 +69,35 @@ fn fixture_plans() -> Vec<(String, UnifiedPlan)> {
     plans
 }
 
-/// Expected `fingerprint()` of every fixture plan, in `fixture_plans` order.
+/// Expected `fingerprint()` of every fixture plan, in `fixture_plans` order
+/// (fingerprint scheme v2: memoized symbol content hashes, see
+/// `uplan_core::fingerprint::FINGERPRINT_SCHEME_VERSION`).
 /// Regenerate with `print_golden_values` (see module docs).
 const GOLDEN_FINGERPRINTS: [(&str, u64); 24] = [
-    ("q1/postgres_text", 0x000cfde00f0e573c),
-    ("q1/postgres_json", 0xf64a501491a6606f),
-    ("q1/tidb_table", 0x73389afc6c1e8e7b),
-    ("q1/mysql_json", 0xa99fa010a47b1330),
-    ("q1/mysql_table", 0x97c05b451bd32ed4),
-    ("q1/sqlite_eqp", 0xd3c4b153572b3e13),
-    ("q3/postgres_text", 0x0349aedae91d4b34),
-    ("q3/postgres_json", 0x17862ec08667c389),
-    ("q3/tidb_table", 0xad3a6c10f862ea74),
-    ("q3/mysql_json", 0xdb66ebe027db7f3d),
-    ("q3/mysql_table", 0x1cfa2963fea04272),
-    ("q3/sqlite_eqp", 0x6c26397aa1445353),
-    ("q5/postgres_text", 0xbc393732d998ca8d),
-    ("q5/postgres_json", 0x5fb59e46b8ea1421),
-    ("q5/tidb_table", 0x62863faf8a243ffd),
-    ("q5/mysql_json", 0x4eae5137153d58ff),
-    ("q5/mysql_table", 0xe55f0e27e6570d87),
-    ("q5/sqlite_eqp", 0x91db9cb1a4dcd15e),
-    ("q11/postgres_text", 0x28e13a129a0b71a3),
-    ("q11/postgres_json", 0x297a831fd052a043),
-    ("q11/tidb_table", 0xc4ff194e5baf3e80),
-    ("q11/mysql_json", 0xaed670b9e00d034a),
-    ("q11/mysql_table", 0xc80f6e6067d33e98),
-    ("q11/sqlite_eqp", 0xf20a1f64793e4847),
+    ("q1/postgres_text", 0x7bbbc1beabaf990c),
+    ("q1/postgres_json", 0x4e56ed3a9c788478),
+    ("q1/tidb_table", 0x1bdc23a3cf368d64),
+    ("q1/mysql_json", 0x36c36e60f6551033),
+    ("q1/mysql_table", 0x4b2eae283cbe64fe),
+    ("q1/sqlite_eqp", 0x31c71c6f8d55bec0),
+    ("q3/postgres_text", 0x38cf084a36b2b904),
+    ("q3/postgres_json", 0xb5ac00fd4bfc0e13),
+    ("q3/tidb_table", 0x344ee2d8527878d7),
+    ("q3/mysql_json", 0xd0a14f02e01be4df),
+    ("q3/mysql_table", 0x6d110e8e645aea1c),
+    ("q3/sqlite_eqp", 0xf8e7696d6c77078f),
+    ("q5/postgres_text", 0xec25d746819adf51),
+    ("q5/postgres_json", 0x6b136f6a05a76c62),
+    ("q5/tidb_table", 0xc8a36c95fc2408b6),
+    ("q5/mysql_json", 0xa2ee22031eff6f3d),
+    ("q5/mysql_table", 0xa3551f0dcc7c3af4),
+    ("q5/sqlite_eqp", 0xb1b2682b884e1e99),
+    ("q11/postgres_text", 0xa93e6cb83bc3c3f5),
+    ("q11/postgres_json", 0xaa4fd5bf606e70bf),
+    ("q11/tidb_table", 0xbe22644afd5ce794),
+    ("q11/mysql_json", 0x0b372df130f83129),
+    ("q11/mysql_table", 0x75d2a55c467d056e),
+    ("q11/sqlite_eqp", 0x9e83596122f2708f),
 ];
 
 /// Expected `tree_edit_distance` between consecutive fixture plans (pair i

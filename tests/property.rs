@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use uplan::core::fingerprint::fingerprint;
-use uplan::core::{OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan, Value};
+use uplan::core::{
+    OperationCategory, PlanNode, Property, PropertyCategory, Symbol, UnifiedPlan, Value,
+};
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -30,7 +32,7 @@ fn arb_op_category() -> impl Strategy<Value = OperationCategory> {
             .prop_filter("not a canonical category", |s| {
                 OperationCategory::CANONICAL.iter().all(|c| c.name() != s)
             })
-            .prop_map(OperationCategory::Extension),
+            .prop_map(|s| OperationCategory::Extension(Symbol::intern(&s))),
     ]
 }
 
@@ -47,7 +49,7 @@ fn arb_property() -> impl Strategy<Value = Property> {
     (arb_prop_category(), "[a-z][a-z0-9_]{0,12}", arb_value()).prop_map(
         |(category, identifier, value)| Property {
             category,
-            identifier,
+            identifier: Symbol::intern(&identifier),
             value,
         },
     )
@@ -62,7 +64,7 @@ fn arb_node() -> impl Strategy<Value = PlanNode> {
         .prop_map(|(category, identifier, properties)| PlanNode {
             operation: uplan::core::Operation {
                 category,
-                identifier,
+                identifier: Symbol::intern(&identifier),
             },
             properties,
             children: Vec::new(),
@@ -77,7 +79,7 @@ fn arb_node() -> impl Strategy<Value = PlanNode> {
             .prop_map(|(category, identifier, properties, children)| PlanNode {
                 operation: uplan::core::Operation {
                     category,
-                    identifier,
+                    identifier: Symbol::intern(&identifier),
                 },
                 properties,
                 children,
@@ -181,6 +183,22 @@ proptest! {
     fn census_total_equals_node_count(plan in arb_plan()) {
         let counts = uplan::core::stats::CategoryCounts::of(&plan);
         prop_assert_eq!(counts.total(), plan.operation_count());
+    }
+
+    /// Interning round-trips arbitrary valid keywords: the symbol's
+    /// spelling is the input, re-interning is idempotent, and distinct
+    /// spellings get distinct symbols.
+    #[test]
+    fn interning_round_trips_keywords(kw in "[a-zA-Z][a-zA-Z0-9_]{0,24}") {
+        let symbol = Symbol::intern(&kw);
+        prop_assert_eq!(symbol.as_str(), kw.as_str());
+        prop_assert_eq!(Symbol::intern(&kw), symbol);
+        prop_assert_eq!(Symbol::get(&kw), Some(symbol));
+        let other = Symbol::intern(&format!("{kw}_x"));
+        prop_assert_ne!(other, symbol);
+        prop_assert_eq!(other.stable(), other); // `_x` is not a digit suffix
+        let suffixed = Symbol::intern(&format!("{kw}_17"));
+        prop_assert_eq!(suffixed.stable(), symbol);
     }
 }
 
