@@ -33,13 +33,24 @@ pub fn table1() -> String {
 
 /// Table II: operations and properties per category per DBMS.
 pub fn table2() -> String {
-    let mut out = String::from(
-        "Table II: operations and properties in query plan representations\n",
-    );
+    let mut out =
+        String::from("Table II: operations and properties in query plan representations\n");
     out.push_str(&format!(
         "{:<12} {:>5} {:>5} {:>5} {:>7} {:>5} {:>5} {:>5} {:>5} | {:>5} {:>5} {:>7} {:>7} {:>5}\n",
-        "DBMS", "Prod", "Comb", "Join", "Folder", "Proj", "Exec", "Cons", "Sum", "Card", "Cost",
-        "Config", "Status", "Sum"
+        "DBMS",
+        "Prod",
+        "Comb",
+        "Join",
+        "Folder",
+        "Proj",
+        "Exec",
+        "Cons",
+        "Sum",
+        "Card",
+        "Cost",
+        "Config",
+        "Status",
+        "Sum"
     ));
     let mut op_totals = [0usize; 7];
     let mut prop_totals = [0usize; 4];
@@ -106,7 +117,11 @@ pub fn table3() -> String {
         for (flag, _) in FormatSupport::ALL {
             out.push_str(&format!(
                 " {:<6}",
-                if dbms.formats().contains(flag) { "x" } else { "" }
+                if dbms.formats().contains(flag) {
+                    "x"
+                } else {
+                    ""
+                }
             ));
         }
         out.push('\n');
@@ -136,7 +151,8 @@ pub fn table5(qpg_queries: usize, cert_queries: usize) -> String {
         qpg_queries,
         cert_queries,
     });
-    let mut out = String::from("Table V: previously unknown and unique bugs found by QPG/CERT with UPlan\n");
+    let mut out =
+        String::from("Table V: previously unknown and unique bugs found by QPG/CERT with UPlan\n");
     out.push_str(&format!(
         "{:<12} {:<9} {:<8} {:<10} {:<12}\n",
         "DBMS", "Found by", "Bug ID", "Status", "Severity"
@@ -174,9 +190,10 @@ fn relational_tpch_plans(profile: EngineProfile, scale: usize) -> Vec<UnifiedPla
                     (Source::PostgresText, dialects::postgres::to_text(&plan))
                 }
                 EngineProfile::MySql => (Source::MySqlJson, dialects::mysql::to_json(&plan)),
-                EngineProfile::TiDb => {
-                    (Source::TidbTable, dialects::tidb::to_table(&plan, statement * 3))
-                }
+                EngineProfile::TiDb => (
+                    Source::TidbTable,
+                    dialects::tidb::to_table(&plan, statement * 3),
+                ),
                 EngineProfile::Sqlite => (Source::SqliteEqp, dialects::sqlite::to_text(&plan)),
             };
             convert(source, &raw).unwrap_or_else(|e| panic!("{profile} {name}: {e}"))
@@ -222,7 +239,8 @@ fn table_row(name: &str, avg: &AverageCounts) -> String {
 
 /// Table VI: average operations per category, TPC-H, five DBMSs.
 pub fn table6(scale: usize) -> String {
-    let mut out = String::from("Table VI: average number of operations in query plans from TPC-H\n");
+    let mut out =
+        String::from("Table VI: average number of operations in query plans from TPC-H\n");
     out.push_str(&format!(
         "{:<12} {:>6} {:>6} {:>6} {:>7} {:>6} {:>6} {:>7}\n",
         "DBMS", "Prod.", "Comb.", "Join", "Folder", "Proj.", "Exec.", "Sum"
@@ -242,9 +260,8 @@ pub fn table6(scale: usize) -> String {
 
 /// Table VII: YCSB (MongoDB) and WDBench (Neo4j).
 pub fn table7() -> String {
-    let mut out = String::from(
-        "Table VII: average operations, YCSB (MongoDB) and WDBench (Neo4j)\n",
-    );
+    let mut out =
+        String::from("Table VII: average operations, YCSB (MongoDB) and WDBench (Neo4j)\n");
     out.push_str(&format!(
         "{:<12} {:>6} {:>6} {:>6} {:>7} {:>6} {:>6} {:>7}\n",
         "DBMS", "Prod.", "Comb.", "Join", "Folder", "Proj.", "Exec.", "Sum"
@@ -259,7 +276,10 @@ pub fn table7() -> String {
             convert(Source::MongoJson, &dialects::mongodb::to_json(&plan)).expect("ycsb convert")
         })
         .collect();
-    out.push_str(&table_row("MongoDB", &AverageCounts::of(mongo_plans.iter())));
+    out.push_str(&table_row(
+        "MongoDB",
+        &AverageCounts::of(mongo_plans.iter()),
+    ));
     // WDBench on the graph engine.
     let mut graph = GraphStore::new();
     wdbench::load(&mut graph, 100, 600, 3);
@@ -308,12 +328,18 @@ pub fn fig1() -> String {
 
 /// Fig. 2: the same query's raw plans on three engines, plus unified forms.
 pub fn fig2() -> String {
-    let mut out = String::from("Fig. 2: raw plans and unified plans for SELECT * FROM t0 WHERE c0 < 5\n\n");
-    for profile in [EngineProfile::Postgres, EngineProfile::MySql, EngineProfile::TiDb] {
+    let mut out =
+        String::from("Fig. 2: raw plans and unified plans for SELECT * FROM t0 WHERE c0 < 5\n\n");
+    for profile in [
+        EngineProfile::Postgres,
+        EngineProfile::MySql,
+        EngineProfile::TiDb,
+    ] {
         let mut db = Database::new(profile);
         db.execute("CREATE TABLE t0 (c0 INT)").expect("ddl");
         for i in 0..100 {
-            db.execute(&format!("INSERT INTO t0 VALUES ({i})")).expect("dml");
+            db.execute(&format!("INSERT INTO t0 VALUES ({i})"))
+                .expect("dml");
         }
         let plan = db.explain("SELECT * FROM t0 WHERE c0 < 5").expect("plan");
         let (source, raw) = match profile {
@@ -343,7 +369,10 @@ pub fn fig3() -> String {
             _ => (Source::MySqlJson, dialects::mysql::to_json(&plan)),
         };
         let unified = convert(source, &raw).expect("convert");
-        out.push_str(&uplan_viz::ascii::render(&unified, &format!("{profile} TPC-H q1")));
+        out.push_str(&uplan_viz::ascii::render(
+            &unified,
+            &format!("{profile} TPC-H q1"),
+        ));
         out.push('\n');
     }
     let mongo = mongo_tpch_plans(1);
@@ -370,9 +399,7 @@ pub fn fig4(scale: usize) -> String {
         .map(|(n, _)| *n)
         .zip(neo4j_tpch_plans(scale))
         .collect();
-    let single_scan = || {
-        UnifiedPlan::with_root(uplan_core::PlanNode::producer("Full_Table_Scan"))
-    };
+    let single_scan = || UnifiedPlan::with_root(uplan_core::PlanNode::producer("Full_Table_Scan"));
     let names: Vec<&str> = tpch::queries().iter().map(|(n, _)| *n).collect();
     let mongo: Vec<UnifiedPlan> = names
         .iter()
@@ -384,9 +411,8 @@ pub fn fig4(scale: usize) -> String {
         .collect();
 
     let variances = producer_variance_per_query(&[mongo, mysql, neo, pg, tidb]);
-    let mut out = String::from(
-        "Fig. 4: variance of Producer operations per TPC-H query across 5 DBMSs\n",
-    );
+    let mut out =
+        String::from("Fig. 4: variance of Producer operations per TPC-H query across 5 DBMSs\n");
     for (name, variance) in names.iter().zip(&variances) {
         let bar = "#".repeat((variance * 2.0).round() as usize);
         out.push_str(&format!("{name:<4} {variance:>7.2} {bar}\n"));
@@ -407,16 +433,18 @@ pub fn listing1() -> String {
         let mut db = Database::new(profile);
         db.execute("CREATE TABLE t0 (c0 INT)").expect("ddl");
         db.execute("CREATE TABLE t1 (c0 INT)").expect("ddl");
-        db.execute("CREATE TABLE t2 (c0 INT PRIMARY KEY)").expect("ddl");
+        db.execute("CREATE TABLE t2 (c0 INT PRIMARY KEY)")
+            .expect("ddl");
         for chunk in 0..20 {
-            let values: Vec<String> =
-                (0..100).map(|i| format!("({})", chunk * 100 + i)).collect();
+            let values: Vec<String> = (0..100).map(|i| format!("({})", chunk * 100 + i)).collect();
             db.execute(&format!("INSERT INTO t0 VALUES {}", values.join(",")))
                 .expect("dml");
         }
         for i in 0..100 {
-            db.execute(&format!("INSERT INTO t2 VALUES ({i})")).expect("dml");
-            db.execute(&format!("INSERT INTO t1 VALUES ({})", i % 25)).expect("dml");
+            db.execute(&format!("INSERT INTO t2 VALUES ({i})"))
+                .expect("dml");
+            db.execute(&format!("INSERT INTO t1 VALUES ({})", i % 25))
+                .expect("dml");
         }
         let plan = db.explain(sql).expect("plan");
         let raw = match profile {
@@ -434,16 +462,24 @@ pub fn listing3() -> String {
     let mut db = Database::new(EngineProfile::MySql);
     db.arm_fault(minidb::faults::BugId::Mysql113302);
     db.execute("CREATE TABLE t0(c0 INT, c1 INT)").expect("ddl");
-    db.execute("INSERT INTO t0(c1, c0) VALUES(0, 1)").expect("dml");
+    db.execute("INSERT INTO t0(c1, c0) VALUES(0, 1)")
+        .expect("dml");
     let q = "SELECT * FROM t0 WHERE t0.c1 IN (GREATEST(0.1, 0.2))";
     let before = db.execute(q).expect("query");
-    out.push_str(&format!("{q}; -- without index: {} rows\n", before.rows.len()));
+    out.push_str(&format!(
+        "{q}; -- without index: {} rows\n",
+        before.rows.len()
+    ));
     db.execute("CREATE INDEX i0 ON t0(c1)").expect("index");
     let after = db.execute(q).expect("query");
     out.push_str(&format!(
         "CREATE INDEX i0 ON t0(c1);\n{q}; -- with index: {} rows ({})\n",
         after.rows.len(),
-        if after.rows.len() == 1 { "{1|0} — the bug" } else { "no bug" }
+        if after.rows.len() == 1 {
+            "{1|0} — the bug"
+        } else {
+            "no bug"
+        }
     ));
     let failure = uplan_testing::oracles::tlp(&mut db, "t0", "t0.c1 IN (GREATEST(0.1, 0.2))");
     out.push_str(&format!("\nTLP verdict: {failure:?}\n"));
@@ -468,8 +504,8 @@ pub fn q11(scale: usize) -> String {
             "---------- {profile} (unified) ----------\n{}",
             uplan_core::display::to_display(&unified)
         ));
-        let scans = plan.root.scan_count()
-            + plan.subplans.iter().map(|s| s.scan_count()).sum::<usize>();
+        let scans =
+            plan.root.scan_count() + plan.subplans.iter().map(|s| s.scan_count()).sum::<usize>();
         out.push_str(&format!("table scans: {scans}\n\n"));
     }
 
@@ -505,7 +541,9 @@ pub fn q11(scale: usize) -> String {
             t
         })
         .sum();
-    out.push_str(&format!("PostgreSQL EXPLAIN ANALYZE: total {total:.3} ms\n"));
+    out.push_str(&format!(
+        "PostgreSQL EXPLAIN ANALYZE: total {total:.3} ms\n"
+    ));
     for (table, time) in &scan_times {
         out.push_str(&format!("  scan {table}: {time:.3} ms\n"));
     }
@@ -542,7 +580,9 @@ pub fn effort() -> String {
 pub fn ablation(queries: usize) -> String {
     use uplan_testing::generator::Generator;
     use uplan_testing::qpg::{self, QpgConfig};
-    let mut out = String::from("Ablation: QPG plan guidance vs blind generation (MySQL profile, all faults armed)\n");
+    let mut out = String::from(
+        "Ablation: QPG plan guidance vs blind generation (MySQL profile, all faults armed)\n",
+    );
     for guidance in [true, false] {
         let mut db = Database::new(EngineProfile::MySql);
         db.arm_all_faults();

@@ -7,8 +7,11 @@
 //! [`microbench`] holds the hot-path benchmark bodies shared by the
 //! `cargo bench` harnesses and the [`snapshot`] subcommand
 //! (`cargo run -p uplan-bench -- snapshot`), which writes machine-readable
-//! numbers for cross-PR performance tracking.
+//! numbers for cross-PR performance tracking. [`compare`] diffs a fresh
+//! quick-mode run against committed snapshots and exits non-zero on
+//! regression — the CI bench gate (`repro compare BENCH_baseline.json`).
 
+pub mod compare;
 pub mod experiments;
 pub mod microbench;
 pub mod snapshot;

@@ -8,6 +8,10 @@
 //! repro snapshot [path]   # quick hot-path microbench run → JSON (default
 //!                         # BENCH_snapshot.json; pass BENCH_baseline.json
 //!                         # explicitly only to re-baseline deliberately)
+//! repro compare <baseline.json>...
+//!                         # quick run diffed against committed snapshots;
+//!                         # exits 1 on regression (UPLAN_BENCH_TOLERANCE
+//!                         # overrides the 1.5x noise tolerance)
 //! ```
 
 use uplan_bench as experiments;
@@ -16,7 +20,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     if which == "snapshot" {
-        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_snapshot.json");
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_snapshot.json");
         match experiments::snapshot::run(path) {
             Ok(summary) => println!("{summary}"),
             Err(e) => {
@@ -25,6 +32,16 @@ fn main() {
             }
         }
         return;
+    }
+    if which == "compare" {
+        let paths: Vec<String> = args[1..].to_vec();
+        if paths.is_empty() {
+            eprintln!("usage: repro compare <baseline.json>...");
+            std::process::exit(2);
+        }
+        let (report, failed) = experiments::compare::run(&paths);
+        println!("{report}");
+        std::process::exit(if failed { 1 } else { 0 });
     }
     let run = |name: &str| {
         println!("\n================ {name} ================");
@@ -51,8 +68,8 @@ fn main() {
     };
     if which == "all" {
         for name in [
-            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig1",
-            "fig2", "fig3", "fig4", "listing1", "listing3", "q11", "effort", "ablation",
+            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig1", "fig2",
+            "fig3", "fig4", "listing1", "listing3", "q11", "effort", "ablation",
         ] {
             run(name);
         }

@@ -26,31 +26,25 @@ pub fn collect() -> Vec<BenchResult> {
 
 /// Renders results as the snapshot JSON document.
 pub fn to_json(results: &[BenchResult]) -> String {
-    let benches: Vec<(String, JsonValue)> = results
+    let benches: uplan_core::formats::json::JsonMembers<'_> = results
         .iter()
         .map(|r| {
             (
-                r.name.clone(),
+                r.name.clone().into(),
                 JsonValue::Object(vec![
-                    ("median_ns".to_owned(), JsonValue::Float(r.median_ns)),
-                    ("min_ns".to_owned(), JsonValue::Float(r.min_ns)),
-                    ("max_ns".to_owned(), JsonValue::Float(r.max_ns)),
-                    (
-                        "iterations".to_owned(),
-                        JsonValue::Int(r.iterations as i64),
-                    ),
+                    ("median_ns".into(), JsonValue::Float(r.median_ns)),
+                    ("min_ns".into(), JsonValue::Float(r.min_ns)),
+                    ("max_ns".into(), JsonValue::Float(r.max_ns)),
+                    ("iterations".into(), JsonValue::Int(r.iterations as i64)),
                 ]),
             )
         })
         .collect();
     let doc = JsonValue::Object(vec![
+        ("snapshot_version".into(), JsonValue::Int(SNAPSHOT_VERSION)),
+        ("mode".into(), JsonValue::Str("quick".into())),
         (
-            "snapshot_version".to_owned(),
-            JsonValue::Int(SNAPSHOT_VERSION),
-        ),
-        ("mode".to_owned(), JsonValue::Str("quick".to_owned())),
-        (
-            "unix_time_s".to_owned(),
+            "unix_time_s".into(),
             JsonValue::Int(
                 std::time::SystemTime::now()
                     .duration_since(std::time::UNIX_EPOCH)
@@ -58,7 +52,7 @@ pub fn to_json(results: &[BenchResult]) -> String {
                     .unwrap_or(0),
             ),
         ),
-        ("benches".to_owned(), JsonValue::Object(benches)),
+        ("benches".into(), JsonValue::Object(benches)),
     ]);
     doc.to_pretty()
 }
@@ -81,7 +75,7 @@ mod tests {
     #[test]
     fn snapshot_json_shape() {
         let results = vec![BenchResult {
-            name: "unified/fingerprint".to_owned(),
+            name: "unified/fingerprint".into(),
             min_ns: 10.0,
             median_ns: 12.5,
             max_ns: 20.0,

@@ -14,10 +14,7 @@ pub fn from_text(input: &str) -> Result<UnifiedPlan> {
     let mut plan = UnifiedPlan::new();
     for line in input.lines() {
         let trimmed = line.trim();
-        if trimmed.is_empty()
-            || trimmed == "QUERY PLAN"
-            || trimmed.chars().all(|c| c == '-')
-        {
+        if trimmed.is_empty() || trimmed == "QUERY PLAN" || trimmed.chars().all(|c| c == '-') {
             continue;
         }
         let Some((key, value)) = trimmed.split_once(':') else {

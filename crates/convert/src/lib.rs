@@ -112,14 +112,16 @@ pub(crate) mod util {
 
     /// Converts a parsed JSON scalar into a property value; containers are
     /// flattened to compact text (the paper keeps property values scalar).
-    pub fn json_value(v: &uplan_core::formats::json::JsonValue) -> Value {
+    /// The owned string copy here is the only per-property allocation of a
+    /// steady-state JSON conversion.
+    pub fn json_value(v: &uplan_core::formats::json::JsonValue<'_>) -> Value {
         use uplan_core::formats::json::JsonValue;
         match v {
             JsonValue::Null => Value::Null,
             JsonValue::Bool(b) => Value::Bool(*b),
             JsonValue::Int(i) => Value::Int(*i),
             JsonValue::Float(f) => Value::Float(*f),
-            JsonValue::Str(s) => Value::Str(s.clone()),
+            JsonValue::Str(s) => Value::Str(s.clone().into_owned()),
             other => Value::Str(other.to_compact()),
         }
     }

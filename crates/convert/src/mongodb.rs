@@ -20,7 +20,7 @@ pub fn from_json(input: &str) -> Result<UnifiedPlan> {
 
     // Plan-associated properties: queryPlanner scalars + executionStats.
     for (key, value) in planner.as_object().into_iter().flatten() {
-        if matches!(key.as_str(), "winningPlan" | "rejectedPlans") {
+        if matches!(key.as_ref(), "winningPlan" | "rejectedPlans") {
             continue;
         }
         let resolved = registry.resolve_property_or_generic(Dbms::MongoDb, key);
@@ -43,10 +43,7 @@ pub fn from_json(input: &str) -> Result<UnifiedPlan> {
     Ok(plan)
 }
 
-fn stage_node(
-    stage: &JsonValue,
-    registry: &uplan_core::registry::Registry,
-) -> Result<PlanNode> {
+fn stage_node(stage: &JsonValue, registry: &uplan_core::registry::Registry) -> Result<PlanNode> {
     let name = stage
         .get("stage")
         .and_then(JsonValue::as_str)
@@ -57,7 +54,7 @@ fn stage_node(
         identifier: resolved.unified,
     });
     for (key, value) in stage.as_object().into_iter().flatten() {
-        match key.as_str() {
+        match key.as_ref() {
             "stage" => {}
             "inputStage" => node.children.push(stage_node(value, registry)?),
             "inputStages" => {

@@ -7,6 +7,11 @@ use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
 use crate::util::{json_value, parse_value};
 
 /// Converts `EXPLAIN FORMAT=JSON` output.
+///
+/// Parsing goes through the zero-copy borrowed tree: object keys and
+/// escape-free strings are spans of `input`, so the JSON layer allocates
+/// only container vectors (MySQL's recursive `query_block` dispatch wants
+/// random access, which the borrowed tree gives without string copies).
 pub fn from_json(input: &str) -> Result<UnifiedPlan> {
     let doc = json::parse(input)?;
     let block = doc
@@ -35,7 +40,7 @@ fn block_children(
 ) -> Result<Vec<PlanNode>> {
     let mut out = Vec::new();
     for (key, value) in obj.as_object().into_iter().flatten() {
-        match key.as_str() {
+        match key.as_ref() {
             "ordering_operation" | "grouping_operation" | "duplicates_removal" => {
                 let resolved = registry.resolve_operation_or_generic(Dbms::MySql, key);
                 let mut node = PlanNode::new(uplan_core::Operation {
@@ -58,15 +63,16 @@ fn block_children(
                         .ok_or_else(|| Error::Semantic("nested_loop item without table".into()))?;
                     nodes.push(table_node(table_obj, registry)?);
                 }
-                let resolved = registry.resolve_operation_or_generic(Dbms::MySql, "Nested loop join");
+                let resolved =
+                    registry.resolve_operation_or_generic(Dbms::MySql, "Nested loop join");
                 let mut iter = nodes.into_iter();
                 let first = iter
                     .next()
                     .ok_or_else(|| Error::Semantic("empty nested_loop".into()))?;
                 let joined = iter.fold(first, |left, right| {
                     let mut join = PlanNode::new(uplan_core::Operation {
-                        category: resolved.category.clone(),
-                        identifier: resolved.unified.clone(),
+                        category: resolved.category,
+                        identifier: resolved.unified,
                     });
                     join.children.push(left);
                     join.children.push(right);
@@ -105,11 +111,7 @@ fn block_children(
 }
 
 /// Adds an object's scalar members as properties of a node.
-fn attach_scalars(
-    node: &mut PlanNode,
-    obj: &JsonValue,
-    registry: &uplan_core::registry::Registry,
-) {
+fn attach_scalars(node: &mut PlanNode, obj: &JsonValue, registry: &uplan_core::registry::Registry) {
     for (key, value) in obj.as_object().into_iter().flatten() {
         let is_scalar = !matches!(value, JsonValue::Object(_) | JsonValue::Array(_));
         if is_scalar {
@@ -123,10 +125,7 @@ fn attach_scalars(
     }
 }
 
-fn table_node(
-    obj: &JsonValue,
-    registry: &uplan_core::registry::Registry,
-) -> Result<PlanNode> {
+fn table_node(obj: &JsonValue, registry: &uplan_core::registry::Registry) -> Result<PlanNode> {
     let access = obj
         .get("access_type")
         .and_then(JsonValue::as_str)
@@ -137,7 +136,7 @@ fn table_node(
         identifier: resolved.unified,
     });
     for (key, value) in obj.as_object().into_iter().flatten() {
-        match (key.as_str(), value) {
+        match (key.as_ref(), value) {
             ("access_type", _) => {}
             ("cost_info", JsonValue::Object(costs)) => {
                 for (ck, cv) in costs {
@@ -237,7 +236,8 @@ mod tests {
         db.execute("CREATE TABLE t0 (c0 INT, c1 INT)").unwrap();
         db.execute("CREATE TABLE t1 (c0 INT PRIMARY KEY)").unwrap();
         for i in 0..30 {
-            db.execute(&format!("INSERT INTO t0 VALUES ({i}, {})", i % 3)).unwrap();
+            db.execute(&format!("INSERT INTO t0 VALUES ({i}, {})", i % 3))
+                .unwrap();
         }
         for i in 0..10 {
             db.execute(&format!("INSERT INTO t1 VALUES ({i})")).unwrap();
@@ -311,7 +311,10 @@ mod tests {
         let unified = from_json(&text).unwrap();
         // Main scan + subquery scan.
         let counts = uplan_core::stats::CategoryCounts::of(&unified);
-        assert!(counts.get(&OperationCategory::Producer) >= 2, "{unified:#?}");
+        assert!(
+            counts.get(&OperationCategory::Producer) >= 2,
+            "{unified:#?}"
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub fn from_table(input: &str) -> Result<UnifiedPlan> {
 
     for line in input.lines() {
         let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('+') && trimmed.ends_with('+') && trimmed.chars().all(|c| matches!(c, '+' | '-')) {
+        if trimmed.is_empty()
+            || trimmed.starts_with('+')
+                && trimmed.ends_with('+')
+                && trimmed.chars().all(|c| matches!(c, '+' | '-'))
+        {
             continue;
         }
         if trimmed.starts_with('|') {
@@ -100,12 +104,7 @@ fn push_plan_props(
     registry: &uplan_core::registry::Registry,
 ) {
     let key = key.trim();
-    let value = value
-        .trim()
-        .split(',')
-        .next()
-        .unwrap_or("")
-        .trim();
+    let value = value.trim().split(',').next().unwrap_or("").trim();
     if key.is_empty() || value.is_empty() {
         return;
     }

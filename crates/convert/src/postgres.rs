@@ -1,6 +1,6 @@
 //! PostgreSQL converter: `EXPLAIN` text and `FORMAT JSON` → unified plans.
 
-use uplan_core::formats::json::{self, JsonValue};
+use uplan_core::formats::json::{JsonEvent, JsonReader};
 use uplan_core::registry::Dbms;
 use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
 
@@ -21,7 +21,8 @@ pub fn from_text(input: &str) -> Result<UnifiedPlan> {
         let line = raw.trim();
 
         // Plan-level footers.
-        if indent == 0 && (line.starts_with("Planning Time:") || line.starts_with("Execution Time:"))
+        if indent == 0
+            && (line.starts_with("Planning Time:") || line.starts_with("Execution Time:"))
         {
             let (key, value) = line.split_once(':').expect("checked");
             let resolved = registry.resolve_property_or_generic(Dbms::PostgreSql, key);
@@ -47,9 +48,9 @@ pub fn from_text(input: &str) -> Result<UnifiedPlan> {
                 }
             }
 
-            let (head, costs) = body.split_once("(cost=").ok_or_else(|| {
-                Error::Semantic(format!("node line without cost: {line:?}"))
-            })?;
+            let (head, costs) = body
+                .split_once("(cost=")
+                .ok_or_else(|| Error::Semantic(format!("node line without cost: {line:?}")))?;
             let mut node = parse_head(head.trim(), registry)?;
             // cost=a..b rows=n width=w
             let costs_text = costs.split(')').next().unwrap_or("");
@@ -62,10 +63,13 @@ pub fn from_text(input: &str) -> Result<UnifiedPlan> {
                     .split_once("..")
                     .filter(|(a, _)| a.parse::<f64>().is_ok())
                 {
-                    node.properties.push(Property::cost("startup_cost", parse_value(a)));
-                    node.properties.push(Property::cost("total_cost", parse_value(b)));
+                    node.properties
+                        .push(Property::cost("startup_cost", parse_value(a)));
+                    node.properties
+                        .push(Property::cost("total_cost", parse_value(b)));
                 } else if let Some(rows) = part.strip_prefix("rows=") {
-                    node.properties.push(Property::cardinality("rows", parse_value(rows)));
+                    node.properties
+                        .push(Property::cardinality("rows", parse_value(rows)));
                 } else if let Some(width) = part.strip_prefix("width=") {
                     node.properties
                         .push(Property::cardinality("width", parse_value(width)));
@@ -144,68 +148,110 @@ fn parse_head(head: &str, registry: &uplan_core::registry::Registry) -> Result<P
             .push(Property::configuration("name_object", t));
     }
     if let Some(i) = index {
-        node.properties.push(Property::configuration("name_index", i));
+        node.properties
+            .push(Property::configuration("name_index", i));
     }
     Ok(node)
 }
 
 /// Converts `EXPLAIN (FORMAT JSON)` output.
+///
+/// The document is walked through the zero-copy [`JsonReader`] — no JSON
+/// tree is materialized for the plan skeleton; only property *values* are
+/// read as (borrowed) values before conversion.
 pub fn from_json(input: &str) -> Result<UnifiedPlan> {
-    let doc = json::parse(input)?;
     let registry = crate::registry();
-    let top = doc
-        .as_array()
-        .and_then(|a| a.first())
-        .ok_or_else(|| Error::Semantic("expected a one-element JSON array".into()))?;
-    let plan_obj = top
-        .get("Plan")
-        .ok_or_else(|| Error::Semantic("missing \"Plan\" member".into()))?;
-    let mut plan = UnifiedPlan::with_root(node_from_json(plan_obj, registry)?);
-    for (key, value) in top.as_object().into_iter().flatten() {
-        if key == "Plan" {
-            continue;
-        }
-        let resolved = registry.resolve_property_or_generic(Dbms::PostgreSql, key);
-        plan.properties.push(Property {
-            category: resolved.category,
-            identifier: resolved.unified,
-            value: json_value(value),
-        });
+    let mut reader = JsonReader::new(input);
+    if reader.next_event()? != JsonEvent::ArrayStart || !reader.array_next()? {
+        return Err(Error::Semantic("expected a one-element JSON array".into()));
     }
+    if reader.next_event()? != JsonEvent::ObjectStart {
+        return Err(Error::Semantic("missing \"Plan\" member".into()));
+    }
+    let mut root = None;
+    let mut properties = Vec::new();
+    while let Some(key) = reader.next_key()? {
+        if key == "Plan" {
+            if root.is_some() {
+                // Duplicate "Plan" members: first-wins, like the tree path.
+                reader.skip_value()?;
+                continue;
+            }
+            root = Some(node_from_reader(&mut reader, registry)?);
+        } else {
+            let resolved = registry.resolve_property_or_generic(Dbms::PostgreSql, key.as_ref());
+            let value = reader.read_value()?;
+            properties.push(Property {
+                category: resolved.category,
+                identifier: resolved.unified,
+                value: json_value(&value),
+            });
+        }
+    }
+    // Real `EXPLAIN (FORMAT JSON)` emits one statement per element; extra
+    // statements are tolerated and ignored, as in the tree-based reader.
+    while reader.array_next()? {
+        reader.skip_value()?;
+    }
+    reader.finish()?;
+    let root = root.ok_or_else(|| Error::Semantic("missing \"Plan\" member".into()))?;
+    let mut plan = UnifiedPlan::with_root(root);
+    plan.properties = properties;
     Ok(plan)
 }
 
-fn node_from_json(
-    obj: &JsonValue,
+fn node_from_reader(
+    reader: &mut JsonReader<'_>,
     registry: &uplan_core::registry::Registry,
 ) -> Result<PlanNode> {
-    let node_type = obj
-        .get("Node Type")
-        .and_then(JsonValue::as_str)
-        .ok_or_else(|| Error::Semantic("plan node missing \"Node Type\"".into()))?;
-    let resolved = registry.resolve_operation_or_generic(Dbms::PostgreSql, node_type);
-    let mut node = PlanNode::new(uplan_core::Operation {
-        category: resolved.category,
-        identifier: resolved.unified,
-    });
-    for (key, value) in obj.as_object().into_iter().flatten() {
-        match key.as_str() {
-            "Node Type" => {}
+    if reader.next_event()? != JsonEvent::ObjectStart {
+        return Err(Error::Semantic("plan node missing \"Node Type\"".into()));
+    }
+    let mut operation = None;
+    let mut properties = Vec::new();
+    let mut children = Vec::new();
+    while let Some(key) = reader.next_key()? {
+        match key.as_ref() {
+            "Node Type" if operation.is_some() => reader.skip_value()?,
+            "Node Type" => match reader.next_event()? {
+                JsonEvent::Str(name) => {
+                    let resolved =
+                        registry.resolve_operation_or_generic(Dbms::PostgreSql, name.as_ref());
+                    operation = Some(uplan_core::Operation {
+                        category: resolved.category,
+                        identifier: resolved.unified,
+                    });
+                }
+                _ => return Err(Error::Semantic("plan node missing \"Node Type\"".into())),
+            },
             "Plans" => {
-                for child in value.as_array().into_iter().flatten() {
-                    node.children.push(node_from_json(child, registry)?);
+                if matches!(reader.peek_event()?, JsonEvent::ArrayStart) {
+                    reader.next_event()?;
+                    while reader.array_next()? {
+                        children.push(node_from_reader(reader, registry)?);
+                    }
+                } else {
+                    // Non-array `Plans` carries no children (tree-based
+                    // behaviour preserved).
+                    reader.skip_value()?;
                 }
             }
             other => {
                 let resolved = registry.resolve_property_or_generic(Dbms::PostgreSql, other);
-                node.properties.push(Property {
+                let value = reader.read_value()?;
+                properties.push(Property {
                     category: resolved.category,
                     identifier: resolved.unified,
-                    value: json_value(value),
+                    value: json_value(&value),
                 });
             }
         }
     }
+    let operation =
+        operation.ok_or_else(|| Error::Semantic("plan node missing \"Node Type\"".into()))?;
+    let mut node = PlanNode::new(operation);
+    node.properties = properties;
+    node.children = children;
     Ok(node)
 }
 
@@ -280,7 +326,10 @@ Planning Time: 0.124 ms
         let plan = from_text(LISTING1).unwrap();
         let root = plan.root.as_ref().unwrap();
         let group_key = root.property("group_key").unwrap();
-        assert_eq!(group_key.category, uplan_core::PropertyCategory::Configuration);
+        assert_eq!(
+            group_key.category,
+            uplan_core::PropertyCategory::Configuration
+        );
         let rows = root.property("rows").unwrap();
         assert_eq!(rows.category, uplan_core::PropertyCategory::Cardinality);
         let cost = root.property("total_cost").unwrap();
@@ -303,7 +352,8 @@ Planning Time: 0.124 ms
         let mut db = Database::new(EngineProfile::Postgres);
         db.execute("CREATE TABLE t (x INT, y INT)").unwrap();
         for i in 0..30 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 3)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 3))
+                .unwrap();
         }
         let plan = db
             .explain("SELECT y, COUNT(*) FROM t WHERE x < 20 GROUP BY y ORDER BY y")

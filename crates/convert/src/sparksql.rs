@@ -17,11 +17,17 @@ pub fn from_text(input: &str) -> Result<UnifiedPlan> {
         let mut depth = 0usize;
         let mut rest = line;
         loop {
-            if let Some(r) = rest.strip_prefix("+- ").or_else(|| rest.strip_prefix(":- ")) {
+            if let Some(r) = rest
+                .strip_prefix("+- ")
+                .or_else(|| rest.strip_prefix(":- "))
+            {
                 depth += 1;
                 rest = r;
                 break;
-            } else if let Some(r) = rest.strip_prefix("   ").or_else(|| rest.strip_prefix(":  ")) {
+            } else if let Some(r) = rest
+                .strip_prefix("   ")
+                .or_else(|| rest.strip_prefix(":  "))
+            {
                 depth += 1;
                 rest = r;
             } else {
@@ -73,9 +79,9 @@ pub fn from_text(input: &str) -> Result<UnifiedPlan> {
             None => root = Some(done),
         }
     }
-    Ok(UnifiedPlan::with_root(
-        root.ok_or_else(|| Error::Semantic("empty Spark plan".into()))?,
-    ))
+    Ok(UnifiedPlan::with_root(root.ok_or_else(|| {
+        Error::Semantic("empty Spark plan".into())
+    })?))
 }
 
 #[cfg(test)]
@@ -127,7 +133,8 @@ AdaptiveSparkPlan isFinalPlan=true
         let mut db = Database::new(EngineProfile::Postgres);
         db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
         for i in 0..20 {
-            db.execute(&format!("INSERT INTO t VALUES ({}, {i})", i % 4)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({}, {i})", i % 4))
+                .unwrap();
         }
         let plan = db.explain("SELECT k, SUM(v) FROM t GROUP BY k").unwrap();
         let text = dialects::sparksql::to_text(&plan);

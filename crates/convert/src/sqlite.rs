@@ -30,7 +30,10 @@ pub fn from_eqp(input: &str) -> Result<UnifiedPlan> {
                 depth += 1;
                 rest = r;
                 break;
-            } else if let Some(r) = rest.strip_prefix("|  ").or_else(|| rest.strip_prefix("   ")) {
+            } else if let Some(r) = rest
+                .strip_prefix("|  ")
+                .or_else(|| rest.strip_prefix("   "))
+            {
                 depth += 1;
                 rest = r;
             } else {
@@ -204,7 +207,10 @@ mod tests {
         let unified = from_eqp(&text).unwrap();
         let counts = uplan_core::stats::CategoryCounts::of(&unified);
         assert!(counts.get(&OperationCategory::Producer) >= 2, "{text}");
-        assert!(counts.get(&OperationCategory::Executor) >= 1, "order-by B-tree: {text}");
+        assert!(
+            counts.get(&OperationCategory::Executor) >= 1,
+            "order-by B-tree: {text}"
+        );
     }
 
     #[test]
@@ -212,7 +218,7 @@ mod tests {
         let text = "|--SCAN t0\n`--SCALAR SUBQUERY 1\n   `--SCAN t1\n";
         let plan = from_eqp(text).unwrap();
         let mut names = Vec::new();
-        plan.walk(&mut |n| names.push(n.operation.identifier.clone()));
+        plan.walk(&mut |n| names.push(n.operation.identifier));
         assert!(names.iter().any(|n| *n == "Subquery_Scan"), "{names:?}");
     }
 

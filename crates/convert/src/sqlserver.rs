@@ -63,10 +63,7 @@ fn visit_query_plans(
     Ok(())
 }
 
-fn rel_op_node(
-    el: &XmlElement,
-    registry: &uplan_core::registry::Registry,
-) -> Result<PlanNode> {
+fn rel_op_node(el: &XmlElement, registry: &uplan_core::registry::Registry) -> Result<PlanNode> {
     let physical = el
         .attr("PhysicalOp")
         .ok_or_else(|| Error::Semantic("<RelOp> missing PhysicalOp".into()))?;
@@ -98,8 +95,7 @@ fn rel_op_node(
                 child.text.clone()
             };
             if !value.is_empty() {
-                let resolved =
-                    registry.resolve_property_or_generic(Dbms::SqlServer, &child.name);
+                let resolved = registry.resolve_property_or_generic(Dbms::SqlServer, &child.name);
                 node.properties.push(Property {
                     category: resolved.category,
                     identifier: resolved.unified,
@@ -120,9 +116,11 @@ mod tests {
 
     fn plan_xml(sql: &str) -> String {
         let mut db = Database::new(EngineProfile::Postgres);
-        db.execute("CREATE TABLE t (x INT PRIMARY KEY, y INT)").unwrap();
+        db.execute("CREATE TABLE t (x INT PRIMARY KEY, y INT)")
+            .unwrap();
         for i in 0..30 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 3)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 3))
+                .unwrap();
         }
         let plan = db.explain(sql).unwrap();
         dialects::sqlserver::to_xml(&plan)
@@ -141,7 +139,7 @@ mod tests {
         let mut scan_names = Vec::new();
         plan.walk(&mut |n| {
             if n.operation.category == OperationCategory::Producer {
-                scan_names.push(n.operation.identifier.clone());
+                scan_names.push(n.operation.identifier);
             }
         });
         assert!(
@@ -157,9 +155,7 @@ mod tests {
         let text = plan_xml("SELECT x FROM t WHERE x = 3");
         let plan = from_xml(&text).unwrap();
         let root = plan.root.as_ref().unwrap();
-        let find = |node: &uplan_core::PlanNode, key: &str| {
-            node.property(key).map(|p| p.category.clone())
-        };
+        let find = |node: &uplan_core::PlanNode, key: &str| node.property(key).map(|p| p.category);
         let mut checked = false;
         plan.walk(&mut |n| {
             if let Some(cat) = find(n, "rows") {

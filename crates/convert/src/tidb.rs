@@ -168,9 +168,12 @@ mod tests {
         db.execute("CREATE TABLE t (x INT, y INT)").unwrap();
         db.execute("CREATE INDEX ix ON t(y)").unwrap();
         for i in 0..40 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 4)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 4))
+                .unwrap();
         }
-        let plan = db.explain("SELECT x FROM t WHERE y = 2 AND x < 30").unwrap();
+        let plan = db
+            .explain("SELECT x FROM t WHERE y = 2 AND x < 30")
+            .unwrap();
         let text = dialects::tidb::to_table(&plan, 3);
         let unified = from_table(&text).unwrap();
         // IndexLookUp expands to index + rowid scans: two producers.

@@ -19,7 +19,9 @@
 //! indentation-based round-trip format alongside [`crate::text`].
 
 use crate::error::{Error, Result};
-use crate::model::{Operation, OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan};
+use crate::model::{
+    Operation, OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan,
+};
 use crate::symbol::Symbol;
 use crate::value::Value;
 
@@ -164,7 +166,10 @@ pub fn from_display(input: &str) -> Result<UnifiedPlan> {
 
         // `Category->Identifier` (operation) vs `Category->ident: value` (property).
         let Some(arrow) = line.find("->") else {
-            return Err(Error::parse(lineno, format!("unrecognized display line {line:?}")));
+            return Err(Error::parse(
+                lineno,
+                format!("unrecognized display line {line:?}"),
+            ));
         };
         let before = &line[..arrow];
         let after = &line[arrow + 2..];
@@ -230,7 +235,12 @@ fn parse_display_value(text: &str, lineno: usize) -> Result<Value> {
         let probe = format!("Configuration->x: {text}");
         let plan = crate::text::from_text(&probe)
             .map_err(|e| Error::parse(lineno, format!("bad string value: {e}")))?;
-        return Ok(plan.properties.into_iter().next().expect("one property").value);
+        return Ok(plan
+            .properties
+            .into_iter()
+            .next()
+            .expect("one property")
+            .value);
     }
     if let Ok(i) = text.parse::<i64>() {
         return Ok(Value::Int(i));

@@ -115,9 +115,9 @@ const SEED: u64 = crate::symbol::FNV_OFFSET;
 // block is bracketed by its child count and an end tag, so reshaping a tree
 // without changing its node multiset still changes the fingerprint.
 const TAG_NODE: u64 = 0x6e6f_6465;
-const TAG_PROP: u64 = 0x70_726f_70;
+const TAG_PROP: u64 = 0x7072_6f70;
 const TAG_PLAN_PROP: u64 = 0x706c_616e;
-const TAG_END: u64 = 0x656e_64;
+const TAG_END: u64 = 0x65_6e64;
 
 /// Order-sensitive 64-bit mixer (murmur-style xorshift-multiply). Pure
 /// integer arithmetic — identical on every platform and process.
@@ -162,10 +162,11 @@ impl<'a> KeyBuf<'a> {
     }
 
     fn sorted(&mut self) -> &[(&'a str, crate::Symbol, Option<String>)] {
-        let by_key_then_value = |a: &(&str, crate::Symbol, Option<String>),
-                                 b: &(&str, crate::Symbol, Option<String>)| {
-            (a.0, &a.2).cmp(&(b.0, &b.2))
-        };
+        let by_key_then_value =
+            |a: &(&str, crate::Symbol, Option<String>),
+             b: &(&str, crate::Symbol, Option<String>)| {
+                (a.0, &a.2).cmp(&(b.0, &b.2))
+            };
         if self.spill.is_empty() {
             let slice = &mut self.inline[..self.len];
             slice.sort_unstable_by(by_key_then_value);
@@ -209,7 +210,10 @@ fn hash_node(
     mut state: u64,
 ) -> u64 {
     state = mix(state, TAG_NODE);
-    state = mix(state, table.content_hash(node.operation.category.name_symbol()));
+    state = mix(
+        state,
+        table.content_hash(node.operation.category.name_symbol()),
+    );
     let ident = if opts.strip_numeric_suffixes {
         // Memoized at intern time — no per-node suffix scan.
         table.stable(node.operation.identifier)
@@ -305,12 +309,18 @@ mod tests {
     #[test]
     fn random_identifiers_do_not_change_fingerprints() {
         // The original QPG TiDB parser bug: `TableReader_7` vs `TableReader_12`.
-        assert_eq!(fingerprint(&tidb_like(7, 10)), fingerprint(&tidb_like(12, 10)));
+        assert_eq!(
+            fingerprint(&tidb_like(7, 10)),
+            fingerprint(&tidb_like(12, 10))
+        );
     }
 
     #[test]
     fn cardinality_cost_status_values_are_ignored() {
-        assert_eq!(fingerprint(&tidb_like(7, 10)), fingerprint(&tidb_like(7, 99999)));
+        assert_eq!(
+            fingerprint(&tidb_like(7, 10)),
+            fingerprint(&tidb_like(7, 99999))
+        );
     }
 
     #[test]
@@ -344,7 +354,10 @@ mod tests {
             )
         };
         let without = UnifiedPlan::with_root(PlanNode::producer("Full_Table_Scan"));
-        assert_eq!(fingerprint(&with_filter("5")), fingerprint(&with_filter("900")));
+        assert_eq!(
+            fingerprint(&with_filter("5")),
+            fingerprint(&with_filter("900"))
+        );
         assert_ne!(fingerprint(&with_filter("5")), fingerprint(&without));
     }
 
@@ -398,11 +411,9 @@ mod tests {
     #[test]
     fn nesting_is_unambiguous() {
         // (a (b c)) vs ((a b) c)-style shape confusion must not collide.
-        let nested = UnifiedPlan::with_root(
-            PlanNode::executor("Gather").with_child(
-                PlanNode::executor("Gather").with_child(PlanNode::producer("Full_Table_Scan")),
-            ),
-        );
+        let nested = UnifiedPlan::with_root(PlanNode::executor("Gather").with_child(
+            PlanNode::executor("Gather").with_child(PlanNode::producer("Full_Table_Scan")),
+        ));
         let flat = UnifiedPlan::with_root(
             PlanNode::executor("Gather")
                 .with_child(PlanNode::executor("Gather"))

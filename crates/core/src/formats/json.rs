@@ -1,18 +1,42 @@
-//! A small, dependency-free JSON document model, parser and writer.
+//! A small, dependency-free, **zero-copy** JSON document model, parser,
+//! pull reader and writer.
 //!
 //! JSON is "the most widely supported structural format" among the studied
 //! DBMSs (paper Table III), and the converters must *parse* native JSON
-//! explain output, so a full round-trip implementation is required. Object
-//! member order is preserved (`Vec<(String, JsonValue)>`), which keeps
-//! serialized plans stable and diffable.
+//! explain output, so a full round-trip implementation is required — and it
+//! sits on the ingest hot path of every fingerprinting/TED campaign, so it
+//! must not allocate where the input already holds the bytes.
+//!
+//! Three layers, from cheapest to most convenient:
+//!
+//! * [`JsonReader`] — a pull-based SAX-style reader producing borrowed
+//!   [`JsonEvent`]s. Escape-free strings and object keys are
+//!   [`Cow::Borrowed`] spans of the input; numbers are parsed in place.
+//!   Converters with a known schema walk explain output through this
+//!   without materializing a tree at all.
+//! * [`parse`] — builds a borrowed [`JsonValue`] tree over the input
+//!   `&str`. The only allocations are the container `Vec`s and the decoded
+//!   forms of strings that contain escapes.
+//! * [`JsonValue::into_owned`] / [`parse_owned`] — the owned escape hatch
+//!   (`JsonValue<'static>`) for documents that must outlive their input,
+//!   e.g. `minidoc` collections.
+//!
+//! Object member order is preserved (`Vec<(Cow<str>, JsonValue)>`), which
+//! keeps serialized plans stable and diffable.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use crate::error::{Error, Result};
 
-/// A JSON value.
+/// A JSON value, generic over the lifetime of the input it may borrow from.
+///
+/// Values built programmatically (emitters, documents) use `Cow::Owned` or
+/// `'static` string literals; values built by [`parse`] borrow every
+/// escape-free string from the input. [`JsonValue::into_owned`] converts the
+/// latter into the former.
 #[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
+pub enum JsonValue<'a> {
     /// `null`
     Null,
     /// `true` / `false`
@@ -21,21 +45,25 @@ pub enum JsonValue {
     Int(i64),
     /// A number with a fraction or exponent.
     Float(f64),
-    /// A string.
-    Str(String),
+    /// A string; borrowed from the input unless it contained escapes.
+    Str(Cow<'a, str>),
     /// An array.
-    Array(Vec<JsonValue>),
+    Array(Vec<JsonValue<'a>>),
     /// An object; member order is preserved.
-    Object(Vec<(String, JsonValue)>),
+    Object(Vec<(Cow<'a, str>, JsonValue<'a>)>),
 }
 
-impl JsonValue {
+/// A fully owned JSON value (no borrows into any input buffer).
+pub type OwnedJsonValue = JsonValue<'static>;
+
+/// Object member list, as stored by [`JsonValue::Object`].
+pub type JsonMembers<'a> = Vec<(Cow<'a, str>, JsonValue<'a>)>;
+
+impl<'a> JsonValue<'a> {
     /// Object member lookup (first match).
-    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+    pub fn get(&self, key: &str) -> Option<&JsonValue<'a>> {
         match self {
-            JsonValue::Object(members) => {
-                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -74,7 +102,7 @@ impl JsonValue {
     }
 
     /// Array accessor.
-    pub fn as_array(&self) -> Option<&[JsonValue]> {
+    pub fn as_array(&self) -> Option<&[JsonValue<'a>]> {
         match self {
             JsonValue::Array(items) => Some(items),
             _ => None,
@@ -82,10 +110,31 @@ impl JsonValue {
     }
 
     /// Object accessor.
-    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+    pub fn as_object(&self) -> Option<&[(Cow<'a, str>, JsonValue<'a>)]> {
         match self {
             JsonValue::Object(members) => Some(members),
             _ => None,
+        }
+    }
+
+    /// Converts every borrowed string into an owned one, detaching the
+    /// value from the buffer it was parsed from.
+    pub fn into_owned(self) -> OwnedJsonValue {
+        match self {
+            JsonValue::Null => JsonValue::Null,
+            JsonValue::Bool(b) => JsonValue::Bool(b),
+            JsonValue::Int(i) => JsonValue::Int(i),
+            JsonValue::Float(f) => JsonValue::Float(f),
+            JsonValue::Str(s) => JsonValue::Str(Cow::Owned(s.into_owned())),
+            JsonValue::Array(items) => {
+                JsonValue::Array(items.into_iter().map(JsonValue::into_owned).collect())
+            }
+            JsonValue::Object(members) => JsonValue::Object(
+                members
+                    .into_iter()
+                    .map(|(k, v)| (Cow::Owned(k.into_owned()), v.into_owned()))
+                    .collect(),
+            ),
         }
     }
 
@@ -187,199 +236,205 @@ fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-impl fmt::Display for JsonValue {
+impl fmt::Display for JsonValue<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_compact())
     }
 }
 
 /// Convenience constructor for an object from pairs.
-pub fn object(pairs: impl IntoIterator<Item = (impl Into<String>, JsonValue)>) -> JsonValue {
+pub fn object<'a>(
+    pairs: impl IntoIterator<Item = (impl Into<Cow<'a, str>>, JsonValue<'a>)>,
+) -> JsonValue<'a> {
     JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
 }
 
-impl From<&str> for JsonValue {
-    fn from(s: &str) -> Self {
-        JsonValue::Str(s.to_owned())
+impl<'a> From<&'a str> for JsonValue<'a> {
+    fn from(s: &'a str) -> Self {
+        JsonValue::Str(Cow::Borrowed(s))
     }
 }
 
-impl From<String> for JsonValue {
+impl From<String> for JsonValue<'_> {
     fn from(s: String) -> Self {
+        JsonValue::Str(Cow::Owned(s))
+    }
+}
+
+impl<'a> From<Cow<'a, str>> for JsonValue<'a> {
+    fn from(s: Cow<'a, str>) -> Self {
         JsonValue::Str(s)
     }
 }
 
-impl From<i64> for JsonValue {
+impl From<i64> for JsonValue<'_> {
     fn from(i: i64) -> Self {
         JsonValue::Int(i)
     }
 }
 
-impl From<usize> for JsonValue {
+impl From<usize> for JsonValue<'_> {
     fn from(i: usize) -> Self {
         JsonValue::Int(i as i64)
     }
 }
 
-impl From<f64> for JsonValue {
+impl From<f64> for JsonValue<'_> {
     fn from(f: f64) -> Self {
         JsonValue::Float(f)
     }
 }
 
-impl From<bool> for JsonValue {
+impl From<bool> for JsonValue<'_> {
     fn from(b: bool) -> Self {
         JsonValue::Bool(b)
     }
 }
 
 // ---------------------------------------------------------------------------
-// Parser
+// Lexer (shared by the tree parser and the pull reader)
 // ---------------------------------------------------------------------------
-
-/// Parses a JSON document.
-pub fn parse(input: &str) -> Result<JsonValue> {
-    let mut p = JsonParser {
-        input: input.as_bytes(),
-        pos: 0,
-        depth: 0,
-    };
-    p.skip_ws();
-    let value = p.parse_value()?;
-    p.skip_ws();
-    if p.pos != p.input.len() {
-        return Err(Error::parse(p.pos, "trailing characters after JSON document"));
-    }
-    Ok(value)
-}
-
-struct JsonParser<'a> {
-    input: &'a [u8],
-    pos: usize,
-    depth: usize,
-}
 
 /// Nesting bound: real explain plans nest a few dozen levels at most; the
 /// bound turns stack exhaustion on adversarial input into a parse error.
 const MAX_DEPTH: usize = 512;
 
-impl<'a> JsonParser<'a> {
+/// Initial capacity for object member vectors: explain nodes typically have
+/// a handful of members, and starting above `Vec`'s 1→2→4 growth ladder
+/// saves two reallocations per object on the ingest hot path.
+const OBJECT_CAPACITY: usize = 8;
+/// Initial capacity for array element vectors.
+const ARRAY_CAPACITY: usize = 4;
+
+/// Returns the index of the first *special* string byte (closing quote,
+/// backslash, or a control character) at or after `i`, scanning eight bytes
+/// per step (SWAR); the caller handles the byte found. `bytes[i..]` is
+/// inside a string, so a hit is guaranteed before the buffer ends on valid
+/// input; on truncated input this returns `bytes.len()`.
+#[inline]
+fn scan_string_span(bytes: &[u8], mut i: usize) -> usize {
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    const HIGHS: u64 = 0x8080_8080_8080_8080;
+    while i + 8 <= bytes.len() {
+        let chunk = u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
+        // Zero-byte trick: a lane is zero iff its high "borrow" bit sets.
+        let quotes = chunk ^ (ONES * u64::from(b'"'));
+        let slashes = chunk ^ (ONES * u64::from(b'\\'));
+        let hit = (quotes.wrapping_sub(ONES) & !quotes & HIGHS)
+            | (slashes.wrapping_sub(ONES) & !slashes & HIGHS)
+            // Control characters: lanes below 0x20 (high bit clear).
+            | (chunk.wrapping_sub(ONES * 0x20) & !chunk & HIGHS);
+        if hit != 0 {
+            return i + (hit.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// The borrowed low-level scanner. Both [`parse`] and [`JsonReader`] drive
+/// it; it never copies bytes unless a string contains escapes.
+struct Lexer<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Lexer<'a> {
+        Lexer {
+            text: input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    #[inline]
     fn skip_ws(&mut self) {
-        while self
-            .input
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.pos += 1;
+        const SPACES: u64 = 0x2020_2020_2020_2020;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' => {
+                    // Pretty-printed plans indent with long space runs; eat
+                    // them eight at a time.
+                    self.pos += 1;
+                    while self.pos + 8 <= self.bytes.len()
+                        && u64::from_le_bytes(
+                            self.bytes[self.pos..self.pos + 8]
+                                .try_into()
+                                .expect("8 bytes"),
+                        ) == SPACES
+                    {
+                        self.pos += 8;
+                    }
+                    while self.bytes.get(self.pos) == Some(&b' ') {
+                        self.pos += 1;
+                    }
+                }
+                b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => return,
+            }
         }
     }
 
-    fn parse_value(&mut self) -> Result<JsonValue> {
-        if self.depth > MAX_DEPTH {
-            return Err(Error::parse(self.pos, "JSON nested too deeply"));
-        }
-        match self.input.get(self.pos) {
-            None => Err(Error::UnexpectedEof("JSON value".to_owned())),
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
-            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
-            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
-            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
-            Some(b'n') => self.parse_literal("null", JsonValue::Null),
-            Some(b'-' | b'0'..=b'9') => self.parse_number(),
-            Some(&other) => Err(Error::parse(
-                self.pos,
-                format!("unexpected character {:?} in JSON", other as char),
-            )),
-        }
-    }
-
-    fn parse_literal(&mut self, literal: &str, value: JsonValue) -> Result<JsonValue> {
-        if self.input[self.pos..].starts_with(literal.as_bytes()) {
+    fn lex_literal(&mut self, literal: &'static str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
             self.pos += literal.len();
-            Ok(value)
+            Ok(())
         } else {
             Err(Error::parse(self.pos, format!("expected '{literal}'")))
         }
     }
 
-    fn parse_object(&mut self) -> Result<JsonValue> {
-        self.pos += 1; // '{'
-        self.depth += 1;
-        let mut members = Vec::new();
-        self.skip_ws();
-        if self.input.get(self.pos) == Some(&b'}') {
-            self.pos += 1;
-            self.depth -= 1;
-            return Ok(JsonValue::Object(members));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.skip_ws();
-            if self.input.get(self.pos) != Some(&b':') {
-                return Err(Error::parse(self.pos, "expected ':' in object"));
-            }
-            self.pos += 1;
-            self.skip_ws();
-            let value = self.parse_value()?;
-            members.push((key, value));
-            self.skip_ws();
-            match self.input.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    self.depth -= 1;
-                    return Ok(JsonValue::Object(members));
-                }
-                _ => return Err(Error::parse(self.pos, "expected ',' or '}' in object")),
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<JsonValue> {
-        self.pos += 1; // '['
-        self.depth += 1;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.input.get(self.pos) == Some(&b']') {
-            self.pos += 1;
-            self.depth -= 1;
-            return Ok(JsonValue::Array(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.parse_value()?);
-            self.skip_ws();
-            match self.input.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    self.depth -= 1;
-                    return Ok(JsonValue::Array(items));
-                }
-                _ => return Err(Error::parse(self.pos, "expected ',' or ']' in array")),
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String> {
-        if self.input.get(self.pos) != Some(&b'"') {
+    /// Scans a string. Escape-free content comes back as a borrowed span of
+    /// the input; escaped content is decoded into an owned buffer.
+    fn lex_string(&mut self) -> Result<Cow<'a, str>> {
+        if self.peek() != Some(b'"') {
             return Err(Error::parse(self.pos, "expected '\"'"));
         }
-        let start = self.pos;
-        self.pos += 1;
-        let mut s = String::new();
+        let start = self.pos; // at the opening quote
+        let content = start + 1;
+        let i = scan_string_span(self.bytes, content);
+        match self.bytes.get(i) {
+            None => Err(Error::parse(start, "unterminated JSON string")),
+            Some(b'"') => {
+                self.pos = i + 1;
+                // `content` and `i` sit on ASCII quote boundaries, so the
+                // slice is valid UTF-8 (the input is a `&str`).
+                Ok(Cow::Borrowed(&self.text[content..i]))
+            }
+            Some(b'\\') => self.lex_string_escaped(start, i).map(Cow::Owned),
+            Some(_) => Err(Error::parse(i, "raw control character in string")),
+        }
+    }
+
+    /// Slow path: the string contains at least one escape (at
+    /// `first_escape`); decode it into an owned buffer.
+    fn lex_string_escaped(&mut self, start: usize, first_escape: usize) -> Result<String> {
+        let mut s = String::with_capacity(first_escape - start + 16);
+        s.push_str(&self.text[start + 1..first_escape]);
+        self.pos = first_escape;
         loop {
-            let Some(&b) = self.input.get(self.pos) else {
+            let Some(&b) = self.bytes.get(self.pos) else {
                 return Err(Error::parse(start, "unterminated JSON string"));
             };
             self.pos += 1;
             match b {
                 b'"' => return Ok(s),
                 b'\\' => {
-                    let Some(&esc) = self.input.get(self.pos) else {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
                         return Err(Error::parse(self.pos, "unterminated escape"));
                     };
                     self.pos += 1;
@@ -393,30 +448,32 @@ impl<'a> JsonParser<'a> {
                         b'b' => s.push('\u{8}'),
                         b'f' => s.push('\u{c}'),
                         b'u' => {
-                            let cp = self.parse_hex4()?;
+                            let cp = self.lex_hex4()?;
                             if (0xD800..=0xDBFF).contains(&cp) {
                                 // Surrogate pair.
-                                if self.input.get(self.pos) == Some(&b'\\')
-                                    && self.input.get(self.pos + 1) == Some(&b'u')
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
                                 {
                                     self.pos += 2;
-                                    let low = self.parse_hex4()?;
+                                    let low = self.lex_hex4()?;
                                     if !(0xDC00..=0xDFFF).contains(&low) {
-                                        return Err(Error::parse(self.pos, "invalid low surrogate"));
+                                        return Err(Error::parse(
+                                            self.pos,
+                                            "invalid low surrogate",
+                                        ));
                                     }
-                                    let combined =
-                                        0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
-                                    s.push(
-                                        char::from_u32(combined)
-                                            .ok_or_else(|| Error::parse(self.pos, "bad surrogate pair"))?,
-                                    );
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    s.push(char::from_u32(combined).ok_or_else(|| {
+                                        Error::parse(self.pos, "bad surrogate pair")
+                                    })?);
                                 } else {
                                     return Err(Error::parse(self.pos, "lone high surrogate"));
                                 }
                             } else {
                                 s.push(
-                                    char::from_u32(cp)
-                                        .ok_or_else(|| Error::parse(self.pos, "invalid code point"))?,
+                                    char::from_u32(cp).ok_or_else(|| {
+                                        Error::parse(self.pos, "invalid code point")
+                                    })?,
                                 );
                             }
                         }
@@ -429,20 +486,23 @@ impl<'a> JsonParser<'a> {
                     }
                 }
                 other if other < 0x20 => {
-                    return Err(Error::parse(self.pos - 1, "raw control character in string"))
+                    return Err(Error::parse(
+                        self.pos - 1,
+                        "raw control character in string",
+                    ))
                 }
                 other => {
                     if other < 0x80 {
                         s.push(other as char);
                     } else {
+                        // Copy a whole UTF-8 sequence; the input is a `&str`,
+                        // so the run is valid by construction.
                         let seq_start = self.pos - 1;
                         let mut end = self.pos;
-                        while end < self.input.len() && self.input[end] & 0xC0 == 0x80 {
+                        while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
                             end += 1;
                         }
-                        let chunk = std::str::from_utf8(&self.input[seq_start..end])
-                            .map_err(|_| Error::parse(seq_start, "invalid UTF-8"))?;
-                        s.push_str(chunk);
+                        s.push_str(&self.text[seq_start..end]);
                         self.pos = end;
                     }
                 }
@@ -450,45 +510,51 @@ impl<'a> JsonParser<'a> {
         }
     }
 
-    fn parse_hex4(&mut self) -> Result<u32> {
-        if self.pos + 4 > self.input.len() {
+    fn lex_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
             return Err(Error::UnexpectedEof("\\u escape".to_owned()));
         }
-        let hex = std::str::from_utf8(&self.input[self.pos..self.pos + 4])
-            .map_err(|_| Error::parse(self.pos, "bad \\u escape"))?;
-        let cp = u32::from_str_radix(hex, 16).map_err(|_| Error::parse(self.pos, "bad \\u escape"))?;
+        // Decode from bytes: slicing `text` here could split a multi-byte
+        // character when the escape is malformed (e.g. `\uaaé`) and panic.
+        let mut cp = 0u32;
+        for &b in &self.bytes[self.pos..self.pos + 4] {
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::parse(self.pos, "bad \\u escape"))?;
+            cp = cp * 16 + digit;
+        }
         self.pos += 4;
         Ok(cp)
     }
 
-    fn parse_number(&mut self) -> Result<JsonValue> {
+    /// Parses a number in place (no intermediate `String`).
+    fn lex_number(&mut self) -> Result<JsonValue<'static>> {
         let start = self.pos;
-        if self.input.get(self.pos) == Some(&b'-') {
+        if self.peek() == Some(b'-') {
             self.pos += 1;
         }
         let mut is_float = false;
-        while self.input.get(self.pos).is_some_and(u8::is_ascii_digit) {
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
             self.pos += 1;
         }
-        if self.input.get(self.pos) == Some(&b'.') {
+        if self.peek() == Some(b'.') {
             is_float = true;
             self.pos += 1;
-            while self.input.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
-        if matches!(self.input.get(self.pos), Some(b'e' | b'E')) {
+        if matches!(self.peek(), Some(b'e' | b'E')) {
             is_float = true;
             self.pos += 1;
-            if matches!(self.input.get(self.pos), Some(b'+' | b'-')) {
+            if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
-            while self.input.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.input[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text = &self.text[start..self.pos];
         if is_float {
             text.parse::<f64>()
                 .map(JsonValue::Float)
@@ -502,6 +568,495 @@ impl<'a> JsonParser<'a> {
                     .map(JsonValue::Float)
                     .map_err(|e| Error::parse(start, format!("bad number: {e}"))),
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tree parser
+// ---------------------------------------------------------------------------
+
+/// Parses a JSON document into a borrowed tree. Escape-free strings and
+/// keys are zero-copy spans of `input`.
+pub fn parse(input: &str) -> Result<JsonValue<'_>> {
+    let mut p = JsonParser {
+        lx: Lexer::new(input),
+        depth: 0,
+    };
+    p.lx.skip_ws();
+    let value = p.parse_value()?;
+    p.lx.skip_ws();
+    if p.lx.pos != p.lx.bytes.len() {
+        return Err(Error::parse(
+            p.lx.pos,
+            "trailing characters after JSON document",
+        ));
+    }
+    Ok(value)
+}
+
+/// Parses a JSON document into a fully owned tree ([`parse`] +
+/// [`JsonValue::into_owned`]).
+pub fn parse_owned(input: &str) -> Result<OwnedJsonValue> {
+    parse(input).map(JsonValue::into_owned)
+}
+
+struct JsonParser<'a> {
+    lx: Lexer<'a>,
+    depth: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse_value(&mut self) -> Result<JsonValue<'a>> {
+        if self.depth > MAX_DEPTH {
+            return Err(Error::parse(self.lx.pos, "JSON nested too deeply"));
+        }
+        match self.lx.peek() {
+            None => Err(Error::UnexpectedEof("JSON value".to_owned())),
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::Str(self.lx.lex_string()?)),
+            Some(b't') => self.lx.lex_literal("true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self
+                .lx
+                .lex_literal("false")
+                .map(|()| JsonValue::Bool(false)),
+            Some(b'n') => self.lx.lex_literal("null").map(|()| JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.lx.lex_number(),
+            Some(other) => Err(Error::parse(
+                self.lx.pos,
+                format!("unexpected character {:?} in JSON", other as char),
+            )),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue<'a>> {
+        self.lx.pos += 1; // '{'
+        self.depth += 1;
+        let mut members = Vec::with_capacity(OBJECT_CAPACITY);
+        self.lx.skip_ws();
+        if self.lx.peek() == Some(b'}') {
+            self.lx.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.lx.skip_ws();
+            let key = self.lx.lex_string()?;
+            self.lx.skip_ws();
+            if self.lx.peek() != Some(b':') {
+                return Err(Error::parse(self.lx.pos, "expected ':' in object"));
+            }
+            self.lx.pos += 1;
+            self.lx.skip_ws();
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.lx.skip_ws();
+            match self.lx.peek() {
+                Some(b',') => self.lx.pos += 1,
+                Some(b'}') => {
+                    self.lx.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(Error::parse(self.lx.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue<'a>> {
+        self.lx.pos += 1; // '['
+        self.depth += 1;
+        let mut items = Vec::with_capacity(ARRAY_CAPACITY);
+        self.lx.skip_ws();
+        if self.lx.peek() == Some(b']') {
+            self.lx.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.lx.skip_ws();
+            items.push(self.parse_value()?);
+            self.lx.skip_ws();
+            match self.lx.peek() {
+                Some(b',') => self.lx.pos += 1,
+                Some(b']') => {
+                    self.lx.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(Error::parse(self.lx.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pull reader
+// ---------------------------------------------------------------------------
+
+/// One event of the SAX-style pull reader.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonEvent<'a> {
+    /// `{`
+    ObjectStart,
+    /// `}`
+    ObjectEnd,
+    /// `[`
+    ArrayStart,
+    /// `]`
+    ArrayEnd,
+    /// An object member key (the following event(s) are its value).
+    Key(Cow<'a, str>),
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer number.
+    Int(i64),
+    /// A fractional/exponent number.
+    Float(f64),
+    /// A string value.
+    Str(Cow<'a, str>),
+    /// The end of a fully consumed, well-formed document.
+    Eof,
+}
+
+#[derive(Clone, Copy)]
+struct Frame {
+    is_object: bool,
+    /// Items (members or elements) consumed so far in this container.
+    count: u32,
+    /// A key was emitted (objects) or an element separator was consumed
+    /// ([`JsonReader::array_next`]): the next event must be a value.
+    pending_value: bool,
+}
+
+/// A pull-based JSON reader: repeatedly call [`JsonReader::next_event`] (or
+/// the structured helpers) to walk a document without building a tree.
+///
+/// The reader validates structure as it goes — commas, colons, nesting
+/// depth, trailing garbage — and reports the same byte-offset parse errors
+/// as [`parse`]. Strings and keys without escapes are borrowed spans.
+pub struct JsonReader<'a> {
+    lx: Lexer<'a>,
+    stack: Vec<Frame>,
+    started: bool,
+    peeked: Option<JsonEvent<'a>>,
+}
+
+impl<'a> JsonReader<'a> {
+    /// A reader over a complete JSON document.
+    pub fn new(input: &'a str) -> JsonReader<'a> {
+        JsonReader {
+            lx: Lexer::new(input),
+            stack: Vec::new(),
+            started: false,
+            peeked: None,
+        }
+    }
+
+    /// Byte offset of the next unread input (for error reporting).
+    pub fn offset(&self) -> usize {
+        self.lx.pos
+    }
+
+    /// The next event of the document.
+    pub fn next_event(&mut self) -> Result<JsonEvent<'a>> {
+        if let Some(ev) = self.peeked.take() {
+            return Ok(ev);
+        }
+        self.lx.skip_ws();
+        let Some(&frame) = self.stack.last() else {
+            // Top level: exactly one value, then Eof.
+            if self.started {
+                return if self.lx.pos == self.lx.bytes.len() {
+                    Ok(JsonEvent::Eof)
+                } else {
+                    Err(Error::parse(
+                        self.lx.pos,
+                        "trailing characters after JSON document",
+                    ))
+                };
+            }
+            self.started = true;
+            return self.value_start();
+        };
+        if frame.is_object {
+            if frame.pending_value {
+                let top = self.stack.last_mut().expect("checked");
+                top.pending_value = false;
+                top.count += 1;
+                return self.value_start();
+            }
+            match self.lx.peek() {
+                Some(b'}') => {
+                    self.stack.pop();
+                    self.lx.pos += 1;
+                    Ok(JsonEvent::ObjectEnd)
+                }
+                Some(b',') if frame.count > 0 => {
+                    self.lx.pos += 1;
+                    self.lx.skip_ws();
+                    self.key_event()
+                }
+                _ if frame.count == 0 => self.key_event(),
+                _ => Err(Error::parse(self.lx.pos, "expected ',' or '}' in object")),
+            }
+        } else {
+            if frame.pending_value {
+                self.stack.last_mut().expect("checked").pending_value = false;
+                return self.value_start();
+            }
+            match self.lx.peek() {
+                Some(b']') => {
+                    self.stack.pop();
+                    self.lx.pos += 1;
+                    Ok(JsonEvent::ArrayEnd)
+                }
+                Some(b',') if frame.count > 0 => {
+                    self.lx.pos += 1;
+                    self.lx.skip_ws();
+                    self.stack.last_mut().expect("checked").count += 1;
+                    self.value_start()
+                }
+                _ if frame.count == 0 => {
+                    self.stack.last_mut().expect("checked").count = 1;
+                    self.value_start()
+                }
+                _ => Err(Error::parse(self.lx.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    /// Peeks at the next event without consuming it.
+    pub fn peek_event(&mut self) -> Result<&JsonEvent<'a>> {
+        if self.peeked.is_none() {
+            let ev = self.next_event()?;
+            self.peeked = Some(ev);
+        }
+        Ok(self.peeked.as_ref().expect("just filled"))
+    }
+
+    fn key_event(&mut self) -> Result<JsonEvent<'a>> {
+        let key = self.lx.lex_string()?;
+        self.lx.skip_ws();
+        if self.lx.peek() != Some(b':') {
+            return Err(Error::parse(self.lx.pos, "expected ':' in object"));
+        }
+        self.lx.pos += 1;
+        self.stack.last_mut().expect("in object").pending_value = true;
+        Ok(JsonEvent::Key(key))
+    }
+
+    fn value_start(&mut self) -> Result<JsonEvent<'a>> {
+        match self.lx.peek() {
+            None => Err(Error::UnexpectedEof("JSON value".to_owned())),
+            Some(b'{') => {
+                self.push_frame(true)?;
+                Ok(JsonEvent::ObjectStart)
+            }
+            Some(b'[') => {
+                self.push_frame(false)?;
+                Ok(JsonEvent::ArrayStart)
+            }
+            Some(b'"') => Ok(JsonEvent::Str(self.lx.lex_string()?)),
+            Some(b't') => self.lx.lex_literal("true").map(|()| JsonEvent::Bool(true)),
+            Some(b'f') => self
+                .lx
+                .lex_literal("false")
+                .map(|()| JsonEvent::Bool(false)),
+            Some(b'n') => self.lx.lex_literal("null").map(|()| JsonEvent::Null),
+            Some(b'-' | b'0'..=b'9') => Ok(match self.lx.lex_number()? {
+                JsonValue::Int(i) => JsonEvent::Int(i),
+                JsonValue::Float(f) => JsonEvent::Float(f),
+                _ => unreachable!("lex_number yields numbers"),
+            }),
+            Some(other) => Err(Error::parse(
+                self.lx.pos,
+                format!("unexpected character {:?} in JSON", other as char),
+            )),
+        }
+    }
+
+    fn push_frame(&mut self, is_object: bool) -> Result<()> {
+        if self.stack.len() >= MAX_DEPTH {
+            return Err(Error::parse(self.lx.pos, "JSON nested too deeply"));
+        }
+        self.lx.pos += 1;
+        self.stack.push(Frame {
+            is_object,
+            count: 0,
+            pending_value: false,
+        });
+        Ok(())
+    }
+
+    // -- structured helpers ------------------------------------------------
+
+    /// Consumes an `ObjectStart`; errors if the next value is not an object.
+    pub fn expect_object_start(&mut self) -> Result<()> {
+        let offset = self.offset();
+        match self.next_event()? {
+            JsonEvent::ObjectStart => Ok(()),
+            _ => Err(Error::parse(offset, "expected an object")),
+        }
+    }
+
+    /// Consumes an `ArrayStart`; errors if the next value is not an array.
+    pub fn expect_array_start(&mut self) -> Result<()> {
+        let offset = self.offset();
+        match self.next_event()? {
+            JsonEvent::ArrayStart => Ok(()),
+            _ => Err(Error::parse(offset, "expected an array")),
+        }
+    }
+
+    /// Inside an object (after `ObjectStart`): the next member key, or
+    /// `None` when the closing `}` is reached (which is consumed).
+    pub fn next_key(&mut self) -> Result<Option<Cow<'a, str>>> {
+        // Fast path: read the key straight off the lexer without building a
+        // `JsonEvent` (the hottest call of schema-directed converters).
+        if self.peeked.is_none() {
+            if let Some(frame) = self.stack.last() {
+                if frame.is_object && !frame.pending_value {
+                    self.lx.skip_ws();
+                    match self.lx.peek() {
+                        Some(b'}') => {
+                            self.stack.pop();
+                            self.lx.pos += 1;
+                            return Ok(None);
+                        }
+                        Some(b',') if frame.count > 0 => {
+                            self.lx.pos += 1;
+                            self.lx.skip_ws();
+                        }
+                        _ if frame.count == 0 => {}
+                        _ => {
+                            return Err(Error::parse(self.lx.pos, "expected ',' or '}' in object"))
+                        }
+                    }
+                    let key = self.lx.lex_string()?;
+                    self.lx.skip_ws();
+                    if self.lx.peek() != Some(b':') {
+                        return Err(Error::parse(self.lx.pos, "expected ':' in object"));
+                    }
+                    self.lx.pos += 1;
+                    self.stack.last_mut().expect("in object").pending_value = true;
+                    return Ok(Some(key));
+                }
+            }
+        }
+        let offset = self.offset();
+        match self.next_event()? {
+            JsonEvent::Key(k) => Ok(Some(k)),
+            JsonEvent::ObjectEnd => Ok(None),
+            _ => Err(Error::parse(offset, "expected an object member")),
+        }
+    }
+
+    /// Inside an array (after `ArrayStart`): `true` if another element
+    /// follows (left unconsumed), `false` when the closing `]` is reached
+    /// (which is consumed).
+    pub fn array_next(&mut self) -> Result<bool> {
+        // Fast path: settle the separator question straight off the lexer.
+        if self.peeked.is_none() {
+            if let Some(frame) = self.stack.last() {
+                if !frame.is_object && !frame.pending_value {
+                    self.lx.skip_ws();
+                    match self.lx.peek() {
+                        Some(b']') => {
+                            self.stack.pop();
+                            self.lx.pos += 1;
+                            return Ok(false);
+                        }
+                        Some(b',') if frame.count > 0 => {
+                            self.lx.pos += 1;
+                        }
+                        _ if frame.count == 0 => {}
+                        _ => return Err(Error::parse(self.lx.pos, "expected ',' or ']' in array")),
+                    }
+                    let top = self.stack.last_mut().expect("in array");
+                    top.count += 1;
+                    top.pending_value = true;
+                    return Ok(true);
+                }
+            }
+        }
+        if matches!(self.peek_event()?, JsonEvent::ArrayEnd) {
+            self.next_event()?;
+            Ok(false)
+        } else {
+            Ok(true)
+        }
+    }
+
+    /// Materializes the next value (scalar or whole subtree) as a borrowed
+    /// [`JsonValue`].
+    pub fn read_value(&mut self) -> Result<JsonValue<'a>> {
+        let offset = self.offset();
+        match self.next_event()? {
+            JsonEvent::Null => Ok(JsonValue::Null),
+            JsonEvent::Bool(b) => Ok(JsonValue::Bool(b)),
+            JsonEvent::Int(i) => Ok(JsonValue::Int(i)),
+            JsonEvent::Float(f) => Ok(JsonValue::Float(f)),
+            JsonEvent::Str(s) => Ok(JsonValue::Str(s)),
+            JsonEvent::ObjectStart => {
+                let mut members = Vec::with_capacity(OBJECT_CAPACITY);
+                while let Some(key) = self.next_key()? {
+                    members.push((key, self.read_value()?));
+                }
+                Ok(JsonValue::Object(members))
+            }
+            JsonEvent::ArrayStart => {
+                let mut items = Vec::with_capacity(ARRAY_CAPACITY);
+                while self.array_next()? {
+                    items.push(self.read_value()?);
+                }
+                Ok(JsonValue::Array(items))
+            }
+            _ => Err(Error::parse(offset, "expected a JSON value")),
+        }
+    }
+
+    /// Skips the next value (scalar or whole subtree) without building it.
+    pub fn skip_value(&mut self) -> Result<()> {
+        let offset = self.offset();
+        match self.next_event()? {
+            JsonEvent::Null
+            | JsonEvent::Bool(_)
+            | JsonEvent::Int(_)
+            | JsonEvent::Float(_)
+            | JsonEvent::Str(_) => Ok(()),
+            JsonEvent::ObjectStart | JsonEvent::ArrayStart => {
+                let target = self.stack.len() - 1;
+                loop {
+                    match self.next_event()? {
+                        JsonEvent::ObjectEnd | JsonEvent::ArrayEnd
+                            if self.stack.len() == target =>
+                        {
+                            return Ok(())
+                        }
+                        JsonEvent::Eof => {
+                            return Err(Error::UnexpectedEof("JSON value".to_owned()))
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => Err(Error::parse(offset, "expected a JSON value")),
+        }
+    }
+
+    /// Asserts the document is fully consumed (no trailing characters).
+    pub fn finish(&mut self) -> Result<()> {
+        let offset = self.offset();
+        match self.next_event()? {
+            JsonEvent::Eof => Ok(()),
+            _ => Err(Error::parse(
+                offset,
+                "trailing characters after JSON document",
+            )),
         }
     }
 }
@@ -529,6 +1084,29 @@ mod tests {
         assert_eq!(members[0].0, "b");
         assert_eq!(members[1].0, "a");
         assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn escape_free_strings_are_borrowed() {
+        let doc = r#"{"plan": "Seq Scan", "esc\nape": "a\tb"}"#;
+        let v = parse(doc).unwrap();
+        let members = v.as_object().unwrap();
+        assert!(matches!(&members[0].0, Cow::Borrowed(_)));
+        assert!(matches!(&members[0].1, JsonValue::Str(Cow::Borrowed(_))));
+        // Escaped spellings decode into owned buffers.
+        assert!(matches!(&members[1].0, Cow::Owned(_)));
+        assert_eq!(members[1].0, "esc\nape");
+        assert!(matches!(&members[1].1, JsonValue::Str(Cow::Owned(_))));
+        assert_eq!(members[1].1.as_str(), Some("a\tb"));
+    }
+
+    #[test]
+    fn into_owned_detaches_from_input() {
+        let text = String::from(r#"{"a": ["b", 1]}"#);
+        let owned: OwnedJsonValue = parse(&text).unwrap().into_owned();
+        drop(text);
+        assert_eq!(owned.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(parse_owned(r#""x""#).unwrap(), JsonValue::Str("x".into()));
     }
 
     #[test]
@@ -567,8 +1145,19 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "}", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01x", "\"unterminated",
-            "{\"a\":1} extra", "[1 2]", "\"\\q\"", "{a:1}",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "[1 2]",
+            "\"\\q\"",
+            "{a:1}",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
@@ -584,6 +1173,20 @@ mod tests {
             doc.push(']');
         }
         assert!(parse(&doc).is_err());
+        let mut r = JsonReader::new(&doc);
+        let deep = std::iter::from_fn(|| Some(r.next_event()))
+            .take(601)
+            .find(|e| e.is_err());
+        assert!(deep.is_some(), "reader must bound nesting too");
+    }
+
+    #[test]
+    fn malformed_unicode_escape_with_multibyte_tail_errors_not_panics() {
+        // The 4-byte hex window lands mid-way through the two-byte 'é':
+        // must be a parse error, never a char-boundary panic.
+        assert!(parse("\"\\uaaaéx\"").is_err());
+        assert!(parse("\"\\uéé\"").is_err());
+        assert!(parse("\"\\u+12f\"").is_err(), "sign is not a hex digit");
     }
 
     #[test]
@@ -595,6 +1198,18 @@ mod tests {
     fn integer_overflow_falls_back_to_float() {
         let v = parse("99999999999999999999999999").unwrap();
         assert!(matches!(v, JsonValue::Float(_)));
+    }
+
+    #[test]
+    fn integer_extremes_parse_exactly() {
+        assert_eq!(
+            parse("-9223372036854775808").unwrap(),
+            JsonValue::Int(i64::MIN)
+        );
+        assert_eq!(
+            parse("9223372036854775807").unwrap(),
+            JsonValue::Int(i64::MAX)
+        );
     }
 
     #[test]
@@ -614,5 +1229,132 @@ mod tests {
         let v = object([("a", JsonValue::Int(1)), ("b", JsonValue::from("x"))]);
         assert_eq!(v.get("a").unwrap().as_int(), Some(1));
         assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+    }
+
+    // -- pull reader -------------------------------------------------------
+
+    #[test]
+    fn reader_event_stream() {
+        let mut r = JsonReader::new(r#"{"a": [1, "x"], "b": null}"#);
+        let mut events = Vec::new();
+        loop {
+            let ev = r.next_event().unwrap();
+            if ev == JsonEvent::Eof {
+                break;
+            }
+            events.push(ev);
+        }
+        assert_eq!(
+            events,
+            vec![
+                JsonEvent::ObjectStart,
+                JsonEvent::Key("a".into()),
+                JsonEvent::ArrayStart,
+                JsonEvent::Int(1),
+                JsonEvent::Str("x".into()),
+                JsonEvent::ArrayEnd,
+                JsonEvent::Key("b".into()),
+                JsonEvent::Null,
+                JsonEvent::ObjectEnd,
+            ]
+        );
+    }
+
+    #[test]
+    fn reader_read_value_matches_parse() {
+        let doc = r#"{"plan": {"ops": [1, 2.5, true, null], "name": "scan"}}"#;
+        let mut r = JsonReader::new(doc);
+        let v = r.read_value().unwrap();
+        r.finish().unwrap();
+        assert_eq!(v, parse(doc).unwrap());
+    }
+
+    #[test]
+    fn reader_skip_value_skips_subtrees() {
+        let mut r = JsonReader::new(r#"{"skip": {"deep": [1, {"x": 2}]}, "keep": 7}"#);
+        r.expect_object_start().unwrap();
+        assert_eq!(r.next_key().unwrap().as_deref(), Some("skip"));
+        r.skip_value().unwrap();
+        assert_eq!(r.next_key().unwrap().as_deref(), Some("keep"));
+        assert_eq!(r.next_event().unwrap(), JsonEvent::Int(7));
+        assert_eq!(r.next_key().unwrap(), None);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_array_iteration() {
+        let mut r = JsonReader::new(r#"[10, 20, 30]"#);
+        r.expect_array_start().unwrap();
+        let mut total = 0;
+        while r.array_next().unwrap() {
+            match r.next_event().unwrap() {
+                JsonEvent::Int(i) => total += i,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        r.finish().unwrap();
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn reader_rejects_malformed_like_the_parser() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "[1 2]",
+            "\"\\q\"",
+            "{a:1}",
+        ] {
+            let mut r = JsonReader::new(bad);
+            let mut failed = false;
+            for _ in 0..64 {
+                match r.next_event() {
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                    Ok(JsonEvent::Eof) => break,
+                    Ok(_) => {}
+                }
+            }
+            assert!(failed, "{bad:?} should fail in the reader");
+        }
+    }
+
+    #[test]
+    fn reader_error_offsets_match_parser() {
+        for bad in ["{\"a\":}", "[1 2]", "{\"a\" 1}", "nul", "{\"a\":1,}"] {
+            let parser_err = parse(bad).unwrap_err();
+            let mut r = JsonReader::new(bad);
+            let mut reader_err = None;
+            for _ in 0..64 {
+                match r.next_event() {
+                    Err(e) => {
+                        reader_err = Some(e);
+                        break;
+                    }
+                    Ok(JsonEvent::Eof) => break,
+                    Ok(_) => {}
+                }
+            }
+            assert_eq!(Some(parser_err), reader_err, "offsets diverge on {bad:?}");
+        }
+    }
+
+    #[test]
+    fn reader_expectation_helpers_flag_wrong_shapes() {
+        assert!(JsonReader::new("[1]").expect_object_start().is_err());
+        assert!(JsonReader::new("{}").expect_array_start().is_err());
+        let mut r = JsonReader::new("[1, 2]");
+        r.expect_array_start().unwrap();
+        assert!(r.array_next().unwrap());
+        assert!(r.next_key().is_err(), "not inside an object");
     }
 }

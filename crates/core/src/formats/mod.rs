@@ -6,8 +6,9 @@
 //! structured ones, all implemented from scratch so the workspace carries no
 //! serialization dependencies:
 //!
-//! * [`json`] — a JSON document model, parser and writer (used both to
-//!   serialize unified plans and to parse native DBMS explain output);
+//! * [`json`] — a zero-copy JSON document model, tree parser, pull reader
+//!   and writer (used both to serialize unified plans and to parse native
+//!   DBMS explain output);
 //! * [`xml`] — an XML element model, writer and a small parser (SQL Server
 //!   exposes plans as XML showplans);
 //! * [`yaml`] — a YAML writer (PostgreSQL's `FORMAT YAML`);

@@ -20,11 +20,15 @@
 //! JSON is fully round-trippable; unknown top-level members are ignored when
 //! reading (forward compatibility).
 
+use std::borrow::Cow;
+
 use crate::error::{Error, Result};
-use crate::formats::json::{self, JsonValue};
+use crate::formats::json::{self, JsonEvent, JsonReader, JsonValue};
 use crate::formats::xml::XmlElement;
 use crate::formats::yaml;
-use crate::model::{Operation, OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan};
+use crate::model::{
+    Operation, OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan,
+};
 use crate::value::Value;
 
 /// Schema version written into every document.
@@ -40,39 +44,40 @@ pub fn to_json(plan: &UnifiedPlan) -> String {
 }
 
 /// Serializes a plan to the unified JSON document model.
-pub fn to_json_value(plan: &UnifiedPlan) -> JsonValue {
-    let mut members: Vec<(String, JsonValue)> = vec![(
-        "uplan_version".to_owned(),
-        JsonValue::Int(UPLAN_VERSION),
-    )];
+pub fn to_json_value(plan: &UnifiedPlan) -> JsonValue<'static> {
+    let mut members: Vec<(Cow<'static, str>, JsonValue<'static>)> =
+        vec![("uplan_version".into(), JsonValue::Int(UPLAN_VERSION))];
     if let Some(root) = &plan.root {
-        members.push(("tree".to_owned(), node_to_json(root)));
+        members.push(("tree".into(), node_to_json(root)));
     }
-    members.push(("properties".to_owned(), properties_to_json(&plan.properties)));
+    members.push(("properties".into(), properties_to_json(&plan.properties)));
     JsonValue::Object(members)
 }
 
-fn node_to_json(node: &PlanNode) -> JsonValue {
-    let mut members = vec![
+fn node_to_json(node: &PlanNode) -> JsonValue<'static> {
+    let mut members: Vec<(Cow<'static, str>, JsonValue<'static>)> = vec![
         (
-            "operation".to_owned(),
+            "operation".into(),
             json::object([
                 ("category", JsonValue::from(node.operation.category.name())),
-                ("identifier", JsonValue::from(node.operation.identifier.as_str())),
+                (
+                    "identifier",
+                    JsonValue::from(node.operation.identifier.as_str()),
+                ),
             ]),
         ),
-        ("properties".to_owned(), properties_to_json(&node.properties)),
+        ("properties".into(), properties_to_json(&node.properties)),
     ];
     if !node.children.is_empty() {
         members.push((
-            "children".to_owned(),
+            "children".into(),
             JsonValue::Array(node.children.iter().map(node_to_json).collect()),
         ));
     }
     JsonValue::Object(members)
 }
 
-fn properties_to_json(properties: &[Property]) -> JsonValue {
+fn properties_to_json(properties: &[Property]) -> JsonValue<'static> {
     JsonValue::Array(
         properties
             .iter()
@@ -87,25 +92,156 @@ fn properties_to_json(properties: &[Property]) -> JsonValue {
     )
 }
 
-fn value_to_json(value: &Value) -> JsonValue {
+fn value_to_json(value: &Value) -> JsonValue<'static> {
     match value {
         Value::Null => JsonValue::Null,
         Value::Bool(b) => JsonValue::Bool(*b),
         Value::Int(i) => JsonValue::Int(*i),
         Value::Float(f) => JsonValue::Float(*f),
-        Value::Str(s) => JsonValue::Str(s.clone()),
+        Value::Str(s) => JsonValue::from(s.clone()),
     }
 }
 
 /// Parses a unified JSON document back into a plan.
+///
+/// This walks the document through the zero-copy [`JsonReader`] — no JSON
+/// tree is materialized, and escape-free identifiers/strings are handed to
+/// the interner and value constructors as borrowed spans of `input`.
 pub fn from_json(input: &str) -> Result<UnifiedPlan> {
-    from_json_value(&json::parse(input)?)
+    let mut reader = JsonReader::new(input);
+    if reader.next_event()? != JsonEvent::ObjectStart {
+        return Err(Error::Semantic(
+            "unified JSON document must be an object".into(),
+        ));
+    }
+    let mut root = None;
+    let mut properties = None;
+    while let Some(key) = reader.next_key()? {
+        match key.as_ref() {
+            // Duplicate members resolve first-wins, like the tree path's
+            // `get`.
+            "tree" if root.is_none() => root = Some(read_node(&mut reader)?),
+            "properties" if properties.is_none() => {
+                properties = Some(read_properties(&mut reader)?)
+            }
+            // Unknown top-level members are ignored (forward compatibility).
+            _ => reader.skip_value()?,
+        }
+    }
+    reader.finish()?;
+    Ok(UnifiedPlan {
+        root,
+        properties: properties.unwrap_or_default(),
+    })
 }
 
-/// Converts a parsed unified JSON document back into a plan.
-pub fn from_json_value(doc: &JsonValue) -> Result<UnifiedPlan> {
+fn read_node(reader: &mut JsonReader<'_>) -> Result<PlanNode> {
+    if reader.next_event()? != JsonEvent::ObjectStart {
+        return Err(Error::Semantic("plan node must be an object".into()));
+    }
+    let mut operation = None;
+    let mut properties = None;
+    let mut children = None;
+    while let Some(key) = reader.next_key()? {
+        match key.as_ref() {
+            // First-wins on duplicates, like the tree path's `get`.
+            "operation" if operation.is_none() => operation = Some(read_operation(reader)?),
+            "properties" if properties.is_none() => properties = Some(read_properties(reader)?),
+            "children" if children.is_none() => {
+                if reader.next_event()? != JsonEvent::ArrayStart {
+                    return Err(Error::Semantic("\"children\" must be an array".into()));
+                }
+                let mut out = Vec::new();
+                while reader.array_next()? {
+                    out.push(read_node(reader)?);
+                }
+                children = Some(out);
+            }
+            _ => reader.skip_value()?,
+        }
+    }
+    let operation =
+        operation.ok_or_else(|| Error::Semantic("plan node missing \"operation\"".into()))?;
+    let mut node = PlanNode::new(operation);
+    node.properties = properties.unwrap_or_default();
+    node.children = children.unwrap_or_default();
+    Ok(node)
+}
+
+fn read_operation(reader: &mut JsonReader<'_>) -> Result<Operation> {
+    if reader.next_event()? != JsonEvent::ObjectStart {
+        return Err(Error::Semantic("\"operation\" must be an object".into()));
+    }
+    let mut category = None;
+    let mut identifier = None;
+    while let Some(key) = reader.next_key()? {
+        match key.as_ref() {
+            "category" if category.is_none() => category = Some(read_string(reader, "category")?),
+            "identifier" if identifier.is_none() => {
+                identifier = Some(read_string(reader, "identifier")?)
+            }
+            _ => reader.skip_value()?,
+        }
+    }
+    let category =
+        category.ok_or_else(|| Error::Semantic("operation missing \"category\"".into()))?;
+    let identifier =
+        identifier.ok_or_else(|| Error::Semantic("operation missing \"identifier\"".into()))?;
+    Operation::from_keyword(OperationCategory::parse(&category)?, &identifier)
+}
+
+fn read_string<'a>(reader: &mut JsonReader<'a>, what: &str) -> Result<Cow<'a, str>> {
+    match reader.next_event()? {
+        JsonEvent::Str(s) => Ok(s),
+        _ => Err(Error::Semantic(format!("\"{what}\" must be a string"))),
+    }
+}
+
+fn read_properties(reader: &mut JsonReader<'_>) -> Result<Vec<Property>> {
+    if reader.next_event()? != JsonEvent::ArrayStart {
+        return Err(Error::Semantic("\"properties\" must be an array".into()));
+    }
+    let mut out = Vec::new();
+    while reader.array_next()? {
+        if reader.next_event()? != JsonEvent::ObjectStart {
+            return Err(Error::Semantic("properties must be objects".into()));
+        }
+        let mut category = None;
+        let mut identifier = None;
+        let mut value = None;
+        while let Some(key) = reader.next_key()? {
+            match key.as_ref() {
+                "category" if category.is_none() => {
+                    category = Some(read_string(reader, "category")?)
+                }
+                "identifier" if identifier.is_none() => {
+                    identifier = Some(read_string(reader, "identifier")?)
+                }
+                "value" if value.is_none() => value = Some(json_to_value(&reader.read_value()?)?),
+                _ => reader.skip_value()?,
+            }
+        }
+        let category =
+            category.ok_or_else(|| Error::Semantic("property missing \"category\"".into()))?;
+        let identifier =
+            identifier.ok_or_else(|| Error::Semantic("property missing \"identifier\"".into()))?;
+        let value = value.ok_or_else(|| Error::Semantic("property missing \"value\"".into()))?;
+        out.push(Property {
+            category: PropertyCategory::parse(&category)?,
+            identifier: crate::Symbol::intern(crate::keyword::validate(&identifier)?),
+            value,
+        });
+    }
+    Ok(out)
+}
+
+/// Converts an already-parsed unified JSON document back into a plan (the
+/// tree-level sibling of the streaming [`from_json`]).
+pub fn from_json_value(doc: &JsonValue<'_>) -> Result<UnifiedPlan> {
     let JsonValue::Object(_) = doc else {
-        return Err(Error::Semantic("unified JSON document must be an object".into()));
+        return Err(Error::Semantic(
+            "unified JSON document must be an object".into(),
+        ));
     };
     let root = doc.get("tree").map(node_from_json).transpose()?;
     let properties = match doc.get("properties") {
@@ -115,7 +251,7 @@ pub fn from_json_value(doc: &JsonValue) -> Result<UnifiedPlan> {
     Ok(UnifiedPlan { root, properties })
 }
 
-fn node_from_json(node: &JsonValue) -> Result<PlanNode> {
+fn node_from_json(node: &JsonValue<'_>) -> Result<PlanNode> {
     let operation = node
         .get("operation")
         .ok_or_else(|| Error::Semantic("plan node missing \"operation\"".into()))?;
@@ -141,7 +277,7 @@ fn node_from_json(node: &JsonValue) -> Result<PlanNode> {
     Ok(out)
 }
 
-fn properties_from_json(props: &JsonValue) -> Result<Vec<Property>> {
+fn properties_from_json(props: &JsonValue<'_>) -> Result<Vec<Property>> {
     let items = props
         .as_array()
         .ok_or_else(|| Error::Semantic("\"properties\" must be an array".into()))?;
@@ -168,13 +304,13 @@ fn properties_from_json(props: &JsonValue) -> Result<Vec<Property>> {
         .collect()
 }
 
-fn json_to_value(v: &JsonValue) -> Result<Value> {
+fn json_to_value(v: &JsonValue<'_>) -> Result<Value> {
     Ok(match v {
         JsonValue::Null => Value::Null,
         JsonValue::Bool(b) => Value::Bool(*b),
         JsonValue::Int(i) => Value::Int(*i),
         JsonValue::Float(f) => Value::Float(*f),
-        JsonValue::Str(s) => Value::Str(s.clone()),
+        JsonValue::Str(s) => Value::Str(s.clone().into_owned()),
         JsonValue::Array(_) | JsonValue::Object(_) => {
             return Err(Error::Semantic("property values must be scalars".into()))
         }
@@ -328,9 +464,9 @@ mod tests {
             .with_property(Property::cardinality("rows", 1000))
             .with_property(Property::cost("total_cost", 35.5))
             .with_property(Property::status("parallel", false));
-        let join = PlanNode::join("Hash_Join")
-            .with_child(scan)
-            .with_child(PlanNode::executor("Hash_Row").with_child(PlanNode::producer("Index_Scan")));
+        let join = PlanNode::join("Hash_Join").with_child(scan).with_child(
+            PlanNode::executor("Hash_Row").with_child(PlanNode::producer("Index_Scan")),
+        );
         UnifiedPlan::with_root(join)
             .with_plan_property(Property::status("planning_time_ms", 0.124))
             .with_plan_property(Property::status("nothing", Value::Null))
@@ -354,7 +490,11 @@ mod tests {
         assert_eq!(doc.get("uplan_version").unwrap().as_int(), Some(1));
         let tree = doc.get("tree").unwrap();
         assert_eq!(
-            tree.get("operation").unwrap().get("identifier").unwrap().as_str(),
+            tree.get("operation")
+                .unwrap()
+                .get("identifier")
+                .unwrap()
+                .as_str(),
             Some("Hash_Join")
         );
         assert_eq!(tree.get("children").unwrap().as_array().unwrap().len(), 2);
@@ -366,6 +506,27 @@ mod tests {
         let plan = from_json(doc).unwrap();
         assert!(plan.root.is_none());
         assert!(plan.properties.is_empty());
+    }
+
+    #[test]
+    fn duplicate_members_resolve_first_wins_on_both_paths() {
+        // The streaming reader must agree with the tree path's `get`
+        // (first match) when a document carries duplicate keys.
+        let doc = r#"{"uplan_version": 1,
+            "tree": {"operation": {"category": "Producer", "identifier": "A",
+                                   "identifier": "B"},
+                     "properties": []},
+            "tree": {"operation": {"category": "Producer", "identifier": "C"},
+                     "properties": []},
+            "properties": []}"#;
+        let streamed = from_json(doc).unwrap();
+        let via_tree = from_json_value(&json::parse(doc).unwrap()).unwrap();
+        assert_eq!(streamed, via_tree);
+        assert_eq!(
+            streamed.root.unwrap().operation.identifier.as_str(),
+            "A",
+            "first duplicate wins"
+        );
     }
 
     #[test]

@@ -158,7 +158,11 @@ struct XmlParser<'a> {
 
 impl<'a> XmlParser<'a> {
     fn skip_ws(&mut self) {
-        while self.input.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(u8::is_ascii_whitespace)
+        {
             self.pos += 1;
         }
     }
@@ -256,7 +260,10 @@ impl<'a> XmlParser<'a> {
                     .map_err(|_| Error::parse(start, "invalid UTF-8 in text"))?;
                 element.text.push_str(&unescape(raw, start)?);
             } else {
-                return Err(Error::UnexpectedEof(format!("closing tag for <{}>", element.name)));
+                return Err(Error::UnexpectedEof(format!(
+                    "closing tag for <{}>",
+                    element.name
+                )));
             }
         }
     }

@@ -6,10 +6,12 @@
 //! emit-only; it produces a conservative block-style subset that common YAML
 //! parsers accept.
 
+use std::borrow::Cow;
+
 use super::json::JsonValue;
 
 /// Serializes a JSON document as block-style YAML with a `---` header.
-pub fn to_yaml(value: &JsonValue) -> String {
+pub fn to_yaml(value: &JsonValue<'_>) -> String {
     let mut out = String::from("---\n");
     write_value(&mut out, value, 0, false);
     if !out.ends_with('\n') {
@@ -18,9 +20,9 @@ pub fn to_yaml(value: &JsonValue) -> String {
     out
 }
 
-fn write_value(out: &mut String, value: &JsonValue, depth: usize, inline: bool) {
+fn write_value(out: &mut String, value: &JsonValue<'_>, depth: usize, inline: bool) {
     match value {
-        JsonValue::Null => out.push_str("~"),
+        JsonValue::Null => out.push('~'),
         JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         JsonValue::Int(i) => out.push_str(&i.to_string()),
         JsonValue::Float(f) => {
@@ -74,7 +76,12 @@ fn write_value(out: &mut String, value: &JsonValue, depth: usize, inline: bool) 
 /// Writes object members in block style. With `first_inline`, the first
 /// member continues the current line (after a `- ` marker) and subsequent
 /// members are indented to align with it.
-fn write_members(out: &mut String, members: &[(String, JsonValue)], depth: usize, first_inline: bool) {
+fn write_members(
+    out: &mut String,
+    members: &[(Cow<'_, str>, JsonValue<'_>)],
+    depth: usize,
+    first_inline: bool,
+) {
     for (i, (k, v)) in members.iter().enumerate() {
         if i > 0 {
             if !out.ends_with('\n') {
@@ -118,8 +125,21 @@ fn write_scalar_string(out: &mut String, s: &str) {
         || s.parse::<f64>().is_ok()
         || matches!(
             s,
-            "true" | "false" | "null" | "~" | "yes" | "no" | "on" | "off" | "True" | "False"
-                | "Null" | "Yes" | "No" | "On" | "Off"
+            "true"
+                | "false"
+                | "null"
+                | "~"
+                | "yes"
+                | "no"
+                | "on"
+                | "off"
+                | "True"
+                | "False"
+                | "Null"
+                | "Yes"
+                | "No"
+                | "On"
+                | "Off"
         )
         || s.starts_with(|c: char| c.is_whitespace() || "-?#&*!|>'\"%@`[]{},:".contains(c))
         || s.ends_with(char::is_whitespace)
@@ -165,7 +185,10 @@ mod tests {
         assert_eq!(to_yaml(&JsonValue::from("- item")), "---\n\"- item\"\n");
         assert_eq!(to_yaml(&JsonValue::from("a: b")), "---\n\"a: b\"\n");
         assert_eq!(to_yaml(&JsonValue::from("")), "---\n\"\"\n");
-        assert_eq!(to_yaml(&JsonValue::from("line\nbreak")), "---\n\"line\\nbreak\"\n");
+        assert_eq!(
+            to_yaml(&JsonValue::from("line\nbreak")),
+            "---\n\"line\\nbreak\"\n"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub fn canonicalize(name: &str) -> String {
     if out.as_bytes()[0].is_ascii_digit() {
         out.insert_str(0, "op_");
     }
-    debug_assert!(is_keyword(&out), "canonicalize produced non-keyword {out:?}");
+    debug_assert!(
+        is_keyword(&out),
+        "canonicalize produced non-keyword {out:?}"
+    );
     out
 }
 
@@ -97,7 +100,10 @@ mod tests {
         assert_eq!(canonicalize("Bitmap Heap Scan"), "Bitmap_Heap_Scan");
         assert_eq!(canonicalize("COMPOUND QUERY"), "COMPOUND_QUERY");
         assert_eq!(canonicalize("$group"), "group");
-        assert_eq!(canonicalize("USE TEMP B-TREE FOR GROUP BY"), "USE_TEMP_B_TREE_FOR_GROUP_BY");
+        assert_eq!(
+            canonicalize("USE TEMP B-TREE FOR GROUP BY"),
+            "USE_TEMP_B_TREE_FOR_GROUP_BY"
+        );
         assert_eq!(canonicalize("2phase"), "op_2phase");
         assert_eq!(canonicalize("   "), "unnamed");
         assert_eq!(canonicalize(""), "unnamed");

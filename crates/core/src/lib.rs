@@ -64,6 +64,15 @@
 //!   state** — every catalogued name resolves to a pre-seeded symbol, and
 //!   symbol equality (`node.operation.identifier == "Hash_Join"` via
 //!   `PartialEq<&str>`, or symbol-to-symbol as `u32`) never walks bytes.
+//! * **JSON ingest is zero-copy** ([`formats::json`]): the lexer hands out
+//!   escape-free strings and object keys as `Cow::Borrowed` spans of the
+//!   input and parses numbers in place, so the JSON layer's only
+//!   allocations are container vectors and the decoded forms of strings
+//!   that actually contain escapes. Schema-directed consumers (the unified
+//!   reader, the PostgreSQL JSON converter) walk explain output through
+//!   the pull [`formats::json::JsonReader`] without materializing a JSON
+//!   tree at all; steady-state JSON conversion copies bytes only into
+//!   property *values*.
 //! * Symbol *indices* are process-local; anything persisted (fingerprints)
 //!   is built from content hashes and is stable across processes, platforms
 //!   and releases (`tests/golden.rs` pins the values).

@@ -85,7 +85,6 @@ impl OperationCategory {
         }
     }
 
-
     /// Parses a category name; unknown keywords become [`Extension`]
     /// (forward compatibility), non-keywords are rejected.
     ///
@@ -178,7 +177,6 @@ impl PropertyCategory {
             PropertyCategory::Extension(name) => *name,
         }
     }
-
 
     /// Parses a category name; unknown keywords become [`Extension`]
     /// (forward compatibility), non-keywords are rejected.
@@ -304,7 +302,13 @@ impl Property {
 
 impl fmt::Display for Property {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}->{}: {}", self.category, self.identifier, self.value.render())
+        write!(
+            f,
+            "{}->{}: {}",
+            self.category,
+            self.identifier,
+            self.value.render()
+        )
     }
 }
 
@@ -397,7 +401,9 @@ impl PlanNode {
         category: &PropertyCategory,
     ) -> impl Iterator<Item = &Property> + '_ {
         let category = *category;
-        self.properties.iter().filter(move |p| p.category == category)
+        self.properties
+            .iter()
+            .filter(move |p| p.category == category)
     }
 
     /// Pre-order depth-first traversal over `self` and all descendants.
@@ -410,7 +416,11 @@ impl PlanNode {
 
     /// Number of nodes in the subtree rooted here.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(PlanNode::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(PlanNode::node_count)
+            .sum::<usize>()
     }
 
     /// Height of the subtree (a leaf has depth 1).
@@ -499,8 +509,7 @@ mod tests {
         let join = PlanNode::join("Hash Join")
             .with_property(Property::configuration("join_cond", "t0.c0 = t1.c0"))
             .with_children([scan_t0, scan_t1]);
-        UnifiedPlan::with_root(join)
-            .with_plan_property(Property::status("planning_time_ms", 0.124))
+        UnifiedPlan::with_root(join).with_plan_property(Property::status("planning_time_ms", 0.124))
     }
 
     #[test]
@@ -549,13 +558,19 @@ mod tests {
 
     #[test]
     fn property_constructors_set_categories() {
-        assert_eq!(Property::cardinality("rows", 5).category, PropertyCategory::Cardinality);
+        assert_eq!(
+            Property::cardinality("rows", 5).category,
+            PropertyCategory::Cardinality
+        );
         assert_eq!(Property::cost("cost", 1.5).category, PropertyCategory::Cost);
         assert_eq!(
             Property::configuration("filter", "c0 < 5").category,
             PropertyCategory::Configuration
         );
-        assert_eq!(Property::status("workers", 2).category, PropertyCategory::Status);
+        assert_eq!(
+            Property::status("workers", 2).category,
+            PropertyCategory::Status
+        );
     }
 
     #[test]
@@ -570,7 +585,7 @@ mod tests {
     fn walk_visits_preorder() {
         let plan = sample_plan();
         let mut names = Vec::new();
-        plan.walk(&mut |n| names.push(n.operation.identifier.clone()));
+        plan.walk(&mut |n| names.push(n.operation.identifier));
         assert_eq!(names, ["Hash_Join", "Full_Table_Scan", "Full_Table_Scan"]);
     }
 
@@ -589,7 +604,10 @@ mod tests {
         let root = plan.root.as_ref().unwrap();
         assert!(root.property("join_cond").is_some());
         assert!(root.property("missing").is_none());
-        assert_eq!(root.properties_in(&PropertyCategory::Configuration).count(), 1);
+        assert_eq!(
+            root.properties_in(&PropertyCategory::Configuration).count(),
+            1
+        );
         assert!(plan.plan_property("planning_time_ms").is_some());
         assert!(plan.plan_property("absent").is_none());
     }

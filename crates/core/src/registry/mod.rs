@@ -449,7 +449,12 @@ impl Registry {
             self.add_operation(catalog.dbms, op.native, op.category.widen(), op.unified);
         }
         for prop in catalog.props.iter().chain(catalog.prop_aliases) {
-            self.add_property(catalog.dbms, prop.native, prop.category.widen(), prop.unified);
+            self.add_property(
+                catalog.dbms,
+                prop.native,
+                prop.category.widen(),
+                prop.unified,
+            );
         }
     }
 
@@ -464,7 +469,8 @@ impl Registry {
         unified: Option<&str>,
     ) {
         let unified = Symbol::intern_canonical(unified.unwrap_or(native));
-        self.ops.insert(dbms, native, ResolvedOp { category, unified });
+        self.ops
+            .insert(dbms, native, ResolvedOp { category, unified });
     }
 
     /// Registers (or re-registers) a property mapping at runtime.
@@ -476,7 +482,8 @@ impl Registry {
         unified: Option<&str>,
     ) {
         let unified = Symbol::intern_canonical(unified.unwrap_or(native));
-        self.props.insert(dbms, native, ResolvedProp { category, unified });
+        self.props
+            .insert(dbms, native, ResolvedProp { category, unified });
     }
 
     /// Removes an operation mapping (the deprecation direction of the
@@ -508,19 +515,23 @@ impl Registry {
     /// with a canonicalized name for unknown operations — the generic
     /// handling the paper prescribes for forward compatibility.
     pub fn resolve_operation_or_generic(&self, dbms: Dbms, native: &str) -> ResolvedOp {
-        self.resolve_operation(dbms, native).copied().unwrap_or_else(|| ResolvedOp {
-            category: OperationCategory::Executor,
-            unified: Symbol::intern_canonical(crate::fingerprint::stable_identifier(native)),
-        })
+        self.resolve_operation(dbms, native)
+            .copied()
+            .unwrap_or_else(|| ResolvedOp {
+                category: OperationCategory::Executor,
+                unified: Symbol::intern_canonical(crate::fingerprint::stable_identifier(native)),
+            })
     }
 
     /// Resolves a property, falling back to
     /// [`PropertyCategory::Configuration`] with a canonicalized name.
     pub fn resolve_property_or_generic(&self, dbms: Dbms, native: &str) -> ResolvedProp {
-        self.resolve_property(dbms, native).copied().unwrap_or_else(|| ResolvedProp {
-            category: PropertyCategory::Configuration,
-            unified: Symbol::intern_canonical(native),
-        })
+        self.resolve_property(dbms, native)
+            .copied()
+            .unwrap_or_else(|| ResolvedProp {
+                category: PropertyCategory::Configuration,
+                unified: Symbol::intern_canonical(native),
+            })
     }
 
     /// Number of registered operation mappings (including aliases).
@@ -810,14 +821,29 @@ mod tests {
         assert!(Dbms::SqlServer.formats().contains(FormatSupport::XML));
         assert!(!Dbms::Sqlite.formats().contains(FormatSupport::JSON));
         // The five A.2/A.3 DBMSs all support JSON (paper Section V).
-        for dbms in [Dbms::MongoDb, Dbms::MySql, Dbms::Neo4j, Dbms::PostgreSql, Dbms::TiDb] {
-            assert!(dbms.formats().contains(FormatSupport::JSON), "{dbms} must support JSON");
+        for dbms in [
+            Dbms::MongoDb,
+            Dbms::MySql,
+            Dbms::Neo4j,
+            Dbms::PostgreSql,
+            Dbms::TiDb,
+        ] {
+            assert!(
+                dbms.formats().contains(FormatSupport::JSON),
+                "{dbms} must support JSON"
+            );
         }
         // "DBMSs support more formats in the natural category rather than
         // the structured category."
         let natural: u32 = Dbms::ALL.iter().map(|d| d.formats().natural_count()).sum();
-        let structured: u32 = Dbms::ALL.iter().map(|d| d.formats().structured_count()).sum();
-        assert!(natural > structured, "natural {natural} vs structured {structured}");
+        let structured: u32 = Dbms::ALL
+            .iter()
+            .map(|d| d.formats().structured_count())
+            .sum();
+        assert!(
+            natural > structured,
+            "natural {natural} vs structured {structured}"
+        );
         // "None of the formats is supported by all DBMSs."
         for (flag, name) in FormatSupport::ALL {
             assert!(
@@ -831,7 +857,10 @@ mod tests {
     fn table4_viz_tools() {
         let tools = viz_tools();
         assert_eq!(tools.len(), 7);
-        let commercial = tools.iter().filter(|t| t.license == License::Commercial).count();
+        let commercial = tools
+            .iter()
+            .filter(|t| t.license == License::Commercial)
+            .count();
         assert_eq!(commercial, 6, "six of the seven tools are commercial");
         assert!(tools
             .iter()
@@ -859,16 +888,24 @@ mod tests {
     #[test]
     fn registry_strips_random_identifiers() {
         let registry = Registry::with_study_catalogs();
-        let resolved = registry.resolve_operation(Dbms::TiDb, "TableFullScan_5").unwrap();
+        let resolved = registry
+            .resolve_operation(Dbms::TiDb, "TableFullScan_5")
+            .unwrap();
         assert_eq!(resolved.unified, "Full_Table_Scan");
     }
 
     #[test]
     fn registry_lookup_is_case_and_punctuation_insensitive() {
         let registry = Registry::with_study_catalogs();
-        assert!(registry.resolve_operation(Dbms::PostgreSql, "seq scan").is_some());
-        assert!(registry.resolve_operation(Dbms::PostgreSql, "Seq_Scan").is_some());
-        assert!(registry.resolve_operation(Dbms::PostgreSql, "SEQ SCAN").is_some());
+        assert!(registry
+            .resolve_operation(Dbms::PostgreSql, "seq scan")
+            .is_some());
+        assert!(registry
+            .resolve_operation(Dbms::PostgreSql, "Seq_Scan")
+            .is_some());
+        assert!(registry
+            .resolve_operation(Dbms::PostgreSql, "SEQ SCAN")
+            .is_some());
     }
 
     #[test]
@@ -876,7 +913,9 @@ mod tests {
         let registry = Registry::with_study_catalogs();
         // SQLite's SEARCH must not leak into PostgreSQL's namespace.
         assert!(registry.resolve_operation(Dbms::Sqlite, "SEARCH").is_some());
-        assert!(registry.resolve_operation(Dbms::PostgreSql, "SEARCH").is_none());
+        assert!(registry
+            .resolve_operation(Dbms::PostgreSql, "SEARCH")
+            .is_none());
     }
 
     #[test]
@@ -896,13 +935,19 @@ mod tests {
         // add the keyword, existing applications keep working; deprecation
         // removes the keyword again.
         let mut registry = Registry::with_study_catalogs();
-        assert!(registry.resolve_operation(Dbms::PostgreSql, "LLM Join").is_none());
+        assert!(registry
+            .resolve_operation(Dbms::PostgreSql, "LLM Join")
+            .is_none());
         registry.add_operation(Dbms::PostgreSql, "LLM Join", OperationCategory::Join, None);
-        let resolved = registry.resolve_operation(Dbms::PostgreSql, "LLM Join").unwrap();
+        let resolved = registry
+            .resolve_operation(Dbms::PostgreSql, "LLM Join")
+            .unwrap();
         assert_eq!(resolved.unified, "LLM_Join");
         assert_eq!(resolved.category, OperationCategory::Join);
         assert!(registry.remove_operation(Dbms::PostgreSql, "LLM Join"));
-        assert!(registry.resolve_operation(Dbms::PostgreSql, "LLM Join").is_none());
+        assert!(registry
+            .resolve_operation(Dbms::PostgreSql, "LLM Join")
+            .is_none());
         assert!(!registry.remove_operation(Dbms::PostgreSql, "LLM Join"));
     }
 
@@ -915,7 +960,9 @@ mod tests {
             PropertyCategory::Cardinality,
             Some("number_of_series"),
         );
-        let resolved = registry.resolve_property(Dbms::InfluxDb, "number of series").unwrap();
+        let resolved = registry
+            .resolve_property(Dbms::InfluxDb, "number of series")
+            .unwrap();
         assert_eq!(resolved.unified, "number_of_series");
         assert!(registry.remove_property(Dbms::InfluxDb, "NUMBER OF SERIES"));
     }

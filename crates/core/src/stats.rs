@@ -132,9 +132,7 @@ pub fn producer_variance_per_query(plans_by_dbms: &[Vec<UnifiedPlan>]) -> Vec<f6
         .map(|q| {
             let counts: Vec<f64> = plans_by_dbms
                 .iter()
-                .map(|plans| {
-                    CategoryCounts::of(&plans[q]).get(&OperationCategory::Producer) as f64
-                })
+                .map(|plans| CategoryCounts::of(&plans[q]).get(&OperationCategory::Producer) as f64)
                 .collect();
             variance(&counts)
         })

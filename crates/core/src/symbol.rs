@@ -235,9 +235,13 @@ impl Symbol {
         if let Some(sym) = Symbol::get(text) {
             return sym;
         }
-        Symbol(interner().write().expect("symbol table poisoned").intern(text))
+        Symbol(
+            interner()
+                .write()
+                .expect("symbol table poisoned")
+                .intern(text),
+        )
     }
-
 
     /// Interns a name after keyword canonicalization, skipping the
     /// canonicalization allocation when `text` is already in canonical form.
@@ -277,7 +281,11 @@ impl Symbol {
 
     /// Number of interned symbols (diagnostics / tests).
     pub fn count() -> usize {
-        interner().read().expect("symbol table poisoned").entries.len()
+        interner()
+            .read()
+            .expect("symbol table poisoned")
+            .entries
+            .len()
     }
 }
 
@@ -473,7 +481,13 @@ mod tests {
     fn catalogs_are_pre_seeded() {
         // The paper's flagship mapping and some per-DBMS spellings resolve
         // without interning (Symbol::get never inserts).
-        for name in ["Full_Table_Scan", "Hash_Join", "Collect", "rows", "total_cost"] {
+        for name in [
+            "Full_Table_Scan",
+            "Hash_Join",
+            "Collect",
+            "rows",
+            "total_cost",
+        ] {
             assert!(Symbol::get(name).is_some(), "{name} must be pre-seeded");
         }
     }

@@ -117,8 +117,8 @@ fn tree_dist(a: &Flat, b: &Flat, i: usize, j: usize, td: &mut [u32], fd: &mut [u
     for r in 1..rows {
         fd[r * cols] = r as u32;
     }
-    for c in 1..cols {
-        fd[c] = c as u32;
+    for (c, cell) in fd[..cols].iter_mut().enumerate().skip(1) {
+        *cell = c as u32;
     }
     for r in 1..rows {
         let ai = ali + r - 1;
@@ -259,14 +259,12 @@ mod tests {
     fn known_distance_on_paper_like_plans() {
         // PG-style:   Sort -> Agg -> Join(scan, Hash(scan))
         // TiDB-style: Project -> Sort -> Agg -> Join(scan, scan)
-        let pg = UnifiedPlan::with_root(
-            PlanNode::combinator("Sort").with_child(
-                PlanNode::folder("Aggregate").with_child(join(vec![
-                    leaf("Full_Table_Scan"),
-                    PlanNode::executor("Hash_Row").with_child(leaf("Full_Table_Scan")),
-                ])),
-            ),
-        );
+        let pg = UnifiedPlan::with_root(PlanNode::combinator("Sort").with_child(
+            PlanNode::folder("Aggregate").with_child(join(vec![
+                leaf("Full_Table_Scan"),
+                PlanNode::executor("Hash_Row").with_child(leaf("Full_Table_Scan")),
+            ])),
+        ));
         let tidb = UnifiedPlan::with_root(
             PlanNode::projector("Project").with_child(
                 PlanNode::combinator("Sort").with_child(

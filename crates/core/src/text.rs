@@ -27,9 +27,10 @@
 //! distinguished by two-token lookahead (`Operation` `:` starts a tree,
 //! `keyword` `->` starts a property), making the grammar LL(2).
 
-
 use crate::error::{Error, Result};
-use crate::model::{Operation, OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan};
+use crate::model::{
+    Operation, OperationCategory, PlanNode, Property, PropertyCategory, UnifiedPlan,
+};
 use crate::symbol::Symbol;
 use crate::value::Value;
 
@@ -202,7 +203,10 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
             return self.lex_number(start);
         }
-        Err(Error::parse(start, "expected '->', '--children-->' or a number"))
+        Err(Error::parse(
+            start,
+            "expected '->', '--children-->' or a number",
+        ))
     }
 
     fn lex_string(&mut self, start: usize) -> Result<Token<'a>> {
@@ -300,7 +304,8 @@ impl<'a> Lexer<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.input[start..self.pos]).expect("number bytes are ASCII");
         if is_float {
             text.parse::<f64>()
                 .map(Token::Float)
@@ -321,8 +326,8 @@ impl<'a> Lexer<'a> {
         {
             self.pos += 1;
         }
-        let word = std::str::from_utf8(&self.input[start..self.pos])
-            .expect("keyword bytes are ASCII");
+        let word =
+            std::str::from_utf8(&self.input[start..self.pos]).expect("keyword bytes are ASCII");
         match word {
             "true" => Token::Bool(true),
             "false" => Token::Bool(false),
@@ -573,7 +578,10 @@ mod tests {
         let plan = from_text(input).unwrap();
         assert_eq!(plan.operation_count(), 2);
         assert_eq!(
-            plan.root.unwrap().children[0].property("rows").unwrap().value,
+            plan.root.unwrap().children[0]
+                .property("rows")
+                .unwrap()
+                .value,
             Value::Int(5)
         );
     }
@@ -601,7 +609,10 @@ mod tests {
     fn extension_categories_parse_forward_compatibly() {
         // Section IV-B: an application must accept input from a newer version
         // of the representation that defines additional categories.
-        let plan = from_text("Operation: Mapper->LLM_Join --children--> { Operation: Producer->Full_Table_Scan }").unwrap();
+        let plan = from_text(
+            "Operation: Mapper->LLM_Join --children--> { Operation: Producer->Full_Table_Scan }",
+        )
+        .unwrap();
         let root = plan.root.unwrap();
         assert_eq!(root.operation.category.name(), "Mapper");
         assert!(!root.operation.category.is_canonical());
@@ -627,7 +638,10 @@ mod tests {
             from_text("Operation Producer->X"),
             Err(Error::Parse { .. })
         ));
-        assert!(matches!(from_text("Cardinality->rows:"), Err(Error::UnexpectedEof(_))));
+        assert!(matches!(
+            from_text("Cardinality->rows:"),
+            Err(Error::UnexpectedEof(_))
+        ));
         assert!(from_text("Operation: Producer->Scan }").is_err());
         assert!(from_text("Operation: Producer->Scan --children--> {").is_err());
         assert!(from_text("%").is_err());

@@ -21,8 +21,8 @@ pub fn command_echo(request: &Request) -> String {
             .iter()
             .map(|c| {
                 (
-                    c.field.clone(),
-                    JsonValue::Object(vec![(c.op.mql().to_owned(), c.value.clone())]),
+                    c.field.clone().into(),
+                    JsonValue::Object(vec![(c.op.mql().into(), c.value.clone())]),
                 )
             })
             .collect(),
@@ -32,7 +32,7 @@ pub fn command_echo(request: &Request) -> String {
         let projection = JsonValue::Object(
             fields
                 .iter()
-                .map(|f| (f.clone(), JsonValue::Int(1)))
+                .map(|f| (f.clone().into(), JsonValue::Int(1)))
                 .collect(),
         );
         call.push_str(&format!(".projection({})", projection.to_compact()));
@@ -59,10 +59,9 @@ mod tests {
     #[test]
     fn json_text_parses() {
         let mut store = DocStore::new();
-        store.collection_mut("c").insert(json::object([(
-            "x",
-            JsonValue::Int(1),
-        )]));
+        store
+            .collection_mut("c")
+            .insert(json::object([("x", JsonValue::Int(1))]));
         let request = Request {
             collection: "c".into(),
             filter: vec![Condition {

@@ -7,16 +7,16 @@
 //! operators (paper Table VI: 0.00 Projectors).
 
 use minidb::physical::{ExplainedPlan, IndexAccess, PhysNode, PhysOp};
-use uplan_core::formats::json::JsonValue;
+use uplan_core::formats::json::{JsonMembers, JsonValue};
 
 /// Serializes as `EXPLAIN FORMAT=JSON`.
 pub fn to_json(plan: &ExplainedPlan) -> String {
     let mut block = vec![
-        ("select_id".to_owned(), JsonValue::Int(1)),
+        ("select_id".into(), JsonValue::Int(1)),
         (
-            "cost_info".to_owned(),
+            "cost_info".into(),
             JsonValue::Object(vec![(
-                "query_cost".to_owned(),
+                "query_cost".into(),
                 JsonValue::from(format!("{:.2}", plan.root.est_total_cost)),
             )]),
         ),
@@ -24,48 +24,39 @@ pub fn to_json(plan: &ExplainedPlan) -> String {
     block.extend(node_json(&plan.root));
     for (i, sub) in plan.subplans.iter().enumerate() {
         let mut sub_block = vec![
-            ("select_id".to_owned(), JsonValue::Int(2 + i as i64)),
-            ("dependent".to_owned(), JsonValue::Bool(false)),
+            ("select_id".into(), JsonValue::Int(2 + i as i64)),
+            ("dependent".into(), JsonValue::Bool(false)),
         ];
         sub_block.extend(node_json(sub));
         block.push((
-            format!("subquery_{}", i + 1),
-            JsonValue::Object(vec![(
-                "query_block".to_owned(),
-                JsonValue::Object(sub_block),
-            )]),
+            format!("subquery_{}", i + 1).into(),
+            JsonValue::Object(vec![("query_block".into(), JsonValue::Object(sub_block))]),
         ));
     }
-    JsonValue::Object(vec![(
-        "query_block".to_owned(),
-        JsonValue::Object(block),
-    )])
-    .to_pretty()
+    JsonValue::Object(vec![("query_block".into(), JsonValue::Object(block))]).to_pretty()
 }
 
-/// Members contributed by a node into the enclosing query block.
-fn node_json(node: &PhysNode) -> Vec<(String, JsonValue)> {
+/// Members contributed by a node into the enclosing query block (borrowing
+/// table/index names straight from the plan).
+fn node_json<'a>(node: &'a PhysNode) -> JsonMembers<'a> {
     match &node.op {
         PhysOp::Sort { .. } | PhysOp::TopN { .. } => {
-            let mut inner = vec![("using_filesort".to_owned(), JsonValue::Bool(true))];
+            let mut inner = vec![("using_filesort".into(), JsonValue::Bool(true))];
             inner.extend(node_json(&node.children[0]));
-            vec![(
-                "ordering_operation".to_owned(),
-                JsonValue::Object(inner),
-            )]
+            vec![("ordering_operation".into(), JsonValue::Object(inner))]
         }
         PhysOp::Aggregate { group_by, .. } => {
             let mut inner = vec![(
-                "using_temporary_table".to_owned(),
+                "using_temporary_table".into(),
                 JsonValue::Bool(!group_by.is_empty()),
             )];
             inner.extend(node_json(&node.children[0]));
-            vec![(
-                "grouping_operation".to_owned(),
-                JsonValue::Object(inner),
-            )]
+            vec![("grouping_operation".into(), JsonValue::Object(inner))]
         }
-        PhysOp::Limit { .. } | PhysOp::Distinct | PhysOp::Project { .. } | PhysOp::Filter { .. } => {
+        PhysOp::Limit { .. }
+        | PhysOp::Distinct
+        | PhysOp::Project { .. }
+        | PhysOp::Filter { .. } => {
             // Limit/Distinct/projection fold into the block; standalone
             // filters attach to their child table.
             match &node.op {
@@ -81,17 +72,17 @@ fn node_json(node: &PhysNode) -> Vec<(String, JsonValue)> {
             let mut tables = Vec::new();
             flatten_join(node, &mut tables);
             vec![(
-                "nested_loop".to_owned(),
+                "nested_loop".into(),
                 JsonValue::Array(
                     tables
                         .into_iter()
-                        .map(|t| JsonValue::Object(vec![("table".to_owned(), t)]))
+                        .map(|t| JsonValue::Object(vec![("table".into(), t)]))
                         .collect(),
                 ),
             )]
         }
         PhysOp::SeqScan { .. } | PhysOp::IndexScan { .. } => {
-            vec![("table".to_owned(), table_json(node))]
+            vec![("table".into(), table_json(node))]
         }
         PhysOp::Append | PhysOp::SetOp { .. } => {
             let specs: Vec<JsonValue> = node
@@ -99,45 +90,36 @@ fn node_json(node: &PhysNode) -> Vec<(String, JsonValue)> {
                 .iter()
                 .map(|c| {
                     JsonValue::Object(vec![(
-                        "query_block".to_owned(),
+                        "query_block".into(),
                         JsonValue::Object(node_json(c)),
                     )])
                 })
                 .collect();
             vec![(
-                "union_result".to_owned(),
+                "union_result".into(),
                 JsonValue::Object(vec![
-                    ("using_temporary_table".to_owned(), JsonValue::Bool(true)),
-                    ("query_specifications".to_owned(), JsonValue::Array(specs)),
+                    ("using_temporary_table".into(), JsonValue::Bool(true)),
+                    ("query_specifications".into(), JsonValue::Array(specs)),
                 ]),
             )]
         }
-        PhysOp::Empty => vec![(
-            "message".to_owned(),
-            JsonValue::from("No tables used"),
-        )],
+        PhysOp::Empty => vec![("message".into(), JsonValue::from("No tables used"))],
     }
 }
 
-fn attach_condition(members: &mut Vec<(String, JsonValue)>, condition: String) {
-    for (key, value) in members.iter_mut() {
-        if key == "table" {
-            if let JsonValue::Object(table) = value {
-                table.push((
-                    "attached_condition".to_owned(),
-                    JsonValue::from(condition.as_str()),
-                ));
-                return;
-            }
-        }
+fn attach_condition<'a>(members: &mut JsonMembers<'a>, condition: String) {
+    let target = members.iter_mut().find_map(|(key, value)| match value {
+        JsonValue::Object(table) if key == "table" => Some(table),
+        _ => None,
+    });
+    let entry = ("attached_condition".into(), JsonValue::from(condition));
+    match target {
+        Some(table) => table.push(entry),
+        None => members.push(entry),
     }
-    members.push((
-        "attached_condition".to_owned(),
-        JsonValue::from(condition.as_str()),
-    ));
 }
 
-fn flatten_join(node: &PhysNode, out: &mut Vec<JsonValue>) {
+fn flatten_join<'a>(node: &'a PhysNode, out: &mut Vec<JsonValue<'a>>) {
     match &node.op {
         PhysOp::HashJoin { .. } | PhysOp::NestedLoopJoin { .. } | PhysOp::MergeJoin { .. } => {
             flatten_join(&node.children[0], out);
@@ -149,33 +131,30 @@ fn flatten_join(node: &PhysNode, out: &mut Vec<JsonValue>) {
             // Non-table join input (e.g. aggregate): summarized as a
             // materialized derived table.
             out.push(JsonValue::Object(vec![
-                ("table_name".to_owned(), JsonValue::from("<derived>")),
-                ("access_type".to_owned(), JsonValue::from("ALL")),
+                ("table_name".into(), JsonValue::from("<derived>")),
+                ("access_type".into(), JsonValue::from("ALL")),
             ]))
         }
     }
 }
 
-fn table_json(node: &PhysNode) -> JsonValue {
-    let mut members: Vec<(String, JsonValue)> = Vec::new();
+fn table_json<'a>(node: &'a PhysNode) -> JsonValue<'a> {
+    let mut members: JsonMembers<'a> = Vec::new();
     match &node.op {
         PhysOp::SeqScan { table, filter, .. } => {
-            members.push(("table_name".to_owned(), JsonValue::from(table.as_str())));
-            members.push(("access_type".to_owned(), JsonValue::from("ALL")));
+            members.push(("table_name".into(), JsonValue::from(table.as_str())));
+            members.push(("access_type".into(), JsonValue::from("ALL")));
             members.push((
-                "rows_examined_per_scan".to_owned(),
+                "rows_examined_per_scan".into(),
                 JsonValue::Int(node.est_rows.max(0.0) as i64),
             ));
             members.push((
-                "rows_produced_per_join".to_owned(),
+                "rows_produced_per_join".into(),
                 JsonValue::Int(node.est_rows.max(0.0) as i64),
             ));
-            members.push(("filtered".to_owned(), JsonValue::from("100.00")));
+            members.push(("filtered".into(), JsonValue::from("100.00")));
             if let Some(f) = filter {
-                members.push((
-                    "attached_condition".to_owned(),
-                    JsonValue::from(f.to_string()),
-                ));
+                members.push(("attached_condition".into(), JsonValue::from(f.to_string())));
             }
         }
         PhysOp::IndexScan {
@@ -186,48 +165,42 @@ fn table_json(node: &PhysNode) -> JsonValue {
             index_only,
             ..
         } => {
-            members.push(("table_name".to_owned(), JsonValue::from(table.as_str())));
+            members.push(("table_name".into(), JsonValue::from(table.as_str())));
             let access_type = match access {
                 IndexAccess::Eq(_) => "ref",
                 IndexAccess::Range { .. } => "range",
                 IndexAccess::Full => "index",
             };
-            members.push(("access_type".to_owned(), JsonValue::from(access_type)));
-            members.push(("key".to_owned(), JsonValue::from(index.as_str())));
+            members.push(("access_type".into(), JsonValue::from(access_type)));
+            members.push(("key".into(), JsonValue::from(index.as_str())));
             members.push((
-                "used_key_parts".to_owned(),
+                "used_key_parts".into(),
                 JsonValue::Array(vec![JsonValue::from("c0")]),
             ));
             members.push((
-                "rows_examined_per_scan".to_owned(),
+                "rows_examined_per_scan".into(),
                 JsonValue::Int(node.est_rows.max(0.0) as i64),
             ));
-            members.push((
-                "using_index".to_owned(),
-                JsonValue::Bool(*index_only),
-            ));
+            members.push(("using_index".into(), JsonValue::Bool(*index_only)));
             if let Some(f) = filter {
-                members.push((
-                    "attached_condition".to_owned(),
-                    JsonValue::from(f.to_string()),
-                ));
+                members.push(("attached_condition".into(), JsonValue::from(f.to_string())));
             }
         }
         _ => {}
     }
     members.push((
-        "cost_info".to_owned(),
+        "cost_info".into(),
         JsonValue::Object(vec![
             (
-                "read_cost".to_owned(),
+                "read_cost".into(),
                 JsonValue::from(format!("{:.2}", node.est_total_cost * 0.7)),
             ),
             (
-                "eval_cost".to_owned(),
+                "eval_cost".into(),
                 JsonValue::from(format!("{:.2}", node.est_total_cost * 0.3)),
             ),
             (
-                "prefix_cost".to_owned(),
+                "prefix_cost".into(),
                 JsonValue::from(format!("{:.2}", node.est_total_cost)),
             ),
         ]),
@@ -314,7 +287,11 @@ fn collect_table_rows(node: &PhysNode, select_type: &str, rows: &mut Vec<[String
                 IndexAccess::Range { .. } => "range",
                 IndexAccess::Full => "index",
             };
-            let extra = if *index_only { "Using index" } else { "Using index condition" };
+            let extra = if *index_only {
+                "Using index"
+            } else {
+                "Using index condition"
+            };
             rows.push([
                 "1".into(),
                 select_type.into(),
@@ -345,7 +322,8 @@ mod tests {
         db.execute("CREATE TABLE t0 (c0 INT, c1 INT)").unwrap();
         db.execute("CREATE TABLE t1 (c0 INT PRIMARY KEY)").unwrap();
         for i in 0..30 {
-            db.execute(&format!("INSERT INTO t0 VALUES ({i}, {})", i % 3)).unwrap();
+            db.execute(&format!("INSERT INTO t0 VALUES ({i}, {})", i % 3))
+                .unwrap();
         }
         for i in 0..10 {
             db.execute(&format!("INSERT INTO t1 VALUES ({i})")).unwrap();
@@ -371,7 +349,8 @@ mod tests {
         let plan = db
             .explain("SELECT t0.c0, COUNT(*) FROM t0 JOIN t1 ON t0.c0 = t1.c0 GROUP BY t0.c0 ORDER BY t0.c0")
             .unwrap();
-        let doc = json::parse(&to_json(&plan)).unwrap();
+        let text = to_json(&plan);
+        let doc = json::parse(&text).unwrap();
         let block = doc.get("query_block").unwrap();
         let ordering = block.get("ordering_operation").unwrap();
         let grouping = ordering.get("grouping_operation").unwrap();
@@ -398,7 +377,8 @@ mod tests {
             .unwrap();
         let text = to_table(&plan);
         assert!(text.contains("SUBQUERY"), "{text}");
-        let doc = json::parse(&to_json(&plan)).unwrap();
+        let text = to_json(&plan);
+        let doc = json::parse(&text).unwrap();
         assert!(doc.get("query_block").unwrap().get("subquery_1").is_some());
     }
 
@@ -408,10 +388,16 @@ mod tests {
         let plan = db
             .explain("SELECT c0 FROM t0 UNION ALL SELECT c0 FROM t1")
             .unwrap();
-        let doc = json::parse(&to_json(&plan)).unwrap();
+        let text = to_json(&plan);
+        let doc = json::parse(&text).unwrap();
         let union = doc.get("query_block").unwrap().get("union_result").unwrap();
         assert_eq!(
-            union.get("query_specifications").unwrap().as_array().unwrap().len(),
+            union
+                .get("query_specifications")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
             2
         );
     }

@@ -89,7 +89,11 @@ mod tests {
                 "WORKS_AS",
                 vec![(
                     "title",
-                    PropValue::Str(if i < 4 { "developer".into() } else { "boss".into() }),
+                    PropValue::Str(if i < 4 {
+                        "developer".into()
+                    } else {
+                        "boss".into()
+                    }),
                 )],
             );
         }
@@ -103,7 +107,10 @@ mod tests {
         assert!(text.starts_with("Planner COST"), "{text}");
         assert!(text.contains("Runtime version"), "{text}");
         assert!(text.contains("+ProduceResults"), "{text}");
-        assert!(text.contains("UndirectedRelationshipIndexContainsScan"), "{text}");
+        assert!(
+            text.contains("UndirectedRelationshipIndexContainsScan"),
+            "{text}"
+        );
         assert!(text.contains("Total database accesses:"), "{text}");
         assert!(text.contains("total allocated memory:"), "{text}");
     }

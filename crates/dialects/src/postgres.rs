@@ -9,7 +9,7 @@
 
 use minidb::physical::{AggStrategy, ExplainedPlan, IndexAccess, PhysNode, PhysOp};
 use minidb::sql::ast::SetOpKind;
-use uplan_core::formats::json::{object, JsonValue};
+use uplan_core::formats::json::{object, JsonMembers, JsonValue};
 
 /// A dialect-ready node: PostgreSQL operation name, properties, children.
 #[derive(Debug, Clone)]
@@ -105,7 +105,8 @@ fn expand_node(node: &PhysNode, parent_relationship: &'static str) -> PgNode {
             } else {
                 "Index Scan".to_owned()
             };
-            out.properties.push(("Index Name".to_owned(), index.clone()));
+            out.properties
+                .push(("Index Name".to_owned(), index.clone()));
             out.properties
                 .push(("Relation Name".to_owned(), table.clone()));
             out.properties.push(("Alias".to_owned(), alias.clone()));
@@ -239,7 +240,13 @@ fn expand_node(node: &PhysNode, parent_relationship: &'static str) -> PgNode {
                 properties: vec![(
                     "Sort Key".to_owned(),
                     keys.iter()
-                        .map(|(k, d)| if *d { format!("{k} DESC") } else { k.to_string() })
+                        .map(|(k, d)| {
+                            if *d {
+                                format!("{k} DESC")
+                            } else {
+                                k.to_string()
+                            }
+                        })
                         .collect::<Vec<_>>()
                         .join(", "),
                 )],
@@ -371,39 +378,42 @@ fn write_text(node: &PgNode, depth: usize, is_root: bool, out: &mut String) {
 /// Serializes as `EXPLAIN (FORMAT JSON)`.
 pub fn to_json(plan: &ExplainedPlan) -> String {
     let expanded = expand(plan);
-    let mut doc = vec![("Plan".to_owned(), node_json(&expanded))];
+    let mut doc: JsonMembers<'_> = vec![("Plan".into(), node_json(&expanded))];
     doc.push((
-        "Planning Time".to_owned(),
+        "Planning Time".into(),
         JsonValue::Float(plan.planning_time_ms),
     ));
     if let Some(t) = plan.execution_time_ms {
-        doc.push(("Execution Time".to_owned(), JsonValue::Float(t)));
+        doc.push(("Execution Time".into(), JsonValue::Float(t)));
     }
     JsonValue::Array(vec![JsonValue::Object(doc)]).to_pretty()
 }
 
-fn node_json(node: &PgNode) -> JsonValue {
-    let mut members: Vec<(String, JsonValue)> = vec![
-        ("Node Type".to_owned(), JsonValue::from(node.node_type.as_str())),
+fn node_json<'a>(node: &'a PgNode) -> JsonValue<'a> {
+    let mut members: JsonMembers<'a> = vec![
+        ("Node Type".into(), JsonValue::from(node.node_type.as_str())),
         (
-            "Parent Relationship".to_owned(),
+            "Parent Relationship".into(),
             JsonValue::from(node.parent_relationship),
         ),
-        ("Startup Cost".to_owned(), JsonValue::Float(node.cost.0)),
-        ("Total Cost".to_owned(), JsonValue::Float(node.cost.1)),
-        ("Plan Rows".to_owned(), JsonValue::Int(node.rows.max(0.0) as i64)),
-        ("Plan Width".to_owned(), JsonValue::Int(8)),
+        ("Startup Cost".into(), JsonValue::Float(node.cost.0)),
+        ("Total Cost".into(), JsonValue::Float(node.cost.1)),
+        (
+            "Plan Rows".into(),
+            JsonValue::Int(node.rows.max(0.0) as i64),
+        ),
+        ("Plan Width".into(), JsonValue::Int(8)),
     ];
     for (key, value) in &node.properties {
-        members.push((key.clone(), JsonValue::from(value.as_str())));
+        members.push((key.as_str().into(), JsonValue::from(value.as_str())));
     }
     if let Some((rows, time)) = node.actual {
-        members.push(("Actual Rows".to_owned(), JsonValue::Int(rows as i64)));
-        members.push(("Actual Total Time".to_owned(), JsonValue::Float(time)));
+        members.push(("Actual Rows".into(), JsonValue::Int(rows as i64)));
+        members.push(("Actual Total Time".into(), JsonValue::Float(time)));
     }
     if !node.children.is_empty() {
         members.push((
-            "Plans".to_owned(),
+            "Plans".into(),
             JsonValue::Array(node.children.iter().map(node_json).collect()),
         ));
     }
@@ -411,7 +421,7 @@ fn node_json(node: &PgNode) -> JsonValue {
 }
 
 /// Convenience: an `object` for tests.
-pub fn test_document() -> JsonValue {
+pub fn test_document() -> JsonValue<'static> {
     object([("ok", JsonValue::Bool(true))])
 }
 
@@ -430,7 +440,8 @@ mod tests {
             db.execute(&format!("INSERT INTO t0 VALUES ({i})")).unwrap();
         }
         for i in 0..50 {
-            db.execute(&format!("INSERT INTO t1 VALUES ({})", i % 10)).unwrap();
+            db.execute(&format!("INSERT INTO t1 VALUES ({})", i % 10))
+                .unwrap();
         }
         for i in 0..100 {
             db.execute(&format!("INSERT INTO t2 VALUES ({i})")).unwrap();
@@ -465,7 +476,9 @@ mod tests {
             .explain("SELECT t1.c0 FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0")
             .unwrap();
         let text = to_text(&plan);
-        let hash_line = text.lines().find(|l| l.trim_start().starts_with("->  Hash "));
+        let hash_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("->  Hash "));
         assert!(hash_line.is_some(), "{text}");
     }
 
@@ -475,7 +488,8 @@ mod tests {
         db.execute("CREATE TABLE big (x INT)").unwrap();
         for chunk in 0..200 {
             let values: Vec<String> = (0..100).map(|i| format!("({})", chunk * 100 + i)).collect();
-            db.execute(&format!("INSERT INTO big VALUES {}", values.join(","))).unwrap();
+            db.execute(&format!("INSERT INTO big VALUES {}", values.join(",")))
+                .unwrap();
         }
         let plan = db.explain("SELECT x FROM big WHERE x < 3").unwrap();
         let text = to_text(&plan);
@@ -523,7 +537,9 @@ mod tests {
     #[test]
     fn analyze_appends_actuals() {
         let mut db = listing1_db();
-        let (plan, _) = db.explain_analyze("SELECT c0 FROM t2 WHERE c0 < 10").unwrap();
+        let (plan, _) = db
+            .explain_analyze("SELECT c0 FROM t2 WHERE c0 < 10")
+            .unwrap();
         let text = to_text(&plan);
         assert!(text.contains("actual time="), "{text}");
         assert!(text.contains("Execution Time:"), "{text}");

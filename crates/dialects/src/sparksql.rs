@@ -28,10 +28,7 @@ impl SparkNode {
 
 /// Expands a generic plan into the Spark operator tree.
 pub fn expand(plan: &ExplainedPlan) -> SparkNode {
-    SparkNode::new(
-        "AdaptiveSparkPlan isFinalPlan=true",
-        vec![walk(&plan.root)],
-    )
+    SparkNode::new("AdaptiveSparkPlan isFinalPlan=true", vec![walk(&plan.root)])
 }
 
 fn walk(node: &PhysNode) -> SparkNode {
@@ -61,10 +58,7 @@ fn walk(node: &PhysNode) -> SparkNode {
                 IndexAccess::Range { .. } => "PushedFilters: [Range]".to_owned(),
                 IndexAccess::Full => "PushedFilters: []".to_owned(),
             };
-            let scan = SparkNode::new(
-                format!("FileScan parquet default.{table} {pushed}"),
-                vec![],
-            );
+            let scan = SparkNode::new(format!("FileScan parquet default.{table} {pushed}"), vec![]);
             match filter {
                 Some(f) => SparkNode::new(format!("Filter {f}"), vec![scan]),
                 None => scan,
@@ -157,10 +151,9 @@ fn walk(node: &PhysNode) -> SparkNode {
             "HashAggregate(keys=[all], functions=[])",
             vec![walk(&node.children[0])],
         ),
-        PhysOp::SetOp { .. } | PhysOp::Append => SparkNode::new(
-            "Union",
-            node.children.iter().map(walk).collect(),
-        ),
+        PhysOp::SetOp { .. } | PhysOp::Append => {
+            SparkNode::new("Union", node.children.iter().map(walk).collect())
+        }
         PhysOp::Empty => SparkNode::new("LocalTableScan [1 row]", vec![]),
     }
 }
@@ -186,7 +179,13 @@ fn write_node(node: &SparkNode, prefix: &str, is_root: bool, is_last: bool, out:
         format!("{prefix}{}", if is_last { "   " } else { ":  " })
     };
     for (i, child) in node.children.iter().enumerate() {
-        write_node(child, &child_prefix, false, i + 1 == node.children.len(), out);
+        write_node(
+            child,
+            &child_prefix,
+            false,
+            i + 1 == node.children.len(),
+            out,
+        );
     }
 }
 
@@ -201,14 +200,18 @@ mod tests {
         let mut db = Database::new(EngineProfile::Postgres);
         db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
         for i in 0..20 {
-            db.execute(&format!("INSERT INTO t VALUES ({}, {i})", i % 4)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({}, {i})", i % 4))
+                .unwrap();
         }
         let plan = db.explain("SELECT k, SUM(v) FROM t GROUP BY k").unwrap();
         let text = to_text(&plan);
         assert!(text.starts_with("== Physical Plan =="), "{text}");
         assert!(text.contains("AdaptiveSparkPlan"), "{text}");
         assert!(text.contains("Exchange hashpartitioning"), "{text}");
-        assert!(text.matches("HashAggregate").count() >= 2, "partial+final: {text}");
+        assert!(
+            text.matches("HashAggregate").count() >= 2,
+            "partial+final: {text}"
+        );
         assert!(text.contains("FileScan parquet default.t"), "{text}");
     }
 

@@ -183,7 +183,8 @@ mod tests {
         db.execute("CREATE TABLE t2 (c0 INT PRIMARY KEY)").unwrap();
         for i in 0..20 {
             db.execute(&format!("INSERT INTO t0 VALUES ({i})")).unwrap();
-            db.execute(&format!("INSERT INTO t1 VALUES ({})", i % 5)).unwrap();
+            db.execute(&format!("INSERT INTO t1 VALUES ({})", i % 5))
+                .unwrap();
             db.execute(&format!("INSERT INTO t2 VALUES ({i})")).unwrap();
         }
         db
@@ -226,7 +227,10 @@ mod tests {
         let mut db = db();
         let plan = db.explain("SELECT c0 FROM t2 WHERE c0 = 5").unwrap();
         let text = to_text(&plan);
-        assert!(text.contains("SEARCH t2 USING INTEGER PRIMARY KEY"), "{text}");
+        assert!(
+            text.contains("SEARCH t2 USING INTEGER PRIMARY KEY"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub fn to_xml(plan: &ExplainedPlan) -> String {
         query_plan = query_plan.with_child(rel_op(sub));
     }
     let doc = XmlElement::new("ShowPlanXML")
-        .with_attr("xmlns", "http://schemas.microsoft.com/sqlserver/2004/07/showplan")
+        .with_attr(
+            "xmlns",
+            "http://schemas.microsoft.com/sqlserver/2004/07/showplan",
+        )
         .with_attr("Version", "1.6")
         .with_child(
             XmlElement::new("BatchSequence").with_child(
@@ -41,17 +44,13 @@ pub fn to_xml(plan: &ExplainedPlan) -> String {
 
 fn rel_op(node: &PhysNode) -> XmlElement {
     let (physical, logical, extra): (String, String, Vec<XmlElement>) = match &node.op {
-        PhysOp::SeqScan { table, filter, .. } => (
-            "Table Scan".into(),
-            "Table Scan".into(),
-            {
-                let mut children = vec![object_el(table)];
-                if let Some(f) = filter {
-                    children.push(XmlElement::new("Predicate").with_text(f.to_string()));
-                }
-                children
-            },
-        ),
+        PhysOp::SeqScan { table, filter, .. } => ("Table Scan".into(), "Table Scan".into(), {
+            let mut children = vec![object_el(table)];
+            if let Some(f) = filter {
+                children.push(XmlElement::new("Predicate").with_text(f.to_string()));
+            }
+            children
+        }),
         PhysOp::IndexScan {
             table,
             index,
@@ -66,12 +65,14 @@ fn rel_op(node: &PhysNode) -> XmlElement {
                 (IndexAccess::Full, true) => "Index Scan",
                 (IndexAccess::Full, false) => "Clustered Index Scan",
             };
-            let mut children = vec![object_el(table), XmlElement::new("SeekPredicates")
-                .with_text(match access {
+            let mut children = vec![
+                object_el(table),
+                XmlElement::new("SeekPredicates").with_text(match access {
                     IndexAccess::Eq(e) => format!("key = {e}"),
                     IndexAccess::Range { .. } => "range".to_owned(),
                     IndexAccess::Full => String::new(),
-                })];
+                }),
+            ];
             if let Some(f) = filter {
                 children.push(XmlElement::new("Predicate").with_text(f.to_string()));
             }
@@ -189,9 +190,11 @@ mod tests {
     #[test]
     fn showplan_parses_and_nests() {
         let mut db = Database::new(EngineProfile::Postgres);
-        db.execute("CREATE TABLE t (x INT PRIMARY KEY, y INT)").unwrap();
+        db.execute("CREATE TABLE t (x INT PRIMARY KEY, y INT)")
+            .unwrap();
         for i in 0..20 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 3)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 3))
+                .unwrap();
         }
         let plan = db.explain("SELECT y, COUNT(*) FROM t GROUP BY y").unwrap();
         let text = to_xml(&plan);
@@ -204,7 +207,10 @@ mod tests {
             .and_then(|b| b.child("Statements"))
             .and_then(|s| s.child("StmtSimple"))
             .unwrap();
-        let rel = stmt.child("QueryPlan").and_then(|q| q.child("RelOp")).unwrap();
+        let rel = stmt
+            .child("QueryPlan")
+            .and_then(|q| q.child("RelOp"))
+            .unwrap();
         assert!(rel.attr("PhysicalOp").is_some());
         assert!(rel.attr("EstimateRows").is_some());
     }

@@ -53,6 +53,9 @@ pub fn rows(plan: &ExplainedPlan, id_seed: u32) -> Vec<TidbRow> {
     out
 }
 
+// A row has eight fields; flattening them into a struct would just move the
+// argument list into a literal.
+#[allow(clippy::too_many_arguments)]
 fn push(
     out: &mut Vec<TidbRow>,
     namer: &mut Namer,
@@ -78,7 +81,16 @@ fn walk(node: &PhysNode, depth: usize, namer: &mut Namer, out: &mut Vec<TidbRow>
     match &node.op {
         PhysOp::SeqScan { table, filter, .. } => {
             // TableReader_{n} (root) → [Selection_{m}] → TableFullScan_{k}.
-            push(out, namer, "TableReader", depth, node, "root", String::new(), "data:TableFullScan".to_owned());
+            push(
+                out,
+                namer,
+                "TableReader",
+                depth,
+                node,
+                "root",
+                String::new(),
+                "data:TableFullScan".to_owned(),
+            );
             let mut scan_depth = depth + 1;
             if let Some(f) = filter {
                 push(
@@ -115,7 +127,16 @@ fn walk(node: &PhysNode, depth: usize, namer: &mut Namer, out: &mut Vec<TidbRow>
             let range = render_access(access);
             if *index_only {
                 // IndexReader → IndexRangeScan/IndexFullScan.
-                push(out, namer, "IndexReader", depth, node, "root", String::new(), "index:IndexRangeScan".to_owned());
+                push(
+                    out,
+                    namer,
+                    "IndexReader",
+                    depth,
+                    node,
+                    "root",
+                    String::new(),
+                    "index:IndexRangeScan".to_owned(),
+                );
                 let base = if matches!(access, IndexAccess::Full) {
                     "IndexFullScan"
                 } else {
@@ -134,7 +155,16 @@ fn walk(node: &PhysNode, depth: usize, namer: &mut Namer, out: &mut Vec<TidbRow>
             } else {
                 // IndexLookUp → IndexRangeScan (build) + TableRowIDScan (probe),
                 // the two-producer shape of paper Listing 4.
-                push(out, namer, "IndexLookUp", depth, node, "root", String::new(), String::new());
+                push(
+                    out,
+                    namer,
+                    "IndexLookUp",
+                    depth,
+                    node,
+                    "root",
+                    String::new(),
+                    String::new(),
+                );
                 push(
                     out,
                     namer,
@@ -172,7 +202,16 @@ fn walk(node: &PhysNode, depth: usize, namer: &mut Namer, out: &mut Vec<TidbRow>
             }
         }
         PhysOp::Filter { predicate } => {
-            push(out, namer, "Selection", depth, node, "root", String::new(), predicate.to_string());
+            push(
+                out,
+                namer,
+                "Selection",
+                depth,
+                node,
+                "root",
+                String::new(),
+                predicate.to_string(),
+            );
             walk(&node.children[0], depth + 1, namer, out);
         }
         PhysOp::Project { labels, .. } => {
@@ -213,13 +252,35 @@ fn walk(node: &PhysNode, depth: usize, namer: &mut Namer, out: &mut Vec<TidbRow>
                 node.children.get(1).map(|c| &c.op),
                 Some(PhysOp::IndexScan { .. })
             );
-            let base = if parameterized { "IndexHashJoin" } else { "Apply" };
-            push(out, namer, base, depth, node, "root", String::new(), "inner join".to_owned());
+            let base = if parameterized {
+                "IndexHashJoin"
+            } else {
+                "Apply"
+            };
+            push(
+                out,
+                namer,
+                base,
+                depth,
+                node,
+                "root",
+                String::new(),
+                "inner join".to_owned(),
+            );
             walk(&node.children[0], depth + 1, namer, out);
             walk(&node.children[1], depth + 1, namer, out);
         }
         PhysOp::MergeJoin { .. } => {
-            push(out, namer, "MergeJoin", depth, node, "root", String::new(), "inner join".to_owned());
+            push(
+                out,
+                namer,
+                "MergeJoin",
+                depth,
+                node,
+                "root",
+                String::new(),
+                "inner join".to_owned(),
+            );
             walk(&node.children[0], depth + 1, namer, out);
             walk(&node.children[1], depth + 1, namer, out);
         }
@@ -259,7 +320,13 @@ fn walk(node: &PhysNode, depth: usize, namer: &mut Namer, out: &mut Vec<TidbRow>
                 "root",
                 String::new(),
                 keys.iter()
-                    .map(|(k, d)| if *d { format!("{k}:desc") } else { k.to_string() })
+                    .map(|(k, d)| {
+                        if *d {
+                            format!("{k}:desc")
+                        } else {
+                            k.to_string()
+                        }
+                    })
                     .collect::<Vec<_>>()
                     .join(", "),
             );
@@ -277,7 +344,11 @@ fn walk(node: &PhysNode, depth: usize, namer: &mut Namer, out: &mut Vec<TidbRow>
                 format!(
                     "{}, offset:0, count:{limit}",
                     keys.iter()
-                        .map(|(k, d)| if *d { format!("{k}:desc") } else { k.to_string() })
+                        .map(|(k, d)| if *d {
+                            format!("{k}:desc")
+                        } else {
+                            k.to_string()
+                        })
                         .collect::<Vec<_>>()
                         .join(", ")
                 ),
@@ -298,7 +369,16 @@ fn walk(node: &PhysNode, depth: usize, namer: &mut Namer, out: &mut Vec<TidbRow>
             walk(&node.children[0], depth + 1, namer, out);
         }
         PhysOp::Distinct => {
-            push(out, namer, "HashAgg", depth, node, "root", String::new(), "group by:all columns".to_owned());
+            push(
+                out,
+                namer,
+                "HashAgg",
+                depth,
+                node,
+                "root",
+                String::new(),
+                "group by:all columns".to_owned(),
+            );
             walk(&node.children[0], depth + 1, namer, out);
         }
         PhysOp::SetOp { op, .. } => {
@@ -321,13 +401,31 @@ fn walk(node: &PhysNode, depth: usize, namer: &mut Namer, out: &mut Vec<TidbRow>
             }
         }
         PhysOp::Append => {
-            push(out, namer, "Union", depth, node, "root", String::new(), String::new());
+            push(
+                out,
+                namer,
+                "Union",
+                depth,
+                node,
+                "root",
+                String::new(),
+                String::new(),
+            );
             for child in &node.children {
                 walk(child, depth + 1, namer, out);
             }
         }
         PhysOp::Empty => {
-            push(out, namer, "TableDual", depth, node, "root", String::new(), "rows:1".to_owned());
+            push(
+                out,
+                namer,
+                "TableDual",
+                depth,
+                node,
+                "root",
+                String::new(),
+                "rows:1".to_owned(),
+            );
         }
     }
 }
@@ -366,7 +464,10 @@ pub fn to_table(plan: &ExplainedPlan, id_seed: u32) -> String {
                 .any(|r| r.depth == row.depth);
             prefix.push_str(if is_last { "└─" } else { "├─" });
         }
-        let mut cells = vec![format!("{prefix}{}", row.id), format!("{:.2}", row.est_rows)];
+        let mut cells = vec![
+            format!("{prefix}{}", row.id),
+            format!("{:.2}", row.est_rows),
+        ];
         if analyzed {
             cells.push(row.act_rows.map_or(String::new(), |a| a.to_string()));
         }
@@ -422,7 +523,8 @@ mod tests {
         let mut db = Database::new(EngineProfile::TiDb);
         db.execute("CREATE TABLE t0 (c0 INT, c1 INT)").unwrap();
         for i in 0..50 {
-            db.execute(&format!("INSERT INTO t0 VALUES ({i}, {})", i % 5)).unwrap();
+            db.execute(&format!("INSERT INTO t0 VALUES ({i}, {})", i % 5))
+                .unwrap();
         }
         db
     }
@@ -436,7 +538,10 @@ mod tests {
         let ids: Vec<&str> = rows.iter().map(|r| r.id.as_str()).collect();
         // Projection wraps the reader in our TiDB plans; the reader chain is
         // TableReader → Selection → TableFullScan.
-        let reader_pos = ids.iter().position(|i| i.starts_with("TableReader")).unwrap();
+        let reader_pos = ids
+            .iter()
+            .position(|i| i.starts_with("TableReader"))
+            .unwrap();
         assert!(ids[reader_pos + 1].starts_with("Selection"), "{ids:?}");
         assert!(ids[reader_pos + 2].starts_with("TableFullScan"), "{ids:?}");
         assert_eq!(rows[reader_pos + 1].task, "cop[tikv]");
@@ -448,7 +553,10 @@ mod tests {
         let plan = db.explain("SELECT * FROM t0").unwrap();
         let a = rows(&plan, 0);
         let b = rows(&plan, 10);
-        assert_ne!(a[0].id, b[0].id, "random identifiers differ across statements");
+        assert_ne!(
+            a[0].id, b[0].id,
+            "random identifiers differ across statements"
+        );
         let strip = |s: &str| s.rsplit_once('_').unwrap().0.to_owned();
         assert_eq!(strip(&a[0].id), strip(&b[0].id));
     }
@@ -457,7 +565,9 @@ mod tests {
     fn index_lookup_two_scan_shape() {
         let mut db = db();
         db.execute("CREATE INDEX i0 ON t0(c1)").unwrap();
-        let plan = db.explain("SELECT * FROM t0 WHERE c1 = 3 AND c0 < 40").unwrap();
+        let plan = db
+            .explain("SELECT * FROM t0 WHERE c1 = 3 AND c0 < 40")
+            .unwrap();
         let rows = rows(&plan, 0);
         let bases: Vec<String> = rows
             .iter()
@@ -471,7 +581,9 @@ mod tests {
     #[test]
     fn table_text_renders() {
         let mut db = db();
-        let plan = db.explain("SELECT c0 FROM t0 WHERE c0 < 5 ORDER BY c0 LIMIT 3").unwrap();
+        let plan = db
+            .explain("SELECT c0 FROM t0 WHERE c0 < 5 ORDER BY c0 LIMIT 3")
+            .unwrap();
         let text = to_table(&plan, 0);
         assert!(text.contains("| id"), "{text}");
         assert!(text.contains("estRows"), "{text}");

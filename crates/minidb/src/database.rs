@@ -393,11 +393,8 @@ impl Database {
             .collect::<Result<_>>()?;
 
         let storage = self.tables.get_mut(table).expect("table storage exists");
-        let targets: Vec<(RowId, Row)> = storage
-            .heap
-            .scan()
-            .map(|(id, r)| (id, r.clone()))
-            .collect();
+        let targets: Vec<(RowId, Row)> =
+            storage.heap.scan().map(|(id, r)| (id, r.clone())).collect();
         let mut updated = 0usize;
         for (id, row) in targets {
             let hit = match &bound_filter {
@@ -448,11 +445,8 @@ impl Database {
         let mut binder = Binder::new(&self.catalog, false);
         let bound_filter = filter.map(|f| binder.bind_expr(&f, &scope)).transpose()?;
         let storage = self.tables.get_mut(table).expect("table storage exists");
-        let targets: Vec<(RowId, Row)> = storage
-            .heap
-            .scan()
-            .map(|(id, r)| (id, r.clone()))
-            .collect();
+        let targets: Vec<(RowId, Row)> =
+            storage.heap.scan().map(|(id, r)| (id, r.clone())).collect();
         let mut deleted = 0usize;
         for (id, row) in targets {
             let hit = match &bound_filter {
@@ -481,8 +475,10 @@ impl Database {
             .table(table)
             .map(|s| s.columns.len())
             .unwrap_or(0);
-        self.stats
-            .insert(table.to_owned(), TableStats::compute(&storage.heap, column_count));
+        self.stats.insert(
+            table.to_owned(),
+            TableStats::compute(&storage.heap, column_count),
+        );
         self.dirty.remove(table);
         Ok(())
     }
@@ -604,7 +600,9 @@ mod tests {
     #[test]
     fn order_limit() {
         let mut db = db();
-        let r = db.execute("SELECT c0 FROM t0 ORDER BY c0 DESC LIMIT 2").unwrap();
+        let r = db
+            .execute("SELECT c0 FROM t0 ORDER BY c0 DESC LIMIT 2")
+            .unwrap();
         assert_eq!(r.rows, vec![vec![Datum::Int(4)], vec![Datum::Int(3)]]);
         let r = db
             .execute("SELECT c0 FROM t0 ORDER BY c0 LIMIT 2 OFFSET 1")
@@ -625,7 +623,9 @@ mod tests {
     #[test]
     fn explain_analyze_fills_actuals() {
         let mut db = db();
-        let (plan, result) = db.explain_analyze("SELECT c0 FROM t0 WHERE c0 < 3").unwrap();
+        let (plan, result) = db
+            .explain_analyze("SELECT c0 FROM t0 WHERE c0 < 3")
+            .unwrap();
         assert_eq!(result.rows.len(), 2);
         assert!(plan.execution_time_ms.is_some());
         let mut saw_actual = false;
@@ -653,7 +653,11 @@ mod tests {
         assert_eq!(scan_name(&before), "Seq Scan");
         db.execute("CREATE INDEX i0 ON t0(c0)").unwrap();
         let after = db.explain("SELECT * FROM t0 WHERE c0 = 2").unwrap();
-        assert!(scan_name(&after).contains("Index"), "{:?}", scan_name(&after));
+        assert!(
+            scan_name(&after).contains("Index"),
+            "{:?}",
+            scan_name(&after)
+        );
         // Same results either way.
         let r = db.execute("SELECT * FROM t0 WHERE c0 = 2").unwrap();
         assert_eq!(r.rows.len(), 1);

@@ -233,7 +233,10 @@ mod tests {
         assert_eq!(Datum::Int(1).sql_eq(&Datum::Int(1)), Some(true));
         assert_eq!(Datum::Int(1).sql_eq(&Datum::Float(1.0)), Some(true));
         assert_eq!(Datum::Int(1).sql_eq(&Datum::Float(1.5)), Some(false));
-        assert_eq!(Datum::Str("a".into()).sql_cmp(&Datum::Str("b".into())), Some(Ordering::Less));
+        assert_eq!(
+            Datum::Str("a".into()).sql_cmp(&Datum::Str("b".into())),
+            Some(Ordering::Less)
+        );
         assert_eq!(Datum::Str("a".into()).sql_cmp(&Datum::Int(1)), None);
     }
 

@@ -141,9 +141,7 @@ fn exec_index_scan(
     let key_col = if *automatic {
         None
     } else {
-        storage
-            .index(index)
-            .map(|i| i.def.key_columns[0])
+        storage.index(index).map(|i| i.def.key_columns[0])
     };
 
     let mut row_ids: Vec<RowId> = match (key_col, access) {
@@ -381,8 +379,7 @@ fn exec_hash_join(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>
 
     let null_match_bug =
         ctx.faults.is_armed(BugId::Mysql114204) && ctx.profile == EngineProfile::MySql;
-    let dup_drop_bug =
-        ctx.faults.is_armed(BugId::Tidb51523) && ctx.profile == EngineProfile::TiDb;
+    let dup_drop_bug = ctx.faults.is_armed(BugId::Tidb51523) && ctx.profile == EngineProfile::TiDb;
 
     // Build.
     let mut table: HashMap<Vec<DatumKey>, Vec<&Row>> = HashMap::new();
@@ -437,7 +434,7 @@ fn exec_hash_join(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>
                 .map(Vec::len)
                 .unwrap_or_else(|| inner_width(&node.children[1], ctx));
             let mut combined = probe.clone();
-            combined.extend(std::iter::repeat(Datum::Null).take(width));
+            combined.extend(std::iter::repeat_n(Datum::Null, width));
             out.push(combined);
         }
     }
@@ -485,7 +482,7 @@ fn exec_nested_loop(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Ro
                     if kind == JoinKind::Left {
                         let width = inner_width(&children[1], ctx);
                         let mut combined = outer.clone();
-                        combined.extend(std::iter::repeat(Datum::Null).take(width));
+                        combined.extend(std::iter::repeat_n(Datum::Null, width));
                         out.push(combined);
                     }
                     continue;
@@ -509,7 +506,7 @@ fn exec_nested_loop(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Ro
             if !matched && kind == JoinKind::Left {
                 let width = inner_width(&children[1], ctx);
                 let mut combined = outer.clone();
-                combined.extend(std::iter::repeat(Datum::Null).take(width));
+                combined.extend(std::iter::repeat_n(Datum::Null, width));
                 out.push(combined);
             }
         }
@@ -536,7 +533,7 @@ fn exec_nested_loop(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Ro
             if !matched && kind == JoinKind::Left {
                 let width = inner_rows.first().map_or(0, Vec::len);
                 let mut combined = outer.clone();
-                combined.extend(std::iter::repeat(Datum::Null).take(width));
+                combined.extend(std::iter::repeat_n(Datum::Null, width));
                 out.push(combined);
             }
         }
@@ -581,7 +578,7 @@ fn exec_merge_join(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row
         if lk.is_null() {
             if kind == JoinKind::Left {
                 let mut combined = l_row.clone();
-                combined.extend(std::iter::repeat(Datum::Null).take(right_width));
+                combined.extend(std::iter::repeat_n(Datum::Null, right_width));
                 out.push(combined);
             }
             continue;
@@ -614,7 +611,7 @@ fn exec_merge_join(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row
         }
         if !matched && kind == JoinKind::Left {
             let mut combined = l_row.clone();
-            combined.extend(std::iter::repeat(Datum::Null).take(right_width));
+            combined.extend(std::iter::repeat_n(Datum::Null, right_width));
             out.push(combined);
         }
     }
@@ -662,14 +659,14 @@ impl AggState {
         let replace_min = self
             .min
             .as_ref()
-            .map_or(true, |m| value.sql_cmp(m) == Some(std::cmp::Ordering::Less));
+            .is_none_or(|m| value.sql_cmp(m) == Some(std::cmp::Ordering::Less));
         if replace_min {
             self.min = Some(value.clone());
         }
         let replace_max = self
             .max
             .as_ref()
-            .map_or(true, |m| value.sql_cmp(m) == Some(std::cmp::Ordering::Greater));
+            .is_none_or(|m| value.sql_cmp(m) == Some(std::cmp::Ordering::Greater));
         if replace_max {
             self.max = Some(value.clone());
         }
@@ -775,7 +772,10 @@ fn exec_aggregate(node: &mut PhysNode, ctx: &mut ExecCtx<'_>) -> Result<Vec<Row>
         let key: Vec<DatumKey> = key_vals.iter().map(Datum::group_key).collect();
         let entry = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
-            (key_vals.clone(), aggs.iter().map(|_| AggState::new()).collect())
+            (
+                key_vals.clone(),
+                aggs.iter().map(|_| AggState::new()).collect(),
+            )
         });
         for (i, agg) in aggs.iter().enumerate() {
             let value = match &agg.arg {

@@ -64,7 +64,10 @@ impl BinOp {
 
     /// `true` for comparison operators.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 }
 
@@ -291,7 +294,10 @@ impl BoundExpr {
                 Datum::Int(i) => Datum::Int(-i),
                 Datum::Float(f) => Datum::Float(-f),
                 other => {
-                    return Err(Error::Execution(format!("cannot negate {}", other.render())))
+                    return Err(Error::Execution(format!(
+                        "cannot negate {}",
+                        other.render()
+                    )))
                 }
             },
             BoundExpr::IsNull(inner) => Datum::Bool(inner.eval(row, subquery_values)?.is_null()),
@@ -386,9 +392,10 @@ impl BoundExpr {
                 left.visit(f);
                 right.visit(f);
             }
-            BoundExpr::Not(e) | BoundExpr::Neg(e) | BoundExpr::IsNull(e) | BoundExpr::IsNotNull(e) => {
-                e.visit(f)
-            }
+            BoundExpr::Not(e)
+            | BoundExpr::Neg(e)
+            | BoundExpr::IsNull(e)
+            | BoundExpr::IsNotNull(e) => e.visit(f),
             BoundExpr::InList { expr, list } => {
                 expr.visit(f);
                 for e in list {
@@ -419,9 +426,10 @@ impl BoundExpr {
                 left.remap_columns(map);
                 right.remap_columns(map);
             }
-            BoundExpr::Not(e) | BoundExpr::Neg(e) | BoundExpr::IsNull(e) | BoundExpr::IsNotNull(e) => {
-                e.remap_columns(map)
-            }
+            BoundExpr::Not(e)
+            | BoundExpr::Neg(e)
+            | BoundExpr::IsNull(e)
+            | BoundExpr::IsNotNull(e) => e.remap_columns(map),
             BoundExpr::InList { expr, list } => {
                 expr.remap_columns(map);
                 for e in list {
@@ -479,7 +487,12 @@ fn arithmetic(op: BinOp, l: &Datum, r: &Datum) -> Result<Datum> {
                     Datum::Int(a.wrapping_rem(b))
                 }
             }
-            other => return Err(Error::Execution(format!("{} is not arithmetic", other.sql()))),
+            other => {
+                return Err(Error::Execution(format!(
+                    "{} is not arithmetic",
+                    other.sql()
+                )))
+            }
         });
     }
     let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
@@ -507,7 +520,12 @@ fn arithmetic(op: BinOp, l: &Datum, r: &Datum) -> Result<Datum> {
                 Datum::Float(a % b)
             }
         }
-        other => return Err(Error::Execution(format!("{} is not arithmetic", other.sql()))),
+        other => {
+            return Err(Error::Execution(format!(
+                "{} is not arithmetic",
+                other.sql()
+            )))
+        }
     })
 }
 
@@ -539,7 +557,11 @@ fn eval_func(func: Func, args: &[Datum]) -> Result<Datum> {
             [Datum::Float(f)] => Ok(Datum::Float(f.abs())),
             _ => Err(Error::Execution("ABS needs one numeric argument".into())),
         },
-        Func::Coalesce => Ok(args.iter().find(|a| !a.is_null()).cloned().unwrap_or(Datum::Null)),
+        Func::Coalesce => Ok(args
+            .iter()
+            .find(|a| !a.is_null())
+            .cloned()
+            .unwrap_or(Datum::Null)),
         Func::Length => match args {
             [Datum::Null] => Ok(Datum::Null),
             [Datum::Str(s)] => Ok(Datum::Int(s.chars().count() as i64)),
@@ -563,9 +585,7 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
     fn rec(s: &[char], p: &[char]) -> bool {
         match p.split_first() {
             None => s.is_empty(),
-            Some(('%', rest)) => {
-                (0..=s.len()).any(|skip| rec(&s[skip..], rest))
-            }
+            Some(('%', rest)) => (0..=s.len()).any(|skip| rec(&s[skip..], rest)),
             Some(('_', rest)) => !s.is_empty() && rec(&s[1..], rest),
             Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
         }
@@ -706,9 +726,14 @@ mod tests {
         assert_eq!(eval(&bin(BinOp::Div, int(7), int(2))), Datum::Int(3));
         assert_eq!(eval(&bin(BinOp::Div, int(7), int(0))), Datum::Null);
         assert_eq!(eval(&bin(BinOp::Mod, int(7), int(0))), Datum::Null);
-        assert_eq!(eval(&bin(BinOp::Mul, float(1.5), int(2))), Datum::Float(3.0));
+        assert_eq!(
+            eval(&bin(BinOp::Mul, float(1.5), int(2))),
+            Datum::Float(3.0)
+        );
         assert_eq!(eval(&bin(BinOp::Add, null(), int(1))), Datum::Null);
-        assert!(bin(BinOp::Add, string("a"), int(1)).eval(&vec![], &[]).is_err());
+        assert!(bin(BinOp::Add, string("a"), int(1))
+            .eval(&vec![], &[])
+            .is_err());
     }
 
     #[test]

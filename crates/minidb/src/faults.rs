@@ -410,7 +410,13 @@ mod tests {
             .filter(|b| b.info().profile == EngineProfile::MySql)
             .collect();
         assert_eq!(mysql.len(), 7);
-        assert_eq!(mysql.iter().filter(|b| b.info().oracle == Oracle::Cert).count(), 1);
+        assert_eq!(
+            mysql
+                .iter()
+                .filter(|b| b.info().oracle == Oracle::Cert)
+                .count(),
+            1
+        );
 
         let pg: Vec<_> = BugId::ALL
             .iter()
@@ -425,12 +431,23 @@ mod tests {
             .filter(|b| b.info().profile == EngineProfile::TiDb)
             .collect();
         assert_eq!(tidb.len(), 9);
-        assert_eq!(tidb.iter().filter(|b| b.info().oracle == Oracle::Cert).count(), 2);
+        assert_eq!(
+            tidb.iter()
+                .filter(|b| b.info().oracle == Oracle::Cert)
+                .count(),
+            2
+        );
 
         // "Developers confirmed 16 of the 17 bugs and fixed two bugs."
-        let fixed = BugId::ALL.iter().filter(|b| b.info().status == BugStatus::Fixed).count();
+        let fixed = BugId::ALL
+            .iter()
+            .filter(|b| b.info().status == BugStatus::Fixed)
+            .count();
         assert_eq!(fixed, 2);
-        let pending = BugId::ALL.iter().filter(|b| b.info().status == BugStatus::Pending).count();
+        let pending = BugId::ALL
+            .iter()
+            .filter(|b| b.info().status == BugStatus::Pending)
+            .count();
         assert_eq!(pending, 1);
 
         // "11 of 17 bugs are Critical, Serious, or Major."

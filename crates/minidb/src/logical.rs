@@ -315,10 +315,9 @@ impl<'a> Binder<'a> {
         }
 
         let is_aggregate = !select.group_by.is_empty()
-            || select
-                .projection
-                .iter()
-                .any(|item| matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+            || select.projection.iter().any(
+                |item| matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate()),
+            )
             || select.having.is_some();
 
         if is_aggregate {
@@ -408,7 +407,9 @@ impl<'a> Binder<'a> {
             collect_aggregates(having, &mut agg_registry)?;
         }
         if agg_registry.is_empty() && select.group_by.is_empty() {
-            return Err(Error::Binding("HAVING without aggregates or GROUP BY".into()));
+            return Err(Error::Binding(
+                "HAVING without aggregates or GROUP BY".into(),
+            ));
         }
 
         let aggs: Vec<AggExpr> = agg_registry
@@ -501,6 +502,9 @@ impl<'a> Binder<'a> {
 
     /// Binds an expression over the *output* of an Aggregate node: group-by
     /// expressions and aggregate calls become column references.
+    // `base_scope` is threaded for future non-recursive uses (e.g. falling
+    // back to pre-aggregation columns in error paths).
+    #[allow(clippy::only_used_in_recursion)]
     fn bind_post_agg(
         &mut self,
         expr: &Expr,
@@ -517,9 +521,18 @@ impl<'a> Binder<'a> {
             return Ok(BoundExpr::Column { index: idx, name });
         }
         // An aggregate call.
-        if let Expr::Call { name, args, wildcard } = expr {
+        if let Expr::Call {
+            name,
+            args,
+            wildcard,
+        } = expr
+        {
             if let Some(func) = AggFunc::from_name(name) {
-                let arg = if *wildcard { None } else { args.first().cloned() };
+                let arg = if *wildcard {
+                    None
+                } else {
+                    args.first().cloned()
+                };
                 let idx = aggs
                     .iter()
                     .position(|(f, a, _)| *f == func && *a == arg)
@@ -665,7 +678,9 @@ impl<'a> Binder<'a> {
             let sub = Binder::new(self.catalog, self.dedup_subqueries);
             let bound = sub.bind_query(query)?;
             if !bound.subqueries.is_empty() {
-                return Err(Error::Binding("nested scalar subqueries are unsupported".into()));
+                return Err(Error::Binding(
+                    "nested scalar subqueries are unsupported".into(),
+                ));
             }
             bound.plan
         };
@@ -723,7 +738,11 @@ impl<'a> Binder<'a> {
                 pattern: pattern.clone(),
                 negated: *negated,
             },
-            Expr::Call { name, args, wildcard } => {
+            Expr::Call {
+                name,
+                args,
+                wildcard,
+            } => {
                 if AggFunc::from_name(name).is_some() {
                     return Err(Error::Binding(format!(
                         "aggregate {name} is not allowed in this context"
@@ -799,12 +818,20 @@ fn collect_aggregates(
     registry: &mut Vec<(AggFunc, Option<Expr>, String)>,
 ) -> Result<()> {
     match expr {
-        Expr::Call { name, args, wildcard } => {
+        Expr::Call {
+            name,
+            args,
+            wildcard,
+        } => {
             if let Some(func) = AggFunc::from_name(name) {
                 if args.iter().any(Expr::contains_aggregate) {
                     return Err(Error::Binding("nested aggregates are invalid".into()));
                 }
-                let arg = if *wildcard { None } else { args.first().cloned() };
+                let arg = if *wildcard {
+                    None
+                } else {
+                    args.first().cloned()
+                };
                 if !registry.iter().any(|(f, a, _)| *f == func && *a == arg) {
                     let display = match (&arg, wildcard) {
                         (_, true) | (None, _) => format!("{}(*)", func.sql().to_lowercase()),
@@ -870,7 +897,11 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        for (table, cols) in [("t0", vec!["c0", "c1"]), ("t1", vec!["c0"]), ("t2", vec!["c0"])] {
+        for (table, cols) in [
+            ("t0", vec!["c0", "c1"]),
+            ("t1", vec!["c0"]),
+            ("t2", vec!["c0"]),
+        ] {
             c.create_table(TableSchema {
                 name: table.into(),
                 columns: cols
@@ -939,7 +970,10 @@ mod tests {
     fn aliases_rename_qualifiers() {
         let bound = bind("SELECT a.c0 FROM t0 AS a").unwrap();
         assert!(bound.plan.schema[0].name == "c0");
-        assert!(bind("SELECT t0.c0 FROM t0 AS a").is_err(), "old name hidden");
+        assert!(
+            bind("SELECT t0.c0 FROM t0 AS a").is_err(),
+            "old name hidden"
+        );
     }
 
     #[test]
@@ -958,7 +992,11 @@ mod tests {
             panic!()
         };
         assert_eq!(group_by.len(), 1);
-        assert_eq!(aggs.len(), 1, "SUM(c1) deduplicated between SELECT and HAVING");
+        assert_eq!(
+            aggs.len(),
+            1,
+            "SUM(c1) deduplicated between SELECT and HAVING"
+        );
         assert!(having.is_some());
     }
 
@@ -979,8 +1017,7 @@ mod tests {
 
     #[test]
     fn scalar_subqueries_get_slots() {
-        let bound =
-            bind("SELECT c0 FROM t0 WHERE c1 > (SELECT COUNT(*) FROM t1)").unwrap();
+        let bound = bind("SELECT c0 FROM t0 WHERE c1 > (SELECT COUNT(*) FROM t1)").unwrap();
         assert_eq!(bound.subqueries.len(), 1);
         assert!(!bound.shared_subquery);
     }
@@ -994,9 +1031,17 @@ mod tests {
             panic!()
         };
         let plain = Binder::new(&cat, false).bind_query(&q).unwrap();
-        assert_eq!(plain.subqueries.len(), 2, "each occurrence planned separately");
+        assert_eq!(
+            plain.subqueries.len(),
+            2,
+            "each occurrence planned separately"
+        );
         let dedup = Binder::new(&cat, true).bind_query(&q).unwrap();
-        assert_eq!(dedup.subqueries.len(), 1, "identical subqueries share a slot");
+        assert_eq!(
+            dedup.subqueries.len(),
+            1,
+            "identical subqueries share a slot"
+        );
         assert!(dedup.shared_subquery);
     }
 

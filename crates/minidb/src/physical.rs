@@ -177,7 +177,9 @@ impl PhysOp {
         match self {
             PhysOp::SeqScan { parallel: true, .. } => "Parallel Seq Scan",
             PhysOp::SeqScan { .. } => "Seq Scan",
-            PhysOp::IndexScan { index_only: true, .. } => "Index Only Scan",
+            PhysOp::IndexScan {
+                index_only: true, ..
+            } => "Index Only Scan",
             PhysOp::IndexScan { .. } => "Index Scan",
             PhysOp::Filter { .. } => "Filter",
             PhysOp::Project { .. } => "Projection",
@@ -253,7 +255,11 @@ impl PhysNode {
 
     /// Nodes in the subtree.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(PhysNode::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(PhysNode::node_count)
+            .sum::<usize>()
     }
 
     /// Pre-order traversal.
@@ -314,7 +320,12 @@ pub struct ExplainedPlan {
 impl ExplainedPlan {
     /// Total operators including subplans.
     pub fn operator_count(&self) -> usize {
-        self.root.node_count() + self.subplans.iter().map(PhysNode::node_count).sum::<usize>()
+        self.root.node_count()
+            + self
+                .subplans
+                .iter()
+                .map(PhysNode::node_count)
+                .sum::<usize>()
     }
 
     /// Estimated rows of the root (what CERT reads).

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use crate::expr::{BinOp, BoundExpr};
 use crate::faults::{BugId, FaultSet};
-use crate::logical::{BoundQuery, Logical, LNode};
+use crate::logical::{BoundQuery, LNode, Logical};
 use crate::physical::{
     AggStrategy, ExplainedPlan, IndexAccess, PhysAgg, PhysNode, PhysOp, SharedSubAgg,
 };
@@ -21,7 +21,6 @@ use crate::schema::Catalog;
 use crate::sql::ast::{JoinKind, SetOpKind};
 use crate::stats::{self, TableStats};
 use crate::{Error, Result};
-
 
 /// Planner inputs.
 pub struct PlannerCtx<'a> {
@@ -292,8 +291,14 @@ fn apply_filter(plan: Logical, parts: Vec<BoundExpr>) -> Logical {
     match conjoin(parts) {
         Some(predicate) => {
             let schema = plan.schema.clone();
-            push_predicate(Logical { node: plan.node, schema: plan.schema }, predicate)
-                .with_schema(schema)
+            push_predicate(
+                Logical {
+                    node: plan.node,
+                    schema: plan.schema,
+                },
+                predicate,
+            )
+            .with_schema(schema)
         }
         None => plan,
     }
@@ -384,8 +389,8 @@ fn plan_node(
             let child = plan_node(input, ctx, shared)?;
             let sel = selectivity_of(predicate, &child.prov, ctx);
             let est = (child.node.est_rows * sel).max(0.0);
-            let cost = child.node.est_total_cost
-                + child.node.est_rows * ctx.profile.cpu_tuple_cost();
+            let cost =
+                child.node.est_total_cost + child.node.est_rows * ctx.profile.cpu_tuple_cost();
             let prov = child.prov.clone();
             let mut node = PhysNode::new(
                 PhysOp::Filter {
@@ -408,8 +413,8 @@ fn plan_node(
                 .collect();
             let labels = plan.schema.iter().map(|c| c.name.clone()).collect();
             let est = child.node.est_rows;
-            let cost = child.node.est_total_cost
-                + child.node.est_rows * ctx.profile.cpu_tuple_cost();
+            let cost =
+                child.node.est_total_cost + child.node.est_rows * ctx.profile.cpu_tuple_cost();
             let mut node = PhysNode::new(
                 PhysOp::Project {
                     exprs: exprs.clone(),
@@ -445,7 +450,10 @@ fn plan_node(
                 .collect();
             let strategy = if group_by.is_empty() {
                 AggStrategy::Plain
-            } else if matches!(child.node.op, PhysOp::IndexScan { .. } | PhysOp::Sort { .. }) {
+            } else if matches!(
+                child.node.op,
+                PhysOp::IndexScan { .. } | PhysOp::Sort { .. }
+            ) {
                 AggStrategy::Sorted
             } else {
                 AggStrategy::Hash
@@ -538,8 +546,8 @@ fn plan_node(
         LNode::Distinct { input } => {
             let child = plan_node(input, ctx, shared)?;
             let est = (child.node.est_rows * 0.7).max(1.0);
-            let cost = child.node.est_total_cost
-                + child.node.est_rows * ctx.profile.cpu_tuple_cost();
+            let cost =
+                child.node.est_total_cost + child.node.est_rows * ctx.profile.cpu_tuple_cost();
             let prov = child.prov.clone();
             let mut node = PhysNode::new(PhysOp::Distinct, vec![child.node]);
             node.est_rows = est;
@@ -586,10 +594,7 @@ fn plan_node(
         LNode::Empty => {
             let mut node = PhysNode::new(PhysOp::Empty, vec![]);
             node.est_rows = 1.0;
-            Ok(Planned {
-                node,
-                prov: vec![],
-            })
+            Ok(Planned { node, prov: vec![] })
         }
     }
 }
@@ -639,9 +644,7 @@ fn plan_scan(
         }
     }
 
-    let stats_fn = |c: usize| {
-        (ctx.stats_of)(table).and_then(|s| s.columns.get(c).cloned())
-    };
+    let stats_fn = |c: usize| (ctx.stats_of)(table).and_then(|s| s.columns.get(c).cloned());
     let inflate = estimator_fault(ctx);
 
     if let Some((col, access, index, rest)) = best {
@@ -826,10 +829,8 @@ fn plan_join(
                 right: b,
             } = &part
             {
-                if let (
-                    BoundExpr::Column { index: ia, .. },
-                    BoundExpr::Column { index: ib, .. },
-                ) = (a.as_ref(), b.as_ref())
+                if let (BoundExpr::Column { index: ia, .. }, BoundExpr::Column { index: ib, .. }) =
+                    (a.as_ref(), b.as_ref())
                 {
                     let (lo, hi) = if ia < ib { (*ia, *ib) } else { (*ib, *ia) };
                     if lo < left_width && hi >= left_width {
@@ -924,9 +925,12 @@ fn plan_join(
         }
     }
     let on_expr = rebuild_join_on(&equi, left_width, on, residual);
-    let cost = l.node.est_total_cost
-        + l.node.est_rows.max(1.0) * inner_node.est_total_cost.max(0.01);
-    let mut node = PhysNode::new(PhysOp::NestedLoopJoin { kind, on: on_expr }, vec![l.node, inner_node]);
+    let cost =
+        l.node.est_total_cost + l.node.est_rows.max(1.0) * inner_node.est_total_cost.max(0.01);
+    let mut node = PhysNode::new(
+        PhysOp::NestedLoopJoin { kind, on: on_expr },
+        vec![l.node, inner_node],
+    );
     node.est_rows = est;
     node.est_total_cost = cost;
     Ok(Planned { node, prov })
@@ -1113,7 +1117,13 @@ mod tests {
         assert!(!recheck);
 
         let (_, a, recheck) = index_access_of(&bin(BinOp::Lt, col(0, "x"), int(5))).unwrap();
-        assert!(matches!(a, IndexAccess::Range { low: None, high: Some(_) }));
+        assert!(matches!(
+            a,
+            IndexAccess::Range {
+                low: None,
+                high: Some(_)
+            }
+        ));
         assert!(recheck, "strict bounds need a residual recheck");
 
         let (_, _, recheck) = index_access_of(&bin(BinOp::Le, col(0, "x"), int(5))).unwrap();
@@ -1121,7 +1131,13 @@ mod tests {
 
         // Flipped literal side: 5 > x  ≡  x < 5.
         let (_, a, recheck) = index_access_of(&bin(BinOp::Gt, int(5), col(0, "x"))).unwrap();
-        assert!(matches!(a, IndexAccess::Range { low: None, high: Some(_) }));
+        assert!(matches!(
+            a,
+            IndexAccess::Range {
+                low: None,
+                high: Some(_)
+            }
+        ));
         assert!(recheck);
 
         // Single-element IN (the Listing 3 shape).

@@ -67,7 +67,10 @@ impl EngineProfile {
     /// Prefer an index nested-loop join over a hash join when the inner
     /// side has a usable index.
     pub fn prefers_index_join(self) -> bool {
-        matches!(self, EngineProfile::MySql | EngineProfile::Sqlite | EngineProfile::TiDb)
+        matches!(
+            self,
+            EngineProfile::MySql | EngineProfile::Sqlite | EngineProfile::TiDb
+        )
     }
 
     /// Build a query-time automatic index for un-indexed join columns
@@ -122,7 +125,9 @@ mod tests {
     fn profile_knobs_match_the_studied_systems() {
         assert!(EngineProfile::TiDb.dedup_subqueries());
         assert!(!EngineProfile::Postgres.dedup_subqueries());
-        assert!(EngineProfile::Postgres.parallel_seq_scan_threshold().is_some());
+        assert!(EngineProfile::Postgres
+            .parallel_seq_scan_threshold()
+            .is_some());
         assert!(EngineProfile::MySql.parallel_seq_scan_threshold().is_none());
         assert!(!EngineProfile::Sqlite.hash_join_capable());
         assert!(EngineProfile::Sqlite.builds_automatic_indexes());

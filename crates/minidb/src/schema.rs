@@ -68,7 +68,10 @@ impl Catalog {
     /// Registers a table schema.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
         if self.tables.contains_key(&schema.name) {
-            return Err(Error::Catalog(format!("table {:?} already exists", schema.name)));
+            return Err(Error::Catalog(format!(
+                "table {:?} already exists",
+                schema.name
+            )));
         }
         if schema.columns.is_empty() {
             return Err(Error::Catalog("tables need at least one column".into()));
@@ -108,7 +111,10 @@ impl Catalog {
     /// Registers a secondary index.
     pub fn create_index(&mut self, index: IndexDef) -> Result<()> {
         if self.indexes.contains_key(&index.name) {
-            return Err(Error::Catalog(format!("index {:?} already exists", index.name)));
+            return Err(Error::Catalog(format!(
+                "index {:?} already exists",
+                index.name
+            )));
         }
         if !self.tables.contains_key(&index.table) {
             return Err(Error::Catalog(format!("unknown table {:?}", index.table)));
@@ -200,12 +206,23 @@ mod tests {
         let dup = TableSchema {
             name: "bad".into(),
             columns: vec![
-                Column { name: "x".into(), data_type: DataType::Int, primary_key: false },
-                Column { name: "x".into(), data_type: DataType::Int, primary_key: false },
+                Column {
+                    name: "x".into(),
+                    data_type: DataType::Int,
+                    primary_key: false,
+                },
+                Column {
+                    name: "x".into(),
+                    data_type: DataType::Int,
+                    primary_key: false,
+                },
             ],
         };
         assert!(catalog.create_table(dup).is_err());
-        let empty = TableSchema { name: "e".into(), columns: vec![] };
+        let empty = TableSchema {
+            name: "e".into(),
+            columns: vec![],
+        };
         assert!(catalog.create_table(empty).is_err());
     }
 

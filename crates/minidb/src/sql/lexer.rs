@@ -89,14 +89,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 let text = std::str::from_utf8(&bytes[start..pos]).expect("digits are ASCII");
                 if is_float {
-                    tokens.push(Token::Float(
-                        text.parse()
-                            .map_err(|e| Error::Parse(format!("bad float {text:?}: {e}")))?,
-                    ));
+                    tokens
+                        .push(Token::Float(text.parse().map_err(|e| {
+                            Error::Parse(format!("bad float {text:?}: {e}"))
+                        })?));
                 } else {
-                    tokens.push(Token::Int(text.parse().map_err(|e| {
-                        Error::Parse(format!("bad integer {text:?}: {e}"))
-                    })?));
+                    tokens
+                        .push(Token::Int(text.parse().map_err(|e| {
+                            Error::Parse(format!("bad integer {text:?}: {e}"))
+                        })?));
                 }
             }
             b'.' if bytes.get(pos + 1).is_some_and(u8::is_ascii_digit) => {
@@ -106,9 +107,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     pos += 1;
                 }
                 let text = std::str::from_utf8(&bytes[start..pos]).expect("digits are ASCII");
-                tokens.push(Token::Float(text.parse().map_err(|e| {
-                    Error::Parse(format!("bad float {text:?}: {e}"))
-                })?));
+                tokens
+                    .push(Token::Float(text.parse().map_err(|e| {
+                        Error::Parse(format!("bad float {text:?}: {e}"))
+                    })?));
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = pos;
@@ -186,8 +188,8 @@ mod tests {
 
     #[test]
     fn tokenizes_a_query() {
-        let tokens = tokenize("SELECT t0.c0 FROM t0 WHERE c0 <= 1.5 -- comment\nAND x <> 'o''k'")
-            .unwrap();
+        let tokens =
+            tokenize("SELECT t0.c0 FROM t0 WHERE c0 <= 1.5 -- comment\nAND x <> 'o''k'").unwrap();
         assert!(tokens.contains(&Token::Symbol("<=")));
         assert!(tokens.contains(&Token::Float(1.5)));
         assert!(tokens.contains(&Token::Str("o'k".into())));
@@ -203,11 +205,7 @@ mod tests {
         // `1.` does not consume the dot (it could be `tuple.column`).
         assert_eq!(
             tokenize("1.c0").unwrap(),
-            vec![
-                Token::Int(1),
-                Token::Symbol("."),
-                Token::Word("c0".into())
-            ]
+            vec![Token::Int(1), Token::Symbol("."), Token::Word("c0".into())]
         );
     }
 

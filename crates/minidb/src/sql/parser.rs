@@ -56,7 +56,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {kw}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -83,7 +86,9 @@ impl Parser {
     fn identifier(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Word(w)) => Ok(w.to_ascii_lowercase()),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -115,7 +120,9 @@ impl Parser {
                             Some(Token::Symbol("(")) => depth += 1,
                             Some(Token::Symbol(")")) => depth -= 1,
                             Some(_) => {}
-                            None => return Err(Error::Parse("unterminated EXPLAIN options".into())),
+                            None => {
+                                return Err(Error::Parse("unterminated EXPLAIN options".into()))
+                            }
                         }
                     }
                 }
@@ -127,7 +134,9 @@ impl Parser {
             Some(t) if t.is_kw("SELECT") || matches!(t, Token::Symbol("(")) => {
                 Ok(Statement::Query(self.query()?))
             }
-            other => Err(Error::Parse(format!("unexpected start of statement: {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "unexpected start of statement: {other:?}"
+            ))),
         }
     }
 
@@ -205,7 +214,9 @@ impl Parser {
         self.expect_kw("INTO")?;
         let table = self.identifier()?;
         let mut columns = None;
-        if matches!(self.peek(), Some(Token::Symbol("("))) && !self.peek2().is_some_and(|t| t.is_kw("SELECT")) {
+        if matches!(self.peek(), Some(Token::Symbol("(")))
+            && !self.peek2().is_some_and(|t| t.is_kw("SELECT"))
+        {
             // Could be a column list or VALUES-less form; column list only.
             self.expect_symbol("(")?;
             let mut cols = vec![self.identifier()?];
@@ -320,7 +331,9 @@ impl Parser {
     fn unsigned(&mut self) -> Result<u64> {
         match self.next() {
             Some(Token::Int(i)) if i >= 0 => Ok(i as u64),
-            other => Err(Error::Parse(format!("expected non-negative integer, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected non-negative integer, found {other:?}"
+            ))),
         }
     }
 
@@ -408,11 +421,7 @@ impl Parser {
         } else {
             match self.peek() {
                 // Bare alias (not a keyword that continues the query).
-                Some(Token::Word(w))
-                    if !is_reserved(w) =>
-                {
-                    Some(self.identifier()?)
-                }
+                Some(Token::Word(w)) if !is_reserved(w) => Some(self.identifier()?),
                 _ => None,
             }
         };
@@ -535,7 +544,9 @@ impl Parser {
         if self.eat_kw("IN") {
             self.expect_symbol("(")?;
             if self.peek().is_some_and(|t| t.is_kw("SELECT")) {
-                return Err(Error::Parse("IN (SELECT ...) is not supported; use scalar comparisons".into()));
+                return Err(Error::Parse(
+                    "IN (SELECT ...) is not supported; use scalar comparisons".into(),
+                ));
             }
             let mut list = vec![self.expr()?];
             while self.eat_symbol(",") {
@@ -546,7 +557,11 @@ impl Parser {
                 expr: Box::new(left),
                 list,
             };
-            return Ok(if negated { Expr::Not(Box::new(in_expr)) } else { in_expr });
+            return Ok(if negated {
+                Expr::Not(Box::new(in_expr))
+            } else {
+                in_expr
+            });
         }
         if self.eat_kw("BETWEEN") {
             let low = self.additive()?;
@@ -557,12 +572,20 @@ impl Parser {
                 low: Box::new(low),
                 high: Box::new(high),
             };
-            return Ok(if negated { Expr::Not(Box::new(between)) } else { between });
+            return Ok(if negated {
+                Expr::Not(Box::new(between))
+            } else {
+                between
+            });
         }
         if self.eat_kw("LIKE") {
             let pattern = match self.next() {
                 Some(Token::Str(s)) => s,
-                other => return Err(Error::Parse(format!("LIKE needs a string pattern, found {other:?}"))),
+                other => {
+                    return Err(Error::Parse(format!(
+                        "LIKE needs a string pattern, found {other:?}"
+                    )))
+                }
             };
             return Ok(Expr::Like {
                 expr: Box::new(left),
@@ -699,7 +722,9 @@ impl Parser {
                     name: w.to_ascii_lowercase(),
                 })
             }
-            other => Err(Error::Parse(format!("unexpected token in expression: {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
         }
     }
 }
@@ -707,9 +732,34 @@ impl Parser {
 /// Keywords that terminate an implicit alias position.
 fn is_reserved(word: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "select", "from", "where", "group", "having", "order", "limit", "offset", "union",
-        "intersect", "except", "join", "inner", "left", "right", "cross", "on", "as", "and",
-        "or", "not", "asc", "desc", "values", "set", "by", "all", "distinct",
+        "select",
+        "from",
+        "where",
+        "group",
+        "having",
+        "order",
+        "limit",
+        "offset",
+        "union",
+        "intersect",
+        "except",
+        "join",
+        "inner",
+        "left",
+        "right",
+        "cross",
+        "on",
+        "as",
+        "and",
+        "or",
+        "not",
+        "asc",
+        "desc",
+        "values",
+        "set",
+        "by",
+        "all",
+        "distinct",
     ];
     RESERVED.contains(&word.to_ascii_lowercase().as_str())
 }
@@ -851,10 +901,7 @@ mod tests {
         let SetExpr::Select(select) = &q.body else {
             panic!()
         };
-        assert!(matches!(
-            select.from,
-            Some(TableRef::Subquery { .. })
-        ));
+        assert!(matches!(select.from, Some(TableRef::Subquery { .. })));
     }
 
     #[test]
@@ -869,7 +916,12 @@ mod tests {
             panic!()
         };
         // + at the top, * nested.
-        let Expr::Binary { op: BinOp::Add, right, .. } = expr else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        } = expr
+        else {
             panic!("{expr:?}")
         };
         assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));

@@ -125,7 +125,7 @@ impl ColumnStats {
             }
             covered / n as f64
         };
-        let lo_frac = low.map_or(0.0, |v| frac_below(v));
+        let lo_frac = low.map_or(0.0, &frac_below);
         let hi_frac = high.map_or(1.0, |v| {
             // Inclusive high bound: everything below, plus one distinct value.
             let mut f = frac_below(v);
@@ -194,16 +194,15 @@ pub fn selectivity(
                 (l + r - l * r).clamp(0.0, 1.0)
             }
             BinOp::Eq => column_vs_literal(left, right)
-                .map(|(col, lit)| {
-                    stats_of(col).map_or(defaults::EQ, |s| s.eq_selectivity(&lit))
-                })
+                .map(|(col, lit)| stats_of(col).map_or(defaults::EQ, |s| s.eq_selectivity(&lit)))
                 .unwrap_or(defaults::EQ),
-            BinOp::Ne => 1.0
-                - column_vs_literal(left, right)
+            BinOp::Ne => {
+                1.0 - column_vs_literal(left, right)
                     .map(|(col, lit)| {
                         stats_of(col).map_or(defaults::EQ, |s| s.eq_selectivity(&lit))
                     })
-                    .unwrap_or(defaults::EQ),
+                    .unwrap_or(defaults::EQ)
+            }
             BinOp::Lt | BinOp::Le => range_sel(left, right, stats_of, false),
             BinOp::Gt | BinOp::Ge => range_sel(left, right, stats_of, true),
             _ => defaults::RANGE,
@@ -212,14 +211,14 @@ pub fn selectivity(
             (1.0 - selectivity(inner, stats_of, fault_inflate_conjuncts)).clamp(0.0, 1.0)
         }
         BoundExpr::IsNull(inner) => single_column(inner)
-            .and_then(|c| stats_of(c))
+            .and_then(stats_of)
             .map_or(defaults::EQ, |s| s.null_frac),
         BoundExpr::IsNotNull(inner) => single_column(inner)
-            .and_then(|c| stats_of(c))
+            .and_then(stats_of)
             .map_or(1.0 - defaults::EQ, |s| 1.0 - s.null_frac),
         BoundExpr::InList { expr, list } => {
             let per_item = column_of(expr)
-                .and_then(|c| stats_of(c))
+                .and_then(stats_of)
                 .map_or(defaults::EQ, |s| {
                     if s.n_distinct == 0 {
                         0.0
@@ -233,8 +232,7 @@ pub fn selectivity(
             if let (Some(col), BoundExpr::Literal(lo), BoundExpr::Literal(hi)) =
                 (column_of(expr), low.as_ref(), high.as_ref())
             {
-                stats_of(col)
-                    .map_or(defaults::RANGE, |s| s.range_selectivity(Some(lo), Some(hi)))
+                stats_of(col).map_or(defaults::RANGE, |s| s.range_selectivity(Some(lo), Some(hi)))
             } else {
                 defaults::RANGE
             }
@@ -301,7 +299,7 @@ mod tests {
 
     fn int_stats(values: &[i64], nulls: usize) -> ColumnStats {
         let mut owned: Vec<Datum> = values.iter().map(|&v| Datum::Int(v)).collect();
-        owned.extend(std::iter::repeat(Datum::Null).take(nulls));
+        owned.extend(std::iter::repeat_n(Datum::Null, nulls));
         let refs: Vec<&Datum> = owned.iter().collect();
         ColumnStats::compute(&refs)
     }
@@ -356,7 +354,11 @@ mod tests {
         let s = selectivity(&lt50, &stats_of, false);
         assert!((s - 0.5).abs() < 0.1, "got {s}");
 
-        let conj = bin(BinOp::And, lt50.clone(), bin(BinOp::Lt, col(0, "c0"), int(25)));
+        let conj = bin(
+            BinOp::And,
+            lt50.clone(),
+            bin(BinOp::Lt, col(0, "c0"), int(25)),
+        );
         let s_conj = selectivity(&conj, &stats_of, false);
         assert!(s_conj < s, "conjunction must shrink: {s_conj} vs {s}");
 
@@ -365,7 +367,11 @@ mod tests {
         assert!(s_fault >= s_conj);
         assert!((s_fault - 0.5).abs() < 0.11);
 
-        let disj = bin(BinOp::Or, lt50.clone(), bin(BinOp::Gt, col(0, "c0"), int(74)));
+        let disj = bin(
+            BinOp::Or,
+            lt50.clone(),
+            bin(BinOp::Gt, col(0, "c0"), int(74)),
+        );
         let s_disj = selectivity(&disj, &stats_of, false);
         assert!(s_disj > s, "disjunction must grow");
 

@@ -154,12 +154,20 @@ impl BTreeIndex {
                 continue;
             }
             if let Some(lo) = low {
-                if first.0.sql_cmp(lo).map_or(true, |o| o == std::cmp::Ordering::Less) {
+                if first
+                    .0
+                    .sql_cmp(lo)
+                    .is_none_or(|o| o == std::cmp::Ordering::Less)
+                {
                     continue;
                 }
             }
             if let Some(hi) = high {
-                if first.0.sql_cmp(hi).map_or(true, |o| o == std::cmp::Ordering::Greater) {
+                if first
+                    .0
+                    .sql_cmp(hi)
+                    .is_none_or(|o| o == std::cmp::Ordering::Greater)
+                {
                     break;
                 }
             }

@@ -20,9 +20,12 @@
 //! Documents are [`JsonValue`]s, reusing the JSON document model of
 //! `uplan-core`.
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
 
-use uplan_core::formats::json::{self, JsonValue};
+// Documents must outlive any input buffer, so minidoc works on the owned
+// form of the zero-copy JSON model.
+use uplan_core::formats::json::{self, OwnedJsonValue as JsonValue};
 
 /// Comparison operators of the query filter (a subset of MQL).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -248,28 +251,33 @@ impl DocPlan {
     /// Serializes as `explain()` JSON (the shape the converter parses).
     pub fn to_explain_json(&self) -> JsonValue {
         fn stage_json(stage: &Stage) -> JsonValue {
-            let mut members: Vec<(String, JsonValue)> =
-                vec![("stage".to_owned(), JsonValue::from(stage.name.as_str()))];
-            members.extend(stage.properties.iter().cloned());
+            let mut members: json::JsonMembers<'static> =
+                vec![("stage".into(), JsonValue::from(stage.name.clone()))];
+            members.extend(
+                stage
+                    .properties
+                    .iter()
+                    .map(|(k, v)| (Cow::from(k.clone()), v.clone())),
+            );
             if let Some(input) = &stage.input {
-                members.push(("inputStage".to_owned(), stage_json(input)));
+                members.push(("inputStage".into(), stage_json(input)));
             }
             JsonValue::Object(members)
         }
-        let mut planner: Vec<(String, JsonValue)> = vec![
-            ("namespace".to_owned(), JsonValue::from(self.namespace.as_str())),
-            ("plannerVersion".to_owned(), JsonValue::Int(1)),
+        let mut planner: json::JsonMembers<'static> = vec![
+            ("namespace".into(), JsonValue::from(self.namespace.clone())),
+            ("plannerVersion".into(), JsonValue::Int(1)),
         ];
         if self.optimized_pipeline {
-            planner.push(("optimizedPipeline".to_owned(), JsonValue::Bool(true)));
+            planner.push(("optimizedPipeline".into(), JsonValue::Bool(true)));
         }
-        planner.push(("winningPlan".to_owned(), stage_json(&self.winning)));
-        planner.push(("rejectedPlans".to_owned(), JsonValue::Array(vec![])));
-        let mut doc: Vec<(String, JsonValue)> =
-            vec![("queryPlanner".to_owned(), JsonValue::Object(planner))];
+        planner.push(("winningPlan".into(), stage_json(&self.winning)));
+        planner.push(("rejectedPlans".into(), JsonValue::Array(vec![])));
+        let mut doc: json::JsonMembers<'static> =
+            vec![("queryPlanner".into(), JsonValue::Object(planner))];
         if let (Some(n), Some(d)) = (self.n_returned, self.docs_examined) {
             doc.push((
-                "executionStats".to_owned(),
+                "executionStats".into(),
                 json::object([
                     ("executionSuccess", JsonValue::Bool(true)),
                     ("nReturned", JsonValue::Int(n as i64)),
@@ -278,7 +286,7 @@ impl DocPlan {
             ));
         }
         doc.push((
-            "serverInfo".to_owned(),
+            "serverInfo".into(),
             json::object([("version", JsonValue::from("6.0.5-minidoc"))]),
         ));
         JsonValue::Object(doc)
@@ -382,11 +390,10 @@ impl DocStore {
             out = out
                 .into_iter()
                 .map(|doc| {
-                    JsonValue::Object(
+                    json::object(
                         fields
                             .iter()
-                            .map(|f| (f.clone(), doc.get(f).cloned().unwrap_or(JsonValue::Null)))
-                            .collect(),
+                            .map(|f| (f.clone(), doc.get(f).cloned().unwrap_or(JsonValue::Null))),
                     )
                 })
                 .collect();
@@ -406,32 +413,29 @@ impl DocStore {
         let residual: Vec<&Condition> = request
             .filter
             .iter()
-            .filter(|c| indexed.map_or(true, |i| !std::ptr::eq(*c, i)))
+            .filter(|c| indexed.is_none_or(|i| !std::ptr::eq(*c, i)))
             .collect();
         let filter_json = |conds: &[&Condition]| -> JsonValue {
-            JsonValue::Object(
-                conds
-                    .iter()
-                    .map(|c| {
-                        (
-                            c.field.clone(),
-                            json::object([(c.op.mql(), c.value.clone())]),
-                        )
-                    })
-                    .collect(),
-            )
+            json::object(conds.iter().map(|c| {
+                (
+                    c.field.clone(),
+                    json::object([(c.op.mql(), c.value.clone())]),
+                )
+            }))
         };
         // Access stage: IDHACK for _id equality, IXSCAN+FETCH for other
         // indexed fields, COLLSCAN otherwise.
         let mut stage = match indexed {
-            Some(cond) if cond.field == "_id" => Stage::leaf("IDHACK")
-                .with("namespace", JsonValue::from(format!("db.{}", request.collection))),
+            Some(cond) if cond.field == "_id" => Stage::leaf("IDHACK").with(
+                "namespace",
+                JsonValue::from(format!("db.{}", request.collection)),
+            ),
             Some(cond) => {
                 let ixscan = Stage::leaf("IXSCAN")
                     .with("indexName", JsonValue::from(format!("{}_1", cond.field)))
                     .with(
                         "keyPattern",
-                        json::object([(cond.field.as_str(), JsonValue::Int(1))]),
+                        json::object([(cond.field.clone(), JsonValue::Int(1))]),
                     )
                     .with("direction", JsonValue::from("forward"));
                 let mut fetch = Stage::leaf("FETCH");
@@ -456,7 +460,7 @@ impl DocStore {
             stage = Stage::leaf("SORT")
                 .with(
                     "sortPattern",
-                    json::object([(field.as_str(), JsonValue::Int(if *desc { -1 } else { 1 }))]),
+                    json::object([(field.clone(), JsonValue::Int(if *desc { -1 } else { 1 }))]),
                 )
                 .over(stage);
         }
@@ -469,9 +473,7 @@ impl DocStore {
             stage = Stage::leaf("PROJECTION_SIMPLE")
                 .with(
                     "transformBy",
-                    JsonValue::Object(
-                        fields.iter().map(|f| (f.clone(), JsonValue::Int(1))).collect(),
-                    ),
+                    json::object(fields.iter().map(|f| (f.clone(), JsonValue::Int(1)))),
                 )
                 .over(stage);
         }
@@ -505,8 +507,7 @@ fn run_group(docs: &[JsonValue], group: &GroupSpec) -> Vec<JsonValue> {
         .iter()
         .map(|key_value| {
             let members = &buckets[&key_value.to_compact()];
-            let mut fields: Vec<(String, JsonValue)> =
-                vec![("_id".to_owned(), key_value.clone())];
+            let mut fields: json::JsonMembers<'static> = vec![("_id".into(), key_value.clone())];
             for (name, acc) in &group.accumulators {
                 let value = match acc {
                     Accumulator::Count => JsonValue::Int(members.len() as i64),
@@ -528,7 +529,7 @@ fn run_group(docs: &[JsonValue], group: &GroupSpec) -> Vec<JsonValue> {
                         }
                     }
                 };
-                fields.push((name.clone(), value));
+                fields.push((name.clone().into(), value));
             }
             JsonValue::Object(fields)
         })
@@ -545,7 +546,10 @@ mod tests {
         for i in 0..10i64 {
             collection.insert(json::object([
                 ("_id", JsonValue::Int(i)),
-                ("status", JsonValue::from(if i % 2 == 0 { "A" } else { "B" })),
+                (
+                    "status",
+                    JsonValue::from(if i % 2 == 0 { "A" } else { "B" }),
+                ),
                 ("amount", JsonValue::Float(i as f64 * 10.0)),
             ]));
         }
@@ -692,7 +696,12 @@ mod tests {
         let doc = plan.to_explain_json();
         let planner = doc.get("queryPlanner").unwrap();
         assert_eq!(
-            planner.get("winningPlan").unwrap().get("stage").unwrap().as_str(),
+            planner
+                .get("winningPlan")
+                .unwrap()
+                .get("stage")
+                .unwrap()
+                .as_str(),
             Some("FETCH")
         );
         assert!(planner
@@ -745,9 +754,21 @@ mod tests {
     #[test]
     fn json_cmp_total_order() {
         use std::cmp::Ordering;
-        assert_eq!(json_cmp(&JsonValue::Null, &JsonValue::Bool(false)), Ordering::Less);
-        assert_eq!(json_cmp(&JsonValue::Int(2), &JsonValue::Float(2.0)), Ordering::Equal);
-        assert_eq!(json_cmp(&JsonValue::Int(3), &JsonValue::from("a")), Ordering::Less);
-        assert_eq!(json_cmp(&JsonValue::from("a"), &JsonValue::from("b")), Ordering::Less);
+        assert_eq!(
+            json_cmp(&JsonValue::Null, &JsonValue::Bool(false)),
+            Ordering::Less
+        );
+        assert_eq!(
+            json_cmp(&JsonValue::Int(2), &JsonValue::Float(2.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            json_cmp(&JsonValue::Int(3), &JsonValue::from("a")),
+            Ordering::Less
+        );
+        assert_eq!(
+            json_cmp(&JsonValue::from("a"), &JsonValue::from("b")),
+            Ordering::Less
+        );
     }
 }

@@ -84,12 +84,14 @@ impl PropPredicate {
     fn matches(&self, props: &HashMap<String, PropValue>) -> bool {
         match self {
             PropPredicate::Eq(key, value) => props.get(key) == Some(value),
-            PropPredicate::Lt(key, bound) => {
-                props.get(key).and_then(PropValue::as_f64).is_some_and(|v| v < *bound)
-            }
-            PropPredicate::Gt(key, bound) => {
-                props.get(key).and_then(PropValue::as_f64).is_some_and(|v| v > *bound)
-            }
+            PropPredicate::Lt(key, bound) => props
+                .get(key)
+                .and_then(PropValue::as_f64)
+                .is_some_and(|v| v < *bound),
+            PropPredicate::Gt(key, bound) => props
+                .get(key)
+                .and_then(PropValue::as_f64)
+                .is_some_and(|v| v > *bound),
             PropPredicate::EndsWith(key, suffix) => props
                 .get(key)
                 .and_then(PropValue::as_str)
@@ -213,7 +215,13 @@ impl GraphStore {
     }
 
     /// Adds a relationship.
-    pub fn add_rel(&mut self, src: usize, dst: usize, rel_type: &str, props: Vec<(&str, PropValue)>) {
+    pub fn add_rel(
+        &mut self,
+        src: usize,
+        dst: usize,
+        rel_type: &str,
+        props: Vec<(&str, PropValue)>,
+    ) {
         self.rels.push(Relationship {
             src,
             dst,
@@ -312,7 +320,7 @@ impl GraphStore {
                     let src_ok = query
                         .src_label
                         .as_ref()
-                        .map_or(true, |l| self.nodes[*src].labels.iter().any(|x| x == l));
+                        .is_none_or(|l| self.nodes[*src].labels.iter().any(|x| x == l));
                     let dst_ok = match (&query.dst_label, rel) {
                         (Some(l), Some(r)) => {
                             self.nodes[self.rels[*r].dst].labels.iter().any(|x| x == l)
@@ -339,15 +347,14 @@ impl GraphStore {
                     query
                         .src_label
                         .as_ref()
-                        .map_or(true, |l| self.nodes[i].labels.iter().any(|x| x == l))
+                        .is_none_or(|l| self.nodes[i].labels.iter().any(|x| x == l))
                 })
                 .collect();
             db_hits += self.nodes.len() as u64;
             let (name, details) = match (&indexed, &query.src_label) {
-                (Some(prop), Some(label)) => (
-                    "NodeIndexSeek".to_owned(),
-                    format!("a:{label}({prop})"),
-                ),
+                (Some(prop), Some(label)) => {
+                    ("NodeIndexSeek".to_owned(), format!("a:{label}({prop})"))
+                }
                 (None, Some(label)) => ("NodeByLabelScan".to_owned(), format!("a:{label}")),
                 (None, None) | (Some(_), None) => ("AllNodesScan".to_owned(), "a".to_owned()),
             };
@@ -443,7 +450,10 @@ impl GraphStore {
                 .collect();
             operators.push(Operator {
                 name: "EagerAggregation".to_owned(),
-                details: query.group_by.clone().unwrap_or_else(|| "count(*)".to_owned()),
+                details: query
+                    .group_by
+                    .clone()
+                    .unwrap_or_else(|| "count(*)".to_owned()),
                 estimated_rows: (rows.len() as f64).max(1.0),
                 rows: Some(rows.len() as u64),
                 db_hits: Some(0),
@@ -565,12 +575,7 @@ mod tests {
     fn fig1_graph() -> GraphStore {
         let mut g = GraphStore::new();
         let people: Vec<usize> = (0..10)
-            .map(|i| {
-                g.add_node(
-                    &["Person"],
-                    vec![("name", PropValue::Str(format!("p{i}")))],
-                )
-            })
+            .map(|i| g.add_node(&["Person"], vec![("name", PropValue::Str(format!("p{i}")))]))
             .collect();
         for i in 0..8 {
             let title = if i < 4 { "senior developer" } else { "manager" };
@@ -590,14 +595,15 @@ mod tests {
         let query = PatternQuery {
             rel_type: Some("WORKS_AS".into()),
             undirected: true,
-            rel_predicates: vec![PropPredicate::EndsWith(
-                "title".into(),
-                "developer".into(),
-            )],
+            rel_predicates: vec![PropPredicate::EndsWith("title".into(), "developer".into())],
             ..PatternQuery::default()
         };
         let (rows, plan) = g.run(&query);
-        assert_eq!(rows.len(), 8, "4 matching rels, undirected = both endpoints");
+        assert_eq!(
+            rows.len(),
+            8,
+            "4 matching rels, undirected = both endpoints"
+        );
         let names: Vec<&str> = plan.operators.iter().map(|o| o.name.as_str()).collect();
         assert_eq!(names[0], "ProduceResults");
         assert!(names.contains(&"UndirectedRelationshipIndexContainsScan"));
@@ -641,7 +647,10 @@ mod tests {
             g.add_node(
                 &["Order"],
                 vec![
-                    ("status", PropValue::Str(if i % 2 == 0 { "A" } else { "B" }.into())),
+                    (
+                        "status",
+                        PropValue::Str(if i % 2 == 0 { "A" } else { "B" }.into()),
+                    ),
                     ("total", PropValue::Float(i as f64)),
                 ],
             );
@@ -734,9 +743,7 @@ mod tests {
         assert!(PropPredicate::Contains("title".into(), "dev".into()).matches(&props));
         assert!(PropPredicate::Gt("grade".into(), 5.0).matches(&props));
         assert!(!PropPredicate::Lt("grade".into(), 5.0).matches(&props));
-        assert!(
-            PropPredicate::Eq("grade".into(), PropValue::Int(7)).matches(&props)
-        );
+        assert!(PropPredicate::Eq("grade".into(), PropValue::Int(7)).matches(&props));
         assert!(!PropPredicate::Eq("missing".into(), PropValue::Int(1)).matches(&props));
         assert_eq!(
             PropPredicate::EndsWith("t".into(), "x".into()).render("r"),

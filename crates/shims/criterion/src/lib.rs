@@ -53,6 +53,7 @@ pub struct Criterion {
     warm_up: Duration,
     measurement: Duration,
     samples: usize,
+    quick: bool,
     filter: Option<String>,
     results: Vec<BenchResult>,
 }
@@ -67,6 +68,7 @@ impl Default for Criterion {
                 warm_up: Duration::from_millis(300),
                 measurement: Duration::from_secs(2),
                 samples: 30,
+                quick: false,
                 filter: env_filter(),
                 results: Vec::new(),
             }
@@ -75,7 +77,9 @@ impl Default for Criterion {
 }
 
 fn env_filter() -> Option<String> {
-    std::env::var("UPLAN_BENCH_FILTER").ok().filter(|f| !f.is_empty())
+    std::env::var("UPLAN_BENCH_FILTER")
+        .ok()
+        .filter(|f| !f.is_empty())
 }
 
 impl Criterion {
@@ -92,8 +96,30 @@ impl Criterion {
             warm_up: Duration::from_millis(60),
             measurement: Duration::from_millis(240),
             samples: 12,
+            quick: true,
             filter: env_filter(),
             results: Vec::new(),
+        }
+    }
+
+    /// Whether this driver runs with quick-mode (smoke) budgets. Shim
+    /// extension: lets benchmark code raise the budget of a known-noisy
+    /// benchmark only in quick mode, where upstream criterion would instead
+    /// rely on its adaptive sampling.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Starts a named benchmark group whose budgets can be overridden
+    /// (subset of `criterion::Criterion::benchmark_group`; benchmark ids
+    /// become `group/name`).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.samples,
+            driver: self,
         }
     }
 
@@ -116,19 +142,33 @@ impl Criterion {
     }
 
     /// Runs one benchmark.
-    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
     where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_bench(name, self.warm_up, self.measurement, self.samples, f);
+        self
+    }
+
+    fn run_bench<F>(
+        &mut self,
+        name: &str,
+        warm_up: Duration,
+        measurement: Duration,
+        samples: usize,
+        mut f: F,
+    ) where
         F: FnMut(&mut Bencher),
     {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
-                return self;
+                return;
             }
         }
         let mut bencher = Bencher {
-            warm_up: self.warm_up,
-            measurement: self.measurement,
-            samples: self.samples,
+            warm_up,
+            measurement,
+            samples,
             sample_means: Vec::new(),
             iterations: 0,
         };
@@ -153,7 +193,6 @@ impl Criterion {
             format_ns(result.max_ns),
         );
         self.results.push(result);
-        self
     }
 
     /// All results collected so far.
@@ -170,6 +209,56 @@ impl Criterion {
     pub fn final_summary(&self) {
         println!("\n{} benchmarks complete", self.results.len());
     }
+}
+
+/// A benchmark group with its own measurement budgets (subset of
+/// `criterion::BenchmarkGroup`). Benchmark ids are `group/name`.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    driver: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides this group's measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Overrides this group's warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Overrides this group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Whether the underlying driver runs quick-mode budgets (shim
+    /// extension, see [`Criterion::is_quick`]).
+    pub fn is_quick(&self) -> bool {
+        self.driver.is_quick()
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        let (warm_up, measurement, samples) = (self.warm_up, self.measurement, self.samples);
+        self.driver.run_bench(&id, warm_up, measurement, samples, f);
+        self
+    }
+
+    /// Ends the group (upstream-compatible no-op).
+    pub fn finish(self) {}
 }
 
 fn format_ns(ns: f64) -> String {
@@ -253,12 +342,12 @@ impl Bencher {
     }
 
     /// `iter_batched` variant passing the input by reference.
-    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, size: BatchSize)
     where
         S: FnMut() -> I,
         F: FnMut(&mut I) -> O,
     {
-        self.iter_batched(move || setup(), move |mut input| routine(&mut input), size);
+        self.iter_batched(setup, move |mut input| routine(&mut input), size);
     }
 }
 

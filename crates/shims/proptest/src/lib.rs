@@ -347,11 +347,7 @@ fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
             (1, 1)
         };
         assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
-        atoms.push(PatternAtom {
-            alphabet,
-            min,
-            max,
-        });
+        atoms.push(PatternAtom { alphabet, min, max });
     }
     atoms
 }
@@ -527,12 +523,12 @@ macro_rules! prop_oneof {
 
 /// Everything a property-test file needs.
 pub mod prelude {
+    /// The `prop::` module path (`prop::collection::vec`, `prop::option::of`).
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
         BoxedStrategy, Just, ProptestConfig, Strategy,
     };
-    /// The `prop::` module path (`prop::collection::vec`, `prop::option::of`).
-    pub use crate as prop;
 }
 
 #[cfg(test)]

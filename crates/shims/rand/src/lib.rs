@@ -130,10 +130,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -160,9 +157,7 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(8);
         let equal = (0..100)
-            .filter(|_| {
-                StdRng::seed_from_u64(7).gen_range(0..100i64) == c.gen_range(0..100i64)
-            })
+            .filter(|_| StdRng::seed_from_u64(7).gen_range(0..100i64) == c.gen_range(0..100i64))
             .count();
         assert!(equal < 100, "different seeds must diverge");
     }

@@ -84,7 +84,14 @@ pub fn run(db: &mut Database, generator: &mut Generator, config: CertConfig) -> 
                 "SELECT c0, COUNT(*) FROM {table} WHERE {} GROUP BY c0",
                 query.predicate
             );
-            check_pair(db, &mut pipeline, &base, &grouped, config.tolerance, &mut failures);
+            check_pair(
+                db,
+                &mut pipeline,
+                &base,
+                &grouped,
+                config.tolerance,
+                &mut failures,
+            );
             examined += 1;
         }
         fired.extend(db.take_fault_log());
@@ -146,7 +153,11 @@ mod tests {
 
     #[test]
     fn healthy_estimators_are_monotonic() {
-        for profile in [EngineProfile::Postgres, EngineProfile::MySql, EngineProfile::TiDb] {
+        for profile in [
+            EngineProfile::Postgres,
+            EngineProfile::MySql,
+            EngineProfile::TiDb,
+        ] {
             let (mut db, mut generator) = prepared(profile, 31);
             let outcome = run(
                 &mut db,

@@ -68,7 +68,10 @@ pub struct CampaignReport {
 impl CampaignReport {
     /// Findings detected by a given oracle.
     pub fn by_oracle(&self, oracle: &str) -> usize {
-        self.findings.iter().filter(|f| f.found_by == oracle).count()
+        self.findings
+            .iter()
+            .filter(|f| f.found_by == oracle)
+            .count()
     }
 }
 

@@ -127,8 +127,7 @@ pub fn distinct_check(db: &mut Database, table: &str) -> Option<OracleFailure> {
     let mut seen = std::collections::HashSet::new();
     let mut reference = Vec::new();
     for row in &all.rows {
-        let key: Vec<minidb::datum::DatumKey> =
-            row.iter().map(|d| d.group_key()).collect();
+        let key: Vec<minidb::datum::DatumKey> = row.iter().map(|d| d.group_key()).collect();
         if seen.insert(key) {
             reference.push(row.clone());
         }
@@ -153,11 +152,7 @@ pub fn distinct_check(db: &mut Database, table: &str) -> Option<OracleFailure> {
 }
 
 /// UNION ALL check: `|Q UNION ALL Q| = 2·|Q|`.
-pub fn union_all_check(
-    db: &mut Database,
-    table: &str,
-    predicate: &str,
-) -> Option<OracleFailure> {
+pub fn union_all_check(db: &mut Database, table: &str, predicate: &str) -> Option<OracleFailure> {
     let single = db
         .execute(&format!("SELECT c0 FROM {table} WHERE {predicate}"))
         .ok()?;
@@ -228,7 +223,8 @@ mod tests {
     fn join_norec_catches_null_key_matching() {
         let mut db = mysql_db();
         db.execute("CREATE TABLE t1 (c0 INT, c1 INT)").unwrap();
-        db.execute("INSERT INTO t1 VALUES (NULL, 7), (2, 8)").unwrap();
+        db.execute("INSERT INTO t1 VALUES (NULL, 7), (2, 8)")
+            .unwrap();
         assert!(join_norec(&mut db, "t0", "t1").is_none(), "healthy first");
         db.arm_fault(BugId::Mysql114204);
         let failure = join_norec(&mut db, "t0", "t1");
@@ -251,7 +247,10 @@ mod tests {
         assert!(distinct_check(&mut db, "t0").is_none());
         assert!(union_all_check(&mut db, "t0", "c0 < 2").is_none());
         db.arm_fault(BugId::Mysql114217);
-        assert!(distinct_check(&mut db, "t0").is_some(), "NULL group dropped");
+        assert!(
+            distinct_check(&mut db, "t0").is_some(),
+            "NULL group dropped"
+        );
         db.clear_faults();
         db.arm_fault(BugId::Mysql114218);
         assert!(union_all_check(&mut db, "t0", "c0 < 2").is_some());

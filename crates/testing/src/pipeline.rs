@@ -70,7 +70,8 @@ mod tests {
         let mut db = Database::new(profile);
         db.execute("CREATE TABLE t0 (c0 INT, c1 INT)").unwrap();
         for i in 0..50 {
-            db.execute(&format!("INSERT INTO t0 VALUES ({i}, {})", i % 5)).unwrap();
+            db.execute(&format!("INSERT INTO t0 VALUES ({i}, {})", i % 5))
+                .unwrap();
         }
         db
     }

@@ -153,7 +153,11 @@ mod tests {
 
     #[test]
     fn healthy_engines_report_nothing() {
-        for profile in [EngineProfile::Postgres, EngineProfile::MySql, EngineProfile::TiDb] {
+        for profile in [
+            EngineProfile::Postgres,
+            EngineProfile::MySql,
+            EngineProfile::TiDb,
+        ] {
             let mut db = Database::new(profile);
             let mut generator = Generator::new(11);
             generator.create_schema(&mut db, 2);

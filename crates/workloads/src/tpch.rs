@@ -54,7 +54,12 @@ const BASE_ROWS: [(&str, usize); 8] = [
 const SEGMENTS: [&str; 3] = ["BUILDING", "AUTOMOBILE", "MACHINERY"];
 const FLAGS: [&str; 3] = ["A", "N", "R"];
 const PRIORITIES: [&str; 3] = ["1-URGENT", "2-HIGH", "3-MEDIUM"];
-const TYPES: [&str; 4] = ["ECONOMY BRASS", "STANDARD BRASS", "PROMO STEEL", "SMALL COPPER"];
+const TYPES: [&str; 4] = [
+    "ECONOMY BRASS",
+    "STANDARD BRASS",
+    "PROMO STEEL",
+    "SMALL COPPER",
+];
 
 /// Loads schema, indexes and data into a relational engine instance.
 pub fn load_relational(db: &mut Database, scale: usize, seed: u64) {
@@ -62,10 +67,8 @@ pub fn load_relational(db: &mut Database, scale: usize, seed: u64) {
     for ddl in SCHEMA {
         db.execute(ddl).expect("TPC-H DDL");
     }
-    let counts: std::collections::HashMap<&str, usize> = BASE_ROWS
-        .iter()
-        .map(|(t, n)| (*t, n * scale))
-        .collect();
+    let counts: std::collections::HashMap<&str, usize> =
+        BASE_ROWS.iter().map(|(t, n)| (*t, n * scale)).collect();
     let date = |rng: &mut StdRng| {
         format!(
             "19{}-{:02}-{:02}",
@@ -89,7 +92,11 @@ pub fn load_relational(db: &mut Database, scale: usize, seed: u64) {
     }
     flush(db, "region", &mut batch);
     for i in 0..counts["nation"] {
-        batch.push(format!("({i}, {}, 'NATION{}')", i % counts["region"], i % 25));
+        batch.push(format!(
+            "({i}, {}, 'NATION{}')",
+            i % counts["region"],
+            i % 25
+        ));
     }
     flush(db, "nation", &mut batch);
     for i in 0..counts["supplier"] {
@@ -215,9 +222,15 @@ pub fn load_document(store: &mut DocStore, scale: usize, seed: u64) {
     for i in 0..600 * scale {
         collection.insert(object([
             ("_id", JsonValue::Int(i as i64)),
-            ("l_returnflag", JsonValue::from(FLAGS[rng.gen_range(0..FLAGS.len())])),
+            (
+                "l_returnflag",
+                JsonValue::from(FLAGS[rng.gen_range(0..FLAGS.len())]),
+            ),
             ("l_quantity", JsonValue::Int(rng.gen_range(1..50))),
-            ("l_extendedprice", JsonValue::Float(rng.gen_range(100.0..5000.0))),
+            (
+                "l_extendedprice",
+                JsonValue::Float(rng.gen_range(100.0..5000.0)),
+            ),
             (
                 "l_shipdate",
                 JsonValue::from(format!(
@@ -229,7 +242,11 @@ pub fn load_document(store: &mut DocStore, scale: usize, seed: u64) {
             ),
             (
                 "o_orderdate",
-                JsonValue::from(format!("199{}-{:02}-01", rng.gen_range(2..8), rng.gen_range(1..13))),
+                JsonValue::from(format!(
+                    "199{}-{:02}-01",
+                    rng.gen_range(2..8),
+                    rng.gen_range(1..13)
+                )),
             ),
             (
                 "o_orderpriority",
@@ -363,12 +380,7 @@ pub fn load_graph(graph: &mut GraphStore, scale: usize, seed: u64) {
         })
         .collect();
     let suppliers: Vec<usize> = (0..20 * scale)
-        .map(|i| {
-            graph.add_node(
-                &["Supplier"],
-                vec![("suppkey", PropValue::Int(i as i64))],
-            )
-        })
+        .map(|i| graph.add_node(&["Supplier"], vec![("suppkey", PropValue::Int(i as i64))]))
         .collect();
     for (i, &order) in orders.iter().enumerate() {
         let customer = customers[i % customers.len()];
@@ -406,8 +418,10 @@ pub fn graph_queries() -> Vec<(&'static str, PatternQuery)> {
             ..PatternQuery::default()
         };
         if let Some(f) = flag {
-            q.rel_predicates
-                .push(PropPredicate::Eq("returnflag".into(), PropValue::Str(f.into())));
+            q.rel_predicates.push(PropPredicate::Eq(
+                "returnflag".into(),
+                PropValue::Str(f.into()),
+            ));
         }
         if agg {
             q.aggregates = vec![GraphAgg::Count];
@@ -427,24 +441,30 @@ pub fn graph_queries() -> Vec<(&'static str, PatternQuery)> {
     };
     vec![
         ("q1", rel_query(Some("A"), true, None)),
-        ("q2", PatternQuery {
-            src_label: Some("Supplier".into()),
-            return_props: vec!["suppkey".into()],
-            order_desc: Some(true),
-            limit: Some(100),
-            ..PatternQuery::default()
-        }),
+        (
+            "q2",
+            PatternQuery {
+                src_label: Some("Supplier".into()),
+                return_props: vec!["suppkey".into()],
+                order_desc: Some(true),
+                limit: Some(100),
+                ..PatternQuery::default()
+            },
+        ),
         ("q3", placed(Some("Customer"), true)),
-        ("q4", PatternQuery {
-            src_label: Some("Order".into()),
-            src_predicates: vec![PropPredicate::Eq(
-                "orderpriority".into(),
-                PropValue::Str("1-URGENT".into()),
-            )],
-            aggregates: vec![GraphAgg::Count],
-            group_by: Some("orderpriority".into()),
-            ..PatternQuery::default()
-        }),
+        (
+            "q4",
+            PatternQuery {
+                src_label: Some("Order".into()),
+                src_predicates: vec![PropPredicate::Eq(
+                    "orderpriority".into(),
+                    PropValue::Str("1-URGENT".into()),
+                )],
+                aggregates: vec![GraphAgg::Count],
+                group_by: Some("orderpriority".into()),
+                ..PatternQuery::default()
+            },
+        ),
         ("q5", rel_query(None, true, None)),
         ("q6", rel_query(Some("N"), true, None)),
         ("q7", rel_query(None, false, Some(50))),
@@ -455,11 +475,14 @@ pub fn graph_queries() -> Vec<(&'static str, PatternQuery)> {
         ("q12", rel_query(Some("R"), true, None)),
         ("q13", placed(None, true)),
         ("q14", rel_query(None, false, Some(5))),
-        ("q16", PatternQuery {
-            src_label: Some("Supplier".into()),
-            aggregates: vec![GraphAgg::Count],
-            ..PatternQuery::default()
-        }),
+        (
+            "q16",
+            PatternQuery {
+                src_label: Some("Supplier".into()),
+                aggregates: vec![GraphAgg::Count],
+                ..PatternQuery::default()
+            },
+        ),
         ("q17", rel_query(Some("N"), false, Some(1))),
         ("q18", placed(Some("Customer"), false)),
         ("q19", rel_query(Some("A"), false, None)),
@@ -480,12 +503,21 @@ mod tests {
 
     #[test]
     fn all_22_queries_plan_and_run_on_all_profiles() {
-        for profile in [EngineProfile::Postgres, EngineProfile::MySql, EngineProfile::TiDb, EngineProfile::Sqlite] {
+        for profile in [
+            EngineProfile::Postgres,
+            EngineProfile::MySql,
+            EngineProfile::TiDb,
+            EngineProfile::Sqlite,
+        ] {
             let mut db = relational(profile, 1);
             for (name, sql) in queries() {
-                let plan = db.explain(&sql).unwrap_or_else(|e| panic!("{profile} {name}: {e}"));
+                let plan = db
+                    .explain(&sql)
+                    .unwrap_or_else(|e| panic!("{profile} {name}: {e}"));
                 assert!(plan.root.node_count() >= 1);
-                let result = db.execute(&sql).unwrap_or_else(|e| panic!("{profile} {name}: {e}"));
+                let result = db
+                    .execute(&sql)
+                    .unwrap_or_else(|e| panic!("{profile} {name}: {e}"));
                 let _ = result;
             }
         }
@@ -507,11 +539,19 @@ mod tests {
         let mut pg = relational(EngineProfile::Postgres, 1);
         let pg_plan = pg.explain(q11).unwrap();
         let pg_scans = pg_plan.root.scan_count()
-            + pg_plan.subplans.iter().map(|s| s.scan_count()).sum::<usize>();
+            + pg_plan
+                .subplans
+                .iter()
+                .map(|s| s.scan_count())
+                .sum::<usize>();
         let mut tidb = relational(EngineProfile::TiDb, 1);
         let tidb_plan = tidb.explain(q11).unwrap();
         let tidb_scans = tidb_plan.root.scan_count()
-            + tidb_plan.subplans.iter().map(|s| s.scan_count()).sum::<usize>();
+            + tidb_plan
+                .subplans
+                .iter()
+                .map(|s| s.scan_count())
+                .sum::<usize>();
         assert_eq!(pg_scans, 6, "paper: six scans in PostgreSQL");
         assert_eq!(tidb_scans, 3, "paper: three scans in TiDB");
         assert!(tidb_plan.subplans.is_empty(), "subquery shared in-pass");
@@ -528,7 +568,11 @@ mod tests {
         for (name, request) in mongo_queries() {
             let (docs, plan) = store.find(&request);
             assert!(!docs.is_empty(), "{name}");
-            assert_eq!(plan.winning.stage_count(), 2, "{name}: COLLSCAN + PROJECTION");
+            assert_eq!(
+                plan.winning.stage_count(),
+                2,
+                "{name}: COLLSCAN + PROJECTION"
+            );
         }
     }
 

@@ -19,7 +19,10 @@ pub fn load(store: &mut DocStore, records: usize, seed: u64) {
         collection.insert(object([
             ("_id", JsonValue::Int(i as i64)),
             ("field0", JsonValue::Int(rng.gen_range(0..1000))),
-            ("field1", JsonValue::from(format!("value{}", rng.gen_range(0..100)))),
+            (
+                "field1",
+                JsonValue::from(format!("value{}", rng.gen_range(0..100))),
+            ),
         ]));
     }
     collection.create_index("_id");

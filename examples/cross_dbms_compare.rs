@@ -23,8 +23,8 @@ fn main() {
     for profile in [EngineProfile::Postgres, EngineProfile::TiDb] {
         let mut db = tpch::relational(profile, 2);
         let plan = db.explain(q11).unwrap();
-        let scans = plan.root.scan_count()
-            + plan.subplans.iter().map(|s| s.scan_count()).sum::<usize>();
+        let scans =
+            plan.root.scan_count() + plan.subplans.iter().map(|s| s.scan_count()).sum::<usize>();
         let (source, raw) = match profile {
             EngineProfile::Postgres => (Source::PostgresText, dialects::postgres::to_text(&plan)),
             _ => (Source::TidbTable, dialects::tidb::to_table(&plan, 11)),

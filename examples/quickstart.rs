@@ -14,7 +14,11 @@ use uplan::convert::{convert, Source};
 use uplan::core::fingerprint::fingerprint;
 
 fn main() {
-    for profile in [EngineProfile::Postgres, EngineProfile::MySql, EngineProfile::TiDb] {
+    for profile in [
+        EngineProfile::Postgres,
+        EngineProfile::MySql,
+        EngineProfile::TiDb,
+    ] {
         // An engine with a small table.
         let mut db = Database::new(profile);
         db.execute("CREATE TABLE t0 (c0 INT)").unwrap();
@@ -35,7 +39,10 @@ fn main() {
         let unified = convert(source, &raw).unwrap();
         println!("---- {profile}: unified plan ----");
         print!("{}", uplan::core::display::to_display(&unified));
-        println!("strict grammar form: {}", uplan::core::text::to_text(&unified));
+        println!(
+            "strict grammar form: {}",
+            uplan::core::text::to_text(&unified)
+        );
         println!("fingerprint: {}\n", fingerprint(&unified));
     }
 }

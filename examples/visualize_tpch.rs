@@ -18,21 +18,18 @@ fn main() {
     // PostgreSQL-profile plan.
     let mut pg = tpch::relational(EngineProfile::Postgres, 1);
     let pg_plan = pg.explain(q1).unwrap();
-    let pg_unified =
-        convert(Source::PostgresText, &dialects::postgres::to_text(&pg_plan)).unwrap();
+    let pg_unified = convert(Source::PostgresText, &dialects::postgres::to_text(&pg_plan)).unwrap();
 
     // MySQL-profile plan.
     let mut mysql = tpch::relational(EngineProfile::MySql, 1);
     let mysql_plan = mysql.explain(q1).unwrap();
-    let mysql_unified =
-        convert(Source::MySqlJson, &dialects::mysql::to_json(&mysql_plan)).unwrap();
+    let mysql_unified = convert(Source::MySqlJson, &dialects::mysql::to_json(&mysql_plan)).unwrap();
 
     // MongoDB plan (MQL rewrite over the denormalized collection).
     let mut store = minidoc::DocStore::new();
     tpch::load_document(&mut store, 1, 42);
     let (_, doc_plan) = store.find(&tpch::mongo_queries()[0].1);
-    let mongo_unified =
-        convert(Source::MongoJson, &dialects::mongodb::to_json(&doc_plan)).unwrap();
+    let mongo_unified = convert(Source::MongoJson, &dialects::mongodb::to_json(&doc_plan)).unwrap();
 
     // One renderer, three DBMSs (the A.2 claim).
     for (name, plan) in [
@@ -40,7 +37,10 @@ fn main() {
         ("MySQL", &mysql_unified),
         ("MongoDB", &mongo_unified),
     ] {
-        print!("{}", uplan::viz::ascii::render(plan, &format!("{name} TPC-H q1")));
+        print!(
+            "{}",
+            uplan::viz::ascii::render(plan, &format!("{name} TPC-H q1"))
+        );
         println!();
     }
 

@@ -148,7 +148,11 @@ fn fingerprints_are_insensitive_to_tidb_suffix_counters() {
     let (_, sql) = &queries[2];
     let native = tidb.explain(sql).expect("tidb plan");
     let a = convert(Source::TidbTable, &dialects::tidb::to_table(&native, 7)).unwrap();
-    let b = convert(Source::TidbTable, &dialects::tidb::to_table(&native, 104729)).unwrap();
+    let b = convert(
+        Source::TidbTable,
+        &dialects::tidb::to_table(&native, 104729),
+    )
+    .unwrap();
     assert_eq!(fingerprint(&a), fingerprint(&b));
 }
 
@@ -157,7 +161,10 @@ fn fingerprints_are_insensitive_to_tidb_suffix_counters() {
 #[ignore = "generator for the golden tables above; run with --ignored --nocapture"]
 fn print_golden_values() {
     let plans = fixture_plans();
-    println!("const GOLDEN_FINGERPRINTS: [(&str, u64); {}] = [", plans.len());
+    println!(
+        "const GOLDEN_FINGERPRINTS: [(&str, u64); {}] = [",
+        plans.len()
+    );
     for (label, plan) in &plans {
         println!("    (\"{label}\", 0x{:016x}),", fingerprint(plan).0);
     }

@@ -13,7 +13,11 @@ use uplan::workloads::tpch;
 #[test]
 fn fig2_pipeline_end_to_end() {
     let mut unified = Vec::new();
-    for profile in [EngineProfile::Postgres, EngineProfile::MySql, EngineProfile::TiDb] {
+    for profile in [
+        EngineProfile::Postgres,
+        EngineProfile::MySql,
+        EngineProfile::TiDb,
+    ] {
         let mut db = Database::new(profile);
         db.execute("CREATE TABLE t0 (c0 INT)").unwrap();
         for i in 0..50 {
@@ -57,8 +61,7 @@ fn tpch_unified_plans_round_trip_all_formats() {
     let mut db = tpch::relational(EngineProfile::Postgres, 1);
     for (name, sql) in tpch::queries() {
         let plan = db.explain(&sql).unwrap();
-        let unified =
-            convert(Source::PostgresText, &dialects::postgres::to_text(&plan)).unwrap();
+        let unified = convert(Source::PostgresText, &dialects::postgres::to_text(&plan)).unwrap();
         let text = uplan::core::text::to_text(&unified);
         assert_eq!(
             uplan::core::text::from_text(&text).unwrap(),
@@ -91,10 +94,14 @@ fn tpch_unified_plans_round_trip_all_formats() {
 #[test]
 fn tpch_results_agree_across_profiles() {
     let mut reference = tpch::relational(EngineProfile::Postgres, 1);
-    let mut others: Vec<Database> = [EngineProfile::MySql, EngineProfile::TiDb, EngineProfile::Sqlite]
-        .into_iter()
-        .map(|p| tpch::relational(p, 1))
-        .collect();
+    let mut others: Vec<Database> = [
+        EngineProfile::MySql,
+        EngineProfile::TiDb,
+        EngineProfile::Sqlite,
+    ]
+    .into_iter()
+    .map(|p| tpch::relational(p, 1))
+    .collect();
     for (name, sql) in tpch::queries() {
         let expected = reference.execute(&sql).unwrap();
         for other in &mut others {
@@ -117,7 +124,8 @@ fn fingerprints_are_stable_and_structural() {
     let mut db = Database::new(EngineProfile::TiDb);
     db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
     for i in 0..40 {
-        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 4)).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 4))
+            .unwrap();
     }
     let plan_of = |db: &mut Database, seed: u32, sql: &str| {
         let plan = db.explain(sql).unwrap();
@@ -126,7 +134,8 @@ fn fingerprints_are_stable_and_structural() {
     let a = plan_of(&mut db, 1, "SELECT a FROM t WHERE a < 10");
     // More data → different estimates; different id seed → different suffixes.
     for i in 40..80 {
-        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 4)).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 4))
+            .unwrap();
     }
     let b = plan_of(&mut db, 50, "SELECT a FROM t WHERE a < 10");
     assert_eq!(fingerprint(&a), fingerprint(&b));
@@ -199,8 +208,7 @@ fn all_nine_dialects_convert() {
         ),
     ];
     for (source, raw) in &cases {
-        let unified = convert(*source, raw)
-            .unwrap_or_else(|e| panic!("{source:?}: {e}\n{raw}"));
+        let unified = convert(*source, raw).unwrap_or_else(|e| panic!("{source:?}: {e}\n{raw}"));
         if *source == Source::InfluxText {
             assert!(unified.root.is_none());
         } else {
@@ -211,15 +219,19 @@ fn all_nine_dialects_convert() {
     let mut store = minidoc::DocStore::new();
     tpch::load_document(&mut store, 1, 1);
     let (_, doc_plan) = store.find(&tpch::mongo_queries()[0].1);
-    assert!(convert(Source::MongoJson, &dialects::mongodb::to_json(&doc_plan))
-        .unwrap()
-        .operation_count()
-        >= 1);
+    assert!(
+        convert(Source::MongoJson, &dialects::mongodb::to_json(&doc_plan))
+            .unwrap()
+            .operation_count()
+            >= 1
+    );
     let mut graph = minigraph::GraphStore::new();
     tpch::load_graph(&mut graph, 1, 1);
     let (_, graph_plan) = graph.run(&tpch::graph_queries()[0].1);
-    assert!(convert(Source::Neo4jTable, &dialects::neo4j::to_table(&graph_plan))
-        .unwrap()
-        .operation_count()
-        >= 1);
+    assert!(
+        convert(Source::Neo4jTable, &dialects::neo4j::to_table(&graph_plan))
+            .unwrap()
+            .operation_count()
+            >= 1
+    );
 }
