@@ -1,0 +1,13 @@
+//! Corpus-scale benchmarks: ingest throughput of a 10k-plan TPC-H-derived
+//! stream, BK-tree k-NN queries over a ≥10k-plan index (with counted TED
+//! evaluations printed next to the timings), and binary-vs-JSON corpus
+//! load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_corpus(c: &mut Criterion) {
+    uplan_bench::microbench::corpus(c);
+}
+
+criterion_group!(benches, bench_corpus);
+criterion_main!(benches);

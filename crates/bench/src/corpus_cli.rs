@@ -1,0 +1,347 @@
+//! `repro corpus` — manage persistent plan corpora from the command line.
+//!
+//! ```text
+//! repro corpus ingest <out> <source> <explain-file>...
+//!     Convert native EXPLAIN files (any of the converter dialects, see
+//!     `repro corpus sources`) and store them deduplicated. `<out>` ending
+//!     in .jsonl writes JSON lines; anything else writes the binary codec.
+//! repro corpus campaign <out> [profile] [queries] [radius]
+//!     Run a QPG campaign on an embedded engine profile (postgres, mysql,
+//!     tidb, sqlite) and persist every distinct observed plan.
+//! repro corpus stats <corpus>
+//!     Statistics of a stored corpus (binary or JSON lines). Stored files
+//!     carry the distinct plan set only; observed/duplicate counters are
+//!     session-local and are printed by ingest/campaign at observation
+//!     time.
+//! repro corpus cluster <corpus> [radius] [--dot]
+//!     Near-duplicate clusters at a TED radius (default 2), rendered as a
+//!     text report or Graphviz DOT.
+//! repro corpus diff <left> <right> [radius]
+//!     Cross-corpus comparison: shared fingerprints, unique plans, and
+//!     which unique plans have no near-duplicate (within radius, default 2)
+//!     on the other side.
+//! repro corpus sources
+//!     List the accepted ingest source names.
+//! ```
+
+use minidb::profile::EngineProfile;
+use uplan_convert::{convert, Source};
+use uplan_corpus::PlanCorpus;
+use uplan_testing::generator::Generator;
+use uplan_testing::qpg::{self, QpgConfig};
+use uplan_viz::cluster::ClusterView;
+
+/// Entry point; returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    match run_inner(args) {
+        Ok(report) => {
+            println!("{report}");
+            0
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            2
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: repro corpus <ingest|campaign|stats|cluster|diff|sources> ... \
+     (see crates/bench/src/corpus_cli.rs docs)"
+        .to_owned()
+}
+
+fn run_inner(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("ingest") => ingest(&args[1..]),
+        Some("campaign") => campaign(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("cluster") => cluster(&args[1..]),
+        Some("diff") => diff(&args[1..]),
+        Some("sources") => Ok(Source::ALL
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join("\n")),
+        _ => Err(usage()),
+    }
+}
+
+fn save(corpus: &PlanCorpus, path: &str) -> Result<(), String> {
+    if path.ends_with(".jsonl") {
+        std::fs::write(path, corpus.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))
+    } else {
+        corpus.save(path).map_err(|e| e.to_string())
+    }
+}
+
+fn load(path: &str) -> Result<PlanCorpus, String> {
+    PlanCorpus::load(path).map_err(|e| format!("cannot load corpus {path}: {e}"))
+}
+
+/// Durable facts about a corpus — what a stored file can actually answer.
+fn summary(corpus: &PlanCorpus) -> String {
+    let stats = corpus.stats();
+    format!(
+        "{} distinct plans, {} operations, max depth {}",
+        stats.distinct, stats.operations, stats.max_depth
+    )
+}
+
+/// Session-only dedup counters: persistence stores the distinct set, so
+/// these are reported at observation time and not by `stats` on a reloaded
+/// file.
+fn session_summary(corpus: &PlanCorpus) -> String {
+    format!(
+        "observed {} plans this run ({} fingerprint duplicates)",
+        corpus.observed(),
+        corpus.duplicates()
+    )
+}
+
+fn ingest(args: &[String]) -> Result<String, String> {
+    let (out, source_name, files) = match args {
+        [out, source, files @ ..] if !files.is_empty() => (out, source, files),
+        _ => return Err("usage: repro corpus ingest <out> <source> <explain-file>...".into()),
+    };
+    let source = Source::parse_name(source_name).ok_or_else(|| {
+        format!(
+            "unknown source {source_name:?}; one of: {}",
+            Source::ALL.map(Source::name).join(", ")
+        )
+    })?;
+    let mut corpus = PlanCorpus::new();
+    for file in files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let plan = convert(source, &text).map_err(|e| format!("{file}: {e}"))?;
+        corpus.observe(&plan);
+    }
+    save(&corpus, out)?;
+    Ok(format!(
+        "ingested {} file(s) via {}: {}\n{}\nwrote {out}",
+        files.len(),
+        source.name(),
+        session_summary(&corpus),
+        summary(&corpus)
+    ))
+}
+
+fn parse_profile(name: &str) -> Result<EngineProfile, String> {
+    let lowered = name.to_ascii_lowercase();
+    EngineProfile::ALL
+        .into_iter()
+        // Prefix match on the display name, so "postgres" finds PostgreSQL.
+        .find(|p| format!("{p}").to_ascii_lowercase().starts_with(&lowered))
+        .ok_or_else(|| {
+            format!(
+                "unknown profile {name:?}; one of: {}",
+                EngineProfile::ALL.map(|p| format!("{p}")).join(", ")
+            )
+        })
+}
+
+fn campaign(args: &[String]) -> Result<String, String> {
+    let out = args
+        .first()
+        .ok_or("usage: repro corpus campaign <out> [profile] [queries] [radius]")?;
+    let profile = match args.get(1) {
+        Some(name) => parse_profile(name)?,
+        None => EngineProfile::Postgres,
+    };
+    let queries: usize = match args.get(2) {
+        Some(n) => n.parse().map_err(|_| format!("bad query count {n:?}"))?,
+        None => 400,
+    };
+    let radius: u32 = match args.get(3) {
+        Some(r) => r.parse().map_err(|_| format!("bad radius {r:?}"))?,
+        None => 0,
+    };
+    let mut db = minidb::Database::new(profile);
+    let mut generator = Generator::new(0xC0FFEE);
+    generator.create_schema(&mut db, 3);
+    let outcome = qpg::run(
+        &mut db,
+        &mut generator,
+        QpgConfig {
+            queries,
+            novelty_radius: radius,
+            ..QpgConfig::default()
+        },
+    );
+    save(&outcome.corpus, out)?;
+    Ok(format!(
+        "campaign on {profile}: {} queries, {} mutations, {} oracle failures\n{}\n{}\nwrote {out}",
+        outcome.queries,
+        outcome.mutations,
+        outcome.failures.len(),
+        session_summary(&outcome.corpus),
+        summary(&outcome.corpus)
+    ))
+}
+
+fn stats(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("usage: repro corpus stats <corpus>")?;
+    let corpus = load(path)?;
+    Ok(format!("{path}: {}", summary(&corpus)))
+}
+
+fn cluster(args: &[String]) -> Result<String, String> {
+    // `--dot` may appear anywhere; positionals keep their order around it.
+    let dot = args.iter().any(|a| a == "--dot");
+    let positional: Vec<&String> = args.iter().filter(|a| *a != "--dot").collect();
+    let path = *positional
+        .first()
+        .ok_or("usage: repro corpus cluster <corpus> [radius] [--dot]")?;
+    let radius: u32 = match positional.get(1) {
+        Some(r) => r.parse().map_err(|_| format!("bad radius {r:?}"))?,
+        None => 2,
+    };
+    let corpus = load(path)?;
+    let clusters = corpus.clusters(radius);
+    let views: Vec<ClusterView<'_>> = clusters
+        .iter()
+        .map(|c| ClusterView {
+            label: format!("#{}", c.leader),
+            leader: corpus.plan(c.leader),
+            size: c.members.len(),
+            spread: c.members.iter().map(|&(_, d)| d).max().unwrap_or(0),
+        })
+        .collect();
+    let title = format!("{path} @ radius {radius}");
+    Ok(if dot {
+        uplan_viz::cluster::render_dot(&views, &title)
+    } else {
+        uplan_viz::cluster::render_text(&views, &title)
+    })
+}
+
+fn diff(args: &[String]) -> Result<String, String> {
+    let (left_path, right_path) = match args {
+        [l, r, ..] => (l, r),
+        _ => return Err("usage: repro corpus diff <left> <right> [radius]".into()),
+    };
+    let radius: u32 = match args.get(2) {
+        Some(r) => r.parse().map_err(|_| format!("bad radius {r:?}"))?,
+        None => 2,
+    };
+    let left = load(left_path)?;
+    let right = load(right_path)?;
+    let diff = left.diff(&right, radius);
+    Ok(format!(
+        "left  {left_path}: {} distinct\nright {right_path}: {} distinct\n\
+         shared fingerprints: {}\n\
+         only in left:  {} plans ({} beyond TED radius {radius})\n\
+         only in right: {} plans ({} beyond TED radius {radius})",
+        left.len(),
+        right.len(),
+        diff.shared,
+        diff.fingerprint_only_left.len(),
+        diff.beyond_radius_left.len(),
+        diff.fingerprint_only_right.len(),
+        diff.beyond_radius_right.len(),
+        radius = diff.radius,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Per-process temp path: concurrent test runs (two checkouts, two CI
+    /// jobs) must not share fixture files.
+    fn temp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("{}_{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn usage_errors_do_not_panic() {
+        assert!(run_inner(&[]).is_err());
+        assert!(run_inner(&strings(&["frobnicate"])).is_err());
+        assert!(run_inner(&strings(&["ingest", "out"])).is_err());
+        assert!(run_inner(&strings(&["ingest", "out", "oracle", "file"])).is_err());
+        assert!(run_inner(&strings(&["stats", "/definitely/not/here"])).is_err());
+        assert!(run_inner(&strings(&["campaign", "/no/dir/x", "db2"])).is_err());
+    }
+
+    #[test]
+    fn sources_lists_all_converters() {
+        let listing = run_inner(&strings(&["sources"])).unwrap();
+        assert_eq!(listing.lines().count(), Source::ALL.len());
+        assert!(listing.contains("postgres-text"));
+    }
+
+    #[test]
+    fn ingest_stats_cluster_diff_round_trip() {
+        // Two tiny explain files through the TiDB table converter.
+        let plan_a = "\
++-----------------------+---------+-----------+---------------+---------------+
+| id                    | estRows | task      | access object | operator info |
++-----------------------+---------+-----------+---------------+---------------+
+| TableReader_7         | 5.00    | root      |               |               |
+| └─TableFullScan_5     | 100.00  | cop[tikv] | table:t0      |               |
++-----------------------+---------+-----------+---------------+---------------+
+";
+        let plan_b = plan_a.replace("t0", "t1");
+        let file_a = temp("uplan_cli_a.explain");
+        let file_b = temp("uplan_cli_b.explain");
+        std::fs::write(&file_a, plan_a).unwrap();
+        std::fs::write(&file_b, &plan_b).unwrap();
+
+        let out_bin = temp("uplan_cli.uplanc");
+        let report = run_inner(&strings(&[
+            "ingest",
+            &out_bin,
+            "tidb-table",
+            &file_a,
+            &file_b,
+            &file_a,
+        ]))
+        .unwrap();
+        // Same skeleton, different name_object values: structurally equal
+        // under default fingerprints → 3 observed, 1 distinct.
+        assert!(
+            report.contains("observed 3 plans this run (2 fingerprint duplicates)"),
+            "{report}"
+        );
+        assert!(report.contains("1 distinct plans"), "{report}");
+
+        let out_jsonl = temp("uplan_cli.jsonl");
+        run_inner(&strings(&["ingest", &out_jsonl, "tidb-table", &file_a])).unwrap();
+
+        let stats = run_inner(&strings(&["stats", &out_bin])).unwrap();
+        assert!(stats.contains("1 distinct"), "{stats}");
+
+        let clustered = run_inner(&strings(&["cluster", &out_bin, "1"])).unwrap();
+        assert!(clustered.contains("1 clusters over 1 plans"), "{clustered}");
+        let dot = run_inner(&strings(&["cluster", &out_bin, "--dot"])).unwrap();
+        assert!(dot.starts_with("digraph"), "{dot}");
+        // Flag-first invocations must still honor the radius argument.
+        let dot_first = run_inner(&strings(&["cluster", &out_bin, "--dot", "5"])).unwrap();
+        assert!(dot_first.contains("radius 5"), "{dot_first}");
+        assert!(run_inner(&strings(&["cluster", &out_bin, "--dot", "nope"])).is_err());
+
+        let diffed = run_inner(&strings(&["diff", &out_bin, &out_jsonl, "1"])).unwrap();
+        assert!(diffed.contains("shared fingerprints: 1"), "{diffed}");
+
+        for f in [file_a, file_b, out_bin, out_jsonl] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn campaign_writes_a_loadable_corpus() {
+        let out = temp("uplan_cli_campaign.uplanc");
+        let report = run_inner(&strings(&["campaign", &out, "postgres", "60", "0"])).unwrap();
+        assert!(report.contains("campaign on PostgreSQL"), "{report}");
+        let corpus = PlanCorpus::load(&out).unwrap();
+        assert!(!corpus.is_empty());
+        std::fs::remove_file(out).ok();
+    }
+}

@@ -12,6 +12,8 @@
 //! regression — the CI bench gate (`repro compare BENCH_baseline.json`).
 
 pub mod compare;
+pub mod corpus_cli;
+pub mod corpus_fixture;
 pub mod experiments;
 pub mod microbench;
 pub mod snapshot;

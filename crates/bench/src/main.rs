@@ -12,6 +12,9 @@
 //!                         # quick run diffed against committed snapshots;
 //!                         # exits 1 on regression (UPLAN_BENCH_TOLERANCE
 //!                         # overrides the 1.5x noise tolerance)
+//! repro corpus <ingest|campaign|stats|cluster|diff|sources> ...
+//!                         # manage persistent, TED-indexed plan corpora
+//!                         # (see crates/bench/src/corpus_cli.rs)
 //! ```
 
 use uplan_bench as experiments;
@@ -32,6 +35,9 @@ fn main() {
             }
         }
         return;
+    }
+    if which == "corpus" {
+        std::process::exit(experiments::corpus_cli::run(&args[1..]));
     }
     if which == "compare" {
         let paths: Vec<String> = args[1..].to_vec();

@@ -16,7 +16,6 @@ use minidb::profile::EngineProfile;
 use minidb::Database;
 use minidoc::DocStore;
 use uplan_convert::{convert, Source};
-use uplan_core::fingerprint::PlanSet;
 use uplan_testing::generator::Generator;
 use uplan_testing::pipeline::PlanPipeline;
 use uplan_workloads::tpch;
@@ -114,19 +113,22 @@ pub fn testing(c: &mut Criterion) {
 ///
 /// One iteration runs the full QPG observation loop over all 22 TPC-H-lite
 /// queries on a TiDB-profile engine: plan, serialize natively (fresh random
-/// operator suffixes per statement), convert to a unified plan, fingerprint,
-/// and test set membership. Plans/sec = 22 / (reported seconds).
+/// operator suffixes per statement), convert to a unified plan, and observe
+/// through a [`PlanCorpus`] exactly as `uplan_testing::qpg::run` does
+/// (fingerprint dedup; novel plans are cloned into the store and BK-tree
+/// indexed). Plans/sec = 22 / (reported seconds).
 pub fn qpg_throughput(c: &mut Criterion) {
+    use uplan_corpus::PlanCorpus;
     let mut db = tpch::relational(EngineProfile::TiDb, 1);
     let queries = tpch::queries();
     let mut pipeline = PlanPipeline::new();
-    let mut plans = PlanSet::new();
+    let mut plans = PlanCorpus::new();
     c.bench_function("qpg/tpch_observe_22_queries", |b| {
         b.iter(|| {
             let mut novel = 0usize;
             for (_, sql) in &queries {
                 let plan = pipeline.unified_plan(&mut db, sql).expect("tpch plan");
-                if plans.observe(&plan) {
+                if plans.observe_novel(&plan, 0) {
                     novel += 1;
                 }
             }
@@ -149,6 +151,96 @@ pub fn qpg_throughput(c: &mut Criterion) {
             total
         })
     });
+}
+
+/// Corpus-scale throughput: ingest (fingerprint dedup + BK-tree indexing)
+/// of a 10k-plan TPC-H-derived observation stream, metric queries against a
+/// ≥10k-plan index, and codec load comparisons.
+///
+/// The k-NN bench also *counts* TED evaluations — the quantity the BK-tree
+/// exists to reduce — and prints the indexed-vs-scan ratio next to the
+/// timings, because pruning claims must be checkable on any machine
+/// regardless of its clock. The load pair measures pure decode (no index
+/// rebuild) so it isolates the codecs.
+pub fn corpus(c: &mut Criterion) {
+    use uplan_core::formats::binary::BinaryDecoder;
+    use uplan_corpus::PlanCorpus;
+
+    let stream = crate::corpus_fixture::derived_stream(10_000, 0x5eed_cafe);
+    let indexed = crate::corpus_fixture::derived_corpus(10_000, 0x0dd_ba11);
+    let probes: Vec<&uplan_core::UnifiedPlan> = stream.iter().step_by(271).take(24).collect();
+
+    let mut group = c.benchmark_group("corpus");
+    if group.is_quick() {
+        // Iterations here cost hundreds of milliseconds; a smaller sample
+        // count keeps the snapshot run bounded without starving the median.
+        group.sample_size(8);
+        group.warm_up_time(Duration::from_millis(50));
+        group.measurement_time(Duration::from_millis(400));
+    }
+
+    group.bench_function("ingest_10k", |b| {
+        b.iter(|| {
+            let mut corpus = PlanCorpus::new();
+            for plan in &stream {
+                corpus.observe(plan);
+            }
+            corpus.len()
+        })
+    });
+
+    let mut probe_cursor = 0usize;
+    group.bench_function("knn_query", |b| {
+        b.iter(|| {
+            let probe = probes[probe_cursor % probes.len()];
+            probe_cursor += 1;
+            indexed.nearest(probe, 5).ted_evals
+        })
+    });
+
+    let binary = indexed.to_binary().expect("corpus encode");
+    let jsonl = indexed.to_jsonl();
+    group.bench_function("load_binary_10k", |b| {
+        b.iter(|| {
+            let mut dec = BinaryDecoder::new(&binary).expect("corpus header");
+            let mut plans = 0usize;
+            while let Some(plan) = dec.next_plan().expect("corpus plan") {
+                criterion::black_box(plan);
+                plans += 1;
+            }
+            plans
+        })
+    });
+    group.bench_function("load_json_10k", |b| {
+        b.iter(|| {
+            let mut plans = 0usize;
+            for line in jsonl.lines() {
+                criterion::black_box(
+                    uplan_core::formats::unified::from_json(line).expect("corpus line"),
+                );
+                plans += 1;
+            }
+            plans
+        })
+    });
+    group.finish();
+
+    // The counted pruning claim, printed with the timings: indexed k-NN and
+    // radius queries vs full scans over the same probes.
+    let mut bk_evals = 0u64;
+    let mut scan_evals = 0u64;
+    for probe in &probes {
+        bk_evals += indexed.nearest(probe, 5).ted_evals;
+        bk_evals += indexed.within_radius(probe, 2).ted_evals;
+        scan_evals += 2 * indexed.len() as u64;
+    }
+    println!(
+        "corpus/knn_query: {} distinct plans; TED evals per probe: BK-tree {:.0} vs scan {} ({:.1}x fewer)",
+        indexed.len(),
+        bk_evals as f64 / (2 * probes.len()) as f64,
+        indexed.len(),
+        scan_evals as f64 / bk_evals as f64
+    );
 }
 
 /// Engine throughput: planning and execution of TPC-H-lite queries per

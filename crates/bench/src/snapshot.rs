@@ -21,6 +21,7 @@ pub fn collect() -> Vec<BenchResult> {
     crate::microbench::conversion(&mut criterion);
     crate::microbench::testing(&mut criterion);
     crate::microbench::qpg_throughput(&mut criterion);
+    crate::microbench::corpus(&mut criterion);
     criterion.into_results()
 }
 

@@ -68,6 +68,48 @@ pub enum Source {
     SqlServerXml,
 }
 
+impl Source {
+    /// Every supported source dialect, in converter-module order — the
+    /// iteration surface for corpus ingest tooling.
+    pub const ALL: [Source; 11] = [
+        Source::PostgresText,
+        Source::PostgresJson,
+        Source::MySqlJson,
+        Source::MySqlTable,
+        Source::TidbTable,
+        Source::SqliteEqp,
+        Source::MongoJson,
+        Source::Neo4jTable,
+        Source::SparkText,
+        Source::InfluxText,
+        Source::SqlServerXml,
+    ];
+
+    /// The stable CLI name of the source (`repro corpus ingest <source>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::PostgresText => "postgres-text",
+            Source::PostgresJson => "postgres-json",
+            Source::MySqlJson => "mysql-json",
+            Source::MySqlTable => "mysql-table",
+            Source::TidbTable => "tidb-table",
+            Source::SqliteEqp => "sqlite-eqp",
+            Source::MongoJson => "mongodb-json",
+            Source::Neo4jTable => "neo4j-table",
+            Source::SparkText => "sparksql-text",
+            Source::InfluxText => "influxdb-text",
+            Source::SqlServerXml => "sqlserver-xml",
+        }
+    }
+
+    /// Parses a CLI source name (the exact [`Source::name`] spelling,
+    /// case-insensitive, `_` accepted for `-`).
+    pub fn parse_name(name: &str) -> Option<Source> {
+        let normalized = name.trim().to_ascii_lowercase().replace('_', "-");
+        Source::ALL.into_iter().find(|s| s.name() == normalized)
+    }
+}
+
 /// Converts a serialized plan of the given source dialect.
 pub fn convert(source: Source, input: &str) -> Result<UnifiedPlan> {
     match source {
@@ -136,6 +178,19 @@ mod tests {
         let a = registry() as *const _;
         let b = registry() as *const _;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn source_names_round_trip() {
+        for source in Source::ALL {
+            assert_eq!(Source::parse_name(source.name()), Some(source));
+        }
+        assert_eq!(
+            Source::parse_name("POSTGRES_TEXT"),
+            Some(Source::PostgresText)
+        );
+        assert_eq!(Source::parse_name(" tidb-table "), Some(Source::TidbTable));
+        assert_eq!(Source::parse_name("oracle"), None);
     }
 
     #[test]

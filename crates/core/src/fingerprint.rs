@@ -246,38 +246,61 @@ fn hash_node(
     mix(state, TAG_END)
 }
 
-/// A growable set of observed plan fingerprints (QPG's novelty detector).
+/// A growable set of observed plan fingerprints — the single "have I seen
+/// this plan?" implementation.
+///
+/// This is the fingerprint-identity layer that every deduplication consumer
+/// shares: the deprecated [`PlanSet`] forwards here, and `uplan-corpus`'s
+/// metric-indexed store uses it as its dedup front end before plans reach
+/// the TED index.
 #[derive(Debug, Default, Clone)]
-pub struct PlanSet {
+pub struct FingerprintSet {
     seen: std::collections::HashSet<Fingerprint>,
     options: FingerprintOptions,
 }
 
-impl PlanSet {
+impl FingerprintSet {
     /// Empty set with default fingerprint options.
     pub fn new() -> Self {
-        PlanSet {
-            seen: Default::default(),
-            options: FingerprintOptions::default(),
-        }
+        FingerprintSet::default()
     }
 
     /// Empty set with explicit fingerprint options.
     pub fn with_options(options: FingerprintOptions) -> Self {
-        PlanSet {
+        FingerprintSet {
             seen: Default::default(),
             options,
         }
     }
 
+    /// The fingerprint options this set observes with.
+    pub fn options(&self) -> FingerprintOptions {
+        self.options
+    }
+
+    /// Fingerprints a plan under this set's options (without recording it).
+    pub fn fingerprint_of(&self, plan: &UnifiedPlan) -> Fingerprint {
+        fingerprint_with(plan, self.options)
+    }
+
     /// Records a plan; returns `true` if it was structurally new.
     pub fn observe(&mut self, plan: &UnifiedPlan) -> bool {
-        self.seen.insert(fingerprint_with(plan, self.options))
+        self.insert(self.fingerprint_of(plan))
+    }
+
+    /// Records a pre-computed fingerprint; returns `true` if it was new.
+    pub fn insert(&mut self, fp: Fingerprint) -> bool {
+        self.seen.insert(fp)
     }
 
     /// Whether a structurally equal plan has been recorded.
     pub fn contains(&self, plan: &UnifiedPlan) -> bool {
-        self.seen.contains(&fingerprint_with(plan, self.options))
+        self.seen.contains(&self.fingerprint_of(plan))
+    }
+
+    /// Whether a fingerprint has been recorded.
+    pub fn contains_fingerprint(&self, fp: Fingerprint) -> bool {
+        self.seen.contains(&fp)
     }
 
     /// Number of distinct plans observed.
@@ -288,6 +311,57 @@ impl PlanSet {
     /// `true` if no plans have been observed.
     pub fn is_empty(&self) -> bool {
         self.seen.is_empty()
+    }
+
+    /// Iterates over the distinct fingerprints observed (arbitrary order).
+    pub fn fingerprints(&self) -> impl Iterator<Item = Fingerprint> + '_ {
+        self.seen.iter().copied()
+    }
+}
+
+/// A growable set of observed plan fingerprints (QPG's novelty detector).
+#[deprecated(
+    since = "0.1.0",
+    note = "use fingerprint::FingerprintSet, or uplan-corpus's PlanCorpus for \
+            persistent, TED-indexed campaign stores"
+)]
+#[derive(Debug, Default, Clone)]
+pub struct PlanSet {
+    inner: FingerprintSet,
+}
+
+#[allow(deprecated)]
+impl PlanSet {
+    /// Empty set with default fingerprint options.
+    pub fn new() -> Self {
+        PlanSet::default()
+    }
+
+    /// Empty set with explicit fingerprint options.
+    pub fn with_options(options: FingerprintOptions) -> Self {
+        PlanSet {
+            inner: FingerprintSet::with_options(options),
+        }
+    }
+
+    /// Records a plan; returns `true` if it was structurally new.
+    pub fn observe(&mut self, plan: &UnifiedPlan) -> bool {
+        self.inner.observe(plan)
+    }
+
+    /// Whether a structurally equal plan has been recorded.
+    pub fn contains(&self, plan: &UnifiedPlan) -> bool {
+        self.inner.contains(plan)
+    }
+
+    /// Number of distinct plans observed.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` if no plans have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
     }
 }
 
@@ -432,21 +506,42 @@ mod tests {
     }
 
     #[test]
-    fn plan_set_tracks_novelty() {
-        let mut set = PlanSet::new();
+    fn fingerprint_set_tracks_novelty() {
+        let mut set = FingerprintSet::new();
         assert!(set.is_empty());
         assert!(set.observe(&tidb_like(7, 10)));
         assert!(!set.observe(&tidb_like(12, 10)));
         assert!(set.contains(&tidb_like(1, 3)));
         assert_eq!(set.len(), 1);
+        let fp = set.fingerprint_of(&tidb_like(3, 5));
+        assert!(set.contains_fingerprint(fp));
+        assert!(!set.insert(fp));
+        assert_eq!(set.fingerprints().count(), 1);
 
-        let mut strict = PlanSet::with_options(FingerprintOptions {
+        let mut strict = FingerprintSet::with_options(FingerprintOptions {
             strip_numeric_suffixes: false,
             ..FingerprintOptions::default()
         });
         assert!(strict.observe(&tidb_like(7, 10)));
         assert!(strict.observe(&tidb_like(12, 10)));
         assert_eq!(strict.len(), 2);
+        assert!(!strict.options().strip_numeric_suffixes);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_plan_set_still_forwards() {
+        let mut set = PlanSet::new();
+        assert!(set.is_empty());
+        assert!(set.observe(&tidb_like(7, 10)));
+        assert!(!set.observe(&tidb_like(12, 10)));
+        assert!(set.contains(&tidb_like(1, 3)));
+        assert_eq!(set.len(), 1);
+        let strict = PlanSet::with_options(FingerprintOptions {
+            strip_numeric_suffixes: false,
+            ..FingerprintOptions::default()
+        });
+        assert!(strict.is_empty());
     }
 
     #[test]

@@ -9,12 +9,15 @@
 //! * [`json`] — a zero-copy JSON document model, tree parser, pull reader
 //!   and writer (used both to serialize unified plans and to parse native
 //!   DBMS explain output);
+//! * [`binary`] — the compact, symbol-table-prefixed binary codec that
+//!   plan corpora persist through (versioned, varint-encoded);
 //! * [`xml`] — an XML element model, writer and a small parser (SQL Server
 //!   exposes plans as XML showplans);
 //! * [`yaml`] — a YAML writer (PostgreSQL's `FORMAT YAML`);
 //! * [`unified`] — the mapping between [`crate::UnifiedPlan`] and these
 //!   document models.
 
+pub mod binary;
 pub mod json;
 pub mod unified;
 pub mod xml;

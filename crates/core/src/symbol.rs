@@ -17,6 +17,13 @@
 //! form (trailing `_<digits>` stripped — TiDB's random operator suffixes),
 //! so the fingerprint/TED hot paths never re-scan identifier bytes.
 //!
+//! The spelling map is sharded ([`SHARD_COUNT`] locks, selected by spelling
+//! hash) so parallel corpus ingest — many threads converting plans and
+//! probing identifiers concurrently — does not serialize on a single
+//! process-wide lock; the append-only index→entry table sits behind its own
+//! lock, whose write side is taken only when a first-seen spelling is
+//! inserted.
+//!
 //! The interner is pre-seeded with the category names of the grammar, every
 //! unified operation/property name in [`crate::unified_names`], and the
 //! canonicalized unified identifier of every catalog entry of the nine
@@ -95,12 +102,85 @@ impl std::hash::BuildHasher for FnvBuildHasher {
     }
 }
 
-struct Interner {
+/// Number of spelling-map shards. Spellings distribute by FNV hash, so
+/// parallel ingest threads probing (or inserting) different identifiers
+/// contend on different locks instead of serializing on one table-wide
+/// `RwLock`. A power of two keeps shard selection a mask.
+pub const SHARD_COUNT: usize = 16;
+
+/// The sharded symbol store.
+///
+/// * `shards` — spelling → index maps, sharded by spelling hash. The
+///   lookup fast path (`Symbol::get`, the pre-seeded intern path) takes one
+///   shard's read lock and nothing else, so it stays allocation-free and
+///   contention spreads across [`SHARD_COUNT`] locks.
+/// * `entries` — the append-only index → entry table, under its own lock.
+///   Resolution hot paths ([`SymbolTable`]) take its read guard once per
+///   plan; the write lock is taken only when a first-seen spelling is
+///   inserted.
+///
+/// Lock order (when both are held): `entries` before `shards[s]`. The only
+/// place both are held is the insert slow path and `SymbolTable::get`, and
+/// both follow that order, so the pair cannot deadlock.
+struct SymbolStore {
+    shards: Vec<RwLock<HashMap<&'static str, u32, FnvBuildHasher>>>,
+    entries: RwLock<Vec<Entry>>,
+}
+
+impl SymbolStore {
+    #[inline]
+    fn shard_of(text: &str) -> usize {
+        (fnv1a(text.as_bytes()) as usize) & (SHARD_COUNT - 1)
+    }
+
+    fn lookup(&self, text: &str) -> Option<u32> {
+        self.shards[Self::shard_of(text)]
+            .read()
+            .expect("symbol table poisoned")
+            .get(text)
+            .copied()
+    }
+
+    fn intern(&self, text: &str) -> u32 {
+        if let Some(idx) = self.lookup(text) {
+            return idx;
+        }
+        // Memoize the stable (suffix-stripped) form *before* taking any
+        // lock: it may live in a different shard, and interning it here
+        // keeps the entry fully initialized the moment it becomes visible.
+        let stripped = crate::fingerprint::stable_identifier(text);
+        let stable = if stripped == text {
+            None
+        } else {
+            Some(self.intern(stripped))
+        };
+        let mut entries = self.entries.write().expect("symbol table poisoned");
+        let mut map = self.shards[Self::shard_of(text)]
+            .write()
+            .expect("symbol table poisoned");
+        if let Some(&idx) = map.get(text) {
+            return idx; // lost an intern race for the same spelling
+        }
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let idx = u32::try_from(entries.len()).expect("symbol table overflow");
+        entries.push(Entry {
+            text: leaked,
+            stable: stable.unwrap_or(idx),
+            fnv: fnv1a(leaked.as_bytes()),
+        });
+        map.insert(leaked, idx);
+        idx
+    }
+}
+
+/// Unsharded builder used only while pre-seeding the store inside the
+/// `OnceLock` initializer (no concurrency yet, no locks needed).
+struct SeedInterner {
     map: HashMap<&'static str, u32, FnvBuildHasher>,
     entries: Vec<Entry>,
 }
 
-impl Interner {
+impl SeedInterner {
     fn intern(&mut self, text: &str) -> u32 {
         if let Some(&idx) = self.map.get(text) {
             return idx;
@@ -133,6 +213,19 @@ impl Interner {
         }
         idx
     }
+
+    fn into_store(self) -> SymbolStore {
+        let mut shards: Vec<HashMap<&'static str, u32, FnvBuildHasher>> = (0..SHARD_COUNT)
+            .map(|_| HashMap::with_capacity_and_hasher(128, FnvBuildHasher))
+            .collect();
+        for (text, idx) in self.map {
+            shards[SymbolStore::shard_of(text)].insert(text, idx);
+        }
+        SymbolStore {
+            shards: shards.into_iter().map(RwLock::new).collect(),
+            entries: RwLock::new(self.entries),
+        }
+    }
 }
 
 /// FNV-1a over a byte slice (the per-symbol content hash; also reused by
@@ -146,11 +239,11 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     state
 }
 
-static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+static INTERNER: OnceLock<SymbolStore> = OnceLock::new();
 
-fn interner() -> &'static RwLock<Interner> {
+fn interner() -> &'static SymbolStore {
     INTERNER.get_or_init(|| {
-        let mut interner = Interner {
+        let mut interner = SeedInterner {
             map: HashMap::with_capacity_and_hasher(1024, FnvBuildHasher),
             entries: Vec::with_capacity(1024),
         };
@@ -211,7 +304,7 @@ fn interner() -> &'static RwLock<Interner> {
                 interner.intern(&crate::keyword::canonicalize(unified));
             }
         }
-        RwLock::new(interner)
+        interner.into_store()
     })
 }
 
@@ -228,19 +321,12 @@ impl Symbol {
     pub(crate) const CAT_CONFIGURATION: Symbol = Symbol(9);
     pub(crate) const CAT_STATUS: Symbol = Symbol(10);
 
-    /// Interns a string, returning its symbol. O(1) hash probe when the
-    /// spelling is already known; takes the write lock (and leaks one copy
-    /// of the spelling) only the first time it is seen.
+    /// Interns a string, returning its symbol. O(1) hash probe on one
+    /// spelling shard when the spelling is already known; takes the write
+    /// locks (and leaks one copy of the spelling) only the first time it is
+    /// seen.
     pub fn intern(text: &str) -> Symbol {
-        if let Some(sym) = Symbol::get(text) {
-            return sym;
-        }
-        Symbol(
-            interner()
-                .write()
-                .expect("symbol table poisoned")
-                .intern(text),
-        )
+        Symbol(interner().intern(text))
     }
 
     /// Interns a name after keyword canonicalization, skipping the
@@ -258,9 +344,10 @@ impl Symbol {
         }
     }
 
-    /// Looks a spelling up without interning it.
+    /// Looks a spelling up without interning it (one shard read lock, no
+    /// allocation).
     pub fn get(text: &str) -> Option<Symbol> {
-        SymbolTable::read().get(text)
+        interner().lookup(text).map(Symbol)
     }
 
     /// The symbol's spelling.
@@ -282,9 +369,9 @@ impl Symbol {
     /// Number of interned symbols (diagnostics / tests).
     pub fn count() -> usize {
         interner()
+            .entries
             .read()
             .expect("symbol table poisoned")
-            .entries
             .len()
     }
 }
@@ -295,35 +382,37 @@ impl Symbol {
 /// [`crate::ted`]) take the guard once and resolve through it, instead of
 /// re-acquiring the read lock per symbol. Do not intern while holding one.
 pub struct SymbolTable {
-    guard: RwLockReadGuard<'static, Interner>,
+    guard: RwLockReadGuard<'static, Vec<Entry>>,
 }
 
 impl SymbolTable {
     /// Acquires the table for batched reads.
     pub fn read() -> SymbolTable {
         SymbolTable {
-            guard: interner().read().expect("symbol table poisoned"),
+            guard: interner().entries.read().expect("symbol table poisoned"),
         }
     }
 
     /// The spelling of `sym`.
     pub fn str(&self, sym: Symbol) -> &'static str {
-        self.guard.entries[sym.0 as usize].text
+        self.guard[sym.0 as usize].text
     }
 
     /// The memoized suffix-stripped form of `sym`.
     pub fn stable(&self, sym: Symbol) -> Symbol {
-        Symbol(self.guard.entries[sym.0 as usize].stable)
+        Symbol(self.guard[sym.0 as usize].stable)
     }
 
     /// The memoized FNV-1a content hash of `sym`'s spelling.
     pub fn content_hash(&self, sym: Symbol) -> u64 {
-        self.guard.entries[sym.0 as usize].fnv
+        self.guard[sym.0 as usize].fnv
     }
 
-    /// Looks a spelling up through this guard (no extra lock acquisition).
+    /// Looks a spelling up (one shard read lock; the spelling maps are not
+    /// covered by this guard, but `entries` before `shards[s]` is the
+    /// store's lock order, so probing from here is deadlock-free).
     pub fn get(&self, text: &str) -> Option<Symbol> {
-        self.guard.map.get(text).map(|&idx| Symbol(idx))
+        interner().lookup(text).map(Symbol)
     }
 }
 
@@ -518,6 +607,58 @@ mod tests {
         let s = Symbol::intern("Index_Scan");
         assert_eq!(s.to_string(), "Index_Scan");
         assert_eq!(format!("{s:?}"), "\"Index_Scan\"");
+    }
+
+    #[test]
+    fn spellings_distribute_across_shards() {
+        // Not a correctness requirement per se, but the sharding only helps
+        // if real identifier vocabularies actually spread: the nine-catalog
+        // seed vocabulary must not all hash into one shard.
+        let mut hit = [false; SHARD_COUNT];
+        for name in [
+            "Full_Table_Scan",
+            "Hash_Join",
+            "Index_Scan",
+            "Sort",
+            "Aggregate",
+            "rows",
+            "total_cost",
+            "filter",
+            "Collect",
+            "Gather",
+            "name_object",
+            "task_type",
+            "join_cond",
+            "group_key",
+            "Project",
+            "Top_N",
+        ] {
+            hit[SymbolStore::shard_of(name)] = true;
+        }
+        assert!(
+            hit.iter().filter(|h| **h).count() >= 4,
+            "vocabulary clumps into too few shards: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn racing_interns_of_stripping_spellings_memoize_stable_forms() {
+        // The sharded slow path interns the stripped form *before*
+        // publishing the new entry; racing threads must all observe a fully
+        // memoized stable form, never a self-referential placeholder.
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..64 {
+                        let sym = Symbol::intern(&format!("Shard_Race_{}", (t + i) % 16));
+                        assert_eq!(sym.stable().as_str(), "Shard_Race");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! A Burkhard–Keller tree over an integer metric.
+//!
+//! Tree edit distance with unit costs is a true metric (non-negative,
+//! symmetric, zero iff label-identical trees, triangle inequality), which
+//! is exactly what a BK-tree needs: every item in the subtree hanging off a
+//! node's edge `e` lies at distance *exactly* `e` from that node, so a
+//! query at distance `d` from the node can skip any edge with
+//! `|d − e| > bound` — the triangle inequality guarantees nothing behind it
+//! can answer. That turns "any plan within radius r?" over a 10k-plan
+//! corpus from a full O(n) TED scan into a handful of evaluations.
+//!
+//! The tree stores opaque `u32` item ids and never computes distances
+//! itself: every operation takes a `dist` closure and **returns how many
+//! times it called it**, because the whole point of the index is the
+//! evaluation count — benches and tests gate on evaluations, not wall
+//! clock, so the pruning claim is checkable on any machine.
+
+use std::collections::BinaryHeap;
+
+/// A BK-tree node: an item id plus children keyed by their distance to it.
+#[derive(Debug, Clone)]
+struct BkNode {
+    item: u32,
+    /// `(edge distance, node index)`; linear scan — real plan corpora have
+    /// a few dozen distinct TED values per node at most.
+    children: Vec<(u32, u32)>,
+}
+
+/// A BK-tree over `u32` item ids and a caller-supplied integer metric.
+#[derive(Debug, Clone, Default)]
+pub struct BkTree {
+    nodes: Vec<BkNode>,
+}
+
+impl BkTree {
+    /// An empty tree.
+    pub fn new() -> BkTree {
+        BkTree::default()
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Inserts an item, routing by `dist(existing_item)`. Returns the
+    /// number of metric evaluations spent.
+    ///
+    /// `dist` must be the same metric for every call on this tree, and
+    /// `item` must not already be present (the corpus's fingerprint dedup
+    /// guarantees both).
+    pub fn insert(&mut self, item: u32, mut dist: impl FnMut(u32) -> u32) -> u64 {
+        if self.nodes.is_empty() {
+            self.nodes.push(BkNode {
+                item,
+                children: Vec::new(),
+            });
+            return 0;
+        }
+        let mut evals = 0u64;
+        let mut cur = 0usize;
+        loop {
+            let d = dist(self.nodes[cur].item);
+            evals += 1;
+            match self.nodes[cur].children.iter().find(|(edge, _)| *edge == d) {
+                Some(&(_, child)) => cur = child as usize,
+                None => {
+                    let idx = u32::try_from(self.nodes.len()).expect("BK-tree overflow");
+                    self.nodes.push(BkNode {
+                        item,
+                        children: Vec::new(),
+                    });
+                    self.nodes[cur].children.push((d, idx));
+                    return evals;
+                }
+            }
+        }
+    }
+
+    /// All items within `radius` of the probe, as `(item, distance)` pairs
+    /// in unspecified order, plus the number of metric evaluations spent.
+    pub fn within_radius(
+        &self,
+        radius: u32,
+        mut dist: impl FnMut(u32) -> u32,
+    ) -> (Vec<(u32, u32)>, u64) {
+        let mut out = Vec::new();
+        if self.nodes.is_empty() {
+            return (out, 0);
+        }
+        let mut evals = 0u64;
+        let mut stack = vec![0u32];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            let d = dist(node.item);
+            evals += 1;
+            if d <= radius {
+                out.push((node.item, d));
+            }
+            for &(edge, child) in &node.children {
+                // Everything behind `edge` is at exactly `edge` from this
+                // node, hence at ≥ |d − edge| from the probe.
+                if edge.abs_diff(d) <= radius {
+                    stack.push(child);
+                }
+            }
+        }
+        (out, evals)
+    }
+
+    /// The `k` nearest items to the probe, sorted by ascending distance
+    /// (then item id), plus the number of metric evaluations spent.
+    ///
+    /// The returned *distance multiset* always equals a brute-force scan's.
+    /// When more than `k` items tie at the k-th distance, *which* of the
+    /// tied items are returned depends on traversal order — pruning skips
+    /// subtrees that cannot strictly improve the result, so equal-distance
+    /// alternatives behind them are never visited.
+    pub fn nearest(&self, k: usize, mut dist: impl FnMut(u32) -> u32) -> (Vec<(u32, u32)>, u64) {
+        if k == 0 || self.nodes.is_empty() {
+            return (Vec::new(), 0);
+        }
+        // Max-heap of the best k seen so far, keyed (distance, item) so the
+        // peek is the current worst keeper.
+        let mut best: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(k + 1);
+        let mut evals = 0u64;
+        self.nearest_rec(0, k, &mut dist, &mut best, &mut evals);
+        let sorted = best.into_sorted_vec();
+        (
+            sorted.into_iter().map(|(d, item)| (item, d)).collect(),
+            evals,
+        )
+    }
+
+    fn nearest_rec(
+        &self,
+        n: u32,
+        k: usize,
+        dist: &mut impl FnMut(u32) -> u32,
+        best: &mut BinaryHeap<(u32, u32)>,
+        evals: &mut u64,
+    ) {
+        let node = &self.nodes[n as usize];
+        let d = dist(node.item);
+        *evals += 1;
+        if best.len() < k {
+            best.push((d, node.item));
+        } else if let Some(&(worst, _)) = best.peek() {
+            if d < worst {
+                best.pop();
+                best.push((d, node.item));
+            }
+        }
+        // Best-first over children: the subtree behind edge `e` bounds at
+        // |d − e|, so visiting small gaps first tightens the heap early and
+        // prunes more of the rest.
+        let mut gaps: Vec<(u32, u32)> = node
+            .children
+            .iter()
+            .map(|&(edge, child)| (edge.abs_diff(d), child))
+            .collect();
+        gaps.sort_unstable();
+        for (gap, child) in gaps {
+            // With a full heap, a subtree bounded at `gap >= worst` cannot
+            // strictly improve any kept distance; equal-distance ties swap
+            // items but never the distance multiset, so skipping is sound.
+            let prune = best.len() >= k && best.peek().is_some_and(|&(worst, _)| gap >= worst);
+            if !prune {
+                self.nearest_rec(child, k, dist, best, evals);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Absolute difference on a line of integers — a trivially correct
+    /// metric for exercising the traversals.
+    fn line_metric(items: &[u32], probe: u32) -> impl FnMut(u32) -> u32 + '_ {
+        move |i| items[i as usize].abs_diff(probe)
+    }
+
+    fn build(values: &[u32]) -> BkTree {
+        let mut tree = BkTree::new();
+        for (i, _) in values.iter().enumerate() {
+            let probe = values[i];
+            tree.insert(i as u32, |j| values[j as usize].abs_diff(probe));
+        }
+        tree
+    }
+
+    #[test]
+    fn radius_queries_match_brute_force() {
+        let values = [5u32, 9, 1, 14, 5, 22, 8, 3, 17, 40, 2, 11];
+        let tree = build(&values);
+        for probe in 0..45u32 {
+            for radius in 0..10u32 {
+                let (mut got, evals) = tree.within_radius(radius, line_metric(&values, probe));
+                got.sort_unstable();
+                let mut want: Vec<(u32, u32)> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.abs_diff(probe) <= radius)
+                    .map(|(i, v)| (i as u32, v.abs_diff(probe)))
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "probe {probe} radius {radius}");
+                assert!(evals <= values.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_distances() {
+        let values = [5u32, 9, 1, 14, 5, 22, 8, 3, 17, 40, 2, 11];
+        let tree = build(&values);
+        for probe in 0..45u32 {
+            for k in 1..=values.len() + 1 {
+                let (got, _) = tree.nearest(k, line_metric(&values, probe));
+                let mut want: Vec<u32> = values.iter().map(|v| v.abs_diff(probe)).collect();
+                want.sort_unstable();
+                want.truncate(k);
+                let got_d: Vec<u32> = got.iter().map(|&(_, d)| d).collect();
+                assert_eq!(got_d, want, "probe {probe} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_beats_scanning_on_clustered_data() {
+        // 512 items in tight clusters: a radius-1 probe near one cluster
+        // must not evaluate the whole population.
+        let values: Vec<u32> = (0..512u32).map(|i| (i / 32) * 1000 + (i % 32)).collect();
+        let tree = build(&values);
+        let (hits, evals) = tree.within_radius(1, line_metric(&values, 3015));
+        assert!(!hits.is_empty());
+        assert!(
+            evals * 4 < values.len() as u64,
+            "radius query spent {evals} evals on {} items",
+            values.len()
+        );
+    }
+
+    #[test]
+    fn zero_distance_items_are_indexable() {
+        // Distinct items at distance 0 (plans with equal trees but
+        // different fingerprints) chain through 0-edges and stay findable.
+        let values = [7u32, 7, 7, 9];
+        let tree = build(&values);
+        let (mut hits, _) = tree.within_radius(0, line_metric(&values, 7));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![(0, 0), (1, 0), (2, 0)]);
+        let (knn, _) = tree.nearest(3, line_metric(&values, 7));
+        assert!(knn.iter().all(|&(_, d)| d == 0));
+        assert_eq!(knn.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_k_zero_edge_cases() {
+        let tree = BkTree::new();
+        assert!(tree.is_empty());
+        let (hits, evals) = tree.within_radius(5, |_| 0);
+        assert!(hits.is_empty() && evals == 0);
+        let (knn, evals) = tree.nearest(3, |_| 0);
+        assert!(knn.is_empty() && evals == 0);
+        let full = build(&[1, 2, 3]);
+        assert_eq!(full.len(), 3);
+        let (knn, evals) = full.nearest(0, |_| 0);
+        assert!(knn.is_empty() && evals == 0);
+    }
+}

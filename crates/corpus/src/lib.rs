@@ -1,0 +1,654 @@
+//! # uplan-corpus — a persistent, TED-metric-indexed store of unified plans
+//!
+//! The paper's headline applications — plan-coverage-guided testing (QPG)
+//! and cross-version / cross-DBMS plan analysis — all accumulate *large
+//! populations* of plans and ask two questions of them: "have I seen this
+//! exact plan?" and "have I seen anything *like* it?". This crate answers
+//! both at corpus scale:
+//!
+//! * **Exact identity** is fingerprint dedup, shared with the rest of the
+//!   workspace through [`uplan_core::fingerprint::FingerprintSet`] (the one
+//!   "have I seen this plan?" implementation; the old `PlanSet` forwards to
+//!   it).
+//! * **Similarity** is tree edit distance. TED with unit costs is a true
+//!   metric, so the corpus keeps every distinct plan in a
+//!   [`bktree::BkTree`] and answers radius and k-nearest-neighbor queries
+//!   with triangle-inequality pruning — a counted ~10–100× fewer TED
+//!   evaluations than a brute-force scan at 10k plans (see the `corpus/*`
+//!   benches and the scan-vs-index tests, which compare evaluation
+//!   *counts*, not timings).
+//! * **Persistence** is the versioned binary codec of
+//!   [`uplan_core::formats::binary`] (one shared symbol table for the whole
+//!   corpus) with a JSON-lines fallback for interchange; [`PlanCorpus::load`]
+//!   sniffs the magic bytes and accepts either.
+//!
+//! The store is the substrate the testing loop observes plans through
+//! (`uplan-testing`'s QPG), the `repro corpus` CLI manages, and future
+//! scale work (sharded campaigns, cross-version diffing) builds on.
+
+pub mod bktree;
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use uplan_core::fingerprint::{Fingerprint, FingerprintOptions, FingerprintSet};
+use uplan_core::formats::binary::{BinaryDecoder, BinaryEncoder, BINARY_MAGIC};
+use uplan_core::formats::unified;
+use uplan_core::ted::tree_edit_distance;
+use uplan_core::{Error, Result, UnifiedPlan};
+
+use bktree::BkTree;
+
+/// Result rows of a metric query: `(plan id, TED distance)`.
+pub type Matches = Vec<(usize, u32)>;
+
+/// A metric query's outcome, carrying the evaluation count the index is
+/// judged by.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricQuery {
+    /// Matching plans as `(plan id, distance)`; radius queries sort by id,
+    /// k-NN queries by ascending distance.
+    pub matches: Matches,
+    /// Number of tree-edit-distance evaluations spent answering.
+    pub ted_evals: u64,
+}
+
+/// Aggregate corpus statistics (`repro corpus stats`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Plans observed by this corpus instance, including fingerprint
+    /// duplicates (session-local — not persisted; a reloaded corpus
+    /// reports `observed == distinct`).
+    pub observed: u64,
+    /// Distinct plans stored (fingerprint-deduplicated).
+    pub distinct: usize,
+    /// Observations that were fingerprint duplicates (session-local, see
+    /// `observed`).
+    pub duplicates: u64,
+    /// Total operations across distinct plans.
+    pub operations: usize,
+    /// Deepest stored plan tree.
+    pub max_depth: usize,
+}
+
+/// One near-duplicate cluster: a leader plan and the members within the
+/// clustering radius of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Plan id of the cluster leader (the lowest unclaimed id at its turn).
+    pub leader: usize,
+    /// `(plan id, TED distance to leader)`, leader first at distance 0.
+    pub members: Vec<(usize, u32)>,
+}
+
+/// Outcome of diffing two corpora (`repro corpus diff`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusDiff {
+    /// The TED radius the `beyond_radius_*` rows were computed at.
+    pub radius: u32,
+    /// Distinct fingerprints present in both corpora.
+    pub shared: usize,
+    /// Left plan ids whose fingerprint is absent from the right corpus.
+    pub fingerprint_only_left: Vec<usize>,
+    /// Right plan ids whose fingerprint is absent from the left corpus.
+    pub fingerprint_only_right: Vec<usize>,
+    /// Of `fingerprint_only_left`, the ids with no right plan within
+    /// `radius` — genuinely novel shapes, not near-duplicates.
+    pub beyond_radius_left: Vec<usize>,
+    /// Of `fingerprint_only_right`, the ids with no left plan within
+    /// `radius`.
+    pub beyond_radius_right: Vec<usize>,
+}
+
+/// A fingerprint-deduplicated, BK-tree-indexed population of unified plans.
+#[derive(Debug, Default, Clone)]
+pub struct PlanCorpus {
+    dedup: FingerprintSet,
+    plans: Vec<UnifiedPlan>,
+    fingerprints: Vec<Fingerprint>,
+    index: BkTree,
+    observed: u64,
+    index_evals: u64,
+}
+
+impl PlanCorpus {
+    /// An empty corpus with default fingerprint options.
+    pub fn new() -> PlanCorpus {
+        PlanCorpus::default()
+    }
+
+    /// An empty corpus with explicit fingerprint options.
+    pub fn with_options(options: FingerprintOptions) -> PlanCorpus {
+        PlanCorpus {
+            dedup: FingerprintSet::with_options(options),
+            ..PlanCorpus::default()
+        }
+    }
+
+    /// The fingerprint options this corpus dedups under.
+    pub fn options(&self) -> FingerprintOptions {
+        self.dedup.options()
+    }
+
+    /// Number of distinct plans stored.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` when no plan has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Total plans observed by *this corpus instance*, including
+    /// fingerprint duplicates. Session-local: persistence stores only the
+    /// distinct plan set, so a reloaded corpus restarts at
+    /// `observed() == len()`.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Observations that were fingerprint duplicates of stored plans
+    /// (session-local, like [`PlanCorpus::observed`]).
+    pub fn duplicates(&self) -> u64 {
+        self.observed - self.plans.len() as u64
+    }
+
+    /// TED evaluations spent *building* the index so far (insert routing).
+    pub fn index_evals(&self) -> u64 {
+        self.index_evals
+    }
+
+    /// The stored plan with the given id (ids are dense, `0..len()`).
+    pub fn plan(&self, id: usize) -> &UnifiedPlan {
+        &self.plans[id]
+    }
+
+    /// The fingerprint of the stored plan with the given id.
+    pub fn fingerprint(&self, id: usize) -> Fingerprint {
+        self.fingerprints[id]
+    }
+
+    /// Iterates over `(id, plan)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &UnifiedPlan)> {
+        self.plans.iter().enumerate()
+    }
+
+    /// Whether a structurally equal plan (same fingerprint) is stored.
+    pub fn contains(&self, plan: &UnifiedPlan) -> bool {
+        self.dedup.contains(plan)
+    }
+
+    /// Whether a fingerprint is stored.
+    pub fn contains_fingerprint(&self, fp: Fingerprint) -> bool {
+        self.dedup.contains_fingerprint(fp)
+    }
+
+    /// Observes a plan: stores it (cloning) when its fingerprint is new.
+    /// Returns `true` for fingerprint-novel plans.
+    pub fn observe(&mut self, plan: &UnifiedPlan) -> bool {
+        self.observed += 1;
+        let fp = self.dedup.fingerprint_of(plan);
+        if !self.dedup.insert(fp) {
+            return false;
+        }
+        self.store(plan.clone(), fp);
+        true
+    }
+
+    /// Observes a plan with a *novelty radius*: the plan is stored whenever
+    /// its fingerprint is new, but it only counts as novel when no stored
+    /// plan lies within `radius` tree edits of it. Radius 0 degenerates to
+    /// plain fingerprint novelty (a distance-0 twin is a different
+    /// fingerprint spelling of the same tree).
+    ///
+    /// This is the QPG campaign primitive: "a new plan" becomes "a plan
+    /// unlike anything seen", which stops near-duplicate plan shapes from
+    /// resetting the mutation stall window.
+    pub fn observe_novel(&mut self, plan: &UnifiedPlan, radius: u32) -> bool {
+        self.observed += 1;
+        let fp = self.dedup.fingerprint_of(plan);
+        if !self.dedup.insert(fp) {
+            return false;
+        }
+        let novel = if radius == 0 {
+            true
+        } else {
+            let query = self.within_radius(plan, radius);
+            query.matches.is_empty()
+        };
+        self.store(plan.clone(), fp);
+        novel
+    }
+
+    /// Inserts a plan by value; returns its id, or `None` if its
+    /// fingerprint was already stored.
+    pub fn insert(&mut self, plan: UnifiedPlan) -> Option<usize> {
+        self.observed += 1;
+        let fp = self.dedup.fingerprint_of(&plan);
+        if !self.dedup.insert(fp) {
+            return None;
+        }
+        Some(self.store(plan, fp))
+    }
+
+    fn store(&mut self, plan: UnifiedPlan, fp: Fingerprint) -> usize {
+        let id = self.plans.len();
+        self.plans.push(plan);
+        self.fingerprints.push(fp);
+        let plans = &self.plans;
+        let probe = &plans[id];
+        let evals = self.index.insert(id as u32, |other| {
+            tree_edit_distance(probe, &plans[other as usize]) as u32
+        });
+        self.index_evals += evals;
+        id
+    }
+
+    /// All stored plans within `radius` tree edits of the probe, via the
+    /// BK-tree (triangle-inequality pruned). Matches sort by plan id.
+    pub fn within_radius(&self, probe: &UnifiedPlan, radius: u32) -> MetricQuery {
+        let plans = &self.plans;
+        let (mut matches, ted_evals) = self.index.within_radius(radius, |other| {
+            tree_edit_distance(probe, &plans[other as usize]) as u32
+        });
+        matches.sort_unstable();
+        MetricQuery {
+            matches: matches.into_iter().map(|(i, d)| (i as usize, d)).collect(),
+            ted_evals,
+        }
+    }
+
+    /// The `k` stored plans nearest to the probe, via the BK-tree. Matches
+    /// sort by ascending distance.
+    pub fn nearest(&self, probe: &UnifiedPlan, k: usize) -> MetricQuery {
+        let plans = &self.plans;
+        let (matches, ted_evals) = self.index.nearest(k, |other| {
+            tree_edit_distance(probe, &plans[other as usize]) as u32
+        });
+        MetricQuery {
+            matches: matches.into_iter().map(|(i, d)| (i as usize, d)).collect(),
+            ted_evals,
+        }
+    }
+
+    /// Brute-force reference for [`PlanCorpus::within_radius`]: a full TED
+    /// scan. One evaluation per stored plan — the number the index's
+    /// pruning is measured against.
+    pub fn scan_within_radius(&self, probe: &UnifiedPlan, radius: u32) -> MetricQuery {
+        let mut matches = Vec::new();
+        for (id, plan) in self.iter() {
+            let d = tree_edit_distance(probe, plan) as u32;
+            if d <= radius {
+                matches.push((id, d));
+            }
+        }
+        MetricQuery {
+            matches,
+            ted_evals: self.plans.len() as u64,
+        }
+    }
+
+    /// Brute-force reference for [`PlanCorpus::nearest`]: same distance
+    /// multiset, but where several plans tie at the k-th distance the two
+    /// may keep different tied ids (the scan keeps the lowest; the index
+    /// keeps whichever its pruning visited first).
+    pub fn scan_nearest(&self, probe: &UnifiedPlan, k: usize) -> MetricQuery {
+        let mut all: Vec<(u32, usize)> = self
+            .iter()
+            .map(|(id, plan)| (tree_edit_distance(probe, plan) as u32, id))
+            .collect();
+        all.sort_unstable();
+        all.truncate(k);
+        MetricQuery {
+            matches: all.into_iter().map(|(d, id)| (id, d)).collect(),
+            ted_evals: self.plans.len() as u64,
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> CorpusStats {
+        let mut operations = 0usize;
+        let mut max_depth = 0usize;
+        for plan in &self.plans {
+            operations += plan.operation_count();
+            if let Some(root) = &plan.root {
+                max_depth = max_depth.max(root.depth());
+            }
+        }
+        CorpusStats {
+            observed: self.observed,
+            distinct: self.plans.len(),
+            duplicates: self.duplicates(),
+            operations,
+            max_depth,
+        }
+    }
+
+    /// Greedy leader clustering at the given radius: plans are visited in
+    /// id order; each unclaimed plan becomes a leader and claims every
+    /// unclaimed plan within `radius` of it (one BK radius query each).
+    /// Deterministic, and the id-order greedy pass makes leaders the
+    /// earliest-observed representative of each neighborhood.
+    pub fn clusters(&self, radius: u32) -> Vec<Cluster> {
+        let mut claimed = vec![false; self.plans.len()];
+        let mut out = Vec::new();
+        for leader in 0..self.plans.len() {
+            if claimed[leader] {
+                continue;
+            }
+            claimed[leader] = true;
+            let query = self.within_radius(&self.plans[leader], radius);
+            let mut members = vec![(leader, 0u32)];
+            for (id, d) in query.matches {
+                if !claimed[id] {
+                    claimed[id] = true;
+                    members.push((id, d));
+                }
+            }
+            out.push(Cluster { leader, members });
+        }
+        out
+    }
+
+    /// Diffs two corpora: exact differences by fingerprint, then — for the
+    /// fingerprint-unique plans — whether a near-duplicate (within
+    /// `radius`) exists on the other side.
+    pub fn diff(&self, other: &PlanCorpus, radius: u32) -> CorpusDiff {
+        let shared = self
+            .fingerprints
+            .iter()
+            .filter(|fp| other.contains_fingerprint(**fp))
+            .count();
+        let unique = |a: &PlanCorpus, b: &PlanCorpus| -> (Vec<usize>, Vec<usize>) {
+            let mut only = Vec::new();
+            let mut beyond = Vec::new();
+            for (id, plan) in a.iter() {
+                if b.contains_fingerprint(a.fingerprints[id]) {
+                    continue;
+                }
+                only.push(id);
+                if b.within_radius(plan, radius).matches.is_empty() {
+                    beyond.push(id);
+                }
+            }
+            (only, beyond)
+        };
+        let (fingerprint_only_left, beyond_radius_left) = unique(self, other);
+        let (fingerprint_only_right, beyond_radius_right) = unique(other, self);
+        CorpusDiff {
+            radius,
+            shared,
+            fingerprint_only_left,
+            fingerprint_only_right,
+            beyond_radius_left,
+            beyond_radius_right,
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Persistence
+    // -----------------------------------------------------------------------
+
+    /// Serializes the distinct plans as one binary document (shared symbol
+    /// table, see [`uplan_core::formats::binary`]). Errors only when a
+    /// stored plan exceeds the codec's depth limit.
+    pub fn to_binary(&self) -> Result<Vec<u8>> {
+        let mut enc = BinaryEncoder::new();
+        for plan in &self.plans {
+            enc.push(plan)?;
+        }
+        Ok(enc.finish())
+    }
+
+    /// Loads a corpus from a binary document, rebuilding dedup state and
+    /// the BK-tree index. Only the distinct plan set is persisted, so the
+    /// loaded corpus's session counters restart at `observed == len`.
+    pub fn from_binary(bytes: &[u8]) -> Result<PlanCorpus> {
+        Self::from_binary_with_options(bytes, FingerprintOptions::default())
+    }
+
+    /// [`PlanCorpus::from_binary`] with explicit fingerprint options.
+    pub fn from_binary_with_options(
+        bytes: &[u8],
+        options: FingerprintOptions,
+    ) -> Result<PlanCorpus> {
+        let mut corpus = PlanCorpus::with_options(options);
+        let mut dec = BinaryDecoder::new(bytes)?;
+        while let Some(plan) = dec.next_plan()? {
+            corpus.insert(plan);
+        }
+        Ok(corpus)
+    }
+
+    /// Serializes the distinct plans as JSON lines (one compact unified
+    /// JSON document per line) — the interchange form.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for plan in &self.plans {
+            out.push_str(&unified::to_json_value(plan).to_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Loads a corpus from JSON lines.
+    pub fn from_jsonl(text: &str) -> Result<PlanCorpus> {
+        Self::from_jsonl_with_options(text, FingerprintOptions::default())
+    }
+
+    /// [`PlanCorpus::from_jsonl`] with explicit fingerprint options.
+    pub fn from_jsonl_with_options(text: &str, options: FingerprintOptions) -> Result<PlanCorpus> {
+        let mut corpus = PlanCorpus::with_options(options);
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            corpus.insert(unified::from_json(line)?);
+        }
+        Ok(corpus)
+    }
+
+    /// Writes the corpus to `path` in binary form.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let bytes = self.to_binary()?;
+        std::fs::write(path.as_ref(), bytes)
+            .map_err(|e| Error::Semantic(format!("cannot write {}: {e}", path.as_ref().display())))
+    }
+
+    /// Reads a corpus from `path`, sniffing the format: the binary magic
+    /// selects the binary codec, anything else parses as JSON lines.
+    pub fn load(path: impl AsRef<Path>) -> Result<PlanCorpus> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| {
+            Error::Semantic(format!("cannot read {}: {e}", path.as_ref().display()))
+        })?;
+        if bytes.starts_with(&BINARY_MAGIC) {
+            return Self::from_binary(&bytes);
+        }
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|_| Error::Semantic("corpus file is neither binary nor UTF-8 JSONL".into()))?;
+        Self::from_jsonl(text)
+    }
+
+    /// Distinct fingerprints as a set (cross-corpus bookkeeping).
+    pub fn fingerprint_set(&self) -> HashSet<Fingerprint> {
+        self.fingerprints.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uplan_core::{PlanNode, Property};
+
+    fn chain(names: &[&str]) -> UnifiedPlan {
+        let mut node: Option<PlanNode> = None;
+        for name in names.iter().rev() {
+            let mut n = PlanNode::producer(*name);
+            if let Some(child) = node.take() {
+                n = PlanNode::executor(*name).with_child(child);
+            }
+            node = Some(n);
+        }
+        UnifiedPlan::with_root(node.unwrap())
+    }
+
+    fn population() -> Vec<UnifiedPlan> {
+        vec![
+            chain(&["Scan_A"]),
+            chain(&["Gather", "Scan_A"]),
+            chain(&["Gather", "Scan_B"]),
+            chain(&["Gather", "Sort", "Scan_A"]),
+            chain(&["Collect", "Sort", "Scan_B"]),
+            chain(&["Collect", "Sort", "Hash", "Scan_B"]),
+        ]
+    }
+
+    #[test]
+    fn observe_dedups_by_fingerprint() {
+        let mut corpus = PlanCorpus::new();
+        let plan = chain(&["Gather", "Scan_A"]);
+        assert!(corpus.observe(&plan));
+        assert!(!corpus.observe(&plan));
+        assert!(corpus.contains(&plan));
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus.observed(), 2);
+        assert_eq!(corpus.duplicates(), 1);
+        assert_eq!(corpus.fingerprint(0), corpus.dedup.fingerprint_of(&plan));
+    }
+
+    #[test]
+    fn radius_and_knn_agree_with_scans() {
+        let mut corpus = PlanCorpus::new();
+        for plan in population() {
+            corpus.insert(plan);
+        }
+        for probe in population() {
+            for radius in 0..5u32 {
+                let indexed = corpus.within_radius(&probe, radius);
+                let scanned = corpus.scan_within_radius(&probe, radius);
+                assert_eq!(indexed.matches, scanned.matches, "radius {radius}");
+                assert!(indexed.ted_evals <= scanned.ted_evals);
+            }
+            for k in 1..=corpus.len() {
+                let indexed = corpus.nearest(&probe, k);
+                let scanned = corpus.scan_nearest(&probe, k);
+                let d = |q: &MetricQuery| q.matches.iter().map(|&(_, d)| d).collect::<Vec<_>>();
+                assert_eq!(d(&indexed), d(&scanned), "k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn observe_novel_with_radius_suppresses_near_duplicates() {
+        let mut corpus = PlanCorpus::new();
+        assert!(corpus.observe_novel(&chain(&["Gather", "Scan_A"]), 1));
+        // One edit away: stored (distinct fingerprint) but not novel.
+        assert!(!corpus.observe_novel(&chain(&["Gather", "Scan_B"]), 1));
+        assert_eq!(corpus.len(), 2);
+        // Far away: novel again.
+        assert!(corpus.observe_novel(&chain(&["Collect", "Sort", "Hash", "Scan_B"]), 1));
+        // Radius 0 behaves like plain fingerprint novelty.
+        assert!(corpus.observe_novel(&chain(&["Gather", "Sort", "Scan_A"]), 0));
+        assert!(!corpus.observe_novel(&chain(&["Gather", "Sort", "Scan_A"]), 0));
+    }
+
+    #[test]
+    fn clusters_partition_the_corpus() {
+        let mut corpus = PlanCorpus::new();
+        for plan in population() {
+            corpus.insert(plan);
+        }
+        let clusters = corpus.clusters(1);
+        let mut seen: Vec<usize> = clusters
+            .iter()
+            .flat_map(|c| c.members.iter().map(|&(id, _)| id))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..corpus.len()).collect::<Vec<_>>());
+        for c in &clusters {
+            assert_eq!(c.members[0], (c.leader, 0));
+            assert!(c.members.iter().all(|&(_, d)| d <= 1));
+        }
+        // Radius large enough: one cluster.
+        assert_eq!(corpus.clusters(100).len(), 1);
+    }
+
+    #[test]
+    fn diff_reports_fingerprint_and_radius_novelty() {
+        let mut left = PlanCorpus::new();
+        let mut right = PlanCorpus::new();
+        for plan in population() {
+            left.insert(plan);
+        }
+        // Right shares two plans, has one near-duplicate and one far shape.
+        right.insert(chain(&["Scan_A"]));
+        right.insert(chain(&["Gather", "Scan_A"]));
+        right.insert(chain(&["Gather", "Scan_C"])); // 1 edit from left id 1/2
+        right.insert(chain(&["Union", "Union", "Union", "Union", "Union_Leaf"]));
+        let diff = left.diff(&right, 1);
+        assert_eq!(diff.shared, 2);
+        assert_eq!(diff.fingerprint_only_left.len(), left.len() - 2);
+        assert_eq!(diff.fingerprint_only_right, vec![2, 3]);
+        assert_eq!(diff.beyond_radius_right, vec![3]);
+        assert!(diff.beyond_radius_left.contains(&5));
+    }
+
+    #[test]
+    fn binary_and_jsonl_round_trips_preserve_identity() {
+        let mut corpus = PlanCorpus::new();
+        for plan in population() {
+            corpus.insert(plan);
+        }
+        corpus.insert(UnifiedPlan::properties_only(vec![Property::cardinality(
+            "series", 4,
+        )]));
+
+        let bin = PlanCorpus::from_binary(&corpus.to_binary().unwrap()).unwrap();
+        assert_eq!(bin.len(), corpus.len());
+        let jsonl = PlanCorpus::from_jsonl(&corpus.to_jsonl()).unwrap();
+        assert_eq!(jsonl.len(), corpus.len());
+        for (id, plan) in corpus.iter() {
+            assert_eq!(bin.plan(id), plan);
+            assert_eq!(jsonl.plan(id), plan);
+            assert_eq!(bin.fingerprint(id), corpus.fingerprint(id));
+            assert_eq!(jsonl.fingerprint(id), corpus.fingerprint(id));
+        }
+    }
+
+    #[test]
+    fn load_sniffs_binary_and_jsonl() {
+        let dir = std::env::temp_dir();
+        let mut corpus = PlanCorpus::new();
+        for plan in population() {
+            corpus.insert(plan);
+        }
+        // Process-unique names: concurrent test runs must not collide.
+        let pid = std::process::id();
+        let bin_path = dir.join(format!("uplan_corpus_test_{pid}.uplanc"));
+        corpus.save(&bin_path).unwrap();
+        assert_eq!(PlanCorpus::load(&bin_path).unwrap().len(), corpus.len());
+        let jsonl_path = dir.join(format!("uplan_corpus_test_{pid}.jsonl"));
+        std::fs::write(&jsonl_path, corpus.to_jsonl()).unwrap();
+        assert_eq!(PlanCorpus::load(&jsonl_path).unwrap().len(), corpus.len());
+        std::fs::remove_file(bin_path).ok();
+        std::fs::remove_file(jsonl_path).ok();
+        assert!(PlanCorpus::load(dir.join("definitely_missing.uplanc")).is_err());
+    }
+
+    #[test]
+    fn stats_summarize_population() {
+        let mut corpus = PlanCorpus::new();
+        for plan in population() {
+            corpus.insert(plan.clone());
+            corpus.observe(&plan);
+        }
+        let stats = corpus.stats();
+        assert_eq!(stats.distinct, 6);
+        assert_eq!(stats.observed, 12);
+        assert_eq!(stats.duplicates, 6);
+        assert_eq!(stats.operations, 1 + 2 + 2 + 3 + 3 + 4);
+        assert_eq!(stats.max_depth, 4);
+    }
+}

@@ -5,14 +5,23 @@
 //! of queries, mutate the database state (add an index, change data) to
 //! unlock new plan shapes; check every query with the oracles. The paper's
 //! contribution is that "evaluating whether a query plan is structurally
-//! different" now happens on **unified plans** via [`PlanSet`] fingerprints
-//! — one implementation for every engine, with TiDB's random operator
-//! identifiers neutralized by the representation, not by per-DBMS string
-//! hacks.
+//! different" now happens on **unified plans** — one implementation for
+//! every engine, with TiDB's random operator identifiers neutralized by the
+//! representation, not by per-DBMS string hacks.
+//!
+//! Campaign plans are observed through a [`PlanCorpus`]: fingerprint dedup
+//! answers "is this plan exactly new?", and the corpus's TED-metric BK-tree
+//! lets [`QpgConfig::novelty_radius`] raise the bar to "is this plan unlike
+//! anything seen?" — near-duplicate shapes (one index condition swapped,
+//! one wrapper inserted) stop resetting the stall window, so the campaign
+//! mutates state sooner and spends its query budget on genuinely new
+//! coverage. The whole observed corpus comes back in [`QpgOutcome::corpus`]
+//! for persistence (`repro corpus campaign`) and cross-run diffing.
 
 use minidb::faults::BugId;
 use minidb::Database;
-use uplan_core::fingerprint::{FingerprintOptions, PlanSet};
+use uplan_core::fingerprint::FingerprintOptions;
+use uplan_corpus::PlanCorpus;
 
 use crate::generator::Generator;
 use crate::oracles::{self, OracleFailure};
@@ -30,6 +39,11 @@ pub struct QpgConfig {
     /// Fingerprint options (the buggy non-stripping variant reproduces the
     /// original QPG TiDB parser bug).
     pub fingerprints: FingerprintOptions,
+    /// Tree-edit-distance radius for novelty: 0 (the default) counts every
+    /// fingerprint-new plan as novel; `r > 0` additionally requires the
+    /// plan to be more than `r` tree edits from every stored plan before it
+    /// resets the stall window.
+    pub novelty_radius: u32,
 }
 
 impl Default for QpgConfig {
@@ -39,6 +53,7 @@ impl Default for QpgConfig {
             stall_window: 12,
             guidance: true,
             fingerprints: FingerprintOptions::default(),
+            novelty_radius: 0,
         }
     }
 }
@@ -56,12 +71,15 @@ pub struct QpgOutcome {
     pub mutations: usize,
     /// Queries executed.
     pub queries: usize,
+    /// Every distinct plan the campaign observed, metric-indexed — save it
+    /// with [`PlanCorpus::save`] to persist the campaign's coverage.
+    pub corpus: PlanCorpus,
 }
 
 /// Runs QPG against a prepared database.
 pub fn run(db: &mut Database, generator: &mut Generator, config: QpgConfig) -> QpgOutcome {
     let mut pipeline = PlanPipeline::new();
-    let mut plans = PlanSet::with_options(config.fingerprints);
+    let mut corpus = PlanCorpus::with_options(config.fingerprints);
     let mut failures = Vec::new();
     let mut fired = std::collections::BTreeSet::new();
     let mut stall = 0usize;
@@ -70,10 +88,10 @@ pub fn run(db: &mut Database, generator: &mut Generator, config: QpgConfig) -> Q
     for i in 0..config.queries {
         let query = generator.query();
 
-        // Observe the plan through the unified pipeline.
+        // Observe the plan through the unified pipeline into the corpus.
         if config.guidance {
             if let Ok(plan) = pipeline.unified_plan(db, &query.sql) {
-                if plans.observe(&plan) {
+                if corpus.observe_novel(&plan, config.novelty_radius) {
                     stall = 0;
                 } else {
                     stall += 1;
@@ -140,9 +158,10 @@ pub fn run(db: &mut Database, generator: &mut Generator, config: QpgConfig) -> Q
     QpgOutcome {
         failures,
         fired: fired.into_iter().collect(),
-        distinct_plans: plans.len(),
+        distinct_plans: corpus.len(),
         mutations,
         queries: config.queries,
+        corpus,
     }
 }
 
@@ -211,6 +230,60 @@ mod tests {
             },
         );
         assert!(outcome.distinct_plans >= 3, "{}", outcome.distinct_plans);
+    }
+
+    #[test]
+    fn outcome_carries_the_observed_corpus() {
+        let mut db = Database::new(EngineProfile::Postgres);
+        let mut generator = Generator::new(3);
+        generator.create_schema(&mut db, 2);
+        let outcome = run(
+            &mut db,
+            &mut generator,
+            QpgConfig {
+                queries: 40,
+                ..QpgConfig::default()
+            },
+        );
+        assert_eq!(outcome.corpus.len(), outcome.distinct_plans);
+        assert!(outcome.corpus.observed() > outcome.corpus.len() as u64);
+        // The corpus round-trips through the binary codec, so a campaign
+        // can be persisted and resumed.
+        let reloaded =
+            uplan_corpus::PlanCorpus::from_binary(&outcome.corpus.to_binary().unwrap()).unwrap();
+        assert_eq!(reloaded.len(), outcome.corpus.len());
+    }
+
+    #[test]
+    fn novelty_radius_mutates_at_least_as_often() {
+        // Near-duplicate plans stop resetting the stall window under a
+        // radius, so the campaign can only mutate state more (or equally)
+        // often — never less.
+        let run_with = |radius: u32| {
+            let mut db = Database::new(EngineProfile::Postgres);
+            let mut generator = Generator::new(17);
+            generator.create_schema(&mut db, 2);
+            run(
+                &mut db,
+                &mut generator,
+                QpgConfig {
+                    queries: 120,
+                    novelty_radius: radius,
+                    ..QpgConfig::default()
+                },
+            )
+        };
+        let exact = run_with(0);
+        let radius = run_with(2);
+        assert!(
+            radius.mutations >= exact.mutations,
+            "radius {} vs exact {}",
+            radius.mutations,
+            exact.mutations
+        );
+        // Distinct storage is unaffected by the novelty bar: every
+        // fingerprint-new plan is still stored.
+        assert!(!radius.corpus.is_empty());
     }
 
     #[test]

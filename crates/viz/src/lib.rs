@@ -63,6 +63,86 @@ pub mod ascii {
     }
 }
 
+/// Near-duplicate cluster report: renders the outcome of a corpus
+/// clustering query (`uplan-corpus`'s greedy leader clustering, or any
+/// other grouping of plans) as a text table and a DOT overview, so a
+/// campaign's plan population is inspectable at a glance.
+///
+/// Like every renderer in this crate, the input is engine-agnostic: a
+/// cluster is just a leader [`UnifiedPlan`] plus counts, so the report
+/// works for any corpus regardless of which converters filled it.
+pub mod cluster {
+    use super::*;
+
+    /// One cluster as the report consumes it.
+    pub struct ClusterView<'a> {
+        /// Short stable label (e.g. the leader's plan id or fingerprint).
+        pub label: String,
+        /// The cluster's representative plan.
+        pub leader: &'a UnifiedPlan,
+        /// Number of member plans, leader included.
+        pub size: usize,
+        /// Largest TED distance from the leader to a member.
+        pub spread: u32,
+    }
+
+    /// A one-line structural summary of a plan: root operation and size.
+    fn summary(plan: &UnifiedPlan) -> String {
+        match &plan.root {
+            Some(root) => format!(
+                "{} ({} ops)",
+                root.operation.identifier,
+                plan.operation_count()
+            ),
+            None => format!("(no tree, {} plan props)", plan.properties.len()),
+        }
+    }
+
+    /// Renders the clusters as an aligned text table, largest first.
+    pub fn render_text(clusters: &[ClusterView<'_>], title: &str) -> String {
+        let mut rows: Vec<&ClusterView> = clusters.iter().collect();
+        rows.sort_by(|a, b| b.size.cmp(&a.size).then_with(|| a.label.cmp(&b.label)));
+        let members: usize = clusters.iter().map(|c| c.size).sum();
+        let mut out = format!(
+            "== {title}: {} clusters over {} plans ==\n{:<10} {:>6} {:>7}  representative\n",
+            clusters.len(),
+            members,
+            "cluster",
+            "size",
+            "spread"
+        );
+        for c in rows {
+            out.push_str(&format!(
+                "{:<10} {:>6} {:>7}  {}\n",
+                c.label,
+                c.size,
+                c.spread,
+                summary(c.leader)
+            ));
+        }
+        out
+    }
+
+    /// Renders the clusters as a DOT digraph: one box per cluster, size
+    /// encoded in the peripheries and the label.
+    pub fn render_dot(clusters: &[ClusterView<'_>], name: &str) -> String {
+        let mut out =
+            format!("digraph \"{name}\" {{\n  node [shape=box, fontname=\"monospace\"];\n");
+        for (i, c) in clusters.iter().enumerate() {
+            let peripheries = if c.size > 1 { 2 } else { 1 };
+            out.push_str(&format!(
+                "  c{i} [label=\"{}\\n{}\\nsize={} spread={}\", peripheries={peripheries}];\n",
+                c.label.replace('"', "\\\""),
+                summary(c.leader).replace('"', "\\\""),
+                c.size,
+                c.spread,
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
 /// Graphviz DOT rendering.
 pub mod dot {
     use super::*;
@@ -334,6 +414,41 @@ mod tests {
         // "The percentage of effort reduction would increase as the number
         // of supported DBMSs grows."
         assert!(effort::reduction(9) > effort::reduction(5));
+    }
+
+    #[test]
+    fn cluster_report_renders_text_and_dot() {
+        let join = UnifiedPlan::with_root(
+            PlanNode::join("Hash_Join")
+                .with_child(PlanNode::producer("Full_Table_Scan"))
+                .with_child(PlanNode::producer("Index_Scan")),
+        );
+        let props_only = UnifiedPlan::properties_only(vec![]);
+        let clusters = [
+            cluster::ClusterView {
+                label: "#0".into(),
+                leader: &join,
+                size: 5,
+                spread: 2,
+            },
+            cluster::ClusterView {
+                label: "#7".into(),
+                leader: &props_only,
+                size: 1,
+                spread: 0,
+            },
+        ];
+        let text = cluster::render_text(&clusters, "campaign");
+        assert!(text.contains("2 clusters over 6 plans"), "{text}");
+        assert!(text.contains("Hash_Join (3 ops)"), "{text}");
+        assert!(text.contains("(no tree, 0 plan props)"), "{text}");
+        // Largest cluster first.
+        assert!(text.find("#0").unwrap() < text.find("#7").unwrap());
+        let dot = cluster::render_dot(&clusters, "campaign");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("size=5 spread=2"), "{dot}");
+        assert!(dot.contains("peripheries=2"), "{dot}");
+        assert!(dot.ends_with("}\n"));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`dialects`] — native EXPLAIN serializers of the nine studied dialects;
 //! * [`convert`] *(uplan-convert)* — converters from native serialized plans
 //!   into the unified representation;
+//! * [`corpus`] *(uplan-corpus)* — persistent, fingerprint-deduplicated,
+//!   TED-metric-indexed plan populations (BK-tree radius/k-NN queries,
+//!   binary/JSONL persistence, clustering, cross-corpus diff);
 //! * [`testing`] *(uplan-testing)* — QPG, CERT and TLP implemented
 //!   DBMS-agnostically on unified plans;
 //! * [`viz`] *(uplan-viz)* — generic plan visualization;
@@ -29,6 +32,7 @@ pub use minidoc;
 pub use minigraph;
 pub use uplan_convert as convert;
 pub use uplan_core as core;
+pub use uplan_corpus as corpus;
 pub use uplan_testing as testing;
 pub use uplan_viz as viz;
 pub use uplan_workloads as workloads;

@@ -139,6 +139,67 @@ fn tree_edit_distances_match_golden_values() {
     }
 }
 
+/// Exact version-1 encoding of a small reference plan. The binary codec is
+/// a persistence format: any byte-level change to this encoding invalidates
+/// every stored corpus and must be deliberate (bump
+/// `BINARY_CODEC_VERSION`, regenerate, and say so in the PR).
+const GOLDEN_BINARY: [u8; 105] = [
+    0x55, 0x50, 0x4c, 0x4e, 0x01, 0x06, 0x09, 0x48, 0x61, 0x73, 0x68, 0x5f, //
+    0x4a, 0x6f, 0x69, 0x6e, 0x0f, 0x46, 0x75, 0x6c, 0x6c, 0x5f, 0x54, 0x61, //
+    0x62, 0x6c, 0x65, 0x5f, 0x53, 0x63, 0x61, 0x6e, 0x04, 0x72, 0x6f, 0x77, //
+    0x73, 0x0a, 0x49, 0x6e, 0x64, 0x65, 0x78, 0x5f, 0x53, 0x63, 0x61, 0x6e, //
+    0x06, 0x66, 0x69, 0x6c, 0x74, 0x65, 0x72, 0x0f, 0x77, 0x6f, 0x72, 0x6b, //
+    0x65, 0x72, 0x73, 0x5f, 0x70, 0x6c, 0x61, 0x6e, 0x6e, 0x65, 0x64, 0x01, //
+    0x01, 0x02, 0x00, 0x00, 0x02, 0x00, 0x01, 0x01, 0x00, 0x02, 0x03, 0xd0, //
+    0x0f, 0x00, 0x00, 0x03, 0x01, 0x02, 0x04, 0x05, 0x06, 0x63, 0x30, 0x20, //
+    0x3c, 0x20, 0x35, 0x00, 0x01, 0x03, 0x05, 0x03, 0x04,
+];
+
+fn golden_binary_plan() -> UnifiedPlan {
+    use uplan::core::{PlanNode, Property};
+    UnifiedPlan::with_root(
+        PlanNode::join("Hash_Join")
+            .with_child(
+                PlanNode::producer("Full_Table_Scan")
+                    .with_property(Property::cardinality("rows", 1000)),
+            )
+            .with_child(
+                PlanNode::producer("Index_Scan")
+                    .with_property(Property::configuration("filter", "c0 < 5")),
+            ),
+    )
+    .with_plan_property(Property::status("workers_planned", 2))
+}
+
+#[test]
+fn binary_codec_encoding_matches_golden_bytes() {
+    use uplan::core::formats::binary;
+    assert_eq!(binary::BINARY_CODEC_VERSION, 1);
+    let bytes = binary::to_bytes(&golden_binary_plan()).unwrap();
+    assert_eq!(
+        bytes,
+        GOLDEN_BINARY.to_vec(),
+        "binary codec v1 encoding drifted — persisted corpora would break"
+    );
+    // And the pinned bytes decode back to the reference plan, fingerprint
+    // and all.
+    let decoded = binary::from_bytes(&GOLDEN_BINARY).unwrap();
+    assert_eq!(decoded, golden_binary_plan());
+    assert_eq!(fingerprint(&decoded), fingerprint(&golden_binary_plan()));
+}
+
+#[test]
+fn binary_codec_round_trips_every_golden_fixture() {
+    // Fingerprint identity across the whole golden fixture set: what the
+    // codec persists is exactly what fingerprinting sees.
+    use uplan::core::formats::binary;
+    for (label, plan) in fixture_plans() {
+        let decoded = binary::from_bytes(&binary::to_bytes(&plan).unwrap()).unwrap();
+        assert_eq!(decoded, plan, "{label}");
+        assert_eq!(fingerprint(&decoded), fingerprint(&plan), "{label}");
+    }
+}
+
 #[test]
 fn fingerprints_are_insensitive_to_tidb_suffix_counters() {
     // Same plan serialized with different suffix counters must fingerprint

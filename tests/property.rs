@@ -141,6 +141,41 @@ proptest! {
         prop_assert_eq!(parsed, plan);
     }
 
+    /// The binary codec round-trips every representable plan, agrees plan-
+    /// for-plan with the JSON round-trip, and preserves fingerprints — the
+    /// "binary round-trip ≡ JSON round-trip" contract a persisted corpus
+    /// depends on.
+    #[test]
+    fn binary_round_trip_equals_json_round_trip(plan in arb_plan()) {
+        let bytes = uplan::core::formats::binary::to_bytes(&plan).unwrap();
+        let from_binary = uplan::core::formats::binary::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&from_binary, &plan);
+        let json = uplan::core::formats::unified::to_json(&plan);
+        let from_json = uplan::core::formats::unified::from_json(&json).unwrap();
+        prop_assert_eq!(&from_binary, &from_json);
+        prop_assert_eq!(fingerprint(&from_binary), fingerprint(&plan));
+    }
+
+    /// A corpus round-trips through both persistence formats with plan
+    /// order, contents and fingerprints intact.
+    #[test]
+    fn corpus_persistence_round_trips(plans in prop::collection::vec(arb_plan(), 0..24)) {
+        let mut corpus = uplan::corpus::PlanCorpus::new();
+        for plan in &plans {
+            corpus.observe(plan);
+        }
+        let binary = uplan::corpus::PlanCorpus::from_binary(&corpus.to_binary().unwrap()).unwrap();
+        let jsonl = uplan::corpus::PlanCorpus::from_jsonl(&corpus.to_jsonl()).unwrap();
+        prop_assert_eq!(binary.len(), corpus.len());
+        prop_assert_eq!(jsonl.len(), corpus.len());
+        for (id, plan) in corpus.iter() {
+            prop_assert_eq!(binary.plan(id), plan);
+            prop_assert_eq!(jsonl.plan(id), plan);
+            prop_assert_eq!(binary.fingerprint(id), corpus.fingerprint(id));
+            prop_assert_eq!(jsonl.fingerprint(id), corpus.fingerprint(id));
+        }
+    }
+
     /// Fingerprints are a function of structure: serialization and
     /// re-parsing never change them, and Cost/Cardinality/Status values
     /// never affect them.
@@ -210,6 +245,38 @@ proptest! {
         prop_assert_eq!(other.stable(), other); // `_x` is not a digit suffix
         let suffixed = Symbol::intern(&format!("{kw}_17"));
         prop_assert_eq!(suffixed.stable(), symbol);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// BK-tree radius and k-NN queries agree with brute-force TED scans on
+    /// randomized plan populations — the triangle-inequality pruning never
+    /// loses a match.
+    #[test]
+    fn bk_tree_queries_match_brute_force_scans(
+        plans in prop::collection::vec(arb_plan(), 1..32),
+        probe in arb_plan(),
+        radius in 0u32..6,
+        k in 1usize..8,
+    ) {
+        let mut corpus = uplan::corpus::PlanCorpus::new();
+        for plan in &plans {
+            corpus.observe(plan);
+        }
+        let indexed = corpus.within_radius(&probe, radius);
+        let scanned = corpus.scan_within_radius(&probe, radius);
+        prop_assert_eq!(&indexed.matches, &scanned.matches);
+        prop_assert!(indexed.ted_evals <= scanned.ted_evals);
+
+        let indexed = corpus.nearest(&probe, k);
+        let scanned = corpus.scan_nearest(&probe, k);
+        let dist = |q: &uplan::corpus::MetricQuery| {
+            q.matches.iter().map(|&(_, d)| d).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(dist(&indexed), dist(&scanned));
+        prop_assert_eq!(indexed.matches.len(), k.min(corpus.len()));
     }
 }
 
