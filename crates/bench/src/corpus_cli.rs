@@ -1,18 +1,29 @@
 //! `repro corpus` — manage persistent plan corpora from the command line.
 //!
 //! ```text
-//! repro corpus ingest <out> <source> <explain-file>...
+//! repro corpus ingest <out> <source> <explain-file>... [--threads N] [--shards N] [--index]
 //!     Convert native EXPLAIN files (any of the converter dialects, see
 //!     `repro corpus sources`) and store them deduplicated. `<out>` ending
 //!     in .jsonl writes JSON lines; anything else writes the binary codec.
-//! repro corpus campaign <out> [profile] [queries] [radius]
+//!     `--threads` fans ingest out across scoped worker threads (the
+//!     resulting corpus is byte-identical for every thread count);
+//!     `--shards` overrides the corpus shard count; `--index` persists the
+//!     BK-index topology (UPLN v2) so the next load is index-free.
+//! repro corpus fixture-ingest <out> [count] [--threads N] [--shards N] [--index] [--seed HEX]
+//!     Ingest the seeded TPC-H-derived benchmark stream (the corpus/*
+//!     bench population, default 10000 plans) — the CI determinism gate:
+//!     everything it prints except the trailing `wrote …` line is
+//!     identical for every `--threads` value.
+//! repro corpus campaign <out> [profile] [queries] [radius] [--index]
 //!     Run a QPG campaign on an embedded engine profile (postgres, mysql,
 //!     tidb, sqlite) and persist every distinct observed plan.
 //! repro corpus stats <corpus>
-//!     Statistics of a stored corpus (binary or JSON lines). Stored files
-//!     carry the distinct plan set only; observed/duplicate counters are
-//!     session-local and are printed by ingest/campaign at observation
-//!     time.
+//!     Statistics of a stored corpus (binary or JSON lines), plus how its
+//!     metric index came to be: `persisted (0 TED evaluations on load)`
+//!     for indexed v2 documents, `rebuilt (N TED evaluations on load)`
+//!     otherwise. Stored files carry the distinct plan set only;
+//!     observed/duplicate counters are session-local and are printed by
+//!     ingest/campaign at observation time.
 //! repro corpus cluster <corpus> [radius] [--dot]
 //!     Near-duplicate clusters at a TED radius (default 2), rendered as a
 //!     text report or Graphviz DOT.
@@ -26,7 +37,7 @@
 
 use minidb::profile::EngineProfile;
 use uplan_convert::{convert, Source};
-use uplan_corpus::PlanCorpus;
+use uplan_corpus::{PlanCorpus, DEFAULT_SHARDS};
 use uplan_testing::generator::Generator;
 use uplan_testing::qpg::{self, QpgConfig};
 use uplan_viz::cluster::ClusterView;
@@ -46,7 +57,7 @@ pub fn run(args: &[String]) -> i32 {
 }
 
 fn usage() -> String {
-    "usage: repro corpus <ingest|campaign|stats|cluster|diff|sources> ... \
+    "usage: repro corpus <ingest|fixture-ingest|campaign|stats|cluster|diff|sources> ... \
      (see crates/bench/src/corpus_cli.rs docs)"
         .to_owned()
 }
@@ -54,6 +65,7 @@ fn usage() -> String {
 fn run_inner(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("ingest") => ingest(&args[1..]),
+        Some("fixture-ingest") => fixture_ingest(&args[1..]),
         Some("campaign") => campaign(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("cluster") => cluster(&args[1..]),
@@ -67,9 +79,36 @@ fn run_inner(args: &[String]) -> Result<String, String> {
     }
 }
 
-fn save(corpus: &PlanCorpus, path: &str) -> Result<(), String> {
+/// Removes `--name` from `args`; `true` when it was present.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != name);
+    args.len() != before
+}
+
+/// Removes `--name <value>` from `args`, returning the parsed value.
+fn take_value<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    name: &str,
+) -> Result<Option<T>, String> {
+    let Some(at) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if at + 1 >= args.len() {
+        return Err(format!("{name} needs a value"));
+    }
+    let raw = args.remove(at + 1);
+    args.remove(at);
+    raw.parse()
+        .map(Some)
+        .map_err(|_| format!("bad {name} value {raw:?}"))
+}
+
+fn save(corpus: &PlanCorpus, path: &str, indexed: bool) -> Result<(), String> {
     if path.ends_with(".jsonl") {
         std::fs::write(path, corpus.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))
+    } else if indexed {
+        corpus.save_indexed(path).map_err(|e| e.to_string())
     } else {
         corpus.save(path).map_err(|e| e.to_string())
     }
@@ -100,9 +139,19 @@ fn session_summary(corpus: &PlanCorpus) -> String {
 }
 
 fn ingest(args: &[String]) -> Result<String, String> {
-    let (out, source_name, files) = match args {
+    let mut args = args.to_vec();
+    let threads: usize = take_value(&mut args, "--threads")?.unwrap_or(1);
+    let shards: usize = take_value(&mut args, "--shards")?.unwrap_or(DEFAULT_SHARDS);
+    let indexed = take_flag(&mut args, "--index");
+    let (out, source_name, files) = match args.as_slice() {
         [out, source, files @ ..] if !files.is_empty() => (out, source, files),
-        _ => return Err("usage: repro corpus ingest <out> <source> <explain-file>...".into()),
+        _ => {
+            return Err(
+                "usage: repro corpus ingest <out> <source> <explain-file>... \
+                 [--threads N] [--shards N] [--index]"
+                    .into(),
+            )
+        }
     };
     let source = Source::parse_name(source_name).ok_or_else(|| {
         format!(
@@ -110,19 +159,63 @@ fn ingest(args: &[String]) -> Result<String, String> {
             Source::ALL.map(Source::name).join(", ")
         )
     })?;
-    let mut corpus = PlanCorpus::new();
+    let mut plans = Vec::with_capacity(files.len());
     for file in files {
         let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-        let plan = convert(source, &text).map_err(|e| format!("{file}: {e}"))?;
-        corpus.observe(&plan);
+        plans.push(convert(source, &text).map_err(|e| format!("{file}: {e}"))?);
     }
-    save(&corpus, out)?;
+    let mut corpus = PlanCorpus::with_shards(shards);
+    corpus.ingest_parallel(&plans, threads);
+    save(&corpus, out, indexed)?;
     Ok(format!(
         "ingested {} file(s) via {}: {}\n{}\nwrote {out}",
         files.len(),
         source.name(),
         session_summary(&corpus),
         summary(&corpus)
+    ))
+}
+
+/// The CI gate behind the "deterministic under parallelism" and
+/// "index-free load" claims: ingests the seeded TPC-H-derived benchmark
+/// stream. Everything printed *except* the final `wrote …` line (which
+/// names the thread count) is identical for every `--threads` value, and
+/// the written files are byte-identical — CI diffs both.
+fn fixture_ingest(args: &[String]) -> Result<String, String> {
+    let mut args = args.to_vec();
+    let threads: usize = take_value(&mut args, "--threads")?.unwrap_or(1);
+    let shards: usize = take_value(&mut args, "--shards")?.unwrap_or(DEFAULT_SHARDS);
+    let indexed = take_flag(&mut args, "--index");
+    let seed = match take_value::<String>(&mut args, "--seed")? {
+        Some(hex) => u64::from_str_radix(hex.trim_start_matches("0x"), 16)
+            .map_err(|_| format!("bad --seed value {hex:?}"))?,
+        None => 0x5eed_cafe,
+    };
+    let out = match args.as_slice() {
+        [out] | [out, _] => out.clone(),
+        _ => {
+            return Err("usage: repro corpus fixture-ingest <out> [count] \
+                 [--threads N] [--shards N] [--index] [--seed HEX]"
+                .into())
+        }
+    };
+    let count: usize = match args.get(1) {
+        Some(n) => n.parse().map_err(|_| format!("bad plan count {n:?}"))?,
+        None => 10_000,
+    };
+    let stream = crate::corpus_fixture::derived_stream(count, seed);
+    let mut corpus = PlanCorpus::with_shards(shards);
+    let novel = corpus.ingest_parallel(&stream, threads);
+    save(&corpus, &out, indexed)?;
+    Ok(format!(
+        "fixture-ingest: {count} TPC-H-derived plans (seed {seed:#x}, {} shards)\n\
+         {}\n{}\n{novel} fingerprint-novel plans; BK-index built with {} TED evaluations\n\
+         wrote {out} ({threads} thread(s){})",
+        corpus.shard_count(),
+        session_summary(&corpus),
+        summary(&corpus),
+        corpus.index_evals(),
+        if indexed { ", indexed" } else { "" },
     ))
 }
 
@@ -141,9 +234,11 @@ fn parse_profile(name: &str) -> Result<EngineProfile, String> {
 }
 
 fn campaign(args: &[String]) -> Result<String, String> {
+    let mut args = args.to_vec();
+    let indexed = take_flag(&mut args, "--index");
     let out = args
         .first()
-        .ok_or("usage: repro corpus campaign <out> [profile] [queries] [radius]")?;
+        .ok_or("usage: repro corpus campaign <out> [profile] [queries] [radius] [--index]")?;
     let profile = match args.get(1) {
         Some(name) => parse_profile(name)?,
         None => EngineProfile::Postgres,
@@ -168,7 +263,7 @@ fn campaign(args: &[String]) -> Result<String, String> {
             ..QpgConfig::default()
         },
     );
-    save(&outcome.corpus, out)?;
+    save(&outcome.corpus, out, indexed)?;
     Ok(format!(
         "campaign on {profile}: {} queries, {} mutations, {} oracle failures\n{}\n{}\nwrote {out}",
         outcome.queries,
@@ -182,7 +277,15 @@ fn campaign(args: &[String]) -> Result<String, String> {
 fn stats(args: &[String]) -> Result<String, String> {
     let path = args.first().ok_or("usage: repro corpus stats <corpus>")?;
     let corpus = load(path)?;
-    Ok(format!("{path}: {}", summary(&corpus)))
+    let index = if corpus.has_persisted_index() {
+        format!(
+            "persisted ({} TED evaluations on load)",
+            corpus.index_evals()
+        )
+    } else {
+        format!("rebuilt ({} TED evaluations on load)", corpus.index_evals())
+    };
+    Ok(format!("{path}: {}\nindex: {index}", summary(&corpus)))
 }
 
 fn cluster(args: &[String]) -> Result<String, String> {
@@ -331,6 +434,62 @@ mod tests {
         assert!(diffed.contains("shared fingerprints: 1"), "{diffed}");
 
         for f in [file_a, file_b, out_bin, out_jsonl] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn fixture_ingest_is_thread_count_invariant_and_indexed_loads_are_eval_free() {
+        let out1 = temp("uplan_cli_fx1.uplanc");
+        let out4 = temp("uplan_cli_fx4.uplanc");
+        let r1 = run_inner(&strings(&[
+            "fixture-ingest",
+            &out1,
+            "300",
+            "--threads",
+            "1",
+            "--index",
+        ]))
+        .unwrap();
+        let r4 = run_inner(&strings(&[
+            "fixture-ingest",
+            &out4,
+            "300",
+            "--threads",
+            "4",
+            "--index",
+        ]))
+        .unwrap();
+        // Every line except the `wrote …` trailer (which names the thread
+        // count) is identical — the same invariant the CI corpus-scale job
+        // diffs — and so are the written bytes.
+        let strip = |r: &str| {
+            r.lines()
+                .filter(|l| !l.starts_with("wrote "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&r1), strip(&r4));
+        assert_eq!(std::fs::read(&out1).unwrap(), std::fs::read(&out4).unwrap());
+
+        let stats = run_inner(&strings(&["stats", &out4])).unwrap();
+        assert!(
+            stats.contains("index: persisted (0 TED evaluations on load)"),
+            "{stats}"
+        );
+
+        // Without --index the load rebuilds (and reports its TED spend).
+        let plain = temp("uplan_cli_fx_plain.uplanc");
+        run_inner(&strings(&["fixture-ingest", &plain, "300"])).unwrap();
+        let stats = run_inner(&strings(&["stats", &plain])).unwrap();
+        assert!(stats.contains("index: rebuilt ("), "{stats}");
+
+        // Flag errors are reported, not panicked.
+        assert!(run_inner(&strings(&["fixture-ingest"])).is_err());
+        assert!(run_inner(&strings(&["fixture-ingest", &plain, "--threads"])).is_err());
+        assert!(run_inner(&strings(&["fixture-ingest", &plain, "--seed", "zz"])).is_err());
+
+        for f in [out1, out4, plain] {
             std::fs::remove_file(f).ok();
         }
     }

@@ -197,6 +197,51 @@ mod tests {
     }
 
     #[test]
+    fn indexed_load_is_ted_free_at_fixture_scale() {
+        // The acceptance bar of the persisted index, enforced on *counted*
+        // TED evaluations: loading an indexed document spends zero, while
+        // answering queries exactly like the corpus that built its index
+        // insert by insert. (`corpus/load_binary_indexed_10k` is the same
+        // path at 10k; the smaller population keeps debug-mode tier-1
+        // fast.)
+        let corpus = derived_corpus(800, 0x1dee);
+        assert!(corpus.index_evals() > 0);
+        let loaded = PlanCorpus::from_binary(&corpus.to_binary_indexed().unwrap()).unwrap();
+        assert_eq!(
+            loaded.index_evals(),
+            0,
+            "indexed load must not evaluate TED"
+        );
+        assert!(loaded.has_persisted_index());
+        assert_eq!(loaded.len(), corpus.len());
+        for probe in derived_stream(8, 4242) {
+            assert_eq!(corpus.nearest(&probe, 5), loaded.nearest(&probe, 5));
+            assert_eq!(
+                corpus.within_radius(&probe, 2),
+                loaded.within_radius(&probe, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_is_thread_count_invariant_on_the_tpch_stream() {
+        // The other acceptance bar: 1-thread and 4-thread ingest of the
+        // TPC-H-derived stream produce byte-identical corpora (the CI
+        // corpus-scale job re-checks this at 10k plans in release mode).
+        let stream = derived_stream(1200, 0x5eed_cafe);
+        let mut one = PlanCorpus::new();
+        let novel_one = one.ingest_parallel(&stream, 1);
+        let mut four = PlanCorpus::new();
+        let novel_four = four.ingest_parallel(&stream, 4);
+        assert_eq!(novel_one, novel_four);
+        assert_eq!(one.stats(), four.stats());
+        assert_eq!(
+            one.to_binary_indexed().unwrap(),
+            four.to_binary_indexed().unwrap()
+        );
+    }
+
+    #[test]
     fn bk_tree_prunes_at_least_ten_x_on_tpch_derived_corpus() {
         // The acceptance bar of the corpus index, enforced on *counted* TED
         // evaluations (not timings): metric queries must beat brute-force

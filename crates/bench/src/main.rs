@@ -12,9 +12,12 @@
 //!                         # quick run diffed against committed snapshots;
 //!                         # exits 1 on regression (UPLAN_BENCH_TOLERANCE
 //!                         # overrides the 1.5x noise tolerance)
-//! repro corpus <ingest|campaign|stats|cluster|diff|sources> ...
-//!                         # manage persistent, TED-indexed plan corpora
-//!                         # (see crates/bench/src/corpus_cli.rs)
+//! repro corpus <ingest|fixture-ingest|campaign|stats|cluster|diff|sources> ...
+//!                         # manage persistent, TED-indexed plan corpora:
+//!                         # parallel sharded ingest (--threads/--shards),
+//!                         # persisted-BK-index saves (--index), and the
+//!                         # CI determinism gate (fixture-ingest); see
+//!                         # crates/bench/src/corpus_cli.rs
 //! ```
 
 use uplan_bench as experiments;

@@ -114,7 +114,7 @@ pub fn testing(c: &mut Criterion) {
 /// One iteration runs the full QPG observation loop over all 22 TPC-H-lite
 /// queries on a TiDB-profile engine: plan, serialize natively (fresh random
 /// operator suffixes per statement), convert to a unified plan, and observe
-/// through a [`PlanCorpus`] exactly as `uplan_testing::qpg::run` does
+/// through a [`uplan_corpus::PlanCorpus`] exactly as `uplan_testing::qpg::run` does
 /// (fingerprint dedup; novel plans are cloned into the store and BK-tree
 /// indexed). Plans/sec = 22 / (reported seconds).
 pub fn qpg_throughput(c: &mut Criterion) {
@@ -189,6 +189,20 @@ pub fn corpus(c: &mut Criterion) {
         })
     });
 
+    // The same stream through the sharded parallel path (4 scoped worker
+    // threads). Produces a byte-identical corpus — the bench measures the
+    // wall-clock win of fanning fingerprinting and BK indexing across
+    // cores (on a single-core runner it measures the orchestration
+    // overhead instead; the determinism, not the speedup, is the tier-1
+    // contract).
+    group.bench_function("ingest_10k_par", |b| {
+        b.iter(|| {
+            let mut corpus = PlanCorpus::new();
+            corpus.ingest_parallel(&stream, 4);
+            corpus.len()
+        })
+    });
+
     let mut probe_cursor = 0usize;
     group.bench_function("knn_query", |b| {
         b.iter(|| {
@@ -221,6 +235,19 @@ pub fn corpus(c: &mut Criterion) {
                 plans += 1;
             }
             plans
+        })
+    });
+
+    // Full corpus reconstruction from an *indexed* v2 document: decode +
+    // fingerprint routing + adopting the persisted BK topology — zero TED
+    // evaluations (gated by `indexed_load_is_ted_free_at_fixture_scale`,
+    // a tier-1 test on counted evals, not by this timing).
+    let indexed_binary = indexed.to_binary_indexed().expect("corpus encode");
+    group.bench_function("load_binary_indexed_10k", |b| {
+        b.iter(|| {
+            let corpus = PlanCorpus::from_binary(&indexed_binary).expect("indexed corpus");
+            assert_eq!(corpus.index_evals(), 0);
+            corpus.len()
         })
     });
     group.finish();

@@ -250,9 +250,9 @@ fn hash_node(
 /// this plan?" implementation.
 ///
 /// This is the fingerprint-identity layer that every deduplication consumer
-/// shares: the deprecated [`PlanSet`] forwards here, and `uplan-corpus`'s
-/// metric-indexed store uses it as its dedup front end before plans reach
-/// the TED index.
+/// shares: `uplan-corpus`'s metric-indexed store keeps one of these per
+/// shard as its dedup front end before plans reach the TED index. (The
+/// pre-0.1 `PlanSet` alias that forwarded here has been removed.)
 #[derive(Debug, Default, Clone)]
 pub struct FingerprintSet {
     seen: std::collections::HashSet<Fingerprint>,
@@ -316,52 +316,6 @@ impl FingerprintSet {
     /// Iterates over the distinct fingerprints observed (arbitrary order).
     pub fn fingerprints(&self) -> impl Iterator<Item = Fingerprint> + '_ {
         self.seen.iter().copied()
-    }
-}
-
-/// A growable set of observed plan fingerprints (QPG's novelty detector).
-#[deprecated(
-    since = "0.1.0",
-    note = "use fingerprint::FingerprintSet, or uplan-corpus's PlanCorpus for \
-            persistent, TED-indexed campaign stores"
-)]
-#[derive(Debug, Default, Clone)]
-pub struct PlanSet {
-    inner: FingerprintSet,
-}
-
-#[allow(deprecated)]
-impl PlanSet {
-    /// Empty set with default fingerprint options.
-    pub fn new() -> Self {
-        PlanSet::default()
-    }
-
-    /// Empty set with explicit fingerprint options.
-    pub fn with_options(options: FingerprintOptions) -> Self {
-        PlanSet {
-            inner: FingerprintSet::with_options(options),
-        }
-    }
-
-    /// Records a plan; returns `true` if it was structurally new.
-    pub fn observe(&mut self, plan: &UnifiedPlan) -> bool {
-        self.inner.observe(plan)
-    }
-
-    /// Whether a structurally equal plan has been recorded.
-    pub fn contains(&self, plan: &UnifiedPlan) -> bool {
-        self.inner.contains(plan)
-    }
-
-    /// Number of distinct plans observed.
-    pub fn len(&self) -> usize {
-        self.inner.len()
-    }
-
-    /// `true` if no plans have been observed.
-    pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
     }
 }
 
@@ -526,22 +480,6 @@ mod tests {
         assert!(strict.observe(&tidb_like(12, 10)));
         assert_eq!(strict.len(), 2);
         assert!(!strict.options().strip_numeric_suffixes);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_plan_set_still_forwards() {
-        let mut set = PlanSet::new();
-        assert!(set.is_empty());
-        assert!(set.observe(&tidb_like(7, 10)));
-        assert!(!set.observe(&tidb_like(12, 10)));
-        assert!(set.contains(&tidb_like(1, 3)));
-        assert_eq!(set.len(), 1);
-        let strict = PlanSet::with_options(FingerprintOptions {
-            strip_numeric_suffixes: false,
-            ..FingerprintOptions::default()
-        });
-        assert!(strict.is_empty());
     }
 
     #[test]

@@ -10,11 +10,20 @@
 //!
 //! ```text
 //! document ::= magic            (4 bytes, "UPLN")
-//!              version          (varint, BINARY_CODEC_VERSION)
+//!              version          (varint; 1 or 2, see below)
 //!              symbol_count     (varint)
 //!              symbol*          (varint byte length + UTF-8 keyword bytes)
 //!              plan_count       (varint)
 //!              plan*
+//!              index_flag       (1 byte, version ≥ 2 only; 0 = no index)
+//!              index?           (when index_flag = 1)
+//! index    ::= fingerprint_flags (1 byte, writer-defined)
+//!              shard_count      (varint)
+//!              shard*
+//! shard    ::= node_count       (varint)
+//!              edge*            (node_count − 1 edges, for nodes 1..)
+//! edge     ::= parent           (varint, node id < the edge's node)
+//!              distance         (varint, cached metric distance)
 //! plan     ::= flags            (1 byte; bit 0 = has tree)
 //!              tree?            (node, when bit 0 set)
 //!              prop_count props (plan-associated properties)
@@ -47,7 +56,26 @@
 //! The format is versioned like the fingerprint scheme: a reader rejects
 //! documents whose version it does not understand, and
 //! [`BINARY_CODEC_VERSION`] bumps invalidate persisted corpora
-//! deliberately. `tests/golden.rs` pins exact encodings for version 1.
+//! deliberately — except that version 2 is a strict superset of version 1,
+//! so the decoder keeps accepting both ([`MIN_SUPPORTED_BINARY_VERSION`]):
+//! a v1 document is exactly a v2 document without the trailing index
+//! section. `tests/golden.rs` pins exact encodings for both versions.
+//!
+//! ## The index section (version 2)
+//!
+//! Version 2 appends an *optional* index section after the last plan: the
+//! topology of the writer's metric index (per shard, one `(parent, cached
+//! distance)` edge per non-root node — a BK-tree over the document's plans,
+//! see `uplan-corpus`), plus one writer-defined `fingerprint_flags` byte
+//! recording the fingerprint options the shard routing was computed under.
+//! Readers that recognise the flags rebuild their index from the cached
+//! edges with **zero** metric evaluations; readers that don't (or v1
+//! documents, which have no section) fall back to re-indexing. The cached
+//! distances are trusted, not re-verified — verification would cost the
+//! very evaluations the section exists to avoid — so the section is
+//! structurally validated (causal parents, counts that match the plan
+//! population) but a corrupted distance yields wrong *query results*,
+//! never unsafety.
 
 use std::collections::HashMap;
 
@@ -62,8 +90,14 @@ use crate::value::Value;
 /// Leading magic bytes of every binary plan document.
 pub const BINARY_MAGIC: [u8; 4] = *b"UPLN";
 
-/// Version of the binary codec (bump invalidates persisted corpora).
-pub const BINARY_CODEC_VERSION: u32 = 1;
+/// Version of the binary codec — what the encoder writes.
+pub const BINARY_CODEC_VERSION: u32 = 2;
+
+/// Oldest codec version the decoder still reads. Version 1 documents are
+/// version 2 documents without the trailing index section, so supporting
+/// them costs one branch — old corpora keep loading (via the index-rebuild
+/// path) forever.
+pub const MIN_SUPPORTED_BINARY_VERSION: u32 = 1;
 
 /// Maximum plan tree depth the format admits, enforced symmetrically: the
 /// encoder refuses to write a deeper plan ([`BinaryEncoder::push`] errors)
@@ -81,6 +115,39 @@ pub const MAX_PLAN_DEPTH: usize = 512;
 /// any real corpus while bounding how much a hostile document can force
 /// into the process-global interner (interned spellings are never freed).
 pub const MAX_SYMBOLS: usize = 1 << 16;
+
+/// Maximum shard count an index section may declare, enforced symmetrically
+/// like the other limits. Corpus sharding is a small power of two sized to
+/// core counts; 256 is far beyond that while keeping a hostile document
+/// from declaring billions of empty shards.
+pub const MAX_INDEX_SHARDS: usize = 256;
+
+/// The persisted metric-index topology of a version-2 document: one
+/// BK-tree edge list per corpus shard (see the module docs). Produced by
+/// `uplan-corpus` at save time and handed back verbatim at load time; this
+/// module only defines the byte layout and its structural validation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IndexSection {
+    /// Writer-defined encoding of the fingerprint options the shard
+    /// routing was computed under; a reader whose options disagree must
+    /// ignore the section and re-index.
+    pub fingerprint_flags: u8,
+    /// Per-shard topology, in shard order. Shard membership is not stored:
+    /// it is re-derived by routing each plan's fingerprint prefix across
+    /// `shards.len()` shards, which is what makes the flags byte load-
+    /// bearing.
+    pub shards: Vec<ShardTopology>,
+}
+
+/// One shard's BK-tree topology inside an [`IndexSection`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardTopology {
+    /// Items indexed by this shard's tree (== the shard's plan count).
+    pub nodes: u64,
+    /// `(parent node, cached distance)` for nodes `1..nodes`; parents
+    /// always precede children (insertion order is causal).
+    pub edges: Vec<(u32, u32)>,
+}
 
 const VALUE_NULL: u8 = 0;
 const VALUE_FALSE: u8 = 1;
@@ -186,8 +253,26 @@ impl BinaryEncoder {
         Ok(())
     }
 
-    /// Finalizes the document: header, symbol table, plan count, bodies.
+    /// Finalizes the document without an index section: header, symbol
+    /// table, plan count, bodies, and a zero index flag.
     pub fn finish(self) -> Vec<u8> {
+        self.finish_inner(None)
+    }
+
+    /// Finalizes the document with a persisted metric index (see
+    /// [`IndexSection`]). The section must describe exactly the plans
+    /// pushed into this document — `index.shards` node counts summing to
+    /// [`BinaryEncoder::plan_count`] — or the decoder will reject it.
+    pub fn finish_with_index(self, index: &IndexSection) -> Vec<u8> {
+        debug_assert_eq!(
+            index.shards.iter().map(|s| s.nodes).sum::<u64>(),
+            self.plans,
+            "index section must cover every plan in the document"
+        );
+        self.finish_inner(Some(index))
+    }
+
+    fn finish_inner(self, index: Option<&IndexSection>) -> Vec<u8> {
         let symbols = SymbolTable::read();
         let mut out = Vec::with_capacity(self.body.len() + 16 * self.table.len() + 16);
         out.extend_from_slice(&BINARY_MAGIC);
@@ -200,6 +285,26 @@ impl BinaryEncoder {
         }
         write_varint(&mut out, self.plans);
         out.extend_from_slice(&self.body);
+        match index {
+            None => out.push(0),
+            Some(index) => {
+                out.push(1);
+                out.push(index.fingerprint_flags);
+                write_varint(&mut out, index.shards.len() as u64);
+                for shard in &index.shards {
+                    write_varint(&mut out, shard.nodes);
+                    debug_assert_eq!(
+                        shard.edges.len() as u64,
+                        shard.nodes.saturating_sub(1),
+                        "a BK-tree has exactly one edge per non-root node"
+                    );
+                    for &(parent, distance) in &shard.edges {
+                        write_varint(&mut out, u64::from(parent));
+                        write_varint(&mut out, u64::from(distance));
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -282,12 +387,18 @@ pub fn to_bytes(plan: &UnifiedPlan) -> Result<Vec<u8>> {
 ///
 /// Construction parses the header and interns the symbol table (each
 /// spelling keyword-validated once); [`BinaryDecoder::next_plan`] then
-/// yields plans until the declared count is exhausted.
+/// yields plans until the declared count is exhausted, after which the
+/// trailing index section (version 2, if present) has been parsed and is
+/// available from [`BinaryDecoder::take_index`].
 pub struct BinaryDecoder<'a> {
     input: &'a [u8],
     pos: usize,
     symbols: Vec<Symbol>,
+    version: u32,
+    plan_count: u64,
     remaining: u64,
+    index: Option<IndexSection>,
+    finalized: bool,
 }
 
 impl<'a> BinaryDecoder<'a> {
@@ -297,21 +408,29 @@ impl<'a> BinaryDecoder<'a> {
             input,
             pos: 0,
             symbols: Vec::new(),
+            version: 0,
+            plan_count: 0,
             remaining: 0,
+            index: None,
+            finalized: false,
         };
         if input.len() < BINARY_MAGIC.len() || input[..BINARY_MAGIC.len()] != BINARY_MAGIC {
             return Err(Error::parse(0, "not a binary plan document (bad magic)"));
         }
         dec.pos = BINARY_MAGIC.len();
         let version = dec.read_varint()?;
-        if version != u64::from(BINARY_CODEC_VERSION) {
+        if !(u64::from(MIN_SUPPORTED_BINARY_VERSION)..=u64::from(BINARY_CODEC_VERSION))
+            .contains(&version)
+        {
             return Err(Error::parse(
                 dec.pos,
                 format!(
-                    "unsupported binary codec version {version} (expected {BINARY_CODEC_VERSION})"
+                    "unsupported binary codec version {version} (this reader handles \
+                     {MIN_SUPPORTED_BINARY_VERSION}..={BINARY_CODEC_VERSION})"
                 ),
             ));
         }
+        dec.version = version as u32;
         let count = dec.read_varint()?;
         // A symbol costs at least two bytes (length + one keyword byte), so
         // the declared count is bounded by the remaining input.
@@ -330,6 +449,7 @@ impl<'a> BinaryDecoder<'a> {
             dec.symbols.push(Symbol::intern(keyword::validate(text)?));
         }
         dec.remaining = dec.read_varint()?;
+        dec.plan_count = dec.remaining;
         Ok(dec)
     }
 
@@ -338,11 +458,40 @@ impl<'a> BinaryDecoder<'a> {
         self.remaining
     }
 
+    /// The document's codec version (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The persisted index section, if the document carried one. Only
+    /// populated once every plan has been decoded ([`BinaryDecoder::next_plan`]
+    /// returned `Ok(None)`); the section sits after the last plan.
+    pub fn take_index(&mut self) -> Option<IndexSection> {
+        self.index.take()
+    }
+
     /// Decodes the next plan; `Ok(None)` when the document is exhausted.
+    /// The first exhausted call also parses the trailing index section
+    /// (version 2) and rejects trailing garbage.
     pub fn next_plan(&mut self) -> Result<Option<UnifiedPlan>> {
         if self.remaining == 0 {
-            if self.pos != self.input.len() {
-                return Err(Error::parse(self.pos, "trailing bytes after last plan"));
+            if !self.finalized {
+                self.finalized = true;
+                if self.version >= 2 {
+                    match self.read_byte("index flag")? {
+                        0 => {}
+                        1 => self.index = Some(self.read_index()?),
+                        other => {
+                            return Err(Error::parse(
+                                self.pos - 1,
+                                format!("bad index flag {other:#x}"),
+                            ))
+                        }
+                    }
+                }
+                if self.pos != self.input.len() {
+                    return Err(Error::parse(self.pos, "trailing bytes after last plan"));
+                }
             }
             return Ok(None);
         }
@@ -473,6 +622,73 @@ impl<'a> BinaryDecoder<'a> {
             });
         }
         Ok(out)
+    }
+
+    /// Parses the index section (the index flag byte already consumed),
+    /// validating every structural property cheap enough to check without
+    /// metric evaluations: bounded shard counts, node counts that sum to
+    /// the document's plan count, causal parent edges, u32-ranged
+    /// distances.
+    fn read_index(&mut self) -> Result<IndexSection> {
+        let fingerprint_flags = self.read_byte("index fingerprint flags")?;
+        let shard_count = self.read_varint()?;
+        if shard_count > MAX_INDEX_SHARDS as u64 {
+            return Err(Error::parse(
+                self.pos,
+                format!("index section exceeds the codec limit of {MAX_INDEX_SHARDS} shards"),
+            ));
+        }
+        let mut shards = Vec::with_capacity(shard_count as usize);
+        let mut total_nodes = 0u64;
+        for _ in 0..shard_count {
+            let nodes = self.read_varint()?;
+            total_nodes = total_nodes.saturating_add(nodes);
+            if total_nodes > self.plan_count {
+                return Err(Error::parse(
+                    self.pos,
+                    format!(
+                        "index section covers {total_nodes}+ items but the document \
+                         holds {} plans",
+                        self.plan_count
+                    ),
+                ));
+            }
+            let edge_count = nodes.saturating_sub(1) as usize;
+            // Each edge costs ≥ 2 bytes; a count past that bound is corrupt
+            // (and must not pre-size a huge vector).
+            if edge_count > (self.input.len() - self.pos) / 2 + 1 {
+                return Err(Error::parse(self.pos, "index edges longer than document"));
+            }
+            let mut edges = Vec::with_capacity(edge_count);
+            for child in 1..=edge_count as u64 {
+                let parent = self.read_varint()?;
+                if parent >= child {
+                    return Err(Error::parse(
+                        self.pos,
+                        format!("index edge {child} has non-causal parent {parent}"),
+                    ));
+                }
+                let distance = self.read_varint()?;
+                let distance = u32::try_from(distance).map_err(|_| {
+                    Error::parse(self.pos, format!("index distance {distance} overflows u32"))
+                })?;
+                edges.push((parent as u32, distance));
+            }
+            shards.push(ShardTopology { nodes, edges });
+        }
+        if total_nodes != self.plan_count {
+            return Err(Error::parse(
+                self.pos,
+                format!(
+                    "index section covers {total_nodes} items but the document holds {} plans",
+                    self.plan_count
+                ),
+            ));
+        }
+        Ok(IndexSection {
+            fingerprint_flags,
+            shards,
+        })
     }
 
     fn read_value(&mut self) -> Result<Value> {
@@ -609,6 +825,169 @@ mod tests {
             hundred < one + 99 * 16,
             "symbol table amortization failed: 1 plan = {one}B, 100 plans = {hundred}B"
         );
+    }
+
+    /// Rewrites a v2 no-index document as its exact v1 equivalent: the
+    /// version varint drops to 1 and the trailing zero index flag (which
+    /// v1 does not have) is removed. Byte-exact because both versions
+    /// encode plans identically.
+    fn downgrade_to_v1(mut bytes: Vec<u8>) -> Vec<u8> {
+        assert_eq!(bytes[4], 2, "version varint");
+        assert_eq!(bytes.last(), Some(&0), "no-index flag");
+        bytes[4] = 1;
+        bytes.pop();
+        bytes
+    }
+
+    /// Decodes a whole document: every plan plus the index section.
+    fn decode_all(bytes: &[u8]) -> Result<(Vec<UnifiedPlan>, Option<IndexSection>)> {
+        let mut dec = BinaryDecoder::new(bytes)?;
+        let mut plans = Vec::new();
+        while let Some(plan) = dec.next_plan()? {
+            plans.push(plan);
+        }
+        Ok((plans, dec.take_index()))
+    }
+
+    fn sample_index() -> IndexSection {
+        IndexSection {
+            fingerprint_flags: 0b011,
+            shards: vec![
+                ShardTopology {
+                    nodes: 2,
+                    edges: vec![(0, 5)],
+                },
+                ShardTopology {
+                    nodes: 1,
+                    edges: vec![],
+                },
+                ShardTopology {
+                    nodes: 0,
+                    edges: vec![],
+                },
+            ],
+        }
+    }
+
+    fn indexed_document() -> Vec<u8> {
+        let mut enc = BinaryEncoder::new();
+        enc.push(&sample()).unwrap();
+        enc.push(&UnifiedPlan::with_root(PlanNode::producer("Index_Scan")))
+            .unwrap();
+        enc.push(&UnifiedPlan::new()).unwrap();
+        enc.finish_with_index(&sample_index())
+    }
+
+    #[test]
+    fn v1_documents_still_decode_identically() {
+        let plans = [sample(), UnifiedPlan::new()];
+        let mut enc = BinaryEncoder::new();
+        for plan in &plans {
+            enc.push(plan).unwrap();
+        }
+        let v2 = enc.finish();
+        let v1 = downgrade_to_v1(v2.clone());
+        let (from_v1, ix1) = decode_all(&v1).unwrap();
+        let (from_v2, ix2) = decode_all(&v2).unwrap();
+        assert_eq!(from_v1, from_v2);
+        assert_eq!(from_v1, plans.to_vec());
+        assert!(ix1.is_none() && ix2.is_none());
+        let mut dec = BinaryDecoder::new(&v1).unwrap();
+        assert_eq!(dec.version(), 1);
+        let mut dec2 = BinaryDecoder::new(&v2).unwrap();
+        assert_eq!(dec2.version(), 2);
+        let _ = (dec.next_plan(), dec2.next_plan());
+    }
+
+    #[test]
+    fn index_section_round_trips() {
+        let bytes = indexed_document();
+        let (plans, index) = decode_all(&bytes).unwrap();
+        assert_eq!(plans.len(), 3);
+        assert_eq!(index, Some(sample_index()));
+        // The index only becomes available after exhaustion.
+        let mut dec = BinaryDecoder::new(&bytes).unwrap();
+        assert!(dec.take_index().is_none());
+    }
+
+    #[test]
+    fn indexed_documents_reject_truncation_at_every_boundary() {
+        // Every strict prefix — plan bodies, the index flag byte, the
+        // section header, every edge — must error, never panic or silently
+        // drop the index.
+        let bytes = indexed_document();
+        for len in 0..bytes.len() {
+            assert!(decode_all(&bytes[..len]).is_err(), "truncated at {len}");
+        }
+        // Single-byte corruptions error or decode to *something* — never
+        // panic.
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xff;
+            let _ = decode_all(&corrupt);
+        }
+    }
+
+    #[test]
+    fn index_section_limits_are_enforced() {
+        // Build a plan-free document by hand and splice hostile sections
+        // after a 1-flag.
+        let craft = |section: &[u8]| {
+            let mut doc = Vec::new();
+            doc.extend_from_slice(&BINARY_MAGIC);
+            doc.push(2); // version
+            doc.push(0); // no symbols
+            doc.push(0); // no plans
+            doc.push(1); // index present
+            doc.extend_from_slice(section);
+            doc
+        };
+        // Shard count past the codec limit.
+        let mut oversized = vec![0u8]; // fingerprint flags
+        write_varint(&mut oversized, MAX_INDEX_SHARDS as u64 + 1);
+        let err = decode_all(&craft(&oversized)).unwrap_err();
+        assert!(err.to_string().contains("codec limit"), "{err}");
+        // Node counts exceeding the document's plan count (0 here).
+        let err = decode_all(&craft(&[0, 1, 1])).unwrap_err();
+        assert!(err.to_string().contains("holds 0 plans"), "{err}");
+        // Bad flag byte.
+        let mut bad_flag = craft(&[]);
+        let pos = bad_flag.len() - 1;
+        bad_flag[pos] = 9;
+        let err = decode_all(&bad_flag).unwrap_err();
+        assert!(err.to_string().contains("index flag"), "{err}");
+        // Non-causal parent edge: one 2-node shard whose node 1 claims
+        // parent 1 (itself).
+        let mut enc = BinaryEncoder::new();
+        enc.push(&UnifiedPlan::new()).unwrap();
+        enc.push(&UnifiedPlan::new()).unwrap();
+        let good = enc.finish_with_index(&IndexSection {
+            fingerprint_flags: 0,
+            shards: vec![ShardTopology {
+                nodes: 2,
+                edges: vec![(0, 3)],
+            }],
+        });
+        let mut non_causal = good.clone();
+        let parent_pos = good.len() - 2;
+        non_causal[parent_pos] = 1;
+        let err = decode_all(&non_causal).unwrap_err();
+        assert!(err.to_string().contains("non-causal"), "{err}");
+        assert!(decode_all(&good).is_ok());
+    }
+
+    #[test]
+    fn unsupported_versions_are_rejected_in_both_directions() {
+        let good = to_bytes(&UnifiedPlan::new()).unwrap();
+        for bad in [0u8, 3, 0x7f] {
+            let mut doc = good.clone();
+            doc[4] = bad;
+            let err = match BinaryDecoder::new(&doc) {
+                Err(err) => err,
+                Ok(_) => panic!("version {bad} must be rejected"),
+            };
+            assert!(err.to_string().contains("version"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -420,8 +420,8 @@ pub struct ResolvedProp {
 /// and punctuation folded), so converters can feed serialized spellings
 /// (`"Seq Scan"`, `"SEARCH"`, `"TableFullScan_5"`) directly. The lookup
 /// path hashes and compares the normalized characters *on the fly* (see
-/// [`NormMap`]) — resolving a native name during conversion allocates
-/// nothing.
+/// the private `NormMap`) — resolving a native name during conversion
+/// allocates nothing.
 #[derive(Debug, Default)]
 pub struct Registry {
     ops: NormMap<ResolvedOp>,

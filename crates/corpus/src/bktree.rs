@@ -121,15 +121,9 @@ impl BkTree {
     /// tied items are returned depends on traversal order — pruning skips
     /// subtrees that cannot strictly improve the result, so equal-distance
     /// alternatives behind them are never visited.
-    pub fn nearest(&self, k: usize, mut dist: impl FnMut(u32) -> u32) -> (Vec<(u32, u32)>, u64) {
-        if k == 0 || self.nodes.is_empty() {
-            return (Vec::new(), 0);
-        }
-        // Max-heap of the best k seen so far, keyed (distance, item) so the
-        // peek is the current worst keeper.
+    pub fn nearest(&self, k: usize, dist: impl FnMut(u32) -> u32) -> (Vec<(u32, u32)>, u64) {
         let mut best: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(k + 1);
-        let mut evals = 0u64;
-        self.nearest_rec(0, k, &mut dist, &mut best, &mut evals);
+        let evals = self.nearest_into(k, &mut best, |item| item, dist);
         let sorted = best.into_sorted_vec();
         (
             sorted.into_iter().map(|(d, item)| (item, d)).collect(),
@@ -137,10 +131,33 @@ impl BkTree {
         )
     }
 
+    /// k-NN into a caller-owned best-`k` max-heap of `(distance, tag)`
+    /// entries, so one query can *merge across several trees*: the heap
+    /// carries the worst-keeper bound from tree to tree, and every tree
+    /// after the first prunes against the bound the previous trees already
+    /// tightened. `tag` maps a local item id into the caller's id space
+    /// (a sharded corpus maps shard-local ids to global plan ids). Returns
+    /// the number of metric evaluations spent in this tree.
+    pub fn nearest_into(
+        &self,
+        k: usize,
+        best: &mut BinaryHeap<(u32, u32)>,
+        tag: impl Fn(u32) -> u32,
+        mut dist: impl FnMut(u32) -> u32,
+    ) -> u64 {
+        if k == 0 || self.nodes.is_empty() {
+            return 0;
+        }
+        let mut evals = 0u64;
+        self.nearest_rec(0, k, &tag, &mut dist, best, &mut evals);
+        evals
+    }
+
     fn nearest_rec(
         &self,
         n: u32,
         k: usize,
+        tag: &impl Fn(u32) -> u32,
         dist: &mut impl FnMut(u32) -> u32,
         best: &mut BinaryHeap<(u32, u32)>,
         evals: &mut u64,
@@ -149,11 +166,11 @@ impl BkTree {
         let d = dist(node.item);
         *evals += 1;
         if best.len() < k {
-            best.push((d, node.item));
+            best.push((d, tag(node.item)));
         } else if let Some(&(worst, _)) = best.peek() {
             if d < worst {
                 best.pop();
-                best.push((d, node.item));
+                best.push((d, tag(node.item)));
             }
         }
         // Best-first over children: the subtree behind edge `e` bounds at
@@ -171,9 +188,75 @@ impl BkTree {
             // items but never the distance multiset, so skipping is sound.
             let prune = best.len() >= k && best.peek().is_some_and(|&(worst, _)| gap >= worst);
             if !prune {
-                self.nearest_rec(child, k, dist, best, evals);
+                self.nearest_rec(child, k, tag, dist, best, evals);
             }
         }
+    }
+
+    // -----------------------------------------------------------------------
+    // Topology persistence
+    // -----------------------------------------------------------------------
+    //
+    // A corpus shard inserts local ids 0, 1, 2, … in order, so node index,
+    // insertion order and item id all coincide; the whole tree is then
+    // described by one `(parent, edge distance)` pair per non-root node.
+    // Persisting those pairs (the UPLN v2 index section) lets a reload
+    // rebuild the exact tree without re-evaluating a single distance — the
+    // cached edge distances *are* the distances `insert` would have
+    // computed.
+
+    /// `true` when node index, insertion order and item id coincide — the
+    /// precondition for [`BkTree::edges`] round-tripping the tree.
+    pub fn is_sequential(&self) -> bool {
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(i, n)| n.item == i as u32)
+    }
+
+    /// The tree's topology as one `(parent node, edge distance)` pair per
+    /// non-root node, indexed by node id − 1 (node 0 is the root). Requires
+    /// [`BkTree::is_sequential`]; parents always precede children.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        debug_assert!(self.is_sequential());
+        let mut out = vec![(0u32, 0u32); self.nodes.len().saturating_sub(1)];
+        for (parent, node) in self.nodes.iter().enumerate() {
+            for &(d, child) in &node.children {
+                out[child as usize - 1] = (parent as u32, d);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a sequential-id tree from [`BkTree::edges`] output without
+    /// evaluating the metric. Errors (rather than panicking) on topology
+    /// that no insertion sequence can produce: a parent at or after its
+    /// child, or an edge count that does not match `count` — hostile or
+    /// corrupted index sections must not crash the loader.
+    pub fn from_edges(count: usize, edges: &[(u32, u32)]) -> Result<BkTree, String> {
+        if edges.len() != count.saturating_sub(1) {
+            return Err(format!(
+                "BK topology has {} edges for {count} nodes (expected {})",
+                edges.len(),
+                count.saturating_sub(1)
+            ));
+        }
+        let mut nodes: Vec<BkNode> = (0..count)
+            .map(|i| BkNode {
+                item: i as u32,
+                children: Vec::new(),
+            })
+            .collect();
+        for (i, &(parent, d)) in edges.iter().enumerate() {
+            let child = (i + 1) as u32;
+            if parent >= child {
+                return Err(format!(
+                    "BK topology edge {child} has non-causal parent {parent}"
+                ));
+            }
+            nodes[parent as usize].children.push((d, child));
+        }
+        Ok(BkTree { nodes })
     }
 }
 
@@ -260,6 +343,79 @@ mod tests {
         let (knn, _) = tree.nearest(3, line_metric(&values, 7));
         assert!(knn.iter().all(|&(_, d)| d == 0));
         assert_eq!(knn.len(), 3);
+    }
+
+    #[test]
+    fn edges_round_trip_the_exact_tree() {
+        let values: Vec<u32> = (0..257u32).map(|i| (i * 37) % 101).collect();
+        let tree = build(&values);
+        assert!(tree.is_sequential());
+        let edges = tree.edges();
+        assert_eq!(edges.len(), tree.len() - 1);
+        let rebuilt = BkTree::from_edges(tree.len(), &edges).unwrap();
+        // The rebuilt tree answers every query with the *same matches and
+        // the same evaluation counts* — it is the same tree, not an
+        // equivalent one.
+        for probe in 0..40u32 {
+            let (mut a, ae) = tree.within_radius(3, line_metric(&values, probe));
+            let (mut b, be) = rebuilt.within_radius(3, line_metric(&values, probe));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+            assert_eq!(ae, be);
+            let (a, ae) = tree.nearest(4, line_metric(&values, probe));
+            let (b, be) = rebuilt.nearest(4, line_metric(&values, probe));
+            assert_eq!(a, b);
+            assert_eq!(ae, be);
+        }
+        // And its own edge export is identical (stable fixpoint).
+        assert_eq!(rebuilt.edges(), edges);
+    }
+
+    #[test]
+    fn from_edges_rejects_malformed_topology() {
+        assert!(BkTree::from_edges(3, &[(0, 1)]).is_err(), "missing edge");
+        assert!(
+            BkTree::from_edges(3, &[(0, 1), (2, 1)]).is_err(),
+            "parent at/after child"
+        );
+        assert!(
+            BkTree::from_edges(2, &[(5, 1)]).is_err(),
+            "parent out of range"
+        );
+        let empty = BkTree::from_edges(0, &[]).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(BkTree::from_edges(1, &[]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn nearest_into_merges_across_trees_with_a_shared_bound() {
+        // Split one population across two trees; a merged k-NN over both
+        // must return the global distance multiset, and the shared heap
+        // means the second tree prunes against the first tree's results.
+        let values = [5u32, 9, 1, 14, 5, 22, 8, 3, 17, 40, 2, 11];
+        let (left, right) = values.split_at(6);
+        let ltree = build(left);
+        let rtree = build(right);
+        for probe in 0..45u32 {
+            for k in 1..=values.len() {
+                let mut best = BinaryHeap::with_capacity(k + 1);
+                let mut evals = ltree.nearest_into(k, &mut best, |i| i, line_metric(left, probe));
+                evals += rtree.nearest_into(
+                    k,
+                    &mut best,
+                    |i| i + left.len() as u32,
+                    line_metric(right, probe),
+                );
+                let mut got: Vec<u32> = best.into_sorted_vec().iter().map(|&(d, _)| d).collect();
+                got.sort_unstable();
+                let mut want: Vec<u32> = values.iter().map(|v| v.abs_diff(probe)).collect();
+                want.sort_unstable();
+                want.truncate(k);
+                assert_eq!(got, want, "probe {probe} k {k}");
+                assert!(evals <= values.len() as u64);
+            }
+        }
     }
 
     #[test]

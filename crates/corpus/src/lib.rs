@@ -4,40 +4,67 @@
 //! and cross-version / cross-DBMS plan analysis — all accumulate *large
 //! populations* of plans and ask two questions of them: "have I seen this
 //! exact plan?" and "have I seen anything *like* it?". This crate answers
-//! both at corpus scale:
+//! both at campaign scale:
 //!
 //! * **Exact identity** is fingerprint dedup, shared with the rest of the
 //!   workspace through [`uplan_core::fingerprint::FingerprintSet`] (the one
-//!   "have I seen this plan?" implementation; the old `PlanSet` forwards to
-//!   it).
+//!   "have I seen this plan?" implementation).
 //! * **Similarity** is tree edit distance. TED with unit costs is a true
-//!   metric, so the corpus keeps every distinct plan in a
+//!   metric, so each shard keeps its distinct plans in a
 //!   [`bktree::BkTree`] and answers radius and k-nearest-neighbor queries
 //!   with triangle-inequality pruning — a counted ~10–100× fewer TED
 //!   evaluations than a brute-force scan at 10k plans (see the `corpus/*`
 //!   benches and the scan-vs-index tests, which compare evaluation
 //!   *counts*, not timings).
+//! * **Scale** is sharding: a [`ShardedCorpus`] splits fingerprint space by
+//!   prefix into independent `FingerprintSet` + BK-tree shards, so a
+//!   fuzzing campaign's ingest fans out across threads without locks
+//!   ([`ShardedCorpus::ingest_parallel`]) while queries fan out across
+//!   shards and merge by distance. Ingest is *deterministic under
+//!   parallelism*: any thread count produces byte-identical corpora,
+//!   because shard routing is a pure function of the fingerprint and each
+//!   shard sees its plans in stream order.
 //! * **Persistence** is the versioned binary codec of
 //!   [`uplan_core::formats::binary`] (one shared symbol table for the whole
-//!   corpus) with a JSON-lines fallback for interchange; [`PlanCorpus::load`]
-//!   sniffs the magic bytes and accepts either.
+//!   corpus) with a JSON-lines fallback for interchange; [`ShardedCorpus::load`]
+//!   sniffs the magic bytes and accepts either. Version-2 documents can
+//!   carry the BK-index topology ([`ShardedCorpus::save_indexed`]), in
+//!   which case loading reconstructs the metric index with **zero** TED
+//!   evaluations; v1 documents (and index-free v2 ones) rebuild it.
 //!
 //! The store is the substrate the testing loop observes plans through
-//! (`uplan-testing`'s QPG), the `repro corpus` CLI manages, and future
-//! scale work (sharded campaigns, cross-version diffing) builds on.
+//! (`uplan-testing`'s QPG), the `repro corpus` CLI manages, and
+//! cross-version fleet work builds on. [`PlanCorpus`] is the historical
+//! name and remains the alias everything else in the workspace uses.
 
 pub mod bktree;
+mod shard;
 
-use std::collections::HashSet;
+use std::collections::{BinaryHeap, HashSet};
 use std::path::Path;
 
-use uplan_core::fingerprint::{Fingerprint, FingerprintOptions, FingerprintSet};
-use uplan_core::formats::binary::{BinaryDecoder, BinaryEncoder, BINARY_MAGIC};
+use uplan_core::fingerprint::{fingerprint_with, Fingerprint, FingerprintOptions};
+use uplan_core::formats::binary::{
+    BinaryDecoder, BinaryEncoder, IndexSection, ShardTopology, BINARY_MAGIC, MAX_INDEX_SHARDS,
+};
 use uplan_core::formats::unified;
 use uplan_core::ted::tree_edit_distance;
 use uplan_core::{Error, Result, UnifiedPlan};
 
-use bktree::BkTree;
+use shard::CorpusShard;
+
+/// Default shard count of a corpus.
+///
+/// Sharding trades query evaluations for ingest parallelism: every shard
+/// is one more BK root a fanned-out query must visit, so per-query TED
+/// counts grow roughly linearly in the shard count while BK-phase ingest
+/// scales up to it. Four keeps metric queries ≥10× cheaper than scans even
+/// on small (1k-plan) populations — the tier-1 counted-evals gate — while
+/// covering the thread counts of commodity CI runners. Campaigns on wider
+/// machines can raise it per corpus ([`ShardedCorpus::with_shards`], CLI
+/// `--shards`); the pruning ratio recovers with population size (~44× for
+/// one shard at 10k plans).
+pub const DEFAULT_SHARDS: usize = 4;
 
 /// Result rows of a metric query: `(plan id, TED distance)`.
 pub type Matches = Vec<(usize, u32)>;
@@ -100,44 +127,113 @@ pub struct CorpusDiff {
     pub beyond_radius_right: Vec<usize>,
 }
 
-/// A fingerprint-deduplicated, BK-tree-indexed population of unified plans.
-#[derive(Debug, Default, Clone)]
-pub struct PlanCorpus {
-    dedup: FingerprintSet,
-    plans: Vec<UnifiedPlan>,
-    fingerprints: Vec<Fingerprint>,
-    index: BkTree,
-    observed: u64,
-    index_evals: u64,
+/// The historical name of the corpus store; since the sharding rework it
+/// *is* the sharded store (one shard behaves exactly like the old
+/// single-tree corpus, and the default is [`DEFAULT_SHARDS`]).
+pub type PlanCorpus = ShardedCorpus;
+
+/// Which shard a fingerprint routes to: its top `bits` bits — the
+/// "fingerprint prefix". A pure function of the fingerprint, which is what
+/// makes routing reproducible across runs, thread counts and reloads.
+fn shard_index(fp: Fingerprint, bits: u32) -> usize {
+    if bits == 0 {
+        0
+    } else {
+        (fp.0 >> (64 - bits)) as usize
+    }
 }
 
-impl PlanCorpus {
-    /// An empty corpus with default fingerprint options.
-    pub fn new() -> PlanCorpus {
-        PlanCorpus::default()
+/// The index section's flags byte: the [`FingerprintOptions`] in the low
+/// bits plus the fingerprint *scheme* version in the high bits — shard
+/// routing depends on both, and the loader only adopts a persisted index
+/// whose flags match its own. A future scheme bump therefore changes the
+/// byte and old indexed corpora degrade to the rebuild path (they keep
+/// loading) instead of hard-erroring on mismatched routing.
+fn options_flags(options: FingerprintOptions) -> u8 {
+    u8::from(options.strip_numeric_suffixes)
+        | u8::from(options.include_configuration_keys) << 1
+        | u8::from(options.include_configuration_values) << 2
+        | (uplan_core::fingerprint::FINGERPRINT_SCHEME_VERSION as u8 & 0x1f) << 3
+}
+
+/// A fingerprint-deduplicated, BK-tree-indexed population of unified
+/// plans, sharded by fingerprint prefix.
+///
+/// Dense global plan ids (`0..len()`) are assigned in observation order;
+/// internally each plan lives in the shard its fingerprint prefix selects.
+/// See the crate docs for the sharding, determinism and persistence
+/// contracts.
+#[derive(Debug, Clone)]
+pub struct ShardedCorpus {
+    options: FingerprintOptions,
+    /// `shards.len() == 1 << shard_bits`.
+    shards: Vec<CorpusShard>,
+    shard_bits: u32,
+    /// Global id → `(shard, local id)`.
+    directory: Vec<(u32, u32)>,
+    observed: u64,
+    persisted_index: bool,
+}
+
+impl Default for ShardedCorpus {
+    fn default() -> ShardedCorpus {
+        ShardedCorpus::new()
+    }
+}
+
+impl ShardedCorpus {
+    /// An empty corpus with default fingerprint options and
+    /// [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> ShardedCorpus {
+        ShardedCorpus::with_options_and_shards(FingerprintOptions::default(), DEFAULT_SHARDS)
     }
 
     /// An empty corpus with explicit fingerprint options.
-    pub fn with_options(options: FingerprintOptions) -> PlanCorpus {
-        PlanCorpus {
-            dedup: FingerprintSet::with_options(options),
-            ..PlanCorpus::default()
+    pub fn with_options(options: FingerprintOptions) -> ShardedCorpus {
+        ShardedCorpus::with_options_and_shards(options, DEFAULT_SHARDS)
+    }
+
+    /// An empty corpus with an explicit shard count (rounded up to a power
+    /// of two, clamped to `1..=`[`MAX_INDEX_SHARDS`]). One shard reproduces
+    /// the pre-sharding corpus exactly: a single dedup set and BK-tree.
+    pub fn with_shards(shards: usize) -> ShardedCorpus {
+        ShardedCorpus::with_options_and_shards(FingerprintOptions::default(), shards)
+    }
+
+    /// An empty corpus with explicit fingerprint options and shard count
+    /// (rounded up to a power of two, clamped to `1..=`[`MAX_INDEX_SHARDS`]).
+    pub fn with_options_and_shards(options: FingerprintOptions, shards: usize) -> ShardedCorpus {
+        let shards = shards.clamp(1, MAX_INDEX_SHARDS).next_power_of_two();
+        ShardedCorpus {
+            options,
+            shards: (0..shards)
+                .map(|_| CorpusShard::with_options(options))
+                .collect(),
+            shard_bits: shards.trailing_zeros(),
+            directory: Vec::new(),
+            observed: 0,
+            persisted_index: false,
         }
     }
 
-    /// The fingerprint options this corpus dedups under.
+    /// The fingerprint options this corpus dedups and routes under.
     pub fn options(&self) -> FingerprintOptions {
-        self.dedup.options()
+        self.options
+    }
+
+    /// Number of fingerprint-prefix shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Number of distinct plans stored.
     pub fn len(&self) -> usize {
-        self.plans.len()
+        self.directory.len()
     }
 
     /// `true` when no plan has been stored.
     pub fn is_empty(&self) -> bool {
-        self.plans.is_empty()
+        self.directory.is_empty()
     }
 
     /// Total plans observed by *this corpus instance*, including
@@ -149,51 +245,90 @@ impl PlanCorpus {
     }
 
     /// Observations that were fingerprint duplicates of stored plans
-    /// (session-local, like [`PlanCorpus::observed`]).
+    /// (session-local, like [`ShardedCorpus::observed`]).
     pub fn duplicates(&self) -> u64 {
-        self.observed - self.plans.len() as u64
+        self.observed - self.directory.len() as u64
     }
 
-    /// TED evaluations spent *building* the index so far (insert routing).
+    /// TED evaluations spent *building* the metric index so far (BK insert
+    /// routing, summed over shards). Zero after a load that adopted a
+    /// persisted index — the number `corpus/load_binary_indexed_10k` gates
+    /// on.
     pub fn index_evals(&self) -> u64 {
-        self.index_evals
+        self.shards.iter().map(|s| s.index_evals).sum()
+    }
+
+    /// `true` when this corpus was loaded from a document whose persisted
+    /// index was adopted (zero TED evaluations on load).
+    pub fn has_persisted_index(&self) -> bool {
+        self.persisted_index
     }
 
     /// The stored plan with the given id (ids are dense, `0..len()`).
     pub fn plan(&self, id: usize) -> &UnifiedPlan {
-        &self.plans[id]
+        let (shard, local) = self.directory[id];
+        &self.shards[shard as usize].plans[local as usize]
     }
 
     /// The fingerprint of the stored plan with the given id.
     pub fn fingerprint(&self, id: usize) -> Fingerprint {
-        self.fingerprints[id]
+        let (shard, local) = self.directory[id];
+        self.shards[shard as usize].fingerprints[local as usize]
     }
 
     /// Iterates over `(id, plan)` in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &UnifiedPlan)> {
-        self.plans.iter().enumerate()
+        self.directory
+            .iter()
+            .enumerate()
+            .map(|(id, &(shard, local))| (id, &self.shards[shard as usize].plans[local as usize]))
+    }
+
+    /// Fingerprints a plan under this corpus's options (without recording
+    /// it).
+    pub fn fingerprint_of(&self, plan: &UnifiedPlan) -> Fingerprint {
+        fingerprint_with(plan, self.options)
     }
 
     /// Whether a structurally equal plan (same fingerprint) is stored.
     pub fn contains(&self, plan: &UnifiedPlan) -> bool {
-        self.dedup.contains(plan)
+        self.contains_fingerprint(self.fingerprint_of(plan))
     }
 
     /// Whether a fingerprint is stored.
     pub fn contains_fingerprint(&self, fp: Fingerprint) -> bool {
-        self.dedup.contains_fingerprint(fp)
+        self.shards[shard_index(fp, self.shard_bits)]
+            .dedup
+            .contains_fingerprint(fp)
+    }
+
+    /// Claims a fingerprint in its shard's dedup set; `Some(shard)` when it
+    /// was new.
+    fn claim(&mut self, fp: Fingerprint) -> Option<usize> {
+        let s = shard_index(fp, self.shard_bits);
+        self.shards[s].dedup.insert(fp).then_some(s)
+    }
+
+    /// Stores a claimed plan, assigning the next dense global id.
+    fn place(&mut self, s: usize, plan: UnifiedPlan, fp: Fingerprint) -> usize {
+        let global = u32::try_from(self.directory.len()).expect("corpus overflow");
+        let local = self.shards[s].store(plan, fp, global);
+        self.directory.push((s as u32, local));
+        global as usize
     }
 
     /// Observes a plan: stores it (cloning) when its fingerprint is new.
     /// Returns `true` for fingerprint-novel plans.
     pub fn observe(&mut self, plan: &UnifiedPlan) -> bool {
         self.observed += 1;
-        let fp = self.dedup.fingerprint_of(plan);
-        if !self.dedup.insert(fp) {
-            return false;
+        let fp = self.fingerprint_of(plan);
+        match self.claim(fp) {
+            Some(s) => {
+                self.place(s, plan.clone(), fp);
+                true
+            }
+            None => false,
         }
-        self.store(plan.clone(), fp);
-        true
     }
 
     /// Observes a plan with a *novelty radius*: the plan is stored whenever
@@ -207,17 +342,12 @@ impl PlanCorpus {
     /// resetting the mutation stall window.
     pub fn observe_novel(&mut self, plan: &UnifiedPlan, radius: u32) -> bool {
         self.observed += 1;
-        let fp = self.dedup.fingerprint_of(plan);
-        if !self.dedup.insert(fp) {
+        let fp = self.fingerprint_of(plan);
+        let Some(s) = self.claim(fp) else {
             return false;
-        }
-        let novel = if radius == 0 {
-            true
-        } else {
-            let query = self.within_radius(plan, radius);
-            query.matches.is_empty()
         };
-        self.store(plan.clone(), fp);
+        let novel = radius == 0 || self.within_radius(plan, radius).matches.is_empty();
+        self.place(s, plan.clone(), fp);
         novel
     }
 
@@ -225,55 +355,172 @@ impl PlanCorpus {
     /// fingerprint was already stored.
     pub fn insert(&mut self, plan: UnifiedPlan) -> Option<usize> {
         self.observed += 1;
-        let fp = self.dedup.fingerprint_of(&plan);
-        if !self.dedup.insert(fp) {
-            return None;
+        let fp = self.fingerprint_of(&plan);
+        let s = self.claim(fp)?;
+        Some(self.place(s, plan, fp))
+    }
+
+    /// Ingests a whole observation stream across `threads` worker threads
+    /// (scoped, no pool), returning the number of fingerprint-novel plans
+    /// stored. **Deterministic under parallelism**: for any thread count —
+    /// including 1, and including a plain [`ShardedCorpus::observe`] loop —
+    /// the resulting corpus is identical, byte for byte, because shard
+    /// routing is a pure function of the fingerprint and every shard
+    /// ingests its plans in stream order.
+    ///
+    /// Three phases: fingerprint the stream in parallel chunks; route
+    /// stream positions to shards; let workers ingest whole shards
+    /// (dedup + BK indexing, no locks — shards are independent). A final
+    /// stream-order merge assigns the same dense global ids a sequential
+    /// loop would have.
+    pub fn ingest_parallel(&mut self, plans: &[UnifiedPlan], threads: usize) -> usize {
+        self.observed += plans.len() as u64;
+        if plans.is_empty() {
+            return 0;
         }
-        Some(self.store(plan, fp))
-    }
+        let threads = threads.clamp(1, plans.len());
 
-    fn store(&mut self, plan: UnifiedPlan, fp: Fingerprint) -> usize {
-        let id = self.plans.len();
-        self.plans.push(plan);
-        self.fingerprints.push(fp);
-        let plans = &self.plans;
-        let probe = &plans[id];
-        let evals = self.index.insert(id as u32, |other| {
-            tree_edit_distance(probe, &plans[other as usize]) as u32
+        // Phase 1: fingerprints (each plan independent; chunk layout keeps
+        // stream order).
+        let options = self.options;
+        let mut fps = vec![Fingerprint(0); plans.len()];
+        let chunk = plans.len().div_ceil(threads);
+        if threads == 1 {
+            for (fp, plan) in fps.iter_mut().zip(plans) {
+                *fp = fingerprint_with(plan, options);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (dst, src) in fps.chunks_mut(chunk).zip(plans.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (fp, plan) in dst.iter_mut().zip(src) {
+                            *fp = fingerprint_with(plan, options);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Phase 2: route stream positions to shards, preserving stream
+        // order within each shard — the determinism invariant.
+        let mut work: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for (pos, fp) in fps.iter().enumerate() {
+            work[shard_index(*fp, self.shard_bits)].push(pos as u32);
+        }
+
+        // Phase 3: shard-local dedup + BK indexing, whole shards handed to
+        // workers.
+        struct Unit<'a> {
+            shard_idx: u32,
+            shard: &'a mut CorpusShard,
+            work: Vec<u32>,
+            /// `(stream position, local id)` of plans this shard admitted.
+            novel: Vec<(u32, u32)>,
+        }
+        let mut units: Vec<Unit<'_>> = self
+            .shards
+            .iter_mut()
+            .zip(work)
+            .enumerate()
+            .map(|(i, (shard, work))| Unit {
+                shard_idx: i as u32,
+                shard,
+                work,
+                novel: Vec::new(),
+            })
+            .collect();
+        let per = units.len().div_ceil(threads);
+        let fps = &fps;
+        std::thread::scope(|scope| {
+            for group in units.chunks_mut(per) {
+                scope.spawn(move || {
+                    for unit in group {
+                        for &pos in &unit.work {
+                            let fp = fps[pos as usize];
+                            if !unit.shard.dedup.insert(fp) {
+                                continue;
+                            }
+                            // Global id patched in the merge below.
+                            let local = unit.shard.store(plans[pos as usize].clone(), fp, u32::MAX);
+                            unit.novel.push((pos, local));
+                        }
+                    }
+                });
+            }
         });
-        self.index_evals += evals;
-        id
+
+        // Phase 4: stream-order merge — dense global ids identical to a
+        // sequential observe() loop over the same stream.
+        let mut admitted: Vec<(u32, u32, u32)> = units
+            .iter_mut()
+            .flat_map(|unit| {
+                let shard_idx = unit.shard_idx;
+                std::mem::take(&mut unit.novel)
+                    .into_iter()
+                    .map(move |(pos, local)| (pos, shard_idx, local))
+            })
+            .collect();
+        drop(units);
+        admitted.sort_unstable();
+        let novel = admitted.len();
+        for (_, shard_idx, local) in admitted {
+            let global = u32::try_from(self.directory.len()).expect("corpus overflow");
+            self.directory.push((shard_idx, local));
+            self.shards[shard_idx as usize].globals[local as usize] = global;
+        }
+        novel
     }
 
-    /// All stored plans within `radius` tree edits of the probe, via the
-    /// BK-tree (triangle-inequality pruned). Matches sort by plan id.
+    /// All stored plans within `radius` tree edits of the probe, fanned
+    /// out across every shard's BK-tree (triangle-inequality pruned) and
+    /// merged. Matches sort by plan id.
     pub fn within_radius(&self, probe: &UnifiedPlan, radius: u32) -> MetricQuery {
-        let plans = &self.plans;
-        let (mut matches, ted_evals) = self.index.within_radius(radius, |other| {
-            tree_edit_distance(probe, &plans[other as usize]) as u32
-        });
+        let mut matches = Vec::new();
+        let mut ted_evals = 0u64;
+        for shard in &self.shards {
+            let plans = &shard.plans;
+            let (m, evals) = shard.index.within_radius(radius, |other| {
+                tree_edit_distance(probe, &plans[other as usize]) as u32
+            });
+            ted_evals += evals;
+            matches.extend(
+                m.into_iter()
+                    .map(|(local, d)| (shard.globals[local as usize] as usize, d)),
+            );
+        }
         matches.sort_unstable();
-        MetricQuery {
-            matches: matches.into_iter().map(|(i, d)| (i as usize, d)).collect(),
-            ted_evals,
-        }
+        MetricQuery { matches, ted_evals }
     }
 
-    /// The `k` stored plans nearest to the probe, via the BK-tree. Matches
-    /// sort by ascending distance.
+    /// The `k` stored plans nearest to the probe. The query fans out
+    /// across shards *sharing one best-k heap*, so every shard after the
+    /// first prunes against the bound its predecessors already tightened —
+    /// a merged k-NN costs close to a single-tree one, not `shards ×` as
+    /// much. Matches sort by ascending distance (then id).
     pub fn nearest(&self, probe: &UnifiedPlan, k: usize) -> MetricQuery {
-        let plans = &self.plans;
-        let (matches, ted_evals) = self.index.nearest(k, |other| {
-            tree_edit_distance(probe, &plans[other as usize]) as u32
-        });
+        let mut best: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(k + 1);
+        let mut ted_evals = 0u64;
+        for shard in &self.shards {
+            let plans = &shard.plans;
+            ted_evals += shard.index.nearest_into(
+                k,
+                &mut best,
+                |local| shard.globals[local as usize],
+                |other| tree_edit_distance(probe, &plans[other as usize]) as u32,
+            );
+        }
         MetricQuery {
-            matches: matches.into_iter().map(|(i, d)| (i as usize, d)).collect(),
+            matches: best
+                .into_sorted_vec()
+                .into_iter()
+                .map(|(d, id)| (id as usize, d))
+                .collect(),
             ted_evals,
         }
     }
 
-    /// Brute-force reference for [`PlanCorpus::within_radius`]: a full TED
-    /// scan. One evaluation per stored plan — the number the index's
+    /// Brute-force reference for [`ShardedCorpus::within_radius`]: a full
+    /// TED scan. One evaluation per stored plan — the number the index's
     /// pruning is measured against.
     pub fn scan_within_radius(&self, probe: &UnifiedPlan, radius: u32) -> MetricQuery {
         let mut matches = Vec::new();
@@ -285,11 +532,11 @@ impl PlanCorpus {
         }
         MetricQuery {
             matches,
-            ted_evals: self.plans.len() as u64,
+            ted_evals: self.directory.len() as u64,
         }
     }
 
-    /// Brute-force reference for [`PlanCorpus::nearest`]: same distance
+    /// Brute-force reference for [`ShardedCorpus::nearest`]: same distance
     /// multiset, but where several plans tie at the k-th distance the two
     /// may keep different tied ids (the scan keeps the lowest; the index
     /// keeps whichever its pruning visited first).
@@ -302,7 +549,7 @@ impl PlanCorpus {
         all.truncate(k);
         MetricQuery {
             matches: all.into_iter().map(|(d, id)| (id, d)).collect(),
-            ted_evals: self.plans.len() as u64,
+            ted_evals: self.directory.len() as u64,
         }
     }
 
@@ -310,15 +557,17 @@ impl PlanCorpus {
     pub fn stats(&self) -> CorpusStats {
         let mut operations = 0usize;
         let mut max_depth = 0usize;
-        for plan in &self.plans {
-            operations += plan.operation_count();
-            if let Some(root) = &plan.root {
-                max_depth = max_depth.max(root.depth());
+        for shard in &self.shards {
+            for plan in &shard.plans {
+                operations += plan.operation_count();
+                if let Some(root) = &plan.root {
+                    max_depth = max_depth.max(root.depth());
+                }
             }
         }
         CorpusStats {
             observed: self.observed,
-            distinct: self.plans.len(),
+            distinct: self.directory.len(),
             duplicates: self.duplicates(),
             operations,
             max_depth,
@@ -327,18 +576,18 @@ impl PlanCorpus {
 
     /// Greedy leader clustering at the given radius: plans are visited in
     /// id order; each unclaimed plan becomes a leader and claims every
-    /// unclaimed plan within `radius` of it (one BK radius query each).
+    /// unclaimed plan within `radius` of it (one radius query each).
     /// Deterministic, and the id-order greedy pass makes leaders the
     /// earliest-observed representative of each neighborhood.
     pub fn clusters(&self, radius: u32) -> Vec<Cluster> {
-        let mut claimed = vec![false; self.plans.len()];
+        let mut claimed = vec![false; self.directory.len()];
         let mut out = Vec::new();
-        for leader in 0..self.plans.len() {
+        for leader in 0..self.directory.len() {
             if claimed[leader] {
                 continue;
             }
             claimed[leader] = true;
-            let query = self.within_radius(&self.plans[leader], radius);
+            let query = self.within_radius(self.plan(leader), radius);
             let mut members = vec![(leader, 0u32)];
             for (id, d) in query.matches {
                 if !claimed[id] {
@@ -354,17 +603,15 @@ impl PlanCorpus {
     /// Diffs two corpora: exact differences by fingerprint, then — for the
     /// fingerprint-unique plans — whether a near-duplicate (within
     /// `radius`) exists on the other side.
-    pub fn diff(&self, other: &PlanCorpus, radius: u32) -> CorpusDiff {
-        let shared = self
-            .fingerprints
-            .iter()
-            .filter(|fp| other.contains_fingerprint(**fp))
+    pub fn diff(&self, other: &ShardedCorpus, radius: u32) -> CorpusDiff {
+        let shared = (0..self.len())
+            .filter(|&id| other.contains_fingerprint(self.fingerprint(id)))
             .count();
-        let unique = |a: &PlanCorpus, b: &PlanCorpus| -> (Vec<usize>, Vec<usize>) {
+        let unique = |a: &ShardedCorpus, b: &ShardedCorpus| -> (Vec<usize>, Vec<usize>) {
             let mut only = Vec::new();
             let mut beyond = Vec::new();
             for (id, plan) in a.iter() {
-                if b.contains_fingerprint(a.fingerprints[id]) {
+                if b.contains_fingerprint(a.fingerprint(id)) {
                     continue;
                 }
                 only.push(id);
@@ -390,42 +637,129 @@ impl PlanCorpus {
     // Persistence
     // -----------------------------------------------------------------------
 
-    /// Serializes the distinct plans as one binary document (shared symbol
-    /// table, see [`uplan_core::formats::binary`]). Errors only when a
-    /// stored plan exceeds the codec's depth limit.
-    pub fn to_binary(&self) -> Result<Vec<u8>> {
+    fn encoder(&self) -> Result<BinaryEncoder> {
         let mut enc = BinaryEncoder::new();
-        for plan in &self.plans {
+        for (_, plan) in self.iter() {
             enc.push(plan)?;
         }
-        Ok(enc.finish())
+        Ok(enc)
     }
 
-    /// Loads a corpus from a binary document, rebuilding dedup state and
-    /// the BK-tree index. Only the distinct plan set is persisted, so the
+    /// Serializes the distinct plans as one binary document (shared symbol
+    /// table, see [`uplan_core::formats::binary`]) *without* the index
+    /// section — loading rebuilds the BK-trees. Errors only when a stored
+    /// plan exceeds the codec's depth limit.
+    pub fn to_binary(&self) -> Result<Vec<u8>> {
+        Ok(self.encoder()?.finish())
+    }
+
+    /// Serializes the distinct plans *plus* the BK-index topology (UPLN v2
+    /// index section: per shard, one parent edge with its cached TED per
+    /// non-root node), so [`ShardedCorpus::from_binary`] reconstructs the
+    /// metric index with zero TED evaluations.
+    pub fn to_binary_indexed(&self) -> Result<Vec<u8>> {
+        let section = IndexSection {
+            fingerprint_flags: options_flags(self.options),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardTopology {
+                    nodes: s.len() as u64,
+                    edges: s.index.edges(),
+                })
+                .collect(),
+        };
+        Ok(self.encoder()?.finish_with_index(&section))
+    }
+
+    /// Loads a corpus from a binary document, rebuilding dedup state and —
+    /// when the document carries an index section written under the same
+    /// fingerprint options — adopting the persisted BK topology with zero
+    /// TED evaluations ([`ShardedCorpus::has_persisted_index`]). Index-free
+    /// documents (v1, or v2 saved without [`ShardedCorpus::save_indexed`])
+    /// rebuild the index. Only the distinct plan set is persisted, so the
     /// loaded corpus's session counters restart at `observed == len`.
-    pub fn from_binary(bytes: &[u8]) -> Result<PlanCorpus> {
+    pub fn from_binary(bytes: &[u8]) -> Result<ShardedCorpus> {
         Self::from_binary_with_options(bytes, FingerprintOptions::default())
     }
 
-    /// [`PlanCorpus::from_binary`] with explicit fingerprint options.
+    /// [`ShardedCorpus::from_binary`] with explicit fingerprint options. A
+    /// persisted index written under *different* options is ignored (its
+    /// shard routing would not match) and the index is rebuilt instead.
     pub fn from_binary_with_options(
         bytes: &[u8],
         options: FingerprintOptions,
-    ) -> Result<PlanCorpus> {
-        let mut corpus = PlanCorpus::with_options(options);
+    ) -> Result<ShardedCorpus> {
         let mut dec = BinaryDecoder::new(bytes)?;
+        let mut plans = Vec::new();
         while let Some(plan) = dec.next_plan()? {
-            corpus.insert(plan);
+            plans.push(plan);
         }
+        match dec.take_index() {
+            Some(index) if index.fingerprint_flags == options_flags(options) => {
+                Self::from_plans_indexed(plans, &index, options)
+            }
+            _ => {
+                let mut corpus = ShardedCorpus::with_options(options);
+                for plan in plans {
+                    corpus.insert(plan);
+                }
+                Ok(corpus)
+            }
+        }
+    }
+
+    /// The indexed-load path: route every plan to its shard (fingerprints
+    /// recomputed — cheap, no TED), then adopt each shard's persisted BK
+    /// topology. Structural mismatches (populations that cannot be the
+    /// ones the index was built over) are errors: a persisted index is
+    /// trusted for distances but never for shape.
+    fn from_plans_indexed(
+        plans: Vec<UnifiedPlan>,
+        index: &IndexSection,
+        options: FingerprintOptions,
+    ) -> Result<ShardedCorpus> {
+        let shard_count = index.shards.len();
+        if shard_count == 0 || !shard_count.is_power_of_two() {
+            return Err(Error::Semantic(format!(
+                "persisted index has a non-power-of-two shard count {shard_count}"
+            )));
+        }
+        let mut corpus = ShardedCorpus::with_options_and_shards(options, shard_count);
+        corpus.observed = plans.len() as u64;
+        for plan in plans {
+            let fp = fingerprint_with(&plan, options);
+            let s = shard_index(fp, corpus.shard_bits);
+            if !corpus.shards[s].dedup.insert(fp) {
+                return Err(Error::Semantic(
+                    "persisted index over a document with duplicate fingerprints".into(),
+                ));
+            }
+            let global = u32::try_from(corpus.directory.len()).expect("corpus overflow");
+            let local = corpus.shards[s].store_unindexed(plan, fp, global);
+            corpus.directory.push((s as u32, local));
+        }
+        for (i, (shard, topology)) in corpus.shards.iter_mut().zip(&index.shards).enumerate() {
+            if topology.nodes != shard.len() as u64 {
+                return Err(Error::Semantic(format!(
+                    "persisted index shard {i} covers {} items but {} plans route there",
+                    topology.nodes,
+                    shard.len()
+                )));
+            }
+            shard
+                .adopt_index(&topology.edges)
+                .map_err(Error::Semantic)?;
+        }
+        corpus.persisted_index = true;
         Ok(corpus)
     }
 
     /// Serializes the distinct plans as JSON lines (one compact unified
-    /// JSON document per line) — the interchange form.
+    /// JSON document per line) — the interchange form (no index section).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        for plan in &self.plans {
+        for (_, plan) in self.iter() {
             out.push_str(&unified::to_json_value(plan).to_compact());
             out.push('\n');
         }
@@ -433,13 +767,16 @@ impl PlanCorpus {
     }
 
     /// Loads a corpus from JSON lines.
-    pub fn from_jsonl(text: &str) -> Result<PlanCorpus> {
+    pub fn from_jsonl(text: &str) -> Result<ShardedCorpus> {
         Self::from_jsonl_with_options(text, FingerprintOptions::default())
     }
 
-    /// [`PlanCorpus::from_jsonl`] with explicit fingerprint options.
-    pub fn from_jsonl_with_options(text: &str, options: FingerprintOptions) -> Result<PlanCorpus> {
-        let mut corpus = PlanCorpus::with_options(options);
+    /// [`ShardedCorpus::from_jsonl`] with explicit fingerprint options.
+    pub fn from_jsonl_with_options(
+        text: &str,
+        options: FingerprintOptions,
+    ) -> Result<ShardedCorpus> {
+        let mut corpus = ShardedCorpus::with_options(options);
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() {
@@ -450,16 +787,27 @@ impl PlanCorpus {
         Ok(corpus)
     }
 
-    /// Writes the corpus to `path` in binary form.
+    /// Writes the corpus to `path` in binary form without an index
+    /// section (the index is rebuilt on load).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let bytes = self.to_binary()?;
+        Self::write(path, self.to_binary()?)
+    }
+
+    /// Writes the corpus to `path` in binary form *with* the persisted
+    /// BK-index, making the next load index-free (zero TED evaluations).
+    pub fn save_indexed(&self, path: impl AsRef<Path>) -> Result<()> {
+        Self::write(path, self.to_binary_indexed()?)
+    }
+
+    fn write(path: impl AsRef<Path>, bytes: Vec<u8>) -> Result<()> {
         std::fs::write(path.as_ref(), bytes)
             .map_err(|e| Error::Semantic(format!("cannot write {}: {e}", path.as_ref().display())))
     }
 
     /// Reads a corpus from `path`, sniffing the format: the binary magic
-    /// selects the binary codec, anything else parses as JSON lines.
-    pub fn load(path: impl AsRef<Path>) -> Result<PlanCorpus> {
+    /// selects the binary codec (adopting a persisted index when present),
+    /// anything else parses as JSON lines.
+    pub fn load(path: impl AsRef<Path>) -> Result<ShardedCorpus> {
         let bytes = std::fs::read(path.as_ref()).map_err(|e| {
             Error::Semantic(format!("cannot read {}: {e}", path.as_ref().display()))
         })?;
@@ -473,7 +821,10 @@ impl PlanCorpus {
 
     /// Distinct fingerprints as a set (cross-corpus bookkeeping).
     pub fn fingerprint_set(&self) -> HashSet<Fingerprint> {
-        self.fingerprints.iter().copied().collect()
+        self.shards
+            .iter()
+            .flat_map(|s| s.fingerprints.iter().copied())
+            .collect()
     }
 }
 
@@ -505,6 +856,26 @@ mod tests {
         ]
     }
 
+    /// A wider synthetic population: every subset of wrappers over every
+    /// scan — enough distinct fingerprints to hit many shards.
+    fn wide_population(n: usize) -> Vec<UnifiedPlan> {
+        let wrappers = ["Gather", "Collect", "Exchange", "Sort", "Hash", "Top_N"];
+        (0..n)
+            .map(|i| {
+                let mut names = vec![format!("Scan_{}", i % 7)];
+                let mut bits = i / 7;
+                for w in wrappers {
+                    if bits & 1 == 1 {
+                        names.insert(0, w.to_string());
+                    }
+                    bits >>= 1;
+                }
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                chain(&refs)
+            })
+            .collect()
+    }
+
     #[test]
     fn observe_dedups_by_fingerprint() {
         let mut corpus = PlanCorpus::new();
@@ -515,7 +886,7 @@ mod tests {
         assert_eq!(corpus.len(), 1);
         assert_eq!(corpus.observed(), 2);
         assert_eq!(corpus.duplicates(), 1);
-        assert_eq!(corpus.fingerprint(0), corpus.dedup.fingerprint_of(&plan));
+        assert_eq!(corpus.fingerprint(0), corpus.fingerprint_of(&plan));
     }
 
     #[test]
@@ -538,6 +909,81 @@ mod tests {
                 assert_eq!(d(&indexed), d(&scanned), "k {k}");
             }
         }
+    }
+
+    #[test]
+    fn sharded_queries_agree_with_single_shard_and_scans() {
+        // The sharded index must answer exactly like one big tree, for
+        // every shard count.
+        let plans = wide_population(160);
+        for shards in [1usize, 4, 16, 64] {
+            let mut corpus = ShardedCorpus::with_shards(shards);
+            assert_eq!(corpus.shard_count(), shards);
+            for plan in &plans {
+                corpus.observe(plan);
+            }
+            for probe in plans.iter().step_by(13) {
+                for radius in [0u32, 1, 3] {
+                    assert_eq!(
+                        corpus.within_radius(probe, radius).matches,
+                        corpus.scan_within_radius(probe, radius).matches,
+                        "shards {shards} radius {radius}"
+                    );
+                }
+                let d = |q: &MetricQuery| q.matches.iter().map(|&(_, d)| d).collect::<Vec<_>>();
+                for k in [1usize, 5, 20] {
+                    assert_eq!(
+                        d(&corpus.nearest(probe, k)),
+                        d(&corpus.scan_nearest(probe, k)),
+                        "shards {shards} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_is_deterministic_across_thread_counts() {
+        // The acceptance bar: any thread count — and the sequential
+        // observe() loop — produces byte-identical corpora.
+        let mut stream = wide_population(300);
+        // Duplicates in the stream, like a real campaign.
+        let dupes: Vec<UnifiedPlan> = stream.iter().step_by(3).cloned().collect();
+        stream.extend(dupes);
+
+        let mut sequential = ShardedCorpus::new();
+        for plan in &stream {
+            sequential.observe(plan);
+        }
+        let reference_bytes = sequential.to_binary_indexed().unwrap();
+        let reference_stats = sequential.stats();
+
+        for threads in [1usize, 2, 4, 7] {
+            let mut corpus = ShardedCorpus::new();
+            let novel = corpus.ingest_parallel(&stream, threads);
+            assert_eq!(novel, sequential.len(), "threads {threads}");
+            assert_eq!(corpus.stats(), reference_stats, "threads {threads}");
+            assert_eq!(
+                corpus.to_binary_indexed().unwrap(),
+                reference_bytes,
+                "threads {threads}: corpus bytes diverged"
+            );
+            assert_eq!(corpus.index_evals(), sequential.index_evals());
+        }
+
+        // Ingest into a *non-empty* corpus stays deterministic too.
+        let mut warm_seq = ShardedCorpus::new();
+        warm_seq.ingest_parallel(&stream[..100], 1);
+        for plan in &stream[100..] {
+            warm_seq.observe(plan);
+        }
+        let mut warm_par = ShardedCorpus::new();
+        warm_par.ingest_parallel(&stream[..100], 3);
+        warm_par.ingest_parallel(&stream[100..], 4);
+        assert_eq!(
+            warm_par.to_binary_indexed().unwrap(),
+            warm_seq.to_binary_indexed().unwrap()
+        );
     }
 
     #[test]
@@ -607,6 +1053,7 @@ mod tests {
 
         let bin = PlanCorpus::from_binary(&corpus.to_binary().unwrap()).unwrap();
         assert_eq!(bin.len(), corpus.len());
+        assert!(!bin.has_persisted_index());
         let jsonl = PlanCorpus::from_jsonl(&corpus.to_jsonl()).unwrap();
         assert_eq!(jsonl.len(), corpus.len());
         for (id, plan) in corpus.iter() {
@@ -615,6 +1062,99 @@ mod tests {
             assert_eq!(bin.fingerprint(id), corpus.fingerprint(id));
             assert_eq!(jsonl.fingerprint(id), corpus.fingerprint(id));
         }
+    }
+
+    #[test]
+    fn indexed_round_trip_adopts_the_index_with_zero_ted_evals() {
+        let mut corpus = PlanCorpus::new();
+        for plan in wide_population(120) {
+            corpus.insert(plan);
+        }
+        assert!(corpus.index_evals() > 0, "building the index costs TED");
+
+        let bytes = corpus.to_binary_indexed().unwrap();
+        let loaded = PlanCorpus::from_binary(&bytes).unwrap();
+        // The headline contract: not one TED evaluation spent loading.
+        assert_eq!(loaded.index_evals(), 0);
+        assert!(loaded.has_persisted_index());
+        assert_eq!(loaded.len(), corpus.len());
+        assert_eq!(loaded.observed(), corpus.len() as u64);
+        assert_eq!(loaded.shard_count(), corpus.shard_count());
+        for (id, plan) in corpus.iter() {
+            assert_eq!(loaded.plan(id), plan);
+            assert_eq!(loaded.fingerprint(id), corpus.fingerprint(id));
+        }
+        // And the adopted index answers exactly like the built one —
+        // matches *and* evaluation counts.
+        for probe in wide_population(120).iter().step_by(17) {
+            let a = corpus.within_radius(probe, 2);
+            let b = loaded.within_radius(probe, 2);
+            assert_eq!(a, b);
+            let a = corpus.nearest(probe, 5);
+            let b = loaded.nearest(probe, 5);
+            assert_eq!(a, b);
+        }
+        // Saving the loaded corpus reproduces the document byte for byte.
+        assert_eq!(loaded.to_binary_indexed().unwrap(), bytes);
+    }
+
+    #[test]
+    fn foreign_option_indexes_are_ignored_not_trusted() {
+        // An index persisted under different fingerprint options routes
+        // differently; the loader must fall back to rebuilding, not adopt
+        // a wrong topology.
+        let mut corpus = PlanCorpus::new();
+        for plan in population() {
+            corpus.insert(plan);
+        }
+        let bytes = corpus.to_binary_indexed().unwrap();
+        let strict = FingerprintOptions {
+            include_configuration_keys: false,
+            ..FingerprintOptions::default()
+        };
+        let loaded = PlanCorpus::from_binary_with_options(&bytes, strict).unwrap();
+        assert!(!loaded.has_persisted_index());
+        assert_eq!(loaded.len(), corpus.len());
+        assert_eq!(loaded.options(), strict);
+    }
+
+    #[test]
+    fn corrupted_index_sections_error_rather_than_misanswer() {
+        let mut corpus = PlanCorpus::new();
+        for plan in population() {
+            corpus.insert(plan);
+        }
+        let good = corpus.to_binary_indexed().unwrap();
+        // Find the index flag: it is the first byte of the trailing
+        // section; corrupt a shard's node count right after the flags
+        // byte + shard count varint so populations mismatch. Rather than
+        // byte-surgery, rewrite the section wholesale through the encoder.
+        let mut enc = BinaryEncoder::new();
+        for (_, plan) in corpus.iter() {
+            enc.push(plan).unwrap();
+        }
+        let mut shards: Vec<ShardTopology> = corpus
+            .shards
+            .iter()
+            .map(|s| ShardTopology {
+                nodes: s.len() as u64,
+                edges: s.index.edges(),
+            })
+            .collect();
+        // Swap two non-equal node counts: totals still match the plan
+        // count, but per-shard populations cannot.
+        let (a, b) = {
+            let mut it = (0..shards.len()).filter(|&i| shards[i].nodes != shards[0].nodes);
+            (0, it.next().unwrap())
+        };
+        shards.swap(a, b);
+        let bad = enc.finish_with_index(&IndexSection {
+            fingerprint_flags: options_flags(corpus.options()),
+            shards,
+        });
+        let err = PlanCorpus::from_binary(&bad).unwrap_err();
+        assert!(err.to_string().contains("persisted index"), "{err}");
+        assert!(PlanCorpus::from_binary(&good).is_ok());
     }
 
     #[test]
@@ -627,12 +1167,18 @@ mod tests {
         // Process-unique names: concurrent test runs must not collide.
         let pid = std::process::id();
         let bin_path = dir.join(format!("uplan_corpus_test_{pid}.uplanc"));
-        corpus.save(&bin_path).unwrap();
-        assert_eq!(PlanCorpus::load(&bin_path).unwrap().len(), corpus.len());
+        corpus.save_indexed(&bin_path).unwrap();
+        let loaded = PlanCorpus::load(&bin_path).unwrap();
+        assert_eq!(loaded.len(), corpus.len());
+        assert!(loaded.has_persisted_index());
+        let plain_path = dir.join(format!("uplan_corpus_test_plain_{pid}.uplanc"));
+        corpus.save(&plain_path).unwrap();
+        assert!(!PlanCorpus::load(&plain_path).unwrap().has_persisted_index());
         let jsonl_path = dir.join(format!("uplan_corpus_test_{pid}.jsonl"));
         std::fs::write(&jsonl_path, corpus.to_jsonl()).unwrap();
         assert_eq!(PlanCorpus::load(&jsonl_path).unwrap().len(), corpus.len());
         std::fs::remove_file(bin_path).ok();
+        std::fs::remove_file(plain_path).ok();
         std::fs::remove_file(jsonl_path).ok();
         assert!(PlanCorpus::load(dir.join("definitely_missing.uplanc")).is_err());
     }
@@ -650,5 +1196,14 @@ mod tests {
         assert_eq!(stats.duplicates, 6);
         assert_eq!(stats.operations, 1 + 2 + 2 + 3 + 3 + 4);
         assert_eq!(stats.max_depth, 4);
+    }
+
+    #[test]
+    fn shard_counts_round_to_powers_of_two() {
+        assert_eq!(ShardedCorpus::with_shards(0).shard_count(), 1);
+        assert_eq!(ShardedCorpus::with_shards(1).shard_count(), 1);
+        assert_eq!(ShardedCorpus::with_shards(3).shard_count(), 4);
+        assert_eq!(ShardedCorpus::with_shards(16).shard_count(), 16);
+        assert_eq!(ShardedCorpus::with_shards(100_000).shard_count(), 256);
     }
 }

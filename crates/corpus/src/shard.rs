@@ -1,0 +1,89 @@
+//! One shard of a [`crate::ShardedCorpus`].
+//!
+//! A shard owns a contiguous slice of fingerprint space (plans whose
+//! fingerprint *prefix* routes here) and keeps, independently of every
+//! other shard: the [`FingerprintSet`] answering "seen exactly?", the plan
+//! storage, and the BK-tree answering "seen anything like it?". Because a
+//! plan's shard is a pure function of its fingerprint, shards never
+//! coordinate — parallel ingest hands each worker whole shards and needs no
+//! locks, and the facade's determinism guarantee reduces to "each shard
+//! sees its plans in stream order".
+//!
+//! Ids are *local* here (dense per shard, also the BK node ids); the
+//! facade maps them to corpus-wide insertion-ordered globals through
+//! [`CorpusShard::globals`].
+
+use uplan_core::fingerprint::{Fingerprint, FingerprintOptions, FingerprintSet};
+use uplan_core::ted::tree_edit_distance;
+use uplan_core::UnifiedPlan;
+
+use crate::bktree::BkTree;
+
+/// One fingerprint-prefix shard: dedup set + plan storage + BK-tree.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct CorpusShard {
+    /// Fingerprint dedup for the plans routed to this shard.
+    pub(crate) dedup: FingerprintSet,
+    /// Stored plans, dense by local id.
+    pub(crate) plans: Vec<UnifiedPlan>,
+    /// Fingerprint per local id.
+    pub(crate) fingerprints: Vec<Fingerprint>,
+    /// Local id → corpus-wide global id.
+    pub(crate) globals: Vec<u32>,
+    /// BK-tree over local ids (node id == local id, always sequential).
+    pub(crate) index: BkTree,
+    /// TED evaluations spent building `index` (insert routing).
+    pub(crate) index_evals: u64,
+}
+
+impl CorpusShard {
+    pub(crate) fn with_options(options: FingerprintOptions) -> CorpusShard {
+        CorpusShard {
+            dedup: FingerprintSet::with_options(options),
+            ..CorpusShard::default()
+        }
+    }
+
+    /// Distinct plans stored in this shard.
+    pub(crate) fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Stores a fingerprint-novel plan and routes it into the BK-tree
+    /// (evaluating TED against the plans already here). Returns the local
+    /// id. The caller has already claimed `fp` in [`CorpusShard::dedup`].
+    pub(crate) fn store(&mut self, plan: UnifiedPlan, fp: Fingerprint, global: u32) -> u32 {
+        let local = self.store_unindexed(plan, fp, global);
+        let plans = &self.plans;
+        let probe = &plans[local as usize];
+        let evals = self.index.insert(local, |other| {
+            tree_edit_distance(probe, &plans[other as usize]) as u32
+        });
+        self.index_evals += evals;
+        local
+    }
+
+    /// Stores a plan *without* touching the BK-tree — the indexed-load
+    /// path, where the tree is adopted wholesale from a persisted topology
+    /// afterwards ([`CorpusShard::adopt_index`]).
+    pub(crate) fn store_unindexed(
+        &mut self,
+        plan: UnifiedPlan,
+        fp: Fingerprint,
+        global: u32,
+    ) -> u32 {
+        let local = u32::try_from(self.plans.len()).expect("corpus shard overflow");
+        self.plans.push(plan);
+        self.fingerprints.push(fp);
+        self.globals.push(global);
+        local
+    }
+
+    /// Adopts a persisted BK topology over the plans already stored —
+    /// zero TED evaluations. Errors when the topology cannot describe this
+    /// shard's population.
+    pub(crate) fn adopt_index(&mut self, edges: &[(u32, u32)]) -> Result<(), String> {
+        self.index = BkTree::from_edges(self.plans.len(), edges)?;
+        Ok(())
+    }
+}

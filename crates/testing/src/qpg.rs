@@ -9,14 +9,18 @@
 //! every engine, with TiDB's random operator identifiers neutralized by the
 //! representation, not by per-DBMS string hacks.
 //!
-//! Campaign plans are observed through a [`PlanCorpus`]: fingerprint dedup
-//! answers "is this plan exactly new?", and the corpus's TED-metric BK-tree
-//! lets [`QpgConfig::novelty_radius`] raise the bar to "is this plan unlike
-//! anything seen?" — near-duplicate shapes (one index condition swapped,
-//! one wrapper inserted) stop resetting the stall window, so the campaign
-//! mutates state sooner and spends its query budget on genuinely new
-//! coverage. The whole observed corpus comes back in [`QpgOutcome::corpus`]
-//! for persistence (`repro corpus campaign`) and cross-run diffing.
+//! Campaign plans are observed through a [`PlanCorpus`] — since the
+//! corpus-sharding rework, a fingerprint-prefix-sharded store: fingerprint
+//! dedup answers "is this plan exactly new?", and the per-shard TED-metric
+//! BK-trees let [`QpgConfig::novelty_radius`] raise the bar to "is this
+//! plan unlike anything seen?" — near-duplicate shapes (one index condition
+//! swapped, one wrapper inserted) stop resetting the stall window, so the
+//! campaign mutates state sooner and spends its query budget on genuinely
+//! new coverage. The whole observed corpus comes back in
+//! [`QpgOutcome::corpus`] for persistence (`repro corpus campaign`,
+//! indexed save → index-free reload) and cross-run diffing; campaign
+//! *replays* of persisted observation streams go through the corpus's
+//! parallel ingest.
 
 use minidb::faults::BugId;
 use minidb::Database;
@@ -247,11 +251,48 @@ mod tests {
         );
         assert_eq!(outcome.corpus.len(), outcome.distinct_plans);
         assert!(outcome.corpus.observed() > outcome.corpus.len() as u64);
+        // The campaign observes through the sharded store.
+        assert!(outcome.corpus.shard_count() > 1);
         // The corpus round-trips through the binary codec, so a campaign
         // can be persisted and resumed.
         let reloaded =
             uplan_corpus::PlanCorpus::from_binary(&outcome.corpus.to_binary().unwrap()).unwrap();
         assert_eq!(reloaded.len(), outcome.corpus.len());
+        // Indexed persistence resumes the campaign without re-running a
+        // single TED evaluation to rebuild the metric index.
+        let resumed =
+            uplan_corpus::PlanCorpus::from_binary(&outcome.corpus.to_binary_indexed().unwrap())
+                .unwrap();
+        assert_eq!(resumed.len(), outcome.corpus.len());
+        assert_eq!(resumed.index_evals(), 0);
+        assert!(resumed.has_persisted_index());
+    }
+
+    #[test]
+    fn campaign_replay_through_parallel_ingest_matches_observation() {
+        // Re-ingesting a campaign's observation stream in parallel must
+        // reproduce the exact corpus the sequential campaign built — the
+        // determinism contract QPG fleets rely on when merging per-worker
+        // streams.
+        let mut db = Database::new(EngineProfile::TiDb);
+        let mut generator = Generator::new(41);
+        generator.create_schema(&mut db, 2);
+        let mut pipeline = crate::pipeline::PlanPipeline::new();
+        let mut stream = Vec::new();
+        let mut corpus = PlanCorpus::new();
+        for _ in 0..60 {
+            let query = generator.query();
+            if let Ok(plan) = pipeline.unified_plan(&mut db, &query.sql) {
+                corpus.observe(&plan);
+                stream.push(plan);
+            }
+        }
+        let mut replay = PlanCorpus::new();
+        replay.ingest_parallel(&stream, 4);
+        assert_eq!(
+            replay.to_binary_indexed().unwrap(),
+            corpus.to_binary_indexed().unwrap()
+        );
     }
 
     #[test]

@@ -139,11 +139,12 @@ fn tree_edit_distances_match_golden_values() {
     }
 }
 
-/// Exact version-1 encoding of a small reference plan. The binary codec is
-/// a persistence format: any byte-level change to this encoding invalidates
-/// every stored corpus and must be deliberate (bump
-/// `BINARY_CODEC_VERSION`, regenerate, and say so in the PR).
-const GOLDEN_BINARY: [u8; 105] = [
+/// Exact version-1 encoding of a small reference plan. Version 1 is no
+/// longer written (the encoder emits version 2) but corpora persisted by
+/// earlier releases exist, so the *decoder* stays pinned to these bytes
+/// forever: any change that stops them decoding breaks stored corpora and
+/// must be deliberate.
+const GOLDEN_BINARY_V1: [u8; 105] = [
     0x55, 0x50, 0x4c, 0x4e, 0x01, 0x06, 0x09, 0x48, 0x61, 0x73, 0x68, 0x5f, //
     0x4a, 0x6f, 0x69, 0x6e, 0x0f, 0x46, 0x75, 0x6c, 0x6c, 0x5f, 0x54, 0x61, //
     0x62, 0x6c, 0x65, 0x5f, 0x53, 0x63, 0x61, 0x6e, 0x04, 0x72, 0x6f, 0x77, //
@@ -153,6 +154,23 @@ const GOLDEN_BINARY: [u8; 105] = [
     0x01, 0x02, 0x00, 0x00, 0x02, 0x00, 0x01, 0x01, 0x00, 0x02, 0x03, 0xd0, //
     0x0f, 0x00, 0x00, 0x03, 0x01, 0x02, 0x04, 0x05, 0x06, 0x63, 0x30, 0x20, //
     0x3c, 0x20, 0x35, 0x00, 0x01, 0x03, 0x05, 0x03, 0x04,
+];
+
+/// Exact version-2 encoding of the same plan: identical plan bytes, the
+/// version varint at offset 4 is 2, and one trailing zero byte (the "no
+/// index section" flag). Any byte-level change to this encoding
+/// invalidates every stored corpus and must be deliberate (bump
+/// `BINARY_CODEC_VERSION`, regenerate, and say so in the PR).
+const GOLDEN_BINARY_V2: [u8; 106] = [
+    0x55, 0x50, 0x4c, 0x4e, 0x02, 0x06, 0x09, 0x48, 0x61, 0x73, 0x68, 0x5f, //
+    0x4a, 0x6f, 0x69, 0x6e, 0x0f, 0x46, 0x75, 0x6c, 0x6c, 0x5f, 0x54, 0x61, //
+    0x62, 0x6c, 0x65, 0x5f, 0x53, 0x63, 0x61, 0x6e, 0x04, 0x72, 0x6f, 0x77, //
+    0x73, 0x0a, 0x49, 0x6e, 0x64, 0x65, 0x78, 0x5f, 0x53, 0x63, 0x61, 0x6e, //
+    0x06, 0x66, 0x69, 0x6c, 0x74, 0x65, 0x72, 0x0f, 0x77, 0x6f, 0x72, 0x6b, //
+    0x65, 0x72, 0x73, 0x5f, 0x70, 0x6c, 0x61, 0x6e, 0x6e, 0x65, 0x64, 0x01, //
+    0x01, 0x02, 0x00, 0x00, 0x02, 0x00, 0x01, 0x01, 0x00, 0x02, 0x03, 0xd0, //
+    0x0f, 0x00, 0x00, 0x03, 0x01, 0x02, 0x04, 0x05, 0x06, 0x63, 0x30, 0x20, //
+    0x3c, 0x20, 0x35, 0x00, 0x01, 0x03, 0x05, 0x03, 0x04, 0x00,
 ];
 
 fn golden_binary_plan() -> UnifiedPlan {
@@ -174,18 +192,34 @@ fn golden_binary_plan() -> UnifiedPlan {
 #[test]
 fn binary_codec_encoding_matches_golden_bytes() {
     use uplan::core::formats::binary;
-    assert_eq!(binary::BINARY_CODEC_VERSION, 1);
+    assert_eq!(binary::BINARY_CODEC_VERSION, 2);
+    assert_eq!(binary::MIN_SUPPORTED_BINARY_VERSION, 1);
     let bytes = binary::to_bytes(&golden_binary_plan()).unwrap();
     assert_eq!(
         bytes,
-        GOLDEN_BINARY.to_vec(),
-        "binary codec v1 encoding drifted — persisted corpora would break"
+        GOLDEN_BINARY_V2.to_vec(),
+        "binary codec v2 encoding drifted — persisted corpora would break"
     );
     // And the pinned bytes decode back to the reference plan, fingerprint
     // and all.
-    let decoded = binary::from_bytes(&GOLDEN_BINARY).unwrap();
+    let decoded = binary::from_bytes(&GOLDEN_BINARY_V2).unwrap();
     assert_eq!(decoded, golden_binary_plan());
     assert_eq!(fingerprint(&decoded), fingerprint(&golden_binary_plan()));
+}
+
+#[test]
+fn binary_codec_still_decodes_golden_v1_documents() {
+    // Corpora persisted before the v2 bump must keep loading, bit-compat
+    // forever: the v1 golden bytes decode to the same plan the v2 bytes
+    // encode.
+    use uplan::core::formats::binary;
+    let decoded = binary::from_bytes(&GOLDEN_BINARY_V1).unwrap();
+    assert_eq!(decoded, golden_binary_plan());
+    assert_eq!(fingerprint(&decoded), fingerprint(&golden_binary_plan()));
+    // And a v1 document loads as a corpus through the index-rebuild path.
+    let corpus = uplan::corpus::PlanCorpus::from_binary(&GOLDEN_BINARY_V1).unwrap();
+    assert_eq!(corpus.len(), 1);
+    assert!(!corpus.has_persisted_index());
 }
 
 #[test]

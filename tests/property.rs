@@ -176,6 +176,66 @@ proptest! {
         }
     }
 
+    /// A v1-encoded document decodes identically under the v2 decoder: the
+    /// two versions differ only in the version varint and the trailing
+    /// index flag, so rewriting a no-index v2 document as v1 byte-for-byte
+    /// must change nothing about what it decodes to.
+    #[test]
+    fn v1_documents_decode_identically_under_the_v2_decoder(
+        plans in prop::collection::vec(arb_plan(), 0..12),
+    ) {
+        let mut enc = uplan::core::formats::binary::BinaryEncoder::new();
+        for plan in &plans {
+            enc.push(plan).unwrap();
+        }
+        let v2 = enc.finish();
+        let mut v1 = v2.clone();
+        prop_assert_eq!(v1[4], 2u8, "version varint");
+        prop_assert_eq!(v1.pop(), Some(0u8), "no-index flag");
+        v1[4] = 1;
+        let decode = |bytes: &[u8]| {
+            let mut dec = uplan::core::formats::binary::BinaryDecoder::new(bytes).unwrap();
+            let mut out = Vec::new();
+            while let Some(plan) = dec.next_plan().unwrap() {
+                out.push(plan);
+            }
+            out
+        };
+        prop_assert_eq!(decode(&v1), decode(&v2));
+        prop_assert_eq!(decode(&v1), plans);
+    }
+
+    /// An indexed corpus document round-trips with zero TED evaluations on
+    /// load, and the adopted index answers queries exactly like the index
+    /// it was persisted from — same matches, same counted evaluations.
+    #[test]
+    fn indexed_corpus_round_trips_with_zero_load_evals(
+        plans in prop::collection::vec(arb_plan(), 0..24),
+        radius in 0u32..4,
+        k in 1usize..6,
+    ) {
+        let mut corpus = uplan::corpus::PlanCorpus::new();
+        for plan in &plans {
+            corpus.observe(plan);
+        }
+        let loaded =
+            uplan::corpus::PlanCorpus::from_binary(&corpus.to_binary_indexed().unwrap()).unwrap();
+        prop_assert_eq!(loaded.index_evals(), 0);
+        prop_assert_eq!(loaded.len(), corpus.len());
+        prop_assert!(loaded.has_persisted_index());
+        for (id, plan) in corpus.iter() {
+            prop_assert_eq!(loaded.plan(id), plan);
+            prop_assert_eq!(loaded.fingerprint(id), corpus.fingerprint(id));
+        }
+        for probe in plans.iter().take(4) {
+            prop_assert_eq!(
+                corpus.within_radius(probe, radius),
+                loaded.within_radius(probe, radius)
+            );
+            prop_assert_eq!(corpus.nearest(probe, k), loaded.nearest(probe, k));
+        }
+    }
+
     /// Fingerprints are a function of structure: serialization and
     /// re-parsing never change them, and Cost/Cardinality/Status values
     /// never affect them.
