@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro corpus ingest <out> <source> <explain-file>... [--threads N] [--shards N] [--index]
+//! repro corpus ingest <out> --raw <dump.jsonl>... [--threads N] [--shards N] [--index]
 //!     Convert native EXPLAIN files (any of the converter dialects, see
 //!     `repro corpus sources`) and store them deduplicated. `<out>` ending
 //!     in .jsonl writes JSON lines; anything else writes the binary codec.
@@ -9,6 +10,19 @@
 //!     resulting corpus is byte-identical for every thread count);
 //!     `--shards` overrides the corpus shard count; `--index` persists the
 //!     BK-index topology (UPLN v2) so the next load is index-free.
+//!     With `--raw`, the files are mixed-source JSONL dumps instead: one
+//!     plan per line (a JSON string holding a text/table/XML dump, or a
+//!     JSON explain document), each line source-sniffed via the converter
+//!     registry and streamed batch-wise into the sharded corpus.
+//! repro corpus raw-fixture <out.jsonl> [queries]
+//!     Write a deterministic mixed-source raw dump covering all nine
+//!     dialects ([queries] TPC-H-lite queries per relational engine,
+//!     default 6) — the input of the CI raw-ingest gate.
+//! repro corpus raw-check <dump.jsonl>
+//!     Assert that 4-thread batched raw ingest of the dump produces a
+//!     corpus byte-identical to sequential per-source conversion (and
+//!     identical stats); prints both censuses. Exits non-zero on any
+//!     divergence.
 //! repro corpus fixture-ingest <out> [count] [--threads N] [--shards N] [--index] [--seed HEX]
 //!     Ingest the seeded TPC-H-derived benchmark stream (the corpus/*
 //!     bench population, default 10000 plans) — the CI determinism gate:
@@ -24,9 +38,10 @@
 //!     otherwise. Stored files carry the distinct plan set only;
 //!     observed/duplicate counters are session-local and are printed by
 //!     ingest/campaign at observation time.
-//! repro corpus cluster <corpus> [radius] [--dot]
+//! repro corpus cluster <corpus> [radius] [--dot] [--threads N]
 //!     Near-duplicate clusters at a TED radius (default 2), rendered as a
-//!     text report or Graphviz DOT.
+//!     text report or Graphviz DOT. `--threads` fans each radius query
+//!     out across the corpus shards (identical clusters and TED counts).
 //! repro corpus diff <left> <right> [radius]
 //!     Cross-corpus comparison: shared fingerprints, unique plans, and
 //!     which unique plans have no near-duplicate (within radius, default 2)
@@ -57,14 +72,16 @@ pub fn run(args: &[String]) -> i32 {
 }
 
 fn usage() -> String {
-    "usage: repro corpus <ingest|fixture-ingest|campaign|stats|cluster|diff|sources> ... \
-     (see crates/bench/src/corpus_cli.rs docs)"
+    "usage: repro corpus <ingest|raw-fixture|raw-check|fixture-ingest|campaign|stats|cluster|\
+     diff|sources> ... (see crates/bench/src/corpus_cli.rs docs)"
         .to_owned()
 }
 
 fn run_inner(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("ingest") => ingest(&args[1..]),
+        Some("raw-fixture") => raw_fixture(&args[1..]),
+        Some("raw-check") => raw_check(&args[1..]),
         Some("fixture-ingest") => fixture_ingest(&args[1..]),
         Some("campaign") => campaign(&args[1..]),
         Some("stats") => stats(&args[1..]),
@@ -143,22 +160,22 @@ fn ingest(args: &[String]) -> Result<String, String> {
     let threads: usize = take_value(&mut args, "--threads")?.unwrap_or(1);
     let shards: usize = take_value(&mut args, "--shards")?.unwrap_or(DEFAULT_SHARDS);
     let indexed = take_flag(&mut args, "--index");
+    if take_flag(&mut args, "--raw") {
+        return ingest_raw_dumps(&args, threads, shards, indexed);
+    }
     let (out, source_name, files) = match args.as_slice() {
         [out, source, files @ ..] if !files.is_empty() => (out, source, files),
         _ => {
             return Err(
                 "usage: repro corpus ingest <out> <source> <explain-file>... \
+                 [--threads N] [--shards N] [--index], or \
+                 repro corpus ingest <out> --raw <dump.jsonl>... \
                  [--threads N] [--shards N] [--index]"
                     .into(),
             )
         }
     };
-    let source = Source::parse_name(source_name).ok_or_else(|| {
-        format!(
-            "unknown source {source_name:?}; one of: {}",
-            Source::ALL.map(Source::name).join(", ")
-        )
-    })?;
+    let source = Source::parse(source_name)?;
     let mut plans = Vec::with_capacity(files.len());
     for file in files {
         let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
@@ -173,6 +190,157 @@ fn ingest(args: &[String]) -> Result<String, String> {
         source.name(),
         session_summary(&corpus),
         summary(&corpus)
+    ))
+}
+
+/// `ingest --raw`: mixed-source JSONL dumps, source-sniffed per line.
+fn ingest_raw_dumps(
+    args: &[String],
+    threads: usize,
+    shards: usize,
+    indexed: bool,
+) -> Result<String, String> {
+    let (out, dumps) = match args {
+        [out, dumps @ ..] if !dumps.is_empty() => (out, dumps),
+        _ => {
+            return Err("usage: repro corpus ingest <out> --raw <dump.jsonl>... \
+                 [--threads N] [--shards N] [--index]"
+                .into())
+        }
+    };
+    let mut corpus = PlanCorpus::with_shards(shards);
+    let mut lines = 0usize;
+    let mut censuses = Vec::new();
+    for dump in dumps {
+        let text = std::fs::read_to_string(dump).map_err(|e| format!("cannot read {dump}: {e}"))?;
+        let report = uplan_convert::ingest_raw(&text, &mut corpus, threads)
+            .map_err(|e| format!("{dump}: {e}"))?;
+        lines += report.lines;
+        censuses.push(format!("{dump}: {}", report.census()));
+    }
+    save(&corpus, out, indexed)?;
+    Ok(format!(
+        "raw-ingested {lines} plan line(s) from {} dump(s)\n{}\n{}\n{}\nwrote {out}",
+        dumps.len(),
+        censuses.join("\n"),
+        session_summary(&corpus),
+        summary(&corpus)
+    ))
+}
+
+/// A deterministic mixed-source raw dump covering all nine dialects: for
+/// each of the first `queries` TPC-H-lite queries, one line per relational
+/// serialization (PostgreSQL text+JSON, MySQL JSON+table, TiDB table,
+/// SQLite EQP, SparkSQL text, SQL Server XML) plus MongoDB, Neo4j and
+/// InfluxDB lines from their engines. Text dumps are JSON-string-encoded;
+/// JSON documents are compacted to one line.
+fn raw_fixture(args: &[String]) -> Result<String, String> {
+    use uplan_core::formats::json::{self, JsonValue};
+    let out = args
+        .first()
+        .ok_or("usage: repro corpus raw-fixture <out.jsonl> [queries]")?;
+    let queries: usize = match args.get(1) {
+        Some(n) => n.parse().map_err(|_| format!("bad query count {n:?}"))?,
+        None => 6,
+    };
+    let tpch_queries = uplan_workloads::tpch::queries();
+    let mut pg = uplan_workloads::tpch::relational(EngineProfile::Postgres, 1);
+    let mut mysql = uplan_workloads::tpch::relational(EngineProfile::MySql, 1);
+    let mut tidb = uplan_workloads::tpch::relational(EngineProfile::TiDb, 1);
+    let mut sqlite = uplan_workloads::tpch::relational(EngineProfile::Sqlite, 1);
+    let mut store = minidoc::DocStore::new();
+    uplan_workloads::tpch::load_document(&mut store, 1, 7);
+    let mongo_queries = uplan_workloads::tpch::mongo_queries();
+    let mut graph = minigraph::GraphStore::new();
+    uplan_workloads::tpch::load_graph(&mut graph, 1, 7);
+    let graph_queries = uplan_workloads::tpch::graph_queries();
+
+    let text_line = |text: &str| JsonValue::from(text).to_compact();
+    let json_line = |doc: &str| -> Result<String, String> {
+        Ok(json::parse(doc).map_err(|e| e.to_string())?.to_compact())
+    };
+
+    let mut lines: Vec<String> = Vec::new();
+    for qid in 0..queries {
+        let (_, sql) = &tpch_queries[qid % tpch_queries.len()];
+        let plan = pg.explain(sql).map_err(|e| format!("pg q{qid}: {e}"))?;
+        lines.push(text_line(&dialects::postgres::to_text(&plan)));
+        lines.push(json_line(&dialects::postgres::to_json(&plan))?);
+        lines.push(text_line(&dialects::sparksql::to_text(&plan)));
+        lines.push(text_line(&dialects::sqlserver::to_xml(&plan)));
+        let plan = mysql
+            .explain(sql)
+            .map_err(|e| format!("mysql q{qid}: {e}"))?;
+        lines.push(json_line(&dialects::mysql::to_json(&plan))?);
+        lines.push(text_line(&dialects::mysql::to_table(&plan)));
+        let plan = tidb.explain(sql).map_err(|e| format!("tidb q{qid}: {e}"))?;
+        lines.push(text_line(&dialects::tidb::to_table(
+            &plan,
+            qid as u32 * 7 + 3,
+        )));
+        let plan = sqlite
+            .explain(sql)
+            .map_err(|e| format!("sqlite q{qid}: {e}"))?;
+        lines.push(text_line(&dialects::sqlite::to_text(&plan)));
+        let (_, doc_plan) = store.find(&mongo_queries[qid % mongo_queries.len()].1);
+        lines.push(json_line(&dialects::mongodb::to_json(&doc_plan))?);
+        let (_, graph_plan) = graph.run(&graph_queries[qid % graph_queries.len()].1);
+        lines.push(text_line(&dialects::neo4j::to_table(&graph_plan)));
+        lines.push(text_line(&dialects::influxdb::to_text(
+            &dialects::influxdb::InfluxStats::synthetic(qid as u64 + 1, (qid as u64 + 1) * 7),
+        )));
+    }
+    let mut dump = lines.join("\n");
+    dump.push('\n');
+    std::fs::write(out, &dump).map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "raw-fixture: {} mixed-source plan lines ({} TPC-H-lite queries x 11 serializations)\nwrote {out}",
+        lines.len(),
+        queries
+    ))
+}
+
+/// The raw-ingest gate: batched 4-thread raw ingest must produce a corpus
+/// byte-identical to sequential per-source conversion of the same dump.
+fn raw_check(args: &[String]) -> Result<String, String> {
+    let dump_path = args
+        .first()
+        .ok_or("usage: repro corpus raw-check <dump.jsonl>")?;
+    let dump =
+        std::fs::read_to_string(dump_path).map_err(|e| format!("cannot read {dump_path}: {e}"))?;
+    let mut batched = PlanCorpus::new();
+    let batched_report =
+        uplan_convert::ingest_raw(&dump, &mut batched, 4).map_err(|e| e.to_string())?;
+    let mut sequential = PlanCorpus::new();
+    let sequential_report =
+        uplan_convert::ingest_raw_sequential(&dump, &mut sequential).map_err(|e| e.to_string())?;
+    if batched_report != sequential_report {
+        return Err(format!(
+            "raw ingest census diverged:\n  batched:    {}\n  sequential: {}",
+            batched_report.census(),
+            sequential_report.census()
+        ));
+    }
+    if batched.stats() != sequential.stats() {
+        return Err(format!(
+            "raw ingest stats diverged:\n  batched:    {}\n  sequential: {}",
+            summary(&batched),
+            summary(&sequential)
+        ));
+    }
+    let batched_bytes = batched.to_binary_indexed().map_err(|e| e.to_string())?;
+    let sequential_bytes = sequential.to_binary_indexed().map_err(|e| e.to_string())?;
+    if batched_bytes != sequential_bytes {
+        return Err("raw ingest corpus bytes diverged from the sequential reference".into());
+    }
+    Ok(format!(
+        "{dump_path}: {} line(s) — {}\n{}\n{}\nraw ingest == sequential per-source conversion \
+         ({} bytes, indexed)",
+        batched_report.lines,
+        batched_report.census(),
+        session_summary(&batched),
+        summary(&batched),
+        batched_bytes.len()
     ))
 }
 
@@ -289,18 +457,21 @@ fn stats(args: &[String]) -> Result<String, String> {
 }
 
 fn cluster(args: &[String]) -> Result<String, String> {
+    let mut args = args.to_vec();
+    let threads: usize = take_value(&mut args, "--threads")?.unwrap_or(1);
     // `--dot` may appear anywhere; positionals keep their order around it.
-    let dot = args.iter().any(|a| a == "--dot");
-    let positional: Vec<&String> = args.iter().filter(|a| *a != "--dot").collect();
-    let path = *positional
+    let dot = take_flag(&mut args, "--dot");
+    let path = args
         .first()
-        .ok_or("usage: repro corpus cluster <corpus> [radius] [--dot]")?;
-    let radius: u32 = match positional.get(1) {
+        .ok_or("usage: repro corpus cluster <corpus> [radius] [--dot] [--threads N]")?;
+    let radius: u32 = match args.get(1) {
         Some(r) => r.parse().map_err(|_| format!("bad radius {r:?}"))?,
         None => 2,
     };
     let corpus = load(path)?;
-    let clusters = corpus.clusters(radius);
+    // The radius fan-out parallelizes across shards; the clusters (and
+    // their counted TED evaluations) are identical for every thread count.
+    let clusters = corpus.clusters_threaded(radius, threads);
     let views: Vec<ClusterView<'_>> = clusters
         .iter()
         .map(|c| ClusterView {
@@ -492,6 +663,92 @@ mod tests {
         for f in [out1, out4, plain] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn raw_fixture_ingests_identically_batched_and_sequential() {
+        let dump = temp("uplan_cli_raw.jsonl");
+        let report = run_inner(&strings(&["raw-fixture", &dump, "2"])).unwrap();
+        assert!(report.contains("22 mixed-source plan lines"), "{report}");
+
+        // The gate command agrees with itself end to end.
+        let checked = run_inner(&strings(&["raw-check", &dump])).unwrap();
+        assert!(
+            checked.contains("raw ingest == sequential per-source conversion"),
+            "{checked}"
+        );
+        // All nine dialects appear in the census.
+        for name in [
+            "postgres-text",
+            "postgres-json",
+            "mysql-json",
+            "mysql-table",
+            "tidb-table",
+            "sqlite-eqp",
+            "mongodb-json",
+            "neo4j-table",
+            "sparksql-text",
+            "influxdb-text",
+            "sqlserver-xml",
+        ] {
+            assert!(checked.contains(name), "{name} missing from {checked}");
+        }
+
+        // `ingest --raw` writes byte-identical corpora for 1 and 4 threads.
+        let out1 = temp("uplan_cli_raw_t1.uplanc");
+        let out4 = temp("uplan_cli_raw_t4.uplanc");
+        let r1 = run_inner(&strings(&[
+            "ingest",
+            &out1,
+            "--raw",
+            &dump,
+            "--threads",
+            "1",
+            "--index",
+        ]))
+        .unwrap();
+        run_inner(&strings(&[
+            "ingest",
+            &out4,
+            "--raw",
+            &dump,
+            "--threads",
+            "4",
+            "--index",
+        ]))
+        .unwrap();
+        assert!(r1.contains("raw-ingested 22 plan line(s)"), "{r1}");
+        assert_eq!(std::fs::read(&out1).unwrap(), std::fs::read(&out4).unwrap());
+        let stats = run_inner(&strings(&["stats", &out4])).unwrap();
+        assert!(stats.contains("persisted (0 TED evaluations"), "{stats}");
+
+        // Threaded clustering answers exactly like the sequential path.
+        let seq = run_inner(&strings(&["cluster", &out4, "2"])).unwrap();
+        let par = run_inner(&strings(&["cluster", &out4, "2", "--threads", "4"])).unwrap();
+        assert_eq!(seq, par);
+
+        // Usage errors stay errors.
+        assert!(run_inner(&strings(&["ingest", &out1, "--raw"])).is_err());
+        assert!(run_inner(&strings(&["raw-check", "/definitely/not/here"])).is_err());
+
+        for f in [dump, out1, out4] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn source_parse_errors_name_the_accepted_sources() {
+        let err = run_inner(&strings(&["ingest", "out", "oracle", "file"])).unwrap_err();
+        assert!(err.contains("unknown source"), "{err}");
+        assert!(err.contains("postgres-text"), "{err}");
+        // Case-insensitive prefixes resolve when unambiguous...
+        assert_eq!(Source::parse("TIDB"), Ok(Source::TidbTable));
+        assert_eq!(Source::parse("Mongo"), Ok(Source::MongoJson));
+        // ...and ambiguous ones say which candidates matched.
+        let err = Source::parse("Postgres").unwrap_err();
+        assert!(err.contains("ambiguous"), "{err}");
+        assert!(err.contains("postgres-text"), "{err}");
+        assert!(err.contains("postgres-json"), "{err}");
     }
 
     #[test]

@@ -12,11 +12,13 @@
 //!                         # quick run diffed against committed snapshots;
 //!                         # exits 1 on regression (UPLAN_BENCH_TOLERANCE
 //!                         # overrides the 1.5x noise tolerance)
-//! repro corpus <ingest|fixture-ingest|campaign|stats|cluster|diff|sources> ...
+//! repro corpus <ingest|raw-fixture|raw-check|fixture-ingest|campaign|stats|cluster|diff|sources> ...
 //!                         # manage persistent, TED-indexed plan corpora:
 //!                         # parallel sharded ingest (--threads/--shards),
-//!                         # persisted-BK-index saves (--index), and the
-//!                         # CI determinism gate (fixture-ingest); see
+//!                         # mixed-source raw-dump ingest (ingest --raw,
+//!                         # source-sniffed per JSONL line), persisted-BK-
+//!                         # index saves (--index), and the CI gates
+//!                         # (fixture-ingest, raw-fixture + raw-check); see
 //!                         # crates/bench/src/corpus_cli.rs
 //! ```
 

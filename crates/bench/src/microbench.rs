@@ -38,6 +38,21 @@ pub fn conversion(c: &mut Criterion) {
     tpch::load_document(&mut store, 1, 7);
     let mongo_q3 = &tpch::mongo_queries()[1].1;
     let mongo_json = dialects::mongodb::to_json(&store.explain(mongo_q3));
+    // The rest of the converter matrix: SQLite EQP from its own engine
+    // profile, SQL Server XML / SparkSQL text from the PostgreSQL-profile
+    // plan (their emitters are engine-agnostic), Neo4j from the graph
+    // workload's q3, InfluxDB from synthetic iterator statistics.
+    let mut sqlite = tpch::relational(EngineProfile::Sqlite, 1);
+    let sqlite_plan = sqlite.explain(q5).expect("plan");
+    let sqlite_eqp = dialects::sqlite::to_text(&sqlite_plan);
+    let sqlserver_xml = dialects::sqlserver::to_xml(&plan);
+    let spark_text = dialects::sparksql::to_text(&plan);
+    let mut graph = minigraph::GraphStore::new();
+    tpch::load_graph(&mut graph, 1, 7);
+    let (_, graph_plan) = graph.run(&tpch::graph_queries()[2].1);
+    let neo4j_table = dialects::neo4j::to_table(&graph_plan);
+    let influx_text =
+        dialects::influxdb::to_text(&dialects::influxdb::InfluxStats::synthetic(3, 24));
 
     c.bench_function("convert/postgres_text_q5", |b| {
         b.iter(|| convert(Source::PostgresText, &pg_text).unwrap())
@@ -53,6 +68,21 @@ pub fn conversion(c: &mut Criterion) {
     });
     c.bench_function("convert/tidb_table_q5", |b| {
         b.iter(|| convert(Source::TidbTable, &tidb_table).unwrap())
+    });
+    c.bench_function("convert/sqlite_q5", |b| {
+        b.iter(|| convert(Source::SqliteEqp, &sqlite_eqp).unwrap())
+    });
+    c.bench_function("convert/sqlserver_q5", |b| {
+        b.iter(|| convert(Source::SqlServerXml, &sqlserver_xml).unwrap())
+    });
+    c.bench_function("convert/sparksql_q5", |b| {
+        b.iter(|| convert(Source::SparkText, &spark_text).unwrap())
+    });
+    c.bench_function("convert/neo4j_q3", |b| {
+        b.iter(|| convert(Source::Neo4jTable, &neo4j_table).unwrap())
+    });
+    c.bench_function("convert/influxdb_q3", |b| {
+        b.iter(|| convert(Source::InfluxText, &influx_text).unwrap())
     });
 
     let unified = convert(Source::PostgresText, &pg_text).unwrap();

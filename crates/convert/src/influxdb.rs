@@ -4,13 +4,25 @@
 //! (`plan ::= (tree)? properties`) the paper designed for InfluxDB.
 
 use uplan_core::registry::Dbms;
-use uplan_core::{Error, Property, Result, UnifiedPlan};
+use uplan_core::{Error, Result, UnifiedPlan};
 
-use crate::util::parse_value;
+use crate::spine::{declare_converter, NodeBuilder};
+use crate::Source;
+
+declare_converter!(
+    /// The property-only `EXPLAIN` list.
+    TextConverter,
+    Source::InfluxText,
+    text_body,
+    |input| input.contains("EXPRESSION:")
+);
 
 /// Converts `EXPLAIN` output.
 pub fn from_text(input: &str) -> Result<UnifiedPlan> {
-    let registry = crate::registry();
+    text_body(input, &mut NodeBuilder::new(Dbms::InfluxDb))
+}
+
+fn text_body(input: &str, b: &mut NodeBuilder) -> Result<UnifiedPlan> {
     let mut plan = UnifiedPlan::new();
     for line in input.lines() {
         let trimmed = line.trim();
@@ -20,12 +32,7 @@ pub fn from_text(input: &str) -> Result<UnifiedPlan> {
         let Some((key, value)) = trimmed.split_once(':') else {
             return Err(Error::Semantic(format!("unparseable line {trimmed:?}")));
         };
-        let resolved = registry.resolve_property_or_generic(Dbms::InfluxDb, key.trim());
-        plan.properties.push(Property {
-            category: resolved.category,
-            identifier: resolved.unified,
-            value: parse_value(value),
-        });
+        plan.properties.push(b.text_prop(key.trim(), value));
     }
     if plan.properties.is_empty() {
         return Err(Error::Semantic("no properties found".into()));

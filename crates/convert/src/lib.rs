@@ -22,7 +22,7 @@
 
 use std::sync::OnceLock;
 
-use uplan_core::registry::Registry;
+use uplan_core::registry::{Dbms, Registry};
 pub use uplan_core::{Error, Result, UnifiedPlan};
 
 pub mod influxdb;
@@ -30,10 +30,15 @@ pub mod mongodb;
 pub mod mysql;
 pub mod neo4j;
 pub mod postgres;
+pub mod raw;
 pub mod sparksql;
+pub mod spine;
 pub mod sqlite;
 pub mod sqlserver;
 pub mod tidb;
+
+pub use raw::{ingest_raw, ingest_raw_sequential, RawIngestReport};
+pub use spine::{NodeBuilder, SourceConverter};
 
 /// The shared study registry (built once).
 pub fn registry() -> &'static Registry {
@@ -102,8 +107,70 @@ impl Source {
         }
     }
 
-    /// Parses a CLI source name (the exact [`Source::name`] spelling,
-    /// case-insensitive, `_` accepted for `-`).
+    /// The studied DBMS whose registry catalog this source resolves
+    /// against.
+    pub fn dbms(self) -> Dbms {
+        match self {
+            Source::PostgresText | Source::PostgresJson => Dbms::PostgreSql,
+            Source::MySqlJson | Source::MySqlTable => Dbms::MySql,
+            Source::TidbTable => Dbms::TiDb,
+            Source::SqliteEqp => Dbms::Sqlite,
+            Source::MongoJson => Dbms::MongoDb,
+            Source::Neo4jTable => Dbms::Neo4j,
+            Source::SparkText => Dbms::SparkSql,
+            Source::InfluxText => Dbms::InfluxDb,
+            Source::SqlServerXml => Dbms::SqlServer,
+        }
+    }
+
+    /// The converter implementing this source (the [`SourceConverter`]
+    /// registry every generic consumer dispatches through).
+    pub fn converter(self) -> &'static dyn SourceConverter {
+        match self {
+            Source::PostgresText => &postgres::TextConverter,
+            Source::PostgresJson => &postgres::JsonConverter,
+            Source::MySqlJson => &mysql::JsonConverter,
+            Source::MySqlTable => &mysql::TableConverter,
+            Source::TidbTable => &tidb::TableConverter,
+            Source::SqliteEqp => &sqlite::EqpConverter,
+            Source::MongoJson => &mongodb::JsonConverter,
+            Source::Neo4jTable => &neo4j::TableConverter,
+            Source::SparkText => &sparksql::TextConverter,
+            Source::InfluxText => &influxdb::TextConverter,
+            Source::SqlServerXml => &sqlserver::XmlConverter,
+        }
+    }
+
+    /// Parses a CLI source name: the exact [`Source::name`] spelling
+    /// (case-insensitive, `_` accepted for `-`) or any unambiguous prefix
+    /// of it (`tidb`, `mongo`). The error names the accepted spellings —
+    /// and, for an ambiguous prefix like `postgres`, the candidates.
+    pub fn parse(name: &str) -> std::result::Result<Source, String> {
+        if let Some(source) = Source::parse_name(name) {
+            return Ok(source);
+        }
+        let normalized = name.trim().to_ascii_lowercase().replace('_', "-");
+        let accepted = || Source::ALL.map(Source::name).join(", ");
+        if normalized.is_empty() {
+            return Err(format!("empty source name; accepted: {}", accepted()));
+        }
+        let candidates: Vec<Source> = Source::ALL
+            .into_iter()
+            .filter(|s| s.name().starts_with(&normalized))
+            .collect();
+        match candidates.as_slice() {
+            [] => Err(format!("unknown source {name:?}; accepted: {}", accepted())),
+            [one] => Ok(*one),
+            many => Err(format!(
+                "ambiguous source {name:?}: matches {}; accepted: {}",
+                many.iter().map(|s| s.name()).collect::<Vec<_>>().join(", "),
+                accepted()
+            )),
+        }
+    }
+
+    /// Parses a CLI source name, without the diagnostic ([`Source::parse`]
+    /// is the error-reporting form).
     pub fn parse_name(name: &str) -> Option<Source> {
         let normalized = name.trim().to_ascii_lowercase().replace('_', "-");
         Source::ALL.into_iter().find(|s| s.name() == normalized)
@@ -112,19 +179,34 @@ impl Source {
 
 /// Converts a serialized plan of the given source dialect.
 pub fn convert(source: Source, input: &str) -> Result<UnifiedPlan> {
-    match source {
-        Source::PostgresText => postgres::from_text(input),
-        Source::PostgresJson => postgres::from_json(input),
-        Source::MySqlJson => mysql::from_json(input),
-        Source::MySqlTable => mysql::from_table(input),
-        Source::TidbTable => tidb::from_table(input),
-        Source::SqliteEqp => sqlite::from_eqp(input),
-        Source::MongoJson => mongodb::from_json(input),
-        Source::Neo4jTable => neo4j::from_table(input),
-        Source::SparkText => sparksql::from_text(input),
-        Source::InfluxText => influxdb::from_text(input),
-        Source::SqlServerXml => sqlserver::from_xml(input),
-    }
+    source
+        .converter()
+        .convert(input, &mut NodeBuilder::new(source.dbms()))
+}
+
+/// Identifies the source dialect of a serialized plan by sniffing its
+/// shape, consulting the converter registry most-distinctive-first (XML
+/// and JSON markers before table headers before generic text cues). This
+/// is how raw-dump ingest routes lines that do not declare their dialect.
+pub fn detect(input: &str) -> Option<Source> {
+    /// Sniff order: every earlier entry's cue is absent from every later
+    /// dialect's serialization, so the first hit is the answer.
+    const DETECT_ORDER: [Source; 11] = [
+        Source::SqlServerXml,
+        Source::PostgresJson,
+        Source::MongoJson,
+        Source::MySqlJson,
+        Source::SparkText,
+        Source::TidbTable,
+        Source::MySqlTable,
+        Source::Neo4jTable,
+        Source::InfluxText,
+        Source::SqliteEqp,
+        Source::PostgresText,
+    ];
+    DETECT_ORDER
+        .into_iter()
+        .find(|source| source.converter().sniff(input))
 }
 
 pub(crate) mod util {

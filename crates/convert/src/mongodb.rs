@@ -1,77 +1,133 @@
 //! MongoDB converter: `explain()` JSON → unified plans.
 
-use uplan_core::formats::json::{self, JsonValue};
+use uplan_core::formats::json::{self, JsonEvent, JsonPull, JsonReader, JsonValue, TreeReader};
 use uplan_core::registry::Dbms;
-use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
+use uplan_core::{Error, PlanNode, Result, UnifiedPlan};
 
-use crate::util::json_value;
+use crate::spine::{declare_converter, NodeBuilder};
+use crate::Source;
+
+declare_converter!(
+    /// `explain()` JSON.
+    JsonConverter,
+    Source::MongoJson,
+    |input, b: &mut NodeBuilder| json_body(&mut JsonReader::new(input), b),
+    |input| input.trim_start().starts_with('{') && input.contains("\"queryPlanner\"")
+);
 
 /// Converts `explain()` output (the `queryPlanner.winningPlan` vine).
+///
+/// The document streams through the zero-copy [`JsonReader`]: the stage
+/// vine is schema-directed, so no JSON tree is materialized.
 pub fn from_json(input: &str) -> Result<UnifiedPlan> {
-    let doc = json::parse(input)?;
-    let registry = crate::registry();
-    let planner = doc
-        .get("queryPlanner")
-        .ok_or_else(|| Error::Semantic("missing \"queryPlanner\"".into()))?;
-    let winning = planner
-        .get("winningPlan")
-        .ok_or_else(|| Error::Semantic("missing \"winningPlan\"".into()))?;
-    let mut plan = UnifiedPlan::with_root(stage_node(winning, registry)?);
+    json_body(
+        &mut JsonReader::new(input),
+        &mut NodeBuilder::new(Dbms::MongoDb),
+    )
+}
 
-    // Plan-associated properties: queryPlanner scalars + executionStats.
-    for (key, value) in planner.as_object().into_iter().flatten() {
-        if matches!(key.as_ref(), "winningPlan" | "rejectedPlans") {
-            continue;
-        }
-        let resolved = registry.resolve_property_or_generic(Dbms::MongoDb, key);
-        plan.properties.push(Property {
-            category: resolved.category,
-            identifier: resolved.unified,
-            value: json_value(value),
-        });
+/// The borrowed-tree driver of the same conversion (equivalence-testing
+/// reference; see [`crate::postgres::from_json_value`]).
+pub fn from_json_value(doc: &JsonValue<'_>) -> Result<UnifiedPlan> {
+    json_body(
+        &mut TreeReader::new(doc),
+        &mut NodeBuilder::new(Dbms::MongoDb),
+    )
+}
+
+/// Parses the input as a JSON tree and converts through the tree driver.
+pub fn from_json_via_tree(input: &str) -> Result<UnifiedPlan> {
+    from_json_value(&json::parse(input)?)
+}
+
+fn json_body<'a>(r: &mut impl JsonPull<'a>, b: &mut NodeBuilder) -> Result<UnifiedPlan> {
+    if r.next_event()? != JsonEvent::ObjectStart {
+        return Err(Error::Semantic("missing \"queryPlanner\"".into()));
     }
-    if let Some(stats) = doc.get("executionStats") {
-        for (key, value) in stats.as_object().into_iter().flatten() {
-            let resolved = registry.resolve_property_or_generic(Dbms::MongoDb, key);
-            plan.properties.push(Property {
-                category: resolved.category,
-                identifier: resolved.unified,
-                value: json_value(value),
-            });
+    let mut plan = UnifiedPlan::new();
+    let mut root = None;
+    let mut planner_seen = false;
+    while let Some(key) = r.next_key()? {
+        match key.as_ref() {
+            "queryPlanner" if !planner_seen => {
+                planner_seen = true;
+                if !r.enter_object()? {
+                    continue;
+                }
+                while let Some(k) = r.next_key()? {
+                    match k.as_ref() {
+                        "winningPlan" if root.is_none() => root = Some(stage_value(r, b)?),
+                        // Duplicate winners and rejected plans carry no
+                        // plan-associated properties.
+                        "winningPlan" | "rejectedPlans" => r.skip_value()?,
+                        other => {
+                            let value = r.read_value()?;
+                            plan.properties.push(b.json_prop(other, &value));
+                        }
+                    }
+                }
+            }
+            "executionStats" => {
+                if r.enter_object()? {
+                    while let Some(k) = r.next_key()? {
+                        let value = r.read_value()?;
+                        plan.properties.push(b.json_prop(k.as_ref(), &value));
+                    }
+                }
+            }
+            _ => r.skip_value()?,
         }
     }
+    r.finish()?;
+    if !planner_seen {
+        return Err(Error::Semantic("missing \"queryPlanner\"".into()));
+    }
+    plan.root = Some(root.ok_or_else(|| Error::Semantic("missing \"winningPlan\"".into()))?);
     Ok(plan)
 }
 
-fn stage_node(stage: &JsonValue, registry: &uplan_core::registry::Registry) -> Result<PlanNode> {
-    let name = stage
-        .get("stage")
-        .and_then(JsonValue::as_str)
-        .ok_or_else(|| Error::Semantic("stage without \"stage\" member".into()))?;
-    let resolved = registry.resolve_operation_or_generic(Dbms::MongoDb, name);
-    let mut node = PlanNode::new(uplan_core::Operation {
-        category: resolved.category,
-        identifier: resolved.unified,
-    });
-    for (key, value) in stage.as_object().into_iter().flatten() {
+/// A stage node from the value of a `winningPlan`/`inputStage` member (the
+/// value's start event not yet consumed).
+fn stage_value<'a>(r: &mut impl JsonPull<'a>, b: &NodeBuilder) -> Result<PlanNode> {
+    if r.next_event()? != JsonEvent::ObjectStart {
+        return Err(Error::Semantic("stage without \"stage\" member".into()));
+    }
+    let mut name: Option<String> = None;
+    let mut properties = Vec::new();
+    let mut children = Vec::new();
+    while let Some(key) = r.next_key()? {
         match key.as_ref() {
-            "stage" => {}
-            "inputStage" => node.children.push(stage_node(value, registry)?),
+            // The stage name identifies the operation (first occurrence
+            // wins) and is never a property.
+            "stage" => match r.peek_event()? {
+                JsonEvent::Str(_) => {
+                    let JsonEvent::Str(s) = r.next_event()? else {
+                        unreachable!("peeked a string");
+                    };
+                    if name.is_none() {
+                        name = Some(s.into_owned());
+                    }
+                }
+                _ => r.skip_value()?,
+            },
+            "inputStage" => children.push(stage_value(r, b)?),
             "inputStages" => {
-                for child in value.as_array().into_iter().flatten() {
-                    node.children.push(stage_node(child, registry)?);
+                if r.enter_array()? {
+                    while r.array_next()? {
+                        children.push(stage_value(r, b)?);
+                    }
                 }
             }
             other => {
-                let resolved = registry.resolve_property_or_generic(Dbms::MongoDb, other);
-                node.properties.push(Property {
-                    category: resolved.category,
-                    identifier: resolved.unified,
-                    value: json_value(value),
-                });
+                let value = r.read_value()?;
+                properties.push(b.json_prop(other, &value));
             }
         }
     }
+    let name = name.ok_or_else(|| Error::Semantic("stage without \"stage\" member".into()))?;
+    let mut node = b.op(&name);
+    node.properties = properties;
+    node.children = children;
     Ok(node)
 }
 

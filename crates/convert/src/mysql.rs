@@ -1,24 +1,75 @@
 //! MySQL converter: `FORMAT=JSON` and the classic table → unified plans.
 
-use uplan_core::formats::json::{self, JsonValue};
+use uplan_core::formats::json::{self, JsonEvent, JsonPull, JsonReader, JsonValue, TreeReader};
 use uplan_core::registry::Dbms;
 use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
 
-use crate::util::{json_value, parse_value};
+use crate::spine::{chain, declare_converter, pipe_cells, CellTrim, NodeBuilder};
+use crate::Source;
+
+declare_converter!(
+    /// `EXPLAIN FORMAT=JSON`.
+    JsonConverter,
+    Source::MySqlJson,
+    |input, b: &mut NodeBuilder| json_body(&mut JsonReader::new(input), b),
+    |input| input.trim_start().starts_with('{') && input.contains("\"query_block\"")
+);
+
+declare_converter!(
+    /// The classic `EXPLAIN` table.
+    TableConverter,
+    Source::MySqlTable,
+    table_body,
+    |input| input.contains("select_type")
+);
 
 /// Converts `EXPLAIN FORMAT=JSON` output.
 ///
-/// Parsing goes through the zero-copy borrowed tree: object keys and
-/// escape-free strings are spans of `input`, so the JSON layer allocates
-/// only container vectors (MySQL's recursive `query_block` dispatch wants
-/// random access, which the borrowed tree gives without string copies).
+/// The document streams through the zero-copy [`JsonReader`]: the recursive
+/// `query_block` dispatch is schema-directed, so no JSON tree is built —
+/// object keys and escape-free strings are spans of `input`, and only
+/// property values are materialized (as borrowed scalars).
 pub fn from_json(input: &str) -> Result<UnifiedPlan> {
-    let doc = json::parse(input)?;
-    let block = doc
-        .get("query_block")
-        .ok_or_else(|| Error::Semantic("missing \"query_block\"".into()))?;
-    let registry = crate::registry();
-    let mut children = block_children(block, registry)?;
+    json_body(
+        &mut JsonReader::new(input),
+        &mut NodeBuilder::new(Dbms::MySql),
+    )
+}
+
+/// The borrowed-tree driver of the same conversion (equivalence-testing
+/// reference; see [`crate::postgres::from_json_value`]).
+pub fn from_json_value(doc: &JsonValue<'_>) -> Result<UnifiedPlan> {
+    json_body(
+        &mut TreeReader::new(doc),
+        &mut NodeBuilder::new(Dbms::MySql),
+    )
+}
+
+/// Parses the input as a JSON tree and converts through the tree driver.
+pub fn from_json_via_tree(input: &str) -> Result<UnifiedPlan> {
+    from_json_value(&json::parse(input)?)
+}
+
+fn json_body<'a>(r: &mut impl JsonPull<'a>, b: &mut NodeBuilder) -> Result<UnifiedPlan> {
+    if r.next_event()? != JsonEvent::ObjectStart {
+        return Err(Error::Semantic("missing \"query_block\"".into()));
+    }
+    let mut children = Vec::new();
+    let mut seen = false;
+    while let Some(key) = r.next_key()? {
+        if key == "query_block" && !seen {
+            seen = true;
+            if r.enter_object()? {
+                block_members(r, b, None, &mut children)?;
+            }
+        } else {
+            r.skip_value()?;
+        }
+    }
+    r.finish()?;
+    if !seen {
+        return Err(Error::Semantic("missing \"query_block\"".into()));
+    }
     let root = match children.len() {
         0 => return Err(Error::Semantic("empty query block".into())),
         1 => children.remove(0),
@@ -33,194 +84,194 @@ pub fn from_json(input: &str) -> Result<UnifiedPlan> {
     Ok(UnifiedPlan::with_root(root))
 }
 
-/// Converts the members of a `query_block`-like object into plan nodes.
-fn block_children(
-    obj: &JsonValue,
-    registry: &uplan_core::registry::Registry,
-) -> Result<Vec<PlanNode>> {
-    let mut out = Vec::new();
-    for (key, value) in obj.as_object().into_iter().flatten() {
+/// Walks the members of a `query_block`-like object (its `ObjectStart`
+/// already consumed): operation members become nodes in `children`, scalar
+/// members become properties in `props` (when collecting — the top-level
+/// query block drops its scalars), other containers are skipped.
+fn block_members<'a>(
+    r: &mut impl JsonPull<'a>,
+    b: &NodeBuilder,
+    mut props: Option<&mut Vec<Property>>,
+    children: &mut Vec<PlanNode>,
+) -> Result<()> {
+    while let Some(key) = r.next_key()? {
         match key.as_ref() {
             "ordering_operation" | "grouping_operation" | "duplicates_removal" => {
-                let resolved = registry.resolve_operation_or_generic(Dbms::MySql, key);
-                let mut node = PlanNode::new(uplan_core::Operation {
-                    category: resolved.category,
-                    identifier: resolved.unified,
-                });
-                attach_scalars(&mut node, value, registry);
-                node.children = block_children(value, registry)?;
-                out.push(node);
+                let mut node = b.op(key.as_ref());
+                if r.enter_object()? {
+                    let (node_props, node_children) = (&mut node.properties, &mut node.children);
+                    block_members(r, b, Some(node_props), node_children)?;
+                }
+                children.push(node);
             }
             "nested_loop" => {
                 // A vine of table accesses: join operations binarize it.
-                let tables = value
-                    .as_array()
-                    .ok_or_else(|| Error::Semantic("nested_loop must be an array".into()))?;
-                let mut nodes = Vec::new();
-                for t in tables {
-                    let table_obj = t
-                        .get("table")
-                        .ok_or_else(|| Error::Semantic("nested_loop item without table".into()))?;
-                    nodes.push(table_node(table_obj, registry)?);
+                if !matches!(r.peek_event()?, JsonEvent::ArrayStart) {
+                    return Err(Error::Semantic("nested_loop must be an array".into()));
                 }
-                let resolved =
-                    registry.resolve_operation_or_generic(Dbms::MySql, "Nested loop join");
-                let mut iter = nodes.into_iter();
+                r.next_event()?;
+                let mut tables = Vec::new();
+                while r.array_next()? {
+                    if r.next_event()? != JsonEvent::ObjectStart {
+                        return Err(Error::Semantic("nested_loop item without table".into()));
+                    }
+                    let mut found = None;
+                    while let Some(k) = r.next_key()? {
+                        if k == "table" && found.is_none() {
+                            found = Some(table_value(r, b)?);
+                        } else {
+                            r.skip_value()?;
+                        }
+                    }
+                    tables.push(
+                        found.ok_or_else(|| {
+                            Error::Semantic("nested_loop item without table".into())
+                        })?,
+                    );
+                }
+                let join_template = b.op("Nested loop join");
+                let mut iter = tables.into_iter();
                 let first = iter
                     .next()
                     .ok_or_else(|| Error::Semantic("empty nested_loop".into()))?;
                 let joined = iter.fold(first, |left, right| {
-                    let mut join = PlanNode::new(uplan_core::Operation {
-                        category: resolved.category,
-                        identifier: resolved.unified,
-                    });
+                    let mut join = PlanNode::new(join_template.operation);
                     join.children.push(left);
                     join.children.push(right);
                     join
                 });
-                out.push(joined);
+                children.push(joined);
             }
-            "table" => out.push(table_node(value, registry)?),
+            "table" => children.push(table_value(r, b)?),
             "union_result" => {
-                let resolved = registry.resolve_operation_or_generic(Dbms::MySql, key);
-                let mut node = PlanNode::new(uplan_core::Operation {
-                    category: resolved.category,
-                    identifier: resolved.unified,
-                });
-                for spec in value
-                    .get("query_specifications")
-                    .and_then(JsonValue::as_array)
-                    .into_iter()
-                    .flatten()
-                {
-                    if let Some(inner) = spec.get("query_block") {
-                        node.children.extend(block_children(inner, registry)?);
+                let mut node = b.op(key.as_ref());
+                if r.enter_object()? {
+                    while let Some(k) = r.next_key()? {
+                        if k != "query_specifications" {
+                            r.skip_value()?;
+                        } else if r.enter_array()? {
+                            while r.array_next()? {
+                                if !r.enter_object()? {
+                                    continue;
+                                }
+                                while let Some(sk) = r.next_key()? {
+                                    if sk == "query_block" && r.enter_object()? {
+                                        block_members(r, b, None, &mut node.children)?;
+                                    } else if sk != "query_block" {
+                                        r.skip_value()?;
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
-                out.push(node);
+                children.push(node);
             }
-            key if key.starts_with("subquery") => {
-                if let Some(inner) = value.get("query_block") {
-                    out.extend(block_children(inner, registry)?);
+            k if k.starts_with("subquery") => {
+                if r.enter_object()? {
+                    while let Some(sk) = r.next_key()? {
+                        if sk == "query_block" && r.enter_object()? {
+                            block_members(r, b, None, children)?;
+                        } else if sk != "query_block" {
+                            r.skip_value()?;
+                        }
+                    }
                 }
             }
-            _ => {}
+            other => match r.peek_event()? {
+                // Non-operation containers carry no plan structure.
+                JsonEvent::ObjectStart | JsonEvent::ArrayStart => r.skip_value()?,
+                _ => {
+                    let value = r.read_value()?;
+                    if let Some(props) = props.as_deref_mut() {
+                        props.push(b.json_prop(other, &value));
+                    }
+                }
+            },
         }
     }
-    Ok(out)
+    Ok(())
 }
 
-/// Adds an object's scalar members as properties of a node.
-fn attach_scalars(node: &mut PlanNode, obj: &JsonValue, registry: &uplan_core::registry::Registry) {
-    for (key, value) in obj.as_object().into_iter().flatten() {
-        let is_scalar = !matches!(value, JsonValue::Object(_) | JsonValue::Array(_));
-        if is_scalar {
-            let resolved = registry.resolve_property_or_generic(Dbms::MySql, key);
-            node.properties.push(Property {
-                category: resolved.category,
-                identifier: resolved.unified,
-                value: json_value(value),
-            });
-        }
+/// A table-access node from the value of a `"table"` member (the value's
+/// start event not yet consumed).
+fn table_value<'a>(r: &mut impl JsonPull<'a>, b: &NodeBuilder) -> Result<PlanNode> {
+    if !r.enter_object()? {
+        return Ok(b.op("ALL"));
     }
-}
-
-fn table_node(obj: &JsonValue, registry: &uplan_core::registry::Registry) -> Result<PlanNode> {
-    let access = obj
-        .get("access_type")
-        .and_then(JsonValue::as_str)
-        .unwrap_or("ALL");
-    let resolved = registry.resolve_operation_or_generic(Dbms::MySql, access);
-    let mut node = PlanNode::new(uplan_core::Operation {
-        category: resolved.category,
-        identifier: resolved.unified,
-    });
-    for (key, value) in obj.as_object().into_iter().flatten() {
-        match (key.as_ref(), value) {
-            ("access_type", _) => {}
-            ("cost_info", JsonValue::Object(costs)) => {
-                for (ck, cv) in costs {
-                    let resolved = registry.resolve_property_or_generic(Dbms::MySql, ck);
-                    node.properties.push(Property {
-                        category: resolved.category,
-                        identifier: resolved.unified,
-                        value: json_value(cv),
-                    });
+    // `access_type` may appear anywhere (first occurrence wins); property
+    // order follows member order with `cost_info` expanded in place.
+    let mut access: Option<String> = None;
+    let mut properties = Vec::new();
+    while let Some(key) = r.next_key()? {
+        match key.as_ref() {
+            "access_type" => match r.peek_event()? {
+                JsonEvent::Str(_) => {
+                    let JsonEvent::Str(name) = r.next_event()? else {
+                        unreachable!("peeked a string");
+                    };
+                    if access.is_none() {
+                        access = Some(name.into_owned());
+                    }
+                }
+                _ => r.skip_value()?,
+            },
+            "cost_info" if matches!(r.peek_event()?, JsonEvent::ObjectStart) => {
+                r.next_event()?;
+                while let Some(ck) = r.next_key()? {
+                    let value = r.read_value()?;
+                    properties.push(b.json_prop(ck.as_ref(), &value));
                 }
             }
-            (k, v) => {
-                let resolved = registry.resolve_property_or_generic(Dbms::MySql, k);
-                node.properties.push(Property {
-                    category: resolved.category,
-                    identifier: resolved.unified,
-                    value: json_value(v),
-                });
+            other => {
+                let value = r.read_value()?;
+                properties.push(b.json_prop(other, &value));
             }
         }
     }
+    let mut node = b.op(access.as_deref().unwrap_or("ALL"));
+    node.properties = properties;
     Ok(node)
 }
 
 /// Converts the classic table format (rows become a left-deep chain).
 pub fn from_table(input: &str) -> Result<UnifiedPlan> {
-    let registry = crate::registry();
+    table_body(input, &mut NodeBuilder::new(Dbms::MySql))
+}
+
+fn table_body(input: &str, b: &mut NodeBuilder) -> Result<UnifiedPlan> {
     let mut rows: Vec<Vec<String>> = Vec::new();
     for line in input.lines() {
-        let trimmed = line.trim();
-        if !trimmed.starts_with('|') {
-            continue;
+        if let Some(cells) = pipe_cells(line, CellTrim::Full) {
+            rows.push(cells);
         }
-        rows.push(
-            trimmed
-                .trim_matches('|')
-                .split('|')
-                .map(|c| c.trim().to_owned())
-                .collect(),
-        );
     }
     if rows.len() < 2 {
         return Err(Error::Semantic("no MySQL table rows found".into()));
     }
-    let header = rows[0].clone();
-    let col = |name: &str| header.iter().position(|h| h == name);
-    let type_col = col("type").ok_or_else(|| Error::Semantic("missing type column".into()))?;
+    let header = &rows[0];
+    let type_col = header
+        .iter()
+        .position(|h| h == "type")
+        .ok_or_else(|| Error::Semantic("missing type column".into()))?;
 
     let mut nodes: Vec<PlanNode> = Vec::new();
     for cells in &rows[1..] {
         let access = cells.get(type_col).map(String::as_str).unwrap_or("ALL");
-        let resolved = registry.resolve_operation_or_generic(Dbms::MySql, access);
-        let mut node = PlanNode::new(uplan_core::Operation {
-            category: resolved.category,
-            identifier: resolved.unified,
-        });
+        let mut node = b.op(access);
         for (i, cell) in cells.iter().enumerate() {
             if i == type_col || cell.is_empty() || cell == "NULL" {
                 continue;
             }
-            let key = match header.get(i).map(String::as_str) {
-                Some("table") => "table_name",
-                Some("key") => "key",
-                Some(other) => other,
-                None => continue,
-            };
-            let resolved = registry.resolve_property_or_generic(Dbms::MySql, key);
-            node.properties.push(Property {
-                category: resolved.category,
-                identifier: resolved.unified,
-                value: parse_value(cell),
-            });
+            // Column headers normalize through the shared table
+            // (`table` → `table_name`).
+            let Some(key) = header.get(i) else { continue };
+            node.properties.push(b.text_prop(key, cell));
         }
         nodes.push(node);
     }
     // Chain: each subsequent access is the inner side of the previous.
-    let mut iter = nodes.into_iter().rev();
-    let mut root = iter
-        .next()
-        .ok_or_else(|| Error::Semantic("empty MySQL plan".into()))?;
-    for mut node in iter {
-        node.children.push(root);
-        root = node;
-    }
+    let root = chain(nodes).ok_or_else(|| Error::Semantic("empty MySQL plan".into()))?;
     Ok(UnifiedPlan::with_root(root))
 }
 

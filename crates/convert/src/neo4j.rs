@@ -5,13 +5,25 @@
 //! properties" — exactly how this converter splits its input.
 
 use uplan_core::registry::Dbms;
-use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
+use uplan_core::{Error, PlanNode, Result, UnifiedPlan};
 
-use crate::util::parse_value;
+use crate::spine::{chain, declare_converter, pipe_cells, CellTrim, NodeBuilder};
+use crate::Source;
+
+declare_converter!(
+    /// The operator table.
+    TableConverter,
+    Source::Neo4jTable,
+    table_body,
+    |input| input.contains("| Operator")
+);
 
 /// Converts the rendered operator table.
 pub fn from_table(input: &str) -> Result<UnifiedPlan> {
-    let registry = crate::registry();
+    table_body(input, &mut NodeBuilder::new(Dbms::Neo4j))
+}
+
+fn table_body(input: &str, b: &mut NodeBuilder) -> Result<UnifiedPlan> {
     let mut plan = UnifiedPlan::new();
     let mut header: Option<Vec<String>> = None;
     let mut operators: Vec<PlanNode> = Vec::new();
@@ -25,12 +37,7 @@ pub fn from_table(input: &str) -> Result<UnifiedPlan> {
         {
             continue;
         }
-        if trimmed.starts_with('|') {
-            let cells: Vec<String> = trimmed
-                .trim_matches('|')
-                .split('|')
-                .map(|c| c.trim().to_owned())
-                .collect();
+        if let Some(cells) = pipe_cells(trimmed, CellTrim::Full) {
             match &header {
                 None => header = Some(cells),
                 Some(columns) => {
@@ -39,29 +46,16 @@ pub fn from_table(input: &str) -> Result<UnifiedPlan> {
                         .map(|c| c.trim_start_matches('+').trim())
                         .filter(|c| !c.is_empty())
                         .ok_or_else(|| Error::Semantic("operator row without name".into()))?;
-                    let resolved = registry.resolve_operation_or_generic(Dbms::Neo4j, name);
-                    let mut node = PlanNode::new(uplan_core::Operation {
-                        category: resolved.category,
-                        identifier: resolved.unified,
-                    });
+                    let mut node = b.op(name);
                     for (i, cell) in cells.iter().enumerate().skip(1) {
                         if cell.is_empty() {
                             continue;
                         }
-                        let key = columns.get(i).map(String::as_str).unwrap_or("Details");
                         // Table-column headers map to the catalogued
-                        // property names.
-                        let key = match key {
-                            "Estimated Rows" => "EstimatedRows",
-                            "DB Hits" => "DbHits",
-                            other => other,
-                        };
-                        let resolved = registry.resolve_property_or_generic(Dbms::Neo4j, key);
-                        node.properties.push(Property {
-                            category: resolved.category,
-                            identifier: resolved.unified,
-                            value: parse_value(cell),
-                        });
+                        // property names through the shared table
+                        // (`Estimated Rows` → `EstimatedRows`, …).
+                        let key = columns.get(i).map(String::as_str).unwrap_or("Details");
+                        node.properties.push(b.text_prop(key, cell));
                     }
                     operators.push(node);
                 }
@@ -70,16 +64,13 @@ pub fn from_table(input: &str) -> Result<UnifiedPlan> {
         }
         // Header/footer text outside the table → plan properties.
         if let Some((key, value)) = trimmed.split_once(':') {
-            for piece in std::iter::once((key, value)) {
-                let (k, v) = piece;
-                push_plan_props(&mut plan, k, v, registry);
-            }
+            push_plan_prop(&mut plan, key, value, b);
             // The footer packs two metrics into one line.
             if let Some((_, mem)) = trimmed.split_once(", total allocated memory:") {
-                push_plan_props(&mut plan, "total allocated memory", mem, registry);
+                push_plan_prop(&mut plan, "total allocated memory", mem, b);
             }
         } else if let Some((key, value)) = trimmed.split_once(' ') {
-            push_plan_props(&mut plan, key, value, registry);
+            push_plan_prop(&mut plan, key, value, b);
         }
     }
 
@@ -87,38 +78,18 @@ pub fn from_table(input: &str) -> Result<UnifiedPlan> {
         return Err(Error::Semantic("no Neo4j operator rows found".into()));
     }
     // The table is a pipeline: first row (ProduceResults) is the root.
-    let mut iter = operators.into_iter().rev();
-    let mut root = iter.next().expect("non-empty");
-    for mut node in iter {
-        node.children.push(root);
-        root = node;
-    }
-    plan.root = Some(root);
+    plan.root = chain(operators);
     Ok(plan)
 }
 
-fn push_plan_props(
-    plan: &mut UnifiedPlan,
-    key: &str,
-    value: &str,
-    registry: &uplan_core::registry::Registry,
-) {
+/// Header/footer lines: `Planner COST`, `Total database accesses: 5, …`.
+fn push_plan_prop(plan: &mut UnifiedPlan, key: &str, value: &str, b: &NodeBuilder) {
     let key = key.trim();
     let value = value.trim().split(',').next().unwrap_or("").trim();
     if key.is_empty() || value.is_empty() {
         return;
     }
-    // Header lines: `Planner COST`, `Runtime version 5.6`.
-    let (key, value) = match key {
-        "Runtime version" | "Planner version" => (key, value),
-        _ => (key, value),
-    };
-    let resolved = registry.resolve_property_or_generic(Dbms::Neo4j, key);
-    plan.properties.push(Property {
-        category: resolved.category,
-        identifier: resolved.unified,
-        value: parse_value(value),
-    });
+    plan.properties.push(b.text_prop(key, value));
 }
 
 #[cfg(test)]

@@ -1,17 +1,37 @@
 //! PostgreSQL converter: `EXPLAIN` text and `FORMAT JSON` → unified plans.
 
-use uplan_core::formats::json::{JsonEvent, JsonReader};
+use uplan_core::formats::json::{self, JsonEvent, JsonPull, JsonReader, JsonValue, TreeReader};
 use uplan_core::registry::Dbms;
 use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
 
-use crate::util::{json_value, parse_value};
+use crate::spine::{configuration, declare_converter, NodeBuilder};
+use crate::util::parse_value;
+use crate::Source;
+
+declare_converter!(
+    /// `EXPLAIN`/`EXPLAIN ANALYZE` text.
+    TextConverter,
+    Source::PostgresText,
+    text_body,
+    |input| input.contains("(cost=")
+);
+
+declare_converter!(
+    /// `EXPLAIN (FORMAT JSON)`.
+    JsonConverter,
+    Source::PostgresJson,
+    |input, b: &mut NodeBuilder| json_body(&mut JsonReader::new(input), b),
+    |input| input.trim_start().starts_with('[')
+);
 
 /// Converts `EXPLAIN`/`EXPLAIN ANALYZE` text output.
 pub fn from_text(input: &str) -> Result<UnifiedPlan> {
-    let registry = crate::registry();
+    text_body(input, &mut NodeBuilder::new(Dbms::PostgreSql))
+}
+
+fn text_body(input: &str, b: &mut NodeBuilder) -> Result<UnifiedPlan> {
     let mut plan = UnifiedPlan::new();
-    // Stack of (depth, node).
-    let mut stack: Vec<(usize, PlanNode)> = Vec::new();
+    b.begin_tree();
 
     for raw in input.lines() {
         if raw.trim().is_empty() {
@@ -25,33 +45,18 @@ pub fn from_text(input: &str) -> Result<UnifiedPlan> {
             && (line.starts_with("Planning Time:") || line.starts_with("Execution Time:"))
         {
             let (key, value) = line.split_once(':').expect("checked");
-            let resolved = registry.resolve_property_or_generic(Dbms::PostgreSql, key);
-            plan.properties.push(Property {
-                category: resolved.category,
-                identifier: resolved.unified,
-                value: parse_value(value.trim().trim_end_matches(" ms")),
-            });
+            plan.properties
+                .push(b.text_prop(key, value.trim().trim_end_matches(" ms")));
             continue;
         }
 
-        let is_node = line.contains("(cost=");
-        if is_node {
+        if line.contains("(cost=") {
             let body = line.trim_start_matches("->").trim_start();
             let depth = indent / 2;
-            // Close nodes deeper or equal to this depth.
-            while stack.last().is_some_and(|(d, _)| *d >= depth) {
-                let (_, node) = stack.pop().expect("non-empty");
-                if let Some((_, parent)) = stack.last_mut() {
-                    parent.children.push(node);
-                } else {
-                    plan.root = Some(node);
-                }
-            }
-
             let (head, costs) = body
                 .split_once("(cost=")
                 .ok_or_else(|| Error::Semantic(format!("node line without cost: {line:?}")))?;
-            let mut node = parse_head(head.trim(), registry)?;
+            let mut node = parse_head(head.trim(), b);
             // cost=a..b rows=n width=w
             let costs_text = costs.split(')').next().unwrap_or("");
             for part in costs_text.split_whitespace() {
@@ -88,32 +93,20 @@ pub fn from_text(input: &str) -> Result<UnifiedPlan> {
                     }
                 }
             }
-            stack.push((depth, node));
+            b.open_at_depth(depth, node);
         } else {
             // Property line: `Key: value`.
             let Some((key, value)) = line.split_once(':') else {
                 return Err(Error::Semantic(format!("unparseable line {line:?}")));
             };
-            let resolved = registry.resolve_property_or_generic(Dbms::PostgreSql, key.trim());
-            let property = Property {
-                category: resolved.category,
-                identifier: resolved.unified,
-                value: parse_value(value),
-            };
-            match stack.last_mut() {
-                Some((_, node)) => node.properties.push(property),
+            let property = b.text_prop(key.trim(), value);
+            match b.current() {
+                Some(node) => node.properties.push(property),
                 None => plan.properties.push(property),
             }
         }
     }
-    // Drain the stack.
-    while let Some((_, node)) = stack.pop() {
-        if let Some((_, parent)) = stack.last_mut() {
-            parent.children.push(node);
-        } else {
-            plan.root = Some(node);
-        }
-    }
+    plan.root = b.end_tree_last();
     if plan.root.is_none() {
         return Err(Error::Semantic("no plan nodes found".into()));
     }
@@ -121,7 +114,7 @@ pub fn from_text(input: &str) -> Result<UnifiedPlan> {
 }
 
 /// Parses `Name [using idx] [on table]` into an operation node.
-fn parse_head(head: &str, registry: &uplan_core::registry::Registry) -> Result<PlanNode> {
+fn parse_head(head: &str, b: &NodeBuilder) -> PlanNode {
     let mut name = head;
     let mut index = None;
     let mut table = None;
@@ -138,112 +131,97 @@ fn parse_head(head: &str, registry: &uplan_core::registry::Registry) -> Result<P
         name = n;
         table = Some(tbl.trim());
     }
-    let resolved = registry.resolve_operation_or_generic(Dbms::PostgreSql, name.trim());
-    let mut node = PlanNode::new(uplan_core::Operation {
-        category: resolved.category,
-        identifier: resolved.unified,
-    });
+    let mut node = b.op(name.trim());
     if let Some(t) = table {
-        node.properties
-            .push(Property::configuration("name_object", t));
+        node.properties.push(configuration(b.key_name_object, t));
     }
     if let Some(i) = index {
-        node.properties
-            .push(Property::configuration("name_index", i));
+        node.properties.push(configuration(b.key_name_index, i));
     }
-    Ok(node)
+    node
 }
 
 /// Converts `EXPLAIN (FORMAT JSON)` output.
 ///
-/// The document is walked through the zero-copy [`JsonReader`] — no JSON
-/// tree is materialized for the plan skeleton; only property *values* are
-/// read as (borrowed) values before conversion.
+/// The document is walked through the zero-copy streaming [`JsonReader`] —
+/// no JSON tree is materialized for the plan skeleton; only property
+/// *values* are read as (borrowed) values before conversion.
 pub fn from_json(input: &str) -> Result<UnifiedPlan> {
-    let registry = crate::registry();
-    let mut reader = JsonReader::new(input);
-    if reader.next_event()? != JsonEvent::ArrayStart || !reader.array_next()? {
+    json_body(
+        &mut JsonReader::new(input),
+        &mut NodeBuilder::new(Dbms::PostgreSql),
+    )
+}
+
+/// The borrowed-tree driver of the same conversion — identical converter
+/// body replayed over a parsed [`JsonValue`] (the reference the streaming
+/// path is property-tested against).
+pub fn from_json_value(doc: &JsonValue<'_>) -> Result<UnifiedPlan> {
+    json_body(
+        &mut TreeReader::new(doc),
+        &mut NodeBuilder::new(Dbms::PostgreSql),
+    )
+}
+
+fn json_body<'a>(r: &mut impl JsonPull<'a>, b: &mut NodeBuilder) -> Result<UnifiedPlan> {
+    if r.next_event()? != JsonEvent::ArrayStart || !r.array_next()? {
         return Err(Error::Semantic("expected a one-element JSON array".into()));
     }
-    if reader.next_event()? != JsonEvent::ObjectStart {
+    if r.next_event()? != JsonEvent::ObjectStart {
         return Err(Error::Semantic("missing \"Plan\" member".into()));
     }
     let mut root = None;
     let mut properties = Vec::new();
-    while let Some(key) = reader.next_key()? {
+    while let Some(key) = r.next_key()? {
         if key == "Plan" {
             if root.is_some() {
-                // Duplicate "Plan" members: first-wins, like the tree path.
-                reader.skip_value()?;
+                // Duplicate "Plan" members: first-wins.
+                r.skip_value()?;
                 continue;
             }
-            root = Some(node_from_reader(&mut reader, registry)?);
+            root = Some(node_from_events(r, b)?);
         } else {
-            let resolved = registry.resolve_property_or_generic(Dbms::PostgreSql, key.as_ref());
-            let value = reader.read_value()?;
-            properties.push(Property {
-                category: resolved.category,
-                identifier: resolved.unified,
-                value: json_value(&value),
-            });
+            let value = r.read_value()?;
+            properties.push(b.json_prop(key.as_ref(), &value));
         }
     }
     // Real `EXPLAIN (FORMAT JSON)` emits one statement per element; extra
-    // statements are tolerated and ignored, as in the tree-based reader.
-    while reader.array_next()? {
-        reader.skip_value()?;
+    // statements are tolerated and ignored.
+    while r.array_next()? {
+        r.skip_value()?;
     }
-    reader.finish()?;
+    r.finish()?;
     let root = root.ok_or_else(|| Error::Semantic("missing \"Plan\" member".into()))?;
     let mut plan = UnifiedPlan::with_root(root);
     plan.properties = properties;
     Ok(plan)
 }
 
-fn node_from_reader(
-    reader: &mut JsonReader<'_>,
-    registry: &uplan_core::registry::Registry,
-) -> Result<PlanNode> {
-    if reader.next_event()? != JsonEvent::ObjectStart {
+fn node_from_events<'a>(r: &mut impl JsonPull<'a>, b: &NodeBuilder) -> Result<PlanNode> {
+    if r.next_event()? != JsonEvent::ObjectStart {
         return Err(Error::Semantic("plan node missing \"Node Type\"".into()));
     }
     let mut operation = None;
     let mut properties = Vec::new();
     let mut children = Vec::new();
-    while let Some(key) = reader.next_key()? {
+    while let Some(key) = r.next_key()? {
         match key.as_ref() {
-            "Node Type" if operation.is_some() => reader.skip_value()?,
-            "Node Type" => match reader.next_event()? {
-                JsonEvent::Str(name) => {
-                    let resolved =
-                        registry.resolve_operation_or_generic(Dbms::PostgreSql, name.as_ref());
-                    operation = Some(uplan_core::Operation {
-                        category: resolved.category,
-                        identifier: resolved.unified,
-                    });
-                }
+            "Node Type" if operation.is_some() => r.skip_value()?,
+            "Node Type" => match r.next_event()? {
+                JsonEvent::Str(name) => operation = Some(b.op(name.as_ref()).operation),
                 _ => return Err(Error::Semantic("plan node missing \"Node Type\"".into())),
             },
             "Plans" => {
-                if matches!(reader.peek_event()?, JsonEvent::ArrayStart) {
-                    reader.next_event()?;
-                    while reader.array_next()? {
-                        children.push(node_from_reader(reader, registry)?);
+                // Non-array `Plans` carries no children.
+                if r.enter_array()? {
+                    while r.array_next()? {
+                        children.push(node_from_events(r, b)?);
                     }
-                } else {
-                    // Non-array `Plans` carries no children (tree-based
-                    // behaviour preserved).
-                    reader.skip_value()?;
                 }
             }
             other => {
-                let resolved = registry.resolve_property_or_generic(Dbms::PostgreSql, other);
-                let value = reader.read_value()?;
-                properties.push(Property {
-                    category: resolved.category,
-                    identifier: resolved.unified,
-                    value: json_value(&value),
-                });
+                let value = r.read_value()?;
+                properties.push(b.json_prop(other, &value));
             }
         }
     }
@@ -253,6 +231,12 @@ fn node_from_reader(
     node.properties = properties;
     node.children = children;
     Ok(node)
+}
+
+/// Parses the input as a JSON tree and converts through the tree driver —
+/// the "legacy" discipline, kept callable for equivalence testing.
+pub fn from_json_via_tree(input: &str) -> Result<UnifiedPlan> {
+    from_json_value(&json::parse(input)?)
 }
 
 #[cfg(test)]

@@ -1,0 +1,310 @@
+//! Raw-dump corpus ingest: a mixed-source JSONL dump, straight into a
+//! sharded corpus.
+//!
+//! Fleet tooling collects explain output from many DBMSs into one log: one
+//! plan dump per line, with no declaration of which dialect produced it. A
+//! line is a single JSON value —
+//!
+//! * a JSON **string** holding a text/table/XML dump verbatim (PostgreSQL
+//!   text, TiDB/MySQL/Neo4j tables, SQLite EQP, SparkSQL text, InfluxDB
+//!   lists, SQL Server showplans), or
+//! * a JSON **document** that *is* the plan (PostgreSQL `FORMAT JSON`,
+//!   MySQL `FORMAT=JSON`, MongoDB `explain()`).
+//!
+//! [`ingest_raw`] streams such a dump into a [`PlanCorpus`]: each line is
+//! source-sniffed through the converter registry ([`crate::detect`]),
+//! converted in parallel batches (one reused [`NodeBuilder`] per worker),
+//! and handed to [`PlanCorpus::ingest_parallel`] batch by batch — no
+//! intermediate [`UnifiedPlan`] buffering beyond the per-batch slice the
+//! sharded ingest consumes. Because shard routing and id assignment are
+//! deterministic, the resulting corpus is **byte-identical** to converting
+//! every line sequentially with its own source converter and observing the
+//! plans one by one ([`ingest_raw_sequential`], the reference path the CI
+//! gate diffs against).
+
+use std::borrow::Cow;
+
+use uplan_core::formats::json::{self, JsonValue};
+use uplan_core::{Error, Result, UnifiedPlan};
+use uplan_corpus::PlanCorpus;
+
+use crate::spine::NodeBuilder;
+use crate::{detect, Source};
+
+/// Lines per conversion/ingest batch — the only window of converted plans
+/// alive at once.
+pub const RAW_BATCH: usize = 512;
+
+/// What a raw ingest did: line totals and the per-source census.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RawIngestReport {
+    /// Non-empty dump lines converted.
+    pub lines: usize,
+    /// Plans whose fingerprint was new to the corpus.
+    pub novel: usize,
+    /// Lines per detected source, in [`Source::ALL`] order (zero counts
+    /// omitted).
+    pub per_source: Vec<(Source, usize)>,
+}
+
+impl RawIngestReport {
+    /// `postgres-text 12, mysql-json 4, …` — the census line the CLI
+    /// prints.
+    pub fn census(&self) -> String {
+        if self.per_source.is_empty() {
+            return "nothing".to_owned();
+        }
+        self.per_source
+            .iter()
+            .map(|(source, n)| format!("{} {n}", source.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// One classified dump line: its 1-based line number, detected source, and
+/// the dump text (decoded from the JSON string wrapper where applicable).
+struct RawLine<'a> {
+    number: usize,
+    source: Source,
+    text: Cow<'a, str>,
+}
+
+/// Classifies one dump line (see the module docs for the line format).
+fn classify(number: usize, line: &str) -> Result<RawLine<'_>> {
+    let text: Cow<'_, str> = if line.starts_with('"') {
+        match json::parse(line)
+            .map_err(|e| Error::Semantic(format!("line {number}: not a JSON value: {e}")))?
+        {
+            JsonValue::Str(s) => s,
+            _ => unreachable!("a line starting with '\"' parses to a string"),
+        }
+    } else {
+        Cow::Borrowed(line)
+    };
+    let source = detect(&text).ok_or_else(|| {
+        Error::Semantic(format!(
+            "line {number}: cannot identify the plan dialect; accepted sources: {}",
+            Source::ALL.map(Source::name).join(", ")
+        ))
+    })?;
+    Ok(RawLine {
+        number,
+        source,
+        text,
+    })
+}
+
+/// Converts one batch across `threads` scoped workers (each with its own
+/// reused builder), preserving line order.
+fn convert_batch(batch: &[RawLine<'_>], threads: usize) -> Result<Vec<UnifiedPlan>> {
+    let threads = threads.clamp(1, batch.len().max(1));
+    let mut converted: Vec<Result<UnifiedPlan>> = Vec::with_capacity(batch.len());
+    if threads == 1 {
+        let mut builder = NodeBuilder::new(uplan_core::registry::Dbms::PostgreSql);
+        for line in batch {
+            builder.retarget(line.source.dbms());
+            converted.push(line.source.converter().convert(&line.text, &mut builder));
+        }
+    } else {
+        let chunk = batch.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .chunks(chunk)
+                .map(|group| {
+                    scope.spawn(move || {
+                        let mut builder = NodeBuilder::new(uplan_core::registry::Dbms::PostgreSql);
+                        group
+                            .iter()
+                            .map(|line| {
+                                builder.retarget(line.source.dbms());
+                                line.source.converter().convert(&line.text, &mut builder)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                converted.extend(handle.join().expect("converter workers do not panic"));
+            }
+        });
+    }
+    batch
+        .iter()
+        .zip(converted)
+        .map(|(line, result)| {
+            result.map_err(|e| {
+                Error::Semantic(format!(
+                    "line {}: {} plan: {e}",
+                    line.number,
+                    line.source.name()
+                ))
+            })
+        })
+        .collect()
+}
+
+/// Streams a mixed-source JSONL dump into `corpus` (see the module docs).
+/// `threads` fans out both the per-batch conversion and the sharded
+/// ingest; any thread count produces a byte-identical corpus.
+pub fn ingest_raw(dump: &str, corpus: &mut PlanCorpus, threads: usize) -> Result<RawIngestReport> {
+    let mut counts = [0usize; Source::ALL.len()];
+    let mut report = RawIngestReport::default();
+    let mut batch: Vec<RawLine<'_>> = Vec::with_capacity(RAW_BATCH);
+
+    let flush = |batch: &mut Vec<RawLine<'_>>,
+                 report: &mut RawIngestReport,
+                 corpus: &mut PlanCorpus|
+     -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let plans = convert_batch(batch, threads)?;
+        report.novel += corpus.ingest_parallel(&plans, threads);
+        batch.clear();
+        Ok(())
+    };
+
+    for (i, line) in dump.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let classified = classify(i + 1, line)?;
+        counts[source_index(classified.source)] += 1;
+        report.lines += 1;
+        batch.push(classified);
+        if batch.len() == RAW_BATCH {
+            flush(&mut batch, &mut report, corpus)?;
+        }
+    }
+    flush(&mut batch, &mut report, corpus)?;
+
+    report.per_source = Source::ALL
+        .into_iter()
+        .zip(counts)
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    Ok(report)
+}
+
+/// The sequential per-source reference path: classify, convert and observe
+/// each line in order — no batching, no worker threads. [`ingest_raw`] is
+/// contractually byte-identical to this (the CI raw-ingest gate compares
+/// the two corpora with `cmp`).
+pub fn ingest_raw_sequential(dump: &str, corpus: &mut PlanCorpus) -> Result<RawIngestReport> {
+    let mut counts = [0usize; Source::ALL.len()];
+    let mut report = RawIngestReport::default();
+    let mut builder = NodeBuilder::new(uplan_core::registry::Dbms::PostgreSql);
+    for (i, line) in dump.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let classified = classify(i + 1, line)?;
+        counts[source_index(classified.source)] += 1;
+        report.lines += 1;
+        builder.retarget(classified.source.dbms());
+        let plan = classified
+            .source
+            .converter()
+            .convert(&classified.text, &mut builder)
+            .map_err(|e| {
+                Error::Semantic(format!(
+                    "line {}: {} plan: {e}",
+                    classified.number,
+                    classified.source.name()
+                ))
+            })?;
+        if corpus.observe(&plan) {
+            report.novel += 1;
+        }
+    }
+    report.per_source = Source::ALL
+        .into_iter()
+        .zip(counts)
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    Ok(report)
+}
+
+fn source_index(source: Source) -> usize {
+    Source::ALL
+        .iter()
+        .position(|s| *s == source)
+        .expect("every source is in ALL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIDB_DUMP: &str = "\
++-----------------------+---------+-----------+---------------+---------------+
+| id                    | estRows | task      | access object | operator info |
++-----------------------+---------+-----------+---------------+---------------+
+| TableReader_7         | 5.00    | root      |               |               |
+| └─TableFullScan_5     | 100.00  | cop[tikv] | table:t0      |               |
++-----------------------+---------+-----------+---------------+---------------+
+";
+
+    fn string_line(text: &str) -> String {
+        JsonValue::from(text).to_compact()
+    }
+
+    #[test]
+    fn raw_and_sequential_agree_on_a_small_mixed_dump() {
+        let influx = "QUERY PLAN\n----------\nEXPRESSION: <nil>\nNUMBER OF SERIES: 4\n";
+        let pg_json = r#"[{"Plan": {"Node Type": "Seq Scan", "Relation Name": "t0"}}]"#;
+        let dump = format!(
+            "{}\n{}\n{}\n{}\n",
+            string_line(TIDB_DUMP),
+            pg_json,
+            string_line(influx),
+            string_line(TIDB_DUMP),
+        );
+        let mut parallel = PlanCorpus::new();
+        let report = ingest_raw(&dump, &mut parallel, 4).unwrap();
+        assert_eq!(report.lines, 4);
+        assert_eq!(report.novel, 3, "duplicate TiDB line dedups");
+        assert_eq!(
+            report.census(),
+            "postgres-json 1, tidb-table 2, influxdb-text 1"
+        );
+
+        let mut sequential = PlanCorpus::new();
+        let seq_report = ingest_raw_sequential(&dump, &mut sequential).unwrap();
+        assert_eq!(report, seq_report);
+        assert_eq!(
+            parallel.to_binary_indexed().unwrap(),
+            sequential.to_binary_indexed().unwrap(),
+            "raw ingest must be byte-identical to the sequential reference"
+        );
+        assert_eq!(parallel.observed(), 4);
+    }
+
+    #[test]
+    fn unrecognized_and_broken_lines_report_their_line_number() {
+        let mut corpus = PlanCorpus::new();
+        let err = ingest_raw("\"complete nonsense\"\n", &mut corpus, 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("accepted sources"), "{msg}");
+
+        // Sniffs as TiDB but fails to convert: conversion errors carry the
+        // line number and the detected source.
+        let broken = string_line("| id | estRows |\n");
+        let err = ingest_raw(&format!("{TIDB_DUMP:?}garbage"), &mut corpus, 1);
+        assert!(err.is_err(), "unparseable JSON value line");
+        let err = ingest_raw(&broken, &mut corpus, 1).unwrap_err();
+        assert!(err.to_string().contains("tidb-table"), "{err}");
+    }
+
+    #[test]
+    fn empty_dump_is_an_empty_report() {
+        let mut corpus = PlanCorpus::new();
+        let report = ingest_raw("\n\n", &mut corpus, 2).unwrap();
+        assert_eq!(report, RawIngestReport::default());
+        assert!(corpus.is_empty());
+    }
+}

@@ -1,12 +1,27 @@
 //! SparkSQL converter: `== Physical Plan ==` text → unified plans.
 
 use uplan_core::registry::Dbms;
-use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
+use uplan_core::{Error, Result, UnifiedPlan};
+
+use crate::spine::{configuration, declare_converter, NodeBuilder};
+use crate::Source;
+
+declare_converter!(
+    /// `== Physical Plan ==` text.
+    TextConverter,
+    Source::SparkText,
+    text_body,
+    |input| input.contains("== Physical Plan ==")
+);
 
 /// Converts `df.explain()` physical-plan text.
 pub fn from_text(input: &str) -> Result<UnifiedPlan> {
-    let registry = crate::registry();
-    let mut parsed: Vec<(usize, PlanNode)> = Vec::new();
+    text_body(input, &mut NodeBuilder::new(Dbms::SparkSql))
+}
+
+fn text_body(input: &str, b: &mut NodeBuilder) -> Result<UnifiedPlan> {
+    b.begin_tree();
+    let mut parsed_any = false;
 
     for raw in input.lines() {
         let line = raw.trim_end();
@@ -44,44 +59,22 @@ pub fn from_text(input: &str) -> Result<UnifiedPlan> {
             .unwrap_or(body.len());
         let name = &body[..name_end];
         let args = body[name_end..].trim();
-        let resolved = registry.resolve_operation_or_generic(Dbms::SparkSql, name);
-        let mut node = PlanNode::new(uplan_core::Operation {
-            category: resolved.category,
-            identifier: resolved.unified,
-        });
+        let mut node = b.op(name);
         if !args.is_empty() {
             // SparkSQL's catalogued properties are metrics only; operator
             // arguments fall back to a generic Configuration detail.
-            node.properties
-                .push(Property::configuration("details", args));
+            node.properties.push(configuration(b.key_details, args));
         }
-        parsed.push((depth, node));
+        b.open_at_depth(depth, node);
+        parsed_any = true;
     }
-    if parsed.is_empty() {
+    if !parsed_any {
         return Err(Error::Semantic("no Spark plan lines found".into()));
     }
 
-    let mut root: Option<PlanNode> = None;
-    let mut stack: Vec<(usize, PlanNode)> = Vec::new();
-    for (depth, node) in parsed {
-        while stack.last().is_some_and(|(d, _)| *d >= depth) {
-            let (_, done) = stack.pop().expect("non-empty");
-            match stack.last_mut() {
-                Some((_, parent)) => parent.children.push(done),
-                None => root = Some(done),
-            }
-        }
-        stack.push((depth, node));
-    }
-    while let Some((_, done)) = stack.pop() {
-        match stack.last_mut() {
-            Some((_, parent)) => parent.children.push(done),
-            None => root = Some(done),
-        }
-    }
-    Ok(UnifiedPlan::with_root(root.ok_or_else(|| {
-        Error::Semantic("empty Spark plan".into())
-    })?))
+    Ok(UnifiedPlan::with_root(b.end_tree_last().ok_or_else(
+        || Error::Semantic("empty Spark plan".into()),
+    )?))
 }
 
 #[cfg(test)]

@@ -8,10 +8,31 @@
 use uplan_core::registry::Dbms;
 use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
 
+use crate::spine::{configuration, declare_converter, NodeBuilder};
+use crate::Source;
+
+declare_converter!(
+    /// `EXPLAIN QUERY PLAN` tree text.
+    EqpConverter,
+    Source::SqliteEqp,
+    eqp_body,
+    |input| {
+        input.contains("|--")
+            || input.contains("`--")
+            || input
+                .lines()
+                .any(|l| l.starts_with("SCAN ") || l.starts_with("SEARCH "))
+    }
+);
+
 /// Converts `EXPLAIN QUERY PLAN` output.
 pub fn from_eqp(input: &str) -> Result<UnifiedPlan> {
-    let registry = crate::registry();
-    let mut parsed: Vec<(usize, PlanNode)> = Vec::new();
+    eqp_body(input, &mut NodeBuilder::new(Dbms::Sqlite))
+}
+
+fn eqp_body(input: &str, b: &mut NodeBuilder) -> Result<UnifiedPlan> {
+    b.begin_tree();
+    let mut parsed_any = false;
 
     for raw in input.lines() {
         let line = raw.trim_end();
@@ -44,90 +65,60 @@ pub fn from_eqp(input: &str) -> Result<UnifiedPlan> {
         if body.is_empty() {
             continue;
         }
-        parsed.push((depth, parse_line(body, registry)?));
+        let node = parse_line(body, b);
+        b.open_at_depth(depth, node);
+        parsed_any = true;
     }
-    if parsed.is_empty() {
+    if !parsed_any {
         return Err(Error::Semantic("no EQP lines found".into()));
     }
 
-    // Rebuild tree; multiple top-level lines chain under a synthetic list
-    // only when needed (SQLite prints joins as sibling lines).
+    // Sibling top-level steps (a flattened join): first drives the rest.
     let mut plan = UnifiedPlan::new();
-    let mut stack: Vec<(usize, PlanNode)> = Vec::new();
-    let mut roots: Vec<PlanNode> = Vec::new();
-    for (depth, node) in parsed {
-        while stack.last().is_some_and(|(d, _)| *d >= depth) {
-            let (_, done) = stack.pop().expect("non-empty");
-            match stack.last_mut() {
-                Some((_, parent)) => parent.children.push(done),
-                None => roots.push(done),
-            }
-        }
-        stack.push((depth, node));
-    }
-    while let Some((_, done)) = stack.pop() {
-        match stack.last_mut() {
-            Some((_, parent)) => parent.children.push(done),
-            None => roots.push(done),
-        }
-    }
-    plan.root = Some(if roots.len() == 1 {
-        roots.remove(0)
-    } else {
-        // Sibling top-level steps (a flattened join): first drives the rest.
-        let mut first = roots.remove(0);
-        first.children.extend(roots);
-        first
-    });
+    plan.root = b.end_tree_stitched();
     Ok(plan)
 }
 
-fn parse_line(body: &str, registry: &uplan_core::registry::Registry) -> Result<PlanNode> {
+fn parse_line(body: &str, b: &NodeBuilder) -> PlanNode {
     // Strip trailing ordinals ("SCALAR SUBQUERY 1").
-    let lookup_key: String = body
-        .trim_end_matches(|c: char| c.is_ascii_digit() || c == ' ')
-        .to_owned();
+    let lookup_key: &str = body.trim_end_matches(|c: char| c.is_ascii_digit() || c == ' ');
 
     let mut properties: Vec<Property> = Vec::new();
-    let op_name: String;
+    let op_name: &str;
 
     if let Some(rest) = body.strip_prefix("SCAN ") {
-        op_name = "SCAN".to_owned();
-        properties.push(Property::configuration("name_object", rest.trim()));
+        op_name = "SCAN";
+        properties.push(configuration(b.key_name_object, rest.trim()));
     } else if let Some(rest) = body.strip_prefix("SEARCH ") {
         let (table, using) = match rest.split_once(" USING ") {
             Some((t, u)) => (t.trim(), Some(u.trim())),
             None => (rest.trim(), None),
         };
-        properties.push(Property::configuration("name_object", table));
+        properties.push(configuration(b.key_name_object, table));
         if let Some(using) = using {
             if using.starts_with("AUTOMATIC COVERING INDEX") {
-                op_name = "SEARCH USING AUTOMATIC COVERING INDEX".to_owned();
+                op_name = "SEARCH USING AUTOMATIC COVERING INDEX";
                 properties.push(Property::configuration("USING COVERING INDEX", using));
             } else if using.starts_with("COVERING INDEX") {
-                op_name = "SEARCH".to_owned();
+                op_name = "SEARCH";
                 properties.push(Property::configuration("USING COVERING INDEX", using));
             } else if using.starts_with("INTEGER PRIMARY KEY") {
-                op_name = "SEARCH".to_owned();
+                op_name = "SEARCH";
                 properties.push(Property::configuration("USING INTEGER PRIMARY KEY", using));
             } else {
-                op_name = "SEARCH".to_owned();
+                op_name = "SEARCH";
                 properties.push(Property::configuration("USING INDEX", using));
             }
         } else {
-            op_name = "SEARCH".to_owned();
+            op_name = "SEARCH";
         }
     } else {
         op_name = lookup_key;
     }
 
-    let resolved = registry.resolve_operation_or_generic(Dbms::Sqlite, &op_name);
-    let mut node = PlanNode::new(uplan_core::Operation {
-        category: resolved.category,
-        identifier: resolved.unified,
-    });
+    let mut node = b.op(op_name);
     node.properties = properties;
-    Ok(node)
+    node
 }
 
 #[cfg(test)]

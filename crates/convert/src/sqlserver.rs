@@ -2,12 +2,29 @@
 
 use uplan_core::formats::xml::{self, XmlElement};
 use uplan_core::registry::Dbms;
-use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
+use uplan_core::{Error, PlanNode, Result, UnifiedPlan};
 
-use crate::util::parse_value;
+use crate::spine::{declare_converter, NodeBuilder};
+use crate::Source;
+
+declare_converter!(
+    /// XML showplan.
+    XmlConverter,
+    Source::SqlServerXml,
+    xml_body,
+    |input| input.trim_start().starts_with('<') && input.contains("ShowPlanXML")
+);
 
 /// Converts a `<ShowPlanXML>` document.
+///
+/// XML showplans are genuinely tree-shaped, so this converter walks the
+/// parsed [`XmlElement`] tree — the shared borrowed-tree discipline, rather
+/// than a streaming one.
 pub fn from_xml(input: &str) -> Result<UnifiedPlan> {
+    xml_body(input, &mut NodeBuilder::new(Dbms::SqlServer))
+}
+
+fn xml_body(input: &str, b: &mut NodeBuilder) -> Result<UnifiedPlan> {
     let doc = xml::parse(input)?;
     if !doc.name.ends_with("ShowPlanXML") {
         return Err(Error::Semantic(format!(
@@ -15,12 +32,11 @@ pub fn from_xml(input: &str) -> Result<UnifiedPlan> {
             doc.name
         )));
     }
-    let registry = crate::registry();
     let mut plan = UnifiedPlan::new();
 
     // Find the first RelOp under QueryPlan, collecting plan-level attrs.
     let mut rel_roots: Vec<PlanNode> = Vec::new();
-    visit_query_plans(&doc, registry, &mut plan, &mut rel_roots)?;
+    visit_query_plans(&doc, b, &mut plan, &mut rel_roots)?;
     match rel_roots.len() {
         0 => Err(Error::Semantic("no <RelOp> elements found".into())),
         1 => {
@@ -39,53 +55,39 @@ pub fn from_xml(input: &str) -> Result<UnifiedPlan> {
 
 fn visit_query_plans(
     el: &XmlElement,
-    registry: &uplan_core::registry::Registry,
+    b: &NodeBuilder,
     plan: &mut UnifiedPlan,
     roots: &mut Vec<PlanNode>,
 ) -> Result<()> {
     if el.name == "QueryPlan" {
         for (key, value) in &el.attributes {
-            let resolved = registry.resolve_property_or_generic(Dbms::SqlServer, key);
-            plan.properties.push(Property {
-                category: resolved.category,
-                identifier: resolved.unified,
-                value: parse_value(value),
-            });
+            plan.properties.push(b.text_prop(key, value));
         }
         for child in el.children_named("RelOp") {
-            roots.push(rel_op_node(child, registry)?);
+            roots.push(rel_op_node(child, b)?);
         }
         return Ok(());
     }
     for child in &el.children {
-        visit_query_plans(child, registry, plan, roots)?;
+        visit_query_plans(child, b, plan, roots)?;
     }
     Ok(())
 }
 
-fn rel_op_node(el: &XmlElement, registry: &uplan_core::registry::Registry) -> Result<PlanNode> {
+fn rel_op_node(el: &XmlElement, b: &NodeBuilder) -> Result<PlanNode> {
     let physical = el
         .attr("PhysicalOp")
         .ok_or_else(|| Error::Semantic("<RelOp> missing PhysicalOp".into()))?;
-    let resolved = registry.resolve_operation_or_generic(Dbms::SqlServer, physical);
-    let mut node = PlanNode::new(uplan_core::Operation {
-        category: resolved.category,
-        identifier: resolved.unified,
-    });
+    let mut node = b.op(physical);
     for (key, value) in &el.attributes {
         if key == "PhysicalOp" {
             continue;
         }
-        let resolved = registry.resolve_property_or_generic(Dbms::SqlServer, key);
-        node.properties.push(Property {
-            category: resolved.category,
-            identifier: resolved.unified,
-            value: parse_value(value),
-        });
+        node.properties.push(b.text_prop(key, value));
     }
     for child in &el.children {
         if child.name == "RelOp" {
-            node.children.push(rel_op_node(child, registry)?);
+            node.children.push(rel_op_node(child, b)?);
         } else {
             // Child elements (Predicate, OutputList, Object, ...) become
             // properties; Object carries its table in an attribute.
@@ -95,12 +97,7 @@ fn rel_op_node(el: &XmlElement, registry: &uplan_core::registry::Registry) -> Re
                 child.text.clone()
             };
             if !value.is_empty() {
-                let resolved = registry.resolve_property_or_generic(Dbms::SqlServer, &child.name);
-                node.properties.push(Property {
-                    category: resolved.category,
-                    identifier: resolved.unified,
-                    value: parse_value(&value),
-                });
+                node.properties.push(b.text_prop(&child.name, &value));
             }
         }
     }

@@ -6,27 +6,33 @@
 //! `Filter` key being a property rather than an operation.
 
 use uplan_core::registry::Dbms;
-use uplan_core::{Error, PlanNode, Property, Result, UnifiedPlan};
+use uplan_core::{Error, Result, UnifiedPlan};
 
-use crate::util::parse_value;
+use crate::spine::{declare_converter, pipe_cells, CellTrim, NodeBuilder};
+use crate::Source;
+
+declare_converter!(
+    /// The `EXPLAIN` table.
+    TableConverter,
+    Source::TidbTable,
+    table_body,
+    |input| input.contains("estRows")
+);
 
 /// Converts the `id | estRows | [actRows |] task | access object |
 /// operator info` table.
 pub fn from_table(input: &str) -> Result<UnifiedPlan> {
-    let registry = crate::registry();
-    // Collect cell rows (skip rules).
+    table_body(input, &mut NodeBuilder::new(Dbms::TiDb))
+}
+
+fn table_body(input: &str, b: &mut NodeBuilder) -> Result<UnifiedPlan> {
+    // Collect cell rows; trailing-only trim keeps the `id` column's
+    // leading spaces, which carry tree depth.
     let mut rows: Vec<Vec<String>> = Vec::new();
     for line in input.lines() {
-        let trimmed = line.trim();
-        if !trimmed.starts_with('|') {
-            continue;
+        if let Some(cells) = pipe_cells(line, CellTrim::TrailingOnly) {
+            rows.push(cells);
         }
-        let cells: Vec<String> = trimmed
-            .trim_matches('|')
-            .split('|')
-            .map(|c| c.trim_end().to_owned())
-            .collect();
-        rows.push(cells);
     }
     if rows.len() < 2 {
         return Err(Error::Semantic("no TiDB table rows found".into()));
@@ -34,14 +40,21 @@ pub fn from_table(input: &str) -> Result<UnifiedPlan> {
     let header: Vec<String> = rows[0].iter().map(|h| h.trim().to_owned()).collect();
     let col = |name: &str| header.iter().position(|h| h == name);
     let id_col = col("id").ok_or_else(|| Error::Semantic("missing id column".into()))?;
-    let est_col = col("estRows");
-    let act_col = col("actRows");
-    let task_col = col("task");
-    let access_col = col("access object");
-    let info_col = col("operator info");
+    // Header names double as property keys (`task` normalizes to
+    // `taskType` through the shared table).
+    let prop_cols: Vec<(usize, &str)> = [
+        "estRows",
+        "actRows",
+        "task",
+        "access object",
+        "operator info",
+    ]
+    .into_iter()
+    .filter_map(|name| col(name).map(|c| (c, name)))
+    .collect();
 
-    // Parse each body row into (depth, node).
-    let mut parsed: Vec<(usize, PlanNode)> = Vec::new();
+    b.begin_tree();
+    let mut parsed_any = false;
     for cells in &rows[1..] {
         let raw_id = cells
             .get(id_col)
@@ -54,54 +67,22 @@ pub fn from_table(input: &str) -> Result<UnifiedPlan> {
             .trim_start_matches("└─")
             .trim_start_matches("├─")
             .trim();
-        let resolved = registry.resolve_operation_or_generic(Dbms::TiDb, name);
-        let mut node = PlanNode::new(uplan_core::Operation {
-            category: resolved.category,
-            identifier: resolved.unified,
-        });
-        let mut push = |col: Option<usize>, key: &str| {
-            if let Some(c) = col {
-                if let Some(text) = cells.get(c) {
-                    let text = text.trim();
-                    if !text.is_empty() {
-                        let resolved = registry.resolve_property_or_generic(Dbms::TiDb, key);
-                        node.properties.push(Property {
-                            category: resolved.category,
-                            identifier: resolved.unified,
-                            value: parse_value(text),
-                        });
-                    }
+        let mut node = b.op(name);
+        for &(c, key) in &prop_cols {
+            if let Some(text) = cells.get(c) {
+                let text = text.trim();
+                if !text.is_empty() {
+                    node.properties.push(b.text_prop(key, text));
                 }
             }
-        };
-        push(est_col, "estRows");
-        push(act_col, "actRows");
-        push(task_col, "taskType");
-        push(access_col, "access object");
-        push(info_col, "operator info");
-        parsed.push((depth, node));
+        }
+        b.open_at_depth(depth, node);
+        parsed_any = true;
     }
 
-    // Rebuild the tree from depths.
     let mut plan = UnifiedPlan::new();
-    let mut stack: Vec<(usize, PlanNode)> = Vec::new();
-    for (depth, node) in parsed {
-        while stack.last().is_some_and(|(d, _)| *d >= depth) {
-            let (_, done) = stack.pop().expect("non-empty");
-            match stack.last_mut() {
-                Some((_, parent)) => parent.children.push(done),
-                None => plan.root = Some(done),
-            }
-        }
-        stack.push((depth, node));
-    }
-    while let Some((_, done)) = stack.pop() {
-        match stack.last_mut() {
-            Some((_, parent)) => parent.children.push(done),
-            None => plan.root = Some(done),
-        }
-    }
-    if plan.root.is_none() {
+    plan.root = b.end_tree_last();
+    if plan.root.is_none() || !parsed_any {
         return Err(Error::Semantic("empty TiDB plan".into()));
     }
     Ok(plan)

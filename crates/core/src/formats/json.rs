@@ -1061,6 +1061,305 @@ impl<'a> JsonReader<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pull abstraction: one converter body, two drivers
+// ---------------------------------------------------------------------------
+
+/// A pull source of [`JsonEvent`]s.
+///
+/// Implemented by the zero-copy streaming [`JsonReader`] (the production
+/// driver of every JSON converter) and by [`TreeReader`], which replays an
+/// already-parsed [`JsonValue`] as the same event sequence. Schema-directed
+/// consumers written against this trait therefore run unchanged on either
+/// driver — which is how the converter property tests check that streaming
+/// conversion and tree-based conversion agree.
+///
+/// Only [`JsonPull::next_event`], [`JsonPull::peek_event`] and
+/// [`JsonPull::offset`] are required; the structured helpers have default
+/// implementations in terms of them (and [`JsonReader`] overrides the
+/// helpers with its lexer fast paths).
+pub trait JsonPull<'a> {
+    /// The next event of the document.
+    fn next_event(&mut self) -> Result<JsonEvent<'a>>;
+
+    /// Peeks at the next event without consuming it.
+    fn peek_event(&mut self) -> Result<&JsonEvent<'a>>;
+
+    /// Byte offset of the next unread input (for error reporting; drivers
+    /// that replay in-memory values report 0).
+    fn offset(&self) -> usize;
+
+    /// Consumes an `ObjectStart`; errors if the next value is not an object.
+    fn expect_object_start(&mut self) -> Result<()> {
+        let offset = self.offset();
+        match self.next_event()? {
+            JsonEvent::ObjectStart => Ok(()),
+            _ => Err(Error::parse(offset, "expected an object")),
+        }
+    }
+
+    /// Consumes an `ArrayStart`; errors if the next value is not an array.
+    fn expect_array_start(&mut self) -> Result<()> {
+        let offset = self.offset();
+        match self.next_event()? {
+            JsonEvent::ArrayStart => Ok(()),
+            _ => Err(Error::parse(offset, "expected an array")),
+        }
+    }
+
+    /// If the next value is an object, consumes its `ObjectStart` and
+    /// returns `true`; otherwise skips the whole value and returns
+    /// `false`. The schema-directed "descend if it has structure, ignore
+    /// it otherwise" step of every converter.
+    fn enter_object(&mut self) -> Result<bool> {
+        if matches!(self.peek_event()?, JsonEvent::ObjectStart) {
+            self.next_event()?;
+            Ok(true)
+        } else {
+            self.skip_value()?;
+            Ok(false)
+        }
+    }
+
+    /// If the next value is an array, consumes its `ArrayStart` and
+    /// returns `true`; otherwise skips the whole value and returns
+    /// `false`.
+    fn enter_array(&mut self) -> Result<bool> {
+        if matches!(self.peek_event()?, JsonEvent::ArrayStart) {
+            self.next_event()?;
+            Ok(true)
+        } else {
+            self.skip_value()?;
+            Ok(false)
+        }
+    }
+
+    /// Inside an object (after `ObjectStart`): the next member key, or
+    /// `None` when the closing `}` is reached (which is consumed).
+    fn next_key(&mut self) -> Result<Option<Cow<'a, str>>> {
+        let offset = self.offset();
+        match self.next_event()? {
+            JsonEvent::Key(k) => Ok(Some(k)),
+            JsonEvent::ObjectEnd => Ok(None),
+            _ => Err(Error::parse(offset, "expected an object member")),
+        }
+    }
+
+    /// Inside an array (after `ArrayStart`): `true` if another element
+    /// follows (left unconsumed), `false` when the closing `]` is reached
+    /// (which is consumed).
+    fn array_next(&mut self) -> Result<bool> {
+        if matches!(self.peek_event()?, JsonEvent::ArrayEnd) {
+            self.next_event()?;
+            Ok(false)
+        } else {
+            Ok(true)
+        }
+    }
+
+    /// Materializes the next value (scalar or whole subtree) as a
+    /// [`JsonValue`].
+    fn read_value(&mut self) -> Result<JsonValue<'a>> {
+        let offset = self.offset();
+        match self.next_event()? {
+            JsonEvent::Null => Ok(JsonValue::Null),
+            JsonEvent::Bool(b) => Ok(JsonValue::Bool(b)),
+            JsonEvent::Int(i) => Ok(JsonValue::Int(i)),
+            JsonEvent::Float(f) => Ok(JsonValue::Float(f)),
+            JsonEvent::Str(s) => Ok(JsonValue::Str(s)),
+            JsonEvent::ObjectStart => {
+                let mut members = Vec::with_capacity(OBJECT_CAPACITY);
+                while let Some(key) = self.next_key()? {
+                    members.push((key, self.read_value()?));
+                }
+                Ok(JsonValue::Object(members))
+            }
+            JsonEvent::ArrayStart => {
+                let mut items = Vec::with_capacity(ARRAY_CAPACITY);
+                while self.array_next()? {
+                    items.push(self.read_value()?);
+                }
+                Ok(JsonValue::Array(items))
+            }
+            _ => Err(Error::parse(offset, "expected a JSON value")),
+        }
+    }
+
+    /// Skips the next value (scalar or whole subtree) without building it.
+    fn skip_value(&mut self) -> Result<()> {
+        let offset = self.offset();
+        match self.next_event()? {
+            JsonEvent::Null
+            | JsonEvent::Bool(_)
+            | JsonEvent::Int(_)
+            | JsonEvent::Float(_)
+            | JsonEvent::Str(_) => Ok(()),
+            JsonEvent::ObjectStart | JsonEvent::ArrayStart => {
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match self.next_event()? {
+                        JsonEvent::ObjectStart | JsonEvent::ArrayStart => depth += 1,
+                        JsonEvent::ObjectEnd | JsonEvent::ArrayEnd => depth -= 1,
+                        JsonEvent::Eof => {
+                            return Err(Error::UnexpectedEof("JSON value".to_owned()))
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(Error::parse(offset, "expected a JSON value")),
+        }
+    }
+
+    /// Asserts the document is fully consumed.
+    fn finish(&mut self) -> Result<()> {
+        let offset = self.offset();
+        match self.next_event()? {
+            JsonEvent::Eof => Ok(()),
+            _ => Err(Error::parse(
+                offset,
+                "trailing characters after JSON document",
+            )),
+        }
+    }
+}
+
+impl<'a> JsonPull<'a> for JsonReader<'a> {
+    fn next_event(&mut self) -> Result<JsonEvent<'a>> {
+        JsonReader::next_event(self)
+    }
+
+    fn peek_event(&mut self) -> Result<&JsonEvent<'a>> {
+        JsonReader::peek_event(self)
+    }
+
+    fn offset(&self) -> usize {
+        JsonReader::offset(self)
+    }
+
+    fn expect_object_start(&mut self) -> Result<()> {
+        JsonReader::expect_object_start(self)
+    }
+
+    fn expect_array_start(&mut self) -> Result<()> {
+        JsonReader::expect_array_start(self)
+    }
+
+    fn next_key(&mut self) -> Result<Option<Cow<'a, str>>> {
+        JsonReader::next_key(self)
+    }
+
+    fn array_next(&mut self) -> Result<bool> {
+        JsonReader::array_next(self)
+    }
+
+    fn read_value(&mut self) -> Result<JsonValue<'a>> {
+        JsonReader::read_value(self)
+    }
+
+    fn skip_value(&mut self) -> Result<()> {
+        JsonReader::skip_value(self)
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        JsonReader::finish(self)
+    }
+}
+
+/// One open container of a [`TreeReader`] replay.
+enum TreeFrame<'v, 'a> {
+    Object(std::slice::Iter<'v, (Cow<'a, str>, JsonValue<'a>)>),
+    Array(std::slice::Iter<'v, JsonValue<'a>>),
+}
+
+/// Replays a parsed [`JsonValue`] as the event stream [`JsonReader`] would
+/// have produced for its serialization — the tree-based driver of the
+/// [`JsonPull`] converters, used by callers that already hold a tree and by
+/// the streaming-vs-tree equivalence property tests.
+pub struct TreeReader<'v, 'a> {
+    /// A value whose start event has not been emitted yet.
+    pending: Option<&'v JsonValue<'a>>,
+    stack: Vec<TreeFrame<'v, 'a>>,
+    peeked: Option<JsonEvent<'a>>,
+}
+
+impl<'v, 'a> TreeReader<'v, 'a> {
+    /// A reader replaying the given value as a complete document.
+    pub fn new(value: &'v JsonValue<'a>) -> TreeReader<'v, 'a> {
+        TreeReader {
+            pending: Some(value),
+            stack: Vec::new(),
+            peeked: None,
+        }
+    }
+
+    fn produce(&mut self) -> JsonEvent<'a> {
+        if let Some(value) = self.pending.take() {
+            return match value {
+                JsonValue::Null => JsonEvent::Null,
+                JsonValue::Bool(b) => JsonEvent::Bool(*b),
+                JsonValue::Int(i) => JsonEvent::Int(*i),
+                JsonValue::Float(f) => JsonEvent::Float(*f),
+                JsonValue::Str(s) => JsonEvent::Str(s.clone()),
+                JsonValue::Array(items) => {
+                    self.stack.push(TreeFrame::Array(items.iter()));
+                    JsonEvent::ArrayStart
+                }
+                JsonValue::Object(members) => {
+                    self.stack.push(TreeFrame::Object(members.iter()));
+                    JsonEvent::ObjectStart
+                }
+            };
+        }
+        match self.stack.last_mut() {
+            None => JsonEvent::Eof,
+            Some(TreeFrame::Object(members)) => match members.next() {
+                Some((key, value)) => {
+                    self.pending = Some(value);
+                    JsonEvent::Key(key.clone())
+                }
+                None => {
+                    self.stack.pop();
+                    JsonEvent::ObjectEnd
+                }
+            },
+            Some(TreeFrame::Array(items)) => match items.next() {
+                Some(value) => {
+                    self.pending = Some(value);
+                    // Emit the element's start directly (depth-1 recursion).
+                    self.produce()
+                }
+                None => {
+                    self.stack.pop();
+                    JsonEvent::ArrayEnd
+                }
+            },
+        }
+    }
+}
+
+impl<'v, 'a> JsonPull<'a> for TreeReader<'v, 'a> {
+    fn next_event(&mut self) -> Result<JsonEvent<'a>> {
+        if let Some(ev) = self.peeked.take() {
+            return Ok(ev);
+        }
+        Ok(self.produce())
+    }
+
+    fn peek_event(&mut self) -> Result<&JsonEvent<'a>> {
+        if self.peeked.is_none() {
+            let ev = self.produce();
+            self.peeked = Some(ev);
+        }
+        Ok(self.peeked.as_ref().expect("just filled"))
+    }
+
+    fn offset(&self) -> usize {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1346,6 +1645,48 @@ mod tests {
             }
             assert_eq!(Some(parser_err), reader_err, "offsets diverge on {bad:?}");
         }
+    }
+
+    #[test]
+    fn tree_reader_replays_the_same_events_as_the_streaming_reader() {
+        let doc = r#"{"a": [1, "x", {"deep": null}], "b": 2.5, "c": true}"#;
+        let tree = parse(doc).unwrap();
+        let mut stream = JsonReader::new(doc);
+        let mut replay = TreeReader::new(&tree);
+        loop {
+            let a = JsonPull::next_event(&mut stream).unwrap();
+            let b = JsonPull::next_event(&mut replay).unwrap();
+            assert_eq!(a, b);
+            if a == JsonEvent::Eof {
+                break;
+            }
+        }
+        // Eof is sticky on the replay driver.
+        assert_eq!(JsonPull::next_event(&mut replay).unwrap(), JsonEvent::Eof);
+    }
+
+    #[test]
+    fn tree_reader_structured_helpers_work_via_defaults() {
+        let doc = r#"{"skip": {"deep": [1, {"x": 2}]}, "keep": [7, 8]}"#;
+        let tree = parse(doc).unwrap();
+        let mut r = TreeReader::new(&tree);
+        r.expect_object_start().unwrap();
+        assert_eq!(JsonPull::next_key(&mut r).unwrap().as_deref(), Some("skip"));
+        JsonPull::skip_value(&mut r).unwrap();
+        assert_eq!(JsonPull::next_key(&mut r).unwrap().as_deref(), Some("keep"));
+        let v = JsonPull::read_value(&mut r).unwrap();
+        assert_eq!(v, parse("[7, 8]").unwrap());
+        assert_eq!(JsonPull::next_key(&mut r).unwrap(), None);
+        JsonPull::finish(&mut r).unwrap();
+    }
+
+    #[test]
+    fn tree_reader_read_value_reproduces_the_tree() {
+        let doc = r#"{"plan": {"ops": [1, 2.5, true, null], "name": "scan"}}"#;
+        let tree = parse(doc).unwrap();
+        let mut r = TreeReader::new(&tree);
+        assert_eq!(JsonPull::read_value(&mut r).unwrap(), tree);
+        JsonPull::finish(&mut r).unwrap();
     }
 
     #[test]

@@ -492,6 +492,61 @@ impl ShardedCorpus {
         MetricQuery { matches, ted_evals }
     }
 
+    /// [`ShardedCorpus::within_radius`] with the shard fan-out spread
+    /// across `threads` scoped worker threads.
+    ///
+    /// The answer is *identical* to the sequential query — same matches
+    /// **and** the same counted TED evaluations — because radius queries
+    /// share no pruning bound between shards (each shard's BK walk is
+    /// independent), so evaluating them concurrently changes nothing the
+    /// counted-evals gate measures. `threads <= 1` takes the sequential
+    /// path directly.
+    pub fn within_radius_threaded(
+        &self,
+        probe: &UnifiedPlan,
+        radius: u32,
+        threads: usize,
+    ) -> MetricQuery {
+        let threads = threads.clamp(1, self.shards.len());
+        if threads == 1 {
+            return self.within_radius(probe, radius);
+        }
+        let chunk = self.shards.len().div_ceil(threads);
+        let mut matches = Vec::new();
+        let mut ted_evals = 0u64;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .chunks(chunk)
+                .map(|group| {
+                    scope.spawn(move || {
+                        let mut matches = Vec::new();
+                        let mut evals = 0u64;
+                        for shard in group {
+                            let plans = &shard.plans;
+                            let (m, e) = shard.index.within_radius(radius, |other| {
+                                tree_edit_distance(probe, &plans[other as usize]) as u32
+                            });
+                            evals += e;
+                            matches.extend(
+                                m.into_iter()
+                                    .map(|(local, d)| (shard.globals[local as usize] as usize, d)),
+                            );
+                        }
+                        (matches, evals)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (m, e) = handle.join().expect("radius workers do not panic");
+                matches.extend(m);
+                ted_evals += e;
+            }
+        });
+        matches.sort_unstable();
+        MetricQuery { matches, ted_evals }
+    }
+
     /// The `k` stored plans nearest to the probe. The query fans out
     /// across shards *sharing one best-k heap*, so every shard after the
     /// first prunes against the bound its predecessors already tightened —
@@ -580,6 +635,78 @@ impl ShardedCorpus {
     /// Deterministic, and the id-order greedy pass makes leaders the
     /// earliest-observed representative of each neighborhood.
     pub fn clusters(&self, radius: u32) -> Vec<Cluster> {
+        self.clusters_threaded(radius, 1)
+    }
+
+    /// [`ShardedCorpus::clusters`] with every leader's radius query fanned
+    /// out across shards on `threads` worker threads. Same clusters — the
+    /// greedy pass is sequential over leaders, only each query's shard
+    /// visits run concurrently.
+    ///
+    /// Unlike calling [`ShardedCorpus::within_radius_threaded`] per
+    /// leader, the workers are spawned **once** and fed probes over
+    /// channels, so a large corpus pays thread start-up per clustering
+    /// run, not per query.
+    pub fn clusters_threaded(&self, radius: u32, threads: usize) -> Vec<Cluster> {
+        let threads = threads.clamp(1, self.shards.len());
+        if threads == 1 {
+            return self
+                .greedy_clusters(|leader| self.within_radius(self.plan(leader), radius).matches);
+        }
+        use std::sync::mpsc;
+        let chunk = self.shards.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let (result_tx, result_rx) = mpsc::channel::<Matches>();
+            // Workers receive leader *ids* (resolving the probe plan
+            // themselves), sidestepping a reference-typed channel.
+            let probe_txs: Vec<mpsc::Sender<usize>> =
+                self.shards
+                    .chunks(chunk)
+                    .map(|group| {
+                        let (probe_tx, probe_rx) = mpsc::channel::<usize>();
+                        let result_tx = result_tx.clone();
+                        scope.spawn(move || {
+                            // One long-lived worker per shard group: exits when
+                            // the probe sender drops at the end of the run.
+                            while let Ok(leader) = probe_rx.recv() {
+                                let probe = self.plan(leader);
+                                let mut matches: Matches = Vec::new();
+                                for shard in group {
+                                    let plans = &shard.plans;
+                                    let (m, _) = shard.index.within_radius(radius, |other| {
+                                        tree_edit_distance(probe, &plans[other as usize]) as u32
+                                    });
+                                    matches.extend(m.into_iter().map(|(local, d)| {
+                                        (shard.globals[local as usize] as usize, d)
+                                    }));
+                                }
+                                if result_tx.send(matches).is_err() {
+                                    return;
+                                }
+                            }
+                        });
+                        probe_tx
+                    })
+                    .collect();
+            drop(result_tx);
+            self.greedy_clusters(|leader| {
+                for tx in &probe_txs {
+                    tx.send(leader).expect("cluster workers outlive the run");
+                }
+                let mut matches: Matches = Vec::new();
+                for _ in &probe_txs {
+                    matches.extend(result_rx.recv().expect("cluster worker result"));
+                }
+                matches.sort_unstable();
+                matches
+            })
+        })
+    }
+
+    /// The greedy pass over a radius-query oracle taking a leader plan id
+    /// (the oracle must return matches sorted by plan id, like the query
+    /// methods do).
+    fn greedy_clusters(&self, mut query: impl FnMut(usize) -> Matches) -> Vec<Cluster> {
         let mut claimed = vec![false; self.directory.len()];
         let mut out = Vec::new();
         for leader in 0..self.directory.len() {
@@ -587,9 +714,8 @@ impl ShardedCorpus {
                 continue;
             }
             claimed[leader] = true;
-            let query = self.within_radius(self.plan(leader), radius);
             let mut members = vec![(leader, 0u32)];
-            for (id, d) in query.matches {
+            for (id, d) in query(leader) {
                 if !claimed[id] {
                     claimed[id] = true;
                     members.push((id, d));
@@ -984,6 +1110,37 @@ mod tests {
             warm_par.to_binary_indexed().unwrap(),
             warm_seq.to_binary_indexed().unwrap()
         );
+    }
+
+    #[test]
+    fn threaded_radius_fanout_changes_neither_matches_nor_counted_evals() {
+        // The counted-evals gate of the parallel fan-out: for every thread
+        // count, the threaded query is *equal* to the sequential one —
+        // including the TED evaluation count the BK-tree is judged by.
+        let plans = wide_population(200);
+        for shards in [1usize, 4, 16] {
+            let mut corpus = ShardedCorpus::with_shards(shards);
+            for plan in &plans {
+                corpus.observe(plan);
+            }
+            for probe in plans.iter().step_by(17) {
+                for radius in [0u32, 1, 3] {
+                    let sequential = corpus.within_radius(probe, radius);
+                    for threads in [1usize, 2, 4, 7, 32] {
+                        assert_eq!(
+                            corpus.within_radius_threaded(probe, radius, threads),
+                            sequential,
+                            "shards {shards} radius {radius} threads {threads}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(
+                corpus.clusters_threaded(2, 4),
+                corpus.clusters(2),
+                "shards {shards}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Properties of the unified conversion spine.
+//!
+//! Three contracts, checked on real dialect fixtures (TPC-H-lite plans
+//! from every engine substrate):
+//!
+//! 1. **Streaming ≡ tree** — every JSON converter is one body driven by
+//!    either the streaming `JsonReader` or a parsed-tree replay; the two
+//!    drivers must produce identical unified plans (and identical
+//!    fingerprints — the goldens in `tests/golden.rs` pin the values).
+//! 2. **Truncation safety and error-offset fidelity** — converting any
+//!    prefix of a fixture never panics, and where the streaming JSON path
+//!    fails with a *parse* error, the offset is exactly the one the tree
+//!    parser reports for the same input.
+//! 3. **Raw ≡ sequential** — batched multi-threaded raw-dump ingest is
+//!    byte-identical to converting each line sequentially with its own
+//!    source converter, for arbitrary line subsets (property-tested).
+
+use std::sync::OnceLock;
+
+use minidb::profile::EngineProfile;
+use proptest::prelude::*;
+use uplan::convert::{self, convert, detect, Source};
+use uplan::core::fingerprint::fingerprint;
+use uplan::core::formats::json;
+use uplan::core::Error;
+use uplan::corpus::PlanCorpus;
+use uplan::workloads::tpch;
+
+/// One serialized fixture per source dialect (several per dialect for the
+/// relational engines): the corpus every property below runs on.
+fn fixtures() -> &'static Vec<(Source, String)> {
+    static FIXTURES: OnceLock<Vec<(Source, String)>> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let queries = tpch::queries();
+        let mut pg = tpch::relational(EngineProfile::Postgres, 1);
+        let mut mysql = tpch::relational(EngineProfile::MySql, 1);
+        let mut tidb = tpch::relational(EngineProfile::TiDb, 1);
+        let mut sqlite = tpch::relational(EngineProfile::Sqlite, 1);
+        let mut store = minidoc::DocStore::new();
+        tpch::load_document(&mut store, 1, 7);
+        let mut graph = minigraph::GraphStore::new();
+        tpch::load_graph(&mut graph, 1, 7);
+
+        let mut out: Vec<(Source, String)> = Vec::new();
+        for qid in [1usize, 3, 5] {
+            let (_, sql) = &queries[qid - 1];
+            let plan = pg.explain(sql).expect("pg plan");
+            out.push((Source::PostgresText, dialects::postgres::to_text(&plan)));
+            out.push((Source::PostgresJson, dialects::postgres::to_json(&plan)));
+            out.push((Source::SparkText, dialects::sparksql::to_text(&plan)));
+            out.push((Source::SqlServerXml, dialects::sqlserver::to_xml(&plan)));
+            let plan = mysql.explain(sql).expect("mysql plan");
+            out.push((Source::MySqlJson, dialects::mysql::to_json(&plan)));
+            out.push((Source::MySqlTable, dialects::mysql::to_table(&plan)));
+            let plan = tidb.explain(sql).expect("tidb plan");
+            out.push((
+                Source::TidbTable,
+                dialects::tidb::to_table(&plan, qid as u32),
+            ));
+            let plan = sqlite.explain(sql).expect("sqlite plan");
+            out.push((Source::SqliteEqp, dialects::sqlite::to_text(&plan)));
+        }
+        for mq in [0usize, 1] {
+            let (_, doc_plan) = store.find(&tpch::mongo_queries()[mq].1);
+            out.push((Source::MongoJson, dialects::mongodb::to_json(&doc_plan)));
+        }
+        for gq in [0usize, 2] {
+            let (_, graph_plan) = graph.run(&tpch::graph_queries()[gq].1);
+            out.push((Source::Neo4jTable, dialects::neo4j::to_table(&graph_plan)));
+        }
+        out.push((
+            Source::InfluxText,
+            dialects::influxdb::to_text(&dialects::influxdb::InfluxStats::synthetic(2, 9)),
+        ));
+        out
+    })
+}
+
+/// Runs the tree-replay driver of a JSON source (the "legacy" discipline).
+fn via_tree(source: Source, input: &str) -> uplan::core::Result<uplan::core::UnifiedPlan> {
+    match source {
+        Source::PostgresJson => convert::postgres::from_json_via_tree(input),
+        Source::MySqlJson => convert::mysql::from_json_via_tree(input),
+        Source::MongoJson => convert::mongodb::from_json_via_tree(input),
+        _ => unreachable!("not a JSON source"),
+    }
+}
+
+const JSON_SOURCES: [Source; 3] = [Source::PostgresJson, Source::MySqlJson, Source::MongoJson];
+
+#[test]
+fn streaming_conversion_equals_tree_conversion_on_dialect_fixtures() {
+    for (source, input) in fixtures() {
+        if !JSON_SOURCES.contains(source) {
+            continue;
+        }
+        let streamed = convert(*source, input).unwrap_or_else(|e| panic!("{source:?}: {e}"));
+        let via_tree = via_tree(*source, input).unwrap_or_else(|e| panic!("{source:?}: {e}"));
+        assert_eq!(streamed, via_tree, "{source:?}: drivers diverged");
+        assert_eq!(fingerprint(&streamed), fingerprint(&via_tree));
+    }
+}
+
+#[test]
+fn every_fixture_converts_identically_through_the_trait_registry() {
+    // `convert()` and a reused-builder trait-object loop are the same
+    // pipeline: builder reuse across mixed dialects leaks nothing.
+    let mut builder = convert::NodeBuilder::new(Source::PostgresText.dbms());
+    for (source, input) in fixtures() {
+        let direct = convert(*source, input).unwrap();
+        builder.retarget(source.dbms());
+        let via_trait = source.converter().convert(input, &mut builder).unwrap();
+        assert_eq!(direct, via_trait, "{source:?}");
+        // And a second conversion on the same warm builder agrees too.
+        builder.retarget(source.dbms());
+        assert_eq!(
+            source.converter().convert(input, &mut builder).unwrap(),
+            direct,
+            "{source:?}: warm builder diverged"
+        );
+    }
+}
+
+#[test]
+fn every_fixture_sniffs_back_to_its_own_source() {
+    for (source, input) in fixtures() {
+        let detected = detect(input);
+        // The two PostgreSQL-compatible text dialects are the only
+        // intentional aliasing: nothing else may misroute.
+        assert_eq!(detected, Some(*source), "{source:?} misdetected");
+    }
+}
+
+#[test]
+fn truncated_inputs_error_or_convert_but_never_panic() {
+    for (source, input) in fixtures() {
+        let step = (input.len() / 60).max(1);
+        let mut cut = 0usize;
+        while cut < input.len() {
+            if input.is_char_boundary(cut) {
+                // Any prefix must produce Ok or Err — never a panic.
+                let _ = convert(*source, &input[..cut]);
+            }
+            cut += step;
+        }
+    }
+}
+
+#[test]
+fn streaming_parse_errors_on_truncated_json_match_tree_parser_offsets() {
+    for (source, input) in fixtures() {
+        if !JSON_SOURCES.contains(source) {
+            continue;
+        }
+        let step = (input.len() / 120).max(1);
+        let mut compared = 0usize;
+        let mut cut = 0usize;
+        while cut < input.len() {
+            if input.is_char_boundary(cut) {
+                let prefix = &input[..cut];
+                match convert(*source, prefix) {
+                    // A lexical/structural failure on the streaming path
+                    // must be byte-for-byte the tree parser's error.
+                    Err(e @ (Error::Parse { .. } | Error::UnexpectedEof(_))) => {
+                        let tree_err = json::parse(prefix)
+                            .expect_err("streaming parse error implies tree parse error");
+                        assert_eq!(e, tree_err, "{source:?} at cut {cut}");
+                        compared += 1;
+                    }
+                    // Semantic errors and (rare) well-formed prefixes: the
+                    // two drivers must still agree.
+                    other => {
+                        if let Ok(doc) = json::parse(prefix) {
+                            let _ = doc;
+                            assert_eq!(other, via_tree(*source, prefix), "{source:?} at cut {cut}");
+                        }
+                    }
+                }
+            }
+            cut += step;
+        }
+        assert!(compared > 0, "{source:?}: no truncation hit the parser");
+    }
+}
+
+/// Encodes a fixture as one raw-dump line (JSON dialects compact to one
+/// line; text dialects are JSON-string-encoded).
+fn dump_line(source: Source, input: &str) -> String {
+    match source {
+        Source::PostgresJson | Source::MySqlJson | Source::MongoJson => json::parse(input)
+            .expect("fixture JSON parses")
+            .to_compact(),
+        _ => json::JsonValue::from(input).to_compact(),
+    }
+}
+
+#[test]
+fn raw_ingest_is_byte_identical_to_per_source_conversion() {
+    // The acceptance criterion: a mixed 9-source dump through
+    // `ingest_raw` equals (1) the sequential reference path and (2) a
+    // hand-rolled per-source convert+observe loop, byte for byte.
+    let dump: String = fixtures()
+        .iter()
+        .map(|(s, i)| dump_line(*s, i) + "\n")
+        .collect();
+
+    let mut batched = PlanCorpus::new();
+    let report = convert::ingest_raw(&dump, &mut batched, 4).unwrap();
+    assert_eq!(report.lines, fixtures().len());
+    assert_eq!(report.per_source.len(), Source::ALL.len());
+
+    let mut sequential = PlanCorpus::new();
+    let seq_report = convert::ingest_raw_sequential(&dump, &mut sequential).unwrap();
+    assert_eq!(report, seq_report);
+
+    let mut reference = PlanCorpus::new();
+    for (source, input) in fixtures() {
+        reference.observe(&convert(*source, input).unwrap());
+    }
+    let bytes = reference.to_binary_indexed().unwrap();
+    assert_eq!(batched.to_binary_indexed().unwrap(), bytes);
+    assert_eq!(sequential.to_binary_indexed().unwrap(), bytes);
+    assert_eq!(batched.stats(), reference.stats());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any subset of fixture lines, in any order and with duplicates,
+    /// ingests identically through the batched raw path and the
+    /// sequential per-source reference — for every thread count.
+    #[test]
+    fn raw_ingest_matches_sequential_on_arbitrary_line_subsets(
+        picks in prop::collection::vec(0usize..100, 0..30),
+        threads in 1usize..6,
+    ) {
+        let pool = fixtures();
+        let dump: String = picks
+            .iter()
+            .map(|&i| {
+                let (source, input) = &pool[i % pool.len()];
+                dump_line(*source, input) + "\n"
+            })
+            .collect();
+        let mut batched = PlanCorpus::new();
+        let report = convert::ingest_raw(&dump, &mut batched, threads).unwrap();
+        let mut sequential = PlanCorpus::new();
+        let seq_report = convert::ingest_raw_sequential(&dump, &mut sequential).unwrap();
+        prop_assert_eq!(&report, &seq_report);
+        prop_assert_eq!(report.lines, picks.len());
+        prop_assert_eq!(
+            batched.to_binary_indexed().unwrap(),
+            sequential.to_binary_indexed().unwrap()
+        );
+    }
+}
