@@ -3,26 +3,48 @@
 //! ```text
 //! repro corpus ingest <out> <source> <explain-file>... [--threads N] [--shards N] [--index]
 //! repro corpus ingest <out> --raw <dump.jsonl>... [--threads N] [--shards N] [--index]
+//!                     [--lenient] [--max-errors N] [--quarantine <file>]
 //!     Convert native EXPLAIN files (any of the converter dialects, see
 //!     `repro corpus sources`) and store them deduplicated. `<out>` ending
 //!     in .jsonl writes JSON lines; anything else writes the binary codec.
 //!     `--threads` fans ingest out across scoped worker threads (the
 //!     resulting corpus is byte-identical for every thread count);
 //!     `--shards` overrides the corpus shard count; `--index` persists the
-//!     BK-index topology (UPLN v2) so the next load is index-free.
-//!     With `--raw`, the files are mixed-source JSONL dumps instead: one
-//!     plan per line (a JSON string holding a text/table/XML dump, or a
-//!     JSON explain document), each line source-sniffed via the converter
+//!     BK-index topology (UPLN v2+) so the next load is index-free.
+//!     With `--raw`, the files are mixed-source dumps instead (JSON-lines,
+//!     `---`-separator-framed or `#<bytes>` length-prefixed; framing is
+//!     sniffed per file), each record source-sniffed via the converter
 //!     registry and streamed batch-wise into the sharded corpus.
-//! repro corpus raw-fixture <out.jsonl> [queries]
+//!     `--lenient` skips bad records instead of aborting and prints the
+//!     per-record error census; `--max-errors` bounds the tolerated
+//!     garbage; `--quarantine` writes failed records to a replayable
+//!     JSONL file.
+//! repro corpus raw-fixture <out.jsonl> [queries] [--dirty N] [--seed HEX]
 //!     Write a deterministic mixed-source raw dump covering all nine
 //!     dialects ([queries] TPC-H-lite queries per relational engine,
-//!     default 6) — the input of the CI raw-ingest gate.
-//! repro corpus raw-check <dump.jsonl>
+//!     default 6) — the input of the CI raw-ingest gate. `--dirty N`
+//!     injects N seeded garbage lines (the CI lenient-ingest gate's
+//!     input), printing exactly which lines are garbage.
+//! repro corpus raw-check <dump.jsonl> [--lenient]
 //!     Assert that 4-thread batched raw ingest of the dump produces a
 //!     corpus byte-identical to sequential per-source conversion (and
-//!     identical stats); prints both censuses. Exits non-zero on any
+//!     identical stats); prints both censuses. With `--lenient`, also
+//!     asserts that lenient ingest of a dirty dump is byte-identical to
+//!     strict ingest of its valid lines alone. Exits non-zero on any
 //!     divergence.
+//! repro corpus salvage <corpus> [--out <path>]
+//!     Recover what a damaged corpus file still holds: the longest
+//!     CRC-verified prefix of a binary (v3) document, the decodable
+//!     prefix of older versions, or the parseable lines of a JSONL file.
+//!     Prints `salvaged R of D plans` plus what was dropped and why;
+//!     `--out` stores the recovered corpus (re-indexed). Exits 2 when
+//!     nothing could be recovered from a damaged file.
+//! repro corpus mutate <in> <out> --op <truncate|bitflip|splice|duplicate> [--seed HEX]
+//!     Apply one seeded, reproducible corruption to a checksummed binary
+//!     corpus document and write the damaged copy — the generator behind
+//!     the CI fault-injection smoke step. Prints the mutation and, where
+//!     the codec's section map makes it provable, the exact
+//!     `expect-recoverable: N of M plans` a salvage must report.
 //! repro corpus fixture-ingest <out> [count] [--threads N] [--shards N] [--index] [--seed HEX]
 //!     Ingest the seeded TPC-H-derived benchmark stream (the corpus/*
 //!     bench population, default 10000 plans) — the CI determinism gate:
@@ -51,11 +73,56 @@
 //! ```
 
 use minidb::profile::EngineProfile;
-use uplan_convert::{convert, Source};
+use uplan_convert::{convert, RawIngestOptions, Source};
 use uplan_corpus::{PlanCorpus, DEFAULT_SHARDS};
 use uplan_testing::generator::Generator;
+use uplan_testing::inject;
 use uplan_testing::qpg::{self, QpgConfig};
 use uplan_viz::cluster::ClusterView;
+
+/// A CLI failure, split by whose fault it is — and therefore by exit
+/// code: **2** for bad input (unusable arguments, unparseable or
+/// unrecoverable files), **1** for operational failures (the environment
+/// refused a read/write the input said nothing wrong about). Scripts
+/// branch on the distinction: retry operational failures, fix inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The user's arguments or input files are at fault → exit 2.
+    Input(String),
+    /// The environment failed (I/O, permissions) → exit 1.
+    Operational(String),
+}
+
+impl CliError {
+    /// The process exit code this failure maps to.
+    pub fn code(&self) -> i32 {
+        match self {
+            CliError::Input(_) => 2,
+            CliError::Operational(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Input(message) | CliError::Operational(message) => f.write_str(message),
+        }
+    }
+}
+
+// Bare string errors are argument/usage complaints — the common case.
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::Input(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError::Input(message.to_owned())
+    }
+}
 
 /// Entry point; returns the process exit code.
 pub fn run(args: &[String]) -> i32 {
@@ -64,20 +131,20 @@ pub fn run(args: &[String]) -> i32 {
             println!("{report}");
             0
         }
-        Err(message) => {
-            eprintln!("{message}");
-            2
+        Err(error) => {
+            eprintln!("{error}");
+            error.code()
         }
     }
 }
 
 fn usage() -> String {
     "usage: repro corpus <ingest|raw-fixture|raw-check|fixture-ingest|campaign|stats|cluster|\
-     diff|sources> ... (see crates/bench/src/corpus_cli.rs docs)"
+     diff|salvage|mutate|sources> ... (see crates/bench/src/corpus_cli.rs docs)"
         .to_owned()
 }
 
-fn run_inner(args: &[String]) -> Result<String, String> {
+fn run_inner(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("ingest") => ingest(&args[1..]),
         Some("raw-fixture") => raw_fixture(&args[1..]),
@@ -87,12 +154,14 @@ fn run_inner(args: &[String]) -> Result<String, String> {
         Some("stats") => stats(&args[1..]),
         Some("cluster") => cluster(&args[1..]),
         Some("diff") => diff(&args[1..]),
+        Some("salvage") => salvage(&args[1..]),
+        Some("mutate") => mutate(&args[1..]),
         Some("sources") => Ok(Source::ALL
             .iter()
             .map(|s| s.name())
             .collect::<Vec<_>>()
             .join("\n")),
-        _ => Err(usage()),
+        _ => Err(usage().into()),
     }
 }
 
@@ -121,18 +190,30 @@ fn take_value<T: std::str::FromStr>(
         .map_err(|_| format!("bad {name} value {raw:?}"))
 }
 
-fn save(corpus: &PlanCorpus, path: &str, indexed: bool) -> Result<(), String> {
-    if path.ends_with(".jsonl") {
-        std::fs::write(path, corpus.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))
+// Failing to write an output the arguments merely *name* is the
+// environment's fault, not the input's.
+fn save(corpus: &PlanCorpus, path: &str, indexed: bool) -> Result<(), CliError> {
+    let result = if path.ends_with(".jsonl") {
+        std::fs::write(path, corpus.to_jsonl()).map_err(|e| format!("{e}"))
     } else if indexed {
         corpus.save_indexed(path).map_err(|e| e.to_string())
     } else {
         corpus.save(path).map_err(|e| e.to_string())
-    }
+    };
+    result.map_err(|e| CliError::Operational(format!("cannot write {path}: {e}")))
 }
 
-fn load(path: &str) -> Result<PlanCorpus, String> {
-    PlanCorpus::load(path).map_err(|e| format!("cannot load corpus {path}: {e}"))
+// Reading and parsing split the exit code: an unreadable path is
+// operational (exit 1), an unparseable file is bad input (exit 2).
+fn load(path: &str) -> Result<PlanCorpus, CliError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| CliError::Operational(format!("cannot read corpus {path}: {e}")))?;
+    let parsed = if bytes.starts_with(&uplan_core::formats::binary::BINARY_MAGIC) {
+        PlanCorpus::from_binary(&bytes)
+    } else {
+        PlanCorpus::from_jsonl(&String::from_utf8_lossy(&bytes))
+    };
+    parsed.map_err(|e| CliError::Input(format!("cannot load corpus {path}: {e}")))
 }
 
 /// Durable facts about a corpus — what a stored file can actually answer.
@@ -155,13 +236,25 @@ fn session_summary(corpus: &PlanCorpus) -> String {
     )
 }
 
-fn ingest(args: &[String]) -> Result<String, String> {
+fn ingest(args: &[String]) -> Result<String, CliError> {
     let mut args = args.to_vec();
     let threads: usize = take_value(&mut args, "--threads")?.unwrap_or(1);
     let shards: usize = take_value(&mut args, "--shards")?.unwrap_or(DEFAULT_SHARDS);
     let indexed = take_flag(&mut args, "--index");
-    if take_flag(&mut args, "--raw") {
-        return ingest_raw_dumps(&args, threads, shards, indexed);
+    let raw = take_flag(&mut args, "--raw");
+    let lenient = take_flag(&mut args, "--lenient");
+    let max_errors: usize = take_value(&mut args, "--max-errors")?.unwrap_or(0);
+    let quarantine: Option<String> = take_value(&mut args, "--quarantine")?;
+    if raw {
+        let options = RawIngestOptions {
+            strict: !lenient,
+            max_errors,
+            quarantine: quarantine.map(std::path::PathBuf::from),
+        };
+        return ingest_raw_dumps(&args, threads, shards, indexed, &options);
+    }
+    if lenient || max_errors != 0 || quarantine.is_some() {
+        return Err("--lenient/--max-errors/--quarantine only apply to --raw ingest".into());
     }
     let (out, source_name, files) = match args.as_slice() {
         [out, source, files @ ..] if !files.is_empty() => (out, source, files),
@@ -178,7 +271,8 @@ fn ingest(args: &[String]) -> Result<String, String> {
     let source = Source::parse(source_name)?;
     let mut plans = Vec::with_capacity(files.len());
     for file in files {
-        let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| CliError::Operational(format!("cannot read {file}: {e}")))?;
         plans.push(convert(source, &text).map_err(|e| format!("{file}: {e}"))?);
     }
     let mut corpus = PlanCorpus::with_shards(shards);
@@ -193,34 +287,56 @@ fn ingest(args: &[String]) -> Result<String, String> {
     ))
 }
 
-/// `ingest --raw`: mixed-source JSONL dumps, source-sniffed per line.
+/// `ingest --raw`: mixed-source raw dumps (framing sniffed per file),
+/// source-sniffed per record, optionally lenient.
 fn ingest_raw_dumps(
     args: &[String],
     threads: usize,
     shards: usize,
     indexed: bool,
-) -> Result<String, String> {
+    options: &RawIngestOptions,
+) -> Result<String, CliError> {
     let (out, dumps) = match args {
         [out, dumps @ ..] if !dumps.is_empty() => (out, dumps),
         _ => {
             return Err("usage: repro corpus ingest <out> --raw <dump.jsonl>... \
-                 [--threads N] [--shards N] [--index]"
+                 [--threads N] [--shards N] [--index] \
+                 [--lenient] [--max-errors N] [--quarantine <file>]"
                 .into())
         }
     };
     let mut corpus = PlanCorpus::with_shards(shards);
     let mut lines = 0usize;
+    let mut skipped = 0usize;
     let mut censuses = Vec::new();
     for dump in dumps {
-        let text = std::fs::read_to_string(dump).map_err(|e| format!("cannot read {dump}: {e}"))?;
-        let report = uplan_convert::ingest_raw(&text, &mut corpus, threads)
-            .map_err(|e| format!("{dump}: {e}"))?;
+        let text = std::fs::read_to_string(dump)
+            .map_err(|e| CliError::Operational(format!("cannot read {dump}: {e}")))?;
+        let report = uplan_convert::ingest_raw_with(&text, &mut corpus, threads, options)
+            .map_err(|e| CliError::Input(format!("{dump}: {e}")))?;
         lines += report.lines;
-        censuses.push(format!("{dump}: {}", report.census()));
+        skipped += report.errors.len();
+        censuses.push(format!(
+            "{dump} [{}]: {}",
+            report.framing.name(),
+            report.census()
+        ));
+        if !report.errors.is_empty() {
+            censuses.push(format!(
+                "{dump}: skipped {} — {}",
+                report.errors.len(),
+                report.error_census()
+            ));
+        }
     }
     save(&corpus, out, indexed)?;
+    let lenient_line = if options.strict {
+        String::new()
+    } else {
+        format!("\nlenient: {skipped} record(s) skipped")
+    };
     Ok(format!(
-        "raw-ingested {lines} plan line(s) from {} dump(s)\n{}\n{}\n{}\nwrote {out}",
+        "raw-ingested {lines} plan line(s) from {} dump(s){lenient_line}\n{}\n{}\n{}\nwrote {out}",
         dumps.len(),
         censuses.join("\n"),
         session_summary(&corpus),
@@ -234,11 +350,18 @@ fn ingest_raw_dumps(
 /// SQLite EQP, SparkSQL text, SQL Server XML) plus MongoDB, Neo4j and
 /// InfluxDB lines from their engines. Text dumps are JSON-string-encoded;
 /// JSON documents are compacted to one line.
-fn raw_fixture(args: &[String]) -> Result<String, String> {
+fn raw_fixture(args: &[String]) -> Result<String, CliError> {
     use uplan_core::formats::json::{self, JsonValue};
+    let mut args = args.to_vec();
+    let dirty: usize = take_value(&mut args, "--dirty")?.unwrap_or(0);
+    let seed = match take_value::<String>(&mut args, "--seed")? {
+        Some(hex) => u64::from_str_radix(hex.trim_start_matches("0x"), 16)
+            .map_err(|_| format!("bad --seed value {hex:?}"))?,
+        None => 0xD127_F1EE,
+    };
     let out = args
         .first()
-        .ok_or("usage: repro corpus raw-fixture <out.jsonl> [queries]")?;
+        .ok_or("usage: repro corpus raw-fixture <out.jsonl> [queries] [--dirty N] [--seed HEX]")?;
     let queries: usize = match args.get(1) {
         Some(n) => n.parse().map_err(|_| format!("bad query count {n:?}"))?,
         None => 6,
@@ -292,50 +415,111 @@ fn raw_fixture(args: &[String]) -> Result<String, String> {
     }
     let mut dump = lines.join("\n");
     dump.push('\n');
-    std::fs::write(out, &dump).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let dirty_line = if dirty > 0 {
+        let (dirtied, injected) = inject::inject_garbage_lines(&dump, seed, dirty);
+        dump = dirtied;
+        format!(
+            "\ninjected {} garbage line(s) (seed {seed:#x}) at: {}",
+            injected.len(),
+            injected
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    } else {
+        String::new()
+    };
+    std::fs::write(out, &dump)
+        .map_err(|e| CliError::Operational(format!("cannot write {out}: {e}")))?;
     Ok(format!(
-        "raw-fixture: {} mixed-source plan lines ({} TPC-H-lite queries x 11 serializations)\nwrote {out}",
+        "raw-fixture: {} mixed-source plan lines ({} TPC-H-lite queries x 11 serializations)\
+         {dirty_line}\nwrote {out}",
         lines.len(),
         queries
     ))
 }
 
 /// The raw-ingest gate: batched 4-thread raw ingest must produce a corpus
-/// byte-identical to sequential per-source conversion of the same dump.
-fn raw_check(args: &[String]) -> Result<String, String> {
+/// byte-identical to sequential per-source conversion of the same dump —
+/// and, with `--lenient`, lenient ingest of a dirty dump must be
+/// byte-identical to strict ingest of its valid lines alone.
+fn raw_check(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.to_vec();
+    let lenient = take_flag(&mut args, "--lenient");
     let dump_path = args
         .first()
-        .ok_or("usage: repro corpus raw-check <dump.jsonl>")?;
-    let dump =
-        std::fs::read_to_string(dump_path).map_err(|e| format!("cannot read {dump_path}: {e}"))?;
+        .ok_or("usage: repro corpus raw-check <dump.jsonl> [--lenient]")?;
+    let dump = std::fs::read_to_string(dump_path)
+        .map_err(|e| CliError::Operational(format!("cannot read {dump_path}: {e}")))?;
+    let options = if lenient {
+        RawIngestOptions::lenient()
+    } else {
+        RawIngestOptions::default()
+    };
     let mut batched = PlanCorpus::new();
-    let batched_report =
-        uplan_convert::ingest_raw(&dump, &mut batched, 4).map_err(|e| e.to_string())?;
+    let batched_report = uplan_convert::ingest_raw_with(&dump, &mut batched, 4, &options)
+        .map_err(|e| CliError::Input(e.to_string()))?;
     let mut sequential = PlanCorpus::new();
     let sequential_report =
-        uplan_convert::ingest_raw_sequential(&dump, &mut sequential).map_err(|e| e.to_string())?;
+        uplan_convert::ingest_raw_sequential_with(&dump, &mut sequential, &options)
+            .map_err(|e| CliError::Input(e.to_string()))?;
     if batched_report != sequential_report {
-        return Err(format!(
+        return Err(CliError::Input(format!(
             "raw ingest census diverged:\n  batched:    {}\n  sequential: {}",
             batched_report.census(),
             sequential_report.census()
-        ));
+        )));
     }
     if batched.stats() != sequential.stats() {
-        return Err(format!(
+        return Err(CliError::Input(format!(
             "raw ingest stats diverged:\n  batched:    {}\n  sequential: {}",
             summary(&batched),
             summary(&sequential)
-        ));
+        )));
     }
     let batched_bytes = batched.to_binary_indexed().map_err(|e| e.to_string())?;
     let sequential_bytes = sequential.to_binary_indexed().map_err(|e| e.to_string())?;
     if batched_bytes != sequential_bytes {
         return Err("raw ingest corpus bytes diverged from the sequential reference".into());
     }
+
+    // The lenient contract: the corpus must equal strict ingest of only
+    // the valid lines (checkable when the dump is line-framed).
+    let mut lenient_lines = String::new();
+    if lenient {
+        lenient_lines = format!(
+            "\nlenient: skipped {} record(s) — {}",
+            batched_report.errors.len(),
+            batched_report.error_census()
+        );
+        if batched_report.framing == uplan_convert::RawFraming::JsonLines
+            && !batched_report.errors.is_empty()
+        {
+            let bad: std::collections::HashSet<usize> =
+                batched_report.errors.iter().map(|e| e.line).collect();
+            let mut valid = String::with_capacity(dump.len());
+            for (i, line) in dump.lines().enumerate() {
+                if !bad.contains(&(i + 1)) {
+                    valid.push_str(line);
+                    valid.push('\n');
+                }
+            }
+            let mut reference = PlanCorpus::new();
+            uplan_convert::ingest_raw(&valid, &mut reference, 4)
+                .map_err(|e| CliError::Input(format!("valid subset re-ingest: {e}")))?;
+            let reference_bytes = reference.to_binary_indexed().map_err(|e| e.to_string())?;
+            if reference_bytes != batched_bytes {
+                return Err(CliError::Input(
+                    "lenient ingest diverged from strict ingest of the valid subset".into(),
+                ));
+            }
+            lenient_lines.push_str("\nlenient ingest == strict ingest of the valid subset");
+        }
+    }
     Ok(format!(
         "{dump_path}: {} line(s) — {}\n{}\n{}\nraw ingest == sequential per-source conversion \
-         ({} bytes, indexed)",
+         ({} bytes, indexed){lenient_lines}",
         batched_report.lines,
         batched_report.census(),
         session_summary(&batched),
@@ -349,7 +533,7 @@ fn raw_check(args: &[String]) -> Result<String, String> {
 /// stream. Everything printed *except* the final `wrote …` line (which
 /// names the thread count) is identical for every `--threads` value, and
 /// the written files are byte-identical — CI diffs both.
-fn fixture_ingest(args: &[String]) -> Result<String, String> {
+fn fixture_ingest(args: &[String]) -> Result<String, CliError> {
     let mut args = args.to_vec();
     let threads: usize = take_value(&mut args, "--threads")?.unwrap_or(1);
     let shards: usize = take_value(&mut args, "--shards")?.unwrap_or(DEFAULT_SHARDS);
@@ -387,6 +571,106 @@ fn fixture_ingest(args: &[String]) -> Result<String, String> {
     ))
 }
 
+/// `repro corpus salvage`: recover what a damaged corpus file still
+/// holds, reporting exactly what was dropped.
+fn salvage(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.to_vec();
+    let out: Option<String> = take_value(&mut args, "--out")?;
+    let path = args
+        .first()
+        .ok_or("usage: repro corpus salvage <corpus> [--out <path>]")?;
+    let (corpus, report) =
+        PlanCorpus::load_salvage(path).map_err(|e| CliError::Operational(e.to_string()))?;
+    let mut lines = vec![format!(
+        "salvaged {} of {} plans from {path} ({} dropped, {})",
+        report.recovered,
+        report.declared,
+        report.dropped,
+        if report.verified {
+            "checksum-verified"
+        } else {
+            "decodable, not verified"
+        }
+    )];
+    if let Some(error) = &report.error {
+        lines.push(format!("stopped at: {error}"));
+    }
+    if report.recovered > 0 {
+        lines.push(format!(
+            "index: {}",
+            if report.index_rebuilt {
+                "rebuilt"
+            } else {
+                "persisted"
+            }
+        ));
+        lines.push(summary(&corpus));
+    }
+    if report.recovered == 0 && report.error.is_some() {
+        return Err(CliError::Input(lines.join("\n")));
+    }
+    if let Some(out) = out {
+        save(&corpus, &out, true)?;
+        lines.push(format!("wrote {out}"));
+    }
+    Ok(lines.join("\n"))
+}
+
+/// `repro corpus mutate`: one seeded corruption of a checksummed binary
+/// document, with the provable salvage expectation printed for the CI
+/// smoke gate to compare against `repro corpus salvage`.
+fn mutate(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: repro corpus mutate <in> <out> \
+                 --op <truncate|bitflip|splice|duplicate> [--seed HEX]";
+    let mut args = args.to_vec();
+    let op: String = take_value(&mut args, "--op")?.ok_or(usage)?;
+    let seed = match take_value::<String>(&mut args, "--seed")? {
+        Some(hex) => u64::from_str_radix(hex.trim_start_matches("0x"), 16)
+            .map_err(|_| format!("bad --seed value {hex:?}"))?,
+        None => 0xFA_017,
+    };
+    let (input, out) = match args.as_slice() {
+        [input, out] => (input, out),
+        _ => return Err(usage.into()),
+    };
+    let bytes = std::fs::read(input)
+        .map_err(|e| CliError::Operational(format!("cannot read {input}: {e}")))?;
+    let sections = uplan_core::formats::binary::section_map(&bytes).map_err(|e| {
+        CliError::Input(format!(
+            "{input}: mutate needs an intact binary corpus document: {e}"
+        ))
+    })?;
+    let total = sections.last().map_or(0, |s| s.plans);
+    let mutation = match op.as_str() {
+        "truncate" => {
+            let cuts = inject::truncation_plan(&sections);
+            cuts[(seed as usize) % cuts.len()].clone()
+        }
+        "bitflip" => inject::bitflip_past_header(&sections, seed)
+            .ok_or_else(|| format!("{input}: document too small to mutate"))?,
+        "splice" => inject::splice_past_header(&sections, seed)
+            .ok_or_else(|| format!("{input}: document too small to mutate"))?,
+        "duplicate" => {
+            let dups = inject::duplicate_block_plan(&sections);
+            if dups.is_empty() {
+                return Err(format!("{input}: document too small to mutate").into());
+            }
+            dups[(seed as usize) % dups.len()].clone()
+        }
+        other => return Err(format!("unknown --op {other:?}; {usage}").into()),
+    };
+    let expectation = match inject::expected_recoverable(&sections, &mutation) {
+        Some(n) => format!("expect-recoverable: {n} of {total} plans"),
+        None => "expect-recoverable: unknown (duplicated blocks re-verify)".to_owned(),
+    };
+    std::fs::write(out, mutation.apply(&bytes))
+        .map_err(|e| CliError::Operational(format!("cannot write {out}: {e}")))?;
+    Ok(format!(
+        "mutate: {} (seed {seed:#x})\n{expectation}\nwrote {out}",
+        mutation.describe()
+    ))
+}
+
 fn parse_profile(name: &str) -> Result<EngineProfile, String> {
     let lowered = name.to_ascii_lowercase();
     EngineProfile::ALL
@@ -401,7 +685,7 @@ fn parse_profile(name: &str) -> Result<EngineProfile, String> {
         })
 }
 
-fn campaign(args: &[String]) -> Result<String, String> {
+fn campaign(args: &[String]) -> Result<String, CliError> {
     let mut args = args.to_vec();
     let indexed = take_flag(&mut args, "--index");
     let out = args
@@ -442,7 +726,7 @@ fn campaign(args: &[String]) -> Result<String, String> {
     ))
 }
 
-fn stats(args: &[String]) -> Result<String, String> {
+fn stats(args: &[String]) -> Result<String, CliError> {
     let path = args.first().ok_or("usage: repro corpus stats <corpus>")?;
     let corpus = load(path)?;
     let index = if corpus.has_persisted_index() {
@@ -456,7 +740,7 @@ fn stats(args: &[String]) -> Result<String, String> {
     Ok(format!("{path}: {}\nindex: {index}", summary(&corpus)))
 }
 
-fn cluster(args: &[String]) -> Result<String, String> {
+fn cluster(args: &[String]) -> Result<String, CliError> {
     let mut args = args.to_vec();
     let threads: usize = take_value(&mut args, "--threads")?.unwrap_or(1);
     // `--dot` may appear anywhere; positionals keep their order around it.
@@ -489,7 +773,7 @@ fn cluster(args: &[String]) -> Result<String, String> {
     })
 }
 
-fn diff(args: &[String]) -> Result<String, String> {
+fn diff(args: &[String]) -> Result<String, CliError> {
     let (left_path, right_path) = match args {
         [l, r, ..] => (l, r),
         _ => return Err("usage: repro corpus diff <left> <right> [radius]".into()),
@@ -737,8 +1021,143 @@ mod tests {
     }
 
     #[test]
+    fn salvage_and_mutate_agree_on_exact_expectations() {
+        let intact = temp("uplan_cli_slv.uplanc");
+        run_inner(&strings(&["fixture-ingest", &intact, "400", "--index"])).unwrap();
+
+        // An intact file salvages losslessly.
+        let report = run_inner(&strings(&["salvage", &intact])).unwrap();
+        assert!(report.contains("0 dropped, checksum-verified"), "{report}");
+        assert!(report.contains("index: persisted"), "{report}");
+
+        // Every mutation op: the salvage outcome matches the printed
+        // expectation exactly (when one is provable).
+        for (op, seed) in [
+            ("truncate", "0x5"),
+            ("truncate", "0x2"),
+            ("bitflip", "0xB"),
+            ("splice", "0x51"),
+            ("duplicate", "0x0"),
+        ] {
+            let damaged = temp(&format!("uplan_cli_slv_{op}_{seed}.uplanc"));
+            let mutated = run_inner(&strings(&[
+                "mutate", &intact, &damaged, "--op", op, "--seed", seed,
+            ]))
+            .unwrap();
+            let expectation = mutated
+                .lines()
+                .find_map(|l| l.strip_prefix("expect-recoverable: "))
+                .unwrap_or_else(|| panic!("no expectation in {mutated}"));
+            let salvage_result = run_inner(&strings(&["salvage", &damaged]));
+            if expectation.ends_with("plans") {
+                // "N of M plans" — must reappear verbatim in the salvage
+                // report (Ok for N > 0, Input error for N == 0).
+                let printed = match &salvage_result {
+                    Ok(report) => report.clone(),
+                    Err(CliError::Input(message)) => message.clone(),
+                    Err(other) => panic!("{op} seed {seed}: {other}"),
+                };
+                assert!(
+                    printed.contains(&format!("salvaged {expectation}")),
+                    "{op} seed {seed}: expected {expectation:?} in {printed:?}"
+                );
+            } else if let Err(err) = &salvage_result {
+                assert!(matches!(err, CliError::Input(_)), "{op} seed {seed}: {err}");
+            }
+            std::fs::remove_file(damaged).ok();
+        }
+
+        // Exit codes: unreadable paths are operational (1), bad
+        // arguments and unrecoverable files are input (2).
+        let missing = run_inner(&strings(&["salvage", "/definitely/not/here"])).unwrap_err();
+        assert_eq!(missing.code(), 1, "{missing}");
+        let usage = run_inner(&strings(&["mutate", &intact])).unwrap_err();
+        assert_eq!(usage.code(), 2, "{usage}");
+        let bad_op =
+            run_inner(&strings(&["mutate", &intact, "/tmp/x", "--op", "scramble"])).unwrap_err();
+        assert_eq!(bad_op.code(), 2, "{bad_op}");
+        std::fs::remove_file(intact).ok();
+    }
+
+    #[test]
+    fn lenient_raw_ingest_matches_the_valid_subset_end_to_end() {
+        let dump = temp("uplan_cli_dirty.jsonl");
+        let report = run_inner(&strings(&[
+            "raw-fixture",
+            &dump,
+            "2",
+            "--dirty",
+            "6",
+            "--seed",
+            "0x7",
+        ]))
+        .unwrap();
+        assert!(report.contains("injected 6 garbage line(s)"), "{report}");
+
+        // Strict ingest of the dirty dump is a bad-input failure (2)...
+        let out = temp("uplan_cli_dirty.uplanc");
+        let strict = run_inner(&strings(&["ingest", &out, "--raw", &dump])).unwrap_err();
+        assert_eq!(strict.code(), 2, "{strict}");
+
+        // ...lenient ingest skips exactly the injected lines, quarantines
+        // them replayably, and the gate proves valid-subset byte-identity.
+        let quarantine = temp("uplan_cli_dirty_q.jsonl");
+        let lenient = run_inner(&strings(&[
+            "ingest",
+            &out,
+            "--raw",
+            &dump,
+            "--lenient",
+            "--quarantine",
+            &quarantine,
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert!(
+            lenient.contains("raw-ingested 22 plan line(s)"),
+            "{lenient}"
+        );
+        assert!(
+            lenient.contains("lenient: 6 record(s) skipped"),
+            "{lenient}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&quarantine)
+                .unwrap()
+                .lines()
+                .count(),
+            6
+        );
+
+        let checked = run_inner(&strings(&["raw-check", &dump, "--lenient"])).unwrap();
+        assert!(
+            checked.contains("lenient ingest == strict ingest of the valid subset"),
+            "{checked}"
+        );
+        // A --max-errors bound below the garbage count aborts.
+        let bounded = run_inner(&strings(&[
+            "ingest",
+            &out,
+            "--raw",
+            &dump,
+            "--lenient",
+            "--max-errors",
+            "3",
+        ]))
+        .unwrap_err();
+        assert!(bounded.to_string().contains("max-errors 3"), "{bounded}");
+
+        for f in [dump, out, quarantine] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
     fn source_parse_errors_name_the_accepted_sources() {
-        let err = run_inner(&strings(&["ingest", "out", "oracle", "file"])).unwrap_err();
+        let err = run_inner(&strings(&["ingest", "out", "oracle", "file"]))
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("unknown source"), "{err}");
         assert!(err.contains("postgres-text"), "{err}");
         // Case-insensitive prefixes resolve when unambiguous...

@@ -12,15 +12,22 @@
 //!                         # quick run diffed against committed snapshots;
 //!                         # exits 1 on regression (UPLAN_BENCH_TOLERANCE
 //!                         # overrides the 1.5x noise tolerance)
-//! repro corpus <ingest|raw-fixture|raw-check|fixture-ingest|campaign|stats|cluster|diff|sources> ...
+//! repro corpus <ingest|raw-fixture|raw-check|fixture-ingest|campaign|stats|cluster|diff|
+//!               salvage|mutate|sources> ...
 //!                         # manage persistent, TED-indexed plan corpora:
 //!                         # parallel sharded ingest (--threads/--shards),
 //!                         # mixed-source raw-dump ingest (ingest --raw,
-//!                         # source-sniffed per JSONL line), persisted-BK-
-//!                         # index saves (--index), and the CI gates
-//!                         # (fixture-ingest, raw-fixture + raw-check); see
+//!                         # framed + source-sniffed per record, --lenient
+//!                         # skip-and-report with --quarantine), persisted-
+//!                         # BK-index saves (--index), corruption recovery
+//!                         # (salvage) and seeded fault injection (mutate),
+//!                         # and the CI gates (fixture-ingest, raw-fixture +
+//!                         # raw-check, mutate + salvage); see
 //!                         # crates/bench/src/corpus_cli.rs
 //! ```
+//!
+//! Exit codes: 0 success; 1 operational failure (I/O, regression found);
+//! 2 bad input (unknown command, unusable arguments or files).
 
 use uplan_bench as experiments;
 
@@ -54,8 +61,7 @@ fn main() {
         println!("{report}");
         std::process::exit(if failed { 1 } else { 0 });
     }
-    let run = |name: &str| {
-        println!("\n================ {name} ================");
+    let run = |name: &str| -> Option<String> {
         let output = match name {
             "table1" => experiments::table1(),
             "table2" => experiments::table2(),
@@ -73,8 +79,12 @@ fn main() {
             "q11" => experiments::q11(4),
             "effort" => experiments::effort(),
             "ablation" => experiments::ablation(250),
-            other => format!("unknown experiment {other:?}"),
+            _ => return None,
         };
+        Some(output)
+    };
+    let print = |name: &str, output: String| {
+        println!("\n================ {name} ================");
         println!("{output}");
     };
     if which == "all" {
@@ -82,9 +92,16 @@ fn main() {
             "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig1", "fig2",
             "fig3", "fig4", "listing1", "listing3", "q11", "effort", "ablation",
         ] {
-            run(name);
+            print(name, run(name).expect("every listed experiment exists"));
         }
     } else {
-        run(which);
+        // An unknown name is bad input, not a successful no-op run.
+        match run(which) {
+            Some(output) => print(which, output),
+            None => {
+                eprintln!("unknown experiment {which:?} (see `repro` module docs for the list)");
+                std::process::exit(2);
+            }
+        }
     }
 }

@@ -268,14 +268,31 @@ pub fn corpus(c: &mut Criterion) {
         })
     });
 
-    // Full corpus reconstruction from an *indexed* v2 document: decode +
+    // Full corpus reconstruction from an *indexed* document: decode +
     // fingerprint routing + adopting the persisted BK topology — zero TED
     // evaluations (gated by `indexed_load_is_ted_free_at_fixture_scale`,
-    // a tier-1 test on counted evals, not by this timing).
-    let indexed_binary = indexed.to_binary_indexed().expect("corpus encode");
+    // a tier-1 test on counted evals, not by this timing). Measured on the
+    // unchecked (v2) layout so the series stays comparable with baselines
+    // recorded before the checksummed codec landed.
+    let indexed_binary = indexed
+        .to_binary_indexed_unchecked()
+        .expect("corpus encode");
     group.bench_function("load_binary_indexed_10k", |b| {
         b.iter(|| {
             let corpus = PlanCorpus::from_binary(&indexed_binary).expect("indexed corpus");
+            assert_eq!(corpus.index_evals(), 0);
+            corpus.len()
+        })
+    });
+
+    // The same load over the checked (v3) layout: identical plan bytes
+    // plus per-section CRC32 verification. The delta between this and
+    // `load_binary_indexed_10k` is the price of corruption detection on
+    // every fleet load — the hardening contract budgets it at <5%.
+    let checked_binary = indexed.to_binary_indexed().expect("corpus encode");
+    group.bench_function("load_binary_checked_10k", |b| {
+        b.iter(|| {
+            let corpus = PlanCorpus::from_binary(&checked_binary).expect("checked corpus");
             assert_eq!(corpus.index_evals(), 0);
             corpus.len()
         })

@@ -37,7 +37,10 @@ pub mod sqlite;
 pub mod sqlserver;
 pub mod tidb;
 
-pub use raw::{ingest_raw, ingest_raw_sequential, RawIngestReport};
+pub use raw::{
+    ingest_raw, ingest_raw_sequential, ingest_raw_sequential_with, ingest_raw_with, sniff_framing,
+    RawErrorKind, RawFraming, RawIngestError, RawIngestOptions, RawIngestReport,
+};
 pub use spine::{NodeBuilder, SourceConverter};
 
 /// The shared study registry (built once).

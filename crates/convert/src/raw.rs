@@ -1,28 +1,52 @@
-//! Raw-dump corpus ingest: a mixed-source JSONL dump, straight into a
+//! Raw-dump corpus ingest: a mixed-source fleet dump, straight into a
 //! sharded corpus.
 //!
-//! Fleet tooling collects explain output from many DBMSs into one log: one
-//! plan dump per line, with no declaration of which dialect produced it. A
-//! line is a single JSON value —
+//! Fleet tooling collects explain output from many DBMSs into one log with
+//! no declaration of which dialect produced each record. Three framings
+//! are accepted, sniffed from the dump's first non-blank line
+//! ([`sniff_framing`]):
 //!
-//! * a JSON **string** holding a text/table/XML dump verbatim (PostgreSQL
-//!   text, TiDB/MySQL/Neo4j tables, SQLite EQP, SparkSQL text, InfluxDB
-//!   lists, SQL Server showplans), or
-//! * a JSON **document** that *is* the plan (PostgreSQL `FORMAT JSON`,
-//!   MySQL `FORMAT=JSON`, MongoDB `explain()`).
+//! * **JSON lines** (the default): one record per line, each a single
+//!   JSON value — a JSON **string** holding a text/table/XML dump
+//!   verbatim (PostgreSQL text, TiDB/MySQL/Neo4j tables, SQLite EQP,
+//!   SparkSQL text, InfluxDB lists, SQL Server showplans), or a JSON
+//!   **document** that *is* the plan (PostgreSQL `FORMAT JSON`, MySQL
+//!   `FORMAT=JSON`, MongoDB `explain()`).
+//! * **Separator-framed** (dump starts with a `---` line): records are
+//!   the raw multi-line blocks between `---` (or blank) separator lines —
+//!   the shape of `kubectl logs`-style collectors that concatenate whole
+//!   explain outputs.
+//! * **Length-prefixed** (dump starts with a `#<bytes>` line): each
+//!   record is a `#<n>` header line followed by exactly `n` bytes of raw
+//!   dump — the framing collectors use when records may themselves
+//!   contain separator-looking lines.
 //!
-//! [`ingest_raw`] streams such a dump into a [`PlanCorpus`]: each line is
-//! source-sniffed through the converter registry ([`crate::detect`]),
+//! [`ingest_raw`] streams such a dump into a [`PlanCorpus`]: each record
+//! is source-sniffed through the converter registry ([`crate::detect`]),
 //! converted in parallel batches (one reused [`NodeBuilder`] per worker),
 //! and handed to [`PlanCorpus::ingest_parallel`] batch by batch — no
 //! intermediate [`UnifiedPlan`] buffering beyond the per-batch slice the
 //! sharded ingest consumes. Because shard routing and id assignment are
 //! deterministic, the resulting corpus is **byte-identical** to converting
-//! every line sequentially with its own source converter and observing the
-//! plans one by one ([`ingest_raw_sequential`], the reference path the CI
-//! gate diffs against).
+//! every record sequentially with its own source converter and observing
+//! the plans one by one ([`ingest_raw_sequential`], the reference path the
+//! CI gate diffs against).
+//!
+//! ## Dirty dumps: lenient mode
+//!
+//! Real fleet dumps are dirty — truncated records, interleaved garbage,
+//! unknown dialects. The default is strict (first bad record aborts, as a
+//! curated corpus build should), but [`RawIngestOptions`] turns the same
+//! pipeline lenient: failures are *collected per record* into the
+//! report's error census ([`RawIngestError`]: line number, detected
+//! source, error kind) while every convertible record still ingests —
+//! and the corpus stays byte-identical to sequentially ingesting only
+//! the valid records. Failed records can be written to a quarantine
+//! JSONL file for later replay, and `max_errors` bounds how much garbage
+//! a run tolerates before giving up.
 
 use std::borrow::Cow;
+use std::path::PathBuf;
 
 use uplan_core::formats::json::{self, JsonValue};
 use uplan_core::{Error, Result, UnifiedPlan};
@@ -31,20 +55,103 @@ use uplan_corpus::PlanCorpus;
 use crate::spine::NodeBuilder;
 use crate::{detect, Source};
 
-/// Lines per conversion/ingest batch — the only window of converted plans
-/// alive at once.
+/// Records per conversion/ingest batch — the only window of converted
+/// plans alive at once.
 pub const RAW_BATCH: usize = 512;
 
-/// What a raw ingest did: line totals and the per-source census.
+/// How a raw ingest treats records that fail to frame, classify or
+/// convert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawIngestOptions {
+    /// Abort on the first bad record (the default). When `false`, bad
+    /// records are skipped and collected into
+    /// [`RawIngestReport::errors`].
+    pub strict: bool,
+    /// In lenient mode, give up once *more than* this many records have
+    /// failed (0 = unlimited). A dump that is mostly garbage is usually a
+    /// mis-pointed path, not a dirty fleet.
+    pub max_errors: usize,
+    /// In lenient mode, write every failed record to this file as
+    /// replayable JSON lines (single-line records verbatim, multi-line
+    /// records JSON-string-encoded). Overwritten on each run.
+    pub quarantine: Option<PathBuf>,
+}
+
+impl Default for RawIngestOptions {
+    fn default() -> RawIngestOptions {
+        RawIngestOptions {
+            strict: true,
+            max_errors: 0,
+            quarantine: None,
+        }
+    }
+}
+
+impl RawIngestOptions {
+    /// Skip-and-report mode: collect failures, ingest everything else.
+    pub fn lenient() -> RawIngestOptions {
+        RawIngestOptions {
+            strict: false,
+            ..RawIngestOptions::default()
+        }
+    }
+}
+
+/// Which stage of the ingest pipeline rejected a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawErrorKind {
+    /// The record could not be cut out of the dump (bad or overrunning
+    /// length-prefix header).
+    Frame,
+    /// The record was framed but no source dialect claimed it (or its
+    /// JSON wrapper was unparseable).
+    Classify,
+    /// A source claimed the record but its converter rejected it.
+    Convert,
+}
+
+impl RawErrorKind {
+    /// Short lowercase name (census and CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            RawErrorKind::Frame => "frame",
+            RawErrorKind::Classify => "classify",
+            RawErrorKind::Convert => "convert",
+        }
+    }
+}
+
+/// One record the ingest had to skip (lenient mode), with everything a
+/// census needs: where, what stage, which source (when one was detected)
+/// and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawIngestError {
+    /// 1-based line number of the record's first line in the dump.
+    pub line: usize,
+    /// The detected source, when classification got that far.
+    pub source: Option<Source>,
+    /// Pipeline stage that rejected the record.
+    pub kind: RawErrorKind,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+/// What a raw ingest did: record totals, the per-source census, and (in
+/// lenient mode) the per-record error census.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RawIngestReport {
-    /// Non-empty dump lines converted.
+    /// Records successfully converted and ingested.
     pub lines: usize,
     /// Plans whose fingerprint was new to the corpus.
     pub novel: usize,
-    /// Lines per detected source, in [`Source::ALL`] order (zero counts
-    /// omitted).
+    /// Converted records per detected source, in [`Source::ALL`] order
+    /// (zero counts omitted).
     pub per_source: Vec<(Source, usize)>,
+    /// The framing the dump was read under.
+    pub framing: RawFraming,
+    /// Records skipped (lenient mode only — strict runs abort instead),
+    /// in dump order.
+    pub errors: Vec<RawIngestError>,
 }
 
 impl RawIngestReport {
@@ -60,27 +167,271 @@ impl RawIngestReport {
             .collect::<Vec<_>>()
             .join(", ")
     }
+
+    /// `line 7 (classify), line 12 (tidb-table convert), …` — the exact
+    /// per-record error census of a lenient run.
+    pub fn error_census(&self) -> String {
+        if self.errors.is_empty() {
+            return "no errors".to_owned();
+        }
+        self.errors
+            .iter()
+            .map(|e| match e.source {
+                Some(source) => format!("line {} ({} {})", e.line, source.name(), e.kind.name()),
+                None => format!("line {} ({})", e.line, e.kind.name()),
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
 }
 
-/// One classified dump line: its 1-based line number, detected source, and
-/// the dump text (decoded from the JSON string wrapper where applicable).
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// The record framings a raw dump may arrive in (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RawFraming {
+    /// One JSON value per line — the default.
+    #[default]
+    JsonLines,
+    /// Raw multi-line records between `---`/blank separator lines.
+    Separator,
+    /// `#<bytes>` header lines, each followed by that many bytes of raw
+    /// record.
+    LengthPrefixed,
+}
+
+impl RawFraming {
+    /// Short name (CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            RawFraming::JsonLines => "jsonl",
+            RawFraming::Separator => "separator",
+            RawFraming::LengthPrefixed => "length-prefixed",
+        }
+    }
+}
+
+/// Sniffs the dump's framing from its first non-blank line: `---` selects
+/// separator framing, `#<digits>` selects length-prefixed framing,
+/// anything else is JSON lines.
+pub fn sniff_framing(dump: &str) -> RawFraming {
+    for line in dump.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "---" {
+            return RawFraming::Separator;
+        }
+        if line
+            .strip_prefix('#')
+            .is_some_and(|digits| !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()))
+        {
+            return RawFraming::LengthPrefixed;
+        }
+        return RawFraming::JsonLines;
+    }
+    RawFraming::JsonLines
+}
+
+/// A record the framer could not cut out of the dump.
+struct FrameError<'a> {
+    line: usize,
+    message: String,
+    /// The offending header/line, for quarantine.
+    raw: &'a str,
+}
+
+type RecordResult<'a> = std::result::Result<(usize, &'a str), FrameError<'a>>;
+
+/// Streaming record iterator over a framed dump: yields `(first line
+/// number, record text)` without materializing the record list.
+enum Records<'a> {
+    Lines {
+        lines: std::str::Lines<'a>,
+        number: usize,
+    },
+    Separator {
+        dump: &'a str,
+        pos: usize,
+        line: usize,
+    },
+    LengthPrefixed {
+        dump: &'a str,
+        pos: usize,
+        line: usize,
+    },
+}
+
+fn frame_records(dump: &str, framing: RawFraming) -> Records<'_> {
+    match framing {
+        RawFraming::JsonLines => Records::Lines {
+            lines: dump.lines(),
+            number: 0,
+        },
+        RawFraming::Separator => Records::Separator {
+            dump,
+            pos: 0,
+            line: 0,
+        },
+        RawFraming::LengthPrefixed => Records::LengthPrefixed {
+            dump,
+            pos: 0,
+            line: 0,
+        },
+    }
+}
+
+/// Consumes one line (without its newline) starting at `*pos`, advancing
+/// past the newline. `None` at end of input.
+fn take_line<'a>(dump: &'a str, pos: &mut usize) -> Option<(&'a str, usize, usize)> {
+    if *pos >= dump.len() {
+        return None;
+    }
+    let start = *pos;
+    let end = dump[start..].find('\n').map_or(dump.len(), |i| start + i);
+    *pos = (end + 1).min(dump.len());
+    Some((&dump[start..end], start, end))
+}
+
+impl<'a> Iterator for Records<'a> {
+    type Item = RecordResult<'a>;
+
+    fn next(&mut self) -> Option<RecordResult<'a>> {
+        match self {
+            Records::Lines { lines, number } => {
+                for line in lines.by_ref() {
+                    *number += 1;
+                    let trimmed = line.trim();
+                    if !trimmed.is_empty() {
+                        return Some(Ok((*number, trimmed)));
+                    }
+                }
+                None
+            }
+            Records::Separator { dump, pos, line } => {
+                let mut record: Option<(usize, usize)> = None; // (byte start, line no)
+                let mut record_end = 0usize;
+                loop {
+                    match take_line(dump, pos) {
+                        None => {
+                            return record.map(|(start, ln)| Ok((ln, &dump[start..record_end])));
+                        }
+                        Some((text, start, end)) => {
+                            *line += 1;
+                            let trimmed = text.trim();
+                            if trimmed.is_empty() || trimmed == "---" {
+                                if let Some((start, ln)) = record {
+                                    return Some(Ok((ln, &dump[start..record_end])));
+                                }
+                            } else {
+                                if record.is_none() {
+                                    record = Some((start, *line));
+                                }
+                                record_end = end;
+                            }
+                        }
+                    }
+                }
+            }
+            Records::LengthPrefixed { dump, pos, line } => {
+                loop {
+                    let (text, _, _) = take_line(dump, pos)?;
+                    *line += 1;
+                    let header = text.trim();
+                    if header.is_empty() {
+                        continue;
+                    }
+                    let len = header.strip_prefix('#').and_then(|digits| {
+                        (!digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()))
+                            .then(|| digits.parse::<usize>().ok())
+                            .flatten()
+                    });
+                    let Some(len) = len else {
+                        return Some(Err(FrameError {
+                            line: *line,
+                            message: format!(
+                                "line {}: expected a '#<bytes>' record header, found {header:?}",
+                                *line
+                            ),
+                            raw: text,
+                        }));
+                    };
+                    let start = *pos;
+                    let end = match start.checked_add(len) {
+                        Some(end) if end <= dump.len() && dump.is_char_boundary(end) => end,
+                        _ => {
+                            // The record's end cannot be located: the rest
+                            // of the dump is unframeable.
+                            let message = format!(
+                                "line {}: record length {len} overruns the dump \
+                                 (or splits a UTF-8 character)",
+                                *line
+                            );
+                            let err = FrameError {
+                                line: *line,
+                                message,
+                                raw: text,
+                            };
+                            *pos = dump.len();
+                            return Some(Err(err));
+                        }
+                    };
+                    let record_line = *line + 1;
+                    let payload = &dump[start..end];
+                    *line += payload.matches('\n').count();
+                    *pos = end;
+                    // One separator newline after the payload is part of
+                    // the framing, not the next record.
+                    if dump[end..].starts_with('\n') {
+                        *pos = end + 1;
+                        if !payload.ends_with('\n') {
+                            *line += 1;
+                        }
+                    }
+                    return Some(Ok((record_line, payload)));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classification and conversion
+// ---------------------------------------------------------------------------
+
+/// One classified record: its 1-based first line number, detected source,
+/// the dump text (decoded from the JSON string wrapper where applicable)
+/// and the raw record (for quarantine).
 struct RawLine<'a> {
     number: usize,
     source: Source,
     text: Cow<'a, str>,
+    raw: &'a str,
 }
 
-/// Classifies one dump line (see the module docs for the line format).
-fn classify(number: usize, line: &str) -> Result<RawLine<'_>> {
-    let text: Cow<'_, str> = if line.starts_with('"') {
-        match json::parse(line)
+/// Classifies one record (see the module docs for the record formats).
+fn classify<'a>(number: usize, raw: &'a str) -> Result<RawLine<'a>> {
+    let record = raw.trim();
+    let text: Cow<'a, str> = if record.starts_with('"') {
+        match json::parse(record)
             .map_err(|e| Error::Semantic(format!("line {number}: not a JSON value: {e}")))?
         {
             JsonValue::Str(s) => s,
-            _ => unreachable!("a line starting with '\"' parses to a string"),
+            other => {
+                // Defensively unreachable (a JSON value starting with '"'
+                // is a string) — but the dirty-input layer must degrade to
+                // an error, never abort the process.
+                return Err(Error::Semantic(format!(
+                    "line {number}: a '\"'-prefixed record must decode to a JSON string, \
+                     not {other:?}"
+                )));
+            }
         }
     } else {
-        Cow::Borrowed(line)
+        Cow::Borrowed(record)
     };
     let source = detect(&text).ok_or_else(|| {
         Error::Semantic(format!(
@@ -92,12 +443,14 @@ fn classify(number: usize, line: &str) -> Result<RawLine<'_>> {
         number,
         source,
         text,
+        raw,
     })
 }
 
 /// Converts one batch across `threads` scoped workers (each with its own
-/// reused builder), preserving line order.
-fn convert_batch(batch: &[RawLine<'_>], threads: usize) -> Result<Vec<UnifiedPlan>> {
+/// reused builder), preserving record order. Per-record results: a failed
+/// record costs itself, not the batch.
+fn convert_batch(batch: &[RawLine<'_>], threads: usize) -> Vec<Result<UnifiedPlan>> {
     let threads = threads.clamp(1, batch.len().max(1));
     let mut converted: Vec<Result<UnifiedPlan>> = Vec::with_capacity(batch.len());
     if threads == 1 {
@@ -144,68 +497,267 @@ fn convert_batch(batch: &[RawLine<'_>], threads: usize) -> Result<Vec<UnifiedPla
         .collect()
 }
 
-/// Streams a mixed-source JSONL dump into `corpus` (see the module docs).
-/// `threads` fans out both the per-batch conversion and the sharded
-/// ingest; any thread count produces a byte-identical corpus.
-pub fn ingest_raw(dump: &str, corpus: &mut PlanCorpus, threads: usize) -> Result<RawIngestReport> {
+// ---------------------------------------------------------------------------
+// Error collection (lenient mode)
+// ---------------------------------------------------------------------------
+
+/// Encodes a failed record as one replayable JSONL line.
+fn quarantine_line(raw: &str) -> String {
+    let trimmed = raw.trim();
+    if !trimmed.is_empty() && !trimmed.contains('\n') && !trimmed.starts_with('"') {
+        trimmed.to_owned()
+    } else {
+        JsonValue::from(raw).to_compact()
+    }
+}
+
+/// Collects per-record failures under the run's [`RawIngestOptions`]:
+/// strict runs re-raise the first error, lenient runs accumulate (and
+/// quarantine) until `max_errors` is exceeded.
+struct ErrorSink<'o> {
+    options: &'o RawIngestOptions,
+    errors: Vec<RawIngestError>,
+    quarantined: Vec<String>,
+}
+
+impl<'o> ErrorSink<'o> {
+    fn new(options: &'o RawIngestOptions) -> ErrorSink<'o> {
+        ErrorSink {
+            options,
+            errors: Vec::new(),
+            quarantined: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, err: Error, meta: RawIngestError, raw: &str) -> Result<()> {
+        if self.options.strict {
+            return Err(err);
+        }
+        if self.options.quarantine.is_some() {
+            self.quarantined.push(quarantine_line(raw));
+        }
+        self.errors.push(meta);
+        if self.options.max_errors > 0 && self.errors.len() > self.options.max_errors {
+            return Err(Error::Semantic(format!(
+                "giving up after {} bad records (max-errors {}); first: {}",
+                self.errors.len(),
+                self.options.max_errors,
+                self.errors[0].message
+            )));
+        }
+        Ok(())
+    }
+
+    /// Moves the census into the report and writes the quarantine file
+    /// (when configured — always, so an error-free run leaves an empty
+    /// file rather than a stale one).
+    fn finish(mut self, report: &mut RawIngestReport) -> Result<()> {
+        // Batched conversion discovers convert failures after the classify
+        // failures of the same batch; re-establish dump order (line numbers
+        // are unique per record).
+        self.errors.sort_by_key(|e| e.line);
+        report.errors = self.errors;
+        if let Some(path) = &self.options.quarantine {
+            let mut contents = self.quarantined.join("\n");
+            if !contents.is_empty() {
+                contents.push('\n');
+            }
+            std::fs::write(path, contents).map_err(|e| {
+                Error::Semantic(format!(
+                    "cannot write quarantine file {}: {e}",
+                    path.display()
+                ))
+            })?;
+        }
+        Ok(())
+    }
+}
+
+fn classify_error(err: &Error) -> String {
+    match err {
+        Error::Semantic(message) => message.clone(),
+        other => other.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ingest
+// ---------------------------------------------------------------------------
+
+/// Streams a mixed-source dump into `corpus` under explicit
+/// [`RawIngestOptions`] (see the module docs). `threads` fans out both
+/// the per-batch conversion and the sharded ingest; any thread count
+/// produces a byte-identical corpus — and in lenient mode, a corpus
+/// byte-identical to sequentially ingesting only the valid records.
+pub fn ingest_raw_with(
+    dump: &str,
+    corpus: &mut PlanCorpus,
+    threads: usize,
+    options: &RawIngestOptions,
+) -> Result<RawIngestReport> {
+    let framing = sniff_framing(dump);
     let mut counts = [0usize; Source::ALL.len()];
-    let mut report = RawIngestReport::default();
+    let mut report = RawIngestReport {
+        framing,
+        ..RawIngestReport::default()
+    };
+    let mut sink = ErrorSink::new(options);
     let mut batch: Vec<RawLine<'_>> = Vec::with_capacity(RAW_BATCH);
 
-    let flush = |batch: &mut Vec<RawLine<'_>>,
-                 report: &mut RawIngestReport,
-                 corpus: &mut PlanCorpus|
-     -> Result<()> {
+    fn flush(
+        batch: &mut Vec<RawLine<'_>>,
+        threads: usize,
+        counts: &mut [usize],
+        report: &mut RawIngestReport,
+        sink: &mut ErrorSink<'_>,
+        corpus: &mut PlanCorpus,
+    ) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
-        let plans = convert_batch(batch, threads)?;
+        let results = convert_batch(batch, threads);
+        let mut plans = Vec::with_capacity(batch.len());
+        for (line, result) in batch.iter().zip(results) {
+            match result {
+                Ok(plan) => {
+                    plans.push(plan);
+                    counts[source_index(line.source)] += 1;
+                    report.lines += 1;
+                }
+                Err(err) => {
+                    let message = classify_error(&err);
+                    sink.record(
+                        err,
+                        RawIngestError {
+                            line: line.number,
+                            source: Some(line.source),
+                            kind: RawErrorKind::Convert,
+                            message,
+                        },
+                        line.raw,
+                    )?;
+                }
+            }
+        }
         report.novel += corpus.ingest_parallel(&plans, threads);
         batch.clear();
         Ok(())
-    };
+    }
 
-    for (i, line) in dump.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let classified = classify(i + 1, line)?;
-        counts[source_index(classified.source)] += 1;
-        report.lines += 1;
-        batch.push(classified);
-        if batch.len() == RAW_BATCH {
-            flush(&mut batch, &mut report, corpus)?;
+    for record in frame_records(dump, framing) {
+        match record {
+            Ok((number, raw)) => match classify(number, raw) {
+                Ok(classified) => {
+                    batch.push(classified);
+                    if batch.len() == RAW_BATCH {
+                        flush(
+                            &mut batch,
+                            threads,
+                            &mut counts,
+                            &mut report,
+                            &mut sink,
+                            corpus,
+                        )?;
+                    }
+                }
+                Err(err) => {
+                    let message = classify_error(&err);
+                    sink.record(
+                        err,
+                        RawIngestError {
+                            line: number,
+                            source: None,
+                            kind: RawErrorKind::Classify,
+                            message,
+                        },
+                        raw,
+                    )?;
+                }
+            },
+            Err(frame) => {
+                let meta = RawIngestError {
+                    line: frame.line,
+                    source: None,
+                    kind: RawErrorKind::Frame,
+                    message: frame.message.clone(),
+                };
+                sink.record(Error::Semantic(frame.message), meta, frame.raw)?;
+            }
         }
     }
-    flush(&mut batch, &mut report, corpus)?;
+    flush(
+        &mut batch,
+        threads,
+        &mut counts,
+        &mut report,
+        &mut sink,
+        corpus,
+    )?;
 
     report.per_source = Source::ALL
         .into_iter()
         .zip(counts)
         .filter(|&(_, n)| n > 0)
         .collect();
+    sink.finish(&mut report)?;
     Ok(report)
 }
 
+/// [`ingest_raw_with`] under the default (strict) options.
+pub fn ingest_raw(dump: &str, corpus: &mut PlanCorpus, threads: usize) -> Result<RawIngestReport> {
+    ingest_raw_with(dump, corpus, threads, &RawIngestOptions::default())
+}
+
 /// The sequential per-source reference path: classify, convert and observe
-/// each line in order — no batching, no worker threads. [`ingest_raw`] is
-/// contractually byte-identical to this (the CI raw-ingest gate compares
-/// the two corpora with `cmp`).
-pub fn ingest_raw_sequential(dump: &str, corpus: &mut PlanCorpus) -> Result<RawIngestReport> {
+/// each record in order — no batching, no worker threads. [`ingest_raw_with`]
+/// is contractually byte-identical to this under the same options (the CI
+/// raw-ingest gate compares the two corpora with `cmp`).
+pub fn ingest_raw_sequential_with(
+    dump: &str,
+    corpus: &mut PlanCorpus,
+    options: &RawIngestOptions,
+) -> Result<RawIngestReport> {
+    let framing = sniff_framing(dump);
     let mut counts = [0usize; Source::ALL.len()];
-    let mut report = RawIngestReport::default();
+    let mut report = RawIngestReport {
+        framing,
+        ..RawIngestReport::default()
+    };
+    let mut sink = ErrorSink::new(options);
     let mut builder = NodeBuilder::new(uplan_core::registry::Dbms::PostgreSql);
-    for (i, line) in dump.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let classified = classify(i + 1, line)?;
-        counts[source_index(classified.source)] += 1;
-        report.lines += 1;
+    for record in frame_records(dump, framing) {
+        let (number, raw) = match record {
+            Ok(record) => record,
+            Err(frame) => {
+                let meta = RawIngestError {
+                    line: frame.line,
+                    source: None,
+                    kind: RawErrorKind::Frame,
+                    message: frame.message.clone(),
+                };
+                sink.record(Error::Semantic(frame.message), meta, frame.raw)?;
+                continue;
+            }
+        };
+        let classified = match classify(number, raw) {
+            Ok(classified) => classified,
+            Err(err) => {
+                let message = classify_error(&err);
+                sink.record(
+                    err,
+                    RawIngestError {
+                        line: number,
+                        source: None,
+                        kind: RawErrorKind::Classify,
+                        message,
+                    },
+                    raw,
+                )?;
+                continue;
+            }
+        };
         builder.retarget(classified.source.dbms());
-        let plan = classified
+        let converted = classified
             .source
             .converter()
             .convert(&classified.text, &mut builder)
@@ -215,9 +767,28 @@ pub fn ingest_raw_sequential(dump: &str, corpus: &mut PlanCorpus) -> Result<RawI
                     classified.number,
                     classified.source.name()
                 ))
-            })?;
-        if corpus.observe(&plan) {
-            report.novel += 1;
+            });
+        match converted {
+            Ok(plan) => {
+                counts[source_index(classified.source)] += 1;
+                report.lines += 1;
+                if corpus.observe(&plan) {
+                    report.novel += 1;
+                }
+            }
+            Err(err) => {
+                let message = classify_error(&err);
+                sink.record(
+                    err,
+                    RawIngestError {
+                        line: classified.number,
+                        source: Some(classified.source),
+                        kind: RawErrorKind::Convert,
+                        message,
+                    },
+                    classified.raw,
+                )?;
+            }
         }
     }
     report.per_source = Source::ALL
@@ -225,7 +796,13 @@ pub fn ingest_raw_sequential(dump: &str, corpus: &mut PlanCorpus) -> Result<RawI
         .zip(counts)
         .filter(|&(_, n)| n > 0)
         .collect();
+    sink.finish(&mut report)?;
     Ok(report)
+}
+
+/// [`ingest_raw_sequential_with`] under the default (strict) options.
+pub fn ingest_raw_sequential(dump: &str, corpus: &mut PlanCorpus) -> Result<RawIngestReport> {
+    ingest_raw_sequential_with(dump, corpus, &RawIngestOptions::default())
 }
 
 fn source_index(source: Source) -> usize {
@@ -248,29 +825,36 @@ mod tests {
 +-----------------------+---------+-----------+---------------+---------------+
 ";
 
+    const INFLUX_DUMP: &str = "QUERY PLAN\n----------\nEXPRESSION: <nil>\nNUMBER OF SERIES: 4\n";
+    const PG_JSON: &str = r#"[{"Plan": {"Node Type": "Seq Scan", "Relation Name": "t0"}}]"#;
+
     fn string_line(text: &str) -> String {
         JsonValue::from(text).to_compact()
     }
 
-    #[test]
-    fn raw_and_sequential_agree_on_a_small_mixed_dump() {
-        let influx = "QUERY PLAN\n----------\nEXPRESSION: <nil>\nNUMBER OF SERIES: 4\n";
-        let pg_json = r#"[{"Plan": {"Node Type": "Seq Scan", "Relation Name": "t0"}}]"#;
-        let dump = format!(
+    fn mixed_dump() -> String {
+        format!(
             "{}\n{}\n{}\n{}\n",
             string_line(TIDB_DUMP),
-            pg_json,
-            string_line(influx),
+            PG_JSON,
+            string_line(INFLUX_DUMP),
             string_line(TIDB_DUMP),
-        );
+        )
+    }
+
+    #[test]
+    fn raw_and_sequential_agree_on_a_small_mixed_dump() {
+        let dump = mixed_dump();
         let mut parallel = PlanCorpus::new();
         let report = ingest_raw(&dump, &mut parallel, 4).unwrap();
         assert_eq!(report.lines, 4);
         assert_eq!(report.novel, 3, "duplicate TiDB line dedups");
+        assert_eq!(report.framing, RawFraming::JsonLines);
         assert_eq!(
             report.census(),
             "postgres-json 1, tidb-table 2, influxdb-text 1"
         );
+        assert_eq!(report.error_census(), "no errors");
 
         let mut sequential = PlanCorpus::new();
         let seq_report = ingest_raw_sequential(&dump, &mut sequential).unwrap();
@@ -306,5 +890,174 @@ mod tests {
         let report = ingest_raw("\n\n", &mut corpus, 2).unwrap();
         assert_eq!(report, RawIngestReport::default());
         assert!(corpus.is_empty());
+    }
+
+    #[test]
+    fn lenient_ingest_skips_bad_records_and_matches_the_valid_subset() {
+        // Interleave garbage at known lines: 2 (classify), 4 (convert),
+        // 6 (classify).
+        let dump = format!(
+            "{}\n\"complete nonsense\"\n{}\n{}\n{}\n{{\"zzz\": 1}}\n{}\n",
+            string_line(TIDB_DUMP),
+            PG_JSON,
+            string_line("| id | estRows |\n"),
+            string_line(INFLUX_DUMP),
+            string_line(TIDB_DUMP),
+        );
+        let options = RawIngestOptions::lenient();
+        let mut lenient = PlanCorpus::new();
+        let report = ingest_raw_with(&dump, &mut lenient, 4, &options).unwrap();
+        assert_eq!(report.lines, 4);
+        assert_eq!(report.errors.len(), 3);
+        assert_eq!(
+            report.error_census(),
+            "line 2 (classify), line 4 (tidb-table convert), line 6 (classify)"
+        );
+        assert_eq!(
+            report.census(),
+            "postgres-json 1, tidb-table 2, influxdb-text 1"
+        );
+
+        // The lenient sequential path agrees exactly.
+        let mut seq = PlanCorpus::new();
+        let seq_report = ingest_raw_sequential_with(&dump, &mut seq, &options).unwrap();
+        assert_eq!(report, seq_report);
+
+        // And the corpus is byte-identical to strict ingest of the valid
+        // subset alone.
+        let valid = mixed_dump();
+        let mut reference = PlanCorpus::new();
+        ingest_raw_sequential(&valid, &mut reference).unwrap();
+        assert_eq!(
+            lenient.to_binary_indexed().unwrap(),
+            reference.to_binary_indexed().unwrap()
+        );
+        assert_eq!(
+            seq.to_binary_indexed().unwrap(),
+            reference.to_binary_indexed().unwrap()
+        );
+    }
+
+    #[test]
+    fn max_errors_bounds_a_lenient_run() {
+        let dump = "\"a\"\n\"b\"\n\"c\"\n";
+        let options = RawIngestOptions {
+            max_errors: 2,
+            ..RawIngestOptions::lenient()
+        };
+        let mut corpus = PlanCorpus::new();
+        let err = ingest_raw_with(dump, &mut corpus, 1, &options).unwrap_err();
+        assert!(err.to_string().contains("max-errors 2"), "{err}");
+        // Unlimited: all three collect.
+        let mut corpus = PlanCorpus::new();
+        let report = ingest_raw_with(dump, &mut corpus, 1, &RawIngestOptions::lenient()).unwrap();
+        assert_eq!(report.errors.len(), 3);
+        assert_eq!(report.lines, 0);
+    }
+
+    #[test]
+    fn quarantined_records_replay_to_the_same_failures() {
+        let dump = format!(
+            "{}\n\"complete nonsense\"\n{{\"zzz\": 1}}\n{}\n",
+            string_line(TIDB_DUMP),
+            string_line("| id | estRows |\n"),
+        );
+        let path =
+            std::env::temp_dir().join(format!("uplan_raw_quarantine_{}.jsonl", std::process::id()));
+        let options = RawIngestOptions {
+            quarantine: Some(path.clone()),
+            ..RawIngestOptions::lenient()
+        };
+        let mut corpus = PlanCorpus::new();
+        let report = ingest_raw_with(&dump, &mut corpus, 2, &options).unwrap();
+        assert_eq!(report.errors.len(), 3);
+        assert_eq!(report.lines, 1);
+
+        // Replaying the quarantine file reproduces exactly those failures.
+        let replay = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(replay.lines().count(), 3);
+        let mut replay_corpus = PlanCorpus::new();
+        let replay_report =
+            ingest_raw_with(&replay, &mut replay_corpus, 2, &RawIngestOptions::lenient()).unwrap();
+        assert_eq!(replay_report.errors.len(), 3);
+        assert_eq!(replay_report.lines, 0);
+        assert!(replay_corpus.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn separator_framed_dumps_ingest_like_their_jsonl_encoding() {
+        let framed = format!("---\n{TIDB_DUMP}---\n{INFLUX_DUMP}\n---\n{TIDB_DUMP}");
+        assert_eq!(sniff_framing(&framed), RawFraming::Separator);
+        let mut from_framed = PlanCorpus::new();
+        let report = ingest_raw(&framed, &mut from_framed, 2).unwrap();
+        assert_eq!(report.framing, RawFraming::Separator);
+        assert_eq!(report.lines, 3);
+        assert_eq!(report.census(), "tidb-table 2, influxdb-text 1");
+
+        let jsonl = format!(
+            "{}\n{}\n{}\n",
+            string_line(TIDB_DUMP),
+            string_line(INFLUX_DUMP),
+            string_line(TIDB_DUMP),
+        );
+        let mut from_jsonl = PlanCorpus::new();
+        ingest_raw(&jsonl, &mut from_jsonl, 2).unwrap();
+        assert_eq!(
+            from_framed.to_binary_indexed().unwrap(),
+            from_jsonl.to_binary_indexed().unwrap()
+        );
+    }
+
+    #[test]
+    fn length_prefixed_dumps_ingest_like_their_jsonl_encoding() {
+        let framed = format!(
+            "#{}\n{}#{}\n{}\n#{}\n{}",
+            TIDB_DUMP.len(),
+            TIDB_DUMP,
+            INFLUX_DUMP.len(),
+            INFLUX_DUMP,
+            PG_JSON.len(),
+            PG_JSON,
+        );
+        assert_eq!(sniff_framing(&framed), RawFraming::LengthPrefixed);
+        let mut from_framed = PlanCorpus::new();
+        let report = ingest_raw(&framed, &mut from_framed, 2).unwrap();
+        assert_eq!(report.framing, RawFraming::LengthPrefixed);
+        assert_eq!(report.lines, 3);
+
+        let jsonl = format!(
+            "{}\n{}\n{}\n",
+            string_line(TIDB_DUMP),
+            string_line(INFLUX_DUMP),
+            PG_JSON,
+        );
+        let mut from_jsonl = PlanCorpus::new();
+        ingest_raw(&jsonl, &mut from_jsonl, 2).unwrap();
+        assert_eq!(
+            from_framed.to_binary_indexed().unwrap(),
+            from_jsonl.to_binary_indexed().unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_length_prefix_headers_are_frame_errors_not_aborts() {
+        // A good record, a bad header, then an overrunning length: in
+        // lenient mode the good record survives and both failures land in
+        // the census.
+        let framed = format!(
+            "#{}\n{}#nonsense\n#999999\ntruncated",
+            TIDB_DUMP.len(),
+            TIDB_DUMP,
+        );
+        let mut corpus = PlanCorpus::new();
+        let report =
+            ingest_raw_with(&framed, &mut corpus, 1, &RawIngestOptions::lenient()).unwrap();
+        assert_eq!(report.lines, 1);
+        assert_eq!(report.errors.len(), 2);
+        assert!(report.errors.iter().all(|e| e.kind == RawErrorKind::Frame));
+        // Strict mode aborts on the first frame error instead.
+        let mut corpus = PlanCorpus::new();
+        assert!(ingest_raw(&framed, &mut corpus, 1).is_err());
     }
 }

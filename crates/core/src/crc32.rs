@@ -1,0 +1,276 @@
+//! CRC32 (IEEE 802.3 polynomial) — the per-section checksum of UPLN v3.
+//!
+//! The binary codec protects each document section with a CRC32 so that a
+//! flipped byte in a multi-megabyte corpus file is *detected* at load time
+//! instead of silently corrupting plans (or, worse, the metric index,
+//! whose cached distances are trusted). The checksum has to be effectively
+//! free next to the decode it guards, so there are two paths:
+//!
+//! * the portable classic: slicing-by-8 (eight 256-entry tables built at
+//!   compile time by a `const fn`), a bit over a gigabyte per second;
+//! * on x86-64 with carry-less multiply (detected at runtime), the
+//!   standard `PCLMULQDQ` folding scheme — four 128-bit lanes folded
+//!   64 bytes at a time, an order of magnitude faster — with the final
+//!   16-byte remainder handed back to the table path instead of a Barrett
+//!   reduction (identical result, far less delicate).
+//!
+//! A ~7 MB 10k-plan corpus checksums in well under a millisecond on the
+//! folding path, keeping the measured overhead of the checked format
+//! under 5% (`corpus/load_binary_checked_10k` vs
+//! `corpus/load_binary_indexed_10k`).
+//!
+//! The variant is the ubiquitous reflected CRC-32/ISO-HDLC (polynomial
+//! `0xEDB88320`, initial value and final XOR `0xFFFFFFFF`) — the same
+//! function as zlib's `crc32()` — so documents can be cross-checked with
+//! standard tooling.
+
+/// Reversed IEEE 802.3 generator polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                POLY ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut slice = 1usize;
+    while slice < 8 {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = t[slice - 1][i];
+            t[slice][i] = (prev >> 8) ^ t[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        slice += 1;
+    }
+    t
+}
+
+static TABLES: [[u32; 256]; 8] = tables();
+
+/// CRC32 of `bytes` (CRC-32/ISO-HDLC: reflected, init/xorout `!0`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !update(!0, bytes)
+}
+
+/// Folds `bytes` into a running (pre-inverted) CRC state. Start from `!0`
+/// and invert the final state — or use [`crc32`] for the one-shot form.
+pub fn update(state: u32, bytes: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if bytes.len() >= 64 && std::arch::is_x86_feature_detected!("pclmulqdq") {
+        // SAFETY: the pclmulqdq (and baseline x86-64 sse2) features were
+        // just verified present on this CPU.
+        return unsafe { pclmul::update(state, bytes) };
+    }
+    update_sliced(state, bytes)
+}
+
+/// The portable slicing-by-8 fold (also the finisher of the folding path).
+fn update_sliced(mut state: u32, bytes: &[u8]) -> u32 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ state;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        state = TABLES[7][(lo & 0xff) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xff) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xff) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xff) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xff) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xff) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        state = (state >> 8) ^ TABLES[0][((state ^ u32::from(b)) & 0xff) as usize];
+    }
+    state
+}
+
+/// The x86-64 carry-less-multiply fast path: Intel's reflected CRC32
+/// folding scheme (the same constants the Linux kernel and zlib-ng use
+/// for this polynomial). Four 128-bit accumulators fold 64 input bytes
+/// per iteration; the lanes are then folded into one, any whole 16-byte
+/// blocks are folded in, and the 16-byte remainder — whose table-CRC
+/// equals the CRC of everything folded so far — is finished on the
+/// portable path together with the sub-16-byte tail.
+#[cfg(target_arch = "x86_64")]
+mod pclmul {
+    use std::arch::x86_64::{
+        __m128i, _mm_clmulepi64_si128, _mm_cvtsi32_si128, _mm_loadu_si128, _mm_set_epi64x,
+        _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    // The fold constants are `reflect(x^n mod P) << 1`. A loaded 16-byte
+    // chunk holds its *first* (higher-degree) 8 stream bytes in the low
+    // qword, so the low lane advances 64 bits further than the high lane.
+
+    /// `reflect(x^544 mod P) << 1` — fold-by-64-bytes, low lane.
+    const K1: i64 = 0x0001_5444_2bd4;
+    /// `reflect(x^480 mod P) << 1` — fold-by-64-bytes, high lane.
+    const K2: i64 = 0x0001_c6e4_1596;
+    /// `reflect(x^160 mod P) << 1` — fold-by-16-bytes, low lane.
+    const K3: i64 = 0x0001_7519_97d0;
+    /// `reflect(x^96 mod P) << 1` — fold-by-16-bytes, high lane.
+    const K4: i64 = 0x0000_ccaa_009e;
+
+    /// One fold step: `acc.lo ⊗ k.lo ⊕ acc.hi ⊗ k.hi` (both carry-less
+    /// 64×64→128 products, XORed as 128-bit values).
+    #[inline]
+    #[target_feature(enable = "pclmulqdq")]
+    unsafe fn fold(acc: __m128i, k: __m128i) -> __m128i {
+        _mm_xor_si128(
+            _mm_clmulepi64_si128(acc, k, 0x00),
+            _mm_clmulepi64_si128(acc, k, 0x11),
+        )
+    }
+
+    /// # Safety
+    /// Requires the `pclmulqdq` CPU feature and `bytes.len() >= 64`.
+    #[target_feature(enable = "pclmulqdq")]
+    pub unsafe fn update(state: u32, bytes: &[u8]) -> u32 {
+        debug_assert!(bytes.len() >= 64);
+        let fold64 = _mm_set_epi64x(K2, K1);
+        let fold16 = _mm_set_epi64x(K4, K3);
+        let load = |offset: usize| _mm_loadu_si128(bytes.as_ptr().add(offset).cast());
+
+        // Seed: the running register XORs into the first 4 stream bytes
+        // (the standard init-injection identity of reflected CRCs).
+        let mut x0 = _mm_xor_si128(load(0), _mm_cvtsi32_si128(state as i32));
+        let mut x1 = load(16);
+        let mut x2 = load(32);
+        let mut x3 = load(48);
+        let mut offset = 64;
+
+        while offset + 64 <= bytes.len() {
+            x0 = _mm_xor_si128(fold(x0, fold64), load(offset));
+            x1 = _mm_xor_si128(fold(x1, fold64), load(offset + 16));
+            x2 = _mm_xor_si128(fold(x2, fold64), load(offset + 32));
+            x3 = _mm_xor_si128(fold(x3, fold64), load(offset + 48));
+            offset += 64;
+        }
+
+        let mut x = _mm_xor_si128(fold(x0, fold16), x1);
+        x = _mm_xor_si128(fold(x, fold16), x2);
+        x = _mm_xor_si128(fold(x, fold16), x3);
+        while offset + 16 <= bytes.len() {
+            x = _mm_xor_si128(fold(x, fold16), load(offset));
+            offset += 16;
+        }
+
+        // The 16-byte remainder stands in for everything folded into it:
+        // its zero-seeded table CRC, continued over the unfolded tail, is
+        // the CRC of the whole stream.
+        let mut remainder = [0u8; 16];
+        _mm_storeu_si128(remainder.as_mut_ptr().cast(), x);
+        super::update_sliced(super::update_sliced(0, &remainder), &bytes[offset..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-at-a-time reference implementation.
+    fn reference(bytes: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &b in bytes {
+            crc ^= u32::from(b);
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    POLY ^ (crc >> 1)
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        !crc
+    }
+
+    #[test]
+    fn known_vectors() {
+        // The standard CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"UPLN"), reference(b"UPLN"));
+    }
+
+    #[test]
+    fn sliced_matches_reference_at_every_alignment() {
+        // Lengths straddling the 8-byte slicing boundary, offsets breaking
+        // alignment: the fast path and the bitwise reference must agree.
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(167) >> 3) as u8)
+            .collect();
+        for start in 0..9 {
+            for end in start..data.len().min(start + 40) {
+                assert_eq!(
+                    crc32(&data[start..end]),
+                    reference(&data[start..end]),
+                    "[{start}..{end}]"
+                );
+            }
+        }
+        assert_eq!(crc32(&data), reference(&data));
+    }
+
+    #[test]
+    fn folding_path_matches_the_table_path_at_every_size_and_alignment() {
+        // Buffers straddling every dispatch regime: below the 64-byte
+        // folding threshold, one 64-byte round, ragged 16-byte folds, and
+        // multi-round bulk — each at misaligned starts. The dispatching
+        // `crc32` must agree with the portable table path bit for bit
+        // (on CPUs without carry-less multiply this degenerates to
+        // self-consistency, which is fine).
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        for &len in &[0, 15, 63, 64, 65, 79, 80, 127, 128, 200, 1024, 4000] {
+            for start in 0..4 {
+                let slice = &data[start..start + len];
+                assert_eq!(
+                    crc32(slice),
+                    !update_sliced(!0, slice),
+                    "len {len}, start {start}"
+                );
+                // And with a nontrivial running state.
+                assert_eq!(
+                    update(0x1234_5678, slice),
+                    update_sliced(0x1234_5678, slice),
+                    "len {len}, start {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update_composes() {
+        let data = b"framed dirty fleet dump";
+        let (a, b) = data.split_at(7);
+        assert_eq!(!update(update(!0, a), b), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bitflips() {
+        let data = b"a corrupted corpus section";
+        let clean = crc32(data);
+        let mut copy = data.to_vec();
+        for i in 0..copy.len() {
+            for bit in 0..8 {
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), clean, "flip at byte {i} bit {bit}");
+                copy[i] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -19,6 +19,16 @@ pub enum Error {
     Parse { offset: usize, message: String },
     /// The input ended before a complete plan was read.
     UnexpectedEof(String),
+    /// A checksummed section of a binary document failed CRC verification:
+    /// the bytes are readable but provably not what the writer produced.
+    /// Distinct from [`Error::Parse`] so salvage tooling can tell
+    /// corruption (recoverable prefix exists) from format violations.
+    Checksum {
+        /// Which document section failed (e.g. `"header"`, `"plan block 3"`).
+        section: String,
+        /// Byte offset of the section's first covered byte.
+        offset: usize,
+    },
     /// A converter received input that is structurally valid but cannot be
     /// interpreted as a query plan of the claimed dialect.
     Semantic(String),
@@ -46,6 +56,9 @@ impl fmt::Display for Error {
                 write!(f, "parse error at byte {offset}: {message}")
             }
             Error::UnexpectedEof(what) => write!(f, "unexpected end of input while reading {what}"),
+            Error::Checksum { section, offset } => {
+                write!(f, "checksum mismatch in {section} at byte {offset}")
+            }
             Error::Semantic(msg) => write!(f, "semantic error: {msg}"),
         }
     }
@@ -78,6 +91,14 @@ mod tests {
         assert_eq!(
             Error::Semantic("no root".into()).to_string(),
             "semantic error: no root"
+        );
+        assert_eq!(
+            Error::Checksum {
+                section: "plan block 3".into(),
+                offset: 4096
+            }
+            .to_string(),
+            "checksum mismatch in plan block 3 at byte 4096"
         );
     }
 

@@ -95,6 +95,7 @@
 //! [`Symbol::as_str`] (single read-lock) or batch through
 //! [`symbol::SymbolTable`] on hot paths.
 
+pub mod crc32;
 pub mod display;
 pub mod error;
 pub mod fingerprint;

@@ -27,10 +27,14 @@
 //! * **Persistence** is the versioned binary codec of
 //!   [`uplan_core::formats::binary`] (one shared symbol table for the whole
 //!   corpus) with a JSON-lines fallback for interchange; [`ShardedCorpus::load`]
-//!   sniffs the magic bytes and accepts either. Version-2 documents can
+//!   sniffs the magic bytes and accepts either. Version ≥ 2 documents can
 //!   carry the BK-index topology ([`ShardedCorpus::save_indexed`]), in
 //!   which case loading reconstructs the metric index with **zero** TED
-//!   evaluations; v1 documents (and index-free v2 ones) rebuild it.
+//!   evaluations; v1 documents (and index-free ones) rebuild it. Saves
+//!   default to the checksummed v3 layout, so a corrupted or truncated
+//!   file fails *detectably* — and [`ShardedCorpus::load_salvage`]
+//!   recovers the longest verified prefix of plans instead of losing the
+//!   corpus, reporting exactly what was dropped ([`SalvageReport`]).
 //!
 //! The store is the substrate the testing loop observes plans through
 //! (`uplan-testing`'s QPG), the `repro corpus` CLI manages, and
@@ -45,7 +49,7 @@ use std::path::Path;
 
 use uplan_core::fingerprint::{fingerprint_with, Fingerprint, FingerprintOptions};
 use uplan_core::formats::binary::{
-    BinaryDecoder, BinaryEncoder, IndexSection, ShardTopology, BINARY_MAGIC, MAX_INDEX_SHARDS,
+    self, BinaryDecoder, BinaryEncoder, IndexSection, ShardTopology, BINARY_MAGIC, MAX_INDEX_SHARDS,
 };
 use uplan_core::formats::unified;
 use uplan_core::ted::tree_edit_distance;
@@ -106,6 +110,31 @@ pub struct Cluster {
     pub leader: usize,
     /// `(plan id, TED distance to leader)`, leader first at distance 0.
     pub members: Vec<(usize, u32)>,
+}
+
+/// What a lenient load ([`ShardedCorpus::load_salvage`]) recovered from a
+/// possibly damaged corpus file (`repro corpus salvage`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Plans the file declared: the binary header's plan count, or the
+    /// number of non-empty lines of a JSONL file.
+    pub declared: u64,
+    /// Plans successfully decoded from the file.
+    pub decoded: usize,
+    /// Distinct plans stored (`decoded` minus fingerprint duplicates).
+    pub recovered: usize,
+    /// Declared plans lost to corruption or truncation.
+    pub dropped: u64,
+    /// `true` when every recovered plan came from CRC-verified bytes
+    /// (binary v3); pre-checksum and JSONL recoveries are
+    /// decodable-not-verified.
+    pub verified: bool,
+    /// Why recovery stopped early (first error, with position) — `None`
+    /// for a file that was intact end to end.
+    pub error: Option<String>,
+    /// `true` when the metric index had to be rebuilt instead of adopted
+    /// (always the case once any plan was dropped).
+    pub index_rebuilt: bool,
 }
 
 /// Outcome of diffing two corpora (`repro corpus diff`).
@@ -763,28 +792,15 @@ impl ShardedCorpus {
     // Persistence
     // -----------------------------------------------------------------------
 
-    fn encoder(&self) -> Result<BinaryEncoder> {
-        let mut enc = BinaryEncoder::new();
+    fn encode_into(&self, mut enc: BinaryEncoder) -> Result<BinaryEncoder> {
         for (_, plan) in self.iter() {
             enc.push(plan)?;
         }
         Ok(enc)
     }
 
-    /// Serializes the distinct plans as one binary document (shared symbol
-    /// table, see [`uplan_core::formats::binary`]) *without* the index
-    /// section — loading rebuilds the BK-trees. Errors only when a stored
-    /// plan exceeds the codec's depth limit.
-    pub fn to_binary(&self) -> Result<Vec<u8>> {
-        Ok(self.encoder()?.finish())
-    }
-
-    /// Serializes the distinct plans *plus* the BK-index topology (UPLN v2
-    /// index section: per shard, one parent edge with its cached TED per
-    /// non-root node), so [`ShardedCorpus::from_binary`] reconstructs the
-    /// metric index with zero TED evaluations.
-    pub fn to_binary_indexed(&self) -> Result<Vec<u8>> {
-        let section = IndexSection {
+    fn index_section(&self) -> IndexSection {
+        IndexSection {
             fingerprint_flags: options_flags(self.options),
             shards: self
                 .shards
@@ -794,8 +810,38 @@ impl ShardedCorpus {
                     edges: s.index.edges(),
                 })
                 .collect(),
-        };
-        Ok(self.encoder()?.finish_with_index(&section))
+        }
+    }
+
+    /// Serializes the distinct plans as one binary document (shared symbol
+    /// table, see [`uplan_core::formats::binary`]) *without* the index
+    /// section — loading rebuilds the BK-trees. Errors only when a stored
+    /// plan exceeds the codec's depth limit.
+    pub fn to_binary(&self) -> Result<Vec<u8>> {
+        Ok(self.encode_into(BinaryEncoder::new())?.finish())
+    }
+
+    /// Serializes the distinct plans *plus* the BK-index topology (the
+    /// UPLN index section: per shard, one parent edge with its cached TED
+    /// per non-root node), so [`ShardedCorpus::from_binary`] reconstructs
+    /// the metric index with zero TED evaluations. Writes the current
+    /// (checksummed v3) document version.
+    pub fn to_binary_indexed(&self) -> Result<Vec<u8>> {
+        Ok(self
+            .encode_into(BinaryEncoder::new())?
+            .finish_with_index(&self.index_section()))
+    }
+
+    /// [`ShardedCorpus::to_binary_indexed`] in the pre-checksum (v2)
+    /// layout: byte-identical plan bodies, no CRC sections. Kept for
+    /// interop with older readers and for measuring the checksum overhead
+    /// over the same population (`corpus/load_binary_indexed_10k` vs
+    /// `corpus/load_binary_checked_10k`); new corpora should prefer the
+    /// checked default.
+    pub fn to_binary_indexed_unchecked(&self) -> Result<Vec<u8>> {
+        Ok(self
+            .encode_into(BinaryEncoder::unchecked())?
+            .finish_with_index(&self.index_section()))
     }
 
     /// Loads a corpus from a binary document, rebuilding dedup state and —
@@ -879,6 +925,122 @@ impl ShardedCorpus {
         }
         corpus.persisted_index = true;
         Ok(corpus)
+    }
+
+    /// Lenient binary load: recovers the longest decodable prefix of a
+    /// possibly corrupted or truncated document instead of failing
+    /// wholesale (see [`uplan_core::formats::binary::salvage`]). Never
+    /// errors — a hopeless file yields an empty corpus and a report
+    /// saying why. When any plan was dropped (or index adoption failed)
+    /// the metric index is rebuilt from the survivors.
+    pub fn from_binary_salvage(bytes: &[u8]) -> (ShardedCorpus, SalvageReport) {
+        Self::from_binary_salvage_with_options(bytes, FingerprintOptions::default())
+    }
+
+    /// [`ShardedCorpus::from_binary_salvage`] with explicit fingerprint
+    /// options.
+    pub fn from_binary_salvage_with_options(
+        bytes: &[u8],
+        options: FingerprintOptions,
+    ) -> (ShardedCorpus, SalvageReport) {
+        let outcome = binary::salvage(bytes);
+        let declared = outcome.declared;
+        let decoded = outcome.plans.len();
+        let mut error = outcome.error.as_ref().map(ToString::to_string);
+        if error.is_none() {
+            // Intact document: take the strict path (adopting a persisted
+            // index where possible). Falls through when the index section
+            // is structurally unusable — the plans still salvage.
+            match Self::from_binary_with_options(bytes, options) {
+                Ok(corpus) => {
+                    let report = SalvageReport {
+                        declared,
+                        decoded,
+                        recovered: corpus.len(),
+                        dropped: 0,
+                        verified: outcome.verified,
+                        error: None,
+                        index_rebuilt: !corpus.has_persisted_index(),
+                    };
+                    return (corpus, report);
+                }
+                Err(e) => error = Some(e.to_string()),
+            }
+        }
+        let mut corpus = ShardedCorpus::with_options(options);
+        for plan in outcome.plans {
+            corpus.insert(plan);
+        }
+        let report = SalvageReport {
+            declared,
+            decoded,
+            recovered: corpus.len(),
+            dropped: declared.saturating_sub(decoded as u64),
+            verified: outcome.verified,
+            error,
+            index_rebuilt: !corpus.is_empty(),
+        };
+        (corpus, report)
+    }
+
+    /// Lenient JSON-lines load: skips unparseable lines instead of
+    /// aborting, reporting how many were dropped and the first failure.
+    pub fn from_jsonl_salvage_with_options(
+        text: &str,
+        options: FingerprintOptions,
+    ) -> (ShardedCorpus, SalvageReport) {
+        let mut corpus = ShardedCorpus::with_options(options);
+        let mut declared = 0u64;
+        let mut decoded = 0usize;
+        let mut error = None;
+        for (number, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            declared += 1;
+            match unified::from_json(line) {
+                Ok(plan) => {
+                    decoded += 1;
+                    corpus.insert(plan);
+                }
+                Err(e) => {
+                    if error.is_none() {
+                        error = Some(format!("line {}: {e}", number + 1));
+                    }
+                }
+            }
+        }
+        let report = SalvageReport {
+            declared,
+            decoded,
+            recovered: corpus.len(),
+            dropped: declared - decoded as u64,
+            verified: false,
+            error,
+            index_rebuilt: !corpus.is_empty(),
+        };
+        (corpus, report)
+    }
+
+    /// Lenient counterpart of [`ShardedCorpus::load`]: sniffs the format
+    /// and recovers what it can from a damaged file. Errors only when the
+    /// file cannot be read at all (an *operational* failure, distinct from
+    /// corrupt contents, which always salvage — possibly to zero plans).
+    pub fn load_salvage(path: impl AsRef<Path>) -> Result<(ShardedCorpus, SalvageReport)> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| {
+            Error::Semantic(format!("cannot read {}: {e}", path.as_ref().display()))
+        })?;
+        if bytes.starts_with(&BINARY_MAGIC) {
+            return Ok(Self::from_binary_salvage(&bytes));
+        }
+        // Not a binary document: treat as JSONL, decoding lossily so a
+        // stretch of non-UTF-8 garbage costs its lines, not the file.
+        let text = String::from_utf8_lossy(&bytes);
+        Ok(Self::from_jsonl_salvage_with_options(
+            &text,
+            FingerprintOptions::default(),
+        ))
     }
 
     /// Serializes the distinct plans as JSON lines (one compact unified
@@ -986,9 +1148,20 @@ mod tests {
     /// scan — enough distinct fingerprints to hit many shards.
     fn wide_population(n: usize) -> Vec<UnifiedPlan> {
         let wrappers = ["Gather", "Collect", "Exchange", "Sort", "Hash", "Top_N"];
+        // Distinct base names, not `Scan_<i>`: fingerprints hash the
+        // suffix-stripped stable form, so numeric suffixes would collide.
+        let scans = [
+            "Seq_Scan",
+            "Index_Scan",
+            "Bitmap_Scan",
+            "Sample_Scan",
+            "Range_Scan",
+            "Cluster_Scan",
+            "Backward_Scan",
+        ];
         (0..n)
             .map(|i| {
-                let mut names = vec![format!("Scan_{}", i % 7)];
+                let mut names = vec![scans[i % 7].to_string()];
                 let mut bits = i / 7;
                 for w in wrappers {
                     if bits & 1 == 1 {
@@ -1353,6 +1526,119 @@ mod tests {
         assert_eq!(stats.duplicates, 6);
         assert_eq!(stats.operations, 1 + 2 + 2 + 3 + 3 + 4);
         assert_eq!(stats.max_depth, 4);
+    }
+
+    #[test]
+    fn salvage_load_recovers_the_verified_prefix() {
+        let mut corpus = PlanCorpus::new();
+        for plan in wide_population(300) {
+            corpus.insert(plan);
+        }
+        let bytes = corpus.to_binary_indexed().unwrap();
+
+        // Intact file: salvage is exactly a strict load.
+        let (intact, report) = PlanCorpus::from_binary_salvage(&bytes);
+        assert_eq!(intact.len(), 300);
+        assert_eq!(report.recovered, 300);
+        assert_eq!(report.dropped, 0);
+        assert!(report.error.is_none());
+        assert!(report.verified);
+        assert!(!report.index_rebuilt);
+        assert_eq!(intact.index_evals(), 0);
+
+        // Truncated at the first block boundary: the first 256 plans
+        // survive, fingerprints intact, index rebuilt.
+        let sections = binary::section_map(&bytes).unwrap();
+        let block1 = sections
+            .iter()
+            .find(|s| s.plans == 256)
+            .expect("a 300-plan document spans two blocks");
+        let (salvaged, report) = PlanCorpus::from_binary_salvage(&bytes[..block1.end]);
+        assert_eq!(report.declared, 300);
+        assert_eq!(report.recovered, 256);
+        assert_eq!(report.dropped, 44);
+        assert!(report.verified);
+        assert!(report.index_rebuilt);
+        assert!(report.error.is_some());
+        for id in 0..salvaged.len() {
+            assert_eq!(salvaged.fingerprint(id), corpus.fingerprint(id));
+            assert_eq!(salvaged.plan(id), corpus.plan(id));
+        }
+
+        // A flipped byte mid-plan-stream: strict load errors, salvage
+        // recovers the blocks before it.
+        let mut corrupt = bytes.clone();
+        let offset = sections[1].end + 40;
+        corrupt[offset] ^= 0x40;
+        assert!(PlanCorpus::from_binary(&corrupt).is_err());
+        let (salvaged, report) = PlanCorpus::from_binary_salvage(&corrupt);
+        assert_eq!(salvaged.len(), 256);
+        assert_eq!(report.dropped, 44);
+        assert!(report.error.as_deref().unwrap().contains("checksum"));
+    }
+
+    #[test]
+    fn jsonl_salvage_skips_bad_lines_and_reports_the_first() {
+        let mut corpus = PlanCorpus::new();
+        for plan in population() {
+            corpus.insert(plan);
+        }
+        let mut dirty = String::new();
+        for (i, line) in corpus.to_jsonl().lines().enumerate() {
+            dirty.push_str(line);
+            dirty.push('\n');
+            if i == 1 {
+                dirty.push_str("{\"operation\": \"truncated\n");
+            }
+            if i == 3 {
+                dirty.push_str("complete garbage\n");
+            }
+        }
+        let (salvaged, report) =
+            PlanCorpus::from_jsonl_salvage_with_options(&dirty, FingerprintOptions::default());
+        assert_eq!(salvaged.len(), corpus.len());
+        assert_eq!(report.declared, corpus.len() as u64 + 2);
+        assert_eq!(report.dropped, 2);
+        assert!(report.error.as_deref().unwrap().starts_with("line 3:"));
+        for (id, plan) in corpus.iter() {
+            assert_eq!(salvaged.plan(id), plan);
+        }
+    }
+
+    #[test]
+    fn unchecked_documents_still_round_trip_and_salvage_unverified() {
+        let mut corpus = PlanCorpus::new();
+        for plan in population() {
+            corpus.insert(plan);
+        }
+        let unchecked = corpus.to_binary_indexed_unchecked().unwrap();
+        let checked = corpus.to_binary_indexed().unwrap();
+        assert_ne!(unchecked, checked);
+        let loaded = PlanCorpus::from_binary(&unchecked).unwrap();
+        assert_eq!(loaded.len(), corpus.len());
+        assert!(loaded.has_persisted_index());
+        let (salvaged, report) = PlanCorpus::from_binary_salvage(&unchecked);
+        assert_eq!(salvaged.len(), corpus.len());
+        assert!(!report.verified, "v2 bytes are decodable, not verified");
+        assert!(report.error.is_none());
+    }
+
+    #[test]
+    fn load_salvage_errors_only_on_unreadable_paths() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let path = dir.join(format!("uplan_salvage_test_{pid}.uplanc"));
+        let mut corpus = PlanCorpus::new();
+        for plan in population() {
+            corpus.insert(plan);
+        }
+        let bytes = corpus.to_binary_indexed().unwrap();
+        // A partial write: half the document.
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let (_, report) = PlanCorpus::load_salvage(&path).unwrap();
+        assert!(report.error.is_some());
+        std::fs::remove_file(&path).ok();
+        assert!(PlanCorpus::load_salvage(dir.join("definitely_missing.uplanc")).is_err());
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Deterministic fault injection for the dirty-fleet hardening contract.
+//!
+//! Robustness claims are cheap; this module makes them testable. It
+//! produces *seeded, reproducible* corruptions of the two artifact kinds
+//! the toolchain ingests from the outside world — binary UPLN corpus
+//! documents and raw mixed-source dumps — so a tier-1 test (and the CI
+//! smoke job, at a pinned seed) can drive every mutation through the
+//! loaders and assert the hardening contract: **no panic; either a
+//! bounded, descriptive error or a salvage whose surviving plans
+//! fingerprint-match the originals.**
+//!
+//! Binary mutations are planned over the document's
+//! [`SectionBoundary`] map (header, each checksummed plan block, document
+//! end), which is exactly the granularity at which the v3 codec can
+//! recover: [`expected_recoverable`] computes, for the mutation classes
+//! where the outcome is provably prefix-bounded, the *exact* number of
+//! plans a salvage must recover — turning the fuzz-style sweep into a
+//! precise oracle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uplan_core::formats::binary::SectionBoundary;
+
+/// One reproducible corruption of a byte document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultMutation {
+    /// Cut the document to its first `len` bytes.
+    Truncate {
+        /// Surviving prefix length.
+        len: usize,
+    },
+    /// Invert one bit.
+    BitFlip {
+        /// Byte offset of the flipped bit.
+        offset: usize,
+        /// Bit index, 0–7.
+        bit: u8,
+    },
+    /// Insert foreign bytes, shifting the remainder of the document.
+    Splice {
+        /// Insertion offset.
+        at: usize,
+        /// The inserted bytes.
+        bytes: Vec<u8>,
+    },
+    /// Duplicate the byte range `start..end` immediately after itself —
+    /// the shape a retried append or a doubled write produces.
+    DuplicateBlock {
+        /// First duplicated byte.
+        start: usize,
+        /// One past the last duplicated byte (also the insertion point).
+        end: usize,
+    },
+}
+
+impl FaultMutation {
+    /// Applies the mutation to `doc`, returning the corrupted copy.
+    /// Offsets beyond the document clamp to its end.
+    pub fn apply(&self, doc: &[u8]) -> Vec<u8> {
+        match self {
+            FaultMutation::Truncate { len } => doc[..(*len).min(doc.len())].to_vec(),
+            FaultMutation::BitFlip { offset, bit } => {
+                let mut out = doc.to_vec();
+                if let Some(byte) = out.get_mut(*offset) {
+                    *byte ^= 1 << (bit & 7);
+                }
+                out
+            }
+            FaultMutation::Splice { at, bytes } => {
+                let at = (*at).min(doc.len());
+                let mut out = Vec::with_capacity(doc.len() + bytes.len());
+                out.extend_from_slice(&doc[..at]);
+                out.extend_from_slice(bytes);
+                out.extend_from_slice(&doc[at..]);
+                out
+            }
+            FaultMutation::DuplicateBlock { start, end } => {
+                let end = (*end).min(doc.len());
+                let start = (*start).min(end);
+                let mut out = Vec::with_capacity(doc.len() + (end - start));
+                out.extend_from_slice(&doc[..end]);
+                out.extend_from_slice(&doc[start..end]);
+                out.extend_from_slice(&doc[end..]);
+                out
+            }
+        }
+    }
+
+    /// One-line human description (CI log output).
+    pub fn describe(&self) -> String {
+        match self {
+            FaultMutation::Truncate { len } => format!("truncate to {len} bytes"),
+            FaultMutation::BitFlip { offset, bit } => {
+                format!("flip bit {bit} of byte {offset}")
+            }
+            FaultMutation::Splice { at, bytes } => {
+                format!("splice {} bytes at {at}", bytes.len())
+            }
+            FaultMutation::DuplicateBlock { start, end } => {
+                format!("duplicate bytes {start}..{end}")
+            }
+        }
+    }
+}
+
+/// Byte offset of the version varint in a UPLN document (right after the
+/// 4-byte magic). A fault here can silently re-route the decoder to a
+/// different codec version, so no exact recovery count can be promised.
+const VERSION_OFFSET: usize = 4;
+
+/// Truncations at every section boundary of the document — the exact
+/// offsets where the v3 codec promises clean prefix recovery.
+pub fn truncation_plan(sections: &[SectionBoundary]) -> Vec<FaultMutation> {
+    sections
+        .iter()
+        .map(|s| FaultMutation::Truncate { len: s.end })
+        .collect()
+}
+
+/// `count` seeded single-bit flips spread over the document.
+pub fn bitflip_sweep(doc_len: usize, seed: u64, count: usize) -> Vec<FaultMutation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| FaultMutation::BitFlip {
+            offset: rng.gen_range(0..doc_len.max(1)),
+            bit: rng.gen_range(0..8u64) as u8,
+        })
+        .collect()
+}
+
+/// `count` seeded splices of 1–16 foreign bytes at random offsets.
+pub fn splice_plan(doc_len: usize, seed: u64, count: usize) -> Vec<FaultMutation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let len = rng.gen_range(1..17usize);
+            FaultMutation::Splice {
+                at: rng.gen_range(0..doc_len.max(1) + 1),
+                bytes: (0..len).map(|_| rng.gen_range(0..256u64) as u8).collect(),
+            }
+        })
+        .collect()
+}
+
+/// A seeded single-bit flip constrained past the header section, where
+/// [`expected_recoverable`] is always exact (no version-byte blind spot).
+/// `None` when the document has no bytes past its header.
+pub fn bitflip_past_header(sections: &[SectionBoundary], seed: u64) -> Option<FaultMutation> {
+    let lo = sections.first()?.end;
+    let hi = sections.last()?.end;
+    if lo >= hi {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    Some(FaultMutation::BitFlip {
+        offset: rng.gen_range(lo..hi),
+        bit: rng.gen_range(0..8u64) as u8,
+    })
+}
+
+/// A seeded foreign-byte splice constrained past the header section (same
+/// exactness guarantee as [`bitflip_past_header`]).
+pub fn splice_past_header(sections: &[SectionBoundary], seed: u64) -> Option<FaultMutation> {
+    let lo = sections.first()?.end;
+    let hi = sections.last()?.end;
+    if lo >= hi {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = rng.gen_range(1..17usize);
+    Some(FaultMutation::Splice {
+        at: rng.gen_range(lo..hi),
+        bytes: (0..len).map(|_| rng.gen_range(0..256u64) as u8).collect(),
+    })
+}
+
+/// One duplication per document section (each block replayed after
+/// itself).
+pub fn duplicate_block_plan(sections: &[SectionBoundary]) -> Vec<FaultMutation> {
+    sections
+        .windows(2)
+        .map(|pair| FaultMutation::DuplicateBlock {
+            start: pair[0].end,
+            end: pair[1].end,
+        })
+        .collect()
+}
+
+/// The exact number of plans a salvage of the mutated document must
+/// recover, when that number is provable from the section map:
+///
+/// * **Truncate** — always exact: the cumulative plan count of the last
+///   section boundary at or before the cut (a cut mid-section loses that
+///   whole section to its checksum/bounds check).
+/// * **BitFlip / Splice** — exact everywhere except the version varint
+///   (a fault there re-routes the decoder to another codec version with
+///   no checksum to catch it): damage before the first boundary voids the
+///   header (0 plans), damage inside block *k* is caught by block *k*'s
+///   CRC (blocks before *k* survive), damage past the last block only
+///   voids the index tail (all plans survive).
+/// * **DuplicateBlock** — `None`: a duplicated block re-verifies (it is a
+///   byte-exact valid block), so the decoded stream diverges from the
+///   original sequence; the harness asserts only the no-panic/bounded
+///   -error half of the contract.
+pub fn expected_recoverable(sections: &[SectionBoundary], mutation: &FaultMutation) -> Option<u64> {
+    let prefix_plans = |offset: usize| {
+        sections
+            .iter()
+            .take_while(|s| s.end <= offset)
+            .map(|s| s.plans)
+            .max()
+            .unwrap_or(0)
+    };
+    match mutation {
+        FaultMutation::Truncate { len } => Some(prefix_plans(*len)),
+        FaultMutation::BitFlip { offset, .. } => {
+            (*offset != VERSION_OFFSET).then(|| prefix_plans(*offset))
+        }
+        FaultMutation::Splice { at, .. } => (*at != VERSION_OFFSET).then(|| prefix_plans(*at)),
+        FaultMutation::DuplicateBlock { .. } => None,
+    }
+}
+
+/// The garbage records a dirty fleet actually produces, one per failure
+/// stage: an unterminated JSON string (classify: parse), a valid JSON
+/// string no dialect claims (classify: detect), a JSON document no
+/// dialect claims (classify: detect), and a table fragment that sniffs
+/// as TiDB but fails conversion (convert).
+pub const GARBAGE_LINES: [&str; 4] = [
+    "\"unterminated",
+    "\"not a plan of any dialect\"",
+    "{\"dirty_fleet_garbage\": true}",
+    "\"| id | estRows |\\n\"",
+];
+
+/// Injects `count` seeded garbage lines into a JSONL raw dump, returning
+/// the dirty dump and the (1-based, ascending) line numbers of the
+/// injected lines — the exact error census a lenient ingest must report.
+pub fn inject_garbage_lines(dump: &str, seed: u64, count: usize) -> (String, Vec<usize>) {
+    let lines: Vec<&str> = dump.lines().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut slots: Vec<usize> = (0..count)
+        .map(|_| rng.gen_range(0..lines.len() + 1))
+        .collect();
+    slots.sort_unstable();
+
+    let mut out = String::with_capacity(dump.len() + count * 32);
+    let mut injected = Vec::with_capacity(count);
+    let mut line_no = 0usize;
+    let mut slot_iter = slots.into_iter().peekable();
+    for i in 0..=lines.len() {
+        while slot_iter.peek() == Some(&i) {
+            slot_iter.next();
+            let flavor = GARBAGE_LINES[rng.gen_range(0..GARBAGE_LINES.len())];
+            out.push_str(flavor);
+            out.push('\n');
+            line_no += 1;
+            injected.push(line_no);
+        }
+        if i < lines.len() {
+            out.push_str(lines[i]);
+            out.push('\n');
+            line_no += 1;
+        }
+    }
+    (out, injected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sections() -> Vec<SectionBoundary> {
+        vec![
+            SectionBoundary { end: 20, plans: 0 },
+            SectionBoundary {
+                end: 120,
+                plans: 256,
+            },
+            SectionBoundary {
+                end: 200,
+                plans: 300,
+            },
+            SectionBoundary {
+                end: 240,
+                plans: 300,
+            },
+        ]
+    }
+
+    #[test]
+    fn mutations_apply_reproducibly() {
+        let doc: Vec<u8> = (0..=255).collect();
+        assert_eq!(
+            FaultMutation::Truncate { len: 10 }.apply(&doc),
+            (0..10).collect::<Vec<u8>>()
+        );
+        let flipped = FaultMutation::BitFlip { offset: 3, bit: 0 }.apply(&doc);
+        assert_eq!(flipped[3], 2);
+        assert_eq!(flipped.len(), doc.len());
+        let spliced = FaultMutation::Splice {
+            at: 2,
+            bytes: vec![0xAA, 0xBB],
+        }
+        .apply(&doc);
+        assert_eq!(&spliced[..5], &[0, 1, 0xAA, 0xBB, 2]);
+        let doubled = FaultMutation::DuplicateBlock { start: 1, end: 3 }.apply(&doc);
+        assert_eq!(&doubled[..5], &[0, 1, 2, 1, 2]);
+        assert_eq!(doubled.len(), doc.len() + 2);
+        // Out-of-range offsets clamp instead of panicking.
+        assert_eq!(FaultMutation::Truncate { len: 999 }.apply(&doc), doc);
+        assert_eq!(
+            FaultMutation::BitFlip {
+                offset: 999,
+                bit: 1
+            }
+            .apply(&doc),
+            doc
+        );
+    }
+
+    #[test]
+    fn expected_recovery_is_prefix_bounded() {
+        let sections = sections();
+        let expect = |m: &FaultMutation| expected_recoverable(&sections, m);
+        // Truncations: exact at and between boundaries.
+        assert_eq!(expect(&FaultMutation::Truncate { len: 240 }), Some(300));
+        assert_eq!(expect(&FaultMutation::Truncate { len: 200 }), Some(300));
+        assert_eq!(expect(&FaultMutation::Truncate { len: 199 }), Some(256));
+        assert_eq!(expect(&FaultMutation::Truncate { len: 120 }), Some(256));
+        assert_eq!(expect(&FaultMutation::Truncate { len: 60 }), Some(0));
+        assert_eq!(expect(&FaultMutation::Truncate { len: 0 }), Some(0));
+        // Flips: header → 0, block k → blocks before k, tail → all.
+        let flip = |offset| FaultMutation::BitFlip { offset, bit: 3 };
+        assert_eq!(expect(&flip(10)), Some(0));
+        assert_eq!(expect(&flip(150)), Some(256));
+        assert_eq!(expect(&flip(220)), Some(300));
+        // The version byte is the one blind spot.
+        assert_eq!(expect(&flip(VERSION_OFFSET)), None);
+        // Duplications are never exactly predictable.
+        assert_eq!(
+            expect(&FaultMutation::DuplicateBlock {
+                start: 20,
+                end: 120
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn plans_cover_every_section() {
+        let sections = sections();
+        let cuts = truncation_plan(&sections);
+        assert_eq!(cuts.len(), 4);
+        assert_eq!(cuts[0], FaultMutation::Truncate { len: 20 });
+        let dups = duplicate_block_plan(&sections);
+        assert_eq!(dups.len(), 3);
+        assert_eq!(
+            dups[0],
+            FaultMutation::DuplicateBlock {
+                start: 20,
+                end: 120
+            }
+        );
+        let flips = bitflip_sweep(240, 0xF00D, 48);
+        assert_eq!(
+            flips,
+            bitflip_sweep(240, 0xF00D, 48),
+            "seeded = reproducible"
+        );
+        assert_eq!(flips.len(), 48);
+        assert!(flips.iter().all(|m| match m {
+            FaultMutation::BitFlip { offset, bit } => *offset < 240 && *bit < 8,
+            _ => false,
+        }));
+        // The past-header variants always have an exact expectation.
+        for seed in 0..32u64 {
+            let flip = bitflip_past_header(&sections, seed).unwrap();
+            assert!(expected_recoverable(&sections, &flip).is_some(), "{flip:?}");
+            let splice = splice_past_header(&sections, seed).unwrap();
+            assert!(
+                expected_recoverable(&sections, &splice).is_some(),
+                "{splice:?}"
+            );
+        }
+        let splices = splice_plan(240, 0xF00D, 8);
+        assert_eq!(splices.len(), 8);
+        assert!(splices.iter().all(|m| match m {
+            FaultMutation::Splice { at, bytes } => {
+                *at <= 240 && !bytes.is_empty() && bytes.len() <= 16
+            }
+            _ => false,
+        }));
+    }
+
+    #[test]
+    fn garbage_injection_reports_exact_line_numbers() {
+        let dump = "line1\nline2\nline3\n";
+        let (dirty, injected) = inject_garbage_lines(dump, 42, 5);
+        let (again, injected_again) = inject_garbage_lines(dump, 42, 5);
+        assert_eq!(dirty, again);
+        assert_eq!(injected, injected_again);
+        assert_eq!(injected.len(), 5);
+        assert_eq!(dirty.lines().count(), 8);
+        let lines: Vec<&str> = dirty.lines().collect();
+        for (number, line) in lines.iter().enumerate().map(|(i, l)| (i + 1, l)) {
+            if injected.contains(&number) {
+                assert!(GARBAGE_LINES.contains(line), "line {number}: {line:?}");
+            } else {
+                assert!(line.starts_with("line"), "line {number}: {line:?}");
+            }
+        }
+    }
+}

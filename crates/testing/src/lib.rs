@@ -18,11 +18,14 @@
 //! * [`qpg`] — plan-fingerprint-guided generation with database mutation;
 //! * [`cert`] — estimated-cardinality monotonicity checking;
 //! * [`harness`] — the Table V campaign: all faults armed, both methods,
-//!   three engines, deduplicated findings.
+//!   three engines, deduplicated findings;
+//! * [`inject`] — seeded fault injection (byte-level corpus mutations and
+//!   raw-dump garbage) backing the dirty-fleet hardening tests.
 
 pub mod cert;
 pub mod generator;
 pub mod harness;
+pub mod inject;
 pub mod oracles;
 pub mod pipeline;
 pub mod qpg;

@@ -253,4 +253,57 @@ proptest! {
             sequential.to_binary_indexed().unwrap()
         );
     }
+
+    /// Arbitrary interleavings of valid records and dirty-fleet garbage:
+    /// a lenient ingest converts **exactly the valid subset** — byte-
+    /// identical to a strict ingest of those lines alone — and its error
+    /// census names exactly the garbage lines, in order, at every thread
+    /// count and on the sequential reference path.
+    #[test]
+    fn lenient_ingest_converts_exactly_the_valid_subset_of_dirty_interleavings(
+        picks in prop::collection::vec(0usize..130, 0..30),
+        threads in 1usize..6,
+    ) {
+        use uplan::convert::RawIngestOptions;
+        use uplan::testing::inject::GARBAGE_LINES;
+        let pool = fixtures();
+        // Picks ≥100 become garbage records (~23% of lines).
+        let mut dump = String::new();
+        let mut valid = String::new();
+        let mut garbage_lines = Vec::new();
+        for (i, &pick) in picks.iter().enumerate() {
+            if pick >= 100 {
+                dump.push_str(GARBAGE_LINES[pick % GARBAGE_LINES.len()]);
+                dump.push('\n');
+                garbage_lines.push(i + 1);
+            } else {
+                let (source, input) = &pool[pick % pool.len()];
+                let line = dump_line(*source, input);
+                dump.push_str(&line);
+                dump.push('\n');
+                valid.push_str(&line);
+                valid.push('\n');
+            }
+        }
+
+        let options = RawIngestOptions::lenient();
+        let mut lenient = PlanCorpus::new();
+        let report = convert::ingest_raw_with(&dump, &mut lenient, threads, &options).unwrap();
+        prop_assert_eq!(report.lines, picks.len() - garbage_lines.len());
+        let reported: Vec<usize> = report.errors.iter().map(|e| e.line).collect();
+        prop_assert_eq!(&reported, &garbage_lines);
+
+        let mut seq = PlanCorpus::new();
+        let seq_report =
+            convert::ingest_raw_sequential_with(&dump, &mut seq, &options).unwrap();
+        prop_assert_eq!(&report, &seq_report);
+
+        let mut reference = PlanCorpus::new();
+        let strict_report = convert::ingest_raw(&valid, &mut reference, threads).unwrap();
+        prop_assert_eq!(strict_report.lines, report.lines);
+        prop_assert_eq!(strict_report.census(), report.census());
+        let bytes = reference.to_binary_indexed().unwrap();
+        prop_assert_eq!(lenient.to_binary_indexed().unwrap(), bytes.clone());
+        prop_assert_eq!(seq.to_binary_indexed().unwrap(), bytes);
+    }
 }

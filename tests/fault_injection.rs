@@ -1,0 +1,306 @@
+//! The dirty-fleet hardening contract, driven end to end by the seeded
+//! fault-injection harness (`uplan_testing::inject`).
+//!
+//! Two artifact kinds arrive from the outside world — binary UPLN corpus
+//! documents and raw mixed-source dumps — and for both the contract is:
+//!
+//! * **no panic**, ever, on corrupted input;
+//! * strict loads either succeed losslessly or fail with a bounded,
+//!   descriptive error — never silently drop plans;
+//! * salvage recovers plans that **fingerprint-match** the originals, and
+//!   where the mutation class is prefix-bounded
+//!   ([`inject::expected_recoverable`]) recovers **exactly** the promised
+//!   count;
+//! * lenient raw ingest of a dump with ≥10% garbage is **byte-identical**
+//!   to a strict ingest of its valid subset, with an exact error census.
+//!
+//! Every mutation is seeded, so a failure here reproduces deterministically.
+
+use std::sync::OnceLock;
+
+use minidb::profile::EngineProfile;
+use uplan::convert::{self, RawIngestOptions};
+use uplan::core::fingerprint::fingerprint;
+use uplan::core::formats::binary::{self, SectionBoundary};
+use uplan::corpus::PlanCorpus;
+use uplan::testing::inject::{self, FaultMutation};
+use uplan::workloads::tpch;
+use uplan_bench::corpus_fixture;
+
+/// Seed of the fixture corpus (and default seed of the mutation sweeps).
+const SEED: u64 = 0xD15E_A5ED;
+
+/// A checked (v3), index-carrying document of ~1000 distinct derived
+/// TPC-H plans, plus the fingerprint of every plan in document order.
+fn fixture() -> &'static (Vec<u8>, Vec<u64>) {
+    static DOC: OnceLock<(Vec<u8>, Vec<u64>)> = OnceLock::new();
+    DOC.get_or_init(|| {
+        let corpus = corpus_fixture::derived_corpus(1000, SEED);
+        let bytes = corpus.to_binary_indexed().unwrap();
+        let intact = binary::salvage(&bytes);
+        assert!(intact.error.is_none(), "fixture document must be intact");
+        assert!(intact.verified, "v3 documents salvage checksum-verified");
+        let prints: Vec<u64> = intact.plans.iter().map(|p| fingerprint(p).0).collect();
+        assert!(prints.len() >= 1000);
+        (bytes, prints)
+    })
+}
+
+/// Drives one mutation through both loaders and asserts the full
+/// hardening contract on the outcome.
+fn assert_contract(
+    bytes: &[u8],
+    prints: &[u64],
+    sections: &[SectionBoundary],
+    mutation: &FaultMutation,
+) {
+    let what = mutation.describe();
+    let corrupt = mutation.apply(bytes);
+
+    // Salvage never panics; where the mutation class is prefix-bounded it
+    // recovers *exactly* the promised count, and every survivor
+    // fingerprint-matches the original plan at its position.
+    let outcome = binary::salvage(&corrupt);
+    if let Some(expected) = inject::expected_recoverable(sections, mutation) {
+        assert_eq!(outcome.plans.len() as u64, expected, "{what}");
+        for (i, plan) in outcome.plans.iter().enumerate() {
+            assert_eq!(fingerprint(plan).0, prints[i], "{what}: salvaged plan {i}");
+        }
+        if expected < prints.len() as u64 {
+            assert!(
+                outcome.error.is_some(),
+                "{what}: lossy salvage must say why"
+            );
+        }
+    }
+
+    // The strict loader never panics and never *silently* loses plans: it
+    // either refuses the document or yields the full population.
+    match PlanCorpus::from_binary(&corrupt) {
+        Ok(loaded) => assert_eq!(loaded.len(), prints.len(), "{what}: silent loss"),
+        Err(e) => assert!(!e.to_string().is_empty(), "{what}: empty error"),
+    }
+}
+
+#[test]
+fn truncations_recover_exactly_the_promised_prefix() {
+    let (bytes, prints) = fixture();
+    let sections = binary::section_map(bytes).unwrap();
+    // header + ≥4 checksum blocks of 256 + document end for 1000+ plans.
+    assert!(sections.len() >= 6, "unexpected section map: {sections:?}");
+
+    // Cuts at every section boundary: clean prefix recovery.
+    for mutation in inject::truncation_plan(&sections) {
+        assert_contract(bytes, prints, &sections, &mutation);
+    }
+    // Cuts *inside* a section lose exactly that section — still an exact
+    // expectation.
+    for pair in sections.windows(2) {
+        let mid = (pair[0].end + pair[1].end) / 2;
+        let mutation = FaultMutation::Truncate { len: mid };
+        assert!(
+            inject::expected_recoverable(&sections, &mutation).is_some(),
+            "truncations are always exactly predictable"
+        );
+        assert_contract(bytes, prints, &sections, &mutation);
+    }
+}
+
+#[test]
+fn seeded_bitflips_are_caught_or_harmless_never_silent() {
+    let (bytes, prints) = fixture();
+    let sections = binary::section_map(bytes).unwrap();
+    // A document-wide sweep (the version varint may be hit — there the
+    // oracle abstains and the contract reduces to no-panic/no-silent-loss).
+    for mutation in inject::bitflip_sweep(bytes.len(), SEED, 32) {
+        assert_contract(bytes, prints, &sections, &mutation);
+    }
+    // Past the header the oracle is total: every seed has an exact count.
+    for seed in 0..8u64 {
+        let mutation = inject::bitflip_past_header(&sections, seed).unwrap();
+        assert!(inject::expected_recoverable(&sections, &mutation).is_some());
+        assert_contract(bytes, prints, &sections, &mutation);
+    }
+}
+
+#[test]
+fn splices_and_duplicated_blocks_never_panic_or_lose_plans_silently() {
+    let (bytes, prints) = fixture();
+    let sections = binary::section_map(bytes).unwrap();
+    for mutation in inject::splice_plan(bytes.len(), SEED, 12) {
+        assert_contract(bytes, prints, &sections, &mutation);
+    }
+    for seed in 0..8u64 {
+        let mutation = inject::splice_past_header(&sections, seed).unwrap();
+        assert!(inject::expected_recoverable(&sections, &mutation).is_some());
+        assert_contract(bytes, prints, &sections, &mutation);
+    }
+    // Replayed writes: a duplicated block re-verifies, so no exact count
+    // is promised — but the loaders must still never panic or lose plans
+    // without saying so.
+    for mutation in inject::duplicate_block_plan(&sections) {
+        assert_contract(bytes, prints, &sections, &mutation);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raw-dump half of the contract: dirty mixed-source dumps.
+// ---------------------------------------------------------------------------
+
+/// A clean 22-line mixed dump covering all eleven serializations (two
+/// TPC-H-lite queries through every engine substrate).
+fn clean_dump() -> &'static String {
+    static DUMP: OnceLock<String> = OnceLock::new();
+    DUMP.get_or_init(|| {
+        use uplan::core::formats::json::{self, JsonValue};
+        let queries = tpch::queries();
+        let mut pg = tpch::relational(EngineProfile::Postgres, 1);
+        let mut mysql = tpch::relational(EngineProfile::MySql, 1);
+        let mut tidb = tpch::relational(EngineProfile::TiDb, 1);
+        let mut sqlite = tpch::relational(EngineProfile::Sqlite, 1);
+        let mut store = minidoc::DocStore::new();
+        tpch::load_document(&mut store, 1, 7);
+        let mut graph = minigraph::GraphStore::new();
+        tpch::load_graph(&mut graph, 1, 7);
+
+        let text = |t: &str| JsonValue::from(t).to_compact();
+        let jdoc = |d: &str| json::parse(d).unwrap().to_compact();
+        let mut lines = Vec::new();
+        for qid in [1usize, 3] {
+            let (_, sql) = &queries[qid - 1];
+            let plan = pg.explain(sql).unwrap();
+            lines.push(text(&dialects::postgres::to_text(&plan)));
+            lines.push(jdoc(&dialects::postgres::to_json(&plan)));
+            lines.push(text(&dialects::sparksql::to_text(&plan)));
+            lines.push(text(&dialects::sqlserver::to_xml(&plan)));
+            let plan = mysql.explain(sql).unwrap();
+            lines.push(jdoc(&dialects::mysql::to_json(&plan)));
+            lines.push(text(&dialects::mysql::to_table(&plan)));
+            let plan = tidb.explain(sql).unwrap();
+            lines.push(text(&dialects::tidb::to_table(&plan, qid as u32)));
+            let plan = sqlite.explain(sql).unwrap();
+            lines.push(text(&dialects::sqlite::to_text(&plan)));
+            let (_, doc_plan) = store.find(&tpch::mongo_queries()[qid % 2].1);
+            lines.push(jdoc(&dialects::mongodb::to_json(&doc_plan)));
+            let (_, graph_plan) = graph.run(&tpch::graph_queries()[qid % 3].1);
+            lines.push(text(&dialects::neo4j::to_table(&graph_plan)));
+            lines.push(text(&dialects::influxdb::to_text(
+                &dialects::influxdb::InfluxStats::synthetic(qid as u64, qid as u64 * 7),
+            )));
+        }
+        let mut dump = lines.join("\n");
+        dump.push('\n');
+        dump
+    })
+}
+
+#[test]
+fn lenient_ingest_of_a_dirty_dump_equals_strict_ingest_of_the_valid_subset() {
+    let clean = clean_dump();
+    let clean_lines = clean.lines().count();
+    // ≥10% garbage (6 of 28 lines), seeded — the injector reports the
+    // exact 1-based line numbers it dirtied.
+    let (dirty, injected) = inject::inject_garbage_lines(clean, SEED, 6);
+    assert!(injected.len() * 10 >= dirty.lines().count());
+    assert_eq!(dirty.lines().count(), clean_lines + injected.len());
+
+    // Strict ingest aborts on a garbage line, naming it. (Which one
+    // surfaces first depends on the pipeline stage: classify failures are
+    // seen before the convert-stage failures of the same batch.)
+    let mut strict = PlanCorpus::new();
+    let err = convert::ingest_raw(&dirty, &mut strict, 4).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        injected.iter().any(|l| msg.contains(&format!("line {l}"))),
+        "strict error {msg:?} must name one of the injected lines {injected:?}"
+    );
+
+    // Lenient ingest skips exactly the injected lines...
+    let quarantine = std::env::temp_dir().join(format!(
+        "uplan_fault_injection_quarantine_{}.jsonl",
+        std::process::id()
+    ));
+    let options = RawIngestOptions {
+        quarantine: Some(quarantine.clone()),
+        ..RawIngestOptions::lenient()
+    };
+    let mut lenient = PlanCorpus::new();
+    let report = convert::ingest_raw_with(&dirty, &mut lenient, 4, &options).unwrap();
+    assert_eq!(report.lines, clean_lines);
+    let skipped: Vec<usize> = report.errors.iter().map(|e| e.line).collect();
+    assert_eq!(
+        skipped, injected,
+        "error census must be exactly the injected lines"
+    );
+
+    // ...identically across thread counts and against the sequential
+    // reference...
+    let mut lenient_seq = PlanCorpus::new();
+    let seq_report =
+        convert::ingest_raw_sequential_with(&dirty, &mut lenient_seq, &options).unwrap();
+    assert_eq!(report, seq_report);
+    let mut lenient_one = PlanCorpus::new();
+    let one_report = convert::ingest_raw_with(&dirty, &mut lenient_one, 1, &options).unwrap();
+    assert_eq!(report, one_report);
+
+    // ...and byte-identical to a strict ingest of the valid subset.
+    let valid_subset: String = dirty
+        .lines()
+        .enumerate()
+        .filter(|(i, _)| !injected.contains(&(i + 1)))
+        .map(|(_, line)| format!("{line}\n"))
+        .collect();
+    let mut reference = PlanCorpus::new();
+    let reference_report = convert::ingest_raw(&valid_subset, &mut reference, 4).unwrap();
+    assert_eq!(reference_report.lines, clean_lines);
+    assert_eq!(reference_report.census(), report.census());
+    let bytes = reference.to_binary_indexed().unwrap();
+    assert_eq!(lenient.to_binary_indexed().unwrap(), bytes);
+    assert_eq!(lenient_seq.to_binary_indexed().unwrap(), bytes);
+    assert_eq!(lenient_one.to_binary_indexed().unwrap(), bytes);
+
+    // The quarantine file replays to the same failures: every record
+    // fails again, none converts.
+    let replay = std::fs::read_to_string(&quarantine).unwrap();
+    let _ = std::fs::remove_file(&quarantine);
+    assert_eq!(replay.lines().count(), injected.len());
+    let mut empty = PlanCorpus::new();
+    let replay_report =
+        convert::ingest_raw_with(&replay, &mut empty, 2, &RawIngestOptions::lenient()).unwrap();
+    assert_eq!(replay_report.lines, 0);
+    assert_eq!(replay_report.errors.len(), injected.len());
+    assert!(empty.is_empty());
+}
+
+#[test]
+fn framed_encodings_of_the_dirty_dump_agree_with_jsonl() {
+    // The same records under `---` separator framing ingest to the same
+    // corpus and the same per-source census as the JSONL encoding.
+    let clean = clean_dump();
+    let (dirty, _) = inject::inject_garbage_lines(clean, SEED, 6);
+
+    let mut jsonl = PlanCorpus::new();
+    let jsonl_report =
+        convert::ingest_raw_with(&dirty, &mut jsonl, 4, &RawIngestOptions::lenient()).unwrap();
+
+    // Separator framing: a leading `---` selects the framing, then one
+    // record per `---`-terminated frame.
+    let separated: String = std::iter::once("---\n".to_owned())
+        .chain(dirty.lines().map(|line| format!("{line}\n---\n")))
+        .collect();
+    assert_eq!(
+        convert::sniff_framing(&separated),
+        convert::RawFraming::Separator
+    );
+    let mut framed = PlanCorpus::new();
+    let framed_report =
+        convert::ingest_raw_with(&separated, &mut framed, 4, &RawIngestOptions::lenient()).unwrap();
+
+    assert_eq!(framed_report.lines, jsonl_report.lines);
+    assert_eq!(framed_report.errors.len(), jsonl_report.errors.len());
+    assert_eq!(framed_report.census(), jsonl_report.census());
+    assert_eq!(
+        framed.to_binary_indexed().unwrap(),
+        jsonl.to_binary_indexed().unwrap()
+    );
+}

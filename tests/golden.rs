@@ -158,8 +158,10 @@ const GOLDEN_BINARY_V1: [u8; 105] = [
 
 /// Exact version-2 encoding of the same plan: identical plan bytes, the
 /// version varint at offset 4 is 2, and one trailing zero byte (the "no
-/// index section" flag). Any byte-level change to this encoding
-/// invalidates every stored corpus and must be deliberate (bump
+/// index section" flag). Version 2 is still *written* — it is what
+/// [`BinaryEncoder::unchecked`] emits — so these bytes pin both the
+/// decoder and the unchecked writer. Any byte-level change invalidates
+/// every stored corpus and must be deliberate (bump
 /// `BINARY_CODEC_VERSION`, regenerate, and say so in the PR).
 const GOLDEN_BINARY_V2: [u8; 106] = [
     0x55, 0x50, 0x4c, 0x4e, 0x02, 0x06, 0x09, 0x48, 0x61, 0x73, 0x68, 0x5f, //
@@ -171,6 +173,24 @@ const GOLDEN_BINARY_V2: [u8; 106] = [
     0x01, 0x02, 0x00, 0x00, 0x02, 0x00, 0x01, 0x01, 0x00, 0x02, 0x03, 0xd0, //
     0x0f, 0x00, 0x00, 0x03, 0x01, 0x02, 0x04, 0x05, 0x06, 0x63, 0x30, 0x20, //
     0x3c, 0x20, 0x35, 0x00, 0x01, 0x03, 0x05, 0x03, 0x04, 0x00,
+];
+
+/// Exact version-3 (checksummed) encoding of the same plan: the version
+/// varint is 3, a CRC32 follows the header (after `plan_count`), each
+/// plan block carries a length varint and a trailing CRC32, and a tail
+/// CRC32 covers the index flag. The *plan* bytes inside the block are
+/// identical to v1/v2. Regenerate with `print_golden_values`.
+const GOLDEN_BINARY_V3: [u8; 119] = [
+    0x55, 0x50, 0x4c, 0x4e, 0x03, 0x06, 0x09, 0x48, 0x61, 0x73, 0x68, 0x5f, //
+    0x4a, 0x6f, 0x69, 0x6e, 0x0f, 0x46, 0x75, 0x6c, 0x6c, 0x5f, 0x54, 0x61, //
+    0x62, 0x6c, 0x65, 0x5f, 0x53, 0x63, 0x61, 0x6e, 0x04, 0x72, 0x6f, 0x77, //
+    0x73, 0x0a, 0x49, 0x6e, 0x64, 0x65, 0x78, 0x5f, 0x53, 0x63, 0x61, 0x6e, //
+    0x06, 0x66, 0x69, 0x6c, 0x74, 0x65, 0x72, 0x0f, 0x77, 0x6f, 0x72, 0x6b, //
+    0x65, 0x72, 0x73, 0x5f, 0x70, 0x6c, 0x61, 0x6e, 0x6e, 0x65, 0x64, 0x01, //
+    0x28, 0xd4, 0x55, 0x82, 0x21, 0x01, 0x02, 0x00, 0x00, 0x02, 0x00, 0x01, //
+    0x01, 0x00, 0x02, 0x03, 0xd0, 0x0f, 0x00, 0x00, 0x03, 0x01, 0x02, 0x04, //
+    0x05, 0x06, 0x63, 0x30, 0x20, 0x3c, 0x20, 0x35, 0x00, 0x01, 0x03, 0x05, //
+    0x03, 0x04, 0x0f, 0xe3, 0x7d, 0x46, 0x00, 0x8d, 0xef, 0x02, 0xd2, //
 ];
 
 fn golden_binary_plan() -> UnifiedPlan {
@@ -192,19 +212,57 @@ fn golden_binary_plan() -> UnifiedPlan {
 #[test]
 fn binary_codec_encoding_matches_golden_bytes() {
     use uplan::core::formats::binary;
-    assert_eq!(binary::BINARY_CODEC_VERSION, 2);
+    assert_eq!(binary::BINARY_CODEC_VERSION, 3);
+    assert_eq!(binary::UNCHECKED_BINARY_VERSION, 2);
     assert_eq!(binary::MIN_SUPPORTED_BINARY_VERSION, 1);
     let bytes = binary::to_bytes(&golden_binary_plan()).unwrap();
     assert_eq!(
         bytes,
-        GOLDEN_BINARY_V2.to_vec(),
-        "binary codec v2 encoding drifted — persisted corpora would break"
+        GOLDEN_BINARY_V3.to_vec(),
+        "binary codec v3 encoding drifted — persisted corpora would break"
     );
     // And the pinned bytes decode back to the reference plan, fingerprint
     // and all.
+    let decoded = binary::from_bytes(&GOLDEN_BINARY_V3).unwrap();
+    assert_eq!(decoded, golden_binary_plan());
+    assert_eq!(fingerprint(&decoded), fingerprint(&golden_binary_plan()));
+}
+
+#[test]
+fn unchecked_encoder_still_writes_golden_v2_bytes() {
+    // `BinaryEncoder::unchecked()` is the compatibility writer: corpora it
+    // persists must stay byte-identical to the pre-checksum v2 encoding,
+    // and the decoder must keep accepting both pinned documents.
+    use uplan::core::formats::binary;
+    let mut enc = binary::BinaryEncoder::unchecked();
+    enc.push(&golden_binary_plan()).unwrap();
+    assert_eq!(
+        enc.finish(),
+        GOLDEN_BINARY_V2.to_vec(),
+        "unchecked (v2) encoding drifted — persisted corpora would break"
+    );
     let decoded = binary::from_bytes(&GOLDEN_BINARY_V2).unwrap();
     assert_eq!(decoded, golden_binary_plan());
     assert_eq!(fingerprint(&decoded), fingerprint(&golden_binary_plan()));
+}
+
+#[test]
+fn checked_documents_reject_single_byte_corruption() {
+    // Every byte of the golden v3 document is covered by a checksum (or is
+    // structurally load-bearing): flipping any one bit must never decode
+    // to a *wrong* plan silently — it either errors or, where the flip
+    // lands in a checksummed-but-recoverable spot, still decodes to the
+    // reference plan (impossible for a 1-bit flip: CRC32 detects all
+    // single-bit errors, so every flip must error).
+    use uplan::core::formats::binary;
+    for offset in 0..GOLDEN_BINARY_V3.len() {
+        let mut corrupt = GOLDEN_BINARY_V3.to_vec();
+        corrupt[offset] ^= 0x01;
+        assert!(
+            binary::from_bytes(&corrupt).is_err(),
+            "bit flip at byte {offset} decoded silently"
+        );
+    }
 }
 
 #[test]
@@ -270,5 +328,12 @@ fn print_golden_values() {
         .map(|p| tree_edit_distance(&p[0].1, &p[1].1).to_string())
         .collect();
     println!("    {},", teds.join(", "));
+    println!("];");
+    let bytes = uplan::core::formats::binary::to_bytes(&golden_binary_plan()).unwrap();
+    println!("const GOLDEN_BINARY_V3: [u8; {}] = [", bytes.len());
+    for chunk in bytes.chunks(12) {
+        let row: Vec<String> = chunk.iter().map(|b| format!("{b:#04x}")).collect();
+        println!("    {}, //", row.join(", "));
+    }
     println!("];");
 }
