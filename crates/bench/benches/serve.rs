@@ -1,0 +1,13 @@
+//! Service request-latency benchmarks: the in-process `uplan_serve::handle`
+//! path over a ≥10k-plan snapshot — k-NN and stats reads plus raw-dump
+//! ingest accepts — with the measured p50/p99 histogram line printed next
+//! to the timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_serve(c: &mut Criterion) {
+    uplan_bench::microbench::serve(c);
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! repro corpus ingest <out> <source> <explain-file>... [--threads N] [--shards N] [--index]
+//!                     [--append]
 //! repro corpus ingest <out> --raw <dump.jsonl>... [--threads N] [--shards N] [--index]
-//!                     [--lenient] [--max-errors N] [--quarantine <file>]
+//!                     [--append] [--lenient] [--max-errors N] [--quarantine <file>]
 //!     Convert native EXPLAIN files (any of the converter dialects, see
 //!     `repro corpus sources`) and store them deduplicated. `<out>` ending
 //!     in .jsonl writes JSON lines; anything else writes the binary codec.
@@ -18,7 +19,8 @@
 //!     `--lenient` skips bad records instead of aborting and prints the
 //!     per-record error census; `--max-errors` bounds the tolerated
 //!     garbage; `--quarantine` writes failed records to a replayable
-//!     JSONL file.
+//!     JSONL file. `--append` loads an existing `<out>` and grows it in
+//!     place instead of starting fresh.
 //! repro corpus raw-fixture <out.jsonl> [queries] [--dirty N] [--seed HEX]
 //!     Write a deterministic mixed-source raw dump covering all nine
 //!     dialects ([queries] TPC-H-lite queries per relational engine,
@@ -68,13 +70,31 @@
 //!     Cross-corpus comparison: shared fingerprints, unique plans, and
 //!     which unique plans have no near-duplicate (within radius, default 2)
 //!     on the other side.
+//! repro corpus query <corpus> <knn|radius|cluster|stats> [--k N] [--radius R]
+//!                    [--probe <plan.json>] [--probe-raw <record>] [--budget N]
+//!                    [--threads N] [--json]
+//!     Run one query through the unified request vocabulary — the same
+//!     entry point `uplan-serve` answers over HTTP. `--probe` reads a
+//!     unified-JSON plan, `--probe-raw` a single raw dump record
+//!     (source-sniffed). `--budget` bounds counted TED evaluations; a
+//!     tripped budget is an *operational* failure (exit 1), distinct from
+//!     bad arguments (exit 2). `--json` emits the exact `QueryResponse`
+//!     wire document the server sends.
+//! repro corpus serve <corpus> [--addr HOST:PORT] [--threads N] [--queue N]
+//!                    [--merge-threads N] [--merge-interval-ms N] [--save <path>]
+//!     Serve the corpus over HTTP/1.1 + JSON on a snapshot/delta epoch
+//!     model: lock-free k-NN/radius reads against epoch-consistent
+//!     snapshots while POST /ingest batches merge in the background.
+//!     Blocks until POST /shutdown, then drains gracefully and prints the
+//!     per-endpoint latency histograms; `--save` persists the final
+//!     snapshot (indexed).
 //! repro corpus sources
 //!     List the accepted ingest source names.
 //! ```
 
 use minidb::profile::EngineProfile;
 use uplan_convert::{convert, RawIngestOptions, Source};
-use uplan_corpus::{PlanCorpus, DEFAULT_SHARDS};
+use uplan_corpus::{PlanCorpus, QueryError, QueryOutcome, QueryRequest, DEFAULT_SHARDS};
 use uplan_testing::generator::Generator;
 use uplan_testing::inject;
 use uplan_testing::qpg::{self, QpgConfig};
@@ -140,7 +160,7 @@ pub fn run(args: &[String]) -> i32 {
 
 fn usage() -> String {
     "usage: repro corpus <ingest|raw-fixture|raw-check|fixture-ingest|campaign|stats|cluster|\
-     diff|salvage|mutate|sources> ... (see crates/bench/src/corpus_cli.rs docs)"
+     diff|query|serve|salvage|mutate|sources> ... (see crates/bench/src/corpus_cli.rs docs)"
         .to_owned()
 }
 
@@ -154,6 +174,8 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
         Some("stats") => stats(&args[1..]),
         Some("cluster") => cluster(&args[1..]),
         Some("diff") => diff(&args[1..]),
+        Some("query") => query(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("salvage") => salvage(&args[1..]),
         Some("mutate") => mutate(&args[1..]),
         Some("sources") => Ok(Source::ALL
@@ -203,6 +225,16 @@ fn save(corpus: &PlanCorpus, path: &str, indexed: bool) -> Result<(), CliError> 
     result.map_err(|e| CliError::Operational(format!("cannot write {path}: {e}")))
 }
 
+/// `--append` support: an existing `<out>` is loaded and grown in place
+/// (keeping its own shard layout); otherwise ingest starts fresh.
+fn open_for_ingest(out: &str, append: bool, shards: usize) -> Result<PlanCorpus, CliError> {
+    if append && std::path::Path::new(out).exists() {
+        load(out)
+    } else {
+        Ok(PlanCorpus::with_shards(shards))
+    }
+}
+
 // Reading and parsing split the exit code: an unreadable path is
 // operational (exit 1), an unparseable file is bad input (exit 2).
 fn load(path: &str) -> Result<PlanCorpus, CliError> {
@@ -242,6 +274,7 @@ fn ingest(args: &[String]) -> Result<String, CliError> {
     let shards: usize = take_value(&mut args, "--shards")?.unwrap_or(DEFAULT_SHARDS);
     let indexed = take_flag(&mut args, "--index");
     let raw = take_flag(&mut args, "--raw");
+    let append = take_flag(&mut args, "--append");
     let lenient = take_flag(&mut args, "--lenient");
     let max_errors: usize = take_value(&mut args, "--max-errors")?.unwrap_or(0);
     let quarantine: Option<String> = take_value(&mut args, "--quarantine")?;
@@ -251,7 +284,7 @@ fn ingest(args: &[String]) -> Result<String, CliError> {
             max_errors,
             quarantine: quarantine.map(std::path::PathBuf::from),
         };
-        return ingest_raw_dumps(&args, threads, shards, indexed, &options);
+        return ingest_raw_dumps(&args, threads, shards, indexed, append, &options);
     }
     if lenient || max_errors != 0 || quarantine.is_some() {
         return Err("--lenient/--max-errors/--quarantine only apply to --raw ingest".into());
@@ -275,7 +308,7 @@ fn ingest(args: &[String]) -> Result<String, CliError> {
             .map_err(|e| CliError::Operational(format!("cannot read {file}: {e}")))?;
         plans.push(convert(source, &text).map_err(|e| format!("{file}: {e}"))?);
     }
-    let mut corpus = PlanCorpus::with_shards(shards);
+    let mut corpus = open_for_ingest(out, append, shards)?;
     corpus.ingest_parallel(&plans, threads);
     save(&corpus, out, indexed)?;
     Ok(format!(
@@ -294,18 +327,19 @@ fn ingest_raw_dumps(
     threads: usize,
     shards: usize,
     indexed: bool,
+    append: bool,
     options: &RawIngestOptions,
 ) -> Result<String, CliError> {
     let (out, dumps) = match args {
         [out, dumps @ ..] if !dumps.is_empty() => (out, dumps),
         _ => {
             return Err("usage: repro corpus ingest <out> --raw <dump.jsonl>... \
-                 [--threads N] [--shards N] [--index] \
+                 [--threads N] [--shards N] [--index] [--append] \
                  [--lenient] [--max-errors N] [--quarantine <file>]"
                 .into())
         }
     };
-    let mut corpus = PlanCorpus::with_shards(shards);
+    let mut corpus = open_for_ingest(out, append, shards)?;
     let mut lines = 0usize;
     let mut skipped = 0usize;
     let mut censuses = Vec::new();
@@ -351,7 +385,7 @@ fn ingest_raw_dumps(
 /// InfluxDB lines from their engines. Text dumps are JSON-string-encoded;
 /// JSON documents are compacted to one line.
 fn raw_fixture(args: &[String]) -> Result<String, CliError> {
-    use uplan_core::formats::json::{self, JsonValue};
+    use uplan_testing::fixtures::{raw_dump_line, DialectFleet};
     let mut args = args.to_vec();
     let dirty: usize = take_value(&mut args, "--dirty")?.unwrap_or(0);
     let seed = match take_value::<String>(&mut args, "--seed")? {
@@ -366,52 +400,21 @@ fn raw_fixture(args: &[String]) -> Result<String, CliError> {
         Some(n) => n.parse().map_err(|_| format!("bad query count {n:?}"))?,
         None => 6,
     };
-    let tpch_queries = uplan_workloads::tpch::queries();
-    let mut pg = uplan_workloads::tpch::relational(EngineProfile::Postgres, 1);
-    let mut mysql = uplan_workloads::tpch::relational(EngineProfile::MySql, 1);
-    let mut tidb = uplan_workloads::tpch::relational(EngineProfile::TiDb, 1);
-    let mut sqlite = uplan_workloads::tpch::relational(EngineProfile::Sqlite, 1);
-    let mut store = minidoc::DocStore::new();
-    uplan_workloads::tpch::load_document(&mut store, 1, 7);
-    let mongo_queries = uplan_workloads::tpch::mongo_queries();
-    let mut graph = minigraph::GraphStore::new();
-    uplan_workloads::tpch::load_graph(&mut graph, 1, 7);
-    let graph_queries = uplan_workloads::tpch::graph_queries();
-
-    let text_line = |text: &str| JsonValue::from(text).to_compact();
-    let json_line = |doc: &str| -> Result<String, String> {
-        Ok(json::parse(doc).map_err(|e| e.to_string())?.to_compact())
-    };
-
+    let mut fleet = DialectFleet::new();
     let mut lines: Vec<String> = Vec::new();
     for qid in 0..queries {
-        let (_, sql) = &tpch_queries[qid % tpch_queries.len()];
-        let plan = pg.explain(sql).map_err(|e| format!("pg q{qid}: {e}"))?;
-        lines.push(text_line(&dialects::postgres::to_text(&plan)));
-        lines.push(json_line(&dialects::postgres::to_json(&plan))?);
-        lines.push(text_line(&dialects::sparksql::to_text(&plan)));
-        lines.push(text_line(&dialects::sqlserver::to_xml(&plan)));
-        let plan = mysql
-            .explain(sql)
-            .map_err(|e| format!("mysql q{qid}: {e}"))?;
-        lines.push(json_line(&dialects::mysql::to_json(&plan))?);
-        lines.push(text_line(&dialects::mysql::to_table(&plan)));
-        let plan = tidb.explain(sql).map_err(|e| format!("tidb q{qid}: {e}"))?;
-        lines.push(text_line(&dialects::tidb::to_table(
-            &plan,
-            qid as u32 * 7 + 3,
-        )));
-        let plan = sqlite
-            .explain(sql)
-            .map_err(|e| format!("sqlite q{qid}: {e}"))?;
-        lines.push(text_line(&dialects::sqlite::to_text(&plan)));
-        let (_, doc_plan) = store.find(&mongo_queries[qid % mongo_queries.len()].1);
-        lines.push(json_line(&dialects::mongodb::to_json(&doc_plan))?);
-        let (_, graph_plan) = graph.run(&graph_queries[qid % graph_queries.len()].1);
-        lines.push(text_line(&dialects::neo4j::to_table(&graph_plan)));
-        lines.push(text_line(&dialects::influxdb::to_text(
-            &dialects::influxdb::InfluxStats::synthetic(qid as u64 + 1, (qid as u64 + 1) * 7),
-        )));
+        // The canonical 11-line block per query: eight relational
+        // serializations, then MongoDB, Neo4j and InfluxDB.
+        for (source, text) in fleet.relational(qid, qid as u32 * 7 + 3) {
+            lines.push(raw_dump_line(source, &text));
+        }
+        for (source, text) in [
+            fleet.mongo(qid),
+            fleet.neo4j(qid),
+            DialectFleet::influx(qid as u64 + 1, (qid as u64 + 1) * 7),
+        ] {
+            lines.push(raw_dump_line(source, &text));
+        }
     }
     let mut dump = lines.join("\n");
     dump.push('\n');
@@ -755,7 +758,12 @@ fn cluster(args: &[String]) -> Result<String, CliError> {
     let corpus = load(path)?;
     // The radius fan-out parallelizes across shards; the clusters (and
     // their counted TED evaluations) are identical for every thread count.
-    let clusters = corpus.clusters_threaded(radius, threads);
+    let response = corpus
+        .execute(&QueryRequest::cluster(radius).with_threads(threads))
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    let QueryOutcome::Clusters(clusters) = &response.outcome else {
+        unreachable!("cluster queries answer clusters")
+    };
     let views: Vec<ClusterView<'_>> = clusters
         .iter()
         .map(|c| ClusterView {
@@ -798,6 +806,152 @@ fn diff(args: &[String]) -> Result<String, CliError> {
         diff.fingerprint_only_right.len(),
         diff.beyond_radius_right.len(),
         radius = diff.radius,
+    ))
+}
+
+/// `repro corpus query` — one query through the unified request
+/// vocabulary, the same entry point the `uplan-serve` handlers call.
+fn query(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.to_vec();
+    let json_out = take_flag(&mut args, "--json");
+    let k: Option<usize> = take_value(&mut args, "--k")?;
+    let radius: Option<u32> = take_value(&mut args, "--radius")?;
+    let budget: Option<u64> = take_value(&mut args, "--budget")?;
+    let threads: usize = take_value(&mut args, "--threads")?.unwrap_or(1);
+    let probe_path: Option<String> = take_value(&mut args, "--probe")?;
+    let probe_raw_path: Option<String> = take_value(&mut args, "--probe-raw")?;
+    let (path, kind) = match args.as_slice() {
+        [path, kind] => (path, kind.as_str()),
+        _ => {
+            return Err(
+                "usage: repro corpus query <corpus> <knn|radius|cluster|stats> \
+                 [--k N] [--radius R] [--probe <plan.json>] [--probe-raw <record>] \
+                 [--budget N] [--threads N] [--json]"
+                    .into(),
+            )
+        }
+    };
+    let corpus = load(path)?;
+    let mut request = match kind {
+        "knn" => QueryRequest::knn(k.ok_or("knn queries need --k")?),
+        "radius" => QueryRequest::radius(radius.ok_or("radius queries need --radius")?),
+        "cluster" => QueryRequest::cluster(radius.unwrap_or(2)),
+        "stats" => QueryRequest::stats(),
+        other => {
+            return Err(
+                format!("unknown query kind {other:?}; one of knn, radius, cluster, stats").into(),
+            )
+        }
+    };
+    request = request.with_threads(threads);
+    if let Some(budget) = budget {
+        request = request.with_eval_budget(budget);
+    }
+    if let Some(file) = &probe_path {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| CliError::Operational(format!("cannot read probe {file}: {e}")))?;
+        let plan = uplan_core::formats::unified::from_json(&text)
+            .map_err(|e| CliError::Input(format!("{file}: {e}")))?;
+        request = request.with_probe(plan);
+    } else if let Some(file) = &probe_raw_path {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| CliError::Operational(format!("cannot read probe {file}: {e}")))?;
+        let mut staging = PlanCorpus::new();
+        uplan_convert::ingest_raw_with(&text, &mut staging, 1, &RawIngestOptions::default())
+            .map_err(|e| CliError::Input(format!("{file}: {e}")))?;
+        if staging.len() != 1 {
+            return Err(format!(
+                "{file}: raw probe must hold exactly one plan record, got {}",
+                staging.len()
+            )
+            .into());
+        }
+        request = request.with_probe(staging.plan(0).clone());
+    }
+    let response = match corpus.execute(&request) {
+        Ok(response) => response,
+        // A tripped eval budget is the environment (corpus too dense for
+        // the budget), not the arguments: exit 1, distinct from exit-2
+        // usage errors, so callers can tell "raise the budget" from "fix
+        // the request".
+        Err(e @ QueryError::BudgetExceeded { .. }) => {
+            return Err(CliError::Operational(e.to_string()))
+        }
+        Err(e) => return Err(CliError::Input(e.to_string())),
+    };
+    if json_out {
+        return Ok(response.to_json());
+    }
+    let answer = match &response.outcome {
+        QueryOutcome::Matches(matches) => {
+            let mut lines = vec![format!("{} match(es):", matches.len())];
+            lines.extend(
+                matches
+                    .iter()
+                    .map(|&(id, d)| format!("  #{id} @ distance {d}")),
+            );
+            lines.join("\n")
+        }
+        QueryOutcome::Clusters(clusters) => format!("{} cluster(s)", clusters.len()),
+        QueryOutcome::Stats(_) => summary(&corpus),
+    };
+    Ok(format!(
+        "{path}: {} query\n{answer}\nted_evals: {}",
+        response.query, response.ted_evals
+    ))
+}
+
+/// `repro corpus serve` — the corpus daemon. Blocks until POST /shutdown.
+fn serve(args: &[String]) -> Result<String, CliError> {
+    use uplan_serve::{Server, ServerConfig};
+    let mut args = args.to_vec();
+    let defaults = ServerConfig::default();
+    let addr: String = take_value(&mut args, "--addr")?.unwrap_or(defaults.addr);
+    let threads: usize = take_value(&mut args, "--threads")?.unwrap_or(defaults.threads);
+    let queue_capacity: usize =
+        take_value(&mut args, "--queue")?.unwrap_or(defaults.queue_capacity);
+    let merge_threads: usize =
+        take_value(&mut args, "--merge-threads")?.unwrap_or(defaults.merge_threads);
+    let merge_interval_ms: Option<u64> = take_value(&mut args, "--merge-interval-ms")?;
+    let save_path: Option<String> = take_value(&mut args, "--save")?;
+    let path = args.first().ok_or(
+        "usage: repro corpus serve <corpus> [--addr HOST:PORT] [--threads N] [--queue N] \
+         [--merge-threads N] [--merge-interval-ms N] [--save <path>]",
+    )?;
+    let corpus = load(path)?;
+    let plans = corpus.len();
+    let config = ServerConfig {
+        addr,
+        threads,
+        queue_capacity,
+        merge_threads,
+        merge_interval: merge_interval_ms
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(defaults.merge_interval),
+    };
+    let server = Server::bind(config, corpus)
+        .map_err(|e| CliError::Operational(format!("cannot bind the server: {e}")))?;
+    let state = server.state();
+    println!(
+        "serving {path} ({plans} distinct plans) at http://{} with {threads} worker(s); \
+         POST /shutdown to stop",
+        server.local_addr()
+    );
+    let snapshot = server
+        .run()
+        .map_err(|e| CliError::Operational(format!("server failed: {e}")))?;
+    if let Some(out) = &save_path {
+        save(snapshot.corpus(), out, true)?;
+    }
+    Ok(format!(
+        "served {} request(s); final epoch {}, {} distinct plans{}\nmetrics: {}",
+        state.metrics().requests(),
+        snapshot.epoch(),
+        snapshot.corpus().len(),
+        save_path
+            .map(|p| format!("\nwrote {p}"))
+            .unwrap_or_default(),
+        state.metrics().to_json_value().to_compact()
     ))
 }
 

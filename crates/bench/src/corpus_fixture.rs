@@ -172,6 +172,7 @@ pub fn derived_corpus(min_distinct: usize, seed: u64) -> PlanCorpus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uplan_corpus::{QueryOutcome, QueryRequest};
 
     #[test]
     fn streams_are_deterministic_and_diverse() {
@@ -215,10 +216,12 @@ mod tests {
         assert!(loaded.has_persisted_index());
         assert_eq!(loaded.len(), corpus.len());
         for probe in derived_stream(8, 4242) {
-            assert_eq!(corpus.nearest(&probe, 5), loaded.nearest(&probe, 5));
+            let knn = QueryRequest::knn(5).with_probe(probe.clone());
+            let radius = QueryRequest::radius(2).with_probe(probe);
+            assert_eq!(corpus.execute(&knn).unwrap(), loaded.execute(&knn).unwrap());
             assert_eq!(
-                corpus.within_radius(&probe, 2),
-                loaded.within_radius(&probe, 2)
+                corpus.execute(&radius).unwrap(),
+                loaded.execute(&radius).unwrap()
             );
         }
     }
@@ -252,19 +255,25 @@ mod tests {
         let probes = derived_stream(24, 99);
         let mut bk_evals = 0u64;
         let mut scan_evals = 0u64;
+        let matches = |r: &uplan_corpus::QueryResponse| match &r.outcome {
+            QueryOutcome::Matches(m) => m.clone(),
+            other => panic!("metric query answered {other:?}"),
+        };
         for probe in &probes {
-            let indexed = corpus.nearest(probe, 5);
+            let indexed = corpus
+                .execute(&QueryRequest::knn(5).with_probe(probe.clone()))
+                .unwrap();
             let scanned = corpus.scan_nearest(probe, 5);
-            let dist = |q: &uplan_corpus::MetricQuery| {
-                q.matches.iter().map(|&(_, d)| d).collect::<Vec<_>>()
-            };
-            assert_eq!(dist(&indexed), dist(&scanned));
+            let dist = |m: &uplan_corpus::Matches| m.iter().map(|&(_, d)| d).collect::<Vec<_>>();
+            assert_eq!(dist(&matches(&indexed)), dist(&scanned.matches));
             bk_evals += indexed.ted_evals;
             scan_evals += scanned.ted_evals;
 
-            let indexed = corpus.within_radius(probe, 2);
+            let indexed = corpus
+                .execute(&QueryRequest::radius(2).with_probe(probe.clone()))
+                .unwrap();
             let scanned = corpus.scan_within_radius(probe, 2);
-            assert_eq!(indexed.matches, scanned.matches);
+            assert_eq!(matches(&indexed), scanned.matches);
             bk_evals += indexed.ted_evals;
             scan_evals += scanned.ted_evals;
         }

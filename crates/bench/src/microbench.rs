@@ -14,8 +14,8 @@ use std::time::Duration;
 use criterion::{BatchSize, Criterion};
 use minidb::profile::EngineProfile;
 use minidb::Database;
-use minidoc::DocStore;
 use uplan_convert::{convert, Source};
+use uplan_testing::fixtures::DialectFleet;
 use uplan_testing::generator::Generator;
 use uplan_testing::pipeline::PlanPipeline;
 use uplan_workloads::tpch;
@@ -23,60 +23,52 @@ use uplan_workloads::tpch;
 /// Conversion/parsing throughput: dialect serialization, converter, unified
 /// text/JSON round-trips, fingerprinting, tree edit distance.
 pub fn conversion(c: &mut Criterion) {
-    let mut db = tpch::relational(EngineProfile::Postgres, 1);
-    let q5 = &tpch::queries()[4].1;
-    let plan = db.explain(q5).expect("plan");
-    let pg_text = dialects::postgres::to_text(&plan);
-    let pg_json = dialects::postgres::to_json(&plan);
-    let mut tidb = tpch::relational(EngineProfile::TiDb, 1);
-    let tidb_plan = tidb.explain(q5).expect("plan");
-    let tidb_table = dialects::tidb::to_table(&tidb_plan, 3);
-    let mut mysql = tpch::relational(EngineProfile::MySql, 1);
-    let mysql_plan = mysql.explain(q5).expect("plan");
-    let mysql_json = dialects::mysql::to_json(&mysql_plan);
-    let mut store = DocStore::new();
-    tpch::load_document(&mut store, 1, 7);
-    let mongo_q3 = &tpch::mongo_queries()[1].1;
-    let mongo_json = dialects::mongodb::to_json(&store.explain(mongo_q3));
-    // The rest of the converter matrix: SQLite EQP from its own engine
-    // profile, SQL Server XML / SparkSQL text from the PostgreSQL-profile
-    // plan (their emitters are engine-agnostic), Neo4j from the graph
-    // workload's q3, InfluxDB from synthetic iterator statistics.
-    let mut sqlite = tpch::relational(EngineProfile::Sqlite, 1);
-    let sqlite_plan = sqlite.explain(q5).expect("plan");
-    let sqlite_eqp = dialects::sqlite::to_text(&sqlite_plan);
-    let sqlserver_xml = dialects::sqlserver::to_xml(&plan);
-    let spark_text = dialects::sparksql::to_text(&plan);
-    let mut graph = minigraph::GraphStore::new();
-    tpch::load_graph(&mut graph, 1, 7);
-    let (_, graph_plan) = graph.run(&tpch::graph_queries()[2].1);
-    let neo4j_table = dialects::neo4j::to_table(&graph_plan);
-    let influx_text =
-        dialects::influxdb::to_text(&dialects::influxdb::InfluxStats::synthetic(3, 24));
+    // One shared fleet serializes TPC-H q5 in every dialect (Mongo and
+    // Neo4j use their own workload's q3; InfluxDB is synthetic iterator
+    // statistics) — the same fixtures the conversion-spine tests pin.
+    let mut fleet = DialectFleet::new();
+    let relational = fleet.relational(4, 3);
+    let by_source = |source: Source| -> &String {
+        relational
+            .iter()
+            .find(|(s, _)| *s == source)
+            .map(|(_, text)| text)
+            .expect("dialect in the relational set")
+    };
+    let pg_text = by_source(Source::PostgresText);
+    let pg_json = by_source(Source::PostgresJson);
+    let tidb_table = by_source(Source::TidbTable);
+    let mysql_json = by_source(Source::MySqlJson);
+    let sqlite_eqp = by_source(Source::SqliteEqp);
+    let sqlserver_xml = by_source(Source::SqlServerXml);
+    let spark_text = by_source(Source::SparkText);
+    let (_, mongo_json) = fleet.mongo(1);
+    let (_, neo4j_table) = fleet.neo4j(2);
+    let (_, influx_text) = DialectFleet::influx(3, 24);
 
     c.bench_function("convert/postgres_text_q5", |b| {
-        b.iter(|| convert(Source::PostgresText, &pg_text).unwrap())
+        b.iter(|| convert(Source::PostgresText, pg_text).unwrap())
     });
     c.bench_function("convert/postgres_json_q5", |b| {
-        b.iter(|| convert(Source::PostgresJson, &pg_json).unwrap())
+        b.iter(|| convert(Source::PostgresJson, pg_json).unwrap())
     });
     c.bench_function("convert/mysql_json_q5", |b| {
-        b.iter(|| convert(Source::MySqlJson, &mysql_json).unwrap())
+        b.iter(|| convert(Source::MySqlJson, mysql_json).unwrap())
     });
     c.bench_function("convert/mongodb_json_q3", |b| {
         b.iter(|| convert(Source::MongoJson, &mongo_json).unwrap())
     });
     c.bench_function("convert/tidb_table_q5", |b| {
-        b.iter(|| convert(Source::TidbTable, &tidb_table).unwrap())
+        b.iter(|| convert(Source::TidbTable, tidb_table).unwrap())
     });
     c.bench_function("convert/sqlite_q5", |b| {
-        b.iter(|| convert(Source::SqliteEqp, &sqlite_eqp).unwrap())
+        b.iter(|| convert(Source::SqliteEqp, sqlite_eqp).unwrap())
     });
     c.bench_function("convert/sqlserver_q5", |b| {
-        b.iter(|| convert(Source::SqlServerXml, &sqlserver_xml).unwrap())
+        b.iter(|| convert(Source::SqlServerXml, sqlserver_xml).unwrap())
     });
     c.bench_function("convert/sparksql_q5", |b| {
-        b.iter(|| convert(Source::SparkText, &spark_text).unwrap())
+        b.iter(|| convert(Source::SparkText, spark_text).unwrap())
     });
     c.bench_function("convert/neo4j_q3", |b| {
         b.iter(|| convert(Source::Neo4jTable, &neo4j_table).unwrap())
@@ -85,10 +77,10 @@ pub fn conversion(c: &mut Criterion) {
         b.iter(|| convert(Source::InfluxText, &influx_text).unwrap())
     });
 
-    let unified = convert(Source::PostgresText, &pg_text).unwrap();
+    let unified = convert(Source::PostgresText, pg_text).unwrap();
     let text = uplan_core::text::to_text(&unified);
     let json = uplan_core::formats::unified::to_json(&unified);
-    let other = convert(Source::TidbTable, &tidb_table).unwrap();
+    let other = convert(Source::TidbTable, tidb_table).unwrap();
 
     let mut group = c.benchmark_group("unified");
     if group.is_quick() {
@@ -194,7 +186,7 @@ pub fn qpg_throughput(c: &mut Criterion) {
 /// rebuild) so it isolates the codecs.
 pub fn corpus(c: &mut Criterion) {
     use uplan_core::formats::binary::BinaryDecoder;
-    use uplan_corpus::PlanCorpus;
+    use uplan_corpus::{PlanCorpus, QueryRequest};
 
     let stream = crate::corpus_fixture::derived_stream(10_000, 0x5eed_cafe);
     let indexed = crate::corpus_fixture::derived_corpus(10_000, 0x0dd_ba11);
@@ -233,12 +225,18 @@ pub fn corpus(c: &mut Criterion) {
         })
     });
 
+    // Requests are built once: the bench measures `execute`, not probe
+    // cloning.
+    let knn_requests: Vec<QueryRequest> = probes
+        .iter()
+        .map(|p| QueryRequest::knn(5).with_probe((*p).clone()))
+        .collect();
     let mut probe_cursor = 0usize;
     group.bench_function("knn_query", |b| {
         b.iter(|| {
-            let probe = probes[probe_cursor % probes.len()];
+            let request = &knn_requests[probe_cursor % knn_requests.len()];
             probe_cursor += 1;
-            indexed.nearest(probe, 5).ted_evals
+            indexed.execute(request).expect("knn").ted_evals
         })
     });
 
@@ -304,8 +302,12 @@ pub fn corpus(c: &mut Criterion) {
     let mut bk_evals = 0u64;
     let mut scan_evals = 0u64;
     for probe in &probes {
-        bk_evals += indexed.nearest(probe, 5).ted_evals;
-        bk_evals += indexed.within_radius(probe, 2).ted_evals;
+        for request in [
+            QueryRequest::knn(5).with_probe((*probe).clone()),
+            QueryRequest::radius(2).with_probe((*probe).clone()),
+        ] {
+            bk_evals += indexed.execute(&request).expect("metric query").ted_evals;
+        }
         scan_evals += 2 * indexed.len() as u64;
     }
     println!(
@@ -314,6 +316,125 @@ pub fn corpus(c: &mut Criterion) {
         bk_evals as f64 / (2 * probes.len()) as f64,
         indexed.len(),
         scan_evals as f64 / bk_evals as f64
+    );
+}
+
+/// Service request latency: the in-process `uplan_serve::handle` path over
+/// a ≥10k-plan snapshot — k-NN and stats reads plus raw-dump ingest
+/// accepts, without socket or parsing noise. These are the per-request
+/// numbers the daemon's `/stats` histograms report; the printed p50/p99
+/// line is the measured-latency evidence the serving road-map item cites.
+pub fn serve(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    use uplan_serve::http::HttpRequest;
+    use uplan_serve::{handle, ServeState};
+    use uplan_testing::fixtures::raw_dump_line;
+
+    let corpus = crate::corpus_fixture::derived_corpus(10_000, 0x0dd_ba11);
+    let state = ServeState::new(corpus, uplan_corpus::DEFAULT_PENDING_CAPACITY, 2);
+    let service = Arc::clone(state.service());
+    let mut reader = service.reader();
+
+    let post = |path: &str, body: String| HttpRequest {
+        method: "POST".into(),
+        path: path.into(),
+        query: Vec::new(),
+        body: body.into_bytes(),
+    };
+
+    // Requests are prebuilt: the bench measures the handler, not request
+    // assembly. k-NN probes rotate through 24 fixture plans; the ingest
+    // body is one fleet raw dump (11 dialect records per request).
+    let knn_requests: Vec<HttpRequest> = crate::corpus_fixture::derived_stream(24, 0x9e9e_0001)
+        .iter()
+        .map(|probe| {
+            let probe = uplan_core::formats::unified::to_json(probe);
+            post("/knn", format!("{{\"k\": 5, \"probe\": {probe}}}"))
+        })
+        .collect();
+    let stats_request = HttpRequest {
+        method: "GET".into(),
+        path: "/stats".into(),
+        query: Vec::new(),
+        body: Vec::new(),
+    };
+    let mut fleet = DialectFleet::new();
+    let dump: String = fleet
+        .relational(4, 31)
+        .iter()
+        .map(|(source, text)| raw_dump_line(*source, text))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let ingest_request = post("/ingest", dump);
+
+    let mut group = c.benchmark_group("serve");
+    if group.is_quick() {
+        group.sample_size(8);
+        group.warm_up_time(Duration::from_millis(50));
+        group.measurement_time(Duration::from_millis(400));
+    }
+
+    let mut probe_cursor = 0usize;
+    group.bench_function("knn_request", |b| {
+        b.iter(|| {
+            let request = &knn_requests[probe_cursor % knn_requests.len()];
+            probe_cursor += 1;
+            let response = handle(&state, &mut reader, request);
+            assert_eq!(response.status, 200, "{}", response.body);
+            response.body.len()
+        })
+    });
+
+    group.bench_function("stats_request", |b| {
+        b.iter(|| {
+            let response = handle(&state, &mut reader, &stats_request);
+            assert_eq!(response.status, 200, "{}", response.body);
+            response.body.len()
+        })
+    });
+
+    // Ingest accepts into the bounded delta queue (202). When the queue
+    // fills mid-bench the guard drains it with an epoch merge and retries,
+    // so long runs never wedge on 429 backpressure.
+    group.bench_function("ingest_request", |b| {
+        b.iter(|| {
+            let response = handle(&state, &mut reader, &ingest_request);
+            if response.status == 429 {
+                service.merge(2);
+                let retried = handle(&state, &mut reader, &ingest_request);
+                assert_eq!(retried.status, 202, "{}", retried.body);
+                retried.status
+            } else {
+                assert_eq!(response.status, 202, "{}", response.body);
+                response.status
+            }
+        })
+    });
+    group.finish();
+
+    // The measured per-request latency histograms — the same numbers the
+    // daemon reports under `/stats`.
+    let metrics = state.metrics().to_json_value();
+    let quantiles = |endpoint: &str| -> String {
+        metrics
+            .get(endpoint)
+            .and_then(|e| e.get("latency_us"))
+            .map(|h| {
+                format!(
+                    "p50={}us p99={}us",
+                    h.get("p50").and_then(|v| v.as_int()).unwrap_or(0),
+                    h.get("p99").and_then(|v| v.as_int()).unwrap_or(0),
+                )
+            })
+            .unwrap_or_else(|| "unmeasured".into())
+    };
+    println!(
+        "serve/latency over {} requests: knn {}; stats {}; ingest {}",
+        state.metrics().requests(),
+        quantiles("knn"),
+        quantiles("stats"),
+        quantiles("ingest"),
     );
 }
 

@@ -22,6 +22,7 @@ pub fn collect() -> Vec<BenchResult> {
     crate::microbench::testing(&mut criterion);
     crate::microbench::qpg_throughput(&mut criterion);
     crate::microbench::corpus(&mut criterion);
+    crate::microbench::serve(&mut criterion);
     criterion.into_results()
 }
 

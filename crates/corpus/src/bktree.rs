@@ -87,15 +87,34 @@ impl BkTree {
     pub fn within_radius(
         &self,
         radius: u32,
-        mut dist: impl FnMut(u32) -> u32,
+        dist: impl FnMut(u32) -> u32,
     ) -> (Vec<(u32, u32)>, u64) {
+        let (out, evals, _) = self.within_radius_limited(radius, u64::MAX, dist);
+        (out, evals)
+    }
+
+    /// [`BkTree::within_radius`] under a metric-evaluation budget: the
+    /// traversal stops *before* the evaluation that would exceed `limit`
+    /// and the final `bool` reports whether it was cut short. With
+    /// `limit == u64::MAX` the walk, matches and eval count are identical
+    /// to the unbudgeted query — [`BkTree::within_radius`] forwards here,
+    /// so there is exactly one traversal implementation to trust.
+    pub fn within_radius_limited(
+        &self,
+        radius: u32,
+        limit: u64,
+        mut dist: impl FnMut(u32) -> u32,
+    ) -> (Vec<(u32, u32)>, u64, bool) {
         let mut out = Vec::new();
         if self.nodes.is_empty() {
-            return (out, 0);
+            return (out, 0, false);
         }
         let mut evals = 0u64;
         let mut stack = vec![0u32];
         while let Some(n) = stack.pop() {
+            if evals >= limit {
+                return (out, evals, true);
+            }
             let node = &self.nodes[n as usize];
             let d = dist(node.item);
             evals += 1;
@@ -110,7 +129,7 @@ impl BkTree {
                 }
             }
         }
-        (out, evals)
+        (out, evals, false)
     }
 
     /// The `k` nearest items to the probe, sorted by ascending distance
@@ -143,25 +162,49 @@ impl BkTree {
         k: usize,
         best: &mut BinaryHeap<(u32, u32)>,
         tag: impl Fn(u32) -> u32,
-        mut dist: impl FnMut(u32) -> u32,
+        dist: impl FnMut(u32) -> u32,
     ) -> u64 {
-        if k == 0 || self.nodes.is_empty() {
-            return 0;
-        }
-        let mut evals = 0u64;
-        self.nearest_rec(0, k, &tag, &mut dist, best, &mut evals);
+        let (evals, _) = self.nearest_into_limited(k, u64::MAX, best, tag, dist);
         evals
     }
 
+    /// [`BkTree::nearest_into`] under a metric-evaluation budget: descent
+    /// stops *before* the evaluation that would exceed `limit`; the `bool`
+    /// reports whether it did. The heap then holds a best-effort prefix of
+    /// the answer. With `limit == u64::MAX` the walk and eval count are
+    /// identical to the unbudgeted query — [`BkTree::nearest_into`]
+    /// forwards here.
+    pub fn nearest_into_limited(
+        &self,
+        k: usize,
+        limit: u64,
+        best: &mut BinaryHeap<(u32, u32)>,
+        tag: impl Fn(u32) -> u32,
+        mut dist: impl FnMut(u32) -> u32,
+    ) -> (u64, bool) {
+        if k == 0 || self.nodes.is_empty() {
+            return (0, false);
+        }
+        let mut evals = 0u64;
+        let truncated = self.nearest_rec(0, k, limit, &tag, &mut dist, best, &mut evals);
+        (evals, truncated)
+    }
+
+    /// Returns `true` when the budget cut the descent short.
+    #[allow(clippy::too_many_arguments)]
     fn nearest_rec(
         &self,
         n: u32,
         k: usize,
+        limit: u64,
         tag: &impl Fn(u32) -> u32,
         dist: &mut impl FnMut(u32) -> u32,
         best: &mut BinaryHeap<(u32, u32)>,
         evals: &mut u64,
-    ) {
+    ) -> bool {
+        if *evals >= limit {
+            return true;
+        }
         let node = &self.nodes[n as usize];
         let d = dist(node.item);
         *evals += 1;
@@ -187,10 +230,11 @@ impl BkTree {
             // strictly improve any kept distance; equal-distance ties swap
             // items but never the distance multiset, so skipping is sound.
             let prune = best.len() >= k && best.peek().is_some_and(|&(worst, _)| gap >= worst);
-            if !prune {
-                self.nearest_rec(child, k, tag, dist, best, evals);
+            if !prune && self.nearest_rec(child, k, limit, tag, dist, best, evals) {
+                return true;
             }
         }
+        false
     }
 
     // -----------------------------------------------------------------------
@@ -415,6 +459,55 @@ mod tests {
                 assert_eq!(got, want, "probe {probe} k {k}");
                 assert!(evals <= values.len() as u64);
             }
+        }
+    }
+
+    #[test]
+    fn budgeted_traversals_stop_exactly_at_the_limit() {
+        let values: Vec<u32> = (0..512u32).map(|i| (i * 37) % 101).collect();
+        let tree = build(&values);
+        for probe in [0u32, 13, 50, 100] {
+            let (mut full, full_evals) = tree.within_radius(3, line_metric(&values, probe));
+            full.sort_unstable();
+            // u64::MAX is the unbudgeted query, bit for bit.
+            let (mut unlim, evals, cut) =
+                tree.within_radius_limited(3, u64::MAX, line_metric(&values, probe));
+            unlim.sort_unstable();
+            assert_eq!(unlim, full);
+            assert_eq!(evals, full_evals);
+            assert!(!cut);
+            for limit in [1u64, full_evals / 2, full_evals] {
+                let (part, spent, cut) =
+                    tree.within_radius_limited(3, limit, line_metric(&values, probe));
+                assert!(spent <= limit, "spent {spent} over budget {limit}");
+                if limit >= full_evals {
+                    assert!(!cut);
+                } else {
+                    assert!(cut);
+                    assert_eq!(spent, limit);
+                }
+                // A truncated answer is a subset of the full one.
+                assert!(part.iter().all(|m| full.contains(m)));
+            }
+            // Same discipline for k-NN.
+            let mut best = BinaryHeap::new();
+            let (full_knn_evals, cut) = tree.nearest_into_limited(
+                4,
+                u64::MAX,
+                &mut best,
+                |i| i,
+                line_metric(&values, probe),
+            );
+            assert!(!cut);
+            let (_, plain_evals) = tree.nearest(4, line_metric(&values, probe));
+            assert_eq!(full_knn_evals, plain_evals);
+            let mut best = BinaryHeap::new();
+            let limit = full_knn_evals / 2;
+            let (spent, cut) =
+                tree.nearest_into_limited(4, limit, &mut best, |i| i, line_metric(&values, probe));
+            assert!(cut);
+            assert_eq!(spent, limit);
+            assert!(best.len() <= 4);
         }
     }
 

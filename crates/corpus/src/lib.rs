@@ -42,6 +42,8 @@
 //! name and remains the alias everything else in the workspace uses.
 
 pub mod bktree;
+pub mod query;
+pub mod service;
 mod shard;
 
 use std::collections::{BinaryHeap, HashSet};
@@ -56,6 +58,12 @@ use uplan_core::ted::tree_edit_distance;
 use uplan_core::{Error, Result, UnifiedPlan};
 
 use shard::CorpusShard;
+
+pub use query::{QueryError, QueryKind, QueryOutcome, QueryRequest, QueryResponse};
+pub use service::{
+    CorpusService, CorpusSnapshot, MergeReport, ServiceError, SnapshotReader,
+    DEFAULT_PENDING_CAPACITY,
+};
 
 /// Default shard count of a corpus.
 ///
@@ -375,7 +383,7 @@ impl ShardedCorpus {
         let Some(s) = self.claim(fp) else {
             return false;
         };
-        let novel = radius == 0 || self.within_radius(plan, radius).matches.is_empty();
+        let novel = radius == 0 || self.radius_query(plan, radius).matches.is_empty();
         self.place(s, plan.clone(), fp);
         novel
     }
@@ -503,25 +511,77 @@ impl ShardedCorpus {
     /// All stored plans within `radius` tree edits of the probe, fanned
     /// out across every shard's BK-tree (triangle-inequality pruned) and
     /// merged. Matches sort by plan id.
+    #[deprecated(
+        since = "0.2.0",
+        note = "route queries through `ShardedCorpus::execute` with \
+                `QueryRequest::radius(r)`; this forwarder is kept for one \
+                release of grace"
+    )]
     pub fn within_radius(&self, probe: &UnifiedPlan, radius: u32) -> MetricQuery {
+        self.radius_query(probe, radius)
+    }
+
+    /// [`ShardedCorpus::within_radius`] with the shard fan-out spread
+    /// across `threads` scoped worker threads.
+    #[deprecated(
+        since = "0.2.0",
+        note = "route queries through `ShardedCorpus::execute` with \
+                `QueryRequest::radius(r).with_threads(n)`; this forwarder \
+                is kept for one release of grace"
+    )]
+    pub fn within_radius_threaded(
+        &self,
+        probe: &UnifiedPlan,
+        radius: u32,
+        threads: usize,
+    ) -> MetricQuery {
+        self.radius_query_threaded(probe, radius, threads)
+    }
+
+    /// Sequential radius query over every shard (the one radius traversal
+    /// implementation — threaded, budgeted and deprecated entry points all
+    /// reach it).
+    pub(crate) fn radius_query(&self, probe: &UnifiedPlan, radius: u32) -> MetricQuery {
+        let (query, _) = self.radius_query_limited(probe, radius, u64::MAX);
+        query
+    }
+
+    /// Radius query under a shared TED-evaluation budget spanning the
+    /// whole shard fan-out. With `limit == u64::MAX` the walk and eval
+    /// count are identical to the unbudgeted query. The `bool` reports
+    /// whether the budget cut the traversal short (the matches are then a
+    /// best-effort subset).
+    pub(crate) fn radius_query_limited(
+        &self,
+        probe: &UnifiedPlan,
+        radius: u32,
+        limit: u64,
+    ) -> (MetricQuery, bool) {
         let mut matches = Vec::new();
         let mut ted_evals = 0u64;
+        let mut truncated = false;
         for shard in &self.shards {
             let plans = &shard.plans;
-            let (m, evals) = shard.index.within_radius(radius, |other| {
-                tree_edit_distance(probe, &plans[other as usize]) as u32
-            });
+            let (m, evals, cut) = shard.index.within_radius_limited(
+                radius,
+                limit.saturating_sub(ted_evals),
+                |other| tree_edit_distance(probe, &plans[other as usize]) as u32,
+            );
             ted_evals += evals;
             matches.extend(
                 m.into_iter()
                     .map(|(local, d)| (shard.globals[local as usize] as usize, d)),
             );
+            if cut {
+                truncated = true;
+                break;
+            }
         }
         matches.sort_unstable();
-        MetricQuery { matches, ted_evals }
+        (MetricQuery { matches, ted_evals }, truncated)
     }
 
-    /// [`ShardedCorpus::within_radius`] with the shard fan-out spread
+    /// [`ShardedCorpus::radius_query`] with the shard fan-out spread
     /// across `threads` scoped worker threads.
     ///
     /// The answer is *identical* to the sequential query — same matches
@@ -530,7 +590,7 @@ impl ShardedCorpus {
     /// independent), so evaluating them concurrently changes nothing the
     /// counted-evals gate measures. `threads <= 1` takes the sequential
     /// path directly.
-    pub fn within_radius_threaded(
+    pub(crate) fn radius_query_threaded(
         &self,
         probe: &UnifiedPlan,
         radius: u32,
@@ -538,7 +598,7 @@ impl ShardedCorpus {
     ) -> MetricQuery {
         let threads = threads.clamp(1, self.shards.len());
         if threads == 1 {
-            return self.within_radius(probe, radius);
+            return self.radius_query(probe, radius);
         }
         let chunk = self.shards.len().div_ceil(threads);
         let mut matches = Vec::new();
@@ -581,26 +641,63 @@ impl ShardedCorpus {
     /// first prunes against the bound its predecessors already tightened —
     /// a merged k-NN costs close to a single-tree one, not `shards ×` as
     /// much. Matches sort by ascending distance (then id).
+    #[deprecated(
+        since = "0.2.0",
+        note = "route queries through `ShardedCorpus::execute` with \
+                `QueryRequest::knn(k)`; this forwarder is kept for one \
+                release of grace"
+    )]
     pub fn nearest(&self, probe: &UnifiedPlan, k: usize) -> MetricQuery {
+        self.knn_query(probe, k)
+    }
+
+    /// The one k-NN implementation (see the deprecated
+    /// [`ShardedCorpus::nearest`] for the semantics).
+    pub(crate) fn knn_query(&self, probe: &UnifiedPlan, k: usize) -> MetricQuery {
+        let (query, _) = self.knn_query_limited(probe, k, u64::MAX);
+        query
+    }
+
+    /// k-NN under a shared TED-evaluation budget spanning the whole shard
+    /// fan-out. With `limit == u64::MAX` the walk and eval count are
+    /// identical to the unbudgeted query. The `bool` reports whether the
+    /// budget cut the descent short (the matches are then a best-effort
+    /// prefix of the answer).
+    pub(crate) fn knn_query_limited(
+        &self,
+        probe: &UnifiedPlan,
+        k: usize,
+        limit: u64,
+    ) -> (MetricQuery, bool) {
         let mut best: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(k + 1);
         let mut ted_evals = 0u64;
+        let mut truncated = false;
         for shard in &self.shards {
             let plans = &shard.plans;
-            ted_evals += shard.index.nearest_into(
+            let (evals, cut) = shard.index.nearest_into_limited(
                 k,
+                limit.saturating_sub(ted_evals),
                 &mut best,
                 |local| shard.globals[local as usize],
                 |other| tree_edit_distance(probe, &plans[other as usize]) as u32,
             );
+            ted_evals += evals;
+            if cut {
+                truncated = true;
+                break;
+            }
         }
-        MetricQuery {
-            matches: best
-                .into_sorted_vec()
-                .into_iter()
-                .map(|(d, id)| (id as usize, d))
-                .collect(),
-            ted_evals,
-        }
+        (
+            MetricQuery {
+                matches: best
+                    .into_sorted_vec()
+                    .into_iter()
+                    .map(|(d, id)| (id as usize, d))
+                    .collect(),
+                ted_evals,
+            },
+            truncated,
+        )
     }
 
     /// Brute-force reference for [`ShardedCorpus::within_radius`]: a full
@@ -663,29 +760,53 @@ impl ShardedCorpus {
     /// unclaimed plan within `radius` of it (one radius query each).
     /// Deterministic, and the id-order greedy pass makes leaders the
     /// earliest-observed representative of each neighborhood.
+    #[deprecated(
+        since = "0.2.0",
+        note = "route queries through `ShardedCorpus::execute` with \
+                `QueryRequest::cluster(r)`; this forwarder is kept for one \
+                release of grace"
+    )]
     pub fn clusters(&self, radius: u32) -> Vec<Cluster> {
-        self.clusters_threaded(radius, 1)
+        self.cluster_query(radius, 1).0
     }
 
     /// [`ShardedCorpus::clusters`] with every leader's radius query fanned
-    /// out across shards on `threads` worker threads. Same clusters — the
-    /// greedy pass is sequential over leaders, only each query's shard
-    /// visits run concurrently.
-    ///
-    /// Unlike calling [`ShardedCorpus::within_radius_threaded`] per
-    /// leader, the workers are spawned **once** and fed probes over
-    /// channels, so a large corpus pays thread start-up per clustering
-    /// run, not per query.
+    /// out across shards on `threads` worker threads.
+    #[deprecated(
+        since = "0.2.0",
+        note = "route queries through `ShardedCorpus::execute` with \
+                `QueryRequest::cluster(r).with_threads(n)`; this forwarder \
+                is kept for one release of grace"
+    )]
     pub fn clusters_threaded(&self, radius: u32, threads: usize) -> Vec<Cluster> {
+        self.cluster_query(radius, threads).0
+    }
+
+    /// The one clustering implementation: greedy leader clustering with
+    /// every leader's radius query fanned out across shards on `threads`
+    /// worker threads. Same clusters for every thread count — the greedy
+    /// pass is sequential over leaders, only each query's shard visits run
+    /// concurrently.
+    ///
+    /// Unlike fanning out a fresh threaded radius query per leader, the
+    /// workers are spawned **once** and fed probes over channels, so a
+    /// large corpus pays thread start-up per clustering run, not per
+    /// query.
+    pub(crate) fn cluster_query(&self, radius: u32, threads: usize) -> (Vec<Cluster>, u64) {
         let threads = threads.clamp(1, self.shards.len());
+        let mut ted_evals = 0u64;
         if threads == 1 {
-            return self
-                .greedy_clusters(|leader| self.within_radius(self.plan(leader), radius).matches);
+            let clusters = self.greedy_clusters(|leader| {
+                let q = self.radius_query(self.plan(leader), radius);
+                ted_evals += q.ted_evals;
+                q.matches
+            });
+            return (clusters, ted_evals);
         }
         use std::sync::mpsc;
         let chunk = self.shards.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let (result_tx, result_rx) = mpsc::channel::<Matches>();
+        let clusters = std::thread::scope(|scope| {
+            let (result_tx, result_rx) = mpsc::channel::<(Matches, u64)>();
             // Workers receive leader *ids* (resolving the probe plan
             // themselves), sidestepping a reference-typed channel.
             let probe_txs: Vec<mpsc::Sender<usize>> =
@@ -700,16 +821,18 @@ impl ShardedCorpus {
                             while let Ok(leader) = probe_rx.recv() {
                                 let probe = self.plan(leader);
                                 let mut matches: Matches = Vec::new();
+                                let mut evals = 0u64;
                                 for shard in group {
                                     let plans = &shard.plans;
-                                    let (m, _) = shard.index.within_radius(radius, |other| {
+                                    let (m, e) = shard.index.within_radius(radius, |other| {
                                         tree_edit_distance(probe, &plans[other as usize]) as u32
                                     });
+                                    evals += e;
                                     matches.extend(m.into_iter().map(|(local, d)| {
                                         (shard.globals[local as usize] as usize, d)
                                     }));
                                 }
-                                if result_tx.send(matches).is_err() {
+                                if result_tx.send((matches, evals)).is_err() {
                                     return;
                                 }
                             }
@@ -724,12 +847,15 @@ impl ShardedCorpus {
                 }
                 let mut matches: Matches = Vec::new();
                 for _ in &probe_txs {
-                    matches.extend(result_rx.recv().expect("cluster worker result"));
+                    let (m, e) = result_rx.recv().expect("cluster worker result");
+                    ted_evals += e;
+                    matches.extend(m);
                 }
                 matches.sort_unstable();
                 matches
             })
-        })
+        });
+        (clusters, ted_evals)
     }
 
     /// The greedy pass over a radius-query oracle taking a leader plan id
@@ -770,7 +896,7 @@ impl ShardedCorpus {
                     continue;
                 }
                 only.push(id);
-                if b.within_radius(plan, radius).matches.is_empty() {
+                if b.radius_query(plan, radius).matches.is_empty() {
                     beyond.push(id);
                 }
             }
@@ -1196,13 +1322,13 @@ mod tests {
         }
         for probe in population() {
             for radius in 0..5u32 {
-                let indexed = corpus.within_radius(&probe, radius);
+                let indexed = corpus.radius_query(&probe, radius);
                 let scanned = corpus.scan_within_radius(&probe, radius);
                 assert_eq!(indexed.matches, scanned.matches, "radius {radius}");
                 assert!(indexed.ted_evals <= scanned.ted_evals);
             }
             for k in 1..=corpus.len() {
-                let indexed = corpus.nearest(&probe, k);
+                let indexed = corpus.knn_query(&probe, k);
                 let scanned = corpus.scan_nearest(&probe, k);
                 let d = |q: &MetricQuery| q.matches.iter().map(|&(_, d)| d).collect::<Vec<_>>();
                 assert_eq!(d(&indexed), d(&scanned), "k {k}");
@@ -1224,7 +1350,7 @@ mod tests {
             for probe in plans.iter().step_by(13) {
                 for radius in [0u32, 1, 3] {
                     assert_eq!(
-                        corpus.within_radius(probe, radius).matches,
+                        corpus.radius_query(probe, radius).matches,
                         corpus.scan_within_radius(probe, radius).matches,
                         "shards {shards} radius {radius}"
                     );
@@ -1232,7 +1358,7 @@ mod tests {
                 let d = |q: &MetricQuery| q.matches.iter().map(|&(_, d)| d).collect::<Vec<_>>();
                 for k in [1usize, 5, 20] {
                     assert_eq!(
-                        d(&corpus.nearest(probe, k)),
+                        d(&corpus.knn_query(probe, k)),
                         d(&corpus.scan_nearest(probe, k)),
                         "shards {shards} k {k}"
                     );
@@ -1298,10 +1424,10 @@ mod tests {
             }
             for probe in plans.iter().step_by(17) {
                 for radius in [0u32, 1, 3] {
-                    let sequential = corpus.within_radius(probe, radius);
+                    let sequential = corpus.radius_query(probe, radius);
                     for threads in [1usize, 2, 4, 7, 32] {
                         assert_eq!(
-                            corpus.within_radius_threaded(probe, radius, threads),
+                            corpus.radius_query_threaded(probe, radius, threads),
                             sequential,
                             "shards {shards} radius {radius} threads {threads}"
                         );
@@ -1309,8 +1435,8 @@ mod tests {
                 }
             }
             assert_eq!(
-                corpus.clusters_threaded(2, 4),
-                corpus.clusters(2),
+                corpus.cluster_query(2, 4),
+                corpus.cluster_query(2, 1),
                 "shards {shards}"
             );
         }
@@ -1336,7 +1462,7 @@ mod tests {
         for plan in population() {
             corpus.insert(plan);
         }
-        let clusters = corpus.clusters(1);
+        let clusters = corpus.cluster_query(1, 1).0;
         let mut seen: Vec<usize> = clusters
             .iter()
             .flat_map(|c| c.members.iter().map(|&(id, _)| id))
@@ -1348,7 +1474,7 @@ mod tests {
             assert!(c.members.iter().all(|&(_, d)| d <= 1));
         }
         // Radius large enough: one cluster.
-        assert_eq!(corpus.clusters(100).len(), 1);
+        assert_eq!(corpus.cluster_query(100, 1).0.len(), 1);
     }
 
     #[test]
@@ -1417,11 +1543,11 @@ mod tests {
         // And the adopted index answers exactly like the built one —
         // matches *and* evaluation counts.
         for probe in wide_population(120).iter().step_by(17) {
-            let a = corpus.within_radius(probe, 2);
-            let b = loaded.within_radius(probe, 2);
+            let a = corpus.radius_query(probe, 2);
+            let b = loaded.radius_query(probe, 2);
             assert_eq!(a, b);
-            let a = corpus.nearest(probe, 5);
-            let b = loaded.nearest(probe, 5);
+            let a = corpus.knn_query(probe, 5);
+            let b = loaded.knn_query(probe, 5);
             assert_eq!(a, b);
         }
         // Saving the loaded corpus reproduces the document byte for byte.

@@ -1,0 +1,717 @@
+//! # The unified query vocabulary: one request, one response, one entry point
+//!
+//! Every way of interrogating a corpus — k-NN, radius, clustering, stats —
+//! used to be its own method with its own threading variant
+//! (`within_radius`, `within_radius_threaded`, `nearest`, `clusters`, …).
+//! The `uplan-serve` daemon and the `repro corpus query` CLI need *one*
+//! schema that scripts, handlers and benches all speak, so this module
+//! folds the sprawl into a [`QueryRequest`] builder executed by
+//! [`ShardedCorpus::execute`], answering with a [`QueryResponse`] that has
+//! a stable JSON wire form (the same bytes over HTTP and from
+//! `repro corpus query --json`).
+//!
+//! Two request knobs matter beyond the query parameters themselves:
+//!
+//! * **`threads`** fans the shard visits of radius and cluster queries out
+//!   across scoped workers — same matches, same counted TED evaluations
+//!   (shard walks are independent). k-NN ignores it: the shared best-k
+//!   heap that makes merged k-NN cheap is inherently sequential.
+//! * **`max_ted_evals`** is a per-request *counted-TED budget* in the
+//!   spirit of the paper's evaluation-count discipline: the traversal
+//!   stops before the evaluation that would exceed the budget and the
+//!   request fails with [`QueryError::BudgetExceeded`] — a distinct,
+//!   machine-readable outcome (HTTP 422 on the wire) rather than a
+//!   silently partial answer. Budgeted queries always run the sequential
+//!   shard fan-out so the evaluation count that tripped (or respected)
+//!   the budget is deterministic.
+
+use std::fmt;
+
+use uplan_core::formats::json::{self, object, JsonValue, OwnedJsonValue};
+use uplan_core::formats::unified;
+use uplan_core::UnifiedPlan;
+
+use crate::{Cluster, CorpusStats, Matches, MetricQuery, ShardedCorpus};
+
+/// What a [`QueryRequest`] asks of the corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryKind {
+    /// The `k` stored plans nearest to the probe.
+    Knn {
+        /// How many neighbors to return.
+        k: usize,
+    },
+    /// All stored plans within `radius` tree edits of the probe.
+    Radius {
+        /// Inclusive TED radius.
+        radius: u32,
+    },
+    /// Greedy leader clustering of the whole corpus at `radius`.
+    Cluster {
+        /// Inclusive TED radius members must lie within of their leader.
+        radius: u32,
+    },
+    /// Aggregate corpus statistics.
+    Stats,
+}
+
+impl QueryKind {
+    /// The wire name (`"knn"`, `"radius"`, `"cluster"`, `"stats"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Knn { .. } => "knn",
+            QueryKind::Radius { .. } => "radius",
+            QueryKind::Cluster { .. } => "cluster",
+            QueryKind::Stats => "stats",
+        }
+    }
+}
+
+/// One corpus query: what to ask ([`QueryKind`]), what to ask it about
+/// (the probe plan, for k-NN and radius), and how to run it (threads,
+/// counted-TED budget). Built with the `QueryRequest::knn(5)`-style
+/// constructors plus `with_*` chainers; executed by
+/// [`ShardedCorpus::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The query itself.
+    pub kind: QueryKind,
+    /// Worker threads for the shard fan-out of radius and cluster queries
+    /// (k-NN and stats ignore it). Budgeted queries run sequentially
+    /// regardless, so the counted evaluations are deterministic.
+    pub threads: usize,
+    /// Counted-TED budget: the query fails with
+    /// [`QueryError::BudgetExceeded`] rather than spend more evaluations
+    /// than this. Only k-NN and radius queries accept a budget.
+    pub max_ted_evals: Option<u64>,
+    /// The probe plan (required by k-NN and radius queries).
+    pub probe: Option<UnifiedPlan>,
+}
+
+impl QueryRequest {
+    fn with_kind(kind: QueryKind) -> QueryRequest {
+        QueryRequest {
+            kind,
+            threads: 1,
+            max_ted_evals: None,
+            probe: None,
+        }
+    }
+
+    /// A k-nearest-neighbors request (probe still required).
+    pub fn knn(k: usize) -> QueryRequest {
+        QueryRequest::with_kind(QueryKind::Knn { k })
+    }
+
+    /// A radius request (probe still required).
+    pub fn radius(radius: u32) -> QueryRequest {
+        QueryRequest::with_kind(QueryKind::Radius { radius })
+    }
+
+    /// A whole-corpus clustering request.
+    pub fn cluster(radius: u32) -> QueryRequest {
+        QueryRequest::with_kind(QueryKind::Cluster { radius })
+    }
+
+    /// A stats request.
+    pub fn stats() -> QueryRequest {
+        QueryRequest::with_kind(QueryKind::Stats)
+    }
+
+    /// Sets the probe plan.
+    pub fn with_probe(mut self, probe: UnifiedPlan) -> QueryRequest {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Sets the shard fan-out thread count.
+    pub fn with_threads(mut self, threads: usize) -> QueryRequest {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the counted-TED budget.
+    pub fn with_eval_budget(mut self, max_ted_evals: u64) -> QueryRequest {
+        self.max_ted_evals = Some(max_ted_evals);
+        self
+    }
+
+    /// The request as its JSON wire object (the body `uplan-serve`
+    /// accepts).
+    pub fn to_json_value(&self) -> OwnedJsonValue {
+        let mut members: Vec<(&'static str, OwnedJsonValue)> =
+            vec![("query", JsonValue::from(self.kind.name()))];
+        match self.kind {
+            QueryKind::Knn { k } => members.push(("k", JsonValue::from(k))),
+            QueryKind::Radius { radius } | QueryKind::Cluster { radius } => {
+                members.push(("radius", JsonValue::from(radius as usize)))
+            }
+            QueryKind::Stats => {}
+        }
+        if self.threads != 1 {
+            members.push(("threads", JsonValue::from(self.threads)));
+        }
+        if let Some(budget) = self.max_ted_evals {
+            members.push(("max_ted_evals", int(budget)));
+        }
+        if let Some(probe) = &self.probe {
+            members.push(("probe", unified::to_json_value(probe)));
+        }
+        object(members)
+    }
+
+    /// Parses a request from its JSON wire object. `kind` overrides an
+    /// absent `"query"` member (HTTP handlers know the kind from the path;
+    /// a present member must agree with it).
+    pub fn from_json_value(
+        doc: &JsonValue<'_>,
+        kind: Option<&str>,
+    ) -> Result<QueryRequest, QueryError> {
+        let malformed = |m: &str| QueryError::Malformed(m.to_string());
+        let members = doc
+            .as_object()
+            .ok_or_else(|| malformed("request body is not a JSON object"))?;
+        for (key, _) in members {
+            if !matches!(
+                key.as_ref(),
+                "query" | "k" | "radius" | "threads" | "max_ted_evals" | "probe"
+            ) {
+                return Err(QueryError::Malformed(format!(
+                    "unknown request member {key:?}"
+                )));
+            }
+        }
+        let named = doc.get("query").map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| malformed("\"query\" is not a string"))
+        });
+        let named = named.transpose()?;
+        let query = match (named.as_deref(), kind) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(QueryError::Malformed(format!(
+                    "request says \"query\": {a:?} but was sent to the {b} endpoint"
+                )))
+            }
+            (Some(a), _) => a.to_string(),
+            (None, Some(b)) => b.to_string(),
+            (None, None) => return Err(malformed("request has no \"query\" member")),
+        };
+        let uint = |key: &str| -> Result<Option<u64>, QueryError> {
+            match doc.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_int()
+                    .and_then(|i| u64::try_from(i).ok())
+                    .map(Some)
+                    .ok_or_else(|| {
+                        QueryError::Malformed(format!("{key:?} is not a non-negative integer"))
+                    }),
+            }
+        };
+        let kind = match query.as_str() {
+            "knn" => QueryKind::Knn {
+                k: uint("k")?.ok_or_else(|| malformed("knn request has no \"k\""))? as usize,
+            },
+            "radius" => QueryKind::Radius {
+                radius: radius_u32(uint("radius")?, "radius")?,
+            },
+            "cluster" => QueryKind::Cluster {
+                radius: radius_u32(uint("radius")?, "cluster")?,
+            },
+            "stats" => QueryKind::Stats,
+            other => {
+                return Err(QueryError::Malformed(format!(
+                    "unknown query kind {other:?} (expected knn, radius, cluster or stats)"
+                )))
+            }
+        };
+        let probe = match doc.get("probe") {
+            None => None,
+            Some(v) => Some(
+                unified::from_json_value(v)
+                    .map_err(|e| QueryError::Malformed(format!("bad probe plan: {e}")))?,
+            ),
+        };
+        Ok(QueryRequest {
+            kind,
+            threads: uint("threads")?.unwrap_or(1).max(1) as usize,
+            max_ted_evals: uint("max_ted_evals")?,
+            probe,
+        })
+    }
+
+    /// Parses a request from JSON text.
+    pub fn from_json(text: &str, kind: Option<&str>) -> Result<QueryRequest, QueryError> {
+        let doc = json::parse(text).map_err(|e| QueryError::Malformed(e.to_string()))?;
+        QueryRequest::from_json_value(&doc, kind)
+    }
+}
+
+fn radius_u32(value: Option<u64>, what: &str) -> Result<u32, QueryError> {
+    let v =
+        value.ok_or_else(|| QueryError::Malformed(format!("{what} request has no \"radius\"")))?;
+    u32::try_from(v).map_err(|_| QueryError::Malformed(format!("{what} \"radius\" overflows u32")))
+}
+
+fn int(v: u64) -> OwnedJsonValue {
+    JsonValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// The data a query produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// k-NN / radius matches as `(plan id, distance)` (radius sorts by
+    /// id, k-NN by ascending distance then id).
+    Matches(Matches),
+    /// The clustering.
+    Clusters(Vec<Cluster>),
+    /// Aggregate statistics.
+    Stats(CorpusStats),
+}
+
+/// What a query answered: the outcome plus the counted TED evaluations it
+/// spent, and — when served from a [`crate::CorpusSnapshot`] — the epoch
+/// the answer is consistent with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResponse {
+    /// Wire name of the query this answers.
+    pub query: &'static str,
+    /// The outcome payload.
+    pub outcome: QueryOutcome,
+    /// Counted TED evaluations spent answering.
+    pub ted_evals: u64,
+    /// Snapshot epoch the answer reflects (`None` when querying a plain
+    /// corpus outside the snapshot service).
+    pub epoch: Option<u64>,
+}
+
+impl QueryResponse {
+    /// Stamps the snapshot epoch the answer was computed against.
+    pub fn with_epoch(mut self, epoch: u64) -> QueryResponse {
+        self.epoch = Some(epoch);
+        self
+    }
+
+    /// The response as its JSON wire object — identical bytes from the
+    /// HTTP handlers and `repro corpus query --json`.
+    pub fn to_json_value(&self) -> OwnedJsonValue {
+        let mut members: Vec<(&'static str, OwnedJsonValue)> = vec![
+            ("status", JsonValue::from("ok")),
+            ("query", JsonValue::from(self.query)),
+            ("ted_evals", int(self.ted_evals)),
+        ];
+        if let Some(epoch) = self.epoch {
+            members.push(("epoch", int(epoch)));
+        }
+        match &self.outcome {
+            QueryOutcome::Matches(matches) => {
+                members.push(("matches", matches_json(matches)));
+            }
+            QueryOutcome::Clusters(clusters) => {
+                members.push((
+                    "clusters",
+                    JsonValue::Array(
+                        clusters
+                            .iter()
+                            .map(|c| {
+                                object([
+                                    ("leader", JsonValue::from(c.leader)),
+                                    ("members", matches_json(&c.members)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            QueryOutcome::Stats(stats) => {
+                members.push((
+                    "stats",
+                    object([
+                        ("observed", int(stats.observed)),
+                        ("distinct", JsonValue::from(stats.distinct)),
+                        ("duplicates", int(stats.duplicates)),
+                        ("operations", JsonValue::from(stats.operations)),
+                        ("max_depth", JsonValue::from(stats.max_depth)),
+                    ]),
+                ));
+            }
+        }
+        object(members)
+    }
+
+    /// The response as compact JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_compact()
+    }
+}
+
+fn matches_json(matches: &Matches) -> OwnedJsonValue {
+    JsonValue::Array(
+        matches
+            .iter()
+            .map(|&(id, d)| {
+                object([
+                    ("id", JsonValue::from(id)),
+                    ("distance", JsonValue::from(d as usize)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Why a query could not be answered. Each variant has a stable wire code
+/// ([`QueryError::code`]) so scripts and the HTTP front end can branch
+/// without parsing prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A k-NN or radius request arrived without a probe plan.
+    MissingProbe,
+    /// The counted-TED budget would have been exceeded; `spent` is where
+    /// the traversal stopped (always `<= budget`).
+    BudgetExceeded {
+        /// The requested `max_ted_evals`.
+        budget: u64,
+        /// Evaluations spent before stopping.
+        spent: u64,
+    },
+    /// The request combines options this query kind does not support
+    /// (e.g. a TED budget on cluster or stats).
+    Unsupported(String),
+    /// The request could not be decoded.
+    Malformed(String),
+}
+
+impl QueryError {
+    /// Stable machine-readable code (`"missing-probe"`,
+    /// `"budget-exceeded"`, `"unsupported"`, `"malformed"`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            QueryError::MissingProbe => "missing-probe",
+            QueryError::BudgetExceeded { .. } => "budget-exceeded",
+            QueryError::Unsupported(_) => "unsupported",
+            QueryError::Malformed(_) => "malformed",
+        }
+    }
+
+    /// The error as its JSON wire object (`"status": "error"`).
+    pub fn to_json_value(&self) -> OwnedJsonValue {
+        let mut members: Vec<(&'static str, OwnedJsonValue)> = vec![
+            ("status", JsonValue::from("error")),
+            ("error", JsonValue::from(self.code())),
+            ("message", JsonValue::from(self.to_string())),
+        ];
+        if let QueryError::BudgetExceeded { budget, spent } = self {
+            members.push(("budget", int(*budget)));
+            members.push(("spent", int(*spent)));
+        }
+        object(members)
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::MissingProbe => {
+                write!(f, "knn and radius queries require a probe plan")
+            }
+            QueryError::BudgetExceeded { budget, spent } => write!(
+                f,
+                "counted-TED budget exceeded: stopped after {spent} of {budget} evaluations"
+            ),
+            QueryError::Unsupported(m) => write!(f, "unsupported request: {m}"),
+            QueryError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl ShardedCorpus {
+    /// Executes a [`QueryRequest`] — the single query entry point the CLI,
+    /// the `uplan-serve` handlers and library callers all share.
+    ///
+    /// Budgeted k-NN / radius queries run the sequential shard fan-out so
+    /// their counted evaluations (and hence where the budget trips) are
+    /// deterministic; unbudgeted radius and cluster queries honor
+    /// `threads`, which changes neither matches nor counted evaluations.
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
+        let respond = |outcome, ted_evals| QueryResponse {
+            query: request.kind.name(),
+            outcome,
+            ted_evals,
+            epoch: None,
+        };
+        let budgeted = |q: MetricQuery, truncated: bool, budget: u64| {
+            if truncated {
+                Err(QueryError::BudgetExceeded {
+                    budget,
+                    spent: q.ted_evals,
+                })
+            } else {
+                let evals = q.ted_evals;
+                Ok(respond(QueryOutcome::Matches(q.matches), evals))
+            }
+        };
+        match request.kind {
+            QueryKind::Knn { k } => {
+                let probe = request.probe.as_ref().ok_or(QueryError::MissingProbe)?;
+                match request.max_ted_evals {
+                    Some(budget) => {
+                        let (q, truncated) = self.knn_query_limited(probe, k, budget);
+                        budgeted(q, truncated, budget)
+                    }
+                    None => {
+                        let q = self.knn_query(probe, k);
+                        let evals = q.ted_evals;
+                        Ok(respond(QueryOutcome::Matches(q.matches), evals))
+                    }
+                }
+            }
+            QueryKind::Radius { radius } => {
+                let probe = request.probe.as_ref().ok_or(QueryError::MissingProbe)?;
+                match request.max_ted_evals {
+                    Some(budget) => {
+                        let (q, truncated) = self.radius_query_limited(probe, radius, budget);
+                        budgeted(q, truncated, budget)
+                    }
+                    None => {
+                        let q = self.radius_query_threaded(probe, radius, request.threads);
+                        let evals = q.ted_evals;
+                        Ok(respond(QueryOutcome::Matches(q.matches), evals))
+                    }
+                }
+            }
+            QueryKind::Cluster { radius } => {
+                if request.max_ted_evals.is_some() {
+                    return Err(QueryError::Unsupported(
+                        "counted-TED budgets apply to knn and radius queries only".into(),
+                    ));
+                }
+                let (clusters, evals) = self.cluster_query(radius, request.threads);
+                Ok(respond(QueryOutcome::Clusters(clusters), evals))
+            }
+            QueryKind::Stats => {
+                if request.max_ted_evals.is_some() {
+                    return Err(QueryError::Unsupported(
+                        "counted-TED budgets apply to knn and radius queries only".into(),
+                    ));
+                }
+                Ok(respond(QueryOutcome::Stats(self.stats()), 0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uplan_core::PlanNode;
+
+    fn chain(names: &[&str]) -> UnifiedPlan {
+        let mut node: Option<PlanNode> = None;
+        for name in names.iter().rev() {
+            let mut n = PlanNode::producer(*name);
+            if let Some(child) = node.take() {
+                n = PlanNode::executor(*name).with_child(child);
+            }
+            node = Some(n);
+        }
+        UnifiedPlan::with_root(node.unwrap())
+    }
+
+    fn corpus() -> ShardedCorpus {
+        let mut corpus = ShardedCorpus::new();
+        for plan in [
+            chain(&["Scan_A"]),
+            chain(&["Gather", "Scan_A"]),
+            chain(&["Gather", "Scan_B"]),
+            chain(&["Gather", "Sort", "Scan_A"]),
+            chain(&["Collect", "Sort", "Scan_B"]),
+            chain(&["Collect", "Sort", "Hash", "Scan_B"]),
+        ] {
+            corpus.insert(plan);
+        }
+        corpus
+    }
+
+    #[test]
+    fn execute_matches_the_direct_query_paths() {
+        let corpus = corpus();
+        let probe = chain(&["Gather", "Scan_A"]);
+
+        let knn = corpus
+            .execute(&QueryRequest::knn(3).with_probe(probe.clone()))
+            .unwrap();
+        let direct = corpus.knn_query(&probe, 3);
+        assert_eq!(knn.outcome, QueryOutcome::Matches(direct.matches));
+        assert_eq!(knn.ted_evals, direct.ted_evals);
+        assert_eq!(knn.query, "knn");
+        assert_eq!(knn.epoch, None);
+
+        for threads in [1usize, 4] {
+            let radius = corpus
+                .execute(
+                    &QueryRequest::radius(1)
+                        .with_probe(probe.clone())
+                        .with_threads(threads),
+                )
+                .unwrap();
+            let direct = corpus.radius_query(&probe, 1);
+            assert_eq!(radius.outcome, QueryOutcome::Matches(direct.matches));
+            assert_eq!(radius.ted_evals, direct.ted_evals);
+        }
+
+        let clusters = corpus.execute(&QueryRequest::cluster(1)).unwrap();
+        let (direct, evals) = corpus.cluster_query(1, 1);
+        assert_eq!(clusters.outcome, QueryOutcome::Clusters(direct));
+        assert_eq!(clusters.ted_evals, evals);
+
+        let stats = corpus.execute(&QueryRequest::stats()).unwrap();
+        assert_eq!(stats.outcome, QueryOutcome::Stats(corpus.stats()));
+    }
+
+    #[test]
+    fn budgets_trip_distinctly_and_generous_budgets_change_nothing() {
+        let corpus = corpus();
+        let probe = chain(&["Gather", "Scan_A"]);
+        let unbudgeted = corpus
+            .execute(&QueryRequest::knn(2).with_probe(probe.clone()))
+            .unwrap();
+
+        // A budget the query fits under changes nothing — same matches,
+        // same counted evaluations.
+        let generous = corpus
+            .execute(
+                &QueryRequest::knn(2)
+                    .with_probe(probe.clone())
+                    .with_eval_budget(unbudgeted.ted_evals),
+            )
+            .unwrap();
+        assert_eq!(generous.outcome, unbudgeted.outcome);
+        assert_eq!(generous.ted_evals, unbudgeted.ted_evals);
+
+        // One evaluation less: the budget trips, reporting exactly where.
+        let tight = unbudgeted.ted_evals - 1;
+        let err = corpus
+            .execute(
+                &QueryRequest::knn(2)
+                    .with_probe(probe.clone())
+                    .with_eval_budget(tight),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::BudgetExceeded {
+                budget: tight,
+                spent: tight
+            }
+        );
+        assert_eq!(err.code(), "budget-exceeded");
+
+        // Radius queries trip the same way.
+        let full = corpus
+            .execute(&QueryRequest::radius(2).with_probe(probe.clone()))
+            .unwrap();
+        let err = corpus
+            .execute(
+                &QueryRequest::radius(2)
+                    .with_probe(probe.clone())
+                    .with_eval_budget(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, QueryError::BudgetExceeded { budget: 1, .. }));
+        assert!(full.ted_evals > 1);
+
+        // Budgets are knn/radius-only; probes are knn/radius-mandatory.
+        assert_eq!(
+            corpus
+                .execute(&QueryRequest::cluster(1).with_eval_budget(10))
+                .unwrap_err()
+                .code(),
+            "unsupported"
+        );
+        assert_eq!(
+            corpus.execute(&QueryRequest::knn(2)).unwrap_err(),
+            QueryError::MissingProbe
+        );
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let probe = chain(&["Gather", "Scan_A"]);
+        let requests = [
+            QueryRequest::knn(5).with_probe(probe.clone()),
+            QueryRequest::radius(3)
+                .with_probe(probe)
+                .with_threads(4)
+                .with_eval_budget(1000),
+            QueryRequest::cluster(2).with_threads(2),
+            QueryRequest::stats(),
+        ];
+        for request in requests {
+            let text = request.to_json_value().to_compact();
+            let parsed = QueryRequest::from_json(&text, None).unwrap();
+            assert_eq!(parsed, request, "{text}");
+            // An endpoint-supplied kind must agree with the body.
+            assert_eq!(
+                QueryRequest::from_json(&text, Some(request.kind.name())).unwrap(),
+                request
+            );
+            let other = if request.kind.name() == "stats" {
+                "knn"
+            } else {
+                "stats"
+            };
+            assert_eq!(
+                QueryRequest::from_json(&text, Some(other))
+                    .unwrap_err()
+                    .code(),
+                "malformed"
+            );
+        }
+        // The endpoint kind fills in an absent "query" member.
+        let parsed = QueryRequest::from_json("{\"k\": 2}", Some("knn")).unwrap();
+        assert_eq!(parsed.kind, QueryKind::Knn { k: 2 });
+        assert!(QueryRequest::from_json("{\"k\": 2}", None).is_err());
+        assert!(QueryRequest::from_json("{\"query\": \"knn\", \"kk\": 2}", None).is_err());
+        assert!(QueryRequest::from_json("not json", Some("stats")).is_err());
+    }
+
+    #[test]
+    fn responses_serialize_the_one_wire_schema() {
+        let corpus = corpus();
+        let probe = chain(&["Gather", "Scan_A"]);
+        let response = corpus
+            .execute(&QueryRequest::knn(2).with_probe(probe))
+            .unwrap()
+            .with_epoch(7);
+        let doc = response.to_json_value();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(doc.get("query").unwrap().as_str(), Some("knn"));
+        assert_eq!(doc.get("epoch").unwrap().as_int(), Some(7));
+        assert_eq!(
+            doc.get("ted_evals").unwrap().as_int(),
+            Some(response.ted_evals as i64)
+        );
+        let matches = doc.get("matches").unwrap().as_array().unwrap();
+        assert_eq!(matches.len(), 2);
+        assert!(matches[0].get("id").is_some() && matches[0].get("distance").is_some());
+
+        let stats = corpus.execute(&QueryRequest::stats()).unwrap();
+        let doc = stats.to_json_value();
+        assert_eq!(
+            doc.get("stats").unwrap().get("distinct").unwrap().as_int(),
+            Some(corpus.len() as i64)
+        );
+
+        let err = QueryError::BudgetExceeded {
+            budget: 10,
+            spent: 10,
+        };
+        let doc = err.to_json_value();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(doc.get("error").unwrap().as_str(), Some("budget-exceeded"));
+        assert_eq!(doc.get("budget").unwrap().as_int(), Some(10));
+    }
+}

@@ -1,0 +1,248 @@
+//! A deliberately minimal HTTP/1.1 codec: request line + headers +
+//! `Content-Length` body in, status + JSON body out, `Connection: close`
+//! on every exchange. The daemon serves `curl` and scripts on localhost,
+//! not browsers on the open internet — no chunked transfer, no keep-alive,
+//! no TLS — and staying inside `std` keeps the workspace offline.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on a request body (a raw fleet dump batch); larger
+/// submissions should be split — this is a backpressure boundary, not a
+/// parsing limit.
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Upper bound on the request line plus headers.
+const MAX_HEAD: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (e.g. `/knn`).
+    pub path: String,
+    /// Raw `key=value` query parameters, in order.
+    pub query: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of a query parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` when a flag-style parameter is present and not disabled
+    /// (`?lenient=1`, `?lenient=true`, bare `?lenient`).
+    pub fn flag(&self, key: &str) -> bool {
+        match self.param(key) {
+            None => false,
+            Some(v) => !matches!(v, "0" | "false" | "no"),
+        }
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_text(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Bad("request body is not UTF-8".into()))
+    }
+
+    /// Reads one request from a buffered connection. `Ok(None)` means the
+    /// peer closed without sending one (a health probe, or the shutdown
+    /// wake-up connection).
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Option<HttpRequest>, HttpError> {
+        let mut head = String::new();
+        let mut content_length = 0usize;
+        let mut request_line: Option<String> = None;
+        loop {
+            head.clear();
+            let n = reader.read_line(&mut head).map_err(HttpError::Io)?;
+            if n == 0 {
+                return if request_line.is_none() {
+                    Ok(None)
+                } else {
+                    Err(HttpError::Bad("connection closed mid-headers".into()))
+                };
+            }
+            if n > MAX_HEAD {
+                return Err(HttpError::Bad("header line too long".into()));
+            }
+            let line = head.trim_end_matches(['\r', '\n']);
+            match &request_line {
+                None => {
+                    if line.is_empty() {
+                        continue; // tolerate leading blank lines
+                    }
+                    request_line = Some(line.to_string());
+                }
+                Some(_) => {
+                    if line.is_empty() {
+                        break; // end of headers
+                    }
+                    if let Some((key, value)) = line.split_once(':') {
+                        if key.eq_ignore_ascii_case("content-length") {
+                            content_length = value
+                                .trim()
+                                .parse()
+                                .map_err(|_| HttpError::Bad("bad Content-Length".into()))?;
+                        }
+                    }
+                }
+            }
+        }
+        let request_line = request_line.expect("loop breaks only after a request line");
+        let mut parts = request_line.split_whitespace();
+        let (method, target) = match (parts.next(), parts.next()) {
+            (Some(m), Some(t)) => (m.to_ascii_uppercase(), t),
+            _ => return Err(HttpError::Bad(format!("bad request line {request_line:?}"))),
+        };
+        let (path, query_str) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let query = query_str
+            .split('&')
+            .filter(|s| !s.is_empty())
+            .map(|pair| match pair.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => (pair.to_string(), String::new()),
+            })
+            .collect();
+        if content_length > MAX_BODY {
+            return Err(HttpError::TooLarge(content_length));
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).map_err(HttpError::Io)?;
+        Ok(Some(HttpRequest {
+            method,
+            path: path.to_string(),
+            query,
+            body,
+        }))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request framing.
+    Bad(String),
+    /// Declared body exceeds [`MAX_BODY`].
+    TooLarge(usize),
+    /// The socket failed underneath us.
+    Io(io::Error),
+}
+
+/// One response: status, JSON body, `Connection: close`.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON on every endpoint).
+    pub body: String,
+    /// Tells the connection worker to initiate graceful shutdown after
+    /// flushing this response.
+    pub shutdown: bool,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            body: body.into(),
+            shutdown: false,
+        }
+    }
+
+    /// The standard reason phrase for this response's status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response onto a connection.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.body.len()
+        )?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<HttpRequest>, HttpError> {
+        HttpRequest::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_request_line_query_and_body() {
+        let req = parse(
+            "POST /ingest?lenient=1&tag HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/ingest");
+        assert!(req.flag("lenient"));
+        assert!(req.flag("tag"));
+        assert!(!req.flag("missing"));
+        assert_eq!(req.body_text().unwrap(), "hello");
+
+        let req = parse("GET /stats HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn empty_connections_and_garbage_are_distinguished() {
+        assert!(parse("").unwrap().is_none(), "clean close = no request");
+        assert!(parse("POST /x HTTP/1.1\r\nContent-Length: zz\r\n\r\n").is_err());
+        assert!(matches!(
+            parse(&format!(
+                "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY + 1
+            )),
+            Err(HttpError::TooLarge(_))
+        ));
+        // Truncated body: the read fails rather than hanging forever.
+        assert!(parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn responses_have_close_framing_and_exact_length() {
+        let mut out = Vec::new();
+        HttpResponse::json(429, "{\"status\":\"error\"}")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Content-Length: 18\r\n"));
+        assert!(text.ends_with("{\"status\":\"error\"}"));
+    }
+}

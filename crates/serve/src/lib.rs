@@ -1,0 +1,762 @@
+//! # uplan-serve — the plan-corpus daemon
+//!
+//! The paper's testing flywheel is a long-lived loop: engines stream
+//! plans in while differential checks query what has been seen. This
+//! crate serves that loop over HTTP/1.1 + JSON on a plain
+//! `std::net::TcpListener` and a hand-rolled worker pool (the workspace
+//! is offline — zero dependencies beyond the workspace itself), on top of
+//! the snapshot/delta [`CorpusService`]:
+//!
+//! | Method | Path        | Body                       | Answers |
+//! |--------|-------------|----------------------------|---------|
+//! | POST   | `/ingest`   | raw framed fleet dump      | 202 accepted into the bounded delta queue; **429** on overflow (backpressure) |
+//! | POST   | `/knn`      | `{"k": …, "probe": …}`     | 200 [`uplan_corpus::QueryResponse`] JSON; **422** when a counted-TED budget trips |
+//! | POST   | `/radius`   | `{"radius": …, "probe": …}`| same |
+//! | POST   | `/cluster`  | `{"radius": …}`            | 200 clustering of the snapshot |
+//! | GET    | `/stats`    | —                          | 200 epoch, pending, corpus stats, per-endpoint latency/eval histograms |
+//! | POST   | `/diff`     | JSONL corpus (`?radius=N`) | 200 fingerprint + radius novelty both ways |
+//! | POST   | `/merge`    | —                          | 200 forces an epoch merge now |
+//! | POST   | `/shutdown` | —                          | 200, then graceful drain: in-flight requests finish, the delta merges one last time |
+//!
+//! Queries run against an epoch-consistent [`CorpusSnapshot`]; each
+//! worker holds a [`SnapshotReader`], so the steady-state read path costs
+//! one atomic load — zero locks — while batched ingest merges epochs in
+//! the background. The same handlers are callable in process
+//! ([`handle`]), which is how the `serve/*` bench rows measure request
+//! cost without a socket.
+
+pub mod http;
+pub mod metrics;
+pub mod pool;
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use uplan_convert::raw::{ingest_raw_with, RawIngestOptions};
+use uplan_core::fingerprint::FingerprintOptions;
+use uplan_core::formats::json::{self, object, JsonValue, OwnedJsonValue};
+use uplan_core::UnifiedPlan;
+use uplan_corpus::service::{CorpusService, CorpusSnapshot, ServiceError, SnapshotReader};
+use uplan_corpus::{PlanCorpus, QueryError, QueryRequest};
+
+use http::{HttpError, HttpRequest, HttpResponse};
+use metrics::ServeMetrics;
+use pool::WorkerPool;
+
+/// How the daemon runs: where to listen, how wide, how bounded.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7171` (port 0 picks one).
+    pub addr: String,
+    /// Connection worker threads.
+    pub threads: usize,
+    /// Bound on plans accepted but not yet merged (the backpressure
+    /// limit).
+    pub queue_capacity: usize,
+    /// Threads each epoch merge fans ingest across.
+    pub merge_threads: usize,
+    /// How often the background merger folds a non-empty delta into the
+    /// next epoch.
+    pub merge_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            threads: 4,
+            queue_capacity: uplan_corpus::service::DEFAULT_PENDING_CAPACITY,
+            merge_threads: 4,
+            merge_interval: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Everything the handlers share: the snapshot/delta service, the metrics
+/// registry, and the shutdown latch.
+#[derive(Debug)]
+pub struct ServeState {
+    service: Arc<CorpusService>,
+    metrics: ServeMetrics,
+    options: FingerprintOptions,
+    merge_threads: usize,
+    shutdown: AtomicBool,
+}
+
+impl ServeState {
+    /// Wraps a corpus for serving.
+    pub fn new(corpus: PlanCorpus, queue_capacity: usize, merge_threads: usize) -> ServeState {
+        let options = corpus.options();
+        ServeState {
+            service: Arc::new(CorpusService::with_capacity(corpus, queue_capacity)),
+            metrics: ServeMetrics::new(),
+            options,
+            merge_threads: merge_threads.max(1),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The underlying snapshot/delta service.
+    pub fn service(&self) -> &Arc<CorpusService> {
+        &self.service
+    }
+
+    /// The per-endpoint request metrics.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// `true` once `/shutdown` was requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+fn int(v: u64) -> OwnedJsonValue {
+    JsonValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+fn error_body(code: &str, message: &str) -> String {
+    object([
+        ("status", JsonValue::from("error")),
+        ("error", JsonValue::from(code)),
+        ("message", JsonValue::from(message)),
+    ])
+    .to_compact()
+}
+
+fn query_error_response(err: &QueryError) -> HttpResponse {
+    let status = match err {
+        QueryError::BudgetExceeded { .. } => 422,
+        _ => 400,
+    };
+    HttpResponse::json(status, err.to_json_value().to_compact())
+}
+
+/// Dispatches one request against the state and a worker's snapshot
+/// reader, recording latency/eval metrics. Pure with respect to I/O —
+/// benches call it in process; the socket loop wraps it.
+pub fn handle(state: &ServeState, reader: &mut SnapshotReader, req: &HttpRequest) -> HttpResponse {
+    const ENDPOINTS: &[&str] = &[
+        "/ingest",
+        "/knn",
+        "/radius",
+        "/cluster",
+        "/stats",
+        "/diff",
+        "/merge",
+        "/shutdown",
+    ];
+    let start = Instant::now();
+    let (endpoint, (response, ted_evals)) = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/ingest") => ("ingest", ingest(state, req)),
+        ("POST", "/knn") => ("knn", query(reader, "knn", req)),
+        ("POST", "/radius") => ("radius", query(reader, "radius", req)),
+        ("POST", "/cluster") => ("cluster", query(reader, "cluster", req)),
+        ("GET" | "POST", "/stats") => ("stats", stats(state, reader)),
+        ("POST", "/diff") => ("diff", diff(state, reader, req)),
+        ("POST", "/merge") => ("merge", merge(state)),
+        ("POST", "/shutdown") => ("shutdown", shutdown(state)),
+        (_, path) if ENDPOINTS.contains(&path) => {
+            return HttpResponse::json(
+                405,
+                error_body("method-not-allowed", &format!("use POST for {path}")),
+            )
+        }
+        (_, path) => {
+            return HttpResponse::json(404, error_body("not-found", &format!("no endpoint {path}")))
+        }
+    };
+    let latency = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state.metrics.record(endpoint, latency, ted_evals);
+    response
+}
+
+/// POST /ingest: a raw framed fleet dump (JSONL / `---` / `#<len>`,
+/// source-sniffed per record) staged through the one conversion pipeline,
+/// then submitted to the bounded delta queue. `?lenient=1` skips bad
+/// records instead of rejecting the dump.
+fn ingest(state: &ServeState, req: &HttpRequest) -> (HttpResponse, u64) {
+    let dump = match req.body_text() {
+        Ok(d) => d,
+        Err(_) => {
+            return (
+                HttpResponse::json(400, error_body("bad-dump", "ingest body is not UTF-8")),
+                0,
+            )
+        }
+    };
+    let options = RawIngestOptions {
+        strict: !req.flag("lenient"),
+        ..RawIngestOptions::default()
+    };
+    // Stage through a scratch corpus: the dump's records become unified
+    // plans (deduplicated within the batch) without touching the served
+    // corpus — the merge dedups against it later.
+    let mut staging = PlanCorpus::with_options(state.options);
+    let report = match ingest_raw_with(dump, &mut staging, 1, &options) {
+        Ok(report) => report,
+        Err(e) => {
+            return (
+                HttpResponse::json(400, error_body("bad-dump", &e.to_string())),
+                0,
+            )
+        }
+    };
+    let plans: Vec<UnifiedPlan> = staging.iter().map(|(_, plan)| plan.clone()).collect();
+    let accepted = plans.len();
+    match state.service.submit(plans) {
+        Ok(pending) => {
+            let body = object([
+                ("status", JsonValue::from("accepted")),
+                ("records", JsonValue::from(report.lines)),
+                ("plans", JsonValue::from(accepted)),
+                ("skipped", JsonValue::from(report.errors.len())),
+                ("pending", JsonValue::from(pending)),
+                ("epoch", int(state.service.epoch())),
+            ]);
+            (HttpResponse::json(202, body.to_compact()), 0)
+        }
+        Err(
+            err @ ServiceError::Backpressure {
+                pending, capacity, ..
+            },
+        ) => {
+            let body = object([
+                ("status", JsonValue::from("error")),
+                ("error", JsonValue::from("backpressure")),
+                ("message", JsonValue::from(err.to_string())),
+                ("pending", JsonValue::from(pending)),
+                ("capacity", JsonValue::from(capacity)),
+            ]);
+            (HttpResponse::json(429, body.to_compact()), 0)
+        }
+    }
+}
+
+/// POST /knn, /radius, /cluster: one [`QueryRequest`] body, answered from
+/// the worker's epoch-consistent snapshot. A `"probe_raw"` string member
+/// (one raw dump record) is converted through the same pipeline as
+/// `/ingest` before the query runs.
+fn query(reader: &mut SnapshotReader, kind: &str, req: &HttpRequest) -> (HttpResponse, u64) {
+    let body = if req.body.is_empty() {
+        "{}"
+    } else {
+        match req.body_text() {
+            Ok(b) => b,
+            Err(_) => {
+                return (
+                    HttpResponse::json(400, error_body("malformed", "body is not UTF-8")),
+                    0,
+                )
+            }
+        }
+    };
+    let doc = match json::parse(body) {
+        Ok(doc) => doc.into_owned(),
+        Err(e) => {
+            return (
+                HttpResponse::json(400, error_body("malformed", &e.to_string())),
+                0,
+            )
+        }
+    };
+    let doc = match resolve_raw_probe(doc) {
+        Ok(doc) => doc,
+        Err(message) => {
+            return (
+                HttpResponse::json(400, error_body("bad-probe", &message)),
+                0,
+            )
+        }
+    };
+    let request = match QueryRequest::from_json_value(&doc, Some(kind)) {
+        Ok(request) => request,
+        Err(e) => return (query_error_response(&e), 0),
+    };
+    match reader.current().execute(&request) {
+        Ok(response) => {
+            let evals = response.ted_evals;
+            (HttpResponse::json(200, response.to_json()), evals)
+        }
+        Err(e) => {
+            let evals = match &e {
+                QueryError::BudgetExceeded { spent, .. } => *spent,
+                _ => 0,
+            };
+            (query_error_response(&e), evals)
+        }
+    }
+}
+
+/// Replaces a `"probe_raw"` member (one raw dump record as a JSON string)
+/// with the converted `"probe"` plan.
+fn resolve_raw_probe(doc: OwnedJsonValue) -> Result<OwnedJsonValue, String> {
+    let JsonValue::Object(members) = doc else {
+        return Ok(doc);
+    };
+    let mut out = Vec::with_capacity(members.len());
+    for (key, value) in members {
+        if key.as_ref() != "probe_raw" {
+            out.push((key, value));
+            continue;
+        }
+        let record = value
+            .as_str()
+            .ok_or_else(|| "\"probe_raw\" is not a string".to_string())?;
+        let mut staging = PlanCorpus::new();
+        ingest_raw_with(record, &mut staging, 1, &RawIngestOptions::default())
+            .map_err(|e| format!("probe_raw does not convert: {e}"))?;
+        if staging.len() != 1 {
+            return Err(format!(
+                "probe_raw must hold exactly one plan record, got {}",
+                staging.len()
+            ));
+        }
+        out.push((
+            "probe".into(),
+            uplan_core::formats::unified::to_json_value(staging.plan(0)),
+        ));
+    }
+    Ok(JsonValue::Object(out))
+}
+
+/// GET /stats: the stats [`QueryResponse`] plus service fields (pending,
+/// capacity, total requests) and the per-endpoint histograms.
+fn stats(state: &ServeState, reader: &mut SnapshotReader) -> (HttpResponse, u64) {
+    let response = reader
+        .current()
+        .execute(&QueryRequest::stats())
+        .expect("stats queries cannot fail");
+    let mut doc = response.to_json_value();
+    if let JsonValue::Object(members) = &mut doc {
+        members.push(("pending".into(), JsonValue::from(state.service.pending())));
+        members.push(("capacity".into(), JsonValue::from(state.service.capacity())));
+        members.push(("requests".into(), int(state.metrics.requests())));
+        members.push(("metrics".into(), state.metrics.to_json_value()));
+    }
+    (HttpResponse::json(200, doc.to_compact()), 0)
+}
+
+/// POST /diff?radius=N: body is a JSONL corpus; answers fingerprint and
+/// beyond-radius novelty both ways (left = the served snapshot).
+fn diff(state: &ServeState, reader: &mut SnapshotReader, req: &HttpRequest) -> (HttpResponse, u64) {
+    let radius = match req.param("radius").map(str::parse::<u32>) {
+        None => 2,
+        Some(Ok(r)) => r,
+        Some(Err(_)) => {
+            return (
+                HttpResponse::json(400, error_body("malformed", "?radius= is not a u32")),
+                0,
+            )
+        }
+    };
+    let body = match req.body_text() {
+        Ok(b) => b,
+        Err(_) => {
+            return (
+                HttpResponse::json(400, error_body("malformed", "diff body is not UTF-8")),
+                0,
+            )
+        }
+    };
+    let other = match PlanCorpus::from_jsonl_with_options(body, state.options) {
+        Ok(c) => c,
+        Err(e) => {
+            return (
+                HttpResponse::json(
+                    400,
+                    error_body(
+                        "bad-corpus",
+                        &format!("diff body is not a JSONL corpus: {e}"),
+                    ),
+                ),
+                0,
+            )
+        }
+    };
+    let snapshot = reader.current();
+    let d = snapshot.corpus().diff(&other, radius);
+    let ids = |v: &[usize]| JsonValue::Array(v.iter().map(|&id| JsonValue::from(id)).collect());
+    let body = object([
+        ("status", JsonValue::from("ok")),
+        ("query", JsonValue::from("diff")),
+        ("epoch", int(snapshot.epoch())),
+        ("radius", JsonValue::from(radius as usize)),
+        ("shared", JsonValue::from(d.shared)),
+        ("fingerprint_only_left", ids(&d.fingerprint_only_left)),
+        ("fingerprint_only_right", ids(&d.fingerprint_only_right)),
+        ("beyond_radius_left", ids(&d.beyond_radius_left)),
+        ("beyond_radius_right", ids(&d.beyond_radius_right)),
+    ]);
+    (HttpResponse::json(200, body.to_compact()), 0)
+}
+
+/// POST /merge: forces an epoch merge now (the background merger also
+/// runs on its interval).
+fn merge(state: &ServeState) -> (HttpResponse, u64) {
+    let report = state.service.merge(state.merge_threads);
+    let body = object([
+        ("status", JsonValue::from("ok")),
+        ("epoch", int(report.epoch)),
+        ("merged", JsonValue::from(report.merged)),
+        ("novel", JsonValue::from(report.novel)),
+        ("len", JsonValue::from(report.len)),
+    ]);
+    (HttpResponse::json(200, body.to_compact()), 0)
+}
+
+/// POST /shutdown: latches the shutdown flag; the server loop drains
+/// in-flight work, merges the delta one last time and exits.
+fn shutdown(state: &ServeState) -> (HttpResponse, u64) {
+    state.shutdown.store(true, Ordering::Release);
+    let body = object([
+        ("status", JsonValue::from("ok")),
+        ("message", JsonValue::from("shutting down")),
+        ("epoch", int(state.service.epoch())),
+        ("pending", JsonValue::from(state.service.pending())),
+    ]);
+    let mut response = HttpResponse::json(200, body.to_compact());
+    response.shutdown = true;
+    (response, 0)
+}
+
+/// The daemon: a listener, a connection worker pool (each worker holding
+/// its own [`SnapshotReader`]) and a background epoch merger.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the listener and wraps the corpus for serving. The corpus is
+    /// epoch 0; nothing is served until [`Server::run`].
+    pub fn bind(config: ServerConfig, corpus: PlanCorpus) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServeState::new(
+            corpus,
+            config.queue_capacity,
+            config.merge_threads,
+        ));
+        Ok(Server {
+            listener,
+            state,
+            config,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared handler state (tests and embedders).
+    pub fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until `/shutdown`, then drains gracefully: queued
+    /// connections finish, the background merger stops, and one final
+    /// merge folds any remaining delta in. Returns the final snapshot.
+    pub fn run(self) -> std::io::Result<Arc<CorpusSnapshot>> {
+        let state = Arc::clone(&self.state);
+        let merger = {
+            let state = Arc::clone(&self.state);
+            let interval = self.config.merge_interval;
+            std::thread::spawn(move || {
+                while !state.shutdown_requested() {
+                    std::thread::park_timeout(interval);
+                    if state.service.pending() > 0 {
+                        state.service.merge(state.merge_threads);
+                    }
+                }
+            })
+        };
+        {
+            let state = Arc::clone(&self.state);
+            let addr = self.local_addr;
+            let pool: WorkerPool<TcpStream> = WorkerPool::spawn(
+                self.config.threads,
+                {
+                    let state = Arc::clone(&state);
+                    move |_| state.service.reader()
+                },
+                move |reader, stream| serve_connection(&state, reader, stream, addr),
+            );
+            for stream in self.listener.incoming() {
+                if self.state.shutdown_requested() {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    // A full queue never drops a connection: dispatch only
+                    // fails after shutdown, when refusing is correct.
+                    let _ = pool.dispatch(stream);
+                }
+            }
+            // Pool drop joins the workers: every accepted connection gets
+            // its response before we move on.
+        }
+        merger.thread().unpark();
+        merger.join().expect("merge ticker panicked");
+        // Final drain: plans accepted after the last tick still land.
+        state.service.merge(state.merge_threads);
+        Ok(state.service.snapshot())
+    }
+}
+
+/// One connection: read a request, handle it, flush the response. A
+/// response flagged `shutdown` wakes the accept loop with a throwaway
+/// connection so it observes the latch immediately.
+fn serve_connection(
+    state: &Arc<ServeState>,
+    reader: &mut SnapshotReader,
+    mut stream: TcpStream,
+    addr: SocketAddr,
+) {
+    // Bounded patience: a stalled peer must not wedge a worker (and with
+    // it, graceful shutdown).
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut buf = BufReader::new(clone);
+    let response = match HttpRequest::read_from(&mut buf) {
+        Ok(None) => return, // probe/wake-up connection: nothing to answer
+        Ok(Some(req)) => handle(state, reader, &req),
+        Err(HttpError::TooLarge(n)) => HttpResponse::json(
+            413,
+            error_body("too-large", &format!("{n}-byte body exceeds the limit")),
+        ),
+        Err(HttpError::Bad(m)) => HttpResponse::json(400, error_body("malformed", &m)),
+        Err(HttpError::Io(_)) => return,
+    };
+    let shutdown = response.shutdown;
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+    if shutdown {
+        // Wake the accept loop (it is parked in accept()).
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use uplan_core::PlanNode;
+
+    fn chain(names: &[&str]) -> UnifiedPlan {
+        let mut node: Option<PlanNode> = None;
+        for name in names.iter().rev() {
+            let mut n = PlanNode::producer(*name);
+            if let Some(child) = node.take() {
+                n = PlanNode::executor(*name).with_child(child);
+            }
+            node = Some(n);
+        }
+        UnifiedPlan::with_root(node.unwrap())
+    }
+
+    fn seed_corpus() -> PlanCorpus {
+        let mut corpus = PlanCorpus::new();
+        for plan in [
+            chain(&["Scan_A"]),
+            chain(&["Gather", "Scan_A"]),
+            chain(&["Gather", "Sort", "Scan_A"]),
+            chain(&["Collect", "Sort", "Hash", "Scan_B"]),
+        ] {
+            corpus.insert(plan);
+        }
+        corpus
+    }
+
+    /// One raw postgres-JSON dump record: a `Limit` chain of `depth`
+    /// ending in `Materialize` — sniffable by the ingest pipeline and
+    /// structurally distinct per depth.
+    fn pg_record(depth: usize) -> String {
+        let mut node = r#"{"Node Type": "Materialize"}"#.to_string();
+        for _ in 0..depth {
+            node = format!(r#"{{"Node Type": "Limit", "Plans": [{node}]}}"#);
+        }
+        format!(r#"[{{"Plan": {node}}}]"#)
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+        request(addr, "POST", path, body)
+    }
+
+    fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .expect("status line")
+            .parse()
+            .unwrap();
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    /// End to end over a real socket: ingest (raw dump) → merge → knn at
+    /// the new epoch → budget trips 422 → backpressure trips 429 →
+    /// graceful shutdown.
+    #[test]
+    fn daemon_round_trip_over_a_socket() {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 3,
+            queue_capacity: 4,
+            merge_threads: 2,
+            // Long interval: merges in this test are explicit.
+            merge_interval: Duration::from_secs(60),
+        };
+        let server = Server::bind(config, seed_corpus()).unwrap();
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || server.run().unwrap());
+
+        // A knn query against epoch 0.
+        let probe = uplan_core::formats::unified::to_json(&chain(&["Gather", "Scan_A"]));
+        let (status, body) = post(addr, "/knn", &format!("{{\"k\": 2, \"probe\": {probe}}}"));
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("epoch").unwrap().as_int(), Some(0));
+        assert_eq!(doc.get("matches").unwrap().as_array().unwrap().len(), 2);
+
+        // Ingest two raw postgres-JSON records (source-sniffed).
+        let dump = format!("{}\n{}\n", pg_record(0), pg_record(1));
+        let (status, body) = post(addr, "/ingest", &dump);
+        assert_eq!(status, 202, "{body}");
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("plans").unwrap().as_int(), Some(2));
+        assert_eq!(doc.get("pending").unwrap().as_int(), Some(2));
+
+        // Overflow the bounded queue: 429.
+        let big: String = (3..8).map(|d| pg_record(d) + "\n").collect();
+        let (status, body) = post(addr, "/ingest", &big);
+        assert_eq!(status, 429, "{body}");
+        assert!(body.contains("backpressure"));
+
+        // Merge, then the new plans answer queries at epoch 1.
+        let (status, body) = post(addr, "/merge", "");
+        assert_eq!(status, 200);
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("epoch").unwrap().as_int(), Some(1));
+        assert_eq!(doc.get("merged").unwrap().as_int(), Some(2));
+        // probe_raw: the same raw record converts through the pipeline and
+        // matches itself at radius 0.
+        let (status, body) = post(
+            addr,
+            "/radius",
+            &format!(
+                "{{\"radius\": 0, \"probe_raw\": {}}}",
+                quote_json(&pg_record(0))
+            ),
+        );
+        assert_eq!(status, 200);
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("epoch").unwrap().as_int(), Some(1));
+        assert_eq!(doc.get("matches").unwrap().as_array().unwrap().len(), 1);
+
+        // A 1-evaluation budget trips the distinct 422.
+        let (status, body) = post(
+            addr,
+            "/knn",
+            &format!("{{\"k\": 2, \"probe\": {probe}, \"max_ted_evals\": 1}}"),
+        );
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("budget-exceeded"));
+
+        // Stats: epoch 1, nothing pending, histograms populated.
+        let (status, body) = request(addr, "GET", "/stats", "");
+        assert_eq!(status, 200);
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("epoch").unwrap().as_int(), Some(1));
+        assert_eq!(doc.get("pending").unwrap().as_int(), Some(0));
+        assert_eq!(
+            doc.get("stats").unwrap().get("distinct").unwrap().as_int(),
+            Some(6)
+        );
+        assert!(doc.get("metrics").unwrap().get("knn").is_some());
+
+        // Unknown path and wrong method.
+        assert_eq!(post(addr, "/nope", "").0, 404);
+        assert_eq!(request(addr, "GET", "/knn", "").0, 405);
+
+        // Graceful shutdown completes the run thread.
+        let (status, body) = post(addr, "/shutdown", "");
+        assert_eq!(status, 200, "{body}");
+        let snapshot = runner.join().unwrap();
+        assert_eq!(snapshot.epoch(), 1);
+        assert_eq!(snapshot.corpus().len(), 6);
+    }
+
+    /// The in-process handler path the benches use: no sockets at all.
+    #[test]
+    fn in_process_handlers_answer_without_a_socket() {
+        let state = ServeState::new(seed_corpus(), 100, 1);
+        let service = Arc::clone(state.service());
+        let mut reader = service.reader();
+        let probe = uplan_core::formats::unified::to_json(&chain(&["Scan_A"]));
+        let req = HttpRequest {
+            method: "POST".into(),
+            path: "/knn".into(),
+            query: Vec::new(),
+            body: format!("{{\"k\": 1, \"probe\": {probe}}}").into_bytes(),
+        };
+        let response = handle(&state, &mut reader, &req);
+        assert_eq!(response.status, 200);
+        assert!(response.body.contains("\"matches\""));
+        assert_eq!(state.metrics().requests(), 1);
+
+        // probe_raw: a raw postgres-JSON record converts through the
+        // pipeline before querying.
+        let req = HttpRequest {
+            method: "POST".into(),
+            path: "/radius".into(),
+            query: Vec::new(),
+            body: format!(
+                "{{\"radius\": 1, \"probe_raw\": {}}}",
+                quote_json(&pg_record(0))
+            )
+            .into_bytes(),
+        };
+        let response = handle(&state, &mut reader, &req);
+        assert_eq!(response.status, 200, "{}", response.body);
+
+        // Ingest → merge → the snapshot advances.
+        let dump = pg_record(2);
+        let req = HttpRequest {
+            method: "POST".into(),
+            path: "/ingest".into(),
+            query: Vec::new(),
+            body: dump.into_bytes(),
+        };
+        assert_eq!(handle(&state, &mut reader, &req).status, 202);
+        service.merge(1);
+        assert_eq!(reader.current().epoch(), 1);
+        assert_eq!(reader.current().corpus().len(), 5);
+    }
+
+    fn quote_json(s: &str) -> String {
+        JsonValue::from(s).to_compact()
+    }
+}

@@ -1,0 +1,211 @@
+//! Per-request metrics in fixed-size log₂ histograms: request latency
+//! (microseconds) and counted TED evaluations, per endpoint. Bounded
+//! memory, lock held only for the few writes of a record, and quantiles
+//! good to a factor of two — enough for the `/stats` payload and the
+//! ROADMAP's measured-latency numbers without pulling in a metrics crate.
+
+use std::sync::Mutex;
+
+use uplan_core::formats::json::{object, JsonValue, OwnedJsonValue};
+
+/// A log₂-bucketed histogram of `u64` samples: bucket `b` holds values
+/// with `b` significant bits (0, 1, 2–3, 4–7, …), so 65 buckets cover the
+/// whole range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`0.5` =
+    /// median), i.e. the answer is within 2× of the true quantile. 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen >= rank.max(1) {
+                return if b == 0 { 0 } else { (1u64 << b) - 1 }.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    fn to_json(&self) -> OwnedJsonValue {
+        let int = |v: u64| JsonValue::Int(i64::try_from(v).unwrap_or(i64::MAX));
+        object([
+            ("count", int(self.count)),
+            ("mean", int(self.mean())),
+            ("p50", int(self.quantile(0.5))),
+            ("p90", int(self.quantile(0.9))),
+            ("p99", int(self.quantile(0.99))),
+            ("max", int(self.max)),
+        ])
+    }
+}
+
+/// One endpoint's pair of histograms.
+#[derive(Debug, Default, Clone)]
+struct EndpointMetrics {
+    latency_us: Histogram,
+    ted_evals: Histogram,
+}
+
+/// All per-endpoint metrics, behind one short-critical-section mutex
+/// (two histogram writes per request — the query itself never holds it).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    endpoints: Mutex<Vec<(String, EndpointMetrics)>>,
+}
+
+impl ServeMetrics {
+    /// A fresh, empty registry.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// Records one served request.
+    pub fn record(&self, endpoint: &str, latency_us: u64, ted_evals: u64) {
+        let mut endpoints = self.endpoints.lock().expect("metrics lock");
+        let entry = match endpoints.iter_mut().find(|(name, _)| name == endpoint) {
+            Some((_, m)) => m,
+            None => {
+                endpoints.push((endpoint.to_string(), EndpointMetrics::default()));
+                &mut endpoints.last_mut().expect("just pushed").1
+            }
+        };
+        entry.latency_us.record(latency_us);
+        entry.ted_evals.record(ted_evals);
+    }
+
+    /// Total requests recorded across endpoints.
+    pub fn requests(&self) -> u64 {
+        self.endpoints
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(_, m)| m.latency_us.count())
+            .sum()
+    }
+
+    /// The `/stats` payload: per endpoint, latency and eval summaries.
+    pub fn to_json_value(&self) -> OwnedJsonValue {
+        let endpoints = self.endpoints.lock().expect("metrics lock");
+        JsonValue::Object(
+            endpoints
+                .iter()
+                .map(|(name, m)| {
+                    (
+                        std::borrow::Cow::Owned(name.clone()),
+                        object([
+                            ("latency_us", m.latency_us.to_json()),
+                            ("ted_evals", m.ted_evals.to_json()),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_within_a_factor_of_two() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 500);
+        let p50 = h.quantile(0.5);
+        assert!((500..=1000).contains(&p50), "p50 bucket bound {p50}");
+        assert!(h.quantile(0.99) >= 990 / 2);
+        assert!(h.quantile(1.0) <= 1000);
+        // Degenerate cases.
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile(0.5), 0);
+        let mut zeros = Histogram::default();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.quantile(0.9), 0);
+        assert_eq!(zeros.mean(), 0);
+    }
+
+    #[test]
+    fn registry_accumulates_per_endpoint() {
+        let metrics = ServeMetrics::new();
+        metrics.record("knn", 120, 40);
+        metrics.record("knn", 80, 44);
+        metrics.record("stats", 5, 0);
+        assert_eq!(metrics.requests(), 3);
+        let doc = metrics.to_json_value();
+        let knn = doc.get("knn").unwrap();
+        assert_eq!(
+            knn.get("latency_us")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_int(),
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("stats")
+                .unwrap()
+                .get("ted_evals")
+                .unwrap()
+                .get("max")
+                .unwrap()
+                .as_int(),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared TPC-H-lite dialect fixtures.
+//!
+//! One [`DialectFleet`] holds every engine substrate (four relational
+//! planner profiles, the document store, the property graph) loaded with
+//! the TPC-H-lite workload, and serializes any query in each of the nine
+//! studied dialects' native EXPLAIN formats. The raw-fixture CLI, the
+//! conversion-spine tests and the converter benches all draw from this one
+//! helper, so "a TPC-H plan in dialect X" means the same bytes everywhere.
+
+use minidb::profile::EngineProfile;
+use minidb::Database;
+use minidoc::{DocStore, Request};
+use minigraph::{GraphStore, PatternQuery};
+use uplan_convert::Source;
+use uplan_workloads::tpch;
+
+/// Every engine substrate of the study, loaded with TPC-H-lite (scale 1,
+/// seed 7) and ready to explain queries in its native dialect.
+pub struct DialectFleet {
+    pg: Database,
+    mysql: Database,
+    tidb: Database,
+    sqlite: Database,
+    store: DocStore,
+    graph: GraphStore,
+    queries: Vec<(&'static str, String)>,
+    mongo_queries: Vec<(&'static str, Request)>,
+    graph_queries: Vec<(&'static str, PatternQuery)>,
+}
+
+impl Default for DialectFleet {
+    fn default() -> DialectFleet {
+        DialectFleet::new()
+    }
+}
+
+impl DialectFleet {
+    /// Loads all substrates. Engines are warm for the fleet's lifetime, so
+    /// a fixed sequence of calls always yields the same serializations.
+    pub fn new() -> DialectFleet {
+        let mut store = DocStore::new();
+        tpch::load_document(&mut store, 1, 7);
+        let mut graph = GraphStore::new();
+        tpch::load_graph(&mut graph, 1, 7);
+        DialectFleet {
+            pg: tpch::relational(EngineProfile::Postgres, 1),
+            mysql: tpch::relational(EngineProfile::MySql, 1),
+            tidb: tpch::relational(EngineProfile::TiDb, 1),
+            sqlite: tpch::relational(EngineProfile::Sqlite, 1),
+            store,
+            graph,
+            queries: tpch::queries(),
+            mongo_queries: tpch::mongo_queries(),
+            graph_queries: tpch::graph_queries(),
+        }
+    }
+
+    /// Number of TPC-H-lite SQL queries (query ids wrap modulo this).
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The eight relational serializations of TPC-H-lite query `qid`
+    /// (0-based, wrapped), in the canonical dump order: PostgreSQL
+    /// text + JSON, SparkSQL text and SQL Server XML (both from the
+    /// PostgreSQL-profile plan — their emitters are engine-agnostic),
+    /// MySQL JSON + table, TiDB table (whose operator ids carry
+    /// `tidb_suffix`), SQLite EQP.
+    pub fn relational(&mut self, qid: usize, tidb_suffix: u32) -> Vec<(Source, String)> {
+        let (_, sql) = &self.queries[qid % self.queries.len()];
+        let plan = self
+            .pg
+            .explain(sql)
+            .unwrap_or_else(|e| panic!("pg q{qid}: {e}"));
+        let mut out = vec![
+            (Source::PostgresText, dialects::postgres::to_text(&plan)),
+            (Source::PostgresJson, dialects::postgres::to_json(&plan)),
+            (Source::SparkText, dialects::sparksql::to_text(&plan)),
+            (Source::SqlServerXml, dialects::sqlserver::to_xml(&plan)),
+        ];
+        let plan = self
+            .mysql
+            .explain(sql)
+            .unwrap_or_else(|e| panic!("mysql q{qid}: {e}"));
+        out.push((Source::MySqlJson, dialects::mysql::to_json(&plan)));
+        out.push((Source::MySqlTable, dialects::mysql::to_table(&plan)));
+        let plan = self
+            .tidb
+            .explain(sql)
+            .unwrap_or_else(|e| panic!("tidb q{qid}: {e}"));
+        out.push((
+            Source::TidbTable,
+            dialects::tidb::to_table(&plan, tidb_suffix),
+        ));
+        let plan = self
+            .sqlite
+            .explain(sql)
+            .unwrap_or_else(|e| panic!("sqlite q{qid}: {e}"));
+        out.push((Source::SqliteEqp, dialects::sqlite::to_text(&plan)));
+        out
+    }
+
+    /// The MongoDB serialization of document query `qid` (0-based,
+    /// wrapped).
+    pub fn mongo(&self, qid: usize) -> (Source, String) {
+        let (_, plan) = self
+            .store
+            .find(&self.mongo_queries[qid % self.mongo_queries.len()].1);
+        (Source::MongoJson, dialects::mongodb::to_json(&plan))
+    }
+
+    /// The Neo4j serialization of graph query `qid` (0-based, wrapped).
+    pub fn neo4j(&self, qid: usize) -> (Source, String) {
+        let (_, plan) = self
+            .graph
+            .run(&self.graph_queries[qid % self.graph_queries.len()].1);
+        (Source::Neo4jTable, dialects::neo4j::to_table(&plan))
+    }
+
+    /// The InfluxDB serialization of synthetic iterator statistics.
+    pub fn influx(series: u64, points: u64) -> (Source, String) {
+        (
+            Source::InfluxText,
+            dialects::influxdb::to_text(&dialects::influxdb::InfluxStats::synthetic(
+                series, points,
+            )),
+        )
+    }
+}
+
+/// Encodes one dialect serialization as a raw-dump JSONL line: JSON
+/// documents are compacted to one line, text formats are JSON-string
+/// encoded — the framing `convert::ingest_raw` sniffs.
+pub fn raw_dump_line(source: Source, serialized: &str) -> String {
+    use uplan_core::formats::json::{self, JsonValue};
+    match source {
+        Source::PostgresJson | Source::MySqlJson | Source::MongoJson => json::parse(serialized)
+            .unwrap_or_else(|e| panic!("{source:?} emitted invalid JSON: {e}"))
+            .to_compact(),
+        _ => JsonValue::from(serialized).to_compact(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_serializations_are_structurally_deterministic_and_convert() {
+        use uplan_core::fingerprint::fingerprint;
+        // Timing fields (planning time, compile time) are wall-clock
+        // noise, so two fleets agree on plan *structure* — fingerprints of
+        // the converted plans — not necessarily on bytes.
+        let mut a = DialectFleet::new();
+        let mut b = DialectFleet::new();
+        let fp = |pairs: Vec<(Source, String)>| -> Vec<uplan_core::fingerprint::Fingerprint> {
+            pairs
+                .into_iter()
+                .map(|(source, text)| {
+                    fingerprint(
+                        &uplan_convert::convert(source, &text)
+                            .unwrap_or_else(|e| panic!("{source:?} fixture does not convert: {e}")),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(fp(a.relational(0, 3)), fp(b.relational(0, 3)));
+        assert_eq!(fp(vec![a.mongo(1)]), fp(vec![b.mongo(1)]));
+        assert_eq!(fp(vec![a.neo4j(2)]), fp(vec![b.neo4j(2)]));
+        assert_eq!(DialectFleet::influx(2, 9), DialectFleet::influx(2, 9));
+        for (source, text) in a.relational(2, 5).into_iter().chain([
+            a.mongo(0),
+            a.neo4j(0),
+            DialectFleet::influx(1, 7),
+        ]) {
+            // Every dump-line encoding stays a single sniffable line.
+            let line = raw_dump_line(source, &text);
+            assert!(!line.contains('\n'), "{source:?} line not single-line");
+        }
+    }
+}

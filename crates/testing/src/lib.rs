@@ -20,9 +20,13 @@
 //! * [`harness`] — the Table V campaign: all faults armed, both methods,
 //!   three engines, deduplicated findings;
 //! * [`inject`] — seeded fault injection (byte-level corpus mutations and
-//!   raw-dump garbage) backing the dirty-fleet hardening tests.
+//!   raw-dump garbage) backing the dirty-fleet hardening tests;
+//! * [`fixtures`] — the shared TPC-H-lite dialect fleet: one source of
+//!   "this query, serialized in dialect X" for the raw-fixture CLI, the
+//!   conversion-spine tests and the converter benches.
 
 pub mod cert;
+pub mod fixtures;
 pub mod generator;
 pub mod harness;
 pub mod inject;

@@ -16,6 +16,9 @@
 //! * [`corpus`] *(uplan-corpus)* — persistent, fingerprint-deduplicated,
 //!   TED-metric-indexed plan populations (BK-tree radius/k-NN queries,
 //!   binary/JSONL persistence, clustering, cross-corpus diff);
+//! * [`serve`] *(uplan-serve)* — the HTTP/1.1 + JSON daemon serving a
+//!   corpus concurrently on a snapshot/delta epoch model (lock-free k-NN
+//!   reads during batched ingest, counted-TED budgets, backpressure);
 //! * [`testing`] *(uplan-testing)* — QPG, CERT and TLP implemented
 //!   DBMS-agnostically on unified plans;
 //! * [`viz`] *(uplan-viz)* — generic plan visualization;
@@ -33,6 +36,7 @@ pub use minigraph;
 pub use uplan_convert as convert;
 pub use uplan_core as core;
 pub use uplan_corpus as corpus;
+pub use uplan_serve as serve;
 pub use uplan_testing as testing;
 pub use uplan_viz as viz;
 pub use uplan_workloads as workloads;

@@ -17,61 +17,31 @@
 
 use std::sync::OnceLock;
 
-use minidb::profile::EngineProfile;
 use proptest::prelude::*;
 use uplan::convert::{self, convert, detect, Source};
 use uplan::core::fingerprint::fingerprint;
 use uplan::core::formats::json;
 use uplan::core::Error;
 use uplan::corpus::PlanCorpus;
-use uplan::workloads::tpch;
+use uplan::testing::fixtures::DialectFleet;
 
 /// One serialized fixture per source dialect (several per dialect for the
 /// relational engines): the corpus every property below runs on.
 fn fixtures() -> &'static Vec<(Source, String)> {
     static FIXTURES: OnceLock<Vec<(Source, String)>> = OnceLock::new();
     FIXTURES.get_or_init(|| {
-        let queries = tpch::queries();
-        let mut pg = tpch::relational(EngineProfile::Postgres, 1);
-        let mut mysql = tpch::relational(EngineProfile::MySql, 1);
-        let mut tidb = tpch::relational(EngineProfile::TiDb, 1);
-        let mut sqlite = tpch::relational(EngineProfile::Sqlite, 1);
-        let mut store = minidoc::DocStore::new();
-        tpch::load_document(&mut store, 1, 7);
-        let mut graph = minigraph::GraphStore::new();
-        tpch::load_graph(&mut graph, 1, 7);
-
+        let mut fleet = DialectFleet::new();
         let mut out: Vec<(Source, String)> = Vec::new();
         for qid in [1usize, 3, 5] {
-            let (_, sql) = &queries[qid - 1];
-            let plan = pg.explain(sql).expect("pg plan");
-            out.push((Source::PostgresText, dialects::postgres::to_text(&plan)));
-            out.push((Source::PostgresJson, dialects::postgres::to_json(&plan)));
-            out.push((Source::SparkText, dialects::sparksql::to_text(&plan)));
-            out.push((Source::SqlServerXml, dialects::sqlserver::to_xml(&plan)));
-            let plan = mysql.explain(sql).expect("mysql plan");
-            out.push((Source::MySqlJson, dialects::mysql::to_json(&plan)));
-            out.push((Source::MySqlTable, dialects::mysql::to_table(&plan)));
-            let plan = tidb.explain(sql).expect("tidb plan");
-            out.push((
-                Source::TidbTable,
-                dialects::tidb::to_table(&plan, qid as u32),
-            ));
-            let plan = sqlite.explain(sql).expect("sqlite plan");
-            out.push((Source::SqliteEqp, dialects::sqlite::to_text(&plan)));
+            out.extend(fleet.relational(qid - 1, qid as u32));
         }
         for mq in [0usize, 1] {
-            let (_, doc_plan) = store.find(&tpch::mongo_queries()[mq].1);
-            out.push((Source::MongoJson, dialects::mongodb::to_json(&doc_plan)));
+            out.push(fleet.mongo(mq));
         }
         for gq in [0usize, 2] {
-            let (_, graph_plan) = graph.run(&tpch::graph_queries()[gq].1);
-            out.push((Source::Neo4jTable, dialects::neo4j::to_table(&graph_plan)));
+            out.push(fleet.neo4j(gq));
         }
-        out.push((
-            Source::InfluxText,
-            dialects::influxdb::to_text(&dialects::influxdb::InfluxStats::synthetic(2, 9)),
-        ));
+        out.push(DialectFleet::influx(2, 9));
         out
     })
 }

@@ -229,11 +229,13 @@ proptest! {
             prop_assert_eq!(loaded.fingerprint(id), corpus.fingerprint(id));
         }
         for probe in plans.iter().take(4) {
+            let within = uplan::corpus::QueryRequest::radius(radius).with_probe(probe.clone());
+            let knn = uplan::corpus::QueryRequest::knn(k).with_probe(probe.clone());
             prop_assert_eq!(
-                corpus.within_radius(probe, radius),
-                loaded.within_radius(probe, radius)
+                corpus.execute(&within).unwrap(),
+                loaded.execute(&within).unwrap()
             );
-            prop_assert_eq!(corpus.nearest(probe, k), loaded.nearest(probe, k));
+            prop_assert_eq!(corpus.execute(&knn).unwrap(), loaded.execute(&knn).unwrap());
         }
     }
 
@@ -326,18 +328,24 @@ proptest! {
         for plan in &plans {
             corpus.observe(plan);
         }
-        let indexed = corpus.within_radius(&probe, radius);
+        let matches = |r: &uplan::corpus::QueryResponse| match &r.outcome {
+            uplan::corpus::QueryOutcome::Matches(m) => m.clone(),
+            other => panic!("metric query answered {other:?}"),
+        };
+        let indexed = corpus
+            .execute(&uplan::corpus::QueryRequest::radius(radius).with_probe(probe.clone()))
+            .unwrap();
         let scanned = corpus.scan_within_radius(&probe, radius);
-        prop_assert_eq!(&indexed.matches, &scanned.matches);
+        prop_assert_eq!(matches(&indexed), scanned.matches);
         prop_assert!(indexed.ted_evals <= scanned.ted_evals);
 
-        let indexed = corpus.nearest(&probe, k);
+        let indexed = corpus
+            .execute(&uplan::corpus::QueryRequest::knn(k).with_probe(probe.clone()))
+            .unwrap();
         let scanned = corpus.scan_nearest(&probe, k);
-        let dist = |q: &uplan::corpus::MetricQuery| {
-            q.matches.iter().map(|&(_, d)| d).collect::<Vec<_>>()
-        };
-        prop_assert_eq!(dist(&indexed), dist(&scanned));
-        prop_assert_eq!(indexed.matches.len(), k.min(corpus.len()));
+        let dist = |m: &uplan::corpus::Matches| m.iter().map(|&(_, d)| d).collect::<Vec<_>>();
+        prop_assert_eq!(dist(&matches(&indexed)), dist(&scanned.matches));
+        prop_assert_eq!(matches(&indexed).len(), k.min(corpus.len()));
     }
 }
 
