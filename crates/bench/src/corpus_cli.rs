@@ -914,9 +914,12 @@ fn serve(args: &[String]) -> Result<String, CliError> {
         take_value(&mut args, "--merge-threads")?.unwrap_or(defaults.merge_threads);
     let merge_interval_ms: Option<u64> = take_value(&mut args, "--merge-interval-ms")?;
     let save_path: Option<String> = take_value(&mut args, "--save")?;
+    let slow_query_us: u64 = take_value(&mut args, "--slow-query-us")?.unwrap_or(0);
+    let slow_query_evals: u64 = take_value(&mut args, "--slow-query-evals")?.unwrap_or(0);
     let path = args.first().ok_or(
         "usage: repro corpus serve <corpus> [--addr HOST:PORT] [--threads N] [--queue N] \
-         [--merge-threads N] [--merge-interval-ms N] [--save <path>]",
+         [--merge-threads N] [--merge-interval-ms N] [--save <path>] \
+         [--slow-query-us N] [--slow-query-evals N]",
     )?;
     let corpus = load(path)?;
     let plans = corpus.len();
@@ -928,6 +931,8 @@ fn serve(args: &[String]) -> Result<String, CliError> {
         merge_interval: merge_interval_ms
             .map(std::time::Duration::from_millis)
             .unwrap_or(defaults.merge_interval),
+        slow_query_us,
+        slow_query_evals,
     };
     let server = Server::bind(config, corpus)
         .map_err(|e| CliError::Operational(format!("cannot bind the server: {e}")))?;

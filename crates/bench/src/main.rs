@@ -28,11 +28,38 @@
 //!
 //! Exit codes: 0 success; 1 operational failure (I/O, regression found);
 //! 2 bad input (unknown command, unusable arguments or files).
+//!
+//! The global `--log-json <path>` flag (any position) opens a JSONL span
+//! log for the run: every instrumented operation — ingest batches, epoch
+//! merges, served requests — appends one line (see `uplan_obs::trace` for
+//! the schema). `UPLAN_LOG` filters what is recorded (`RUST_LOG`-style);
+//! unset, the flag itself enables debug-level spans.
 
 use uplan_bench as experiments;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Strip the global --log-json flag before subcommand dispatch.
+    if let Some(i) = args.iter().position(|a| a == "--log-json") {
+        if i + 1 >= args.len() {
+            eprintln!("--log-json needs a path");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        if let Err(e) = uplan_obs::init_json_log(std::path::Path::new(&path)) {
+            eprintln!("cannot open log file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    // The JSONL sink is buffered; spans written through it survive only
+    // if flushed before the process exits, so every path funnels here.
+    let code = run(&args);
+    uplan_obs::flush_json_log();
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> i32 {
     let which = args.first().map(String::as_str).unwrap_or("all");
     if which == "snapshot" {
         let path = args
@@ -43,23 +70,23 @@ fn main() {
             Ok(summary) => println!("{summary}"),
             Err(e) => {
                 eprintln!("snapshot failed: {e}");
-                std::process::exit(1);
+                return 1;
             }
         }
-        return;
+        return 0;
     }
     if which == "corpus" {
-        std::process::exit(experiments::corpus_cli::run(&args[1..]));
+        return experiments::corpus_cli::run(&args[1..]);
     }
     if which == "compare" {
         let paths: Vec<String> = args[1..].to_vec();
         if paths.is_empty() {
             eprintln!("usage: repro compare <baseline.json>...");
-            std::process::exit(2);
+            return 2;
         }
         let (report, failed) = experiments::compare::run(&paths);
         println!("{report}");
-        std::process::exit(if failed { 1 } else { 0 });
+        return if failed { 1 } else { 0 };
     }
     let run = |name: &str| -> Option<String> {
         let output = match name {
@@ -100,8 +127,9 @@ fn main() {
             Some(output) => print(which, output),
             None => {
                 eprintln!("unknown experiment {which:?} (see `repro` module docs for the list)");
-                std::process::exit(2);
+                return 2;
             }
         }
     }
+    0
 }

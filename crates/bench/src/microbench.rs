@@ -359,6 +359,12 @@ pub fn serve(c: &mut Criterion) {
         query: Vec::new(),
         body: Vec::new(),
     };
+    let metrics_request = HttpRequest {
+        method: "GET".into(),
+        path: "/metrics".into(),
+        query: Vec::new(),
+        body: Vec::new(),
+    };
     let mut fleet = DialectFleet::new();
     let dump: String = fleet
         .relational(4, 31)
@@ -389,6 +395,16 @@ pub fn serve(c: &mut Criterion) {
     group.bench_function("stats_request", |b| {
         b.iter(|| {
             let response = handle(&state, &mut reader, &stats_request);
+            assert_eq!(response.status, 200, "{}", response.body);
+            response.body.len()
+        })
+    });
+
+    // The Prometheus exposition: renders every pre-registered series of
+    // the daemon registry plus the process-global one on each scrape.
+    group.bench_function("metrics_request", |b| {
+        b.iter(|| {
+            let response = handle(&state, &mut reader, &metrics_request);
             assert_eq!(response.status, 200, "{}", response.body);
             response.body.len()
         })

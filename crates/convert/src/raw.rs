@@ -47,13 +47,95 @@
 
 use std::borrow::Cow;
 use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
 
 use uplan_core::formats::json::{self, JsonValue};
 use uplan_core::{Error, Result, UnifiedPlan};
 use uplan_corpus::PlanCorpus;
+use uplan_obs::{trace, Counter, Histogram, Level};
 
 use crate::spine::NodeBuilder;
 use crate::{detect, Source};
+
+// ---------------------------------------------------------------------------
+// Instrumentation
+// ---------------------------------------------------------------------------
+
+/// Global-registry handles for the raw ingest pipeline, registered once
+/// and then recorded into lock-free. See README § Observability for the
+/// metric name table.
+struct IngestMetrics {
+    /// `uplan_ingest_records_total` — records converted and ingested.
+    records: Arc<Counter>,
+    /// `uplan_ingest_batches_total` — conversion/ingest batches flushed.
+    batches: Arc<Counter>,
+    /// `uplan_ingest_batch_records` — records per flushed batch.
+    batch_records: Arc<Histogram>,
+    /// `uplan_ingest_skipped_total{kind}` in [`RawErrorKind`] order.
+    skipped: [Arc<Counter>; 3],
+    /// `uplan_ingest_quarantined_total` — failed records captured for
+    /// replay.
+    quarantined: Arc<Counter>,
+    /// `uplan_convert_records_total{source}` in [`Source::ALL`] order.
+    by_source: Vec<Arc<Counter>>,
+}
+
+fn ingest_metrics() -> &'static IngestMetrics {
+    static METRICS: OnceLock<IngestMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = uplan_obs::global();
+        IngestMetrics {
+            records: registry.counter(
+                "uplan_ingest_records_total",
+                "raw records successfully converted and ingested",
+            ),
+            batches: registry.counter(
+                "uplan_ingest_batches_total",
+                "raw ingest conversion batches flushed",
+            ),
+            batch_records: registry.histogram(
+                "uplan_ingest_batch_records",
+                "records per flushed raw ingest batch",
+            ),
+            skipped: [
+                RawErrorKind::Frame,
+                RawErrorKind::Classify,
+                RawErrorKind::Convert,
+            ]
+            .map(|kind| {
+                registry.counter_with(
+                    "uplan_ingest_skipped_total",
+                    "raw records skipped in lenient mode, by pipeline stage",
+                    &[("kind", kind.name())],
+                )
+            }),
+            quarantined: registry.counter(
+                "uplan_ingest_quarantined_total",
+                "failed raw records written to a quarantine file",
+            ),
+            by_source: Source::ALL
+                .iter()
+                .map(|source| {
+                    registry.counter_with(
+                        "uplan_convert_records_total",
+                        "raw records converted, by detected source dialect",
+                        &[("source", source.name())],
+                    )
+                })
+                .collect(),
+        }
+    })
+}
+
+impl RawErrorKind {
+    fn metric_index(self) -> usize {
+        match self {
+            RawErrorKind::Frame => 0,
+            RawErrorKind::Classify => 1,
+            RawErrorKind::Convert => 2,
+        }
+    }
+}
 
 /// Records per conversion/ingest batch — the only window of converted
 /// plans alive at once.
@@ -533,9 +615,21 @@ impl<'o> ErrorSink<'o> {
         if self.options.strict {
             return Err(err);
         }
+        let metrics = ingest_metrics();
+        metrics.skipped[meta.kind.metric_index()].inc();
         if self.options.quarantine.is_some() {
             self.quarantined.push(quarantine_line(raw));
+            metrics.quarantined.inc();
         }
+        trace::event(
+            "convert.ingest",
+            Level::Warn,
+            "record_skipped",
+            &[
+                ("line", (meta.line as u64).into()),
+                ("kind", meta.kind.name().into()),
+            ],
+        );
         self.errors.push(meta);
         if self.options.max_errors > 0 && self.errors.len() > self.options.max_errors {
             return Err(Error::Semantic(format!(
@@ -596,6 +690,9 @@ pub fn ingest_raw_with(
     options: &RawIngestOptions,
 ) -> Result<RawIngestReport> {
     let framing = sniff_framing(dump);
+    let mut ingest_span = trace::span("convert.ingest", Level::Info, "ingest");
+    ingest_span.field("framing", framing.name());
+    ingest_span.field("bytes", dump.len());
     let mut counts = [0usize; Source::ALL.len()];
     let mut report = RawIngestReport {
         framing,
@@ -615,6 +712,9 @@ pub fn ingest_raw_with(
         if batch.is_empty() {
             return Ok(());
         }
+        let metrics = ingest_metrics();
+        let mut span = trace::span("convert.ingest", Level::Debug, "batch");
+        span.field("records", batch.len());
         let results = convert_batch(batch, threads);
         let mut plans = Vec::with_capacity(batch.len());
         for (line, result) in batch.iter().zip(results) {
@@ -623,6 +723,7 @@ pub fn ingest_raw_with(
                     plans.push(plan);
                     counts[source_index(line.source)] += 1;
                     report.lines += 1;
+                    metrics.by_source[source_index(line.source)].inc();
                 }
                 Err(err) => {
                     let message = classify_error(&err);
@@ -639,7 +740,14 @@ pub fn ingest_raw_with(
                 }
             }
         }
-        report.novel += corpus.ingest_parallel(&plans, threads);
+        let novel = corpus.ingest_parallel(&plans, threads);
+        report.novel += novel;
+        metrics.records.add(plans.len() as u64);
+        metrics.batches.inc();
+        metrics.batch_records.record(batch.len() as u64);
+        span.field("converted", plans.len());
+        span.field("skipped", batch.len() - plans.len());
+        span.field("novel", novel);
         batch.clear();
         Ok(())
     }
@@ -700,6 +808,9 @@ pub fn ingest_raw_with(
         .filter(|&(_, n)| n > 0)
         .collect();
     sink.finish(&mut report)?;
+    ingest_span.field("lines", report.lines);
+    ingest_span.field("novel", report.novel);
+    ingest_span.field("errors", report.errors.len());
     Ok(report)
 }
 

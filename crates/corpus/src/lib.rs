@@ -48,6 +48,7 @@ mod shard;
 
 use std::collections::{BinaryHeap, HashSet};
 use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 use uplan_core::fingerprint::{fingerprint_with, Fingerprint, FingerprintOptions};
 use uplan_core::formats::binary::{
@@ -58,6 +59,35 @@ use uplan_core::ted::tree_edit_distance;
 use uplan_core::{Error, Result, UnifiedPlan};
 
 use shard::CorpusShard;
+
+/// Global-registry handles for the store side of the corpus: how many
+/// plans have been observed process-wide and how batched ingest spreads
+/// them over shards.
+struct CorpusMetrics {
+    /// `uplan_corpus_observed_total` — plans offered to any corpus
+    /// (novel or duplicate).
+    observed: Arc<uplan_obs::Counter>,
+    /// `uplan_corpus_shard_ingest_plans` — plans routed per non-empty
+    /// shard per parallel ingest (the shard-balance distribution).
+    shard_ingest: Arc<uplan_obs::Histogram>,
+}
+
+fn corpus_metrics() -> &'static CorpusMetrics {
+    static METRICS: OnceLock<CorpusMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = uplan_obs::global();
+        CorpusMetrics {
+            observed: registry.counter(
+                "uplan_corpus_observed_total",
+                "plans offered to a corpus, novel or duplicate",
+            ),
+            shard_ingest: registry.histogram(
+                "uplan_corpus_shard_ingest_plans",
+                "plans routed to each non-empty shard per parallel ingest",
+            ),
+        }
+    })
+}
 
 pub use query::{QueryError, QueryKind, QueryOutcome, QueryRequest, QueryResponse};
 pub use service::{
@@ -358,6 +388,7 @@ impl ShardedCorpus {
     /// Returns `true` for fingerprint-novel plans.
     pub fn observe(&mut self, plan: &UnifiedPlan) -> bool {
         self.observed += 1;
+        corpus_metrics().observed.inc();
         let fp = self.fingerprint_of(plan);
         match self.claim(fp) {
             Some(s) => {
@@ -412,6 +443,7 @@ impl ShardedCorpus {
     /// loop would have.
     pub fn ingest_parallel(&mut self, plans: &[UnifiedPlan], threads: usize) -> usize {
         self.observed += plans.len() as u64;
+        corpus_metrics().observed.add(plans.len() as u64);
         if plans.is_empty() {
             return 0;
         }
@@ -443,6 +475,12 @@ impl ShardedCorpus {
         let mut work: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
         for (pos, fp) in fps.iter().enumerate() {
             work[shard_index(*fp, self.shard_bits)].push(pos as u32);
+        }
+        {
+            let metrics = corpus_metrics();
+            for routed in work.iter().filter(|routed| !routed.is_empty()) {
+                metrics.shard_ingest.record(routed.len() as u64);
+            }
         }
 
         // Phase 3: shard-local dedup + BK indexing, whole shards handed to

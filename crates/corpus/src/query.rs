@@ -26,12 +26,60 @@
 //!   the budget is deterministic.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use uplan_core::formats::json::{self, object, JsonValue, OwnedJsonValue};
 use uplan_core::formats::unified;
 use uplan_core::UnifiedPlan;
+use uplan_obs::{trace, Counter, Histogram, Level};
 
 use crate::{Cluster, CorpusStats, Matches, MetricQuery, ShardedCorpus};
+
+/// Global-registry handles for the query path, one member per
+/// [`QueryKind`] wire name (index via [`QueryKind::metric_index`]).
+struct QueryMetrics {
+    /// `uplan_corpus_queries_total{kind}` — executed requests.
+    requests: [Arc<Counter>; 4],
+    /// `uplan_corpus_query_ted_evals{kind}` — counted TED evaluations per
+    /// answered request (the BK-traversal work actually done).
+    ted_evals: [Arc<Histogram>; 4],
+    /// `uplan_corpus_query_prune_x{kind}` — corpus size over counted
+    /// evals: how many× the triangle-inequality pruning shrank the scan
+    /// (1 = none; only recorded when a request evaluated anything).
+    prune_x: [Arc<Histogram>; 4],
+}
+
+const QUERY_KIND_NAMES: [&str; 4] = ["knn", "radius", "cluster", "stats"];
+
+fn query_metrics() -> &'static QueryMetrics {
+    static METRICS: OnceLock<QueryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = uplan_obs::global();
+        QueryMetrics {
+            requests: QUERY_KIND_NAMES.map(|kind| {
+                registry.counter_with(
+                    "uplan_corpus_queries_total",
+                    "corpus queries executed, by kind",
+                    &[("kind", kind)],
+                )
+            }),
+            ted_evals: QUERY_KIND_NAMES.map(|kind| {
+                registry.histogram_with(
+                    "uplan_corpus_query_ted_evals",
+                    "counted TED evaluations per answered query",
+                    &[("kind", kind)],
+                )
+            }),
+            prune_x: QUERY_KIND_NAMES.map(|kind| {
+                registry.histogram_with(
+                    "uplan_corpus_query_prune_x",
+                    "corpus size over counted TED evaluations (BK prune factor)",
+                    &[("kind", kind)],
+                )
+            }),
+        }
+    })
+}
 
 /// What a [`QueryRequest`] asks of the corpus.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +111,16 @@ impl QueryKind {
             QueryKind::Radius { .. } => "radius",
             QueryKind::Cluster { .. } => "cluster",
             QueryKind::Stats => "stats",
+        }
+    }
+
+    /// Index into the per-kind metric arrays ([`QUERY_KIND_NAMES`] order).
+    fn metric_index(&self) -> usize {
+        match self {
+            QueryKind::Knn { .. } => 0,
+            QueryKind::Radius { .. } => 1,
+            QueryKind::Cluster { .. } => 2,
+            QueryKind::Stats => 3,
         }
     }
 }
@@ -436,6 +494,28 @@ impl ShardedCorpus {
     /// deterministic; unbudgeted radius and cluster queries honor
     /// `threads`, which changes neither matches nor counted evaluations.
     pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
+        let idx = request.kind.metric_index();
+        let mut span = trace::span("corpus.query", Level::Debug, "query");
+        span.field("kind", request.kind.name());
+        let result = self.execute_inner(request);
+        let metrics = query_metrics();
+        metrics.requests[idx].inc();
+        match &result {
+            Ok(response) => {
+                metrics.ted_evals[idx].record(response.ted_evals);
+                if response.ted_evals > 0 {
+                    metrics.prune_x[idx].record((self.len() as u64) / response.ted_evals.max(1));
+                }
+                span.field("ted_evals", response.ted_evals);
+            }
+            Err(err) => {
+                span.field("error", err.to_string());
+            }
+        }
+        result
+    }
+
+    fn execute_inner(&self, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
         let respond = |outcome, ted_evals| QueryResponse {
             query: request.kind.name(),
             outcome,

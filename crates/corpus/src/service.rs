@@ -29,14 +29,67 @@
 //! back off instead of growing the daemon without limit.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use uplan_core::UnifiedPlan;
+use uplan_obs::{trace, Counter, Gauge, Histogram, Level};
 
 use crate::{QueryError, QueryRequest, QueryResponse, ShardedCorpus};
 
 /// Default bound on plans accepted but not yet merged.
 pub const DEFAULT_PENDING_CAPACITY: usize = 65_536;
+
+/// Global-registry handles for the snapshot/delta lifecycle. The gauges
+/// describe "the" service of the process — a daemon runs exactly one;
+/// when tests build several, last write wins, which is harmless for
+/// instantaneous values.
+struct ServiceMetrics {
+    /// `uplan_corpus_pending_plans` — delta-queue depth.
+    pending: Arc<Gauge>,
+    /// `uplan_corpus_epoch` — latest published epoch.
+    epoch: Arc<Gauge>,
+    /// `uplan_corpus_merges_total` — merges that published a new epoch.
+    merges: Arc<Counter>,
+    /// `uplan_corpus_merged_plans_total` — plans drained by those merges.
+    merged_plans: Arc<Counter>,
+    /// `uplan_corpus_merge_duration_us` — wall time per publishing merge.
+    merge_duration_us: Arc<Histogram>,
+}
+
+fn service_metrics() -> &'static ServiceMetrics {
+    static METRICS: OnceLock<ServiceMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = uplan_obs::global();
+        ServiceMetrics {
+            pending: registry.gauge(
+                "uplan_corpus_pending_plans",
+                "plans accepted into the delta queue but not yet merged",
+            ),
+            epoch: registry.gauge("uplan_corpus_epoch", "latest published corpus epoch"),
+            merges: registry.counter(
+                "uplan_corpus_merges_total",
+                "delta merges that published a new epoch",
+            ),
+            merged_plans: registry.counter(
+                "uplan_corpus_merged_plans_total",
+                "plans drained from the delta queue by publishing merges",
+            ),
+            merge_duration_us: registry.histogram(
+                "uplan_corpus_merge_duration_us",
+                "wall time of publishing merges, microseconds",
+            ),
+        }
+    })
+}
+
+/// The delta queue plus the age bookkeeping behind the epoch-lag readout:
+/// `since` is the instant the oldest currently-pending plan arrived.
+#[derive(Debug, Default)]
+struct PendingDelta {
+    plans: Vec<UnifiedPlan>,
+    since: Option<Instant>,
+}
 
 /// An immutable corpus at a named epoch. Cheap to share (`Arc`), never
 /// mutated after publication.
@@ -122,7 +175,7 @@ pub struct CorpusService {
     /// Mirror of the published epoch: the lock-free staleness check.
     epoch: AtomicU64,
     /// Plans accepted but not yet merged, in submission order.
-    pending: Mutex<Vec<UnifiedPlan>>,
+    pending: Mutex<PendingDelta>,
     capacity: usize,
 }
 
@@ -138,7 +191,7 @@ impl CorpusService {
         CorpusService {
             published: Mutex::new(Arc::new(CorpusSnapshot { epoch: 0, corpus })),
             epoch: AtomicU64::new(0),
-            pending: Mutex::new(Vec::new()),
+            pending: Mutex::new(PendingDelta::default()),
             capacity: capacity.max(1),
         }
     }
@@ -155,7 +208,19 @@ impl CorpusService {
 
     /// Plans accepted but not yet merged.
     pub fn pending(&self) -> usize {
-        self.pending.lock().expect("pending lock").len()
+        self.pending.lock().expect("pending lock").plans.len()
+    }
+
+    /// How long the oldest pending plan has been waiting for a merge —
+    /// the epoch lag a scraper watches to see whether the merge cadence
+    /// keeps up with ingest. Zero when the queue is empty.
+    pub fn pending_age(&self) -> std::time::Duration {
+        self.pending
+            .lock()
+            .expect("pending lock")
+            .since
+            .map(|since| since.elapsed())
+            .unwrap_or_default()
     }
 
     /// The latest published snapshot. Takes the publish mutex briefly;
@@ -180,15 +245,19 @@ impl CorpusService {
     /// splitting it — when it would overflow the bound.
     pub fn submit(&self, plans: Vec<UnifiedPlan>) -> Result<usize, ServiceError> {
         let mut pending = self.pending.lock().expect("pending lock");
-        if pending.len() + plans.len() > self.capacity {
+        if pending.plans.len() + plans.len() > self.capacity {
             return Err(ServiceError::Backpressure {
-                pending: pending.len(),
+                pending: pending.plans.len(),
                 capacity: self.capacity,
                 offered: plans.len(),
             });
         }
-        pending.extend(plans);
-        Ok(pending.len())
+        if pending.plans.is_empty() && !plans.is_empty() {
+            pending.since = Some(Instant::now());
+        }
+        pending.plans.extend(plans);
+        service_metrics().pending.set(pending.plans.len() as i64);
+        Ok(pending.plans.len())
     }
 
     /// Drains the delta queue into a clone of the published corpus
@@ -204,7 +273,7 @@ impl CorpusService {
         // not clone the same base corpus and race the publish.
         let mut pending = self.pending.lock().expect("pending lock");
         let base = self.snapshot();
-        if pending.is_empty() {
+        if pending.plans.is_empty() {
             return MergeReport {
                 epoch: base.epoch,
                 merged: 0,
@@ -212,7 +281,10 @@ impl CorpusService {
                 len: base.corpus.len(),
             };
         }
-        let drained: Vec<UnifiedPlan> = std::mem::take(pending.as_mut());
+        let start = Instant::now();
+        let mut span = trace::span("corpus.merge", Level::Debug, "merge");
+        let drained: Vec<UnifiedPlan> = std::mem::take(&mut pending.plans);
+        pending.since = None;
         let mut corpus = base.corpus.clone();
         let novel = corpus.ingest_parallel(&drained, threads.max(1));
         let epoch = base.epoch + 1;
@@ -226,6 +298,18 @@ impl CorpusService {
             // the mutex.
             self.epoch.store(epoch, Ordering::Release);
         }
+        let metrics = service_metrics();
+        metrics.pending.set(0);
+        metrics.epoch.set(epoch as i64);
+        metrics.merges.inc();
+        metrics.merged_plans.add(drained.len() as u64);
+        metrics
+            .merge_duration_us
+            .record(start.elapsed().as_micros() as u64);
+        span.field("epoch", epoch);
+        span.field("merged", drained.len());
+        span.field("novel", novel);
+        span.field("len", len);
         MergeReport {
             epoch,
             merged: drained.len(),

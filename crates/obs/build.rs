@@ -1,0 +1,22 @@
+//! Stamps the build with the git revision it was compiled from, so
+//! `uplan_obs::build_info()` (and with it `GET /stats` and `/metrics`) can
+//! report which code is actually running. Offline and best-effort: outside
+//! a git checkout (or without a `git` binary) the hash is `"unknown"`.
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=UPLAN_GIT_HASH={hash}");
+    // Re-stamp when HEAD moves (best-effort; .git may be elsewhere in a
+    // workspace checkout, in which case the stale hash is still close).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -137,13 +137,19 @@ pub enum HttpError {
     Io(io::Error),
 }
 
-/// One response: status, JSON body, `Connection: close`.
+/// One response: status, body, `Connection: close`.
 #[derive(Debug, Clone)]
 pub struct HttpResponse {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (JSON on every endpoint).
+    /// Response body (JSON on every endpoint except the Prometheus-text
+    /// `/metrics` exposition).
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// When set, echoed back as an `X-Request-Id` header so clients can
+    /// correlate responses with the daemon's span log.
+    pub request_id: Option<u64>,
     /// Tells the connection worker to initiate graceful shutdown after
     /// flushing this response.
     pub shutdown: bool,
@@ -155,7 +161,17 @@ impl HttpResponse {
         HttpResponse {
             status,
             body: body.into(),
+            content_type: "application/json",
+            request_id: None,
             shutdown: false,
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition).
+    pub fn text(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            content_type: "text/plain; version=0.0.4",
+            ..HttpResponse::json(status, body)
         }
     }
 
@@ -179,11 +195,16 @@ impl HttpResponse {
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             self.reason(),
+            self.content_type,
             self.body.len()
         )?;
+        if let Some(id) = self.request_id {
+            write!(w, "X-Request-Id: {id}\r\n")?;
+        }
+        w.write_all(b"Connection: close\r\n\r\n")?;
         w.write_all(self.body.as_bytes())?;
         w.flush()
     }
@@ -243,6 +264,21 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Content-Length: 18\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(!text.contains("X-Request-Id"));
         assert!(text.ends_with("{\"status\":\"error\"}"));
+    }
+
+    #[test]
+    fn text_responses_carry_content_type_and_request_id() {
+        let mut response = HttpResponse::text(200, "m_total 1\n");
+        response.request_id = Some(42);
+        let mut out = Vec::new();
+        response.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.contains("X-Request-Id: 42\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("m_total 1\n"));
     }
 }

@@ -16,6 +16,7 @@
 //! | GET    | `/stats`    | —                          | 200 epoch, pending, corpus stats, per-endpoint latency/eval histograms |
 //! | POST   | `/diff`     | JSONL corpus (`?radius=N`) | 200 fingerprint + radius novelty both ways |
 //! | POST   | `/merge`    | —                          | 200 forces an epoch merge now |
+//! | GET    | `/metrics`  | —                          | 200 Prometheus-text exposition (`?format=json` for JSON): this daemon's request series plus the process-global ingest/corpus series |
 //! | POST   | `/shutdown` | —                          | 200, then graceful drain: in-flight requests finish, the delta merges one last time |
 //!
 //! Queries run against an epoch-consistent [`CorpusSnapshot`]; each
@@ -24,6 +25,12 @@
 //! the background. The same handlers are callable in process
 //! ([`handle`]), which is how the `serve/*` bench rows measure request
 //! cost without a socket.
+//!
+//! Every response carries an `X-Request-Id` header (a process-unique span
+//! ID); requests over the configured latency or counted-TED slow-query
+//! threshold are counted per endpoint and emitted as `slow_query` trace
+//! events, so a drifting campaign shows up in the span log with the IDs
+//! needed to correlate client-side.
 
 pub mod http;
 pub mod metrics;
@@ -41,6 +48,7 @@ use uplan_core::formats::json::{self, object, JsonValue, OwnedJsonValue};
 use uplan_core::UnifiedPlan;
 use uplan_corpus::service::{CorpusService, CorpusSnapshot, ServiceError, SnapshotReader};
 use uplan_corpus::{PlanCorpus, QueryError, QueryRequest};
+use uplan_obs::{trace, Level};
 
 use http::{HttpError, HttpRequest, HttpResponse};
 use metrics::ServeMetrics;
@@ -61,6 +69,12 @@ pub struct ServerConfig {
     /// How often the background merger folds a non-empty delta into the
     /// next epoch.
     pub merge_interval: Duration,
+    /// Latency (µs) over which a request counts as a slow query (0
+    /// disables the latency criterion).
+    pub slow_query_us: u64,
+    /// Counted TED evaluations over which a request counts as a slow
+    /// query (0 disables the eval criterion).
+    pub slow_query_evals: u64,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +85,8 @@ impl Default for ServerConfig {
             queue_capacity: uplan_corpus::service::DEFAULT_PENDING_CAPACITY,
             merge_threads: 4,
             merge_interval: Duration::from_millis(200),
+            slow_query_us: 0,
+            slow_query_evals: 0,
         }
     }
 }
@@ -83,6 +99,9 @@ pub struct ServeState {
     metrics: ServeMetrics,
     options: FingerprintOptions,
     merge_threads: usize,
+    started: Instant,
+    slow_query_us: u64,
+    slow_query_evals: u64,
     shutdown: AtomicBool,
 }
 
@@ -95,8 +114,25 @@ impl ServeState {
             metrics: ServeMetrics::new(),
             options,
             merge_threads: merge_threads.max(1),
+            started: Instant::now(),
+            slow_query_us: 0,
+            slow_query_evals: 0,
             shutdown: AtomicBool::new(false),
         }
+    }
+
+    /// Sets the slow-query thresholds (0 disables a criterion): requests
+    /// over `slow_query_us` microseconds of wall time or over
+    /// `slow_query_evals` counted TED evaluations are counted in
+    /// `uplan_http_slow_queries_total` and logged as `slow_query` events.
+    pub fn with_slow_query_thresholds(
+        mut self,
+        slow_query_us: u64,
+        slow_query_evals: u64,
+    ) -> ServeState {
+        self.slow_query_us = slow_query_us;
+        self.slow_query_evals = slow_query_evals;
+        self
     }
 
     /// The underlying snapshot/delta service.
@@ -109,9 +145,19 @@ impl ServeState {
         &self.metrics
     }
 
+    /// Seconds since this state was constructed.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
     /// `true` once `/shutdown` was requested.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn is_slow(&self, latency_us: u64, ted_evals: u64) -> bool {
+        (self.slow_query_us > 0 && latency_us > self.slow_query_us)
+            || (self.slow_query_evals > 0 && ted_evals > self.slow_query_evals)
     }
 }
 
@@ -148,9 +194,19 @@ pub fn handle(state: &ServeState, reader: &mut SnapshotReader, req: &HttpRequest
         "/stats",
         "/diff",
         "/merge",
+        "/metrics",
         "/shutdown",
     ];
     let start = Instant::now();
+    // The span ID doubles as the request ID echoed in `X-Request-Id` —
+    // minted even when tracing is off, so responses are always
+    // correlatable.
+    let mut span = trace::span("serve.request", Level::Debug, "request");
+    let request_id = span.id();
+    let with_id = |mut response: HttpResponse| {
+        response.request_id = Some(request_id);
+        response
+    };
     let (endpoint, (response, ted_evals)) = match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/ingest") => ("ingest", ingest(state, req)),
         ("POST", "/knn") => ("knn", query(reader, "knn", req)),
@@ -159,20 +215,41 @@ pub fn handle(state: &ServeState, reader: &mut SnapshotReader, req: &HttpRequest
         ("GET" | "POST", "/stats") => ("stats", stats(state, reader)),
         ("POST", "/diff") => ("diff", diff(state, reader, req)),
         ("POST", "/merge") => ("merge", merge(state)),
+        ("GET" | "POST", "/metrics") => ("metrics", metrics_exposition(state, req)),
         ("POST", "/shutdown") => ("shutdown", shutdown(state)),
         (_, path) if ENDPOINTS.contains(&path) => {
-            return HttpResponse::json(
+            return with_id(HttpResponse::json(
                 405,
                 error_body("method-not-allowed", &format!("use POST for {path}")),
-            )
+            ))
         }
         (_, path) => {
-            return HttpResponse::json(404, error_body("not-found", &format!("no endpoint {path}")))
+            return with_id(HttpResponse::json(
+                404,
+                error_body("not-found", &format!("no endpoint {path}")),
+            ))
         }
     };
     let latency = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
     state.metrics.record(endpoint, latency, ted_evals);
-    response
+    if state.is_slow(latency, ted_evals) {
+        state.metrics.record_slow(endpoint);
+        trace::event(
+            "serve.request",
+            Level::Warn,
+            "slow_query",
+            &[
+                ("endpoint", endpoint.into()),
+                ("latency_us", latency.into()),
+                ("ted_evals", ted_evals.into()),
+                ("request_id", request_id.into()),
+            ],
+        );
+    }
+    span.field("endpoint", endpoint);
+    span.field("status", response.status as u64);
+    span.field("latency_us", latency);
+    with_id(response)
 }
 
 /// POST /ingest: a raw framed fleet dump (JSONL / `---` / `#<len>`,
@@ -325,7 +402,8 @@ fn resolve_raw_probe(doc: OwnedJsonValue) -> Result<OwnedJsonValue, String> {
 }
 
 /// GET /stats: the stats [`QueryResponse`] plus service fields (pending,
-/// capacity, total requests) and the per-endpoint histograms.
+/// capacity, pending-merge lag, uptime, build info, total requests) and
+/// the per-endpoint histograms.
 fn stats(state: &ServeState, reader: &mut SnapshotReader) -> (HttpResponse, u64) {
     let response = reader
         .current()
@@ -333,12 +411,52 @@ fn stats(state: &ServeState, reader: &mut SnapshotReader) -> (HttpResponse, u64)
         .expect("stats queries cannot fail");
     let mut doc = response.to_json_value();
     if let JsonValue::Object(members) = &mut doc {
+        let (version, git) = uplan_obs::build_info();
         members.push(("pending".into(), JsonValue::from(state.service.pending())));
         members.push(("capacity".into(), JsonValue::from(state.service.capacity())));
+        members.push((
+            "pending_age_us".into(),
+            int(u64::try_from(state.service.pending_age().as_micros()).unwrap_or(u64::MAX)),
+        ));
+        members.push(("uptime_seconds".into(), int(state.uptime().as_secs())));
+        members.push((
+            "build".into(),
+            object([
+                ("version", JsonValue::from(version)),
+                ("git", JsonValue::from(git)),
+            ]),
+        ));
         members.push(("requests".into(), int(state.metrics.requests())));
         members.push(("metrics".into(), state.metrics.to_json_value()));
     }
     (HttpResponse::json(200, doc.to_compact()), 0)
+}
+
+/// GET /metrics: the Prometheus-text exposition (or `?format=json`) of
+/// this daemon's request registry concatenated with the process-global
+/// registry (ingest/corpus instrumentation). Uptime is stamped into the
+/// instance registry at scrape time. The scrape itself is recorded
+/// *after* the body is rendered, so the counters a scrape reports never
+/// include that scrape.
+fn metrics_exposition(state: &ServeState, req: &HttpRequest) -> (HttpResponse, u64) {
+    state
+        .metrics
+        .registry()
+        .gauge("uplan_uptime_seconds", "seconds since the daemon started")
+        .set(i64::try_from(state.uptime().as_secs()).unwrap_or(i64::MAX));
+    if req.param("format") == Some("json") {
+        let mut doc = state.metrics.registry().encode_json();
+        if let (JsonValue::Object(mine), JsonValue::Object(global)) =
+            (&mut doc, uplan_obs::global().encode_json())
+        {
+            mine.extend(global);
+        }
+        (HttpResponse::json(200, doc.to_compact()), 0)
+    } else {
+        let mut text = state.metrics.registry().encode_prometheus();
+        text.push_str(&uplan_obs::global().encode_prometheus());
+        (HttpResponse::text(200, text), 0)
+    }
 }
 
 /// POST /diff?radius=N: body is a JSONL corpus; answers fingerprint and
@@ -439,11 +557,10 @@ impl Server {
     pub fn bind(config: ServerConfig, corpus: PlanCorpus) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let state = Arc::new(ServeState::new(
-            corpus,
-            config.queue_capacity,
-            config.merge_threads,
-        ));
+        let state = Arc::new(
+            ServeState::new(corpus, config.queue_capacity, config.merge_threads)
+                .with_slow_query_thresholds(config.slow_query_us, config.slow_query_evals),
+        );
         Ok(Server {
             listener,
             state,
@@ -628,6 +745,7 @@ mod tests {
             merge_threads: 2,
             // Long interval: merges in this test are explicit.
             merge_interval: Duration::from_secs(60),
+            ..ServerConfig::default()
         };
         let server = Server::bind(config, seed_corpus()).unwrap();
         let addr = server.local_addr();
@@ -685,17 +803,56 @@ mod tests {
         assert_eq!(status, 422, "{body}");
         assert!(body.contains("budget-exceeded"));
 
-        // Stats: epoch 1, nothing pending, histograms populated.
+        // Stats: epoch 1, nothing pending, histograms populated, and the
+        // new uptime/build/pending-age fields present.
         let (status, body) = request(addr, "GET", "/stats", "");
         assert_eq!(status, 200);
         let doc = json::parse(&body).unwrap();
         assert_eq!(doc.get("epoch").unwrap().as_int(), Some(1));
         assert_eq!(doc.get("pending").unwrap().as_int(), Some(0));
+        assert_eq!(doc.get("pending_age_us").unwrap().as_int(), Some(0));
+        assert!(doc.get("uptime_seconds").unwrap().as_int().is_some());
+        assert!(doc
+            .get("build")
+            .unwrap()
+            .get("version")
+            .unwrap()
+            .as_str()
+            .is_some());
         assert_eq!(
             doc.get("stats").unwrap().get("distinct").unwrap().as_int(),
             Some(6)
         );
         assert!(doc.get("metrics").unwrap().get("knn").is_some());
+
+        // /metrics: Prometheus text with this daemon's exact request
+        // counts (2 knn requests so far: the epoch-0 query and the
+        // budget-tripped one) and an X-Request-Id header.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+        assert!(raw.contains("Content-Type: text/plain"), "{raw}");
+        assert!(raw.contains("X-Request-Id: "), "{raw}");
+        let text = raw.split_once("\r\n\r\n").unwrap().1;
+        assert!(
+            text.contains("uplan_http_requests_total{endpoint=\"knn\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("uplan_http_requests_total{endpoint=\"ingest\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE uplan_http_request_latency_us histogram"));
+        // The global registry rides along (this process ran raw ingest).
+        assert!(text.contains("uplan_ingest_records_total"), "{text}");
+        // JSON flavor of the same exposition.
+        let (status, body) = request(addr, "GET", "/metrics?format=json", "");
+        assert_eq!(status, 200);
+        let doc = json::parse(&body).unwrap();
+        assert!(doc.get("uplan_http_requests_total").is_some());
+        assert!(doc.get("uplan_uptime_seconds").is_some());
 
         // Unknown path and wrong method.
         assert_eq!(post(addr, "/nope", "").0, 404);
@@ -726,6 +883,10 @@ mod tests {
         assert_eq!(response.status, 200);
         assert!(response.body.contains("\"matches\""));
         assert_eq!(state.metrics().requests(), 1);
+        assert!(
+            response.request_id.is_some(),
+            "every response carries an id"
+        );
 
         // probe_raw: a raw postgres-JSON record converts through the
         // pipeline before querying.
@@ -758,5 +919,43 @@ mod tests {
 
     fn quote_json(s: &str) -> String {
         JsonValue::from(s).to_compact()
+    }
+
+    /// Slow-query accounting: with an eval threshold of 1, any real
+    /// similarity query on a multi-plan corpus trips the counter; with
+    /// thresholds disabled (the default) nothing does.
+    #[test]
+    fn slow_queries_are_counted_per_endpoint() {
+        let state = ServeState::new(seed_corpus(), 100, 1).with_slow_query_thresholds(0, 1);
+        assert!(state.is_slow(0, 2));
+        assert!(!state.is_slow(u64::MAX, 1), "latency criterion disabled");
+        let service = Arc::clone(state.service());
+        let mut reader = service.reader();
+        let probe = uplan_core::formats::unified::to_json(&chain(&["Scan_A"]));
+        let req = HttpRequest {
+            method: "POST".into(),
+            path: "/knn".into(),
+            query: Vec::new(),
+            body: format!("{{\"k\": 1, \"probe\": {probe}}}").into_bytes(),
+        };
+        assert_eq!(handle(&state, &mut reader, &req).status, 200);
+        let text = state.metrics().registry().encode_prometheus();
+        assert!(
+            text.contains("uplan_http_slow_queries_total{endpoint=\"knn\"} 1"),
+            "{text}"
+        );
+        // A /stats request does no TED work: not slow.
+        let req = HttpRequest {
+            method: "GET".into(),
+            path: "/stats".into(),
+            query: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(handle(&state, &mut reader, &req).status, 200);
+        let text = state.metrics().registry().encode_prometheus();
+        assert!(
+            text.contains("uplan_http_slow_queries_total{endpoint=\"stats\"} 0"),
+            "{text}"
+        );
     }
 }

@@ -1,150 +1,156 @@
-//! Per-request metrics in fixed-size log₂ histograms: request latency
-//! (microseconds) and counted TED evaluations, per endpoint. Bounded
-//! memory, lock held only for the few writes of a record, and quantiles
-//! good to a factor of two — enough for the `/stats` payload and the
-//! ROADMAP's measured-latency numbers without pulling in a metrics crate.
+//! Per-request metrics on a per-daemon [`Registry`]: request counts,
+//! latency (microseconds), counted TED evaluations and slow-query counts,
+//! per endpoint — plus build-info and uptime series stamped at scrape
+//! time. Recording is lock-free (pre-registered atomic handles looked up
+//! by endpoint name); exposition is the obs crate's Prometheus-text and
+//! JSON encoders.
+//!
+//! The registry is **per [`ServeMetrics`] instance**, not process-global:
+//! each daemon (or test, or bench harness) owns its own request series,
+//! so counters stay exact however many states coexist in one process.
+//! `GET /metrics` concatenates this registry with the process-global one
+//! (ingest/corpus instrumentation) into one exposition.
+//!
+//! [`ServeMetrics`]: ServeMetrics
 
-use std::sync::Mutex;
+use std::sync::Arc;
 
-use uplan_core::formats::json::{object, JsonValue, OwnedJsonValue};
+use uplan_core::formats::json::{JsonValue, OwnedJsonValue};
+use uplan_obs::{Counter, Registry};
+pub use uplan_obs::{Histogram, HistogramSnapshot};
 
-/// A log₂-bucketed histogram of `u64` samples: bucket `b` holds values
-/// with `b` significant bits (0, 1, 2–3, 4–7, …), so 65 buckets cover the
-/// whole range.
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    buckets: [u64; 65],
-    count: u64,
-    sum: u64,
-    max: u64,
+/// Every endpoint the daemon dispatches, in exposition order.
+pub const ENDPOINT_NAMES: [&str; 9] = [
+    "ingest", "knn", "radius", "cluster", "stats", "diff", "merge", "metrics", "shutdown",
+];
+
+/// One endpoint's pre-registered handles.
+struct EndpointHandles {
+    name: &'static str,
+    requests: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    ted_evals: Arc<Histogram>,
+    slow: Arc<Counter>,
 }
 
-impl Default for Histogram {
-    fn default() -> Histogram {
-        Histogram {
-            buckets: [0; 65],
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-}
-
-impl Histogram {
-    fn bucket(value: u64) -> usize {
-        (64 - value.leading_zeros()) as usize
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, value: u64) {
-        self.buckets[Self::bucket(value)] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(value);
-        self.max = self.max.max(value);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Largest sample.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Mean sample (0 when empty).
-    pub fn mean(&self) -> u64 {
-        self.sum.checked_div(self.count).unwrap_or(0)
-    }
-
-    /// Upper bound of the bucket containing the `q`-quantile (`0.5` =
-    /// median), i.e. the answer is within 2× of the true quantile. 0 when
-    /// empty.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
-        let mut seen = 0u64;
-        for (b, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if n > 0 && seen >= rank.max(1) {
-                return if b == 0 { 0 } else { (1u64 << b) - 1 }.min(self.max);
-            }
-        }
-        self.max
-    }
-
-    fn to_json(&self) -> OwnedJsonValue {
-        let int = |v: u64| JsonValue::Int(i64::try_from(v).unwrap_or(i64::MAX));
-        object([
-            ("count", int(self.count)),
-            ("mean", int(self.mean())),
-            ("p50", int(self.quantile(0.5))),
-            ("p90", int(self.quantile(0.9))),
-            ("p99", int(self.quantile(0.99))),
-            ("max", int(self.max)),
-        ])
-    }
-}
-
-/// One endpoint's pair of histograms.
-#[derive(Debug, Default, Clone)]
-struct EndpointMetrics {
-    latency_us: Histogram,
-    ted_evals: Histogram,
-}
-
-/// All per-endpoint metrics, behind one short-critical-section mutex
-/// (two histogram writes per request — the query itself never holds it).
-#[derive(Debug, Default)]
+/// All per-endpoint request metrics of one daemon instance. Handles are
+/// registered once at construction; [`ServeMetrics::record`] is a name
+/// lookup plus a few relaxed atomic writes.
 pub struct ServeMetrics {
-    endpoints: Mutex<Vec<(String, EndpointMetrics)>>,
+    registry: Registry,
+    endpoints: Vec<EndpointHandles>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> ServeMetrics {
+        ServeMetrics::new()
+    }
+}
+
+impl std::fmt::Debug for ServeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeMetrics")
+            .field("requests", &self.requests())
+            .finish()
+    }
 }
 
 impl ServeMetrics {
-    /// A fresh, empty registry.
+    /// A fresh registry with every endpoint's series pre-registered (so
+    /// the exposition is complete from the first scrape) plus the
+    /// build-info series.
     pub fn new() -> ServeMetrics {
-        ServeMetrics::default()
+        let registry = Registry::new();
+        let (version, git) = uplan_obs::build_info();
+        registry
+            .gauge_with(
+                "uplan_build_info",
+                "build metadata as labels; value is always 1",
+                &[("version", version), ("git", git)],
+            )
+            .set(1);
+        let endpoints = ENDPOINT_NAMES
+            .iter()
+            .map(|&name| EndpointHandles {
+                name,
+                requests: registry.counter_with(
+                    "uplan_http_requests_total",
+                    "requests served, by endpoint",
+                    &[("endpoint", name)],
+                ),
+                latency_us: registry.histogram_with(
+                    "uplan_http_request_latency_us",
+                    "request wall time, microseconds",
+                    &[("endpoint", name)],
+                ),
+                ted_evals: registry.histogram_with(
+                    "uplan_http_request_ted_evals",
+                    "counted TED evaluations spent answering a request",
+                    &[("endpoint", name)],
+                ),
+                slow: registry.counter_with(
+                    "uplan_http_slow_queries_total",
+                    "requests over the configured latency/eval slow-query threshold",
+                    &[("endpoint", name)],
+                ),
+            })
+            .collect();
+        ServeMetrics {
+            registry,
+            endpoints,
+        }
     }
 
-    /// Records one served request.
+    fn endpoint(&self, name: &str) -> Option<&EndpointHandles> {
+        self.endpoints.iter().find(|e| e.name == name)
+    }
+
+    /// Records one served request. Unknown endpoint names are ignored
+    /// (the dispatcher only passes [`ENDPOINT_NAMES`] members).
     pub fn record(&self, endpoint: &str, latency_us: u64, ted_evals: u64) {
-        let mut endpoints = self.endpoints.lock().expect("metrics lock");
-        let entry = match endpoints.iter_mut().find(|(name, _)| name == endpoint) {
-            Some((_, m)) => m,
-            None => {
-                endpoints.push((endpoint.to_string(), EndpointMetrics::default()));
-                &mut endpoints.last_mut().expect("just pushed").1
-            }
-        };
-        entry.latency_us.record(latency_us);
-        entry.ted_evals.record(ted_evals);
+        if let Some(handles) = self.endpoint(endpoint) {
+            handles.requests.inc();
+            handles.latency_us.record(latency_us);
+            handles.ted_evals.record(ted_evals);
+        }
+    }
+
+    /// Counts a request that tripped the slow-query threshold.
+    pub fn record_slow(&self, endpoint: &str) {
+        if let Some(handles) = self.endpoint(endpoint) {
+            handles.slow.inc();
+        }
     }
 
     /// Total requests recorded across endpoints.
     pub fn requests(&self) -> u64 {
-        self.endpoints
-            .lock()
-            .expect("metrics lock")
-            .iter()
-            .map(|(_, m)| m.latency_us.count())
-            .sum()
+        self.endpoints.iter().map(|e| e.requests.get()).sum()
     }
 
-    /// The `/stats` payload: per endpoint, latency and eval summaries.
+    /// Requests recorded for one endpoint.
+    pub fn requests_for(&self, endpoint: &str) -> u64 {
+        self.endpoint(endpoint).map_or(0, |e| e.requests.get())
+    }
+
+    /// The instance registry (the `/metrics` exposition source).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The `/stats` payload: per *hit* endpoint, latency and eval
+    /// summaries (endpoints nobody called are omitted, matching the
+    /// pre-registry behavior of this report).
     pub fn to_json_value(&self) -> OwnedJsonValue {
-        let endpoints = self.endpoints.lock().expect("metrics lock");
         JsonValue::Object(
-            endpoints
+            self.endpoints
                 .iter()
-                .map(|(name, m)| {
+                .filter(|e| e.requests.get() > 0)
+                .map(|e| {
                     (
-                        std::borrow::Cow::Owned(name.clone()),
-                        object([
-                            ("latency_us", m.latency_us.to_json()),
-                            ("ted_evals", m.ted_evals.to_json()),
+                        std::borrow::Cow::Borrowed(e.name),
+                        uplan_core::formats::json::object([
+                            ("latency_us", e.latency_us.snapshot().summary_json()),
+                            ("ted_evals", e.ted_evals.snapshot().summary_json()),
                         ]),
                     )
                 })
@@ -158,35 +164,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_quantiles_are_within_a_factor_of_two() {
-        let mut h = Histogram::default();
-        for v in 1..=1000u64 {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 1000);
-        assert_eq!(h.max(), 1000);
-        assert_eq!(h.mean(), 500);
-        let p50 = h.quantile(0.5);
-        assert!((500..=1000).contains(&p50), "p50 bucket bound {p50}");
-        assert!(h.quantile(0.99) >= 990 / 2);
-        assert!(h.quantile(1.0) <= 1000);
-        // Degenerate cases.
-        let empty = Histogram::default();
-        assert_eq!(empty.quantile(0.5), 0);
-        let mut zeros = Histogram::default();
-        zeros.record(0);
-        zeros.record(0);
-        assert_eq!(zeros.quantile(0.9), 0);
-        assert_eq!(zeros.mean(), 0);
-    }
-
-    #[test]
     fn registry_accumulates_per_endpoint() {
         let metrics = ServeMetrics::new();
         metrics.record("knn", 120, 40);
         metrics.record("knn", 80, 44);
         metrics.record("stats", 5, 0);
-        assert_eq!(metrics.requests(), 3);
+        metrics.record("bogus", 1, 1);
+        assert_eq!(metrics.requests(), 3, "unknown endpoints are ignored");
+        assert_eq!(metrics.requests_for("knn"), 2);
+        assert_eq!(metrics.requests_for("merge"), 0);
         let doc = metrics.to_json_value();
         let knn = doc.get("knn").unwrap();
         assert_eq!(
@@ -207,5 +193,24 @@ mod tests {
                 .as_int(),
             Some(0)
         );
+        assert!(doc.get("merge").is_none(), "unhit endpoints are omitted");
+    }
+
+    #[test]
+    fn exposition_covers_every_endpoint_and_build_info() {
+        let metrics = ServeMetrics::new();
+        metrics.record("ingest", 9, 0);
+        metrics.record_slow("ingest");
+        let text = metrics.registry().encode_prometheus();
+        assert!(text.contains("uplan_http_requests_total{endpoint=\"ingest\"} 1"));
+        // Pre-registration: endpoints nobody hit still expose a 0 sample.
+        assert!(text.contains("uplan_http_requests_total{endpoint=\"cluster\"} 0"));
+        assert!(text.contains("uplan_http_slow_queries_total{endpoint=\"ingest\"} 1"));
+        assert!(text.contains("uplan_http_request_latency_us_count{endpoint=\"ingest\"} 1"));
+        let (version, _) = uplan_obs::build_info();
+        assert!(text.contains(&format!("uplan_build_info{{version=\"{version}\"")));
+        // Separate instances do not share counters.
+        let other = ServeMetrics::new();
+        assert_eq!(other.requests(), 0);
     }
 }

@@ -16,6 +16,9 @@
 //! * [`corpus`] *(uplan-corpus)* — persistent, fingerprint-deduplicated,
 //!   TED-metric-indexed plan populations (BK-tree radius/k-NN queries,
 //!   binary/JSONL persistence, clustering, cross-corpus diff);
+//! * [`obs`] *(uplan-obs)* — zero-dependency observability: lock-cheap
+//!   metrics registry with Prometheus/JSON exposition, structured span
+//!   tracing with a JSONL sink;
 //! * [`serve`] *(uplan-serve)* — the HTTP/1.1 + JSON daemon serving a
 //!   corpus concurrently on a snapshot/delta epoch model (lock-free k-NN
 //!   reads during batched ingest, counted-TED budgets, backpressure);
@@ -36,6 +39,7 @@ pub use minigraph;
 pub use uplan_convert as convert;
 pub use uplan_core as core;
 pub use uplan_corpus as corpus;
+pub use uplan_obs as obs;
 pub use uplan_serve as serve;
 pub use uplan_testing as testing;
 pub use uplan_viz as viz;

@@ -1,0 +1,172 @@
+//! End-to-end observability: the `/metrics` exposition of a live daemon
+//! state and the process-global ingest instrumentation, exercised through
+//! the public facade the way an operator's scrape job would see them.
+//!
+//! Two contracts pinned here:
+//!
+//! 1. **Per-state exactness** — HTTP request counters live on the
+//!    [`ServeMetrics`] instance registry, so a state's exposition reports
+//!    exactly the requests *that state* served (other states in the same
+//!    process do not bleed in), and a `/metrics` scrape never counts
+//!    itself in the body it returns.
+//! 2. **Global ingest deltas** — `convert::ingest_raw` advances the
+//!    process-global counters by exactly the records it converted, with
+//!    lenient-mode skips attributed per pipeline stage.
+//!
+//! [`ServeMetrics`]: uplan::serve::ServeMetrics
+
+use std::sync::Arc;
+
+use uplan::convert::{ingest_raw, ingest_raw_with, RawIngestOptions};
+use uplan::corpus::{PlanCorpus, DEFAULT_PENDING_CAPACITY};
+use uplan::serve::http::HttpRequest;
+use uplan::serve::{handle, ServeState};
+use uplan::testing::fixtures::{raw_dump_line, DialectFleet};
+use uplan_bench::corpus_fixture;
+
+fn get(path: &str) -> HttpRequest {
+    HttpRequest {
+        method: "GET".into(),
+        path: path.into(),
+        query: Vec::new(),
+        body: Vec::new(),
+    }
+}
+
+/// Current value of a global counter, zero when nothing registered it yet.
+fn global_counter(name: &str, labels: &[(&str, &str)]) -> u64 {
+    uplan::obs::global()
+        .find_counter(name, labels)
+        .map_or(0, |c| c.get())
+}
+
+#[test]
+fn a_state_exposes_exactly_the_requests_it_served() {
+    let corpus = corpus_fixture::derived_corpus(60, 0x0b5e_0001);
+    let state = ServeState::new(corpus, DEFAULT_PENDING_CAPACITY, 2);
+    let service = Arc::clone(state.service());
+    let mut reader = service.reader();
+
+    let probe = uplan::core::formats::unified::to_json(&corpus_fixture::derived_stream(1, 0x9e)[0]);
+    let knn = HttpRequest {
+        method: "POST".into(),
+        path: "/knn".into(),
+        query: Vec::new(),
+        body: format!("{{\"k\": 3, \"probe\": {probe}}}").into_bytes(),
+    };
+    for _ in 0..2 {
+        let response = handle(&state, &mut reader, &knn);
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert!(
+            response.request_id.is_some(),
+            "every response carries an id"
+        );
+    }
+    let stats = handle(&state, &mut reader, &get("/stats"));
+    assert_eq!(stats.status, 200, "{}", stats.body);
+
+    // First scrape: exact counts for what was served, and the scrape body
+    // is rendered before the scrape itself is recorded.
+    let scrape = handle(&state, &mut reader, &get("/metrics"));
+    assert_eq!(scrape.status, 200);
+    assert_eq!(scrape.content_type, "text/plain; version=0.0.4");
+    let body = &scrape.body;
+    assert!(body.contains("uplan_http_requests_total{endpoint=\"knn\"} 2"));
+    assert!(body.contains("uplan_http_requests_total{endpoint=\"stats\"} 1"));
+    assert!(body.contains("uplan_http_requests_total{endpoint=\"metrics\"} 0"));
+    assert!(body.contains("uplan_http_request_latency_us_count{endpoint=\"knn\"} 2"));
+    assert!(body.contains("uplan_build_info{"));
+    assert!(body.contains("uplan_uptime_seconds"));
+    // (The process-global section rides along in the same exposition;
+    // its families appear once something registers them — the daemon
+    // round-trip test in uplan-serve pins that concatenation.)
+
+    // Second scrape observes the first.
+    let scrape = handle(&state, &mut reader, &get("/metrics"));
+    assert!(scrape
+        .body
+        .contains("uplan_http_requests_total{endpoint=\"metrics\"} 1"));
+
+    // A second state in the same process starts from zero: HTTP series
+    // are per-instance, not process-global.
+    let other = ServeState::new(corpus_fixture::derived_corpus(10, 0x0b5e_0002), 8, 1);
+    assert_eq!(other.metrics().requests(), 0);
+    assert!(other
+        .metrics()
+        .registry()
+        .encode_prometheus()
+        .contains("uplan_http_requests_total{endpoint=\"knn\"} 0"));
+}
+
+#[test]
+fn ingest_advances_the_global_counters_by_exact_deltas() {
+    let mut fleet = DialectFleet::new();
+    let records: Vec<(uplan::convert::Source, String)> = fleet.relational(3, 17);
+    let lines = records.len() as u64;
+    let first_source = records[0].0;
+    let dump: String = records
+        .iter()
+        .map(|(source, text)| raw_dump_line(*source, text))
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let records_before = global_counter("uplan_ingest_records_total", &[]);
+    let batches_before = global_counter("uplan_ingest_batches_total", &[]);
+    let source_before = global_counter(
+        "uplan_convert_records_total",
+        &[("source", first_source.name())],
+    );
+
+    let mut corpus = PlanCorpus::new();
+    let report = ingest_raw(&dump, &mut corpus, 2).expect("clean fixture dump ingests");
+    assert_eq!(report.lines as u64, lines);
+
+    // This test is the only ingest caller in this binary, so the deltas
+    // are exact (test binaries are separate processes).
+    assert_eq!(
+        global_counter("uplan_ingest_records_total", &[]) - records_before,
+        lines
+    );
+    assert!(global_counter("uplan_ingest_batches_total", &[]) > batches_before);
+    assert!(
+        global_counter(
+            "uplan_convert_records_total",
+            &[("source", first_source.name())]
+        ) > source_before
+    );
+
+    // A lenient ingest of garbage lands in the skip counters (attributed
+    // to the rejecting pipeline stage) and, with a quarantine file set,
+    // in the quarantine counter.
+    let kinds = ["frame", "classify", "convert"];
+    let skipped_before: Vec<u64> = kinds
+        .iter()
+        .map(|&k| global_counter("uplan_ingest_skipped_total", &[("kind", k)]))
+        .collect();
+    let quarantined_before = global_counter("uplan_ingest_quarantined_total", &[]);
+    let quarantine =
+        std::env::temp_dir().join(format!("{}_obs_quarantine.jsonl", std::process::id()));
+    let dirty = format!("{dump}\nnot a raw dump record at all");
+    let options = RawIngestOptions {
+        quarantine: Some(quarantine.clone()),
+        ..RawIngestOptions::lenient()
+    };
+    let report = ingest_raw_with(&dirty, &mut PlanCorpus::new(), 2, &options)
+        .expect("lenient mode skips the garbage line");
+    std::fs::remove_file(&quarantine).ok();
+    assert_eq!(report.errors.len(), 1);
+    let rejected_by = report.errors[0].kind.name();
+    for (&kind, &before) in kinds.iter().zip(&skipped_before) {
+        let delta = global_counter("uplan_ingest_skipped_total", &[("kind", kind)]) - before;
+        assert_eq!(delta, u64::from(kind == rejected_by), "kind {kind}");
+    }
+    assert_eq!(
+        global_counter("uplan_ingest_quarantined_total", &[]) - quarantined_before,
+        1
+    );
+
+    // The JSON exposition carries the same families.
+    let json = uplan::obs::global().encode_json().to_compact();
+    assert!(json.contains("\"uplan_ingest_records_total\""));
+    assert!(json.contains("\"uplan_ingest_batch_records\""));
+}
