@@ -160,7 +160,7 @@ pub fn run(args: &[String]) -> i32 {
 
 fn usage() -> String {
     "usage: repro corpus <ingest|raw-fixture|raw-check|fixture-ingest|campaign|stats|cluster|\
-     diff|query|serve|salvage|mutate|sources> ... (see crates/bench/src/corpus_cli.rs docs)"
+     diff|query|recall|serve|salvage|mutate|sources> ... (see crates/bench/src/corpus_cli.rs docs)"
         .to_owned()
 }
 
@@ -175,6 +175,7 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
         Some("cluster") => cluster(&args[1..]),
         Some("diff") => diff(&args[1..]),
         Some("query") => query(&args[1..]),
+        Some("recall") => recall(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("salvage") => salvage(&args[1..]),
         Some("mutate") => mutate(&args[1..]),
@@ -818,6 +819,8 @@ fn query(args: &[String]) -> Result<String, CliError> {
     let radius: Option<u32> = take_value(&mut args, "--radius")?;
     let budget: Option<u64> = take_value(&mut args, "--budget")?;
     let threads: usize = take_value(&mut args, "--threads")?.unwrap_or(1);
+    let mode: Option<String> = take_value(&mut args, "--mode")?;
+    let candidates: Option<usize> = take_value(&mut args, "--candidates")?;
     let probe_path: Option<String> = take_value(&mut args, "--probe")?;
     let probe_raw_path: Option<String> = take_value(&mut args, "--probe-raw")?;
     let (path, kind) = match args.as_slice() {
@@ -826,6 +829,7 @@ fn query(args: &[String]) -> Result<String, CliError> {
             return Err(
                 "usage: repro corpus query <corpus> <knn|radius|cluster|stats> \
                  [--k N] [--radius R] [--probe <plan.json>] [--probe-raw <record>] \
+                 [--mode exact|approx] [--candidates N] \
                  [--budget N] [--threads N] [--json]"
                     .into(),
             )
@@ -846,6 +850,15 @@ fn query(args: &[String]) -> Result<String, CliError> {
     request = request.with_threads(threads);
     if let Some(budget) = budget {
         request = request.with_eval_budget(budget);
+    }
+    match mode.as_deref() {
+        None | Some("exact") => {
+            if let Some(n) = candidates {
+                return Err(format!("--candidates {n} needs --mode approx").into());
+            }
+        }
+        Some("approx") => request = request.approx(candidates.unwrap_or(0)),
+        Some(other) => return Err(format!("unknown --mode {other:?}; one of exact, approx").into()),
     }
     if let Some(file) = &probe_path {
         let text = std::fs::read_to_string(file)
@@ -896,9 +909,99 @@ fn query(args: &[String]) -> Result<String, CliError> {
         QueryOutcome::Stats(_) => summary(&corpus),
     };
     Ok(format!(
-        "{path}: {} query\n{answer}\nted_evals: {}",
-        response.query, response.ted_evals
+        "{path}: {} query\n{answer}\nted_evals: {} ({} exited early, {} candidate(s) considered)",
+        response.query,
+        response.cost.ted_evals,
+        response.cost.partial_evals,
+        response.cost.candidates_considered,
     ))
+}
+
+/// `repro corpus recall` — the approximate-query quality gate. Runs k-NN
+/// probes in both modes over a stored corpus and reports recall (exact
+/// neighbor distance multiset recovered) plus the full-TED-evaluation
+/// ratio the shortlist bought. Exits 1 (operational, like a tripped eval
+/// budget) when either measurement falls below its threshold, so CI can
+/// gate on the command directly.
+fn recall(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.to_vec();
+    let k: usize = take_value(&mut args, "--k")?.unwrap_or(5);
+    let candidates: usize = take_value(&mut args, "--candidates")?.unwrap_or(0);
+    let probe_count: usize = take_value(&mut args, "--probes")?.unwrap_or(24);
+    let min_recall: f64 = take_value(&mut args, "--min-recall")?.unwrap_or(0.95);
+    let min_ratio: f64 = take_value(&mut args, "--min-full-eval-ratio")?.unwrap_or(5.0);
+    let [path] = args.as_slice() else {
+        return Err(
+            "usage: repro corpus recall <corpus> [--k N] [--candidates N] [--probes N] \
+             [--min-recall F] [--min-full-eval-ratio F]"
+                .into(),
+        );
+    };
+    let corpus = load(path)?;
+    let probes = crate::corpus_fixture::derived_stream(probe_count, 0x004e_ca11);
+    let mut hit = 0usize;
+    let mut wanted = 0usize;
+    let mut exact_started = 0u64;
+    let mut exact_full = 0u64;
+    let mut approx_full = 0u64;
+    let mut shortlists = 0u64;
+    for probe in &probes {
+        let exact = corpus
+            .execute(&QueryRequest::knn(k).with_probe(probe.clone()))
+            .map_err(|e| CliError::Input(e.to_string()))?;
+        let approx = corpus
+            .execute(
+                &QueryRequest::knn(k)
+                    .with_probe(probe.clone())
+                    .approx(candidates),
+            )
+            .map_err(|e| CliError::Input(e.to_string()))?;
+        let dists = |r: &uplan_corpus::QueryResponse| match &r.outcome {
+            QueryOutcome::Matches(m) => m.iter().map(|&(_, d)| d).collect::<Vec<_>>(),
+            other => panic!("knn query answered {other:?}"),
+        };
+        let mut exact_d = dists(&exact);
+        wanted += exact_d.len();
+        for d in dists(&approx) {
+            if let Some(pos) = exact_d.iter().position(|&e| e == d) {
+                exact_d.remove(pos);
+                hit += 1;
+            }
+        }
+        exact_started += exact.cost.ted_evals;
+        exact_full += exact.cost.ted_evals - exact.cost.partial_evals;
+        approx_full += approx.cost.ted_evals - approx.cost.partial_evals;
+        shortlists += approx.cost.candidates_considered;
+    }
+    let recall = if wanted == 0 {
+        1.0
+    } else {
+        hit as f64 / wanted as f64
+    };
+    // The ratio gate compares approx full evaluations against the *started*
+    // exact count — what exact answering paid per full dynamic program
+    // before the early-exit kernel, and still the kernel-invariant measure
+    // of traversal work. (Started counts are identical kernel on/off, so
+    // this baseline cannot drift with kernel tuning.)
+    let ratio = if approx_full == 0 {
+        f64::INFINITY
+    } else {
+        exact_started as f64 / approx_full as f64
+    };
+    let report = format!(
+        "{path}: approx k-NN vs exact over {} probe(s) (k {k}, mean shortlist {:.0})\n\
+         recall: {recall:.4} ({hit}/{wanted} neighbor distances recovered; floor {min_recall})\n\
+         TED evals: exact started {exact_started} (ran {exact_full} in full) vs approx \
+         {approx_full} full ({ratio:.1}x fewer; floor {min_ratio}x)",
+        probes.len(),
+        shortlists as f64 / probes.len().max(1) as f64,
+    );
+    if recall < min_recall || ratio < min_ratio {
+        return Err(CliError::Operational(format!(
+            "{report}\napprox quality gate FAILED"
+        )));
+    }
+    Ok(report)
 }
 
 /// `repro corpus serve` — the corpus daemon. Blocks until POST /shutdown.

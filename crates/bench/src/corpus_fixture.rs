@@ -266,7 +266,7 @@ mod tests {
             let scanned = corpus.scan_nearest(probe, 5);
             let dist = |m: &uplan_corpus::Matches| m.iter().map(|&(_, d)| d).collect::<Vec<_>>();
             assert_eq!(dist(&matches(&indexed)), dist(&scanned.matches));
-            bk_evals += indexed.ted_evals;
+            bk_evals += indexed.cost.ted_evals;
             scan_evals += scanned.ted_evals;
 
             let indexed = corpus
@@ -274,12 +274,92 @@ mod tests {
                 .unwrap();
             let scanned = corpus.scan_within_radius(probe, 2);
             assert_eq!(matches(&indexed), scanned.matches);
-            bk_evals += indexed.ted_evals;
+            bk_evals += indexed.cost.ted_evals;
             scan_evals += scanned.ted_evals;
         }
         assert!(
             bk_evals * 10 <= scan_evals,
             "BK-tree spent {bk_evals} TED evals vs {scan_evals} for scans — pruning below 10x"
+        );
+    }
+
+    #[test]
+    fn early_exit_kernel_is_invisible_to_exact_queries() {
+        // The kernel contract, enforced on the TPC-H-derived population:
+        // exact queries answer with the same matches and the same
+        // evaluation *starts* whether pruned-but-visited nodes run the
+        // full dynamic program (`*_reference`, kernel off) or the banded
+        // early-exit one (the production path). The only difference the
+        // kernel may make is how many of those starts it abandoned.
+        let corpus = derived_corpus(600, 0xeef1);
+        let matches = |r: &uplan_corpus::QueryResponse| match &r.outcome {
+            QueryOutcome::Matches(m) => m.clone(),
+            other => panic!("metric query answered {other:?}"),
+        };
+        let mut savings = 0u64;
+        for probe in derived_stream(12, 0xb0b) {
+            let knn = corpus.knn_query(&probe, 5);
+            let reference = corpus.knn_query_reference(&probe, 5);
+            assert_eq!(knn.matches, reference.matches);
+            assert_eq!(knn.ted_evals, reference.ted_evals);
+            assert_eq!(reference.partial_evals, 0);
+            savings += knn.partial_evals;
+
+            let radius = corpus
+                .execute(&QueryRequest::radius(2).with_probe(probe.clone()))
+                .unwrap();
+            let reference = corpus.radius_query_reference(&probe, 2);
+            assert_eq!(matches(&radius), reference.matches);
+            assert_eq!(radius.cost.ted_evals, reference.ted_evals);
+            assert_eq!(reference.partial_evals, 0);
+            savings += radius.cost.partial_evals;
+        }
+        assert!(
+            savings > 0,
+            "the early-exit kernel never abandoned a single evaluation"
+        );
+    }
+
+    #[test]
+    fn approximate_knn_recalls_most_exact_neighbors() {
+        // Debug-scale sibling of the release-mode `repro corpus recall` CI
+        // gate: at the default candidate count, approximate k-NN must find
+        // ≥ 0.95 of the exact neighbor distance multiset while spending
+        // several times fewer *full* TED evaluations.
+        let corpus = derived_corpus(800, 0xacc1);
+        let probes = derived_stream(16, 0x5ca1e);
+        let mut hit = 0usize;
+        let mut wanted = 0usize;
+        let mut exact_full = 0u64;
+        let mut approx_full = 0u64;
+        for probe in &probes {
+            let exact = corpus.knn_query(probe, 5);
+            let approx = corpus
+                .execute(&QueryRequest::knn(5).with_probe(probe.clone()).approx(0))
+                .unwrap();
+            let mut exact_d: Vec<u32> = exact.matches.iter().map(|&(_, d)| d).collect();
+            let approx_m = match &approx.outcome {
+                QueryOutcome::Matches(m) => m.clone(),
+                other => panic!("metric query answered {other:?}"),
+            };
+            wanted += exact_d.len();
+            for &(_, d) in &approx_m {
+                if let Some(pos) = exact_d.iter().position(|&e| e == d) {
+                    exact_d.remove(pos);
+                    hit += 1;
+                }
+            }
+            exact_full += exact.ted_evals - exact.partial_evals;
+            approx_full += approx.cost.ted_evals - approx.cost.partial_evals;
+        }
+        let recall = hit as f64 / wanted as f64;
+        assert!(
+            recall >= 0.95,
+            "approx recall {recall:.3} below 0.95 ({hit}/{wanted})"
+        );
+        assert!(
+            approx_full * 2 <= exact_full,
+            "approx spent {approx_full} full evals vs {exact_full} exact — shortlist not paying off"
         );
     }
 }

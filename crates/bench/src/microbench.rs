@@ -236,7 +236,37 @@ pub fn corpus(c: &mut Criterion) {
         b.iter(|| {
             let request = &knn_requests[probe_cursor % knn_requests.len()];
             probe_cursor += 1;
-            indexed.execute(request).expect("knn").ted_evals
+            indexed.execute(request).expect("knn").cost.ted_evals
+        })
+    });
+
+    // The early-exit kernel path without the request plumbing: the direct
+    // k-NN method, where every pruned-but-visited node pays only a partial
+    // banded evaluation. The row tracks the kernel's timing in isolation
+    // (`knn_query` above carries the dispatch overhead too).
+    let mut probe_cursor = 0usize;
+    group.bench_function("knn_query_earlyexit", |b| {
+        b.iter(|| {
+            let probe = probes[probe_cursor % probes.len()];
+            probe_cursor += 1;
+            indexed.knn_query(probe, 5).ted_evals
+        })
+    });
+
+    // Approximate mode: feature-vector shortlist + exact-TED re-rank at
+    // the default candidate count. Recall vs exact is gated separately
+    // (`repro corpus recall`, corpus-scale CI); this row tracks the
+    // latency those candidates buy.
+    let approx_requests: Vec<QueryRequest> = probes
+        .iter()
+        .map(|p| QueryRequest::knn(5).with_probe((*p).clone()).approx(0))
+        .collect();
+    let mut probe_cursor = 0usize;
+    group.bench_function("knn_query_approx", |b| {
+        b.iter(|| {
+            let request = &approx_requests[probe_cursor % approx_requests.len()];
+            probe_cursor += 1;
+            indexed.execute(request).expect("approx knn").cost.ted_evals
         })
     });
 
@@ -306,7 +336,11 @@ pub fn corpus(c: &mut Criterion) {
             QueryRequest::knn(5).with_probe((*probe).clone()),
             QueryRequest::radius(2).with_probe((*probe).clone()),
         ] {
-            bk_evals += indexed.execute(&request).expect("metric query").ted_evals;
+            bk_evals += indexed
+                .execute(&request)
+                .expect("metric query")
+                .cost
+                .ted_evals;
         }
         scan_evals += 2 * indexed.len() as u64;
     }

@@ -10,23 +10,28 @@
 //!
 //! ```text
 //! document ::= magic            (4 bytes, "UPLN")
-//!              version          (varint; 1, 2 or 3, see below)
+//!              version          (varint; 1..=4, see below)
 //!              symbol_count     (varint)
 //!              symbol*          (varint byte length + UTF-8 keyword bytes)
 //!              plan_count       (varint)
 //!              header_crc       (4 bytes LE, version ≥ 3 only; CRC32 of
 //!                                every preceding byte)
-//!              plan* | block*   (bare plans ≤ v2; checksummed blocks in v3)
-//!              index_flag       (1 byte, version ≥ 2 only; 0 = no index)
-//!              index?           (when index_flag = 1)
+//!              plan* | block*   (bare plans ≤ v2; checksummed blocks in v3+)
+//!              section_flags    (1 byte, version ≥ 2 only; bit 0 = index;
+//!                                bit 1 = features, version ≥ 4 only)
+//!              index?           (when bit 0 set)
+//!              features?        (when bit 1 set)
 //!              tail_crc         (4 bytes LE, version ≥ 3 only; CRC32 of
-//!                                index_flag..index end)
+//!                                section_flags..sections end)
 //! block    ::= block_len        (varint; byte length of the plan bodies)
 //!              plan*            (up to CHECKSUM_BLOCK_PLANS plans)
 //!              block_crc        (4 bytes LE; CRC32 of the plan bodies)
 //! index    ::= fingerprint_flags (1 byte, writer-defined)
 //!              shard_count      (varint)
 //!              shard*
+//! features ::= dim              (varint, 1..=MAX_FEATURE_DIM)
+//!              value*           (plan_count × dim varints, row-major in
+//!                                document plan order)
 //! shard    ::= node_count       (varint)
 //!              edge*            (node_count − 1 edges, for nodes 1..)
 //! edge     ::= parent           (varint, node id < the edge's node)
@@ -66,10 +71,16 @@
 //! deliberately — except that each version is a strict superset of the one
 //! before, so the decoder keeps accepting all of them
 //! ([`MIN_SUPPORTED_BINARY_VERSION`]): a v1 document is exactly a v2
-//! document without the trailing index section, and a v3 document is a v2
+//! document without the trailing index section, a v3 document is a v2
 //! document with its plan stream cut into checksummed blocks and three
-//! CRC32 trailers added. `tests/golden.rs` pins exact encodings for every
-//! version.
+//! CRC32 trailers added, and a v4 document is a v3 document whose index
+//! flag byte is reinterpreted as a section-flags bitmap admitting an
+//! additional per-plan feature-vector section
+//! ([`FEATURED_BINARY_VERSION`], written only on request by
+//! [`BinaryEncoder::finish_with_sections`]). `tests/golden.rs` pins exact
+//! encodings for versions 1..=3; plain [`to_bytes`] and
+//! [`BinaryEncoder::finish`] stay on version 3 so existing documents stay
+//! byte-identical.
 //!
 //! ## Checksums and salvage (version 3)
 //!
@@ -102,6 +113,20 @@
 //! structurally validated (causal parents, counts that match the plan
 //! population) but a corrupted distance yields wrong *query results*,
 //! never unsafety.
+//!
+//! ## The feature section (version 4)
+//!
+//! Version 4 admits a second optional section after the index: one
+//! fixed-width structural feature vector per plan (see
+//! [`FeatureSection`]), in document plan order. Feature vectors drive
+//! approximate similarity queries (vector-distance candidate generation
+//! before exact re-ranking in `uplan-corpus`); persisting them saves the
+//! recompute at load the same way the index section saves metric
+//! evaluations. The section is written only by
+//! [`BinaryEncoder::finish_with_sections`]; everything else keeps writing
+//! version 3, and readers that find an unexpected dimension simply drop
+//! the section and recompute — like an index whose fingerprint flags
+//! disagree, it is a cache, not data.
 
 use std::collections::HashMap;
 
@@ -119,6 +144,13 @@ pub const BINARY_MAGIC: [u8; 4] = *b"UPLN";
 
 /// Version of the binary codec — what the encoder writes by default.
 pub const BINARY_CODEC_VERSION: u32 = 3;
+
+/// Version written by [`BinaryEncoder::finish_with_sections`]: the v3
+/// layout with the index flag byte widened into a section-flags bitmap so
+/// a per-plan feature-vector section can follow the index. Only documents
+/// that actually carry feature vectors pay the bump; everything else keeps
+/// writing [`BINARY_CODEC_VERSION`] byte-identically.
+pub const FEATURED_BINARY_VERSION: u32 = 4;
 
 /// Version written by [`BinaryEncoder::unchecked`]: the v2 layout without
 /// per-section checksums, kept writable for size/time-sensitive interop
@@ -161,6 +193,12 @@ pub const MAX_SYMBOLS: usize = 1 << 16;
 /// from declaring billions of empty shards.
 pub const MAX_INDEX_SHARDS: usize = 256;
 
+/// Maximum feature-vector width a feature section may declare. The
+/// current corpus vectors are 20-wide; 64 leaves headroom for richer
+/// profiles while bounding what a hostile document can make the reader
+/// allocate per plan.
+pub const MAX_FEATURE_DIM: usize = 64;
+
 /// The persisted metric-index topology of a version-2 document: one
 /// BK-tree edge list per corpus shard (see the module docs). Produced by
 /// `uplan-corpus` at save time and handed back verbatim at load time; this
@@ -186,6 +224,20 @@ pub struct ShardTopology {
     /// `(parent node, cached distance)` for nodes `1..nodes`; parents
     /// always precede children (insertion order is causal).
     pub edges: Vec<(u32, u32)>,
+}
+
+/// The persisted per-plan structural feature vectors of a version-4
+/// document: `plan_count × dim` values, row-major in document plan order.
+/// Like the index section this is a trusted cache — structurally validated
+/// (bounded dimension, exact row count) but never re-derived from the
+/// plans at load; a reader expecting a different `dim` drops the section
+/// and recomputes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FeatureSection {
+    /// Width of every row; `1..=MAX_FEATURE_DIM`.
+    pub dim: u32,
+    /// `plan_count` rows of `dim` values each, concatenated.
+    pub values: Vec<u32>,
 }
 
 const VALUE_NULL: u8 = 0;
@@ -328,7 +380,7 @@ impl BinaryEncoder {
     /// Finalizes the document without an index section: header, symbol
     /// table, plan count, bodies, and a zero index flag.
     pub fn finish(self) -> Vec<u8> {
-        self.finish_inner(None)
+        self.finish_inner(None, None)
     }
 
     /// Finalizes the document with a persisted metric index (see
@@ -341,12 +393,38 @@ impl BinaryEncoder {
             self.plans,
             "index section must cover every plan in the document"
         );
-        self.finish_inner(Some(index))
+        self.finish_inner(Some(index), None)
     }
 
-    fn finish_inner(self, index: Option<&IndexSection>) -> Vec<u8> {
+    /// Finalizes the document with both a persisted metric index and a
+    /// per-plan feature section, bumping the document to
+    /// [`FEATURED_BINARY_VERSION`]. The feature section must carry exactly
+    /// `plan_count × dim` values; only checked encoders may write it (the
+    /// featured layout is a superset of v3, not of v2).
+    pub fn finish_with_sections(self, index: &IndexSection, features: &FeatureSection) -> Vec<u8> {
+        debug_assert!(self.checked, "featured documents are always checksummed");
+        debug_assert_eq!(
+            index.shards.iter().map(|s| s.nodes).sum::<u64>(),
+            self.plans,
+            "index section must cover every plan in the document"
+        );
+        debug_assert_eq!(
+            features.values.len() as u64,
+            self.plans * u64::from(features.dim),
+            "feature section must carry one row per plan"
+        );
+        self.finish_inner(Some(index), Some(features))
+    }
+
+    fn finish_inner(
+        self,
+        index: Option<&IndexSection>,
+        features: Option<&FeatureSection>,
+    ) -> Vec<u8> {
         let symbols = SymbolTable::read();
-        let version = if self.checked {
+        let version = if features.is_some() {
+            FEATURED_BINARY_VERSION
+        } else if self.checked {
             BINARY_CODEC_VERSION
         } else {
             UNCHECKED_BINARY_VERSION
@@ -379,24 +457,27 @@ impl BinaryEncoder {
             out.extend_from_slice(&self.body);
         }
         let tail_start = out.len();
-        match index {
-            None => out.push(0),
-            Some(index) => {
-                out.push(1);
-                out.push(index.fingerprint_flags);
-                write_varint(&mut out, index.shards.len() as u64);
-                for shard in &index.shards {
-                    write_varint(&mut out, shard.nodes);
-                    debug_assert_eq!(
-                        shard.edges.len() as u64,
-                        shard.nodes.saturating_sub(1),
-                        "a BK-tree has exactly one edge per non-root node"
-                    );
-                    for &(parent, distance) in &shard.edges {
-                        write_varint(&mut out, u64::from(parent));
-                        write_varint(&mut out, u64::from(distance));
-                    }
+        out.push(u8::from(index.is_some()) | (u8::from(features.is_some()) << 1));
+        if let Some(index) = index {
+            out.push(index.fingerprint_flags);
+            write_varint(&mut out, index.shards.len() as u64);
+            for shard in &index.shards {
+                write_varint(&mut out, shard.nodes);
+                debug_assert_eq!(
+                    shard.edges.len() as u64,
+                    shard.nodes.saturating_sub(1),
+                    "a BK-tree has exactly one edge per non-root node"
+                );
+                for &(parent, distance) in &shard.edges {
+                    write_varint(&mut out, u64::from(parent));
+                    write_varint(&mut out, u64::from(distance));
                 }
+            }
+        }
+        if let Some(features) = features {
+            write_varint(&mut out, u64::from(features.dim));
+            for &value in &features.values {
+                write_varint(&mut out, u64::from(value));
             }
         }
         if self.checked {
@@ -496,6 +577,7 @@ pub struct BinaryDecoder<'a> {
     plan_count: u64,
     remaining: u64,
     index: Option<IndexSection>,
+    features: Option<FeatureSection>,
     finalized: bool,
     /// v3: end offset of the current checksum block's plan bodies.
     block_end: usize,
@@ -535,6 +617,7 @@ impl<'a> BinaryDecoder<'a> {
             plan_count: 0,
             remaining: 0,
             index: None,
+            features: None,
             finalized: false,
             block_end: 0,
             block_left: 0,
@@ -547,14 +630,14 @@ impl<'a> BinaryDecoder<'a> {
         }
         dec.pos = BINARY_MAGIC.len();
         let version = dec.read_varint()?;
-        if !(u64::from(MIN_SUPPORTED_BINARY_VERSION)..=u64::from(BINARY_CODEC_VERSION))
+        if !(u64::from(MIN_SUPPORTED_BINARY_VERSION)..=u64::from(FEATURED_BINARY_VERSION))
             .contains(&version)
         {
             return Err(Error::parse(
                 dec.pos,
                 format!(
                     "unsupported binary codec version {version} (this reader handles \
-                     {MIN_SUPPORTED_BINARY_VERSION}..={BINARY_CODEC_VERSION})"
+                     {MIN_SUPPORTED_BINARY_VERSION}..={FEATURED_BINARY_VERSION})"
                 ),
             ));
         }
@@ -598,7 +681,7 @@ impl<'a> BinaryDecoder<'a> {
         self.plan_count
     }
 
-    /// The document's codec version (1, 2 or 3).
+    /// The document's codec version (1..=4).
     pub fn version(&self) -> u32 {
         self.version
     }
@@ -686,6 +769,14 @@ impl<'a> BinaryDecoder<'a> {
         self.index.take()
     }
 
+    /// The persisted feature section, if the document carried one (version
+    /// ≥ 4). Populated under the same contract as
+    /// [`BinaryDecoder::take_index`]: only once every plan has been
+    /// decoded.
+    pub fn take_features(&mut self) -> Option<FeatureSection> {
+        self.features.take()
+    }
+
     /// Decodes the next plan; `Ok(None)` when the document is exhausted.
     /// The first exhausted call also parses the trailing index section
     /// (version ≥ 2), verifies the tail checksum (version 3) and rejects
@@ -696,15 +787,21 @@ impl<'a> BinaryDecoder<'a> {
                 self.finalized = true;
                 let tail_start = self.pos;
                 if self.version >= 2 {
-                    match self.read_byte("index flag")? {
-                        0 => {}
-                        1 => self.index = Some(self.read_index()?),
-                        other => {
-                            return Err(Error::parse(
-                                self.pos - 1,
-                                format!("bad index flag {other:#x}"),
-                            ))
-                        }
+                    // ≤ v3 the byte is a plain 0/1 index flag; v4 widens it
+                    // into a bitmap (bit 0 = index, bit 1 = features).
+                    let flags = self.read_byte("index flag")?;
+                    let admitted = if self.version >= 4 { 0b11 } else { 0b01 };
+                    if flags & !admitted != 0 {
+                        return Err(Error::parse(
+                            self.pos - 1,
+                            format!("bad index flag {flags:#x}"),
+                        ));
+                    }
+                    if flags & 0b01 != 0 {
+                        self.index = Some(self.read_index()?);
+                    }
+                    if flags & 0b10 != 0 {
+                        self.features = Some(self.read_features()?);
                     }
                 }
                 if self.version >= 3 {
@@ -928,6 +1025,40 @@ impl<'a> BinaryDecoder<'a> {
         Ok(IndexSection {
             fingerprint_flags,
             shards,
+        })
+    }
+
+    /// Parses the feature section (its flag bit already consumed),
+    /// validating the declared dimension against [`MAX_FEATURE_DIM`] and
+    /// the implied value count against the remaining input.
+    fn read_features(&mut self) -> Result<FeatureSection> {
+        let dim = self.read_varint()?;
+        if dim == 0 || dim > MAX_FEATURE_DIM as u64 {
+            return Err(Error::parse(
+                self.pos,
+                format!("feature dimension {dim} outside 1..={MAX_FEATURE_DIM}"),
+            ));
+        }
+        let total = self.plan_count.saturating_mul(dim);
+        // Each value costs ≥ 1 byte; a count past that bound is corrupt
+        // (and must not pre-size a huge vector).
+        if total > (self.input.len() - self.pos) as u64 {
+            return Err(Error::parse(
+                self.pos,
+                "feature section longer than document",
+            ));
+        }
+        let mut values = Vec::with_capacity(total as usize);
+        for _ in 0..total {
+            let value = self.read_varint()?;
+            let value = u32::try_from(value).map_err(|_| {
+                Error::parse(self.pos, format!("feature value {value} overflows u32"))
+            })?;
+            values.push(value);
+        }
+        Ok(FeatureSection {
+            dim: dim as u32,
+            values,
         })
     }
 
@@ -1245,6 +1376,92 @@ mod tests {
         assert!(dec.take_index().is_none());
     }
 
+    fn sample_features() -> FeatureSection {
+        FeatureSection {
+            dim: 4,
+            values: vec![3, 0, 1, 7, 1, 0, 0, 2, 0, 0, 0, 0],
+        }
+    }
+
+    fn featured_document() -> Vec<u8> {
+        let mut enc = BinaryEncoder::new();
+        enc.push(&sample()).unwrap();
+        enc.push(&UnifiedPlan::with_root(PlanNode::producer("Index_Scan")))
+            .unwrap();
+        enc.push(&UnifiedPlan::new()).unwrap();
+        enc.finish_with_sections(&sample_index(), &sample_features())
+    }
+
+    #[test]
+    fn feature_section_round_trips_as_version_4() {
+        let bytes = featured_document();
+        let mut dec = BinaryDecoder::new(&bytes).unwrap();
+        assert_eq!(dec.version(), FEATURED_BINARY_VERSION);
+        assert!(dec.take_features().is_none(), "only after exhaustion");
+        let mut plans = Vec::new();
+        while let Some(plan) = dec.next_plan().unwrap() {
+            plans.push(plan);
+        }
+        assert_eq!(plans.len(), 3);
+        assert_eq!(dec.take_index(), Some(sample_index()));
+        assert_eq!(dec.take_features(), Some(sample_features()));
+        // Featureless documents keep their exact pre-v4 encoding.
+        let mut enc = BinaryEncoder::new();
+        enc.push(&sample()).unwrap();
+        let plain = enc.finish();
+        assert_eq!(plain[4], 3, "finish() stays on version 3");
+    }
+
+    #[test]
+    fn featured_documents_reject_corruption_and_hostile_sections() {
+        let bytes = featured_document();
+        for len in 0..bytes.len() {
+            assert!(decode_all(&bytes[..len]).is_err(), "truncated at {len}");
+        }
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xff;
+            let _ = decode_all(&corrupt);
+        }
+        // A v3 document must not claim a feature section: flag bit 1 is
+        // admitted from version 4 on only. (Flip the flag byte in an
+        // unchecked v2 document so no checksum masks the structural error.)
+        let mut enc = BinaryEncoder::unchecked();
+        enc.push(&UnifiedPlan::new()).unwrap();
+        let mut doc = enc.finish();
+        let pos = doc.len() - 1;
+        assert_eq!(doc[pos], 0);
+        doc[pos] = 0b10;
+        let err = decode_all(&doc).unwrap_err();
+        assert!(err.to_string().contains("index flag"), "{err}");
+        // Hostile dimensions: 0 and past the codec limit, spliced into a
+        // crafted v4 document with no plans.
+        let craft = |section: &[u8]| {
+            let mut doc = Vec::new();
+            doc.extend_from_slice(&BINARY_MAGIC);
+            doc.push(4); // version
+            doc.push(0); // no symbols
+            doc.push(0); // no plans
+            let header_crc = crc32(&doc);
+            doc.extend_from_slice(&header_crc.to_le_bytes());
+            let tail_start = doc.len();
+            doc.push(0b10); // features only
+            doc.extend_from_slice(section);
+            let tail_crc = crc32(&doc[tail_start..]);
+            doc.extend_from_slice(&tail_crc.to_le_bytes());
+            doc
+        };
+        let mut oversized = Vec::new();
+        write_varint(&mut oversized, MAX_FEATURE_DIM as u64 + 1);
+        for section in [&[0u8][..], &oversized] {
+            let err = decode_all(&craft(section)).unwrap_err();
+            assert!(err.to_string().contains("feature dimension"), "{err}");
+        }
+        // A zero-plan document with a legal dim carries zero values.
+        let (plans, _) = decode_all(&craft(&[7u8])).unwrap();
+        assert!(plans.is_empty());
+    }
+
     #[test]
     fn indexed_documents_reject_truncation_at_every_boundary() {
         // Every strict prefix — plan bodies, the index flag byte, the
@@ -1315,7 +1532,7 @@ mod tests {
     #[test]
     fn unsupported_versions_are_rejected_in_both_directions() {
         let good = to_bytes(&UnifiedPlan::new()).unwrap();
-        for bad in [0u8, 4, 0x7f] {
+        for bad in [0u8, 5, 0x7f] {
             let mut doc = good.clone();
             doc[4] = bad;
             let err = match BinaryDecoder::new(&doc) {

@@ -19,6 +19,7 @@ use crate::symbol::SymbolTable;
 
 /// Post-order flattening of a tree with leftmost-leaf-descendant indices —
 /// the standard Zhang–Shasha preprocessing.
+#[derive(Debug, Clone)]
 struct Flat {
     /// `(category name symbol) << 32 | (stable identifier symbol)`.
     labels: Vec<u64>,
@@ -74,32 +75,138 @@ fn flatten(root: &PlanNode, table: &SymbolTable) -> Flat {
     }
 }
 
+/// Outcome of a bounded tree-edit-distance evaluation
+/// ([`tree_edit_distance_bounded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundedTed {
+    /// The true distance — guaranteed equal to [`tree_edit_distance`] and
+    /// `<=` the bound.
+    Exact(usize),
+    /// The true distance exceeds the bound; the exact value was not
+    /// computed (that is the point — the evaluation stopped early).
+    Exceeded,
+}
+
+impl BoundedTed {
+    /// The distance when it was within the bound.
+    pub fn exact(self) -> Option<usize> {
+        match self {
+            BoundedTed::Exact(d) => Some(d),
+            BoundedTed::Exceeded => None,
+        }
+    }
+}
+
+/// Sentinel for dynamic-program cells whose true value provably exceeds the
+/// bound. Half of `u32::MAX` so saturating additions never wrap back under
+/// any real distance.
+const EXCEEDED: u32 = u32::MAX / 2;
+
+/// A plan pre-flattened for repeated tree-edit-distance evaluations.
+///
+/// Flattening (post-order walk, symbol-table reads, three vector
+/// allocations) costs about as much as the dynamic program itself on
+/// typical plan sizes, so callers that evaluate one probe against many
+/// stored plans — BK traversals, shortlist re-ranks, index builds —
+/// flatten each side once and evaluate over the views with a reused
+/// [`TedScratch`]. [`tree_edit_distance`] and
+/// [`tree_edit_distance_bounded`] are one-shot wrappers over this type.
+#[derive(Debug, Clone, Default)]
+pub struct TedPlan {
+    /// `None` for an empty plan (no root): the distance to a peer is then
+    /// the peer's node count.
+    flat: Option<Flat>,
+}
+
+/// Reusable dynamic-program tables for [`TedPlan`] evaluations: the n×m
+/// tree-distance table plus the forest-distance scratch, grown on demand
+/// and recycled across evaluations so the hot path allocates nothing.
+#[derive(Debug, Default)]
+pub struct TedScratch {
+    td: Vec<u32>,
+    fd: Vec<u32>,
+}
+
+impl TedPlan {
+    /// Flattens `plan` once for many evaluations.
+    pub fn new(plan: &UnifiedPlan) -> TedPlan {
+        TedPlan {
+            flat: plan.root.as_ref().map(|root| {
+                let table = SymbolTable::read();
+                flatten(root, &table)
+            }),
+        }
+    }
+
+    /// Nodes in the flattened tree (zero for an empty plan).
+    pub fn node_count(&self) -> usize {
+        self.flat.as_ref().map_or(0, |flat| flat.labels.len())
+    }
+
+    /// Exact distance to `other` — equal to [`tree_edit_distance`] on the
+    /// source plans.
+    pub fn distance(&self, other: &TedPlan, scratch: &mut TedScratch) -> usize {
+        match (&self.flat, &other.flat) {
+            (None, None) => 0,
+            (Some(flat), None) | (None, Some(flat)) => flat.labels.len(),
+            (Some(a), Some(b)) => zhang_shasha(a, b, scratch),
+        }
+    }
+
+    /// Bounded distance to `other` — equal to
+    /// [`tree_edit_distance_bounded`] on the source plans.
+    pub fn distance_bounded(
+        &self,
+        other: &TedPlan,
+        bound: usize,
+        scratch: &mut TedScratch,
+    ) -> BoundedTed {
+        let verdict = |d: usize| {
+            if d <= bound {
+                BoundedTed::Exact(d)
+            } else {
+                BoundedTed::Exceeded
+            }
+        };
+        match (&self.flat, &other.flat) {
+            (None, None) => verdict(0),
+            (Some(flat), None) | (None, Some(flat)) => verdict(flat.labels.len()),
+            (Some(a), Some(b)) => {
+                // Size difference is a lower bound on the distance: cheapest
+                // possible rejection, no dynamic program needed.
+                if a.labels.len().abs_diff(b.labels.len()) > bound {
+                    return BoundedTed::Exceeded;
+                }
+                let band = u32::try_from(bound)
+                    .unwrap_or(EXCEEDED - 1)
+                    .min(EXCEEDED - 1) as usize;
+                verdict(zhang_shasha_banded(a, b, band, scratch) as usize)
+            }
+        }
+    }
+}
+
 /// Zhang–Shasha tree edit distance with unit insert/delete/rename costs.
 ///
 /// Empty plans (no tree) are treated as empty trees: the distance between an
 /// empty and a non-empty plan is the node count of the latter.
 pub fn tree_edit_distance(a: &UnifiedPlan, b: &UnifiedPlan) -> usize {
-    match (&a.root, &b.root) {
-        (None, None) => 0,
-        (Some(root), None) => root.node_count(),
-        (None, Some(root)) => root.node_count(),
-        (Some(ra), Some(rb)) => {
-            let table = SymbolTable::read();
-            zhang_shasha(&flatten(ra, &table), &flatten(rb, &table))
-        }
-    }
+    TedPlan::new(a).distance(&TedPlan::new(b), &mut TedScratch::default())
 }
 
-fn zhang_shasha(a: &Flat, b: &Flat) -> usize {
+fn zhang_shasha(a: &Flat, b: &Flat, scratch: &mut TedScratch) -> usize {
     let (n, m) = (a.labels.len(), b.labels.len());
-    // Flat n×m tree-distance table plus one reusable forest-distance scratch
-    // sized for the worst keyroot pair — two allocations for the whole run.
-    let mut td = vec![0u32; n * m];
-    let mut fd = vec![0u32; (n + 1) * (m + 1)];
+    // Flat n×m tree-distance table plus one forest-distance scratch sized
+    // for the worst keyroot pair — both recycled from `scratch`.
+    scratch.td.clear();
+    scratch.td.resize(n * m, 0);
+    scratch.fd.clear();
+    scratch.fd.resize((n + 1) * (m + 1), 0);
+    let (td, fd) = (&mut scratch.td, &mut scratch.fd);
 
     for &i in &a.keyroots {
         for &j in &b.keyroots {
-            tree_dist(a, b, i as usize, j as usize, &mut td, &mut fd);
+            tree_dist(a, b, i as usize, j as usize, td, fd);
         }
     }
     td[(n - 1) * m + (m - 1)] as usize
@@ -142,6 +249,119 @@ fn tree_dist(a: &Flat, b: &Flat, i: usize, j: usize, td: &mut [u32], fd: &mut [u
                 let prev_r = a_lld - ali; // forest without subtree at ai
                 let prev_c = b.lld[bj] as usize - blj;
                 let diag = fd[prev_r * cols + prev_c] + td[td_row + bj];
+                up.min(left).min(diag)
+            };
+            fd[cell] = value;
+        }
+    }
+}
+
+/// Zhang–Shasha with a diagonal band: the exact distance when it is within
+/// `bound`, [`BoundedTed::Exceeded`] otherwise — without paying for the
+/// full dynamic program in the latter case.
+///
+/// Soundness sketch: a forest-distance cell `(r, c)` compares forests of
+/// `r` and `c` nodes, so its true value is at least `|r − c|`. Cells with
+/// `|r − c| > bound` therefore provably exceed the bound and can be banded
+/// out (replaced by an over-approximation). All recurrences are mins over
+/// monotone additions, so every computed value stays an over-approximation
+/// of the true value; and any cell whose true value is `<= bound` has an
+/// optimal derivation that passes only through cells with values `<=
+/// bound` — all inside the band, hence computed exactly by induction. The
+/// final value is thus exact whenever it lands within the bound, and
+/// strictly above the bound exactly when the true distance is.
+pub fn tree_edit_distance_bounded(a: &UnifiedPlan, b: &UnifiedPlan, bound: usize) -> BoundedTed {
+    TedPlan::new(a).distance_bounded(&TedPlan::new(b), bound, &mut TedScratch::default())
+}
+
+fn zhang_shasha_banded(a: &Flat, b: &Flat, band: usize, scratch: &mut TedScratch) -> u32 {
+    let (n, m) = (a.labels.len(), b.labels.len());
+    // Tree-distance entries whose whole-tree cell falls outside the band are
+    // never written; initializing to the sentinel makes reading them sound
+    // (their true value provably exceeds the bound).
+    scratch.td.clear();
+    scratch.td.resize(n * m, EXCEEDED);
+    scratch.fd.clear();
+    scratch.fd.resize((n + 1) * (m + 1), 0);
+    let (td, fd) = (&mut scratch.td, &mut scratch.fd);
+
+    for &i in &a.keyroots {
+        for &j in &b.keyroots {
+            tree_dist_banded(a, b, i as usize, j as usize, band, td, fd);
+        }
+    }
+    // The root pair sits on the main diagonal within the band (the caller
+    // checked the size difference), so this entry was written.
+    td[(n - 1) * m + (m - 1)]
+}
+
+/// [`tree_dist`] restricted to the diagonal band `|r − c| <= band`. Cells
+/// outside the band read as [`EXCEEDED`]; the two cells flanking each row's
+/// band are written explicitly so the next row's up/left reads see the
+/// sentinel rather than stale scratch from an earlier keyroot pair.
+fn tree_dist_banded(
+    a: &Flat,
+    b: &Flat,
+    i: usize,
+    j: usize,
+    band: usize,
+    td: &mut [u32],
+    fd: &mut [u32],
+) {
+    let m = b.labels.len();
+    let ali = a.lld[i] as usize;
+    let blj = b.lld[j] as usize;
+    let rows = i - ali + 2;
+    let cols = j - blj + 2;
+    fd[0] = 0;
+    for r in 1..rows {
+        fd[r * cols] = r as u32;
+    }
+    for (c, cell) in fd[..cols].iter_mut().enumerate().skip(1) {
+        *cell = c as u32;
+    }
+    for r in 1..rows {
+        let lo = r.saturating_sub(band).max(1);
+        let hi = (r + band).min(cols - 1);
+        if lo > hi {
+            // Every remaining row lies entirely below the band.
+            break;
+        }
+        let row_base = r * cols;
+        if lo > 1 {
+            fd[row_base + lo - 1] = EXCEEDED;
+        }
+        if hi + 1 < cols {
+            fd[row_base + hi + 1] = EXCEEDED;
+        }
+        let ai = ali + r - 1;
+        let a_lld = a.lld[ai] as usize;
+        let whole_a = a_lld == ali;
+        let label_a = a.labels[ai];
+        let td_row = ai * m;
+        for c in lo..=hi {
+            let bj = blj + c - 1;
+            let cell = row_base + c;
+            let up = fd[cell - cols].saturating_add(1);
+            let left = fd[cell - 1].saturating_add(1);
+            let value = if whole_a && b.lld[bj] as usize == blj {
+                let rename = u32::from(label_a != b.labels[bj]);
+                let diag = fd[cell - cols - 1].saturating_add(rename);
+                let best = up.min(left).min(diag);
+                td[td_row + bj] = best;
+                best
+            } else {
+                let prev_r = a_lld - ali;
+                let prev_c = b.lld[bj] as usize - blj;
+                // The far-diagonal jump can land outside the band, where the
+                // scratch holds stale data — such cells exceed the bound by
+                // construction, so substitute the sentinel.
+                let prev = if prev_r.abs_diff(prev_c) > band {
+                    EXCEEDED
+                } else {
+                    fd[prev_r * cols + prev_c]
+                };
+                let diag = prev.saturating_add(td[td_row + bj]);
                 up.min(left).min(diag)
             };
             fd[cell] = value;
@@ -253,6 +473,77 @@ mod tests {
         let a = UnifiedPlan::with_root(PlanNode::executor("TableReader_7").with_child(leaf("A")));
         let b = UnifiedPlan::with_root(PlanNode::executor("TableReader_12").with_child(leaf("A")));
         assert_eq!(tree_edit_distance(&a, &b), 0);
+    }
+
+    /// Every plan pair used elsewhere in this module, for cross-checking
+    /// the bounded kernel against the full one.
+    fn test_plans() -> Vec<UnifiedPlan> {
+        vec![
+            UnifiedPlan::new(),
+            UnifiedPlan::with_root(leaf("A")),
+            UnifiedPlan::with_root(join(vec![leaf("A"), leaf("B")])),
+            UnifiedPlan::with_root(join(vec![leaf("A"), leaf("C")])),
+            UnifiedPlan::with_root(
+                PlanNode::executor("Gather").with_child(join(vec![leaf("A"), leaf("B")])),
+            ),
+            UnifiedPlan::with_root(join(vec![
+                leaf("A"),
+                PlanNode::executor("Hash_Row").with_child(leaf("B")),
+            ])),
+            UnifiedPlan::with_root(join(vec![leaf("B"), leaf("C"), leaf("A")])),
+            UnifiedPlan::with_root(PlanNode::folder("Agg").with_child(join(vec![leaf("C")]))),
+            UnifiedPlan::with_root(PlanNode::combinator("Sort").with_child(
+                PlanNode::folder("Aggregate").with_child(join(vec![
+                    leaf("Full_Table_Scan"),
+                    PlanNode::executor("Hash_Row").with_child(leaf("Full_Table_Scan")),
+                ])),
+            )),
+            UnifiedPlan::with_root(
+                PlanNode::projector("Project").with_child(
+                    PlanNode::combinator("Sort").with_child(
+                        PlanNode::folder("Aggregate").with_child(join(vec![
+                            leaf("Full_Table_Scan"),
+                            leaf("Full_Table_Scan"),
+                        ])),
+                    ),
+                ),
+            ),
+        ]
+    }
+
+    #[test]
+    fn bounded_ted_agrees_with_full_ted_at_every_bound() {
+        let plans = test_plans();
+        for a in &plans {
+            for b in &plans {
+                let exact = tree_edit_distance(a, b);
+                for bound in 0..=(exact + 3) {
+                    let got = tree_edit_distance_bounded(a, b, bound);
+                    if exact <= bound {
+                        assert_eq!(got, BoundedTed::Exact(exact), "bound {bound}");
+                    } else {
+                        assert_eq!(got, BoundedTed::Exceeded, "bound {bound}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_ted_handles_extreme_bounds() {
+        let a = UnifiedPlan::with_root(join(vec![leaf("A"), leaf("B")]));
+        let b = UnifiedPlan::with_root(PlanNode::folder("Agg").with_child(join(vec![leaf("C")])));
+        let exact = tree_edit_distance(&a, &b);
+        assert_eq!(
+            tree_edit_distance_bounded(&a, &b, usize::MAX),
+            BoundedTed::Exact(exact)
+        );
+        assert_eq!(
+            tree_edit_distance_bounded(&a, &a.clone(), 0),
+            BoundedTed::Exact(0)
+        );
+        assert_eq!(BoundedTed::Exact(exact).exact(), Some(exact));
+        assert_eq!(BoundedTed::Exceeded.exact(), None);
     }
 
     #[test]

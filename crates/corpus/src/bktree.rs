@@ -87,23 +87,32 @@ impl BkTree {
     pub fn within_radius(
         &self,
         radius: u32,
-        dist: impl FnMut(u32) -> u32,
+        mut dist: impl FnMut(u32) -> u32,
     ) -> (Vec<(u32, u32)>, u64) {
-        let (out, evals, _) = self.within_radius_limited(radius, u64::MAX, dist);
+        let (out, evals, _) =
+            self.within_radius_limited(radius, u64::MAX, move |item, _| Some(dist(item)));
         (out, evals)
     }
 
-    /// [`BkTree::within_radius`] under a metric-evaluation budget: the
-    /// traversal stops *before* the evaluation that would exceed `limit`
-    /// and the final `bool` reports whether it was cut short. With
-    /// `limit == u64::MAX` the walk, matches and eval count are identical
-    /// to the unbudgeted query — [`BkTree::within_radius`] forwards here,
-    /// so there is exactly one traversal implementation to trust.
+    /// [`BkTree::within_radius`] under a metric-evaluation budget and a
+    /// *bounded* metric: the traversal stops *before* the evaluation that
+    /// would exceed `limit` and the final `bool` reports whether it was cut
+    /// short. With `limit == u64::MAX` the walk, matches and eval count are
+    /// identical to the unbudgeted query — [`BkTree::within_radius`]
+    /// forwards here, so there is exactly one traversal implementation to
+    /// trust.
+    ///
+    /// `dist(item, bound)` may return `None` to assert the distance exceeds
+    /// `bound` without computing it exactly (an early-exit metric kernel);
+    /// any `Some(d)` is taken as the exact distance. The traversal picks
+    /// each node's bound so that a `None` answer can neither be a match nor
+    /// open any child edge — matches and evaluation *starts* are therefore
+    /// identical to an always-exact metric, every `None` just costs less.
     pub fn within_radius_limited(
         &self,
         radius: u32,
         limit: u64,
-        mut dist: impl FnMut(u32) -> u32,
+        mut dist: impl FnMut(u32, u32) -> Option<u32>,
     ) -> (Vec<(u32, u32)>, u64, bool) {
         let mut out = Vec::new();
         if self.nodes.is_empty() {
@@ -116,8 +125,15 @@ impl BkTree {
                 return (out, evals, true);
             }
             let node = &self.nodes[n as usize];
-            let d = dist(node.item);
+            // Distances up to radius + max edge still decide something: a
+            // match needs d ≤ radius and child `edge` opens at
+            // |d − edge| ≤ radius. Beyond that the node is a dead end, so
+            // the metric may stop early.
+            let max_edge = node.children.iter().map(|&(e, _)| e).max().unwrap_or(0);
             evals += 1;
+            let Some(d) = dist(node.item, radius.saturating_add(max_edge)) else {
+                continue;
+            };
             if d <= radius {
                 out.push((node.item, d));
             }
@@ -140,9 +156,9 @@ impl BkTree {
     /// tied items are returned depends on traversal order — pruning skips
     /// subtrees that cannot strictly improve the result, so equal-distance
     /// alternatives behind them are never visited.
-    pub fn nearest(&self, k: usize, dist: impl FnMut(u32) -> u32) -> (Vec<(u32, u32)>, u64) {
+    pub fn nearest(&self, k: usize, mut dist: impl FnMut(u32) -> u32) -> (Vec<(u32, u32)>, u64) {
         let mut best: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(k + 1);
-        let evals = self.nearest_into(k, &mut best, |item| item, dist);
+        let evals = self.nearest_into(k, &mut best, |item| item, move |item, _| Some(dist(item)));
         let sorted = best.into_sorted_vec();
         (
             sorted.into_iter().map(|(d, item)| (item, d)).collect(),
@@ -162,7 +178,7 @@ impl BkTree {
         k: usize,
         best: &mut BinaryHeap<(u32, u32)>,
         tag: impl Fn(u32) -> u32,
-        dist: impl FnMut(u32) -> u32,
+        dist: impl FnMut(u32, u32) -> Option<u32>,
     ) -> u64 {
         let (evals, _) = self.nearest_into_limited(k, u64::MAX, best, tag, dist);
         evals
@@ -174,13 +190,19 @@ impl BkTree {
     /// the answer. With `limit == u64::MAX` the walk and eval count are
     /// identical to the unbudgeted query — [`BkTree::nearest_into`]
     /// forwards here.
+    ///
+    /// The metric is bounded as in [`BkTree::within_radius_limited`]: while
+    /// the heap is filling every distance is needed exactly (the bound is
+    /// `u32::MAX`); once it holds `k` entries a node only matters within
+    /// worst-kept + max child edge, and a `None` beyond that can neither
+    /// displace a kept entry nor survive any child's pruning check.
     pub fn nearest_into_limited(
         &self,
         k: usize,
         limit: u64,
         best: &mut BinaryHeap<(u32, u32)>,
         tag: impl Fn(u32) -> u32,
-        mut dist: impl FnMut(u32) -> u32,
+        mut dist: impl FnMut(u32, u32) -> Option<u32>,
     ) -> (u64, bool) {
         if k == 0 || self.nodes.is_empty() {
             return (0, false);
@@ -198,7 +220,7 @@ impl BkTree {
         k: usize,
         limit: u64,
         tag: &impl Fn(u32) -> u32,
-        dist: &mut impl FnMut(u32) -> u32,
+        dist: &mut impl FnMut(u32, u32) -> Option<u32>,
         best: &mut BinaryHeap<(u32, u32)>,
         evals: &mut u64,
     ) -> bool {
@@ -206,8 +228,21 @@ impl BkTree {
             return true;
         }
         let node = &self.nodes[n as usize];
-        let d = dist(node.item);
+        let bound = match best.peek() {
+            // A full heap only changes on d < worst, and child `edge` only
+            // survives pruning when |d − edge| < worst; beyond
+            // worst + max edge this node decides nothing.
+            Some(&(worst, _)) if best.len() >= k => {
+                let max_edge = node.children.iter().map(|&(e, _)| e).max().unwrap_or(0);
+                worst.saturating_add(max_edge)
+            }
+            // Still filling: every distance is kept, so it must be exact.
+            _ => u32::MAX,
+        };
         *evals += 1;
+        let Some(d) = dist(node.item, bound) else {
+            return false;
+        };
         if best.len() < k {
             best.push((d, tag(node.item)));
         } else if let Some(&(worst, _)) = best.peek() {
@@ -312,6 +347,15 @@ mod tests {
     /// metric for exercising the traversals.
     fn line_metric(items: &[u32], probe: u32) -> impl FnMut(u32) -> u32 + '_ {
         move |i| items[i as usize].abs_diff(probe)
+    }
+
+    /// The same metric, honestly bounded: it refuses to report distances
+    /// beyond the traversal's per-node bound, exercising early exits.
+    fn line_metric_bounded(items: &[u32], probe: u32) -> impl FnMut(u32, u32) -> Option<u32> + '_ {
+        move |i, bound| {
+            let d = items[i as usize].abs_diff(probe);
+            (d <= bound).then_some(d)
+        }
     }
 
     fn build(values: &[u32]) -> BkTree {
@@ -444,12 +488,13 @@ mod tests {
         for probe in 0..45u32 {
             for k in 1..=values.len() {
                 let mut best = BinaryHeap::with_capacity(k + 1);
-                let mut evals = ltree.nearest_into(k, &mut best, |i| i, line_metric(left, probe));
+                let mut evals =
+                    ltree.nearest_into(k, &mut best, |i| i, line_metric_bounded(left, probe));
                 evals += rtree.nearest_into(
                     k,
                     &mut best,
                     |i| i + left.len() as u32,
-                    line_metric(right, probe),
+                    line_metric_bounded(right, probe),
                 );
                 let mut got: Vec<u32> = best.into_sorted_vec().iter().map(|&(d, _)| d).collect();
                 got.sort_unstable();
@@ -471,14 +516,14 @@ mod tests {
             full.sort_unstable();
             // u64::MAX is the unbudgeted query, bit for bit.
             let (mut unlim, evals, cut) =
-                tree.within_radius_limited(3, u64::MAX, line_metric(&values, probe));
+                tree.within_radius_limited(3, u64::MAX, line_metric_bounded(&values, probe));
             unlim.sort_unstable();
             assert_eq!(unlim, full);
             assert_eq!(evals, full_evals);
             assert!(!cut);
             for limit in [1u64, full_evals / 2, full_evals] {
                 let (part, spent, cut) =
-                    tree.within_radius_limited(3, limit, line_metric(&values, probe));
+                    tree.within_radius_limited(3, limit, line_metric_bounded(&values, probe));
                 assert!(spent <= limit, "spent {spent} over budget {limit}");
                 if limit >= full_evals {
                     assert!(!cut);
@@ -496,19 +541,85 @@ mod tests {
                 u64::MAX,
                 &mut best,
                 |i| i,
-                line_metric(&values, probe),
+                line_metric_bounded(&values, probe),
             );
             assert!(!cut);
             let (_, plain_evals) = tree.nearest(4, line_metric(&values, probe));
             assert_eq!(full_knn_evals, plain_evals);
             let mut best = BinaryHeap::new();
             let limit = full_knn_evals / 2;
-            let (spent, cut) =
-                tree.nearest_into_limited(4, limit, &mut best, |i| i, line_metric(&values, probe));
+            let (spent, cut) = tree.nearest_into_limited(
+                4,
+                limit,
+                &mut best,
+                |i| i,
+                line_metric_bounded(&values, probe),
+            );
             assert!(cut);
             assert_eq!(spent, limit);
             assert!(best.len() <= 4);
         }
+    }
+
+    #[test]
+    fn bounded_metric_is_invisible_except_for_the_savings() {
+        // An honestly-bounded metric must answer every query with the same
+        // matches and the same evaluation *starts* as an always-exact one —
+        // the only observable difference is how many starts exited early.
+        // The +66 shift puts the tree root mid-range: subtrees then mix
+        // values on both sides of it, which is what makes visited-but-
+        // beyond-bound nodes (the early exits) reachable at all.
+        let values: Vec<u32> = (0..512u32).map(|i| (i * 37 + 66) % 101).collect();
+        let tree = build(&values);
+        let mut total_partials = 0u64;
+        for probe in 0..101u32 {
+            for radius in [0u32, 2, 5] {
+                let (mut exact, exact_evals, _) =
+                    tree.within_radius_limited(radius, u64::MAX, |i, _| {
+                        Some(values[i as usize].abs_diff(probe))
+                    });
+                let mut partials = 0u64;
+                let (mut bounded, bounded_evals, _) =
+                    tree.within_radius_limited(radius, u64::MAX, |i, bound| {
+                        let d = values[i as usize].abs_diff(probe);
+                        if d > bound {
+                            partials += 1;
+                            return None;
+                        }
+                        Some(d)
+                    });
+                exact.sort_unstable();
+                bounded.sort_unstable();
+                assert_eq!(exact, bounded, "probe {probe} radius {radius}");
+                assert_eq!(exact_evals, bounded_evals, "probe {probe} radius {radius}");
+                total_partials += partials;
+            }
+            for k in [1usize, 4] {
+                let mut exact_best = BinaryHeap::new();
+                let (exact_evals, _) = tree.nearest_into_limited(
+                    k,
+                    u64::MAX,
+                    &mut exact_best,
+                    |i| i,
+                    |i, _| Some(values[i as usize].abs_diff(probe)),
+                );
+                let mut bounded_best = BinaryHeap::new();
+                let (bounded_evals, _) = tree.nearest_into_limited(
+                    k,
+                    u64::MAX,
+                    &mut bounded_best,
+                    |i| i,
+                    line_metric_bounded(&values, probe),
+                );
+                assert_eq!(
+                    exact_best.into_sorted_vec(),
+                    bounded_best.into_sorted_vec(),
+                    "probe {probe} k {k}"
+                );
+                assert_eq!(exact_evals, bounded_evals, "probe {probe} k {k}");
+            }
+        }
+        assert!(total_partials > 0, "the bounded path never exited early");
     }
 
     #[test]

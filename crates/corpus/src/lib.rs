@@ -42,6 +42,7 @@
 //! name and remains the alias everything else in the workspace uses.
 
 pub mod bktree;
+pub mod features;
 pub mod query;
 pub mod service;
 mod shard;
@@ -52,12 +53,14 @@ use std::sync::{Arc, OnceLock};
 
 use uplan_core::fingerprint::{fingerprint_with, Fingerprint, FingerprintOptions};
 use uplan_core::formats::binary::{
-    self, BinaryDecoder, BinaryEncoder, IndexSection, ShardTopology, BINARY_MAGIC, MAX_INDEX_SHARDS,
+    self, BinaryDecoder, BinaryEncoder, FeatureSection, IndexSection, ShardTopology, BINARY_MAGIC,
+    MAX_INDEX_SHARDS,
 };
 use uplan_core::formats::unified;
-use uplan_core::ted::tree_edit_distance;
+use uplan_core::ted::{BoundedTed, TedPlan, TedScratch};
 use uplan_core::{Error, Result, UnifiedPlan};
 
+use features::{features_of, l1_distance, FeatureVector, FEATURE_DIM};
 use shard::CorpusShard;
 
 /// Global-registry handles for the store side of the corpus: how many
@@ -118,8 +121,19 @@ pub struct MetricQuery {
     /// Matching plans as `(plan id, distance)`; radius queries sort by id,
     /// k-NN queries by ascending distance.
     pub matches: Matches,
-    /// Number of tree-edit-distance evaluations spent answering.
+    /// Number of tree-edit-distance evaluations *started* answering. The
+    /// count is invariant under the early-exit kernel: a bounded
+    /// evaluation that exits early still counts — which is what makes
+    /// kernel-on and kernel-off traversals comparable eval-for-eval.
     pub ted_evals: u64,
+    /// Of `ted_evals`, how many exited early (the bounded kernel proved
+    /// distance > bound without finishing the dynamic program).
+    /// `ted_evals - partial_evals` is the full-evaluation count approx
+    /// mode is gated on.
+    pub partial_evals: u64,
+    /// Plans the approximate pre-filter shortlisted for exact re-ranking;
+    /// zero for exact-mode queries (no pre-filter ran).
+    pub candidates_considered: u64,
 }
 
 /// Aggregate corpus statistics (`repro corpus stats`).
@@ -337,6 +351,12 @@ impl ShardedCorpus {
         &self.shards[shard as usize].plans[local as usize]
     }
 
+    /// The pre-flattened TED view of the stored plan with the given id.
+    fn ted_of(&self, id: usize) -> &TedPlan {
+        let (shard, local) = self.directory[id];
+        &self.shards[shard as usize].ted[local as usize]
+    }
+
     /// The fingerprint of the stored plan with the given id.
     pub fn fingerprint(&self, id: usize) -> Fingerprint {
         let (shard, local) = self.directory[id];
@@ -546,39 +566,8 @@ impl ShardedCorpus {
         novel
     }
 
-    /// All stored plans within `radius` tree edits of the probe, fanned
-    /// out across every shard's BK-tree (triangle-inequality pruned) and
-    /// merged. Matches sort by plan id.
-    #[deprecated(
-        since = "0.2.0",
-        note = "route queries through `ShardedCorpus::execute` with \
-                `QueryRequest::radius(r)`; this forwarder is kept for one \
-                release of grace"
-    )]
-    pub fn within_radius(&self, probe: &UnifiedPlan, radius: u32) -> MetricQuery {
-        self.radius_query(probe, radius)
-    }
-
-    /// [`ShardedCorpus::within_radius`] with the shard fan-out spread
-    /// across `threads` scoped worker threads.
-    #[deprecated(
-        since = "0.2.0",
-        note = "route queries through `ShardedCorpus::execute` with \
-                `QueryRequest::radius(r).with_threads(n)`; this forwarder \
-                is kept for one release of grace"
-    )]
-    pub fn within_radius_threaded(
-        &self,
-        probe: &UnifiedPlan,
-        radius: u32,
-        threads: usize,
-    ) -> MetricQuery {
-        self.radius_query_threaded(probe, radius, threads)
-    }
-
     /// Sequential radius query over every shard (the one radius traversal
-    /// implementation — threaded, budgeted and deprecated entry points all
-    /// reach it).
+    /// implementation — threaded and budgeted entry points all reach it).
     pub(crate) fn radius_query(&self, probe: &UnifiedPlan, radius: u32) -> MetricQuery {
         let (query, _) = self.radius_query_limited(probe, radius, u64::MAX);
         query
@@ -595,15 +584,28 @@ impl ShardedCorpus {
         radius: u32,
         limit: u64,
     ) -> (MetricQuery, bool) {
+        let probe = TedPlan::new(probe);
+        let mut scratch = TedScratch::default();
         let mut matches = Vec::new();
         let mut ted_evals = 0u64;
+        let mut partial_evals = 0u64;
         let mut truncated = false;
         for shard in &self.shards {
-            let plans = &shard.plans;
+            let ted = &shard.ted;
             let (m, evals, cut) = shard.index.within_radius_limited(
                 radius,
                 limit.saturating_sub(ted_evals),
-                |other| tree_edit_distance(probe, &plans[other as usize]) as u32,
+                |other, bound| match probe.distance_bounded(
+                    &ted[other as usize],
+                    bound as usize,
+                    &mut scratch,
+                ) {
+                    BoundedTed::Exact(d) => Some(d as u32),
+                    BoundedTed::Exceeded => {
+                        partial_evals += 1;
+                        None
+                    }
+                },
             );
             ted_evals += evals;
             matches.extend(
@@ -616,7 +618,15 @@ impl ShardedCorpus {
             }
         }
         matches.sort_unstable();
-        (MetricQuery { matches, ted_evals }, truncated)
+        (
+            MetricQuery {
+                matches,
+                ted_evals,
+                partial_evals,
+                candidates_considered: 0,
+            },
+            truncated,
+        )
     }
 
     /// [`ShardedCorpus::radius_query`] with the shard fan-out spread
@@ -639,59 +649,74 @@ impl ShardedCorpus {
             return self.radius_query(probe, radius);
         }
         let chunk = self.shards.len().div_ceil(threads);
+        let probe = TedPlan::new(probe);
+        let probe = &probe;
         let mut matches = Vec::new();
         let mut ted_evals = 0u64;
+        let mut partial_evals = 0u64;
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .chunks(chunk)
                 .map(|group| {
                     scope.spawn(move || {
+                        let mut scratch = TedScratch::default();
                         let mut matches = Vec::new();
                         let mut evals = 0u64;
+                        let mut partials = 0u64;
                         for shard in group {
-                            let plans = &shard.plans;
-                            let (m, e) = shard.index.within_radius(radius, |other| {
-                                tree_edit_distance(probe, &plans[other as usize]) as u32
-                            });
+                            let ted = &shard.ted;
+                            let (m, e, _) = shard.index.within_radius_limited(
+                                radius,
+                                u64::MAX,
+                                |other, bound| match probe.distance_bounded(
+                                    &ted[other as usize],
+                                    bound as usize,
+                                    &mut scratch,
+                                ) {
+                                    BoundedTed::Exact(d) => Some(d as u32),
+                                    BoundedTed::Exceeded => {
+                                        partials += 1;
+                                        None
+                                    }
+                                },
+                            );
                             evals += e;
                             matches.extend(
                                 m.into_iter()
                                     .map(|(local, d)| (shard.globals[local as usize] as usize, d)),
                             );
                         }
-                        (matches, evals)
+                        (matches, evals, partials)
                     })
                 })
                 .collect();
             for handle in handles {
-                let (m, e) = handle.join().expect("radius workers do not panic");
+                let (m, e, p) = handle.join().expect("radius workers do not panic");
                 matches.extend(m);
                 ted_evals += e;
+                partial_evals += p;
             }
         });
         matches.sort_unstable();
-        MetricQuery { matches, ted_evals }
+        MetricQuery {
+            matches,
+            ted_evals,
+            partial_evals,
+            candidates_considered: 0,
+        }
     }
 
-    /// The `k` stored plans nearest to the probe. The query fans out
-    /// across shards *sharing one best-k heap*, so every shard after the
-    /// first prunes against the bound its predecessors already tightened —
-    /// a merged k-NN costs close to a single-tree one, not `shards ×` as
-    /// much. Matches sort by ascending distance (then id).
-    #[deprecated(
-        since = "0.2.0",
-        note = "route queries through `ShardedCorpus::execute` with \
-                `QueryRequest::knn(k)`; this forwarder is kept for one \
-                release of grace"
-    )]
-    pub fn nearest(&self, probe: &UnifiedPlan, k: usize) -> MetricQuery {
-        self.knn_query(probe, k)
-    }
-
-    /// The one k-NN implementation (see the deprecated
-    /// [`ShardedCorpus::nearest`] for the semantics).
-    pub(crate) fn knn_query(&self, probe: &UnifiedPlan, k: usize) -> MetricQuery {
+    /// The one k-NN implementation. The query fans out across shards
+    /// *sharing one best-k heap*, so every shard after the first prunes
+    /// against the bound its predecessors already tightened — a merged
+    /// k-NN costs close to a single-tree one, not `shards ×` as much.
+    /// Matches sort by ascending distance (then id).
+    ///
+    /// Public as the direct typed path (benches and the kernel-identity
+    /// gates measure it without request plumbing); [`ShardedCorpus::execute`]
+    /// is the canonical entry point for everything else.
+    pub fn knn_query(&self, probe: &UnifiedPlan, k: usize) -> MetricQuery {
         let (query, _) = self.knn_query_limited(probe, k, u64::MAX);
         query
     }
@@ -707,17 +732,30 @@ impl ShardedCorpus {
         k: usize,
         limit: u64,
     ) -> (MetricQuery, bool) {
+        let probe = TedPlan::new(probe);
+        let mut scratch = TedScratch::default();
         let mut best: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(k + 1);
         let mut ted_evals = 0u64;
+        let mut partial_evals = 0u64;
         let mut truncated = false;
         for shard in &self.shards {
-            let plans = &shard.plans;
+            let ted = &shard.ted;
             let (evals, cut) = shard.index.nearest_into_limited(
                 k,
                 limit.saturating_sub(ted_evals),
                 &mut best,
                 |local| shard.globals[local as usize],
-                |other| tree_edit_distance(probe, &plans[other as usize]) as u32,
+                |other, bound| match probe.distance_bounded(
+                    &ted[other as usize],
+                    bound as usize,
+                    &mut scratch,
+                ) {
+                    BoundedTed::Exact(d) => Some(d as u32),
+                    BoundedTed::Exceeded => {
+                        partial_evals += 1;
+                        None
+                    }
+                },
             );
             ted_evals += evals;
             if cut {
@@ -733,18 +771,159 @@ impl ShardedCorpus {
                     .map(|(d, id)| (id as usize, d))
                     .collect(),
                 ted_evals,
+                partial_evals,
+                candidates_considered: 0,
             },
             truncated,
         )
     }
 
-    /// Brute-force reference for [`ShardedCorpus::within_radius`]: a full
-    /// TED scan. One evaluation per stored plan — the number the index's
-    /// pruning is measured against.
-    pub fn scan_within_radius(&self, probe: &UnifiedPlan, radius: u32) -> MetricQuery {
+    /// Approximate k-NN: the structural-feature pre-filter shortlists
+    /// `candidates` plans by L1 vector distance ([`features`]), then exact
+    /// TED re-ranks the shortlist — in ascending vector distance, so the
+    /// running k-th-best bound tightens early and most re-rank
+    /// evaluations exit partially. Recall against the exact path is
+    /// measured (not guaranteed): ≥ 0.95 at the default candidate count on
+    /// the 10k fixture, gated in CI, for roughly an order of magnitude
+    /// fewer full TED evaluations.
+    pub(crate) fn knn_query_approx(
+        &self,
+        probe: &UnifiedPlan,
+        k: usize,
+        candidates: usize,
+    ) -> MetricQuery {
+        let probe_features = features_of(probe);
+        // Shortlist: the `candidates` smallest (vector distance, id) pairs
+        // via a bounded max-heap — one L1 pass, no TED.
+        let mut shortlist: BinaryHeap<(u64, usize)> = BinaryHeap::with_capacity(candidates + 1);
+        if candidates > 0 {
+            for (id, &(s, local)) in self.directory.iter().enumerate() {
+                let d = l1_distance(
+                    &probe_features,
+                    &self.shards[s as usize].features[local as usize],
+                );
+                shortlist.push((d, id));
+                if shortlist.len() > candidates {
+                    shortlist.pop();
+                }
+            }
+        }
+        let shortlist = shortlist.into_sorted_vec();
+        let candidates_considered = shortlist.len() as u64;
+        // Re-rank: exact TED over the shortlist under the running k-th
+        // best bound; beyond-bound candidates pay only a partial
+        // evaluation.
+        let probe = TedPlan::new(probe);
+        let mut scratch = TedScratch::default();
+        let mut best: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(k + 1);
+        let mut ted_evals = 0u64;
+        let mut partial_evals = 0u64;
+        for &(_, id) in &shortlist {
+            if k == 0 {
+                break;
+            }
+            // Unlike a BK traversal (where distances past the worst keeper
+            // still decide which child edges open), a shortlist candidate
+            // is useful *only* if it strictly improves the heap — ties at
+            // the worst keeper change nothing. So once the heap is full the
+            // bound is `worst - 1`, and every tie exits early too.
+            let bound = match best.peek() {
+                Some(&(worst, _)) if best.len() >= k => worst.saturating_sub(1),
+                _ => u32::MAX,
+            };
+            ted_evals += 1;
+            match probe.distance_bounded(self.ted_of(id), bound as usize, &mut scratch) {
+                BoundedTed::Exact(d) => {
+                    best.push((d as u32, id as u32));
+                    if best.len() > k {
+                        best.pop();
+                    }
+                }
+                BoundedTed::Exceeded => partial_evals += 1,
+            }
+        }
+        MetricQuery {
+            matches: best
+                .into_sorted_vec()
+                .into_iter()
+                .map(|(d, id)| (id as usize, d))
+                .collect(),
+            ted_evals,
+            partial_evals,
+            candidates_considered,
+        }
+    }
+
+    /// Reference radius query with the early-exit kernel *disabled*: every
+    /// evaluation runs the full dynamic program. Matches and
+    /// [`MetricQuery::ted_evals`] are identical to
+    /// [`QueryRequest::radius`](query::QueryRequest) execution — the
+    /// kernel-on/off identity the tier-1 suite gates on — with
+    /// `partial_evals` necessarily zero.
+    pub fn radius_query_reference(&self, probe: &UnifiedPlan, radius: u32) -> MetricQuery {
+        let probe = TedPlan::new(probe);
+        let mut scratch = TedScratch::default();
         let mut matches = Vec::new();
-        for (id, plan) in self.iter() {
-            let d = tree_edit_distance(probe, plan) as u32;
+        let mut ted_evals = 0u64;
+        for shard in &self.shards {
+            let ted = &shard.ted;
+            let (m, evals, _) = shard
+                .index
+                .within_radius_limited(radius, u64::MAX, |other, _| {
+                    Some(probe.distance(&ted[other as usize], &mut scratch) as u32)
+                });
+            ted_evals += evals;
+            matches.extend(
+                m.into_iter()
+                    .map(|(local, d)| (shard.globals[local as usize] as usize, d)),
+            );
+        }
+        matches.sort_unstable();
+        MetricQuery {
+            matches,
+            ted_evals,
+            partial_evals: 0,
+            candidates_considered: 0,
+        }
+    }
+
+    /// Reference k-NN with the early-exit kernel *disabled* (the
+    /// counterpart of [`ShardedCorpus::radius_query_reference`]).
+    pub fn knn_query_reference(&self, probe: &UnifiedPlan, k: usize) -> MetricQuery {
+        let probe = TedPlan::new(probe);
+        let mut scratch = TedScratch::default();
+        let mut best: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(k + 1);
+        let mut ted_evals = 0u64;
+        for shard in &self.shards {
+            let ted = &shard.ted;
+            ted_evals += shard.index.nearest_into(
+                k,
+                &mut best,
+                |local| shard.globals[local as usize],
+                |other, _| Some(probe.distance(&ted[other as usize], &mut scratch) as u32),
+            );
+        }
+        MetricQuery {
+            matches: best
+                .into_sorted_vec()
+                .into_iter()
+                .map(|(d, id)| (id as usize, d))
+                .collect(),
+            ted_evals,
+            partial_evals: 0,
+            candidates_considered: 0,
+        }
+    }
+
+    /// Brute-force reference for radius queries: a full TED scan. One
+    /// evaluation per stored plan — the number the index's pruning is
+    /// measured against.
+    pub fn scan_within_radius(&self, probe: &UnifiedPlan, radius: u32) -> MetricQuery {
+        let probe = TedPlan::new(probe);
+        let mut scratch = TedScratch::default();
+        let mut matches = Vec::new();
+        for id in 0..self.directory.len() {
+            let d = probe.distance(self.ted_of(id), &mut scratch) as u32;
             if d <= radius {
                 matches.push((id, d));
             }
@@ -752,23 +931,28 @@ impl ShardedCorpus {
         MetricQuery {
             matches,
             ted_evals: self.directory.len() as u64,
+            partial_evals: 0,
+            candidates_considered: 0,
         }
     }
 
-    /// Brute-force reference for [`ShardedCorpus::nearest`]: same distance
-    /// multiset, but where several plans tie at the k-th distance the two
-    /// may keep different tied ids (the scan keeps the lowest; the index
-    /// keeps whichever its pruning visited first).
+    /// Brute-force reference for k-NN queries: same distance multiset, but
+    /// where several plans tie at the k-th distance the two may keep
+    /// different tied ids (the scan keeps the lowest; the index keeps
+    /// whichever its pruning visited first).
     pub fn scan_nearest(&self, probe: &UnifiedPlan, k: usize) -> MetricQuery {
-        let mut all: Vec<(u32, usize)> = self
-            .iter()
-            .map(|(id, plan)| (tree_edit_distance(probe, plan) as u32, id))
+        let probe = TedPlan::new(probe);
+        let mut scratch = TedScratch::default();
+        let mut all: Vec<(u32, usize)> = (0..self.directory.len())
+            .map(|id| (probe.distance(self.ted_of(id), &mut scratch) as u32, id))
             .collect();
         all.sort_unstable();
         all.truncate(k);
         MetricQuery {
             matches: all.into_iter().map(|(d, id)| (id, d)).collect(),
             ted_evals: self.directory.len() as u64,
+            partial_evals: 0,
+            candidates_considered: 0,
         }
     }
 
@@ -793,58 +977,33 @@ impl ShardedCorpus {
         }
     }
 
-    /// Greedy leader clustering at the given radius: plans are visited in
-    /// id order; each unclaimed plan becomes a leader and claims every
-    /// unclaimed plan within `radius` of it (one radius query each).
-    /// Deterministic, and the id-order greedy pass makes leaders the
-    /// earliest-observed representative of each neighborhood.
-    #[deprecated(
-        since = "0.2.0",
-        note = "route queries through `ShardedCorpus::execute` with \
-                `QueryRequest::cluster(r)`; this forwarder is kept for one \
-                release of grace"
-    )]
-    pub fn clusters(&self, radius: u32) -> Vec<Cluster> {
-        self.cluster_query(radius, 1).0
-    }
-
-    /// [`ShardedCorpus::clusters`] with every leader's radius query fanned
-    /// out across shards on `threads` worker threads.
-    #[deprecated(
-        since = "0.2.0",
-        note = "route queries through `ShardedCorpus::execute` with \
-                `QueryRequest::cluster(r).with_threads(n)`; this forwarder \
-                is kept for one release of grace"
-    )]
-    pub fn clusters_threaded(&self, radius: u32, threads: usize) -> Vec<Cluster> {
-        self.cluster_query(radius, threads).0
-    }
-
     /// The one clustering implementation: greedy leader clustering with
     /// every leader's radius query fanned out across shards on `threads`
     /// worker threads. Same clusters for every thread count — the greedy
     /// pass is sequential over leaders, only each query's shard visits run
-    /// concurrently.
+    /// concurrently. Returns `(clusters, ted_evals, partial_evals)`.
     ///
     /// Unlike fanning out a fresh threaded radius query per leader, the
     /// workers are spawned **once** and fed probes over channels, so a
     /// large corpus pays thread start-up per clustering run, not per
     /// query.
-    pub(crate) fn cluster_query(&self, radius: u32, threads: usize) -> (Vec<Cluster>, u64) {
+    pub(crate) fn cluster_query(&self, radius: u32, threads: usize) -> (Vec<Cluster>, u64, u64) {
         let threads = threads.clamp(1, self.shards.len());
         let mut ted_evals = 0u64;
+        let mut partial_evals = 0u64;
         if threads == 1 {
             let clusters = self.greedy_clusters(|leader| {
                 let q = self.radius_query(self.plan(leader), radius);
                 ted_evals += q.ted_evals;
+                partial_evals += q.partial_evals;
                 q.matches
             });
-            return (clusters, ted_evals);
+            return (clusters, ted_evals, partial_evals);
         }
         use std::sync::mpsc;
         let chunk = self.shards.len().div_ceil(threads);
         let clusters = std::thread::scope(|scope| {
-            let (result_tx, result_rx) = mpsc::channel::<(Matches, u64)>();
+            let (result_tx, result_rx) = mpsc::channel::<(Matches, u64, u64)>();
             // Workers receive leader *ids* (resolving the probe plan
             // themselves), sidestepping a reference-typed channel.
             let probe_txs: Vec<mpsc::Sender<usize>> =
@@ -856,21 +1015,35 @@ impl ShardedCorpus {
                         scope.spawn(move || {
                             // One long-lived worker per shard group: exits when
                             // the probe sender drops at the end of the run.
+                            let mut scratch = TedScratch::default();
                             while let Ok(leader) = probe_rx.recv() {
-                                let probe = self.plan(leader);
+                                let probe = self.ted_of(leader);
                                 let mut matches: Matches = Vec::new();
                                 let mut evals = 0u64;
+                                let mut partials = 0u64;
                                 for shard in group {
-                                    let plans = &shard.plans;
-                                    let (m, e) = shard.index.within_radius(radius, |other| {
-                                        tree_edit_distance(probe, &plans[other as usize]) as u32
-                                    });
+                                    let ted = &shard.ted;
+                                    let (m, e, _) = shard.index.within_radius_limited(
+                                        radius,
+                                        u64::MAX,
+                                        |other, bound| match probe.distance_bounded(
+                                            &ted[other as usize],
+                                            bound as usize,
+                                            &mut scratch,
+                                        ) {
+                                            BoundedTed::Exact(d) => Some(d as u32),
+                                            BoundedTed::Exceeded => {
+                                                partials += 1;
+                                                None
+                                            }
+                                        },
+                                    );
                                     evals += e;
                                     matches.extend(m.into_iter().map(|(local, d)| {
                                         (shard.globals[local as usize] as usize, d)
                                     }));
                                 }
-                                if result_tx.send((matches, evals)).is_err() {
+                                if result_tx.send((matches, evals, partials)).is_err() {
                                     return;
                                 }
                             }
@@ -885,15 +1058,16 @@ impl ShardedCorpus {
                 }
                 let mut matches: Matches = Vec::new();
                 for _ in &probe_txs {
-                    let (m, e) = result_rx.recv().expect("cluster worker result");
+                    let (m, e, p) = result_rx.recv().expect("cluster worker result");
                     ted_evals += e;
+                    partial_evals += p;
                     matches.extend(m);
                 }
                 matches.sort_unstable();
                 matches
             })
         });
-        (clusters, ted_evals)
+        (clusters, ted_evals, partial_evals)
     }
 
     /// The greedy pass over a radius-query oracle taking a leader plan id
@@ -977,6 +1151,17 @@ impl ShardedCorpus {
         }
     }
 
+    fn feature_section(&self) -> FeatureSection {
+        let mut values = Vec::with_capacity(self.directory.len() * FEATURE_DIM);
+        for &(s, local) in &self.directory {
+            values.extend_from_slice(&self.shards[s as usize].features[local as usize]);
+        }
+        FeatureSection {
+            dim: FEATURE_DIM as u32,
+            values,
+        }
+    }
+
     /// Serializes the distinct plans as one binary document (shared symbol
     /// table, see [`uplan_core::formats::binary`]) *without* the index
     /// section — loading rebuilds the BK-trees. Errors only when a stored
@@ -987,13 +1172,15 @@ impl ShardedCorpus {
 
     /// Serializes the distinct plans *plus* the BK-index topology (the
     /// UPLN index section: per shard, one parent edge with its cached TED
-    /// per non-root node), so [`ShardedCorpus::from_binary`] reconstructs
-    /// the metric index with zero TED evaluations. Writes the current
-    /// (checksummed v3) document version.
+    /// per non-root node) *plus* the per-plan structural feature vectors
+    /// (the UPLN v4 feature section), so [`ShardedCorpus::from_binary`]
+    /// reconstructs the metric index with zero TED evaluations and adopts
+    /// the approximate-query pre-filter without recomputing it. Writes the
+    /// checksummed featured (v4) document version.
     pub fn to_binary_indexed(&self) -> Result<Vec<u8>> {
         Ok(self
             .encode_into(BinaryEncoder::new())?
-            .finish_with_index(&self.index_section()))
+            .finish_with_sections(&self.index_section(), &self.feature_section()))
     }
 
     /// [`ShardedCorpus::to_binary_indexed`] in the pre-checksum (v2)
@@ -1031,9 +1218,28 @@ impl ShardedCorpus {
         while let Some(plan) = dec.next_plan()? {
             plans.push(plan);
         }
+        // A persisted feature section is adopted only at the exact width
+        // this build computes; anything else (an older or newer layout) is
+        // dropped and the vectors recompute at store time — it is a cache.
+        let features = dec.take_features().and_then(|section| {
+            let rows: Option<Vec<FeatureVector>> = (section.dim as usize == FEATURE_DIM
+                && section.values.len() == plans.len() * FEATURE_DIM)
+                .then(|| {
+                    section
+                        .values
+                        .chunks_exact(FEATURE_DIM)
+                        .map(|row| {
+                            let mut v = [0u32; FEATURE_DIM];
+                            v.copy_from_slice(row);
+                            v
+                        })
+                        .collect()
+                });
+            rows
+        });
         match dec.take_index() {
             Some(index) if index.fingerprint_flags == options_flags(options) => {
-                Self::from_plans_indexed(plans, &index, options)
+                Self::from_plans_indexed(plans, &index, features, options)
             }
             _ => {
                 let mut corpus = ShardedCorpus::with_options(options);
@@ -1053,6 +1259,7 @@ impl ShardedCorpus {
     fn from_plans_indexed(
         plans: Vec<UnifiedPlan>,
         index: &IndexSection,
+        features: Option<Vec<FeatureVector>>,
         options: FingerprintOptions,
     ) -> Result<ShardedCorpus> {
         let shard_count = index.shards.len();
@@ -1063,7 +1270,7 @@ impl ShardedCorpus {
         }
         let mut corpus = ShardedCorpus::with_options_and_shards(options, shard_count);
         corpus.observed = plans.len() as u64;
-        for plan in plans {
+        for (pos, plan) in plans.into_iter().enumerate() {
             let fp = fingerprint_with(&plan, options);
             let s = shard_index(fp, corpus.shard_bits);
             if !corpus.shards[s].dedup.insert(fp) {
@@ -1072,7 +1279,8 @@ impl ShardedCorpus {
                 ));
             }
             let global = u32::try_from(corpus.directory.len()).expect("corpus overflow");
-            let local = corpus.shards[s].store_unindexed(plan, fp, global);
+            let row = features.as_ref().map(|rows| rows[pos]);
+            let local = corpus.shards[s].store_with_features(plan, fp, global, row);
             corpus.directory.push((s as u32, local));
         }
         for (i, (shard, topology)) in corpus.shards.iter_mut().zip(&index.shards).enumerate() {

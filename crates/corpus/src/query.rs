@@ -24,6 +24,18 @@
 //!   silently partial answer. Budgeted queries always run the sequential
 //!   shard fan-out so the evaluation count that tripped (or respected)
 //!   the budget is deterministic.
+//! * **`mode`** selects between the default [`QueryMode::Exact`] answer
+//!   and [`QueryMode::Approx`], which generates a candidate shortlist by
+//!   feature-vector distance (see [`crate::features`]) and re-ranks only
+//!   those candidates with exact TED. Approximate mode is k-NN-only and
+//!   incompatible with a counted-TED budget (its evaluation count is
+//!   bounded by the candidate count already).
+//!
+//! Every response carries a [`QueryCost`] breakdown — evaluations
+//! started, how many of those the early-exit kernel abandoned, and the
+//! candidate-set size for approximate queries — with an exact JSON
+//! round-trip, so the CLI, the HTTP handlers and CI gates all read the
+//! same numbers.
 
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -47,6 +59,13 @@ struct QueryMetrics {
     /// evals: how many× the triangle-inequality pruning shrank the scan
     /// (1 = none; only recorded when a request evaluated anything).
     prune_x: [Arc<Histogram>; 4],
+    /// `uplan_query_partial_evals_total{kind}` — evaluations the
+    /// early-exit kernel abandoned past the bound (pruned-but-visited
+    /// nodes paying a partial dynamic program instead of a full one).
+    partial_evals: [Arc<Counter>; 4],
+    /// `uplan_query_candidate_set_size{kind}` — shortlist size of
+    /// approximate queries (recorded only when a candidate set was built).
+    candidate_set_size: [Arc<Histogram>; 4],
 }
 
 const QUERY_KIND_NAMES: [&str; 4] = ["knn", "radius", "cluster", "stats"];
@@ -77,8 +96,53 @@ fn query_metrics() -> &'static QueryMetrics {
                     &[("kind", kind)],
                 )
             }),
+            partial_evals: QUERY_KIND_NAMES.map(|kind| {
+                registry.counter_with(
+                    "uplan_query_partial_evals_total",
+                    "TED evaluations abandoned early by the bounded kernel",
+                    &[("kind", kind)],
+                )
+            }),
+            candidate_set_size: QUERY_KIND_NAMES.map(|kind| {
+                registry.histogram_with(
+                    "uplan_query_candidate_set_size",
+                    "candidate shortlist size of approximate queries",
+                    &[("kind", kind)],
+                )
+            }),
         }
     })
+}
+
+/// Candidate-shortlist size approximate queries use when the request does
+/// not say (`QueryMode::Approx { candidates: 0 }` or an absent
+/// `"candidates"` member). Tuned on the 10k TPC-H-derived fixture: recall
+/// ≥ 0.95 against exact k-NN while cutting full TED evaluations well over
+/// 5× (the `repro corpus recall` CI gate re-measures both).
+pub const DEFAULT_APPROX_CANDIDATES: usize = 96;
+
+/// How a k-NN query trades accuracy for work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// The exact answer via the BK-tree traversal (the default).
+    Exact,
+    /// Approximate: shortlist `candidates` plans by feature-vector
+    /// distance, re-rank the shortlist with exact TED. `candidates == 0`
+    /// means [`DEFAULT_APPROX_CANDIDATES`]. k-NN only.
+    Approx {
+        /// Shortlist size (0 = default).
+        candidates: usize,
+    },
+}
+
+impl QueryMode {
+    /// The wire name (`"exact"` / `"approx"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryMode::Exact => "exact",
+            QueryMode::Approx { .. } => "approx",
+        }
+    }
 }
 
 /// What a [`QueryRequest`] asks of the corpus.
@@ -142,6 +206,8 @@ pub struct QueryRequest {
     /// [`QueryError::BudgetExceeded`] rather than spend more evaluations
     /// than this. Only k-NN and radius queries accept a budget.
     pub max_ted_evals: Option<u64>,
+    /// Exact (default) or approximate answer — see [`QueryMode`].
+    pub mode: QueryMode,
     /// The probe plan (required by k-NN and radius queries).
     pub probe: Option<UnifiedPlan>,
 }
@@ -152,6 +218,7 @@ impl QueryRequest {
             kind,
             threads: 1,
             max_ted_evals: None,
+            mode: QueryMode::Exact,
             probe: None,
         }
     }
@@ -194,6 +261,18 @@ impl QueryRequest {
         self
     }
 
+    /// Sets the query mode.
+    pub fn with_mode(mut self, mode: QueryMode) -> QueryRequest {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for approximate mode with a shortlist of `candidates`
+    /// (0 = [`DEFAULT_APPROX_CANDIDATES`]).
+    pub fn approx(self, candidates: usize) -> QueryRequest {
+        self.with_mode(QueryMode::Approx { candidates })
+    }
+
     /// The request as its JSON wire object (the body `uplan-serve`
     /// accepts).
     pub fn to_json_value(&self) -> OwnedJsonValue {
@@ -211,6 +290,12 @@ impl QueryRequest {
         }
         if let Some(budget) = self.max_ted_evals {
             members.push(("max_ted_evals", int(budget)));
+        }
+        if let QueryMode::Approx { candidates } = self.mode {
+            members.push(("mode", JsonValue::from("approx")));
+            if candidates != 0 {
+                members.push(("candidates", JsonValue::from(candidates)));
+            }
         }
         if let Some(probe) = &self.probe {
             members.push(("probe", unified::to_json_value(probe)));
@@ -232,7 +317,14 @@ impl QueryRequest {
         for (key, _) in members {
             if !matches!(
                 key.as_ref(),
-                "query" | "k" | "radius" | "threads" | "max_ted_evals" | "probe"
+                "query"
+                    | "k"
+                    | "radius"
+                    | "threads"
+                    | "max_ted_evals"
+                    | "mode"
+                    | "candidates"
+                    | "probe"
             ) {
                 return Err(QueryError::Malformed(format!(
                     "unknown request member {key:?}"
@@ -284,6 +376,30 @@ impl QueryRequest {
                 )))
             }
         };
+        let mode = match doc.get("mode") {
+            None => {
+                if doc.get("candidates").is_some() {
+                    return Err(malformed("\"candidates\" requires \"mode\": \"approx\""));
+                }
+                QueryMode::Exact
+            }
+            Some(v) => match v.as_str() {
+                Some("exact") => {
+                    if doc.get("candidates").is_some() {
+                        return Err(malformed("\"candidates\" requires \"mode\": \"approx\""));
+                    }
+                    QueryMode::Exact
+                }
+                Some("approx") => QueryMode::Approx {
+                    candidates: uint("candidates")?.unwrap_or(0) as usize,
+                },
+                _ => {
+                    return Err(malformed(
+                        "\"mode\" must be the string \"exact\" or \"approx\"",
+                    ))
+                }
+            },
+        };
         let probe = match doc.get("probe") {
             None => None,
             Some(v) => Some(
@@ -295,6 +411,7 @@ impl QueryRequest {
             kind,
             threads: uint("threads")?.unwrap_or(1).max(1) as usize,
             max_ted_evals: uint("max_ted_evals")?,
+            mode,
             probe,
         })
     }
@@ -328,17 +445,81 @@ pub enum QueryOutcome {
     Stats(CorpusStats),
 }
 
-/// What a query answered: the outcome plus the counted TED evaluations it
-/// spent, and — when served from a [`crate::CorpusSnapshot`] — the epoch
-/// the answer is consistent with.
+/// What answering a query cost, in the paper's evaluation-count
+/// discipline. One struct, carried verbatim by every [`QueryResponse`]
+/// and serialized as the `"cost"` JSON object with an exact round-trip
+/// ([`QueryCost::to_json_value`] / [`QueryCost::from_json_value`]), so
+/// the CLI, HTTP handlers, benches and CI gates read identical numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryCost {
+    /// TED evaluations *started* (full and abandoned alike) — invariant
+    /// under the early-exit kernel, so it stays comparable across
+    /// kernel-on/off runs and the historical prune-factor gates.
+    pub ted_evals: u64,
+    /// The subset of `ted_evals` the bounded kernel abandoned once the
+    /// distance provably exceeded the pruning bound. Full evaluations are
+    /// `ted_evals - partial_evals`.
+    pub partial_evals: u64,
+    /// Shortlist size an approximate query re-ranked (0 for exact mode).
+    pub candidates_considered: u64,
+}
+
+impl QueryCost {
+    /// A cost of `evals` started evaluations, all run to completion.
+    pub fn exact(ted_evals: u64) -> QueryCost {
+        QueryCost {
+            ted_evals,
+            ..QueryCost::default()
+        }
+    }
+
+    /// TED evaluations that ran the full dynamic program (started minus
+    /// abandoned).
+    pub fn full_evals(&self) -> u64 {
+        self.ted_evals - self.partial_evals
+    }
+
+    /// The cost as its JSON wire object (the response's `"cost"` member).
+    pub fn to_json_value(&self) -> OwnedJsonValue {
+        object([
+            ("ted_evals", int(self.ted_evals)),
+            ("partial_evals", int(self.partial_evals)),
+            ("candidates_considered", int(self.candidates_considered)),
+        ])
+    }
+
+    /// Parses a cost back from its JSON wire object — the exact inverse
+    /// of [`QueryCost::to_json_value`].
+    pub fn from_json_value(doc: &JsonValue<'_>) -> Result<QueryCost, QueryError> {
+        let member = |key: &str| -> Result<u64, QueryError> {
+            doc.get(key)
+                .and_then(|v| v.as_int())
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| {
+                    QueryError::Malformed(format!(
+                        "cost object has no non-negative integer {key:?}"
+                    ))
+                })
+        };
+        Ok(QueryCost {
+            ted_evals: member("ted_evals")?,
+            partial_evals: member("partial_evals")?,
+            candidates_considered: member("candidates_considered")?,
+        })
+    }
+}
+
+/// What a query answered: the outcome plus the [`QueryCost`] it spent,
+/// and — when served from a [`crate::CorpusSnapshot`] — the epoch the
+/// answer is consistent with.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryResponse {
     /// Wire name of the query this answers.
     pub query: &'static str,
     /// The outcome payload.
     pub outcome: QueryOutcome,
-    /// Counted TED evaluations spent answering.
-    pub ted_evals: u64,
+    /// The evaluation-count breakdown of answering.
+    pub cost: QueryCost,
     /// Snapshot epoch the answer reflects (`None` when querying a plain
     /// corpus outside the snapshot service).
     pub epoch: Option<u64>,
@@ -357,7 +538,7 @@ impl QueryResponse {
         let mut members: Vec<(&'static str, OwnedJsonValue)> = vec![
             ("status", JsonValue::from("ok")),
             ("query", JsonValue::from(self.query)),
-            ("ted_evals", int(self.ted_evals)),
+            ("cost", self.cost.to_json_value()),
         ];
         if let Some(epoch) = self.epoch {
             members.push(("epoch", int(epoch)));
@@ -497,16 +678,22 @@ impl ShardedCorpus {
         let idx = request.kind.metric_index();
         let mut span = trace::span("corpus.query", Level::Debug, "query");
         span.field("kind", request.kind.name());
+        span.field("mode", request.mode.name());
         let result = self.execute_inner(request);
         let metrics = query_metrics();
         metrics.requests[idx].inc();
         match &result {
             Ok(response) => {
-                metrics.ted_evals[idx].record(response.ted_evals);
-                if response.ted_evals > 0 {
-                    metrics.prune_x[idx].record((self.len() as u64) / response.ted_evals.max(1));
+                let cost = response.cost;
+                metrics.ted_evals[idx].record(cost.ted_evals);
+                if cost.ted_evals > 0 {
+                    metrics.prune_x[idx].record((self.len() as u64) / cost.ted_evals.max(1));
                 }
-                span.field("ted_evals", response.ted_evals);
+                metrics.partial_evals[idx].add(cost.partial_evals);
+                if cost.candidates_considered > 0 {
+                    metrics.candidate_set_size[idx].record(cost.candidates_considered);
+                }
+                span.field("ted_evals", cost.ted_evals);
             }
             Err(err) => {
                 span.field("error", err.to_string());
@@ -516,11 +703,16 @@ impl ShardedCorpus {
     }
 
     fn execute_inner(&self, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
-        let respond = |outcome, ted_evals| QueryResponse {
+        let respond = |outcome, cost| QueryResponse {
             query: request.kind.name(),
             outcome,
-            ted_evals,
+            cost,
             epoch: None,
+        };
+        let cost_of = |q: &MetricQuery| QueryCost {
+            ted_evals: q.ted_evals,
+            partial_evals: q.partial_evals,
+            candidates_considered: q.candidates_considered,
         };
         let budgeted = |q: MetricQuery, truncated: bool, budget: u64| {
             if truncated {
@@ -529,10 +721,33 @@ impl ShardedCorpus {
                     spent: q.ted_evals,
                 })
             } else {
-                let evals = q.ted_evals;
-                Ok(respond(QueryOutcome::Matches(q.matches), evals))
+                let cost = cost_of(&q);
+                Ok(respond(QueryOutcome::Matches(q.matches), cost))
             }
         };
+        if let QueryMode::Approx { candidates } = request.mode {
+            let QueryKind::Knn { k } = request.kind else {
+                return Err(QueryError::Unsupported(
+                    "approximate mode applies to knn queries only".into(),
+                ));
+            };
+            if request.max_ted_evals.is_some() {
+                return Err(QueryError::Unsupported(
+                    "approximate queries do not accept a counted-TED budget \
+                     (the candidate count already bounds their evaluations)"
+                        .into(),
+                ));
+            }
+            let probe = request.probe.as_ref().ok_or(QueryError::MissingProbe)?;
+            let candidates = if candidates == 0 {
+                DEFAULT_APPROX_CANDIDATES
+            } else {
+                candidates
+            };
+            let q = self.knn_query_approx(probe, k, candidates);
+            let cost = cost_of(&q);
+            return Ok(respond(QueryOutcome::Matches(q.matches), cost));
+        }
         match request.kind {
             QueryKind::Knn { k } => {
                 let probe = request.probe.as_ref().ok_or(QueryError::MissingProbe)?;
@@ -543,8 +758,8 @@ impl ShardedCorpus {
                     }
                     None => {
                         let q = self.knn_query(probe, k);
-                        let evals = q.ted_evals;
-                        Ok(respond(QueryOutcome::Matches(q.matches), evals))
+                        let cost = cost_of(&q);
+                        Ok(respond(QueryOutcome::Matches(q.matches), cost))
                     }
                 }
             }
@@ -557,8 +772,8 @@ impl ShardedCorpus {
                     }
                     None => {
                         let q = self.radius_query_threaded(probe, radius, request.threads);
-                        let evals = q.ted_evals;
-                        Ok(respond(QueryOutcome::Matches(q.matches), evals))
+                        let cost = cost_of(&q);
+                        Ok(respond(QueryOutcome::Matches(q.matches), cost))
                     }
                 }
             }
@@ -568,8 +783,16 @@ impl ShardedCorpus {
                         "counted-TED budgets apply to knn and radius queries only".into(),
                     ));
                 }
-                let (clusters, evals) = self.cluster_query(radius, request.threads);
-                Ok(respond(QueryOutcome::Clusters(clusters), evals))
+                let (clusters, ted_evals, partial_evals) =
+                    self.cluster_query(radius, request.threads);
+                Ok(respond(
+                    QueryOutcome::Clusters(clusters),
+                    QueryCost {
+                        ted_evals,
+                        partial_evals,
+                        candidates_considered: 0,
+                    },
+                ))
             }
             QueryKind::Stats => {
                 if request.max_ted_evals.is_some() {
@@ -577,7 +800,10 @@ impl ShardedCorpus {
                         "counted-TED budgets apply to knn and radius queries only".into(),
                     ));
                 }
-                Ok(respond(QueryOutcome::Stats(self.stats()), 0))
+                Ok(respond(
+                    QueryOutcome::Stats(self.stats()),
+                    QueryCost::default(),
+                ))
             }
         }
     }
@@ -625,7 +851,9 @@ mod tests {
             .unwrap();
         let direct = corpus.knn_query(&probe, 3);
         assert_eq!(knn.outcome, QueryOutcome::Matches(direct.matches));
-        assert_eq!(knn.ted_evals, direct.ted_evals);
+        assert_eq!(knn.cost.ted_evals, direct.ted_evals);
+        assert_eq!(knn.cost.partial_evals, direct.partial_evals);
+        assert_eq!(knn.cost.candidates_considered, 0);
         assert_eq!(knn.query, "knn");
         assert_eq!(knn.epoch, None);
 
@@ -639,16 +867,74 @@ mod tests {
                 .unwrap();
             let direct = corpus.radius_query(&probe, 1);
             assert_eq!(radius.outcome, QueryOutcome::Matches(direct.matches));
-            assert_eq!(radius.ted_evals, direct.ted_evals);
+            assert_eq!(radius.cost.ted_evals, direct.ted_evals);
+            assert_eq!(radius.cost.partial_evals, direct.partial_evals);
         }
 
         let clusters = corpus.execute(&QueryRequest::cluster(1)).unwrap();
-        let (direct, evals) = corpus.cluster_query(1, 1);
+        let (direct, evals, partials) = corpus.cluster_query(1, 1);
         assert_eq!(clusters.outcome, QueryOutcome::Clusters(direct));
-        assert_eq!(clusters.ted_evals, evals);
+        assert_eq!(clusters.cost.ted_evals, evals);
+        assert_eq!(clusters.cost.partial_evals, partials);
 
         let stats = corpus.execute(&QueryRequest::stats()).unwrap();
         assert_eq!(stats.outcome, QueryOutcome::Stats(corpus.stats()));
+        assert_eq!(stats.cost, QueryCost::default());
+    }
+
+    #[test]
+    fn approximate_knn_is_knn_only_and_reports_its_shortlist() {
+        let corpus = corpus();
+        let probe = chain(&["Gather", "Scan_A"]);
+
+        // On a corpus smaller than the shortlist, approx recovers the
+        // exact distance multiset (ties may swap members, as in exact
+        // k-NN's own tie contract).
+        let exact = corpus
+            .execute(&QueryRequest::knn(2).with_probe(probe.clone()))
+            .unwrap();
+        let approx = corpus
+            .execute(&QueryRequest::knn(2).with_probe(probe.clone()).approx(0))
+            .unwrap();
+        let dist = |r: &QueryResponse| match &r.outcome {
+            QueryOutcome::Matches(m) => m.iter().map(|&(_, d)| d).collect::<Vec<_>>(),
+            other => panic!("knn answered {other:?}"),
+        };
+        assert_eq!(dist(&approx), dist(&exact));
+        assert_eq!(approx.cost.candidates_considered, corpus.len() as u64);
+        assert_eq!(approx.cost.ted_evals, corpus.len() as u64);
+
+        // A shortlist of 3 re-ranks exactly 3 candidates.
+        let short = corpus
+            .execute(&QueryRequest::knn(2).with_probe(probe.clone()).approx(3))
+            .unwrap();
+        assert_eq!(short.cost.candidates_considered, 3);
+        assert_eq!(short.cost.ted_evals, 3);
+
+        // Approx is knn-only and budget-incompatible.
+        assert_eq!(
+            corpus
+                .execute(&QueryRequest::radius(1).with_probe(probe.clone()).approx(0))
+                .unwrap_err()
+                .code(),
+            "unsupported"
+        );
+        assert_eq!(
+            corpus
+                .execute(
+                    &QueryRequest::knn(2)
+                        .with_probe(probe)
+                        .with_eval_budget(100)
+                        .approx(0)
+                )
+                .unwrap_err()
+                .code(),
+            "unsupported"
+        );
+        assert_eq!(
+            corpus.execute(&QueryRequest::knn(2).approx(0)).unwrap_err(),
+            QueryError::MissingProbe
+        );
     }
 
     #[test]
@@ -665,14 +951,14 @@ mod tests {
             .execute(
                 &QueryRequest::knn(2)
                     .with_probe(probe.clone())
-                    .with_eval_budget(unbudgeted.ted_evals),
+                    .with_eval_budget(unbudgeted.cost.ted_evals),
             )
             .unwrap();
         assert_eq!(generous.outcome, unbudgeted.outcome);
-        assert_eq!(generous.ted_evals, unbudgeted.ted_evals);
+        assert_eq!(generous.cost, unbudgeted.cost);
 
         // One evaluation less: the budget trips, reporting exactly where.
-        let tight = unbudgeted.ted_evals - 1;
+        let tight = unbudgeted.cost.ted_evals - 1;
         let err = corpus
             .execute(
                 &QueryRequest::knn(2)
@@ -701,7 +987,7 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, QueryError::BudgetExceeded { budget: 1, .. }));
-        assert!(full.ted_evals > 1);
+        assert!(full.cost.ted_evals > 1);
 
         // Budgets are knn/radius-only; probes are knn/radius-mandatory.
         assert_eq!(
@@ -722,6 +1008,8 @@ mod tests {
         let probe = chain(&["Gather", "Scan_A"]);
         let requests = [
             QueryRequest::knn(5).with_probe(probe.clone()),
+            QueryRequest::knn(5).with_probe(probe.clone()).approx(0),
+            QueryRequest::knn(5).with_probe(probe.clone()).approx(64),
             QueryRequest::radius(3)
                 .with_probe(probe)
                 .with_threads(4)
@@ -756,6 +1044,29 @@ mod tests {
         assert!(QueryRequest::from_json("{\"k\": 2}", None).is_err());
         assert!(QueryRequest::from_json("{\"query\": \"knn\", \"kk\": 2}", None).is_err());
         assert!(QueryRequest::from_json("not json", Some("stats")).is_err());
+
+        // Mode parsing: "exact" is the spelled-out default; "candidates"
+        // belongs to approx mode alone; anything else is malformed.
+        let exact =
+            QueryRequest::from_json("{\"k\": 2, \"mode\": \"exact\"}", Some("knn")).unwrap();
+        assert_eq!(exact.mode, QueryMode::Exact);
+        let approx =
+            QueryRequest::from_json("{\"k\": 2, \"mode\": \"approx\"}", Some("knn")).unwrap();
+        assert_eq!(approx.mode, QueryMode::Approx { candidates: 0 });
+        for bad in [
+            "{\"k\": 2, \"mode\": \"fuzzy\"}",
+            "{\"k\": 2, \"mode\": 3}",
+            "{\"k\": 2, \"candidates\": 8}",
+            "{\"k\": 2, \"mode\": \"exact\", \"candidates\": 8}",
+        ] {
+            assert_eq!(
+                QueryRequest::from_json(bad, Some("knn"))
+                    .unwrap_err()
+                    .code(),
+                "malformed",
+                "{bad}"
+            );
+        }
     }
 
     #[test]
@@ -770,10 +1081,22 @@ mod tests {
         assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
         assert_eq!(doc.get("query").unwrap().as_str(), Some("knn"));
         assert_eq!(doc.get("epoch").unwrap().as_int(), Some(7));
+        let cost = doc.get("cost").unwrap();
         assert_eq!(
-            doc.get("ted_evals").unwrap().as_int(),
-            Some(response.ted_evals as i64)
+            cost.get("ted_evals").unwrap().as_int(),
+            Some(response.cost.ted_evals as i64)
         );
+        // The cost object round-trips exactly.
+        assert_eq!(QueryCost::from_json_value(cost).unwrap(), response.cost);
+        let nontrivial = QueryCost {
+            ted_evals: 9,
+            partial_evals: 4,
+            candidates_considered: 16,
+        };
+        let text = nontrivial.to_json_value().to_compact();
+        let parsed = uplan_core::formats::json::parse(&text).unwrap();
+        assert_eq!(QueryCost::from_json_value(&parsed).unwrap(), nontrivial);
+        assert_eq!(nontrivial.full_evals(), 5);
         let matches = doc.get("matches").unwrap().as_array().unwrap();
         assert_eq!(matches.len(), 2);
         assert!(matches[0].get("id").is_some() && matches[0].get("distance").is_some());

@@ -14,10 +14,11 @@
 //! [`CorpusShard::globals`].
 
 use uplan_core::fingerprint::{Fingerprint, FingerprintOptions, FingerprintSet};
-use uplan_core::ted::tree_edit_distance;
+use uplan_core::ted::{TedPlan, TedScratch};
 use uplan_core::UnifiedPlan;
 
 use crate::bktree::BkTree;
+use crate::features::{features_of, FeatureVector};
 
 /// One fingerprint-prefix shard: dedup set + plan storage + BK-tree.
 #[derive(Debug, Default, Clone)]
@@ -30,6 +31,14 @@ pub(crate) struct CorpusShard {
     pub(crate) fingerprints: Vec<Fingerprint>,
     /// Local id → corpus-wide global id.
     pub(crate) globals: Vec<u32>,
+    /// Structural feature vector per local id — the approximate-query
+    /// pre-filter (see [`crate::features`]). Computed at store time (or
+    /// adopted from a persisted feature section), always dense.
+    pub(crate) features: Vec<FeatureVector>,
+    /// Pre-flattened TED view per local id: every metric evaluation against
+    /// a stored plan (BK routing, traversals, shortlist re-ranks) reads the
+    /// view instead of re-flattening the plan. Computed at store time.
+    pub(crate) ted: Vec<TedPlan>,
     /// BK-tree over local ids (node id == local id, always sequential).
     pub(crate) index: BkTree,
     /// TED evaluations spent building `index` (insert routing).
@@ -54,10 +63,11 @@ impl CorpusShard {
     /// id. The caller has already claimed `fp` in [`CorpusShard::dedup`].
     pub(crate) fn store(&mut self, plan: UnifiedPlan, fp: Fingerprint, global: u32) -> u32 {
         let local = self.store_unindexed(plan, fp, global);
-        let plans = &self.plans;
-        let probe = &plans[local as usize];
+        let ted = &self.ted;
+        let probe = &ted[local as usize];
+        let mut scratch = TedScratch::default();
         let evals = self.index.insert(local, |other| {
-            tree_edit_distance(probe, &plans[other as usize]) as u32
+            probe.distance(&ted[other as usize], &mut scratch) as u32
         });
         self.index_evals += evals;
         local
@@ -72,7 +82,23 @@ impl CorpusShard {
         fp: Fingerprint,
         global: u32,
     ) -> u32 {
+        self.store_with_features(plan, fp, global, None)
+    }
+
+    /// [`CorpusShard::store_unindexed`] with an optional precomputed
+    /// feature vector (the featured-load path, where vectors are adopted
+    /// from the persisted section instead of recomputed).
+    pub(crate) fn store_with_features(
+        &mut self,
+        plan: UnifiedPlan,
+        fp: Fingerprint,
+        global: u32,
+        features: Option<FeatureVector>,
+    ) -> u32 {
         let local = u32::try_from(self.plans.len()).expect("corpus shard overflow");
+        self.features
+            .push(features.unwrap_or_else(|| features_of(&plan)));
+        self.ted.push(TedPlan::new(&plan));
         self.plans.push(plan);
         self.fingerprints.push(fp);
         self.globals.push(global);

@@ -356,7 +356,7 @@ fn query(reader: &mut SnapshotReader, kind: &str, req: &HttpRequest) -> (HttpRes
     };
     match reader.current().execute(&request) {
         Ok(response) => {
-            let evals = response.ted_evals;
+            let evals = response.cost.ted_evals;
             (HttpResponse::json(200, response.to_json()), evals)
         }
         Err(e) => {

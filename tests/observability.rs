@@ -62,6 +62,21 @@ fn a_state_exposes_exactly_the_requests_it_served() {
             "every response carries an id"
         );
     }
+    // One approximate k-NN: exercises the candidate-set histogram (exact
+    // queries never record it) and answers with the cost breakdown.
+    let approx = HttpRequest {
+        method: "POST".into(),
+        path: "/knn".into(),
+        query: Vec::new(),
+        body: format!("{{\"k\": 3, \"mode\": \"approx\", \"probe\": {probe}}}").into_bytes(),
+    };
+    let response = handle(&state, &mut reader, &approx);
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert!(
+        response.body.contains("\"cost\"") && response.body.contains("\"candidates_considered\""),
+        "{}",
+        response.body
+    );
     let stats = handle(&state, &mut reader, &get("/stats"));
     assert_eq!(stats.status, 200, "{}", stats.body);
 
@@ -71,12 +86,19 @@ fn a_state_exposes_exactly_the_requests_it_served() {
     assert_eq!(scrape.status, 200);
     assert_eq!(scrape.content_type, "text/plain; version=0.0.4");
     let body = &scrape.body;
-    assert!(body.contains("uplan_http_requests_total{endpoint=\"knn\"} 2"));
+    assert!(body.contains("uplan_http_requests_total{endpoint=\"knn\"} 3"));
     assert!(body.contains("uplan_http_requests_total{endpoint=\"stats\"} 1"));
     assert!(body.contains("uplan_http_requests_total{endpoint=\"metrics\"} 0"));
-    assert!(body.contains("uplan_http_request_latency_us_count{endpoint=\"knn\"} 2"));
+    assert!(body.contains("uplan_http_request_latency_us_count{endpoint=\"knn\"} 3"));
     assert!(body.contains("uplan_build_info{"));
     assert!(body.contains("uplan_uptime_seconds"));
+    // The query-cost families from the process-global section: partial
+    // evaluations (early-exit kernel savings) are registered per query
+    // kind, and the candidate-set histogram recorded the one approximate
+    // request this binary made (exact queries never record it).
+    assert!(body.contains("uplan_query_partial_evals_total{kind=\"knn\"}"));
+    assert!(body.contains("uplan_query_candidate_set_size_count{kind=\"knn\"} 1"));
+    assert!(body.contains("uplan_query_candidate_set_size_count{kind=\"radius\"} 0"));
     // (The process-global section rides along in the same exposition;
     // its families appear once something registers them — the daemon
     // round-trip test in uplan-serve pins that concatenation.)

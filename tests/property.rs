@@ -287,6 +287,22 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&s));
     }
 
+    /// The early-exit kernel is a faithful refinement of the full one: it
+    /// returns the exact distance whenever the true distance is within the
+    /// bound, and `Exceeded` otherwise — never a wrong number, never a
+    /// false exceed.
+    #[test]
+    fn bounded_ted_refines_full_ted(a in arb_plan(), b in arb_plan(), bound in 0usize..24) {
+        use uplan::core::ted::{tree_edit_distance_bounded, BoundedTed};
+        let exact = uplan::core::ted::tree_edit_distance(&a, &b);
+        let got = tree_edit_distance_bounded(&a, &b, bound);
+        if exact <= bound {
+            prop_assert_eq!(got, BoundedTed::Exact(exact));
+        } else {
+            prop_assert_eq!(got, BoundedTed::Exceeded);
+        }
+    }
+
     /// Category census totals always equal the node count.
     #[test]
     fn census_total_equals_node_count(plan in arb_plan()) {
@@ -337,7 +353,7 @@ proptest! {
             .unwrap();
         let scanned = corpus.scan_within_radius(&probe, radius);
         prop_assert_eq!(matches(&indexed), scanned.matches);
-        prop_assert!(indexed.ted_evals <= scanned.ted_evals);
+        prop_assert!(indexed.cost.ted_evals <= scanned.ted_evals);
 
         let indexed = corpus
             .execute(&uplan::corpus::QueryRequest::knn(k).with_probe(probe.clone()))
