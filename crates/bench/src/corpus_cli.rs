@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! repro corpus ingest <out> <source> <explain-file>... [--threads N] [--shards N] [--index]
-//!                     [--append]
+//!                     [--append] [--segmented]
 //! repro corpus ingest <out> --raw <dump.jsonl>... [--threads N] [--shards N] [--index]
-//!                     [--append] [--lenient] [--max-errors N] [--quarantine <file>]
+//!                     [--append] [--segmented] [--lenient] [--max-errors N] [--quarantine <file>]
 //!     Convert native EXPLAIN files (any of the converter dialects, see
 //!     `repro corpus sources`) and store them deduplicated. `<out>` ending
 //!     in .jsonl writes JSON lines; anything else writes the binary codec.
@@ -20,7 +20,11 @@
 //!     per-record error census; `--max-errors` bounds the tolerated
 //!     garbage; `--quarantine` writes failed records to a replayable
 //!     JSONL file. `--append` loads an existing `<out>` and grows it in
-//!     place instead of starting fresh.
+//!     place instead of starting fresh. `--segmented` makes `<out>` an
+//!     append-only segment-store *directory* (also auto-detected when
+//!     `<out>` already is one): each ingest appends one immutable segment
+//!     and atomically rewrites only the small manifest — cost O(batch),
+//!     never a full-corpus rewrite.
 //! repro corpus raw-fixture <out.jsonl> [queries] [--dirty N] [--seed HEX]
 //!     Write a deterministic mixed-source raw dump covering all nine
 //!     dialects ([queries] TPC-H-lite queries per relational engine,
@@ -38,9 +42,19 @@
 //!     Recover what a damaged corpus file still holds: the longest
 //!     CRC-verified prefix of a binary (v3) document, the decodable
 //!     prefix of older versions, or the parseable lines of a JSONL file.
+//!     A segment-store *directory* salvages per segment: every segment
+//!     that parses, CRC-verifies and decodes whole is recovered in full,
+//!     damaged segments drop whole, and a missing manifest is rebuilt
+//!     from the per-segment symbol deltas (a damaged symbol-carrying
+//!     segment then also drops the later segments that need its symbols).
 //!     Prints `salvaged R of D plans` plus what was dropped and why;
 //!     `--out` stores the recovered corpus (re-indexed). Exits 2 when
 //!     nothing could be recovered from a damaged file.
+//! repro corpus compact <store-dir>
+//!     Merge every segment of an append-only store into one (fresh
+//!     symbol chain, fresh feature summaries), deleting the old segment
+//!     files after the manifest swaps. Read-amplification maintenance
+//!     for stores grown by many small appends.
 //! repro corpus mutate <in> <out> --op <truncate|bitflip|splice|duplicate> [--seed HEX]
 //!     Apply one seeded, reproducible corruption to a checksummed binary
 //!     corpus document and write the damaged copy — the generator behind
@@ -48,10 +62,15 @@
 //!     the codec's section map makes it provable, the exact
 //!     `expect-recoverable: N of M plans` a salvage must report.
 //! repro corpus fixture-ingest <out> [count] [--threads N] [--shards N] [--index] [--seed HEX]
+//!                             [--segmented] [--batches N]
 //!     Ingest the seeded TPC-H-derived benchmark stream (the corpus/*
 //!     bench population, default 10000 plans) — the CI determinism gate:
 //!     everything it prints except the trailing `wrote …` line is
-//!     identical for every `--threads` value.
+//!     identical for every `--threads` value. `--segmented` writes an
+//!     append-only segment-store directory instead of one file,
+//!     splitting the stream into `--batches` appended segments (default
+//!     1) — the segmented-fleet gate diffs the resulting directories
+//!     byte for byte across thread counts.
 //! repro corpus campaign <out> [profile] [queries] [radius] [--index]
 //!     Run a QPG campaign on an embedded engine profile (postgres, mysql,
 //!     tidb, sqlite) and persist every distinct observed plan.
@@ -61,7 +80,10 @@
 //!     for indexed v2 documents, `rebuilt (N TED evaluations on load)`
 //!     otherwise. Stored files carry the distinct plan set only;
 //!     observed/duplicate counters are session-local and are printed by
-//!     ingest/campaign at observation time.
+//!     ingest/campaign at observation time. For a segment-store
+//!     directory, prints the per-segment census instead: plans and
+//!     on-disk bytes per section (plan blocks vs symbols vs BK index vs
+//!     feature rows vs offset/fingerprint tables) for every segment.
 //! repro corpus cluster <corpus> [radius] [--dot] [--threads N]
 //!     Near-duplicate clusters at a TED radius (default 2), rendered as a
 //!     text report or Graphviz DOT. `--threads` fans each radius query
@@ -80,6 +102,16 @@
 //!     tripped budget is an *operational* failure (exit 1), distinct from
 //!     bad arguments (exit 2). `--json` emits the exact `QueryResponse`
 //!     wire document the server sends.
+//! repro corpus open-gate <store-dir> <monolithic> [--k N] [--probes N]
+//!                    [--min-speedup F]
+//!     The lazy-load contract, measured: times open-and-first-query on a
+//!     segment store against a full decode (read + parse + same query) of
+//!     the monolithic document holding the same corpus, asserts that every
+//!     recall-gate probe answers with an identical `QueryResponse` —
+//!     matches *and* `QueryCost`, exact and approximate — on both loads,
+//!     and exits 1 when the measured speedup falls below the floor
+//!     (default 5x). The corpus-scale CI job drives this at the
+//!     100k-observation fixture size.
 //! repro corpus serve <corpus> [--addr HOST:PORT] [--threads N] [--queue N]
 //!                    [--merge-threads N] [--merge-interval-ms N] [--save <path>]
 //!     Serve the corpus over HTTP/1.1 + JSON on a snapshot/delta epoch
@@ -87,14 +119,18 @@
 //!     snapshots while POST /ingest batches merge in the background.
 //!     Blocks until POST /shutdown, then drains gracefully and prints the
 //!     per-endpoint latency histograms; `--save` persists the final
-//!     snapshot (indexed).
+//!     snapshot (indexed). Serving a segment-store *directory* opens it
+//!     lazily and turns every epoch merge into a segment append — the
+//!     directory is always current, no `--save` needed.
 //! repro corpus sources
 //!     List the accepted ingest source names.
 //! ```
 
 use minidb::profile::EngineProfile;
 use uplan_convert::{convert, RawIngestOptions, Source};
-use uplan_corpus::{PlanCorpus, QueryError, QueryOutcome, QueryRequest, DEFAULT_SHARDS};
+use uplan_corpus::{
+    AppendReport, PlanCorpus, QueryError, QueryOutcome, QueryRequest, SegmentStore, DEFAULT_SHARDS,
+};
 use uplan_testing::generator::Generator;
 use uplan_testing::inject;
 use uplan_testing::qpg::{self, QpgConfig};
@@ -160,7 +196,8 @@ pub fn run(args: &[String]) -> i32 {
 
 fn usage() -> String {
     "usage: repro corpus <ingest|raw-fixture|raw-check|fixture-ingest|campaign|stats|cluster|\
-     diff|query|recall|serve|salvage|mutate|sources> ... (see crates/bench/src/corpus_cli.rs docs)"
+     diff|query|recall|open-gate|serve|salvage|mutate|compact|sources> ... \
+     (see crates/bench/src/corpus_cli.rs docs)"
         .to_owned()
 }
 
@@ -176,9 +213,11 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
         Some("diff") => diff(&args[1..]),
         Some("query") => query(&args[1..]),
         Some("recall") => recall(&args[1..]),
+        Some("open-gate") => open_gate(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("salvage") => salvage(&args[1..]),
         Some("mutate") => mutate(&args[1..]),
+        Some("compact") => compact(&args[1..]),
         Some("sources") => Ok(Source::ALL
             .iter()
             .map(|s| s.name())
@@ -236,9 +275,56 @@ fn open_for_ingest(out: &str, append: bool, shards: usize) -> Result<PlanCorpus,
     }
 }
 
+/// Appends one batch to the segment store at `dir`, creating the store
+/// first when the directory is not one yet. Cost is O(batch): one new
+/// segment file plus a manifest rewrite — the existing segments are never
+/// touched.
+fn append_batch(
+    dir: &str,
+    plans: &[uplan_core::UnifiedPlan],
+    threads: usize,
+    shards: usize,
+) -> Result<(SegmentStore, AppendReport), CliError> {
+    let mut store = if SegmentStore::is_store_dir(dir) {
+        SegmentStore::open(dir)
+            .map_err(|e| CliError::Input(format!("cannot open segment store {dir}: {e}")))?
+    } else {
+        SegmentStore::create(dir, PlanCorpus::with_shards(shards))
+            .map_err(|e| CliError::Operational(format!("cannot create segment store {dir}: {e}")))?
+    };
+    let report = store
+        .append(plans, threads)
+        .map_err(|e| CliError::Operational(format!("cannot append to {dir}: {e}")))?;
+    Ok((store, report))
+}
+
+/// The report block a segmented ingest prints in place of `wrote <out>`.
+fn append_summary(dir: &str, store: &SegmentStore, report: &AppendReport) -> String {
+    let segment = match report.segment_id {
+        Some(id) => format!("segment {id} ({} bytes)", report.segment_bytes),
+        None => "no segment (batch was all duplicates)".to_owned(),
+    };
+    format!(
+        "appended {segment}: {} of {} plan(s) admitted, {} duplicate(s)\n{}\n\
+         wrote {dir} ({} segment(s))",
+        report.admitted,
+        report.observed,
+        report.duplicates,
+        summary(store.corpus()),
+        store.census().len()
+    )
+}
+
 // Reading and parsing split the exit code: an unreadable path is
 // operational (exit 1), an unparseable file is bad input (exit 2).
 fn load(path: &str) -> Result<PlanCorpus, CliError> {
+    // A directory is a segment store: manifest and index sections decode
+    // eagerly, plan payloads stay on disk until a query touches them.
+    if std::path::Path::new(path).is_dir() {
+        return SegmentStore::open(path)
+            .map(SegmentStore::into_corpus)
+            .map_err(|e| CliError::Input(format!("cannot load corpus {path}: {e}")));
+    }
     let bytes = std::fs::read(path)
         .map_err(|e| CliError::Operational(format!("cannot read corpus {path}: {e}")))?;
     let parsed = if bytes.starts_with(&uplan_core::formats::binary::BINARY_MAGIC) {
@@ -276,6 +362,7 @@ fn ingest(args: &[String]) -> Result<String, CliError> {
     let indexed = take_flag(&mut args, "--index");
     let raw = take_flag(&mut args, "--raw");
     let append = take_flag(&mut args, "--append");
+    let segmented = take_flag(&mut args, "--segmented");
     let lenient = take_flag(&mut args, "--lenient");
     let max_errors: usize = take_value(&mut args, "--max-errors")?.unwrap_or(0);
     let quarantine: Option<String> = take_value(&mut args, "--quarantine")?;
@@ -285,7 +372,7 @@ fn ingest(args: &[String]) -> Result<String, CliError> {
             max_errors,
             quarantine: quarantine.map(std::path::PathBuf::from),
         };
-        return ingest_raw_dumps(&args, threads, shards, indexed, append, &options);
+        return ingest_raw_dumps(&args, threads, shards, indexed, append, segmented, &options);
     }
     if lenient || max_errors != 0 || quarantine.is_some() {
         return Err("--lenient/--max-errors/--quarantine only apply to --raw ingest".into());
@@ -309,6 +396,17 @@ fn ingest(args: &[String]) -> Result<String, CliError> {
             .map_err(|e| CliError::Operational(format!("cannot read {file}: {e}")))?;
         plans.push(convert(source, &text).map_err(|e| format!("{file}: {e}"))?);
     }
+    // A segment store is append-only by construction: every ingest into
+    // one is an `--append` whether the flag was given or not.
+    if segmented || SegmentStore::is_store_dir(out) {
+        let (store, report) = append_batch(out, &plans, threads, shards)?;
+        return Ok(format!(
+            "ingested {} file(s) via {}\n{}",
+            files.len(),
+            source.name(),
+            append_summary(out, &store, &report)
+        ));
+    }
     let mut corpus = open_for_ingest(out, append, shards)?;
     corpus.ingest_parallel(&plans, threads);
     save(&corpus, out, indexed)?;
@@ -329,18 +427,26 @@ fn ingest_raw_dumps(
     shards: usize,
     indexed: bool,
     append: bool,
+    segmented: bool,
     options: &RawIngestOptions,
 ) -> Result<String, CliError> {
     let (out, dumps) = match args {
         [out, dumps @ ..] if !dumps.is_empty() => (out, dumps),
         _ => {
             return Err("usage: repro corpus ingest <out> --raw <dump.jsonl>... \
-                 [--threads N] [--shards N] [--index] [--append] \
+                 [--threads N] [--shards N] [--index] [--append] [--segmented] \
                  [--lenient] [--max-errors N] [--quarantine <file>]"
                 .into())
         }
     };
-    let mut corpus = open_for_ingest(out, append, shards)?;
+    // Segment target: convert into a staging corpus (batch-local dedup),
+    // then append the staged plans as one new segment.
+    let store_target = segmented || SegmentStore::is_store_dir(out);
+    let mut corpus = if store_target {
+        PlanCorpus::with_shards(shards)
+    } else {
+        open_for_ingest(out, append, shards)?
+    };
     let mut lines = 0usize;
     let mut skipped = 0usize;
     let mut censuses = Vec::new();
@@ -364,12 +470,24 @@ fn ingest_raw_dumps(
             ));
         }
     }
-    save(&corpus, out, indexed)?;
     let lenient_line = if options.strict {
         String::new()
     } else {
         format!("\nlenient: {skipped} record(s) skipped")
     };
+    if store_target {
+        let plans: Vec<uplan_core::UnifiedPlan> =
+            corpus.iter().map(|(_, plan)| plan.clone()).collect();
+        let (store, report) = append_batch(out, &plans, threads, shards)?;
+        return Ok(format!(
+            "raw-ingested {lines} plan line(s) from {} dump(s){lenient_line}\n{}\n{}\n{}",
+            dumps.len(),
+            censuses.join("\n"),
+            session_summary(&corpus),
+            append_summary(out, &store, &report)
+        ));
+    }
+    save(&corpus, out, indexed)?;
     Ok(format!(
         "raw-ingested {lines} plan line(s) from {} dump(s){lenient_line}\n{}\n{}\n{}\nwrote {out}",
         dumps.len(),
@@ -542,6 +660,8 @@ fn fixture_ingest(args: &[String]) -> Result<String, CliError> {
     let threads: usize = take_value(&mut args, "--threads")?.unwrap_or(1);
     let shards: usize = take_value(&mut args, "--shards")?.unwrap_or(DEFAULT_SHARDS);
     let indexed = take_flag(&mut args, "--index");
+    let segmented = take_flag(&mut args, "--segmented");
+    let batches: usize = take_value(&mut args, "--batches")?.unwrap_or(1);
     let seed = match take_value::<String>(&mut args, "--seed")? {
         Some(hex) => u64::from_str_radix(hex.trim_start_matches("0x"), 16)
             .map_err(|_| format!("bad --seed value {hex:?}"))?,
@@ -551,7 +671,8 @@ fn fixture_ingest(args: &[String]) -> Result<String, CliError> {
         [out] | [out, _] => out.clone(),
         _ => {
             return Err("usage: repro corpus fixture-ingest <out> [count] \
-                 [--threads N] [--shards N] [--index] [--seed HEX]"
+                 [--threads N] [--shards N] [--index] [--seed HEX] \
+                 [--segmented] [--batches N]"
                 .into())
         }
     };
@@ -559,7 +680,13 @@ fn fixture_ingest(args: &[String]) -> Result<String, CliError> {
         Some(n) => n.parse().map_err(|_| format!("bad plan count {n:?}"))?,
         None => 10_000,
     };
+    if batches != 1 && !segmented {
+        return Err("--batches needs --segmented".into());
+    }
     let stream = crate::corpus_fixture::derived_stream(count, seed);
+    if segmented {
+        return fixture_ingest_segmented(&out, &stream, threads, shards, batches, seed);
+    }
     let mut corpus = PlanCorpus::with_shards(shards);
     let novel = corpus.ingest_parallel(&stream, threads);
     save(&corpus, &out, indexed)?;
@@ -575,6 +702,59 @@ fn fixture_ingest(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
+/// `fixture-ingest --segmented`: the stream split into `batches` appended
+/// segments. Always starts fresh (the determinism gate diffs whole
+/// directories); everything printed before the trailing `wrote …` line is
+/// identical for every `--threads` value, and so are the directory bytes.
+fn fixture_ingest_segmented(
+    out: &str,
+    stream: &[uplan_core::UnifiedPlan],
+    threads: usize,
+    shards: usize,
+    batches: usize,
+    seed: u64,
+) -> Result<String, CliError> {
+    let path = std::path::Path::new(out);
+    if path.exists() {
+        if !SegmentStore::is_store_dir(path) {
+            return Err(format!("{out} exists and is not a segment store directory").into());
+        }
+        std::fs::remove_dir_all(path)
+            .map_err(|e| CliError::Operational(format!("cannot clear {out}: {e}")))?;
+    }
+    let mut store = SegmentStore::create(out, PlanCorpus::with_shards(shards))
+        .map_err(|e| CliError::Operational(format!("cannot create segment store {out}: {e}")))?;
+    let chunk = stream.len().div_ceil(batches.max(1)).max(1);
+    let mut lines = vec![format!(
+        "fixture-ingest: {} TPC-H-derived plans (seed {seed:#x}, {} shards, segmented x{batches})",
+        stream.len(),
+        store.corpus().shard_count(),
+    )];
+    for (i, batch) in stream.chunks(chunk).enumerate() {
+        let report = store
+            .append(batch, threads)
+            .map_err(|e| CliError::Operational(format!("cannot append to {out}: {e}")))?;
+        let segment = match report.segment_id {
+            Some(id) => format!("segment {id}, {} bytes", report.segment_bytes),
+            None => "no segment".to_owned(),
+        };
+        lines.push(format!(
+            "batch {i}: {} of {} admitted ({segment})",
+            report.admitted, report.observed
+        ));
+    }
+    lines.push(summary(store.corpus()));
+    lines.push(format!(
+        "BK-index built with {} TED evaluations",
+        store.corpus().index_evals()
+    ));
+    lines.push(format!(
+        "wrote {out} ({} segment(s), {threads} thread(s))",
+        store.census().len()
+    ));
+    Ok(lines.join("\n"))
+}
+
 /// `repro corpus salvage`: recover what a damaged corpus file still
 /// holds, reporting exactly what was dropped.
 fn salvage(args: &[String]) -> Result<String, CliError> {
@@ -583,6 +763,9 @@ fn salvage(args: &[String]) -> Result<String, CliError> {
     let path = args
         .first()
         .ok_or("usage: repro corpus salvage <corpus> [--out <path>]")?;
+    if std::path::Path::new(path).is_dir() {
+        return segment_salvage(path, out);
+    }
     let (corpus, report) =
         PlanCorpus::load_salvage(path).map_err(|e| CliError::Operational(e.to_string()))?;
     let mut lines = vec![format!(
@@ -618,6 +801,72 @@ fn salvage(args: &[String]) -> Result<String, CliError> {
         lines.push(format!("wrote {out}"));
     }
     Ok(lines.join("\n"))
+}
+
+/// Salvage of a segment-store directory: the segment is the recovery
+/// unit — damaged segments drop whole, intact ones recover in full.
+fn segment_salvage(path: &str, out: Option<String>) -> Result<String, CliError> {
+    let (corpus, report) =
+        SegmentStore::salvage(path, uplan_core::fingerprint::FingerprintOptions::default())
+            .map_err(|e| CliError::Operational(e.to_string()))?;
+    let mut lines = vec![format!(
+        "salvaged {} of {} plans from {path} ({} dropped; \
+         {} of {} segment(s) recovered, manifest {})",
+        report.recovered,
+        report.declared,
+        report.dropped,
+        report.segments_recovered,
+        report.segments_declared,
+        if report.manifest_ok {
+            "intact"
+        } else {
+            "rebuilt from segment deltas"
+        }
+    )];
+    if let Some(error) = &report.error {
+        lines.push(format!("stopped at: {error}"));
+    }
+    if report.recovered > 0 {
+        lines.push(format!(
+            "index: {}",
+            if report.index_rebuilt {
+                "rebuilt"
+            } else {
+                "persisted"
+            }
+        ));
+        lines.push(summary(&corpus));
+    }
+    if report.recovered == 0 && report.error.is_some() {
+        return Err(CliError::Input(lines.join("\n")));
+    }
+    if let Some(out) = out {
+        save(&corpus, &out, true)?;
+        lines.push(format!("wrote {out}"));
+    }
+    Ok(lines.join("\n"))
+}
+
+/// `repro corpus compact`: merge every segment of a store into one.
+fn compact(args: &[String]) -> Result<String, CliError> {
+    let path = args
+        .first()
+        .ok_or("usage: repro corpus compact <store-dir>")?;
+    if !SegmentStore::is_store_dir(path) {
+        return Err(format!("{path} is not a segment store directory").into());
+    }
+    let mut store = SegmentStore::open(path)
+        .map_err(|e| CliError::Input(format!("cannot open segment store {path}: {e}")))?;
+    let report = store
+        .compact()
+        .map_err(|e| CliError::Operational(format!("cannot compact {path}: {e}")))?;
+    Ok(format!(
+        "compacted {path}: {} segment(s) -> 1, {} -> {} segment bytes\n{}",
+        report.segments_before,
+        report.bytes_before,
+        report.bytes_after,
+        summary(store.corpus())
+    ))
 }
 
 /// `repro corpus mutate`: one seeded corruption of a checksummed binary
@@ -732,6 +981,9 @@ fn campaign(args: &[String]) -> Result<String, CliError> {
 
 fn stats(args: &[String]) -> Result<String, CliError> {
     let path = args.first().ok_or("usage: repro corpus stats <corpus>")?;
+    if SegmentStore::is_store_dir(path) {
+        return segment_stats(path);
+    }
     let corpus = load(path)?;
     let index = if corpus.has_persisted_index() {
         format!(
@@ -742,6 +994,45 @@ fn stats(args: &[String]) -> Result<String, CliError> {
         format!("rebuilt ({} TED evaluations on load)", corpus.index_evals())
     };
     Ok(format!("{path}: {}\nindex: {index}", summary(&corpus)))
+}
+
+/// `repro corpus stats` on a segment-store directory: the corpus summary
+/// (from manifest counters — zero plan decodes) plus the per-segment
+/// on-disk byte census, section by section.
+fn segment_stats(path: &str) -> Result<String, CliError> {
+    let store = SegmentStore::open(path)
+        .map_err(|e| CliError::Input(format!("cannot load corpus {path}: {e}")))?;
+    let mut lines = vec![
+        format!("{path}: {}", summary(store.corpus())),
+        "index: persisted (0 TED evaluations on load)".to_owned(),
+        format!("segments: {}", store.census().len()),
+    ];
+    let mut total = 0usize;
+    for row in store.census() {
+        let b = &row.bytes;
+        total += b.total;
+        lines.push(format!(
+            "  segment {:>3}: {:>7} plans, {:>9} bytes \
+             (plans {}, symbols {}, index {}, features {}, offsets {}, fingerprints {}, header {})",
+            row.id,
+            row.plans,
+            b.total,
+            b.plans,
+            b.symbols,
+            b.index,
+            b.features,
+            b.offsets,
+            b.fingerprints,
+            b.header
+        ));
+    }
+    lines.push(format!(
+        "  on disk: {total} segment bytes + {} manifest bytes",
+        std::fs::metadata(std::path::Path::new(path).join("manifest.uplm"))
+            .map(|m| m.len())
+            .unwrap_or(0)
+    ));
+    Ok(lines.join("\n"))
 }
 
 fn cluster(args: &[String]) -> Result<String, CliError> {
@@ -1004,6 +1295,102 @@ fn recall(args: &[String]) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// `repro corpus open-gate` — the lazy-load contract, measured. Times
+/// open-and-first-query on a segment store against a full decode of the
+/// monolithic document holding the same corpus, asserts every
+/// recall-gate probe answers identically (matches *and* [`QueryCost`],
+/// exact and approximate k-NN) on both loads, and fails operationally
+/// when the measured speedup misses the floor — so the corpus-scale CI
+/// job can gate on the command directly.
+fn open_gate(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.to_vec();
+    let k: usize = take_value(&mut args, "--k")?.unwrap_or(5);
+    let probe_count: usize = take_value(&mut args, "--probes")?.unwrap_or(24);
+    let min_speedup: f64 = take_value(&mut args, "--min-speedup")?.unwrap_or(5.0);
+    let [store_path, mono_path] = args.as_slice() else {
+        return Err(
+            "usage: repro corpus open-gate <store-dir> <monolithic> [--k N] [--probes N] \
+             [--min-speedup F]"
+                .into(),
+        );
+    };
+    if !SegmentStore::is_store_dir(store_path) {
+        return Err(CliError::Input(format!(
+            "{store_path}: not a segment store directory"
+        )));
+    }
+    let probes = crate::corpus_fixture::derived_stream(probe_count, 0x004e_ca11);
+    let first = QueryRequest::knn(k)
+        .with_probe(probes.first().expect("at least one probe").clone())
+        .approx(0);
+    let query_err = |e: QueryError| CliError::Input(e.to_string());
+
+    // Timed halves, best of three. Both sides pay their full cold path:
+    // the store open reads and parses every manifest/index section (plan
+    // payloads stay on disk), the monolithic side reads and decodes the
+    // whole document before it can answer anything.
+    let mut lazy_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        let store = SegmentStore::open(store_path)
+            .map_err(|e| CliError::Input(format!("cannot load corpus {store_path}: {e}")))?;
+        store.corpus().execute(&first).map_err(query_err)?;
+        lazy_secs = lazy_secs.min(t.elapsed().as_secs_f64());
+    }
+    let mut mono_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        let bytes = std::fs::read(mono_path)
+            .map_err(|e| CliError::Operational(format!("cannot read corpus {mono_path}: {e}")))?;
+        let corpus = PlanCorpus::from_binary(&bytes)
+            .map_err(|e| CliError::Input(format!("cannot load corpus {mono_path}: {e}")))?;
+        corpus.execute(&first).map_err(query_err)?;
+        mono_secs = mono_secs.min(t.elapsed().as_secs_f64());
+    }
+    let speedup = mono_secs / lazy_secs;
+
+    // Identity half: the lazy load must answer the recall-gate probes —
+    // exact and approximate — with byte-for-byte the same responses
+    // (matches, epoch-free cost counters, everything `QueryResponse`
+    // compares) the monolithic load produces.
+    let lazy = load(store_path)?;
+    let mono = load(mono_path)?;
+    let mut answered = 0usize;
+    for (i, probe) in probes.iter().enumerate() {
+        for request in [
+            QueryRequest::knn(k).with_probe(probe.clone()),
+            QueryRequest::knn(k).with_probe(probe.clone()).approx(0),
+        ] {
+            let lazy_response = lazy.execute(&request).map_err(query_err)?;
+            let mono_response = mono.execute(&request).map_err(query_err)?;
+            if lazy_response != mono_response {
+                return Err(CliError::Operational(format!(
+                    "probe {i}: lazy and monolithic answers diverge\n\
+                     lazy:       {lazy_response:?}\n\
+                     monolithic: {mono_response:?}"
+                )));
+            }
+            answered += 1;
+        }
+    }
+
+    let report = format!(
+        "{store_path}: open-and-first-query {:.1}ms vs monolithic decode {:.1}ms \
+         ({speedup:.1}x faster; floor {min_speedup}x)\n\
+         {answered} response(s) over {} probe(s) (exact + approx k-NN, k {k}): \
+         answers and QueryCost identical to the monolithic load",
+        lazy_secs * 1e3,
+        mono_secs * 1e3,
+        probes.len(),
+    );
+    if speedup < min_speedup {
+        return Err(CliError::Operational(format!(
+            "{report}\nlazy open gate FAILED"
+        )));
+    }
+    Ok(report)
+}
+
 /// `repro corpus serve` — the corpus daemon. Blocks until POST /shutdown.
 fn serve(args: &[String]) -> Result<String, CliError> {
     use uplan_serve::{Server, ServerConfig};
@@ -1024,8 +1411,6 @@ fn serve(args: &[String]) -> Result<String, CliError> {
          [--merge-threads N] [--merge-interval-ms N] [--save <path>] \
          [--slow-query-us N] [--slow-query-evals N]",
     )?;
-    let corpus = load(path)?;
-    let plans = corpus.len();
     let config = ServerConfig {
         addr,
         threads,
@@ -1037,12 +1422,34 @@ fn serve(args: &[String]) -> Result<String, CliError> {
         slow_query_us,
         slow_query_evals,
     };
-    let server = Server::bind(config, corpus)
-        .map_err(|e| CliError::Operational(format!("cannot bind the server: {e}")))?;
+    // A segment-store directory serves lazily and persistently: the open
+    // decodes manifest + index sections only, and every epoch merge
+    // appends one segment — the directory is always current.
+    let (server, plans, segmented) = if SegmentStore::is_store_dir(path) {
+        let store = SegmentStore::open(path)
+            .map_err(|e| CliError::Input(format!("cannot load corpus {path}: {e}")))?;
+        let plans = store.corpus().len();
+        let service = uplan_corpus::service::CorpusService::with_store(store, queue_capacity);
+        let state = uplan_serve::ServeState::from_service(service, merge_threads);
+        let server = Server::bind_with_state(config, state)
+            .map_err(|e| CliError::Operational(format!("cannot bind the server: {e}")))?;
+        (server, plans, true)
+    } else {
+        let corpus = load(path)?;
+        let plans = corpus.len();
+        let server = Server::bind(config, corpus)
+            .map_err(|e| CliError::Operational(format!("cannot bind the server: {e}")))?;
+        (server, plans, false)
+    };
     let state = server.state();
     println!(
-        "serving {path} ({plans} distinct plans) at http://{} with {threads} worker(s); \
+        "serving {path} ({plans} distinct plans{}) at http://{} with {threads} worker(s); \
          POST /shutdown to stop",
+        if segmented {
+            ", segment store: merges append segments"
+        } else {
+            ""
+        },
         server.local_addr()
     );
     let snapshot = server
@@ -1440,5 +1847,206 @@ mod tests {
         let corpus = PlanCorpus::load(&out).unwrap();
         assert!(!corpus.is_empty());
         std::fs::remove_file(out).ok();
+    }
+
+    /// The segmented lifecycle end to end: fixture-ingest a batched store
+    /// (byte-identical across thread counts), append with `ingest`,
+    /// census with `stats`, query lazily, compact, salvage.
+    #[test]
+    fn segmented_store_lifecycle_through_the_cli() {
+        let dir1 = temp("uplan_cli_seg_t1");
+        let dir4 = temp("uplan_cli_seg_t4");
+        for (dir, threads) in [(&dir1, "1"), (&dir4, "4")] {
+            let report = run_inner(&strings(&[
+                "fixture-ingest",
+                dir,
+                "600",
+                "--segmented",
+                "--batches",
+                "3",
+                "--threads",
+                threads,
+            ]))
+            .unwrap();
+            assert!(report.contains("segmented x3"), "{report}");
+            assert!(report.contains("batch 2:"), "{report}");
+        }
+        // Everything except the trailing `wrote …` line is thread-count
+        // independent, and the directories are byte-identical.
+        for name in [
+            "manifest.uplm",
+            "seg-00000.upls",
+            "seg-00001.upls",
+            "seg-00002.upls",
+        ] {
+            let a = std::fs::read(std::path::Path::new(&dir1).join(name)).unwrap();
+            let b = std::fs::read(std::path::Path::new(&dir4).join(name)).unwrap();
+            assert_eq!(a, b, "{name} diverged between thread counts");
+        }
+
+        // stats prints the per-segment byte census.
+        let stats = run_inner(&strings(&["stats", &dir1])).unwrap();
+        assert!(stats.contains("segments: 3"), "{stats}");
+        assert!(stats.contains("segment   0:"), "{stats}");
+        assert!(stats.contains("persisted (0 TED evaluations"), "{stats}");
+        assert!(stats.contains("on disk:"), "{stats}");
+
+        // Lazy queries answer identically to the monolithic file.
+        let mono = temp("uplan_cli_seg_mono.uplanc");
+        run_inner(&strings(&["fixture-ingest", &mono, "600", "--index"])).unwrap();
+        let probe_corpus = crate::corpus_fixture::derived_stream(1, 0x004e_ca11);
+        let probe_file = temp("uplan_cli_seg_probe.json");
+        std::fs::write(
+            &probe_file,
+            uplan_core::formats::unified::to_json(&probe_corpus[0]),
+        )
+        .unwrap();
+        let from_dir = run_inner(&strings(&[
+            "query",
+            &dir1,
+            "knn",
+            "--k",
+            "5",
+            "--probe",
+            &probe_file,
+            "--json",
+        ]))
+        .unwrap();
+        let from_file = run_inner(&strings(&[
+            "query",
+            &mono,
+            "knn",
+            "--k",
+            "5",
+            "--probe",
+            &probe_file,
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(from_dir, from_file, "lazy and in-RAM answers diverged");
+
+        // ingest into the store appends a new segment (no --append needed).
+        let explain = temp("uplan_cli_seg.explain");
+        std::fs::write(
+            &explain,
+            "\
++-----------------------+---------+-----------+---------------+---------------+
+| id                    | estRows | task      | access object | operator info |
++-----------------------+---------+-----------+---------------+---------------+
+| TableReader_7         | 5.00    | root      |               |               |
+| └─TableFullScan_5     | 100.00  | cop[tikv] | table:t0      |               |
++-----------------------+---------+-----------+---------------+---------------+
+",
+        )
+        .unwrap();
+        let appended = run_inner(&strings(&["ingest", &dir1, "tidb-table", &explain])).unwrap();
+        assert!(appended.contains("appended segment 3"), "{appended}");
+        assert!(appended.contains("1 of 1 plan(s) admitted"), "{appended}");
+        // Re-ingesting the same file appends nothing.
+        let dup = run_inner(&strings(&["ingest", &dir1, "tidb-table", &explain])).unwrap();
+        assert!(
+            dup.contains("no segment (batch was all duplicates)"),
+            "{dup}"
+        );
+
+        // Salvage of the intact store is lossless.
+        let salvaged = run_inner(&strings(&["salvage", &dir1])).unwrap();
+        assert!(salvaged.contains("0 dropped"), "{salvaged}");
+        assert!(
+            salvaged.contains("4 of 4 segment(s) recovered"),
+            "{salvaged}"
+        );
+        assert!(salvaged.contains("manifest intact"), "{salvaged}");
+
+        // Compaction folds the four segments into one; queries agree.
+        let compacted = run_inner(&strings(&["compact", &dir1])).unwrap();
+        assert!(compacted.contains("4 segment(s) -> 1"), "{compacted}");
+        let stats = run_inner(&strings(&["stats", &dir1])).unwrap();
+        assert!(stats.contains("segments: 1"), "{stats}");
+        let after = run_inner(&strings(&[
+            "query",
+            &dir1,
+            "knn",
+            "--k",
+            "5",
+            "--probe",
+            &probe_file,
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(after, from_file, "compaction changed answers");
+
+        // compact rejects non-stores; --batches needs --segmented.
+        assert!(run_inner(&strings(&["compact", &mono])).is_err());
+        assert!(run_inner(&strings(&["fixture-ingest", &mono, "10", "--batches", "2"])).is_err());
+
+        for dir in [&dir1, &dir4] {
+            std::fs::remove_dir_all(dir).ok();
+        }
+        for f in [mono, probe_file, explain] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    /// `open-gate` proves answer/cost identity between the lazy and the
+    /// monolithic load; the speedup floor itself is CI's concern (tiny
+    /// fixtures cannot honour a 5x decode gap, so the floor is lowered
+    /// to exercise the pass path and raised to exercise the failure).
+    #[test]
+    fn open_gate_checks_identity_and_enforces_the_floor() {
+        let dir = temp("uplan_cli_open_gate_store");
+        let mono = temp("uplan_cli_open_gate_mono.uplanc");
+        run_inner(&strings(&[
+            "fixture-ingest",
+            &dir,
+            "600",
+            "--segmented",
+            "--batches",
+            "3",
+        ]))
+        .unwrap();
+        run_inner(&strings(&["fixture-ingest", &mono, "600", "--index"])).unwrap();
+
+        let report = run_inner(&strings(&[
+            "open-gate",
+            &dir,
+            &mono,
+            "--probes",
+            "4",
+            "--min-speedup",
+            "0",
+        ]))
+        .unwrap();
+        assert!(
+            report.contains("answers and QueryCost identical to the monolithic load"),
+            "{report}"
+        );
+        assert!(report.contains("open-and-first-query"), "{report}");
+
+        // An unreachable floor fails operationally (exit 1), naming the gate.
+        let failed = run_inner(&strings(&[
+            "open-gate",
+            &dir,
+            &mono,
+            "--probes",
+            "1",
+            "--min-speedup",
+            "1000000",
+        ]))
+        .unwrap_err();
+        match failed {
+            CliError::Operational(message) => {
+                assert!(message.contains("lazy open gate FAILED"), "{message}")
+            }
+            other => panic!("expected an operational failure, got {other:?}"),
+        }
+        // A monolithic file is not a store directory (exit 2).
+        assert!(matches!(
+            run_inner(&strings(&["open-gate", &mono, &mono])).unwrap_err(),
+            CliError::Input(_)
+        ));
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&mono).ok();
     }
 }

@@ -251,7 +251,7 @@ const VALUE_STR: u8 = 5;
 // Varint primitives
 // ---------------------------------------------------------------------------
 
-fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -327,6 +327,31 @@ impl BinaryEncoder {
     /// Number of plans pushed so far.
     pub fn plan_count(&self) -> u64 {
         self.plans
+    }
+
+    /// Current byte length of the encoded plan bodies — the *body-relative*
+    /// offset the next pushed plan will start at. The segment codec records
+    /// this before each push to build its per-plan offset table.
+    pub(crate) fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Pre-registers a symbol so its table index matches an existing
+    /// cross-document symbol chain (segment stores share one chain; every
+    /// segment's encoder is seeded with the chain so far, making symbol
+    /// refs chain-global). Seeds must be applied before any plan is pushed
+    /// and in chain order.
+    pub(crate) fn seed_symbol(&mut self, sym: Symbol) {
+        debug_assert_eq!(self.plans, 0, "seed the chain before pushing plans");
+        self.symbol_ref(sym);
+    }
+
+    /// Dismantles the encoder without framing a UPLN document: the full
+    /// symbol table (seeds included, in ref order), the raw plan bodies,
+    /// and the body offsets at which each checksum block starts. The
+    /// segment codec frames these itself.
+    pub(crate) fn into_parts(self) -> (Vec<Symbol>, Vec<u8>, Vec<usize>) {
+        (self.table, self.body, self.block_starts)
     }
 
     /// Encodes one plan into the document. Errors (leaving the document
@@ -572,7 +597,11 @@ pub fn to_bytes(plan: &UnifiedPlan) -> Result<Vec<u8>> {
 pub struct BinaryDecoder<'a> {
     input: &'a [u8],
     pos: usize,
-    symbols: Vec<Symbol>,
+    /// Owned for whole-document decodes (the table is parsed out of the
+    /// input); borrowed for per-plan-body decodes against a shared symbol
+    /// chain ([`BinaryDecoder::for_plan_bodies`]), where cloning the chain
+    /// per plan would dominate the decode.
+    symbols: std::borrow::Cow<'a, [Symbol]>,
     version: u32,
     plan_count: u64,
     remaining: u64,
@@ -612,7 +641,7 @@ impl<'a> BinaryDecoder<'a> {
         let mut dec = BinaryDecoder {
             input,
             pos: 0,
-            symbols: Vec::new(),
+            symbols: std::borrow::Cow::Owned(Vec::new()),
             version: 0,
             plan_count: 0,
             remaining: 0,
@@ -654,11 +683,12 @@ impl<'a> BinaryDecoder<'a> {
         if count > (input.len() - dec.pos) as u64 {
             return Err(Error::parse(dec.pos, "symbol table longer than document"));
         }
-        dec.symbols.reserve(count as usize);
+        let mut symbols = Vec::with_capacity(count as usize);
         for _ in 0..count {
             let text = dec.read_str("symbol table entry")?;
-            dec.symbols.push(Symbol::intern(keyword::validate(text)?));
+            symbols.push(Symbol::intern(keyword::validate(text)?));
         }
+        dec.symbols = std::borrow::Cow::Owned(symbols);
         dec.remaining = dec.read_varint()?;
         dec.plan_count = dec.remaining;
         if dec.version >= 3 {
@@ -669,6 +699,48 @@ impl<'a> BinaryDecoder<'a> {
             plans: 0,
         });
         Ok(dec)
+    }
+
+    /// A decoder positioned directly on *bare plan bodies* (no document
+    /// header, no block framing, no tail) against an externally supplied
+    /// symbol table — the offset-addressed decode path of the segment
+    /// codec, where one shared symbol chain serves every plan of every
+    /// segment and each plan decodes independently on first touch.
+    ///
+    /// Behaves like a version-1 document: [`BinaryDecoder::next_plan`]
+    /// yields `count` plans starting at `input[pos..]` and never parses a
+    /// trailing section. The caller owns all integrity checking (segment
+    /// blocks are CRC-verified before any body in them decodes).
+    pub(crate) fn for_plan_bodies(
+        input: &'a [u8],
+        pos: usize,
+        symbols: &'a [Symbol],
+        count: u64,
+    ) -> BinaryDecoder<'a> {
+        BinaryDecoder {
+            input,
+            pos,
+            symbols: std::borrow::Cow::Borrowed(symbols),
+            version: 1,
+            plan_count: count,
+            remaining: count,
+            index: None,
+            features: None,
+            // Pre-finalized: an exhausted decoder must not look for a tail
+            // section that bare bodies do not carry.
+            finalized: true,
+            block_end: 0,
+            block_left: 0,
+            block_taken: 0,
+            blocks_read: 0,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Current byte position in the input (segment decodes validate that a
+    /// plan body consumed exactly its recorded length).
+    pub(crate) fn position(&self) -> usize {
+        self.pos
     }
 
     /// Number of plans not yet decoded.

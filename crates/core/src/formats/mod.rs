@@ -19,6 +19,7 @@
 
 pub mod binary;
 pub mod json;
+pub mod segment;
 pub mod unified;
 pub mod xml;
 pub mod yaml;

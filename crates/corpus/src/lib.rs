@@ -44,6 +44,7 @@
 pub mod bktree;
 pub mod features;
 pub mod query;
+pub mod segment;
 pub mod service;
 mod shard;
 
@@ -93,6 +94,10 @@ fn corpus_metrics() -> &'static CorpusMetrics {
 }
 
 pub use query::{QueryError, QueryKind, QueryOutcome, QueryRequest, QueryResponse};
+pub use segment::{
+    segment_file, AppendReport, CompactReport, SegmentCensus, SegmentSalvageReport, SegmentStore,
+    MANIFEST_FILE,
+};
 pub use service::{
     CorpusService, CorpusSnapshot, MergeReport, ServiceError, SnapshotReader,
     DEFAULT_PENDING_CAPACITY,
@@ -254,6 +259,17 @@ pub struct ShardedCorpus {
     directory: Vec<(u32, u32)>,
     observed: u64,
     persisted_index: bool,
+    /// Total operations across stored plans, maintained at store time so
+    /// [`ShardedCorpus::stats`] never walks plan payloads (which would
+    /// force a lazily opened corpus to decode everything).
+    operations: usize,
+    /// Deepest stored plan tree, maintained like `operations`.
+    max_depth: usize,
+    /// Per-segment pruning summaries when this corpus was opened from a
+    /// [`segment::SegmentStore`] (empty otherwise). Segments cover a
+    /// contiguous prefix of the global id space; ids past the covered
+    /// prefix (appended after open) are always scanned.
+    segment_hints: Vec<segment::SegmentHint>,
 }
 
 impl Default for ShardedCorpus {
@@ -294,6 +310,9 @@ impl ShardedCorpus {
             directory: Vec::new(),
             observed: 0,
             persisted_index: false,
+            operations: 0,
+            max_depth: 0,
+            segment_hints: Vec::new(),
         }
     }
 
@@ -346,15 +365,25 @@ impl ShardedCorpus {
     }
 
     /// The stored plan with the given id (ids are dense, `0..len()`).
+    /// Decodes the payload on first touch when the corpus was opened
+    /// lazily from a segment store.
     pub fn plan(&self, id: usize) -> &UnifiedPlan {
         let (shard, local) = self.directory[id];
-        &self.shards[shard as usize].plans[local as usize]
+        self.shards[shard as usize].store.plan(local as usize)
     }
 
-    /// The pre-flattened TED view of the stored plan with the given id.
+    /// The pre-flattened TED view of the stored plan with the given id
+    /// (lazy-decoding, like [`ShardedCorpus::plan`]).
     fn ted_of(&self, id: usize) -> &TedPlan {
         let (shard, local) = self.directory[id];
-        &self.shards[shard as usize].ted[local as usize]
+        self.shards[shard as usize].store.ted(local as usize)
+    }
+
+    /// Plans whose payload is actually decoded in memory. Equals
+    /// [`ShardedCorpus::len`] for an ingested corpus; starts at zero for a
+    /// lazily opened one and grows as queries touch plans.
+    pub fn decoded_plans(&self) -> usize {
+        self.shards.iter().map(|s| s.store.decoded()).sum()
     }
 
     /// The fingerprint of the stored plan with the given id.
@@ -363,12 +392,15 @@ impl ShardedCorpus {
         self.shards[shard as usize].fingerprints[local as usize]
     }
 
-    /// Iterates over `(id, plan)` in insertion order.
+    /// Iterates over `(id, plan)` in insertion order (decoding lazy
+    /// payloads as it goes).
     pub fn iter(&self) -> impl Iterator<Item = (usize, &UnifiedPlan)> {
         self.directory
             .iter()
             .enumerate()
-            .map(|(id, &(shard, local))| (id, &self.shards[shard as usize].plans[local as usize]))
+            .map(|(id, &(shard, local))| {
+                (id, self.shards[shard as usize].store.plan(local as usize))
+            })
     }
 
     /// Fingerprints a plan under this corpus's options (without recording
@@ -398,6 +430,10 @@ impl ShardedCorpus {
 
     /// Stores a claimed plan, assigning the next dense global id.
     fn place(&mut self, s: usize, plan: UnifiedPlan, fp: Fingerprint) -> usize {
+        self.operations += plan.operation_count();
+        self.max_depth = self
+            .max_depth
+            .max(plan.root.as_ref().map_or(0, |r| r.depth()));
         let global = u32::try_from(self.directory.len()).expect("corpus overflow");
         let local = self.shards[s].store(plan, fp, global);
         self.directory.push((s as u32, local));
@@ -561,7 +597,15 @@ impl ShardedCorpus {
         for (_, shard_idx, local) in admitted {
             let global = u32::try_from(self.directory.len()).expect("corpus overflow");
             self.directory.push((shard_idx, local));
-            self.shards[shard_idx as usize].globals[local as usize] = global;
+            let shard = &mut self.shards[shard_idx as usize];
+            shard.globals[local as usize] = global;
+            let plan = shard.store.plan(local as usize);
+            let (ops, depth) = (
+                plan.operation_count(),
+                plan.root.as_ref().map_or(0, |r| r.depth()),
+            );
+            self.operations += ops;
+            self.max_depth = self.max_depth.max(depth);
         }
         novel
     }
@@ -591,12 +635,12 @@ impl ShardedCorpus {
         let mut partial_evals = 0u64;
         let mut truncated = false;
         for shard in &self.shards {
-            let ted = &shard.ted;
+            let store = &shard.store;
             let (m, evals, cut) = shard.index.within_radius_limited(
                 radius,
                 limit.saturating_sub(ted_evals),
                 |other, bound| match probe.distance_bounded(
-                    &ted[other as usize],
+                    store.ted(other as usize),
                     bound as usize,
                     &mut scratch,
                 ) {
@@ -665,12 +709,12 @@ impl ShardedCorpus {
                         let mut evals = 0u64;
                         let mut partials = 0u64;
                         for shard in group {
-                            let ted = &shard.ted;
+                            let store = &shard.store;
                             let (m, e, _) = shard.index.within_radius_limited(
                                 radius,
                                 u64::MAX,
                                 |other, bound| match probe.distance_bounded(
-                                    &ted[other as usize],
+                                    store.ted(other as usize),
                                     bound as usize,
                                     &mut scratch,
                                 ) {
@@ -739,14 +783,14 @@ impl ShardedCorpus {
         let mut partial_evals = 0u64;
         let mut truncated = false;
         for shard in &self.shards {
-            let ted = &shard.ted;
+            let store = &shard.store;
             let (evals, cut) = shard.index.nearest_into_limited(
                 k,
                 limit.saturating_sub(ted_evals),
                 &mut best,
                 |local| shard.globals[local as usize],
                 |other, bound| match probe.distance_bounded(
-                    &ted[other as usize],
+                    store.ted(other as usize),
                     bound as usize,
                     &mut scratch,
                 ) {
@@ -794,19 +838,46 @@ impl ShardedCorpus {
     ) -> MetricQuery {
         let probe_features = features_of(probe);
         // Shortlist: the `candidates` smallest (vector distance, id) pairs
-        // via a bounded max-heap — one L1 pass, no TED.
+        // via a bounded max-heap — one L1 pass, no TED. When the corpus
+        // carries segment hints, a whole segment is skipped once the
+        // heap's worst keeper beats the segment's L1 lower bound
+        // *strictly* — a tie could still displace a keeper with a larger
+        // id, so ties always scan. The shortlist (and therefore the
+        // query's answer and every cost counter) is identical with and
+        // without hints; hints only skip work that provably cannot
+        // change it.
         let mut shortlist: BinaryHeap<(u64, usize)> = BinaryHeap::with_capacity(candidates + 1);
         if candidates > 0 {
-            for (id, &(s, local)) in self.directory.iter().enumerate() {
-                let d = l1_distance(
-                    &probe_features,
-                    &self.shards[s as usize].features[local as usize],
-                );
-                shortlist.push((d, id));
-                if shortlist.len() > candidates {
-                    shortlist.pop();
+            let scan = |range: std::ops::Range<usize>, shortlist: &mut BinaryHeap<(u64, usize)>| {
+                for id in range {
+                    let (s, local) = self.directory[id];
+                    let d = l1_distance(
+                        &probe_features,
+                        &self.shards[s as usize].features[local as usize],
+                    );
+                    shortlist.push((d, id));
+                    if shortlist.len() > candidates {
+                        shortlist.pop();
+                    }
                 }
+            };
+            let mut covered = 0usize;
+            for hint in &self.segment_hints {
+                debug_assert_eq!(hint.start, covered, "hints cover a contiguous prefix");
+                if shortlist.len() >= candidates {
+                    if let Some(&(worst, _)) = shortlist.peek() {
+                        if hint.l1_lower_bound(&probe_features) > worst {
+                            covered += hint.count;
+                            continue;
+                        }
+                    }
+                }
+                scan(covered..covered + hint.count, &mut shortlist);
+                covered += hint.count;
             }
+            // Ids past the hinted prefix: plans appended since the lazy
+            // open (or the whole corpus when there are no hints).
+            scan(covered..self.directory.len(), &mut shortlist);
         }
         let shortlist = shortlist.into_sorted_vec();
         let candidates_considered = shortlist.len() as u64;
@@ -866,11 +937,11 @@ impl ShardedCorpus {
         let mut matches = Vec::new();
         let mut ted_evals = 0u64;
         for shard in &self.shards {
-            let ted = &shard.ted;
+            let store = &shard.store;
             let (m, evals, _) = shard
                 .index
                 .within_radius_limited(radius, u64::MAX, |other, _| {
-                    Some(probe.distance(&ted[other as usize], &mut scratch) as u32)
+                    Some(probe.distance(store.ted(other as usize), &mut scratch) as u32)
                 });
             ted_evals += evals;
             matches.extend(
@@ -895,12 +966,12 @@ impl ShardedCorpus {
         let mut best: BinaryHeap<(u32, u32)> = BinaryHeap::with_capacity(k + 1);
         let mut ted_evals = 0u64;
         for shard in &self.shards {
-            let ted = &shard.ted;
+            let store = &shard.store;
             ted_evals += shard.index.nearest_into(
                 k,
                 &mut best,
                 |local| shard.globals[local as usize],
-                |other, _| Some(probe.distance(&ted[other as usize], &mut scratch) as u32),
+                |other, _| Some(probe.distance(store.ted(other as usize), &mut scratch) as u32),
             );
         }
         MetricQuery {
@@ -956,24 +1027,16 @@ impl ShardedCorpus {
         }
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics. O(1): the operation and depth aggregates are
+    /// maintained at store time (and summed from segment metadata on a
+    /// lazy open), so this never touches plan payloads.
     pub fn stats(&self) -> CorpusStats {
-        let mut operations = 0usize;
-        let mut max_depth = 0usize;
-        for shard in &self.shards {
-            for plan in &shard.plans {
-                operations += plan.operation_count();
-                if let Some(root) = &plan.root {
-                    max_depth = max_depth.max(root.depth());
-                }
-            }
-        }
         CorpusStats {
             observed: self.observed,
             distinct: self.directory.len(),
             duplicates: self.duplicates(),
-            operations,
-            max_depth,
+            operations: self.operations,
+            max_depth: self.max_depth,
         }
     }
 
@@ -1022,12 +1085,12 @@ impl ShardedCorpus {
                                 let mut evals = 0u64;
                                 let mut partials = 0u64;
                                 for shard in group {
-                                    let ted = &shard.ted;
+                                    let store = &shard.store;
                                     let (m, e, _) = shard.index.within_radius_limited(
                                         radius,
                                         u64::MAX,
                                         |other, bound| match probe.distance_bounded(
-                                            &ted[other as usize],
+                                            store.ted(other as usize),
                                             bound as usize,
                                             &mut scratch,
                                         ) {
@@ -1279,6 +1342,10 @@ impl ShardedCorpus {
                 ));
             }
             let global = u32::try_from(corpus.directory.len()).expect("corpus overflow");
+            corpus.operations += plan.operation_count();
+            corpus.max_depth = corpus
+                .max_depth
+                .max(plan.root.as_ref().map_or(0, |r| r.depth()));
             let row = features.as_ref().map(|rows| rows[pos]);
             let local = corpus.shards[s].store_with_features(plan, fp, global, row);
             corpus.directory.push((s as u32, local));
@@ -1464,10 +1531,14 @@ impl ShardedCorpus {
             .map_err(|e| Error::Semantic(format!("cannot write {}: {e}", path.as_ref().display())))
     }
 
-    /// Reads a corpus from `path`, sniffing the format: the binary magic
-    /// selects the binary codec (adopting a persisted index when present),
-    /// anything else parses as JSON lines.
+    /// Reads a corpus from `path`, sniffing the format: a directory opens
+    /// as a lazy [`segment::SegmentStore`], the binary magic selects the
+    /// binary codec (adopting a persisted index when present), anything
+    /// else parses as JSON lines.
     pub fn load(path: impl AsRef<Path>) -> Result<ShardedCorpus> {
+        if path.as_ref().is_dir() {
+            return Ok(segment::SegmentStore::open(path.as_ref())?.into_corpus());
+        }
         let bytes = std::fs::read(path.as_ref()).map_err(|e| {
             Error::Semantic(format!("cannot read {}: {e}", path.as_ref().display()))
         })?;

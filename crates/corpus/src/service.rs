@@ -35,6 +35,7 @@ use std::time::Instant;
 use uplan_core::UnifiedPlan;
 use uplan_obs::{trace, Counter, Gauge, Histogram, Level};
 
+use crate::segment::{SegmentCensus, SegmentStore};
 use crate::{QueryError, QueryRequest, QueryResponse, ShardedCorpus};
 
 /// Default bound on plans accepted but not yet merged.
@@ -163,6 +164,11 @@ pub struct MergeReport {
     pub novel: usize,
     /// Distinct plans in the published corpus.
     pub len: usize,
+    /// Id of the segment this merge appended — persistent services only;
+    /// `None` in RAM mode or when the drained batch was all duplicates.
+    pub segment_id: Option<u32>,
+    /// Bytes of that segment file (0 when none was written).
+    pub segment_bytes: usize,
 }
 
 /// The concurrent corpus: a published [`CorpusSnapshot`] plus the bounded
@@ -177,6 +183,11 @@ pub struct CorpusService {
     /// Plans accepted but not yet merged, in submission order.
     pending: Mutex<PendingDelta>,
     capacity: usize,
+    /// Optional append-only persistence: when attached, every publishing
+    /// merge appends its drained batch as one immutable segment *before*
+    /// the new epoch goes live, so a crash after publication never loses
+    /// a queryable plan. Locked only during merges and census reads.
+    store: Mutex<Option<SegmentStore>>,
 }
 
 impl CorpusService {
@@ -193,7 +204,32 @@ impl CorpusService {
             epoch: AtomicU64::new(0),
             pending: Mutex::new(PendingDelta::default()),
             capacity: capacity.max(1),
+            store: Mutex::new(None),
         }
+    }
+
+    /// Wraps an open [`SegmentStore`] as epoch 0: the store's (lazily
+    /// loaded) corpus is published, and every publishing merge from now
+    /// on appends its drained batch to the store as one new segment.
+    pub fn with_store(store: SegmentStore, capacity: usize) -> CorpusService {
+        let service = CorpusService::with_capacity(store.corpus().clone(), capacity);
+        *service.store.lock().expect("store lock") = Some(store);
+        service
+    }
+
+    /// Whether merges persist to an attached segment store.
+    pub fn persistent(&self) -> bool {
+        self.store.lock().expect("store lock").is_some()
+    }
+
+    /// Per-segment census of the attached store (`None` for a RAM-only
+    /// service).
+    pub fn segment_census(&self) -> Option<Vec<SegmentCensus>> {
+        self.store
+            .lock()
+            .expect("store lock")
+            .as_ref()
+            .map(|store| store.census().to_vec())
     }
 
     /// The configured pending-queue bound.
@@ -279,14 +315,50 @@ impl CorpusService {
                 merged: 0,
                 novel: 0,
                 len: base.corpus.len(),
+                segment_id: None,
+                segment_bytes: 0,
             };
         }
         let start = Instant::now();
         let mut span = trace::span("corpus.merge", Level::Debug, "merge");
         let drained: Vec<UnifiedPlan> = std::mem::take(&mut pending.plans);
         pending.since = None;
-        let mut corpus = base.corpus.clone();
-        let novel = corpus.ingest_parallel(&drained, threads.max(1));
+        let mut store_guard = self.store.lock().expect("store lock");
+        let (corpus, novel, segment_id, segment_bytes) = match store_guard.as_mut() {
+            // Persistent: the store's corpus is the canonical one — append
+            // (deterministic parallel ingest + segment write + manifest
+            // swap) and publish a clone of it. The clone is cheap for a
+            // lazy corpus: undecoded slots stay undecoded.
+            Some(store) => match store.append(&drained, threads.max(1)) {
+                Ok(report) => (
+                    store.corpus().clone(),
+                    report.admitted,
+                    report.segment_id,
+                    report.segment_bytes,
+                ),
+                Err(e) => {
+                    // Disk failure: detach persistence (a diverged store
+                    // must not silently shadow RAM-only epochs) and stay
+                    // available in RAM.
+                    trace::event(
+                        "corpus.merge",
+                        Level::Error,
+                        "persist_failed",
+                        &[("error", e.to_string().into())],
+                    );
+                    *store_guard = None;
+                    let mut corpus = base.corpus.clone();
+                    let novel = corpus.ingest_parallel(&drained, threads.max(1));
+                    (corpus, novel, None, 0)
+                }
+            },
+            None => {
+                let mut corpus = base.corpus.clone();
+                let novel = corpus.ingest_parallel(&drained, threads.max(1));
+                (corpus, novel, None, 0)
+            }
+        };
+        drop(store_guard);
         let epoch = base.epoch + 1;
         let len = corpus.len();
         let snapshot = Arc::new(CorpusSnapshot { epoch, corpus });
@@ -315,6 +387,8 @@ impl CorpusService {
             merged: drained.len(),
             novel,
             len,
+            segment_id,
+            segment_bytes,
         }
     }
 }
@@ -415,6 +489,44 @@ mod tests {
         let r4 = service.merge(2);
         assert_eq!((r4.epoch, r4.merged), (3, 0));
         assert_eq!(service.epoch(), 3);
+    }
+
+    #[test]
+    fn persistent_merges_append_segments() {
+        let dir =
+            std::env::temp_dir().join(format!("uplan-service-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stream = plans(60);
+        let store = SegmentStore::create(&dir, ShardedCorpus::new()).unwrap();
+        let service = CorpusService::with_store(store, DEFAULT_PENDING_CAPACITY);
+        assert!(service.persistent());
+        assert_eq!(service.segment_census().unwrap().len(), 0);
+
+        service.submit(stream[..25].to_vec()).unwrap();
+        let r1 = service.merge(2);
+        assert_eq!((r1.epoch, r1.merged, r1.segment_id), (1, 25, Some(0)));
+        assert!(r1.segment_bytes > 0);
+        service.submit(stream[20..].to_vec()).unwrap();
+        let r2 = service.merge(4);
+        assert_eq!((r2.epoch, r2.novel, r2.segment_id), (2, 35, Some(1)));
+        // An all-duplicate merge publishes an epoch but writes no segment.
+        service.submit(stream[..10].to_vec()).unwrap();
+        let r3 = service.merge(1);
+        assert_eq!((r3.epoch, r3.segment_id, r3.segment_bytes), (3, None, 0));
+
+        let census = service.segment_census().unwrap();
+        assert_eq!(census.len(), 2);
+        assert_eq!(census[0].plans + census[1].plans, 60);
+
+        // The directory reopens to exactly the published corpus.
+        let reopened = SegmentStore::open(&dir).unwrap().into_corpus();
+        let published = service.snapshot();
+        assert_eq!(reopened.len(), published.corpus().len());
+        assert_eq!(
+            reopened.to_binary_indexed().unwrap(),
+            published.corpus().to_binary_indexed().unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,6 +12,14 @@
 //! Ids are *local* here (dense per shard, also the BK node ids); the
 //! facade maps them to corpus-wide insertion-ordered globals through
 //! [`CorpusShard::globals`].
+//!
+//! Plan payloads live behind a [`PlanStore`]: eagerly for ingested plans,
+//! lazily (offset-addressed segment bytes, decoded on first touch) for
+//! plans opened from a segment store — the representation queries never
+//! see, because every access goes through [`PlanStore::plan`] /
+//! [`PlanStore::ted`].
+
+use std::sync::{Arc, OnceLock};
 
 use uplan_core::fingerprint::{Fingerprint, FingerprintOptions, FingerprintSet};
 use uplan_core::ted::{TedPlan, TedScratch};
@@ -19,26 +27,133 @@ use uplan_core::UnifiedPlan;
 
 use crate::bktree::BkTree;
 use crate::features::{features_of, FeatureVector};
+use crate::segment::SegmentSource;
+
+/// A stored plan's in-memory form: the plan itself plus its pre-flattened
+/// TED view (every metric evaluation — BK routing, traversals, shortlist
+/// re-ranks — reads the view instead of re-flattening).
+#[derive(Debug, Clone)]
+pub(crate) struct LoadedPlan {
+    pub(crate) plan: UnifiedPlan,
+    pub(crate) ted: TedPlan,
+}
+
+impl LoadedPlan {
+    pub(crate) fn new(plan: UnifiedPlan) -> LoadedPlan {
+        LoadedPlan {
+            ted: TedPlan::new(&plan),
+            plan,
+        }
+    }
+}
+
+/// One plan's storage cell. For ingested plans the cell is filled at store
+/// time and the segment address is meaningless; for lazily opened plans
+/// the cell starts empty and fills on first touch from the shared
+/// [`SegmentSource`].
+#[derive(Debug, Clone)]
+struct PlanSlot {
+    /// Index into the source's segment list (`u32::MAX` for eager slots).
+    seg: u32,
+    /// Plan index within that segment.
+    idx: u32,
+    /// The decoded plan, filled at most once. Boxed so an undecoded slot
+    /// costs pointers, not a full inline [`LoadedPlan`].
+    cell: OnceLock<Box<LoadedPlan>>,
+}
+
+/// Plan payload storage for one shard: dense by local id, decode-on-first-
+/// touch when backed by a segment source. Cloning preserves whatever is
+/// already decoded (cheap for an untouched lazy corpus, eager-deep for an
+/// ingested one).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PlanStore {
+    /// Shared decoded-bytes source for lazy slots; `None` for a purely
+    /// in-RAM shard.
+    source: Option<Arc<SegmentSource>>,
+    slots: Vec<PlanSlot>,
+}
+
+impl PlanStore {
+    /// An empty store whose lazy slots will decode from `source`.
+    pub(crate) fn lazy(source: Arc<SegmentSource>) -> PlanStore {
+        PlanStore {
+            source: Some(source),
+            slots: Vec::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Appends an eagerly stored plan (flattening its TED view now).
+    pub(crate) fn push(&mut self, plan: UnifiedPlan) {
+        let cell = OnceLock::new();
+        cell.set(Box::new(LoadedPlan::new(plan)))
+            .expect("fresh cell is empty");
+        self.slots.push(PlanSlot {
+            seg: u32::MAX,
+            idx: u32::MAX,
+            cell,
+        });
+    }
+
+    /// Appends a lazy slot addressing plan `idx` of segment `seg` in the
+    /// store's source.
+    pub(crate) fn push_lazy(&mut self, seg: u32, idx: u32) {
+        debug_assert!(self.source.is_some(), "lazy slot needs a segment source");
+        self.slots.push(PlanSlot {
+            seg,
+            idx,
+            cell: OnceLock::new(),
+        });
+    }
+
+    fn loaded(&self, local: usize) -> &LoadedPlan {
+        let slot = &self.slots[local];
+        slot.cell.get_or_init(|| {
+            let source = self
+                .source
+                .as_ref()
+                .expect("undecoded slot without a segment source");
+            Box::new(source.load(slot.seg, slot.idx))
+        })
+    }
+
+    /// The stored plan, decoding it on first touch.
+    pub(crate) fn plan(&self, local: usize) -> &UnifiedPlan {
+        &self.loaded(local).plan
+    }
+
+    /// The stored plan's pre-flattened TED view, decoding on first touch.
+    pub(crate) fn ted(&self, local: usize) -> &TedPlan {
+        &self.loaded(local).ted
+    }
+
+    /// Plans whose payload has actually been decoded (lazy-open
+    /// observability; everything, for an ingested store).
+    pub(crate) fn decoded(&self) -> usize {
+        self.slots.iter().filter(|s| s.cell.get().is_some()).count()
+    }
+}
 
 /// One fingerprint-prefix shard: dedup set + plan storage + BK-tree.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct CorpusShard {
     /// Fingerprint dedup for the plans routed to this shard.
     pub(crate) dedup: FingerprintSet,
-    /// Stored plans, dense by local id.
-    pub(crate) plans: Vec<UnifiedPlan>,
+    /// Plan payloads, dense by local id (eager or lazily decoded).
+    pub(crate) store: PlanStore,
     /// Fingerprint per local id.
     pub(crate) fingerprints: Vec<Fingerprint>,
     /// Local id → corpus-wide global id.
     pub(crate) globals: Vec<u32>,
     /// Structural feature vector per local id — the approximate-query
     /// pre-filter (see [`crate::features`]). Computed at store time (or
-    /// adopted from a persisted feature section), always dense.
+    /// adopted from a persisted feature section), always dense and always
+    /// eager: queries read vectors without touching plan payloads.
     pub(crate) features: Vec<FeatureVector>,
-    /// Pre-flattened TED view per local id: every metric evaluation against
-    /// a stored plan (BK routing, traversals, shortlist re-ranks) reads the
-    /// view instead of re-flattening the plan. Computed at store time.
-    pub(crate) ted: Vec<TedPlan>,
     /// BK-tree over local ids (node id == local id, always sequential).
     pub(crate) index: BkTree,
     /// TED evaluations spent building `index` (insert routing).
@@ -55,7 +170,7 @@ impl CorpusShard {
 
     /// Distinct plans stored in this shard.
     pub(crate) fn len(&self) -> usize {
-        self.plans.len()
+        self.store.len()
     }
 
     /// Stores a fingerprint-novel plan and routes it into the BK-tree
@@ -63,11 +178,11 @@ impl CorpusShard {
     /// id. The caller has already claimed `fp` in [`CorpusShard::dedup`].
     pub(crate) fn store(&mut self, plan: UnifiedPlan, fp: Fingerprint, global: u32) -> u32 {
         let local = self.store_unindexed(plan, fp, global);
-        let ted = &self.ted;
-        let probe = &ted[local as usize];
+        let store = &self.store;
+        let probe = store.ted(local as usize);
         let mut scratch = TedScratch::default();
         let evals = self.index.insert(local, |other| {
-            probe.distance(&ted[other as usize], &mut scratch) as u32
+            probe.distance(store.ted(other as usize), &mut scratch) as u32
         });
         self.index_evals += evals;
         local
@@ -95,11 +210,30 @@ impl CorpusShard {
         global: u32,
         features: Option<FeatureVector>,
     ) -> u32 {
-        let local = u32::try_from(self.plans.len()).expect("corpus shard overflow");
+        let local = u32::try_from(self.store.len()).expect("corpus shard overflow");
         self.features
             .push(features.unwrap_or_else(|| features_of(&plan)));
-        self.ted.push(TedPlan::new(&plan));
-        self.plans.push(plan);
+        self.store.push(plan);
+        self.fingerprints.push(fp);
+        self.globals.push(global);
+        local
+    }
+
+    /// Stores a *lazy* plan: all metadata (fingerprint, features, global)
+    /// eager, the payload a segment address decoded on first touch. The
+    /// caller has already claimed `fp` in the dedup set and set up the
+    /// shard's [`PlanStore::lazy`] source.
+    pub(crate) fn store_lazy(
+        &mut self,
+        fp: Fingerprint,
+        global: u32,
+        features: FeatureVector,
+        seg: u32,
+        idx: u32,
+    ) -> u32 {
+        let local = u32::try_from(self.store.len()).expect("corpus shard overflow");
+        self.features.push(features);
+        self.store.push_lazy(seg, idx);
         self.fingerprints.push(fp);
         self.globals.push(global);
         local
@@ -109,7 +243,7 @@ impl CorpusShard {
     /// zero TED evaluations. Errors when the topology cannot describe this
     /// shard's population.
     pub(crate) fn adopt_index(&mut self, edges: &[(u32, u32)]) -> Result<(), String> {
-        self.index = BkTree::from_edges(self.plans.len(), edges)?;
+        self.index = BkTree::from_edges(self.store.len(), edges)?;
         Ok(())
     }
 }

@@ -13,7 +13,7 @@
 //! | POST   | `/knn`      | `{"k": …, "probe": …}`     | 200 [`uplan_corpus::QueryResponse`] JSON; **422** when a counted-TED budget trips |
 //! | POST   | `/radius`   | `{"radius": …, "probe": …}`| same |
 //! | POST   | `/cluster`  | `{"radius": …}`            | 200 clustering of the snapshot |
-//! | GET    | `/stats`    | —                          | 200 epoch, pending, corpus stats, per-endpoint latency/eval histograms |
+//! | GET    | `/stats`    | —                          | 200 epoch, pending, corpus stats (the walk is cached per epoch), the segment census when the service persists to a segment store, per-endpoint latency/eval histograms |
 //! | POST   | `/diff`     | JSONL corpus (`?radius=N`) | 200 fingerprint + radius novelty both ways |
 //! | POST   | `/merge`    | —                          | 200 forces an epoch merge now |
 //! | GET    | `/metrics`  | —                          | 200 Prometheus-text exposition (`?format=json` for JSON): this daemon's request series plus the process-global ingest/corpus series |
@@ -38,8 +38,8 @@ pub mod pool;
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use uplan_convert::raw::{ingest_raw_with, RawIngestOptions};
@@ -103,14 +103,31 @@ pub struct ServeState {
     slow_query_us: u64,
     slow_query_evals: u64,
     shutdown: AtomicBool,
+    /// The corpus-stats document of `/stats`, keyed by the epoch it was
+    /// computed at. The walk is recomputed only when a merge bumps the
+    /// epoch; between merges every `/stats` request reuses the document.
+    stats_cache: Mutex<Option<(u64, OwnedJsonValue)>>,
+    /// `/stats` requests answered from `stats_cache` (observability for
+    /// the cache contract; asserted in the serve tests).
+    stats_cache_hits: AtomicU64,
 }
 
 impl ServeState {
     /// Wraps a corpus for serving.
     pub fn new(corpus: PlanCorpus, queue_capacity: usize, merge_threads: usize) -> ServeState {
-        let options = corpus.options();
+        ServeState::from_service(
+            CorpusService::with_capacity(corpus, queue_capacity),
+            merge_threads,
+        )
+    }
+
+    /// Wraps an already-built service — the segment-store path: build the
+    /// service with [`CorpusService::with_store`] so merges append
+    /// segments, then serve it.
+    pub fn from_service(service: CorpusService, merge_threads: usize) -> ServeState {
+        let options = service.snapshot().corpus().options();
         ServeState {
-            service: Arc::new(CorpusService::with_capacity(corpus, queue_capacity)),
+            service: Arc::new(service),
             metrics: ServeMetrics::new(),
             options,
             merge_threads: merge_threads.max(1),
@@ -118,7 +135,14 @@ impl ServeState {
             slow_query_us: 0,
             slow_query_evals: 0,
             shutdown: AtomicBool::new(false),
+            stats_cache: Mutex::new(None),
+            stats_cache_hits: AtomicU64::new(0),
         }
+    }
+
+    /// `/stats` requests answered from the per-epoch cache so far.
+    pub fn stats_cache_hits(&self) -> u64 {
+        self.stats_cache_hits.load(Ordering::Relaxed)
     }
 
     /// Sets the slow-query thresholds (0 disables a criterion): requests
@@ -402,14 +426,34 @@ fn resolve_raw_probe(doc: OwnedJsonValue) -> Result<OwnedJsonValue, String> {
 }
 
 /// GET /stats: the stats [`QueryResponse`] plus service fields (pending,
-/// capacity, pending-merge lag, uptime, build info, total requests) and
-/// the per-endpoint histograms.
+/// capacity, pending-merge lag, uptime, build info, total requests), the
+/// segment census when the service persists to a segment store, and the
+/// per-endpoint histograms.
+///
+/// The corpus-stats walk is cached per epoch: only the first `/stats`
+/// after a merge recomputes it, every later request within the epoch
+/// reuses the cached document (service fields are stamped fresh each
+/// time).
 fn stats(state: &ServeState, reader: &mut SnapshotReader) -> (HttpResponse, u64) {
-    let response = reader
-        .current()
-        .execute(&QueryRequest::stats())
-        .expect("stats queries cannot fail");
-    let mut doc = response.to_json_value();
+    let epoch = reader.current().epoch();
+    let mut doc = {
+        let mut cache = state.stats_cache.lock().expect("stats cache lock");
+        match cache.as_ref() {
+            Some((cached_epoch, doc)) if *cached_epoch == epoch => {
+                state.stats_cache_hits.fetch_add(1, Ordering::Relaxed);
+                doc.clone()
+            }
+            _ => {
+                let response = reader
+                    .pinned()
+                    .execute(&QueryRequest::stats())
+                    .expect("stats queries cannot fail");
+                let doc = response.to_json_value();
+                *cache = Some((epoch, doc.clone()));
+                doc
+            }
+        }
+    };
     if let JsonValue::Object(members) = &mut doc {
         let (version, git) = uplan_obs::build_info();
         members.push(("pending".into(), JsonValue::from(state.service.pending())));
@@ -427,6 +471,23 @@ fn stats(state: &ServeState, reader: &mut SnapshotReader) -> (HttpResponse, u64)
             ]),
         ));
         members.push(("requests".into(), int(state.metrics.requests())));
+        if let Some(census) = state.service.segment_census() {
+            let rows = census
+                .iter()
+                .map(|row| {
+                    object([
+                        ("id", JsonValue::from(row.id as usize)),
+                        ("plans", int(row.plans)),
+                        ("bytes", JsonValue::from(row.bytes.total)),
+                        ("plan_bytes", JsonValue::from(row.bytes.plans)),
+                        ("symbol_bytes", JsonValue::from(row.bytes.symbols)),
+                        ("index_bytes", JsonValue::from(row.bytes.index)),
+                        ("feature_bytes", JsonValue::from(row.bytes.features)),
+                    ])
+                })
+                .collect();
+            members.push(("segments".into(), JsonValue::Array(rows)));
+        }
         members.push(("metrics".into(), state.metrics.to_json_value()));
     }
     (HttpResponse::json(200, doc.to_compact()), 0)
@@ -517,13 +578,18 @@ fn diff(state: &ServeState, reader: &mut SnapshotReader, req: &HttpRequest) -> (
 /// runs on its interval).
 fn merge(state: &ServeState) -> (HttpResponse, u64) {
     let report = state.service.merge(state.merge_threads);
-    let body = object([
+    let mut members = vec![
         ("status", JsonValue::from("ok")),
         ("epoch", int(report.epoch)),
         ("merged", JsonValue::from(report.merged)),
         ("novel", JsonValue::from(report.novel)),
         ("len", JsonValue::from(report.len)),
-    ]);
+    ];
+    if let Some(id) = report.segment_id {
+        members.push(("segment_id", JsonValue::from(id as usize)));
+        members.push(("segment_bytes", JsonValue::from(report.segment_bytes)));
+    }
+    let body = object(members);
     (HttpResponse::json(200, body.to_compact()), 0)
 }
 
@@ -555,11 +621,19 @@ impl Server {
     /// Binds the listener and wraps the corpus for serving. The corpus is
     /// epoch 0; nothing is served until [`Server::run`].
     pub fn bind(config: ServerConfig, corpus: PlanCorpus) -> std::io::Result<Server> {
+        let state = ServeState::new(corpus, config.queue_capacity, config.merge_threads);
+        Server::bind_with_state(config, state)
+    }
+
+    /// [`Server::bind`] with a caller-built state — the segment-store
+    /// path, where the state wraps a [`CorpusService::with_store`] service
+    /// so merges append segments. Slow-query thresholds are applied from
+    /// the config.
+    pub fn bind_with_state(config: ServerConfig, state: ServeState) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let state = Arc::new(
-            ServeState::new(corpus, config.queue_capacity, config.merge_threads)
-                .with_slow_query_thresholds(config.slow_query_us, config.slow_query_evals),
+            state.with_slow_query_thresholds(config.slow_query_us, config.slow_query_evals),
         );
         Ok(Server {
             listener,
@@ -919,6 +993,105 @@ mod tests {
 
     fn quote_json(s: &str) -> String {
         JsonValue::from(s).to_compact()
+    }
+
+    /// Satellite: the `/stats` corpus walk is computed once per epoch —
+    /// repeat requests within an epoch hit the cache, a merge invalidates
+    /// it, and the cached document still reports the fresh service fields.
+    #[test]
+    fn stats_walk_is_cached_per_epoch() {
+        let state = ServeState::new(seed_corpus(), 100, 1);
+        let service = Arc::clone(state.service());
+        let mut reader = service.reader();
+        let req = HttpRequest {
+            method: "GET".into(),
+            path: "/stats".into(),
+            query: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(handle(&state, &mut reader, &req).status, 200);
+        assert_eq!(state.stats_cache_hits(), 0, "first request fills the cache");
+        let response = handle(&state, &mut reader, &req);
+        assert_eq!(response.status, 200);
+        assert_eq!(state.stats_cache_hits(), 1, "same epoch: cache hit");
+        // Service fields are stamped fresh even on a hit.
+        let doc = json::parse(&response.body).unwrap();
+        assert_eq!(doc.get("epoch").unwrap().as_int(), Some(0));
+        assert!(doc.get("requests").unwrap().as_int().unwrap() >= 1);
+
+        // A merge bumps the epoch: the next request recomputes, the one
+        // after hits again.
+        service.submit(vec![chain(&["Scan_C"])]).unwrap();
+        service.merge(1);
+        let (status, body) = {
+            let r = handle(&state, &mut reader, &req);
+            (r.status, r.body)
+        };
+        assert_eq!(status, 200);
+        assert_eq!(state.stats_cache_hits(), 1, "new epoch: recompute");
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("epoch").unwrap().as_int(), Some(1));
+        assert_eq!(
+            doc.get("stats").unwrap().get("distinct").unwrap().as_int(),
+            Some(5)
+        );
+        assert_eq!(handle(&state, &mut reader, &req).status, 200);
+        assert_eq!(state.stats_cache_hits(), 2);
+    }
+
+    /// A segment-store-backed state: merges append segments, `/merge`
+    /// reports the segment id, `/stats` carries the census, and the
+    /// directory reopens to the served corpus.
+    #[test]
+    fn persistent_state_appends_segments_and_reports_census() {
+        use uplan_corpus::SegmentStore;
+        let dir = std::env::temp_dir().join(format!("uplan-serve-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SegmentStore::create(&dir, seed_corpus()).unwrap();
+        let state = ServeState::from_service(CorpusService::with_store(store, 100), 2);
+        let service = Arc::clone(state.service());
+        let mut reader = service.reader();
+
+        // Ingest a raw record and merge over HTTP handlers.
+        let req = HttpRequest {
+            method: "POST".into(),
+            path: "/ingest".into(),
+            query: Vec::new(),
+            body: pg_record(2).into_bytes(),
+        };
+        assert_eq!(handle(&state, &mut reader, &req).status, 202);
+        let req = HttpRequest {
+            method: "POST".into(),
+            path: "/merge".into(),
+            query: Vec::new(),
+            body: Vec::new(),
+        };
+        let response = handle(&state, &mut reader, &req);
+        assert_eq!(response.status, 200, "{}", response.body);
+        let doc = json::parse(&response.body).unwrap();
+        assert_eq!(doc.get("segment_id").unwrap().as_int(), Some(1));
+        assert!(doc.get("segment_bytes").unwrap().as_int().unwrap() > 0);
+
+        // /stats reports the per-segment census.
+        let req = HttpRequest {
+            method: "GET".into(),
+            path: "/stats".into(),
+            query: Vec::new(),
+            body: Vec::new(),
+        };
+        let response = handle(&state, &mut reader, &req);
+        assert_eq!(response.status, 200);
+        let doc = json::parse(&response.body).unwrap();
+        let segments = doc.get("segments").unwrap().as_array().unwrap();
+        assert_eq!(segments.len(), 2);
+        assert_eq!(segments[0].get("plans").unwrap().as_int(), Some(4));
+        assert_eq!(segments[1].get("plans").unwrap().as_int(), Some(1));
+        assert!(segments[1].get("bytes").unwrap().as_int().unwrap() > 0);
+
+        // The directory holds everything the daemon serves.
+        let reopened = SegmentStore::open(&dir).unwrap().into_corpus();
+        assert_eq!(reopened.len(), reader.current().corpus().len());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Slow-query accounting: with an eval threshold of 1, any real

@@ -1,8 +1,9 @@
 //! The dirty-fleet hardening contract, driven end to end by the seeded
 //! fault-injection harness (`uplan_testing::inject`).
 //!
-//! Two artifact kinds arrive from the outside world — binary UPLN corpus
-//! documents and raw mixed-source dumps — and for both the contract is:
+//! Three artifact kinds arrive from the outside world — binary UPLN
+//! corpus documents, append-only segment-store directories, and raw
+//! mixed-source dumps — and for all of them the contract is:
 //!
 //! * **no panic**, ever, on corrupted input;
 //! * strict loads either succeed losslessly or fail with a bounded,
@@ -16,14 +17,18 @@
 //!
 //! Every mutation is seeded, so a failure here reproduces deterministically.
 
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use minidb::profile::EngineProfile;
 use uplan::convert::{self, RawIngestOptions};
-use uplan::core::fingerprint::fingerprint;
+use uplan::core::fingerprint::{fingerprint, FingerprintOptions};
 use uplan::core::formats::binary::{self, SectionBoundary};
-use uplan::corpus::PlanCorpus;
-use uplan::testing::inject::{self, FaultMutation};
+use uplan::core::UnifiedPlan;
+use uplan::corpus::{PlanCorpus, SegmentStore, MANIFEST_FILE};
+use uplan::testing::inject::{self, FaultMutation, StoreFault};
 use uplan::workloads::tpch;
 use uplan_bench::corpus_fixture;
 
@@ -141,6 +146,192 @@ fn splices_and_duplicated_blocks_never_panic_or_lose_plans_silently() {
     for mutation in inject::duplicate_block_plan(&sections) {
         assert_contract(bytes, prints, &sections, &mutation);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Segment-store half of the contract: per-file faults against an
+// append-only store directory. The segment is the recovery unit, so
+// `SegmentStore::salvage` must recover *exactly* the surviving segments'
+// plan counts ([`inject::expected_store_recovery`]) — and, byte for byte,
+// the corpus an eager re-ingest of the surviving batches produces.
+// ---------------------------------------------------------------------------
+
+/// A pristine store directory, its per-segment plan census, and the
+/// batches that built it in ingest order.
+type StoreFixture = (PathBuf, Vec<(u32, u64)>, Vec<Vec<UnifiedPlan>>);
+
+/// A pristine three-segment store of 120 fingerprint-distinct derived
+/// plans (a seed segment plus two appended batches of 40), its
+/// per-segment plan census, and the three batches in ingest order.
+fn store_fixture() -> &'static StoreFixture {
+    static STORE: OnceLock<StoreFixture> = OnceLock::new();
+    STORE.get_or_init(|| {
+        // Dedupe the derived stream by fingerprint so every plan lands in
+        // exactly one segment — the precondition for a per-segment-exact
+        // recovery oracle.
+        let mut seen = HashSet::new();
+        let distinct: Vec<UnifiedPlan> = corpus_fixture::derived_stream(600, SEED)
+            .into_iter()
+            .filter(|plan| seen.insert(fingerprint(plan).0))
+            .take(120)
+            .collect();
+        assert_eq!(distinct.len(), 120, "stream too repetitive for fixture");
+        let batches: Vec<Vec<UnifiedPlan>> =
+            distinct.chunks(40).map(|chunk| chunk.to_vec()).collect();
+
+        let dir = std::env::temp_dir().join(format!(
+            "uplan-fault-injection-store-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut seed_corpus = PlanCorpus::new();
+        for plan in &batches[0] {
+            seed_corpus.insert(plan.clone());
+        }
+        let mut store = SegmentStore::create(&dir, seed_corpus).unwrap();
+        for batch in &batches[1..] {
+            let report = store.append(batch, 1).unwrap();
+            assert_eq!(report.duplicates, 0, "fixture batches must be distinct");
+        }
+        let census: Vec<(u32, u64)> = store.census().iter().map(|c| (c.id, c.plans)).collect();
+        assert_eq!(census, vec![(0, 40), (1, 40), (2, 40)]);
+        (dir, census, batches)
+    })
+}
+
+/// Materializes the fault against a copy of the pristine store and
+/// asserts the salvage contract: the report matches the oracle exactly,
+/// and the recovered corpus is byte-identical to an eager ingest of the
+/// surviving batches alone.
+fn assert_store_contract(fault: &StoreFault) {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let (src, census, batches) = store_fixture();
+    let what = fault.describe();
+    let dst = std::env::temp_dir().join(format!(
+        "uplan-fault-injection-store-case-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    fault.apply_to_copy(src, &dst).unwrap();
+
+    let expect = inject::expected_store_recovery(census, fault);
+    let (corpus, report) = SegmentStore::salvage(&dst, FingerprintOptions::default()).unwrap();
+    assert_eq!(report.manifest_ok, expect.manifest_ok, "{what}");
+    assert_eq!(report.segments_declared, census.len(), "{what}");
+    assert_eq!(
+        report.segments_recovered, expect.segments_recovered,
+        "{what}"
+    );
+    assert_eq!(report.recovered as u64, expect.recovered, "{what}");
+    assert_eq!(report.dropped, expect.dropped, "{what}");
+    assert!(report.index_rebuilt, "{what}: a damaged store never adopts");
+    let error = report.error.as_deref().unwrap_or_else(|| {
+        panic!("{what}: damaged salvage must say why");
+    });
+    if let Some(id) = expect.dropped_segment {
+        assert!(
+            error.contains(&format!("segment {id}")),
+            "{what}: error {error:?} must name segment {id}"
+        );
+    }
+
+    // Byte-exactness: the salvaged corpus equals an eager corpus built
+    // from the surviving batches in their original ingest order.
+    let mut reference = PlanCorpus::new();
+    for (slot, batch) in batches.iter().enumerate() {
+        if expect.dropped_segment == Some(slot as u32) {
+            continue;
+        }
+        for plan in batch {
+            reference.insert(plan.clone());
+        }
+    }
+    assert_eq!(
+        corpus.to_binary_indexed().unwrap(),
+        reference.to_binary_indexed().unwrap(),
+        "{what}: salvage must reproduce the surviving batches byte-exactly"
+    );
+
+    // The strict open refuses any store with a missing or severed file
+    // (a mid-file bit flip may be in a lazily verified plan block, so
+    // strict open is only promised to catch structural damage).
+    let structural = matches!(
+        fault,
+        StoreFault::Delete { .. }
+            | StoreFault::Mutate {
+                mutation: FaultMutation::Truncate { .. },
+                ..
+            }
+    );
+    if structural {
+        let refused = SegmentStore::open(&dst);
+        assert!(refused.is_err(), "{what}: strict open must refuse");
+        assert!(
+            !refused.unwrap_err().to_string().is_empty(),
+            "{what}: empty error"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dst);
+}
+
+#[test]
+fn segment_file_faults_drop_exactly_that_segment() {
+    let (src, _, _) = store_fixture();
+    // One fault per store file, three damage classes each: a seeded bit
+    // flip, a seeded strict-prefix truncation, and outright deletion.
+    // Segment faults must cost exactly that segment; manifest faults must
+    // cost nothing (the symbol chain rebuilds from segment deltas).
+    for fault in inject::store_bitflip_plan(src, SEED).unwrap() {
+        assert_store_contract(&fault);
+    }
+    for fault in inject::store_truncate_plan(src, SEED).unwrap() {
+        assert_store_contract(&fault);
+    }
+    for fault in inject::store_delete_plan(src).unwrap() {
+        assert_store_contract(&fault);
+    }
+}
+
+#[test]
+fn manifest_loss_plus_symbol_segment_loss_cascades() {
+    // Composed faults are outside the single-fault oracle: with the
+    // manifest gone the symbol chain rebuilds from segment deltas, so
+    // losing the base-symbol-carrying segment 0 as well must cascade
+    // onto every later segment — salvage recovers zero plans but still
+    // reports the loss instead of panicking or inventing plans.
+    let (src, _, _) = store_fixture();
+    let dst = std::env::temp_dir().join(format!(
+        "uplan-fault-injection-store-cascade-{}",
+        std::process::id()
+    ));
+    StoreFault::Delete {
+        file: MANIFEST_FILE.to_owned(),
+    }
+    .apply_to_copy(src, &dst)
+    .unwrap();
+    StoreFault::Delete {
+        file: uplan::corpus::segment_file(0),
+    }
+    .apply(&dst)
+    .unwrap();
+
+    let (corpus, report) = SegmentStore::salvage(&dst, FingerprintOptions::default()).unwrap();
+    assert!(!report.manifest_ok);
+    // With both the manifest and segment 0 gone, only the two surviving
+    // files are even declared — and the broken chain then drops them too.
+    assert_eq!(report.segments_declared, 2);
+    assert_eq!(report.segments_recovered, 0);
+    assert_eq!(report.recovered, 0);
+    assert_eq!(report.dropped, 80);
+    assert!(corpus.is_empty());
+    let error = report.error.unwrap();
+    assert!(
+        error.contains("manifest missing or corrupt"),
+        "error {error:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dst);
 }
 
 // ---------------------------------------------------------------------------
